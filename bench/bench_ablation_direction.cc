@@ -1,0 +1,103 @@
+// Ablation — backward vs forward greedy (the paper's design choice).
+//
+// GREEDY-SHRINK (Algorithm 1) descends from S = D and inherits Il'ev's
+// e^{t−1}/t guarantee for supermodular minimization; the forward
+// GREEDY-GROW (in the spirit of the SIGMOD'16 poster's greedy) has no such
+// guarantee. This bench quantifies the choice: solution quality against the
+// brute-force optimum on small instances, plus quality and time on larger
+// ones.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace fam;
+  bool full = FullScaleRequested(argc, argv);
+  bench::Banner("Ablation — GREEDY-SHRINK (backward) vs GREEDY-GROW "
+                "(forward)",
+                "uniform linear utilities, anti-correlated synthetic",
+                full);
+
+  // Small instances: compare both against the exact optimum, plus the
+  // 1-swap local-search polish on top of each greedy.
+  Table small({"n", "k", "optimal arr", "shrink arr", "grow arr",
+               "shrink/opt", "grow/opt", "grow+LS/opt"});
+  struct SmallConfig {
+    size_t n;
+    size_t k;
+    uint64_t seed;
+  };
+  for (const SmallConfig& config :
+       {SmallConfig{18, 3, 1}, SmallConfig{20, 4, 2}, SmallConfig{24, 4, 3},
+        SmallConfig{16, 5, 4}}) {
+    Dataset data = GenerateSynthetic({
+        .n = config.n,
+        .d = 3,
+        .distribution = SyntheticDistribution::kAntiCorrelated,
+        .seed = config.seed,
+    });
+    double preprocess = 0.0;
+    RegretEvaluator evaluator =
+        bench::MakeLinearEvaluator(data, 2000, config.seed + 10,
+                                   &preprocess);
+    Result<Selection> exact = BruteForce(evaluator, {.k = config.k});
+    Result<Selection> shrink = GreedyShrink(evaluator, {.k = config.k});
+    Result<Selection> grow = GreedyGrow(evaluator, {.k = config.k});
+    if (!exact.ok() || !shrink.ok() || !grow.ok()) return 1;
+    Result<Selection> polished = LocalSearchRefine(evaluator, *grow);
+    if (!polished.ok()) return 1;
+    double opt = exact->average_regret_ratio;
+    auto ratio = [opt](double arr) {
+      return opt > 1e-12 ? FormatFixed(arr / opt, 3) : "1.000";
+    };
+    small.AddRow({std::to_string(config.n), std::to_string(config.k),
+                  FormatFixed(opt, 4),
+                  FormatFixed(shrink->average_regret_ratio, 4),
+                  FormatFixed(grow->average_regret_ratio, 4),
+                  ratio(shrink->average_regret_ratio),
+                  ratio(grow->average_regret_ratio),
+                  ratio(polished->average_regret_ratio)});
+  }
+  std::printf("small instances vs brute force\n");
+  small.Print(std::cout);
+
+  // Larger instances: quality and query time.
+  Table large({"n", "N", "k", "shrink arr", "grow arr", "shrink time (s)",
+               "grow time (s)"});
+  struct LargeConfig {
+    size_t n;
+    size_t users;
+  };
+  std::vector<LargeConfig> configs = {{1000, 2000}, {4000, 5000}};
+  if (full) configs.push_back({10000, 10000});
+  for (const LargeConfig& config : configs) {
+    Dataset data = GenerateSynthetic({
+        .n = config.n,
+        .d = 5,
+        .distribution = SyntheticDistribution::kAntiCorrelated,
+        .seed = 9,
+    });
+    double preprocess = 0.0;
+    RegretEvaluator evaluator =
+        bench::MakeLinearEvaluator(data, config.users, 10, &preprocess);
+    const size_t k = 10;
+    Timer shrink_timer;
+    Result<Selection> shrink = GreedyShrink(evaluator, {.k = k});
+    double shrink_seconds = shrink_timer.ElapsedSeconds();
+    Timer grow_timer;
+    Result<Selection> grow = GreedyGrow(evaluator, {.k = k});
+    double grow_seconds = grow_timer.ElapsedSeconds();
+    if (!shrink.ok() || !grow.ok()) return 1;
+    large.AddRow({std::to_string(config.n), std::to_string(config.users),
+                  std::to_string(k),
+                  FormatFixed(shrink->average_regret_ratio, 5),
+                  FormatFixed(grow->average_regret_ratio, 5),
+                  FormatSci(shrink_seconds, 2),
+                  FormatSci(grow_seconds, 2)});
+  }
+  std::printf("larger instances\n");
+  large.Print(std::cout);
+  std::printf(
+      "expected: both land near the optimum; SHRINK carries the Theorem 3 "
+      "guarantee, GROW is cheaper per run (O(k n N)).\n");
+  return 0;
+}

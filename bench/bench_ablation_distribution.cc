@@ -1,0 +1,65 @@
+// Ablation — the value of knowing the utility distribution.
+//
+// The paper's core motivation (Sec. I): maximum-regret methods disregard
+// the probability distribution of the utility functions, while FAM exploits
+// it. Here the true population is a concentrated two-cluster mixture of
+// linear preferences; we compare, all scored on the TRUE population:
+//   * Greedy-Shrink given the true Θ sample ("informed"),
+//   * Greedy-Shrink given a uniform-Θ sample ("misinformed"),
+//   * MRR-Greedy (distribution-free by design),
+//   * K-Hit given the true Θ sample.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace fam;
+  bool full = FullScaleRequested(argc, argv);
+  const size_t n = full ? 10000 : 2000;
+  const size_t num_users = full ? 10000 : 4000;
+  bench::Banner(
+      "Ablation — distribution knowledge (paper Sec. I motivation)",
+      StrPrintf("anti-correlated synthetic, n = %zu, d = 4, true Θ = "
+                "2-cluster mixture, N = %zu",
+                n, num_users),
+      full);
+
+  Dataset data = GenerateSynthetic({
+      .n = n,
+      .d = 4,
+      .distribution = SyntheticDistribution::kAntiCorrelated,
+      .seed = 21,
+  });
+  MixtureLinearDistribution true_theta(
+      Matrix::FromRows(
+          {{0.85, 0.05, 0.05, 0.05}, {0.05, 0.05, 0.05, 0.85}}),
+      {0.7, 0.3}, 0.03);
+  UniformLinearDistribution uniform_theta;
+  Rng rng(22);
+  RegretEvaluator true_eval(true_theta.Sample(data, num_users, rng));
+  RegretEvaluator uniform_eval(uniform_theta.Sample(data, num_users, rng));
+
+  Table table({"k", "informed GS", "misinformed GS", "MRR-Greedy",
+               "K-Hit (informed)"});
+  for (size_t k = 2; k <= 12; k += 2) {
+    Result<Selection> informed = GreedyShrink(true_eval, {.k = k});
+    Result<Selection> misinformed = GreedyShrink(uniform_eval, {.k = k});
+    Result<Selection> mrr = MrrGreedy(data, uniform_eval, {.k = k});
+    Result<Selection> khit = KHit(true_eval, {.k = k});
+    if (!informed.ok() || !misinformed.ok() || !mrr.ok() || !khit.ok()) {
+      return 1;
+    }
+    // Everything scored on the true population.
+    table.AddRow(
+        {std::to_string(k),
+         FormatFixed(true_eval.AverageRegretRatio(informed->indices), 5),
+         FormatFixed(true_eval.AverageRegretRatio(misinformed->indices), 5),
+         FormatFixed(true_eval.AverageRegretRatio(mrr->indices), 5),
+         FormatFixed(true_eval.AverageRegretRatio(khit->indices), 5)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "expected: the informed selection dominates; MRR-Greedy, blind to Θ, "
+      "wastes budget on improbable preferences — the paper's argument for "
+      "average over maximum regret.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Ablation of the Sec. III-C practical improvements to GREEDY-SHRINK:
+//   naive      — Algorithm 1 verbatim, every candidate re-evaluated from
+//                scratch each iteration (O(N n³));
+//   +Impr.1    — per-user best-point caching (only affected users rescan);
+//   +Impr.1+2  — lazy lower-bound evaluation on top of the cache.
+//
+// Prints query time plus the paper's two headline counters: the fraction of
+// users recomputed per arr evaluation (paper: ~1%) and the fraction of
+// candidates evaluated per iteration (paper: ~68%).
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace fam;
+  bool full = FullScaleRequested(argc, argv);
+  bench::Banner("Ablation — GREEDY-SHRINK improvements (Sec. III-C)",
+                "uniform linear utilities, anti-correlated synthetic", full);
+
+  struct Config {
+    size_t n;
+    size_t users;
+    size_t k;
+    bool include_naive;  // the naive mode is cubic; keep it small
+  };
+  std::vector<Config> configs = {{120, 400, 10, true},
+                                 {200, 600, 10, true},
+                                 {400, 1500, 10, false},
+                                 {2000, 5000, 10, false}};
+  if (full) {
+    configs.push_back({400, 1500, 10, true});  // naive: minutes, as O(Nn³)
+    configs.push_back({10000, 10000, 10, false});
+  }
+
+  Table table({"n", "N", "mode", "query time (s)", "arr", "arr evals",
+               "user rescans", "users/eval", "cands/iter"});
+  for (const Config& config : configs) {
+    Dataset data = GenerateSynthetic({
+        .n = config.n,
+        .d = 4,
+        .distribution = SyntheticDistribution::kAntiCorrelated,
+        .seed = 5,
+    });
+    double preprocess = 0.0;
+    RegretEvaluator evaluator =
+        bench::MakeLinearEvaluator(data, config.users, 6, &preprocess);
+
+    struct Mode {
+      const char* name;
+      bool cache;
+      bool lazy;
+    };
+    std::vector<Mode> modes;
+    if (config.include_naive) modes.push_back({"naive", false, false});
+    modes.push_back({"+Impr.1", true, false});
+    modes.push_back({"+Impr.1+2", true, true});
+
+    for (const Mode& mode : modes) {
+      GreedyShrinkOptions options;
+      options.k = config.k;
+      options.use_best_point_cache = mode.cache;
+      options.use_lazy_evaluation = mode.lazy;
+      GreedyShrinkStats stats;
+      Timer timer;
+      Result<Selection> s = GreedyShrink(evaluator, options, &stats);
+      double seconds = timer.ElapsedSeconds();
+      if (!s.ok()) return 1;
+      table.AddRow({std::to_string(config.n), std::to_string(config.users),
+                    mode.name, FormatSci(seconds, 2),
+                    FormatFixed(s->average_regret_ratio, 4),
+                    FormatCount(stats.arr_evaluations),
+                    FormatCount(stats.user_rescans),
+                    FormatFixed(stats.UserFraction() * 100.0, 2) + "%",
+                    FormatFixed(stats.CandidateFraction() * 100.0, 2) +
+                        "%"});
+    }
+  }
+  table.Print(std::cout);
+  std::printf(
+      "paper claims: ~1%% of users recomputed per arr calculation and ~68%% "
+      "of candidates considered per iteration; all modes return the same "
+      "solution.\n");
+  return 0;
+}

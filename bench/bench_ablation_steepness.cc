@@ -1,0 +1,79 @@
+// Ablation — Theorem 3 in practice: the steepness-based approximation
+// bound e^{t−1}/t versus GREEDY-SHRINK's measured approximation ratio.
+//
+// The paper observes the bound is loose ("the empirical approximate ratio
+// of GREEDY-SHRINK is exactly 1"); this bench prints both sides per
+// workload.
+
+#include <cmath>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace fam;
+  bool full = FullScaleRequested(argc, argv);
+  bench::Banner("Ablation — steepness and the Theorem 3 bound",
+                "uniform linear utilities, small instances with exact "
+                "optimum",
+                full);
+
+  Table table({"workload", "n", "k", "steepness s", "bound e^(t-1)/t",
+               "s (favorites only)", "never-favorite pts",
+               "empirical ratio"});
+  struct Config {
+    const char* name;
+    SyntheticDistribution distribution;
+    size_t n;
+    size_t k;
+    uint64_t seed;
+  };
+  std::vector<Config> configs = {
+      {"independent", SyntheticDistribution::kIndependent, 18, 3, 31},
+      {"correlated", SyntheticDistribution::kCorrelated, 18, 3, 32},
+      {"anti-correlated", SyntheticDistribution::kAntiCorrelated, 18, 3,
+       33},
+      {"independent", SyntheticDistribution::kIndependent, 22, 4, 34},
+      {"anti-correlated", SyntheticDistribution::kAntiCorrelated, 22, 4,
+       35},
+  };
+  if (full) {
+    configs.push_back(
+        {"anti-correlated", SyntheticDistribution::kAntiCorrelated, 26, 5,
+         36});
+  }
+  for (const Config& config : configs) {
+    Dataset data = GenerateSynthetic({
+        .n = config.n,
+        .d = 3,
+        .distribution = config.distribution,
+        .seed = config.seed,
+    });
+    double preprocess = 0.0;
+    RegretEvaluator evaluator = bench::MakeLinearEvaluator(
+        data, 2000, config.seed + 100, &preprocess);
+    SteepnessReport report = ComputeSteepness(evaluator);
+    Result<Selection> greedy = GreedyShrink(evaluator, {.k = config.k});
+    Result<Selection> exact = BruteForce(evaluator, {.k = config.k});
+    if (!greedy.ok() || !exact.ok()) return 1;
+    double ratio = exact->average_regret_ratio > 1e-12
+                       ? greedy->average_regret_ratio /
+                             exact->average_regret_ratio
+                       : 1.0;
+    std::string bound =
+        std::isinf(report.approximation_bound)
+            ? "inf (s = 1)"
+            : FormatFixed(report.approximation_bound, 3);
+    table.AddRow({config.name, std::to_string(config.n),
+                  std::to_string(config.k),
+                  FormatFixed(report.steepness, 4), bound,
+                  FormatFixed(report.steepness_over_favorites, 4),
+                  std::to_string(report.never_favorite_points),
+                  FormatFixed(ratio, 4)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "paper shape: the theoretical bound is loose — any never-favorite "
+      "point forces s = 1 and a vacuous bound — while the measured ratio "
+      "stays at (or extremely near) 1.\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Shared helpers for the experiment drivers in bench/.
+//
+// Every driver defaults to CI-scale workloads and honours --full (or
+// FAM_BENCH_FULL=1) to switch to paper-scale parameters; EXPERIMENTS.md
+// records both the paper's numbers and ours.
+
+#ifndef FAM_BENCH_BENCH_COMMON_H_
+#define FAM_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "fam/fam.h"
+
+namespace fam::bench {
+
+/// A stand-in for one of the paper's four "second-type" real datasets
+/// (Table IV), with n scaled down by default.
+struct RealDataset {
+  std::string name;
+  Dataset data;
+};
+
+/// The four Table IV datasets: Household-6d, Forest Cover, US Census, NBA.
+/// Default n are CI-scale; `full` restores the paper's row counts.
+inline std::vector<RealDataset> RealLikeDatasets(bool full) {
+  const size_t house_n = full ? 127931 : 4000;
+  const size_t forest_n = full ? 100000 : 3000;
+  const size_t census_n = full ? 100000 : 3000;
+  const size_t nba_n = full ? 16915 : 2000;
+  std::vector<RealDataset> datasets;
+  datasets.push_back({"House-6d", GenerateHouseholdLike(house_n)});
+  datasets.push_back({"ForestCover", GenerateForestCoverLike(forest_n)});
+  datasets.push_back({"USCensus", GenerateCensusLike(census_n)});
+  datasets.push_back({"NBA", GenerateNbaLike(nba_n, 15).NormalizeMinMax()});
+  return datasets;
+}
+
+/// Samples N linear (simplex-uniform) users and builds the evaluator.
+/// Reports the preprocessing time (sampling + best-point indexing), which
+/// the paper excludes from query time.
+inline RegretEvaluator MakeLinearEvaluator(const Dataset& data,
+                                           size_t num_users, uint64_t seed,
+                                           double* preprocess_seconds) {
+  Timer timer;
+  UniformLinearDistribution theta(WeightDomain::kSimplex);
+  Rng rng(seed);
+  RegretEvaluator evaluator(theta.Sample(data, num_users, rng));
+  if (preprocess_seconds != nullptr) {
+    *preprocess_seconds = timer.ElapsedSeconds();
+  }
+  return evaluator;
+}
+
+/// Prints the standard bench banner.
+inline void Banner(const std::string& experiment,
+                   const std::string& workload, bool full) {
+  std::printf("== %s ==\n%s%s\n\n", experiment.c_str(), workload.c_str(),
+              full ? "  [--full: paper scale]" : "  [default scale]");
+}
+
+/// Which cell a real-dataset sweep reports (Figs. 4, 6 and 10 share the
+/// same runs but plot different quantities).
+enum class SweepMetric { kQueryTime, kAverageRegretRatio, kStdDev };
+
+/// Runs the four algorithms over every Table IV dataset for k = 5..30 and
+/// prints one table per dataset with the requested metric.
+inline void RealDatasetSweep(SweepMetric metric, bool full,
+                             size_t num_users) {
+  std::vector<RealDataset> datasets = RealLikeDatasets(full);
+  std::vector<AlgorithmSpec> algorithms = StandardAlgorithms();
+  for (const RealDataset& entry : datasets) {
+    double preprocess = 0.0;
+    RegretEvaluator evaluator =
+        MakeLinearEvaluator(entry.data, num_users, 77, &preprocess);
+    Table table({"k", "Greedy-Shrink", "MRR-Greedy", "Sky-Dom", "K-Hit"});
+    for (size_t k = 5; k <= 30; k += 5) {
+      std::vector<AlgorithmOutcome> outcomes =
+          RunAlgorithms(algorithms, entry.data, evaluator, k);
+      std::vector<std::string> row = {std::to_string(k)};
+      for (const AlgorithmOutcome& outcome : outcomes) {
+        if (!outcome.ok) {
+          row.push_back("error");
+          continue;
+        }
+        switch (metric) {
+          case SweepMetric::kQueryTime:
+            row.push_back(FormatSci(outcome.query_seconds, 2));
+            break;
+          case SweepMetric::kAverageRegretRatio:
+            row.push_back(FormatFixed(outcome.average_regret_ratio, 4));
+            break;
+          case SweepMetric::kStdDev:
+            row.push_back(FormatFixed(outcome.stddev_regret_ratio, 4));
+            break;
+        }
+      }
+      table.AddRow(row);
+    }
+    std::printf("%s (n = %zu, d = %zu, preprocessing %.3f s)\n",
+                entry.name.c_str(), entry.data.size(),
+                entry.data.dimension(), preprocess);
+    table.Print(std::cout);
+  }
+}
+
+}  // namespace fam::bench
+
+#endif  // FAM_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,48 @@
+// Figure 11 reproduction: regret ratio at user percentiles
+// {70, 80, 90, 95, 99, 100} on the four real-like datasets, N = 10,000
+// (paper's default sample), k = 10.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace fam;
+  bool full = FullScaleRequested(argc, argv);
+  const size_t num_users = 10000;  // the figure's stated sample size
+  const size_t k = 10;
+  bench::Banner(
+      "Figure 11 — regret ratio distribution (N = 10,000)",
+      StrPrintf("four real-like datasets, k = %zu, percentiles 70..100",
+                k),
+      full);
+
+  std::vector<AlgorithmSpec> algorithms = StandardAlgorithms();
+  const double percentiles[] = {70, 80, 90, 95, 99, 100};
+  for (const bench::RealDataset& entry : bench::RealLikeDatasets(full)) {
+    double preprocess = 0.0;
+    RegretEvaluator evaluator =
+        bench::MakeLinearEvaluator(entry.data, num_users, 111, &preprocess);
+    std::vector<AlgorithmOutcome> outcomes =
+        RunAlgorithms(algorithms, entry.data, evaluator, k);
+    std::vector<RegretDistribution> dists;
+    for (const AlgorithmOutcome& outcome : outcomes) {
+      dists.push_back(evaluator.Distribution(outcome.selection.indices));
+    }
+    Table table({"percentile", "Greedy-Shrink", "MRR-Greedy", "Sky-Dom",
+                 "K-Hit"});
+    for (double pct : percentiles) {
+      std::vector<std::string> row = {FormatFixed(pct, 0)};
+      for (const RegretDistribution& dist : dists) {
+        row.push_back(FormatFixed(dist.PercentileRr(pct), 4));
+      }
+      table.AddRow(row);
+    }
+    std::printf("%s (n = %zu, d = %zu)\n", entry.name.c_str(),
+                entry.data.size(), entry.data.dimension());
+    table.Print(std::cout);
+  }
+  std::printf(
+      "paper shape: the vast majority of users see near-zero regret under "
+      "Greedy-Shrink and K-Hit; MRR-Greedy/Sky-Dom are worse at every "
+      "percentile.\n");
+  return 0;
+}

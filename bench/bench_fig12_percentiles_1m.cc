@@ -1,0 +1,55 @@
+// Figure 12 reproduction: the Figure 11 percentile study re-scored with a
+// much larger user sample. The paper computes the *selections* with
+// N = 10,000 and then re-estimates the regret ratio distribution with
+// 1,000,000 sampled users, finding no significant change; we do the same
+// (default 200,000 re-scoring users; --full uses the paper's 1,000,000).
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace fam;
+  bool full = FullScaleRequested(argc, argv);
+  const size_t select_users = 10000;
+  const size_t score_users = full ? 1000000 : 200000;
+  const size_t k = 10;
+  bench::Banner(
+      "Figure 12 — regret ratio distribution, large re-scoring sample",
+      StrPrintf("selections from N = %zu, distribution re-scored with "
+                "N = %zu",
+                select_users, score_users),
+      full);
+
+  std::vector<AlgorithmSpec> algorithms = StandardAlgorithms();
+  const double percentiles[] = {70, 80, 90, 95, 99, 100};
+  for (const bench::RealDataset& entry : bench::RealLikeDatasets(full)) {
+    double preprocess = 0.0;
+    RegretEvaluator select_eval = bench::MakeLinearEvaluator(
+        entry.data, select_users, 111, &preprocess);
+    std::vector<AlgorithmOutcome> outcomes =
+        RunAlgorithms(algorithms, entry.data, select_eval, k);
+
+    // Re-score the same selections against the big sample.
+    RegretEvaluator score_eval = bench::MakeLinearEvaluator(
+        entry.data, score_users, 112, &preprocess);
+    std::vector<RegretDistribution> dists;
+    for (const AlgorithmOutcome& outcome : outcomes) {
+      dists.push_back(score_eval.Distribution(outcome.selection.indices));
+    }
+    Table table({"percentile", "Greedy-Shrink", "MRR-Greedy", "Sky-Dom",
+                 "K-Hit"});
+    for (double pct : percentiles) {
+      std::vector<std::string> row = {FormatFixed(pct, 0)};
+      for (const RegretDistribution& dist : dists) {
+        row.push_back(FormatFixed(dist.PercentileRr(pct), 4));
+      }
+      table.AddRow(row);
+    }
+    std::printf("%s (n = %zu, d = %zu)\n", entry.name.c_str(),
+                entry.data.size(), entry.data.dimension());
+    table.Print(std::cout);
+  }
+  std::printf(
+      "paper shape: indistinguishable from Figure 11 — the N = 10,000 "
+      "estimate was already accurate.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figure 2 reproduction: effect of k on the Yahoo!Music-style workload —
+// (a) average regret ratio, (b) query time.
+//
+// Θ is learned end to end: synthetic sparse ratings → matrix factorization
+// → 5-component Gaussian mixture over user vectors (the paper's Sec. V-B2
+// pipeline), giving non-uniform, non-linear utilities. MRR-Greedy runs in
+// sampled mode (utilities are not linear in any attribute space).
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace fam;
+  bool full = FullScaleRequested(argc, argv);
+  RecommenderPipelineConfig config;
+  config.num_items = full ? 8933 : 1500;  // paper: 8,933 songs
+  config.num_users = full ? 1000 : 300;
+  const size_t num_users = full ? 10000 : 5000;
+  bench::Banner("Figure 2 — effect of k on the Yahoo!Music workload",
+                StrPrintf("ratings -> MF -> GMM(5); %zu items, N = %zu "
+                          "GMM-sampled users",
+                          config.num_items, num_users),
+                full);
+
+  Result<RecommenderPipeline> pipeline = BuildRecommenderPipeline(config);
+  if (!pipeline.ok()) {
+    std::fprintf(stderr, "pipeline failed: %s\n",
+                 pipeline.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("MF train RMSE %.4f, GMM iterations %zu\n",
+              pipeline->train_rmse, pipeline->gmm_iterations);
+
+  Timer preprocess_timer;
+  Rng rng(3);
+  RegretEvaluator evaluator(
+      pipeline->theta->Sample(pipeline->item_dataset, num_users, rng));
+  std::printf("preprocessing (sampling + indexing): %.3f s\n\n",
+              preprocess_timer.ElapsedSeconds());
+
+  std::vector<AlgorithmSpec> algorithms =
+      StandardAlgorithms(/*sampled_mrr=*/true);
+  Table arr_table({"k", "Greedy-Shrink", "MRR-Greedy", "Sky-Dom", "K-Hit"});
+  Table time_table({"k", "Greedy-Shrink", "MRR-Greedy", "Sky-Dom", "K-Hit"});
+  for (size_t k = 5; k <= 30; k += 5) {
+    std::vector<AlgorithmOutcome> outcomes =
+        RunAlgorithms(algorithms, pipeline->item_dataset, evaluator, k);
+    std::vector<std::string> arr_row = {std::to_string(k)};
+    std::vector<std::string> time_row = {std::to_string(k)};
+    for (const AlgorithmOutcome& outcome : outcomes) {
+      arr_row.push_back(FormatFixed(outcome.average_regret_ratio, 4));
+      time_row.push_back(FormatSci(outcome.query_seconds, 2));
+    }
+    arr_table.AddRow(arr_row);
+    time_table.AddRow(time_row);
+  }
+
+  std::printf("(a) average regret ratio\n");
+  arr_table.Print(std::cout);
+  std::printf("(b) query time (seconds)\n");
+  time_table.Print(std::cout);
+  std::printf(
+      "paper shape: Greedy-Shrink and K-Hit reach very small arr; "
+      "MRR-Greedy stays higher. (Our K-Hit is sampling-based and fast; the "
+      "paper's continuous-integration K-Hit was slow — see EXPERIMENTS.md.)\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Figure 3 reproduction: on the Yahoo!Music workload,
+//   (left)  standard deviation of the regret ratio vs k,
+//   (right) regret ratio at user percentiles {70, 80, 90, 95, 99, 100}.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace fam;
+  bool full = FullScaleRequested(argc, argv);
+  RecommenderPipelineConfig config;
+  config.num_items = full ? 8933 : 1500;
+  config.num_users = full ? 1000 : 300;
+  const size_t num_users = full ? 10000 : 5000;
+  bench::Banner("Figure 3 — regret ratio spread on the Yahoo workload",
+                StrPrintf("%zu items, N = %zu GMM-sampled users",
+                          config.num_items, num_users),
+                full);
+
+  Result<RecommenderPipeline> pipeline = BuildRecommenderPipeline(config);
+  if (!pipeline.ok()) return 1;
+  Rng rng(4);
+  RegretEvaluator evaluator(
+      pipeline->theta->Sample(pipeline->item_dataset, num_users, rng));
+
+  std::vector<AlgorithmSpec> algorithms =
+      StandardAlgorithms(/*sampled_mrr=*/true);
+
+  Table stddev_table(
+      {"k", "Greedy-Shrink", "MRR-Greedy", "Sky-Dom", "K-Hit"});
+  for (size_t k = 5; k <= 30; k += 5) {
+    std::vector<AlgorithmOutcome> outcomes =
+        RunAlgorithms(algorithms, pipeline->item_dataset, evaluator, k);
+    std::vector<std::string> row = {std::to_string(k)};
+    for (const AlgorithmOutcome& outcome : outcomes) {
+      row.push_back(FormatFixed(outcome.stddev_regret_ratio, 4));
+    }
+    stddev_table.AddRow(row);
+  }
+  std::printf("(left) standard deviation of regret ratio\n");
+  stddev_table.Print(std::cout);
+
+  // Percentile distribution at the paper's default k = 10.
+  const size_t k = 10;
+  std::vector<AlgorithmOutcome> outcomes =
+      RunAlgorithms(algorithms, pipeline->item_dataset, evaluator, k);
+  Table pct_table({"percentile", "Greedy-Shrink", "MRR-Greedy", "Sky-Dom",
+                   "K-Hit"});
+  const double percentiles[] = {70, 80, 90, 95, 99, 100};
+  std::vector<RegretDistribution> dists;
+  dists.reserve(outcomes.size());
+  for (const AlgorithmOutcome& outcome : outcomes) {
+    dists.push_back(evaluator.Distribution(outcome.selection.indices));
+  }
+  for (double pct : percentiles) {
+    std::vector<std::string> row = {FormatFixed(pct, 0)};
+    for (const RegretDistribution& dist : dists) {
+      row.push_back(FormatFixed(dist.PercentileRr(pct), 4));
+    }
+    pct_table.AddRow(row);
+  }
+  std::printf("(right) regret ratio by user percentile (k = %zu)\n", k);
+  pct_table.Print(std::cout);
+  std::printf(
+      "paper shape: Greedy-Shrink and K-Hit keep low regret even at the "
+      "99th percentile; MRR-Greedy and Sky-Dom are worse at every "
+      "percentile.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Figure 5 reproduction: effect of dimensionality d on synthetic datasets —
+// (a) average regret ratio, (b) query time. Paper setting: n = 10,000,
+// d = 5..30, uniform linear utilities, k = 10.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace fam;
+  bool full = FullScaleRequested(argc, argv);
+  const size_t n = full ? 10000 : 3000;
+  const size_t num_users = full ? 10000 : 2000;
+  const size_t k = 10;
+  bench::Banner(
+      "Figure 5 — effect of d on synthetic datasets",
+      StrPrintf("independent synthetic, n = %zu, N = %zu, k = %zu", n,
+                num_users, k),
+      full);
+
+  std::vector<AlgorithmSpec> algorithms = StandardAlgorithms();
+  Table arr_table({"d", "Greedy-Shrink", "MRR-Greedy", "Sky-Dom", "K-Hit"});
+  Table time_table({"d", "Greedy-Shrink", "MRR-Greedy", "Sky-Dom",
+                    "K-Hit"});
+  for (size_t d = 5; d <= 30; d += 5) {
+    Dataset data = GenerateSynthetic({
+        .n = n,
+        .d = d,
+        .distribution = SyntheticDistribution::kIndependent,
+        .seed = 50 + d,
+    });
+    double preprocess = 0.0;
+    RegretEvaluator evaluator =
+        bench::MakeLinearEvaluator(data, num_users, 51, &preprocess);
+    std::vector<AlgorithmOutcome> outcomes =
+        RunAlgorithms(algorithms, data, evaluator, k);
+    std::vector<std::string> arr_row = {std::to_string(d)};
+    std::vector<std::string> time_row = {std::to_string(d)};
+    for (const AlgorithmOutcome& outcome : outcomes) {
+      arr_row.push_back(outcome.ok
+                            ? FormatFixed(outcome.average_regret_ratio, 4)
+                            : "error");
+      time_row.push_back(
+          outcome.ok ? FormatSci(outcome.query_seconds, 2) : "error");
+    }
+    arr_table.AddRow(arr_row);
+    time_table.AddRow(time_row);
+  }
+
+  std::printf("(a) average regret ratio\n");
+  arr_table.Print(std::cout);
+  std::printf("(b) query time (seconds)\n");
+  time_table.Print(std::cout);
+  std::printf(
+      "paper shape: Greedy-Shrink and K-Hit stay low across d; Sky-Dom "
+      "degrades with dimensionality and costs the most time.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Figure 8 reproduction: comparison with BRUTE-FORCE on a small sample of a
+// real dataset — (a) average regret ratio, (b) arr/optimal, (c) query time,
+// k = 1..5.
+//
+// The paper samples 100 points from Household-6d; their brute-force run
+// took > 50 hours at k = 5. Default scale samples 30 points so the full
+// sweep finishes in seconds; --full restores n = 100 (be prepared to wait
+// at k = 5, exactly as the paper was).
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace fam;
+  bool full = FullScaleRequested(argc, argv);
+  const size_t n = full ? 100 : 30;
+  const size_t num_users = full ? 10000 : 1000;
+  bench::Banner(
+      "Figure 8 — comparison with BRUTE-FORCE on a small real sample",
+      StrPrintf("House-6d-like sample, n = %zu, N = %zu, k = 1..5", n,
+                num_users),
+      full);
+
+  Dataset base = GenerateHouseholdLike(4000);
+  Rng sampler(8);
+  std::vector<size_t> sample_idx =
+      sampler.SampleWithoutReplacement(base.size(), n);
+  Dataset data = base.Subset(sample_idx);
+
+  UniformLinearDistribution theta(WeightDomain::kSimplex);
+  Rng rng(9);
+  // Materialize utilities: brute force touches every (user, point) pair
+  // millions of times, so O(1) lookups dominate O(d) dot products.
+  RegretEvaluator evaluator(theta.Sample(data, num_users, rng).Materialized());
+
+  std::vector<AlgorithmSpec> algorithms = StandardAlgorithms();
+  Table arr_table({"k", "Greedy-Shrink", "MRR-Greedy", "Sky-Dom", "K-Hit",
+                   "Brute-Force"});
+  Table ratio_table(
+      {"k", "Greedy-Shrink", "MRR-Greedy", "Sky-Dom", "K-Hit"});
+  Table time_table({"k", "Greedy-Shrink", "MRR-Greedy", "Sky-Dom", "K-Hit",
+                    "Brute-Force", "Branch&Bound"});
+
+  for (size_t k = 1; k <= 5; ++k) {
+    std::vector<AlgorithmOutcome> outcomes =
+        RunAlgorithms(algorithms, data, evaluator, k);
+    Timer bf_timer;
+    Result<Selection> exact =
+        BruteForce(evaluator, {.k = k, .max_subsets = 80'000'000});
+    double bf_seconds = bf_timer.ElapsedSeconds();
+    if (!exact.ok()) {
+      std::fprintf(stderr, "brute force failed: %s\n",
+                   exact.status().ToString().c_str());
+      return 1;
+    }
+    // Library extension: branch and bound reaches the same optimum while
+    // pruning most of the enumeration.
+    Timer bnb_timer;
+    Result<Selection> bnb = BranchAndBound(evaluator, {.k = k});
+    double bnb_seconds = bnb_timer.ElapsedSeconds();
+    if (!bnb.ok() ||
+        std::abs(bnb->average_regret_ratio -
+                 exact->average_regret_ratio) > 1e-9) {
+      std::fprintf(stderr, "branch and bound disagreed with brute force\n");
+      return 1;
+    }
+    double optimal = exact->average_regret_ratio;
+
+    std::vector<std::string> arr_row = {std::to_string(k)};
+    std::vector<std::string> ratio_row = {std::to_string(k)};
+    std::vector<std::string> time_row = {std::to_string(k)};
+    for (const AlgorithmOutcome& outcome : outcomes) {
+      arr_row.push_back(FormatFixed(outcome.average_regret_ratio, 4));
+      ratio_row.push_back(
+          optimal > 1e-12
+              ? FormatFixed(outcome.average_regret_ratio / optimal, 3)
+              : "1.000");
+      time_row.push_back(FormatSci(outcome.query_seconds, 2));
+    }
+    arr_row.push_back(FormatFixed(optimal, 4));
+    time_row.push_back(FormatSci(bf_seconds, 2));
+    time_row.push_back(FormatSci(bnb_seconds, 2));
+    arr_table.AddRow(arr_row);
+    ratio_table.AddRow(ratio_row);
+    time_table.AddRow(time_row);
+  }
+
+  std::printf("(a) average regret ratio\n");
+  arr_table.Print(std::cout);
+  std::printf("(b) average regret ratio / optimal\n");
+  ratio_table.Print(std::cout);
+  std::printf("(c) query time (seconds)\n");
+  time_table.Print(std::cout);
+  std::printf(
+      "paper shape: Greedy-Shrink and K-Hit near-optimal; brute force "
+      "orders of magnitude slower and exploding with k.\n");
+  return 0;
+}

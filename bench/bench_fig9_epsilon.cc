@@ -1,0 +1,83 @@
+// Figure 9 reproduction: effect of the sampling error parameter ε on the
+// small real sample — (a) average regret ratio, (b) arr/optimal, (c) query
+// time. σ is fixed at 0.1 and N = 3 ln(1/σ)/ε² follows Table V.
+//
+// MRR-Greedy and Sky-Dom do not depend on the sample, so their rows stay
+// flat — exactly the paper's observation.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace fam;
+  bool full = FullScaleRequested(argc, argv);
+  const size_t n = full ? 100 : 30;
+  const size_t k = 3;
+  const double sigma = 0.1;
+  std::vector<double> epsilons = {0.1, 0.05, 0.01};
+  if (full) epsilons.push_back(0.005);
+  bench::Banner(
+      "Figure 9 — effect of ε on the small real sample",
+      StrPrintf("House-6d-like sample, n = %zu, k = %zu, sigma = %.1f", n,
+                k, sigma),
+      full);
+
+  Dataset base = GenerateHouseholdLike(4000);
+  Rng sampler(8);
+  std::vector<size_t> sample_idx =
+      sampler.SampleWithoutReplacement(base.size(), n);
+  Dataset data = base.Subset(sample_idx);
+  UniformLinearDistribution theta(WeightDomain::kSimplex);
+
+  std::vector<AlgorithmSpec> algorithms = StandardAlgorithms();
+  Table arr_table({"epsilon", "N", "Greedy-Shrink", "MRR-Greedy", "Sky-Dom",
+                   "K-Hit", "Brute-Force"});
+  Table ratio_table(
+      {"epsilon", "Greedy-Shrink", "MRR-Greedy", "Sky-Dom", "K-Hit"});
+  Table time_table({"epsilon", "Greedy-Shrink", "MRR-Greedy", "Sky-Dom",
+                    "K-Hit", "Brute-Force"});
+
+  for (double epsilon : epsilons) {
+    uint64_t num_users = ChernoffSampleSize(epsilon, sigma);
+    Rng rng(10);
+    RegretEvaluator evaluator(
+        theta.Sample(data, num_users, rng).Materialized());
+
+    std::vector<AlgorithmOutcome> outcomes =
+        RunAlgorithms(algorithms, data, evaluator, k);
+    Timer bf_timer;
+    Result<Selection> exact =
+        BruteForce(evaluator, {.k = k, .max_subsets = 80'000'000});
+    double bf_seconds = bf_timer.ElapsedSeconds();
+    if (!exact.ok()) return 1;
+    double optimal = exact->average_regret_ratio;
+
+    std::vector<std::string> arr_row = {FormatFixed(epsilon, 3),
+                                        FormatCount(num_users)};
+    std::vector<std::string> ratio_row = {FormatFixed(epsilon, 3)};
+    std::vector<std::string> time_row = {FormatFixed(epsilon, 3)};
+    for (const AlgorithmOutcome& outcome : outcomes) {
+      arr_row.push_back(FormatFixed(outcome.average_regret_ratio, 4));
+      ratio_row.push_back(
+          optimal > 1e-12
+              ? FormatFixed(outcome.average_regret_ratio / optimal, 3)
+              : "1.000");
+      time_row.push_back(FormatSci(outcome.query_seconds, 2));
+    }
+    arr_row.push_back(FormatFixed(optimal, 4));
+    time_row.push_back(FormatSci(bf_seconds, 2));
+    arr_table.AddRow(arr_row);
+    ratio_table.AddRow(ratio_row);
+    time_table.AddRow(time_row);
+  }
+
+  std::printf("(a) average regret ratio\n");
+  arr_table.Print(std::cout);
+  std::printf("(b) average regret ratio / optimal\n");
+  ratio_table.Print(std::cout);
+  std::printf("(c) query time (seconds)\n");
+  time_table.Print(std::cout);
+  std::printf(
+      "paper shape: ε barely moves solution quality; sampling-based "
+      "query times grow as ε shrinks, MRR-Greedy and Sky-Dom are flat.\n");
+  return 0;
+}

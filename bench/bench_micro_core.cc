@@ -1,0 +1,147 @@
+// Microbenchmarks (google-benchmark) for the library's hot paths:
+// arr evaluation, evaluator construction (best-point indexing), skyline
+// computation, the simplex solver on MRR-shaped LPs, GMM sampling, and
+// GREEDY-SHRINK end to end.
+
+#include <benchmark/benchmark.h>
+
+#include "fam/fam.h"
+
+namespace fam {
+namespace {
+
+Dataset BenchData(size_t n, size_t d) {
+  return GenerateSynthetic({
+      .n = n,
+      .d = d,
+      .distribution = SyntheticDistribution::kAntiCorrelated,
+      .seed = 11,
+  });
+}
+
+void BM_ArrEvaluation(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Dataset data = BenchData(n, 6);
+  UniformLinearDistribution theta;
+  Rng rng(12);
+  RegretEvaluator evaluator(theta.Sample(data, 1000, rng));
+  std::vector<size_t> subset;
+  for (size_t i = 0; i < 10; ++i) subset.push_back(i * (n / 10));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.AverageRegretRatio(subset));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_ArrEvaluation)->Arg(1000)->Arg(10000);
+
+void BM_EvaluatorConstruction(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Dataset data = BenchData(n, 6);
+  UniformLinearDistribution theta;
+  for (auto _ : state) {
+    Rng rng(13);
+    RegretEvaluator evaluator(theta.Sample(data, 1000, rng));
+    benchmark::DoNotOptimize(evaluator.BestInDb(0));
+  }
+}
+BENCHMARK(BM_EvaluatorConstruction)->Arg(1000)->Arg(10000);
+
+void BM_Skyline(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Dataset data = BenchData(n, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SkylineIndices(data));
+  }
+}
+BENCHMARK(BM_Skyline)->Arg(1000)->Arg(10000);
+
+void BM_Skyline2d(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Dataset data = BenchData(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Skyline2d(data));
+  }
+}
+BENCHMARK(BM_Skyline2d)->Arg(10000)->Arg(100000);
+
+void BM_SimplexMrrShape(benchmark::State& state) {
+  // The MRR-GREEDY LP: |S| + 2 constraints over d + 1 variables.
+  const size_t set_size = static_cast<size_t>(state.range(0));
+  const size_t d = 6;
+  Dataset data = BenchData(set_size + 1, d);
+  LpProblem lp;
+  lp.constraints.Reset(set_size + 2, d + 1);
+  lp.bounds.assign(set_size + 2, 0.0);
+  lp.objective.assign(d + 1, 0.0);
+  lp.objective[d] = 1.0;
+  const double* p = data.point(0);
+  for (size_t r = 0; r < set_size; ++r) {
+    const double* s = data.point(r + 1);
+    for (size_t j = 0; j < d; ++j) lp.constraints(r, j) = s[j] - p[j];
+    lp.constraints(r, d) = 1.0;
+  }
+  for (size_t j = 0; j < d; ++j) {
+    lp.constraints(set_size, j) = p[j];
+    lp.constraints(set_size + 1, j) = -p[j];
+  }
+  lp.bounds[set_size] = 1.0;
+  lp.bounds[set_size + 1] = -1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveLp(lp));
+  }
+}
+BENCHMARK(BM_SimplexMrrShape)->Arg(5)->Arg(30);
+
+void BM_GmmSample(benchmark::State& state) {
+  Rng rng(14);
+  Matrix points(300, 8);
+  for (double& v : points.data()) v = rng.Gaussian();
+  Result<GaussianMixtureModel> gmm =
+      GaussianMixtureModel::Fit(points, {.num_components = 5}, rng);
+  if (!gmm.ok()) {
+    state.SkipWithError("GMM fit failed");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gmm->Sample(rng));
+  }
+}
+BENCHMARK(BM_GmmSample);
+
+void BM_GreedyShrink(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Dataset data = BenchData(n, 4);
+  UniformLinearDistribution theta;
+  Rng rng(15);
+  RegretEvaluator evaluator(theta.Sample(data, 2000, rng));
+  for (auto _ : state) {
+    Result<Selection> s = GreedyShrink(evaluator, {.k = 10});
+    if (!s.ok()) {
+      state.SkipWithError("GreedyShrink failed");
+      return;
+    }
+    benchmark::DoNotOptimize(s->average_regret_ratio);
+  }
+}
+BENCHMARK(BM_GreedyShrink)->Arg(500)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+void BM_Dp2dSampled(benchmark::State& state) {
+  Dataset data = BenchData(static_cast<size_t>(state.range(0)), 2);
+  Angle2dDistribution theta;
+  Rng rng(16);
+  UtilityMatrix users = theta.Sample(data, 2000, rng);
+  for (auto _ : state) {
+    Result<Selection> s = SolveDp2dOnSample(data, users, 5);
+    if (!s.ok()) {
+      state.SkipWithError("DP failed");
+      return;
+    }
+    benchmark::DoNotOptimize(s->average_regret_ratio);
+  }
+}
+BENCHMARK(BM_Dp2dSampled)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace fam
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// Table II reproduction: the three 5-player NBA selections computed by the
+// average regret ratio (S_arr), the maximum regret ratio (S_mrr), and the
+// k-hit query (S_khit), plus the overlap/diversity statistics the paper's
+// survey discussion rests on.
+//
+// The AMT survey itself (890 humans) is not reproducible; the computational
+// artifact — the three sets and their objective scores — is.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace fam;
+  bool full = FullScaleRequested(argc, argv);
+  const size_t n = 664;  // the paper's survey dataset size
+  const size_t d = 22;
+  const size_t num_users = full ? 100000 : 10000;
+  bench::Banner("Table II — NBA 5-player selections",
+                StrPrintf("NBA-like %zu players x %zu stats, N = %zu "
+                          "uniform linear users, k = 5",
+                          n, d, num_users),
+                full);
+
+  Dataset players = GenerateNbaLike(n, d).NormalizeMinMax();
+  double preprocess = 0.0;
+  RegretEvaluator evaluator =
+      bench::MakeLinearEvaluator(players, num_users, 2016, &preprocess);
+
+  const size_t k = 5;
+  Result<Selection> s_arr = GreedyShrink(evaluator, {.k = k});
+  Result<Selection> s_mrr = MrrGreedy(players, evaluator, {.k = k});
+  Result<Selection> s_khit = KHit(evaluator, {.k = k});
+  if (!s_arr.ok() || !s_mrr.ok() || !s_khit.ok()) return 1;
+
+  Table sets({"rank", "S_arr", "S_mrr", "S_khit"});
+  for (size_t i = 0; i < k; ++i) {
+    sets.AddRow({std::to_string(i + 1),
+                 players.LabelOf(s_arr->indices[i]),
+                 players.LabelOf(s_mrr->indices[i]),
+                 players.LabelOf(s_khit->indices[i])});
+  }
+  sets.Print(std::cout);
+
+  auto overlap = [](const Selection& a, const Selection& b) {
+    size_t count = 0;
+    for (size_t p : a.indices) {
+      for (size_t q : b.indices) {
+        if (p == q) ++count;
+      }
+    }
+    return count;
+  };
+
+  Table metrics({"set", "arr", "max rr", "hit prob", "overlap w/ S_arr"});
+  auto add_metrics = [&](const char* name, const Selection& s) {
+    metrics.AddRow({name,
+                    FormatFixed(evaluator.AverageRegretRatio(s.indices), 4),
+                    FormatFixed(MaxRegretRatio(evaluator, s.indices), 4),
+                    FormatFixed(HitProbability(evaluator, s.indices), 3),
+                    std::to_string(overlap(s, *s_arr))});
+  };
+  add_metrics("S_arr", *s_arr);
+  add_metrics("S_mrr", *s_mrr);
+  add_metrics("S_khit", *s_khit);
+  metrics.Print(std::cout);
+
+  std::printf("paper shape: S_arr and S_khit share 4 of 5 players; S_mrr "
+              "diverges and scores worst on arr.\n");
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Table V reproduction: the Chernoff sample size N = 3 ln(1/σ)/ε² for the
+// paper's chosen (ε, σ) pairs (Theorem 4). We report the ceiling of the
+// bound; the paper truncates, so entries can differ by one.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace fam;
+  bench::Banner("Table V — sample size N for chosen ε and σ",
+                "N = ceil(3 ln(1/σ) / ε²)", FullScaleRequested(argc, argv));
+
+  Table table({"epsilon", "sigma", "N", "paper N"});
+  struct Row {
+    double epsilon;
+    double sigma;
+    const char* paper;
+  };
+  const Row rows[] = {
+      {0.01, 0.1, "69,077"},      {0.001, 0.1, "6,907,755"},
+      {0.0001, 0.1, "690,775,528"}, {0.01, 0.05, "89,871"},
+      {0.001, 0.05, "8,987,197"}, {0.0001, 0.05, "898,719,682"},
+  };
+  for (const Row& row : rows) {
+    table.AddRow({FormatFixed(row.epsilon, 4), FormatFixed(row.sigma, 2),
+                  FormatCount(ChernoffSampleSize(row.epsilon, row.sigma)),
+                  row.paper});
+  }
+  table.Print(std::cout);
+
+  // Inverse direction: the ε guaranteed by the paper's default N = 10,000.
+  std::printf("epsilon at N = 10,000 (paper default), sigma = 0.1: %.4f\n",
+              ChernoffEpsilon(10000, 0.1));
+  return 0;
+}

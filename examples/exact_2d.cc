@@ -1,0 +1,61 @@
+// The 2-D exact algorithm (paper Sec. IV): dynamic programming over the
+// skyline, compared against GREEDY-SHRINK on the same utility sample.
+//
+// Shows both oracles: the closed-form uniform-angle optimum and the
+// sample-consistent optimum used for exact arr/optimal ratios.
+
+#include <cstdio>
+
+#include "fam/fam.h"
+
+int main() {
+  using namespace fam;
+
+  Dataset data = GenerateSynthetic({
+      .n = 5000,
+      .d = 2,
+      .distribution = SyntheticDistribution::kAntiCorrelated,
+      .seed = 99,
+  });
+
+  Result<Angle2dEnvironment> env = Angle2dEnvironment::Build(data);
+  if (!env.ok()) {
+    std::fprintf(stderr, "environment failed: %s\n",
+                 env.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("n = %zu points, skyline size = %zu\n", data.size(),
+              env->size());
+
+  Angle2dDistribution theta;
+  Rng rng(100);
+  UtilityMatrix users = theta.Sample(data, 10000, rng);
+  RegretEvaluator evaluator(users);
+
+  std::printf("\n%-4s %-14s %-14s %-12s\n", "k", "DP (optimal)",
+              "Greedy-Shrink", "ratio");
+  for (size_t k : {1, 2, 3, 4, 5, 6, 7}) {
+    Result<Selection> dp = SolveDp2dOnSample(data, users, k);
+    Result<Selection> greedy = GreedyShrink(evaluator, {.k = k});
+    if (!dp.ok() || !greedy.ok()) {
+      std::fprintf(stderr, "solver failed at k=%zu\n", k);
+      return 1;
+    }
+    double optimal = evaluator.AverageRegretRatio(dp->indices);
+    double approx = greedy->average_regret_ratio;
+    std::printf("%-4zu %-14.5f %-14.5f %-12.4f\n", k, optimal, approx,
+                optimal > 0 ? approx / optimal : 1.0);
+  }
+
+  // The closed-form optimum under the uniform-angle measure.
+  Result<Selection> closed = SolveDp2dUniformAngle(data, 5);
+  if (!closed.ok()) {
+    std::fprintf(stderr, "closed-form DP failed\n");
+    return 1;
+  }
+  std::printf("\nclosed-form uniform-angle optimum (k=5): arr = %.5f\n",
+              closed->average_regret_ratio);
+  std::printf("same set scored on the 10k-user sample:   arr = %.5f\n",
+              evaluator.AverageRegretRatio(closed->indices));
+  return 0;
+}

@@ -1,0 +1,60 @@
+// The paper's running example (Table I): four hotels, four users with known
+// utilities, and the question "which two hotels should the site show?".
+//
+// Demonstrates the countably-finite-Θ workflow of Appendix A: exact arr
+// evaluation over an explicit user population, brute-force optimum, and
+// GREEDY-SHRINK agreement.
+
+#include <cstdio>
+
+#include "fam/fam.h"
+
+int main() {
+  using namespace fam;
+
+  Dataset hotels = HotelExampleDataset();
+  UtilityMatrix table = HotelExampleUtilityMatrix();
+  std::vector<std::string> users = HotelExampleUserNames();
+
+  std::printf("Utility table (paper Table I):\n%-8s", "");
+  for (size_t h = 0; h < hotels.size(); ++h) {
+    std::printf("%-18s", hotels.LabelOf(h).c_str());
+  }
+  std::printf("\n");
+  for (size_t u = 0; u < table.num_users(); ++u) {
+    std::printf("%-8s", users[u].c_str());
+    for (size_t h = 0; h < table.num_points(); ++h) {
+      std::printf("%-18.1f", table.Utility(u, h));
+    }
+    std::printf("\n");
+  }
+
+  // Exact evaluation over the four users (uniform probabilities).
+  RegretEvaluator evaluator(table);
+
+  // The paper's worked subset {Intercontinental, Hilton}.
+  std::vector<size_t> example = {2, 3};
+  std::printf("\narr({Intercontinental, Hilton}) = %.4f\n",
+              evaluator.AverageRegretRatio(example));
+  for (size_t u = 0; u < 4; ++u) {
+    std::printf("  %-6s regret ratio %.4f\n", users[u].c_str(),
+                evaluator.RegretRatio(u, example));
+  }
+
+  // The optimal pair, exactly and greedily.
+  Result<Selection> exact = BruteForce(evaluator, {.k = 2});
+  Result<Selection> greedy = GreedyShrink(evaluator, {.k = 2});
+  if (!exact.ok() || !greedy.ok()) {
+    std::fprintf(stderr, "solver failed\n");
+    return 1;
+  }
+  std::printf("\noptimal pair (brute force): {%s, %s}, arr = %.4f\n",
+              hotels.LabelOf(exact->indices[0]).c_str(),
+              hotels.LabelOf(exact->indices[1]).c_str(),
+              exact->average_regret_ratio);
+  std::printf("GREEDY-SHRINK pair:         {%s, %s}, arr = %.4f\n",
+              hotels.LabelOf(greedy->indices[0]).c_str(),
+              hotels.LabelOf(greedy->indices[1]).c_str(),
+              greedy->average_regret_ratio);
+  return 0;
+}

@@ -1,0 +1,50 @@
+#include "baselines/k_hit.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace fam {
+
+Result<Selection> KHit(const RegretEvaluator& evaluator,
+                       const KHitOptions& options) {
+  const size_t n = evaluator.num_points();
+  if (options.k == 0) return Status::InvalidArgument("k must be at least 1");
+  if (options.k > n) return Status::InvalidArgument("k exceeds database size");
+
+  // Probability mass of each point's favorite bucket.
+  std::vector<double> mass(n, 0.0);
+  for (size_t u = 0; u < evaluator.num_users(); ++u) {
+    mass[evaluator.BestPointInDb(u)] += evaluator.user_weights()[u];
+  }
+
+  // Favorite buckets are disjoint, so the k heaviest buckets are the exact
+  // optimum of the hit-probability objective.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (mass[a] != mass[b]) return mass[a] > mass[b];
+    return a < b;
+  });
+  order.resize(options.k);
+  std::sort(order.begin(), order.end());
+
+  Selection result;
+  result.average_regret_ratio = evaluator.AverageRegretRatio(order);
+  result.indices = std::move(order);
+  return result;
+}
+
+double HitProbability(const RegretEvaluator& evaluator,
+                      std::span<const size_t> subset) {
+  std::vector<uint8_t> in_set(evaluator.num_points(), 0);
+  for (size_t p : subset) in_set[p] = 1;
+  double hit = 0.0;
+  for (size_t u = 0; u < evaluator.num_users(); ++u) {
+    if (in_set[evaluator.BestPointInDb(u)]) {
+      hit += evaluator.user_weights()[u];
+    }
+  }
+  return hit;
+}
+
+}  // namespace fam

@@ -1,0 +1,37 @@
+// K-HIT: the probabilistic top-k query of Peng & Wong (SIGMOD 2015) — the
+// paper's distribution-aware comparator [26].
+//
+// Selects k points maximizing the probability that at least one selected
+// point is a random user's favorite database point. Against a sampled user
+// population the objective decomposes exactly: each user has a unique
+// favorite point, so the hit probability of S is the total probability mass
+// of the favorite-point buckets S covers, and the optimum is the k heaviest
+// buckets. (Peng & Wong integrate over a continuous Θ with matching ε/δ
+// sampling parameters; scoring on the shared user sample keeps every
+// algorithm measured against the identical population.)
+
+#ifndef FAM_BASELINES_K_HIT_H_
+#define FAM_BASELINES_K_HIT_H_
+
+#include "common/status.h"
+#include "regret/evaluator.h"
+#include "regret/selection.h"
+
+namespace fam {
+
+struct KHitOptions {
+  size_t k = 10;
+};
+
+/// Runs K-HIT against the evaluator's user sample.
+Result<Selection> KHit(const RegretEvaluator& evaluator,
+                       const KHitOptions& options);
+
+/// Hit probability of `subset`: total probability mass of users whose
+/// database favorite lies in the subset (the K-HIT objective).
+double HitProbability(const RegretEvaluator& evaluator,
+                      std::span<const size_t> subset);
+
+}  // namespace fam
+
+#endif  // FAM_BASELINES_K_HIT_H_

@@ -1,0 +1,218 @@
+#include "baselines/mrr_greedy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+#include "geom/skyline.h"
+#include "lp/simplex.h"
+
+namespace fam {
+namespace {
+
+/// LP value: worst-case regret ratio a linear utility could assign to S
+/// while favoring candidate `p` (0 when the LP is infeasible, i.e. p can
+/// never strictly improve on S).
+double LpRegretOfCandidate(const Dataset& dataset, size_t candidate,
+                           const std::vector<size_t>& selected) {
+  const size_t d = dataset.dimension();
+  const double* p = dataset.point(candidate);
+  double p_norm = 0.0;
+  for (size_t j = 0; j < d; ++j) p_norm += p[j];
+  if (p_norm <= 0.0) return 0.0;  // The origin can never be preferred.
+
+  // Variables: w_0..w_{d-1}, x. Constraints:
+  //   w·(s − p) + x <= 0    for each s in S
+  //   w·p <= 1,  −w·p <= −1 (the normalization w·p = 1)
+  const size_t rows = selected.size() + 2;
+  LpProblem lp;
+  lp.constraints.Reset(rows, d + 1);
+  lp.bounds.assign(rows, 0.0);
+  lp.objective.assign(d + 1, 0.0);
+  lp.objective[d] = 1.0;  // maximize x
+
+  for (size_t r = 0; r < selected.size(); ++r) {
+    const double* s = dataset.point(selected[r]);
+    for (size_t j = 0; j < d; ++j) lp.constraints(r, j) = s[j] - p[j];
+    lp.constraints(r, d) = 1.0;
+    lp.bounds[r] = 0.0;
+  }
+  size_t norm_row = selected.size();
+  for (size_t j = 0; j < d; ++j) {
+    lp.constraints(norm_row, j) = p[j];
+    lp.constraints(norm_row + 1, j) = -p[j];
+  }
+  lp.bounds[norm_row] = 1.0;
+  lp.bounds[norm_row + 1] = -1.0;
+
+  LpSolution solution = SolveLp(lp);
+  if (solution.status != LpStatus::kOptimal) return 0.0;
+  return std::max(0.0, solution.objective);
+}
+
+Selection RunLp(const Dataset& dataset, const RegretEvaluator& evaluator,
+                size_t k) {
+  std::vector<size_t> candidates = SkylineIndices(dataset);
+
+  // Seed: the point with the largest first attribute (smallest index wins
+  // ties), per RDP-GREEDY.
+  size_t seed = 0;
+  for (size_t i = 1; i < dataset.size(); ++i) {
+    if (dataset.at(i, 0) > dataset.at(seed, 0)) seed = i;
+  }
+  std::vector<size_t> selected = {seed};
+  std::vector<uint8_t> in_set(dataset.size(), 0);
+  in_set[seed] = 1;
+
+  while (selected.size() < k) {
+    size_t best_candidate = dataset.size();
+    double best_value = 0.0;
+    for (size_t c : candidates) {
+      if (in_set[c]) continue;
+      double value = LpRegretOfCandidate(dataset, c, selected);
+      if (value > best_value + 1e-12 ||
+          (best_candidate == dataset.size() && value >= best_value)) {
+        best_value = value;
+        best_candidate = c;
+      }
+    }
+    if (best_candidate == dataset.size()) {
+      // Every remaining candidate adds zero worst-case regret; pad with the
+      // lowest-index unused points.
+      for (size_t p = 0; p < dataset.size() && selected.size() < k; ++p) {
+        if (!in_set[p]) {
+          selected.push_back(p);
+          in_set[p] = 1;
+        }
+      }
+      break;
+    }
+    selected.push_back(best_candidate);
+    in_set[best_candidate] = 1;
+  }
+
+  std::sort(selected.begin(), selected.end());
+  Selection result;
+  result.average_regret_ratio = evaluator.AverageRegretRatio(selected);
+  result.indices = std::move(selected);
+  return result;
+}
+
+Selection RunSampled(const Dataset& dataset,
+                     const RegretEvaluator& evaluator, size_t k) {
+  const size_t num_users = evaluator.num_users();
+
+  size_t seed = 0;
+  for (size_t i = 1; i < dataset.size(); ++i) {
+    if (dataset.at(i, 0) > dataset.at(seed, 0)) seed = i;
+  }
+  std::vector<size_t> selected = {seed};
+  std::vector<uint8_t> in_set(dataset.size(), 0);
+  in_set[seed] = 1;
+
+  // Incremental satisfaction per user.
+  const UtilityMatrix& users = evaluator.users();
+  std::vector<double> sat(num_users);
+  for (size_t u = 0; u < num_users; ++u) sat[u] = users.Utility(u, seed);
+
+  while (selected.size() < k) {
+    // The currently most-regretful user.
+    size_t worst_user = num_users;
+    double worst_rr = 0.0;
+    for (size_t u = 0; u < num_users; ++u) {
+      double denom = evaluator.BestInDb(u);
+      if (denom <= 0.0) continue;
+      double rr = (denom - sat[u]) / denom;
+      if (rr > worst_rr + 1e-15) {
+        worst_rr = rr;
+        worst_user = u;
+      }
+    }
+    size_t addition = dataset.size();
+    if (worst_user != num_users) {
+      size_t favorite = evaluator.BestPointInDb(worst_user);
+      if (!in_set[favorite]) addition = favorite;
+    }
+    if (addition == dataset.size()) {
+      // No user regrets anything (or the worst user's favorite is already
+      // selected, which forces rr = 0): pad with unused points.
+      for (size_t p = 0; p < dataset.size() && selected.size() < k; ++p) {
+        if (!in_set[p]) {
+          selected.push_back(p);
+          in_set[p] = 1;
+        }
+      }
+      break;
+    }
+    selected.push_back(addition);
+    in_set[addition] = 1;
+    for (size_t u = 0; u < num_users; ++u) {
+      sat[u] = std::max(sat[u], users.Utility(u, addition));
+    }
+  }
+
+  std::sort(selected.begin(), selected.end());
+  Selection result;
+  result.average_regret_ratio = evaluator.AverageRegretRatio(selected);
+  result.indices = std::move(selected);
+  return result;
+}
+
+}  // namespace
+
+Result<Selection> MrrGreedy(const Dataset& dataset,
+                            const RegretEvaluator& evaluator,
+                            const MrrGreedyOptions& options) {
+  if (options.k == 0) return Status::InvalidArgument("k must be at least 1");
+  if (options.k > dataset.size()) {
+    return Status::InvalidArgument("k exceeds database size");
+  }
+  if (evaluator.num_points() != dataset.size()) {
+    return Status::InvalidArgument(
+        "evaluator point count != dataset size");
+  }
+
+  MrrGreedyMode mode = options.mode;
+  if (mode == MrrGreedyMode::kAuto) {
+    bool linear = evaluator.users().is_weighted() &&
+                  evaluator.users().basis().cols() == dataset.dimension();
+    if (linear) {
+      size_t skyline_size = SkylineIndices(dataset).size();
+      mode = skyline_size <= options.lp_candidate_limit
+                 ? MrrGreedyMode::kLinearProgramming
+                 : MrrGreedyMode::kSampled;
+    } else {
+      mode = MrrGreedyMode::kSampled;
+    }
+  }
+  if (mode == MrrGreedyMode::kLinearProgramming) {
+    return RunLp(dataset, evaluator, options.k);
+  }
+  return RunSampled(dataset, evaluator, options.k);
+}
+
+double MaxRegretRatio(const RegretEvaluator& evaluator,
+                      std::span<const size_t> subset) {
+  double worst = 0.0;
+  for (size_t u = 0; u < evaluator.num_users(); ++u) {
+    worst = std::max(worst, evaluator.RegretRatio(u, subset));
+  }
+  return worst;
+}
+
+double MaxRegretRatioLinear(const Dataset& dataset,
+                            std::span<const size_t> subset) {
+  std::vector<size_t> selected(subset.begin(), subset.end());
+  std::vector<uint8_t> in_set(dataset.size(), 0);
+  for (size_t p : selected) in_set[p] = 1;
+  // Only skyline points can be a utility's favorite.
+  double worst = 0.0;
+  for (size_t p : SkylineIndices(dataset)) {
+    if (in_set[p]) continue;
+    worst = std::max(worst, LpRegretOfCandidate(dataset, p, selected));
+  }
+  return std::min(worst, 1.0);
+}
+
+}  // namespace fam

@@ -1,0 +1,66 @@
+// MRR-GREEDY: the maximum-regret-ratio greedy of Nanongkai et al.
+// ("Regret-minimizing representative databases", VLDB 2010) — the paper's
+// primary k-regret comparator [22].
+//
+// Starts from the point with the largest first attribute and repeatedly adds
+// the point realizing the current maximum regret ratio. Two engines compute
+// that maximum:
+//
+//   * kLinearProgramming — the exact geometric criterion for linear
+//     utilities: for each skyline candidate p, the LP
+//         maximize x  s.t.  w·(p − s) >= x  ∀ s ∈ S,   w·p = 1,  w >= 0
+//     yields the worst-case regret ratio a utility function could assign to
+//     S if p were its favorite; the candidate with the largest value joins S.
+//   * kSampled — the maximum regret ratio over the evaluator's sampled user
+//     set (works for any Θ, including non-linear/learned utilities): the
+//     best database point of the currently most-regretful user joins S.
+//
+// kAuto picks LP for linear utilities with a modest candidate pool and falls
+// back to sampling otherwise.
+
+#ifndef FAM_BASELINES_MRR_GREEDY_H_
+#define FAM_BASELINES_MRR_GREEDY_H_
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "regret/evaluator.h"
+#include "regret/selection.h"
+
+namespace fam {
+
+enum class MrrGreedyMode {
+  kAuto,
+  kLinearProgramming,
+  kSampled,
+};
+
+struct MrrGreedyOptions {
+  size_t k = 10;
+  MrrGreedyMode mode = MrrGreedyMode::kAuto;
+  /// kAuto falls back to kSampled above this many skyline candidates.
+  size_t lp_candidate_limit = 4000;
+};
+
+/// Runs MRR-GREEDY. The evaluator supplies the sampled users (for kSampled
+/// and for the returned selection's average regret ratio); the dataset
+/// supplies the geometry for the LP engine.
+Result<Selection> MrrGreedy(const Dataset& dataset,
+                            const RegretEvaluator& evaluator,
+                            const MrrGreedyOptions& options);
+
+/// Maximum regret ratio of `subset` over the evaluator's sampled users
+/// (the metric MRR-GREEDY minimizes; exposed for experiments).
+double MaxRegretRatio(const RegretEvaluator& evaluator,
+                      std::span<const size_t> subset);
+
+/// Exact maximum regret ratio of `subset` over the *continuous* family of
+/// non-negative linear utilities (no sampling): the max over candidate
+/// favorites p ∈ D of the LP "maximize x s.t. w·(p − s) >= x ∀s∈subset,
+/// w·p = 1, w >= 0". This is the quantity k-regret papers report; the
+/// sampled MaxRegretRatio converges to it from below as N grows.
+double MaxRegretRatioLinear(const Dataset& dataset,
+                            std::span<const size_t> subset);
+
+}  // namespace fam
+
+#endif  // FAM_BASELINES_MRR_GREEDY_H_

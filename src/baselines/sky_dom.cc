@@ -1,0 +1,82 @@
+#include "baselines/sky_dom.h"
+
+#include <algorithm>
+
+#include "geom/dominance.h"
+#include "geom/skyline.h"
+
+namespace fam {
+
+Result<Selection> SkyDom(const Dataset& dataset,
+                         const RegretEvaluator& evaluator,
+                         const SkyDomOptions& options) {
+  if (options.k == 0) return Status::InvalidArgument("k must be at least 1");
+  if (options.k > dataset.size()) {
+    return Status::InvalidArgument("k exceeds database size");
+  }
+
+  std::vector<size_t> skyline = SkylineIndices(dataset);
+  std::vector<std::vector<uint32_t>> dominated =
+      DominatedLists(dataset, skyline);
+
+  std::vector<uint8_t> chosen(skyline.size(), 0);
+  std::vector<uint8_t> covered(dataset.size(), 0);
+  std::vector<size_t> selected;
+  selected.reserve(options.k);
+
+  while (selected.size() < options.k && selected.size() < skyline.size()) {
+    size_t best_candidate = skyline.size();
+    size_t best_gain = 0;
+    for (size_t c = 0; c < skyline.size(); ++c) {
+      if (chosen[c]) continue;
+      size_t gain = 0;
+      for (uint32_t p : dominated[c]) {
+        if (!covered[p]) ++gain;
+      }
+      // Strictly-greater keeps the smallest index on ties, including the
+      // all-zero-gain case (skyline points still must fill the quota).
+      if (best_candidate == skyline.size() || gain > best_gain) {
+        best_gain = gain;
+        best_candidate = c;
+      }
+    }
+    if (best_candidate == skyline.size()) break;
+    chosen[best_candidate] = 1;
+    selected.push_back(skyline[best_candidate]);
+    for (uint32_t p : dominated[best_candidate]) covered[p] = 1;
+  }
+
+  // Skyline smaller than k: pad with the lowest-index unused points.
+  if (selected.size() < options.k) {
+    std::vector<uint8_t> in_set(dataset.size(), 0);
+    for (size_t p : selected) in_set[p] = 1;
+    for (size_t p = 0; p < dataset.size() && selected.size() < options.k;
+         ++p) {
+      if (!in_set[p]) selected.push_back(p);
+    }
+  }
+
+  std::sort(selected.begin(), selected.end());
+  Selection result;
+  result.average_regret_ratio = evaluator.AverageRegretRatio(selected);
+  result.indices = std::move(selected);
+  return result;
+}
+
+size_t DominatedCoverage(const Dataset& dataset,
+                         std::span<const size_t> subset) {
+  std::vector<uint8_t> covered(dataset.size(), 0);
+  const size_t d = dataset.dimension();
+  for (size_t s : subset) {
+    const double* p = dataset.point(s);
+    for (size_t j = 0; j < dataset.size(); ++j) {
+      if (j == s || covered[j]) continue;
+      if (Dominates(p, dataset.point(j), d)) covered[j] = 1;
+    }
+  }
+  size_t count = 0;
+  for (uint8_t c : covered) count += c;
+  return count;
+}
+
+}  // namespace fam

@@ -1,0 +1,37 @@
+// SKY-DOM: the k most representative skyline operator of Lin et al.
+// (ICDE 2007) — the paper's skyline-variant comparator [20].
+//
+// Selects k skyline points that together dominate the maximum number of
+// database points. The general-d problem is NP-hard; following the standard
+// practice (and the greedy (1 − 1/e) max-coverage guarantee), this
+// implementation greedily adds the skyline point covering the most
+// not-yet-dominated points.
+
+#ifndef FAM_BASELINES_SKY_DOM_H_
+#define FAM_BASELINES_SKY_DOM_H_
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "regret/evaluator.h"
+#include "regret/selection.h"
+
+namespace fam {
+
+struct SkyDomOptions {
+  size_t k = 10;
+};
+
+/// Runs greedy SKY-DOM; the evaluator is used only to report the returned
+/// selection's average regret ratio.
+Result<Selection> SkyDom(const Dataset& dataset,
+                         const RegretEvaluator& evaluator,
+                         const SkyDomOptions& options);
+
+/// Number of distinct points dominated by at least one member of `subset`
+/// (the objective SKY-DOM maximizes; exposed for experiments and tests).
+size_t DominatedCoverage(const Dataset& dataset,
+                         std::span<const size_t> subset);
+
+}  // namespace fam
+
+#endif  // FAM_BASELINES_SKY_DOM_H_

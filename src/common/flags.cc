@@ -1,0 +1,108 @@
+#include "common/flags.h"
+
+#include "common/string_util.h"
+
+namespace fam {
+
+FlagParser& FlagParser::AddString(const std::string& name,
+                                  std::string* target,
+                                  const std::string& help) {
+  flags_[name] = {Type::kString, target, help, *target};
+  return *this;
+}
+
+FlagParser& FlagParser::AddInt(const std::string& name, int64_t* target,
+                               const std::string& help) {
+  flags_[name] = {Type::kInt, target, help, StrPrintf("%lld",
+                  static_cast<long long>(*target))};
+  return *this;
+}
+
+FlagParser& FlagParser::AddDouble(const std::string& name, double* target,
+                                  const std::string& help) {
+  flags_[name] = {Type::kDouble, target, help, StrPrintf("%g", *target)};
+  return *this;
+}
+
+FlagParser& FlagParser::AddBool(const std::string& name, bool* target,
+                                const std::string& help) {
+  flags_[name] = {Type::kBool, target, help, *target ? "true" : "false"};
+  return *this;
+}
+
+Status FlagParser::SetFlag(const std::string& name,
+                           const std::string& value) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return Status::InvalidArgument("unknown flag --" + name);
+  }
+  Flag& flag = it->second;
+  switch (flag.type) {
+    case Type::kString:
+      *static_cast<std::string*>(flag.target) = value;
+      return Status::OK();
+    case Type::kInt: {
+      FAM_ASSIGN_OR_RETURN(int64_t parsed, ParseInt(value));
+      *static_cast<int64_t*>(flag.target) = parsed;
+      return Status::OK();
+    }
+    case Type::kDouble: {
+      FAM_ASSIGN_OR_RETURN(double parsed, ParseDouble(value));
+      *static_cast<double*>(flag.target) = parsed;
+      return Status::OK();
+    }
+    case Type::kBool: {
+      if (EqualsIgnoreCase(value, "true") || value == "1") {
+        *static_cast<bool*>(flag.target) = true;
+      } else if (EqualsIgnoreCase(value, "false") || value == "0") {
+        *static_cast<bool*>(flag.target) = false;
+      } else {
+        return Status::InvalidArgument("bad boolean for --" + name + ": " +
+                                       value);
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable flag type");
+}
+
+Status FlagParser::Parse(int argc, const char* const* argv) {
+  positional_.clear();
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      FAM_RETURN_IF_ERROR(SetFlag(body.substr(0, eq), body.substr(eq + 1)));
+      continue;
+    }
+    auto it = flags_.find(body);
+    if (it == flags_.end()) {
+      return Status::InvalidArgument("unknown flag --" + body);
+    }
+    if (it->second.type == Type::kBool) {
+      *static_cast<bool*>(it->second.target) = true;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      return Status::InvalidArgument("flag --" + body + " needs a value");
+    }
+    FAM_RETURN_IF_ERROR(SetFlag(body, argv[++i]));
+  }
+  return Status::OK();
+}
+
+std::string FlagParser::Usage() const {
+  std::string out = "flags:\n";
+  for (const auto& [name, flag] : flags_) {
+    out += StrPrintf("  --%-20s %s (default: %s)\n", name.c_str(),
+                     flag.help.c_str(), flag.default_value.c_str());
+  }
+  return out;
+}
+
+}  // namespace fam

@@ -1,0 +1,58 @@
+// Minimal command-line flag parsing for the fam tools.
+//
+// Supports --name=value and --name value forms, boolean flags
+// (--flag / --flag=false), and positional arguments. No global state: each
+// binary builds its own FlagParser.
+
+#ifndef FAM_COMMON_FLAGS_H_
+#define FAM_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fam {
+
+/// Declarative flag set; register flags bound to caller-owned storage,
+/// then Parse.
+class FlagParser {
+ public:
+  FlagParser& AddString(const std::string& name, std::string* target,
+                        const std::string& help);
+  FlagParser& AddInt(const std::string& name, int64_t* target,
+                     const std::string& help);
+  FlagParser& AddDouble(const std::string& name, double* target,
+                        const std::string& help);
+  FlagParser& AddBool(const std::string& name, bool* target,
+                      const std::string& help);
+
+  /// Parses argv[1..); unknown --flags are errors, non-flag tokens are
+  /// collected as positional arguments.
+  Status Parse(int argc, const char* const* argv);
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Help text listing all registered flags with their defaults.
+  std::string Usage() const;
+
+ private:
+  enum class Type { kString, kInt, kDouble, kBool };
+  struct Flag {
+    Type type;
+    void* target;
+    std::string help;
+    std::string default_value;
+  };
+
+  Status SetFlag(const std::string& name, const std::string& value);
+
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace fam
+
+#endif  // FAM_COMMON_FLAGS_H_

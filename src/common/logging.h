@@ -1,0 +1,75 @@
+// Minimal logging and assertion macros for the fam library.
+//
+// FAM_CHECK(cond) aborts with a diagnostic when `cond` is false, in all build
+// modes; use it for invariants whose violation indicates a programming error.
+// FAM_DCHECK compiles away in NDEBUG builds.
+
+#ifndef FAM_COMMON_LOGGING_H_
+#define FAM_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace fam {
+
+enum class LogLevel { kInfo = 0, kWarning = 1, kError = 2, kFatal = 3 };
+
+namespace internal {
+
+/// Stream-style log line collector; emits on destruction. Fatal lines abort.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+/// Global minimum level actually emitted (default kInfo). Benches raise it to
+/// keep output clean.
+void SetMinLogLevel(LogLevel level);
+LogLevel MinLogLevel();
+
+#define FAM_LOG(level)                                              \
+  ::fam::internal::LogMessage(::fam::LogLevel::k##level, __FILE__, \
+                              __LINE__)
+
+#define FAM_CHECK(cond)                                   \
+  if (cond) {                                             \
+  } else /* NOLINT */                                     \
+    FAM_LOG(Fatal) << "Check failed: " #cond " "
+
+#define FAM_CHECK_OK(expr)                                      \
+  do {                                                          \
+    ::fam::Status _fam_check_status = (expr);                   \
+    if (!_fam_check_status.ok()) {                              \
+      FAM_LOG(Fatal) << "Status not OK: "                       \
+                     << _fam_check_status.ToString();           \
+    }                                                           \
+  } while (false)
+
+#ifdef NDEBUG
+#define FAM_DCHECK(cond) \
+  if (true) {            \
+  } else /* NOLINT */    \
+    FAM_LOG(Fatal) << ""
+#else
+#define FAM_DCHECK(cond) FAM_CHECK(cond)
+#endif
+
+}  // namespace fam
+
+#endif  // FAM_COMMON_LOGGING_H_

@@ -1,0 +1,50 @@
+#include "common/matrix.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace fam {
+
+Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(rows.size(), rows[0].size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    FAM_CHECK(rows[r].size() == m.cols()) << "ragged row " << r;
+    for (size_t c = 0; c < m.cols(); ++c) m(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+void Matrix::Reset(size_t rows, size_t cols, double fill) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, fill);
+}
+
+double Dot(std::span<const double> a, std::span<const double> b) {
+  FAM_DCHECK(a.size() == b.size());
+  return Dot(a.data(), b.data(), a.size());
+}
+
+double Dot(const double* a, const double* b, size_t n) {
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double Norm2(std::span<const double> v) {
+  return std::sqrt(Dot(v, v));
+}
+
+double SquaredDistance(std::span<const double> a, std::span<const double> b) {
+  FAM_DCHECK(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double diff = a[i] - b[i];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+}  // namespace fam

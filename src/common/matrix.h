@@ -1,0 +1,72 @@
+// Dense row-major matrix of doubles.
+//
+// The workhorse container for datasets (n points × d attributes), sampled
+// utility weights (N users × d), rating matrices, and ML model parameters.
+// Deliberately minimal: the library needs storage, views, and a few BLAS-1
+// style helpers, not a linear-algebra framework.
+
+#ifndef FAM_COMMON_MATRIX_H_
+#define FAM_COMMON_MATRIX_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fam {
+
+/// Row-major dense matrix.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Builds a matrix from nested initializer data; all rows must have equal
+  /// length. Aborts on ragged input (programming error).
+  static Matrix FromRows(const std::vector<std::vector<double>>& rows);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Raw pointer to the start of row `r`.
+  double* row(size_t r) { return data_.data() + r * cols_; }
+  const double* row(size_t r) const { return data_.data() + r * cols_; }
+
+  std::span<const double> row_span(size_t r) const {
+    return {row(r), cols_};
+  }
+  std::span<double> row_span(size_t r) { return {row(r), cols_}; }
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  /// Resizes to rows × cols, discarding contents.
+  void Reset(size_t rows, size_t cols, double fill = 0.0);
+
+  bool operator==(const Matrix& other) const = default;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+/// Dot product of two equal-length spans.
+double Dot(std::span<const double> a, std::span<const double> b);
+
+/// Dot product of two raw arrays of length `n`.
+double Dot(const double* a, const double* b, size_t n);
+
+/// Euclidean (L2) norm.
+double Norm2(std::span<const double> v);
+
+/// Squared Euclidean distance between equal-length spans.
+double SquaredDistance(std::span<const double> a, std::span<const double> b);
+
+}  // namespace fam
+
+#endif  // FAM_COMMON_MATRIX_H_

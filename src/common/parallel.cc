@@ -1,0 +1,38 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+namespace fam {
+
+size_t HardwareThreads() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+void ParallelFor(size_t n, size_t num_threads,
+                 const std::function<void(size_t, size_t)>& body) {
+  if (n == 0) return;
+  if (num_threads == 0) num_threads = HardwareThreads();
+  // Below ~4k items thread startup dominates any win.
+  constexpr size_t kMinItemsPerThread = 2048;
+  num_threads = std::min(num_threads,
+                         std::max<size_t>(1, n / kMinItemsPerThread));
+  if (num_threads <= 1) {
+    body(0, n);
+    return;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads);
+  size_t chunk = (n + num_threads - 1) / num_threads;
+  for (size_t t = 0; t < num_threads; ++t) {
+    size_t begin = t * chunk;
+    size_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    workers.emplace_back([&body, begin, end] { body(begin, end); });
+  }
+  for (std::thread& worker : workers) worker.join();
+}
+
+}  // namespace fam

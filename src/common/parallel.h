@@ -1,0 +1,29 @@
+// Deterministic data-parallel helpers.
+//
+// ParallelFor statically partitions [0, n) into contiguous chunks, one per
+// worker, so results are bitwise identical to the sequential run whenever
+// the body writes only to its own indices. Used by the evaluator for
+// best-point indexing over large user samples (the O(N·n) preprocessing
+// step of Sec. III-D2).
+
+#ifndef FAM_COMMON_PARALLEL_H_
+#define FAM_COMMON_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace fam {
+
+/// Number of hardware threads (at least 1).
+size_t HardwareThreads();
+
+/// Runs body(begin, end) over a static partition of [0, n) on up to
+/// `num_threads` threads (0 = hardware default). Falls back to a direct
+/// call when n is small or a single thread is requested. Blocks until all
+/// chunks finish. The body must not throw.
+void ParallelFor(size_t n, size_t num_threads,
+                 const std::function<void(size_t, size_t)>& body);
+
+}  // namespace fam
+
+#endif  // FAM_COMMON_PARALLEL_H_

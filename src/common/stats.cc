@@ -1,0 +1,61 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace fam {
+
+double Mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double Variance(std::span<const double> values) {
+  if (values.size() < 1) return 0.0;
+  double mean = Mean(values);
+  double sum_sq = 0.0;
+  for (double v : values) {
+    double d = v - mean;
+    sum_sq += d * d;
+  }
+  return sum_sq / static_cast<double>(values.size());
+}
+
+double StdDev(std::span<const double> values) {
+  return std::sqrt(Variance(values));
+}
+
+double PercentileSorted(std::span<const double> sorted, double pct) {
+  FAM_CHECK(!sorted.empty()) << "percentile of empty sample";
+  FAM_CHECK(pct >= 0.0 && pct <= 100.0) << "pct out of range: " << pct;
+  if (sorted.size() == 1) return sorted[0];
+  double rank = pct / 100.0 * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double Percentile(std::span<const double> values, double pct) {
+  std::vector<double> copy(values.begin(), values.end());
+  std::sort(copy.begin(), copy.end());
+  return PercentileSorted(copy, pct);
+}
+
+Summary Summarize(std::span<const double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  s.mean = Mean(values);
+  s.variance = Variance(values);
+  s.stddev = std::sqrt(s.variance);
+  s.min = *std::min_element(values.begin(), values.end());
+  s.max = *std::max_element(values.begin(), values.end());
+  return s;
+}
+
+}  // namespace fam

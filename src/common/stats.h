@@ -1,0 +1,41 @@
+// Descriptive statistics over samples of regret ratios (and anything else).
+
+#ifndef FAM_COMMON_STATS_H_
+#define FAM_COMMON_STATS_H_
+
+#include <span>
+#include <vector>
+
+namespace fam {
+
+/// Arithmetic mean; 0 for an empty sample.
+double Mean(std::span<const double> values);
+
+/// Population variance (divides by n); 0 for samples of size < 1.
+double Variance(std::span<const double> values);
+
+/// Population standard deviation.
+double StdDev(std::span<const double> values);
+
+/// Percentile in [0, 100] with linear interpolation between order statistics
+/// (the "inclusive" definition: 0 -> min, 100 -> max). Aborts on empty input.
+double Percentile(std::span<const double> values, double pct);
+
+/// Percentile over data that is already sorted ascending (no copy).
+double PercentileSorted(std::span<const double> sorted, double pct);
+
+/// One-pass summary of a sample.
+struct Summary {
+  size_t count = 0;
+  double mean = 0.0;
+  double variance = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+Summary Summarize(std::span<const double> values);
+
+}  // namespace fam
+
+#endif  // FAM_COMMON_STATS_H_

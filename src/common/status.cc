@@ -1,0 +1,52 @@
+#include "common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fam {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kIoError:
+      return "IoError";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeName(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+namespace internal {
+
+void DieBadResultAccess(const Status& status) {
+  std::fprintf(stderr, "fam: accessed value of errored Result: %s\n",
+               status.ToString().c_str());
+  std::abort();
+}
+
+void DieOkStatusInResult() {
+  std::fprintf(stderr, "fam: constructed Result<T> from an OK Status\n");
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace fam

@@ -1,0 +1,176 @@
+// Status-based error handling for the fam library.
+//
+// Library code does not throw exceptions (Google C++ style); fallible
+// operations return `fam::Status`, and fallible value-producing operations
+// return `fam::Result<T>`, following the RocksDB/Arrow idiom.
+
+#ifndef FAM_COMMON_STATUS_H_
+#define FAM_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace fam {
+
+/// Canonical error codes. Mirrors the subset of absl::StatusCode the library
+/// actually needs.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kFailedPrecondition = 4,
+  kUnimplemented = 5,
+  kInternal = 6,
+  kIoError = 7,
+};
+
+/// Returns a human-readable name for `code` (e.g. "InvalidArgument").
+std::string_view StatusCodeName(StatusCode code);
+
+/// The result of an operation that can fail but produces no value.
+///
+/// A default-constructed Status is OK. Statuses are cheap to copy (an OK
+/// status carries no message allocation).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Holds either a value of type T or an error Status. Accessing the value of
+/// an errored Result aborts the process (programming error), so callers must
+/// check `ok()` first.
+template <typename T>
+class Result {
+ public:
+  /// Implicit so `return value;` works in functions returning Result<T>.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit so `return Status::...;` works.
+  Result(Status status) : value_(std::move(status)) {  // NOLINT
+    CheckNotOkStatus();
+  }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  const Status& status() const {
+    static const Status kOkStatus;
+    if (ok()) return kOkStatus;
+    return std::get<Status>(value_);
+  }
+
+  const T& value() const& {
+    CheckHasValue();
+    return std::get<T>(value_);
+  }
+  T& value() & {
+    CheckHasValue();
+    return std::get<T>(value_);
+  }
+  T&& value() && {
+    CheckHasValue();
+    return std::get<T>(std::move(value_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckHasValue() const;
+  void CheckNotOkStatus() const;
+
+  std::variant<T, Status> value_;
+};
+
+namespace internal {
+[[noreturn]] void DieBadResultAccess(const Status& status);
+[[noreturn]] void DieOkStatusInResult();
+}  // namespace internal
+
+template <typename T>
+void Result<T>::CheckHasValue() const {
+  if (!ok()) internal::DieBadResultAccess(std::get<Status>(value_));
+}
+
+template <typename T>
+void Result<T>::CheckNotOkStatus() const {
+  if (std::holds_alternative<Status>(value_) &&
+      std::get<Status>(value_).ok()) {
+    internal::DieOkStatusInResult();
+  }
+}
+
+/// Propagates a non-OK status to the caller: `FAM_RETURN_IF_ERROR(DoThing());`
+#define FAM_RETURN_IF_ERROR(expr)                 \
+  do {                                            \
+    ::fam::Status _fam_status = (expr);           \
+    if (!_fam_status.ok()) return _fam_status;    \
+  } while (false)
+
+/// Unwraps a Result<T> into `lhs`, propagating errors:
+/// `FAM_ASSIGN_OR_RETURN(auto ds, LoadDataset(path));`
+#define FAM_ASSIGN_OR_RETURN(lhs, expr)              \
+  FAM_ASSIGN_OR_RETURN_IMPL_(                        \
+      FAM_STATUS_CONCAT_(_fam_result, __LINE__), lhs, expr)
+
+#define FAM_ASSIGN_OR_RETURN_IMPL_(result, lhs, expr) \
+  auto result = (expr);                               \
+  if (!result.ok()) return result.status();           \
+  lhs = std::move(result).value()
+
+#define FAM_STATUS_CONCAT_(a, b) FAM_STATUS_CONCAT_IMPL_(a, b)
+#define FAM_STATUS_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace fam
+
+#endif  // FAM_COMMON_STATUS_H_

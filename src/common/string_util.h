@@ -1,0 +1,39 @@
+// Small string helpers used by CSV parsing and table formatting.
+
+#ifndef FAM_COMMON_STRING_UTIL_H_
+#define FAM_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fam {
+
+/// Splits on `delim`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view text, char delim);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// Parses a double from the full string; errors on trailing garbage.
+Result<double> ParseDouble(std::string_view text);
+
+/// Parses a signed 64-bit integer from the full string.
+Result<int64_t> ParseInt(std::string_view text);
+
+/// printf-style formatting into a std::string.
+std::string StrPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+}  // namespace fam
+
+#endif  // FAM_COMMON_STRING_UTIL_H_

@@ -1,0 +1,36 @@
+// Wall-clock timer for preprocess/query-time measurements.
+//
+// The paper reports "query time" excluding preprocessing; algorithm drivers
+// use two Timer instances to report both phases separately.
+
+#ifndef FAM_COMMON_TIMER_H_
+#define FAM_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace fam {
+
+/// Simple monotonic stopwatch. Starts on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace fam
+
+#endif  // FAM_COMMON_TIMER_H_

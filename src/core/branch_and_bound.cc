@@ -1,0 +1,156 @@
+#include "core/branch_and_bound.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/greedy_shrink.h"
+
+namespace fam {
+namespace {
+
+/// DFS state shared across the recursion.
+struct Search {
+  const RegretEvaluator& evaluator;
+  const BranchAndBoundOptions& options;
+  BranchAndBoundStats* stats;
+  std::vector<size_t> candidates;      // points in branching order
+  Matrix suffix_best;                  // users × (n+1): max utility over
+                                       // candidates[idx..]
+  double incumbent_arr = 1.0;
+  std::vector<size_t> incumbent_set;
+  std::vector<size_t> chosen;
+  uint64_t nodes_visited = 0;
+  bool aborted = false;
+
+  explicit Search(const RegretEvaluator& eval,
+                  const BranchAndBoundOptions& opts,
+                  BranchAndBoundStats* s)
+      : evaluator(eval), options(opts), stats(s) {}
+
+  double ArrOfSat(const std::vector<double>& sat) const {
+    double arr = 0.0;
+    const std::vector<double>& weights = evaluator.user_weights();
+    for (size_t u = 0; u < evaluator.num_users(); ++u) {
+      double denom = evaluator.BestInDb(u);
+      if (denom <= 0.0) continue;
+      arr += weights[u] * (denom - std::min(sat[u], denom)) / denom;
+    }
+    return arr;
+  }
+
+  /// Optimistic completion: every remaining candidate joins the set.
+  double Bound(size_t idx, const std::vector<double>& sat) const {
+    double arr = 0.0;
+    const std::vector<double>& weights = evaluator.user_weights();
+    for (size_t u = 0; u < evaluator.num_users(); ++u) {
+      double denom = evaluator.BestInDb(u);
+      if (denom <= 0.0) continue;
+      double optimistic = std::max(sat[u], suffix_best(u, idx));
+      arr += weights[u] * (denom - std::min(optimistic, denom)) / denom;
+    }
+    return arr;
+  }
+
+  void Dfs(size_t idx, std::vector<double>& sat) {
+    if (aborted) return;
+    if (++nodes_visited > options.max_nodes) {
+      aborted = true;
+      return;
+    }
+    if (chosen.size() == options.k) {
+      double arr = ArrOfSat(sat);
+      if (arr < incumbent_arr - 1e-15) {
+        incumbent_arr = arr;
+        incumbent_set = chosen;
+        if (stats != nullptr) stats->greedy_was_optimal = false;
+      }
+      return;
+    }
+    size_t remaining = candidates.size() - idx;
+    if (remaining < options.k - chosen.size()) return;  // infeasible
+    if (Bound(idx, sat) >= incumbent_arr - 1e-15) {
+      if (stats != nullptr) ++stats->nodes_pruned;
+      return;
+    }
+
+    // Include candidates[idx].
+    size_t point = candidates[idx];
+    const UtilityMatrix& users = evaluator.users();
+    std::vector<double> with(sat);
+    for (size_t u = 0; u < evaluator.num_users(); ++u) {
+      with[u] = std::max(with[u], users.Utility(u, point));
+    }
+    chosen.push_back(point);
+    Dfs(idx + 1, with);
+    chosen.pop_back();
+
+    // Exclude candidates[idx].
+    Dfs(idx + 1, sat);
+  }
+};
+
+}  // namespace
+
+Result<Selection> BranchAndBound(const RegretEvaluator& evaluator,
+                                 const BranchAndBoundOptions& options,
+                                 BranchAndBoundStats* stats) {
+  const size_t n = evaluator.num_points();
+  if (options.k == 0) return Status::InvalidArgument("k must be at least 1");
+  if (options.k > n) return Status::InvalidArgument("k exceeds database size");
+  if (stats != nullptr) *stats = BranchAndBoundStats{};
+
+  Search search(evaluator, options, stats);
+
+  // Branch on strong points first: ascending single-point arr.
+  search.candidates.resize(n);
+  std::iota(search.candidates.begin(), search.candidates.end(), 0);
+  std::vector<double> single_arr(n);
+  for (size_t p = 0; p < n; ++p) {
+    std::vector<size_t> single = {p};
+    single_arr[p] = evaluator.AverageRegretRatio(single);
+  }
+  std::sort(search.candidates.begin(), search.candidates.end(),
+            [&](size_t a, size_t b) {
+              if (single_arr[a] != single_arr[b]) {
+                return single_arr[a] < single_arr[b];
+              }
+              return a < b;
+            });
+
+  // Suffix maxima of utility over the branching order.
+  const UtilityMatrix& users = evaluator.users();
+  search.suffix_best.Reset(evaluator.num_users(), n + 1, 0.0);
+  for (size_t idx = n; idx-- > 0;) {
+    size_t point = search.candidates[idx];
+    for (size_t u = 0; u < evaluator.num_users(); ++u) {
+      search.suffix_best(u, idx) = std::max(
+          search.suffix_best(u, idx + 1), users.Utility(u, point));
+    }
+  }
+
+  // Seed the incumbent with GREEDY-SHRINK (usually already optimal).
+  GreedyShrinkOptions greedy_options;
+  greedy_options.k = options.k;
+  FAM_ASSIGN_OR_RETURN(Selection greedy,
+                       GreedyShrink(evaluator, greedy_options));
+  search.incumbent_arr = greedy.average_regret_ratio;
+  search.incumbent_set = greedy.indices;
+  if (stats != nullptr) stats->greedy_was_optimal = true;
+
+  std::vector<double> sat(evaluator.num_users(), 0.0);
+  search.Dfs(0, sat);
+  if (stats != nullptr) stats->nodes_visited = search.nodes_visited;
+  if (search.aborted) {
+    return Status::FailedPrecondition(
+        "branch and bound exceeded max_nodes");
+  }
+
+  Selection result;
+  result.indices = search.incumbent_set;
+  std::sort(result.indices.begin(), result.indices.end());
+  result.average_regret_ratio =
+      evaluator.AverageRegretRatio(result.indices);
+  return result;
+}
+
+}  // namespace fam

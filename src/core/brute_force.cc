@@ -1,0 +1,71 @@
+#include "core/brute_force.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace fam {
+
+uint64_t BinomialCoefficient(uint64_t n, uint64_t k) {
+  if (k > n) return 0;
+  k = std::min(k, n - k);
+  uint64_t result = 1;
+  for (uint64_t i = 1; i <= k; ++i) {
+    uint64_t factor = n - k + i;
+    // result = result * factor / i, guarding overflow.
+    if (result > std::numeric_limits<uint64_t>::max() / factor) {
+      return std::numeric_limits<uint64_t>::max();
+    }
+    result = result * factor / i;
+  }
+  return result;
+}
+
+Result<Selection> BruteForce(const RegretEvaluator& evaluator,
+                             const BruteForceOptions& options) {
+  const size_t n = evaluator.num_points();
+  const size_t k = options.k;
+  if (k == 0) return Status::InvalidArgument("k must be at least 1");
+  if (k > n) return Status::InvalidArgument("k exceeds database size");
+  uint64_t num_subsets = BinomialCoefficient(n, k);
+  if (num_subsets > options.max_subsets) {
+    return Status::FailedPrecondition(
+        "subset count exceeds BruteForceOptions::max_subsets");
+  }
+
+  // Enumerate k-combinations in lexicographic order; the first minimum
+  // encountered is therefore the lexicographically smallest arg-min.
+  std::vector<size_t> combo(k);
+  std::iota(combo.begin(), combo.end(), 0);
+  std::vector<size_t> best = combo;
+  double best_arr = evaluator.AverageRegretRatio(combo);
+
+  auto advance = [&]() -> bool {
+    // Standard next-combination: find the rightmost index that can move.
+    size_t i = k;
+    while (i > 0) {
+      --i;
+      if (combo[i] != i + n - k) {
+        ++combo[i];
+        for (size_t j = i + 1; j < k; ++j) combo[j] = combo[j - 1] + 1;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  while (advance()) {
+    double arr = evaluator.AverageRegretRatio(combo);
+    if (arr < best_arr) {
+      best_arr = arr;
+      best = combo;
+    }
+  }
+
+  Selection selection;
+  selection.indices = std::move(best);
+  selection.average_regret_ratio = best_arr;
+  return selection;
+}
+
+}  // namespace fam

@@ -1,0 +1,32 @@
+// Exact FAM solver by exhaustive enumeration of all C(n, k) subsets.
+//
+// Exponential; usable for n up to ~100 with small k (the paper's Fig. 8/9
+// setting). Serves as the optimality reference for GREEDY-SHRINK's empirical
+// approximation ratio.
+
+#ifndef FAM_CORE_BRUTE_FORCE_H_
+#define FAM_CORE_BRUTE_FORCE_H_
+
+#include "common/status.h"
+#include "regret/evaluator.h"
+#include "regret/selection.h"
+
+namespace fam {
+
+struct BruteForceOptions {
+  size_t k = 5;
+  /// Safety valve: fail instead of enumerating more than this many subsets.
+  uint64_t max_subsets = 500'000'000ULL;
+};
+
+/// Returns the subset of size k minimizing the evaluator's average regret
+/// ratio (lexicographically smallest among ties).
+Result<Selection> BruteForce(const RegretEvaluator& evaluator,
+                             const BruteForceOptions& options);
+
+/// Number of k-subsets of an n-set, saturating at UINT64_MAX on overflow.
+uint64_t BinomialCoefficient(uint64_t n, uint64_t k);
+
+}  // namespace fam
+
+#endif  // FAM_CORE_BRUTE_FORCE_H_

@@ -1,0 +1,130 @@
+#include "core/dp2d.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace fam {
+namespace {
+
+constexpr double kHalfPi = M_PI / 2.0;
+
+}  // namespace
+
+Result<Selection> SolveDp2d(const Dataset& dataset,
+                            const Angle2dEnvironment& env,
+                            const ArrIntervalOracle& oracle, size_t k) {
+  if (k == 0) return Status::InvalidArgument("k must be at least 1");
+  if (k > dataset.size()) {
+    return Status::InvalidArgument("k exceeds database size");
+  }
+  const size_t m = env.size();
+  const size_t k_eff = std::min(k, m);
+  const size_t sentinel = m;  // "no predecessor": θl = 0.
+
+  // memo[(r * m + j) * (m + 1) + prev]: minimal mass over [θl(prev,j), π/2]
+  // given p_j is selected and serves angles from θl upward, with r more
+  // points allowed after j. choice stores the next selected point
+  // (or -1 = j serves through π/2).
+  const size_t strata = k_eff;  // r ranges over [0, k_eff - 1]
+  std::vector<double> memo(strata * m * (m + 1),
+                           std::numeric_limits<double>::quiet_NaN());
+  std::vector<int32_t> choice(memo.size(), -1);
+  auto index = [m](size_t r, size_t j, size_t prev) {
+    return (r * m + j) * (m + 1) + prev;
+  };
+  auto theta_lo = [&](size_t prev, size_t j) {
+    return prev == sentinel ? 0.0 : env.SeparatingAngle(prev, j);
+  };
+
+  for (size_t r = 0; r < strata; ++r) {
+    for (size_t j = 0; j < m; ++j) {
+      for (size_t prev = 0; prev <= m; ++prev) {
+        if (prev != sentinel && prev >= j) continue;
+        double lo = theta_lo(prev, j);
+        size_t idx = index(r, j, prev);
+        // Option: p_j serves every remaining angle (paper's j = n + 1).
+        double best = oracle.IntervalMass(j, lo, kHalfPi);
+        int32_t best_choice = -1;
+        if (r > 0) {
+          for (size_t l = j + 1; l < m; ++l) {
+            double sep = env.SeparatingAngle(j, l);
+            if (sep < lo) continue;
+            double cand = oracle.IntervalMass(j, lo, sep) +
+                          memo[index(r - 1, l, j)];
+            if (cand < best) {
+              best = cand;
+              best_choice = static_cast<int32_t>(l);
+            }
+          }
+        }
+        memo[idx] = best;
+        choice[idx] = best_choice;
+      }
+    }
+  }
+
+  // Answer: min over starting points j of arr*(k_eff − 1, j, 0).
+  size_t best_start = 0;
+  double best_value = std::numeric_limits<double>::infinity();
+  for (size_t j = 0; j < m; ++j) {
+    double v = memo[index(k_eff - 1, j, sentinel)];
+    if (v < best_value) {
+      best_value = v;
+      best_start = j;
+    }
+  }
+
+  // Reconstruct the chosen chain.
+  std::vector<size_t> sorted_indices;
+  size_t r = k_eff - 1;
+  size_t j = best_start;
+  size_t prev = sentinel;
+  for (;;) {
+    sorted_indices.push_back(j);
+    int32_t next = choice[index(r, j, prev)];
+    if (next < 0) break;
+    FAM_CHECK(r > 0);
+    prev = j;
+    j = static_cast<size_t>(next);
+    --r;
+  }
+
+  Selection selection;
+  selection.indices.reserve(k);
+  for (size_t s : sorted_indices) {
+    selection.indices.push_back(env.original_index(s));
+  }
+  // Pad with the lowest-index unused points if k exceeds the chain length
+  // (adding points never increases arr).
+  if (selection.indices.size() < k) {
+    std::vector<uint8_t> used(dataset.size(), 0);
+    for (size_t idx : selection.indices) used[idx] = 1;
+    for (size_t p = 0; p < dataset.size() && selection.indices.size() < k;
+         ++p) {
+      if (!used[p]) selection.indices.push_back(p);
+    }
+  }
+  std::sort(selection.indices.begin(), selection.indices.end());
+  selection.average_regret_ratio = std::max(0.0, best_value);
+  return selection;
+}
+
+Result<Selection> SolveDp2dUniformAngle(const Dataset& dataset, size_t k) {
+  FAM_ASSIGN_OR_RETURN(Angle2dEnvironment env,
+                       Angle2dEnvironment::Build(dataset));
+  ClosedFormAngleOracle oracle(env);
+  return SolveDp2d(dataset, env, oracle, k);
+}
+
+Result<Selection> SolveDp2dOnSample(const Dataset& dataset,
+                                    const UtilityMatrix& users, size_t k) {
+  FAM_ASSIGN_OR_RETURN(Angle2dEnvironment env,
+                       Angle2dEnvironment::Build(dataset));
+  SampledAngleOracle oracle(env, users);
+  return SolveDp2d(dataset, env, oracle, k);
+}
+
+}  // namespace fam

@@ -1,0 +1,52 @@
+// DP-2D: the exact FAM solver for 2-dimensional databases under linear
+// utilities (paper Sec. IV).
+//
+// After reducing to the skyline sorted by descending first attribute, any
+// solution set partitions the utility-angle range [0, π/2] into consecutive
+// intervals, each served by one selected point; the boundaries are the
+// separating angles θ_{i,j} (Theorem 6). The DP minimizes
+//
+//   arr*(r, i, θl) = min_{j > i, θ_{i,j} >= θl}
+//       arr({p_i}, F_{θl}^{θ_{i,j}}) + arr*(r − 1, j, θ_{i,j})
+//
+// with base cases arr*(0, i, θl) = arr({p_i}, F_{θl}^{π/2}) and
+// arr*(r, i, π/2) = 0, and answers min_i arr*(k − 1, i, 0). Interval masses
+// come from an ArrIntervalOracle:
+//
+//   * ClosedFormAngleOracle — the optimum under the uniform-angle Θ,
+//     computed exactly (the paper's O(n⁴) exact algorithm; ours runs in
+//     O(k·m³) for a skyline of size m thanks to constant-time interval
+//     integration).
+//   * SampledAngleOracle — the optimum with respect to the same Monte Carlo
+//     sample used to score every other algorithm, enabling exact
+//     "arr / optimal" ratios (paper Fig. 1(b)).
+
+#ifndef FAM_CORE_DP2D_H_
+#define FAM_CORE_DP2D_H_
+
+#include "common/status.h"
+#include "regret/arr2d.h"
+#include "regret/selection.h"
+
+namespace fam {
+
+/// Solves FAM exactly for the given 2-D environment/oracle pair. Selected
+/// indices refer to the original dataset; if k exceeds the skyline size, the
+/// selection is padded with the lowest-index remaining points (padding never
+/// increases arr). `average_regret_ratio` is exact under the oracle's
+/// measure.
+Result<Selection> SolveDp2d(const Dataset& dataset,
+                            const Angle2dEnvironment& env,
+                            const ArrIntervalOracle& oracle, size_t k);
+
+/// Convenience: exact optimum under the uniform-angle distribution Θ.
+Result<Selection> SolveDp2dUniformAngle(const Dataset& dataset, size_t k);
+
+/// Convenience: optimum with respect to a fixed sampled user set (users must
+/// be 2-D linear, weighted mode).
+Result<Selection> SolveDp2dOnSample(const Dataset& dataset,
+                                    const UtilityMatrix& users, size_t k);
+
+}  // namespace fam
+
+#endif  // FAM_CORE_DP2D_H_

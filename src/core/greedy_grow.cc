@@ -1,0 +1,104 @@
+#include "core/greedy_grow.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace fam {
+namespace {
+
+/// arr(S) − arr(S ∪ {p}) given per-user current satisfactions.
+double Gain(const RegretEvaluator& evaluator, size_t p,
+            const std::vector<double>& sat) {
+  const UtilityMatrix& users = evaluator.users();
+  const std::vector<double>& weights = evaluator.user_weights();
+  double gain = 0.0;
+  for (size_t u = 0; u < evaluator.num_users(); ++u) {
+    double denom = evaluator.BestInDb(u);
+    if (denom <= 0.0) continue;
+    double improvement = users.Utility(u, p) - sat[u];
+    if (improvement > 0.0) gain += weights[u] * improvement / denom;
+  }
+  return gain;
+}
+
+void Apply(const RegretEvaluator& evaluator, size_t p,
+           std::vector<double>& sat) {
+  const UtilityMatrix& users = evaluator.users();
+  for (size_t u = 0; u < evaluator.num_users(); ++u) {
+    sat[u] = std::max(sat[u], users.Utility(u, p));
+  }
+}
+
+}  // namespace
+
+Result<Selection> GreedyGrow(const RegretEvaluator& evaluator,
+                             const GreedyGrowOptions& options) {
+  const size_t n = evaluator.num_points();
+  if (options.k == 0) return Status::InvalidArgument("k must be at least 1");
+  if (options.k > n) return Status::InvalidArgument("k exceeds database size");
+
+  std::vector<double> sat(evaluator.num_users(), 0.0);
+  std::vector<uint8_t> in_set(n, 0);
+  std::vector<size_t> selected;
+  selected.reserve(options.k);
+
+  if (!options.use_lazy_evaluation) {
+    while (selected.size() < options.k) {
+      size_t best = n;
+      double best_gain = -1.0;
+      for (size_t p = 0; p < n; ++p) {
+        if (in_set[p]) continue;
+        double gain = Gain(evaluator, p, sat);
+        if (gain > best_gain) {
+          best_gain = gain;
+          best = p;
+        }
+      }
+      FAM_CHECK(best < n);
+      in_set[best] = 1;
+      selected.push_back(best);
+      Apply(evaluator, best, sat);
+    }
+  } else {
+    // Lazy greedy: by supermodularity of arr, a candidate's gain only
+    // shrinks as S grows, so stale heap entries are upper bounds.
+    struct Entry {
+      double gain;
+      size_t point;
+      size_t stamp;
+      bool operator<(const Entry& other) const {
+        if (gain != other.gain) return gain < other.gain;
+        return point > other.point;  // prefer the smaller index on ties
+      }
+    };
+    std::priority_queue<Entry> heap;
+    for (size_t p = 0; p < n; ++p) {
+      heap.push({Gain(evaluator, p, sat), p, 0});
+    }
+    size_t round = 0;
+    while (selected.size() < options.k) {
+      FAM_CHECK(!heap.empty());
+      Entry top = heap.top();
+      heap.pop();
+      if (in_set[top.point]) continue;
+      if (top.stamp == round) {
+        in_set[top.point] = 1;
+        selected.push_back(top.point);
+        Apply(evaluator, top.point, sat);
+        ++round;
+        continue;
+      }
+      heap.push({Gain(evaluator, top.point, sat), top.point, round});
+    }
+  }
+
+  std::sort(selected.begin(), selected.end());
+  Selection result;
+  result.average_regret_ratio = evaluator.AverageRegretRatio(selected);
+  result.indices = std::move(selected);
+  return result;
+}
+
+}  // namespace fam

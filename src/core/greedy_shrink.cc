@@ -1,0 +1,355 @@
+#include "core/greedy_shrink.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+
+#include "common/logging.h"
+#include "geom/skyline.h"
+
+namespace fam {
+namespace {
+
+/// Shared incremental state for the cached (Improvement 1) modes: alive set,
+/// per-user best-point cache, and per-point buckets of users whose cached
+/// best point it is.
+class ShrinkState {
+ public:
+  explicit ShrinkState(const RegretEvaluator& evaluator)
+      : evaluator_(evaluator), users_(evaluator.users()) {
+    const size_t n = users_.num_points();
+    const size_t num_users = users_.num_users();
+    alive_.assign(n, 1);
+    alive_list_.resize(n);
+    std::iota(alive_list_.begin(), alive_list_.end(), 0);
+    pos_in_alive_.resize(n);
+    std::iota(pos_in_alive_.begin(), pos_in_alive_.end(), 0);
+    buckets_.assign(n, {});
+    best_point_.resize(num_users);
+    best_value_.resize(num_users);
+    for (size_t u = 0; u < num_users; ++u) {
+      size_t best = evaluator.BestPointInDb(u);
+      best_point_[u] = best;
+      best_value_[u] = evaluator.BestInDb(u);
+      buckets_[best].push_back(static_cast<uint32_t>(u));
+    }
+  }
+
+  size_t alive_count() const { return alive_list_.size(); }
+  const std::vector<size_t>& alive_list() const { return alive_list_; }
+  bool alive(size_t p) const { return alive_[p] != 0; }
+  double current_arr() const { return current_arr_; }
+  size_t bucket_size(size_t p) const { return buckets_[p].size(); }
+
+  /// arr(S − {p}) − arr(S). Only users whose cached best point is p are
+  /// re-scanned (Improvement 1).
+  double ComputeDelta(size_t p, GreedyShrinkStats* stats) {
+    double delta = 0.0;
+    const std::vector<double>& weights = evaluator_.user_weights();
+    for (uint32_t u : buckets_[p]) {
+      double denom = evaluator_.BestInDb(u);
+      if (denom <= 0.0) continue;
+      double second = SecondBest(u, p);
+      delta += weights[u] * (best_value_[u] - second) / denom;
+    }
+    if (stats != nullptr) {
+      ++stats->arr_evaluations;
+      stats->user_rescans += buckets_[p].size();
+      stats->user_rescans_possible += users_.num_users();
+    }
+    return std::max(0.0, delta);
+  }
+
+  /// Removes `p` from S, re-homing the users in its bucket. `delta` must be
+  /// the value ComputeDelta(p) returned against the current S.
+  void Remove(size_t p, double delta, GreedyShrinkStats* stats) {
+    FAM_DCHECK(alive(p));
+    // Kill p first so rescans ignore it.
+    alive_[p] = 0;
+    size_t pos = pos_in_alive_[p];
+    size_t last = alive_list_.back();
+    alive_list_[pos] = last;
+    pos_in_alive_[last] = pos;
+    alive_list_.pop_back();
+
+    for (uint32_t u : buckets_[p]) {
+      size_t new_best = 0;
+      double new_value = -1.0;
+      for (size_t q : alive_list_) {
+        double v = users_.Utility(u, q);
+        if (v > new_value) {
+          new_value = v;
+          new_best = q;
+        }
+      }
+      best_point_[u] = new_best;
+      best_value_[u] = std::max(0.0, new_value);
+      buckets_[new_best].push_back(u);
+    }
+    if (stats != nullptr) stats->user_rescans += buckets_[p].size();
+    buckets_[p].clear();
+    buckets_[p].shrink_to_fit();
+    current_arr_ += delta;
+  }
+
+ private:
+  /// Best utility of user `u` over the alive set excluding `p`.
+  double SecondBest(uint32_t u, size_t p) const {
+    double best = 0.0;
+    for (size_t q : alive_list_) {
+      if (q == p) continue;
+      best = std::max(best, users_.Utility(u, q));
+    }
+    return best;
+  }
+
+  const RegretEvaluator& evaluator_;
+  const UtilityMatrix& users_;
+  std::vector<uint8_t> alive_;
+  std::vector<size_t> alive_list_;
+  std::vector<size_t> pos_in_alive_;
+  std::vector<std::vector<uint32_t>> buckets_;
+  std::vector<size_t> best_point_;
+  std::vector<double> best_value_;
+  double current_arr_ = 0.0;
+};
+
+/// Reference implementation: no caching, every candidate evaluated from
+/// scratch every iteration (the paper's Algorithm 1 verbatim). O(N n³).
+Selection RunNaive(const RegretEvaluator& evaluator, size_t k,
+                   GreedyShrinkStats* stats) {
+  std::vector<size_t> current(evaluator.num_points());
+  std::iota(current.begin(), current.end(), 0);
+  std::vector<size_t> candidate;
+  while (current.size() > k) {
+    double best_arr = std::numeric_limits<double>::infinity();
+    size_t best_pos = 0;
+    for (size_t pos = 0; pos < current.size(); ++pos) {
+      candidate.clear();
+      for (size_t q = 0; q < current.size(); ++q) {
+        if (q != pos) candidate.push_back(current[q]);
+      }
+      double arr = evaluator.AverageRegretRatio(candidate);
+      if (stats != nullptr) {
+        ++stats->arr_evaluations;
+        stats->user_rescans += evaluator.num_users();
+        stats->user_rescans_possible += evaluator.num_users();
+      }
+      // Deterministic (value, index) tie-break.
+      if (arr < best_arr ||
+          (arr == best_arr && current[pos] < current[best_pos])) {
+        best_arr = arr;
+        best_pos = pos;
+      }
+    }
+    if (stats != nullptr) {
+      ++stats->evaluated_iterations;
+      stats->arr_evaluations_possible += current.size();
+    }
+    current.erase(current.begin() + static_cast<ptrdiff_t>(best_pos));
+  }
+  std::sort(current.begin(), current.end());
+  Selection selection;
+  selection.average_regret_ratio = evaluator.AverageRegretRatio(current);
+  selection.indices = std::move(current);
+  return selection;
+}
+
+/// Improvement 1 only: evaluate every alive candidate per iteration via
+/// cached deltas.
+Selection RunCached(const RegretEvaluator& evaluator, size_t k,
+                    GreedyShrinkStats* stats) {
+  ShrinkState state(evaluator);
+
+  // Free phase: points that are nobody's best point can be removed at zero
+  // cost, in ascending index order (they are all arg-mins with delta 0).
+  for (size_t p = 0; p < evaluator.num_points() && state.alive_count() > k;
+       ++p) {
+    if (state.alive(p) && state.bucket_size(p) == 0) {
+      state.Remove(p, 0.0, nullptr);
+      if (stats != nullptr) ++stats->free_removals;
+    }
+  }
+
+  while (state.alive_count() > k) {
+    double best_delta = std::numeric_limits<double>::infinity();
+    size_t best_point = 0;
+    // Iterate in ascending index order for the (value, index) tie-break.
+    std::vector<size_t> order(state.alive_list());
+    std::sort(order.begin(), order.end());
+    for (size_t p : order) {
+      double delta = state.ComputeDelta(p, stats);
+      if (delta < best_delta) {
+        best_delta = delta;
+        best_point = p;
+      }
+    }
+    if (stats != nullptr) {
+      ++stats->evaluated_iterations;
+      stats->arr_evaluations_possible += state.alive_count();
+    }
+    state.Remove(best_point, best_delta, stats);
+  }
+
+  Selection selection;
+  selection.indices = state.alive_list();
+  std::sort(selection.indices.begin(), selection.indices.end());
+  selection.average_regret_ratio =
+      evaluator.AverageRegretRatio(selection.indices);
+  return selection;
+}
+
+/// Improvements 1 + 2: lazy min-heap of evaluation values; stale values are
+/// lower bounds (Lemma 2), so a candidate that stays at the top of the heap
+/// after re-evaluation is the arg-min (Lemma 3).
+Selection RunLazy(const RegretEvaluator& evaluator, size_t k,
+                  GreedyShrinkStats* stats) {
+  ShrinkState state(evaluator);
+
+  for (size_t p = 0; p < evaluator.num_points() && state.alive_count() > k;
+       ++p) {
+    if (state.alive(p) && state.bucket_size(p) == 0) {
+      state.Remove(p, 0.0, nullptr);
+      if (stats != nullptr) ++stats->free_removals;
+    }
+  }
+
+  struct Entry {
+    double value;  // arr(S − {p}) at evaluation time (absolute, Lemma 2).
+    size_t point;
+    size_t stamp;  // iteration at which this value was computed
+    bool operator>(const Entry& other) const {
+      if (value != other.value) return value > other.value;
+      return point > other.point;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  std::vector<size_t> last_stamp(evaluator.num_points(), 0);
+
+  // Initial pass: evaluate everything once (the paper's sorted list L).
+  size_t iteration = 0;
+  if (state.alive_count() > k) {
+    for (size_t p : state.alive_list()) {
+      double delta = state.ComputeDelta(p, stats);
+      heap.push({state.current_arr() + delta, p, iteration});
+      last_stamp[p] = iteration;
+    }
+    if (stats != nullptr) {
+      ++stats->evaluated_iterations;
+      stats->arr_evaluations_possible += state.alive_count();
+    }
+  }
+
+  while (state.alive_count() > k) {
+    FAM_CHECK(!heap.empty()) << "lazy heap exhausted";
+    Entry top = heap.top();
+    heap.pop();
+    if (!state.alive(top.point)) continue;           // removed point
+    if (top.stamp != last_stamp[top.point]) continue;  // superseded entry
+    if (top.stamp == iteration) {
+      // Fresh for this iteration and still minimal: the arg-min (Lemma 3).
+      state.Remove(top.point, top.value - state.current_arr(), stats);
+      ++iteration;
+      if (state.alive_count() > k && stats != nullptr) {
+        ++stats->evaluated_iterations;
+        stats->arr_evaluations_possible += state.alive_count();
+      }
+      continue;
+    }
+    double delta = state.ComputeDelta(top.point, stats);
+    heap.push({state.current_arr() + delta, top.point, iteration});
+    last_stamp[top.point] = iteration;
+  }
+
+  Selection selection;
+  selection.indices = state.alive_list();
+  std::sort(selection.indices.begin(), selection.indices.end());
+  selection.average_regret_ratio =
+      evaluator.AverageRegretRatio(selection.indices);
+  return selection;
+}
+
+}  // namespace
+
+double GreedyShrinkStats::CandidateFraction() const {
+  if (arr_evaluations_possible == 0) return 0.0;
+  return static_cast<double>(arr_evaluations) /
+         static_cast<double>(arr_evaluations_possible);
+}
+
+double GreedyShrinkStats::UserFraction() const {
+  if (user_rescans_possible == 0) return 0.0;
+  return static_cast<double>(user_rescans) /
+         static_cast<double>(user_rescans_possible);
+}
+
+Result<Selection> GreedyShrinkOnSkyline(const Dataset& dataset,
+                                        const RegretEvaluator& evaluator,
+                                        const GreedyShrinkOptions& options,
+                                        GreedyShrinkStats* stats) {
+  if (evaluator.num_points() != dataset.size()) {
+    return Status::InvalidArgument("evaluator point count != dataset size");
+  }
+  if (options.k == 0) {
+    return Status::InvalidArgument("k must be at least 1");
+  }
+  if (options.k > dataset.size()) {
+    return Status::InvalidArgument("k exceeds database size");
+  }
+  std::vector<size_t> skyline = SkylineIndices(dataset);
+  if (skyline.size() <= options.k) {
+    // The whole skyline fits: take it and pad with low-index points.
+    Selection selection;
+    selection.indices = skyline;
+    std::vector<uint8_t> used(dataset.size(), 0);
+    for (size_t p : skyline) used[p] = 1;
+    for (size_t p = 0;
+         p < dataset.size() && selection.indices.size() < options.k; ++p) {
+      if (!used[p]) selection.indices.push_back(p);
+    }
+    std::sort(selection.indices.begin(), selection.indices.end());
+    selection.average_regret_ratio =
+        evaluator.AverageRegretRatio(selection.indices);
+    return selection;
+  }
+
+  RegretEvaluator restricted(
+      evaluator.users().RestrictToPoints(skyline), evaluator.user_weights());
+  FAM_ASSIGN_OR_RETURN(Selection local,
+                       GreedyShrink(restricted, options, stats));
+  Selection selection;
+  selection.indices.reserve(local.indices.size());
+  for (size_t idx : local.indices) selection.indices.push_back(skyline[idx]);
+  std::sort(selection.indices.begin(), selection.indices.end());
+  selection.average_regret_ratio =
+      evaluator.AverageRegretRatio(selection.indices);
+  return selection;
+}
+
+Result<Selection> GreedyShrink(const RegretEvaluator& evaluator,
+                               const GreedyShrinkOptions& options,
+                               GreedyShrinkStats* stats) {
+  const size_t n = evaluator.num_points();
+  if (options.k == 0) {
+    return Status::InvalidArgument("k must be at least 1");
+  }
+  if (options.k > n) {
+    return Status::InvalidArgument("k exceeds database size");
+  }
+  if (options.use_lazy_evaluation && !options.use_best_point_cache) {
+    return Status::InvalidArgument(
+        "lazy evaluation (Improvement 2) requires the best-point cache "
+        "(Improvement 1)");
+  }
+  if (stats != nullptr) *stats = GreedyShrinkStats{};
+  if (!options.use_best_point_cache) {
+    return RunNaive(evaluator, options.k, stats);
+  }
+  if (!options.use_lazy_evaluation) {
+    return RunCached(evaluator, options.k, stats);
+  }
+  return RunLazy(evaluator, options.k, stats);
+}
+
+}  // namespace fam

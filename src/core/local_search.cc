@@ -1,0 +1,110 @@
+#include "core/local_search.h"
+
+#include <algorithm>
+
+namespace fam {
+
+Result<Selection> LocalSearchRefine(const RegretEvaluator& evaluator,
+                                    const Selection& selection,
+                                    const LocalSearchOptions& options,
+                                    LocalSearchStats* stats) {
+  const size_t n = evaluator.num_points();
+  const size_t num_users = evaluator.num_users();
+  if (selection.indices.empty()) {
+    return Status::InvalidArgument("empty selection");
+  }
+  std::vector<uint8_t> in_set(n, 0);
+  for (size_t p : selection.indices) {
+    if (p >= n) return Status::OutOfRange("selection index out of range");
+    if (in_set[p]) {
+      return Status::InvalidArgument("duplicate selection index");
+    }
+    in_set[p] = 1;
+  }
+
+  const UtilityMatrix& users = evaluator.users();
+  const std::vector<double>& weights = evaluator.user_weights();
+  std::vector<size_t> current = selection.indices;
+  double current_arr = evaluator.AverageRegretRatio(current);
+  if (stats != nullptr) {
+    *stats = LocalSearchStats{};
+    stats->initial_arr = current_arr;
+  }
+
+  // Per-user best/second-best over the current set, refreshed per pass.
+  std::vector<double> best_value(num_users);
+  std::vector<double> second_value(num_users);
+  std::vector<size_t> best_member(num_users);  // position within `current`
+
+  size_t swaps = 0;
+  bool improved = true;
+  while (improved && swaps < options.max_swaps) {
+    improved = false;
+    if (stats != nullptr) ++stats->passes;
+
+    for (size_t u = 0; u < num_users; ++u) {
+      double first = -1.0, second = -1.0;
+      size_t arg = 0;
+      for (size_t pos = 0; pos < current.size(); ++pos) {
+        double v = users.Utility(u, current[pos]);
+        if (v > first) {
+          second = first;
+          first = v;
+          arg = pos;
+        } else if (v > second) {
+          second = v;
+        }
+      }
+      best_value[u] = std::max(0.0, first);
+      second_value[u] = std::max(0.0, second);
+      best_member[u] = arg;
+    }
+
+    double best_swap_arr = current_arr - options.min_improvement;
+    size_t best_out_pos = 0;
+    size_t best_in_point = n;
+
+    for (size_t pos = 0; pos < current.size(); ++pos) {
+      for (size_t a = 0; a < n; ++a) {
+        if (in_set[a]) continue;
+        double arr = 0.0;
+        for (size_t u = 0; u < num_users; ++u) {
+          double denom = evaluator.BestInDb(u);
+          if (denom <= 0.0) continue;
+          double base =
+              best_member[u] == pos ? second_value[u] : best_value[u];
+          double sat = std::max(base, users.Utility(u, a));
+          arr += weights[u] * (denom - std::min(sat, denom)) / denom;
+          if (arr >= best_swap_arr) break;  // cannot win; stop early
+        }
+        if (arr < best_swap_arr) {
+          best_swap_arr = arr;
+          best_out_pos = pos;
+          best_in_point = a;
+        }
+      }
+    }
+
+    if (best_in_point < n) {
+      in_set[current[best_out_pos]] = 0;
+      in_set[best_in_point] = 1;
+      current[best_out_pos] = best_in_point;
+      current_arr = best_swap_arr;
+      ++swaps;
+      improved = true;
+    }
+  }
+
+  std::sort(current.begin(), current.end());
+  Selection refined;
+  refined.indices = std::move(current);
+  refined.average_regret_ratio =
+      evaluator.AverageRegretRatio(refined.indices);
+  if (stats != nullptr) {
+    stats->swaps_applied = swaps;
+    stats->final_arr = refined.average_regret_ratio;
+  }
+  return refined;
+}
+
+}  // namespace fam

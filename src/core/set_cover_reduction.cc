@@ -1,0 +1,101 @@
+#include "core/set_cover_reduction.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace fam {
+
+Result<ReducedFamInstance> ReduceSetCoverToFam(
+    const SetCoverInstance& instance) {
+  const size_t num_elements = instance.universe_size;
+  const size_t num_subsets = instance.subsets.size();
+  if (num_elements == 0) {
+    return Status::InvalidArgument("empty universe");
+  }
+  if (num_subsets == 0) {
+    return Status::InvalidArgument("no subsets");
+  }
+
+  // Incidence structure: element -> subsets containing it (the paper's U_i).
+  std::vector<std::vector<size_t>> containing(num_elements);
+  for (size_t t = 0; t < num_subsets; ++t) {
+    for (size_t element : instance.subsets[t]) {
+      if (element >= num_elements) {
+        return Status::InvalidArgument(
+            StrPrintf("subset %zu references element %zu outside universe",
+                      t, element));
+      }
+      containing[element].push_back(t);
+    }
+  }
+  for (size_t e = 0; e < num_elements; ++e) {
+    if (containing[e].empty()) {
+      return Status::InvalidArgument(StrPrintf(
+          "element %zu appears in no subset (reduction precondition)", e));
+    }
+  }
+
+  // Points: the incidence vectors of the subsets.
+  Matrix points(num_subsets, num_elements, 0.0);
+  for (size_t t = 0; t < num_subsets; ++t) {
+    for (size_t element : instance.subsets[t]) points(t, element) = 1.0;
+  }
+
+  // Utility family F_i for element i: utility c = 1 for every point whose
+  // subset contains i, 0 elsewhere.
+  Matrix utilities(num_elements, num_subsets, 0.0);
+  for (size_t e = 0; e < num_elements; ++e) {
+    for (size_t t : containing[e]) utilities(e, t) = 1.0;
+  }
+
+  ReducedFamInstance reduced{
+      Dataset(std::move(points)),
+      DiscreteDistribution(std::move(utilities), {}),
+  };
+  return reduced;
+}
+
+bool IsSetCover(const SetCoverInstance& instance,
+                const std::vector<size_t>& chosen_subsets) {
+  std::vector<uint8_t> covered(instance.universe_size, 0);
+  for (size_t t : chosen_subsets) {
+    if (t >= instance.subsets.size()) return false;
+    for (size_t element : instance.subsets[t]) {
+      if (element < covered.size()) covered[element] = 1;
+    }
+  }
+  return std::all_of(covered.begin(), covered.end(),
+                     [](uint8_t c) { return c != 0; });
+}
+
+std::vector<size_t> GreedySetCover(const SetCoverInstance& instance) {
+  std::vector<uint8_t> covered(instance.universe_size, 0);
+  size_t remaining = instance.universe_size;
+  std::vector<size_t> chosen;
+  while (remaining > 0) {
+    size_t best_subset = instance.subsets.size();
+    size_t best_gain = 0;
+    for (size_t t = 0; t < instance.subsets.size(); ++t) {
+      size_t gain = 0;
+      for (size_t element : instance.subsets[t]) {
+        if (!covered[element]) ++gain;
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_subset = t;
+      }
+    }
+    if (best_subset == instance.subsets.size()) break;  // uncoverable
+    chosen.push_back(best_subset);
+    for (size_t element : instance.subsets[best_subset]) {
+      if (!covered[element]) {
+        covered[element] = 1;
+        --remaining;
+      }
+    }
+  }
+  return chosen;
+}
+
+}  // namespace fam

@@ -1,0 +1,55 @@
+// The Set Cover → FAM reduction behind the paper's NP-hardness proof
+// (Theorem 1 / Appendix D), implemented as executable code.
+//
+// Given a Set Cover instance (universe U, subset collection T), the
+// reduction builds a FAM instance with one database point per subset and,
+// for each universe element u_i, a family F_i of utility functions that
+// assign equal positive utility to exactly the points whose subsets contain
+// u_i. A k-point solution with average regret ratio 0 exists iff the Set
+// Cover instance has a cover of size <= k (Lemma 5/6), which the test suite
+// verifies on both satisfiable and unsatisfiable instances.
+
+#ifndef FAM_CORE_SET_COVER_REDUCTION_H_
+#define FAM_CORE_SET_COVER_REDUCTION_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "utility/distribution.h"
+
+namespace fam {
+
+/// A Set Cover instance: universe {0, .., universe_size-1} and subsets.
+struct SetCoverInstance {
+  size_t universe_size = 0;
+  std::vector<std::vector<size_t>> subsets;
+};
+
+/// The FAM instance produced by the reduction.
+struct ReducedFamInstance {
+  /// One point per subset; attribute j of point i is 1 if element j is in
+  /// subset i (the natural geometric embedding of the reduction).
+  Dataset dataset;
+  /// One utility function per universe element (the paper's F_i families,
+  /// with the scale constant c = 1), uniform probabilities.
+  DiscreteDistribution users;
+};
+
+/// Builds the FAM instance for `instance`. Fails when the universe is empty,
+/// a subset references an out-of-range element, or some element appears in
+/// no subset (the reduction's non-triviality precondition).
+Result<ReducedFamInstance> ReduceSetCoverToFam(
+    const SetCoverInstance& instance);
+
+/// True iff `chosen_subsets` covers the instance's universe.
+bool IsSetCover(const SetCoverInstance& instance,
+                const std::vector<size_t>& chosen_subsets);
+
+/// Greedy ln(n)-approximate set cover (for generating test instances with
+/// known satisfiability).
+std::vector<size_t> GreedySetCover(const SetCoverInstance& instance);
+
+}  // namespace fam
+
+#endif  // FAM_CORE_SET_COVER_REDUCTION_H_

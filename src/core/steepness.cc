@@ -1,0 +1,87 @@
+#include "core/steepness.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace fam {
+
+double SteepnessBound(double steepness) {
+  if (steepness >= 1.0) return std::numeric_limits<double>::infinity();
+  if (steepness <= 0.0) return 1.0;
+  double t = steepness / (1.0 - steepness);
+  return std::exp(t - 1.0) / t;
+}
+
+SteepnessReport ComputeSteepness(const RegretEvaluator& evaluator) {
+  const size_t n = evaluator.num_points();
+  const size_t num_users = evaluator.num_users();
+  const UtilityMatrix& users = evaluator.users();
+  const std::vector<double>& weights = evaluator.user_weights();
+
+  // Per-user best and second-best utility over the whole database: the
+  // leave-one-out term arr(D − {x}) only involves users whose favorite
+  // is x, for whom satisfaction drops to their second best.
+  std::vector<double> second_best(num_users, 0.0);
+  for (size_t u = 0; u < num_users; ++u) {
+    size_t best_point = evaluator.BestPointInDb(u);
+    double second = 0.0;
+    for (size_t p = 0; p < n; ++p) {
+      if (p == best_point) continue;
+      second = std::max(second, users.Utility(u, p));
+    }
+    second_best[u] = second;
+  }
+
+  // d(x, U) = arr(D − {x}) − arr(D), accumulated per favorite bucket.
+  // (On the evaluator's own sample arr(D) = 0, but we keep the subtraction
+  // structure explicit via the per-user difference form.)
+  std::vector<double> leave_one_out(n, 0.0);
+  for (size_t u = 0; u < num_users; ++u) {
+    double denom = evaluator.BestInDb(u);
+    if (denom <= 0.0) continue;
+    leave_one_out[evaluator.BestPointInDb(u)] +=
+        weights[u] * (denom - second_best[u]) / denom;
+  }
+
+  double arr_empty = evaluator.AverageRegretRatio({});
+
+  std::vector<size_t> favorite_count(n, 0);
+  for (size_t u = 0; u < num_users; ++u) {
+    ++favorite_count[evaluator.BestPointInDb(u)];
+  }
+
+  SteepnessReport report;
+  for (size_t x = 0; x < n; ++x) {
+    if (favorite_count[x] == 0) ++report.never_favorite_points;
+    // d(x, {x}) = arr(∅) − arr({x}).
+    double arr_single = 0.0;
+    for (size_t u = 0; u < num_users; ++u) {
+      double denom = evaluator.BestInDb(u);
+      if (denom <= 0.0) continue;
+      double rr = (denom - std::min(users.Utility(u, x), denom)) / denom;
+      arr_single += weights[u] * rr;
+    }
+    double d_single = arr_empty - arr_single;
+    if (d_single <= 0.0) continue;
+    double s = (d_single - leave_one_out[x]) / d_single;
+    if (s > report.steepness) {
+      report.steepness = s;
+      report.witness_point = x;
+    }
+    if (favorite_count[x] > 0) {
+      report.steepness_over_favorites =
+          std::max(report.steepness_over_favorites, s);
+    }
+  }
+  report.steepness = std::clamp(report.steepness, 0.0, 1.0);
+  report.steepness_over_favorites =
+      std::clamp(report.steepness_over_favorites, 0.0, 1.0);
+  report.t = report.steepness >= 1.0
+                 ? std::numeric_limits<double>::infinity()
+                 : report.steepness / (1.0 - report.steepness);
+  report.approximation_bound = SteepnessBound(report.steepness);
+  return report;
+}
+
+}  // namespace fam

@@ -1,0 +1,49 @@
+// Steepness of the average regret ratio and Theorem 3's approximation bound.
+//
+// Definition 8 (Il'ev 2001): for g : 2^U → R≥0 and d(x, X) = g(X − {x}) −
+// g(X), the steepness is s = max over x with d(x, {x}) > 0 of
+// (d(x, {x}) − d(x, U)) / d(x, {x}). For arr(·):
+//   d(x, {x}) = arr(∅) − arr({x}) = 1 − arr({x})   (arr(∅) = 1), and
+//   d(x, U)   = arr(D − {x}) − arr(D) = arr(D − {x})  (arr(D) = 0 on the
+//               evaluator's own sample).
+// Theorem 3 then bounds GREEDY-SHRINK's approximation ratio by e^{t−1}/t
+// with t = s/(1 − s). The paper notes the bound is loose (the empirical
+// ratio is ~1); this module makes that comparison executable.
+
+#ifndef FAM_CORE_STEEPNESS_H_
+#define FAM_CORE_STEEPNESS_H_
+
+#include "regret/evaluator.h"
+
+namespace fam {
+
+struct SteepnessReport {
+  /// Steepness s of arr on this instance, in [0, 1].
+  double steepness = 0.0;
+  /// The point attaining the maximum in Definition 8.
+  size_t witness_point = 0;
+  /// t = s / (1 − s); infinity when s = 1.
+  double t = 0.0;
+  /// Theorem 3 bound e^{t−1}/t on GREEDY-SHRINK's approximation ratio;
+  /// infinity when s = 1 (the bound degenerates, as the paper notes).
+  double approximation_bound = 0.0;
+  /// Diagnostic: any point that is nobody's favorite has d(x, U) = 0 and
+  /// forces s = 1 whenever it helps some user at all. This counts those
+  /// points, and `steepness_over_favorites` restricts Definition 8's max
+  /// to points that are at least one user's favorite — showing how steep
+  /// the function is away from the degenerate witnesses.
+  size_t never_favorite_points = 0;
+  double steepness_over_favorites = 0.0;
+};
+
+/// Computes the exact steepness of arr over the evaluator's user sample
+/// (O(n·N) utility evaluations: one single-point arr and one
+/// leave-one-out arr per point).
+SteepnessReport ComputeSteepness(const RegretEvaluator& evaluator);
+
+/// e^{t−1}/t for t = s/(1−s); infinity for s >= 1.
+double SteepnessBound(double steepness);
+
+}  // namespace fam
+
+#endif  // FAM_CORE_STEEPNESS_H_

@@ -1,0 +1,122 @@
+#include "data/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace fam {
+namespace {
+
+// Strips a single trailing '\r' (Windows line endings).
+std::string_view StripCr(std::string_view line) {
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  return line;
+}
+
+}  // namespace
+
+Result<Dataset> ReadCsvString(const std::string& text,
+                              const CsvOptions& options) {
+  std::vector<std::string> attribute_names;
+  std::vector<std::string> labels;
+  std::vector<std::vector<double>> rows;
+
+  std::istringstream stream(text);
+  std::string line;
+  size_t line_number = 0;
+  bool header_pending = options.has_header;
+  size_t expected_fields = 0;
+
+  while (std::getline(stream, line)) {
+    ++line_number;
+    std::string_view trimmed = Trim(StripCr(line));
+    if (trimmed.empty()) continue;
+    std::vector<std::string> fields =
+        Split(std::string(trimmed), options.delimiter);
+
+    if (header_pending) {
+      header_pending = false;
+      expected_fields = fields.size();
+      size_t start = options.first_column_is_label ? 1 : 0;
+      for (size_t i = start; i < fields.size(); ++i) {
+        attribute_names.emplace_back(Trim(fields[i]));
+      }
+      continue;
+    }
+
+    if (expected_fields == 0) {
+      expected_fields = fields.size();
+    } else if (fields.size() != expected_fields) {
+      return Status::InvalidArgument(
+          StrPrintf("line %zu: expected %zu fields, got %zu", line_number,
+                    expected_fields, fields.size()));
+    }
+
+    std::vector<double> row;
+    size_t start = 0;
+    if (options.first_column_is_label) {
+      labels.emplace_back(Trim(fields[0]));
+      start = 1;
+    }
+    row.reserve(fields.size() - start);
+    for (size_t i = start; i < fields.size(); ++i) {
+      Result<double> value = ParseDouble(fields[i]);
+      if (!value.ok()) {
+        return Status::InvalidArgument(
+            StrPrintf("line %zu, field %zu: ", line_number, i) +
+            value.status().message());
+      }
+      row.push_back(*value);
+    }
+    rows.push_back(std::move(row));
+  }
+
+  if (rows.empty()) {
+    return Status::InvalidArgument("CSV contains no data rows");
+  }
+  return Dataset(Matrix::FromRows(rows), std::move(attribute_names),
+                 std::move(labels));
+}
+
+Result<Dataset> ReadCsvFile(const std::string& path,
+                            const CsvOptions& options) {
+  std::ifstream file(path);
+  if (!file) return Status::IoError("cannot open file: " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ReadCsvString(buffer.str(), options);
+}
+
+std::string WriteCsvString(const Dataset& dataset, char delimiter) {
+  std::ostringstream out;
+  const bool has_labels = !dataset.labels().empty();
+  if (!dataset.attribute_names().empty()) {
+    if (has_labels) out << "label" << delimiter;
+    for (size_t c = 0; c < dataset.attribute_names().size(); ++c) {
+      if (c > 0) out << delimiter;
+      out << dataset.attribute_names()[c];
+    }
+    out << '\n';
+  }
+  for (size_t r = 0; r < dataset.size(); ++r) {
+    if (has_labels) out << dataset.labels()[r] << delimiter;
+    for (size_t c = 0; c < dataset.dimension(); ++c) {
+      if (c > 0) out << delimiter;
+      out << StrPrintf("%.17g", dataset.at(r, c));
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+Status WriteCsvFile(const Dataset& dataset, const std::string& path,
+                    char delimiter) {
+  std::ofstream file(path);
+  if (!file) return Status::IoError("cannot open file for write: " + path);
+  file << WriteCsvString(dataset, delimiter);
+  if (!file.good()) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace fam

@@ -1,0 +1,42 @@
+// CSV import/export for datasets.
+//
+// Format: optional header row of attribute names; if the first column is
+// non-numeric it is treated as the point label. Values are comma-separated.
+
+#ifndef FAM_DATA_CSV_H_
+#define FAM_DATA_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace fam {
+
+struct CsvOptions {
+  /// Whether the first row is a header of attribute names.
+  bool has_header = true;
+  /// Whether the first column holds point labels rather than values.
+  bool first_column_is_label = false;
+  char delimiter = ',';
+};
+
+/// Parses a dataset from CSV text.
+Result<Dataset> ReadCsvString(const std::string& text,
+                              const CsvOptions& options = {});
+
+/// Reads a dataset from a CSV file on disk.
+Result<Dataset> ReadCsvFile(const std::string& path,
+                            const CsvOptions& options = {});
+
+/// Serializes a dataset to CSV text (header + label column emitted when
+/// present in the dataset).
+std::string WriteCsvString(const Dataset& dataset, char delimiter = ',');
+
+/// Writes a dataset to a CSV file on disk.
+Status WriteCsvFile(const Dataset& dataset, const std::string& path,
+                    char delimiter = ',');
+
+}  // namespace fam
+
+#endif  // FAM_DATA_CSV_H_

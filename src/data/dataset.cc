@@ -1,0 +1,95 @@
+#include "data/dataset.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace fam {
+
+Dataset::Dataset(Matrix values, std::vector<std::string> attribute_names,
+                 std::vector<std::string> labels)
+    : values_(std::move(values)),
+      attribute_names_(std::move(attribute_names)),
+      labels_(std::move(labels)) {
+  FAM_CHECK(attribute_names_.empty() ||
+            attribute_names_.size() == values_.cols())
+      << "attribute name count mismatch";
+  FAM_CHECK(labels_.empty() || labels_.size() == values_.rows())
+      << "label count mismatch";
+}
+
+std::string Dataset::LabelOf(size_t i) const {
+  if (i < labels_.size()) return labels_[i];
+  return StrPrintf("p%zu", i);
+}
+
+Dataset Dataset::Subset(std::span<const size_t> indices) const {
+  Matrix sub(indices.size(), dimension());
+  std::vector<std::string> sub_labels;
+  if (!labels_.empty()) sub_labels.reserve(indices.size());
+  for (size_t r = 0; r < indices.size(); ++r) {
+    size_t src = indices[r];
+    FAM_CHECK(src < size()) << "subset index out of range: " << src;
+    for (size_t c = 0; c < dimension(); ++c) sub(r, c) = values_(src, c);
+    if (!labels_.empty()) sub_labels.push_back(labels_[src]);
+  }
+  return Dataset(std::move(sub), attribute_names_, std::move(sub_labels));
+}
+
+Dataset Dataset::Project(std::span<const size_t> columns) const {
+  Matrix proj(size(), columns.size());
+  std::vector<std::string> names;
+  if (!attribute_names_.empty()) names.reserve(columns.size());
+  for (size_t c = 0; c < columns.size(); ++c) {
+    FAM_CHECK(columns[c] < dimension())
+        << "projection column out of range: " << columns[c];
+    if (!attribute_names_.empty()) {
+      names.push_back(attribute_names_[columns[c]]);
+    }
+  }
+  for (size_t r = 0; r < size(); ++r) {
+    for (size_t c = 0; c < columns.size(); ++c) {
+      proj(r, c) = values_(r, columns[c]);
+    }
+  }
+  return Dataset(std::move(proj), std::move(names), labels_);
+}
+
+Dataset Dataset::NormalizeMinMax() const {
+  Matrix out = values_;
+  for (size_t c = 0; c < dimension(); ++c) {
+    double lo = values_(0, c);
+    double hi = values_(0, c);
+    for (size_t r = 1; r < size(); ++r) {
+      lo = std::min(lo, values_(r, c));
+      hi = std::max(hi, values_(r, c));
+    }
+    double span = hi - lo;
+    for (size_t r = 0; r < size(); ++r) {
+      out(r, c) = span > 0.0 ? (values_(r, c) - lo) / span : 0.0;
+    }
+  }
+  return Dataset(std::move(out), attribute_names_, labels_);
+}
+
+Status Dataset::Validate() const {
+  if (!attribute_names_.empty() &&
+      attribute_names_.size() != values_.cols()) {
+    return Status::InvalidArgument("attribute name count != dimension");
+  }
+  if (!labels_.empty() && labels_.size() != values_.rows()) {
+    return Status::InvalidArgument("label count != point count");
+  }
+  for (size_t r = 0; r < size(); ++r) {
+    for (size_t c = 0; c < dimension(); ++c) {
+      if (!std::isfinite(values_(r, c))) {
+        return Status::InvalidArgument(
+            StrPrintf("non-finite value at (%zu, %zu)", r, c));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace fam

@@ -1,0 +1,78 @@
+// Dataset: the database D of n points over d numeric attributes.
+//
+// All algorithms in fam treat a dataset as an n × d matrix of non-negative
+// attribute values where larger is better on every attribute (the standard
+// k-regret convention). `NormalizeMinMax` rescales raw data into [0, 1] per
+// attribute; the paper assumes utilities are at most 1, which holds for
+// normalized data under weight vectors in [0, 1]^d scaled appropriately.
+
+#ifndef FAM_DATA_DATASET_H_
+#define FAM_DATA_DATASET_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/status.h"
+
+namespace fam {
+
+/// An immutable-after-construction table of n points with d attributes, plus
+/// optional attribute names and per-point labels (e.g. player names).
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Takes ownership of `values` (n rows × d columns).
+  explicit Dataset(Matrix values) : values_(std::move(values)) {}
+
+  Dataset(Matrix values, std::vector<std::string> attribute_names,
+          std::vector<std::string> labels);
+
+  /// Number of points n.
+  size_t size() const { return values_.rows(); }
+  /// Dimensionality d.
+  size_t dimension() const { return values_.cols(); }
+  bool empty() const { return values_.rows() == 0; }
+
+  /// Row pointer for point `i`.
+  const double* point(size_t i) const { return values_.row(i); }
+  std::span<const double> row(size_t i) const { return values_.row_span(i); }
+  double at(size_t i, size_t j) const { return values_(i, j); }
+
+  const Matrix& values() const { return values_; }
+
+  /// Attribute names; empty if unnamed.
+  const std::vector<std::string>& attribute_names() const {
+    return attribute_names_;
+  }
+  /// Per-point labels; empty if unlabeled.
+  const std::vector<std::string>& labels() const { return labels_; }
+
+  /// Label for point `i`, or "p<i>" when unlabeled.
+  std::string LabelOf(size_t i) const;
+
+  /// Returns a new dataset restricted to the given point indices
+  /// (labels follow the points).
+  Dataset Subset(std::span<const size_t> indices) const;
+
+  /// Returns a new dataset keeping only the given attribute columns.
+  Dataset Project(std::span<const size_t> columns) const;
+
+  /// Rescales each attribute to [0, 1] via (x - min) / (max - min).
+  /// Constant columns map to 0. Returns the rescaled copy.
+  Dataset NormalizeMinMax() const;
+
+  /// Validates basic structural invariants (finite values, label/name sizes).
+  Status Validate() const;
+
+ private:
+  Matrix values_;
+  std::vector<std::string> attribute_names_;
+  std::vector<std::string> labels_;
+};
+
+}  // namespace fam
+
+#endif  // FAM_DATA_DATASET_H_

@@ -1,0 +1,154 @@
+#include "data/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace fam {
+namespace {
+
+double Clamp01(double x) { return std::clamp(x, 0.0, 1.0); }
+
+// Correlated points: a shared base level per point plus small per-attribute
+// jitter, so attribute values rise and fall together.
+void FillCorrelatedRow(Rng& rng, double* row, size_t d) {
+  double base = Clamp01(rng.Gaussian(0.5, 0.18));
+  for (size_t j = 0; j < d; ++j) {
+    row[j] = Clamp01(base + rng.Gaussian(0.0, 0.05));
+  }
+}
+
+// Anti-correlated points: values sum to roughly d/2 but individual
+// attributes trade off against each other, producing large skylines.
+// Follows the Börzsönyi et al. construction: pick a plane offset close to
+// 0.5, then redistribute mass between random attribute pairs.
+void FillAntiCorrelatedRow(Rng& rng, double* row, size_t d) {
+  double plane = Clamp01(rng.Gaussian(0.5, 0.06));
+  for (size_t j = 0; j < d; ++j) row[j] = plane;
+  // Redistribution passes: move mass from one attribute to another while
+  // keeping every value in [0, 1].
+  size_t passes = 2 * d;
+  for (size_t pass = 0; pass < passes; ++pass) {
+    size_t a = static_cast<size_t>(rng.NextBounded(d));
+    size_t b = static_cast<size_t>(rng.NextBounded(d));
+    if (a == b) continue;
+    double max_shift = std::min(row[a], 1.0 - row[b]);
+    double shift = rng.NextDouble() * max_shift;
+    row[a] -= shift;
+    row[b] += shift;
+  }
+}
+
+std::vector<std::string> NumberedNames(std::string_view prefix, size_t count) {
+  std::vector<std::string> names;
+  names.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    names.push_back(StrPrintf("%s%zu", std::string(prefix).c_str(), i));
+  }
+  return names;
+}
+
+// Builds a dataset from per-block correlation structure: attributes are
+// partitioned into blocks; attributes within a block share a latent factor
+// and blocks trade off against each other (anti-correlated latents).
+// This is the common shape of the paper's demographic/GIS datasets.
+Dataset GenerateBlockStructured(size_t n, size_t d, size_t num_blocks,
+                                double block_noise, uint64_t seed,
+                                std::string_view attr_prefix) {
+  FAM_CHECK(n > 0 && d > 0);
+  num_blocks = std::max<size_t>(1, std::min(num_blocks, d));
+  Rng rng(seed);
+  Matrix values(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    // Anti-correlated block latents: total "budget" split across blocks.
+    std::vector<double> latent(num_blocks);
+    FillAntiCorrelatedRow(rng, latent.data(), num_blocks);
+    for (size_t j = 0; j < d; ++j) {
+      size_t block = j % num_blocks;
+      values(i, j) = Clamp01(latent[block] + rng.Gaussian(0.0, block_noise));
+    }
+  }
+  return Dataset(std::move(values), NumberedNames(attr_prefix, d), {});
+}
+
+}  // namespace
+
+Dataset GenerateSynthetic(const SyntheticConfig& config) {
+  FAM_CHECK(config.n > 0 && config.d > 0);
+  Rng rng(config.seed);
+  Matrix values(config.n, config.d);
+  for (size_t i = 0; i < config.n; ++i) {
+    double* row = values.row(i);
+    switch (config.distribution) {
+      case SyntheticDistribution::kIndependent:
+        for (size_t j = 0; j < config.d; ++j) row[j] = rng.NextDouble();
+        break;
+      case SyntheticDistribution::kCorrelated:
+        FillCorrelatedRow(rng, row, config.d);
+        break;
+      case SyntheticDistribution::kAntiCorrelated:
+        FillAntiCorrelatedRow(rng, row, config.d);
+        break;
+    }
+  }
+  return Dataset(std::move(values), NumberedNames("attr", config.d), {});
+}
+
+Dataset GenerateNbaLike(size_t n, size_t d, uint64_t seed) {
+  FAM_CHECK(n > 0 && d >= 2);
+  Rng rng(seed);
+  // Five positional archetypes; each emphasizes a different stat block,
+  // mirroring guards / wings / bigs. Archetype affinity of attribute j for
+  // position p decays with circular distance between j's block and p.
+  constexpr size_t kPositions = 5;
+  Matrix values(n, d);
+  std::vector<std::string> labels;
+  labels.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    size_t position = static_cast<size_t>(rng.NextBounded(kPositions));
+    // Long-tailed overall skill: a few stars, many role players.
+    double skill = std::pow(rng.NextDouble(), 2.5);
+    for (size_t j = 0; j < d; ++j) {
+      size_t block = j % kPositions;
+      size_t dist = block >= position ? block - position : position - block;
+      dist = std::min(dist, kPositions - dist);  // circular distance
+      double affinity = 1.0 - 0.35 * static_cast<double>(dist);
+      double stat = skill * std::max(0.15, affinity) +
+                    rng.Gaussian(0.0, 0.06);
+      values(i, j) = Clamp01(stat);
+    }
+    labels.push_back(StrPrintf("Player_%03zu", i));
+  }
+  return Dataset(std::move(values), NumberedNames("stat", d),
+                 std::move(labels));
+}
+
+Dataset GenerateHouseholdLike(size_t n, uint64_t seed) {
+  return GenerateBlockStructured(n, 6, 3, 0.08, seed, "house");
+}
+
+Dataset GenerateForestCoverLike(size_t n, uint64_t seed) {
+  return GenerateBlockStructured(n, 11, 4, 0.10, seed, "cover");
+}
+
+Dataset GenerateCensusLike(size_t n, uint64_t seed) {
+  return GenerateBlockStructured(n, 10, 5, 0.07, seed, "census");
+}
+
+Dataset HotelExampleDataset() {
+  // Two generic quality attributes per hotel; the running example's utility
+  // structure comes from the explicit Table I matrix in utility/.
+  Matrix values = Matrix::FromRows({
+      {0.6, 0.5},  // Holiday Inn
+      {0.8, 0.6},  // Shangri-La
+      {0.5, 0.9},  // Intercontinental
+      {0.7, 0.8},  // Hilton
+  });
+  return Dataset(std::move(values), {"comfort", "location"},
+                 {"Holiday Inn", "Shangri-La", "Intercontinental", "Hilton"});
+}
+
+}  // namespace fam

@@ -1,0 +1,69 @@
+// Synthetic dataset generators.
+//
+// `GenerateSynthetic` follows the classic skyline-benchmark generator of
+// Börzsönyi, Kossmann and Stocker (ICDE 2001), which the paper cites as [4]
+// for its synthetic workloads: independent, correlated, and anti-correlated
+// attribute distributions over [0, 1]^d.
+//
+// The domain-shaped generators stand in for the paper's real datasets, which
+// are not redistributable offline (see DESIGN.md §7). Each one matches the
+// dimensionality of its namesake and reproduces the correlation structure the
+// FAM algorithms are sensitive to (skyline size, attribute skew):
+//   * NbaLike      — player stat lines with positional archetypes and a
+//                    long-tailed overall-skill factor.
+//   * HouseholdLike / ForestCoverLike / CensusLike — mixed correlated and
+//                    anti-correlated attribute blocks.
+//   * HotelExampleDataset — the four hotels of the paper's Table I.
+
+#ifndef FAM_DATA_GENERATOR_H_
+#define FAM_DATA_GENERATOR_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace fam {
+
+/// Attribute-correlation regimes of the Börzsönyi et al. generator.
+enum class SyntheticDistribution {
+  /// Attributes i.i.d. uniform in [0, 1].
+  kIndependent,
+  /// Points concentrated around the main diagonal (few skyline points).
+  kCorrelated,
+  /// Points concentrated around the anti-diagonal hyperplane
+  /// (many skyline points — the hard case for representative queries).
+  kAntiCorrelated,
+};
+
+struct SyntheticConfig {
+  size_t n = 10000;  ///< Number of points (paper default).
+  size_t d = 6;      ///< Dimensionality (paper default).
+  SyntheticDistribution distribution = SyntheticDistribution::kIndependent;
+  uint64_t seed = 42;
+};
+
+/// Generates a synthetic dataset with values in [0, 1]^d.
+Dataset GenerateSynthetic(const SyntheticConfig& config);
+
+/// NBA-like player statistics: `n` players × `d` stats, normalized to [0, 1].
+/// Defaults match the paper's survey dataset (664 players × 22 stats);
+/// Table IV's variant is (16915, 15).
+Dataset GenerateNbaLike(size_t n = 664, size_t d = 22, uint64_t seed = 7);
+
+/// Household-6d-like: 6 attributes, mixed correlation (paper n = 127,931).
+Dataset GenerateHouseholdLike(size_t n, uint64_t seed = 11);
+
+/// Forest-Cover-like: 11 attributes (paper n = 100,000).
+Dataset GenerateForestCoverLike(size_t n, uint64_t seed = 13);
+
+/// US-Census-like: 10 attributes (paper n = 100,000).
+Dataset GenerateCensusLike(size_t n, uint64_t seed = 17);
+
+/// The four hotels from the paper's running example (Table I). Attributes
+/// are two generic quality scores; the interesting structure lives in the
+/// explicit utility table, see `HotelExampleUtilityMatrix()` in utility/.
+Dataset HotelExampleDataset();
+
+}  // namespace fam
+
+#endif  // FAM_DATA_GENERATOR_H_

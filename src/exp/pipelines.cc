@@ -1,0 +1,52 @@
+#include "exp/pipelines.h"
+
+#include <utility>
+
+#include "common/rng.h"
+
+namespace fam {
+
+Result<RecommenderPipeline> BuildRecommenderPipeline(
+    const RecommenderPipelineConfig& config) {
+  Rng rng(config.seed);
+
+  // 1. Sparse ratings with planted low-rank structure.
+  RatingsConfig ratings_config;
+  ratings_config.num_users = config.num_users;
+  ratings_config.num_items = config.num_items;
+  ratings_config.latent_rank = config.latent_rank;
+  ratings_config.observed_fraction = config.observed_fraction;
+  std::vector<Rating> ratings = GenerateSyntheticRatings(ratings_config, rng);
+
+  // 2. Complete the matrix (biases off: the latent dot product itself is
+  //    the utility, as in the paper's "utility score of each user from
+  //    each data point").
+  MfOptions mf_options;
+  mf_options.rank = config.mf_rank;
+  mf_options.use_biases = false;
+  FAM_ASSIGN_OR_RETURN(
+      MatrixFactorizationModel model,
+      FitMatrixFactorization(ratings, config.num_users, config.num_items,
+                             mf_options, rng));
+
+  // 3. Fit the Gaussian mixture over user factor vectors.
+  GmmOptions gmm_options;
+  gmm_options.num_components = config.gmm_components;
+  FAM_ASSIGN_OR_RETURN(
+      GaussianMixtureModel gmm,
+      GaussianMixtureModel::Fit(model.user_factors(), gmm_options, rng));
+
+  RecommenderPipeline pipeline;
+  pipeline.train_rmse = model.Rmse(ratings);
+  pipeline.gmm_iterations = gmm.iterations();
+  // Items live in factor space: that geometry serves the skyline-based
+  // baselines, while Θ samples latent user vectors from the mixture.
+  pipeline.item_dataset = Dataset(model.item_factors());
+  pipeline.theta = std::make_shared<LatentLinearDistribution>(
+      model.item_factors(),
+      [gmm](Rng& sampler_rng) { return gmm.Sample(sampler_rng); },
+      "gmm-latent");
+  return pipeline;
+}
+
+}  // namespace fam

@@ -1,0 +1,86 @@
+#include "exp/runner.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "baselines/k_hit.h"
+#include "baselines/mrr_greedy.h"
+#include "baselines/sky_dom.h"
+#include "common/timer.h"
+#include "core/greedy_shrink.h"
+
+namespace fam {
+
+std::vector<AlgorithmSpec> StandardAlgorithms(bool sampled_mrr) {
+  std::vector<AlgorithmSpec> algorithms;
+  algorithms.push_back(
+      {"Greedy-Shrink",
+       [](const Dataset&, const RegretEvaluator& evaluator, size_t k) {
+         GreedyShrinkOptions options;
+         options.k = k;
+         return GreedyShrink(evaluator, options);
+       }});
+  algorithms.push_back(
+      {"MRR-Greedy",
+       [sampled_mrr](const Dataset& dataset,
+                     const RegretEvaluator& evaluator, size_t k) {
+         MrrGreedyOptions options;
+         options.k = k;
+         options.mode = sampled_mrr ? MrrGreedyMode::kSampled
+                                    : MrrGreedyMode::kAuto;
+         return MrrGreedy(dataset, evaluator, options);
+       }});
+  algorithms.push_back(
+      {"Sky-Dom",
+       [](const Dataset& dataset, const RegretEvaluator& evaluator,
+          size_t k) {
+         SkyDomOptions options;
+         options.k = k;
+         return SkyDom(dataset, evaluator, options);
+       }});
+  algorithms.push_back(
+      {"K-Hit",
+       [](const Dataset&, const RegretEvaluator& evaluator, size_t k) {
+         KHitOptions options;
+         options.k = k;
+         return KHit(evaluator, options);
+       }});
+  return algorithms;
+}
+
+std::vector<AlgorithmOutcome> RunAlgorithms(
+    const std::vector<AlgorithmSpec>& algorithms, const Dataset& dataset,
+    const RegretEvaluator& evaluator, size_t k) {
+  std::vector<AlgorithmOutcome> outcomes;
+  outcomes.reserve(algorithms.size());
+  for (const AlgorithmSpec& spec : algorithms) {
+    AlgorithmOutcome outcome;
+    outcome.name = spec.name;
+    Timer timer;
+    Result<Selection> result = spec.run(dataset, evaluator, k);
+    outcome.query_seconds = timer.ElapsedSeconds();
+    if (!result.ok()) {
+      outcome.ok = false;
+      outcome.error = result.status().ToString();
+    } else {
+      outcome.ok = true;
+      outcome.selection = std::move(result).value();
+      RegretDistribution dist =
+          evaluator.Distribution(outcome.selection.indices);
+      outcome.average_regret_ratio = dist.average;
+      outcome.stddev_regret_ratio = dist.stddev;
+    }
+    outcomes.push_back(std::move(outcome));
+  }
+  return outcomes;
+}
+
+bool FullScaleRequested(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) return true;
+  }
+  const char* env = std::getenv("FAM_BENCH_FULL");
+  return env != nullptr && std::strcmp(env, "1") == 0;
+}
+
+}  // namespace fam

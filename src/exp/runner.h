@@ -1,0 +1,57 @@
+// Experiment runner: the shared machinery behind every bench binary.
+//
+// Packages the paper's measurement methodology: every algorithm is scored
+// against the same sampled user population; reported "query time" excludes
+// preprocessing (sampling, best-point indexing), matching Sec. V's setup.
+
+#ifndef FAM_EXP_RUNNER_H_
+#define FAM_EXP_RUNNER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "regret/evaluator.h"
+#include "regret/selection.h"
+
+namespace fam {
+
+/// A named solver with the common (dataset, evaluator, k) -> Selection shape.
+struct AlgorithmSpec {
+  std::string name;
+  std::function<Result<Selection>(const Dataset&, const RegretEvaluator&,
+                                  size_t)>
+      run;
+};
+
+/// One algorithm's outcome on one workload configuration.
+struct AlgorithmOutcome {
+  std::string name;
+  Selection selection;
+  double query_seconds = 0.0;
+  double average_regret_ratio = 0.0;  ///< Re-scored on the shared sample.
+  double stddev_regret_ratio = 0.0;
+  bool ok = false;
+  std::string error;
+};
+
+/// The paper's four standing comparators: Greedy-Shrink, MRR-Greedy,
+/// Sky-Dom, K-Hit (in that order). `sampled_mrr` forces MRR-GREEDY's
+/// sampling engine (used for non-linear Θ or very large skylines).
+std::vector<AlgorithmSpec> StandardAlgorithms(bool sampled_mrr = false);
+
+/// Runs every algorithm on the workload, timing only the query phase and
+/// re-scoring all selections on the shared evaluator.
+std::vector<AlgorithmOutcome> RunAlgorithms(
+    const std::vector<AlgorithmSpec>& algorithms, const Dataset& dataset,
+    const RegretEvaluator& evaluator, size_t k);
+
+/// True when the bench was invoked with --full (or FAM_BENCH_FULL=1),
+/// requesting paper-scale workloads instead of CI-scale defaults.
+bool FullScaleRequested(int argc, char** argv);
+
+}  // namespace fam
+
+#endif  // FAM_EXP_RUNNER_H_

@@ -1,0 +1,78 @@
+#include "exp/table.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace fam {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  FAM_CHECK(cells.size() == headers_.size())
+      << "row width " << cells.size() << " != header width "
+      << headers_.size();
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::ToAligned() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) line += "  ";
+      line += row[c];
+      line.append(widths[c] - row[c].size(), ' ');
+    }
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line;
+  };
+  std::string out = render_row(headers_);
+  out += '\n';
+  size_t rule_len = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    rule_len += widths[c] + (c > 0 ? 2 : 0);
+  }
+  out.append(rule_len, '-');
+  out += '\n';
+  for (const auto& row : rows_) {
+    out += render_row(row);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Table::ToCsv(const std::string& line_prefix) const {
+  std::string out = line_prefix + Join(headers_, ",") + "\n";
+  for (const auto& row : rows_) {
+    out += line_prefix + Join(row, ",") + "\n";
+  }
+  return out;
+}
+
+void Table::Print(std::ostream& out) const {
+  out << ToAligned() << "\n" << ToCsv("csv,") << "\n";
+}
+
+std::string FormatFixed(double value, int precision) {
+  return StrPrintf("%.*f", precision, value);
+}
+
+std::string FormatSci(double value, int precision) {
+  return StrPrintf("%.*e", precision, value);
+}
+
+std::string FormatCount(uint64_t value) {
+  return StrPrintf("%llu", static_cast<unsigned long long>(value));
+}
+
+}  // namespace fam

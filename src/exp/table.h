@@ -1,0 +1,46 @@
+// Aligned-table and CSV output for experiment drivers.
+//
+// Every bench binary prints the paper's rows/series both as an aligned
+// human-readable table and as machine-readable CSV (prefixed "csv,").
+
+#ifndef FAM_EXP_TABLE_H_
+#define FAM_EXP_TABLE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fam {
+
+/// Column-aligned text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must match the header width.
+  void AddRow(std::vector<std::string> cells);
+
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Text rendering with padded columns.
+  std::string ToAligned() const;
+
+  /// CSV rendering (header + rows), each line prefixed with `line_prefix`.
+  std::string ToCsv(const std::string& line_prefix = "") const;
+
+  /// Writes the aligned table followed by the CSV block to `out`.
+  void Print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision formatting helpers for table cells.
+std::string FormatFixed(double value, int precision = 4);
+std::string FormatSci(double value, int precision = 2);
+std::string FormatCount(uint64_t value);
+
+}  // namespace fam
+
+#endif  // FAM_EXP_TABLE_H_

@@ -1,0 +1,54 @@
+// Umbrella header for the fam library: finding the average regret ratio
+// minimizing set in a database (Zeighami & Wong, ICDE 2019).
+//
+// Quick tour:
+//   Dataset data = GenerateSynthetic({.n = 10000, .d = 6});
+//   Rng rng(42);
+//   UniformLinearDistribution theta;
+//   RegretEvaluator evaluator(theta.Sample(data, 10000, rng));
+//   Result<Selection> s = GreedyShrink(evaluator, {.k = 10});
+//   // s->indices are the k points; s->average_regret_ratio their arr.
+
+#ifndef FAM_FAM_H_
+#define FAM_FAM_H_
+
+#include "baselines/k_hit.h"
+#include "baselines/mrr_greedy.h"
+#include "baselines/sky_dom.h"
+#include "common/flags.h"
+#include "common/logging.h"
+#include "common/matrix.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "core/branch_and_bound.h"
+#include "core/brute_force.h"
+#include "core/dp2d.h"
+#include "core/greedy_grow.h"
+#include "core/greedy_shrink.h"
+#include "core/local_search.h"
+#include "core/set_cover_reduction.h"
+#include "core/steepness.h"
+#include "data/csv.h"
+#include "data/dataset.h"
+#include "data/generator.h"
+#include "exp/pipelines.h"
+#include "exp/runner.h"
+#include "exp/table.h"
+#include "geom/dominance.h"
+#include "geom/skyline.h"
+#include "lp/simplex.h"
+#include "ml/gmm.h"
+#include "ml/kmeans.h"
+#include "ml/matrix_factorization.h"
+#include "regret/arr2d.h"
+#include "regret/evaluator.h"
+#include "regret/sample_size.h"
+#include "regret/selection.h"
+#include "utility/distribution.h"
+#include "utility/utility_matrix.h"
+
+#endif  // FAM_FAM_H_

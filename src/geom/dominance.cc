@@ -1,0 +1,47 @@
+#include "geom/dominance.h"
+
+namespace fam {
+
+bool Dominates(const double* a, const double* b, size_t d) {
+  bool strict = false;
+  for (size_t j = 0; j < d; ++j) {
+    if (a[j] < b[j]) return false;
+    if (a[j] > b[j]) strict = true;
+  }
+  return strict;
+}
+
+bool WeaklyDominates(const double* a, const double* b, size_t d) {
+  for (size_t j = 0; j < d; ++j) {
+    if (a[j] < b[j]) return false;
+  }
+  return true;
+}
+
+size_t CountDominated(const Dataset& dataset, size_t i) {
+  size_t count = 0;
+  const double* p = dataset.point(i);
+  for (size_t j = 0; j < dataset.size(); ++j) {
+    if (j == i) continue;
+    if (Dominates(p, dataset.point(j), dataset.dimension())) ++count;
+  }
+  return count;
+}
+
+std::vector<std::vector<uint32_t>> DominatedLists(
+    const Dataset& dataset, const std::vector<size_t>& candidates) {
+  std::vector<std::vector<uint32_t>> lists(candidates.size());
+  const size_t d = dataset.dimension();
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    const double* p = dataset.point(candidates[c]);
+    for (size_t j = 0; j < dataset.size(); ++j) {
+      if (j == candidates[c]) continue;
+      if (Dominates(p, dataset.point(j), d)) {
+        lists[c].push_back(static_cast<uint32_t>(j));
+      }
+    }
+  }
+  return lists;
+}
+
+}  // namespace fam

@@ -1,0 +1,31 @@
+// Pareto dominance tests (maximization convention: larger is better on
+// every attribute).
+
+#ifndef FAM_GEOM_DOMINANCE_H_
+#define FAM_GEOM_DOMINANCE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace fam {
+
+/// True iff `a` dominates `b`: a[j] >= b[j] for all j, with strict
+/// inequality in at least one attribute.
+bool Dominates(const double* a, const double* b, size_t d);
+
+/// True iff a[j] >= b[j] for all j (weak dominance).
+bool WeaklyDominates(const double* a, const double* b, size_t d);
+
+/// Number of points in `dataset` strictly dominated by point `i`.
+size_t CountDominated(const Dataset& dataset, size_t i);
+
+/// For each point index in `candidates`, the list of dataset point indices
+/// it strictly dominates. O(|candidates| * n * d).
+std::vector<std::vector<uint32_t>> DominatedLists(
+    const Dataset& dataset, const std::vector<size_t>& candidates);
+
+}  // namespace fam
+
+#endif  // FAM_GEOM_DOMINANCE_H_

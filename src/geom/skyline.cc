@@ -1,0 +1,87 @@
+#include "geom/skyline.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+#include "geom/dominance.h"
+
+namespace fam {
+
+std::vector<size_t> SkylineIndices(const Dataset& dataset) {
+  const size_t n = dataset.size();
+  const size_t d = dataset.dimension();
+  if (n == 0) return {};
+
+  // Sort-filter-skyline: in descending attribute-sum order, a point can only
+  // be (weakly) dominated by points that come before it, so one pass against
+  // the running skyline suffices.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> sums(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const double* p = dataset.point(i);
+    for (size_t j = 0; j < d; ++j) sums[i] += p[j];
+  }
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (sums[a] != sums[b]) return sums[a] > sums[b];
+    return a < b;
+  });
+
+  std::vector<size_t> skyline;
+  for (size_t idx : order) {
+    const double* p = dataset.point(idx);
+    bool covered = false;
+    for (size_t kept : skyline) {
+      if (WeaklyDominates(dataset.point(kept), p, d)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) skyline.push_back(idx);
+  }
+  std::sort(skyline.begin(), skyline.end());
+  return skyline;
+}
+
+std::vector<size_t> Skyline2d(const Dataset& dataset) {
+  FAM_CHECK(dataset.dimension() == 2) << "Skyline2d requires d = 2";
+  const size_t n = dataset.size();
+  if (n == 0) return {};
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (dataset.at(a, 0) != dataset.at(b, 0)) {
+      return dataset.at(a, 0) > dataset.at(b, 0);
+    }
+    if (dataset.at(a, 1) != dataset.at(b, 1)) {
+      return dataset.at(a, 1) > dataset.at(b, 1);
+    }
+    return a < b;
+  });
+
+  std::vector<size_t> skyline;
+  double best_y = -1.0;
+  for (size_t idx : order) {
+    double y = dataset.at(idx, 1);
+    if (y > best_y) {
+      skyline.push_back(idx);
+      best_y = y;
+    }
+  }
+  std::sort(skyline.begin(), skyline.end());
+  return skyline;
+}
+
+bool IsSkylinePoint(const Dataset& dataset, size_t i) {
+  const size_t d = dataset.dimension();
+  const double* p = dataset.point(i);
+  for (size_t j = 0; j < dataset.size(); ++j) {
+    if (j == i) continue;
+    if (Dominates(dataset.point(j), p, d)) return false;
+  }
+  return true;
+}
+
+}  // namespace fam

@@ -1,0 +1,33 @@
+// Skyline (Pareto-frontier) computation.
+//
+// The DP-2D exact algorithm and the SKY-DOM baseline both operate on the
+// skyline of the database; GREEDY-SHRINK's preprocessing can optionally
+// restrict the candidate pool to the skyline because removing a dominated
+// point never changes any user's best point.
+
+#ifndef FAM_GEOM_SKYLINE_H_
+#define FAM_GEOM_SKYLINE_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace fam {
+
+/// Indices of the skyline points of `dataset` (maximization convention),
+/// in ascending index order. Uses the sort-filter-skyline algorithm:
+/// points sorted by descending attribute sum, filtered against the running
+/// skyline window. Ties/duplicates: the first occurrence is kept, exact
+/// duplicates of a kept point are dropped.
+std::vector<size_t> SkylineIndices(const Dataset& dataset);
+
+/// Specialized O(n log n) skyline for 2-D datasets; equals SkylineIndices on
+/// d = 2 inputs but faster. Aborts if dimension != 2.
+std::vector<size_t> Skyline2d(const Dataset& dataset);
+
+/// True iff point `i` is on the skyline of `dataset`.
+bool IsSkylinePoint(const Dataset& dataset, size_t i);
+
+}  // namespace fam
+
+#endif  // FAM_GEOM_SKYLINE_H_

@@ -1,0 +1,228 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace fam {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/// Simplex tableau with an objective row, supporting Bland's rule pivoting.
+class Tableau {
+ public:
+  // `columns` excludes the rhs column.
+  Tableau(size_t rows, size_t columns)
+      : rows_(rows), columns_(columns), data_(rows + 1, columns + 1, 0.0) {}
+
+  double& at(size_t r, size_t c) { return data_(r, c); }
+  double& rhs(size_t r) { return data_(r, columns_); }
+  double& obj(size_t c) { return data_(rows_, c); }
+  double& obj_rhs() { return data_(rows_, columns_); }
+
+  size_t rows() const { return rows_; }
+  size_t columns() const { return columns_; }
+
+  void Pivot(size_t pivot_row, size_t pivot_col) {
+    double p = data_(pivot_row, pivot_col);
+    FAM_DCHECK(std::fabs(p) > kEps);
+    for (size_t c = 0; c <= columns_; ++c) data_(pivot_row, c) /= p;
+    for (size_t r = 0; r <= rows_; ++r) {
+      if (r == pivot_row) continue;
+      double factor = data_(r, pivot_col);
+      if (std::fabs(factor) < 1e-300) continue;
+      for (size_t c = 0; c <= columns_; ++c) {
+        data_(r, c) -= factor * data_(pivot_row, c);
+      }
+    }
+  }
+
+ private:
+  size_t rows_;
+  size_t columns_;
+  Matrix data_;
+};
+
+/// Runs simplex iterations with Bland's rule until optimal / unbounded /
+/// iteration limit. `eligible` marks columns allowed to enter the basis.
+LpStatus Iterate(Tableau& tableau, std::vector<size_t>& basis,
+                 const std::vector<uint8_t>& eligible,
+                 size_t max_iterations) {
+  for (size_t iter = 0; iter < max_iterations; ++iter) {
+    // Bland: entering column = smallest-index eligible column with a
+    // negative objective-row coefficient (we maximize; obj row holds
+    // z_j − c_j style reduced costs).
+    size_t entering = tableau.columns();
+    for (size_t c = 0; c < tableau.columns(); ++c) {
+      if (eligible[c] && tableau.obj(c) < -kEps) {
+        entering = c;
+        break;
+      }
+    }
+    if (entering == tableau.columns()) return LpStatus::kOptimal;
+
+    // Ratio test; Bland tie-break on the smallest leaving basis variable.
+    size_t leaving_row = tableau.rows();
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (size_t r = 0; r < tableau.rows(); ++r) {
+      double coeff = tableau.at(r, entering);
+      if (coeff > kEps) {
+        double ratio = tableau.rhs(r) / coeff;
+        if (ratio < best_ratio - kEps ||
+            (ratio < best_ratio + kEps &&
+             (leaving_row == tableau.rows() ||
+              basis[r] < basis[leaving_row]))) {
+          best_ratio = ratio;
+          leaving_row = r;
+        }
+      }
+    }
+    if (leaving_row == tableau.rows()) return LpStatus::kUnbounded;
+
+    tableau.Pivot(leaving_row, entering);
+    basis[leaving_row] = entering;
+  }
+  return LpStatus::kIterationLimit;
+}
+
+}  // namespace
+
+LpSolution SolveLp(const LpProblem& problem, size_t max_iterations) {
+  const size_t m = problem.constraints.rows();
+  const size_t n = problem.constraints.cols();
+  FAM_CHECK(problem.bounds.size() == m) << "bounds size mismatch";
+  FAM_CHECK(problem.objective.size() == n) << "objective size mismatch";
+  if (max_iterations == 0) max_iterations = 1000 * (m + n + 1);
+
+  LpSolution solution;
+  if (m == 0) {
+    // No constraints: optimum is 0 iff all objective coefficients <= 0.
+    bool unbounded = std::any_of(problem.objective.begin(),
+                                 problem.objective.end(),
+                                 [](double c) { return c > kEps; });
+    solution.status =
+        unbounded ? LpStatus::kUnbounded : LpStatus::kOptimal;
+    if (!unbounded) solution.x.assign(n, 0.0);
+    return solution;
+  }
+
+  // Columns: n structural + m slack + (phase 1) up to m artificial.
+  size_t num_artificial = 0;
+  for (double b : problem.bounds) {
+    if (b < 0.0) ++num_artificial;
+  }
+  const size_t total_cols = n + m + num_artificial;
+  Tableau tableau(m, total_cols);
+  std::vector<size_t> basis(m);
+
+  size_t artificial_cursor = n + m;
+  std::vector<size_t> artificial_cols;
+  for (size_t r = 0; r < m; ++r) {
+    double sign = problem.bounds[r] < 0.0 ? -1.0 : 1.0;
+    for (size_t c = 0; c < n; ++c) {
+      tableau.at(r, c) = sign * problem.constraints(r, c);
+    }
+    tableau.at(r, n + r) = sign;  // slack
+    tableau.rhs(r) = sign * problem.bounds[r];
+    if (sign < 0.0) {
+      tableau.at(r, artificial_cursor) = 1.0;
+      basis[r] = artificial_cursor;
+      artificial_cols.push_back(artificial_cursor);
+      ++artificial_cursor;
+    } else {
+      basis[r] = n + r;
+    }
+  }
+
+  std::vector<uint8_t> eligible(total_cols, 1);
+
+  if (num_artificial > 0) {
+    // Phase 1: maximize −Σ artificials. Objective row initialized by
+    // pricing out the basic artificial rows.
+    for (size_t col : artificial_cols) tableau.obj(col) = 1.0;
+    for (size_t r = 0; r < m; ++r) {
+      if (tableau.at(r, basis[r]) > 0.0 &&
+          std::find(artificial_cols.begin(), artificial_cols.end(),
+                    basis[r]) != artificial_cols.end()) {
+        for (size_t c = 0; c <= total_cols; ++c) {
+          double value = (c == total_cols) ? tableau.rhs(r)
+                                           : tableau.at(r, c);
+          if (c == total_cols) {
+            tableau.obj_rhs() -= value;
+          } else {
+            tableau.obj(c) -= value;
+          }
+        }
+      }
+    }
+    LpStatus phase1 = Iterate(tableau, basis, eligible, max_iterations);
+    if (phase1 == LpStatus::kIterationLimit) {
+      solution.status = phase1;
+      return solution;
+    }
+    // Infeasible when artificials retain positive total (obj_rhs = −Σ a).
+    if (tableau.obj_rhs() < -1e-7) {
+      solution.status = LpStatus::kInfeasible;
+      return solution;
+    }
+    // Drive any degenerate artificial out of the basis.
+    for (size_t r = 0; r < m; ++r) {
+      bool is_artificial =
+          std::find(artificial_cols.begin(), artificial_cols.end(),
+                    basis[r]) != artificial_cols.end();
+      if (!is_artificial) continue;
+      size_t pivot_col = total_cols;
+      for (size_t c = 0; c < n + m; ++c) {
+        if (std::fabs(tableau.at(r, c)) > kEps) {
+          pivot_col = c;
+          break;
+        }
+      }
+      if (pivot_col != total_cols) {
+        tableau.Pivot(r, pivot_col);
+        basis[r] = pivot_col;
+      }
+      // A fully zero row is redundant; leaving the artificial basic at
+      // zero is harmless because the column is now barred from entering.
+    }
+    for (size_t col : artificial_cols) eligible[col] = 0;
+    // Reset the objective row for phase 2.
+    for (size_t c = 0; c <= total_cols; ++c) {
+      if (c == total_cols) {
+        tableau.obj_rhs() = 0.0;
+      } else {
+        tableau.obj(c) = 0.0;
+      }
+    }
+  }
+
+  // Phase 2 objective row: −c priced out over the current basis.
+  for (size_t c = 0; c < n; ++c) tableau.obj(c) = -problem.objective[c];
+  for (size_t r = 0; r < m; ++r) {
+    if (basis[r] < n) {
+      double coeff = tableau.obj(basis[r]);
+      if (std::fabs(coeff) > 1e-300) {
+        for (size_t c = 0; c < total_cols; ++c) {
+          tableau.obj(c) -= coeff * tableau.at(r, c);
+        }
+        tableau.obj_rhs() -= coeff * tableau.rhs(r);
+      }
+    }
+  }
+
+  LpStatus phase2 = Iterate(tableau, basis, eligible, max_iterations);
+  solution.status = phase2;
+  if (phase2 != LpStatus::kOptimal) return solution;
+
+  solution.x.assign(n, 0.0);
+  for (size_t r = 0; r < m; ++r) {
+    if (basis[r] < n) solution.x[basis[r]] = tableau.rhs(r);
+  }
+  solution.objective = tableau.obj_rhs();
+  return solution;
+}
+
+}  // namespace fam

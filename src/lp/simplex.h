@@ -1,0 +1,46 @@
+// Dense two-phase primal simplex solver.
+//
+// Solves   maximize c·x   subject to   A x <= b,  x >= 0.
+//
+// Small and dependency-free; built for the max-regret-ratio linear programs
+// of the MRR-GREEDY baseline (Nanongkai et al., VLDB 2010), whose instances
+// have |S| + 2 constraints over d + 1 variables. Uses Bland's rule, so it
+// terminates on degenerate instances; equality constraints are expressed as
+// pairs of opposing inequalities by the caller.
+
+#ifndef FAM_LP_SIMPLEX_H_
+#define FAM_LP_SIMPLEX_H_
+
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace fam {
+
+/// maximize objective · x  s.t.  constraints x <= bounds, x >= 0.
+struct LpProblem {
+  Matrix constraints;            ///< m × n coefficient matrix A.
+  std::vector<double> bounds;    ///< length-m right-hand side b.
+  std::vector<double> objective; ///< length-n objective c.
+};
+
+enum class LpStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+};
+
+struct LpSolution {
+  LpStatus status = LpStatus::kIterationLimit;
+  double objective = 0.0;
+  std::vector<double> x;  ///< Primal solution (empty unless optimal).
+};
+
+/// Solves the LP. `max_iterations` of 0 means the default cap
+/// (1000 · (m + n)).
+LpSolution SolveLp(const LpProblem& problem, size_t max_iterations = 0);
+
+}  // namespace fam
+
+#endif  // FAM_LP_SIMPLEX_H_

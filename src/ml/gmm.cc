@@ -1,0 +1,196 @@
+#include "ml/gmm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "ml/kmeans.h"
+
+namespace fam {
+namespace {
+
+constexpr double kLogTwoPi = 1.8378770664093453;  // ln(2π)
+
+/// log N(x | mean, diag(var)) for one component.
+double LogGaussianDiag(std::span<const double> x, const double* mean,
+                       const double* var, size_t d) {
+  double acc = 0.0;
+  for (size_t j = 0; j < d; ++j) {
+    double diff = x[j] - mean[j];
+    acc += std::log(var[j]) + diff * diff / var[j];
+  }
+  return -0.5 * (static_cast<double>(d) * kLogTwoPi + acc);
+}
+
+double LogSumExp(const std::vector<double>& values) {
+  double max_value = *std::max_element(values.begin(), values.end());
+  if (!std::isfinite(max_value)) return max_value;
+  double sum = 0.0;
+  for (double v : values) sum += std::exp(v - max_value);
+  return max_value + std::log(sum);
+}
+
+}  // namespace
+
+GaussianMixtureModel::GaussianMixtureModel(std::vector<double> weights,
+                                           Matrix means, Matrix variances)
+    : weights_(std::move(weights)),
+      means_(std::move(means)),
+      variances_(std::move(variances)) {
+  FAM_CHECK(weights_.size() == means_.rows()) << "component count mismatch";
+  FAM_CHECK(means_.rows() == variances_.rows() &&
+            means_.cols() == variances_.cols())
+      << "mean/variance shape mismatch";
+  double total = 0.0;
+  for (double w : weights_) {
+    FAM_CHECK(w >= 0.0) << "negative mixing weight";
+    total += w;
+  }
+  FAM_CHECK(std::fabs(total - 1.0) < 1e-6)
+      << "mixing weights sum to " << total;
+  for (double v : variances_.data()) {
+    FAM_CHECK(v > 0.0) << "non-positive variance";
+  }
+}
+
+Result<GaussianMixtureModel> GaussianMixtureModel::Fit(
+    const Matrix& points, const GmmOptions& options, Rng& rng) {
+  const size_t n = points.rows();
+  const size_t d = points.cols();
+  const size_t k = options.num_components;
+  if (k == 0) return Status::InvalidArgument("num_components must be >= 1");
+  if (n < k) return Status::InvalidArgument("fewer points than components");
+
+  GaussianMixtureModel model;
+  model.weights_.assign(k, 1.0 / static_cast<double>(k));
+  model.variances_.Reset(k, d, 0.0);
+
+  // Initialize means from k-means and variances from the global spread.
+  KMeansOptions km_options;
+  km_options.num_clusters = k;
+  FAM_ASSIGN_OR_RETURN(KMeansResult km,
+                       KMeansCluster(points, km_options, rng));
+  model.means_ = std::move(km.centroids);
+
+  std::vector<double> global_var(d, 0.0);
+  std::vector<double> global_mean(d, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) global_mean[j] += points(i, j);
+  }
+  for (size_t j = 0; j < d; ++j) global_mean[j] /= static_cast<double>(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      double diff = points(i, j) - global_mean[j];
+      global_var[j] += diff * diff;
+    }
+  }
+  for (size_t j = 0; j < d; ++j) {
+    global_var[j] = std::max(global_var[j] / static_cast<double>(n),
+                             options.min_variance);
+  }
+  for (size_t c = 0; c < k; ++c) {
+    for (size_t j = 0; j < d; ++j) model.variances_(c, j) = global_var[j];
+  }
+
+  Matrix responsibilities(n, k);
+  std::vector<double> log_terms(k);
+  double previous_ll = -std::numeric_limits<double>::infinity();
+
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    model.iterations_ = iter + 1;
+
+    // E-step.
+    double total_ll = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t c = 0; c < k; ++c) {
+        log_terms[c] =
+            std::log(std::max(model.weights_[c], 1e-300)) +
+            LogGaussianDiag(points.row_span(i), model.means_.row(c),
+                            model.variances_.row(c), d);
+      }
+      double log_norm = LogSumExp(log_terms);
+      total_ll += log_norm;
+      for (size_t c = 0; c < k; ++c) {
+        responsibilities(i, c) = std::exp(log_terms[c] - log_norm);
+      }
+    }
+    double mean_ll = total_ll / static_cast<double>(n);
+
+    // M-step.
+    for (size_t c = 0; c < k; ++c) {
+      double resp_sum = 0.0;
+      for (size_t i = 0; i < n; ++i) resp_sum += responsibilities(i, c);
+      if (resp_sum < 1e-10) {
+        // Degenerate component: re-seed at a random point.
+        size_t pick = static_cast<size_t>(rng.NextBounded(n));
+        for (size_t j = 0; j < d; ++j) {
+          model.means_(c, j) = points(pick, j);
+          model.variances_(c, j) = global_var[j];
+        }
+        model.weights_[c] = 1.0 / static_cast<double>(n);
+        continue;
+      }
+      model.weights_[c] = resp_sum / static_cast<double>(n);
+      for (size_t j = 0; j < d; ++j) {
+        double mean_acc = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+          mean_acc += responsibilities(i, c) * points(i, j);
+        }
+        model.means_(c, j) = mean_acc / resp_sum;
+      }
+      for (size_t j = 0; j < d; ++j) {
+        double var_acc = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+          double diff = points(i, j) - model.means_(c, j);
+          var_acc += responsibilities(i, c) * diff * diff;
+        }
+        model.variances_(c, j) =
+            std::max(var_acc / resp_sum, options.min_variance);
+      }
+    }
+    // Renormalize weights (re-seeded components can perturb the sum).
+    double weight_sum = 0.0;
+    for (double w : model.weights_) weight_sum += w;
+    for (double& w : model.weights_) w /= weight_sum;
+
+    if (mean_ll - previous_ll < options.tolerance &&
+        std::isfinite(previous_ll)) {
+      break;
+    }
+    previous_ll = mean_ll;
+  }
+  return model;
+}
+
+std::vector<double> GaussianMixtureModel::Sample(Rng& rng) const {
+  size_t component = rng.Categorical(weights_);
+  std::vector<double> out(dimension());
+  for (size_t j = 0; j < dimension(); ++j) {
+    out[j] = rng.Gaussian(means_(component, j),
+                          std::sqrt(variances_(component, j)));
+  }
+  return out;
+}
+
+double GaussianMixtureModel::LogDensity(std::span<const double> point) const {
+  FAM_CHECK(point.size() == dimension()) << "dimension mismatch";
+  std::vector<double> log_terms(num_components());
+  for (size_t c = 0; c < num_components(); ++c) {
+    log_terms[c] = std::log(std::max(weights_[c], 1e-300)) +
+                   LogGaussianDiag(point, means_.row(c), variances_.row(c),
+                                   dimension());
+  }
+  return LogSumExp(log_terms);
+}
+
+double GaussianMixtureModel::MeanLogLikelihood(const Matrix& points) const {
+  FAM_CHECK(points.rows() > 0);
+  double total = 0.0;
+  for (size_t i = 0; i < points.rows(); ++i) {
+    total += LogDensity(points.row_span(i));
+  }
+  return total / static_cast<double>(points.rows());
+}
+
+}  // namespace fam

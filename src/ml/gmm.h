@@ -1,0 +1,72 @@
+// Gaussian mixture model with diagonal covariance, fit by EM.
+//
+// The paper learns the Yahoo!Music utility distribution with a multivariate
+// Gaussian mixture of 5 components over matrix-factorization utility
+// vectors (Sec. V-B2); this class provides that substrate: k-means++
+// initialization, EM with log-sum-exp responsibilities, and exact sampling.
+
+#ifndef FAM_ML_GMM_H_
+#define FAM_ML_GMM_H_
+
+#include <span>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace fam {
+
+struct GmmOptions {
+  size_t num_components = 5;  ///< The paper uses 5 mixture components.
+  size_t max_iterations = 200;
+  /// Converged when mean log-likelihood improves less than this.
+  double tolerance = 1e-6;
+  /// Variance floor to keep components non-degenerate.
+  double min_variance = 1e-6;
+};
+
+/// A fitted diagonal-covariance Gaussian mixture.
+class GaussianMixtureModel {
+ public:
+  /// Fits a mixture to the rows of `points` via EM. Fails when there are
+  /// fewer points than components.
+  static Result<GaussianMixtureModel> Fit(const Matrix& points,
+                                          const GmmOptions& options,
+                                          Rng& rng);
+
+  /// Constructs a mixture from explicit parameters (used by tests and for
+  /// defining ground-truth distributions). Weights must sum to ~1.
+  GaussianMixtureModel(std::vector<double> weights, Matrix means,
+                       Matrix variances);
+
+  size_t num_components() const { return weights_.size(); }
+  size_t dimension() const { return means_.cols(); }
+  const std::vector<double>& weights() const { return weights_; }
+  const Matrix& means() const { return means_; }
+  const Matrix& variances() const { return variances_; }
+
+  /// Draws one vector from the mixture.
+  std::vector<double> Sample(Rng& rng) const;
+
+  /// log p(point) under the mixture.
+  double LogDensity(std::span<const double> point) const;
+
+  /// Mean log-likelihood of the rows of `points`.
+  double MeanLogLikelihood(const Matrix& points) const;
+
+  /// EM iterations the fit used (0 for explicitly constructed models).
+  size_t iterations() const { return iterations_; }
+
+ private:
+  GaussianMixtureModel() = default;
+
+  std::vector<double> weights_;  ///< Mixing proportions, length K.
+  Matrix means_;                 ///< K × d component means.
+  Matrix variances_;             ///< K × d diagonal variances.
+  size_t iterations_ = 0;
+};
+
+}  // namespace fam
+
+#endif  // FAM_ML_GMM_H_

@@ -1,0 +1,112 @@
+#include "ml/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace fam {
+namespace {
+
+/// k-means++ seeding: each next center sampled proportionally to squared
+/// distance from the nearest existing center.
+Matrix SeedPlusPlus(const Matrix& points, size_t num_clusters, Rng& rng) {
+  const size_t n = points.rows();
+  const size_t d = points.cols();
+  Matrix centroids(num_clusters, d);
+
+  size_t first = static_cast<size_t>(rng.NextBounded(n));
+  for (size_t j = 0; j < d; ++j) centroids(0, j) = points(first, j);
+
+  std::vector<double> dist_sq(n);
+  for (size_t c = 1; c < num_clusters; ++c) {
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      for (size_t existing = 0; existing < c; ++existing) {
+        best = std::min(best, SquaredDistance(points.row_span(i),
+                                              centroids.row_span(existing)));
+      }
+      dist_sq[i] = best;
+      total += best;
+    }
+    size_t pick;
+    if (total <= 0.0) {
+      pick = static_cast<size_t>(rng.NextBounded(n));  // all points coincide
+    } else {
+      pick = rng.Categorical(dist_sq);
+    }
+    for (size_t j = 0; j < d; ++j) centroids(c, j) = points(pick, j);
+  }
+  return centroids;
+}
+
+}  // namespace
+
+Result<KMeansResult> KMeansCluster(const Matrix& points,
+                                   const KMeansOptions& options, Rng& rng) {
+  const size_t n = points.rows();
+  const size_t d = points.cols();
+  if (options.num_clusters == 0) {
+    return Status::InvalidArgument("num_clusters must be at least 1");
+  }
+  if (n < options.num_clusters) {
+    return Status::InvalidArgument("fewer points than clusters");
+  }
+
+  KMeansResult result;
+  result.centroids = SeedPlusPlus(points, options.num_clusters, rng);
+  result.assignments.assign(n, 0);
+
+  double previous_inertia = std::numeric_limits<double>::infinity();
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    // Assignment step.
+    double inertia = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      size_t best_cluster = 0;
+      for (size_t c = 0; c < options.num_clusters; ++c) {
+        double dist = SquaredDistance(points.row_span(i),
+                                      result.centroids.row_span(c));
+        if (dist < best) {
+          best = dist;
+          best_cluster = c;
+        }
+      }
+      result.assignments[i] = best_cluster;
+      inertia += best;
+    }
+    result.inertia = inertia;
+
+    // Update step.
+    Matrix sums(options.num_clusters, d, 0.0);
+    std::vector<size_t> counts(options.num_clusters, 0);
+    for (size_t i = 0; i < n; ++i) {
+      size_t c = result.assignments[i];
+      ++counts[c];
+      for (size_t j = 0; j < d; ++j) sums(c, j) += points(i, j);
+    }
+    for (size_t c = 0; c < options.num_clusters; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster at a random point.
+        size_t pick = static_cast<size_t>(rng.NextBounded(n));
+        for (size_t j = 0; j < d; ++j) {
+          result.centroids(c, j) = points(pick, j);
+        }
+        continue;
+      }
+      for (size_t j = 0; j < d; ++j) {
+        result.centroids(c, j) = sums(c, j) / static_cast<double>(counts[c]);
+      }
+    }
+
+    if (previous_inertia - inertia <=
+        options.tolerance * std::max(previous_inertia, 1e-12)) {
+      break;
+    }
+    previous_inertia = inertia;
+  }
+  return result;
+}
+
+}  // namespace fam

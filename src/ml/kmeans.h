@@ -1,0 +1,38 @@
+// Lloyd's k-means with k-means++ initialization.
+//
+// Substrate for the Gaussian-mixture fit (component initialization) used by
+// the paper's Yahoo!Music pipeline.
+
+#ifndef FAM_ML_KMEANS_H_
+#define FAM_ML_KMEANS_H_
+
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace fam {
+
+struct KMeansOptions {
+  size_t num_clusters = 5;
+  size_t max_iterations = 100;
+  /// Converged when relative inertia improvement falls below this.
+  double tolerance = 1e-6;
+};
+
+struct KMeansResult {
+  Matrix centroids;                  ///< num_clusters × d.
+  std::vector<size_t> assignments;   ///< Per-point cluster index.
+  double inertia = 0.0;              ///< Sum of squared distances.
+  size_t iterations = 0;
+};
+
+/// Clusters the rows of `points`. Fails when there are fewer points than
+/// clusters or num_clusters == 0.
+Result<KMeansResult> KMeansCluster(const Matrix& points,
+                                   const KMeansOptions& options, Rng& rng);
+
+}  // namespace fam
+
+#endif  // FAM_ML_KMEANS_H_

@@ -1,0 +1,157 @@
+#include "ml/matrix_factorization.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace fam {
+
+MatrixFactorizationModel::MatrixFactorizationModel(
+    Matrix user_factors, Matrix item_factors, std::vector<double> user_bias,
+    std::vector<double> item_bias, double global_mean)
+    : user_factors_(std::move(user_factors)),
+      item_factors_(std::move(item_factors)),
+      user_bias_(std::move(user_bias)),
+      item_bias_(std::move(item_bias)),
+      global_mean_(global_mean) {
+  FAM_CHECK(user_factors_.cols() == item_factors_.cols()) << "rank mismatch";
+  FAM_CHECK(user_bias_.size() == user_factors_.rows());
+  FAM_CHECK(item_bias_.size() == item_factors_.rows());
+}
+
+double MatrixFactorizationModel::Predict(size_t user, size_t item) const {
+  return global_mean_ + user_bias_[user] + item_bias_[item] +
+         Dot(user_factors_.row(user), item_factors_.row(item), rank());
+}
+
+double MatrixFactorizationModel::Rmse(
+    const std::vector<Rating>& ratings) const {
+  if (ratings.empty()) return 0.0;
+  double sum_sq = 0.0;
+  for (const Rating& r : ratings) {
+    double err = r.value - Predict(r.user, r.item);
+    sum_sq += err * err;
+  }
+  return std::sqrt(sum_sq / static_cast<double>(ratings.size()));
+}
+
+Matrix MatrixFactorizationModel::CompletedUtilities() const {
+  Matrix out(num_users(), num_items());
+  for (size_t u = 0; u < num_users(); ++u) {
+    for (size_t i = 0; i < num_items(); ++i) {
+      out(u, i) = std::max(0.0, Predict(u, i));
+    }
+  }
+  return out;
+}
+
+Result<MatrixFactorizationModel> FitMatrixFactorization(
+    const std::vector<Rating>& ratings, size_t num_users, size_t num_items,
+    const MfOptions& options, Rng& rng) {
+  if (ratings.empty()) return Status::InvalidArgument("no ratings");
+  if (options.rank == 0) return Status::InvalidArgument("rank must be >= 1");
+  for (const Rating& r : ratings) {
+    if (r.user >= num_users || r.item >= num_items) {
+      return Status::InvalidArgument("rating index out of range");
+    }
+  }
+
+  double global_mean = 0.0;
+  for (const Rating& r : ratings) global_mean += r.value;
+  global_mean /= static_cast<double>(ratings.size());
+
+  const size_t rank = options.rank;
+  Matrix user_factors(num_users, rank);
+  Matrix item_factors(num_items, rank);
+  const double init_scale = 0.1 / std::sqrt(static_cast<double>(rank));
+  for (double& v : user_factors.data()) v = rng.Gaussian(0.0, init_scale);
+  for (double& v : item_factors.data()) v = rng.Gaussian(0.0, init_scale);
+  std::vector<double> user_bias(num_users, 0.0);
+  std::vector<double> item_bias(num_items, 0.0);
+
+  std::vector<size_t> order(ratings.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  const double lr = options.learning_rate;
+  const double reg = options.regularization;
+  double previous_rmse = std::numeric_limits<double>::infinity();
+
+  for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(order);
+    double sum_sq = 0.0;
+    for (size_t idx : order) {
+      const Rating& r = ratings[idx];
+      double* pu = user_factors.row(r.user);
+      double* qi = item_factors.row(r.item);
+      double pred = global_mean + user_bias[r.user] + item_bias[r.item] +
+                    Dot(pu, qi, rank);
+      double err = r.value - pred;
+      sum_sq += err * err;
+      if (options.use_biases) {
+        user_bias[r.user] += lr * (err - reg * user_bias[r.user]);
+        item_bias[r.item] += lr * (err - reg * item_bias[r.item]);
+      }
+      for (size_t f = 0; f < rank; ++f) {
+        double pu_f = pu[f];
+        pu[f] += lr * (err * qi[f] - reg * pu_f);
+        qi[f] += lr * (err * pu_f - reg * qi[f]);
+      }
+    }
+    double rmse = std::sqrt(sum_sq / static_cast<double>(ratings.size()));
+    if (previous_rmse - rmse < options.tolerance) break;
+    previous_rmse = rmse;
+  }
+
+  return MatrixFactorizationModel(std::move(user_factors),
+                                  std::move(item_factors),
+                                  std::move(user_bias), std::move(item_bias),
+                                  global_mean);
+}
+
+std::vector<Rating> GenerateSyntheticRatings(const RatingsConfig& config,
+                                             Rng& rng) {
+  FAM_CHECK(config.num_users > 0 && config.num_items > 0);
+  FAM_CHECK(config.latent_rank > 0);
+  FAM_CHECK(config.observed_fraction > 0.0 &&
+            config.observed_fraction <= 1.0);
+
+  // Planted factors: non-negative user tastes, item qualities with genre
+  // structure so the completed matrix has realistic correlation.
+  Matrix true_users(config.num_users, config.latent_rank);
+  Matrix true_items(config.num_items, config.latent_rank);
+  for (double& v : true_users.data()) {
+    v = std::fabs(rng.Gaussian(0.3, 0.25));
+  }
+  for (size_t i = 0; i < config.num_items; ++i) {
+    size_t genre = static_cast<size_t>(rng.NextBounded(config.latent_rank));
+    for (size_t f = 0; f < config.latent_rank; ++f) {
+      double base = (f == genre) ? 0.8 : 0.15;
+      true_items(i, f) = std::max(0.0, rng.Gaussian(base, 0.15));
+    }
+  }
+
+  std::vector<Rating> ratings;
+  const auto expected =
+      static_cast<size_t>(config.observed_fraction *
+                          static_cast<double>(config.num_users) *
+                          static_cast<double>(config.num_items));
+  ratings.reserve(expected);
+  for (uint32_t u = 0; u < config.num_users; ++u) {
+    for (uint32_t i = 0; i < config.num_items; ++i) {
+      if (!rng.Bernoulli(config.observed_fraction)) continue;
+      double value = Dot(true_users.row(u), true_items.row(i),
+                         config.latent_rank) +
+                     rng.Gaussian(0.0, config.noise_stddev);
+      ratings.push_back({u, i, std::max(0.0, value)});
+    }
+  }
+  // Guarantee non-emptiness for tiny configurations.
+  if (ratings.empty()) {
+    ratings.push_back({0, 0, std::max(0.0, true_users(0, 0))});
+  }
+  return ratings;
+}
+
+}  // namespace fam

@@ -1,0 +1,223 @@
+#include "regret/arr2d.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+#include "geom/skyline.h"
+
+namespace fam {
+namespace {
+
+constexpr double kHalfPi = M_PI / 2.0;
+
+// ∫ (A cosθ + B sinθ)/(C cosθ + D sinθ) dθ over [a, b], via the standard
+// decomposition with α = (AC + BD)/(C² + D²), β = (AD − BC)/(C² + D²):
+// the antiderivative is α·θ + β·ln(C cosθ + D sinθ).
+double IntegralOfRatio(double A, double B, double C, double D, double a,
+                       double b) {
+  double denom = C * C + D * D;
+  FAM_DCHECK(denom > 0.0);
+  double alpha = (A * C + B * D) / denom;
+  double beta = (A * D - B * C) / denom;
+  auto eval = [&](double theta) {
+    double g = C * std::cos(theta) + D * std::sin(theta);
+    return alpha * theta + beta * std::log(std::max(g, 1e-300));
+  };
+  return eval(b) - eval(a);
+}
+
+}  // namespace
+
+Result<Angle2dEnvironment> Angle2dEnvironment::Build(const Dataset& dataset) {
+  if (dataset.dimension() != 2) {
+    return Status::InvalidArgument("Angle2dEnvironment requires d = 2");
+  }
+  if (dataset.empty()) {
+    return Status::InvalidArgument("empty dataset");
+  }
+  std::vector<size_t> sky = Skyline2d(dataset);
+  // Sort skyline by descending first attribute (paper Sec. IV convention).
+  std::sort(sky.begin(), sky.end(), [&](size_t a, size_t b) {
+    return dataset.at(a, 0) > dataset.at(b, 0);
+  });
+
+  Angle2dEnvironment env;
+  env.original_ = sky;
+  env.x_.reserve(sky.size());
+  env.y_.reserve(sky.size());
+  double max_coord = 0.0;
+  for (size_t idx : sky) {
+    double px = dataset.at(idx, 0);
+    double py = dataset.at(idx, 1);
+    if (px < 0.0 || py < 0.0) {
+      return Status::InvalidArgument(
+          "Angle2dEnvironment requires non-negative coordinates");
+    }
+    env.x_.push_back(px);
+    env.y_.push_back(py);
+    max_coord = std::max({max_coord, px, py});
+  }
+  if (max_coord <= 0.0) {
+    return Status::InvalidArgument("all points are the origin");
+  }
+
+  const size_t m = env.size();
+  env.env_lo_.assign(m, 0.0);
+  env.env_hi_.assign(m, kHalfPi);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t a = 0; a < i; ++a) {
+      env.env_lo_[i] = std::max(env.env_lo_[i], env.SeparatingAngle(a, i));
+    }
+    for (size_t b = i + 1; b < m; ++b) {
+      env.env_hi_[i] = std::min(env.env_hi_[i], env.SeparatingAngle(i, b));
+    }
+  }
+  return env;
+}
+
+double Angle2dEnvironment::SeparatingAngle(size_t i, size_t j) const {
+  FAM_DCHECK(i < j && j < size());
+  // On a deduplicated skyline sorted by descending x, x is strictly
+  // decreasing and y strictly increasing, so both atan2 arguments are > 0.
+  return std::atan2(x_[i] - x_[j], y_[j] - y_[i]);
+}
+
+size_t Angle2dEnvironment::BestPointAtAngle(double theta) const {
+  size_t best = 0;
+  double best_value = UtilityAt(0, theta);
+  for (size_t i = 1; i < size(); ++i) {
+    double v = UtilityAt(i, theta);
+    if (v > best_value) {
+      best_value = v;
+      best = i;
+    }
+  }
+  return best;
+}
+
+double Angle2dEnvironment::UtilityAt(size_t i, double theta) const {
+  return std::cos(theta) * x_[i] + std::sin(theta) * y_[i];
+}
+
+ClosedFormAngleOracle::ClosedFormAngleOracle(const Angle2dEnvironment& env)
+    : env_(env) {
+  for (size_t i = 0; i < env.size(); ++i) {
+    double lo = env.envelope_lo(i);
+    double hi = env.envelope_hi(i);
+    if (hi > lo) segments_.push_back({lo, hi, i});
+  }
+  std::sort(segments_.begin(), segments_.end(),
+            [](const Segment& a, const Segment& b) { return a.lo < b.lo; });
+}
+
+double ClosedFormAngleOracle::IntervalMass(size_t i, double lo,
+                                           double hi) const {
+  lo = std::max(lo, 0.0);
+  hi = std::min(hi, kHalfPi);
+  if (hi <= lo) return 0.0;
+  const double density = 1.0 / kHalfPi;
+  double mass = 0.0;
+  for (const Segment& seg : segments_) {
+    double a = std::max(lo, seg.lo);
+    double b = std::min(hi, seg.hi);
+    if (b <= a) continue;
+    if (seg.best == i) continue;  // rr of a point against itself is 0.
+    double ratio_integral =
+        IntegralOfRatio(env_.x(i), env_.y(i), env_.x(seg.best),
+                        env_.y(seg.best), a, b);
+    mass += std::max(0.0, (b - a) - ratio_integral);
+  }
+  return mass * density;
+}
+
+double ClosedFormAngleOracle::Measure(double lo, double hi) const {
+  lo = std::max(lo, 0.0);
+  hi = std::min(hi, kHalfPi);
+  return std::max(0.0, hi - lo) / kHalfPi;
+}
+
+SampledAngleOracle::SampledAngleOracle(const Angle2dEnvironment& env,
+                                       const UtilityMatrix& users) {
+  FAM_CHECK(users.is_weighted())
+      << "SampledAngleOracle requires weighted (linear) users";
+  const size_t num_users = users.num_users();
+  FAM_CHECK(num_users > 0);
+  FAM_CHECK(users.basis().cols() == 2)
+      << "SampledAngleOracle requires 2-D linear users";
+
+  // Sort users by utility angle.
+  std::vector<size_t> order(num_users);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> raw_angles(num_users);
+  for (size_t u = 0; u < num_users; ++u) {
+    std::span<const double> w = users.UserWeights(u);
+    raw_angles[u] =
+        std::clamp(std::atan2(std::max(w[1], 0.0), std::max(w[0], 0.0)),
+                   0.0, kHalfPi);
+  }
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return raw_angles[a] < raw_angles[b];
+  });
+  angles_.resize(num_users);
+  for (size_t k = 0; k < num_users; ++k) angles_[k] = raw_angles[order[k]];
+
+  const size_t m = env.size();
+  const double weight = 1.0 / static_cast<double>(num_users);
+
+  // sat(D, u): best utility over the skyline (== best over D for
+  // non-negative linear users).
+  std::vector<double> sat_db(num_users, 0.0);
+  for (size_t k = 0; k < num_users; ++k) {
+    size_t u = order[k];
+    std::span<const double> w = users.UserWeights(u);
+    double best = 0.0;
+    for (size_t i = 0; i < m; ++i) {
+      best = std::max(best, w[0] * env.x(i) + w[1] * env.y(i));
+    }
+    sat_db[k] = best;
+  }
+
+  prefix_.assign(m, std::vector<double>(num_users + 1, 0.0));
+  measure_prefix_.assign(num_users + 1, 0.0);
+  for (size_t k = 0; k < num_users; ++k) {
+    measure_prefix_[k + 1] = measure_prefix_[k] + weight;
+    size_t u = order[k];
+    std::span<const double> w = users.UserWeights(u);
+    for (size_t i = 0; i < m; ++i) {
+      double rr = 0.0;
+      if (sat_db[k] > 0.0) {
+        double sat =
+            std::max(0.0, w[0] * env.x(i) + w[1] * env.y(i));
+        rr = std::clamp((sat_db[k] - sat) / sat_db[k], 0.0, 1.0);
+      }
+      prefix_[i][k + 1] = prefix_[i][k] + weight * rr;
+    }
+  }
+}
+
+size_t SampledAngleOracle::LowerBound(double theta) const {
+  if (theta <= 0.0) return 0;
+  if (theta >= kHalfPi) return angles_.size();
+  return static_cast<size_t>(
+      std::lower_bound(angles_.begin(), angles_.end(), theta) -
+      angles_.begin());
+}
+
+double SampledAngleOracle::IntervalMass(size_t i, double lo,
+                                        double hi) const {
+  size_t a = LowerBound(lo);
+  size_t b = LowerBound(hi);
+  if (b <= a) return 0.0;
+  return prefix_[i][b] - prefix_[i][a];
+}
+
+double SampledAngleOracle::Measure(double lo, double hi) const {
+  size_t a = LowerBound(lo);
+  size_t b = LowerBound(hi);
+  if (b <= a) return 0.0;
+  return measure_prefix_[b] - measure_prefix_[a];
+}
+
+}  // namespace fam

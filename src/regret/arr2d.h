@@ -1,0 +1,132 @@
+// 2-D angle machinery for the exact dynamic program (paper Sec. IV).
+//
+// For a 2-D database under linear utilities f_θ(p) = cos(θ) p[1] +
+// sin(θ) p[2], every utility function is identified by its angle
+// θ ∈ [0, π/2]. After restricting to the skyline sorted by descending first
+// attribute, any two points p_i, p_j (i earlier, so x_i > x_j, y_i < y_j)
+// are separated by the angle θ_{i,j}: users with θ < θ_{i,j} prefer p_i,
+// users with θ > θ_{i,j} prefer p_j.
+//
+// `Angle2dEnvironment` precomputes the sorted skyline, separating angles,
+// and the best-point envelope of the database. `ArrIntervalOracle`
+// implementations integrate the regret ratio of a single point over an angle
+// interval — the quantity arr({p_i}, F_{θl}^{θu}) the DP consumes:
+//
+//   * ClosedFormAngleOracle — exact integration under the uniform-angle
+//     measure (Angle2dDistribution) using the antiderivative of
+//     (A cosθ + B sinθ)/(C cosθ + D sinθ); constant time per envelope
+//     segment, no sampling error.
+//   * SampledAngleOracle — integrates over an arbitrary *sampled* user set
+//     (any linear 2-D Θ) with per-point prefix sums over angle-sorted
+//     users; makes the DP optimal with respect to exactly the same Monte
+//     Carlo estimate all other algorithms are scored by.
+
+#ifndef FAM_REGRET_ARR2D_H_
+#define FAM_REGRET_ARR2D_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "utility/utility_matrix.h"
+
+namespace fam {
+
+/// Sorted-skyline geometry for a 2-D dataset.
+class Angle2dEnvironment {
+ public:
+  /// Builds the environment: skyline extraction, sort by descending first
+  /// attribute, envelope computation. Fails unless dimension == 2 and at
+  /// least one point has a positive coordinate.
+  static Result<Angle2dEnvironment> Build(const Dataset& dataset);
+
+  /// Number of skyline points m.
+  size_t size() const { return x_.size(); }
+
+  /// Original dataset index of sorted skyline point `i`.
+  size_t original_index(size_t i) const { return original_[i]; }
+
+  double x(size_t i) const { return x_[i]; }
+  double y(size_t i) const { return y_[i]; }
+
+  /// Separating angle θ_{i,j} for sorted indices i < j (aborts otherwise):
+  /// utilities with angle above it strictly prefer p_j.
+  double SeparatingAngle(size_t i, size_t j) const;
+
+  /// Best-point envelope: skyline point `i` is the database's best point
+  /// exactly for angles in [envelope_lo(i), envelope_hi(i)]; an empty
+  /// interval (lo > hi) means the point is never best.
+  double envelope_lo(size_t i) const { return env_lo_[i]; }
+  double envelope_hi(size_t i) const { return env_hi_[i]; }
+
+  /// The database's best point at angle θ (sorted index).
+  size_t BestPointAtAngle(double theta) const;
+
+  /// Utility of sorted point `i` under angle θ.
+  double UtilityAt(size_t i, double theta) const;
+
+ private:
+  std::vector<size_t> original_;
+  std::vector<double> x_;
+  std::vector<double> y_;
+  std::vector<double> env_lo_;
+  std::vector<double> env_hi_;
+};
+
+/// Integrates rr({p_i}, f) over angle intervals; see file comment.
+class ArrIntervalOracle {
+ public:
+  virtual ~ArrIntervalOracle() = default;
+
+  /// ∫_{[lo, hi]} rr({p_i}, f_θ) dμ(θ) where μ is the (normalized) user
+  /// measure; additive across adjacent intervals. `i` is a sorted skyline
+  /// index of the environment the oracle was built for.
+  virtual double IntervalMass(size_t i, double lo, double hi) const = 0;
+
+  /// Total user measure in [lo, hi] (μ of the interval).
+  virtual double Measure(double lo, double hi) const = 0;
+};
+
+/// Exact closed-form oracle under the uniform-angle measure.
+class ClosedFormAngleOracle : public ArrIntervalOracle {
+ public:
+  explicit ClosedFormAngleOracle(const Angle2dEnvironment& env);
+
+  double IntervalMass(size_t i, double lo, double hi) const override;
+  double Measure(double lo, double hi) const override;
+
+ private:
+  const Angle2dEnvironment& env_;
+  // Envelope segments (angle ranges with a fixed best point), ascending.
+  struct Segment {
+    double lo;
+    double hi;
+    size_t best;  // sorted skyline index
+  };
+  std::vector<Segment> segments_;
+};
+
+/// Monte-Carlo-consistent oracle over a fixed sampled user set.
+class SampledAngleOracle : public ArrIntervalOracle {
+ public:
+  /// `users` must be in weighted mode over a 2-D basis (linear 2-D
+  /// utilities); weights beyond the user sample are uniform 1/N.
+  SampledAngleOracle(const Angle2dEnvironment& env,
+                     const UtilityMatrix& users);
+
+  double IntervalMass(size_t i, double lo, double hi) const override;
+  double Measure(double lo, double hi) const override;
+
+ private:
+  // Users sorted by angle; prefix[i][k] = Σ over first k sorted users of
+  // weight * rr({p_i}, user); measure_prefix[k] = Σ weights.
+  std::vector<double> angles_;
+  std::vector<std::vector<double>> prefix_;
+  std::vector<double> measure_prefix_;
+
+  size_t LowerBound(double theta) const;
+};
+
+}  // namespace fam
+
+#endif  // FAM_REGRET_ARR2D_H_

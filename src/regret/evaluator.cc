@@ -1,0 +1,82 @@
+#include "regret/evaluator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/parallel.h"
+#include "common/stats.h"
+
+namespace fam {
+
+double RegretDistribution::PercentileRr(double pct) const {
+  std::vector<double> sorted = regret_ratios;
+  std::sort(sorted.begin(), sorted.end());
+  return PercentileSorted(sorted, pct);
+}
+
+RegretEvaluator::RegretEvaluator(UtilityMatrix users,
+                                 std::vector<double> user_weights)
+    : users_(std::move(users)), user_weights_(std::move(user_weights)) {
+  const size_t num_users = users_.num_users();
+  FAM_CHECK(num_users > 0) << "evaluator needs at least one user";
+  if (user_weights_.empty()) {
+    user_weights_.assign(num_users, 1.0 / static_cast<double>(num_users));
+  }
+  FAM_CHECK(user_weights_.size() == num_users)
+      << "user weight count mismatch";
+
+  best_in_db_value_.resize(num_users);
+  best_in_db_point_.resize(num_users);
+  // The O(N·n) preprocessing of Sec. III-D2; each user's slot is written
+  // by exactly one chunk, so the parallel run is deterministic.
+  ParallelFor(num_users, 0, [this](size_t begin, size_t end) {
+    for (size_t u = begin; u < end; ++u) {
+      size_t best = users_.BestPoint(u);
+      best_in_db_point_[u] = best;
+      best_in_db_value_[u] = users_.Utility(u, best);
+    }
+  });
+}
+
+double RegretEvaluator::RegretRatio(size_t user,
+                                    std::span<const size_t> subset) const {
+  double denom = best_in_db_value_[user];
+  if (denom <= 0.0) return 0.0;  // Indifferent user (Definition convention).
+  double sat = users_.BestUtilityIn(user, subset);
+  double rr = (denom - sat) / denom;
+  // Guard floating-point noise; rr is in [0, 1] by construction.
+  return std::clamp(rr, 0.0, 1.0);
+}
+
+double RegretEvaluator::AverageRegretRatio(
+    std::span<const size_t> subset) const {
+  double total = 0.0;
+  for (size_t u = 0; u < num_users(); ++u) {
+    total += user_weights_[u] * RegretRatio(u, subset);
+  }
+  return total;
+}
+
+RegretDistribution RegretEvaluator::Distribution(
+    std::span<const size_t> subset) const {
+  RegretDistribution dist;
+  dist.regret_ratios.resize(num_users());
+  double mean = 0.0;
+  for (size_t u = 0; u < num_users(); ++u) {
+    double rr = RegretRatio(u, subset);
+    dist.regret_ratios[u] = rr;
+    mean += user_weights_[u] * rr;
+  }
+  dist.average = mean;
+  double var = 0.0;
+  for (size_t u = 0; u < num_users(); ++u) {
+    double d = dist.regret_ratios[u] - mean;
+    var += user_weights_[u] * d * d;
+  }
+  dist.variance = var;
+  dist.stddev = std::sqrt(var);
+  return dist;
+}
+
+}  // namespace fam

@@ -1,0 +1,74 @@
+// RegretEvaluator: computes (estimated) average regret ratio and related
+// statistics for candidate solution sets.
+//
+// Implements Eq. (1) of the paper: given the N sampled utility functions
+// F_N, arr(S) = (1/N) Σ_{f∈F_N} (max_{p∈D} f(p) − max_{p∈S} f(p)) /
+// max_{p∈D} f(p). Per-user probabilities generalize this to weighted
+// populations, which makes the evaluator exact for countably finite F
+// (Appendix A) when fed `DiscreteDistribution::ExactUsers()`.
+//
+// Convention: a user whose best utility over the whole database is 0 is
+// indifferent to everything; their regret ratio is defined as 0.
+
+#ifndef FAM_REGRET_EVALUATOR_H_
+#define FAM_REGRET_EVALUATOR_H_
+
+#include <span>
+#include <vector>
+
+#include "utility/utility_matrix.h"
+
+namespace fam {
+
+/// Distributional statistics of the regret ratio over the user population.
+struct RegretDistribution {
+  double average = 0.0;   ///< arr(S) (Definition 4).
+  double variance = 0.0;  ///< vrr(S) (Definition 5).
+  double stddev = 0.0;
+  /// Per-user regret ratios (aligned with evaluator user indices).
+  std::vector<double> regret_ratios;
+
+  /// Regret ratio at the given user percentile (0..100), matching the
+  /// paper's Fig. 3/11/12 "Users Percentile" plots.
+  double PercentileRr(double pct) const;
+};
+
+/// Evaluates regret statistics for subsets of the database against a fixed
+/// user sample (or exact finite population).
+class RegretEvaluator {
+ public:
+  /// `user_weights` are per-user probabilities; empty means uniform 1/N.
+  explicit RegretEvaluator(UtilityMatrix users,
+                           std::vector<double> user_weights = {});
+
+  size_t num_users() const { return users_.num_users(); }
+  size_t num_points() const { return users_.num_points(); }
+  const UtilityMatrix& users() const { return users_; }
+  const std::vector<double>& user_weights() const { return user_weights_; }
+
+  /// sat(D, f_u): the user's utility for their favorite point in the
+  /// whole database (precomputed).
+  double BestInDb(size_t user) const { return best_in_db_value_[user]; }
+
+  /// The user's favorite point in the whole database.
+  size_t BestPointInDb(size_t user) const { return best_in_db_point_[user]; }
+
+  /// rr(S, f_u) for the subset `S` given as point indices.
+  double RegretRatio(size_t user, std::span<const size_t> subset) const;
+
+  /// arr(S): probability-weighted average regret ratio (Eq. 1).
+  double AverageRegretRatio(std::span<const size_t> subset) const;
+
+  /// Full distributional statistics for `subset`.
+  RegretDistribution Distribution(std::span<const size_t> subset) const;
+
+ private:
+  UtilityMatrix users_;
+  std::vector<double> user_weights_;
+  std::vector<double> best_in_db_value_;
+  std::vector<size_t> best_in_db_point_;
+};
+
+}  // namespace fam
+
+#endif  // FAM_REGRET_EVALUATOR_H_

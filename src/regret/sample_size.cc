@@ -1,0 +1,23 @@
+#include "regret/sample_size.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace fam {
+
+uint64_t ChernoffSampleSize(double epsilon, double sigma) {
+  FAM_CHECK(epsilon > 0.0 && epsilon < 1.0) << "epsilon out of (0,1)";
+  FAM_CHECK(sigma > 0.0 && sigma < 1.0) << "sigma out of (0,1)";
+  double n = 3.0 * std::log(1.0 / sigma) / (epsilon * epsilon);
+  return static_cast<uint64_t>(std::ceil(n));
+}
+
+double ChernoffEpsilon(uint64_t sample_size, double sigma) {
+  FAM_CHECK(sample_size > 0) << "sample size must be positive";
+  FAM_CHECK(sigma > 0.0 && sigma < 1.0) << "sigma out of (0,1)";
+  return std::sqrt(3.0 * std::log(1.0 / sigma) /
+                   static_cast<double>(sample_size));
+}
+
+}  // namespace fam

@@ -1,0 +1,25 @@
+// Chernoff-bound sample sizing for the Monte-Carlo arr estimator.
+//
+// Theorem 4 of the paper: with N >= 3 ln(1/σ) / ε² i.i.d. sampled utility
+// functions, the estimated average regret ratio is within ε of the true
+// value with confidence at least 1 − σ. Table V tabulates N for common
+// (ε, σ) pairs.
+
+#ifndef FAM_REGRET_SAMPLE_SIZE_H_
+#define FAM_REGRET_SAMPLE_SIZE_H_
+
+#include <cstdint>
+
+namespace fam {
+
+/// Smallest integer N satisfying Theorem 4's bound N >= 3 ln(1/σ) / ε².
+/// Both parameters must lie in (0, 1).
+uint64_t ChernoffSampleSize(double epsilon, double sigma);
+
+/// The error ε guaranteed (with confidence 1 − σ) by a sample of size N:
+/// ε = sqrt(3 ln(1/σ) / N).
+double ChernoffEpsilon(uint64_t sample_size, double sigma);
+
+}  // namespace fam
+
+#endif  // FAM_REGRET_SAMPLE_SIZE_H_

@@ -1,0 +1,21 @@
+// Selection: the common result type of every FAM solver and baseline.
+
+#ifndef FAM_REGRET_SELECTION_H_
+#define FAM_REGRET_SELECTION_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace fam {
+
+/// A solution set: k point indices into the database, plus the average
+/// regret ratio the producing algorithm measured for it (against its own
+/// evaluator; callers re-evaluate when comparing algorithms).
+struct Selection {
+  std::vector<size_t> indices;
+  double average_regret_ratio = 0.0;
+};
+
+}  // namespace fam
+
+#endif  // FAM_REGRET_SELECTION_H_

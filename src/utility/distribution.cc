@@ -1,0 +1,237 @@
+#include "utility/distribution.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace fam {
+
+UtilityMatrix UniformLinearDistribution::Sample(const Dataset& dataset,
+                                                size_t num_users,
+                                                Rng& rng) const {
+  Matrix weights = SampleWeights(num_users, dataset.dimension(), rng);
+  return UtilityMatrix::FromLinearWeights(std::move(weights), dataset);
+}
+
+Matrix UniformLinearDistribution::SampleWeights(size_t num_users,
+                                                size_t dimension,
+                                                Rng& rng) const {
+  FAM_CHECK(dimension > 0);
+  Matrix weights(num_users, dimension);
+  for (size_t u = 0; u < num_users; ++u) {
+    double* w = weights.row(u);
+    switch (domain_) {
+      case WeightDomain::kUnitBox: {
+        for (size_t j = 0; j < dimension; ++j) w[j] = rng.NextDouble();
+        break;
+      }
+      case WeightDomain::kSimplex: {
+        // Exponential spacings: normalized Exp(1) draws are uniform on the
+        // simplex.
+        double sum = 0.0;
+        for (size_t j = 0; j < dimension; ++j) {
+          double e = -std::log(std::max(rng.NextDouble(), 1e-300));
+          w[j] = e;
+          sum += e;
+        }
+        for (size_t j = 0; j < dimension; ++j) w[j] /= sum;
+        break;
+      }
+      case WeightDomain::kSphere: {
+        // |Gaussian| direction is uniform on the positive orthant sphere.
+        double norm_sq = 0.0;
+        for (size_t j = 0; j < dimension; ++j) {
+          double g = std::fabs(rng.Gaussian());
+          w[j] = g;
+          norm_sq += g * g;
+        }
+        double norm = std::sqrt(std::max(norm_sq, 1e-300));
+        for (size_t j = 0; j < dimension; ++j) w[j] /= norm;
+        break;
+      }
+    }
+  }
+  return weights;
+}
+
+std::string UniformLinearDistribution::name() const {
+  switch (domain_) {
+    case WeightDomain::kUnitBox:
+      return "uniform-linear-box";
+    case WeightDomain::kSimplex:
+      return "uniform-linear-simplex";
+    case WeightDomain::kSphere:
+      return "uniform-linear-sphere";
+  }
+  return "uniform-linear";
+}
+
+UtilityMatrix Angle2dDistribution::Sample(const Dataset& dataset,
+                                          size_t num_users, Rng& rng) const {
+  FAM_CHECK(dataset.dimension() == 2)
+      << "Angle2dDistribution requires d = 2, got " << dataset.dimension();
+  Matrix weights(num_users, 2);
+  for (size_t u = 0; u < num_users; ++u) {
+    double theta = rng.NextDouble() * (M_PI / 2.0);
+    weights(u, 0) = std::cos(theta);
+    weights(u, 1) = std::sin(theta);
+  }
+  return UtilityMatrix::FromLinearWeights(std::move(weights), dataset);
+}
+
+CesDistribution::CesDistribution(double rho) : rho_(rho) {
+  FAM_CHECK(rho > 0.0 && rho <= 4.0) << "CES rho out of supported range";
+}
+
+UtilityMatrix CesDistribution::Sample(const Dataset& dataset,
+                                      size_t num_users, Rng& rng) const {
+  UniformLinearDistribution simplex(WeightDomain::kSimplex);
+  Matrix weights = simplex.SampleWeights(num_users, dataset.dimension(), rng);
+  Matrix scores(num_users, dataset.size());
+  const size_t d = dataset.dimension();
+  for (size_t u = 0; u < num_users; ++u) {
+    const double* w = weights.row(u);
+    for (size_t p = 0; p < dataset.size(); ++p) {
+      const double* x = dataset.point(p);
+      double acc = 0.0;
+      for (size_t j = 0; j < d; ++j) {
+        acc += w[j] * std::pow(std::max(x[j], 0.0), rho_);
+      }
+      scores(u, p) = std::pow(acc, 1.0 / rho_);
+    }
+  }
+  return UtilityMatrix::FromScores(std::move(scores));
+}
+
+std::string CesDistribution::name() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "ces-rho=%.2f", rho_);
+  return buf;
+}
+
+LatentLinearDistribution::LatentLinearDistribution(
+    Matrix basis, std::function<std::vector<double>(Rng&)> sampler,
+    std::string name)
+    : basis_(std::move(basis)),
+      sampler_(std::move(sampler)),
+      name_(std::move(name)) {
+  FAM_CHECK(sampler_ != nullptr);
+}
+
+UtilityMatrix LatentLinearDistribution::Sample(const Dataset& dataset,
+                                               size_t num_users,
+                                               Rng& rng) const {
+  FAM_CHECK(dataset.size() == basis_.rows())
+      << "dataset size " << dataset.size() << " != basis rows "
+      << basis_.rows();
+  Matrix weights(num_users, basis_.cols());
+  for (size_t u = 0; u < num_users; ++u) {
+    std::vector<double> w = sampler_(rng);
+    FAM_CHECK(w.size() == basis_.cols())
+        << "sampler returned rank " << w.size() << ", expected "
+        << basis_.cols();
+    for (size_t j = 0; j < w.size(); ++j) weights(u, j) = w[j];
+  }
+  return UtilityMatrix::FromLatent(std::move(weights), basis_);
+}
+
+MixtureLinearDistribution::MixtureLinearDistribution(
+    Matrix prototypes, std::vector<double> mixing, double noise)
+    : prototypes_(std::move(prototypes)),
+      mixing_(std::move(mixing)),
+      noise_(noise) {
+  FAM_CHECK(prototypes_.rows() > 0) << "need at least one prototype";
+  FAM_CHECK(noise_ >= 0.0);
+  if (mixing_.empty()) {
+    mixing_.assign(prototypes_.rows(),
+                   1.0 / static_cast<double>(prototypes_.rows()));
+  }
+  FAM_CHECK(mixing_.size() == prototypes_.rows())
+      << "mixing weight count mismatch";
+  // Normalize prototypes to the simplex so `noise` has a consistent scale.
+  for (size_t c = 0; c < prototypes_.rows(); ++c) {
+    double sum = 0.0;
+    for (size_t j = 0; j < prototypes_.cols(); ++j) {
+      FAM_CHECK(prototypes_(c, j) >= 0.0) << "negative prototype weight";
+      sum += prototypes_(c, j);
+    }
+    FAM_CHECK(sum > 0.0) << "all-zero prototype";
+    for (size_t j = 0; j < prototypes_.cols(); ++j) {
+      prototypes_(c, j) /= sum;
+    }
+  }
+}
+
+Matrix MixtureLinearDistribution::SampleWeights(size_t num_users,
+                                                Rng& rng) const {
+  const size_t d = dimension();
+  Matrix weights(num_users, d);
+  for (size_t u = 0; u < num_users; ++u) {
+    size_t cluster = rng.Categorical(mixing_);
+    double sum = 0.0;
+    for (size_t j = 0; j < d; ++j) {
+      double w = std::max(0.0, prototypes_(cluster, j) +
+                                   rng.Gaussian(0.0, noise_));
+      weights(u, j) = w;
+      sum += w;
+    }
+    if (sum <= 0.0) {
+      // Degenerate draw: fall back to the prototype itself.
+      for (size_t j = 0; j < d; ++j) weights(u, j) = prototypes_(cluster, j);
+      sum = 1.0;
+    }
+    for (size_t j = 0; j < d; ++j) weights(u, j) /= sum;
+  }
+  return weights;
+}
+
+UtilityMatrix MixtureLinearDistribution::Sample(const Dataset& dataset,
+                                                size_t num_users,
+                                                Rng& rng) const {
+  FAM_CHECK(dataset.dimension() == dimension())
+      << "prototype dimension " << dimension() << " != data dimension "
+      << dataset.dimension();
+  return UtilityMatrix::FromLinearWeights(SampleWeights(num_users, rng),
+                                          dataset);
+}
+
+DiscreteDistribution::DiscreteDistribution(Matrix utilities,
+                                           std::vector<double> probabilities)
+    : utilities_(std::move(utilities)),
+      probabilities_(std::move(probabilities)) {
+  FAM_CHECK(utilities_.rows() > 0) << "empty discrete distribution";
+  if (probabilities_.empty()) {
+    probabilities_.assign(utilities_.rows(),
+                          1.0 / static_cast<double>(utilities_.rows()));
+  }
+  FAM_CHECK(probabilities_.size() == utilities_.rows())
+      << "probability count mismatch";
+  double total = 0.0;
+  for (double p : probabilities_) {
+    FAM_CHECK(p >= 0.0) << "negative probability";
+    total += p;
+  }
+  FAM_CHECK(std::fabs(total - 1.0) < 1e-6)
+      << "probabilities sum to " << total << ", expected 1";
+}
+
+UtilityMatrix DiscreteDistribution::Sample(const Dataset& dataset,
+                                           size_t num_users, Rng& rng) const {
+  FAM_CHECK(dataset.size() == utilities_.cols())
+      << "dataset size " << dataset.size() << " != utility columns "
+      << utilities_.cols();
+  Matrix scores(num_users, utilities_.cols());
+  for (size_t u = 0; u < num_users; ++u) {
+    size_t pick = rng.Categorical(probabilities_);
+    for (size_t p = 0; p < utilities_.cols(); ++p) {
+      scores(u, p) = utilities_(pick, p);
+    }
+  }
+  return UtilityMatrix::FromScores(std::move(scores));
+}
+
+UtilityMatrix DiscreteDistribution::ExactUsers() const {
+  return UtilityMatrix::FromScores(utilities_);
+}
+
+}  // namespace fam

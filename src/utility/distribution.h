@@ -1,0 +1,182 @@
+// Utility-function distributions Θ.
+//
+// A UtilityDistribution models the population of users: it can sample N
+// utility functions against a database D (producing a UtilityMatrix used by
+// the Monte-Carlo arr estimator of Sec. III-C). Implementations cover every
+// Θ the paper evaluates:
+//
+//   * UniformLinearDistribution — linear utilities with uniformly random
+//     non-negative weights (the paper's synthetic and "second-type real"
+//     workloads). Weight domains: unit box [0,1]^d, probability simplex, or
+//     the positive orthant of the unit sphere.
+//   * Angle2dDistribution — 2-D linear utilities parameterized by the angle
+//     θ = arctan(w2/w1), uniform on [0, π/2]; the measure under which the
+//     DP-2D closed-form integration is exact (Sec. IV).
+//   * CesDistribution — non-linear (constant elasticity of substitution)
+//     utilities f(p) = (Σ w_j p_j^ρ)^{1/ρ}; exercises GREEDY-SHRINK's
+//     "no assumption on the form of the utility functions" claim.
+//   * LatentLinearDistribution — users are latent-space weight vectors drawn
+//     from an arbitrary sampler (e.g. a fitted Gaussian mixture; the paper's
+//     Yahoo!Music pipeline) applied to a latent item basis.
+//   * DiscreteDistribution — a countably finite user population with given
+//     probabilities (Appendix A); supports both i.i.d. sampling and exact
+//     enumeration.
+
+#ifndef FAM_UTILITY_DISTRIBUTION_H_
+#define FAM_UTILITY_DISTRIBUTION_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "utility/utility_matrix.h"
+
+namespace fam {
+
+/// Interface for a distribution Θ over utility functions.
+class UtilityDistribution {
+ public:
+  virtual ~UtilityDistribution() = default;
+
+  /// Draws `num_users` i.i.d. utility functions evaluated against `dataset`.
+  virtual UtilityMatrix Sample(const Dataset& dataset, size_t num_users,
+                               Rng& rng) const = 0;
+
+  /// Human-readable name for reports.
+  virtual std::string name() const = 0;
+};
+
+/// Weight domains for linear utility distributions.
+enum class WeightDomain {
+  /// w_j i.i.d. uniform on [0, 1] (the paper's 2-D setting, 0 <= w <= 1).
+  kUnitBox,
+  /// w uniform on the probability simplex (Σ w_j = 1, w >= 0) — the
+  /// standard k-regret convention; keeps utilities of normalized data <= 1.
+  kSimplex,
+  /// w uniform on the positive orthant of the unit sphere.
+  kSphere,
+};
+
+/// Linear utilities f(p) = w · p with random non-negative weights.
+class UniformLinearDistribution : public UtilityDistribution {
+ public:
+  explicit UniformLinearDistribution(
+      WeightDomain domain = WeightDomain::kSimplex)
+      : domain_(domain) {}
+
+  UtilityMatrix Sample(const Dataset& dataset, size_t num_users,
+                       Rng& rng) const override;
+  std::string name() const override;
+
+  /// Raw weight matrix (num_users × d) without binding to a dataset.
+  Matrix SampleWeights(size_t num_users, size_t dimension, Rng& rng) const;
+
+ private:
+  WeightDomain domain_;
+};
+
+/// 2-D linear utilities with angle uniform on [0, π/2]:
+/// f_θ(p) = cos(θ) p[1] + sin(θ) p[2].
+class Angle2dDistribution : public UtilityDistribution {
+ public:
+  UtilityMatrix Sample(const Dataset& dataset, size_t num_users,
+                       Rng& rng) const override;
+  std::string name() const override { return "angle-uniform-2d"; }
+};
+
+/// Non-linear CES utilities f(p) = (Σ w_j p_j^ρ)^{1/ρ} with simplex weights.
+/// ρ = 1 degenerates to linear; ρ -> 0 approaches Cobb-Douglas.
+class CesDistribution : public UtilityDistribution {
+ public:
+  explicit CesDistribution(double rho = 0.5);
+
+  UtilityMatrix Sample(const Dataset& dataset, size_t num_users,
+                       Rng& rng) const override;
+  std::string name() const override;
+
+ private:
+  double rho_;
+};
+
+/// Latent-space linear utilities: the sampler draws a latent user vector
+/// (rank r) and utilities are max(0, w · basis_row). The dataset argument to
+/// Sample is only consulted for its size, which must equal basis rows.
+class LatentLinearDistribution : public UtilityDistribution {
+ public:
+  /// `sampler(rng)` returns one latent weight vector of length basis.cols().
+  LatentLinearDistribution(
+      Matrix basis, std::function<std::vector<double>(Rng&)> sampler,
+      std::string name = "latent-linear");
+
+  UtilityMatrix Sample(const Dataset& dataset, size_t num_users,
+                       Rng& rng) const override;
+  std::string name() const override { return name_; }
+
+  const Matrix& basis() const { return basis_; }
+
+ private:
+  Matrix basis_;
+  std::function<std::vector<double>(Rng&)> sampler_;
+  std::string name_;
+};
+
+/// Non-uniform linear utilities: weight vectors drawn from a mixture of
+/// Gaussian clusters around preference prototypes, then clamped
+/// non-negative and normalized to the simplex. Models the paper's
+/// motivating populations ("users who book hotels every month") where some
+/// preference profiles are far more probable than others — the regime in
+/// which minimizing average regret ratio beats minimizing the maximum.
+class MixtureLinearDistribution : public UtilityDistribution {
+ public:
+  /// `prototypes` is clusters × d (rows are prototype weight profiles;
+  /// they are normalized internally), `mixing` are cluster probabilities
+  /// (empty = uniform), `noise` is the per-coordinate Gaussian jitter.
+  MixtureLinearDistribution(Matrix prototypes, std::vector<double> mixing,
+                            double noise = 0.05);
+
+  UtilityMatrix Sample(const Dataset& dataset, size_t num_users,
+                       Rng& rng) const override;
+  std::string name() const override { return "mixture-linear"; }
+
+  /// Raw weight matrix without binding to a dataset.
+  Matrix SampleWeights(size_t num_users, Rng& rng) const;
+
+  size_t num_clusters() const { return prototypes_.rows(); }
+  size_t dimension() const { return prototypes_.cols(); }
+
+ private:
+  Matrix prototypes_;
+  std::vector<double> mixing_;
+  double noise_;
+};
+
+/// A countably finite user population (Appendix A): an explicit utility
+/// table plus a probability for each user.
+class DiscreteDistribution : public UtilityDistribution {
+ public:
+  /// `utilities` is users × points; `probabilities` must sum to ~1.
+  /// Pass an empty probability vector for the uniform distribution.
+  DiscreteDistribution(Matrix utilities, std::vector<double> probabilities);
+
+  UtilityMatrix Sample(const Dataset& dataset, size_t num_users,
+                       Rng& rng) const override;
+  std::string name() const override { return "discrete"; }
+
+  /// The full population as a UtilityMatrix (for exact arr evaluation).
+  UtilityMatrix ExactUsers() const;
+  /// Per-user probabilities aligned with ExactUsers() rows.
+  const std::vector<double>& probabilities() const { return probabilities_; }
+
+  size_t num_distinct_users() const { return utilities_.rows(); }
+
+ private:
+  Matrix utilities_;
+  std::vector<double> probabilities_;
+};
+
+}  // namespace fam
+
+#endif  // FAM_UTILITY_DISTRIBUTION_H_

@@ -1,0 +1,121 @@
+#include "utility/utility_matrix.h"
+
+#include "common/logging.h"
+
+namespace fam {
+
+UtilityMatrix UtilityMatrix::FromScores(Matrix scores) {
+  UtilityMatrix m;
+  m.explicit_mode_ = true;
+  for (double& v : scores.data()) v = std::max(0.0, v);
+  m.scores_ = std::move(scores);
+  return m;
+}
+
+UtilityMatrix UtilityMatrix::FromLinearWeights(Matrix weights,
+                                               const Dataset& dataset) {
+  FAM_CHECK(weights.cols() == dataset.dimension())
+      << "weight dimension " << weights.cols() << " != data dimension "
+      << dataset.dimension();
+  UtilityMatrix m;
+  m.explicit_mode_ = false;
+  m.weights_ = std::move(weights);
+  m.basis_ = dataset.values();
+  return m;
+}
+
+UtilityMatrix UtilityMatrix::FromLatent(Matrix weights, Matrix basis) {
+  FAM_CHECK(weights.cols() == basis.cols())
+      << "latent rank mismatch: " << weights.cols() << " vs " << basis.cols();
+  UtilityMatrix m;
+  m.explicit_mode_ = false;
+  m.weights_ = std::move(weights);
+  m.basis_ = std::move(basis);
+  return m;
+}
+
+std::span<const double> UtilityMatrix::UserWeights(size_t user) const {
+  FAM_CHECK(!explicit_mode_) << "UserWeights requires weighted mode";
+  return weights_.row_span(user);
+}
+
+const Matrix& UtilityMatrix::basis() const {
+  FAM_CHECK(!explicit_mode_) << "basis requires weighted mode";
+  return basis_;
+}
+
+size_t UtilityMatrix::BestPoint(size_t user) const {
+  const size_t n = num_points();
+  FAM_CHECK(n > 0) << "BestPoint over empty point set";
+  size_t best = 0;
+  double best_value = Utility(user, 0);
+  for (size_t p = 1; p < n; ++p) {
+    double v = Utility(user, p);
+    if (v > best_value) {
+      best_value = v;
+      best = p;
+    }
+  }
+  return best;
+}
+
+double UtilityMatrix::BestUtilityIn(size_t user,
+                                    std::span<const size_t> subset) const {
+  double best = 0.0;
+  for (size_t p : subset) best = std::max(best, Utility(user, p));
+  return best;
+}
+
+UtilityMatrix UtilityMatrix::RestrictToPoints(
+    std::span<const size_t> points) const {
+  UtilityMatrix m;
+  if (explicit_mode_) {
+    Matrix scores(num_users(), points.size());
+    for (size_t u = 0; u < num_users(); ++u) {
+      for (size_t c = 0; c < points.size(); ++c) {
+        scores(u, c) = scores_(u, points[c]);
+      }
+    }
+    m.explicit_mode_ = true;
+    m.scores_ = std::move(scores);
+  } else {
+    Matrix basis(points.size(), basis_.cols());
+    for (size_t c = 0; c < points.size(); ++c) {
+      for (size_t j = 0; j < basis_.cols(); ++j) {
+        basis(c, j) = basis_(points[c], j);
+      }
+    }
+    m.explicit_mode_ = false;
+    m.weights_ = weights_;
+    m.basis_ = std::move(basis);
+  }
+  return m;
+}
+
+UtilityMatrix UtilityMatrix::Materialized() const {
+  if (explicit_mode_) return *this;
+  Matrix scores(num_users(), num_points());
+  for (size_t u = 0; u < num_users(); ++u) {
+    for (size_t p = 0; p < num_points(); ++p) {
+      scores(u, p) = Utility(u, p);
+    }
+  }
+  return FromScores(std::move(scores));
+}
+
+UtilityMatrix HotelExampleUtilityMatrix() {
+  // Rows: Alex, Jerry, Tom, Sam. Columns: Holiday Inn, Shangri-La,
+  // Intercontinental, Hilton (paper Table I).
+  return UtilityMatrix::FromScores(Matrix::FromRows({
+      {0.9, 0.7, 0.2, 0.4},
+      {0.6, 1.0, 0.5, 0.2},
+      {0.2, 0.6, 0.3, 1.0},
+      {0.1, 0.2, 1.0, 0.9},
+  }));
+}
+
+std::vector<std::string> HotelExampleUserNames() {
+  return {"Alex", "Jerry", "Tom", "Sam"};
+}
+
+}  // namespace fam

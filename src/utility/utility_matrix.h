@@ -1,0 +1,105 @@
+// UtilityMatrix: a concrete set of (sampled) users and their utilities.
+//
+// Every algorithm in fam consumes utilities through this class, which is the
+// materialization of N utility functions drawn from a distribution Θ against
+// a fixed database D. Two storage modes cover the paper's space analysis
+// (Sec. III-D3):
+//
+//   * kWeighted — per-user weight vectors against a basis matrix
+//     (attribute space for linear utilities, latent space for learned
+//     models): O(r * (N + n)) memory, O(r) per utility evaluation.
+//   * kExplicit — a dense users × points score table: O(N * n) memory,
+//     O(1) per evaluation. Used for discrete user populations (Appendix A)
+//     and non-linear utility families with no compact parameterization.
+//
+// Utilities are clamped to be non-negative (Definition 1: f maps into R>=0).
+
+#ifndef FAM_UTILITY_UTILITY_MATRIX_H_
+#define FAM_UTILITY_UTILITY_MATRIX_H_
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/matrix.h"
+#include "data/dataset.h"
+
+namespace fam {
+
+/// N users' utilities over n points; see file comment for storage modes.
+class UtilityMatrix {
+ public:
+  UtilityMatrix() = default;
+
+  /// Explicit score table: rows are users, columns are points. Negative
+  /// scores are clamped to 0.
+  static UtilityMatrix FromScores(Matrix scores);
+
+  /// Linear utilities over the dataset's attribute space: `weights` is
+  /// users × d; the basis is a copy of the dataset values (n × d).
+  static UtilityMatrix FromLinearWeights(Matrix weights,
+                                         const Dataset& dataset);
+
+  /// Utilities linear in a latent space: `weights` is users × r and `basis`
+  /// is points × r (e.g. matrix-factorization item factors). Utilities are
+  /// max(0, w · b), which is non-linear in the original attributes.
+  static UtilityMatrix FromLatent(Matrix weights, Matrix basis);
+
+  size_t num_users() const {
+    return explicit_mode_ ? scores_.rows() : weights_.rows();
+  }
+  size_t num_points() const {
+    return explicit_mode_ ? scores_.cols() : basis_.rows();
+  }
+  bool empty() const { return num_users() == 0; }
+
+  /// f_user(p_point), always >= 0.
+  double Utility(size_t user, size_t point) const {
+    if (explicit_mode_) return scores_(user, point);
+    return std::max(
+        0.0, Dot(weights_.row(user), basis_.row(point), basis_.cols()));
+  }
+
+  /// True when utilities are parameterized by weight vectors.
+  bool is_weighted() const { return !explicit_mode_; }
+
+  /// Weight vector of `user` (weighted mode only; aborts otherwise).
+  std::span<const double> UserWeights(size_t user) const;
+
+  /// Basis matrix (weighted mode only; aborts otherwise).
+  const Matrix& basis() const;
+
+  /// Index of the point maximizing this user's utility over all points
+  /// (lowest index wins ties). O(n) per call, O(r) or O(1) per point.
+  size_t BestPoint(size_t user) const;
+
+  /// Max utility of `user` over the points listed in `subset`.
+  double BestUtilityIn(size_t user,
+                       std::span<const size_t> subset) const;
+
+  /// Restricts the matrix to the given point indices (columns), preserving
+  /// user order. Useful when algorithms operate on the skyline only.
+  UtilityMatrix RestrictToPoints(std::span<const size_t> points) const;
+
+  /// Converts to explicit-score storage (O(N·n) memory, O(1) per
+  /// evaluation). Pays off when utilities are evaluated many times per
+  /// (user, point) pair — e.g. brute-force subset enumeration.
+  UtilityMatrix Materialized() const;
+
+ private:
+  bool explicit_mode_ = true;
+  Matrix scores_;   // users × points (explicit mode)
+  Matrix weights_;  // users × r     (weighted mode)
+  Matrix basis_;    // points × r    (weighted mode)
+};
+
+/// The utility table of the paper's Table I: four users (Alex, Jerry, Tom,
+/// Sam) over the four hotels of `HotelExampleDataset()`.
+UtilityMatrix HotelExampleUtilityMatrix();
+
+/// User names matching `HotelExampleUtilityMatrix()` rows.
+std::vector<std::string> HotelExampleUserNames();
+
+}  // namespace fam
+
+#endif  // FAM_UTILITY_UTILITY_MATRIX_H_

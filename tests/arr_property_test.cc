@@ -1,0 +1,160 @@
+// Property tests for the paper's structural results:
+//   Theorem 2 — arr(·) is supermodular;
+//   Lemma 1  — arr(·) is monotonically decreasing;
+//   Theorem 4 — the Chernoff sampling bound holds empirically.
+
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/generator.h"
+#include "regret/evaluator.h"
+#include "regret/sample_size.h"
+#include "utility/distribution.h"
+
+namespace fam {
+namespace {
+
+struct PropertyCase {
+  std::string name;
+  size_t n;
+  size_t d;
+  size_t num_users;
+  int kind;  // 0 = linear simplex, 1 = linear box, 2 = CES, 3 = discrete
+  uint64_t seed;
+};
+
+RegretEvaluator BuildEvaluator(const PropertyCase& param) {
+  Dataset data = GenerateSynthetic(
+      {.n = param.n, .d = param.d,
+       .distribution = SyntheticDistribution::kIndependent,
+       .seed = param.seed});
+  Rng rng(param.seed + 1);
+  switch (param.kind) {
+    case 0: {
+      UniformLinearDistribution theta(WeightDomain::kSimplex);
+      return RegretEvaluator(theta.Sample(data, param.num_users, rng));
+    }
+    case 1: {
+      UniformLinearDistribution theta(WeightDomain::kUnitBox);
+      return RegretEvaluator(theta.Sample(data, param.num_users, rng));
+    }
+    case 2: {
+      CesDistribution theta(0.5);
+      return RegretEvaluator(theta.Sample(data, param.num_users, rng));
+    }
+    default: {
+      // Random discrete utility table with non-uniform probabilities.
+      Matrix table(8, param.n);
+      for (double& v : table.data()) v = rng.NextDouble();
+      std::vector<double> probs(8);
+      double total = 0.0;
+      for (double& p : probs) {
+        p = rng.NextDouble() + 0.05;
+        total += p;
+      }
+      for (double& p : probs) p /= total;
+      DiscreteDistribution theta(table, probs);
+      return RegretEvaluator(theta.ExactUsers(), theta.probabilities());
+    }
+  }
+}
+
+class ArrPropertyTest : public testing::TestWithParam<PropertyCase> {};
+
+TEST_P(ArrPropertyTest, MonotonicallyDecreasing) {
+  RegretEvaluator evaluator = BuildEvaluator(GetParam());
+  Rng rng(GetParam().seed + 2);
+  const size_t n = evaluator.num_points();
+  for (int trial = 0; trial < 20; ++trial) {
+    size_t size = 1 + rng.NextBounded(n - 1);
+    std::vector<size_t> set = rng.SampleWithoutReplacement(n, size);
+    double before = evaluator.AverageRegretRatio(set);
+    // Add a point not in the set.
+    std::vector<uint8_t> in_set(n, 0);
+    for (size_t p : set) in_set[p] = 1;
+    size_t extra = rng.NextBounded(n);
+    while (in_set[extra]) extra = rng.NextBounded(n);
+    set.push_back(extra);
+    double after = evaluator.AverageRegretRatio(set);
+    EXPECT_LE(after, before + 1e-12)
+        << "adding a point increased arr on trial " << trial;
+  }
+}
+
+TEST_P(ArrPropertyTest, Supermodular) {
+  RegretEvaluator evaluator = BuildEvaluator(GetParam());
+  Rng rng(GetParam().seed + 3);
+  const size_t n = evaluator.num_points();
+  for (int trial = 0; trial < 20; ++trial) {
+    // Build S ⊆ T ⊆ D and pick p outside T.
+    size_t t_size = 2 + rng.NextBounded(n - 2);
+    std::vector<size_t> t_set = rng.SampleWithoutReplacement(n, t_size);
+    size_t s_size = 1 + rng.NextBounded(t_size - 1);
+    std::vector<size_t> s_set(t_set.begin(),
+                              t_set.begin() + static_cast<long>(s_size));
+    std::vector<uint8_t> in_t(n, 0);
+    for (size_t p : t_set) in_t[p] = 1;
+    if (std::all_of(in_t.begin(), in_t.end(),
+                    [](uint8_t v) { return v != 0; })) {
+      continue;  // T == D: no point outside
+    }
+    size_t p = rng.NextBounded(n);
+    while (in_t[p]) p = rng.NextBounded(n);
+
+    double arr_s = evaluator.AverageRegretRatio(s_set);
+    double arr_t = evaluator.AverageRegretRatio(t_set);
+    s_set.push_back(p);
+    t_set.push_back(p);
+    double arr_sp = evaluator.AverageRegretRatio(s_set);
+    double arr_tp = evaluator.AverageRegretRatio(t_set);
+
+    // Theorem 2: arr(S ∪ {p}) − arr(S) <= arr(T ∪ {p}) − arr(T).
+    EXPECT_LE(arr_sp - arr_s, arr_tp - arr_t + 1e-12)
+        << "supermodularity violated on trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, ArrPropertyTest,
+    testing::Values(
+        PropertyCase{"linear_simplex", 40, 3, 150, 0, 100},
+        PropertyCase{"linear_simplex_highd", 30, 8, 100, 0, 101},
+        PropertyCase{"linear_box", 40, 4, 150, 1, 102},
+        PropertyCase{"ces_nonlinear", 30, 3, 100, 2, 103},
+        PropertyCase{"discrete_weighted", 25, 3, 8, 3, 104},
+        PropertyCase{"linear_simplex_2d", 50, 2, 200, 0, 105}),
+    [](const testing::TestParamInfo<PropertyCase>& info) {
+      return info.param.name;
+    });
+
+TEST(ChernoffBoundTest, EmpiricalCoverageMeetsConfidence) {
+  // Fix a ground-truth population (large reference sample) and check that
+  // the ε-band holds in at least (1 − σ) of repeated estimates.
+  Dataset data = GenerateSynthetic({.n = 80, .d = 4,
+      .distribution = SyntheticDistribution::kIndependent, .seed = 42});
+  UniformLinearDistribution theta;
+  Rng rng(43);
+  RegretEvaluator reference(theta.Sample(data, 60000, rng));
+  std::vector<size_t> subset = {0, 1, 2, 3, 4};
+  double true_arr = reference.AverageRegretRatio(subset);
+
+  const double epsilon = 0.05;
+  const double sigma = 0.1;
+  const uint64_t sample_size = ChernoffSampleSize(epsilon, sigma);  // 2764
+  int within = 0;
+  const int trials = 30;
+  for (int t = 0; t < trials; ++t) {
+    RegretEvaluator estimate(theta.Sample(data, sample_size, rng));
+    double arr = estimate.AverageRegretRatio(subset);
+    if (std::abs(arr - true_arr) < epsilon) ++within;
+  }
+  // Theorem 4 guarantees ≥ (1 − σ) coverage; the bound is loose in
+  // practice, so all trials normally land inside the band.
+  EXPECT_GE(within, static_cast<int>(trials * (1.0 - sigma)));
+}
+
+}  // namespace
+}  // namespace fam

@@ -1,0 +1,276 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "baselines/k_hit.h"
+#include "baselines/mrr_greedy.h"
+#include "baselines/sky_dom.h"
+#include "core/greedy_shrink.h"
+#include "data/generator.h"
+#include "geom/skyline.h"
+#include "utility/distribution.h"
+
+namespace fam {
+namespace {
+
+struct Workload {
+  Dataset data;
+  RegretEvaluator evaluator;
+};
+
+Workload MakeWorkload(size_t n, size_t d, size_t users, uint64_t seed,
+                      SyntheticDistribution distribution =
+                          SyntheticDistribution::kAntiCorrelated) {
+  Dataset data = GenerateSynthetic(
+      {.n = n, .d = d, .distribution = distribution, .seed = seed});
+  UniformLinearDistribution theta;
+  Rng rng(seed + 1);
+  UtilityMatrix sampled = theta.Sample(data, users, rng);
+  return Workload{std::move(data), RegretEvaluator(std::move(sampled))};
+}
+
+// ---------------------------------------------------------------- MRR-GREEDY
+
+TEST(MrrGreedyTest, RejectsInvalidOptions) {
+  Workload w = MakeWorkload(20, 3, 50, 1);
+  EXPECT_FALSE(MrrGreedy(w.data, w.evaluator, {.k = 0}).ok());
+  EXPECT_FALSE(MrrGreedy(w.data, w.evaluator, {.k = 21}).ok());
+}
+
+TEST(MrrGreedyTest, ReturnsKSortedDistinctIndices) {
+  Workload w = MakeWorkload(50, 4, 100, 2);
+  for (MrrGreedyMode mode :
+       {MrrGreedyMode::kLinearProgramming, MrrGreedyMode::kSampled}) {
+    Result<Selection> s =
+        MrrGreedy(w.data, w.evaluator, {.k = 6, .mode = mode});
+    ASSERT_TRUE(s.ok());
+    EXPECT_EQ(s->indices.size(), 6u);
+    EXPECT_TRUE(std::is_sorted(s->indices.begin(), s->indices.end()));
+    EXPECT_EQ(std::adjacent_find(s->indices.begin(), s->indices.end()),
+              s->indices.end());
+  }
+}
+
+TEST(MrrGreedyTest, SeedIsTopFirstAttributePoint) {
+  Workload w = MakeWorkload(30, 3, 50, 3);
+  size_t top = 0;
+  for (size_t i = 1; i < w.data.size(); ++i) {
+    if (w.data.at(i, 0) > w.data.at(top, 0)) top = i;
+  }
+  Result<Selection> s = MrrGreedy(w.data, w.evaluator, {.k = 4});
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(std::find(s->indices.begin(), s->indices.end(), top) !=
+              s->indices.end());
+}
+
+TEST(MrrGreedyTest, MaxRegretRatioDecreasesWithK) {
+  Workload w = MakeWorkload(80, 4, 300, 4);
+  double previous = 1.0;
+  for (size_t k = 1; k <= 10; k += 3) {
+    Result<Selection> s = MrrGreedy(
+        w.data, w.evaluator,
+        {.k = k, .mode = MrrGreedyMode::kLinearProgramming});
+    ASSERT_TRUE(s.ok());
+    double mrr = MaxRegretRatio(w.evaluator, s->indices);
+    EXPECT_LE(mrr, previous + 1e-9);
+    previous = mrr;
+  }
+}
+
+TEST(MrrGreedyTest, LpModeBeatsRandomSetOnMaxRegret) {
+  Workload w = MakeWorkload(100, 3, 400, 5);
+  Result<Selection> s = MrrGreedy(
+      w.data, w.evaluator,
+      {.k = 8, .mode = MrrGreedyMode::kLinearProgramming});
+  ASSERT_TRUE(s.ok());
+  std::vector<size_t> first_eight = {0, 1, 2, 3, 4, 5, 6, 7};
+  EXPECT_LT(MaxRegretRatio(w.evaluator, s->indices),
+            MaxRegretRatio(w.evaluator, first_eight));
+}
+
+TEST(MrrGreedyTest, SampledModeHandlesNonLinearTheta) {
+  Dataset data = GenerateSynthetic({.n = 40, .d = 3,
+      .distribution = SyntheticDistribution::kIndependent, .seed = 6});
+  CesDistribution theta(0.5);
+  Rng rng(7);
+  RegretEvaluator evaluator(theta.Sample(data, 200, rng));
+  Result<Selection> s = MrrGreedy(data, evaluator, {.k = 5});
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->indices.size(), 5u);
+}
+
+TEST(MrrGreedyTest, AutoModeSwitchesOnCandidateLimit) {
+  Workload w = MakeWorkload(60, 3, 100, 8);
+  // With limit 0 the auto mode must take the sampled path; both succeed.
+  MrrGreedyOptions tight{.k = 4, .mode = MrrGreedyMode::kAuto,
+                         .lp_candidate_limit = 0};
+  Result<Selection> sampled = MrrGreedy(w.data, w.evaluator, tight);
+  ASSERT_TRUE(sampled.ok());
+  MrrGreedyOptions loose{.k = 4, .mode = MrrGreedyMode::kAuto,
+                         .lp_candidate_limit = 100000};
+  Result<Selection> lp = MrrGreedy(w.data, w.evaluator, loose);
+  ASSERT_TRUE(lp.ok());
+}
+
+TEST(MaxRegretRatioTest, FullDatabaseIsZero) {
+  Workload w = MakeWorkload(25, 3, 80, 9);
+  std::vector<size_t> all(w.data.size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+  EXPECT_DOUBLE_EQ(MaxRegretRatio(w.evaluator, all), 0.0);
+}
+
+// ------------------------------------------------------------------ SKY-DOM
+
+TEST(SkyDomTest, RejectsInvalidOptions) {
+  Workload w = MakeWorkload(20, 3, 50, 10);
+  EXPECT_FALSE(SkyDom(w.data, w.evaluator, {.k = 0}).ok());
+  EXPECT_FALSE(SkyDom(w.data, w.evaluator, {.k = 21}).ok());
+}
+
+TEST(SkyDomTest, SelectsSkylinePointsFirst) {
+  Workload w = MakeWorkload(60, 3, 100, 11);
+  std::vector<size_t> sky = SkylineIndices(w.data);
+  Result<Selection> s =
+      SkyDom(w.data, w.evaluator, {.k = std::min<size_t>(5, sky.size())});
+  ASSERT_TRUE(s.ok());
+  for (size_t p : s->indices) {
+    EXPECT_TRUE(std::find(sky.begin(), sky.end(), p) != sky.end())
+        << "non-skyline point selected while skyline had room";
+  }
+}
+
+TEST(SkyDomTest, GreedyCoverageBeatsWorstSkylineChoice) {
+  Workload w = MakeWorkload(200, 4, 100, 12);
+  std::vector<size_t> sky = SkylineIndices(w.data);
+  if (sky.size() < 6) GTEST_SKIP() << "skyline too small";
+  Result<Selection> s = SkyDom(w.data, w.evaluator, {.k = 3});
+  ASSERT_TRUE(s.ok());
+  size_t greedy_cover = DominatedCoverage(w.data, s->indices);
+  // Compare against the three lexicographically last skyline points.
+  std::vector<size_t> tail(sky.end() - 3, sky.end());
+  EXPECT_GE(greedy_cover, DominatedCoverage(w.data, tail));
+}
+
+TEST(SkyDomTest, FirstPickMaximizesSingleCoverage) {
+  Workload w = MakeWorkload(150, 3, 100, 13);
+  Result<Selection> s = SkyDom(w.data, w.evaluator, {.k = 1});
+  ASSERT_TRUE(s.ok());
+  ASSERT_EQ(s->indices.size(), 1u);
+  size_t chosen_cover = DominatedCoverage(w.data, s->indices);
+  for (size_t candidate : SkylineIndices(w.data)) {
+    std::vector<size_t> single = {candidate};
+    EXPECT_LE(DominatedCoverage(w.data, single), chosen_cover);
+  }
+}
+
+TEST(SkyDomTest, PadsWhenSkylineSmallerThanK) {
+  // A correlated dataset with a tiny skyline.
+  Dataset data(Matrix::FromRows(
+      {{1.0, 1.0}, {0.9, 0.9}, {0.8, 0.8}, {0.7, 0.7}, {0.6, 0.6}}));
+  UniformLinearDistribution theta;
+  Rng rng(14);
+  RegretEvaluator evaluator(theta.Sample(data, 20, rng));
+  Result<Selection> s = SkyDom(data, evaluator, {.k = 3});
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->indices.size(), 3u);
+}
+
+// -------------------------------------------------------------------- K-HIT
+
+TEST(KHitTest, RejectsInvalidOptions) {
+  Workload w = MakeWorkload(20, 3, 50, 15);
+  EXPECT_FALSE(KHit(w.evaluator, {.k = 0}).ok());
+  EXPECT_FALSE(KHit(w.evaluator, {.k = 21}).ok());
+}
+
+TEST(KHitTest, MaximizesHitProbabilityExactly) {
+  Workload w = MakeWorkload(30, 3, 500, 16);
+  Result<Selection> s = KHit(w.evaluator, {.k = 3});
+  ASSERT_TRUE(s.ok());
+  double hit = HitProbability(w.evaluator, s->indices);
+  // Compare against every 3-subset drawn from the points that are at least
+  // one user's favorite (others add nothing).
+  std::vector<size_t> favorites;
+  {
+    std::vector<uint8_t> seen(w.evaluator.num_points(), 0);
+    for (size_t u = 0; u < w.evaluator.num_users(); ++u) {
+      size_t p = w.evaluator.BestPointInDb(u);
+      if (!seen[p]) {
+        seen[p] = 1;
+        favorites.push_back(p);
+      }
+    }
+  }
+  for (size_t a = 0; a < favorites.size(); ++a) {
+    for (size_t b = a + 1; b < favorites.size(); ++b) {
+      for (size_t c = b + 1; c < favorites.size(); ++c) {
+        std::vector<size_t> combo = {favorites[a], favorites[b],
+                                     favorites[c]};
+        EXPECT_LE(HitProbability(w.evaluator, combo), hit + 1e-12);
+      }
+    }
+  }
+}
+
+TEST(KHitTest, HitProbabilityGrowsWithK) {
+  Workload w = MakeWorkload(50, 4, 400, 17);
+  double previous = 0.0;
+  for (size_t k = 1; k <= 10; k += 3) {
+    Result<Selection> s = KHit(w.evaluator, {.k = k});
+    ASSERT_TRUE(s.ok());
+    double hit = HitProbability(w.evaluator, s->indices);
+    EXPECT_GE(hit, previous - 1e-12);
+    previous = hit;
+  }
+}
+
+TEST(KHitTest, RespectsUserWeights) {
+  // Two points, two users; the weighted user dominates the choice.
+  UtilityMatrix users = UtilityMatrix::FromScores(
+      Matrix::FromRows({{1.0, 0.0}, {0.0, 1.0}}));
+  RegretEvaluator evaluator(users, {0.9, 0.1});
+  Result<Selection> s = KHit(evaluator, {.k = 1});
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->indices, (std::vector<size_t>{0}));
+  EXPECT_NEAR(HitProbability(evaluator, s->indices), 0.9, 1e-12);
+}
+
+// ------------------------------------------------- cross-algorithm sanity
+
+TEST(BaselineComparisonTest, GreedyShrinkWinsOnAverageRegret) {
+  // The paper's headline: Greedy-Shrink's arr is the smallest of the four
+  // (K-Hit close behind) on linear-uniform workloads.
+  Workload w = MakeWorkload(150, 4, 2000, 18);
+  size_t k = 8;
+  Result<Selection> greedy = GreedyShrink(w.evaluator, {.k = k});
+  Result<Selection> mrr = MrrGreedy(w.data, w.evaluator, {.k = k});
+  Result<Selection> dom = SkyDom(w.data, w.evaluator, {.k = k});
+  Result<Selection> hit = KHit(w.evaluator, {.k = k});
+  ASSERT_TRUE(greedy.ok() && mrr.ok() && dom.ok() && hit.ok());
+  EXPECT_LE(greedy->average_regret_ratio,
+            w.evaluator.AverageRegretRatio(mrr->indices) + 1e-9);
+  EXPECT_LE(greedy->average_regret_ratio,
+            w.evaluator.AverageRegretRatio(dom->indices) + 1e-9);
+  EXPECT_LE(greedy->average_regret_ratio,
+            w.evaluator.AverageRegretRatio(hit->indices) + 1e-9);
+}
+
+TEST(BaselineComparisonTest, MrrGreedyImprovesItsOwnObjectiveWithK) {
+  // No algorithm is guaranteed to win the *sampled* max regret on a given
+  // instance, but MRR-Greedy must strictly improve its own objective as k
+  // grows and must end far below its k = 1 starting point.
+  Workload w = MakeWorkload(120, 3, 1500, 19);
+  Result<Selection> k1 = MrrGreedy(
+      w.data, w.evaluator,
+      {.k = 1, .mode = MrrGreedyMode::kLinearProgramming});
+  Result<Selection> k8 = MrrGreedy(
+      w.data, w.evaluator,
+      {.k = 8, .mode = MrrGreedyMode::kLinearProgramming});
+  ASSERT_TRUE(k1.ok() && k8.ok());
+  double mrr_k1 = MaxRegretRatio(w.evaluator, k1->indices);
+  double mrr_k8 = MaxRegretRatio(w.evaluator, k8->indices);
+  EXPECT_LT(mrr_k8, 0.6 * mrr_k1);
+}
+
+}  // namespace
+}  // namespace fam

@@ -1,0 +1,146 @@
+#include "core/branch_and_bound.h"
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+#include "core/greedy_shrink.h"
+#include "data/generator.h"
+#include "geom/skyline.h"
+#include "utility/distribution.h"
+
+namespace fam {
+namespace {
+
+RegretEvaluator LinearEvaluator(size_t n, size_t d, size_t users,
+                                uint64_t seed) {
+  Dataset data = GenerateSynthetic(
+      {.n = n, .d = d,
+       .distribution = SyntheticDistribution::kAntiCorrelated,
+       .seed = seed});
+  UniformLinearDistribution theta;
+  Rng rng(seed + 1);
+  return RegretEvaluator(theta.Sample(data, users, rng));
+}
+
+TEST(BranchAndBoundTest, RejectsInvalidK) {
+  RegretEvaluator evaluator = LinearEvaluator(10, 2, 30, 1);
+  EXPECT_FALSE(BranchAndBound(evaluator, {.k = 0}).ok());
+  EXPECT_FALSE(BranchAndBound(evaluator, {.k = 11}).ok());
+}
+
+TEST(BranchAndBoundTest, NodeLimitAborts) {
+  RegretEvaluator evaluator = LinearEvaluator(30, 3, 100, 2);
+  BranchAndBoundOptions options;
+  options.k = 5;
+  options.max_nodes = 3;
+  Result<Selection> r = BranchAndBound(evaluator, options);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+struct BnbCase {
+  std::string name;
+  size_t n;
+  size_t d;
+  size_t users;
+  size_t k;
+  uint64_t seed;
+};
+
+class BnbOptimalityTest : public testing::TestWithParam<BnbCase> {};
+
+TEST_P(BnbOptimalityTest, MatchesBruteForceOptimum) {
+  const BnbCase& param = GetParam();
+  RegretEvaluator evaluator =
+      LinearEvaluator(param.n, param.d, param.users, param.seed);
+  BranchAndBoundStats stats;
+  Result<Selection> bnb =
+      BranchAndBound(evaluator, {.k = param.k}, &stats);
+  Result<Selection> exact = BruteForce(evaluator, {.k = param.k});
+  ASSERT_TRUE(bnb.ok() && exact.ok());
+  EXPECT_NEAR(bnb->average_regret_ratio, exact->average_regret_ratio,
+              1e-12)
+      << "branch and bound missed the optimum";
+  EXPECT_GT(stats.nodes_visited, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallInstances, BnbOptimalityTest,
+    testing::Values(BnbCase{"n12k3", 12, 3, 80, 3, 10},
+                    BnbCase{"n15k4", 15, 3, 100, 4, 11},
+                    BnbCase{"n18k3", 18, 2, 120, 3, 12},
+                    BnbCase{"n14k5", 14, 4, 90, 5, 13},
+                    BnbCase{"n20k2", 20, 3, 120, 2, 14},
+                    BnbCase{"n10k1", 10, 3, 60, 1, 15}),
+    [](const testing::TestParamInfo<BnbCase>& info) {
+      return info.param.name;
+    });
+
+TEST(BranchAndBoundTest, PrunesRelativeToFullEnumeration) {
+  RegretEvaluator evaluator = LinearEvaluator(20, 3, 100, 20);
+  BranchAndBoundStats stats;
+  Result<Selection> bnb = BranchAndBound(evaluator, {.k = 4}, &stats);
+  ASSERT_TRUE(bnb.ok());
+  // The include/exclude tree has ~2^20 nodes; pruning must slash that.
+  EXPECT_LT(stats.nodes_visited, 100000u);
+  EXPECT_GT(stats.nodes_pruned, 0u);
+}
+
+TEST(BranchAndBoundTest, ReportsWhenGreedySeedWasOptimal) {
+  // On the hotel example greedy-shrink matches the optimum; the search
+  // should certify it rather than improve it.
+  RegretEvaluator evaluator(HotelExampleUtilityMatrix());
+  BranchAndBoundStats stats;
+  Result<Selection> bnb = BranchAndBound(evaluator, {.k = 2}, &stats);
+  Result<Selection> greedy = GreedyShrink(evaluator, {.k = 2});
+  ASSERT_TRUE(bnb.ok() && greedy.ok());
+  EXPECT_DOUBLE_EQ(bnb->average_regret_ratio,
+                   greedy->average_regret_ratio);
+  EXPECT_TRUE(stats.greedy_was_optimal);
+}
+
+TEST(GreedyShrinkOnSkylineTest, MatchesFullRunQuality) {
+  Dataset data = GenerateSynthetic({.n = 500, .d = 3,
+      .distribution = SyntheticDistribution::kIndependent, .seed = 30});
+  UniformLinearDistribution theta;
+  Rng rng(31);
+  RegretEvaluator evaluator(theta.Sample(data, 1000, rng));
+  Result<Selection> full = GreedyShrink(evaluator, {.k = 6});
+  GreedyShrinkStats stats;
+  Result<Selection> restricted =
+      GreedyShrinkOnSkyline(data, evaluator, {.k = 6}, &stats);
+  ASSERT_TRUE(full.ok() && restricted.ok());
+  EXPECT_EQ(restricted->indices.size(), 6u);
+  EXPECT_NEAR(restricted->average_regret_ratio,
+              full->average_regret_ratio, 0.01);
+  // Every selected point must be on the skyline (no padding needed here).
+  for (size_t p : restricted->indices) {
+    EXPECT_TRUE(IsSkylinePoint(data, p));
+  }
+}
+
+TEST(GreedyShrinkOnSkylineTest, PadsTinySkyline) {
+  // Fully correlated chain: the skyline is one point.
+  Dataset data(Matrix::FromRows(
+      {{0.5, 0.5}, {0.6, 0.6}, {0.7, 0.7}, {1.0, 1.0}}));
+  UniformLinearDistribution theta;
+  Rng rng(32);
+  RegretEvaluator evaluator(theta.Sample(data, 50, rng));
+  Result<Selection> s = GreedyShrinkOnSkyline(data, evaluator, {.k = 3});
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->indices.size(), 3u);
+  // The skyline point (index 3) must be included.
+  EXPECT_TRUE(std::find(s->indices.begin(), s->indices.end(), 3u) !=
+              s->indices.end());
+  EXPECT_NEAR(s->average_regret_ratio, 0.0, 1e-12);
+}
+
+TEST(GreedyShrinkOnSkylineTest, RejectsMismatchedEvaluator) {
+  Dataset data = GenerateSynthetic({.n = 20, .d = 2,
+      .distribution = SyntheticDistribution::kIndependent, .seed = 33});
+  RegretEvaluator evaluator(HotelExampleUtilityMatrix());  // 4 points
+  EXPECT_FALSE(GreedyShrinkOnSkyline(data, evaluator, {.k = 2}).ok());
+}
+
+}  // namespace
+}  // namespace fam

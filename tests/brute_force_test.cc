@@ -1,0 +1,103 @@
+#include "core/brute_force.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "utility/distribution.h"
+
+namespace fam {
+namespace {
+
+TEST(BinomialTest, SmallValues) {
+  EXPECT_EQ(BinomialCoefficient(5, 2), 10u);
+  EXPECT_EQ(BinomialCoefficient(10, 0), 1u);
+  EXPECT_EQ(BinomialCoefficient(10, 10), 1u);
+  EXPECT_EQ(BinomialCoefficient(10, 1), 10u);
+  EXPECT_EQ(BinomialCoefficient(52, 5), 2598960u);
+  EXPECT_EQ(BinomialCoefficient(3, 5), 0u);
+}
+
+TEST(BinomialTest, SymmetricInK) {
+  EXPECT_EQ(BinomialCoefficient(30, 7), BinomialCoefficient(30, 23));
+}
+
+TEST(BinomialTest, SaturatesOnOverflow) {
+  EXPECT_EQ(BinomialCoefficient(10000, 5000),
+            std::numeric_limits<uint64_t>::max());
+}
+
+TEST(BruteForceTest, RejectsInvalidK) {
+  RegretEvaluator evaluator(HotelExampleUtilityMatrix());
+  EXPECT_FALSE(BruteForce(evaluator, {.k = 0}).ok());
+  EXPECT_FALSE(BruteForce(evaluator, {.k = 5}).ok());
+}
+
+TEST(BruteForceTest, RespectsSubsetBudget) {
+  Dataset data = GenerateSynthetic({.n = 40, .d = 2,
+      .distribution = SyntheticDistribution::kIndependent, .seed = 3});
+  UniformLinearDistribution theta;
+  Rng rng(4);
+  RegretEvaluator evaluator(theta.Sample(data, 50, rng));
+  BruteForceOptions options;
+  options.k = 10;
+  options.max_subsets = 1000;  // C(40,10) is astronomically larger
+  Result<Selection> r = BruteForce(evaluator, options);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(BruteForceTest, HotelExampleOptimalPair) {
+  // For the Table I users the optimal pair is {Shangri-La, Hilton}:
+  // rr = (0.9-0.7)/0.9 (Alex), 0 (Jerry), 0 (Tom), (1-0.9)/1 (Sam)
+  // -> arr = (2/9 + 0.1)/4 ≈ 0.0806, which beats all other pairs.
+  RegretEvaluator evaluator(HotelExampleUtilityMatrix());
+  Result<Selection> best = BruteForce(evaluator, {.k = 2});
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ(best->indices, (std::vector<size_t>{1, 3}));
+  EXPECT_NEAR(best->average_regret_ratio, (0.2 / 0.9 + 0.1) / 4.0, 1e-12);
+}
+
+TEST(BruteForceTest, FindsZeroRegretSetWhenOneExists) {
+  // Three users, each loving a distinct point: k = 3 covers everyone.
+  UtilityMatrix users = UtilityMatrix::FromScores(Matrix::FromRows({
+      {1.0, 0.0, 0.0, 0.2},
+      {0.0, 1.0, 0.0, 0.2},
+      {0.0, 0.0, 1.0, 0.2},
+  }));
+  RegretEvaluator evaluator(users);
+  Result<Selection> best = BruteForce(evaluator, {.k = 3});
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ(best->indices, (std::vector<size_t>{0, 1, 2}));
+  EXPECT_DOUBLE_EQ(best->average_regret_ratio, 0.0);
+}
+
+TEST(BruteForceTest, ExhaustiveMatchesManualScan) {
+  Dataset data = GenerateSynthetic({.n = 9, .d = 3,
+      .distribution = SyntheticDistribution::kIndependent, .seed = 5});
+  UniformLinearDistribution theta;
+  Rng rng(6);
+  RegretEvaluator evaluator(theta.Sample(data, 60, rng));
+  Result<Selection> best = BruteForce(evaluator, {.k = 2});
+  ASSERT_TRUE(best.ok());
+  // Manual double loop over all pairs.
+  double manual_best = 2.0;
+  for (size_t a = 0; a < 9; ++a) {
+    for (size_t b = a + 1; b < 9; ++b) {
+      std::vector<size_t> pair = {a, b};
+      manual_best =
+          std::min(manual_best, evaluator.AverageRegretRatio(pair));
+    }
+  }
+  EXPECT_DOUBLE_EQ(best->average_regret_ratio, manual_best);
+}
+
+TEST(BruteForceTest, KEqualsNIsWholeDatabase) {
+  RegretEvaluator evaluator(HotelExampleUtilityMatrix());
+  Result<Selection> best = BruteForce(evaluator, {.k = 4});
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ(best->indices, (std::vector<size_t>{0, 1, 2, 3}));
+  EXPECT_DOUBLE_EQ(best->average_regret_ratio, 0.0);
+}
+
+}  // namespace
+}  // namespace fam

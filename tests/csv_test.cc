@@ -1,0 +1,108 @@
+#include "data/csv.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+namespace fam {
+namespace {
+
+TEST(CsvReadTest, ParsesHeaderAndValues) {
+  Result<Dataset> d = ReadCsvString("a,b\n1,2\n3,4\n");
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_EQ(d->size(), 2u);
+  EXPECT_EQ(d->dimension(), 2u);
+  EXPECT_DOUBLE_EQ(d->at(1, 0), 3.0);
+  ASSERT_EQ(d->attribute_names().size(), 2u);
+  EXPECT_EQ(d->attribute_names()[0], "a");
+}
+
+TEST(CsvReadTest, NoHeaderMode) {
+  CsvOptions options;
+  options.has_header = false;
+  Result<Dataset> d = ReadCsvString("1,2\n3,4\n", options);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->size(), 2u);
+  EXPECT_TRUE(d->attribute_names().empty());
+}
+
+TEST(CsvReadTest, LabelColumn) {
+  CsvOptions options;
+  options.first_column_is_label = true;
+  Result<Dataset> d =
+      ReadCsvString("name,x,y\nalpha,1,2\nbeta,3,4\n", options);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->dimension(), 2u);
+  EXPECT_EQ(d->LabelOf(0), "alpha");
+  EXPECT_EQ(d->LabelOf(1), "beta");
+  ASSERT_EQ(d->attribute_names().size(), 2u);
+  EXPECT_EQ(d->attribute_names()[0], "x");
+}
+
+TEST(CsvReadTest, SkipsBlankLinesAndHandlesCrLf) {
+  Result<Dataset> d = ReadCsvString("a,b\r\n1,2\r\n\n3,4\n");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->size(), 2u);
+}
+
+TEST(CsvReadTest, RejectsRaggedRows) {
+  Result<Dataset> d = ReadCsvString("a,b\n1,2\n3\n");
+  EXPECT_FALSE(d.ok());
+  EXPECT_EQ(d.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvReadTest, RejectsNonNumericValue) {
+  Result<Dataset> d = ReadCsvString("a,b\n1,oops\n");
+  EXPECT_FALSE(d.ok());
+}
+
+TEST(CsvReadTest, RejectsEmptyInput) {
+  EXPECT_FALSE(ReadCsvString("").ok());
+  EXPECT_FALSE(ReadCsvString("a,b\n").ok());  // header only
+}
+
+TEST(CsvReadTest, CustomDelimiter) {
+  CsvOptions options;
+  options.delimiter = ';';
+  Result<Dataset> d = ReadCsvString("a;b\n1;2\n", options);
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(d->at(0, 1), 2.0);
+}
+
+TEST(CsvRoundTripTest, WriteThenReadPreservesData) {
+  Dataset original(Matrix::FromRows({{0.25, 1.5}, {2.0, -3.75}}),
+                   {"c1", "c2"}, {"first", "second"});
+  std::string text = WriteCsvString(original);
+  CsvOptions options;
+  options.first_column_is_label = true;
+  Result<Dataset> parsed = ReadCsvString(text, options);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->size(), original.size());
+  EXPECT_EQ(parsed->dimension(), original.dimension());
+  for (size_t r = 0; r < original.size(); ++r) {
+    for (size_t c = 0; c < original.dimension(); ++c) {
+      EXPECT_DOUBLE_EQ(parsed->at(r, c), original.at(r, c));
+    }
+  }
+  EXPECT_EQ(parsed->labels(), original.labels());
+  EXPECT_EQ(parsed->attribute_names(), original.attribute_names());
+}
+
+TEST(CsvFileTest, WritesAndReadsFiles) {
+  Dataset original(Matrix::FromRows({{1.0, 2.0}}), {"x", "y"}, {});
+  std::string path = testing::TempDir() + "/fam_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(original, path).ok());
+  Result<Dataset> parsed = ReadCsvFile(path);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_DOUBLE_EQ(parsed->at(0, 1), 2.0);
+  std::remove(path.c_str());
+}
+
+TEST(CsvFileTest, MissingFileIsIoError) {
+  Result<Dataset> d = ReadCsvFile("/nonexistent/definitely/missing.csv");
+  EXPECT_FALSE(d.ok());
+  EXPECT_EQ(d.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace fam

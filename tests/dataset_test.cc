@@ -1,0 +1,91 @@
+#include "data/dataset.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace fam {
+namespace {
+
+Dataset MakeLabeled() {
+  return Dataset(Matrix::FromRows({{1.0, 10.0}, {2.0, 20.0}, {3.0, 30.0}}),
+                 {"a", "b"}, {"p", "q", "r"});
+}
+
+TEST(DatasetTest, BasicAccessors) {
+  Dataset d = MakeLabeled();
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_EQ(d.dimension(), 2u);
+  EXPECT_FALSE(d.empty());
+  EXPECT_DOUBLE_EQ(d.at(1, 1), 20.0);
+  EXPECT_DOUBLE_EQ(d.point(2)[0], 3.0);
+  EXPECT_EQ(d.row(0).size(), 2u);
+}
+
+TEST(DatasetTest, LabelOfFallsBackToIndexName) {
+  Dataset unlabeled(Matrix::FromRows({{1.0}}));
+  EXPECT_EQ(unlabeled.LabelOf(0), "p0");
+  EXPECT_EQ(MakeLabeled().LabelOf(2), "r");
+}
+
+TEST(DatasetTest, SubsetPreservesValuesAndLabels) {
+  Dataset d = MakeLabeled();
+  std::vector<size_t> keep = {2, 0};
+  Dataset sub = d.Subset(keep);
+  EXPECT_EQ(sub.size(), 2u);
+  EXPECT_DOUBLE_EQ(sub.at(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(sub.at(1, 1), 10.0);
+  EXPECT_EQ(sub.LabelOf(0), "r");
+  EXPECT_EQ(sub.LabelOf(1), "p");
+  EXPECT_EQ(sub.attribute_names(), d.attribute_names());
+}
+
+TEST(DatasetTest, ProjectSelectsColumns) {
+  Dataset d = MakeLabeled();
+  std::vector<size_t> cols = {1};
+  Dataset proj = d.Project(cols);
+  EXPECT_EQ(proj.dimension(), 1u);
+  EXPECT_DOUBLE_EQ(proj.at(2, 0), 30.0);
+  ASSERT_EQ(proj.attribute_names().size(), 1u);
+  EXPECT_EQ(proj.attribute_names()[0], "b");
+  EXPECT_EQ(proj.labels(), d.labels());
+}
+
+TEST(DatasetTest, NormalizeMinMaxMapsToUnitInterval) {
+  Dataset d(Matrix::FromRows({{0.0, 5.0}, {10.0, 5.0}, {5.0, 15.0}}));
+  Dataset norm = d.NormalizeMinMax();
+  EXPECT_DOUBLE_EQ(norm.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(norm.at(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(norm.at(2, 0), 0.5);
+  // Constant column maps to zero.
+  EXPECT_DOUBLE_EQ(norm.at(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(norm.at(2, 1), 1.0);
+}
+
+TEST(DatasetTest, NormalizeConstantColumnIsZero) {
+  Dataset d(Matrix::FromRows({{7.0}, {7.0}}));
+  Dataset norm = d.NormalizeMinMax();
+  EXPECT_DOUBLE_EQ(norm.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(norm.at(1, 0), 0.0);
+}
+
+TEST(DatasetTest, ValidateAcceptsFiniteData) {
+  EXPECT_TRUE(MakeLabeled().Validate().ok());
+}
+
+TEST(DatasetTest, ValidateRejectsNonFinite) {
+  Dataset d(Matrix::FromRows({{1.0, std::nan("")}}));
+  EXPECT_FALSE(d.Validate().ok());
+  Dataset inf(Matrix::FromRows({{INFINITY}}));
+  EXPECT_FALSE(inf.Validate().ok());
+}
+
+TEST(DatasetTest, EmptyDatasetBehaves) {
+  Dataset d;
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.size(), 0u);
+  EXPECT_TRUE(d.Validate().ok());
+}
+
+}  // namespace
+}  // namespace fam

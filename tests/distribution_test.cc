@@ -1,0 +1,156 @@
+#include "utility/distribution.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/matrix.h"
+#include "data/generator.h"
+
+namespace fam {
+namespace {
+
+Dataset SmallData() {
+  return GenerateSynthetic({.n = 40, .d = 3,
+      .distribution = SyntheticDistribution::kIndependent, .seed = 8});
+}
+
+TEST(UniformLinearTest, SimplexWeightsSumToOne) {
+  UniformLinearDistribution dist(WeightDomain::kSimplex);
+  Rng rng(1);
+  Matrix w = dist.SampleWeights(100, 5, rng);
+  for (size_t u = 0; u < w.rows(); ++u) {
+    double sum = 0.0;
+    for (size_t j = 0; j < w.cols(); ++j) {
+      EXPECT_GE(w(u, j), 0.0);
+      sum += w(u, j);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(UniformLinearTest, BoxWeightsInUnitBox) {
+  UniformLinearDistribution dist(WeightDomain::kUnitBox);
+  Rng rng(2);
+  Matrix w = dist.SampleWeights(100, 4, rng);
+  for (double v : w.data()) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(UniformLinearTest, SphereWeightsOnUnitSphere) {
+  UniformLinearDistribution dist(WeightDomain::kSphere);
+  Rng rng(3);
+  Matrix w = dist.SampleWeights(50, 6, rng);
+  for (size_t u = 0; u < w.rows(); ++u) {
+    double norm_sq = 0.0;
+    for (size_t j = 0; j < w.cols(); ++j) {
+      EXPECT_GE(w(u, j), 0.0);
+      norm_sq += w(u, j) * w(u, j);
+    }
+    EXPECT_NEAR(norm_sq, 1.0, 1e-9);
+  }
+}
+
+TEST(UniformLinearTest, SampleBindsToDataset) {
+  Dataset data = SmallData();
+  UniformLinearDistribution dist;
+  Rng rng(4);
+  UtilityMatrix users = dist.Sample(data, 20, rng);
+  EXPECT_EQ(users.num_users(), 20u);
+  EXPECT_EQ(users.num_points(), data.size());
+  EXPECT_TRUE(users.is_weighted());
+}
+
+TEST(UniformLinearTest, NamesAreDistinctPerDomain) {
+  EXPECT_NE(UniformLinearDistribution(WeightDomain::kUnitBox).name(),
+            UniformLinearDistribution(WeightDomain::kSimplex).name());
+}
+
+TEST(Angle2dTest, WeightsAreUnitDirections) {
+  Dataset data = GenerateSynthetic({.n = 20, .d = 2,
+      .distribution = SyntheticDistribution::kIndependent, .seed = 5});
+  Angle2dDistribution dist;
+  Rng rng(6);
+  UtilityMatrix users = dist.Sample(data, 50, rng);
+  for (size_t u = 0; u < users.num_users(); ++u) {
+    std::span<const double> w = users.UserWeights(u);
+    EXPECT_NEAR(w[0] * w[0] + w[1] * w[1], 1.0, 1e-12);
+    EXPECT_GE(w[0], 0.0);
+    EXPECT_GE(w[1], 0.0);
+  }
+}
+
+TEST(CesTest, RhoOneEqualsLinear) {
+  Dataset data = SmallData();
+  CesDistribution ces(1.0);
+  Rng rng_a(7);
+  UtilityMatrix ces_users = ces.Sample(data, 10, rng_a);
+  // Same weights drawn with the same seed by the simplex sampler.
+  UniformLinearDistribution linear(WeightDomain::kSimplex);
+  Rng rng_b(7);
+  UtilityMatrix linear_users = linear.Sample(data, 10, rng_b);
+  for (size_t u = 0; u < 10; ++u) {
+    for (size_t p = 0; p < data.size(); ++p) {
+      EXPECT_NEAR(ces_users.Utility(u, p), linear_users.Utility(u, p),
+                  1e-9);
+    }
+  }
+}
+
+TEST(CesTest, ProducesExplicitNonLinearScores) {
+  Dataset data = SmallData();
+  CesDistribution ces(0.5);
+  Rng rng(8);
+  UtilityMatrix users = ces.Sample(data, 5, rng);
+  EXPECT_FALSE(users.is_weighted());
+  for (size_t u = 0; u < users.num_users(); ++u) {
+    for (size_t p = 0; p < data.size(); ++p) {
+      EXPECT_GE(users.Utility(u, p), 0.0);
+    }
+  }
+}
+
+TEST(LatentLinearTest, SamplerDrivesWeights) {
+  Matrix basis = Matrix::FromRows({{1.0, 0.0}, {0.0, 1.0}, {2.0, 2.0}});
+  LatentLinearDistribution dist(
+      basis, [](Rng&) { return std::vector<double>{1.0, 2.0}; });
+  Dataset data(Matrix::FromRows({{0.0}, {0.0}, {0.0}}));  // size only
+  Rng rng(9);
+  UtilityMatrix users = dist.Sample(data, 3, rng);
+  EXPECT_EQ(users.num_points(), 3u);
+  EXPECT_DOUBLE_EQ(users.Utility(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(users.Utility(1, 1), 2.0);
+  EXPECT_DOUBLE_EQ(users.Utility(2, 2), 6.0);
+}
+
+TEST(DiscreteTest, UniformProbabilitiesByDefault) {
+  DiscreteDistribution dist(Matrix::FromRows({{1.0, 0.0}, {0.0, 1.0}}), {});
+  EXPECT_EQ(dist.num_distinct_users(), 2u);
+  EXPECT_DOUBLE_EQ(dist.probabilities()[0], 0.5);
+}
+
+TEST(DiscreteTest, SamplingMatchesProbabilities) {
+  DiscreteDistribution dist(Matrix::FromRows({{1.0, 0.0}, {0.0, 1.0}}),
+                            {0.8, 0.2});
+  Dataset data(Matrix::FromRows({{0.0}, {0.0}}));
+  Rng rng(10);
+  UtilityMatrix users = dist.Sample(data, 20000, rng);
+  size_t first_type = 0;
+  for (size_t u = 0; u < users.num_users(); ++u) {
+    if (users.Utility(u, 0) > 0.5) ++first_type;
+  }
+  EXPECT_NEAR(static_cast<double>(first_type) / 20000.0, 0.8, 0.02);
+}
+
+TEST(DiscreteTest, ExactUsersRoundTrip) {
+  Matrix table = Matrix::FromRows({{0.9, 0.1}, {0.3, 0.7}});
+  DiscreteDistribution dist(table, {});
+  UtilityMatrix exact = dist.ExactUsers();
+  EXPECT_EQ(exact.num_users(), 2u);
+  EXPECT_DOUBLE_EQ(exact.Utility(1, 1), 0.7);
+}
+
+}  // namespace
+}  // namespace fam

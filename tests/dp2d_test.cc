@@ -1,0 +1,270 @@
+#include "core/dp2d.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+#include "core/greedy_shrink.h"
+#include "data/generator.h"
+#include "regret/evaluator.h"
+#include "utility/distribution.h"
+
+namespace fam {
+namespace {
+
+constexpr double kHalfPi = M_PI / 2.0;
+
+Dataset Staircase() {
+  // A clean 2-D skyline staircase (plus dominated chaff).
+  return Dataset(Matrix::FromRows({
+      {1.00, 0.05},
+      {0.85, 0.45},
+      {0.60, 0.70},
+      {0.35, 0.90},
+      {0.05, 1.00},
+      {0.20, 0.20},  // dominated
+      {0.50, 0.30},  // dominated
+  }));
+}
+
+TEST(Angle2dEnvironmentTest, RejectsBadInputs) {
+  Dataset wrong_dim = GenerateSynthetic({.n = 10, .d = 3,
+      .distribution = SyntheticDistribution::kIndependent, .seed = 1});
+  EXPECT_FALSE(Angle2dEnvironment::Build(wrong_dim).ok());
+  Dataset empty;
+  EXPECT_FALSE(Angle2dEnvironment::Build(empty).ok());
+  Dataset origin(Matrix::FromRows({{0.0, 0.0}}));
+  EXPECT_FALSE(Angle2dEnvironment::Build(origin).ok());
+}
+
+TEST(Angle2dEnvironmentTest, SkylineSortedByDescendingX) {
+  Result<Angle2dEnvironment> env = Angle2dEnvironment::Build(Staircase());
+  ASSERT_TRUE(env.ok());
+  EXPECT_EQ(env->size(), 5u);
+  for (size_t i = 1; i < env->size(); ++i) {
+    EXPECT_GT(env->x(i - 1), env->x(i));
+    EXPECT_LT(env->y(i - 1), env->y(i));
+  }
+  EXPECT_EQ(env->original_index(0), 0u);
+  EXPECT_EQ(env->original_index(4), 4u);
+}
+
+TEST(Angle2dEnvironmentTest, SeparatingAngleSwitchesPreference) {
+  Result<Angle2dEnvironment> env = Angle2dEnvironment::Build(Staircase());
+  ASSERT_TRUE(env.ok());
+  for (size_t i = 0; i < env->size(); ++i) {
+    for (size_t j = i + 1; j < env->size(); ++j) {
+      double theta = env->SeparatingAngle(i, j);
+      ASSERT_GT(theta, 0.0);
+      ASSERT_LT(theta, kHalfPi);
+      // Just below: earlier (larger-x) point preferred; just above: later.
+      EXPECT_GT(env->UtilityAt(i, theta - 1e-6),
+                env->UtilityAt(j, theta - 1e-6));
+      EXPECT_LT(env->UtilityAt(i, theta + 1e-6),
+                env->UtilityAt(j, theta + 1e-6));
+      // At the boundary, utilities tie.
+      EXPECT_NEAR(env->UtilityAt(i, theta), env->UtilityAt(j, theta), 1e-9);
+    }
+  }
+}
+
+TEST(Angle2dEnvironmentTest, SeparatingAnglesAreMonotoneAlongSkyline) {
+  Result<Angle2dEnvironment> env = Angle2dEnvironment::Build(Staircase());
+  ASSERT_TRUE(env.ok());
+  // Consecutive separating angles increase along a convex staircase.
+  for (size_t i = 0; i + 2 < env->size(); ++i) {
+    EXPECT_LT(env->SeparatingAngle(i, i + 1),
+              env->SeparatingAngle(i + 1, i + 2));
+  }
+}
+
+TEST(Angle2dEnvironmentTest, EnvelopeAgreesWithBestPointScan) {
+  Result<Angle2dEnvironment> env = Angle2dEnvironment::Build(Staircase());
+  ASSERT_TRUE(env.ok());
+  for (double theta = 0.01; theta < kHalfPi; theta += 0.01) {
+    size_t best = env->BestPointAtAngle(theta);
+    EXPECT_LE(env->envelope_lo(best), theta + 1e-9);
+    EXPECT_GE(env->envelope_hi(best), theta - 1e-9);
+  }
+}
+
+TEST(ClosedFormOracleTest, MatchesNumericIntegration) {
+  Result<Angle2dEnvironment> env = Angle2dEnvironment::Build(Staircase());
+  ASSERT_TRUE(env.ok());
+  ClosedFormAngleOracle oracle(*env);
+
+  // Trapezoidal reference integration of rr({p_i}, f_theta) * density.
+  auto numeric = [&](size_t i, double lo, double hi) {
+    const int steps = 20000;
+    double total = 0.0;
+    for (int s = 0; s < steps; ++s) {
+      double t0 = lo + (hi - lo) * s / steps;
+      double t1 = lo + (hi - lo) * (s + 1) / steps;
+      auto rr = [&](double theta) {
+        double best = env->UtilityAt(env->BestPointAtAngle(theta), theta);
+        return (best - env->UtilityAt(i, theta)) / best;
+      };
+      total += 0.5 * (rr(t0) + rr(t1)) * (t1 - t0);
+    }
+    return total / kHalfPi;
+  };
+
+  for (size_t i = 0; i < env->size(); ++i) {
+    EXPECT_NEAR(oracle.IntervalMass(i, 0.0, kHalfPi),
+                numeric(i, 0.0, kHalfPi), 1e-5);
+    EXPECT_NEAR(oracle.IntervalMass(i, 0.3, 1.1), numeric(i, 0.3, 1.1),
+                1e-5);
+  }
+}
+
+TEST(ClosedFormOracleTest, MassIsAdditiveAcrossIntervals) {
+  Result<Angle2dEnvironment> env = Angle2dEnvironment::Build(Staircase());
+  ASSERT_TRUE(env.ok());
+  ClosedFormAngleOracle oracle(*env);
+  for (size_t i = 0; i < env->size(); ++i) {
+    double whole = oracle.IntervalMass(i, 0.0, kHalfPi);
+    double split = oracle.IntervalMass(i, 0.0, 0.5) +
+                   oracle.IntervalMass(i, 0.5, 1.2) +
+                   oracle.IntervalMass(i, 1.2, kHalfPi);
+    EXPECT_NEAR(whole, split, 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(oracle.Measure(0.0, kHalfPi), 1.0);
+  EXPECT_NEAR(oracle.Measure(0.0, kHalfPi / 2), 0.5, 1e-12);
+}
+
+TEST(SampledOracleTest, FullIntervalMatchesEvaluatorArr) {
+  Dataset data = GenerateSynthetic({.n = 200, .d = 2,
+      .distribution = SyntheticDistribution::kIndependent, .seed = 71});
+  Result<Angle2dEnvironment> env = Angle2dEnvironment::Build(data);
+  ASSERT_TRUE(env.ok());
+  Angle2dDistribution theta;
+  Rng rng(72);
+  UtilityMatrix users = theta.Sample(data, 500, rng);
+  SampledAngleOracle oracle(*env, users);
+  RegretEvaluator evaluator(users);
+
+  // IntervalMass over the whole range equals the sampled arr({p}).
+  for (size_t i = 0; i < env->size(); ++i) {
+    std::vector<size_t> single = {env->original_index(i)};
+    EXPECT_NEAR(oracle.IntervalMass(i, 0.0, kHalfPi),
+                evaluator.AverageRegretRatio(single), 1e-9);
+  }
+  EXPECT_NEAR(oracle.Measure(0.0, kHalfPi), 1.0, 1e-12);
+}
+
+struct Dp2dCase {
+  std::string name;
+  size_t n;
+  size_t k;
+  SyntheticDistribution distribution;
+  uint64_t seed;
+};
+
+class Dp2dOptimalityTest : public testing::TestWithParam<Dp2dCase> {};
+
+// DP with the sampled oracle must equal the brute-force optimum computed on
+// exactly the same user sample.
+TEST_P(Dp2dOptimalityTest, MatchesBruteForceOnSample) {
+  const Dp2dCase& param = GetParam();
+  Dataset data = GenerateSynthetic({.n = param.n, .d = 2,
+      .distribution = param.distribution, .seed = param.seed});
+  Angle2dDistribution theta;
+  Rng rng(param.seed + 1);
+  UtilityMatrix users = theta.Sample(data, 400, rng);
+  RegretEvaluator evaluator(users);
+
+  Result<Selection> dp = SolveDp2dOnSample(data, users, param.k);
+  ASSERT_TRUE(dp.ok()) << dp.status().ToString();
+  Result<Selection> exact =
+      BruteForce(evaluator, {.k = param.k, .max_subsets = 5'000'000});
+  ASSERT_TRUE(exact.ok());
+
+  double dp_arr = evaluator.AverageRegretRatio(dp->indices);
+  EXPECT_NEAR(dp_arr, exact->average_regret_ratio, 1e-9)
+      << "DP is not optimal on the sample";
+  EXPECT_NEAR(dp->average_regret_ratio, dp_arr, 1e-9)
+      << "DP's reported arr disagrees with the evaluator";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, Dp2dOptimalityTest,
+    testing::Values(
+        Dp2dCase{"indep_k1", 30, 1, SyntheticDistribution::kIndependent, 80},
+        Dp2dCase{"indep_k2", 30, 2, SyntheticDistribution::kIndependent, 81},
+        Dp2dCase{"indep_k3", 25, 3, SyntheticDistribution::kIndependent, 82},
+        Dp2dCase{"anti_k2", 20, 2, SyntheticDistribution::kAntiCorrelated,
+                 83},
+        Dp2dCase{"anti_k4", 18, 4, SyntheticDistribution::kAntiCorrelated,
+                 84},
+        Dp2dCase{"corr_k2", 30, 2, SyntheticDistribution::kCorrelated, 85}),
+    [](const testing::TestParamInfo<Dp2dCase>& info) {
+      return info.param.name;
+    });
+
+TEST(Dp2dTest, UniformAngleOptimumConvergesToSampledOptimum) {
+  Dataset data = GenerateSynthetic({.n = 60, .d = 2,
+      .distribution = SyntheticDistribution::kAntiCorrelated, .seed = 90});
+  Result<Selection> closed = SolveDp2dUniformAngle(data, 3);
+  ASSERT_TRUE(closed.ok());
+
+  // Score the closed-form optimum on a large uniform-angle sample: it should
+  // be within sampling error of the sample's own optimum.
+  Angle2dDistribution theta;
+  Rng rng(91);
+  UtilityMatrix users = theta.Sample(data, 50000, rng);
+  RegretEvaluator evaluator(users);
+  Result<Selection> sampled = SolveDp2dOnSample(data, users, 3);
+  ASSERT_TRUE(sampled.ok());
+  double closed_scored = evaluator.AverageRegretRatio(closed->indices);
+  EXPECT_NEAR(closed_scored, sampled->average_regret_ratio, 0.01);
+  // And the closed form's own value should match its sampled score.
+  EXPECT_NEAR(closed->average_regret_ratio, closed_scored, 0.01);
+}
+
+TEST(Dp2dTest, KBeyondSkylinePadsAndIsZeroRegret) {
+  Dataset data = Staircase();
+  Result<Selection> s = SolveDp2dUniformAngle(data, 7);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->indices.size(), 7u);
+  EXPECT_NEAR(s->average_regret_ratio, 0.0, 1e-12);
+}
+
+TEST(Dp2dTest, SingleBestPointForKOne) {
+  Dataset data = Staircase();
+  Result<Selection> s = SolveDp2dUniformAngle(data, 1);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->indices.size(), 1u);
+  // Check against a scan over all single skyline points.
+  Result<Angle2dEnvironment> env = Angle2dEnvironment::Build(data);
+  ASSERT_TRUE(env.ok());
+  ClosedFormAngleOracle oracle(*env);
+  double best = 2.0;
+  for (size_t i = 0; i < env->size(); ++i) {
+    best = std::min(best, oracle.IntervalMass(i, 0.0, kHalfPi));
+  }
+  EXPECT_NEAR(s->average_regret_ratio, best, 1e-12);
+}
+
+TEST(Dp2dTest, GreedyShrinkNearOptimalOn2d) {
+  // Paper Fig. 1(b): Greedy-Shrink's arr/optimal is ~1 in 2-D.
+  // Anti-correlated 2-D data has a large skyline, so k = 4 cannot cover
+  // every user's favorite and the optimum stays strictly positive.
+  Dataset data = GenerateSynthetic({.n = 300, .d = 2,
+      .distribution = SyntheticDistribution::kAntiCorrelated, .seed = 95});
+  Angle2dDistribution theta;
+  Rng rng(96);
+  UtilityMatrix users = theta.Sample(data, 1000, rng);
+  RegretEvaluator evaluator(users);
+  Result<Selection> greedy = GreedyShrink(evaluator, {.k = 4});
+  Result<Selection> optimal = SolveDp2dOnSample(data, users, 4);
+  ASSERT_TRUE(greedy.ok() && optimal.ok());
+  ASSERT_GT(optimal->average_regret_ratio, 0.0);
+  double ratio =
+      greedy->average_regret_ratio / optimal->average_regret_ratio;
+  EXPECT_GE(ratio, 1.0 - 1e-9);
+  EXPECT_LT(ratio, 1.15);
+}
+
+}  // namespace
+}  // namespace fam

@@ -1,0 +1,125 @@
+#include "regret/evaluator.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "utility/distribution.h"
+
+namespace fam {
+namespace {
+
+// The paper's worked example (Sec. II-A and Appendix A): the hotel utility
+// table with S = {Intercontinental, Hilton} (indices 2, 3).
+class HotelEvaluatorTest : public testing::Test {
+ protected:
+  HotelEvaluatorTest() : evaluator_(HotelExampleUtilityMatrix()) {}
+  RegretEvaluator evaluator_;
+};
+
+TEST_F(HotelEvaluatorTest, BestInDbMatchesTable) {
+  EXPECT_DOUBLE_EQ(evaluator_.BestInDb(0), 0.9);  // Alex
+  EXPECT_DOUBLE_EQ(evaluator_.BestInDb(1), 1.0);  // Jerry
+  EXPECT_DOUBLE_EQ(evaluator_.BestInDb(2), 1.0);  // Tom
+  EXPECT_DOUBLE_EQ(evaluator_.BestInDb(3), 1.0);  // Sam
+  EXPECT_EQ(evaluator_.BestPointInDb(0), 0u);
+  EXPECT_EQ(evaluator_.BestPointInDb(3), 2u);
+}
+
+TEST_F(HotelEvaluatorTest, AlexSatisfactionWithInterconAndHilton) {
+  // Paper: Alex's satisfaction w.r.t. {Intercontinental, Hilton} is 0.4
+  // (Hilton is his best point in S); regret ratio = (0.9 - 0.4)/0.9.
+  std::vector<size_t> s = {2, 3};
+  EXPECT_NEAR(evaluator_.RegretRatio(0, s), (0.9 - 0.4) / 0.9, 1e-12);
+}
+
+TEST_F(HotelEvaluatorTest, AverageRegretRatioOfExampleSet) {
+  std::vector<size_t> s = {2, 3};
+  // rr: Alex 5/9, Jerry (1-0.5)/1, Tom 0 (Hilton = favorite),
+  // Sam 0 (Intercontinental = favorite); average over uniform users.
+  double expected = ((0.9 - 0.4) / 0.9 + 0.5 + 0.0 + 0.0) / 4.0;
+  EXPECT_NEAR(evaluator_.AverageRegretRatio(s), expected, 1e-12);
+}
+
+TEST_F(HotelEvaluatorTest, FullDatabaseHasZeroRegret) {
+  std::vector<size_t> all = {0, 1, 2, 3};
+  EXPECT_DOUBLE_EQ(evaluator_.AverageRegretRatio(all), 0.0);
+}
+
+TEST_F(HotelEvaluatorTest, EmptySetHasRegretOne) {
+  EXPECT_DOUBLE_EQ(evaluator_.AverageRegretRatio({}), 1.0);
+}
+
+TEST_F(HotelEvaluatorTest, WeightedUsersChangeTheAverage) {
+  // Put all mass on Alex: arr equals Alex's rr.
+  RegretEvaluator weighted(HotelExampleUtilityMatrix(),
+                           {1.0, 0.0, 0.0, 0.0});
+  std::vector<size_t> s = {2, 3};
+  EXPECT_NEAR(weighted.AverageRegretRatio(s), (0.9 - 0.4) / 0.9, 1e-12);
+}
+
+TEST_F(HotelEvaluatorTest, DistributionMatchesDirectComputation) {
+  std::vector<size_t> s = {2, 3};
+  RegretDistribution dist = evaluator_.Distribution(s);
+  EXPECT_NEAR(dist.average, evaluator_.AverageRegretRatio(s), 1e-15);
+  ASSERT_EQ(dist.regret_ratios.size(), 4u);
+  // Variance by hand.
+  double mean = dist.average;
+  double var = 0.0;
+  for (double rr : dist.regret_ratios) {
+    var += 0.25 * (rr - mean) * (rr - mean);
+  }
+  EXPECT_NEAR(dist.variance, var, 1e-15);
+  EXPECT_NEAR(dist.stddev, std::sqrt(var), 1e-15);
+}
+
+TEST_F(HotelEvaluatorTest, PercentileRrIsMonotone) {
+  std::vector<size_t> s = {2};
+  RegretDistribution dist = evaluator_.Distribution(s);
+  double previous = -1.0;
+  for (double pct : {0.0, 25.0, 50.0, 75.0, 100.0}) {
+    double v = dist.PercentileRr(pct);
+    EXPECT_GE(v, previous);
+    previous = v;
+  }
+}
+
+TEST(EvaluatorTest, IndifferentUserHasZeroRegret) {
+  // A user with all-zero utilities: rr defined as 0.
+  UtilityMatrix users =
+      UtilityMatrix::FromScores(Matrix::FromRows({{0.0, 0.0}, {1.0, 0.5}}));
+  RegretEvaluator evaluator(users);
+  std::vector<size_t> s = {1};
+  EXPECT_DOUBLE_EQ(evaluator.RegretRatio(0, s), 0.0);
+  EXPECT_DOUBLE_EQ(evaluator.AverageRegretRatio(s), 0.25);  // (0 + 0.5)/2
+}
+
+TEST(EvaluatorTest, RegretRatioIsInUnitInterval) {
+  Dataset data = GenerateSynthetic({.n = 60, .d = 4,
+      .distribution = SyntheticDistribution::kAntiCorrelated, .seed = 17});
+  UniformLinearDistribution theta;
+  Rng rng(18);
+  RegretEvaluator evaluator(theta.Sample(data, 200, rng));
+  std::vector<size_t> s = {0, 5, 10};
+  for (size_t u = 0; u < evaluator.num_users(); ++u) {
+    double rr = evaluator.RegretRatio(u, s);
+    EXPECT_GE(rr, 0.0);
+    EXPECT_LE(rr, 1.0);
+  }
+}
+
+TEST(EvaluatorTest, SupersetNeverIncreasesArr) {
+  Dataset data = GenerateSynthetic({.n = 50, .d = 3,
+      .distribution = SyntheticDistribution::kIndependent, .seed = 19});
+  UniformLinearDistribution theta;
+  Rng rng(20);
+  RegretEvaluator evaluator(theta.Sample(data, 300, rng));
+  std::vector<size_t> small = {3, 7};
+  std::vector<size_t> large = {3, 7, 11, 23};
+  EXPECT_LE(evaluator.AverageRegretRatio(large),
+            evaluator.AverageRegretRatio(small) + 1e-15);
+}
+
+}  // namespace
+}  // namespace fam

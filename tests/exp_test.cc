@@ -1,0 +1,148 @@
+// Tests for the experiment harness: table rendering, algorithm runner,
+// recommender (Yahoo!Music-style) pipeline.
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/greedy_shrink.h"
+#include "data/generator.h"
+#include "exp/pipelines.h"
+#include "exp/runner.h"
+#include "exp/table.h"
+#include "utility/distribution.h"
+
+namespace fam {
+namespace {
+
+TEST(TableTest, AlignedRenderingPadsColumns) {
+  Table t({"algo", "arr"});
+  t.AddRow({"Greedy-Shrink", "0.01"});
+  t.AddRow({"K-Hit", "0.02"});
+  std::string text = t.ToAligned();
+  EXPECT_NE(text.find("algo"), std::string::npos);
+  EXPECT_NE(text.find("Greedy-Shrink  0.01"), std::string::npos);
+  EXPECT_NE(text.find("K-Hit"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TableTest, CsvRenderingWithPrefix) {
+  Table t({"a", "b"});
+  t.AddRow({"1", "2"});
+  EXPECT_EQ(t.ToCsv("csv,"), "csv,a,b\ncsv,1,2\n");
+  EXPECT_EQ(t.ToCsv(), "a,b\n1,2\n");
+}
+
+TEST(TableTest, PrintEmitsBothForms) {
+  Table t({"x"});
+  t.AddRow({"7"});
+  std::ostringstream out;
+  t.Print(out);
+  EXPECT_NE(out.str().find("x"), std::string::npos);
+  EXPECT_NE(out.str().find("csv,x"), std::string::npos);
+}
+
+TEST(FormatTest, Helpers) {
+  EXPECT_EQ(FormatFixed(1.23456, 3), "1.235");
+  EXPECT_EQ(FormatSci(12345.0, 2), "1.23e+04");
+  EXPECT_EQ(FormatCount(42), "42");
+}
+
+TEST(RunnerTest, StandardAlgorithmsAreThePaperFour) {
+  std::vector<AlgorithmSpec> algorithms = StandardAlgorithms();
+  ASSERT_EQ(algorithms.size(), 4u);
+  EXPECT_EQ(algorithms[0].name, "Greedy-Shrink");
+  EXPECT_EQ(algorithms[1].name, "MRR-Greedy");
+  EXPECT_EQ(algorithms[2].name, "Sky-Dom");
+  EXPECT_EQ(algorithms[3].name, "K-Hit");
+}
+
+TEST(RunnerTest, RunsAllAndScoresOnSharedSample) {
+  Dataset data = GenerateSynthetic({.n = 80, .d = 3,
+      .distribution = SyntheticDistribution::kAntiCorrelated, .seed = 31});
+  UniformLinearDistribution theta;
+  Rng rng(32);
+  RegretEvaluator evaluator(theta.Sample(data, 500, rng));
+  std::vector<AlgorithmOutcome> outcomes =
+      RunAlgorithms(StandardAlgorithms(), data, evaluator, 5);
+  ASSERT_EQ(outcomes.size(), 4u);
+  for (const AlgorithmOutcome& outcome : outcomes) {
+    EXPECT_TRUE(outcome.ok) << outcome.name << ": " << outcome.error;
+    EXPECT_EQ(outcome.selection.indices.size(), 5u);
+    EXPECT_GE(outcome.query_seconds, 0.0);
+    EXPECT_NEAR(
+        outcome.average_regret_ratio,
+        evaluator.AverageRegretRatio(outcome.selection.indices), 1e-12);
+    EXPECT_GE(outcome.stddev_regret_ratio, 0.0);
+  }
+  // Greedy-Shrink's re-scored arr should be the (weak) minimum.
+  for (const AlgorithmOutcome& outcome : outcomes) {
+    EXPECT_LE(outcomes[0].average_regret_ratio,
+              outcome.average_regret_ratio + 1e-9);
+  }
+}
+
+TEST(RunnerTest, ErrorsAreCapturedNotFatal) {
+  std::vector<AlgorithmSpec> algorithms = {
+      {"always-fails",
+       [](const Dataset&, const RegretEvaluator&, size_t) {
+         return Result<Selection>(Status::Internal("boom"));
+       }}};
+  Dataset data = GenerateSynthetic({.n = 10, .d = 2,
+      .distribution = SyntheticDistribution::kIndependent, .seed = 33});
+  UniformLinearDistribution theta;
+  Rng rng(34);
+  RegretEvaluator evaluator(theta.Sample(data, 20, rng));
+  std::vector<AlgorithmOutcome> outcomes =
+      RunAlgorithms(algorithms, data, evaluator, 2);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_FALSE(outcomes[0].ok);
+  EXPECT_NE(outcomes[0].error.find("boom"), std::string::npos);
+}
+
+TEST(PipelineTest, BuildsLearnedDistributionEndToEnd) {
+  RecommenderPipelineConfig config;
+  config.num_users = 80;
+  config.num_items = 120;
+  config.observed_fraction = 0.25;
+  config.gmm_components = 3;
+  Result<RecommenderPipeline> pipeline = BuildRecommenderPipeline(config);
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+  EXPECT_EQ(pipeline->item_dataset.size(), 120u);
+  EXPECT_EQ(pipeline->item_dataset.dimension(), config.mf_rank);
+  EXPECT_GT(pipeline->gmm_iterations, 0u);
+  EXPECT_LT(pipeline->train_rmse, 0.5);
+
+  // The learned Θ samples usable users.
+  Rng rng(35);
+  UtilityMatrix users =
+      pipeline->theta->Sample(pipeline->item_dataset, 300, rng);
+  RegretEvaluator evaluator(std::move(users));
+  Result<Selection> s = GreedyShrink(evaluator, {.k = 6});
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->indices.size(), 6u);
+  EXPECT_LT(s->average_regret_ratio, 0.5);
+}
+
+TEST(PipelineTest, DeterministicForFixedSeed) {
+  RecommenderPipelineConfig config;
+  config.num_users = 40;
+  config.num_items = 60;
+  config.observed_fraction = 0.3;
+  config.gmm_components = 2;
+  Result<RecommenderPipeline> a = BuildRecommenderPipeline(config);
+  Result<RecommenderPipeline> b = BuildRecommenderPipeline(config);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->item_dataset.values(), b->item_dataset.values());
+  EXPECT_DOUBLE_EQ(a->train_rmse, b->train_rmse);
+}
+
+TEST(FullScaleTest, FlagParsing) {
+  const char* with_flag[] = {"bench", "--full"};
+  const char* without[] = {"bench"};
+  EXPECT_TRUE(FullScaleRequested(2, const_cast<char**>(with_flag)));
+  EXPECT_FALSE(FullScaleRequested(1, const_cast<char**>(without)));
+}
+
+}  // namespace
+}  // namespace fam

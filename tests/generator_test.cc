@@ -1,0 +1,166 @@
+#include "data/generator.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace fam {
+namespace {
+
+// Average pairwise Pearson correlation between attribute columns.
+double MeanPairwiseCorrelation(const Dataset& d) {
+  const size_t n = d.size();
+  const size_t dim = d.dimension();
+  std::vector<double> mean(dim, 0.0), stddev(dim, 0.0);
+  for (size_t j = 0; j < dim; ++j) {
+    std::vector<double> col(n);
+    for (size_t i = 0; i < n; ++i) col[i] = d.at(i, j);
+    mean[j] = Mean(col);
+    stddev[j] = StdDev(col);
+  }
+  double total = 0.0;
+  size_t pairs = 0;
+  for (size_t a = 0; a < dim; ++a) {
+    for (size_t b = a + 1; b < dim; ++b) {
+      double cov = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        cov += (d.at(i, a) - mean[a]) * (d.at(i, b) - mean[b]);
+      }
+      cov /= static_cast<double>(n);
+      total += cov / (stddev[a] * stddev[b] + 1e-12);
+      ++pairs;
+    }
+  }
+  return total / static_cast<double>(pairs);
+}
+
+class SyntheticDistributionTest
+    : public testing::TestWithParam<SyntheticDistribution> {};
+
+TEST_P(SyntheticDistributionTest, ShapeAndRange) {
+  SyntheticConfig config;
+  config.n = 500;
+  config.d = 5;
+  config.distribution = GetParam();
+  Dataset d = GenerateSynthetic(config);
+  EXPECT_EQ(d.size(), 500u);
+  EXPECT_EQ(d.dimension(), 5u);
+  for (size_t i = 0; i < d.size(); ++i) {
+    for (size_t j = 0; j < d.dimension(); ++j) {
+      EXPECT_GE(d.at(i, j), 0.0);
+      EXPECT_LE(d.at(i, j), 1.0);
+    }
+  }
+  EXPECT_TRUE(d.Validate().ok());
+}
+
+TEST_P(SyntheticDistributionTest, DeterministicFromSeed) {
+  SyntheticConfig config;
+  config.n = 50;
+  config.d = 4;
+  config.distribution = GetParam();
+  config.seed = 777;
+  Dataset a = GenerateSynthetic(config);
+  Dataset b = GenerateSynthetic(config);
+  EXPECT_EQ(a.values(), b.values());
+}
+
+TEST_P(SyntheticDistributionTest, DifferentSeedsDiffer) {
+  SyntheticConfig config;
+  config.n = 50;
+  config.d = 4;
+  config.distribution = GetParam();
+  config.seed = 1;
+  Dataset a = GenerateSynthetic(config);
+  config.seed = 2;
+  Dataset b = GenerateSynthetic(config);
+  EXPECT_FALSE(a.values() == b.values());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDistributions, SyntheticDistributionTest,
+    testing::Values(SyntheticDistribution::kIndependent,
+                    SyntheticDistribution::kCorrelated,
+                    SyntheticDistribution::kAntiCorrelated),
+    [](const testing::TestParamInfo<SyntheticDistribution>& info) {
+      switch (info.param) {
+        case SyntheticDistribution::kIndependent:
+          return "Independent";
+        case SyntheticDistribution::kCorrelated:
+          return "Correlated";
+        case SyntheticDistribution::kAntiCorrelated:
+          return "AntiCorrelated";
+      }
+      return "Unknown";
+    });
+
+TEST(GeneratorCorrelationTest, RegimesOrderAsExpected) {
+  SyntheticConfig config;
+  config.n = 4000;
+  config.d = 4;
+  config.seed = 9;
+
+  config.distribution = SyntheticDistribution::kCorrelated;
+  double corr = MeanPairwiseCorrelation(GenerateSynthetic(config));
+  config.distribution = SyntheticDistribution::kIndependent;
+  double indep = MeanPairwiseCorrelation(GenerateSynthetic(config));
+  config.distribution = SyntheticDistribution::kAntiCorrelated;
+  double anti = MeanPairwiseCorrelation(GenerateSynthetic(config));
+
+  EXPECT_GT(corr, 0.5);
+  EXPECT_NEAR(indep, 0.0, 0.1);
+  EXPECT_LT(anti, -0.1);
+  EXPECT_GT(corr, indep);
+  EXPECT_GT(indep, anti);
+}
+
+TEST(NbaLikeTest, MatchesRequestedShapeAndIsLabeled) {
+  Dataset d = GenerateNbaLike(664, 22, 7);
+  EXPECT_EQ(d.size(), 664u);
+  EXPECT_EQ(d.dimension(), 22u);
+  EXPECT_EQ(d.labels().size(), 664u);
+  EXPECT_EQ(d.LabelOf(0), "Player_000");
+  for (double v : d.values().data()) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(NbaLikeTest, SkillIsLongTailed) {
+  Dataset d = GenerateNbaLike(2000, 10, 3);
+  // Mean of a stat column should sit clearly below 0.5 (pow(u, 2.5) skew).
+  std::vector<double> col(d.size());
+  for (size_t i = 0; i < d.size(); ++i) col[i] = d.at(i, 0);
+  EXPECT_LT(Mean(col), 0.45);
+  EXPECT_GT(*std::max_element(col.begin(), col.end()), 0.7);
+}
+
+TEST(DomainGeneratorsTest, DimensionsMatchPaperTableIV) {
+  EXPECT_EQ(GenerateHouseholdLike(100).dimension(), 6u);
+  EXPECT_EQ(GenerateForestCoverLike(100).dimension(), 11u);
+  EXPECT_EQ(GenerateCensusLike(100).dimension(), 10u);
+}
+
+TEST(DomainGeneratorsTest, ValuesInUnitRange) {
+  for (const Dataset& d :
+       {GenerateHouseholdLike(300, 1), GenerateForestCoverLike(300, 2),
+        GenerateCensusLike(300, 3)}) {
+    for (double v : d.values().data()) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(HotelExampleTest, MatchesPaperTableI) {
+  Dataset d = HotelExampleDataset();
+  EXPECT_EQ(d.size(), 4u);
+  EXPECT_EQ(d.dimension(), 2u);
+  EXPECT_EQ(d.LabelOf(0), "Holiday Inn");
+  EXPECT_EQ(d.LabelOf(3), "Hilton");
+}
+
+}  // namespace
+}  // namespace fam

@@ -1,0 +1,138 @@
+#include "core/greedy_grow.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+#include "core/greedy_shrink.h"
+#include "data/generator.h"
+#include "utility/distribution.h"
+
+namespace fam {
+namespace {
+
+RegretEvaluator LinearEvaluator(size_t n, size_t d, size_t users,
+                                uint64_t seed) {
+  Dataset data = GenerateSynthetic(
+      {.n = n, .d = d,
+       .distribution = SyntheticDistribution::kAntiCorrelated,
+       .seed = seed});
+  UniformLinearDistribution theta;
+  Rng rng(seed + 1);
+  return RegretEvaluator(theta.Sample(data, users, rng));
+}
+
+TEST(GreedyGrowTest, RejectsInvalidOptions) {
+  RegretEvaluator evaluator = LinearEvaluator(10, 2, 20, 1);
+  EXPECT_FALSE(GreedyGrow(evaluator, {.k = 0}).ok());
+  EXPECT_FALSE(GreedyGrow(evaluator, {.k = 11}).ok());
+}
+
+TEST(GreedyGrowTest, ReturnsSortedDistinctIndices) {
+  RegretEvaluator evaluator = LinearEvaluator(40, 3, 100, 2);
+  Result<Selection> s = GreedyGrow(evaluator, {.k = 7});
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->indices.size(), 7u);
+  EXPECT_TRUE(std::is_sorted(s->indices.begin(), s->indices.end()));
+  EXPECT_EQ(std::adjacent_find(s->indices.begin(), s->indices.end()),
+            s->indices.end());
+}
+
+struct GrowCase {
+  std::string name;
+  size_t n;
+  size_t d;
+  size_t users;
+  size_t k;
+  uint64_t seed;
+};
+
+class GreedyGrowLazyTest : public testing::TestWithParam<GrowCase> {};
+
+TEST_P(GreedyGrowLazyTest, LazyMatchesEagerExactly) {
+  const GrowCase& param = GetParam();
+  RegretEvaluator evaluator =
+      LinearEvaluator(param.n, param.d, param.users, param.seed);
+  GreedyGrowOptions eager{.k = param.k, .use_lazy_evaluation = false};
+  GreedyGrowOptions lazy{.k = param.k, .use_lazy_evaluation = true};
+  Result<Selection> a = GreedyGrow(evaluator, eager);
+  Result<Selection> b = GreedyGrow(evaluator, lazy);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->indices, b->indices);
+  EXPECT_DOUBLE_EQ(a->average_regret_ratio, b->average_regret_ratio);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, GreedyGrowLazyTest,
+    testing::Values(GrowCase{"tiny", 15, 2, 50, 4, 10},
+                    GrowCase{"small", 30, 3, 100, 6, 11},
+                    GrowCase{"mid", 60, 4, 200, 10, 12},
+                    GrowCase{"kone", 25, 3, 80, 1, 13},
+                    GrowCase{"full", 12, 3, 60, 12, 14}),
+    [](const testing::TestParamInfo<GrowCase>& info) {
+      return info.param.name;
+    });
+
+TEST(GreedyGrowTest, FirstPickIsBestSinglePoint) {
+  RegretEvaluator evaluator = LinearEvaluator(30, 3, 150, 21);
+  Result<Selection> s = GreedyGrow(evaluator, {.k = 1});
+  ASSERT_TRUE(s.ok());
+  Result<Selection> exact = BruteForce(evaluator, {.k = 1});
+  ASSERT_TRUE(exact.ok());
+  // Forward greedy's first pick IS the optimal singleton.
+  EXPECT_DOUBLE_EQ(s->average_regret_ratio, exact->average_regret_ratio);
+}
+
+TEST(GreedyGrowTest, ArrDecreasesMonotonicallyInK) {
+  RegretEvaluator evaluator = LinearEvaluator(50, 4, 200, 22);
+  double previous = 1.0;
+  for (size_t k = 1; k <= 10; ++k) {
+    Result<Selection> s = GreedyGrow(evaluator, {.k = k});
+    ASSERT_TRUE(s.ok());
+    EXPECT_LE(s->average_regret_ratio, previous + 1e-12);
+    previous = s->average_regret_ratio;
+  }
+}
+
+TEST(GreedyGrowTest, GrowPrefixIsNested) {
+  // Forward greedy's selections are nested across k.
+  RegretEvaluator evaluator = LinearEvaluator(40, 3, 150, 23);
+  Result<Selection> small = GreedyGrow(evaluator, {.k = 3});
+  Result<Selection> large = GreedyGrow(evaluator, {.k = 6});
+  ASSERT_TRUE(small.ok() && large.ok());
+  for (size_t p : small->indices) {
+    EXPECT_TRUE(std::find(large->indices.begin(), large->indices.end(),
+                          p) != large->indices.end());
+  }
+}
+
+TEST(GreedyGrowTest, ComparableToShrinkOnTypicalData) {
+  // The paper chose SHRINK for its guarantee; empirically the two greedies
+  // land close. Assert GROW is within 3x of SHRINK (and both near brute
+  // force on small instances).
+  RegretEvaluator evaluator = LinearEvaluator(25, 3, 150, 24);
+  Result<Selection> grow = GreedyGrow(evaluator, {.k = 4});
+  Result<Selection> shrink = GreedyShrink(evaluator, {.k = 4});
+  Result<Selection> exact = BruteForce(evaluator, {.k = 4});
+  ASSERT_TRUE(grow.ok() && shrink.ok() && exact.ok());
+  EXPECT_GE(grow->average_regret_ratio,
+            exact->average_regret_ratio - 1e-12);
+  if (exact->average_regret_ratio > 1e-9) {
+    EXPECT_LT(grow->average_regret_ratio,
+              3.0 * shrink->average_regret_ratio + 1e-9);
+  }
+}
+
+TEST(GreedyGrowTest, HandlesIndifferentUsers) {
+  UtilityMatrix users = UtilityMatrix::FromScores(
+      Matrix::FromRows({{0.0, 0.0, 0.0}, {0.2, 0.9, 0.1}}));
+  RegretEvaluator evaluator(users);
+  Result<Selection> s = GreedyGrow(evaluator, {.k = 1});
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->indices, (std::vector<size_t>{1}));
+  EXPECT_DOUBLE_EQ(s->average_regret_ratio, 0.0);
+}
+
+}  // namespace
+}  // namespace fam

@@ -1,0 +1,246 @@
+#include "core/greedy_shrink.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+#include "data/generator.h"
+#include "utility/distribution.h"
+
+namespace fam {
+namespace {
+
+RegretEvaluator LinearEvaluator(size_t n, size_t d, size_t users,
+                                uint64_t seed,
+                                SyntheticDistribution distribution =
+                                    SyntheticDistribution::kIndependent) {
+  Dataset data = GenerateSynthetic(
+      {.n = n, .d = d, .distribution = distribution, .seed = seed});
+  UniformLinearDistribution theta;
+  Rng rng(seed + 1);
+  return RegretEvaluator(theta.Sample(data, users, rng));
+}
+
+TEST(GreedyShrinkTest, RejectsInvalidOptions) {
+  RegretEvaluator evaluator = LinearEvaluator(10, 2, 20, 1);
+  EXPECT_FALSE(GreedyShrink(evaluator, {.k = 0}).ok());
+  EXPECT_FALSE(GreedyShrink(evaluator, {.k = 11}).ok());
+  GreedyShrinkOptions bad;
+  bad.k = 2;
+  bad.use_best_point_cache = false;
+  bad.use_lazy_evaluation = true;
+  EXPECT_FALSE(GreedyShrink(evaluator, bad).ok());
+}
+
+TEST(GreedyShrinkTest, KEqualsNReturnsEverything) {
+  RegretEvaluator evaluator = LinearEvaluator(8, 2, 30, 2);
+  Result<Selection> s = GreedyShrink(evaluator, {.k = 8});
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->indices.size(), 8u);
+  EXPECT_NEAR(s->average_regret_ratio, 0.0, 1e-12);
+}
+
+TEST(GreedyShrinkTest, ReturnsSortedDistinctIndices) {
+  RegretEvaluator evaluator = LinearEvaluator(40, 3, 100, 3);
+  Result<Selection> s = GreedyShrink(evaluator, {.k = 7});
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->indices.size(), 7u);
+  EXPECT_TRUE(std::is_sorted(s->indices.begin(), s->indices.end()));
+  EXPECT_EQ(std::adjacent_find(s->indices.begin(), s->indices.end()),
+            s->indices.end());
+  for (size_t p : s->indices) EXPECT_LT(p, 40u);
+}
+
+TEST(GreedyShrinkTest, ReportedArrMatchesEvaluator) {
+  RegretEvaluator evaluator = LinearEvaluator(30, 3, 80, 4);
+  Result<Selection> s = GreedyShrink(evaluator, {.k = 5});
+  ASSERT_TRUE(s.ok());
+  EXPECT_DOUBLE_EQ(s->average_regret_ratio,
+                   evaluator.AverageRegretRatio(s->indices));
+}
+
+struct ModeCase {
+  std::string name;
+  size_t n;
+  size_t d;
+  size_t users;
+  size_t k;
+  uint64_t seed;
+};
+
+class GreedyShrinkModeTest : public testing::TestWithParam<ModeCase> {};
+
+TEST_P(GreedyShrinkModeTest, AllThreeModesAgreeExactly) {
+  const ModeCase& param = GetParam();
+  RegretEvaluator evaluator =
+      LinearEvaluator(param.n, param.d, param.users, param.seed);
+
+  GreedyShrinkOptions naive;
+  naive.k = param.k;
+  naive.use_best_point_cache = false;
+  naive.use_lazy_evaluation = false;
+
+  GreedyShrinkOptions cached = naive;
+  cached.use_best_point_cache = true;
+
+  GreedyShrinkOptions lazy = cached;
+  lazy.use_lazy_evaluation = true;
+
+  Result<Selection> a = GreedyShrink(evaluator, naive);
+  Result<Selection> b = GreedyShrink(evaluator, cached);
+  Result<Selection> c = GreedyShrink(evaluator, lazy);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+
+  // The cached/lazy modes must not change the greedy's arr trajectory; the
+  // selected sets coincide on tie-free (continuous random) instances.
+  EXPECT_NEAR(a->average_regret_ratio, b->average_regret_ratio, 1e-9);
+  EXPECT_NEAR(a->average_regret_ratio, c->average_regret_ratio, 1e-9);
+  EXPECT_EQ(b->indices, c->indices)
+      << "lazy evaluation changed the cached-mode result";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, GreedyShrinkModeTest,
+    testing::Values(ModeCase{"tiny", 12, 2, 40, 3, 10},
+                    ModeCase{"small", 25, 3, 80, 5, 11},
+                    ModeCase{"mid", 40, 4, 120, 8, 12},
+                    ModeCase{"wide", 30, 6, 100, 10, 13},
+                    ModeCase{"kone", 20, 3, 60, 1, 14},
+                    ModeCase{"nearfull", 15, 3, 60, 13, 15}),
+    [](const testing::TestParamInfo<ModeCase>& info) {
+      return info.param.name;
+    });
+
+TEST(GreedyShrinkTest, LazyNeverEvaluatesMoreThanCached) {
+  // Anti-correlated data spreads user favorites across many points, so the
+  // free phase cannot reach k on its own and real evaluations happen.
+  RegretEvaluator evaluator = LinearEvaluator(
+      60, 4, 800, 21, SyntheticDistribution::kAntiCorrelated);
+  GreedyShrinkOptions cached;
+  cached.k = 5;
+  cached.use_lazy_evaluation = false;
+  GreedyShrinkStats cached_stats;
+  ASSERT_TRUE(GreedyShrink(evaluator, cached, &cached_stats).ok());
+
+  GreedyShrinkOptions lazy = cached;
+  lazy.use_lazy_evaluation = true;
+  GreedyShrinkStats lazy_stats;
+  ASSERT_TRUE(GreedyShrink(evaluator, lazy, &lazy_stats).ok());
+
+  EXPECT_LE(lazy_stats.arr_evaluations, cached_stats.arr_evaluations);
+  EXPECT_LE(lazy_stats.CandidateFraction(), 1.0);
+  EXPECT_GT(lazy_stats.arr_evaluations, 0u);
+}
+
+TEST(GreedyShrinkTest, CacheCutsUserRescans) {
+  RegretEvaluator evaluator = LinearEvaluator(
+      40, 3, 150, 22, SyntheticDistribution::kAntiCorrelated);
+  GreedyShrinkOptions naive;
+  naive.k = 8;
+  naive.use_best_point_cache = false;
+  naive.use_lazy_evaluation = false;
+  GreedyShrinkStats naive_stats;
+  ASSERT_TRUE(GreedyShrink(evaluator, naive, &naive_stats).ok());
+
+  GreedyShrinkOptions lazy;
+  lazy.k = 8;
+  GreedyShrinkStats lazy_stats;
+  ASSERT_TRUE(GreedyShrink(evaluator, lazy, &lazy_stats).ok());
+
+  EXPECT_LT(lazy_stats.user_rescans, naive_stats.user_rescans);
+  // The paper reports ~1% of users recomputed per arr calculation; on these
+  // small instances just assert the fraction is well below 1.
+  EXPECT_LT(lazy_stats.UserFraction(), 0.5);
+}
+
+struct OptimalityCase {
+  std::string name;
+  size_t n;
+  size_t d;
+  size_t users;
+  size_t k;
+  uint64_t seed;
+};
+
+class GreedyOptimalityTest : public testing::TestWithParam<OptimalityCase> {};
+
+// The paper's empirical finding: GREEDY-SHRINK's approximation ratio is ~1
+// on small datasets (Sec. III-B). We allow a modest slack.
+TEST_P(GreedyOptimalityTest, CloseToBruteForceOptimum) {
+  const OptimalityCase& param = GetParam();
+  RegretEvaluator evaluator =
+      LinearEvaluator(param.n, param.d, param.users, param.seed);
+  Result<Selection> greedy = GreedyShrink(evaluator, {.k = param.k});
+  Result<Selection> optimal =
+      BruteForce(evaluator, {.k = param.k, .max_subsets = 2'000'000});
+  ASSERT_TRUE(greedy.ok() && optimal.ok());
+  EXPECT_GE(greedy->average_regret_ratio,
+            optimal->average_regret_ratio - 1e-12)
+      << "greedy beat the optimum: brute force is broken";
+  if (optimal->average_regret_ratio > 1e-9) {
+    double ratio =
+        greedy->average_regret_ratio / optimal->average_regret_ratio;
+    // The paper reports an empirical ratio of exactly 1 on its datasets;
+    // adversarial small random instances can stray a little, so allow 1.5.
+    EXPECT_LT(ratio, 1.5) << "approximation ratio far from the paper's ~1";
+  } else {
+    EXPECT_NEAR(greedy->average_regret_ratio, 0.0, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallInstances, GreedyOptimalityTest,
+    testing::Values(OptimalityCase{"n15k3", 15, 3, 120, 3, 31},
+                    OptimalityCase{"n18k2", 18, 2, 120, 2, 32},
+                    OptimalityCase{"n20k4", 20, 3, 150, 4, 33},
+                    OptimalityCase{"n12k5", 12, 4, 100, 5, 34},
+                    OptimalityCase{"n16k3d6", 16, 6, 120, 3, 35}),
+    [](const testing::TestParamInfo<OptimalityCase>& info) {
+      return info.param.name;
+    });
+
+TEST(GreedyShrinkTest, ArrDecreasesMonotonicallyInK) {
+  RegretEvaluator evaluator = LinearEvaluator(50, 4, 200, 41);
+  double previous = 1.0;
+  for (size_t k = 1; k <= 12; ++k) {
+    Result<Selection> s = GreedyShrink(evaluator, {.k = k});
+    ASSERT_TRUE(s.ok());
+    EXPECT_LE(s->average_regret_ratio, previous + 1e-12)
+        << "arr increased when k grew to " << k;
+    previous = s->average_regret_ratio;
+  }
+}
+
+TEST(GreedyShrinkTest, WorksWithNonLinearUtilities) {
+  Dataset data = GenerateSynthetic({.n = 30, .d = 3,
+      .distribution = SyntheticDistribution::kIndependent, .seed = 51});
+  CesDistribution theta(0.5);
+  Rng rng(52);
+  RegretEvaluator evaluator(theta.Sample(data, 100, rng));
+  Result<Selection> s = GreedyShrink(evaluator, {.k = 5});
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->indices.size(), 5u);
+  EXPECT_LT(s->average_regret_ratio, 0.2);
+}
+
+TEST(GreedyShrinkTest, WorksWithWeightedDiscreteUsers) {
+  RegretEvaluator evaluator(HotelExampleUtilityMatrix(),
+                            {0.4, 0.3, 0.2, 0.1});
+  Result<Selection> s = GreedyShrink(evaluator, {.k = 2});
+  ASSERT_TRUE(s.ok());
+  Result<Selection> optimal = BruteForce(evaluator, {.k = 2});
+  ASSERT_TRUE(optimal.ok());
+  EXPECT_NEAR(s->average_regret_ratio, optimal->average_regret_ratio, 1e-12);
+}
+
+TEST(GreedyShrinkTest, FreeRemovalsCountedInStats) {
+  // With few users, most points are nobody's favorite: they go for free.
+  RegretEvaluator evaluator = LinearEvaluator(100, 3, 10, 61);
+  GreedyShrinkStats stats;
+  ASSERT_TRUE(GreedyShrink(evaluator, {.k = 5}, &stats).ok());
+  EXPECT_GT(stats.free_removals, 50u);
+}
+
+}  // namespace
+}  // namespace fam

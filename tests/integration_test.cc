@@ -1,0 +1,160 @@
+// End-to-end integration tests spanning multiple modules: the flows a
+// downstream user of the library would run.
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "fam/fam.h"
+
+namespace fam {
+namespace {
+
+// Flow 1: generate → sample Θ → solve with every algorithm → compare
+// distributions (the paper's core experimental loop).
+TEST(IntegrationTest, FullExperimentLoopOnSyntheticData) {
+  Dataset data = GenerateSynthetic({.n = 300, .d = 5,
+      .distribution = SyntheticDistribution::kAntiCorrelated, .seed = 71});
+  UniformLinearDistribution theta;
+  Rng rng(72);
+  RegretEvaluator evaluator(theta.Sample(data, 2000, rng));
+
+  std::vector<AlgorithmOutcome> outcomes =
+      RunAlgorithms(StandardAlgorithms(), data, evaluator, 10);
+  ASSERT_EQ(outcomes.size(), 4u);
+  for (const auto& outcome : outcomes) {
+    ASSERT_TRUE(outcome.ok) << outcome.name;
+  }
+  // Headline: Greedy-Shrink minimizes arr among the four.
+  double greedy_arr = outcomes[0].average_regret_ratio;
+  for (const auto& outcome : outcomes) {
+    EXPECT_LE(greedy_arr, outcome.average_regret_ratio + 1e-9);
+  }
+  // Fig. 3 property: Sky-Dom's regret spread dominates Greedy-Shrink's at
+  // high percentiles.
+  RegretDistribution greedy_dist =
+      evaluator.Distribution(outcomes[0].selection.indices);
+  RegretDistribution skydom_dist =
+      evaluator.Distribution(outcomes[2].selection.indices);
+  EXPECT_LE(greedy_dist.PercentileRr(95), skydom_dist.PercentileRr(95) + 0.02);
+}
+
+// Flow 2: CSV round trip feeding the solver.
+TEST(IntegrationTest, CsvToSelection) {
+  Dataset original = GenerateSynthetic({.n = 50, .d = 3,
+      .distribution = SyntheticDistribution::kIndependent, .seed = 73});
+  std::string csv = WriteCsvString(original);
+  Result<Dataset> parsed = ReadCsvString(csv);
+  ASSERT_TRUE(parsed.ok());
+  UniformLinearDistribution theta;
+  Rng rng(74);
+  RegretEvaluator evaluator(theta.Sample(*parsed, 400, rng));
+  Result<Selection> s = GreedyShrink(evaluator, {.k = 5});
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->indices.size(), 5u);
+}
+
+// Flow 3: the hotel walkthrough from the paper's introduction.
+TEST(IntegrationTest, HotelWalkthrough) {
+  Dataset hotels = HotelExampleDataset();
+  DiscreteDistribution theta(
+      Matrix::FromRows({{0.9, 0.7, 0.2, 0.4},
+                        {0.6, 1.0, 0.5, 0.2},
+                        {0.2, 0.6, 0.3, 1.0},
+                        {0.1, 0.2, 1.0, 0.9}}),
+      {});
+  RegretEvaluator evaluator(theta.ExactUsers(), theta.probabilities());
+  Result<Selection> greedy = GreedyShrink(evaluator, {.k = 2});
+  Result<Selection> exact = BruteForce(evaluator, {.k = 2});
+  ASSERT_TRUE(greedy.ok() && exact.ok());
+  // Greedy matches the optimum here (empirical ratio 1 per the paper).
+  EXPECT_NEAR(greedy->average_regret_ratio, exact->average_regret_ratio,
+              1e-12);
+  EXPECT_EQ(exact->indices, (std::vector<size_t>{1, 3}));
+}
+
+// Flow 4: learned Θ (the Yahoo pipeline) scored against all algorithms.
+TEST(IntegrationTest, LearnedThetaExperiment) {
+  RecommenderPipelineConfig config;
+  config.num_users = 60;
+  config.num_items = 150;
+  config.observed_fraction = 0.25;
+  config.gmm_components = 3;
+  Result<RecommenderPipeline> pipeline = BuildRecommenderPipeline(config);
+  ASSERT_TRUE(pipeline.ok());
+  Rng rng(75);
+  RegretEvaluator evaluator(
+      pipeline->theta->Sample(pipeline->item_dataset, 500, rng));
+  std::vector<AlgorithmOutcome> outcomes =
+      RunAlgorithms(StandardAlgorithms(/*sampled_mrr=*/true),
+                    pipeline->item_dataset, evaluator, 8);
+  for (const auto& outcome : outcomes) {
+    ASSERT_TRUE(outcome.ok) << outcome.name << ": " << outcome.error;
+    EXPECT_EQ(outcome.selection.indices.size(), 8u);
+  }
+  EXPECT_LE(outcomes[0].average_regret_ratio,
+            outcomes[2].average_regret_ratio + 1e-9);
+}
+
+// Flow 5: 2-D exact stack (env → oracle → DP) against the greedy.
+TEST(IntegrationTest, TwoDimensionalExactStack) {
+  Dataset data = GenerateSynthetic({.n = 500, .d = 2,
+      .distribution = SyntheticDistribution::kAntiCorrelated, .seed = 76});
+  Angle2dDistribution theta;
+  Rng rng(77);
+  UtilityMatrix users = theta.Sample(data, 2000, rng);
+  RegretEvaluator evaluator(users);
+
+  Result<Selection> dp = SolveDp2dOnSample(data, users, 5);
+  Result<Selection> greedy = GreedyShrink(evaluator, {.k = 5});
+  ASSERT_TRUE(dp.ok() && greedy.ok());
+  double dp_arr = evaluator.AverageRegretRatio(dp->indices);
+  EXPECT_LE(dp_arr, greedy->average_regret_ratio + 1e-9)
+      << "exact DP must not lose to the greedy on the same sample";
+}
+
+// Flow 6: Chernoff sizing drives the evaluator (Table V in action).
+TEST(IntegrationTest, SampleSizeControlsEstimate) {
+  Dataset data = GenerateSynthetic({.n = 100, .d = 4,
+      .distribution = SyntheticDistribution::kIndependent, .seed = 78});
+  UniformLinearDistribution theta;
+  uint64_t n_loose = ChernoffSampleSize(0.1, 0.1);   // 691
+  uint64_t n_tight = ChernoffSampleSize(0.03, 0.1);  // 7676
+  EXPECT_GT(n_tight, n_loose);
+
+  Rng rng(79);
+  RegretEvaluator reference(theta.Sample(data, 40000, rng));
+  std::vector<size_t> subset = {1, 2, 3, 5, 8};
+  double true_arr = reference.AverageRegretRatio(subset);
+  RegretEvaluator tight(theta.Sample(data, n_tight, rng));
+  EXPECT_NEAR(tight.AverageRegretRatio(subset), true_arr, 0.03);
+}
+
+// Flow 7: skyline restriction is safe for monotone utilities — solving on
+// the skyline subset yields the same arr as solving on the full database.
+TEST(IntegrationTest, SkylineRestrictionPreservesQuality) {
+  Dataset data = GenerateSynthetic({.n = 400, .d = 3,
+      .distribution = SyntheticDistribution::kIndependent, .seed = 80});
+  UniformLinearDistribution theta;
+  Rng rng(81);
+  UtilityMatrix users = theta.Sample(data, 1000, rng);
+  RegretEvaluator full(users);
+  Result<Selection> on_full = GreedyShrink(full, {.k = 6});
+  ASSERT_TRUE(on_full.ok());
+
+  std::vector<size_t> sky = SkylineIndices(data);
+  ASSERT_GE(sky.size(), 6u);
+  UtilityMatrix sky_users = users.RestrictToPoints(sky);
+  RegretEvaluator sky_eval(std::move(sky_users));
+  Result<Selection> on_sky = GreedyShrink(sky_eval, {.k = 6});
+  ASSERT_TRUE(on_sky.ok());
+  // Map skyline-local indices back to dataset indices and score on the
+  // full evaluator: quality must match (within tie noise).
+  std::vector<size_t> mapped;
+  for (size_t local : on_sky->indices) mapped.push_back(sky[local]);
+  EXPECT_NEAR(full.AverageRegretRatio(mapped),
+              on_full->average_regret_ratio, 0.01);
+}
+
+}  // namespace
+}  // namespace fam

@@ -1,0 +1,137 @@
+#include "core/local_search.h"
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+#include "core/greedy_shrink.h"
+#include "data/generator.h"
+#include "utility/distribution.h"
+
+namespace fam {
+namespace {
+
+RegretEvaluator LinearEvaluator(size_t n, size_t d, size_t users,
+                                uint64_t seed) {
+  Dataset data = GenerateSynthetic(
+      {.n = n, .d = d,
+       .distribution = SyntheticDistribution::kAntiCorrelated,
+       .seed = seed});
+  UniformLinearDistribution theta;
+  Rng rng(seed + 1);
+  return RegretEvaluator(theta.Sample(data, users, rng));
+}
+
+TEST(LocalSearchTest, RejectsBadSelections) {
+  RegretEvaluator evaluator = LinearEvaluator(10, 2, 30, 1);
+  Selection empty;
+  EXPECT_FALSE(LocalSearchRefine(evaluator, empty).ok());
+  Selection out_of_range;
+  out_of_range.indices = {99};
+  EXPECT_FALSE(LocalSearchRefine(evaluator, out_of_range).ok());
+  Selection duplicated;
+  duplicated.indices = {1, 1};
+  EXPECT_FALSE(LocalSearchRefine(evaluator, duplicated).ok());
+}
+
+TEST(LocalSearchTest, NeverWorsensAndPreservesSize) {
+  RegretEvaluator evaluator = LinearEvaluator(60, 3, 300, 2);
+  Selection start;
+  start.indices = {0, 1, 2, 3, 4};  // a deliberately poor set
+  start.average_regret_ratio =
+      evaluator.AverageRegretRatio(start.indices);
+  LocalSearchStats stats;
+  Result<Selection> refined =
+      LocalSearchRefine(evaluator, start, {}, &stats);
+  ASSERT_TRUE(refined.ok());
+  EXPECT_EQ(refined->indices.size(), 5u);
+  EXPECT_LE(refined->average_regret_ratio,
+            start.average_regret_ratio + 1e-12);
+  EXPECT_DOUBLE_EQ(stats.initial_arr, start.average_regret_ratio);
+  EXPECT_DOUBLE_EQ(stats.final_arr, refined->average_regret_ratio);
+}
+
+TEST(LocalSearchTest, ReachesOneSwapOptimality) {
+  RegretEvaluator evaluator = LinearEvaluator(25, 3, 150, 3);
+  Selection start;
+  start.indices = {0, 1, 2};
+  Result<Selection> refined = LocalSearchRefine(evaluator, start);
+  ASSERT_TRUE(refined.ok());
+  // Verify no single swap improves the refined set.
+  std::vector<uint8_t> in_set(25, 0);
+  for (size_t p : refined->indices) in_set[p] = 1;
+  double arr = refined->average_regret_ratio;
+  for (size_t pos = 0; pos < refined->indices.size(); ++pos) {
+    for (size_t a = 0; a < 25; ++a) {
+      if (in_set[a]) continue;
+      std::vector<size_t> swapped = refined->indices;
+      swapped[pos] = a;
+      EXPECT_GE(evaluator.AverageRegretRatio(swapped), arr - 1e-9)
+          << "improving swap missed: out " << refined->indices[pos]
+          << " in " << a;
+    }
+  }
+}
+
+TEST(LocalSearchTest, FixedPointOnOptimalInput) {
+  RegretEvaluator evaluator = LinearEvaluator(16, 3, 120, 4);
+  Result<Selection> exact = BruteForce(evaluator, {.k = 3});
+  ASSERT_TRUE(exact.ok());
+  LocalSearchStats stats;
+  Result<Selection> refined =
+      LocalSearchRefine(evaluator, *exact, {}, &stats);
+  ASSERT_TRUE(refined.ok());
+  EXPECT_EQ(stats.swaps_applied, 0u);
+  EXPECT_DOUBLE_EQ(refined->average_regret_ratio,
+                   exact->average_regret_ratio);
+}
+
+TEST(LocalSearchTest, RepairsBadStartToNearGreedy) {
+  RegretEvaluator evaluator = LinearEvaluator(80, 4, 400, 5);
+  Selection bad;
+  bad.indices = {0, 1, 2, 3, 4, 5};
+  Result<Selection> refined = LocalSearchRefine(evaluator, bad);
+  Result<Selection> greedy = GreedyShrink(evaluator, {.k = 6});
+  ASSERT_TRUE(refined.ok() && greedy.ok());
+  // 1-swap optimality from a terrible start should land in the same league
+  // as the greedy (within 2x).
+  EXPECT_LE(refined->average_regret_ratio,
+            2.0 * greedy->average_regret_ratio + 0.01);
+}
+
+TEST(LocalSearchTest, MaxSwapsLimitRespected) {
+  RegretEvaluator evaluator = LinearEvaluator(60, 3, 200, 6);
+  Selection bad;
+  bad.indices = {0, 1, 2, 3};
+  LocalSearchOptions options;
+  options.max_swaps = 1;
+  LocalSearchStats stats;
+  Result<Selection> refined =
+      LocalSearchRefine(evaluator, bad, options, &stats);
+  ASSERT_TRUE(refined.ok());
+  EXPECT_LE(stats.swaps_applied, 1u);
+}
+
+TEST(LocalSearchTest, GreedyPlusLocalSearchTightensTowardOptimum) {
+  // 1-swap optimality is not global optimality, but polishing must never
+  // hurt the greedy and should stay within a tight factor of the optimum.
+  for (uint64_t seed : {11u, 12u, 13u, 14u}) {
+    RegretEvaluator evaluator = LinearEvaluator(15, 3, 120, seed);
+    Result<Selection> greedy = GreedyShrink(evaluator, {.k = 3});
+    Result<Selection> exact = BruteForce(evaluator, {.k = 3});
+    ASSERT_TRUE(greedy.ok() && exact.ok());
+    Result<Selection> polished = LocalSearchRefine(evaluator, *greedy);
+    ASSERT_TRUE(polished.ok());
+    EXPECT_LE(polished->average_regret_ratio,
+              greedy->average_regret_ratio + 1e-12)
+        << "seed " << seed;
+    if (exact->average_regret_ratio > 1e-9) {
+      EXPECT_LT(polished->average_regret_ratio /
+                    exact->average_regret_ratio,
+                1.25)
+          << "seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fam

@@ -1,0 +1,91 @@
+#include "common/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace fam {
+namespace {
+
+TEST(MatrixTest, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(MatrixTest, FillConstructor) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(m(r, c), 1.5);
+  }
+}
+
+TEST(MatrixTest, FromRowsAndIndexing) {
+  Matrix m = Matrix::FromRows({{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}});
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(2, 1), 6.0);
+  m(1, 0) = 99.0;
+  EXPECT_DOUBLE_EQ(m(1, 0), 99.0);
+}
+
+TEST(MatrixTest, RowPointerIsRowMajor) {
+  Matrix m = Matrix::FromRows({{1.0, 2.0}, {3.0, 4.0}});
+  const double* row1 = m.row(1);
+  EXPECT_DOUBLE_EQ(row1[0], 3.0);
+  EXPECT_DOUBLE_EQ(row1[1], 4.0);
+}
+
+TEST(MatrixTest, RowSpanSizeMatchesCols) {
+  Matrix m(4, 7);
+  EXPECT_EQ(m.row_span(2).size(), 7u);
+}
+
+TEST(MatrixTest, ResetDiscardsContents) {
+  Matrix m(2, 2, 9.0);
+  m.Reset(3, 1, 0.5);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 1u);
+  EXPECT_DOUBLE_EQ(m(2, 0), 0.5);
+}
+
+TEST(MatrixTest, EqualityIsStructuralAndValueBased) {
+  Matrix a = Matrix::FromRows({{1.0, 2.0}});
+  Matrix b = Matrix::FromRows({{1.0, 2.0}});
+  Matrix c = Matrix::FromRows({{1.0, 2.5}});
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(MatrixMathTest, DotProduct) {
+  std::vector<double> a = {1.0, 2.0, 3.0};
+  std::vector<double> b = {4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(Dot(std::span<const double>(a), b), 32.0);
+  EXPECT_DOUBLE_EQ(Dot(a.data(), b.data(), 3), 32.0);
+}
+
+TEST(MatrixMathTest, DotOfEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(Dot(nullptr, nullptr, 0), 0.0);
+}
+
+TEST(MatrixMathTest, Norm2) {
+  std::vector<double> v = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Norm2(v), 5.0);
+}
+
+TEST(MatrixMathTest, SquaredDistance) {
+  std::vector<double> a = {1.0, 1.0};
+  std::vector<double> b = {4.0, 5.0};
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, a), 0.0);
+}
+
+TEST(MatrixTest, FromRowsEmptyGivesEmptyMatrix) {
+  Matrix m = Matrix::FromRows({});
+  EXPECT_TRUE(m.empty());
+}
+
+}  // namespace
+}  // namespace fam

@@ -1,0 +1,137 @@
+// Tests for MixtureLinearDistribution (non-uniform linear Θ) and the exact
+// continuous max regret ratio (MaxRegretRatioLinear).
+
+#include <gtest/gtest.h>
+
+#include "baselines/mrr_greedy.h"
+#include "core/greedy_shrink.h"
+#include "data/generator.h"
+#include "geom/skyline.h"
+#include "regret/evaluator.h"
+#include "utility/distribution.h"
+
+namespace fam {
+namespace {
+
+TEST(MixtureLinearTest, WeightsAreSimplexNormalized) {
+  MixtureLinearDistribution theta(
+      Matrix::FromRows({{1.0, 0.0, 0.0}, {0.0, 0.0, 1.0}}), {}, 0.05);
+  Rng rng(1);
+  Matrix weights = theta.SampleWeights(200, rng);
+  for (size_t u = 0; u < weights.rows(); ++u) {
+    double sum = 0.0;
+    for (size_t j = 0; j < weights.cols(); ++j) {
+      EXPECT_GE(weights(u, j), 0.0);
+      sum += weights(u, j);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(MixtureLinearTest, ClustersConcentrateAroundPrototypes) {
+  MixtureLinearDistribution theta(
+      Matrix::FromRows({{1.0, 0.0}, {0.0, 1.0}}), {0.5, 0.5}, 0.02);
+  Rng rng(2);
+  Matrix weights = theta.SampleWeights(2000, rng);
+  size_t near_first = 0, near_second = 0;
+  for (size_t u = 0; u < weights.rows(); ++u) {
+    if (weights(u, 0) > 0.8) ++near_first;
+    if (weights(u, 1) > 0.8) ++near_second;
+  }
+  EXPECT_NEAR(near_first / 2000.0, 0.5, 0.05);
+  EXPECT_NEAR(near_second / 2000.0, 0.5, 0.05);
+}
+
+TEST(MixtureLinearTest, MixingWeightsRespected) {
+  MixtureLinearDistribution theta(
+      Matrix::FromRows({{1.0, 0.0}, {0.0, 1.0}}), {0.9, 0.1}, 0.01);
+  Rng rng(3);
+  Matrix weights = theta.SampleWeights(5000, rng);
+  size_t first = 0;
+  for (size_t u = 0; u < weights.rows(); ++u) {
+    if (weights(u, 0) > 0.5) ++first;
+  }
+  EXPECT_NEAR(first / 5000.0, 0.9, 0.03);
+}
+
+TEST(MixtureLinearTest, SampleBindsToDataset) {
+  Dataset data = GenerateSynthetic({.n = 50, .d = 3,
+      .distribution = SyntheticDistribution::kIndependent, .seed = 4});
+  MixtureLinearDistribution theta(
+      Matrix::FromRows({{0.6, 0.2, 0.2}}), {}, 0.05);
+  Rng rng(5);
+  UtilityMatrix users = theta.Sample(data, 100, rng);
+  EXPECT_EQ(users.num_users(), 100u);
+  EXPECT_EQ(users.num_points(), 50u);
+  EXPECT_TRUE(users.is_weighted());
+}
+
+// The paper's motivation made measurable: when Θ is concentrated, the set
+// optimized for the true Θ beats the set optimized under a (wrong) uniform
+// assumption on the true population.
+TEST(MixtureLinearTest, KnowingThetaBeatsAssumingUniform) {
+  Dataset data = GenerateSynthetic({.n = 400, .d = 4,
+      .distribution = SyntheticDistribution::kAntiCorrelated, .seed = 6});
+  MixtureLinearDistribution true_theta(
+      Matrix::FromRows({{0.85, 0.05, 0.05, 0.05},
+                        {0.05, 0.05, 0.05, 0.85}}),
+      {0.7, 0.3}, 0.03);
+  UniformLinearDistribution uniform_theta;
+  Rng rng(7);
+  RegretEvaluator true_eval(true_theta.Sample(data, 4000, rng));
+  RegretEvaluator uniform_eval(uniform_theta.Sample(data, 4000, rng));
+
+  const size_t k = 5;
+  Result<Selection> informed = GreedyShrink(true_eval, {.k = k});
+  Result<Selection> uninformed = GreedyShrink(uniform_eval, {.k = k});
+  ASSERT_TRUE(informed.ok() && uninformed.ok());
+  // Score both on the true population.
+  double informed_arr = true_eval.AverageRegretRatio(informed->indices);
+  double uninformed_arr =
+      true_eval.AverageRegretRatio(uninformed->indices);
+  EXPECT_LT(informed_arr, uninformed_arr + 1e-12);
+}
+
+TEST(MaxRegretRatioLinearTest, FullSkylineHasZeroMaxRegret) {
+  Dataset data = GenerateSynthetic({.n = 100, .d = 3,
+      .distribution = SyntheticDistribution::kIndependent, .seed = 8});
+  std::vector<size_t> sky = SkylineIndices(data);
+  EXPECT_NEAR(MaxRegretRatioLinear(data, sky), 0.0, 1e-7);
+}
+
+TEST(MaxRegretRatioLinearTest, SingletonMatchesHandComputation) {
+  // Points (1,0), (0,1), S = {(1,0)}: the utility w = (0,1) has
+  // sat(S) = 0 and favorite (0,1) with value 1, so max rr = 1.
+  Dataset data(Matrix::FromRows({{1.0, 0.0}, {0.0, 1.0}}));
+  std::vector<size_t> s = {0};
+  EXPECT_NEAR(MaxRegretRatioLinear(data, s), 1.0, 1e-9);
+}
+
+TEST(MaxRegretRatioLinearTest, DominatesSampledEstimate) {
+  // The continuous maximum upper-bounds any sampled maximum.
+  Dataset data = GenerateSynthetic({.n = 80, .d = 4,
+      .distribution = SyntheticDistribution::kAntiCorrelated, .seed = 9});
+  UniformLinearDistribution theta;
+  Rng rng(10);
+  RegretEvaluator evaluator(theta.Sample(data, 3000, rng));
+  std::vector<size_t> subset = {0, 7, 20, 41};
+  double exact = MaxRegretRatioLinear(data, subset);
+  double sampled = MaxRegretRatio(evaluator, subset);
+  EXPECT_GE(exact, sampled - 1e-6);
+  // And the sampled estimate is not wildly below (same order).
+  EXPECT_GT(sampled, 0.25 * exact - 1e-6);
+}
+
+TEST(MaxRegretRatioLinearTest, DecreasesAsSetGrows) {
+  Dataset data = GenerateSynthetic({.n = 120, .d = 3,
+      .distribution = SyntheticDistribution::kAntiCorrelated, .seed = 11});
+  std::vector<size_t> sky = SkylineIndices(data);
+  ASSERT_GE(sky.size(), 4u);
+  std::vector<size_t> small(sky.begin(), sky.begin() + 2);
+  std::vector<size_t> large(sky.begin(), sky.begin() + 4);
+  EXPECT_GE(MaxRegretRatioLinear(data, small),
+            MaxRegretRatioLinear(data, large) - 1e-9);
+}
+
+}  // namespace
+}  // namespace fam

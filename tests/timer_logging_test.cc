@@ -1,0 +1,79 @@
+// Tests for Timer and the logging/check machinery.
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/status.h"
+#include "common/timer.h"
+
+namespace fam {
+namespace {
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  double elapsed = timer.ElapsedSeconds();
+  EXPECT_GE(elapsed, 0.015);
+  EXPECT_LT(elapsed, 5.0);
+  EXPECT_NEAR(timer.ElapsedMillis(), timer.ElapsedSeconds() * 1e3,
+              timer.ElapsedSeconds() * 50);
+}
+
+TEST(TimerTest, RestartResets) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  timer.Restart();
+  EXPECT_LT(timer.ElapsedSeconds(), 0.01);
+}
+
+TEST(TimerTest, MonotoneNonDecreasing) {
+  Timer timer;
+  double a = timer.ElapsedSeconds();
+  double b = timer.ElapsedSeconds();
+  EXPECT_GE(b, a);
+}
+
+TEST(LoggingTest, MinLevelRoundTrips) {
+  LogLevel original = MinLogLevel();
+  SetMinLogLevel(LogLevel::kError);
+  EXPECT_EQ(MinLogLevel(), LogLevel::kError);
+  SetMinLogLevel(original);
+}
+
+TEST(LoggingTest, NonFatalLevelsDoNotAbort) {
+  LogLevel original = MinLogLevel();
+  SetMinLogLevel(LogLevel::kFatal);  // suppress output during the test
+  FAM_LOG(Info) << "info line";
+  FAM_LOG(Warning) << "warning line";
+  FAM_LOG(Error) << "error line";
+  SetMinLogLevel(original);
+  SUCCEED();
+}
+
+TEST(LoggingDeathTest, FatalAborts) {
+  EXPECT_DEATH(FAM_LOG(Fatal) << "boom", "boom");
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH(FAM_CHECK(1 == 2) << "impossible", "Check failed");
+}
+
+TEST(LoggingTest, CheckPassesSilently) {
+  FAM_CHECK(1 + 1 == 2) << "never printed";
+  FAM_CHECK_OK(Status::OK());
+  SUCCEED();
+}
+
+TEST(LoggingDeathTest, CheckOkAbortsOnError) {
+  EXPECT_DEATH(FAM_CHECK_OK(Status::Internal("bad state")), "bad state");
+}
+
+TEST(ResultDeathTest, AccessingErrorValueAborts) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_DEATH({ (void)r.value(); }, "nope");
+}
+
+}  // namespace
+}  // namespace fam

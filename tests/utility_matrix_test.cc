@@ -1,0 +1,121 @@
+#include "utility/utility_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+
+namespace fam {
+namespace {
+
+TEST(UtilityMatrixTest, ExplicitScoresClampNegatives) {
+  UtilityMatrix m = UtilityMatrix::FromScores(
+      Matrix::FromRows({{0.5, -0.2}, {-1.0, 0.7}}));
+  EXPECT_EQ(m.num_users(), 2u);
+  EXPECT_EQ(m.num_points(), 2u);
+  EXPECT_DOUBLE_EQ(m.Utility(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(m.Utility(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(m.Utility(1, 0), 0.0);
+  EXPECT_FALSE(m.is_weighted());
+}
+
+TEST(UtilityMatrixTest, LinearWeightsComputeDotProducts) {
+  Dataset data(Matrix::FromRows({{1.0, 0.0}, {0.0, 1.0}, {0.5, 0.5}}));
+  UtilityMatrix m = UtilityMatrix::FromLinearWeights(
+      Matrix::FromRows({{1.0, 0.0}, {0.25, 0.75}}), data);
+  EXPECT_TRUE(m.is_weighted());
+  EXPECT_EQ(m.num_users(), 2u);
+  EXPECT_EQ(m.num_points(), 3u);
+  EXPECT_DOUBLE_EQ(m.Utility(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.Utility(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(m.Utility(1, 2), 0.5);
+}
+
+TEST(UtilityMatrixTest, LatentModeClampsNegativeDots) {
+  Matrix basis = Matrix::FromRows({{1.0}, {-1.0}});
+  UtilityMatrix m =
+      UtilityMatrix::FromLatent(Matrix::FromRows({{2.0}}), basis);
+  EXPECT_DOUBLE_EQ(m.Utility(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(m.Utility(0, 1), 0.0);  // clamped
+}
+
+TEST(UtilityMatrixTest, BestPointPicksArgmaxLowestIndexOnTie) {
+  UtilityMatrix m = UtilityMatrix::FromScores(
+      Matrix::FromRows({{0.1, 0.9, 0.9}, {0.7, 0.2, 0.1}}));
+  EXPECT_EQ(m.BestPoint(0), 1u);
+  EXPECT_EQ(m.BestPoint(1), 0u);
+}
+
+TEST(UtilityMatrixTest, BestUtilityInSubset) {
+  UtilityMatrix m =
+      UtilityMatrix::FromScores(Matrix::FromRows({{0.1, 0.9, 0.4}}));
+  std::vector<size_t> subset = {0, 2};
+  EXPECT_DOUBLE_EQ(m.BestUtilityIn(0, subset), 0.4);
+  EXPECT_DOUBLE_EQ(m.BestUtilityIn(0, {}), 0.0);  // empty set convention
+}
+
+TEST(UtilityMatrixTest, RestrictToPointsExplicitMode) {
+  UtilityMatrix m = UtilityMatrix::FromScores(
+      Matrix::FromRows({{0.1, 0.2, 0.3}, {0.6, 0.5, 0.4}}));
+  std::vector<size_t> keep = {2, 0};
+  UtilityMatrix r = m.RestrictToPoints(keep);
+  EXPECT_EQ(r.num_points(), 2u);
+  EXPECT_DOUBLE_EQ(r.Utility(0, 0), 0.3);
+  EXPECT_DOUBLE_EQ(r.Utility(1, 1), 0.6);
+}
+
+TEST(UtilityMatrixTest, RestrictToPointsWeightedMode) {
+  Dataset data(Matrix::FromRows({{1.0, 0.0}, {0.0, 1.0}, {0.5, 0.5}}));
+  UtilityMatrix m = UtilityMatrix::FromLinearWeights(
+      Matrix::FromRows({{1.0, 1.0}}), data);
+  std::vector<size_t> keep = {1};
+  UtilityMatrix r = m.RestrictToPoints(keep);
+  EXPECT_EQ(r.num_points(), 1u);
+  EXPECT_DOUBLE_EQ(r.Utility(0, 0), 1.0);
+  EXPECT_TRUE(r.is_weighted());
+}
+
+TEST(UtilityMatrixTest, UserWeightsAccessor) {
+  Dataset data(Matrix::FromRows({{1.0, 2.0}}));
+  UtilityMatrix m = UtilityMatrix::FromLinearWeights(
+      Matrix::FromRows({{0.3, 0.7}}), data);
+  std::span<const double> w = m.UserWeights(0);
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_DOUBLE_EQ(w[0], 0.3);
+  EXPECT_DOUBLE_EQ(w[1], 0.7);
+}
+
+TEST(UtilityMatrixTest, MaterializedPreservesUtilities) {
+  Dataset data(Matrix::FromRows({{1.0, 0.0}, {0.0, 1.0}, {0.4, 0.8}}));
+  UtilityMatrix weighted = UtilityMatrix::FromLinearWeights(
+      Matrix::FromRows({{0.5, 0.5}, {1.0, 0.0}}), data);
+  UtilityMatrix dense = weighted.Materialized();
+  EXPECT_FALSE(dense.is_weighted());
+  EXPECT_EQ(dense.num_users(), weighted.num_users());
+  EXPECT_EQ(dense.num_points(), weighted.num_points());
+  for (size_t u = 0; u < dense.num_users(); ++u) {
+    for (size_t p = 0; p < dense.num_points(); ++p) {
+      EXPECT_DOUBLE_EQ(dense.Utility(u, p), weighted.Utility(u, p));
+    }
+  }
+  // Materializing an explicit matrix is the identity.
+  UtilityMatrix again = dense.Materialized();
+  EXPECT_DOUBLE_EQ(again.Utility(1, 0), dense.Utility(1, 0));
+}
+
+TEST(HotelExampleTest, TableIValuesAndBestPoints) {
+  UtilityMatrix m = HotelExampleUtilityMatrix();
+  EXPECT_EQ(m.num_users(), 4u);
+  EXPECT_EQ(m.num_points(), 4u);
+  // Alex's utility for Holiday Inn is 0.9 (paper Table I).
+  EXPECT_DOUBLE_EQ(m.Utility(0, 0), 0.9);
+  // Best points: Alex -> Holiday Inn, Jerry -> Shangri-La, Tom -> Hilton,
+  // Sam -> Intercontinental.
+  EXPECT_EQ(m.BestPoint(0), 0u);
+  EXPECT_EQ(m.BestPoint(1), 1u);
+  EXPECT_EQ(m.BestPoint(2), 3u);
+  EXPECT_EQ(m.BestPoint(3), 2u);
+  EXPECT_EQ(HotelExampleUserNames().size(), 4u);
+}
+
+}  // namespace
+}  // namespace fam

@@ -1,0 +1,256 @@
+// fam_cli — command-line front end for the fam library.
+//
+// Subcommands:
+//   generate  — write a synthetic dataset as CSV
+//               fam_cli generate --n 10000 --d 6 --dist anti --out data.csv
+//   select    — pick k points from a CSV by a chosen algorithm
+//               fam_cli select --algo greedy-shrink --k 10 --users 10000
+//                   --in data.csv
+//   evaluate  — score a comma-separated index set on a CSV
+//               fam_cli evaluate --set 1,5,9 --users 10000 --in data.csv
+//
+// Utilities are linear with simplex-uniform weights (--domain box/sphere to
+// change); all randomness is controlled by --seed.
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/flags.h"
+#include "fam/fam.h"
+
+namespace fam {
+namespace {
+
+Result<WeightDomain> ParseDomain(const std::string& name) {
+  if (EqualsIgnoreCase(name, "simplex")) return WeightDomain::kSimplex;
+  if (EqualsIgnoreCase(name, "box")) return WeightDomain::kUnitBox;
+  if (EqualsIgnoreCase(name, "sphere")) return WeightDomain::kSphere;
+  return Status::InvalidArgument("unknown weight domain: " + name);
+}
+
+Result<SyntheticDistribution> ParseDist(const std::string& name) {
+  if (EqualsIgnoreCase(name, "independent") || EqualsIgnoreCase(name, "indep"))
+    return SyntheticDistribution::kIndependent;
+  if (EqualsIgnoreCase(name, "correlated") || EqualsIgnoreCase(name, "corr"))
+    return SyntheticDistribution::kCorrelated;
+  if (EqualsIgnoreCase(name, "anticorrelated") ||
+      EqualsIgnoreCase(name, "anti"))
+    return SyntheticDistribution::kAntiCorrelated;
+  return Status::InvalidArgument("unknown distribution: " + name);
+}
+
+Result<std::vector<size_t>> ParseIndexSet(const std::string& csv,
+                                          size_t bound) {
+  std::vector<size_t> indices;
+  for (const std::string& token : Split(csv, ',')) {
+    FAM_ASSIGN_OR_RETURN(int64_t value, ParseInt(token));
+    if (value < 0 || static_cast<size_t>(value) >= bound) {
+      return Status::OutOfRange(StrPrintf("index %lld out of [0, %zu)",
+                                          static_cast<long long>(value),
+                                          bound));
+    }
+    indices.push_back(static_cast<size_t>(value));
+  }
+  if (indices.empty()) return Status::InvalidArgument("empty index set");
+  return indices;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int RunGenerate(int argc, const char* const* argv) {
+  int64_t n = 1000, d = 6;
+  int64_t seed = 42;
+  std::string dist = "independent", out;
+  FlagParser flags;
+  flags.AddInt("n", &n, "number of points")
+      .AddInt("d", &d, "dimensionality")
+      .AddInt("seed", &seed, "random seed")
+      .AddString("dist", &dist, "independent | correlated | anti")
+      .AddString("out", &out, "output CSV path (stdout if empty)");
+  Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n%s", parsed.ToString().c_str(),
+                 flags.Usage().c_str());
+    return 1;
+  }
+  Result<SyntheticDistribution> distribution = ParseDist(dist);
+  if (!distribution.ok()) return Fail(distribution.status());
+  if (n <= 0 || d <= 0) {
+    return Fail(Status::InvalidArgument("n and d must be positive"));
+  }
+  Dataset data = GenerateSynthetic({.n = static_cast<size_t>(n),
+                                    .d = static_cast<size_t>(d),
+                                    .distribution = *distribution,
+                                    .seed = static_cast<uint64_t>(seed)});
+  if (out.empty()) {
+    std::fputs(WriteCsvString(data).c_str(), stdout);
+  } else {
+    Status written = WriteCsvFile(data, out);
+    if (!written.ok()) return Fail(written);
+    std::printf("wrote %zu x %zu dataset to %s\n", data.size(),
+                data.dimension(), out.c_str());
+  }
+  return 0;
+}
+
+struct WorkloadFlags {
+  std::string in;
+  int64_t users = 10000;
+  int64_t seed = 7;
+  std::string domain = "simplex";
+  bool has_header = true;
+  bool label_column = false;
+};
+
+void RegisterWorkloadFlags(FlagParser& flags, WorkloadFlags* w) {
+  flags.AddString("in", &w->in, "input CSV path (required)")
+      .AddInt("users", &w->users, "sampled utility functions N")
+      .AddInt("seed", &w->seed, "random seed")
+      .AddString("domain", &w->domain, "simplex | box | sphere")
+      .AddBool("header", &w->has_header, "CSV has a header row")
+      .AddBool("labels", &w->label_column, "first CSV column is a label");
+}
+
+Result<Dataset> LoadWorkload(const WorkloadFlags& w) {
+  if (w.in.empty()) return Status::InvalidArgument("--in is required");
+  CsvOptions options;
+  options.has_header = w.has_header;
+  options.first_column_is_label = w.label_column;
+  FAM_ASSIGN_OR_RETURN(Dataset data, ReadCsvFile(w.in, options));
+  FAM_RETURN_IF_ERROR(data.Validate());
+  return data;
+}
+
+int RunSelect(int argc, const char* const* argv) {
+  WorkloadFlags w;
+  int64_t k = 10;
+  std::string algo = "greedy-shrink";
+  bool refine = false;
+  FlagParser flags;
+  RegisterWorkloadFlags(flags, &w);
+  flags.AddInt("k", &k, "solution size")
+      .AddString("algo", &algo,
+                 "greedy-shrink | greedy-grow | mrr-greedy | sky-dom | "
+                 "k-hit | brute-force | dp-2d")
+      .AddBool("refine", &refine,
+               "polish the selection with 1-swap local search");
+  Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n%s", parsed.ToString().c_str(),
+                 flags.Usage().c_str());
+    return 1;
+  }
+  Result<Dataset> data = LoadWorkload(w);
+  if (!data.ok()) return Fail(data.status());
+  Result<WeightDomain> domain = ParseDomain(w.domain);
+  if (!domain.ok()) return Fail(domain.status());
+  if (k <= 0 || static_cast<size_t>(k) > data->size()) {
+    return Fail(Status::InvalidArgument("k out of range"));
+  }
+
+  Timer preprocess_timer;
+  UniformLinearDistribution theta(*domain);
+  Rng rng(static_cast<uint64_t>(w.seed));
+  RegretEvaluator evaluator(
+      theta.Sample(*data, static_cast<size_t>(w.users), rng));
+  double preprocess = preprocess_timer.ElapsedSeconds();
+
+  Timer query_timer;
+  Result<Selection> selection = Status::Internal("unset");
+  const size_t k_size = static_cast<size_t>(k);
+  if (EqualsIgnoreCase(algo, "greedy-shrink")) {
+    selection = GreedyShrink(evaluator, {.k = k_size});
+  } else if (EqualsIgnoreCase(algo, "greedy-grow")) {
+    selection = GreedyGrow(evaluator, {.k = k_size});
+  } else if (EqualsIgnoreCase(algo, "mrr-greedy")) {
+    selection = MrrGreedy(*data, evaluator, {.k = k_size});
+  } else if (EqualsIgnoreCase(algo, "sky-dom")) {
+    selection = SkyDom(*data, evaluator, {.k = k_size});
+  } else if (EqualsIgnoreCase(algo, "k-hit")) {
+    selection = KHit(evaluator, {.k = k_size});
+  } else if (EqualsIgnoreCase(algo, "brute-force")) {
+    selection = BruteForce(evaluator, {.k = k_size});
+  } else if (EqualsIgnoreCase(algo, "dp-2d")) {
+    selection = SolveDp2dOnSample(*data, evaluator.users(), k_size);
+  } else {
+    return Fail(Status::InvalidArgument("unknown algorithm: " + algo));
+  }
+  if (selection.ok() && refine) {
+    LocalSearchStats ls_stats;
+    selection = LocalSearchRefine(evaluator, *selection, {}, &ls_stats);
+    if (selection.ok() && ls_stats.swaps_applied > 0) {
+      std::printf("local search: %zu swap(s), arr %.6f -> %.6f\n",
+                  ls_stats.swaps_applied, ls_stats.initial_arr,
+                  ls_stats.final_arr);
+    }
+  }
+  double query = query_timer.ElapsedSeconds();
+  if (!selection.ok()) return Fail(selection.status());
+
+  RegretDistribution dist = evaluator.Distribution(selection->indices);
+  std::printf("algorithm: %s\n", algo.c_str());
+  std::printf("preprocess: %.3f s, query: %.3f s\n", preprocess, query);
+  std::printf("arr: %.6f, stddev: %.6f, max rr: %.6f\n", dist.average,
+              dist.stddev, MaxRegretRatio(evaluator, selection->indices));
+  std::printf("selection:");
+  for (size_t p : selection->indices) {
+    std::printf(" %s", data->LabelOf(p).c_str());
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int RunEvaluate(int argc, const char* const* argv) {
+  WorkloadFlags w;
+  std::string set_csv;
+  FlagParser flags;
+  RegisterWorkloadFlags(flags, &w);
+  flags.AddString("set", &set_csv, "comma-separated point indices");
+  Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n%s", parsed.ToString().c_str(),
+                 flags.Usage().c_str());
+    return 1;
+  }
+  Result<Dataset> data = LoadWorkload(w);
+  if (!data.ok()) return Fail(data.status());
+  Result<WeightDomain> domain = ParseDomain(w.domain);
+  if (!domain.ok()) return Fail(domain.status());
+  Result<std::vector<size_t>> subset = ParseIndexSet(set_csv, data->size());
+  if (!subset.ok()) return Fail(subset.status());
+
+  UniformLinearDistribution theta(*domain);
+  Rng rng(static_cast<uint64_t>(w.seed));
+  RegretEvaluator evaluator(
+      theta.Sample(*data, static_cast<size_t>(w.users), rng));
+  RegretDistribution dist = evaluator.Distribution(*subset);
+  std::printf("arr: %.6f\nvariance: %.6f\nstddev: %.6f\n", dist.average,
+              dist.variance, dist.stddev);
+  for (double pct : {70.0, 80.0, 90.0, 95.0, 99.0, 100.0}) {
+    std::printf("p%.0f regret ratio: %.6f\n", pct, dist.PercentileRr(pct));
+  }
+  return 0;
+}
+
+int Main(int argc, const char* const* argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: fam_cli <generate|select|evaluate> [flags]\n");
+    return 1;
+  }
+  std::string command = argv[1];
+  // Shift so subcommand flags see argv[0] = command.
+  if (command == "generate") return RunGenerate(argc - 1, argv + 1);
+  if (command == "select") return RunSelect(argc - 1, argv + 1);
+  if (command == "evaluate") return RunEvaluate(argc - 1, argv + 1);
+  std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+  return 1;
+}
+
+}  // namespace
+}  // namespace fam
+
+int main(int argc, char** argv) { return fam::Main(argc, argv); }
