@@ -9,6 +9,11 @@
 // buckets. (Peng & Wong integrate over a continuous Θ with matching ε/δ
 // sampling parameters; scoring on the shared user sample keeps every
 // algorithm measured against the identical population.)
+//
+// Complexity: O(N) to accumulate the favorite-point buckets (favorites are
+// precomputed by the evaluator) plus O(n log n) to rank them — by far the
+// cheapest comparator, and the reason the paper reports its query time as
+// negligible.
 
 #ifndef FAM_BASELINES_K_HIT_H_
 #define FAM_BASELINES_K_HIT_H_

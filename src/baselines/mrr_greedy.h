@@ -17,6 +17,12 @@
 //
 // kAuto picks LP for linear utilities with a modest candidate pool and falls
 // back to sampling otherwise.
+//
+// Complexity: the LP engine solves one (|S| + 1)-constraint, (d + 1)-variable
+// LP per skyline candidate per round — O(k·m) simplex solves for a skyline
+// of size m. The sampled engine is O(k·N·d) utility evaluations with
+// per-user running maxima. Both are dominated by Greedy-Shrink's cost on
+// the paper's workloads (Fig. 6–8).
 
 #ifndef FAM_BASELINES_MRR_GREEDY_H_
 #define FAM_BASELINES_MRR_GREEDY_H_

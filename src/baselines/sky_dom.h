@@ -6,6 +6,11 @@
 // practice (and the greedy (1 − 1/e) max-coverage guarantee), this
 // implementation greedily adds the skyline point covering the most
 // not-yet-dominated points.
+//
+// Complexity: skyline + dominated-list construction is O(m·n·d) for a
+// skyline of size m, then the greedy runs k rounds over the m candidates'
+// dominated lists — O(k·m·n) in the worst case, independent of the user
+// sample size N (the evaluator is only used to score the final set).
 
 #ifndef FAM_BASELINES_SKY_DOM_H_
 #define FAM_BASELINES_SKY_DOM_H_

@@ -8,6 +8,10 @@
 // u_i. A k-point solution with average regret ratio 0 exists iff the Set
 // Cover instance has a cover of size <= k (Lemma 5/6), which the test suite
 // verifies on both satisfiable and unsatisfiable instances.
+//
+// Complexity: the reduction itself is polynomial — O(|T|·|U|) to emit the
+// point matrix and one utility function per universe element — which is
+// what makes it a valid NP-hardness reduction.
 
 #ifndef FAM_CORE_SET_COVER_REDUCTION_H_
 #define FAM_CORE_SET_COVER_REDUCTION_H_

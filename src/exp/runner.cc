@@ -3,48 +3,43 @@
 #include <cstdlib>
 #include <cstring>
 
-#include "baselines/k_hit.h"
-#include "baselines/mrr_greedy.h"
-#include "baselines/sky_dom.h"
 #include "common/timer.h"
-#include "core/greedy_shrink.h"
+#include "fam/solver_registry.h"
 
 namespace fam {
+namespace {
+
+/// Wraps a registry solver as an AlgorithmSpec (name + type-erased run).
+AlgorithmSpec SpecFromRegistry(std::string_view name) {
+  const Solver* solver = SolverRegistry::Global().Find(name);
+  if (solver == nullptr) {
+    // The standard comparators are built-ins; absence is a programming
+    // error best surfaced when the spec runs, not silently skipped.
+    return {std::string(name),
+            [name = std::string(name)](const Dataset&,
+                                       const RegretEvaluator&, size_t) {
+              return Result<Selection>(Status::Internal(
+                  "solver not registered: " + name));
+            }};
+  }
+  return {std::string(solver->Name()),
+          [solver](const Dataset& dataset, const RegretEvaluator& evaluator,
+                   size_t k) { return solver->Solve(dataset, evaluator, k); }};
+}
+
+}  // namespace
 
 std::vector<AlgorithmSpec> StandardAlgorithms(bool sampled_mrr) {
   std::vector<AlgorithmSpec> algorithms;
-  algorithms.push_back(
-      {"Greedy-Shrink",
-       [](const Dataset&, const RegretEvaluator& evaluator, size_t k) {
-         GreedyShrinkOptions options;
-         options.k = k;
-         return GreedyShrink(evaluator, options);
-       }});
-  algorithms.push_back(
-      {"MRR-Greedy",
-       [sampled_mrr](const Dataset& dataset,
-                     const RegretEvaluator& evaluator, size_t k) {
-         MrrGreedyOptions options;
-         options.k = k;
-         options.mode = sampled_mrr ? MrrGreedyMode::kSampled
-                                    : MrrGreedyMode::kAuto;
-         return MrrGreedy(dataset, evaluator, options);
-       }});
-  algorithms.push_back(
-      {"Sky-Dom",
-       [](const Dataset& dataset, const RegretEvaluator& evaluator,
-          size_t k) {
-         SkyDomOptions options;
-         options.k = k;
-         return SkyDom(dataset, evaluator, options);
-       }});
-  algorithms.push_back(
-      {"K-Hit",
-       [](const Dataset&, const RegretEvaluator& evaluator, size_t k) {
-         KHitOptions options;
-         options.k = k;
-         return KHit(evaluator, options);
-       }});
+  algorithms.push_back(SpecFromRegistry("Greedy-Shrink"));
+  AlgorithmSpec mrr =
+      SpecFromRegistry(sampled_mrr ? "MRR-Greedy-Sampled" : "MRR-Greedy");
+  // Benches and tests refer to the comparator as "MRR-Greedy" regardless of
+  // which engine scores the max regret ratio.
+  mrr.name = "MRR-Greedy";
+  algorithms.push_back(std::move(mrr));
+  algorithms.push_back(SpecFromRegistry("Sky-Dom"));
+  algorithms.push_back(SpecFromRegistry("K-Hit"));
   return algorithms;
 }
 

@@ -1,0 +1,151 @@
+// Registrations of the built-in algorithm suite into the solver registry.
+//
+// Kept separate from the registry mechanics so the dependency direction is
+// explicit: solver_registry.{h,cc} knows nothing about concrete algorithms;
+// this file links the registry to src/core/ and src/baselines/.
+
+#include "baselines/k_hit.h"
+#include "baselines/mrr_greedy.h"
+#include "baselines/sky_dom.h"
+#include "core/branch_and_bound.h"
+#include "core/brute_force.h"
+#include "core/dp2d.h"
+#include "core/greedy_grow.h"
+#include "core/greedy_shrink.h"
+#include "core/local_search.h"
+#include "fam/solver_registry.h"
+
+namespace fam {
+namespace {
+
+void MustRegister(SolverRegistry& registry, std::unique_ptr<Solver> solver) {
+  Status status = registry.Register(std::move(solver));
+  if (!status.ok()) {
+    // Built-in names are fixed at compile time; a collision is a
+    // programming error, surfaced loudly instead of silently dropped.
+    internal::DieBadResultAccess(status);
+  }
+}
+
+constexpr SolverTraits kHeuristic{.exact = false, .requires_2d = false,
+                                  .baseline = false};
+constexpr SolverTraits kExact{.exact = true, .requires_2d = false,
+                              .baseline = false};
+constexpr SolverTraits kExact2d{.exact = true, .requires_2d = true,
+                                .baseline = false};
+constexpr SolverTraits kBaseline{.exact = false, .requires_2d = false,
+                                 .baseline = true};
+
+}  // namespace
+
+void RegisterBuiltinSolvers(SolverRegistry& registry) {
+  MustRegister(
+      registry,
+      MakeSolver("Greedy-Shrink",
+                 "Algorithm 1: backward greedy with best-point caching and "
+                 "lazy evaluation (the paper's main algorithm)",
+                 kHeuristic,
+                 [](const Dataset&, const RegretEvaluator& evaluator,
+                    size_t k) {
+                   return GreedyShrink(evaluator, {.k = k});
+                 }));
+  MustRegister(
+      registry,
+      MakeSolver("Greedy-Grow",
+                 "forward greedy: adds the point reducing arr the most "
+                 "(ablation counterpart of Greedy-Shrink)",
+                 kHeuristic,
+                 [](const Dataset&, const RegretEvaluator& evaluator,
+                    size_t k) {
+                   return GreedyGrow(evaluator, {.k = k});
+                 }));
+  MustRegister(
+      registry,
+      MakeSolver("Local-Search",
+                 "1-swap local search to swap-optimality, seeded with "
+                 "Greedy-Grow",
+                 kHeuristic,
+                 [](const Dataset&, const RegretEvaluator& evaluator,
+                    size_t k) -> Result<Selection> {
+                   FAM_ASSIGN_OR_RETURN(Selection seed,
+                                        GreedyGrow(evaluator, {.k = k}));
+                   return LocalSearchRefine(evaluator, seed);
+                 }));
+  MustRegister(
+      registry,
+      MakeSolver("Brute-Force",
+                 "exact: enumerates all C(n, k) subsets (small n only)",
+                 kExact,
+                 [](const Dataset&, const RegretEvaluator& evaluator,
+                    size_t k) {
+                   return BruteForce(evaluator, {.k = k});
+                 }));
+  MustRegister(
+      registry,
+      MakeSolver("Branch-And-Bound",
+                 "exact: include/exclude search pruned by arr monotonicity "
+                 "(Lemma 1), seeded with Greedy-Shrink",
+                 kExact,
+                 [](const Dataset&, const RegretEvaluator& evaluator,
+                    size_t k) {
+                   return BranchAndBound(evaluator, {.k = k});
+                 }));
+  MustRegister(
+      registry,
+      MakeSolver("DP-2D",
+                 "exact for d = 2 (Sec. IV): dynamic program over skyline "
+                 "points and separating angles, scored on the shared sample",
+                 kExact2d,
+                 [](const Dataset& dataset, const RegretEvaluator& evaluator,
+                    size_t k) {
+                   return SolveDp2dOnSample(dataset, evaluator.users(), k);
+                 }));
+  MustRegister(
+      registry,
+      MakeSolver("MRR-Greedy",
+                 "baseline [22]: max-regret-ratio greedy of Nanongkai et "
+                 "al. (LP engine for linear utilities, sampled fallback)",
+                 kBaseline,
+                 [](const Dataset& dataset, const RegretEvaluator& evaluator,
+                    size_t k) {
+                   MrrGreedyOptions options;
+                   options.k = k;
+                   options.mode = MrrGreedyMode::kAuto;
+                   return MrrGreedy(dataset, evaluator, options);
+                 }));
+  MustRegister(
+      registry,
+      MakeSolver("MRR-Greedy-Sampled",
+                 "baseline [22] with the sampling engine forced (any Theta, "
+                 "including non-linear/learned utilities)",
+                 kBaseline,
+                 [](const Dataset& dataset, const RegretEvaluator& evaluator,
+                    size_t k) {
+                   MrrGreedyOptions options;
+                   options.k = k;
+                   options.mode = MrrGreedyMode::kSampled;
+                   return MrrGreedy(dataset, evaluator, options);
+                 }));
+  MustRegister(
+      registry,
+      MakeSolver("Sky-Dom",
+                 "baseline [20]: k representative skyline points maximizing "
+                 "dominated coverage (Lin et al.)",
+                 kBaseline,
+                 [](const Dataset& dataset, const RegretEvaluator& evaluator,
+                    size_t k) {
+                   return SkyDom(dataset, evaluator, {.k = k});
+                 }));
+  MustRegister(
+      registry,
+      MakeSolver("K-Hit",
+                 "baseline [26]: k points maximizing the favorite-point hit "
+                 "probability (Peng & Wong)",
+                 kBaseline,
+                 [](const Dataset&, const RegretEvaluator& evaluator,
+                    size_t k) {
+                   return KHit(evaluator, {.k = k});
+                 }));
+}
+
+}  // namespace fam

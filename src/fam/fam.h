@@ -38,6 +38,7 @@
 #include "exp/pipelines.h"
 #include "exp/runner.h"
 #include "exp/table.h"
+#include "fam/solver_registry.h"
 #include "geom/dominance.h"
 #include "geom/skyline.h"
 #include "lp/simplex.h"

@@ -1,0 +1,113 @@
+#include "fam/solver_registry.h"
+
+#include <cctype>
+#include <mutex>
+#include <utility>
+
+namespace fam {
+namespace {
+
+/// Solver built from a name + callable (the MakeSolver idiom).
+class LambdaSolver final : public Solver {
+ public:
+  LambdaSolver(std::string name, std::string description, SolverTraits traits,
+               SolveFn solve)
+      : name_(std::move(name)),
+        description_(std::move(description)),
+        traits_(traits),
+        solve_(std::move(solve)) {}
+
+  std::string_view Name() const override { return name_; }
+  std::string_view Description() const override { return description_; }
+  SolverTraits Traits() const override { return traits_; }
+
+  Result<Selection> Solve(const Dataset& dataset,
+                          const RegretEvaluator& evaluator,
+                          size_t k) const override {
+    if (k == 0 || k > dataset.size()) {
+      return Status::InvalidArgument(
+          "k must be in [1, n] for solver " + name_);
+    }
+    if (evaluator.num_points() != dataset.size()) {
+      return Status::FailedPrecondition(
+          "evaluator was sampled from a different dataset (" +
+          std::to_string(evaluator.num_points()) + " points vs " +
+          std::to_string(dataset.size()) + ")");
+    }
+    if (traits_.requires_2d && dataset.dimension() != 2) {
+      return Status::InvalidArgument(
+          name_ + " requires a 2-dimensional dataset (got d = " +
+          std::to_string(dataset.dimension()) + ")");
+    }
+    return solve_(dataset, evaluator, k);
+  }
+
+ private:
+  std::string name_;
+  std::string description_;
+  SolverTraits traits_;
+  SolveFn solve_;
+};
+
+}  // namespace
+
+std::string NormalizeSolverName(std::string_view name) {
+  std::string normalized;
+  normalized.reserve(name.size());
+  for (char c : name) {
+    if (c == '-' || c == '_' || c == ' ') continue;
+    normalized.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return normalized;
+}
+
+std::unique_ptr<Solver> MakeSolver(std::string name, std::string description,
+                                   SolverTraits traits, SolveFn solve) {
+  return std::make_unique<LambdaSolver>(std::move(name),
+                                        std::move(description), traits,
+                                        std::move(solve));
+}
+
+SolverRegistry& SolverRegistry::Global() {
+  static SolverRegistry* registry = [] {
+    auto* r = new SolverRegistry();
+    RegisterBuiltinSolvers(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+Status SolverRegistry::Register(std::unique_ptr<Solver> solver) {
+  if (solver == nullptr) {
+    return Status::InvalidArgument("cannot register a null solver");
+  }
+  std::string key = NormalizeSolverName(solver->Name());
+  if (key.empty()) {
+    return Status::InvalidArgument("solver name must be non-empty");
+  }
+  auto [it, inserted] = solvers_.emplace(std::move(key), std::move(solver));
+  if (!inserted) {
+    return Status::InvalidArgument(
+        "solver name collides with registered solver " +
+        std::string(it->second->Name()));
+  }
+  return Status::OK();
+}
+
+const Solver* SolverRegistry::Find(std::string_view name) const {
+  auto it = solvers_.find(NormalizeSolverName(name));
+  if (it == solvers_.end()) return nullptr;
+  return it->second.get();
+}
+
+std::vector<const Solver*> SolverRegistry::List() const {
+  std::vector<const Solver*> solvers;
+  solvers.reserve(solvers_.size());
+  // solvers_ is keyed by normalized name, so the listing is ordered by
+  // normalized (not canonical) name — separators don't affect the order.
+  for (const auto& [key, solver] : solvers_) solvers.push_back(solver.get());
+  return solvers;
+}
+
+}  // namespace fam

@@ -1,0 +1,127 @@
+// The unified solver registry: one seam through which every FAM algorithm —
+// core solvers, baselines, and future additions — is named, discovered, and
+// invoked.
+//
+// A `Solver` wraps one algorithm behind the common
+// (dataset, evaluator, k) -> Result<Selection> shape used throughout the
+// repo; the evaluator owns the sampled UtilityMatrix every algorithm is
+// scored against (paper Sec. V methodology: shared user sample, shared
+// measure). The `SolverRegistry` maps canonical names ("Greedy-Shrink",
+// "DP-2D", ...) to solvers with punctuation/case-insensitive lookup, so
+// "greedy_shrink", "GREEDY-SHRINK", and "GreedyShrink" all resolve.
+//
+// `SolverRegistry::Global()` comes pre-populated with the built-in
+// algorithms (see builtin_solvers.cc):
+//
+//   exact:      Brute-Force, Branch-And-Bound, DP-2D (d = 2 only)
+//   heuristic:  Greedy-Shrink (Algorithm 1), Greedy-Grow, Local-Search
+//   baselines:  MRR-Greedy, MRR-Greedy-Sampled, Sky-Dom, K-Hit
+//
+// `tools/fam_cli.cc` (--list_solvers, select --algo) and
+// `src/exp/runner.cc` (StandardAlgorithms) both dispatch through this
+// registry; new algorithms registered here are immediately usable from the
+// CLI, the experiment runner, and every bench built on it.
+
+#ifndef FAM_FAM_SOLVER_REGISTRY_H_
+#define FAM_FAM_SOLVER_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "regret/evaluator.h"
+#include "regret/selection.h"
+
+namespace fam {
+
+/// Static properties of a registered solver, used by the CLI listing and by
+/// tests that cross-check exact methods against each other.
+struct SolverTraits {
+  /// True when the solver returns a provably arr-minimal k-set (with
+  /// respect to the evaluator's sampled user population).
+  bool exact = false;
+  /// True when the solver only handles 2-dimensional datasets (DP-2D).
+  bool requires_2d = false;
+  /// True for comparators from prior work (k-regret / top-k lines) rather
+  /// than the paper's own algorithms.
+  bool baseline = false;
+};
+
+/// One FAM algorithm behind the registry's common solve shape.
+class Solver {
+ public:
+  virtual ~Solver() = default;
+
+  /// Canonical display name, e.g. "Greedy-Shrink". Unique within a
+  /// registry under name normalization (see SolverRegistry::Find).
+  virtual std::string_view Name() const = 0;
+
+  /// One-line human description (shown by `fam_cli --list_solvers`).
+  virtual std::string_view Description() const = 0;
+
+  virtual SolverTraits Traits() const = 0;
+
+  /// Selects k points from `dataset` minimizing (or heuristically
+  /// reducing) the average regret ratio over `evaluator`'s sampled users.
+  /// The evaluator's UtilityMatrix must have been sampled from `dataset`
+  /// (i.e. evaluator.num_points() == dataset.size()).
+  virtual Result<Selection> Solve(const Dataset& dataset,
+                                  const RegretEvaluator& evaluator,
+                                  size_t k) const = 0;
+};
+
+/// Signature for lambda-style registrations via MakeSolver().
+using SolveFn = std::function<Result<Selection>(
+    const Dataset&, const RegretEvaluator&, size_t)>;
+
+/// Builds a Solver from a name, description, traits, and a callable —
+/// the idiom used for all built-in registrations.
+std::unique_ptr<Solver> MakeSolver(std::string name, std::string description,
+                                   SolverTraits traits, SolveFn solve);
+
+/// Name -> Solver map. Thread-compatible: registration happens at startup
+/// (or in test setup); lookups afterwards are const and safe to share.
+class SolverRegistry {
+ public:
+  SolverRegistry() = default;
+  SolverRegistry(const SolverRegistry&) = delete;
+  SolverRegistry& operator=(const SolverRegistry&) = delete;
+
+  /// The process-wide registry, pre-populated with the built-in solvers on
+  /// first use.
+  static SolverRegistry& Global();
+
+  /// Registers `solver`; fails with InvalidArgument when the (normalized)
+  /// name is empty or already taken.
+  Status Register(std::unique_ptr<Solver> solver);
+
+  /// Looks up a solver by name, ignoring case and the separators '-', '_',
+  /// and ' ' ("dp-2d" == "DP_2D" == "dp2d"). Null when absent.
+  const Solver* Find(std::string_view name) const;
+
+  /// All registered solvers, sorted by normalized name (see
+  /// NormalizeSolverName; separators are ignored in the ordering).
+  std::vector<const Solver*> List() const;
+
+  size_t size() const { return solvers_.size(); }
+
+ private:
+  /// Keyed by normalized name; values own the solvers.
+  std::map<std::string, std::unique_ptr<Solver>> solvers_;
+};
+
+/// Lowercases and strips '-', '_', ' ' — the registry's lookup key.
+std::string NormalizeSolverName(std::string_view name);
+
+/// Registers the built-in algorithm suite into `registry` (idempotent per
+/// registry only if names are absent; Global() calls this exactly once).
+void RegisterBuiltinSolvers(SolverRegistry& registry);
+
+}  // namespace fam
+
+#endif  // FAM_FAM_SOLVER_REGISTRY_H_

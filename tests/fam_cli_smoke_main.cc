@@ -1,0 +1,141 @@
+// End-to-end smoke test for the fam_cli binary (registered with ctest as
+// `fam_cli_smoke`; not a gtest — it drives the real executable).
+//
+//   fam_cli_smoke <path-to-fam_cli> <work-dir>
+//
+// Generates a tiny 2-D dataset, then runs `select` through EVERY solver
+// `--list_solvers` enumerates and checks that
+//   * each run exits 0 and reports an arr(S) in [0, 1],
+//   * the exact methods — Brute-Force, Branch-And-Bound, DP-2D — agree on
+//     arr(S) to within 1e-9 (they optimize the same sampled objective), and
+//   * no heuristic or baseline reports an arr below the exact optimum.
+//
+// Enumerating through the CLI itself means newly registered solvers are
+// smoke-tested automatically, with no list to keep in sync.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+int g_failures = 0;
+
+void Fail(const std::string& message) {
+  std::fprintf(stderr, "FAIL: %s\n", message.c_str());
+  ++g_failures;
+}
+
+/// Runs `command`, captures stdout, and returns the exit status.
+int RunCapture(const std::string& command, std::string* output) {
+  output->clear();
+  FILE* pipe = popen((command + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) return -1;
+  char buffer[4096];
+  size_t read;
+  while ((read = fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+    output->append(buffer, read);
+  }
+  return pclose(pipe);
+}
+
+/// Extracts the number following `prefix` in `text`; NaN when absent.
+double ParseAfter(const std::string& text, const std::string& prefix) {
+  size_t pos = text.find(prefix);
+  if (pos == std::string::npos) return std::nan("");
+  return std::strtod(text.c_str() + pos + prefix.size(), nullptr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: fam_cli_smoke <fam_cli> <work-dir>\n");
+    return 2;
+  }
+  const std::string cli = argv[1];
+  const std::filesystem::path work_dir = argv[2];
+  std::filesystem::create_directories(work_dir);
+  const std::string data = (work_dir / "tiny.csv").string();
+
+  std::string out;
+  if (RunCapture(cli + " generate --n 24 --d 2 --dist anti --seed 3 --out " +
+                     data,
+                 &out) != 0) {
+    Fail("generate failed:\n" + out);
+    return 1;
+  }
+
+  if (RunCapture(cli + " --list_solvers", &out) != 0) {
+    Fail("--list_solvers failed:\n" + out);
+    return 1;
+  }
+  std::vector<std::string> solvers;
+  std::istringstream listing(out);
+  for (std::string line; std::getline(listing, line);) {
+    // Listing rows are "<Name>[ (2d)]  <kind>  <description>"; the header
+    // row starts with the literal column title "name".
+    size_t end = line.find(' ');
+    if (end == std::string::npos || end == 0) continue;
+    std::string name = line.substr(0, end);
+    if (name == "name") continue;
+    solvers.push_back(name);
+  }
+  if (solvers.size() < 10) {
+    Fail("--list_solvers enumerated only " + std::to_string(solvers.size()) +
+         " solvers:\n" + out);
+    return 1;
+  }
+
+  std::map<std::string, double> arr_by_solver;
+  for (const std::string& solver : solvers) {
+    std::string command = cli + " select --algo " + solver +
+                          " --k 3 --users 400 --seed 7 --in " + data;
+    if (RunCapture(command, &out) != 0) {
+      Fail("select --algo " + solver + " failed:\n" + out);
+      continue;
+    }
+    double arr = ParseAfter(out, "arr: ");
+    if (std::isnan(arr) || arr < 0.0 || arr > 1.0) {
+      Fail("select --algo " + solver + ": bad arr in output:\n" + out);
+      continue;
+    }
+    std::printf("%-20s arr = %.9f\n", solver.c_str(), arr);
+    arr_by_solver[solver] = arr;
+  }
+
+  const std::vector<std::string> exact = {"Brute-Force", "Branch-And-Bound",
+                                          "DP-2D"};
+  for (const std::string& solver : exact) {
+    if (arr_by_solver.find(solver) == arr_by_solver.end()) {
+      Fail("exact solver " + solver + " missing from registry listing");
+    }
+  }
+  if (g_failures == 0) {
+    const double optimum = arr_by_solver["Brute-Force"];
+    for (const std::string& solver : exact) {
+      if (std::abs(arr_by_solver[solver] - optimum) > 1e-9) {
+        Fail(solver + " arr " + std::to_string(arr_by_solver[solver]) +
+             " disagrees with Brute-Force optimum " +
+             std::to_string(optimum));
+      }
+    }
+    for (const auto& [solver, arr] : arr_by_solver) {
+      if (arr < optimum - 1e-9) {
+        Fail(solver + " reports arr " + std::to_string(arr) +
+             " below the exact optimum " + std::to_string(optimum));
+      }
+    }
+  }
+
+  if (g_failures > 0) return 1;
+  std::printf("fam_cli smoke test passed: %zu solvers, exact methods agree\n",
+              solvers.size());
+  return 0;
+}

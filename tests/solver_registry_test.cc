@@ -1,0 +1,154 @@
+#include "fam/solver_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/generator.h"
+#include "utility/distribution.h"
+
+namespace fam {
+namespace {
+
+RegretEvaluator MakeEvaluator(const Dataset& data, size_t users,
+                              uint64_t seed) {
+  UniformLinearDistribution theta;
+  Rng rng(seed);
+  return RegretEvaluator(theta.Sample(data, users, rng));
+}
+
+TEST(NormalizeSolverNameTest, StripsSeparatorsAndCase) {
+  EXPECT_EQ(NormalizeSolverName("Greedy-Shrink"), "greedyshrink");
+  EXPECT_EQ(NormalizeSolverName("greedy_shrink"), "greedyshrink");
+  EXPECT_EQ(NormalizeSolverName("GREEDY SHRINK"), "greedyshrink");
+  EXPECT_EQ(NormalizeSolverName("DP-2D"), "dp2d");
+  EXPECT_EQ(NormalizeSolverName(""), "");
+}
+
+TEST(SolverRegistryTest, GlobalHasAllBuiltins) {
+  SolverRegistry& registry = SolverRegistry::Global();
+  const std::set<std::string> expected = {
+      "Branch-And-Bound", "Brute-Force",        "DP-2D",
+      "Greedy-Grow",      "Greedy-Shrink",      "K-Hit",
+      "Local-Search",     "MRR-Greedy",         "MRR-Greedy-Sampled",
+      "Sky-Dom"};
+  std::set<std::string> actual;
+  for (const Solver* solver : registry.List()) {
+    actual.insert(std::string(solver->Name()));
+    EXPECT_FALSE(solver->Description().empty()) << solver->Name();
+  }
+  for (const std::string& name : expected) {
+    EXPECT_TRUE(actual.count(name)) << "missing builtin: " << name;
+  }
+}
+
+TEST(SolverRegistryTest, FindIsCaseAndSeparatorInsensitive) {
+  SolverRegistry& registry = SolverRegistry::Global();
+  const Solver* canonical = registry.Find("Greedy-Shrink");
+  ASSERT_NE(canonical, nullptr);
+  EXPECT_EQ(registry.Find("greedy-shrink"), canonical);
+  EXPECT_EQ(registry.Find("GREEDY_SHRINK"), canonical);
+  EXPECT_EQ(registry.Find("GreedyShrink"), canonical);
+  EXPECT_EQ(registry.Find("dp2d"), registry.Find("DP-2D"));
+  EXPECT_EQ(registry.Find("no-such-solver"), nullptr);
+}
+
+TEST(SolverRegistryTest, ListIsSortedByName) {
+  std::vector<const Solver*> solvers = SolverRegistry::Global().List();
+  for (size_t i = 1; i < solvers.size(); ++i) {
+    EXPECT_LT(NormalizeSolverName(solvers[i - 1]->Name()),
+              NormalizeSolverName(solvers[i]->Name()));
+  }
+}
+
+TEST(SolverRegistryTest, RejectsDuplicateAndEmptyNames) {
+  SolverRegistry registry;
+  ASSERT_TRUE(registry
+                  .Register(MakeSolver(
+                      "My-Solver", "test", {},
+                      [](const Dataset&, const RegretEvaluator&, size_t) {
+                        return Result<Selection>(Selection{});
+                      }))
+                  .ok());
+  // Same name modulo normalization collides.
+  Status dup = registry.Register(MakeSolver(
+      "my_solver", "test", {},
+      [](const Dataset&, const RegretEvaluator&, size_t) {
+        return Result<Selection>(Selection{});
+      }));
+  EXPECT_EQ(dup.code(), StatusCode::kInvalidArgument);
+  Status empty = registry.Register(MakeSolver(
+      "--", "separators only", {},
+      [](const Dataset&, const RegretEvaluator&, size_t) {
+        return Result<Selection>(Selection{});
+      }));
+  EXPECT_EQ(empty.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(SolverRegistryTest, ValidatesKAndDimension) {
+  Dataset data = GenerateSynthetic({.n = 20, .d = 4,
+      .distribution = SyntheticDistribution::kIndependent, .seed = 1});
+  RegretEvaluator evaluator = MakeEvaluator(data, 100, 2);
+  const Solver* greedy = SolverRegistry::Global().Find("Greedy-Shrink");
+  ASSERT_NE(greedy, nullptr);
+  EXPECT_EQ(greedy->Solve(data, evaluator, 0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(greedy->Solve(data, evaluator, 21).status().code(),
+            StatusCode::kInvalidArgument);
+  // DP-2D refuses non-2d datasets up front.
+  const Solver* dp2d = SolverRegistry::Global().Find("DP-2D");
+  ASSERT_NE(dp2d, nullptr);
+  EXPECT_TRUE(dp2d->Traits().requires_2d);
+  EXPECT_EQ(dp2d->Solve(data, evaluator, 3).status().code(),
+            StatusCode::kInvalidArgument);
+  // A mismatched evaluator (sampled from another dataset) is rejected.
+  Dataset other = GenerateSynthetic({.n = 10, .d = 4,
+      .distribution = SyntheticDistribution::kIndependent, .seed = 9});
+  RegretEvaluator mismatched = MakeEvaluator(other, 50, 3);
+  EXPECT_EQ(greedy->Solve(data, mismatched, 3).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SolverRegistryTest, ExactMethodsAgreeOnTiny2dInstance) {
+  Dataset data = GenerateSynthetic({.n = 18, .d = 2,
+      .distribution = SyntheticDistribution::kAntiCorrelated, .seed = 5});
+  RegretEvaluator evaluator = MakeEvaluator(data, 300, 7);
+  SolverRegistry& registry = SolverRegistry::Global();
+
+  const Solver* brute = registry.Find("Brute-Force");
+  ASSERT_NE(brute, nullptr);
+  Result<Selection> reference = brute->Solve(data, evaluator, 3);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  const double optimum =
+      evaluator.AverageRegretRatio(reference->indices);
+
+  for (const Solver* solver : registry.List()) {
+    Result<Selection> got = solver->Solve(data, evaluator, 3);
+    ASSERT_TRUE(got.ok()) << solver->Name() << ": "
+                          << got.status().ToString();
+    ASSERT_EQ(got->indices.size(), 3u) << solver->Name();
+    const double arr = evaluator.AverageRegretRatio(got->indices);
+    if (solver->Traits().exact) {
+      EXPECT_NEAR(arr, optimum, 1e-9)
+          << solver->Name() << " claims exactness but disagrees";
+    } else {
+      EXPECT_GE(arr, optimum - 1e-9)
+          << solver->Name() << " beat the exact optimum";
+    }
+  }
+}
+
+TEST(SolverRegistryTest, StandardNamesResolveForRunner) {
+  // The experiment runner's standard comparators must stay registered
+  // under these names (exp_test pins the display names).
+  SolverRegistry& registry = SolverRegistry::Global();
+  for (const char* name :
+       {"Greedy-Shrink", "MRR-Greedy", "MRR-Greedy-Sampled", "Sky-Dom",
+        "K-Hit"}) {
+    EXPECT_NE(registry.Find(name), nullptr) << name;
+  }
+}
+
+}  // namespace
+}  // namespace fam

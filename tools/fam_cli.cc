@@ -3,11 +3,15 @@
 // Subcommands:
 //   generate  — write a synthetic dataset as CSV
 //               fam_cli generate --n 10000 --d 6 --dist anti --out data.csv
-//   select    — pick k points from a CSV by a chosen algorithm
+//   select    — pick k points from a CSV by any registered solver
 //               fam_cli select --algo greedy-shrink --k 10 --users 10000
 //                   --in data.csv
 //   evaluate  — score a comma-separated index set on a CSV
 //               fam_cli evaluate --set 1,5,9 --users 10000 --in data.csv
+//
+// `fam_cli --list_solvers` enumerates the solver registry; `--algo` accepts
+// any listed name (case- and punctuation-insensitive, so "greedy-shrink",
+// "Greedy_Shrink", and "greedyshrink" are equivalent).
 //
 // Utilities are linear with simplex-uniform weights (--domain box/sphere to
 // change); all randomness is controlled by --seed.
@@ -124,6 +128,21 @@ Result<Dataset> LoadWorkload(const WorkloadFlags& w) {
   return data;
 }
 
+int ListSolvers() {
+  std::printf("%-20s %-9s %s\n", "name", "kind", "description");
+  for (const Solver* solver : SolverRegistry::Global().List()) {
+    SolverTraits traits = solver->Traits();
+    const char* kind = traits.baseline ? "baseline"
+                       : traits.exact  ? "exact"
+                                       : "heuristic";
+    std::string name(solver->Name());
+    if (traits.requires_2d) name += " (2d)";
+    std::printf("%-20s %-9s %s\n", name.c_str(), kind,
+                std::string(solver->Description()).c_str());
+  }
+  return 0;
+}
+
 int RunSelect(int argc, const char* const* argv) {
   WorkloadFlags w;
   int64_t k = 10;
@@ -133,14 +152,24 @@ int RunSelect(int argc, const char* const* argv) {
   RegisterWorkloadFlags(flags, &w);
   flags.AddInt("k", &k, "solution size")
       .AddString("algo", &algo,
-                 "greedy-shrink | greedy-grow | mrr-greedy | sky-dom | "
-                 "k-hit | brute-force | dp-2d")
+                 "any registered solver; see fam_cli --list_solvers")
       .AddBool("refine", &refine,
                "polish the selection with 1-swap local search");
   Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) {
     std::fprintf(stderr, "%s\n%s", parsed.ToString().c_str(),
                  flags.Usage().c_str());
+    return 1;
+  }
+  // Resolve the solver before any (potentially expensive) preprocessing so
+  // a typo'd --algo fails fast.
+  const Solver* solver = SolverRegistry::Global().Find(algo);
+  if (solver == nullptr) {
+    std::fprintf(stderr, "unknown algorithm: %s; registered solvers:\n",
+                 algo.c_str());
+    for (const Solver* s : SolverRegistry::Global().List()) {
+      std::fprintf(stderr, "  %s\n", std::string(s->Name()).c_str());
+    }
     return 1;
   }
   Result<Dataset> data = LoadWorkload(w);
@@ -159,25 +188,8 @@ int RunSelect(int argc, const char* const* argv) {
   double preprocess = preprocess_timer.ElapsedSeconds();
 
   Timer query_timer;
-  Result<Selection> selection = Status::Internal("unset");
   const size_t k_size = static_cast<size_t>(k);
-  if (EqualsIgnoreCase(algo, "greedy-shrink")) {
-    selection = GreedyShrink(evaluator, {.k = k_size});
-  } else if (EqualsIgnoreCase(algo, "greedy-grow")) {
-    selection = GreedyGrow(evaluator, {.k = k_size});
-  } else if (EqualsIgnoreCase(algo, "mrr-greedy")) {
-    selection = MrrGreedy(*data, evaluator, {.k = k_size});
-  } else if (EqualsIgnoreCase(algo, "sky-dom")) {
-    selection = SkyDom(*data, evaluator, {.k = k_size});
-  } else if (EqualsIgnoreCase(algo, "k-hit")) {
-    selection = KHit(evaluator, {.k = k_size});
-  } else if (EqualsIgnoreCase(algo, "brute-force")) {
-    selection = BruteForce(evaluator, {.k = k_size});
-  } else if (EqualsIgnoreCase(algo, "dp-2d")) {
-    selection = SolveDp2dOnSample(*data, evaluator.users(), k_size);
-  } else {
-    return Fail(Status::InvalidArgument("unknown algorithm: " + algo));
-  }
+  Result<Selection> selection = solver->Solve(*data, evaluator, k_size);
   if (selection.ok() && refine) {
     LocalSearchStats ls_stats;
     selection = LocalSearchRefine(evaluator, *selection, {}, &ls_stats);
@@ -191,7 +203,7 @@ int RunSelect(int argc, const char* const* argv) {
   if (!selection.ok()) return Fail(selection.status());
 
   RegretDistribution dist = evaluator.Distribution(selection->indices);
-  std::printf("algorithm: %s\n", algo.c_str());
+  std::printf("algorithm: %s\n", std::string(solver->Name()).c_str());
   std::printf("preprocess: %.3f s, query: %.3f s\n", preprocess, query);
   std::printf("arr: %.6f, stddev: %.6f, max rr: %.6f\n", dist.average,
               dist.stddev, MaxRegretRatio(evaluator, selection->indices));
@@ -238,10 +250,15 @@ int RunEvaluate(int argc, const char* const* argv) {
 int Main(int argc, const char* const* argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: fam_cli <generate|select|evaluate> [flags]\n");
+                 "usage: fam_cli <generate|select|evaluate> [flags]\n"
+                 "       fam_cli --list_solvers\n");
     return 1;
   }
   std::string command = argv[1];
+  if (command == "--list_solvers" || command == "--list-solvers" ||
+      command == "list-solvers") {
+    return ListSolvers();
+  }
   // Shift so subcommand flags see argv[0] = command.
   if (command == "generate") return RunGenerate(argc - 1, argv + 1);
   if (command == "select") return RunSelect(argc - 1, argv + 1);
