@@ -35,10 +35,9 @@ int main(int argc, char** argv) {
         .distribution = SyntheticDistribution::kAntiCorrelated,
         .seed = config.seed,
     });
-    double preprocess = 0.0;
-    RegretEvaluator evaluator =
-        bench::MakeLinearEvaluator(data, 2000, config.seed + 10,
-                                   &preprocess);
+    Workload workload =
+        bench::MakeLinearWorkload(data, 2000, config.seed + 10);
+    const RegretEvaluator& evaluator = workload.evaluator();
     Result<Selection> exact = BruteForce(evaluator, {.k = config.k});
     Result<Selection> shrink = GreedyShrink(evaluator, {.k = config.k});
     Result<Selection> grow = GreedyGrow(evaluator, {.k = config.k});
@@ -76,9 +75,9 @@ int main(int argc, char** argv) {
         .distribution = SyntheticDistribution::kAntiCorrelated,
         .seed = 9,
     });
-    double preprocess = 0.0;
-    RegretEvaluator evaluator =
-        bench::MakeLinearEvaluator(data, config.users, 10, &preprocess);
+    Workload workload =
+        bench::MakeLinearWorkload(data, config.users, 10);
+    const RegretEvaluator& evaluator = workload.evaluator();
     const size_t k = 10;
     Timer shrink_timer;
     Result<Selection> shrink = GreedyShrink(evaluator, {.k = k});

@@ -40,9 +40,9 @@ int main(int argc, char** argv) {
         .distribution = SyntheticDistribution::kAntiCorrelated,
         .seed = 5,
     });
-    double preprocess = 0.0;
-    RegretEvaluator evaluator =
-        bench::MakeLinearEvaluator(data, config.users, 6, &preprocess);
+    Workload workload =
+        bench::MakeLinearWorkload(data, config.users, 6);
+    const RegretEvaluator& evaluator = workload.evaluator();
 
     struct Mode {
       const char* name;

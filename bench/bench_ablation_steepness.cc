@@ -48,9 +48,9 @@ int main(int argc, char** argv) {
         .distribution = config.distribution,
         .seed = config.seed,
     });
-    double preprocess = 0.0;
-    RegretEvaluator evaluator = bench::MakeLinearEvaluator(
-        data, 2000, config.seed + 100, &preprocess);
+    Workload workload =
+        bench::MakeLinearWorkload(data, 2000, config.seed + 100);
+    const RegretEvaluator& evaluator = workload.evaluator();
     SteepnessReport report = ComputeSteepness(evaluator);
     Result<Selection> greedy = GreedyShrink(evaluator, {.k = config.k});
     Result<Selection> exact = BruteForce(evaluator, {.k = config.k});

@@ -2,14 +2,19 @@
 //
 // Every driver defaults to CI-scale workloads and honours --full (or
 // FAM_BENCH_FULL=1) to switch to paper-scale parameters; EXPERIMENTS.md
-// records both the paper's numbers and ours.
+// records both the paper's numbers and ours. All solver invocations go
+// through the engine API: one Workload per (dataset, Θ, N, seed)
+// configuration, solved via SolveRequests (see src/fam/engine.h and
+// src/exp/runner.h).
 
 #ifndef FAM_BENCH_BENCH_COMMON_H_
 #define FAM_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "fam/fam.h"
@@ -38,20 +43,37 @@ inline std::vector<RealDataset> RealLikeDatasets(bool full) {
   return datasets;
 }
 
-/// Samples N linear (simplex-uniform) users and builds the evaluator.
-/// Reports the preprocessing time (sampling + best-point indexing), which
-/// the paper excludes from query time.
-inline RegretEvaluator MakeLinearEvaluator(const Dataset& data,
-                                           size_t num_users, uint64_t seed,
-                                           double* preprocess_seconds) {
-  Timer timer;
-  UniformLinearDistribution theta(WeightDomain::kSimplex);
-  Rng rng(seed);
-  RegretEvaluator evaluator(theta.Sample(data, num_users, rng));
-  if (preprocess_seconds != nullptr) {
-    *preprocess_seconds = timer.ElapsedSeconds();
+/// Unwraps a workload build, dying loudly on error (benches are top-level
+/// drivers; a malformed workload is a programming error).
+inline Workload MustBuild(Result<Workload> workload) {
+  if (!workload.ok()) {
+    std::fprintf(stderr, "workload build failed: %s\n",
+                 workload.status().ToString().c_str());
+    std::abort();
   }
-  return evaluator;
+  return std::move(workload).value();
+}
+
+/// Builds the standard linear workload: N simplex-uniform users sampled
+/// against `data`. Workload::preprocess_seconds() reports the sampling +
+/// best-point-indexing time, which the paper excludes from query time.
+/// The shared_ptr overload lets several workloads (e.g. a select and a
+/// re-scoring sample over the same dataset) share one dataset copy.
+inline Workload MakeLinearWorkload(std::shared_ptr<const Dataset> data,
+                                   size_t num_users, uint64_t seed,
+                                   bool materialized = false) {
+  return MustBuild(WorkloadBuilder()
+                       .WithDataset(std::move(data))
+                       .WithNumUsers(num_users)
+                       .WithSeed(seed)
+                       .WithMaterializedUtilities(materialized)
+                       .Build());
+}
+
+inline Workload MakeLinearWorkload(const Dataset& data, size_t num_users,
+                                   uint64_t seed, bool materialized = false) {
+  return MakeLinearWorkload(std::make_shared<const Dataset>(data), num_users,
+                            seed, materialized);
 }
 
 /// Prints the standard bench banner.
@@ -70,15 +92,11 @@ enum class SweepMetric { kQueryTime, kAverageRegretRatio, kStdDev };
 inline void RealDatasetSweep(SweepMetric metric, bool full,
                              size_t num_users) {
   std::vector<RealDataset> datasets = RealLikeDatasets(full);
-  std::vector<AlgorithmSpec> algorithms = StandardAlgorithms();
   for (const RealDataset& entry : datasets) {
-    double preprocess = 0.0;
-    RegretEvaluator evaluator =
-        MakeLinearEvaluator(entry.data, num_users, 77, &preprocess);
+    Workload workload = MakeLinearWorkload(entry.data, num_users, 77);
     Table table({"k", "Greedy-Shrink", "MRR-Greedy", "Sky-Dom", "K-Hit"});
     for (size_t k = 5; k <= 30; k += 5) {
-      std::vector<AlgorithmOutcome> outcomes =
-          RunAlgorithms(algorithms, entry.data, evaluator, k);
+      std::vector<AlgorithmOutcome> outcomes = RunStandard(workload, k);
       std::vector<std::string> row = {std::to_string(k)};
       for (const AlgorithmOutcome& outcome : outcomes) {
         if (!outcome.ok) {
@@ -101,7 +119,7 @@ inline void RealDatasetSweep(SweepMetric metric, bool full,
     }
     std::printf("%s (n = %zu, d = %zu, preprocessing %.3f s)\n",
                 entry.name.c_str(), entry.data.size(),
-                entry.data.dimension(), preprocess);
+                entry.data.dimension(), workload.preprocess_seconds());
     table.Print(std::cout);
   }
 }

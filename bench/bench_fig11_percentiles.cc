@@ -15,17 +15,15 @@ int main(int argc, char** argv) {
                 k),
       full);
 
-  std::vector<AlgorithmSpec> algorithms = StandardAlgorithms();
   const double percentiles[] = {70, 80, 90, 95, 99, 100};
   for (const bench::RealDataset& entry : bench::RealLikeDatasets(full)) {
-    double preprocess = 0.0;
-    RegretEvaluator evaluator =
-        bench::MakeLinearEvaluator(entry.data, num_users, 111, &preprocess);
-    std::vector<AlgorithmOutcome> outcomes =
-        RunAlgorithms(algorithms, entry.data, evaluator, k);
+    Workload workload =
+        bench::MakeLinearWorkload(entry.data, num_users, 111);
+    std::vector<AlgorithmOutcome> outcomes = RunStandard(workload, k);
     std::vector<RegretDistribution> dists;
     for (const AlgorithmOutcome& outcome : outcomes) {
-      dists.push_back(evaluator.Distribution(outcome.selection.indices));
+      dists.push_back(
+          workload.evaluator().Distribution(outcome.selection.indices));
     }
     Table table({"percentile", "Greedy-Shrink", "MRR-Greedy", "Sky-Dom",
                  "K-Hit"});

@@ -19,21 +19,21 @@ int main(int argc, char** argv) {
                 select_users, score_users),
       full);
 
-  std::vector<AlgorithmSpec> algorithms = StandardAlgorithms();
   const double percentiles[] = {70, 80, 90, 95, 99, 100};
   for (const bench::RealDataset& entry : bench::RealLikeDatasets(full)) {
-    double preprocess = 0.0;
-    RegretEvaluator select_eval = bench::MakeLinearEvaluator(
-        entry.data, select_users, 111, &preprocess);
-    std::vector<AlgorithmOutcome> outcomes =
-        RunAlgorithms(algorithms, entry.data, select_eval, k);
+    auto shared_data = std::make_shared<const Dataset>(entry.data);
+    Workload select_workload =
+        bench::MakeLinearWorkload(shared_data, select_users, 111);
+    std::vector<AlgorithmOutcome> outcomes = RunStandard(select_workload, k);
 
-    // Re-score the same selections against the big sample.
-    RegretEvaluator score_eval = bench::MakeLinearEvaluator(
-        entry.data, score_users, 112, &preprocess);
+    // Re-score the same selections against the big sample (sharing the
+    // dataset copy with the selection workload).
+    Workload score_workload =
+        bench::MakeLinearWorkload(shared_data, score_users, 112);
     std::vector<RegretDistribution> dists;
     for (const AlgorithmOutcome& outcome : outcomes) {
-      dists.push_back(score_eval.Distribution(outcome.selection.indices));
+      dists.push_back(score_workload.evaluator().Distribution(
+          outcome.selection.indices));
     }
     Table table({"percentile", "Greedy-Shrink", "MRR-Greedy", "Sky-Dom",
                  "K-Hit"});

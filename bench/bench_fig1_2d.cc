@@ -24,15 +24,17 @@ int main(int argc, char** argv) {
       .distribution = SyntheticDistribution::kAntiCorrelated,
       .seed = 1,
   });
-  Timer preprocess_timer;
-  Angle2dDistribution theta;
-  Rng rng(2);
-  UtilityMatrix users = theta.Sample(data, num_users, rng);
-  RegretEvaluator evaluator(users);
+  Workload workload = bench::MustBuild(
+      WorkloadBuilder()
+          .WithDataset(std::move(data))
+          .WithDistribution(std::make_shared<Angle2dDistribution>())
+          .WithNumUsers(num_users)
+          .WithSeed(2)
+          .Build());
   std::printf("preprocessing (sampling + indexing): %.3f s\n\n",
-              preprocess_timer.ElapsedSeconds());
+              workload.preprocess_seconds());
 
-  std::vector<AlgorithmSpec> algorithms = StandardAlgorithms();
+  Engine engine;
   Table arr_table({"k", "Greedy-Shrink", "MRR-Greedy", "Sky-Dom", "K-Hit",
                    "DP"});
   Table ratio_table(
@@ -41,13 +43,13 @@ int main(int argc, char** argv) {
                     "DP"});
 
   for (size_t k = 1; k <= 7; ++k) {
-    std::vector<AlgorithmOutcome> outcomes =
-        RunAlgorithms(algorithms, data, evaluator, k);
-    Timer dp_timer;
-    Result<Selection> dp = SolveDp2dOnSample(data, users, k);
-    double dp_seconds = dp_timer.ElapsedSeconds();
+    std::vector<AlgorithmOutcome> outcomes = RunStandard(workload, k);
+    // The sample-consistent optimum, via the same engine surface.
+    Result<SolveResponse> dp =
+        engine.Solve(workload, {.solver = "DP-2D", .k = k});
     if (!dp.ok()) return 1;
-    double optimal = evaluator.AverageRegretRatio(dp->indices);
+    double dp_seconds = dp->query_seconds;
+    double optimal = dp->distribution.average;
 
     std::vector<std::string> arr_row = {std::to_string(k)};
     std::vector<std::string> ratio_row = {std::to_string(k)};

@@ -30,20 +30,21 @@ int main(int argc, char** argv) {
   std::printf("MF train RMSE %.4f, GMM iterations %zu\n",
               pipeline->train_rmse, pipeline->gmm_iterations);
 
-  Timer preprocess_timer;
-  Rng rng(3);
-  RegretEvaluator evaluator(
-      pipeline->theta->Sample(pipeline->item_dataset, num_users, rng));
+  Workload workload = bench::MustBuild(
+      WorkloadBuilder()
+          .WithDataset(pipeline->item_dataset)
+          .WithDistribution(pipeline->theta)
+          .WithNumUsers(num_users)
+          .WithSeed(3)
+          .Build());
   std::printf("preprocessing (sampling + indexing): %.3f s\n\n",
-              preprocess_timer.ElapsedSeconds());
+              workload.preprocess_seconds());
 
-  std::vector<AlgorithmSpec> algorithms =
-      StandardAlgorithms(/*sampled_mrr=*/true);
   Table arr_table({"k", "Greedy-Shrink", "MRR-Greedy", "Sky-Dom", "K-Hit"});
   Table time_table({"k", "Greedy-Shrink", "MRR-Greedy", "Sky-Dom", "K-Hit"});
   for (size_t k = 5; k <= 30; k += 5) {
     std::vector<AlgorithmOutcome> outcomes =
-        RunAlgorithms(algorithms, pipeline->item_dataset, evaluator, k);
+        RunStandard(workload, k, /*sampled_mrr=*/true);
     std::vector<std::string> arr_row = {std::to_string(k)};
     std::vector<std::string> time_row = {std::to_string(k)};
     for (const AlgorithmOutcome& outcome : outcomes) {

@@ -18,18 +18,19 @@ int main(int argc, char** argv) {
 
   Result<RecommenderPipeline> pipeline = BuildRecommenderPipeline(config);
   if (!pipeline.ok()) return 1;
-  Rng rng(4);
-  RegretEvaluator evaluator(
-      pipeline->theta->Sample(pipeline->item_dataset, num_users, rng));
-
-  std::vector<AlgorithmSpec> algorithms =
-      StandardAlgorithms(/*sampled_mrr=*/true);
+  Workload workload = bench::MustBuild(
+      WorkloadBuilder()
+          .WithDataset(pipeline->item_dataset)
+          .WithDistribution(pipeline->theta)
+          .WithNumUsers(num_users)
+          .WithSeed(4)
+          .Build());
 
   Table stddev_table(
       {"k", "Greedy-Shrink", "MRR-Greedy", "Sky-Dom", "K-Hit"});
   for (size_t k = 5; k <= 30; k += 5) {
     std::vector<AlgorithmOutcome> outcomes =
-        RunAlgorithms(algorithms, pipeline->item_dataset, evaluator, k);
+        RunStandard(workload, k, /*sampled_mrr=*/true);
     std::vector<std::string> row = {std::to_string(k)};
     for (const AlgorithmOutcome& outcome : outcomes) {
       row.push_back(FormatFixed(outcome.stddev_regret_ratio, 4));
@@ -42,14 +43,15 @@ int main(int argc, char** argv) {
   // Percentile distribution at the paper's default k = 10.
   const size_t k = 10;
   std::vector<AlgorithmOutcome> outcomes =
-      RunAlgorithms(algorithms, pipeline->item_dataset, evaluator, k);
+      RunStandard(workload, k, /*sampled_mrr=*/true);
   Table pct_table({"percentile", "Greedy-Shrink", "MRR-Greedy", "Sky-Dom",
                    "K-Hit"});
   const double percentiles[] = {70, 80, 90, 95, 99, 100};
   std::vector<RegretDistribution> dists;
   dists.reserve(outcomes.size());
   for (const AlgorithmOutcome& outcome : outcomes) {
-    dists.push_back(evaluator.Distribution(outcome.selection.indices));
+    dists.push_back(
+        workload.evaluator().Distribution(outcome.selection.indices));
   }
   for (double pct : percentiles) {
     std::vector<std::string> row = {FormatFixed(pct, 0)};

@@ -16,7 +16,6 @@ int main(int argc, char** argv) {
                 num_users, k),
       full);
 
-  std::vector<AlgorithmSpec> algorithms = StandardAlgorithms();
   Table arr_table({"d", "Greedy-Shrink", "MRR-Greedy", "Sky-Dom", "K-Hit"});
   Table time_table({"d", "Greedy-Shrink", "MRR-Greedy", "Sky-Dom",
                     "K-Hit"});
@@ -27,11 +26,8 @@ int main(int argc, char** argv) {
         .distribution = SyntheticDistribution::kIndependent,
         .seed = 50 + d,
     });
-    double preprocess = 0.0;
-    RegretEvaluator evaluator =
-        bench::MakeLinearEvaluator(data, num_users, 51, &preprocess);
-    std::vector<AlgorithmOutcome> outcomes =
-        RunAlgorithms(algorithms, data, evaluator, k);
+    Workload workload = bench::MakeLinearWorkload(data, num_users, 51);
+    std::vector<AlgorithmOutcome> outcomes = RunStandard(workload, k);
     std::vector<std::string> arr_row = {std::to_string(d)};
     std::vector<std::string> time_row = {std::to_string(d)};
     for (const AlgorithmOutcome& outcome : outcomes) {

@@ -22,7 +22,6 @@ int main(int argc, char** argv) {
                 num_users, k),
       full);
 
-  std::vector<AlgorithmSpec> algorithms = StandardAlgorithms();
   Table arr_table({"n", "Greedy-Shrink", "MRR-Greedy", "Sky-Dom", "K-Hit"});
   Table time_table({"n", "Greedy-Shrink", "MRR-Greedy", "Sky-Dom",
                     "K-Hit"});
@@ -33,11 +32,8 @@ int main(int argc, char** argv) {
         .distribution = SyntheticDistribution::kIndependent,
         .seed = 60,
     });
-    double preprocess = 0.0;
-    RegretEvaluator evaluator =
-        bench::MakeLinearEvaluator(data, num_users, 61, &preprocess);
-    std::vector<AlgorithmOutcome> outcomes =
-        RunAlgorithms(algorithms, data, evaluator, k);
+    Workload workload = bench::MakeLinearWorkload(data, num_users, 61);
+    std::vector<AlgorithmOutcome> outcomes = RunStandard(workload, k);
     std::vector<std::string> arr_row = {std::to_string(n)};
     std::vector<std::string> time_row = {std::to_string(n)};
     for (const AlgorithmOutcome& outcome : outcomes) {

@@ -26,13 +26,11 @@ int main(int argc, char** argv) {
       sampler.SampleWithoutReplacement(base.size(), n);
   Dataset data = base.Subset(sample_idx);
 
-  UniformLinearDistribution theta(WeightDomain::kSimplex);
-  Rng rng(9);
   // Materialize utilities: brute force touches every (user, point) pair
   // millions of times, so O(1) lookups dominate O(d) dot products.
-  RegretEvaluator evaluator(theta.Sample(data, num_users, rng).Materialized());
-
-  std::vector<AlgorithmSpec> algorithms = StandardAlgorithms();
+  Workload workload = bench::MakeLinearWorkload(data, num_users, 9,
+                                                /*materialized=*/true);
+  Engine engine;
   Table arr_table({"k", "Greedy-Shrink", "MRR-Greedy", "Sky-Dom", "K-Hit",
                    "Brute-Force"});
   Table ratio_table(
@@ -41,29 +39,27 @@ int main(int argc, char** argv) {
                     "Brute-Force", "Branch&Bound"});
 
   for (size_t k = 1; k <= 5; ++k) {
-    std::vector<AlgorithmOutcome> outcomes =
-        RunAlgorithms(algorithms, data, evaluator, k);
-    Timer bf_timer;
-    Result<Selection> exact =
-        BruteForce(evaluator, {.k = k, .max_subsets = 80'000'000});
-    double bf_seconds = bf_timer.ElapsedSeconds();
+    std::vector<AlgorithmOutcome> outcomes = RunStandard(workload, k);
+    SolveRequest bf_request{.solver = "Brute-Force", .k = k};
+    bf_request.options.SetInt("max_subsets", 80'000'000);
+    Result<SolveResponse> exact = engine.Solve(workload, bf_request);
     if (!exact.ok()) {
       std::fprintf(stderr, "brute force failed: %s\n",
                    exact.status().ToString().c_str());
       return 1;
     }
+    double bf_seconds = exact->query_seconds;
     // Library extension: branch and bound reaches the same optimum while
     // pruning most of the enumeration.
-    Timer bnb_timer;
-    Result<Selection> bnb = BranchAndBound(evaluator, {.k = k});
-    double bnb_seconds = bnb_timer.ElapsedSeconds();
-    if (!bnb.ok() ||
-        std::abs(bnb->average_regret_ratio -
-                 exact->average_regret_ratio) > 1e-9) {
+    Result<SolveResponse> bnb =
+        engine.Solve(workload, {.solver = "Branch-And-Bound", .k = k});
+    if (!bnb.ok() || std::abs(bnb->distribution.average -
+                              exact->distribution.average) > 1e-9) {
       std::fprintf(stderr, "branch and bound disagreed with brute force\n");
       return 1;
     }
-    double optimal = exact->average_regret_ratio;
+    double bnb_seconds = bnb->query_seconds;
+    double optimal = exact->distribution.average;
 
     std::vector<std::string> arr_row = {std::to_string(k)};
     std::vector<std::string> ratio_row = {std::to_string(k)};

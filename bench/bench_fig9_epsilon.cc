@@ -26,9 +26,7 @@ int main(int argc, char** argv) {
   std::vector<size_t> sample_idx =
       sampler.SampleWithoutReplacement(base.size(), n);
   Dataset data = base.Subset(sample_idx);
-  UniformLinearDistribution theta(WeightDomain::kSimplex);
-
-  std::vector<AlgorithmSpec> algorithms = StandardAlgorithms();
+  Engine engine;
   Table arr_table({"epsilon", "N", "Greedy-Shrink", "MRR-Greedy", "Sky-Dom",
                    "K-Hit", "Brute-Force"});
   Table ratio_table(
@@ -38,18 +36,16 @@ int main(int argc, char** argv) {
 
   for (double epsilon : epsilons) {
     uint64_t num_users = ChernoffSampleSize(epsilon, sigma);
-    Rng rng(10);
-    RegretEvaluator evaluator(
-        theta.Sample(data, num_users, rng).Materialized());
+    Workload workload = bench::MakeLinearWorkload(data, num_users, 10,
+                                                  /*materialized=*/true);
 
-    std::vector<AlgorithmOutcome> outcomes =
-        RunAlgorithms(algorithms, data, evaluator, k);
-    Timer bf_timer;
-    Result<Selection> exact =
-        BruteForce(evaluator, {.k = k, .max_subsets = 80'000'000});
-    double bf_seconds = bf_timer.ElapsedSeconds();
+    std::vector<AlgorithmOutcome> outcomes = RunStandard(workload, k);
+    SolveRequest bf_request{.solver = "Brute-Force", .k = k};
+    bf_request.options.SetInt("max_subsets", 80'000'000);
+    Result<SolveResponse> exact = engine.Solve(workload, bf_request);
     if (!exact.ok()) return 1;
-    double optimal = exact->average_regret_ratio;
+    double bf_seconds = exact->query_seconds;
+    double optimal = exact->distribution.average;
 
     std::vector<std::string> arr_row = {FormatFixed(epsilon, 3),
                                         FormatCount(num_users)};

@@ -21,9 +21,9 @@ int main(int argc, char** argv) {
                 full);
 
   Dataset players = GenerateNbaLike(n, d).NormalizeMinMax();
-  double preprocess = 0.0;
-  RegretEvaluator evaluator =
-      bench::MakeLinearEvaluator(players, num_users, 2016, &preprocess);
+  Workload workload =
+      bench::MakeLinearWorkload(players, num_users, 2016);
+  const RegretEvaluator& evaluator = workload.evaluator();
 
   const size_t k = 5;
   Result<Selection> s_arr = GreedyShrink(evaluator, {.k = k});

@@ -1,10 +1,10 @@
-// The 2-D exact algorithm (paper Sec. IV): dynamic programming over the
-// skyline, compared against GREEDY-SHRINK on the same utility sample.
-//
-// Shows both oracles: the closed-form uniform-angle optimum and the
-// sample-consistent optimum used for exact arr/optimal ratios.
+// The 2-D exact algorithm (paper Sec. IV) through the engine API: one
+// Workload with angle-uniform 2-D utilities, solved by both DP-2D (the
+// sample-consistent optimum) and GREEDY-SHRINK for k = 1..7, plus a
+// deadline demonstration on Branch-And-Bound.
 
 #include <cstdio>
+#include <memory>
 
 #include "fam/fam.h"
 
@@ -17,45 +17,57 @@ int main() {
       .distribution = SyntheticDistribution::kAntiCorrelated,
       .seed = 99,
   });
+  const size_t n = data.size();
 
-  Result<Angle2dEnvironment> env = Angle2dEnvironment::Build(data);
-  if (!env.ok()) {
-    std::fprintf(stderr, "environment failed: %s\n",
-                 env.status().ToString().c_str());
+  // Θ: 2-D linear utilities with the angle uniform on [0, π/2] — the
+  // measure under which the DP's closed-form integration is exact.
+  Result<Workload> workload =
+      WorkloadBuilder()
+          .WithDataset(std::move(data))
+          .WithDistribution(std::make_shared<Angle2dDistribution>())
+          .WithNumUsers(10000)
+          .WithSeed(100)
+          .Build();
+  if (!workload.ok()) {
+    std::fprintf(stderr, "workload failed: %s\n",
+                 workload.status().ToString().c_str());
     return 1;
   }
-  std::printf("n = %zu points, skyline size = %zu\n", data.size(),
-              env->size());
+  std::printf("n = %zu points, N = %zu sampled users, preprocessing %.3f s\n",
+              n, workload->num_users(), workload->preprocess_seconds());
 
-  Angle2dDistribution theta;
-  Rng rng(100);
-  UtilityMatrix users = theta.Sample(data, 10000, rng);
-  RegretEvaluator evaluator(users);
-
+  Engine engine;
   std::printf("\n%-4s %-14s %-14s %-12s\n", "k", "DP (optimal)",
               "Greedy-Shrink", "ratio");
   for (size_t k : {1, 2, 3, 4, 5, 6, 7}) {
-    Result<Selection> dp = SolveDp2dOnSample(data, users, k);
-    Result<Selection> greedy = GreedyShrink(evaluator, {.k = k});
+    Result<SolveResponse> dp =
+        engine.Solve(*workload, {.solver = "dp-2d", .k = k});
+    Result<SolveResponse> greedy =
+        engine.Solve(*workload, {.solver = "greedy-shrink", .k = k});
     if (!dp.ok() || !greedy.ok()) {
       std::fprintf(stderr, "solver failed at k=%zu\n", k);
       return 1;
     }
-    double optimal = evaluator.AverageRegretRatio(dp->indices);
-    double approx = greedy->average_regret_ratio;
+    double optimal = dp->distribution.average;
+    double approx = greedy->distribution.average;
     std::printf("%-4zu %-14.5f %-14.5f %-12.4f\n", k, optimal, approx,
                 optimal > 0 ? approx / optimal : 1.0);
   }
 
-  // The closed-form optimum under the uniform-angle measure.
-  Result<Selection> closed = SolveDp2dUniformAngle(data, 5);
-  if (!closed.ok()) {
-    std::fprintf(stderr, "closed-form DP failed\n");
+  // Bounded exactness: give Branch-And-Bound a tiny wall-clock budget. It
+  // returns its best-so-far selection (the greedy incumbent or better)
+  // with `truncated` set instead of running to a full certificate.
+  SolveRequest bounded{.solver = "branch-and-bound", .k = 5,
+                       .deadline_seconds = 0.05};
+  Result<SolveResponse> bnb = engine.Solve(*workload, bounded);
+  if (!bnb.ok()) {
+    std::fprintf(stderr, "bounded solve failed: %s\n",
+                 bnb.status().ToString().c_str());
     return 1;
   }
-  std::printf("\nclosed-form uniform-angle optimum (k=5): arr = %.5f\n",
-              closed->average_regret_ratio);
-  std::printf("same set scored on the 10k-user sample:   arr = %.5f\n",
-              evaluator.AverageRegretRatio(closed->indices));
+  std::printf("\nBranch-And-Bound with a %.0f ms budget: arr = %.5f, "
+              "truncated = %s (%.3f s)\n",
+              bounded.deadline_seconds * 1e3, bnb->distribution.average,
+              bnb->truncated ? "yes" : "no", bnb->query_seconds);
   return 0;
 }

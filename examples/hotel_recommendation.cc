@@ -1,9 +1,10 @@
 // The paper's running example (Table I): four hotels, four users with known
 // utilities, and the question "which two hotels should the site show?".
 //
-// Demonstrates the countably-finite-Θ workflow of Appendix A: exact arr
-// evaluation over an explicit user population, brute-force optimum, and
-// GREEDY-SHRINK agreement.
+// Demonstrates the countably-finite-Θ workflow of Appendix A on the engine
+// API: the Workload adopts the explicit utility table (no sampling), arr
+// is exact over the four users, and Brute-Force / Greedy-Shrink answer
+// through the same SolveRequest surface as every other workload.
 
 #include <cstdio>
 
@@ -29,8 +30,18 @@ int main() {
     std::printf("\n");
   }
 
-  // Exact evaluation over the four users (uniform probabilities).
-  RegretEvaluator evaluator(table);
+  // The workload adopts the explicit user population (uniform
+  // probabilities): arr is exact, not estimated.
+  Result<Workload> workload = WorkloadBuilder()
+                                  .WithDataset(hotels)
+                                  .WithUtilityMatrix(table)
+                                  .Build();
+  if (!workload.ok()) {
+    std::fprintf(stderr, "workload failed: %s\n",
+                 workload.status().ToString().c_str());
+    return 1;
+  }
+  const RegretEvaluator& evaluator = workload->evaluator();
 
   // The paper's worked subset {Intercontinental, Hilton}.
   std::vector<size_t> example = {2, 3};
@@ -41,20 +52,23 @@ int main() {
                 evaluator.RegretRatio(u, example));
   }
 
-  // The optimal pair, exactly and greedily.
-  Result<Selection> exact = BruteForce(evaluator, {.k = 2});
-  Result<Selection> greedy = GreedyShrink(evaluator, {.k = 2});
+  // The optimal pair, exactly and greedily — two requests, one workload.
+  Engine engine;
+  Result<SolveResponse> exact =
+      engine.Solve(*workload, {.solver = "brute-force", .k = 2});
+  Result<SolveResponse> greedy =
+      engine.Solve(*workload, {.solver = "greedy-shrink", .k = 2});
   if (!exact.ok() || !greedy.ok()) {
     std::fprintf(stderr, "solver failed\n");
     return 1;
   }
   std::printf("\noptimal pair (brute force): {%s, %s}, arr = %.4f\n",
-              hotels.LabelOf(exact->indices[0]).c_str(),
-              hotels.LabelOf(exact->indices[1]).c_str(),
-              exact->average_regret_ratio);
+              hotels.LabelOf(exact->selection.indices[0]).c_str(),
+              hotels.LabelOf(exact->selection.indices[1]).c_str(),
+              exact->distribution.average);
   std::printf("GREEDY-SHRINK pair:         {%s, %s}, arr = %.4f\n",
-              hotels.LabelOf(greedy->indices[0]).c_str(),
-              hotels.LabelOf(greedy->indices[1]).c_str(),
-              greedy->average_regret_ratio);
+              hotels.LabelOf(greedy->selection.indices[0]).c_str(),
+              hotels.LabelOf(greedy->selection.indices[1]).c_str(),
+              greedy->distribution.average);
   return 0;
 }

@@ -4,6 +4,8 @@
 //
 // Uses the NBA-like synthetic dataset (664 players × 22 stats; the real
 // basketball-reference data is not redistributable — see DESIGN.md §7).
+// The three selections are one Engine::SolveMany batch against a single
+// shared workload, so all three are scored on the identical user sample.
 
 #include <cstdio>
 
@@ -13,44 +15,63 @@ int main() {
   using namespace fam;
 
   Dataset players = GenerateNbaLike(664, 22).NormalizeMinMax();
-  UniformLinearDistribution theta(WeightDomain::kSimplex);
-  Rng rng(2016);
-  RegretEvaluator evaluator(theta.Sample(players, 10000, rng));
-
-  const size_t k = 5;
-  Result<Selection> s_arr = GreedyShrink(evaluator, {.k = k});
-  Result<Selection> s_mrr = MrrGreedy(players, evaluator, {.k = k});
-  Result<Selection> s_khit = KHit(evaluator, {.k = k});
-  if (!s_arr.ok() || !s_mrr.ok() || !s_khit.ok()) {
-    std::fprintf(stderr, "solver failed\n");
+  Result<Workload> workload = WorkloadBuilder()
+                                  .WithDataset(players)
+                                  .WithNumUsers(10000)
+                                  .WithSeed(2016)
+                                  .Build();
+  if (!workload.ok()) {
+    std::fprintf(stderr, "workload failed: %s\n",
+                 workload.status().ToString().c_str());
     return 1;
   }
 
-  auto print_set = [&](const char* name, const Selection& s) {
-    RegretDistribution dist = evaluator.Distribution(s.indices);
+  const size_t k = 5;
+  Engine engine;
+  std::vector<SolveRequest> requests = {
+      {.solver = "greedy-shrink", .k = k},
+      {.solver = "mrr-greedy", .k = k},
+      {.solver = "k-hit", .k = k},
+  };
+  std::vector<Result<SolveResponse>> responses =
+      engine.SolveMany(*workload, requests);
+  for (const Result<SolveResponse>& response : responses) {
+    if (!response.ok()) {
+      std::fprintf(stderr, "solver failed: %s\n",
+                   response.status().ToString().c_str());
+      return 1;
+    }
+  }
+  const SolveResponse& s_arr = *responses[0];
+  const SolveResponse& s_mrr = *responses[1];
+  const SolveResponse& s_khit = *responses[2];
+
+  const RegretEvaluator& evaluator = workload->evaluator();
+  auto print_set = [&](const char* name, const SolveResponse& s) {
     std::printf("%s (arr = %.4f, max rr = %.4f, hit prob = %.3f):\n", name,
-                dist.average, MaxRegretRatio(evaluator, s.indices),
-                HitProbability(evaluator, s.indices));
-    for (size_t p : s.indices) {
+                s.distribution.average,
+                MaxRegretRatio(evaluator, s.selection.indices),
+                HitProbability(evaluator, s.selection.indices));
+    for (size_t p : s.selection.indices) {
       std::printf("  %s\n", players.LabelOf(p).c_str());
     }
   };
-  print_set("S_arr  (average regret ratio)", *s_arr);
-  print_set("S_mrr  (maximum regret ratio)", *s_mrr);
-  print_set("S_khit (k-hit query)", *s_khit);
+  print_set("S_arr  (average regret ratio)", s_arr);
+  print_set("S_mrr  (maximum regret ratio)", s_mrr);
+  print_set("S_khit (k-hit query)", s_khit);
 
   // Overlap statistics (Table II commentary: S_arr and S_khit share most
   // players while S_mrr diverges).
-  auto overlap = [](const Selection& a, const Selection& b) {
+  auto overlap = [](const SolveResponse& a, const SolveResponse& b) {
     size_t count = 0;
-    for (size_t p : a.indices) {
-      for (size_t q : b.indices) {
+    for (size_t p : a.selection.indices) {
+      for (size_t q : b.selection.indices) {
         if (p == q) ++count;
       }
     }
     return count;
   };
   std::printf("\noverlap arr/khit = %zu of %zu, arr/mrr = %zu of %zu\n",
-              overlap(*s_arr, *s_khit), k, overlap(*s_arr, *s_mrr), k);
+              overlap(s_arr, s_khit), k, overlap(s_arr, s_mrr), k);
   return 0;
 }

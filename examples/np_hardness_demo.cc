@@ -3,7 +3,9 @@
 // Builds the FAM instance for a Set Cover instance and shows the
 // equivalence both ways: a coverable instance admits a zero-regret k-set
 // whose members read back as a set cover, and an uncoverable size leaves
-// positive average regret no matter which k points are chosen.
+// positive average regret no matter which k points are chosen. The exact
+// optimum comes from a Brute-Force SolveRequest against a Workload that
+// adopts the reduction's explicit user population (Appendix A).
 
 #include <cstdio>
 
@@ -19,21 +21,32 @@ void Show(const fam::SetCoverInstance& instance, size_t k) {
                  reduced.status().ToString().c_str());
     return;
   }
-  RegretEvaluator evaluator(reduced->users.ExactUsers(),
-                            reduced->users.probabilities());
-  Result<Selection> best = BruteForce(evaluator, {.k = k});
+  Result<Workload> workload =
+      WorkloadBuilder()
+          .WithDataset(reduced->dataset)
+          .WithUtilityMatrix(reduced->users.ExactUsers(),
+                             reduced->users.probabilities())
+          .Build();
+  if (!workload.ok()) {
+    std::fprintf(stderr, "workload failed: %s\n",
+                 workload.status().ToString().c_str());
+    return;
+  }
+  Engine engine;
+  Result<SolveResponse> best =
+      engine.Solve(*workload, {.solver = "brute-force", .k = k});
   if (!best.ok()) return;
 
   std::printf("universe |U| = %zu, |T| = %zu subsets, k = %zu\n",
               instance.universe_size, instance.subsets.size(), k);
-  std::printf("  optimal arr = %.6f -> %s\n", best->average_regret_ratio,
-              best->average_regret_ratio < 1e-12
+  std::printf("  optimal arr = %.6f -> %s\n", best->distribution.average,
+              best->distribution.average < 1e-12
                   ? "zero: a set cover of size k exists"
                   : "positive: no set cover of size k exists");
   std::printf("  chosen subsets:");
-  for (size_t t : best->indices) std::printf(" T%zu", t);
+  for (size_t t : best->selection.indices) std::printf(" T%zu", t);
   std::printf("  (IsSetCover: %s)\n\n",
-              IsSetCover(instance, best->indices) ? "yes" : "no");
+              IsSetCover(instance, best->selection.indices) ? "yes" : "no");
 }
 
 }  // namespace

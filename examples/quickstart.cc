@@ -1,9 +1,12 @@
-// Quickstart: the minimal end-to-end use of the fam library.
+// Quickstart: the minimal end-to-end use of the fam engine API.
 //
 //   1. Generate (or load) a database of points.
-//   2. Pick a utility-function distribution Θ and sample N users.
-//   3. Run GREEDY-SHRINK to select the k points minimizing the average
-//      regret ratio.
+//   2. Build a Workload: pick a utility-function distribution Θ, sample N
+//      users, precompute the best-in-DB index — the one-time preprocessing
+//      every solve request shares.
+//   3. Dispatch SolveRequests against it: GREEDY-SHRINK to select the k
+//      points minimizing the average regret ratio, then a second request
+//      on the SAME workload — no resampling, no re-indexing.
 //
 // Build & run:  ./build/examples/example_quickstart
 
@@ -23,27 +26,50 @@ int main() {
       .seed = 42,
   });
 
-  // Θ: linear utilities with weights uniform on the probability simplex.
-  // N = 10,000 sampled users is the paper's default evaluation size.
-  UniformLinearDistribution theta(WeightDomain::kSimplex);
-  Rng rng(7);
-  RegretEvaluator evaluator(theta.Sample(data, 10000, rng));
+  // The workload: Θ = linear utilities with weights uniform on the
+  // probability simplex, N = 10,000 sampled users (the paper's default
+  // evaluation size). Built once, shared by every request below.
+  Result<Workload> workload = WorkloadBuilder()
+                                  .WithDataset(std::move(data))
+                                  .WithNumUsers(10000)
+                                  .WithSeed(7)
+                                  .Build();
+  if (!workload.ok()) {
+    std::fprintf(stderr, "workload failed: %s\n",
+                 workload.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("workload ready: n = %zu, d = %zu, N = %zu (preprocessing "
+              "%.3f s)\n",
+              workload->size(), workload->dimension(),
+              workload->num_users(), workload->preprocess_seconds());
 
-  // Select k = 10 points.
-  Result<Selection> result = GreedyShrink(evaluator, {.k = 10});
-  if (!result.ok()) {
-    std::fprintf(stderr, "GreedyShrink failed: %s\n",
-                 result.status().ToString().c_str());
+  // Select k = 10 points with the paper's main algorithm.
+  Engine engine;
+  Result<SolveResponse> response =
+      engine.Solve(*workload, {.solver = "greedy-shrink", .k = 10});
+  if (!response.ok()) {
+    std::fprintf(stderr, "solve failed: %s\n",
+                 response.status().ToString().c_str());
     return 1;
   }
 
-  std::printf("selected %zu points, average regret ratio = %.4f\n",
-              result->indices.size(), result->average_regret_ratio);
-  RegretDistribution dist = evaluator.Distribution(result->indices);
+  std::printf("selected %zu points in %.3f s, average regret ratio = %.4f\n",
+              response->selection.indices.size(), response->query_seconds,
+              response->distribution.average);
   std::printf("stddev = %.4f, 95th-percentile regret ratio = %.4f\n",
-              dist.stddev, dist.PercentileRr(95.0));
+              response->distribution.stddev,
+              response->distribution.PercentileRr(95.0));
   std::printf("selected indices:");
-  for (size_t p : result->indices) std::printf(" %zu", p);
+  for (size_t p : response->selection.indices) std::printf(" %zu", p);
   std::printf("\n");
+
+  // A second request against the same workload — the sampled users are
+  // reused as-is, so the two selections are scored on the same population.
+  Result<SolveResponse> khit =
+      engine.Solve(*workload, {.solver = "k-hit", .k = 10});
+  if (!khit.ok()) return 1;
+  std::printf("K-Hit on the same workload: arr = %.4f (vs %.4f)\n",
+              khit->distribution.average, response->distribution.average);
   return 0;
 }

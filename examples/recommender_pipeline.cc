@@ -5,7 +5,8 @@
 //
 // Everything — the factorization, the EM fit, the sampling — is this
 // library's own code; only the ratings are synthetic (the KDD-Cup 2011 data
-// is not redistributable).
+// is not redistributable). The learned Θ plugs straight into a Workload,
+// and the k-sweep is one Engine::SolveMany batch over the shared sample.
 
 #include <cstdio>
 
@@ -31,21 +32,37 @@ int main() {
   std::printf("GMM fit converged after %zu EM iterations\n",
               pipeline->gmm_iterations);
 
-  // Sample users from the learned mixture and evaluate.
-  Rng rng(11);
-  RegretEvaluator evaluator(
-      pipeline->theta->Sample(pipeline->item_dataset, 5000, rng));
+  // The learned mixture is the workload's Θ: 5,000 users sampled once,
+  // shared by the whole k-sweep.
+  Result<Workload> workload = WorkloadBuilder()
+                                  .WithDataset(pipeline->item_dataset)
+                                  .WithDistribution(pipeline->theta)
+                                  .WithNumUsers(5000)
+                                  .WithSeed(11)
+                                  .Build();
+  if (!workload.ok()) {
+    std::fprintf(stderr, "workload failed: %s\n",
+                 workload.status().ToString().c_str());
+    return 1;
+  }
 
+  Engine engine;
+  std::vector<SolveRequest> requests;
   for (size_t k : {5, 10, 20}) {
-    Result<Selection> s = GreedyShrink(evaluator, {.k = k});
-    if (!s.ok()) {
-      std::fprintf(stderr, "GreedyShrink failed\n");
+    requests.push_back({.solver = "greedy-shrink", .k = k});
+  }
+  std::vector<Result<SolveResponse>> responses =
+      engine.SolveMany(*workload, requests);
+  for (size_t i = 0; i < responses.size(); ++i) {
+    if (!responses[i].ok()) {
+      std::fprintf(stderr, "GreedyShrink failed: %s\n",
+                   responses[i].status().ToString().c_str());
       return 1;
     }
-    RegretDistribution dist = evaluator.Distribution(s->indices);
+    const RegretDistribution& dist = responses[i]->distribution;
     std::printf(
-        "k = %2zu: arr = %.4f, stddev = %.4f, 99th pct rr = %.4f\n", k,
-        dist.average, dist.stddev, dist.PercentileRr(99.0));
+        "k = %2zu: arr = %.4f, stddev = %.4f, 99th pct rr = %.4f\n",
+        requests[i].k, dist.average, dist.stddev, dist.PercentileRr(99.0));
   }
   return 0;
 }

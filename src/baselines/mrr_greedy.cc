@@ -51,8 +51,21 @@ double LpRegretOfCandidate(const Dataset& dataset, size_t candidate,
   return std::max(0.0, solution.objective);
 }
 
+/// Fills `selected` up to k with the lowest-index unused points (used both
+/// when every candidate adds zero regret and on cancellation).
+void PadSelection(size_t n, size_t k, std::vector<size_t>& selected,
+                  std::vector<uint8_t>& in_set) {
+  for (size_t p = 0; p < n && selected.size() < k; ++p) {
+    if (!in_set[p]) {
+      selected.push_back(p);
+      in_set[p] = 1;
+    }
+  }
+}
+
 Selection RunLp(const Dataset& dataset, const RegretEvaluator& evaluator,
-                size_t k) {
+                const MrrGreedyOptions& options, MrrGreedyStats* stats) {
+  const size_t k = options.k;
   std::vector<size_t> candidates = SkylineIndices(dataset);
 
   // Seed: the point with the largest first attribute (smallest index wins
@@ -65,11 +78,17 @@ Selection RunLp(const Dataset& dataset, const RegretEvaluator& evaluator,
   std::vector<uint8_t> in_set(dataset.size(), 0);
   in_set[seed] = 1;
 
-  while (selected.size() < k) {
+  bool truncated = false;
+  while (selected.size() < k && !truncated) {
     size_t best_candidate = dataset.size();
     double best_value = 0.0;
     for (size_t c : candidates) {
       if (in_set[c]) continue;
+      // One LP solve per candidate is the expensive unit of work here.
+      if (options.cancel != nullptr && options.cancel->Expired()) {
+        truncated = true;
+        break;
+      }
       double value = LpRegretOfCandidate(dataset, c, selected);
       if (value > best_value + 1e-12 ||
           (best_candidate == dataset.size() && value >= best_value)) {
@@ -77,20 +96,17 @@ Selection RunLp(const Dataset& dataset, const RegretEvaluator& evaluator,
         best_candidate = c;
       }
     }
-    if (best_candidate == dataset.size()) {
-      // Every remaining candidate adds zero worst-case regret; pad with the
-      // lowest-index unused points.
-      for (size_t p = 0; p < dataset.size() && selected.size() < k; ++p) {
-        if (!in_set[p]) {
-          selected.push_back(p);
-          in_set[p] = 1;
-        }
-      }
+    if (truncated || best_candidate == dataset.size()) {
+      // Truncated, or every remaining candidate adds zero worst-case
+      // regret: pad with the lowest-index unused points.
+      PadSelection(dataset.size(), k, selected, in_set);
       break;
     }
     selected.push_back(best_candidate);
     in_set[best_candidate] = 1;
+    if (stats != nullptr) ++stats->rounds;
   }
+  if (stats != nullptr) stats->truncated = truncated;
 
   std::sort(selected.begin(), selected.end());
   Selection result;
@@ -100,7 +116,9 @@ Selection RunLp(const Dataset& dataset, const RegretEvaluator& evaluator,
 }
 
 Selection RunSampled(const Dataset& dataset,
-                     const RegretEvaluator& evaluator, size_t k) {
+                     const RegretEvaluator& evaluator,
+                     const MrrGreedyOptions& options, MrrGreedyStats* stats) {
+  const size_t k = options.k;
   const size_t num_users = evaluator.num_users();
 
   size_t seed = 0;
@@ -116,7 +134,13 @@ Selection RunSampled(const Dataset& dataset,
   std::vector<double> sat(num_users);
   for (size_t u = 0; u < num_users; ++u) sat[u] = users.Utility(u, seed);
 
+  bool truncated = false;
   while (selected.size() < k) {
+    if (options.cancel != nullptr && options.cancel->Expired()) {
+      truncated = true;
+      PadSelection(dataset.size(), k, selected, in_set);
+      break;
+    }
     // The currently most-regretful user.
     size_t worst_user = num_users;
     double worst_rr = 0.0;
@@ -137,20 +161,17 @@ Selection RunSampled(const Dataset& dataset,
     if (addition == dataset.size()) {
       // No user regrets anything (or the worst user's favorite is already
       // selected, which forces rr = 0): pad with unused points.
-      for (size_t p = 0; p < dataset.size() && selected.size() < k; ++p) {
-        if (!in_set[p]) {
-          selected.push_back(p);
-          in_set[p] = 1;
-        }
-      }
+      PadSelection(dataset.size(), k, selected, in_set);
       break;
     }
     selected.push_back(addition);
     in_set[addition] = 1;
+    if (stats != nullptr) ++stats->rounds;
     for (size_t u = 0; u < num_users; ++u) {
       sat[u] = std::max(sat[u], users.Utility(u, addition));
     }
   }
+  if (stats != nullptr) stats->truncated = truncated;
 
   std::sort(selected.begin(), selected.end());
   Selection result;
@@ -163,7 +184,9 @@ Selection RunSampled(const Dataset& dataset,
 
 Result<Selection> MrrGreedy(const Dataset& dataset,
                             const RegretEvaluator& evaluator,
-                            const MrrGreedyOptions& options) {
+                            const MrrGreedyOptions& options,
+                            MrrGreedyStats* stats) {
+  if (stats != nullptr) *stats = MrrGreedyStats{};
   if (options.k == 0) return Status::InvalidArgument("k must be at least 1");
   if (options.k > dataset.size()) {
     return Status::InvalidArgument("k exceeds database size");
@@ -186,10 +209,11 @@ Result<Selection> MrrGreedy(const Dataset& dataset,
       mode = MrrGreedyMode::kSampled;
     }
   }
+  if (stats != nullptr) stats->mode = mode;
   if (mode == MrrGreedyMode::kLinearProgramming) {
-    return RunLp(dataset, evaluator, options.k);
+    return RunLp(dataset, evaluator, options, stats);
   }
-  return RunSampled(dataset, evaluator, options.k);
+  return RunSampled(dataset, evaluator, options, stats);
 }
 
 double MaxRegretRatio(const RegretEvaluator& evaluator,

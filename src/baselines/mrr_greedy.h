@@ -27,6 +27,7 @@
 #ifndef FAM_BASELINES_MRR_GREEDY_H_
 #define FAM_BASELINES_MRR_GREEDY_H_
 
+#include "common/cancellation.h"
 #include "common/status.h"
 #include "data/dataset.h"
 #include "regret/evaluator.h"
@@ -45,6 +46,19 @@ struct MrrGreedyOptions {
   MrrGreedyMode mode = MrrGreedyMode::kAuto;
   /// kAuto falls back to kSampled above this many skyline candidates.
   size_t lp_candidate_limit = 4000;
+  /// Polled once per greedy round (and per LP candidate in the LP engine);
+  /// on expiry the partial selection is padded to k with the lowest-index
+  /// unused points and returned with stats->truncated set.
+  const CancellationToken* cancel = nullptr;
+};
+
+struct MrrGreedyStats {
+  /// Greedy rounds completed (excludes the seed point and any padding).
+  size_t rounds = 0;
+  /// Engine actually used (resolves kAuto).
+  MrrGreedyMode mode = MrrGreedyMode::kAuto;
+  /// True when the cancellation token expired before k rounds finished.
+  bool truncated = false;
 };
 
 /// Runs MRR-GREEDY. The evaluator supplies the sampled users (for kSampled
@@ -52,7 +66,8 @@ struct MrrGreedyOptions {
 /// supplies the geometry for the LP engine.
 Result<Selection> MrrGreedy(const Dataset& dataset,
                             const RegretEvaluator& evaluator,
-                            const MrrGreedyOptions& options);
+                            const MrrGreedyOptions& options,
+                            MrrGreedyStats* stats = nullptr);
 
 /// Maximum regret ratio of `subset` over the evaluator's sampled users
 /// (the metric MRR-GREEDY minimizes; exposed for experiments).

@@ -1,0 +1,58 @@
+// Cooperative cancellation for long-running solvers.
+//
+// A CancellationToken combines an optional wall-clock deadline with a
+// manual cancel flag. Solvers that may run for a long time (brute force,
+// branch and bound, local search, MRR-Greedy) poll Expired() at natural
+// checkpoints — once per search node, candidate swap, or greedy round —
+// and, on expiry, stop and return their best-so-far solution flagged as
+// truncated instead of erroring out. The engine layer (src/fam/engine.h)
+// creates one token per SolveRequest from its deadline.
+//
+// Polling costs one relaxed atomic load plus (when a deadline is set) one
+// steady_clock read — negligible next to the O(N) work a solver does
+// between checkpoints, which keeps deadline overshoot to a single
+// checkpoint's worth of work.
+
+#ifndef FAM_COMMON_CANCELLATION_H_
+#define FAM_COMMON_CANCELLATION_H_
+
+#include <atomic>
+#include <chrono>
+
+namespace fam {
+
+/// Thread-safe cancel signal with an optional deadline. Not copyable or
+/// movable (it holds an atomic); share it by pointer.
+class CancellationToken {
+ public:
+  /// A token that never expires on its own (manual cancel only).
+  CancellationToken() = default;
+
+  /// A token that expires `deadline_seconds` from now. Values <= 0 mean
+  /// "no deadline" (manual cancel only).
+  explicit CancellationToken(double deadline_seconds);
+
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  /// Requests cancellation; every subsequent Expired() returns true.
+  void RequestCancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// True once cancelled or past the deadline.
+  bool Expired() const;
+
+  bool has_deadline() const { return has_deadline_; }
+
+  /// Seconds until the deadline (negative once past); a very large value
+  /// when no deadline is set.
+  double RemainingSeconds() const;
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+};
+
+}  // namespace fam
+
+#endif  // FAM_COMMON_CANCELLATION_H_

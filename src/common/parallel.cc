@@ -1,6 +1,7 @@
 #include "common/parallel.h"
 
 #include <algorithm>
+#include <atomic>
 #include <thread>
 #include <vector>
 
@@ -31,6 +32,29 @@ void ParallelFor(size_t n, size_t num_threads,
     size_t end = std::min(n, begin + chunk);
     if (begin >= end) break;
     workers.emplace_back([&body, begin, end] { body(begin, end); });
+  }
+  for (std::thread& worker : workers) worker.join();
+}
+
+void ParallelForEach(size_t n, size_t num_threads,
+                     const std::function<void(size_t)>& body) {
+  if (n == 0) return;
+  if (num_threads == 0) num_threads = HardwareThreads();
+  num_threads = std::min(num_threads, n);
+  if (num_threads <= 1) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads);
+  for (size_t t = 0; t < num_threads; ++t) {
+    workers.emplace_back([&body, &next, n] {
+      for (size_t i = next.fetch_add(1, std::memory_order_relaxed); i < n;
+           i = next.fetch_add(1, std::memory_order_relaxed)) {
+        body(i);
+      }
+    });
   }
   for (std::thread& worker : workers) worker.join();
 }

@@ -24,6 +24,16 @@ size_t HardwareThreads();
 void ParallelFor(size_t n, size_t num_threads,
                  const std::function<void(size_t, size_t)>& body);
 
+/// Runs body(i) for every i in [0, n) with dynamic scheduling over up to
+/// `num_threads` threads (0 = hardware default). Unlike ParallelFor, which
+/// assumes many cheap uniform items, this is for a *small* number of
+/// *coarse* heterogeneous tasks (e.g. one solver run each, as in
+/// Engine::SolveMany): every item occupies a thread slot and workers pull
+/// the next index as they finish, so one slow task cannot serialize the
+/// rest. Blocks until all items finish. The body must not throw.
+void ParallelForEach(size_t n, size_t num_threads,
+                     const std::function<void(size_t)>& body);
+
 }  // namespace fam
 
 #endif  // FAM_COMMON_PARALLEL_H_

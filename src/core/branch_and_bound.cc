@@ -21,6 +21,7 @@ struct Search {
   std::vector<size_t> chosen;
   uint64_t nodes_visited = 0;
   bool aborted = false;
+  bool truncated = false;
 
   explicit Search(const RegretEvaluator& eval,
                   const BranchAndBoundOptions& opts,
@@ -52,7 +53,11 @@ struct Search {
   }
 
   void Dfs(size_t idx, std::vector<double>& sat) {
-    if (aborted) return;
+    if (aborted || truncated) return;
+    if (options.cancel != nullptr && options.cancel->Expired()) {
+      truncated = true;
+      return;
+    }
     if (++nodes_visited > options.max_nodes) {
       aborted = true;
       return;
@@ -101,49 +106,87 @@ Result<Selection> BranchAndBound(const RegretEvaluator& evaluator,
 
   Search search(evaluator, options, stats);
 
-  // Branch on strong points first: ascending single-point arr.
-  search.candidates.resize(n);
-  std::iota(search.candidates.begin(), search.candidates.end(), 0);
-  std::vector<double> single_arr(n);
-  for (size_t p = 0; p < n; ++p) {
-    std::vector<size_t> single = {p};
-    single_arr[p] = evaluator.AverageRegretRatio(single);
-  }
-  std::sort(search.candidates.begin(), search.candidates.end(),
-            [&](size_t a, size_t b) {
-              if (single_arr[a] != single_arr[b]) {
-                return single_arr[a] < single_arr[b];
-              }
-              return a < b;
-            });
+  // Seed the incumbent with GREEDY-SHRINK (usually already optimal) before
+  // any search preparation. The seed shares the cancellation token, so a
+  // deadline bounds the whole solve: on expiry the (fast-finished) seed is
+  // returned without paying for the O(N·n) suffix matrix below.
+  GreedyShrinkOptions greedy_options;
+  greedy_options.k = options.k;
+  greedy_options.cancel = options.cancel;
+  GreedyShrinkStats greedy_stats;
+  FAM_ASSIGN_OR_RETURN(Selection greedy,
+                       GreedyShrink(evaluator, greedy_options,
+                                    &greedy_stats));
+  search.incumbent_arr = greedy.average_regret_ratio;
+  search.incumbent_set = greedy.indices;
+  search.truncated = greedy_stats.truncated;
+  if (stats != nullptr) stats->greedy_was_optimal = true;
 
-  // Suffix maxima of utility over the branching order.
-  const UtilityMatrix& users = evaluator.users();
-  search.suffix_best.Reset(evaluator.num_users(), n + 1, 0.0);
-  for (size_t idx = n; idx-- > 0;) {
-    size_t point = search.candidates[idx];
-    for (size_t u = 0; u < evaluator.num_users(); ++u) {
-      search.suffix_best(u, idx) = std::max(
-          search.suffix_best(u, idx + 1), users.Utility(u, point));
+  auto expired = [&options] {
+    return options.cancel != nullptr && options.cancel->Expired();
+  };
+
+  if (!search.truncated) {
+    // Branch on strong points first: ascending single-point arr. Polled
+    // per candidate so a deadline caps this O(N·n) phase too.
+    search.candidates.resize(n);
+    std::iota(search.candidates.begin(), search.candidates.end(), 0);
+    std::vector<double> single_arr(n);
+    for (size_t p = 0; p < n; ++p) {
+      if (expired()) {
+        search.truncated = true;
+        break;
+      }
+      std::vector<size_t> single = {p};
+      single_arr[p] = evaluator.AverageRegretRatio(single);
+    }
+    if (!search.truncated) {
+      std::sort(search.candidates.begin(), search.candidates.end(),
+                [&](size_t a, size_t b) {
+                  if (single_arr[a] != single_arr[b]) {
+                    return single_arr[a] < single_arr[b];
+                  }
+                  return a < b;
+                });
     }
   }
 
-  // Seed the incumbent with GREEDY-SHRINK (usually already optimal).
-  GreedyShrinkOptions greedy_options;
-  greedy_options.k = options.k;
-  FAM_ASSIGN_OR_RETURN(Selection greedy,
-                       GreedyShrink(evaluator, greedy_options));
-  search.incumbent_arr = greedy.average_regret_ratio;
-  search.incumbent_set = greedy.indices;
-  if (stats != nullptr) stats->greedy_was_optimal = true;
+  if (!search.truncated) {
+    // Suffix maxima of utility over the branching order (the bound's
+    // oracle): O(N·n) time and memory, so it is gated on the deadline and
+    // polled per candidate.
+    const UtilityMatrix& users = evaluator.users();
+    search.suffix_best.Reset(evaluator.num_users(), n + 1, 0.0);
+    for (size_t idx = n; idx-- > 0;) {
+      if (expired()) {
+        search.truncated = true;
+        break;
+      }
+      size_t point = search.candidates[idx];
+      for (size_t u = 0; u < evaluator.num_users(); ++u) {
+        search.suffix_best(u, idx) = std::max(
+            search.suffix_best(u, idx + 1), users.Utility(u, point));
+      }
+    }
+  }
 
-  std::vector<double> sat(evaluator.num_users(), 0.0);
-  search.Dfs(0, sat);
-  if (stats != nullptr) stats->nodes_visited = search.nodes_visited;
+  if (!search.truncated) {
+    std::vector<double> sat(evaluator.num_users(), 0.0);
+    search.Dfs(0, sat);
+  }
+  if (stats != nullptr) {
+    stats->nodes_visited = search.nodes_visited;
+    stats->truncated = search.truncated;
+    // "Greedy was optimal" is a certificate; a truncated search proved
+    // nothing about the seed.
+    if (search.truncated) stats->greedy_was_optimal = false;
+  }
   if (search.aborted) {
     return Status::FailedPrecondition(
         "branch and bound exceeded max_nodes");
   }
+  // On truncation the incumbent (at worst the greedy seed) is still a
+  // feasible selection — return it as best-so-far rather than failing.
 
   Selection result;
   result.indices = search.incumbent_set;

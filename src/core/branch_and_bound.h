@@ -17,6 +17,7 @@
 
 #include <cstdint>
 
+#include "common/cancellation.h"
 #include "common/status.h"
 #include "regret/evaluator.h"
 #include "regret/selection.h"
@@ -27,6 +28,9 @@ struct BranchAndBoundOptions {
   size_t k = 5;
   /// Abort with FailedPrecondition after this many search nodes.
   uint64_t max_nodes = 2'000'000'000ULL;
+  /// Polled once per search node; on expiry the search stops and returns
+  /// the best selection found so far (stats->truncated is set).
+  const CancellationToken* cancel = nullptr;
 };
 
 struct BranchAndBoundStats {
@@ -34,6 +38,9 @@ struct BranchAndBoundStats {
   uint64_t nodes_pruned = 0;
   /// True when the greedy seed was already optimal (no improvement found).
   bool greedy_was_optimal = false;
+  /// True when the cancellation token expired before the search completed:
+  /// the returned selection is the best found, not a certified optimum.
+  bool truncated = false;
 };
 
 /// Returns the exact minimum-arr subset of size k. Matches BruteForce on

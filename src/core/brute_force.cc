@@ -22,9 +22,11 @@ uint64_t BinomialCoefficient(uint64_t n, uint64_t k) {
 }
 
 Result<Selection> BruteForce(const RegretEvaluator& evaluator,
-                             const BruteForceOptions& options) {
+                             const BruteForceOptions& options,
+                             BruteForceStats* stats) {
   const size_t n = evaluator.num_points();
   const size_t k = options.k;
+  if (stats != nullptr) *stats = BruteForceStats{};
   if (k == 0) return Status::InvalidArgument("k must be at least 1");
   if (k > n) return Status::InvalidArgument("k exceeds database size");
   uint64_t num_subsets = BinomialCoefficient(n, k);
@@ -39,6 +41,8 @@ Result<Selection> BruteForce(const RegretEvaluator& evaluator,
   std::iota(combo.begin(), combo.end(), 0);
   std::vector<size_t> best = combo;
   double best_arr = evaluator.AverageRegretRatio(combo);
+  uint64_t evaluated = 1;
+  bool truncated = false;
 
   auto advance = [&]() -> bool {
     // Standard next-combination: find the rightmost index that can move.
@@ -55,13 +59,22 @@ Result<Selection> BruteForce(const RegretEvaluator& evaluator,
   };
 
   while (advance()) {
+    if (options.cancel != nullptr && options.cancel->Expired()) {
+      truncated = true;
+      break;
+    }
     double arr = evaluator.AverageRegretRatio(combo);
+    ++evaluated;
     if (arr < best_arr) {
       best_arr = arr;
       best = combo;
     }
   }
 
+  if (stats != nullptr) {
+    stats->subsets_evaluated = evaluated;
+    stats->truncated = truncated;
+  }
   Selection selection;
   selection.indices = std::move(best);
   selection.average_regret_ratio = best_arr;

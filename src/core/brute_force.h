@@ -7,6 +7,9 @@
 #ifndef FAM_CORE_BRUTE_FORCE_H_
 #define FAM_CORE_BRUTE_FORCE_H_
 
+#include <cstdint>
+
+#include "common/cancellation.h"
 #include "common/status.h"
 #include "regret/evaluator.h"
 #include "regret/selection.h"
@@ -17,12 +20,23 @@ struct BruteForceOptions {
   size_t k = 5;
   /// Safety valve: fail instead of enumerating more than this many subsets.
   uint64_t max_subsets = 500'000'000ULL;
+  /// Polled once per enumerated subset; on expiry the enumeration stops and
+  /// returns the best subset seen so far (stats->truncated is set).
+  const CancellationToken* cancel = nullptr;
+};
+
+struct BruteForceStats {
+  uint64_t subsets_evaluated = 0;
+  /// True when the cancellation token expired mid-enumeration: the returned
+  /// selection is the best of the subsets evaluated, not a certified optimum.
+  bool truncated = false;
 };
 
 /// Returns the subset of size k minimizing the evaluator's average regret
 /// ratio (lexicographically smallest among ties).
 Result<Selection> BruteForce(const RegretEvaluator& evaluator,
-                             const BruteForceOptions& options);
+                             const BruteForceOptions& options,
+                             BruteForceStats* stats = nullptr);
 
 /// Number of k-subsets of an n-set, saturating at UINT64_MAX on overflow.
 uint64_t BinomialCoefficient(uint64_t n, uint64_t k);

@@ -10,7 +10,8 @@ namespace {
 
 /// arr(S) − arr(S ∪ {p}) given per-user current satisfactions.
 double Gain(const RegretEvaluator& evaluator, size_t p,
-            const std::vector<double>& sat) {
+            const std::vector<double>& sat, GreedyGrowStats* stats) {
+  if (stats != nullptr) ++stats->gain_evaluations;
   const UtilityMatrix& users = evaluator.users();
   const std::vector<double>& weights = evaluator.user_weights();
   double gain = 0.0;
@@ -31,11 +32,44 @@ void Apply(const RegretEvaluator& evaluator, size_t p,
   }
 }
 
+bool Expired(const GreedyGrowOptions& options) {
+  return options.cancel != nullptr && options.cancel->Expired();
+}
+
+/// Best-effort completion on cancellation: pads `selected` to k with the
+/// unselected points that are the most users' database favorites (ties to
+/// the smaller index) — a K-Hit-style cut instead of an arbitrary one.
+void FastPad(const RegretEvaluator& evaluator, size_t k,
+             std::vector<size_t>& selected, std::vector<uint8_t>& in_set,
+             GreedyGrowStats* stats) {
+  if (stats != nullptr) stats->truncated = true;
+  std::vector<size_t> scores(evaluator.num_points(), 0);
+  for (size_t u = 0; u < evaluator.num_users(); ++u) {
+    ++scores[evaluator.BestPointInDb(u)];
+  }
+  std::vector<size_t> pool;
+  pool.reserve(evaluator.num_points());
+  for (size_t p = 0; p < evaluator.num_points(); ++p) {
+    if (!in_set[p]) pool.push_back(p);
+  }
+  std::sort(pool.begin(), pool.end(), [&](size_t a, size_t b) {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    return a < b;
+  });
+  for (size_t p : pool) {
+    if (selected.size() >= k) break;
+    selected.push_back(p);
+    in_set[p] = 1;
+  }
+}
+
 }  // namespace
 
 Result<Selection> GreedyGrow(const RegretEvaluator& evaluator,
-                             const GreedyGrowOptions& options) {
+                             const GreedyGrowOptions& options,
+                             GreedyGrowStats* stats) {
   const size_t n = evaluator.num_points();
+  if (stats != nullptr) *stats = GreedyGrowStats{};
   if (options.k == 0) return Status::InvalidArgument("k must be at least 1");
   if (options.k > n) return Status::InvalidArgument("k exceeds database size");
 
@@ -48,13 +82,22 @@ Result<Selection> GreedyGrow(const RegretEvaluator& evaluator,
     while (selected.size() < options.k) {
       size_t best = n;
       double best_gain = -1.0;
+      bool truncated = false;
       for (size_t p = 0; p < n; ++p) {
         if (in_set[p]) continue;
-        double gain = Gain(evaluator, p, sat);
+        if (Expired(options)) {
+          truncated = true;
+          break;
+        }
+        double gain = Gain(evaluator, p, sat, stats);
         if (gain > best_gain) {
           best_gain = gain;
           best = p;
         }
+      }
+      if (truncated) {
+        FastPad(evaluator, options.k, selected, in_set, stats);
+        break;
       }
       FAM_CHECK(best < n);
       in_set[best] = 1;
@@ -74,11 +117,20 @@ Result<Selection> GreedyGrow(const RegretEvaluator& evaluator,
       }
     };
     std::priority_queue<Entry> heap;
+    bool truncated = false;
     for (size_t p = 0; p < n; ++p) {
-      heap.push({Gain(evaluator, p, sat), p, 0});
+      if (Expired(options)) {
+        truncated = true;
+        break;
+      }
+      heap.push({Gain(evaluator, p, sat, stats), p, 0});
     }
     size_t round = 0;
-    while (selected.size() < options.k) {
+    while (!truncated && selected.size() < options.k) {
+      if (Expired(options)) {
+        truncated = true;
+        break;
+      }
       FAM_CHECK(!heap.empty());
       Entry top = heap.top();
       heap.pop();
@@ -90,8 +142,9 @@ Result<Selection> GreedyGrow(const RegretEvaluator& evaluator,
         ++round;
         continue;
       }
-      heap.push({Gain(evaluator, top.point, sat), top.point, round});
+      heap.push({Gain(evaluator, top.point, sat, stats), top.point, round});
     }
+    if (truncated) FastPad(evaluator, options.k, selected, in_set, stats);
   }
 
   std::sort(selected.begin(), selected.end());

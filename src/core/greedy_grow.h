@@ -19,6 +19,7 @@
 #ifndef FAM_CORE_GREEDY_GROW_H_
 #define FAM_CORE_GREEDY_GROW_H_
 
+#include "common/cancellation.h"
 #include "common/status.h"
 #include "regret/evaluator.h"
 #include "regret/selection.h"
@@ -29,11 +30,23 @@ struct GreedyGrowOptions {
   size_t k = 10;
   /// Lazy (upper-bound) candidate evaluation; exact either way.
   bool use_lazy_evaluation = true;
+  /// Polled once per candidate gain evaluation; on expiry the partial
+  /// selection is padded to k with the unselected points that are the
+  /// most users' database favorites (stats->truncated is set).
+  const CancellationToken* cancel = nullptr;
+};
+
+struct GreedyGrowStats {
+  /// Candidate gain evaluations performed (lazy mode skips most).
+  uint64_t gain_evaluations = 0;
+  /// True when the cancellation token expired before k rounds finished.
+  bool truncated = false;
 };
 
 /// Runs forward greedy selection against the evaluator's user sample.
 Result<Selection> GreedyGrow(const RegretEvaluator& evaluator,
-                             const GreedyGrowOptions& options);
+                             const GreedyGrowOptions& options,
+                             GreedyGrowStats* stats = nullptr);
 
 }  // namespace fam
 

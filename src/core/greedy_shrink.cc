@@ -115,10 +115,38 @@ class ShrinkState {
   double current_arr_ = 0.0;
 };
 
+/// Best-effort completion on cancellation: keeps the k candidates with the
+/// highest scores (ties to the smaller index) — scores are "how many users
+/// this point currently serves", so the truncated result approximates a
+/// K-Hit selection over the remaining pool instead of an arbitrary cut.
+Selection FastFinish(const RegretEvaluator& evaluator,
+                     const std::vector<size_t>& candidates,
+                     const std::vector<size_t>& scores, size_t k,
+                     GreedyShrinkStats* stats) {
+  std::vector<size_t> order = candidates;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    return a < b;
+  });
+  order.resize(k);
+  std::sort(order.begin(), order.end());
+  Selection selection;
+  selection.average_regret_ratio = evaluator.AverageRegretRatio(order);
+  selection.indices = std::move(order);
+  if (stats != nullptr) stats->truncated = true;
+  return selection;
+}
+
+bool Expired(const GreedyShrinkOptions& options) {
+  return options.cancel != nullptr && options.cancel->Expired();
+}
+
 /// Reference implementation: no caching, every candidate evaluated from
 /// scratch every iteration (the paper's Algorithm 1 verbatim). O(N n³).
-Selection RunNaive(const RegretEvaluator& evaluator, size_t k,
+Selection RunNaive(const RegretEvaluator& evaluator,
+                   const GreedyShrinkOptions& options,
                    GreedyShrinkStats* stats) {
+  const size_t k = options.k;
   std::vector<size_t> current(evaluator.num_points());
   std::iota(current.begin(), current.end(), 0);
   std::vector<size_t> candidate;
@@ -126,6 +154,14 @@ Selection RunNaive(const RegretEvaluator& evaluator, size_t k,
     double best_arr = std::numeric_limits<double>::infinity();
     size_t best_pos = 0;
     for (size_t pos = 0; pos < current.size(); ++pos) {
+      if (Expired(options)) {
+        // Score candidates by how many users' database favorite they are.
+        std::vector<size_t> scores(evaluator.num_points(), 0);
+        for (size_t u = 0; u < evaluator.num_users(); ++u) {
+          ++scores[evaluator.BestPointInDb(u)];
+        }
+        return FastFinish(evaluator, current, scores, k, stats);
+      }
       candidate.clear();
       for (size_t q = 0; q < current.size(); ++q) {
         if (q != pos) candidate.push_back(current[q]);
@@ -156,10 +192,22 @@ Selection RunNaive(const RegretEvaluator& evaluator, size_t k,
   return selection;
 }
 
+/// FastFinish over a ShrinkState: scores are the live bucket sizes (how
+/// many users' current best point each alive candidate is).
+Selection FastFinishState(const RegretEvaluator& evaluator,
+                          const ShrinkState& state, size_t k,
+                          GreedyShrinkStats* stats) {
+  std::vector<size_t> scores(evaluator.num_points(), 0);
+  for (size_t p : state.alive_list()) scores[p] = state.bucket_size(p);
+  return FastFinish(evaluator, state.alive_list(), scores, k, stats);
+}
+
 /// Improvement 1 only: evaluate every alive candidate per iteration via
 /// cached deltas.
-Selection RunCached(const RegretEvaluator& evaluator, size_t k,
+Selection RunCached(const RegretEvaluator& evaluator,
+                    const GreedyShrinkOptions& options,
                     GreedyShrinkStats* stats) {
+  const size_t k = options.k;
   ShrinkState state(evaluator);
 
   // Free phase: points that are nobody's best point can be removed at zero
@@ -179,6 +227,9 @@ Selection RunCached(const RegretEvaluator& evaluator, size_t k,
     std::vector<size_t> order(state.alive_list());
     std::sort(order.begin(), order.end());
     for (size_t p : order) {
+      if (Expired(options)) {
+        return FastFinishState(evaluator, state, k, stats);
+      }
       double delta = state.ComputeDelta(p, stats);
       if (delta < best_delta) {
         best_delta = delta;
@@ -203,8 +254,10 @@ Selection RunCached(const RegretEvaluator& evaluator, size_t k,
 /// Improvements 1 + 2: lazy min-heap of evaluation values; stale values are
 /// lower bounds (Lemma 2), so a candidate that stays at the top of the heap
 /// after re-evaluation is the arg-min (Lemma 3).
-Selection RunLazy(const RegretEvaluator& evaluator, size_t k,
+Selection RunLazy(const RegretEvaluator& evaluator,
+                  const GreedyShrinkOptions& options,
                   GreedyShrinkStats* stats) {
+  const size_t k = options.k;
   ShrinkState state(evaluator);
 
   for (size_t p = 0; p < evaluator.num_points() && state.alive_count() > k;
@@ -231,6 +284,9 @@ Selection RunLazy(const RegretEvaluator& evaluator, size_t k,
   size_t iteration = 0;
   if (state.alive_count() > k) {
     for (size_t p : state.alive_list()) {
+      if (Expired(options)) {
+        return FastFinishState(evaluator, state, k, stats);
+      }
       double delta = state.ComputeDelta(p, stats);
       heap.push({state.current_arr() + delta, p, iteration});
       last_stamp[p] = iteration;
@@ -242,6 +298,9 @@ Selection RunLazy(const RegretEvaluator& evaluator, size_t k,
   }
 
   while (state.alive_count() > k) {
+    if (Expired(options)) {
+      return FastFinishState(evaluator, state, k, stats);
+    }
     FAM_CHECK(!heap.empty()) << "lazy heap exhausted";
     Entry top = heap.top();
     heap.pop();
@@ -344,12 +403,12 @@ Result<Selection> GreedyShrink(const RegretEvaluator& evaluator,
   }
   if (stats != nullptr) *stats = GreedyShrinkStats{};
   if (!options.use_best_point_cache) {
-    return RunNaive(evaluator, options.k, stats);
+    return RunNaive(evaluator, options, stats);
   }
   if (!options.use_lazy_evaluation) {
-    return RunCached(evaluator, options.k, stats);
+    return RunCached(evaluator, options, stats);
   }
-  return RunLazy(evaluator, options.k, stats);
+  return RunLazy(evaluator, options, stats);
 }
 
 }  // namespace fam

@@ -33,6 +33,7 @@
 
 #include <cstdint>
 
+#include "common/cancellation.h"
 #include "common/status.h"
 #include "regret/evaluator.h"
 #include "regret/selection.h"
@@ -46,6 +47,10 @@ struct GreedyShrinkOptions {
   bool use_best_point_cache = true;
   /// Improvement 2: lazy lower-bound evaluation; requires Improvement 1.
   bool use_lazy_evaluation = true;
+  /// Polled once per candidate evaluation; on expiry the descent stops and
+  /// the current set is completed to size k by keeping the points serving
+  /// the most users (stats->truncated is set).
+  const CancellationToken* cancel = nullptr;
 };
 
 /// Work counters for the ablation study of the Sec. III-C improvements.
@@ -63,6 +68,10 @@ struct GreedyShrinkStats {
   uint64_t user_rescans = 0;
   /// Rescans a cache-less implementation would have performed.
   uint64_t user_rescans_possible = 0;
+  /// True when the cancellation token expired before |S| reached k; the
+  /// returned selection is a fast best-effort completion, not the greedy
+  /// descent's answer.
+  bool truncated = false;
 
   /// Fraction of candidates evaluated per iteration (paper reports ~68%).
   double CandidateFraction() const;

@@ -37,9 +37,14 @@ Result<Selection> LocalSearchRefine(const RegretEvaluator& evaluator,
   std::vector<size_t> best_member(num_users);  // position within `current`
 
   size_t swaps = 0;
+  bool truncated = false;
   bool improved = true;
-  while (improved && swaps < options.max_swaps) {
+  while (improved && swaps < options.max_swaps && !truncated) {
     improved = false;
+    if (options.cancel != nullptr && options.cancel->Expired()) {
+      truncated = true;
+      break;
+    }
     if (stats != nullptr) ++stats->passes;
 
     for (size_t u = 0; u < num_users; ++u) {
@@ -64,9 +69,15 @@ Result<Selection> LocalSearchRefine(const RegretEvaluator& evaluator,
     size_t best_out_pos = 0;
     size_t best_in_point = n;
 
-    for (size_t pos = 0; pos < current.size(); ++pos) {
+    for (size_t pos = 0; pos < current.size() && !truncated; ++pos) {
       for (size_t a = 0; a < n; ++a) {
         if (in_set[a]) continue;
+        // One candidate evaluation costs O(N); polling here bounds the
+        // deadline overshoot to a single swap evaluation.
+        if (options.cancel != nullptr && options.cancel->Expired()) {
+          truncated = true;
+          break;
+        }
         double arr = 0.0;
         for (size_t u = 0; u < num_users; ++u) {
           double denom = evaluator.BestInDb(u);
@@ -85,6 +96,8 @@ Result<Selection> LocalSearchRefine(const RegretEvaluator& evaluator,
       }
     }
 
+    // A best swap found before truncation is still a certified improvement;
+    // apply it so the truncated result is the best-so-far iterate.
     if (best_in_point < n) {
       in_set[current[best_out_pos]] = 0;
       in_set[best_in_point] = 1;
@@ -103,6 +116,7 @@ Result<Selection> LocalSearchRefine(const RegretEvaluator& evaluator,
   if (stats != nullptr) {
     stats->swaps_applied = swaps;
     stats->final_arr = refined.average_regret_ratio;
+    stats->truncated = truncated;
   }
   return refined;
 }

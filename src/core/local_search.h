@@ -14,6 +14,7 @@
 #ifndef FAM_CORE_LOCAL_SEARCH_H_
 #define FAM_CORE_LOCAL_SEARCH_H_
 
+#include "common/cancellation.h"
 #include "common/status.h"
 #include "regret/evaluator.h"
 #include "regret/selection.h"
@@ -25,6 +26,10 @@ struct LocalSearchOptions {
   size_t max_swaps = 1000;
   /// Required improvement per swap; guards floating-point churn.
   double min_improvement = 1e-12;
+  /// Polled once per candidate swap evaluation; on expiry the search stops
+  /// and returns the current (still feasible) selection with
+  /// stats->truncated set.
+  const CancellationToken* cancel = nullptr;
 };
 
 struct LocalSearchStats {
@@ -32,6 +37,9 @@ struct LocalSearchStats {
   size_t passes = 0;
   double initial_arr = 0.0;
   double final_arr = 0.0;
+  /// True when the cancellation token expired before reaching
+  /// swap-optimality; the returned selection is the best-so-far iterate.
+  bool truncated = false;
 };
 
 /// Refines `selection` (point indices into the evaluator's database) to

@@ -2,70 +2,54 @@
 
 #include <cstdlib>
 #include <cstring>
-
-#include "common/timer.h"
-#include "fam/solver_registry.h"
+#include <utility>
 
 namespace fam {
-namespace {
 
-/// Wraps a registry solver as an AlgorithmSpec (name + type-erased run).
-AlgorithmSpec SpecFromRegistry(std::string_view name) {
-  const Solver* solver = SolverRegistry::Global().Find(name);
-  if (solver == nullptr) {
-    // The standard comparators are built-ins; absence is a programming
-    // error best surfaced when the spec runs, not silently skipped.
-    return {std::string(name),
-            [name = std::string(name)](const Dataset&,
-                                       const RegretEvaluator&, size_t) {
-              return Result<Selection>(Status::Internal(
-                  "solver not registered: " + name));
-            }};
-  }
-  return {std::string(solver->Name()),
-          [solver](const Dataset& dataset, const RegretEvaluator& evaluator,
-                   size_t k) { return solver->Solve(dataset, evaluator, k); }};
+std::vector<SolveRequest> StandardRequests(size_t k, bool sampled_mrr) {
+  std::vector<SolveRequest> requests;
+  requests.push_back({.solver = "Greedy-Shrink", .k = k});
+  requests.push_back(
+      {.solver = sampled_mrr ? "MRR-Greedy-Sampled" : "MRR-Greedy", .k = k});
+  requests.push_back({.solver = "Sky-Dom", .k = k});
+  requests.push_back({.solver = "K-Hit", .k = k});
+  return requests;
 }
 
-}  // namespace
-
-std::vector<AlgorithmSpec> StandardAlgorithms(bool sampled_mrr) {
-  std::vector<AlgorithmSpec> algorithms;
-  algorithms.push_back(SpecFromRegistry("Greedy-Shrink"));
-  AlgorithmSpec mrr =
-      SpecFromRegistry(sampled_mrr ? "MRR-Greedy-Sampled" : "MRR-Greedy");
-  // Benches and tests refer to the comparator as "MRR-Greedy" regardless of
-  // which engine scores the max regret ratio.
-  mrr.name = "MRR-Greedy";
-  algorithms.push_back(std::move(mrr));
-  algorithms.push_back(SpecFromRegistry("Sky-Dom"));
-  algorithms.push_back(SpecFromRegistry("K-Hit"));
-  return algorithms;
-}
-
-std::vector<AlgorithmOutcome> RunAlgorithms(
-    const std::vector<AlgorithmSpec>& algorithms, const Dataset& dataset,
-    const RegretEvaluator& evaluator, size_t k) {
+std::vector<AlgorithmOutcome> RunRequests(
+    const Workload& workload, const std::vector<SolveRequest>& requests) {
+  Engine engine;
   std::vector<AlgorithmOutcome> outcomes;
-  outcomes.reserve(algorithms.size());
-  for (const AlgorithmSpec& spec : algorithms) {
+  outcomes.reserve(requests.size());
+  for (const SolveRequest& request : requests) {
     AlgorithmOutcome outcome;
-    outcome.name = spec.name;
-    Timer timer;
-    Result<Selection> result = spec.run(dataset, evaluator, k);
-    outcome.query_seconds = timer.ElapsedSeconds();
-    if (!result.ok()) {
+    outcome.name = request.solver;
+    Result<SolveResponse> response = engine.Solve(workload, request);
+    if (!response.ok()) {
       outcome.ok = false;
-      outcome.error = result.status().ToString();
+      outcome.error = response.status().ToString();
     } else {
       outcome.ok = true;
-      outcome.selection = std::move(result).value();
-      RegretDistribution dist =
-          evaluator.Distribution(outcome.selection.indices);
-      outcome.average_regret_ratio = dist.average;
-      outcome.stddev_regret_ratio = dist.stddev;
+      outcome.name = response->solver;
+      outcome.selection = std::move(response->selection);
+      outcome.query_seconds = response->query_seconds;
+      outcome.average_regret_ratio = response->distribution.average;
+      outcome.stddev_regret_ratio = response->distribution.stddev;
+      outcome.truncated = response->truncated;
     }
     outcomes.push_back(std::move(outcome));
+  }
+  return outcomes;
+}
+
+std::vector<AlgorithmOutcome> RunStandard(const Workload& workload, size_t k,
+                                          bool sampled_mrr) {
+  std::vector<AlgorithmOutcome> outcomes =
+      RunRequests(workload, StandardRequests(k, sampled_mrr));
+  // Tables and tests pin the comparator's display name to "MRR-Greedy"
+  // whichever engine ran it.
+  if (outcomes.size() > 1 && outcomes[1].name == "MRR-Greedy-Sampled") {
+    outcomes[1].name = "MRR-Greedy";
   }
   return outcomes;
 }

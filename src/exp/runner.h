@@ -1,52 +1,55 @@
-// Experiment runner: the shared machinery behind every bench binary.
+// Experiment runner: the shared machinery behind every bench binary,
+// built on the engine API (src/fam/engine.h).
 //
 // Packages the paper's measurement methodology: every algorithm is scored
-// against the same sampled user population; reported "query time" excludes
-// preprocessing (sampling, best-point indexing), matching Sec. V's setup.
+// against the same sampled user population — one shared Workload — and
+// reported "query time" excludes preprocessing (sampling, best-point
+// indexing), matching Sec. V's setup. The old `AlgorithmSpec` shape
+// (hand-assembled name + callable pairs) is retired: benches describe runs
+// as `SolveRequest`s and the engine executes them.
 
 #ifndef FAM_EXP_RUNNER_H_
 #define FAM_EXP_RUNNER_H_
 
-#include <functional>
 #include <string>
 #include <vector>
 
-#include "common/status.h"
-#include "data/dataset.h"
-#include "regret/evaluator.h"
-#include "regret/selection.h"
+#include "fam/engine.h"
 
 namespace fam {
 
-/// A named solver with the common (dataset, evaluator, k) -> Selection shape.
-struct AlgorithmSpec {
-  std::string name;
-  std::function<Result<Selection>(const Dataset&, const RegretEvaluator&,
-                                  size_t)>
-      run;
-};
-
-/// One algorithm's outcome on one workload configuration.
+/// One algorithm's outcome on one workload configuration — a flattened
+/// SolveResponse that keeps error-carrying rows printable in tables.
 struct AlgorithmOutcome {
   std::string name;
   Selection selection;
   double query_seconds = 0.0;
   double average_regret_ratio = 0.0;  ///< Re-scored on the shared sample.
   double stddev_regret_ratio = 0.0;
+  bool truncated = false;  ///< A deadline fired; selection is best-so-far.
   bool ok = false;
   std::string error;
 };
 
-/// The paper's four standing comparators: Greedy-Shrink, MRR-Greedy,
-/// Sky-Dom, K-Hit (in that order). `sampled_mrr` forces MRR-GREEDY's
-/// sampling engine (used for non-linear Θ or very large skylines).
-std::vector<AlgorithmSpec> StandardAlgorithms(bool sampled_mrr = false);
+/// The paper's four standing comparators as engine requests: Greedy-Shrink,
+/// MRR-Greedy, Sky-Dom, K-Hit (in that order). `sampled_mrr` forces
+/// MRR-GREEDY's sampling engine (used for non-linear Θ or very large
+/// skylines).
+std::vector<SolveRequest> StandardRequests(size_t k,
+                                           bool sampled_mrr = false);
 
-/// Runs every algorithm on the workload, timing only the query phase and
-/// re-scoring all selections on the shared evaluator.
-std::vector<AlgorithmOutcome> RunAlgorithms(
-    const std::vector<AlgorithmSpec>& algorithms, const Dataset& dataset,
-    const RegretEvaluator& evaluator, size_t k);
+/// Runs every request against the shared workload through the global
+/// engine, sequentially (benches time individual queries, so no
+/// intra-batch parallelism). Outcomes are positionally aligned with
+/// `requests`; a failing request yields an error row, not an abort.
+std::vector<AlgorithmOutcome> RunRequests(
+    const Workload& workload, const std::vector<SolveRequest>& requests);
+
+/// StandardRequests + RunRequests. Benches and tables refer to the MRR
+/// comparator as "MRR-Greedy" regardless of which engine scores the max
+/// regret ratio, so the sampled variant is renamed in the outcome.
+std::vector<AlgorithmOutcome> RunStandard(const Workload& workload, size_t k,
+                                          bool sampled_mrr = false);
 
 /// True when the bench was invoked with --full (or FAM_BENCH_FULL=1),
 /// requesting paper-scale workloads instead of CI-scale defaults.

@@ -3,10 +3,18 @@
 // Kept separate from the registry mechanics so the dependency direction is
 // explicit: solver_registry.{h,cc} knows nothing about concrete algorithms;
 // this file links the registry to src/core/ and src/baselines/.
+//
+// Each registration maps SolveContext inputs onto the algorithm's own
+// options struct (typed knobs, cancellation token) and maps its stats
+// struct back onto SolveDetails (truncation flag, work counters), so the
+// engine's SolveResponse can surface solver-specific counters — B&B nodes
+// expanded, local-search swaps, greedy-shrink lazy-evaluation savings —
+// without the engine knowing any concrete algorithm.
 
 #include "baselines/k_hit.h"
 #include "baselines/mrr_greedy.h"
 #include "baselines/sky_dom.h"
+#include "common/string_util.h"
 #include "core/branch_and_bound.h"
 #include "core/brute_force.h"
 #include "core/dp2d.h"
@@ -27,14 +35,61 @@ void MustRegister(SolverRegistry& registry, std::unique_ptr<Solver> solver) {
   }
 }
 
+void AddCounter(SolveDetails* details, std::string name, double value) {
+  details->counters.push_back({std::move(name), value});
+}
+
+// All built-ins are deterministic given the evaluator's shared user sample
+// (randomness lives in workload preparation), hence randomized = false
+// throughout; see SolverTraits::randomized.
 constexpr SolverTraits kHeuristic{.exact = false, .requires_2d = false,
-                                  .baseline = false};
+                                  .baseline = false, .randomized = false};
 constexpr SolverTraits kExact{.exact = true, .requires_2d = false,
-                              .baseline = false};
+                              .baseline = false, .randomized = false};
 constexpr SolverTraits kExact2d{.exact = true, .requires_2d = true,
-                                .baseline = false};
+                                .baseline = false, .randomized = false};
 constexpr SolverTraits kBaseline{.exact = false, .requires_2d = false,
-                                 .baseline = true};
+                                 .baseline = true, .randomized = false};
+
+Result<MrrGreedyOptions> MrrOptionsFromContext(const SolveContext& context,
+                                               size_t k, MrrGreedyMode mode,
+                                               bool allow_mode_option) {
+  MrrGreedyOptions options;
+  options.k = k;
+  options.mode = mode;
+  options.cancel = context.cancel;
+  FAM_ASSIGN_OR_RETURN(
+      int64_t lp_limit,
+      context.Options().GetInt(
+          "lp_candidate_limit",
+          static_cast<int64_t>(options.lp_candidate_limit)));
+  if (lp_limit < 0) {
+    return Status::InvalidArgument("lp_candidate_limit must be >= 0");
+  }
+  options.lp_candidate_limit = static_cast<size_t>(lp_limit);
+  if (allow_mode_option) {
+    FAM_ASSIGN_OR_RETURN(std::string mode_name,
+                         context.Options().GetString("mode", "auto"));
+    if (EqualsIgnoreCase(mode_name, "auto")) {
+      options.mode = MrrGreedyMode::kAuto;
+    } else if (EqualsIgnoreCase(mode_name, "lp")) {
+      options.mode = MrrGreedyMode::kLinearProgramming;
+    } else if (EqualsIgnoreCase(mode_name, "sampled")) {
+      options.mode = MrrGreedyMode::kSampled;
+    } else {
+      return Status::InvalidArgument(
+          "mode must be auto | lp | sampled, got \"" + mode_name + "\"");
+    }
+  }
+  return options;
+}
+
+void MrrDetailsFromStats(const MrrGreedyStats& stats, SolveDetails* details) {
+  details->truncated = stats.truncated;
+  AddCounter(details, "rounds", static_cast<double>(stats.rounds));
+  AddCounter(details, "used_lp_engine",
+             stats.mode == MrrGreedyMode::kLinearProgramming ? 1.0 : 0.0);
+}
 
 }  // namespace
 
@@ -45,9 +100,35 @@ void RegisterBuiltinSolvers(SolverRegistry& registry) {
                  "Algorithm 1: backward greedy with best-point caching and "
                  "lazy evaluation (the paper's main algorithm)",
                  kHeuristic,
+                 {{"use_best_point_cache",
+                   "Improvement 1: per-user best-point cache"},
+                  {"use_lazy_evaluation",
+                   "Improvement 2: lazy lower-bound evaluation"}},
                  [](const Dataset&, const RegretEvaluator& evaluator,
-                    size_t k) {
-                   return GreedyShrink(evaluator, {.k = k});
+                    size_t k, const SolveContext& context,
+                    SolveDetails* details) -> Result<Selection> {
+                   GreedyShrinkOptions options{.k = k};
+                   options.cancel = context.cancel;
+                   FAM_ASSIGN_OR_RETURN(
+                       options.use_best_point_cache,
+                       context.Options().GetBool("use_best_point_cache",
+                                                 true));
+                   FAM_ASSIGN_OR_RETURN(
+                       options.use_lazy_evaluation,
+                       context.Options().GetBool("use_lazy_evaluation",
+                                                 true));
+                   GreedyShrinkStats stats;
+                   FAM_ASSIGN_OR_RETURN(Selection selection,
+                                        GreedyShrink(evaluator, options,
+                                                     &stats));
+                   details->truncated = stats.truncated;
+                   AddCounter(details, "arr_evaluations",
+                              static_cast<double>(stats.arr_evaluations));
+                   AddCounter(details, "free_removals",
+                              static_cast<double>(stats.free_removals));
+                   AddCounter(details, "user_rescans",
+                              static_cast<double>(stats.user_rescans));
+                   return selection;
                  }));
   MustRegister(
       registry,
@@ -55,9 +136,25 @@ void RegisterBuiltinSolvers(SolverRegistry& registry) {
                  "forward greedy: adds the point reducing arr the most "
                  "(ablation counterpart of Greedy-Shrink)",
                  kHeuristic,
+                 {{"use_lazy_evaluation",
+                   "lazy (upper-bound) candidate evaluation"}},
                  [](const Dataset&, const RegretEvaluator& evaluator,
-                    size_t k) {
-                   return GreedyGrow(evaluator, {.k = k});
+                    size_t k, const SolveContext& context,
+                    SolveDetails* details) -> Result<Selection> {
+                   GreedyGrowOptions options{.k = k};
+                   options.cancel = context.cancel;
+                   FAM_ASSIGN_OR_RETURN(
+                       options.use_lazy_evaluation,
+                       context.Options().GetBool("use_lazy_evaluation",
+                                                 true));
+                   GreedyGrowStats stats;
+                   FAM_ASSIGN_OR_RETURN(
+                       Selection selection,
+                       GreedyGrow(evaluator, options, &stats));
+                   details->truncated = stats.truncated;
+                   AddCounter(details, "gain_evaluations",
+                              static_cast<double>(stats.gain_evaluations));
+                   return selection;
                  }));
   MustRegister(
       registry,
@@ -65,20 +162,77 @@ void RegisterBuiltinSolvers(SolverRegistry& registry) {
                  "1-swap local search to swap-optimality, seeded with "
                  "Greedy-Grow",
                  kHeuristic,
+                 {{"max_swaps", "stop after this many improving swaps"},
+                  {"min_improvement",
+                   "required arr improvement per swap"}},
                  [](const Dataset&, const RegretEvaluator& evaluator,
-                    size_t k) -> Result<Selection> {
-                   FAM_ASSIGN_OR_RETURN(Selection seed,
-                                        GreedyGrow(evaluator, {.k = k}));
-                   return LocalSearchRefine(evaluator, seed);
+                    size_t k, const SolveContext& context,
+                    SolveDetails* details) -> Result<Selection> {
+                   GreedyGrowOptions seed_options{.k = k};
+                   seed_options.cancel = context.cancel;
+                   GreedyGrowStats seed_stats;
+                   FAM_ASSIGN_OR_RETURN(
+                       Selection seed,
+                       GreedyGrow(evaluator, seed_options, &seed_stats));
+                   LocalSearchOptions options;
+                   options.cancel = context.cancel;
+                   FAM_ASSIGN_OR_RETURN(
+                       int64_t max_swaps,
+                       context.Options().GetInt(
+                           "max_swaps",
+                           static_cast<int64_t>(options.max_swaps)));
+                   if (max_swaps < 0) {
+                     return Status::InvalidArgument(
+                         "max_swaps must be >= 0");
+                   }
+                   options.max_swaps = static_cast<size_t>(max_swaps);
+                   FAM_ASSIGN_OR_RETURN(
+                       options.min_improvement,
+                       context.Options().GetDouble("min_improvement",
+                                                   options.min_improvement));
+                   LocalSearchStats stats;
+                   FAM_ASSIGN_OR_RETURN(
+                       Selection refined,
+                       LocalSearchRefine(evaluator, seed, options, &stats));
+                   details->truncated = seed_stats.truncated ||
+                                        stats.truncated;
+                   AddCounter(details, "swaps_applied",
+                              static_cast<double>(stats.swaps_applied));
+                   AddCounter(details, "passes",
+                              static_cast<double>(stats.passes));
+                   return refined;
                  }));
   MustRegister(
       registry,
       MakeSolver("Brute-Force",
                  "exact: enumerates all C(n, k) subsets (small n only)",
                  kExact,
+                 {{"max_subsets",
+                   "fail instead of enumerating more subsets than this"}},
                  [](const Dataset&, const RegretEvaluator& evaluator,
-                    size_t k) {
-                   return BruteForce(evaluator, {.k = k});
+                    size_t k, const SolveContext& context,
+                    SolveDetails* details) -> Result<Selection> {
+                   BruteForceOptions options{.k = k};
+                   options.cancel = context.cancel;
+                   FAM_ASSIGN_OR_RETURN(
+                       int64_t max_subsets,
+                       context.Options().GetInt(
+                           "max_subsets",
+                           static_cast<int64_t>(options.max_subsets)));
+                   if (max_subsets <= 0) {
+                     return Status::InvalidArgument(
+                         "max_subsets must be positive");
+                   }
+                   options.max_subsets =
+                       static_cast<uint64_t>(max_subsets);
+                   BruteForceStats stats;
+                   FAM_ASSIGN_OR_RETURN(
+                       Selection selection,
+                       BruteForce(evaluator, options, &stats));
+                   details->truncated = stats.truncated;
+                   AddCounter(details, "subsets_evaluated",
+                              static_cast<double>(stats.subsets_evaluated));
+                   return selection;
                  }));
   MustRegister(
       registry,
@@ -86,9 +240,35 @@ void RegisterBuiltinSolvers(SolverRegistry& registry) {
                  "exact: include/exclude search pruned by arr monotonicity "
                  "(Lemma 1), seeded with Greedy-Shrink",
                  kExact,
+                 {{"max_nodes",
+                   "fail instead of expanding more search nodes than this"}},
                  [](const Dataset&, const RegretEvaluator& evaluator,
-                    size_t k) {
-                   return BranchAndBound(evaluator, {.k = k});
+                    size_t k, const SolveContext& context,
+                    SolveDetails* details) -> Result<Selection> {
+                   BranchAndBoundOptions options{.k = k};
+                   options.cancel = context.cancel;
+                   FAM_ASSIGN_OR_RETURN(
+                       int64_t max_nodes,
+                       context.Options().GetInt(
+                           "max_nodes",
+                           static_cast<int64_t>(options.max_nodes)));
+                   if (max_nodes <= 0) {
+                     return Status::InvalidArgument(
+                         "max_nodes must be positive");
+                   }
+                   options.max_nodes = static_cast<uint64_t>(max_nodes);
+                   BranchAndBoundStats stats;
+                   FAM_ASSIGN_OR_RETURN(
+                       Selection selection,
+                       BranchAndBound(evaluator, options, &stats));
+                   details->truncated = stats.truncated;
+                   AddCounter(details, "nodes_visited",
+                              static_cast<double>(stats.nodes_visited));
+                   AddCounter(details, "nodes_pruned",
+                              static_cast<double>(stats.nodes_pruned));
+                   AddCounter(details, "greedy_was_optimal",
+                              stats.greedy_was_optimal ? 1.0 : 0.0);
+                   return selection;
                  }));
   MustRegister(
       registry,
@@ -97,7 +277,7 @@ void RegisterBuiltinSolvers(SolverRegistry& registry) {
                  "points and separating angles, scored on the shared sample",
                  kExact2d,
                  [](const Dataset& dataset, const RegretEvaluator& evaluator,
-                    size_t k) {
+                    size_t k, const SolveContext&, SolveDetails*) {
                    return SolveDp2dOnSample(dataset, evaluator.users(), k);
                  }));
   MustRegister(
@@ -106,12 +286,23 @@ void RegisterBuiltinSolvers(SolverRegistry& registry) {
                  "baseline [22]: max-regret-ratio greedy of Nanongkai et "
                  "al. (LP engine for linear utilities, sampled fallback)",
                  kBaseline,
+                 {{"mode", "engine: auto | lp | sampled"},
+                  {"lp_candidate_limit",
+                   "auto mode falls back to sampling above this many "
+                   "skyline candidates"}},
                  [](const Dataset& dataset, const RegretEvaluator& evaluator,
-                    size_t k) {
-                   MrrGreedyOptions options;
-                   options.k = k;
-                   options.mode = MrrGreedyMode::kAuto;
-                   return MrrGreedy(dataset, evaluator, options);
+                    size_t k, const SolveContext& context,
+                    SolveDetails* details) -> Result<Selection> {
+                   FAM_ASSIGN_OR_RETURN(
+                       MrrGreedyOptions options,
+                       MrrOptionsFromContext(context, k, MrrGreedyMode::kAuto,
+                                             /*allow_mode_option=*/true));
+                   MrrGreedyStats stats;
+                   FAM_ASSIGN_OR_RETURN(
+                       Selection selection,
+                       MrrGreedy(dataset, evaluator, options, &stats));
+                   MrrDetailsFromStats(stats, details);
+                   return selection;
                  }));
   MustRegister(
       registry,
@@ -120,11 +311,19 @@ void RegisterBuiltinSolvers(SolverRegistry& registry) {
                  "including non-linear/learned utilities)",
                  kBaseline,
                  [](const Dataset& dataset, const RegretEvaluator& evaluator,
-                    size_t k) {
-                   MrrGreedyOptions options;
-                   options.k = k;
-                   options.mode = MrrGreedyMode::kSampled;
-                   return MrrGreedy(dataset, evaluator, options);
+                    size_t k, const SolveContext& context,
+                    SolveDetails* details) -> Result<Selection> {
+                   FAM_ASSIGN_OR_RETURN(
+                       MrrGreedyOptions options,
+                       MrrOptionsFromContext(context, k,
+                                             MrrGreedyMode::kSampled,
+                                             /*allow_mode_option=*/false));
+                   MrrGreedyStats stats;
+                   FAM_ASSIGN_OR_RETURN(
+                       Selection selection,
+                       MrrGreedy(dataset, evaluator, options, &stats));
+                   MrrDetailsFromStats(stats, details);
+                   return selection;
                  }));
   MustRegister(
       registry,
@@ -133,7 +332,7 @@ void RegisterBuiltinSolvers(SolverRegistry& registry) {
                  "dominated coverage (Lin et al.)",
                  kBaseline,
                  [](const Dataset& dataset, const RegretEvaluator& evaluator,
-                    size_t k) {
+                    size_t k, const SolveContext&, SolveDetails*) {
                    return SkyDom(dataset, evaluator, {.k = k});
                  }));
   MustRegister(
@@ -143,7 +342,7 @@ void RegisterBuiltinSolvers(SolverRegistry& registry) {
                  "probability (Peng & Wong)",
                  kBaseline,
                  [](const Dataset&, const RegretEvaluator& evaluator,
-                    size_t k) {
+                    size_t k, const SolveContext&, SolveDetails*) {
                    return KHit(evaluator, {.k = k});
                  }));
 }

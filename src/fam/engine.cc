@@ -1,0 +1,160 @@
+#include "fam/engine.h"
+
+#include <utility>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "common/timer.h"
+
+namespace fam {
+
+WorkloadBuilder::WorkloadBuilder() = default;
+
+WorkloadBuilder& WorkloadBuilder::WithDataset(Dataset dataset) {
+  dataset_ = std::make_shared<const Dataset>(std::move(dataset));
+  return *this;
+}
+
+WorkloadBuilder& WorkloadBuilder::WithDataset(
+    std::shared_ptr<const Dataset> dataset) {
+  dataset_ = std::move(dataset);
+  return *this;
+}
+
+WorkloadBuilder& WorkloadBuilder::WithDistribution(
+    std::shared_ptr<const UtilityDistribution> distribution) {
+  distribution_ = std::move(distribution);
+  return *this;
+}
+
+WorkloadBuilder& WorkloadBuilder::WithNumUsers(size_t num_users) {
+  num_users_ = num_users;
+  return *this;
+}
+
+WorkloadBuilder& WorkloadBuilder::WithSeed(uint64_t seed) {
+  seed_ = seed;
+  return *this;
+}
+
+WorkloadBuilder& WorkloadBuilder::WithUtilityMatrix(
+    UtilityMatrix users, std::vector<double> weights) {
+  has_matrix_ = true;
+  matrix_ = std::move(users);
+  matrix_weights_ = std::move(weights);
+  return *this;
+}
+
+WorkloadBuilder& WorkloadBuilder::WithMaterializedUtilities(
+    bool materialized) {
+  materialized_ = materialized;
+  return *this;
+}
+
+Result<Workload> WorkloadBuilder::Build() const {
+  if (dataset_ == nullptr) {
+    return Status::InvalidArgument(
+        "WorkloadBuilder: a dataset is required (WithDataset)");
+  }
+  FAM_RETURN_IF_ERROR(dataset_->Validate());
+  if (has_matrix_ && distribution_ != nullptr) {
+    return Status::InvalidArgument(
+        "WorkloadBuilder: WithUtilityMatrix and WithDistribution are "
+        "mutually exclusive");
+  }
+  if (!has_matrix_ && num_users_ == 0) {
+    return Status::InvalidArgument(
+        "WorkloadBuilder: num_users must be positive");
+  }
+
+  Workload workload;
+  workload.dataset_ = dataset_;
+
+  // Preprocessing (timed, per the paper's Sec. V convention): sample Θ
+  // (unless a matrix was supplied) and build the evaluator, which
+  // precomputes every user's best-in-DB point and value.
+  Timer timer;
+  UtilityMatrix users;
+  std::vector<double> user_weights;
+  if (has_matrix_) {
+    users = matrix_;
+    user_weights = matrix_weights_;
+    workload.seed_ = 0;
+  } else {
+    std::shared_ptr<const UtilityDistribution> theta = distribution_;
+    if (theta == nullptr) {
+      theta = std::make_shared<const UniformLinearDistribution>(
+          WeightDomain::kSimplex);
+    }
+    Rng rng(seed_);
+    users = theta->Sample(*dataset_, num_users_, rng);
+    workload.seed_ = seed_;
+    workload.distribution_name_ = theta->name();
+  }
+  if (users.empty()) {
+    return Status::InvalidArgument(
+        "WorkloadBuilder: the user population is empty");
+  }
+  if (users.num_points() != dataset_->size()) {
+    return Status::InvalidArgument(
+        "WorkloadBuilder: utility matrix covers " +
+        std::to_string(users.num_points()) + " points but the dataset has " +
+        std::to_string(dataset_->size()));
+  }
+  if (materialized_) users = users.Materialized();
+  workload.evaluator_ = std::make_shared<const RegretEvaluator>(
+      std::move(users), std::move(user_weights));
+  workload.preprocess_seconds_ = timer.ElapsedSeconds();
+  return workload;
+}
+
+Engine::Engine(const SolverRegistry* registry)
+    : registry_(registry != nullptr ? registry : &SolverRegistry::Global()) {}
+
+Result<SolveResponse> Engine::Solve(const Workload& workload,
+                                    const SolveRequest& request) const {
+  const Solver* solver = registry_->Find(request.solver);
+  if (solver == nullptr) {
+    return Status::NotFound("no registered solver named \"" +
+                            request.solver + "\"");
+  }
+
+  CancellationToken cancel(request.deadline_seconds);
+  SolveContext context;
+  context.options = &request.options;
+  context.cancel = request.deadline_seconds > 0.0 ? &cancel : nullptr;
+  context.seed = request.seed;
+
+  SolveDetails details;
+  Timer timer;
+  Result<Selection> selection = solver->Solve(
+      workload.dataset(), workload.evaluator(), request.k, context, &details);
+  double query_seconds = timer.ElapsedSeconds();
+  if (!selection.ok()) return selection.status();
+
+  SolveResponse response;
+  response.solver = std::string(solver->Name());
+  response.traits = solver->Traits();
+  response.selection = std::move(selection).value();
+  response.distribution =
+      workload.evaluator().Distribution(response.selection.indices);
+  response.preprocess_seconds = workload.preprocess_seconds();
+  response.query_seconds = query_seconds;
+  response.truncated = details.truncated;
+  response.counters = std::move(details.counters);
+  return response;
+}
+
+std::vector<Result<SolveResponse>> Engine::SolveMany(
+    const Workload& workload, const std::vector<SolveRequest>& requests,
+    size_t num_threads) const {
+  std::vector<Result<SolveResponse>> responses(
+      requests.size(),
+      Result<SolveResponse>(Status::Internal("request not executed")));
+  ParallelForEach(requests.size(), num_threads, [&](size_t i) {
+    responses[i] = Solve(workload, requests[i]);
+  });
+  return responses;
+}
+
+}  // namespace fam

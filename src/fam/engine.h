@@ -1,0 +1,213 @@
+// The FAM engine: the library's session-oriented public API.
+//
+// The paper's methodology (Sec. V) scores every algorithm against one
+// shared sampled user population, and its measurement convention splits
+// one-time preprocessing (sampling Θ, best-in-DB indexing) from per-query
+// solve time. The engine makes that architecture the public surface:
+//
+//   * `Workload` — the expensive shared state, built once: dataset +
+//     utility distribution Θ + the sampled RegretEvaluator (which owns the
+//     N × n utility matrix and the precomputed best-in-DB index).
+//     Immutable and cheap to copy (shared_ptr internals), so one Workload
+//     can serve many concurrent solve requests from many threads.
+//   * `SolveRequest` — one bounded question against a Workload: solver
+//     name, k, typed per-solver options (SolverOptions), an optional
+//     wall-clock deadline, and a seed reserved for randomized solvers.
+//   * `SolveResponse` — the rich answer: the selection, the full regret
+//     distribution over the shared sample, the preprocessing-vs-query
+//     timing split, solver-specific counters (B&B nodes, local-search
+//     swaps, ...), and a `truncated` flag when a deadline fired and the
+//     solver returned its best-so-far selection.
+//
+// Typical use:
+//
+//   FAM_ASSIGN_OR_RETURN(Workload workload,
+//                        WorkloadBuilder()
+//                            .WithDataset(std::move(data))
+//                            .WithNumUsers(10000)
+//                            .WithSeed(7)
+//                            .Build());
+//   Engine engine;
+//   SolveRequest request{.solver = "greedy-shrink", .k = 10};
+//   FAM_ASSIGN_OR_RETURN(SolveResponse response,
+//                        engine.Solve(workload, request));
+//
+// `Engine::SolveMany` fans a batch of requests over worker threads
+// (common/parallel.h) against the one shared Workload — the serving shape:
+// prepare once, answer many bounded queries.
+
+#ifndef FAM_FAM_ENGINE_H_
+#define FAM_FAM_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "fam/solver_options.h"
+#include "fam/solver_registry.h"
+#include "regret/evaluator.h"
+#include "regret/selection.h"
+#include "utility/distribution.h"
+
+namespace fam {
+
+/// The shared, immutable per-session state every solve request runs
+/// against: dataset + sampled user population (RegretEvaluator) + the
+/// preprocessing cost that built them. Thread-shareable and cheap to copy;
+/// constructed via WorkloadBuilder.
+class Workload {
+ public:
+  const Dataset& dataset() const { return *dataset_; }
+  const RegretEvaluator& evaluator() const { return *evaluator_; }
+
+  /// Shared handles, for callers that outlive the Workload object itself.
+  std::shared_ptr<const Dataset> shared_dataset() const { return dataset_; }
+  std::shared_ptr<const RegretEvaluator> shared_evaluator() const {
+    return evaluator_;
+  }
+
+  size_t size() const { return dataset_->size(); }
+  size_t dimension() const { return dataset_->dimension(); }
+  size_t num_users() const { return evaluator_->num_users(); }
+
+  /// Seed the user sample was drawn with (0 for direct utility matrices).
+  uint64_t seed() const { return seed_; }
+
+  /// Θ's display name; empty when the evaluator was built from an
+  /// explicitly supplied utility matrix.
+  const std::string& distribution_name() const { return distribution_name_; }
+
+  /// One-time preprocessing cost (Θ sampling + best-in-DB indexing) paid
+  /// at Build() time — the paper's Sec. V convention excludes this from
+  /// per-query time, and SolveResponse reports the two separately.
+  double preprocess_seconds() const { return preprocess_seconds_; }
+
+ private:
+  friend class WorkloadBuilder;
+  Workload() = default;
+
+  std::shared_ptr<const Dataset> dataset_;
+  std::shared_ptr<const RegretEvaluator> evaluator_;
+  uint64_t seed_ = 0;
+  std::string distribution_name_;
+  double preprocess_seconds_ = 0.0;
+};
+
+/// Assembles a Workload: dataset + (distribution, num_users, seed) or a
+/// direct utility matrix. Build() performs and times the preprocessing.
+class WorkloadBuilder {
+ public:
+  WorkloadBuilder();
+
+  /// The database D. Copies/moves into shared ownership.
+  WorkloadBuilder& WithDataset(Dataset dataset);
+  WorkloadBuilder& WithDataset(std::shared_ptr<const Dataset> dataset);
+
+  /// Θ to sample users from. Default: UniformLinearDistribution over the
+  /// probability simplex (the paper's standard linear workload).
+  WorkloadBuilder& WithDistribution(
+      std::shared_ptr<const UtilityDistribution> distribution);
+
+  /// Number of sampled users N (default 10,000, the paper's default).
+  WorkloadBuilder& WithNumUsers(size_t num_users);
+
+  /// Seed for the Θ sample (default 7).
+  WorkloadBuilder& WithSeed(uint64_t seed);
+
+  /// Bypasses sampling: use this utility matrix (and optional per-user
+  /// probabilities) directly — exact finite populations (Appendix A) and
+  /// pre-sampled matrices. Mutually exclusive with WithDistribution.
+  WorkloadBuilder& WithUtilityMatrix(UtilityMatrix users,
+                                     std::vector<double> weights = {});
+
+  /// Materializes the sampled utility matrix into a dense array before
+  /// building the evaluator — worth it when solvers touch every
+  /// (user, point) pair many times (brute force, B&B).
+  WorkloadBuilder& WithMaterializedUtilities(bool materialized = true);
+
+  /// Samples (or adopts) the user population, builds the evaluator with
+  /// its best-in-DB index, and returns the immutable Workload. The
+  /// builder can be reused afterwards.
+  Result<Workload> Build() const;
+
+ private:
+  std::shared_ptr<const Dataset> dataset_;
+  std::shared_ptr<const UtilityDistribution> distribution_;
+  size_t num_users_ = 10000;
+  uint64_t seed_ = 7;
+  bool materialized_ = false;
+  bool has_matrix_ = false;
+  UtilityMatrix matrix_;
+  std::vector<double> matrix_weights_;
+};
+
+/// One bounded solve against a Workload.
+struct SolveRequest {
+  /// Registry name, case- and punctuation-insensitive ("greedy-shrink").
+  std::string solver = {};
+  /// Solution size, 1 <= k <= workload.size().
+  size_t k = 10;
+  /// Seed for randomized solvers (all built-ins are deterministic given
+  /// the workload's shared sample and ignore it).
+  uint64_t seed = 0;
+  /// Wall-clock budget in seconds; <= 0 means unbounded. On expiry the
+  /// solver stops at its next checkpoint and returns its best-so-far
+  /// selection with SolveResponse::truncated set.
+  double deadline_seconds = 0.0;
+  /// Typed per-solver knobs; unknown keys are rejected (see
+  /// Solver::SupportedOptions and `fam_cli --list_solvers`).
+  SolverOptions options = {};
+};
+
+/// The engine's answer to one SolveRequest.
+struct SolveResponse {
+  /// Canonical solver name ("Greedy-Shrink"), as registered.
+  std::string solver;
+  SolverTraits traits;
+  /// The selected k points with the solver-reported arr.
+  Selection selection;
+  /// Full regret-ratio distribution of the selection over the workload's
+  /// shared sample (average / variance / stddev / per-user ratios).
+  RegretDistribution distribution;
+  /// The workload's one-time preprocessing cost (shared across requests).
+  double preprocess_seconds = 0.0;
+  /// Wall-clock time of this solve only (the paper's "query time").
+  double query_seconds = 0.0;
+  /// True when the deadline fired and `selection` is best-so-far.
+  bool truncated = false;
+  /// Solver-specific work counters (B&B nodes, swaps, greedy-shrink lazy
+  /// evaluation savings, ...).
+  std::vector<SolverCounter> counters;
+};
+
+/// Stateless front end dispatching SolveRequests against Workloads through
+/// a SolverRegistry. Thread-compatible: concurrent Solve calls are safe.
+class Engine {
+ public:
+  /// Uses the given registry (must outlive the engine); defaults to the
+  /// process-wide registry with all built-ins.
+  explicit Engine(const SolverRegistry* registry = nullptr);
+
+  /// Resolves the solver, enforces the deadline, runs the solve, and
+  /// scores the selection on the workload's shared sample.
+  Result<SolveResponse> Solve(const Workload& workload,
+                              const SolveRequest& request) const;
+
+  /// Runs a batch of requests against one shared workload on up to
+  /// `num_threads` workers (0 = hardware default; 1 = sequential).
+  /// Results are positionally aligned with `requests`; each entry carries
+  /// its own success or error, and one failing request never aborts the
+  /// batch.
+  std::vector<Result<SolveResponse>> SolveMany(
+      const Workload& workload, const std::vector<SolveRequest>& requests,
+      size_t num_threads = 0) const;
+
+ private:
+  const SolverRegistry* registry_;
+};
+
+}  // namespace fam
+
+#endif  // FAM_FAM_ENGINE_H_

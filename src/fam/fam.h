@@ -1,13 +1,16 @@
 // Umbrella header for the fam library: finding the average regret ratio
 // minimizing set in a database (Zeighami & Wong, ICDE 2019).
 //
-// Quick tour:
+// Quick tour (the engine API — see src/fam/engine.h):
 //   Dataset data = GenerateSynthetic({.n = 10000, .d = 6});
-//   Rng rng(42);
-//   UniformLinearDistribution theta;
-//   RegretEvaluator evaluator(theta.Sample(data, 10000, rng));
-//   Result<Selection> s = GreedyShrink(evaluator, {.k = 10});
-//   // s->indices are the k points; s->average_regret_ratio their arr.
+//   Result<Workload> workload = WorkloadBuilder()
+//       .WithDataset(std::move(data)).WithNumUsers(10000).WithSeed(7)
+//       .Build();                       // sample Θ + index, once
+//   Engine engine;
+//   Result<SolveResponse> response = engine.Solve(
+//       *workload, {.solver = "greedy-shrink", .k = 10});
+//   // response->selection.indices are the k points;
+//   // response->distribution.average their arr on the shared sample.
 
 #ifndef FAM_FAM_H_
 #define FAM_FAM_H_
@@ -15,6 +18,7 @@
 #include "baselines/k_hit.h"
 #include "baselines/mrr_greedy.h"
 #include "baselines/sky_dom.h"
+#include "common/cancellation.h"
 #include "common/flags.h"
 #include "common/logging.h"
 #include "common/matrix.h"
@@ -38,6 +42,8 @@
 #include "exp/pipelines.h"
 #include "exp/runner.h"
 #include "exp/table.h"
+#include "fam/engine.h"
+#include "fam/solver_options.h"
 #include "fam/solver_registry.h"
 #include "geom/dominance.h"
 #include "geom/skyline.h"

@@ -1,0 +1,162 @@
+#include "fam/solver_options.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace fam {
+namespace {
+
+std::string TypeName(const SolverOptions::Value& value) {
+  switch (value.index()) {
+    case 0: return "bool";
+    case 1: return "int";
+    case 2: return "double";
+    default: return "string";
+  }
+}
+
+std::string RenderValue(const SolverOptions::Value& value) {
+  if (const bool* b = std::get_if<bool>(&value)) return *b ? "true" : "false";
+  if (const int64_t* i = std::get_if<int64_t>(&value)) {
+    return std::to_string(*i);
+  }
+  if (const double* d = std::get_if<double>(&value)) {
+    return StrPrintf("%g", *d);
+  }
+  return std::get<std::string>(value);
+}
+
+}  // namespace
+
+SolverOptions& SolverOptions::SetBool(std::string key, bool value) {
+  values_.insert_or_assign(std::move(key), Value(value));
+  return *this;
+}
+
+SolverOptions& SolverOptions::SetInt(std::string key, int64_t value) {
+  values_.insert_or_assign(std::move(key), Value(value));
+  return *this;
+}
+
+SolverOptions& SolverOptions::SetDouble(std::string key, double value) {
+  values_.insert_or_assign(std::move(key), Value(value));
+  return *this;
+}
+
+SolverOptions& SolverOptions::SetString(std::string key, std::string value) {
+  values_.insert_or_assign(std::move(key), Value(std::move(value)));
+  return *this;
+}
+
+bool SolverOptions::Has(std::string_view key) const {
+  return values_.find(key) != values_.end();
+}
+
+std::vector<std::string> SolverOptions::Keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(values_.size());
+  for (const auto& [key, value] : values_) keys.push_back(key);
+  return keys;
+}
+
+const SolverOptions::Value* SolverOptions::FindValue(
+    std::string_view key) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? nullptr : &it->second;
+}
+
+Result<bool> SolverOptions::GetBool(std::string_view key,
+                                    bool default_value) const {
+  const Value* value = FindValue(key);
+  if (value == nullptr) return default_value;
+  if (const bool* b = std::get_if<bool>(value)) return *b;
+  return Status::InvalidArgument("option \"" + std::string(key) +
+                                 "\" must be a bool, got " +
+                                 TypeName(*value) + " " + RenderValue(*value));
+}
+
+Result<int64_t> SolverOptions::GetInt(std::string_view key,
+                                      int64_t default_value) const {
+  const Value* value = FindValue(key);
+  if (value == nullptr) return default_value;
+  if (const int64_t* i = std::get_if<int64_t>(value)) return *i;
+  // Accept integral doubles so CLI-friendly forms like max_nodes=1e6
+  // (which FromString infers as double) work for integer knobs.
+  if (const double* d = std::get_if<double>(value)) {
+    if (*d >= -9.007199254740992e15 && *d <= 9.007199254740992e15 &&
+        *d == static_cast<double>(static_cast<int64_t>(*d))) {
+      return static_cast<int64_t>(*d);
+    }
+  }
+  return Status::InvalidArgument("option \"" + std::string(key) +
+                                 "\" must be an int, got " +
+                                 TypeName(*value) + " " + RenderValue(*value));
+}
+
+Result<double> SolverOptions::GetDouble(std::string_view key,
+                                        double default_value) const {
+  const Value* value = FindValue(key);
+  if (value == nullptr) return default_value;
+  if (const double* d = std::get_if<double>(value)) return *d;
+  if (const int64_t* i = std::get_if<int64_t>(value)) {
+    return static_cast<double>(*i);
+  }
+  return Status::InvalidArgument("option \"" + std::string(key) +
+                                 "\" must be a number, got " +
+                                 TypeName(*value) + " " + RenderValue(*value));
+}
+
+Result<std::string> SolverOptions::GetString(std::string_view key,
+                                             std::string default_value) const {
+  const Value* value = FindValue(key);
+  if (value == nullptr) return default_value;
+  if (const std::string* s = std::get_if<std::string>(value)) return *s;
+  return Status::InvalidArgument("option \"" + std::string(key) +
+                                 "\" must be a string, got " +
+                                 TypeName(*value) + " " + RenderValue(*value));
+}
+
+Result<SolverOptions> SolverOptions::FromString(std::string_view text) {
+  SolverOptions options;
+  if (Trim(text).empty()) return options;
+  for (const std::string& entry : Split(text, ',')) {
+    std::string_view trimmed = Trim(entry);
+    if (trimmed.empty()) continue;
+    size_t eq = trimmed.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      return Status::InvalidArgument(
+          "malformed option \"" + std::string(trimmed) +
+          "\" (expected key=value)");
+    }
+    std::string key(Trim(trimmed.substr(0, eq)));
+    std::string_view value = Trim(trimmed.substr(eq + 1));
+    if (options.Has(key)) {
+      return Status::InvalidArgument("duplicate option key \"" + key + "\"");
+    }
+    // Type inference: bool, then int, then double, else string.
+    if (EqualsIgnoreCase(value, "true")) {
+      options.SetBool(std::move(key), true);
+    } else if (EqualsIgnoreCase(value, "false")) {
+      options.SetBool(std::move(key), false);
+    } else if (Result<int64_t> i = ParseInt(value); i.ok()) {
+      options.SetInt(std::move(key), *i);
+    } else if (Result<double> d = ParseDouble(value); d.ok()) {
+      options.SetDouble(std::move(key), *d);
+    } else {
+      options.SetString(std::move(key), std::string(value));
+    }
+  }
+  return options;
+}
+
+std::string SolverOptions::ToString() const {
+  std::string out;
+  for (const auto& [key, value] : values_) {
+    if (!out.empty()) out += ',';
+    out += key + "=" + RenderValue(value);
+  }
+  return out;
+}
+
+}  // namespace fam

@@ -1,0 +1,75 @@
+// Typed per-request solver knobs.
+//
+// A SolverOptions is a small key -> value map (bool | int64 | double |
+// string) carried by a SolveRequest and handed to the solver through the
+// registry's SolveContext. Each registered solver declares the keys it
+// understands (Solver::SupportedOptions); the registry rejects requests
+// carrying unknown keys so typos fail loudly instead of being silently
+// ignored.
+//
+// FromString parses the CLI syntax `key=value,key=value` with type
+// inference (true/false -> bool, integral literal -> int64, numeric ->
+// double, anything else -> string), which is how `fam_cli select
+// --options ...` builds a request.
+
+#ifndef FAM_FAM_SOLVER_OPTIONS_H_
+#define FAM_FAM_SOLVER_OPTIONS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fam {
+
+/// One option a solver accepts, for listings and error messages.
+struct SolverOptionSpec {
+  std::string name;
+  std::string description;
+};
+
+class SolverOptions {
+ public:
+  using Value = std::variant<bool, int64_t, double, std::string>;
+
+  SolverOptions& SetBool(std::string key, bool value);
+  SolverOptions& SetInt(std::string key, int64_t value);
+  SolverOptions& SetDouble(std::string key, double value);
+  SolverOptions& SetString(std::string key, std::string value);
+
+  bool Has(std::string_view key) const;
+  bool empty() const { return values_.empty(); }
+  size_t size() const { return values_.size(); }
+
+  /// Keys in sorted order (for validation and listings).
+  std::vector<std::string> Keys() const;
+
+  /// Typed getters: the default is returned when the key is absent; a
+  /// present key of the wrong type is an InvalidArgument error (GetDouble
+  /// additionally accepts an int64 value).
+  Result<bool> GetBool(std::string_view key, bool default_value) const;
+  Result<int64_t> GetInt(std::string_view key, int64_t default_value) const;
+  Result<double> GetDouble(std::string_view key, double default_value) const;
+  Result<std::string> GetString(std::string_view key,
+                                std::string default_value) const;
+
+  /// Parses `key=value[,key=value...]` with type inference. Empty input
+  /// yields an empty option set.
+  static Result<SolverOptions> FromString(std::string_view text);
+
+  /// Round-trippable `key=value,...` rendering (sorted by key).
+  std::string ToString() const;
+
+ private:
+  const Value* FindValue(std::string_view key) const;
+
+  std::map<std::string, Value, std::less<>> values_;
+};
+
+}  // namespace fam
+
+#endif  // FAM_FAM_SOLVER_OPTIONS_H_

@@ -7,23 +7,33 @@
 namespace fam {
 namespace {
 
+const SolverOptions& EmptySolverOptions() {
+  static const SolverOptions* empty = new SolverOptions();
+  return *empty;
+}
+
 /// Solver built from a name + callable (the MakeSolver idiom).
 class LambdaSolver final : public Solver {
  public:
   LambdaSolver(std::string name, std::string description, SolverTraits traits,
-               SolveFn solve)
+               std::vector<SolverOptionSpec> options, SolveFn solve)
       : name_(std::move(name)),
         description_(std::move(description)),
         traits_(traits),
+        options_(std::move(options)),
         solve_(std::move(solve)) {}
 
   std::string_view Name() const override { return name_; }
   std::string_view Description() const override { return description_; }
   SolverTraits Traits() const override { return traits_; }
+  std::vector<SolverOptionSpec> SupportedOptions() const override {
+    return options_;
+  }
 
   Result<Selection> Solve(const Dataset& dataset,
-                          const RegretEvaluator& evaluator,
-                          size_t k) const override {
+                          const RegretEvaluator& evaluator, size_t k,
+                          const SolveContext& context,
+                          SolveDetails* details) const override {
     if (k == 0 || k > dataset.size()) {
       return Status::InvalidArgument(
           "k must be in [1, n] for solver " + name_);
@@ -39,17 +49,59 @@ class LambdaSolver final : public Solver {
           name_ + " requires a 2-dimensional dataset (got d = " +
           std::to_string(dataset.dimension()) + ")");
     }
-    return solve_(dataset, evaluator, k);
+    FAM_RETURN_IF_ERROR(ValidateOptionKeys(context.Options()));
+    // Normalize so the callable never sees null pointers.
+    SolveContext normalized = context;
+    normalized.options = &context.Options();
+    SolveDetails local_details;
+    SolveDetails* out = details != nullptr ? details : &local_details;
+    *out = SolveDetails{};
+    return solve_(dataset, evaluator, k, normalized, out);
   }
 
  private:
+  Status ValidateOptionKeys(const SolverOptions& options) const {
+    for (const std::string& key : options.Keys()) {
+      bool known = false;
+      for (const SolverOptionSpec& spec : options_) {
+        if (spec.name == key) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) {
+        std::string supported;
+        for (const SolverOptionSpec& spec : options_) {
+          if (!supported.empty()) supported += ", ";
+          supported += spec.name;
+        }
+        return Status::InvalidArgument(
+            "unknown option \"" + key + "\" for solver " + name_ +
+            (supported.empty() ? " (which accepts no options)"
+                               : "; supported: " + supported));
+      }
+    }
+    return Status::OK();
+  }
+
   std::string name_;
   std::string description_;
   SolverTraits traits_;
+  std::vector<SolverOptionSpec> options_;
   SolveFn solve_;
 };
 
 }  // namespace
+
+const SolverOptions& SolveContext::Options() const {
+  return options != nullptr ? *options : EmptySolverOptions();
+}
+
+Result<Selection> Solver::Solve(const Dataset& dataset,
+                                const RegretEvaluator& evaluator,
+                                size_t k) const {
+  return Solve(dataset, evaluator, k, SolveContext{}, nullptr);
+}
 
 std::string NormalizeSolverName(std::string_view name) {
   std::string normalized;
@@ -63,10 +115,18 @@ std::string NormalizeSolverName(std::string_view name) {
 }
 
 std::unique_ptr<Solver> MakeSolver(std::string name, std::string description,
-                                   SolverTraits traits, SolveFn solve) {
+                                   SolverTraits traits,
+                                   std::vector<SolverOptionSpec> options,
+                                   SolveFn solve) {
   return std::make_unique<LambdaSolver>(std::move(name),
                                         std::move(description), traits,
-                                        std::move(solve));
+                                        std::move(options), std::move(solve));
+}
+
+std::unique_ptr<Solver> MakeSolver(std::string name, std::string description,
+                                   SolverTraits traits, SolveFn solve) {
+  return MakeSolver(std::move(name), std::move(description), traits, {},
+                    std::move(solve));
 }
 
 SolverRegistry& SolverRegistry::Global() {

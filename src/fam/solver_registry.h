@@ -17,10 +17,11 @@
 //   heuristic:  Greedy-Shrink (Algorithm 1), Greedy-Grow, Local-Search
 //   baselines:  MRR-Greedy, MRR-Greedy-Sampled, Sky-Dom, K-Hit
 //
-// `tools/fam_cli.cc` (--list_solvers, select --algo) and
-// `src/exp/runner.cc` (StandardAlgorithms) both dispatch through this
-// registry; new algorithms registered here are immediately usable from the
-// CLI, the experiment runner, and every bench built on it.
+// Every front end dispatches through this registry via the engine
+// (src/fam/engine.h): `tools/fam_cli.cc` (--list_solvers, select --algo),
+// the experiment runner (`src/exp/runner.cc`, StandardRequests), and every
+// bench built on it. A new algorithm registered here is immediately
+// addressable by SolveRequest::solver from all of them.
 
 #ifndef FAM_FAM_SOLVER_REGISTRY_H_
 #define FAM_FAM_SOLVER_REGISTRY_H_
@@ -32,8 +33,10 @@
 #include <string_view>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/status.h"
 #include "data/dataset.h"
+#include "fam/solver_options.h"
 #include "regret/evaluator.h"
 #include "regret/selection.h"
 
@@ -50,6 +53,42 @@ struct SolverTraits {
   /// True for comparators from prior work (k-regret / top-k lines) rather
   /// than the paper's own algorithms.
   bool baseline = false;
+  /// True when the solver's output depends on SolveContext::seed (its own
+  /// coin flips) beyond the evaluator's sampled users. All ten built-ins
+  /// are deterministic given the shared user sample — every source of
+  /// randomness (Θ sampling, data generation) lives in workload
+  /// preparation — so they all register with randomized = false.
+  bool randomized = false;
+};
+
+/// Per-request inputs threaded to a solver alongside (dataset, evaluator,
+/// k). All pointers are optional and non-owning.
+struct SolveContext {
+  /// Per-request knobs; validated against Solver::SupportedOptions().
+  const SolverOptions* options = nullptr;
+  /// Deadline / cancel signal for long-running solvers.
+  const CancellationToken* cancel = nullptr;
+  /// Seed for randomized solvers (ignored by deterministic ones).
+  uint64_t seed = 0;
+
+  /// Never-null view of `options` (an empty set when absent).
+  const SolverOptions& Options() const;
+};
+
+/// One solver-specific counter reported back in a SolveDetails, e.g.
+/// {"nodes_visited", 1.2e6} from Branch-And-Bound.
+struct SolverCounter {
+  std::string name;
+  double value = 0.0;
+};
+
+/// Per-run outputs beyond the Selection itself.
+struct SolveDetails {
+  /// True when the cancellation token expired and the returned selection
+  /// is best-so-far rather than the solver's full answer.
+  bool truncated = false;
+  /// Solver-specific work counters (search nodes, swaps, rounds, ...).
+  std::vector<SolverCounter> counters;
 };
 
 /// One FAM algorithm behind the registry's common solve shape.
@@ -66,21 +105,44 @@ class Solver {
 
   virtual SolverTraits Traits() const = 0;
 
+  /// The option keys this solver accepts in SolveContext::options; any
+  /// other key is rejected with InvalidArgument before the solver runs.
+  virtual std::vector<SolverOptionSpec> SupportedOptions() const {
+    return {};
+  }
+
   /// Selects k points from `dataset` minimizing (or heuristically
   /// reducing) the average regret ratio over `evaluator`'s sampled users.
   /// The evaluator's UtilityMatrix must have been sampled from `dataset`
-  /// (i.e. evaluator.num_points() == dataset.size()).
+  /// (i.e. evaluator.num_points() == dataset.size()). `context` carries
+  /// per-request options and the cancellation token; `details` (optional)
+  /// receives the truncation flag and solver-specific counters.
   virtual Result<Selection> Solve(const Dataset& dataset,
-                                  const RegretEvaluator& evaluator,
-                                  size_t k) const = 0;
+                                  const RegretEvaluator& evaluator, size_t k,
+                                  const SolveContext& context,
+                                  SolveDetails* details) const = 0;
+
+  /// Convenience overload: default context, no details.
+  Result<Selection> Solve(const Dataset& dataset,
+                          const RegretEvaluator& evaluator, size_t k) const;
 };
 
-/// Signature for lambda-style registrations via MakeSolver().
+/// Signature for lambda-style registrations via MakeSolver(). The context's
+/// `options` pointer is always non-null by the time the callable runs (the
+/// registry substitutes an empty set), and unknown option keys have already
+/// been rejected; `details` is always non-null.
 using SolveFn = std::function<Result<Selection>(
-    const Dataset&, const RegretEvaluator&, size_t)>;
+    const Dataset&, const RegretEvaluator&, size_t, const SolveContext&,
+    SolveDetails*)>;
 
-/// Builds a Solver from a name, description, traits, and a callable —
-/// the idiom used for all built-in registrations.
+/// Builds a Solver from a name, description, traits, supported options,
+/// and a callable — the idiom used for all built-in registrations.
+std::unique_ptr<Solver> MakeSolver(std::string name, std::string description,
+                                   SolverTraits traits,
+                                   std::vector<SolverOptionSpec> options,
+                                   SolveFn solve);
+
+/// Option-less overload for solvers without knobs.
 std::unique_ptr<Solver> MakeSolver(std::string name, std::string description,
                                    SolverTraits traits, SolveFn solve);
 

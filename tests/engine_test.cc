@@ -1,0 +1,313 @@
+// Tests for the engine API (src/fam/engine.h): workload construction and
+// reuse, per-request options, deadlines / truncation, and SolveMany.
+
+#include "fam/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "utility/distribution.h"
+
+namespace fam {
+namespace {
+
+Result<Workload> BuildSmallWorkload(size_t n = 60, size_t users = 300,
+                                    uint64_t seed = 21) {
+  Dataset data = GenerateSynthetic({.n = n, .d = 3,
+      .distribution = SyntheticDistribution::kAntiCorrelated, .seed = 20});
+  return WorkloadBuilder()
+      .WithDataset(std::move(data))
+      .WithNumUsers(users)
+      .WithSeed(seed)
+      .Build();
+}
+
+TEST(WorkloadBuilderTest, ValidatesInputs) {
+  EXPECT_EQ(WorkloadBuilder().Build().status().code(),
+            StatusCode::kInvalidArgument);  // no dataset
+
+  Dataset data = GenerateSynthetic({.n = 10, .d = 2,
+      .distribution = SyntheticDistribution::kIndependent, .seed = 1});
+  EXPECT_EQ(WorkloadBuilder()
+                .WithDataset(data)
+                .WithNumUsers(0)
+                .Build()
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);  // empty sample
+
+  // A distribution AND an explicit matrix is ambiguous.
+  UniformLinearDistribution theta;
+  Rng rng(2);
+  UtilityMatrix users = theta.Sample(data, 5, rng);
+  EXPECT_EQ(WorkloadBuilder()
+                .WithDataset(data)
+                .WithDistribution(
+                    std::make_shared<UniformLinearDistribution>())
+                .WithUtilityMatrix(users)
+                .Build()
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  // A matrix sampled from a different database is rejected.
+  Dataset other = GenerateSynthetic({.n = 7, .d = 2,
+      .distribution = SyntheticDistribution::kIndependent, .seed = 3});
+  EXPECT_EQ(WorkloadBuilder()
+                .WithDataset(other)
+                .WithUtilityMatrix(users)
+                .Build()
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(WorkloadTest, BuildIsDeterministicInTheSeed) {
+  Result<Workload> a = BuildSmallWorkload(40, 200, 5);
+  Result<Workload> b = BuildSmallWorkload(40, 200, 5);
+  Result<Workload> c = BuildSmallWorkload(40, 200, 6);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  std::vector<size_t> subset = {0, 3, 7};
+  EXPECT_DOUBLE_EQ(a->evaluator().AverageRegretRatio(subset),
+                   b->evaluator().AverageRegretRatio(subset));
+  // A different seed draws a different population (with overwhelming
+  // probability on an anti-correlated instance).
+  EXPECT_NE(a->evaluator().AverageRegretRatio(subset),
+            c->evaluator().AverageRegretRatio(subset));
+}
+
+TEST(EngineTest, OneWorkloadServesManySolversWithoutResampling) {
+  Result<Workload> workload = BuildSmallWorkload();
+  ASSERT_TRUE(workload.ok()) << workload.status().ToString();
+  const RegretEvaluator* evaluator_before = &workload->evaluator();
+  const UtilityMatrix* sample_before = &workload->evaluator().users();
+
+  Engine engine;
+  Result<SolveResponse> greedy =
+      engine.Solve(*workload, {.solver = "greedy-shrink", .k = 6});
+  Result<SolveResponse> khit =
+      engine.Solve(*workload, {.solver = "k-hit", .k = 6});
+  Result<SolveResponse> grow =
+      engine.Solve(*workload, {.solver = "greedy-grow", .k = 6});
+  ASSERT_TRUE(greedy.ok() && khit.ok() && grow.ok());
+
+  // The workload's evaluator (and its sampled utility matrix) is the same
+  // object across requests: built once, never resampled.
+  EXPECT_EQ(&workload->evaluator(), evaluator_before);
+  EXPECT_EQ(&workload->evaluator().users(), sample_before);
+  EXPECT_EQ(workload->seed(), 21u);
+
+  // Every response is scored on exactly that shared sample.
+  for (const SolveResponse* response :
+       {&*greedy, &*khit, &*grow}) {
+    EXPECT_EQ(response->selection.indices.size(), 6u);
+    EXPECT_NEAR(response->distribution.average,
+                workload->evaluator().AverageRegretRatio(
+                    response->selection.indices),
+                1e-12);
+    EXPECT_FALSE(response->truncated);
+    EXPECT_EQ(response->preprocess_seconds, workload->preprocess_seconds());
+  }
+  // Copying a Workload shares the evaluator (shallow, thread-shareable).
+  Workload copy = *workload;
+  EXPECT_EQ(&copy.evaluator(), evaluator_before);
+}
+
+TEST(EngineTest, ReportsCountersAndTraits) {
+  Result<Workload> workload = BuildSmallWorkload();
+  ASSERT_TRUE(workload.ok());
+  Engine engine;
+  Result<SolveResponse> bnb =
+      engine.Solve(*workload, {.solver = "branch-and-bound", .k = 3});
+  ASSERT_TRUE(bnb.ok()) << bnb.status().ToString();
+  EXPECT_EQ(bnb->solver, "Branch-And-Bound");
+  EXPECT_TRUE(bnb->traits.exact);
+  EXPECT_FALSE(bnb->traits.randomized);
+  bool saw_nodes = false;
+  for (const SolverCounter& counter : bnb->counters) {
+    if (counter.name == "nodes_visited") {
+      saw_nodes = true;
+      EXPECT_GE(counter.value, 1.0);
+    }
+  }
+  EXPECT_TRUE(saw_nodes);
+}
+
+TEST(EngineTest, RejectsUnknownSolverAndUnknownOptions) {
+  Result<Workload> workload = BuildSmallWorkload();
+  ASSERT_TRUE(workload.ok());
+  Engine engine;
+
+  EXPECT_EQ(engine.Solve(*workload, {.solver = "no-such", .k = 3})
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+
+  SolveRequest bogus{.solver = "greedy-shrink", .k = 3};
+  bogus.options.SetInt("not_a_knob", 1);
+  Result<SolveResponse> rejected = engine.Solve(*workload, bogus);
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(rejected.status().message().find("not_a_knob"),
+            std::string::npos);
+  EXPECT_NE(rejected.status().message().find("use_lazy_evaluation"),
+            std::string::npos);  // the error lists the supported keys
+
+  // Right key, wrong type.
+  SolveRequest mistyped{.solver = "branch-and-bound", .k = 3};
+  mistyped.options.SetString("max_nodes", "many");
+  EXPECT_EQ(engine.Solve(*workload, mistyped).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // A knob that is accepted and actually reaches the solver: a brute-force
+  // budget too small for the instance fails its precondition.
+  SolveRequest tiny_budget{.solver = "brute-force", .k = 3};
+  tiny_budget.options.SetInt("max_subsets", 10);
+  EXPECT_EQ(engine.Solve(*workload, tiny_budget).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(EngineTest, OptionsChangeSolverBehaviorNotResults) {
+  Result<Workload> workload = BuildSmallWorkload();
+  ASSERT_TRUE(workload.ok());
+  Engine engine;
+  // Greedy-Shrink's improvements are behavior-preserving: disabling them
+  // through request options must return the identical selection.
+  SolveRequest plain{.solver = "greedy-shrink", .k = 5};
+  plain.options.SetBool("use_best_point_cache", false);
+  plain.options.SetBool("use_lazy_evaluation", false);
+  Result<SolveResponse> with = engine.Solve(
+      *workload, {.solver = "greedy-shrink", .k = 5});
+  Result<SolveResponse> without = engine.Solve(*workload, plain);
+  ASSERT_TRUE(with.ok() && without.ok());
+  EXPECT_EQ(with->selection.indices, without->selection.indices);
+}
+
+TEST(EngineTest, BranchAndBoundDeadlineReturnsBestSoFarWithinBudget) {
+  // An instance whose full optimality certificate is far beyond the
+  // budget: unbounded Branch-And-Bound measured > 20 s on this instance
+  // (anti-correlated, k = 15, so the Lemma 1 bound cannot collapse the
+  // search), vs a 0.25 s deadline.
+  Dataset data = GenerateSynthetic({.n = 300, .d = 4,
+      .distribution = SyntheticDistribution::kAntiCorrelated, .seed = 40});
+  Result<Workload> workload = WorkloadBuilder()
+                                  .WithDataset(std::move(data))
+                                  .WithNumUsers(500)
+                                  .WithSeed(41)
+                                  .Build();
+  ASSERT_TRUE(workload.ok());
+
+  const double kBudgetSeconds = 0.25;
+  Engine engine;
+  SolveRequest request{.solver = "branch-and-bound", .k = 15,
+                       .deadline_seconds = kBudgetSeconds};
+  Result<SolveResponse> response = engine.Solve(*workload, request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+
+  EXPECT_TRUE(response->truncated)
+      << "instance unexpectedly certified within the budget ("
+      << response->query_seconds << " s)";
+  // Cancellation is polled every search node (~µs of work), so overshoot
+  // past the deadline is one node's worth — well within ~2x the budget.
+  // The additive slack absorbs descheduling when the whole suite runs in
+  // parallel on an oversubscribed CI machine.
+  EXPECT_LT(response->query_seconds, 2.0 * kBudgetSeconds + 0.75);
+  // The best-so-far selection is a valid k-set scored on the sample.
+  EXPECT_EQ(response->selection.indices.size(), 15u);
+  EXPECT_NEAR(response->distribution.average,
+              workload->evaluator().AverageRegretRatio(
+                  response->selection.indices),
+              1e-12);
+  // And at least as good as the greedy seed it started from.
+  Result<SolveResponse> greedy =
+      engine.Solve(*workload, {.solver = "greedy-shrink", .k = 15});
+  ASSERT_TRUE(greedy.ok());
+  EXPECT_LE(response->distribution.average,
+            greedy->distribution.average + 1e-12);
+}
+
+TEST(EngineTest, LocalSearchDeadlineReturnsValidSelection) {
+  Result<Workload> workload = BuildSmallWorkload(150, 300, 50);
+  ASSERT_TRUE(workload.ok());
+  Engine engine;
+  // An (effectively) already-expired deadline: the refinement loop stops
+  // at its first checkpoint and hands back the greedy seed unchanged.
+  SolveRequest request{.solver = "local-search", .k = 8,
+                       .deadline_seconds = 1e-9};
+  Result<SolveResponse> response = engine.Solve(*workload, request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_TRUE(response->truncated);
+  EXPECT_EQ(response->selection.indices.size(), 8u);
+  EXPECT_NEAR(response->distribution.average,
+              workload->evaluator().AverageRegretRatio(
+                  response->selection.indices),
+              1e-12);
+
+  // Without a deadline the same request completes untruncated and can
+  // only improve on the truncated result.
+  Result<SolveResponse> full =
+      engine.Solve(*workload, {.solver = "local-search", .k = 8});
+  ASSERT_TRUE(full.ok());
+  EXPECT_FALSE(full->truncated);
+  EXPECT_LE(full->distribution.average,
+            response->distribution.average + 1e-12);
+}
+
+TEST(EngineTest, SolveManyMatchesSequentialSolves) {
+  Result<Workload> workload = BuildSmallWorkload();
+  ASSERT_TRUE(workload.ok());
+  Engine engine;
+  std::vector<SolveRequest> requests = {
+      {.solver = "greedy-shrink", .k = 4},
+      {.solver = "greedy-grow", .k = 5},
+      {.solver = "k-hit", .k = 6},
+      {.solver = "sky-dom", .k = 4},
+      {.solver = "no-such-solver", .k = 4},  // errors stay positional
+      {.solver = "mrr-greedy-sampled", .k = 5},
+  };
+  std::vector<Result<SolveResponse>> parallel =
+      engine.SolveMany(*workload, requests, /*num_threads=*/4);
+  ASSERT_EQ(parallel.size(), requests.size());
+
+  for (size_t i = 0; i < requests.size(); ++i) {
+    Result<SolveResponse> sequential = engine.Solve(*workload, requests[i]);
+    ASSERT_EQ(parallel[i].ok(), sequential.ok()) << requests[i].solver;
+    if (!sequential.ok()) {
+      EXPECT_EQ(parallel[i].status().code(), sequential.status().code());
+      continue;
+    }
+    EXPECT_EQ(parallel[i]->selection.indices,
+              sequential->selection.indices)
+        << requests[i].solver;
+    EXPECT_DOUBLE_EQ(parallel[i]->distribution.average,
+                     sequential->distribution.average);
+    EXPECT_EQ(parallel[i]->solver, sequential->solver);
+  }
+}
+
+TEST(EngineTest, WorkloadFromExplicitMatrixIsExact) {
+  // Appendix A: a finite population with explicit probabilities makes arr
+  // exact; the engine path must preserve the weights.
+  Dataset data = GenerateSynthetic({.n = 12, .d = 2,
+      .distribution = SyntheticDistribution::kIndependent, .seed = 60});
+  UniformLinearDistribution theta;
+  Rng rng(61);
+  UtilityMatrix users = theta.Sample(data, 4, rng);
+  std::vector<double> weights = {0.4, 0.3, 0.2, 0.1};
+  Result<Workload> workload = WorkloadBuilder()
+                                  .WithDataset(data)
+                                  .WithUtilityMatrix(users, weights)
+                                  .Build();
+  ASSERT_TRUE(workload.ok()) << workload.status().ToString();
+  EXPECT_EQ(workload->num_users(), 4u);
+  EXPECT_EQ(workload->evaluator().user_weights(), weights);
+  EXPECT_TRUE(workload->distribution_name().empty());
+
+  Engine engine;
+  Result<SolveResponse> exact =
+      engine.Solve(*workload, {.solver = "brute-force", .k = 2});
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(exact->selection.indices.size(), 2u);
+}
+
+}  // namespace
+}  // namespace fam

@@ -48,33 +48,45 @@ TEST(FormatTest, Helpers) {
   EXPECT_EQ(FormatCount(42), "42");
 }
 
-TEST(RunnerTest, StandardAlgorithmsAreThePaperFour) {
-  std::vector<AlgorithmSpec> algorithms = StandardAlgorithms();
-  ASSERT_EQ(algorithms.size(), 4u);
-  EXPECT_EQ(algorithms[0].name, "Greedy-Shrink");
-  EXPECT_EQ(algorithms[1].name, "MRR-Greedy");
-  EXPECT_EQ(algorithms[2].name, "Sky-Dom");
-  EXPECT_EQ(algorithms[3].name, "K-Hit");
+TEST(RunnerTest, StandardRequestsAreThePaperFour) {
+  std::vector<SolveRequest> requests = StandardRequests(7);
+  ASSERT_EQ(requests.size(), 4u);
+  EXPECT_EQ(requests[0].solver, "Greedy-Shrink");
+  EXPECT_EQ(requests[1].solver, "MRR-Greedy");
+  EXPECT_EQ(requests[2].solver, "Sky-Dom");
+  EXPECT_EQ(requests[3].solver, "K-Hit");
+  for (const SolveRequest& request : requests) EXPECT_EQ(request.k, 7u);
+  // Sampled-MRR variant swaps only the comparator's engine.
+  EXPECT_EQ(StandardRequests(7, true)[1].solver, "MRR-Greedy-Sampled");
 }
 
-TEST(RunnerTest, RunsAllAndScoresOnSharedSample) {
+TEST(RunnerTest, RunsAllAndScoresOnSharedWorkload) {
   Dataset data = GenerateSynthetic({.n = 80, .d = 3,
       .distribution = SyntheticDistribution::kAntiCorrelated, .seed = 31});
-  UniformLinearDistribution theta;
-  Rng rng(32);
-  RegretEvaluator evaluator(theta.Sample(data, 500, rng));
-  std::vector<AlgorithmOutcome> outcomes =
-      RunAlgorithms(StandardAlgorithms(), data, evaluator, 5);
+  Result<Workload> workload = WorkloadBuilder()
+                                  .WithDataset(std::move(data))
+                                  .WithNumUsers(500)
+                                  .WithSeed(32)
+                                  .Build();
+  ASSERT_TRUE(workload.ok()) << workload.status().ToString();
+  std::vector<AlgorithmOutcome> outcomes = RunStandard(*workload, 5);
   ASSERT_EQ(outcomes.size(), 4u);
+  const RegretEvaluator& evaluator = workload->evaluator();
   for (const AlgorithmOutcome& outcome : outcomes) {
     EXPECT_TRUE(outcome.ok) << outcome.name << ": " << outcome.error;
     EXPECT_EQ(outcome.selection.indices.size(), 5u);
     EXPECT_GE(outcome.query_seconds, 0.0);
+    EXPECT_FALSE(outcome.truncated);
     EXPECT_NEAR(
         outcome.average_regret_ratio,
         evaluator.AverageRegretRatio(outcome.selection.indices), 1e-12);
     EXPECT_GE(outcome.stddev_regret_ratio, 0.0);
   }
+  // Display names match the paper's comparator set (sampled MRR included).
+  EXPECT_EQ(outcomes[0].name, "Greedy-Shrink");
+  EXPECT_EQ(outcomes[1].name, "MRR-Greedy");
+  EXPECT_EQ(RunStandard(*workload, 5, /*sampled_mrr=*/true)[1].name,
+            "MRR-Greedy");
   // Greedy-Shrink's re-scored arr should be the (weak) minimum.
   for (const AlgorithmOutcome& outcome : outcomes) {
     EXPECT_LE(outcomes[0].average_regret_ratio,
@@ -83,21 +95,26 @@ TEST(RunnerTest, RunsAllAndScoresOnSharedSample) {
 }
 
 TEST(RunnerTest, ErrorsAreCapturedNotFatal) {
-  std::vector<AlgorithmSpec> algorithms = {
-      {"always-fails",
-       [](const Dataset&, const RegretEvaluator&, size_t) {
-         return Result<Selection>(Status::Internal("boom"));
-       }}};
   Dataset data = GenerateSynthetic({.n = 10, .d = 2,
       .distribution = SyntheticDistribution::kIndependent, .seed = 33});
-  UniformLinearDistribution theta;
-  Rng rng(34);
-  RegretEvaluator evaluator(theta.Sample(data, 20, rng));
-  std::vector<AlgorithmOutcome> outcomes =
-      RunAlgorithms(algorithms, data, evaluator, 2);
-  ASSERT_EQ(outcomes.size(), 1u);
+  Result<Workload> workload = WorkloadBuilder()
+                                  .WithDataset(std::move(data))
+                                  .WithNumUsers(20)
+                                  .WithSeed(34)
+                                  .Build();
+  ASSERT_TRUE(workload.ok());
+  // An unknown solver and an out-of-range k both yield error rows without
+  // aborting the batch.
+  std::vector<SolveRequest> requests = {
+      {.solver = "no-such-solver", .k = 2},
+      {.solver = "greedy-shrink", .k = 11},
+      {.solver = "greedy-shrink", .k = 2}};
+  std::vector<AlgorithmOutcome> outcomes = RunRequests(*workload, requests);
+  ASSERT_EQ(outcomes.size(), 3u);
   EXPECT_FALSE(outcomes[0].ok);
-  EXPECT_NE(outcomes[0].error.find("boom"), std::string::npos);
+  EXPECT_NE(outcomes[0].error.find("no-such-solver"), std::string::npos);
+  EXPECT_FALSE(outcomes[1].ok);
+  EXPECT_TRUE(outcomes[2].ok) << outcomes[2].error;
 }
 
 TEST(PipelineTest, BuildsLearnedDistributionEndToEnd) {

@@ -79,13 +79,27 @@ int main(int argc, char** argv) {
   std::vector<std::string> solvers;
   std::istringstream listing(out);
   for (std::string line; std::getline(listing, line);) {
-    // Listing rows are "<Name>[ (2d)]  <kind>  <description>"; the header
-    // row starts with the literal column title "name".
+    // Listing rows are "<Name>  <traits>  <description>"; the header row
+    // starts with the literal column title "name", and per-solver option
+    // lines are indented (so their first space is at position 0).
     size_t end = line.find(' ');
     if (end == std::string::npos || end == 0) continue;
     std::string name = line.substr(0, end);
     if (name == "name") continue;
     solvers.push_back(name);
+  }
+  // The satellite trait set is printed for every solver: DP-2D is the
+  // 2d-only exact method, and no built-in is randomized.
+  if (out.find("exact,2d-only") == std::string::npos) {
+    Fail("--list_solvers does not print DP-2D's full trait set:\n" + out);
+  }
+  if (out.find("randomized") != std::string::npos) {
+    Fail("no built-in is randomized, but the listing claims one is:\n" +
+         out);
+  }
+  // Knobs are discoverable from the listing.
+  if (out.find("max_nodes") == std::string::npos) {
+    Fail("--list_solvers does not enumerate solver options:\n" + out);
   }
   if (solvers.size() < 10) {
     Fail("--list_solvers enumerated only " + std::to_string(solvers.size()) +
@@ -132,6 +146,53 @@ int main(int argc, char** argv) {
              " below the exact optimum " + std::to_string(optimum));
       }
     }
+  }
+
+  // --format json is scriptable end to end: one object per select, with
+  // the selection, distribution, and the preprocessing-vs-query split.
+  if (RunCapture(cli + " select --algo greedy-shrink --k 3 --users 400 "
+                       "--seed 7 --format json --in " +
+                     data,
+                 &out) != 0) {
+    Fail("select --format json failed:\n" + out);
+  } else {
+    for (const char* field :
+         {"\"algorithm\":\"Greedy-Shrink\"", "\"selection\":[", "\"arr\":",
+          "\"preprocess_seconds\":", "\"query_seconds\":",
+          "\"truncated\":false", "\"percentiles\":", "\"counters\":"}) {
+      if (out.find(field) == std::string::npos) {
+        Fail(std::string("select --format json output missing ") + field +
+             ":\n" + out);
+      }
+    }
+    double json_arr = ParseAfter(out, "\"arr\":");
+    if (std::isnan(json_arr) ||
+        std::abs(json_arr - arr_by_solver["Greedy-Shrink"]) > 1e-6) {
+      Fail("json arr disagrees with text arr:\n" + out);
+    }
+  }
+  if (RunCapture(cli + " evaluate --set 0,1,2 --users 400 --seed 7 "
+                       "--format json --in " +
+                     data,
+                 &out) != 0) {
+    Fail("evaluate --format json failed:\n" + out);
+  } else if (out.find("\"arr\":") == std::string::npos ||
+             out.find("\"percentiles\":") == std::string::npos) {
+    Fail("evaluate --format json output incomplete:\n" + out);
+  }
+
+  // Per-request solver options flow through, and unknown keys are errors.
+  if (RunCapture(cli + " select --algo branch-and-bound --k 3 --users 400 "
+                       "--seed 7 --options max_nodes=1000000 --in " +
+                     data,
+                 &out) != 0) {
+    Fail("select with --options max_nodes failed:\n" + out);
+  }
+  if (RunCapture(cli + " select --algo greedy-shrink --k 3 --users 400 "
+                       "--seed 7 --options definitely_not_a_knob=1 --in " +
+                     data,
+                 &out) == 0) {
+    Fail("unknown --options key was not rejected:\n" + out);
   }
 
   if (g_failures > 0) return 1;

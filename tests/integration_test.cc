@@ -15,12 +15,14 @@ namespace {
 TEST(IntegrationTest, FullExperimentLoopOnSyntheticData) {
   Dataset data = GenerateSynthetic({.n = 300, .d = 5,
       .distribution = SyntheticDistribution::kAntiCorrelated, .seed = 71});
-  UniformLinearDistribution theta;
-  Rng rng(72);
-  RegretEvaluator evaluator(theta.Sample(data, 2000, rng));
+  Result<Workload> workload = WorkloadBuilder()
+                                  .WithDataset(std::move(data))
+                                  .WithNumUsers(2000)
+                                  .WithSeed(72)
+                                  .Build();
+  ASSERT_TRUE(workload.ok()) << workload.status().ToString();
 
-  std::vector<AlgorithmOutcome> outcomes =
-      RunAlgorithms(StandardAlgorithms(), data, evaluator, 10);
+  std::vector<AlgorithmOutcome> outcomes = RunStandard(*workload, 10);
   ASSERT_EQ(outcomes.size(), 4u);
   for (const auto& outcome : outcomes) {
     ASSERT_TRUE(outcome.ok) << outcome.name;
@@ -32,6 +34,7 @@ TEST(IntegrationTest, FullExperimentLoopOnSyntheticData) {
   }
   // Fig. 3 property: Sky-Dom's regret spread dominates Greedy-Shrink's at
   // high percentiles.
+  const RegretEvaluator& evaluator = workload->evaluator();
   RegretDistribution greedy_dist =
       evaluator.Distribution(outcomes[0].selection.indices);
   RegretDistribution skydom_dist =
@@ -82,12 +85,15 @@ TEST(IntegrationTest, LearnedThetaExperiment) {
   config.gmm_components = 3;
   Result<RecommenderPipeline> pipeline = BuildRecommenderPipeline(config);
   ASSERT_TRUE(pipeline.ok());
-  Rng rng(75);
-  RegretEvaluator evaluator(
-      pipeline->theta->Sample(pipeline->item_dataset, 500, rng));
+  Result<Workload> workload = WorkloadBuilder()
+                                  .WithDataset(pipeline->item_dataset)
+                                  .WithDistribution(pipeline->theta)
+                                  .WithNumUsers(500)
+                                  .WithSeed(75)
+                                  .Build();
+  ASSERT_TRUE(workload.ok()) << workload.status().ToString();
   std::vector<AlgorithmOutcome> outcomes =
-      RunAlgorithms(StandardAlgorithms(/*sampled_mrr=*/true),
-                    pipeline->item_dataset, evaluator, 8);
+      RunStandard(*workload, 8, /*sampled_mrr=*/true);
   for (const auto& outcome : outcomes) {
     ASSERT_TRUE(outcome.ok) << outcome.name << ": " << outcome.error;
     EXPECT_EQ(outcome.selection.indices.size(), 8u);

@@ -42,6 +42,30 @@ TEST(SolverRegistryTest, GlobalHasAllBuiltins) {
   }
 }
 
+TEST(SolverRegistryTest, BuiltinTraitsAreComplete) {
+  for (const Solver* solver : SolverRegistry::Global().List()) {
+    SolverTraits traits = solver->Traits();
+    // All built-ins are deterministic given the evaluator's shared user
+    // sample: randomness lives in workload preparation, not the solvers.
+    EXPECT_FALSE(traits.randomized) << solver->Name();
+    // exact and baseline are mutually exclusive kinds.
+    EXPECT_FALSE(traits.exact && traits.baseline) << solver->Name();
+    // Declared options are named and described.
+    for (const SolverOptionSpec& option : solver->SupportedOptions()) {
+      EXPECT_FALSE(option.name.empty()) << solver->Name();
+      EXPECT_FALSE(option.description.empty()) << solver->Name();
+    }
+  }
+  // The knob-bearing built-ins declare their knobs.
+  const Solver* bnb = SolverRegistry::Global().Find("branch-and-bound");
+  ASSERT_NE(bnb, nullptr);
+  ASSERT_EQ(bnb->SupportedOptions().size(), 1u);
+  EXPECT_EQ(bnb->SupportedOptions()[0].name, "max_nodes");
+  const Solver* greedy = SolverRegistry::Global().Find("greedy-shrink");
+  ASSERT_NE(greedy, nullptr);
+  EXPECT_EQ(greedy->SupportedOptions().size(), 2u);
+}
+
 TEST(SolverRegistryTest, FindIsCaseAndSeparatorInsensitive) {
   SolverRegistry& registry = SolverRegistry::Global();
   const Solver* canonical = registry.Find("Greedy-Shrink");
@@ -61,27 +85,24 @@ TEST(SolverRegistryTest, ListIsSortedByName) {
   }
 }
 
+SolveFn TrivialSolve() {
+  return [](const Dataset&, const RegretEvaluator&, size_t,
+            const SolveContext&, SolveDetails*) {
+    return Result<Selection>(Selection{});
+  };
+}
+
 TEST(SolverRegistryTest, RejectsDuplicateAndEmptyNames) {
   SolverRegistry registry;
-  ASSERT_TRUE(registry
-                  .Register(MakeSolver(
-                      "My-Solver", "test", {},
-                      [](const Dataset&, const RegretEvaluator&, size_t) {
-                        return Result<Selection>(Selection{});
-                      }))
-                  .ok());
+  ASSERT_TRUE(
+      registry.Register(MakeSolver("My-Solver", "test", {}, TrivialSolve()))
+          .ok());
   // Same name modulo normalization collides.
-  Status dup = registry.Register(MakeSolver(
-      "my_solver", "test", {},
-      [](const Dataset&, const RegretEvaluator&, size_t) {
-        return Result<Selection>(Selection{});
-      }));
+  Status dup = registry.Register(
+      MakeSolver("my_solver", "test", {}, TrivialSolve()));
   EXPECT_EQ(dup.code(), StatusCode::kInvalidArgument);
-  Status empty = registry.Register(MakeSolver(
-      "--", "separators only", {},
-      [](const Dataset&, const RegretEvaluator&, size_t) {
-        return Result<Selection>(Selection{});
-      }));
+  Status empty = registry.Register(
+      MakeSolver("--", "separators only", {}, TrivialSolve()));
   EXPECT_EQ(empty.code(), StatusCode::kInvalidArgument);
   EXPECT_EQ(registry.size(), 1u);
 }

@@ -1,17 +1,28 @@
-// fam_cli — command-line front end for the fam library.
+// fam_cli — command-line front end for the fam engine API.
 //
 // Subcommands:
 //   generate  — write a synthetic dataset as CSV
 //               fam_cli generate --n 10000 --d 6 --dist anti --out data.csv
 //   select    — pick k points from a CSV by any registered solver
-//               fam_cli select --algo greedy-shrink --k 10 --users 10000
-//                   --in data.csv
+//               fam_cli select --algo branch-and-bound --k 10 --users 10000
+//                   --in data.csv [--deadline 2.5] [--options max_nodes=1e6]
+//                   [--format json]
 //   evaluate  — score a comma-separated index set on a CSV
 //               fam_cli evaluate --set 1,5,9 --users 10000 --in data.csv
+//                   [--format json]
 //
-// `fam_cli --list_solvers` enumerates the solver registry; `--algo` accepts
-// any listed name (case- and punctuation-insensitive, so "greedy-shrink",
+// `fam_cli --list_solvers` enumerates the solver registry with each
+// solver's full trait set (exact / heuristic / baseline, 2d-only,
+// randomized) and supported per-request options; `--algo` accepts any
+// listed name (case- and punctuation-insensitive, so "greedy-shrink",
 // "Greedy_Shrink", and "greedyshrink" are equivalent).
+//
+// Every solve goes through the engine (src/fam/engine.h): the CLI builds
+// one Workload (dataset + sampled Θ + best-in-DB index, the timed
+// preprocessing phase), then dispatches a SolveRequest and prints the
+// SolveResponse — preprocessing and query time separately, per the paper's
+// Sec. V convention. `--format json` emits the full response as a single
+// JSON object for scripting.
 //
 // Utilities are linear with simplex-uniform weights (--domain box/sphere to
 // change); all randomness is controlled by --seed.
@@ -62,6 +73,94 @@ Result<std::vector<size_t>> ParseIndexSet(const std::string& csv,
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
+}
+
+enum class OutputFormat { kText, kJson };
+
+Result<OutputFormat> ParseFormat(const std::string& name) {
+  if (EqualsIgnoreCase(name, "text")) return OutputFormat::kText;
+  if (EqualsIgnoreCase(name, "json")) return OutputFormat::kJson;
+  return Status::InvalidArgument("unknown format: " + name +
+                                 " (expected text | json)");
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrPrintf("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Minimal one-object JSON emitter: appends comma-separated fields, then
+/// renders `{...}`. Numbers use %.17g (round-trippable doubles, so large
+/// integer-valued counters survive exactly).
+class JsonObject {
+ public:
+  JsonObject& Field(const std::string& key, const std::string& raw_value) {
+    if (!fields_.empty()) fields_ += ",";
+    fields_ += "\"" + JsonEscape(key) + "\":" + raw_value;
+    return *this;
+  }
+  JsonObject& String(const std::string& key, const std::string& value) {
+    return Field(key, "\"" + JsonEscape(value) + "\"");
+  }
+  JsonObject& Number(const std::string& key, double value) {
+    return Field(key, StrPrintf("%.17g", value));
+  }
+  JsonObject& Integer(const std::string& key, long long value) {
+    return Field(key, StrPrintf("%lld", value));
+  }
+  JsonObject& Bool(const std::string& key, bool value) {
+    return Field(key, value ? "true" : "false");
+  }
+  std::string Render() const { return "{" + fields_ + "}"; }
+
+ private:
+  std::string fields_;
+};
+
+std::string JsonIndexArray(const std::vector<size_t>& indices) {
+  std::string out = "[";
+  for (size_t i = 0; i < indices.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(indices[i]);
+  }
+  return out + "]";
+}
+
+std::string JsonLabelArray(const Dataset& data,
+                           const std::vector<size_t>& indices) {
+  std::string out = "[";
+  for (size_t i = 0; i < indices.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"" + JsonEscape(data.LabelOf(indices[i])) + "\"";
+  }
+  return out + "]";
+}
+
+constexpr double kReportPercentiles[] = {70.0, 80.0, 90.0, 95.0, 99.0, 100.0};
+
+std::string JsonPercentiles(const RegretDistribution& dist) {
+  JsonObject percentiles;
+  for (double pct : kReportPercentiles) {
+    percentiles.Number(StrPrintf("p%.0f", pct), dist.PercentileRr(pct));
+  }
+  return percentiles.Render();
 }
 
 int RunGenerate(int argc, const char* const* argv) {
@@ -118,27 +217,44 @@ void RegisterWorkloadFlags(FlagParser& flags, WorkloadFlags* w) {
       .AddBool("labels", &w->label_column, "first CSV column is a label");
 }
 
-Result<Dataset> LoadWorkload(const WorkloadFlags& w) {
+/// Loads the CSV and builds the shared Workload (sampling + indexing is
+/// the timed preprocessing phase, reported separately from query time).
+Result<Workload> BuildWorkload(const WorkloadFlags& w) {
   if (w.in.empty()) return Status::InvalidArgument("--in is required");
+  if (w.users <= 0) return Status::InvalidArgument("--users must be > 0");
   CsvOptions options;
   options.has_header = w.has_header;
   options.first_column_is_label = w.label_column;
   FAM_ASSIGN_OR_RETURN(Dataset data, ReadCsvFile(w.in, options));
-  FAM_RETURN_IF_ERROR(data.Validate());
-  return data;
+  FAM_ASSIGN_OR_RETURN(WeightDomain domain, ParseDomain(w.domain));
+  return WorkloadBuilder()
+      .WithDataset(std::move(data))
+      .WithDistribution(
+          std::make_shared<const UniformLinearDistribution>(domain))
+      .WithNumUsers(static_cast<size_t>(w.users))
+      .WithSeed(static_cast<uint64_t>(w.seed))
+      .Build();
+}
+
+std::string TraitsString(const SolverTraits& traits) {
+  std::string out = traits.baseline ? "baseline"
+                    : traits.exact  ? "exact"
+                                    : "heuristic";
+  if (traits.requires_2d) out += ",2d-only";
+  if (traits.randomized) out += ",randomized";
+  return out;
 }
 
 int ListSolvers() {
-  std::printf("%-20s %-9s %s\n", "name", "kind", "description");
+  std::printf("%-20s %-20s %s\n", "name", "traits", "description");
   for (const Solver* solver : SolverRegistry::Global().List()) {
-    SolverTraits traits = solver->Traits();
-    const char* kind = traits.baseline ? "baseline"
-                       : traits.exact  ? "exact"
-                                       : "heuristic";
-    std::string name(solver->Name());
-    if (traits.requires_2d) name += " (2d)";
-    std::printf("%-20s %-9s %s\n", name.c_str(), kind,
+    std::printf("%-20s %-20s %s\n", std::string(solver->Name()).c_str(),
+                TraitsString(solver->Traits()).c_str(),
                 std::string(solver->Description()).c_str());
+    for (const SolverOptionSpec& option : solver->SupportedOptions()) {
+      std::printf("  --options %s: %s\n", option.name.c_str(),
+                  option.description.c_str());
+    }
   }
   return 0;
 }
@@ -147,20 +263,28 @@ int RunSelect(int argc, const char* const* argv) {
   WorkloadFlags w;
   int64_t k = 10;
   std::string algo = "greedy-shrink";
-  bool refine = false;
+  std::string format = "text";
+  std::string options_text;
+  double deadline = 0.0;
   FlagParser flags;
   RegisterWorkloadFlags(flags, &w);
   flags.AddInt("k", &k, "solution size")
       .AddString("algo", &algo,
                  "any registered solver; see fam_cli --list_solvers")
-      .AddBool("refine", &refine,
-               "polish the selection with 1-swap local search");
+      .AddString("format", &format, "output format: text | json")
+      .AddString("options", &options_text,
+                 "per-solver knobs, key=value[,key=value...]")
+      .AddDouble("deadline", &deadline,
+                 "wall-clock budget in seconds (0 = unbounded); on expiry "
+                 "the best-so-far selection is returned, marked truncated");
   Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) {
     std::fprintf(stderr, "%s\n%s", parsed.ToString().c_str(),
                  flags.Usage().c_str());
     return 1;
   }
+  Result<OutputFormat> output = ParseFormat(format);
+  if (!output.ok()) return Fail(output.status());
   // Resolve the solver before any (potentially expensive) preprocessing so
   // a typo'd --algo fails fast.
   const Solver* solver = SolverRegistry::Global().Find(algo);
@@ -172,44 +296,79 @@ int RunSelect(int argc, const char* const* argv) {
     }
     return 1;
   }
-  Result<Dataset> data = LoadWorkload(w);
-  if (!data.ok()) return Fail(data.status());
-  Result<WeightDomain> domain = ParseDomain(w.domain);
-  if (!domain.ok()) return Fail(domain.status());
-  if (k <= 0 || static_cast<size_t>(k) > data->size()) {
+
+  SolveRequest request;
+  request.solver = algo;
+  request.deadline_seconds = deadline;
+  Result<SolverOptions> solver_options =
+      SolverOptions::FromString(options_text);
+  if (!solver_options.ok()) return Fail(solver_options.status());
+  request.options = *std::move(solver_options);
+
+  Result<Workload> workload = BuildWorkload(w);
+  if (!workload.ok()) return Fail(workload.status());
+  if (k <= 0 || static_cast<size_t>(k) > workload->size()) {
     return Fail(Status::InvalidArgument("k out of range"));
   }
+  request.k = static_cast<size_t>(k);
 
-  Timer preprocess_timer;
-  UniformLinearDistribution theta(*domain);
-  Rng rng(static_cast<uint64_t>(w.seed));
-  RegretEvaluator evaluator(
-      theta.Sample(*data, static_cast<size_t>(w.users), rng));
-  double preprocess = preprocess_timer.ElapsedSeconds();
+  Engine engine;
+  Result<SolveResponse> response = engine.Solve(*workload, request);
+  if (!response.ok()) return Fail(response.status());
 
-  Timer query_timer;
-  const size_t k_size = static_cast<size_t>(k);
-  Result<Selection> selection = solver->Solve(*data, evaluator, k_size);
-  if (selection.ok() && refine) {
-    LocalSearchStats ls_stats;
-    selection = LocalSearchRefine(evaluator, *selection, {}, &ls_stats);
-    if (selection.ok() && ls_stats.swaps_applied > 0) {
-      std::printf("local search: %zu swap(s), arr %.6f -> %.6f\n",
-                  ls_stats.swaps_applied, ls_stats.initial_arr,
-                  ls_stats.final_arr);
+  const Dataset& data = workload->dataset();
+  double max_rr =
+      MaxRegretRatio(workload->evaluator(), response->selection.indices);
+
+  if (*output == OutputFormat::kJson) {
+    JsonObject json;
+    json.String("algorithm", response->solver)
+        .String("traits", TraitsString(response->traits))
+        .Integer("k", static_cast<long long>(request.k))
+        .Integer("n", static_cast<long long>(workload->size()))
+        .Integer("d", static_cast<long long>(workload->dimension()))
+        .Integer("users", static_cast<long long>(workload->num_users()))
+        .Integer("seed", w.seed)
+        .Field("selection", JsonIndexArray(response->selection.indices))
+        .Field("labels", JsonLabelArray(data, response->selection.indices))
+        .Number("arr", response->distribution.average)
+        .Number("variance", response->distribution.variance)
+        .Number("stddev", response->distribution.stddev)
+        .Number("max_regret_ratio", max_rr)
+        .Field("percentiles", JsonPercentiles(response->distribution))
+        .Number("preprocess_seconds", response->preprocess_seconds)
+        .Number("query_seconds", response->query_seconds)
+        .Bool("truncated", response->truncated);
+    JsonObject counters;
+    for (const SolverCounter& counter : response->counters) {
+      counters.Number(counter.name, counter.value);
     }
+    json.Field("counters", counters.Render());
+    std::printf("%s\n", json.Render().c_str());
+    return 0;
   }
-  double query = query_timer.ElapsedSeconds();
-  if (!selection.ok()) return Fail(selection.status());
 
-  RegretDistribution dist = evaluator.Distribution(selection->indices);
-  std::printf("algorithm: %s\n", std::string(solver->Name()).c_str());
-  std::printf("preprocess: %.3f s, query: %.3f s\n", preprocess, query);
-  std::printf("arr: %.6f, stddev: %.6f, max rr: %.6f\n", dist.average,
-              dist.stddev, MaxRegretRatio(evaluator, selection->indices));
+  std::printf("algorithm: %s\n", response->solver.c_str());
+  std::printf("preprocess: %.3f s, query: %.3f s\n",
+              response->preprocess_seconds, response->query_seconds);
+  if (response->truncated) {
+    std::printf("truncated: deadline of %.3f s expired; selection is "
+                "best-so-far\n",
+                deadline);
+  }
+  std::printf("arr: %.6f, stddev: %.6f, max rr: %.6f\n",
+              response->distribution.average, response->distribution.stddev,
+              max_rr);
+  if (!response->counters.empty()) {
+    std::printf("counters:");
+    for (const SolverCounter& counter : response->counters) {
+      std::printf(" %s=%.0f", counter.name.c_str(), counter.value);
+    }
+    std::printf("\n");
+  }
   std::printf("selection:");
-  for (size_t p : selection->indices) {
-    std::printf(" %s", data->LabelOf(p).c_str());
+  for (size_t p : response->selection.indices) {
+    std::printf(" %s", data.LabelOf(p).c_str());
   }
   std::printf("\n");
   return 0;
@@ -218,30 +377,47 @@ int RunSelect(int argc, const char* const* argv) {
 int RunEvaluate(int argc, const char* const* argv) {
   WorkloadFlags w;
   std::string set_csv;
+  std::string format = "text";
   FlagParser flags;
   RegisterWorkloadFlags(flags, &w);
-  flags.AddString("set", &set_csv, "comma-separated point indices");
+  flags.AddString("set", &set_csv, "comma-separated point indices")
+      .AddString("format", &format, "output format: text | json");
   Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) {
     std::fprintf(stderr, "%s\n%s", parsed.ToString().c_str(),
                  flags.Usage().c_str());
     return 1;
   }
-  Result<Dataset> data = LoadWorkload(w);
-  if (!data.ok()) return Fail(data.status());
-  Result<WeightDomain> domain = ParseDomain(w.domain);
-  if (!domain.ok()) return Fail(domain.status());
-  Result<std::vector<size_t>> subset = ParseIndexSet(set_csv, data->size());
+  Result<OutputFormat> output = ParseFormat(format);
+  if (!output.ok()) return Fail(output.status());
+  Result<Workload> workload = BuildWorkload(w);
+  if (!workload.ok()) return Fail(workload.status());
+  Result<std::vector<size_t>> subset =
+      ParseIndexSet(set_csv, workload->size());
   if (!subset.ok()) return Fail(subset.status());
 
-  UniformLinearDistribution theta(*domain);
-  Rng rng(static_cast<uint64_t>(w.seed));
-  RegretEvaluator evaluator(
-      theta.Sample(*data, static_cast<size_t>(w.users), rng));
-  RegretDistribution dist = evaluator.Distribution(*subset);
+  RegretDistribution dist = workload->evaluator().Distribution(*subset);
+  if (*output == OutputFormat::kJson) {
+    JsonObject json;
+    json.Integer("n", static_cast<long long>(workload->size()))
+        .Integer("d", static_cast<long long>(workload->dimension()))
+        .Integer("users", static_cast<long long>(workload->num_users()))
+        .Integer("seed", w.seed)
+        .Field("selection", JsonIndexArray(*subset))
+        .Field("labels", JsonLabelArray(workload->dataset(), *subset))
+        .Number("arr", dist.average)
+        .Number("variance", dist.variance)
+        .Number("stddev", dist.stddev)
+        .Number("max_regret_ratio",
+                MaxRegretRatio(workload->evaluator(), *subset))
+        .Field("percentiles", JsonPercentiles(dist))
+        .Number("preprocess_seconds", workload->preprocess_seconds());
+    std::printf("%s\n", json.Render().c_str());
+    return 0;
+  }
   std::printf("arr: %.6f\nvariance: %.6f\nstddev: %.6f\n", dist.average,
               dist.variance, dist.stddev);
-  for (double pct : {70.0, 80.0, 90.0, 95.0, 99.0, 100.0}) {
+  for (double pct : kReportPercentiles) {
     std::printf("p%.0f regret ratio: %.6f\n", pct, dist.PercentileRr(pct));
   }
   return 0;
