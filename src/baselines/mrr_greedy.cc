@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <optional>
 
 #include "common/logging.h"
 #include "geom/skyline.h"
@@ -129,10 +130,22 @@ Selection RunSampled(const Dataset& dataset,
   std::vector<uint8_t> in_set(dataset.size(), 0);
   in_set[seed] = 1;
 
-  // Incremental satisfaction per user.
+  // Incremental satisfaction per user, maintained through the shared
+  // kernel when available (one contiguous column stream per addition
+  // instead of N branchy utility lookups).
   const UtilityMatrix& users = evaluator.users();
-  std::vector<double> sat(num_users);
-  for (size_t u = 0; u < num_users; ++u) sat[u] = users.Utility(u, seed);
+  std::optional<SubsetEvalState> state;
+  std::vector<double> sat;
+  if (options.kernel != nullptr) {
+    state.emplace(*options.kernel);
+    state->Add(seed);
+  } else {
+    sat.resize(num_users);
+    for (size_t u = 0; u < num_users; ++u) sat[u] = users.Utility(u, seed);
+  }
+  auto satisfaction = [&](size_t u) {
+    return state.has_value() ? state->best_value(u) : sat[u];
+  };
 
   bool truncated = false;
   while (selected.size() < k) {
@@ -147,7 +160,7 @@ Selection RunSampled(const Dataset& dataset,
     for (size_t u = 0; u < num_users; ++u) {
       double denom = evaluator.BestInDb(u);
       if (denom <= 0.0) continue;
-      double rr = (denom - sat[u]) / denom;
+      double rr = (denom - satisfaction(u)) / denom;
       if (rr > worst_rr + 1e-15) {
         worst_rr = rr;
         worst_user = u;
@@ -167,11 +180,18 @@ Selection RunSampled(const Dataset& dataset,
     selected.push_back(addition);
     in_set[addition] = 1;
     if (stats != nullptr) ++stats->rounds;
-    for (size_t u = 0; u < num_users; ++u) {
-      sat[u] = std::max(sat[u], users.Utility(u, addition));
+    if (state.has_value()) {
+      state->Add(addition);
+    } else {
+      for (size_t u = 0; u < num_users; ++u) {
+        sat[u] = std::max(sat[u], users.Utility(u, addition));
+      }
     }
   }
-  if (stats != nullptr) stats->truncated = truncated;
+  if (stats != nullptr) {
+    stats->truncated = truncated;
+    if (state.has_value()) stats->kernel = state->counters();
+  }
 
   std::sort(selected.begin(), selected.end());
   Selection result;

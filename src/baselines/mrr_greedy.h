@@ -30,6 +30,7 @@
 #include "common/cancellation.h"
 #include "common/status.h"
 #include "data/dataset.h"
+#include "regret/eval_kernel.h"
 #include "regret/evaluator.h"
 #include "regret/selection.h"
 
@@ -46,6 +47,10 @@ struct MrrGreedyOptions {
   MrrGreedyMode mode = MrrGreedyMode::kAuto;
   /// kAuto falls back to kSampled above this many skyline candidates.
   size_t lp_candidate_limit = 4000;
+  /// Shared kernel (typically the Workload's) used by the sampled engine
+  /// for incremental satisfaction maintenance; when null, the sampled
+  /// engine falls back to direct utility lookups.
+  const EvalKernel* kernel = nullptr;
   /// Polled once per greedy round (and per LP candidate in the LP engine);
   /// on expiry the partial selection is padded to k with the lowest-index
   /// unused points and returned with stats->truncated set.
@@ -59,6 +64,8 @@ struct MrrGreedyStats {
   MrrGreedyMode mode = MrrGreedyMode::kAuto;
   /// True when the cancellation token expired before k rounds finished.
   bool truncated = false;
+  /// Kernel work counters (sampled engine with a kernel only).
+  EvalKernelCounters kernel;
 };
 
 /// Runs MRR-GREEDY. The evaluator supplies the sampled users (for kSampled

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <optional>
 
 #include "core/greedy_shrink.h"
 
@@ -11,11 +12,14 @@ namespace {
 /// DFS state shared across the recursion.
 struct Search {
   const RegretEvaluator& evaluator;
+  const EvalKernel& kernel;
   const BranchAndBoundOptions& options;
   BranchAndBoundStats* stats;
   std::vector<size_t> candidates;      // points in branching order
-  Matrix suffix_best;                  // users × (n+1): max utility over
-                                       // candidates[idx..]
+  Matrix suffix_best;                  // (n+1) × users: max utility over
+                                       // candidates[idx..] — index-major so
+                                       // the bound's inner loop streams one
+                                       // contiguous row
   double incumbent_arr = 1.0;
   std::vector<size_t> incumbent_set;
   std::vector<size_t> chosen;
@@ -23,30 +27,26 @@ struct Search {
   bool aborted = false;
   bool truncated = false;
 
-  explicit Search(const RegretEvaluator& eval,
+  explicit Search(const RegretEvaluator& eval, const EvalKernel& kern,
                   const BranchAndBoundOptions& opts,
                   BranchAndBoundStats* s)
-      : evaluator(eval), options(opts), stats(s) {}
+      : evaluator(eval), kernel(kern), options(opts), stats(s) {}
 
   double ArrOfSat(const std::vector<double>& sat) const {
-    double arr = 0.0;
-    const std::vector<double>& weights = evaluator.user_weights();
-    for (size_t u = 0; u < evaluator.num_users(); ++u) {
-      double denom = evaluator.BestInDb(u);
-      if (denom <= 0.0) continue;
-      arr += weights[u] * (denom - std::min(sat[u], denom)) / denom;
-    }
-    return arr;
+    return kernel.ArrOfSatisfaction(sat);
   }
 
   /// Optimistic completion: every remaining candidate joins the set.
+  /// Branch-free over the kernel's safe arrays and the contiguous suffix
+  /// row (bit-identical to the skip-indifferent loop).
   double Bound(size_t idx, const std::vector<double>& sat) const {
     double arr = 0.0;
-    const std::vector<double>& weights = evaluator.user_weights();
+    std::span<const double> weights = kernel.gain_weights();
+    std::span<const double> denoms = kernel.safe_denoms();
+    const double* suffix = suffix_best.row(idx);
     for (size_t u = 0; u < evaluator.num_users(); ++u) {
-      double denom = evaluator.BestInDb(u);
-      if (denom <= 0.0) continue;
-      double optimistic = std::max(sat[u], suffix_best(u, idx));
+      double denom = denoms[u];
+      double optimistic = std::max(sat[u], suffix[u]);
       arr += weights[u] * (denom - std::min(optimistic, denom)) / denom;
     }
     return arr;
@@ -80,10 +80,17 @@ struct Search {
 
     // Include candidates[idx].
     size_t point = candidates[idx];
-    const UtilityMatrix& users = evaluator.users();
     std::vector<double> with(sat);
-    for (size_t u = 0; u < evaluator.num_users(); ++u) {
-      with[u] = std::max(with[u], users.Utility(u, point));
+    if (kernel.tiled()) {
+      std::span<const double> column = kernel.Column(point);
+      for (size_t u = 0; u < evaluator.num_users(); ++u) {
+        with[u] = std::max(with[u], column[u]);
+      }
+    } else {
+      const UtilityMatrix& users = evaluator.users();
+      for (size_t u = 0; u < evaluator.num_users(); ++u) {
+        with[u] = std::max(with[u], users.Utility(u, point));
+      }
     }
     chosen.push_back(point);
     Dfs(idx + 1, with);
@@ -104,14 +111,19 @@ Result<Selection> BranchAndBound(const RegretEvaluator& evaluator,
   if (options.k > n) return Status::InvalidArgument("k exceeds database size");
   if (stats != nullptr) *stats = BranchAndBoundStats{};
 
-  Search search(evaluator, options, stats);
+  std::optional<EvalKernel> local;
+  const EvalKernel& kernel =
+      ResolveKernel(options.kernel, evaluator, options.cancel, local);
+  Search search(evaluator, kernel, options, stats);
 
   // Seed the incumbent with GREEDY-SHRINK (usually already optimal) before
-  // any search preparation. The seed shares the cancellation token, so a
-  // deadline bounds the whole solve: on expiry the (fast-finished) seed is
-  // returned without paying for the O(N·n) suffix matrix below.
+  // any search preparation. The seed shares the cancellation token and the
+  // kernel, so a deadline bounds the whole solve: on expiry the
+  // (fast-finished) seed is returned without paying for the O(N·n) suffix
+  // matrix below.
   GreedyShrinkOptions greedy_options;
   greedy_options.k = options.k;
+  greedy_options.kernel = &kernel;
   greedy_options.cancel = options.cancel;
   GreedyShrinkStats greedy_stats;
   FAM_ASSIGN_OR_RETURN(Selection greedy,
@@ -127,20 +139,16 @@ Result<Selection> BranchAndBound(const RegretEvaluator& evaluator,
   };
 
   if (!search.truncated) {
-    // Branch on strong points first: ascending single-point arr. Polled
-    // per candidate so a deadline caps this O(N·n) phase too.
+    // Branch on strong points first: ascending single-point arr, computed
+    // by the kernel's batched pass (polled per candidate chunk so a
+    // deadline caps this O(N·n) phase too).
     search.candidates.resize(n);
     std::iota(search.candidates.begin(), search.candidates.end(), 0);
     std::vector<double> single_arr(n);
-    for (size_t p = 0; p < n; ++p) {
-      if (expired()) {
-        search.truncated = true;
-        break;
-      }
-      std::vector<size_t> single = {p};
-      single_arr[p] = evaluator.AverageRegretRatio(single);
-    }
-    if (!search.truncated) {
+    if (!kernel.BatchSingleArrs(search.candidates, single_arr,
+                                options.cancel)) {
+      search.truncated = true;
+    } else {
       std::sort(search.candidates.begin(), search.candidates.end(),
                 [&](size_t a, size_t b) {
                   if (single_arr[a] != single_arr[b]) {
@@ -153,19 +161,28 @@ Result<Selection> BranchAndBound(const RegretEvaluator& evaluator,
 
   if (!search.truncated) {
     // Suffix maxima of utility over the branching order (the bound's
-    // oracle): O(N·n) time and memory, so it is gated on the deadline and
-    // polled per candidate.
-    const UtilityMatrix& users = evaluator.users();
-    search.suffix_best.Reset(evaluator.num_users(), n + 1, 0.0);
+    // oracle): O(N·n) time and memory, index-major so each row is the
+    // contiguous per-user maximum over candidates[idx..]. Gated on the
+    // deadline and polled per candidate.
+    search.suffix_best.Reset(n + 1, evaluator.num_users(), 0.0);
     for (size_t idx = n; idx-- > 0;) {
       if (expired()) {
         search.truncated = true;
         break;
       }
       size_t point = search.candidates[idx];
-      for (size_t u = 0; u < evaluator.num_users(); ++u) {
-        search.suffix_best(u, idx) = std::max(
-            search.suffix_best(u, idx + 1), users.Utility(u, point));
+      const double* next = search.suffix_best.row(idx + 1);
+      double* row = search.suffix_best.row(idx);
+      if (kernel.tiled()) {
+        std::span<const double> column = kernel.Column(point);
+        for (size_t u = 0; u < evaluator.num_users(); ++u) {
+          row[u] = std::max(next[u], column[u]);
+        }
+      } else {
+        const UtilityMatrix& users = evaluator.users();
+        for (size_t u = 0; u < evaluator.num_users(); ++u) {
+          row[u] = std::max(next[u], users.Utility(u, point));
+        }
       }
     }
   }

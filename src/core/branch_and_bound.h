@@ -19,6 +19,7 @@
 
 #include "common/cancellation.h"
 #include "common/status.h"
+#include "regret/eval_kernel.h"
 #include "regret/evaluator.h"
 #include "regret/selection.h"
 
@@ -28,6 +29,10 @@ struct BranchAndBoundOptions {
   size_t k = 5;
   /// Abort with FailedPrecondition after this many search nodes.
   uint64_t max_nodes = 2'000'000'000ULL;
+  /// Shared kernel (typically the Workload's); when null, a solver-local
+  /// kernel is built from the evaluator. Used for the batched single-point
+  /// ordering pass, the suffix bound oracle, and the greedy seed.
+  const EvalKernel* kernel = nullptr;
   /// Polled once per search node; on expiry the search stops and returns
   /// the best selection found so far (stats->truncated is set).
   const CancellationToken* cancel = nullptr;

@@ -1,6 +1,7 @@
 #include "core/greedy_grow.h"
 
 #include <algorithm>
+#include <optional>
 #include <queue>
 
 #include "common/logging.h"
@@ -8,7 +9,9 @@
 namespace fam {
 namespace {
 
-/// arr(S) − arr(S ∪ {p}) given per-user current satisfactions.
+/// arr(S) − arr(S ∪ {p}) given per-user current satisfactions — the naive
+/// reference evaluation (storage-mode branch inside every lookup); the
+/// kernel path computes the same sum from a contiguous score column.
 double Gain(const RegretEvaluator& evaluator, size_t p,
             const std::vector<double>& sat, GreedyGrowStats* stats) {
   if (stats != nullptr) ++stats->gain_evaluations;
@@ -63,16 +66,12 @@ void FastPad(const RegretEvaluator& evaluator, size_t k,
   }
 }
 
-}  // namespace
-
-Result<Selection> GreedyGrow(const RegretEvaluator& evaluator,
-                             const GreedyGrowOptions& options,
-                             GreedyGrowStats* stats) {
+/// Pre-kernel reference implementation (eager and lazy); kept as the
+/// measurable baseline for bench_eval_kernel and the ablation studies.
+Result<Selection> RunNaive(const RegretEvaluator& evaluator,
+                           const GreedyGrowOptions& options,
+                           GreedyGrowStats* stats) {
   const size_t n = evaluator.num_points();
-  if (stats != nullptr) *stats = GreedyGrowStats{};
-  if (options.k == 0) return Status::InvalidArgument("k must be at least 1");
-  if (options.k > n) return Status::InvalidArgument("k exceeds database size");
-
   std::vector<double> sat(evaluator.num_users(), 0.0);
   std::vector<uint8_t> in_set(n, 0);
   std::vector<size_t> selected;
@@ -152,6 +151,104 @@ Result<Selection> GreedyGrow(const RegretEvaluator& evaluator,
   result.average_regret_ratio = evaluator.AverageRegretRatio(selected);
   result.indices = std::move(selected);
   return result;
+}
+
+/// Kernel path: batched gains (eager: one batch per round; lazy: one
+/// seeding batch + single re-evaluations through the lazy queue) over the
+/// shared SubsetEvalState. Selections are bit-identical to RunNaive: each
+/// candidate's gain is the same ascending-user sum and ties break toward
+/// the smaller index in both modes.
+Result<Selection> RunKernel(const RegretEvaluator& evaluator,
+                            const GreedyGrowOptions& options,
+                            GreedyGrowStats* stats) {
+  const size_t n = evaluator.num_points();
+  std::optional<EvalKernel> local;
+  const EvalKernel& kernel =
+      ResolveKernel(options.kernel, evaluator, options.cancel, local);
+  SubsetEvalState state(kernel);
+
+  std::vector<size_t> candidates;
+  candidates.reserve(n);
+  std::vector<double> gains(n);
+  std::vector<size_t> selected;
+  selected.reserve(options.k);
+  bool truncated = false;
+
+  if (!options.use_lazy_evaluation) {
+    while (selected.size() < options.k && !truncated) {
+      candidates.clear();
+      for (size_t p = 0; p < n; ++p) {
+        if (!state.contains(p)) candidates.push_back(p);
+      }
+      std::span<double> round_gains{gains.data(), candidates.size()};
+      if (!state.BatchGains(candidates, round_gains, options.cancel)) {
+        truncated = true;
+        break;
+      }
+      size_t best = n;
+      double best_gain = -1.0;
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        if (round_gains[i] > best_gain) {
+          best_gain = round_gains[i];
+          best = candidates[i];
+        }
+      }
+      FAM_CHECK(best < n);
+      state.Add(best);
+      selected.push_back(best);
+    }
+  } else {
+    candidates.resize(n);
+    for (size_t p = 0; p < n; ++p) candidates[p] = p;
+    if (!state.BatchGains(candidates, gains, options.cancel)) {
+      truncated = true;
+    } else {
+      LazyGainQueue queue;
+      queue.Seed(candidates, gains);
+      while (selected.size() < options.k) {
+        bool expired = false;
+        size_t best =
+            queue.PopBest(state, selected.size(), options.cancel, &expired);
+        if (expired) {
+          truncated = true;
+          break;
+        }
+        FAM_CHECK(best != LazyGainQueue::kNoPoint);
+        state.Add(best);
+        selected.push_back(best);
+      }
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->kernel = state.counters();
+    stats->gain_evaluations = state.counters().batched_gain_candidates +
+                              state.counters().single_gain_evaluations;
+  }
+  if (truncated) {
+    std::vector<uint8_t> in_set(n, 0);
+    for (size_t p : selected) in_set[p] = 1;
+    FastPad(evaluator, options.k, selected, in_set, stats);
+  }
+
+  std::sort(selected.begin(), selected.end());
+  Selection result;
+  result.average_regret_ratio = evaluator.AverageRegretRatio(selected);
+  result.indices = std::move(selected);
+  return result;
+}
+
+}  // namespace
+
+Result<Selection> GreedyGrow(const RegretEvaluator& evaluator,
+                             const GreedyGrowOptions& options,
+                             GreedyGrowStats* stats) {
+  const size_t n = evaluator.num_points();
+  if (stats != nullptr) *stats = GreedyGrowStats{};
+  if (options.k == 0) return Status::InvalidArgument("k must be at least 1");
+  if (options.k > n) return Status::InvalidArgument("k exceeds database size");
+  if (options.use_eval_kernel) return RunKernel(evaluator, options, stats);
+  return RunNaive(evaluator, options, stats);
 }
 
 }  // namespace fam

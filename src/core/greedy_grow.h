@@ -21,6 +21,7 @@
 
 #include "common/cancellation.h"
 #include "common/status.h"
+#include "regret/eval_kernel.h"
 #include "regret/evaluator.h"
 #include "regret/selection.h"
 
@@ -30,9 +31,18 @@ struct GreedyGrowOptions {
   size_t k = 10;
   /// Lazy (upper-bound) candidate evaluation; exact either way.
   bool use_lazy_evaluation = true;
-  /// Polled once per candidate gain evaluation; on expiry the partial
-  /// selection is padded to k with the unselected points that are the
-  /// most users' database favorites (stats->truncated is set).
+  /// Route candidate evaluation through the shared EvalKernel (blocked
+  /// batched gains + incremental best-in-set maintenance). False keeps the
+  /// naive per-user evaluation path — the ablation/bench reference;
+  /// selections are bit-identical either way.
+  bool use_eval_kernel = true;
+  /// Shared kernel (typically the Workload's); when null and the kernel
+  /// path is enabled, a solver-local kernel is built from the evaluator.
+  const EvalKernel* kernel = nullptr;
+  /// Polled once per candidate gain evaluation (per candidate chunk in
+  /// the batched kernel); on expiry the partial selection is padded to k
+  /// with the unselected points that are the most users' database
+  /// favorites (stats->truncated is set).
   const CancellationToken* cancel = nullptr;
 };
 
@@ -41,6 +51,8 @@ struct GreedyGrowStats {
   uint64_t gain_evaluations = 0;
   /// True when the cancellation token expired before k rounds finished.
   bool truncated = false;
+  /// Kernel work counters (zero on the naive path).
+  EvalKernelCounters kernel;
 };
 
 /// Runs forward greedy selection against the evaluator's user sample.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <optional>
 #include <queue>
 
 #include "common/logging.h"
@@ -10,110 +11,6 @@
 
 namespace fam {
 namespace {
-
-/// Shared incremental state for the cached (Improvement 1) modes: alive set,
-/// per-user best-point cache, and per-point buckets of users whose cached
-/// best point it is.
-class ShrinkState {
- public:
-  explicit ShrinkState(const RegretEvaluator& evaluator)
-      : evaluator_(evaluator), users_(evaluator.users()) {
-    const size_t n = users_.num_points();
-    const size_t num_users = users_.num_users();
-    alive_.assign(n, 1);
-    alive_list_.resize(n);
-    std::iota(alive_list_.begin(), alive_list_.end(), 0);
-    pos_in_alive_.resize(n);
-    std::iota(pos_in_alive_.begin(), pos_in_alive_.end(), 0);
-    buckets_.assign(n, {});
-    best_point_.resize(num_users);
-    best_value_.resize(num_users);
-    for (size_t u = 0; u < num_users; ++u) {
-      size_t best = evaluator.BestPointInDb(u);
-      best_point_[u] = best;
-      best_value_[u] = evaluator.BestInDb(u);
-      buckets_[best].push_back(static_cast<uint32_t>(u));
-    }
-  }
-
-  size_t alive_count() const { return alive_list_.size(); }
-  const std::vector<size_t>& alive_list() const { return alive_list_; }
-  bool alive(size_t p) const { return alive_[p] != 0; }
-  double current_arr() const { return current_arr_; }
-  size_t bucket_size(size_t p) const { return buckets_[p].size(); }
-
-  /// arr(S − {p}) − arr(S). Only users whose cached best point is p are
-  /// re-scanned (Improvement 1).
-  double ComputeDelta(size_t p, GreedyShrinkStats* stats) {
-    double delta = 0.0;
-    const std::vector<double>& weights = evaluator_.user_weights();
-    for (uint32_t u : buckets_[p]) {
-      double denom = evaluator_.BestInDb(u);
-      if (denom <= 0.0) continue;
-      double second = SecondBest(u, p);
-      delta += weights[u] * (best_value_[u] - second) / denom;
-    }
-    if (stats != nullptr) {
-      ++stats->arr_evaluations;
-      stats->user_rescans += buckets_[p].size();
-      stats->user_rescans_possible += users_.num_users();
-    }
-    return std::max(0.0, delta);
-  }
-
-  /// Removes `p` from S, re-homing the users in its bucket. `delta` must be
-  /// the value ComputeDelta(p) returned against the current S.
-  void Remove(size_t p, double delta, GreedyShrinkStats* stats) {
-    FAM_DCHECK(alive(p));
-    // Kill p first so rescans ignore it.
-    alive_[p] = 0;
-    size_t pos = pos_in_alive_[p];
-    size_t last = alive_list_.back();
-    alive_list_[pos] = last;
-    pos_in_alive_[last] = pos;
-    alive_list_.pop_back();
-
-    for (uint32_t u : buckets_[p]) {
-      size_t new_best = 0;
-      double new_value = -1.0;
-      for (size_t q : alive_list_) {
-        double v = users_.Utility(u, q);
-        if (v > new_value) {
-          new_value = v;
-          new_best = q;
-        }
-      }
-      best_point_[u] = new_best;
-      best_value_[u] = std::max(0.0, new_value);
-      buckets_[new_best].push_back(u);
-    }
-    if (stats != nullptr) stats->user_rescans += buckets_[p].size();
-    buckets_[p].clear();
-    buckets_[p].shrink_to_fit();
-    current_arr_ += delta;
-  }
-
- private:
-  /// Best utility of user `u` over the alive set excluding `p`.
-  double SecondBest(uint32_t u, size_t p) const {
-    double best = 0.0;
-    for (size_t q : alive_list_) {
-      if (q == p) continue;
-      best = std::max(best, users_.Utility(u, q));
-    }
-    return best;
-  }
-
-  const RegretEvaluator& evaluator_;
-  const UtilityMatrix& users_;
-  std::vector<uint8_t> alive_;
-  std::vector<size_t> alive_list_;
-  std::vector<size_t> pos_in_alive_;
-  std::vector<std::vector<uint32_t>> buckets_;
-  std::vector<size_t> best_point_;
-  std::vector<double> best_value_;
-  double current_arr_ = 0.0;
-};
 
 /// Best-effort completion on cancellation: keeps the k candidates with the
 /// highest scores (ties to the smaller index) — scores are "how many users
@@ -192,45 +89,108 @@ Selection RunNaive(const RegretEvaluator& evaluator,
   return selection;
 }
 
-/// FastFinish over a ShrinkState: scores are the live bucket sizes (how
-/// many users' current best point each alive candidate is).
-Selection FastFinishState(const RegretEvaluator& evaluator,
-                          const ShrinkState& state, size_t k,
-                          GreedyShrinkStats* stats) {
-  std::vector<size_t> scores(evaluator.num_points(), 0);
-  for (size_t p : state.alive_list()) scores[p] = state.bucket_size(p);
-  return FastFinish(evaluator, state.alive_list(), scores, k, stats);
+/// Copies the shared kernel state's work counters into the stats.
+void ExportCounters(const SubsetEvalState& state, GreedyShrinkStats* stats) {
+  if (stats == nullptr) return;
+  stats->kernel = state.counters();
+  stats->user_rescans = state.counters().user_rescans;
 }
 
-/// Improvement 1 only: evaluate every alive candidate per iteration via
-/// cached deltas.
-Selection RunCached(const RegretEvaluator& evaluator,
-                    const GreedyShrinkOptions& options,
-                    GreedyShrinkStats* stats) {
-  const size_t k = options.k;
-  ShrinkState state(evaluator);
+/// FastFinish over the kernel state: scores are the live bucket sizes (how
+/// many users' current best point each alive candidate is).
+Selection FastFinishState(const RegretEvaluator& evaluator,
+                          const SubsetEvalState& state, size_t k,
+                          GreedyShrinkStats* stats) {
+  ExportCounters(state, stats);
+  std::vector<size_t> scores(evaluator.num_points(), 0);
+  for (size_t p : state.members()) scores[p] = state.BucketSize(p);
+  return FastFinish(evaluator, state.members(), scores, k, stats);
+}
 
+/// FastFinish before any state exists (setup expired): every point is a
+/// candidate, scored by its count of database favorites.
+Selection FastFinishBestInDb(const RegretEvaluator& evaluator, size_t k,
+                             GreedyShrinkStats* stats) {
+  std::vector<size_t> scores(evaluator.num_points(), 0);
+  for (size_t u = 0; u < evaluator.num_users(); ++u) {
+    ++scores[evaluator.BestPointInDb(u)];
+  }
+  std::vector<size_t> candidates(evaluator.num_points());
+  std::iota(candidates.begin(), candidates.end(), 0);
+  return FastFinish(evaluator, candidates, scores, k, stats);
+}
+
+/// Builds the shrink-mode kernel state shared by the cached and lazy
+/// modes: full set, zero-cost removal of never-best points, then the
+/// second-best preparation pass over the surviving members. Returns
+/// nullopt when the cancellation token expired (the caller returns the
+/// already-produced fast finish in `truncated_result`).
+std::optional<SubsetEvalState> PrepareShrinkState(
+    const RegretEvaluator& evaluator, const EvalKernel& kernel,
+    const GreedyShrinkOptions& options, GreedyShrinkStats* stats,
+    Selection* truncated_result) {
+  SubsetEvalState state(kernel);
+  if (!state.ResetToFull(options.cancel)) {
+    *truncated_result = FastFinishBestInDb(evaluator, options.k, stats);
+    return std::nullopt;
+  }
   // Free phase: points that are nobody's best point can be removed at zero
   // cost, in ascending index order (they are all arg-mins with delta 0).
-  for (size_t p = 0; p < evaluator.num_points() && state.alive_count() > k;
-       ++p) {
-    if (state.alive(p) && state.bucket_size(p) == 0) {
-      state.Remove(p, 0.0, nullptr);
+  for (size_t p = 0;
+       p < evaluator.num_points() && state.size() > options.k; ++p) {
+    if (state.contains(p) && state.BucketSize(p) == 0) {
+      state.Remove(p, 0.0);
       if (stats != nullptr) ++stats->free_removals;
     }
   }
+  if (state.size() > options.k && !state.PrepareSeconds(options.cancel)) {
+    *truncated_result =
+        FastFinishState(evaluator, state, options.k, stats);
+    return std::nullopt;
+  }
+  return state;
+}
 
-  while (state.alive_count() > k) {
+Selection FinishSelection(const RegretEvaluator& evaluator,
+                          const SubsetEvalState& state,
+                          GreedyShrinkStats* stats) {
+  ExportCounters(state, stats);
+  Selection selection;
+  selection.indices = state.members();
+  std::sort(selection.indices.begin(), selection.indices.end());
+  selection.average_regret_ratio =
+      evaluator.AverageRegretRatio(selection.indices);
+  return selection;
+}
+
+/// Improvement 1 only: evaluate every alive candidate per iteration via
+/// cached deltas (O(|bucket|) each once seconds are prepared).
+Selection RunCached(const RegretEvaluator& evaluator,
+                    const EvalKernel& kernel,
+                    const GreedyShrinkOptions& options,
+                    GreedyShrinkStats* stats) {
+  const size_t k = options.k;
+  Selection truncated_result;
+  std::optional<SubsetEvalState> state =
+      PrepareShrinkState(evaluator, kernel, options, stats,
+                         &truncated_result);
+  if (!state.has_value()) return truncated_result;
+
+  while (state->size() > k) {
     double best_delta = std::numeric_limits<double>::infinity();
     size_t best_point = 0;
     // Iterate in ascending index order for the (value, index) tie-break.
-    std::vector<size_t> order(state.alive_list());
+    std::vector<size_t> order(state->members());
     std::sort(order.begin(), order.end());
     for (size_t p : order) {
       if (Expired(options)) {
-        return FastFinishState(evaluator, state, k, stats);
+        return FastFinishState(evaluator, *state, k, stats);
       }
-      double delta = state.ComputeDelta(p, stats);
+      double delta = state->RemovalDelta(p);
+      if (stats != nullptr) {
+        ++stats->arr_evaluations;
+        stats->user_rescans_possible += evaluator.num_users();
+      }
       if (delta < best_delta) {
         best_delta = delta;
         best_point = p;
@@ -238,35 +198,25 @@ Selection RunCached(const RegretEvaluator& evaluator,
     }
     if (stats != nullptr) {
       ++stats->evaluated_iterations;
-      stats->arr_evaluations_possible += state.alive_count();
+      stats->arr_evaluations_possible += state->size();
     }
-    state.Remove(best_point, best_delta, stats);
+    state->Remove(best_point, best_delta);
   }
-
-  Selection selection;
-  selection.indices = state.alive_list();
-  std::sort(selection.indices.begin(), selection.indices.end());
-  selection.average_regret_ratio =
-      evaluator.AverageRegretRatio(selection.indices);
-  return selection;
+  return FinishSelection(evaluator, *state, stats);
 }
 
 /// Improvements 1 + 2: lazy min-heap of evaluation values; stale values are
 /// lower bounds (Lemma 2), so a candidate that stays at the top of the heap
 /// after re-evaluation is the arg-min (Lemma 3).
-Selection RunLazy(const RegretEvaluator& evaluator,
+Selection RunLazy(const RegretEvaluator& evaluator, const EvalKernel& kernel,
                   const GreedyShrinkOptions& options,
                   GreedyShrinkStats* stats) {
   const size_t k = options.k;
-  ShrinkState state(evaluator);
-
-  for (size_t p = 0; p < evaluator.num_points() && state.alive_count() > k;
-       ++p) {
-    if (state.alive(p) && state.bucket_size(p) == 0) {
-      state.Remove(p, 0.0, nullptr);
-      if (stats != nullptr) ++stats->free_removals;
-    }
-  }
+  Selection truncated_result;
+  std::optional<SubsetEvalState> state =
+      PrepareShrinkState(evaluator, kernel, options, stats,
+                         &truncated_result);
+  if (!state.has_value()) return truncated_result;
 
   struct Entry {
     double value;  // arr(S − {p}) at evaluation time (absolute, Lemma 2).
@@ -280,53 +230,55 @@ Selection RunLazy(const RegretEvaluator& evaluator,
   std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
   std::vector<size_t> last_stamp(evaluator.num_points(), 0);
 
+  auto evaluate = [&](size_t p) {
+    double delta = state->RemovalDelta(p);
+    if (stats != nullptr) {
+      ++stats->arr_evaluations;
+      stats->user_rescans_possible += evaluator.num_users();
+    }
+    return delta;
+  };
+
   // Initial pass: evaluate everything once (the paper's sorted list L).
   size_t iteration = 0;
-  if (state.alive_count() > k) {
-    for (size_t p : state.alive_list()) {
+  if (state->size() > k) {
+    for (size_t p : state->members()) {
       if (Expired(options)) {
-        return FastFinishState(evaluator, state, k, stats);
+        return FastFinishState(evaluator, *state, k, stats);
       }
-      double delta = state.ComputeDelta(p, stats);
-      heap.push({state.current_arr() + delta, p, iteration});
+      heap.push({state->incremental_arr() + evaluate(p), p, iteration});
       last_stamp[p] = iteration;
     }
     if (stats != nullptr) {
       ++stats->evaluated_iterations;
-      stats->arr_evaluations_possible += state.alive_count();
+      stats->arr_evaluations_possible += state->size();
     }
   }
 
-  while (state.alive_count() > k) {
+  while (state->size() > k) {
     if (Expired(options)) {
-      return FastFinishState(evaluator, state, k, stats);
+      return FastFinishState(evaluator, *state, k, stats);
     }
     FAM_CHECK(!heap.empty()) << "lazy heap exhausted";
     Entry top = heap.top();
     heap.pop();
-    if (!state.alive(top.point)) continue;           // removed point
-    if (top.stamp != last_stamp[top.point]) continue;  // superseded entry
+    if (!state->contains(top.point)) continue;          // removed point
+    if (top.stamp != last_stamp[top.point]) continue;   // superseded entry
     if (top.stamp == iteration) {
       // Fresh for this iteration and still minimal: the arg-min (Lemma 3).
-      state.Remove(top.point, top.value - state.current_arr(), stats);
+      state->Remove(top.point, top.value - state->incremental_arr());
       ++iteration;
-      if (state.alive_count() > k && stats != nullptr) {
+      if (state->size() > k && stats != nullptr) {
         ++stats->evaluated_iterations;
-        stats->arr_evaluations_possible += state.alive_count();
+        stats->arr_evaluations_possible += state->size();
       }
       continue;
     }
-    double delta = state.ComputeDelta(top.point, stats);
-    heap.push({state.current_arr() + delta, top.point, iteration});
+    heap.push({state->incremental_arr() + evaluate(top.point), top.point,
+               iteration});
     last_stamp[top.point] = iteration;
   }
-
-  Selection selection;
-  selection.indices = state.alive_list();
-  std::sort(selection.indices.begin(), selection.indices.end());
-  selection.average_regret_ratio =
-      evaluator.AverageRegretRatio(selection.indices);
-  return selection;
+  return FinishSelection(evaluator, *state, stats);
 }
 
 }  // namespace
@@ -375,8 +327,12 @@ Result<Selection> GreedyShrinkOnSkyline(const Dataset& dataset,
 
   RegretEvaluator restricted(
       evaluator.users().RestrictToPoints(skyline), evaluator.user_weights());
+  // The restricted evaluator is a different point universe; the shared
+  // kernel does not apply, so the recursive call builds its own.
+  GreedyShrinkOptions restricted_options = options;
+  restricted_options.kernel = nullptr;
   FAM_ASSIGN_OR_RETURN(Selection local,
-                       GreedyShrink(restricted, options, stats));
+                       GreedyShrink(restricted, restricted_options, stats));
   Selection selection;
   selection.indices.reserve(local.indices.size());
   for (size_t idx : local.indices) selection.indices.push_back(skyline[idx]);
@@ -405,10 +361,13 @@ Result<Selection> GreedyShrink(const RegretEvaluator& evaluator,
   if (!options.use_best_point_cache) {
     return RunNaive(evaluator, options, stats);
   }
+  std::optional<EvalKernel> local;
+  const EvalKernel& kernel =
+      ResolveKernel(options.kernel, evaluator, options.cancel, local);
   if (!options.use_lazy_evaluation) {
-    return RunCached(evaluator, options, stats);
+    return RunCached(evaluator, kernel, options, stats);
   }
-  return RunLazy(evaluator, options, stats);
+  return RunLazy(evaluator, kernel, options, stats);
 }
 
 }  // namespace fam

@@ -35,6 +35,7 @@
 
 #include "common/cancellation.h"
 #include "common/status.h"
+#include "regret/eval_kernel.h"
 #include "regret/evaluator.h"
 #include "regret/selection.h"
 
@@ -43,10 +44,16 @@ namespace fam {
 struct GreedyShrinkOptions {
   /// Desired solution size k (1 <= k <= n).
   size_t k = 10;
-  /// Improvement 1: per-user best-point cache + delta evaluation.
+  /// Improvement 1: per-user best-point cache + delta evaluation. Since
+  /// the EvalKernel refactor this is the shared SubsetEvalState's shrink
+  /// mode (per-point user buckets + maintained second-best values, so a
+  /// candidate evaluation is O(|bucket|) instead of O(|bucket|·|S|)).
   bool use_best_point_cache = true;
   /// Improvement 2: lazy lower-bound evaluation; requires Improvement 1.
   bool use_lazy_evaluation = true;
+  /// Shared kernel (typically the Workload's); when null and Improvement 1
+  /// is enabled, a solver-local kernel is built from the evaluator.
+  const EvalKernel* kernel = nullptr;
   /// Polled once per candidate evaluation; on expiry the descent stops and
   /// the current set is completed to size k by keeping the points serving
   /// the most users (stats->truncated is set).
@@ -72,6 +79,8 @@ struct GreedyShrinkStats {
   /// returned selection is a fast best-effort completion, not the greedy
   /// descent's answer.
   bool truncated = false;
+  /// Kernel work counters (zero on the naive path).
+  EvalKernelCounters kernel;
 
   /// Fraction of candidates evaluated per iteration (paper reports ~68%).
   double CandidateFraction() const;

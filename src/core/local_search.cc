@@ -1,35 +1,26 @@
 #include "core/local_search.h"
 
 #include <algorithm>
+#include <optional>
 
 namespace fam {
+namespace {
 
-Result<Selection> LocalSearchRefine(const RegretEvaluator& evaluator,
-                                    const Selection& selection,
-                                    const LocalSearchOptions& options,
-                                    LocalSearchStats* stats) {
+/// Pre-kernel reference implementation: per-pass best/second refresh, one
+/// O(N) scan per (out, in) pair with a dynamic early break. Kept as the
+/// measurable baseline for bench_eval_kernel.
+Result<Selection> RunNaive(const RegretEvaluator& evaluator,
+                           const Selection& selection,
+                           const LocalSearchOptions& options,
+                           LocalSearchStats* stats,
+                           std::vector<uint8_t> in_set) {
   const size_t n = evaluator.num_points();
   const size_t num_users = evaluator.num_users();
-  if (selection.indices.empty()) {
-    return Status::InvalidArgument("empty selection");
-  }
-  std::vector<uint8_t> in_set(n, 0);
-  for (size_t p : selection.indices) {
-    if (p >= n) return Status::OutOfRange("selection index out of range");
-    if (in_set[p]) {
-      return Status::InvalidArgument("duplicate selection index");
-    }
-    in_set[p] = 1;
-  }
-
   const UtilityMatrix& users = evaluator.users();
   const std::vector<double>& weights = evaluator.user_weights();
   std::vector<size_t> current = selection.indices;
   double current_arr = evaluator.AverageRegretRatio(current);
-  if (stats != nullptr) {
-    *stats = LocalSearchStats{};
-    stats->initial_arr = current_arr;
-  }
+  if (stats != nullptr) stats->initial_arr = current_arr;
 
   // Per-user best/second-best over the current set, refreshed per pass.
   std::vector<double> best_value(num_users);
@@ -119,6 +110,117 @@ Result<Selection> LocalSearchRefine(const RegretEvaluator& evaluator,
     stats->truncated = truncated;
   }
   return refined;
+}
+
+/// Kernel path: per pass, each outside candidate is scored against every
+/// out-position in one blocked column stream (BatchSwapArrs), with sound
+/// block-level pruning against the pass threshold. The winning swap is the
+/// lexicographic (arr, position, candidate) minimum among improving swaps
+/// — exactly the swap the naive scan's first-strict-minimum rule selects,
+/// so the refinement trajectory is bit-identical.
+Result<Selection> RunKernel(const RegretEvaluator& evaluator,
+                            const Selection& selection,
+                            const LocalSearchOptions& options,
+                            LocalSearchStats* stats) {
+  const size_t n = evaluator.num_points();
+  std::optional<EvalKernel> local;
+  const EvalKernel& kernel =
+      ResolveKernel(options.kernel, evaluator, options.cancel, local);
+  SubsetEvalState state(kernel);
+  for (size_t p : selection.indices) state.Add(p);
+
+  double current_arr = evaluator.AverageRegretRatio(selection.indices);
+  if (stats != nullptr) stats->initial_arr = current_arr;
+
+  const size_t k = selection.indices.size();
+  std::vector<double> swap_arrs(k);
+
+  size_t swaps = 0;
+  bool truncated = false;
+  bool improved = true;
+  while (improved && swaps < options.max_swaps && !truncated) {
+    improved = false;
+    if (options.cancel != nullptr && options.cancel->Expired()) {
+      truncated = true;
+      break;
+    }
+    if (stats != nullptr) ++stats->passes;
+
+    const double threshold = current_arr - options.min_improvement;
+    double best_swap_arr = threshold;
+    size_t best_out_pos = 0;
+    size_t best_in_point = n;
+
+    for (size_t a = 0; a < n && !truncated; ++a) {
+      if (state.contains(a)) continue;
+      // One candidate evaluation costs O(N·k); polling here bounds the
+      // deadline overshoot to a single batched evaluation.
+      if (options.cancel != nullptr && options.cancel->Expired()) {
+        truncated = true;
+        break;
+      }
+      state.BatchSwapArrs(a, threshold, swap_arrs);
+      for (size_t pos = 0; pos < k; ++pos) {
+        double arr = swap_arrs[pos];
+        // Lexicographic (arr, pos, a) minimum: `a` ascends in the outer
+        // loop, so a strict value win or an equal value with a smaller
+        // position wins; equal (arr, pos) keeps the earlier candidate.
+        if (arr < best_swap_arr ||
+            (arr == best_swap_arr && best_in_point < n &&
+             pos < best_out_pos)) {
+          best_swap_arr = arr;
+          best_out_pos = pos;
+          best_in_point = a;
+        }
+      }
+    }
+
+    if (best_in_point < n) {
+      state.ApplySwap(best_out_pos, best_in_point);
+      current_arr = best_swap_arr;
+      ++swaps;
+      improved = true;
+    }
+  }
+
+  std::vector<size_t> current = state.members();
+  std::sort(current.begin(), current.end());
+  Selection refined;
+  refined.indices = std::move(current);
+  refined.average_regret_ratio =
+      evaluator.AverageRegretRatio(refined.indices);
+  if (stats != nullptr) {
+    stats->swaps_applied = swaps;
+    stats->final_arr = refined.average_regret_ratio;
+    stats->truncated = truncated;
+    stats->kernel = state.counters();
+  }
+  return refined;
+}
+
+}  // namespace
+
+Result<Selection> LocalSearchRefine(const RegretEvaluator& evaluator,
+                                    const Selection& selection,
+                                    const LocalSearchOptions& options,
+                                    LocalSearchStats* stats) {
+  const size_t n = evaluator.num_points();
+  if (selection.indices.empty()) {
+    return Status::InvalidArgument("empty selection");
+  }
+  std::vector<uint8_t> in_set(n, 0);
+  for (size_t p : selection.indices) {
+    if (p >= n) return Status::OutOfRange("selection index out of range");
+    if (in_set[p]) {
+      return Status::InvalidArgument("duplicate selection index");
+    }
+    in_set[p] = 1;
+  }
+  if (stats != nullptr) *stats = LocalSearchStats{};
+  if (options.use_eval_kernel) {
+    return RunKernel(evaluator, selection, options, stats);
+  }
+  return RunNaive(evaluator, selection, options, stats, std::move(in_set));
 }
 
 }  // namespace fam

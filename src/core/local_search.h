@@ -16,6 +16,7 @@
 
 #include "common/cancellation.h"
 #include "common/status.h"
+#include "regret/eval_kernel.h"
 #include "regret/evaluator.h"
 #include "regret/selection.h"
 
@@ -26,9 +27,17 @@ struct LocalSearchOptions {
   size_t max_swaps = 1000;
   /// Required improvement per swap; guards floating-point churn.
   double min_improvement = 1e-12;
-  /// Polled once per candidate swap evaluation; on expiry the search stops
-  /// and returns the current (still feasible) selection with
-  /// stats->truncated set.
+  /// Route swap evaluation through the shared EvalKernel (batched swap
+  /// arrs from incremental best/second statistics, block-level sound
+  /// pruning). False keeps the naive per-pair evaluation path — the
+  /// bench reference; selections are bit-identical either way.
+  bool use_eval_kernel = true;
+  /// Shared kernel (typically the Workload's); when null and the kernel
+  /// path is enabled, a solver-local kernel is built from the evaluator.
+  const EvalKernel* kernel = nullptr;
+  /// Polled once per candidate swap evaluation (per incoming candidate in
+  /// the kernel path); on expiry the search stops and returns the current
+  /// (still feasible) selection with stats->truncated set.
   const CancellationToken* cancel = nullptr;
 };
 
@@ -40,6 +49,8 @@ struct LocalSearchStats {
   /// True when the cancellation token expired before reaching
   /// swap-optimality; the returned selection is the best-so-far iterate.
   bool truncated = false;
+  /// Kernel work counters (zero on the naive path).
+  EvalKernelCounters kernel;
 };
 
 /// Refines `selection` (point indices into the evaluator's database) to

@@ -39,6 +39,34 @@ void AddCounter(SolveDetails* details, std::string name, double value) {
   details->counters.push_back({std::move(name), value});
 }
 
+/// Surfaces the shared evaluation kernel's work counters (SolveDetails →
+/// SolveResponse → `fam_cli --format json`). The headline trio is always
+/// emitted; situational counters only when non-zero.
+void AddKernelCounters(SolveDetails* details, const EvalKernelCounters& c) {
+  AddCounter(details, "kernel_batched_evaluations",
+             static_cast<double>(c.batched_gain_candidates));
+  AddCounter(details, "kernel_lazy_queue_hits",
+             static_cast<double>(c.lazy_queue_hits));
+  AddCounter(details, "kernel_incremental_updates",
+             static_cast<double>(c.incremental_updates));
+  if (c.lazy_queue_reevaluations > 0) {
+    AddCounter(details, "kernel_lazy_queue_reevaluations",
+               static_cast<double>(c.lazy_queue_reevaluations));
+  }
+  if (c.single_gain_evaluations > 0) {
+    AddCounter(details, "kernel_single_gain_evaluations",
+               static_cast<double>(c.single_gain_evaluations));
+  }
+  if (c.swap_evaluations > 0) {
+    AddCounter(details, "kernel_swap_evaluations",
+               static_cast<double>(c.swap_evaluations));
+  }
+  if (c.removal_delta_evaluations > 0) {
+    AddCounter(details, "kernel_removal_delta_evaluations",
+               static_cast<double>(c.removal_delta_evaluations));
+  }
+}
+
 // All built-ins are deterministic given the evaluator's shared user sample
 // (randomness lives in workload preparation), hence randomized = false
 // throughout; see SolverTraits::randomized.
@@ -57,6 +85,7 @@ Result<MrrGreedyOptions> MrrOptionsFromContext(const SolveContext& context,
   MrrGreedyOptions options;
   options.k = k;
   options.mode = mode;
+  options.kernel = context.kernel;
   options.cancel = context.cancel;
   FAM_ASSIGN_OR_RETURN(
       int64_t lp_limit,
@@ -89,6 +118,9 @@ void MrrDetailsFromStats(const MrrGreedyStats& stats, SolveDetails* details) {
   AddCounter(details, "rounds", static_cast<double>(stats.rounds));
   AddCounter(details, "used_lp_engine",
              stats.mode == MrrGreedyMode::kLinearProgramming ? 1.0 : 0.0);
+  if (stats.mode == MrrGreedyMode::kSampled) {
+    AddKernelCounters(details, stats.kernel);
+  }
 }
 
 }  // namespace
@@ -108,6 +140,7 @@ void RegisterBuiltinSolvers(SolverRegistry& registry) {
                     size_t k, const SolveContext& context,
                     SolveDetails* details) -> Result<Selection> {
                    GreedyShrinkOptions options{.k = k};
+                   options.kernel = context.kernel;
                    options.cancel = context.cancel;
                    FAM_ASSIGN_OR_RETURN(
                        options.use_best_point_cache,
@@ -128,6 +161,7 @@ void RegisterBuiltinSolvers(SolverRegistry& registry) {
                               static_cast<double>(stats.free_removals));
                    AddCounter(details, "user_rescans",
                               static_cast<double>(stats.user_rescans));
+                   AddKernelCounters(details, stats.kernel);
                    return selection;
                  }));
   MustRegister(
@@ -142,6 +176,7 @@ void RegisterBuiltinSolvers(SolverRegistry& registry) {
                     size_t k, const SolveContext& context,
                     SolveDetails* details) -> Result<Selection> {
                    GreedyGrowOptions options{.k = k};
+                   options.kernel = context.kernel;
                    options.cancel = context.cancel;
                    FAM_ASSIGN_OR_RETURN(
                        options.use_lazy_evaluation,
@@ -154,6 +189,7 @@ void RegisterBuiltinSolvers(SolverRegistry& registry) {
                    details->truncated = stats.truncated;
                    AddCounter(details, "gain_evaluations",
                               static_cast<double>(stats.gain_evaluations));
+                   AddKernelCounters(details, stats.kernel);
                    return selection;
                  }));
   MustRegister(
@@ -169,12 +205,14 @@ void RegisterBuiltinSolvers(SolverRegistry& registry) {
                     size_t k, const SolveContext& context,
                     SolveDetails* details) -> Result<Selection> {
                    GreedyGrowOptions seed_options{.k = k};
+                   seed_options.kernel = context.kernel;
                    seed_options.cancel = context.cancel;
                    GreedyGrowStats seed_stats;
                    FAM_ASSIGN_OR_RETURN(
                        Selection seed,
                        GreedyGrow(evaluator, seed_options, &seed_stats));
                    LocalSearchOptions options;
+                   options.kernel = context.kernel;
                    options.cancel = context.cancel;
                    FAM_ASSIGN_OR_RETURN(
                        int64_t max_swaps,
@@ -200,6 +238,9 @@ void RegisterBuiltinSolvers(SolverRegistry& registry) {
                               static_cast<double>(stats.swaps_applied));
                    AddCounter(details, "passes",
                               static_cast<double>(stats.passes));
+                   EvalKernelCounters kernel_counters = seed_stats.kernel;
+                   kernel_counters.MergeFrom(stats.kernel);
+                   AddKernelCounters(details, kernel_counters);
                    return refined;
                  }));
   MustRegister(
@@ -246,6 +287,7 @@ void RegisterBuiltinSolvers(SolverRegistry& registry) {
                     size_t k, const SolveContext& context,
                     SolveDetails* details) -> Result<Selection> {
                    BranchAndBoundOptions options{.k = k};
+                   options.kernel = context.kernel;
                    options.cancel = context.cancel;
                    FAM_ASSIGN_OR_RETURN(
                        int64_t max_nodes,

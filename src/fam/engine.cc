@@ -51,6 +51,12 @@ WorkloadBuilder& WorkloadBuilder::WithMaterializedUtilities(
   return *this;
 }
 
+WorkloadBuilder& WorkloadBuilder::WithScoreTile(bool enabled) {
+  tile_mode_ =
+      enabled ? EvalKernelOptions::Tile::kOn : EvalKernelOptions::Tile::kOff;
+  return *this;
+}
+
 Result<Workload> WorkloadBuilder::Build() const {
   if (dataset_ == nullptr) {
     return Status::InvalidArgument(
@@ -104,6 +110,13 @@ Result<Workload> WorkloadBuilder::Build() const {
   if (materialized_) users = users.Materialized();
   workload.evaluator_ = std::make_shared<const RegretEvaluator>(
       std::move(users), std::move(user_weights));
+  // The shared evaluation kernel (score tile + branch-free per-user
+  // arrays) is part of the paper's one-time preprocessing: built here,
+  // inside the timed phase, and reused by every solve.
+  EvalKernelOptions kernel_options;
+  kernel_options.tile = tile_mode_;
+  workload.kernel_ = std::make_shared<const EvalKernel>(workload.evaluator_,
+                                                        kernel_options);
   workload.preprocess_seconds_ = timer.ElapsedSeconds();
   return workload;
 }
@@ -123,6 +136,7 @@ Result<SolveResponse> Engine::Solve(const Workload& workload,
   SolveContext context;
   context.options = &request.options;
   context.cancel = request.deadline_seconds > 0.0 ? &cancel : nullptr;
+  context.kernel = &workload.kernel();
   context.seed = request.seed;
 
   SolveDetails details;

@@ -47,6 +47,7 @@
 #include "data/dataset.h"
 #include "fam/solver_options.h"
 #include "fam/solver_registry.h"
+#include "regret/eval_kernel.h"
 #include "regret/evaluator.h"
 #include "regret/selection.h"
 #include "utility/distribution.h"
@@ -62,11 +63,17 @@ class Workload {
   const Dataset& dataset() const { return *dataset_; }
   const RegretEvaluator& evaluator() const { return *evaluator_; }
 
+  /// The shared evaluation kernel (point-major score tile + branch-free
+  /// per-user arrays), built once at Build() time and reused by every
+  /// solve — including all requests of a SolveMany batch.
+  const EvalKernel& kernel() const { return *kernel_; }
+
   /// Shared handles, for callers that outlive the Workload object itself.
   std::shared_ptr<const Dataset> shared_dataset() const { return dataset_; }
   std::shared_ptr<const RegretEvaluator> shared_evaluator() const {
     return evaluator_;
   }
+  std::shared_ptr<const EvalKernel> shared_kernel() const { return kernel_; }
 
   size_t size() const { return dataset_->size(); }
   size_t dimension() const { return dataset_->dimension(); }
@@ -90,6 +97,7 @@ class Workload {
 
   std::shared_ptr<const Dataset> dataset_;
   std::shared_ptr<const RegretEvaluator> evaluator_;
+  std::shared_ptr<const EvalKernel> kernel_;
   uint64_t seed_ = 0;
   std::string distribution_name_;
   double preprocess_seconds_ = 0.0;
@@ -127,9 +135,14 @@ class WorkloadBuilder {
   /// (user, point) pair many times (brute force, B&B).
   WorkloadBuilder& WithMaterializedUtilities(bool materialized = true);
 
+  /// Forces the evaluation kernel's point-major score tile on or off.
+  /// Default: automatic — materialized when the N × n tile fits the
+  /// kernel's byte budget (EvalKernelOptions::max_tile_bytes).
+  WorkloadBuilder& WithScoreTile(bool enabled);
+
   /// Samples (or adopts) the user population, builds the evaluator with
-  /// its best-in-DB index, and returns the immutable Workload. The
-  /// builder can be reused afterwards.
+  /// its best-in-DB index plus the shared evaluation kernel, and returns
+  /// the immutable Workload. The builder can be reused afterwards.
   Result<Workload> Build() const;
 
  private:
@@ -138,6 +151,7 @@ class WorkloadBuilder {
   size_t num_users_ = 10000;
   uint64_t seed_ = 7;
   bool materialized_ = false;
+  EvalKernelOptions::Tile tile_mode_ = EvalKernelOptions::Tile::kAuto;
   bool has_matrix_ = false;
   UtilityMatrix matrix_;
   std::vector<double> matrix_weights_;

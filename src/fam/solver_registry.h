@@ -37,6 +37,7 @@
 #include "common/status.h"
 #include "data/dataset.h"
 #include "fam/solver_options.h"
+#include "regret/eval_kernel.h"
 #include "regret/evaluator.h"
 #include "regret/selection.h"
 
@@ -68,6 +69,11 @@ struct SolveContext {
   const SolverOptions* options = nullptr;
   /// Deadline / cancel signal for long-running solvers.
   const CancellationToken* cancel = nullptr;
+  /// The workload's shared evaluation kernel (score tile + branch-free
+  /// per-user arrays), built once and reused across SolveMany. Solvers
+  /// fall back to a solver-local kernel (or direct evaluator access) when
+  /// absent.
+  const EvalKernel* kernel = nullptr;
   /// Seed for randomized solvers (ignored by deterministic ones).
   uint64_t seed = 0;
 

@@ -1,0 +1,574 @@
+#include "regret/eval_kernel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/parallel.h"
+
+namespace fam {
+namespace {
+
+/// Candidates per parallel work item in the batched kernels: large enough
+/// to amortize scheduling, small enough to bound deadline overshoot.
+constexpr size_t kCandidateChunk = 32;
+
+/// Users per block in the swap kernel's early-abandon check.
+constexpr size_t kUserBlock = 2048;
+
+/// Cancellation poll cadence (users) in the O(N·n) state-reset passes.
+constexpr size_t kPollStride = 4096;
+
+bool Expired(const CancellationToken* cancel) {
+  return cancel != nullptr && cancel->Expired();
+}
+
+}  // namespace
+
+void EvalKernelCounters::MergeFrom(const EvalKernelCounters& other) {
+  batched_gain_candidates += other.batched_gain_candidates;
+  single_gain_evaluations += other.single_gain_evaluations;
+  swap_evaluations += other.swap_evaluations;
+  incremental_updates += other.incremental_updates;
+  lazy_queue_hits += other.lazy_queue_hits;
+  lazy_queue_reevaluations += other.lazy_queue_reevaluations;
+  removal_delta_evaluations += other.removal_delta_evaluations;
+  user_rescans += other.user_rescans;
+}
+
+EvalKernel::EvalKernel(const RegretEvaluator& evaluator,
+                       const EvalKernelOptions& options)
+    : evaluator_(&evaluator) {
+  Build(options);
+}
+
+EvalKernel::EvalKernel(std::shared_ptr<const RegretEvaluator> evaluator,
+                       const EvalKernelOptions& options)
+    : owned_(std::move(evaluator)), evaluator_(owned_.get()) {
+  FAM_CHECK(evaluator_ != nullptr) << "EvalKernel needs an evaluator";
+  Build(options);
+}
+
+void EvalKernel::Build(const EvalKernelOptions& options) {
+  const size_t num_users = evaluator_->num_users();
+  const size_t num_points = evaluator_->num_points();
+
+  gain_weights_.resize(num_users);
+  safe_denoms_.resize(num_users);
+  const std::vector<double>& weights = evaluator_->user_weights();
+  double empty_arr = 0.0;
+  for (size_t u = 0; u < num_users; ++u) {
+    double denom = evaluator_->BestInDb(u);
+    bool indifferent = denom <= 0.0;
+    gain_weights_[u] = indifferent ? 0.0 : weights[u];
+    safe_denoms_[u] = indifferent ? 1.0 : denom;
+    empty_arr += gain_weights_[u];
+  }
+  empty_set_arr_ = empty_arr;
+
+  bool materialize = false;
+  size_t bytes = num_users * num_points * sizeof(double);
+  switch (options.tile) {
+    case EvalKernelOptions::Tile::kOn:
+      materialize = true;
+      break;
+    case EvalKernelOptions::Tile::kOff:
+      materialize = false;
+      break;
+    case EvalKernelOptions::Tile::kAuto:
+      materialize = bytes <= options.max_tile_bytes;
+      break;
+  }
+  if (!materialize) return;
+
+  tile_.resize(num_users * num_points);
+  const UtilityMatrix& users = evaluator_->users();
+  // Point-major transpose/materialization: contiguous writes per point;
+  // each point's column is written by exactly one task (deterministic).
+  // Polled so a solver-local kernel built under a deadline abandons the
+  // tile (falling back to untiled lookups) instead of blowing the budget.
+  std::atomic<bool> expired{false};
+  ParallelForEach(num_points, 0, [&](size_t p) {
+    if (expired.load(std::memory_order_relaxed)) return;
+    if (Expired(options.cancel)) {
+      expired.store(true, std::memory_order_relaxed);
+      return;
+    }
+    users.FillPointColumn(p, {tile_.data() + p * num_users, num_users});
+  });
+  if (expired.load(std::memory_order_relaxed)) {
+    tile_.clear();
+    tile_.shrink_to_fit();
+  }
+}
+
+void EvalKernel::FillColumn(size_t p, std::span<double> out) const {
+  FAM_DCHECK(out.size() == evaluator_->num_users());
+  if (tiled()) {
+    std::span<const double> column = Column(p);
+    std::copy(column.begin(), column.end(), out.begin());
+    return;
+  }
+  evaluator_->users().FillPointColumn(p, out);
+}
+
+bool EvalKernel::BatchSingleArrs(std::span<const size_t> points,
+                                 std::span<double> out,
+                                 const CancellationToken* cancel) const {
+  FAM_CHECK(points.size() == out.size());
+  const size_t num_users = evaluator_->num_users();
+  std::atomic<bool> expired{false};
+  const size_t num_chunks =
+      (points.size() + kCandidateChunk - 1) / kCandidateChunk;
+  ParallelForEach(num_chunks, 0, [&](size_t chunk) {
+    if (expired.load(std::memory_order_relaxed)) return;
+    if (Expired(cancel)) {
+      expired.store(true, std::memory_order_relaxed);
+      return;
+    }
+    size_t begin = chunk * kCandidateChunk;
+    size_t end = std::min(points.size(), begin + kCandidateChunk);
+    std::vector<double> scratch;
+    for (size_t i = begin; i < end; ++i) {
+      std::span<const double> column = ColumnView(points[i], scratch);
+      // Mirrors RegretEvaluator::AverageRegretRatio({p}) term by term:
+      // rr is clamped per user, accumulated in ascending user order.
+      double total = 0.0;
+      for (size_t u = 0; u < num_users; ++u) {
+        double denom = safe_denoms_[u];
+        double rr = std::clamp((denom - column[u]) / denom, 0.0, 1.0);
+        total += gain_weights_[u] * rr;
+      }
+      out[i] = total;
+    }
+  });
+  return !expired.load(std::memory_order_relaxed);
+}
+
+double EvalKernel::ArrOfSatisfaction(std::span<const double> sat) const {
+  const size_t num_users = evaluator_->num_users();
+  FAM_DCHECK(sat.size() == num_users);
+  double arr = 0.0;
+  for (size_t u = 0; u < num_users; ++u) {
+    double denom = safe_denoms_[u];
+    arr += gain_weights_[u] * (denom - std::min(sat[u], denom)) / denom;
+  }
+  return arr;
+}
+
+SubsetEvalState::SubsetEvalState(const EvalKernel& kernel)
+    : kernel_(&kernel) {
+  const size_t num_users = kernel.num_users();
+  const size_t num_points = kernel.num_points();
+  pos_in_members_.assign(num_points, kNoPoint);
+  in_set_.assign(num_points, 0);
+  best_value_.assign(num_users, 0.0);
+  best_point_.assign(num_users, kNoPoint);
+  second_value_.assign(num_users, 0.0);
+  second_point_.assign(num_users, kNoPoint);
+  if (!kernel.tiled()) column_scratch_.resize(num_users);
+}
+
+void SubsetEvalState::Reset() {
+  std::fill(best_value_.begin(), best_value_.end(), 0.0);
+  std::fill(best_point_.begin(), best_point_.end(), kNoPoint);
+  std::fill(second_value_.begin(), second_value_.end(), 0.0);
+  std::fill(second_point_.begin(), second_point_.end(), kNoPoint);
+  for (size_t p : members_) {
+    in_set_[p] = 0;
+    pos_in_members_[p] = kNoPoint;
+  }
+  members_.clear();
+  best_buckets_.clear();
+  second_buckets_.clear();
+  shrink_mode_ = false;
+  seconds_ready_ = false;
+  incremental_arr_ = 0.0;
+}
+
+void SubsetEvalState::Add(size_t p) {
+  FAM_DCHECK(!shrink_mode_) << "Add is a grow-direction operation";
+  FAM_DCHECK(!contains(p));
+  ++counters_.incremental_updates;
+  pos_in_members_[p] = members_.size();
+  members_.push_back(p);
+  in_set_[p] = 1;
+
+  const size_t num_users = kernel_->num_users();
+  std::span<const double> column = kernel_->ColumnView(p, column_scratch_);
+  for (size_t u = 0; u < num_users; ++u) {
+    double v = column[u];
+    if (v > best_value_[u]) {
+      second_value_[u] = best_value_[u];
+      second_point_[u] = best_point_[u];
+      best_value_[u] = v;
+      best_point_[u] = p;
+    } else if (v > second_value_[u]) {
+      second_value_[u] = v;
+      second_point_[u] = p;
+    }
+  }
+}
+
+double SubsetEvalState::GainOfAdding(size_t p) {
+  ++counters_.single_gain_evaluations;
+  const size_t num_users = kernel_->num_users();
+  std::span<const double> column = kernel_->ColumnView(p, column_scratch_);
+  std::span<const double> weights = kernel_->gain_weights();
+  std::span<const double> denoms = kernel_->safe_denoms();
+  // Branch-free form of the naive loop: non-contributors add an exact
+  // +0.0, contributors add weight · improvement / denom in the same
+  // ascending-user order, so the sum is bit-identical.
+  double gain = 0.0;
+  for (size_t u = 0; u < num_users; ++u) {
+    double improvement = std::max(0.0, column[u] - best_value_[u]);
+    gain += weights[u] * improvement / denoms[u];
+  }
+  return gain;
+}
+
+bool SubsetEvalState::BatchGains(std::span<const size_t> candidates,
+                                 std::span<double> gains,
+                                 const CancellationToken* cancel) {
+  FAM_CHECK(candidates.size() == gains.size());
+  std::fill(gains.begin(), gains.end(), 0.0);
+  const size_t num_users = kernel_->num_users();
+  const EvalKernel& kernel = *kernel_;
+  const double* best = best_value_.data();
+  std::span<const double> weights = kernel.gain_weights();
+  std::span<const double> denoms = kernel.safe_denoms();
+  std::atomic<bool> expired{false};
+  std::atomic<uint64_t> evaluated{0};
+  const size_t num_chunks =
+      (candidates.size() + kCandidateChunk - 1) / kCandidateChunk;
+  ParallelForEach(num_chunks, 0, [&](size_t chunk) {
+    if (expired.load(std::memory_order_relaxed)) return;
+    if (Expired(cancel)) {
+      expired.store(true, std::memory_order_relaxed);
+      return;
+    }
+    size_t begin = chunk * kCandidateChunk;
+    size_t end = std::min(candidates.size(), begin + kCandidateChunk);
+    std::vector<double> scratch;
+    for (size_t i = begin; i < end; ++i) {
+      std::span<const double> column =
+          kernel.ColumnView(candidates[i], scratch);
+      double gain = 0.0;
+      for (size_t u = 0; u < num_users; ++u) {
+        double improvement = std::max(0.0, column[u] - best[u]);
+        gain += weights[u] * improvement / denoms[u];
+      }
+      gains[i] = gain;
+    }
+    evaluated.fetch_add(end - begin, std::memory_order_relaxed);
+  });
+  counters_.batched_gain_candidates +=
+      evaluated.load(std::memory_order_relaxed);
+  return !expired.load(std::memory_order_relaxed);
+}
+
+void SubsetEvalState::BatchSwapArrs(size_t candidate,
+                                    double abandon_threshold,
+                                    std::span<double> arr_out) {
+  const size_t k = members_.size();
+  FAM_CHECK(arr_out.size() == k);
+  counters_.swap_evaluations += k;
+  const size_t num_users = kernel_->num_users();
+  std::span<const double> column =
+      kernel_->ColumnView(candidate, column_scratch_);
+  std::span<const double> weights = kernel_->gain_weights();
+  std::span<const double> denoms = kernel_->safe_denoms();
+
+  std::fill(arr_out.begin(), arr_out.end(), 0.0);
+  for (size_t block = 0; block < num_users; block += kUserBlock) {
+    size_t end = std::min(num_users, block + kUserBlock);
+    for (size_t u = block; u < end; ++u) {
+      double va = column[u];
+      double w = weights[u];
+      double d = denoms[u];
+      // For every out-position except the user's best member, the user's
+      // post-swap satisfaction is max(best, candidate); for the best
+      // member's position the second-best takes over.
+      double t_common = w * (d - std::min(std::max(best_value_[u], va), d)) / d;
+      size_t owner = best_point_[u];
+      size_t owner_pos = owner == kNoPoint ? kNoPoint : pos_in_members_[owner];
+      if (owner_pos == kNoPoint) {
+        for (size_t pos = 0; pos < k; ++pos) arr_out[pos] += t_common;
+        continue;
+      }
+      double t_owner =
+          w * (d - std::min(std::max(second_value_[u], va), d)) / d;
+      for (size_t pos = 0; pos < k; ++pos) {
+        arr_out[pos] += pos == owner_pos ? t_owner : t_common;
+      }
+    }
+    if (end == num_users) break;
+    // Per-user contributions are non-negative, so once every position's
+    // partial sum meets the threshold no swap of this candidate can
+    // improve: abandon the remaining blocks (sound pruning — only
+    // provably non-improving swaps are cut).
+    double min_partial = arr_out[0];
+    for (size_t pos = 1; pos < k; ++pos) {
+      min_partial = std::min(min_partial, arr_out[pos]);
+    }
+    if (min_partial >= abandon_threshold) {
+      std::fill(arr_out.begin(), arr_out.end(),
+                std::numeric_limits<double>::infinity());
+      return;
+    }
+  }
+}
+
+void SubsetEvalState::ApplySwap(size_t position, size_t incoming) {
+  FAM_DCHECK(position < members_.size());
+  FAM_DCHECK(!contains(incoming));
+  ++counters_.incremental_updates;
+  size_t outgoing = members_[position];
+  in_set_[outgoing] = 0;
+  pos_in_members_[outgoing] = kNoPoint;
+  members_[position] = incoming;
+  in_set_[incoming] = 1;
+  pos_in_members_[incoming] = position;
+  RebuildBestSecond();
+}
+
+void SubsetEvalState::RebuildBestSecond() {
+  const size_t num_users = kernel_->num_users();
+  std::fill(best_value_.begin(), best_value_.end(), 0.0);
+  std::fill(best_point_.begin(), best_point_.end(), kNoPoint);
+  std::fill(second_value_.begin(), second_value_.end(), 0.0);
+  std::fill(second_point_.begin(), second_point_.end(), kNoPoint);
+  for (size_t p : members_) {
+    std::span<const double> column = kernel_->ColumnView(p, column_scratch_);
+    for (size_t u = 0; u < num_users; ++u) {
+      double v = column[u];
+      if (v > best_value_[u]) {
+        second_value_[u] = best_value_[u];
+        second_point_[u] = best_point_[u];
+        best_value_[u] = v;
+        best_point_[u] = p;
+      } else if (v > second_value_[u]) {
+        second_value_[u] = v;
+        second_point_[u] = p;
+      }
+    }
+  }
+}
+
+bool SubsetEvalState::ResetToFull(const CancellationToken* cancel) {
+  const size_t num_users = kernel_->num_users();
+  const size_t num_points = kernel_->num_points();
+  const RegretEvaluator& evaluator = kernel_->evaluator();
+  shrink_mode_ = true;
+  seconds_ready_ = false;
+  incremental_arr_ = 0.0;
+
+  members_.resize(num_points);
+  for (size_t p = 0; p < num_points; ++p) {
+    members_[p] = p;
+    pos_in_members_[p] = p;
+    in_set_[p] = 1;
+  }
+  best_buckets_.assign(num_points, {});
+  second_buckets_.assign(num_points, {});
+  for (size_t u = 0; u < num_users; ++u) {
+    size_t best = evaluator.BestPointInDb(u);
+    best_point_[u] = best;
+    best_value_[u] = evaluator.BestInDb(u);
+    best_buckets_[best].push_back(static_cast<uint32_t>(u));
+    second_value_[u] = 0.0;
+    second_point_[u] = kNoPoint;
+    if ((u & (kPollStride - 1)) == 0 && Expired(cancel)) return false;
+  }
+  return true;
+}
+
+bool SubsetEvalState::PrepareSeconds(const CancellationToken* cancel) {
+  FAM_DCHECK(shrink_mode_);
+  // The weighted no-tile combination would pay O(N·n·r) dot products
+  // here; leave seconds unprepared and let RemovalDelta/Remove fall back
+  // to on-demand member scans (the pre-kernel ShrinkState behaviour).
+  if (!kernel_->tiled() && kernel_->evaluator().users().is_weighted()) {
+    return true;
+  }
+  const size_t num_users = kernel_->num_users();
+  // Top-2 over the current member set (typically post-free-phase, so the
+  // scan covers only points that are somebody's best): sentinel -1 start
+  // with strict > so the earliest member in scan order wins ties, then
+  // clamp to >= 0 to match SecondBest semantics on all-zero rows.
+  std::vector<double> raw_second(num_users, -1.0);
+  if (kernel_->tiled()) {
+    for (size_t i = 0; i < members_.size(); ++i) {
+      size_t p = members_[i];
+      std::span<const double> column = kernel_->Column(p);
+      for (size_t u = 0; u < num_users; ++u) {
+        if (best_point_[u] == p) continue;
+        if (column[u] > raw_second[u]) {
+          raw_second[u] = column[u];
+          second_point_[u] = p;
+        }
+      }
+      if (Expired(cancel)) return false;
+    }
+  } else {
+    const UtilityMatrix& users = kernel_->evaluator().users();
+    for (size_t u = 0; u < num_users; ++u) {
+      for (size_t p : members_) {
+        if (best_point_[u] == p) continue;
+        double v = users.Utility(u, p);
+        if (v > raw_second[u]) {
+          raw_second[u] = v;
+          second_point_[u] = p;
+        }
+      }
+      if ((u & 255) == 0 && Expired(cancel)) return false;
+    }
+  }
+  for (size_t u = 0; u < num_users; ++u) {
+    second_value_[u] = std::max(0.0, raw_second[u]);
+    if (second_point_[u] != kNoPoint) {
+      second_buckets_[second_point_[u]].push_back(static_cast<uint32_t>(u));
+    }
+  }
+  seconds_ready_ = true;
+  return true;
+}
+
+double SubsetEvalState::RemovalDelta(size_t p) {
+  FAM_DCHECK(shrink_mode_);
+  FAM_DCHECK(contains(p));
+  ++counters_.removal_delta_evaluations;
+  const RegretEvaluator& evaluator = kernel_->evaluator();
+  const std::vector<double>& weights = evaluator.user_weights();
+  double delta = 0.0;
+  for (uint32_t u : best_buckets_[p]) {
+    double denom = evaluator.BestInDb(u);
+    if (denom <= 0.0) continue;
+    double second = seconds_ready_ ? second_value_[u] : RescanSecond(u);
+    delta += weights[u] * (best_value_[u] - second) / denom;
+  }
+  return std::max(0.0, delta);
+}
+
+/// Best member utility of `u` excluding its current best point — the
+/// fallback path when second-best values are not maintained. O(|S|).
+double SubsetEvalState::RescanSecond(size_t u) {
+  ++counters_.user_rescans;
+  double best = 0.0;
+  size_t avoid = best_point_[u];
+  for (size_t q : members_) {
+    if (q == avoid) continue;
+    best = std::max(best, kernel_->UtilityOf(u, q));
+  }
+  return best;
+}
+
+void SubsetEvalState::Remove(size_t p, double delta) {
+  FAM_DCHECK(shrink_mode_);
+  FAM_DCHECK(contains(p));
+  ++counters_.incremental_updates;
+
+  // Detach p from the member list first so rescans ignore it.
+  in_set_[p] = 0;
+  size_t pos = pos_in_members_[p];
+  size_t last = members_.back();
+  members_[pos] = last;
+  pos_in_members_[last] = pos;
+  members_.pop_back();
+  pos_in_members_[p] = kNoPoint;
+
+  if (seconds_ready_) {
+    // Users who lose their best point promote their second, then rescan
+    // for a new second; users who only lose their tracked second rescan
+    // for a replacement. The two groups are disjoint (best != second).
+    for (uint32_t u : best_buckets_[p]) {
+      best_point_[u] = second_point_[u];
+      best_value_[u] = second_value_[u];
+      if (best_point_[u] != kNoPoint) {
+        best_buckets_[best_point_[u]].push_back(u);
+      }
+      second_value_[u] = RescanSecondExcluding(u, best_point_[u]);
+      if (second_point_[u] != kNoPoint) {
+        second_buckets_[second_point_[u]].push_back(u);
+      }
+    }
+    for (uint32_t u : second_buckets_[p]) {
+      if (best_point_[u] == p) continue;  // already re-homed above
+      if (second_point_[u] != p) continue;  // stale entry, superseded
+      second_value_[u] = RescanSecondExcluding(u, best_point_[u]);
+      if (second_point_[u] != kNoPoint) {
+        second_buckets_[second_point_[u]].push_back(u);
+      }
+    }
+    second_buckets_[p].clear();
+    second_buckets_[p].shrink_to_fit();
+  } else {
+    for (uint32_t u : best_buckets_[p]) {
+      ++counters_.user_rescans;
+      size_t new_best = 0;
+      double new_value = -1.0;
+      for (size_t q : members_) {
+        double v = kernel_->UtilityOf(u, q);
+        if (v > new_value) {
+          new_value = v;
+          new_best = q;
+        }
+      }
+      best_point_[u] = new_best;
+      best_value_[u] = std::max(0.0, new_value);
+      best_buckets_[new_best].push_back(u);
+    }
+  }
+  best_buckets_[p].clear();
+  best_buckets_[p].shrink_to_fit();
+  incremental_arr_ += delta;
+}
+
+double SubsetEvalState::RescanSecondExcluding(size_t u, size_t avoid) {
+  ++counters_.user_rescans;
+  double best = -1.0;
+  size_t arg = kNoPoint;
+  for (size_t q : members_) {
+    if (q == avoid) continue;
+    double v = kernel_->UtilityOf(u, q);
+    if (v > best) {
+      best = v;
+      arg = q;
+    }
+  }
+  second_point_[u] = arg;
+  return std::max(0.0, best);
+}
+
+void LazyGainQueue::Seed(std::span<const size_t> points,
+                         std::span<const double> gains) {
+  FAM_CHECK(points.size() == gains.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    heap_.push({gains[i], points[i], 0});
+  }
+}
+
+size_t LazyGainQueue::PopBest(SubsetEvalState& state, size_t round,
+                              const CancellationToken* cancel,
+                              bool* expired) {
+  *expired = false;
+  while (!heap_.empty()) {
+    if (Expired(cancel)) {
+      *expired = true;
+      return kNoPoint;
+    }
+    Entry top = heap_.top();
+    heap_.pop();
+    if (state.contains(top.point)) continue;
+    if (top.stamp == round) {
+      ++state.counters().lazy_queue_hits;
+      return top.point;
+    }
+    ++state.counters().lazy_queue_reevaluations;
+    heap_.push({state.GainOfAdding(top.point), top.point, round});
+  }
+  return kNoPoint;
+}
+
+}  // namespace fam

@@ -1,0 +1,344 @@
+// EvalKernel + SubsetEvalState: the shared incremental, blocked ARR
+// evaluation engine every solver runs on.
+//
+// The paper's Sec. III-D preprocessing insight — materialize utilities
+// once, then answer arr queries cheaply — previously stopped at the
+// RegretEvaluator: each solver re-derived max_{p∈S} f_u(p) from scratch
+// per candidate set, paying a storage-mode branch (and, in weighted mode,
+// an O(r) dot product) inside every utility lookup. This kernel finishes
+// the job:
+//
+//   * `EvalKernel` — immutable per-workload state, built once and shared
+//     across concurrent solves: a column-major (point-major) score tile
+//     (one contiguous length-N utility column per point, budget-gated for
+//     huge workloads) plus branch-free per-user gain weights
+//     (weight / 0-for-indifferent) and safe denominators. Solver inner
+//     loops become straight-line streams over contiguous memory.
+//   * `SubsetEvalState` — per-solve mutable state maintaining each user's
+//     (best point in S, best value in S) and second-best, so Add(p) and
+//     ApplySwap run in O(N), RemovalDelta(p) in O(|bucket(p)|), and
+//     GainOfAdding(c) for all candidates runs as a blocked batched kernel
+//     (`BatchGains`) with a ParallelForEach reduction over candidate
+//     chunks — each candidate's sum stays a strict ascending-user
+//     reduction, so results are bit-identical to the naive per-user loop
+//     regardless of thread count.
+//   * `LazyGainQueue` — the lazy-greedy priority queue exploiting
+//     submodularity of average happiness (1 − arr): gains of additions
+//     only shrink as S grows, so stale heap values are upper bounds and a
+//     fresh top is the exact argmax (the forward mirror of the paper's
+//     Lemma 2/3 lazy evaluation).
+//
+// Work counters (`EvalKernelCounters`) feed SolveDetails → SolveResponse →
+// `fam_cli --format json`, making the kernel's savings observable per
+// request. Every solver (Greedy-Grow, Greedy-Shrink, Local-Search,
+// MRR-Greedy's sampled engine, Branch-And-Bound) runs through this kernel;
+// `Workload` builds and shares one EvalKernel across `SolveMany`.
+
+#ifndef FAM_REGRET_EVAL_KERNEL_H_
+#define FAM_REGRET_EVAL_KERNEL_H_
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <span>
+#include <vector>
+
+#include "common/cancellation.h"
+#include "regret/evaluator.h"
+
+namespace fam {
+
+struct EvalKernelOptions {
+  enum class Tile {
+    kAuto,  ///< Materialize when the tile fits max_tile_bytes.
+    kOn,    ///< Always materialize, bypassing the budget (the caller
+            ///< vouches for the N × n × 8 bytes of memory).
+    kOff,   ///< Never materialize; fall back to evaluator lookups.
+  };
+  Tile tile = Tile::kAuto;
+  /// Auto-mode budget for the N × n point-major score tile.
+  size_t max_tile_bytes = size_t{4} * 1024 * 1024 * 1024;
+  /// Polled during the O(N·n) tile materialization; on expiry the tile is
+  /// abandoned and the kernel falls back to untiled lookups, so a
+  /// solver-local kernel built under a deadline stays within it.
+  const CancellationToken* cancel = nullptr;
+};
+
+/// Work counters for one solve's kernel usage; surfaced through
+/// SolveDetails/SolveResponse and `fam_cli --format json`.
+struct EvalKernelCounters {
+  /// Candidate gains computed by the blocked batched kernel.
+  uint64_t batched_gain_candidates = 0;
+  /// Candidate gains computed one at a time (lazy re-evaluations).
+  uint64_t single_gain_evaluations = 0;
+  /// Swap candidates scored by the batched swap kernel.
+  uint64_t swap_evaluations = 0;
+  /// Incremental O(N) state updates (Add / Remove / ApplySwap).
+  uint64_t incremental_updates = 0;
+  /// Lazy-queue pops accepted without re-evaluation (fresh top).
+  uint64_t lazy_queue_hits = 0;
+  /// Lazy-queue pops that forced a re-evaluation (stale top).
+  uint64_t lazy_queue_reevaluations = 0;
+  /// Removal deltas answered from the cached best/second values.
+  uint64_t removal_delta_evaluations = 0;
+  /// Per-user member rescans performed while re-homing after Remove.
+  uint64_t user_rescans = 0;
+
+  /// Accumulates `other` into this (used to merge seed + refine phases).
+  void MergeFrom(const EvalKernelCounters& other);
+};
+
+/// Immutable, thread-shareable evaluation state derived from a
+/// RegretEvaluator: the point-major score tile and branch-free per-user
+/// arrays. Built once per Workload (or locally by a solver called without
+/// one); safe to share across concurrent SubsetEvalStates.
+class EvalKernel {
+ public:
+  /// Non-owning: `evaluator` must outlive the kernel.
+  explicit EvalKernel(const RegretEvaluator& evaluator,
+                      const EvalKernelOptions& options = {});
+
+  /// Owning: keeps the evaluator alive for the kernel's lifetime.
+  explicit EvalKernel(std::shared_ptr<const RegretEvaluator> evaluator,
+                      const EvalKernelOptions& options = {});
+
+  const RegretEvaluator& evaluator() const { return *evaluator_; }
+  size_t num_users() const { return evaluator_->num_users(); }
+  size_t num_points() const { return evaluator_->num_points(); }
+
+  /// True when the point-major score tile is materialized.
+  bool tiled() const { return !tile_.empty(); }
+  size_t tile_bytes() const { return tile_.size() * sizeof(double); }
+
+  /// Contiguous utility column of point `p` (tiled mode only).
+  std::span<const double> Column(size_t p) const {
+    return {tile_.data() + p * num_users(), num_users()};
+  }
+
+  /// Writes point `p`'s utilities for all users into `out` (any mode);
+  /// values are exactly `evaluator().users().Utility(u, p)`.
+  void FillColumn(size_t p, std::span<double> out) const;
+
+  /// Contiguous view of point `p`'s utility column: the tile column when
+  /// materialized, else `scratch` (resized to N and filled).
+  std::span<const double> ColumnView(size_t p,
+                                     std::vector<double>& scratch) const {
+    if (tiled()) return Column(p);
+    scratch.resize(num_users());
+    FillColumn(p, scratch);
+    return scratch;
+  }
+
+  /// f_u(p) through the tile when materialized, else the evaluator.
+  double UtilityOf(size_t user, size_t point) const {
+    if (!tile_.empty()) return tile_[point * num_users() + user];
+    return evaluator_->users().Utility(user, point);
+  }
+
+  /// Per-user probability, zeroed for indifferent users (best-in-DB 0), so
+  /// gain/arr accumulations are branch-free: indifferent users contribute
+  /// an exact +0.0.
+  std::span<const double> gain_weights() const { return gain_weights_; }
+
+  /// Per-user best-in-DB value, 1.0 for indifferent users (safe divisor).
+  std::span<const double> safe_denoms() const { return safe_denoms_; }
+
+  /// arr(∅): the weighted fraction of non-indifferent users.
+  double EmptySetArr() const { return empty_set_arr_; }
+
+  /// arr({p}) for each point in `points`, written to `out` (same size).
+  /// Bit-identical to `evaluator().AverageRegretRatio({p})` computed
+  /// sequentially. Polls `cancel` between candidates; returns false (with
+  /// `out` partially filled) on expiry.
+  bool BatchSingleArrs(std::span<const size_t> points, std::span<double> out,
+                       const CancellationToken* cancel = nullptr) const;
+
+  /// Weighted arr of a per-user satisfaction vector:
+  /// Σ_u w_u · (denom_u − min(sat_u, denom_u)) / denom_u, branch-free over
+  /// the safe arrays (bit-identical to the skip-indifferent loop).
+  double ArrOfSatisfaction(std::span<const double> sat) const;
+
+ private:
+  void Build(const EvalKernelOptions& options);
+
+  std::shared_ptr<const RegretEvaluator> owned_;  // null when non-owning
+  const RegretEvaluator* evaluator_;
+  std::vector<double> tile_;  // point-major: tile_[p * N + u]
+  std::vector<double> gain_weights_;
+  std::vector<double> safe_denoms_;
+  double empty_set_arr_ = 0.0;
+};
+
+/// Mutable per-solve subset state over a shared EvalKernel. Not
+/// thread-safe; create one per concurrent solve (cheap: a few O(N)
+/// vectors). Supports the grow direction (Reset/Add/BatchGains), swap
+/// refinement (BatchSwapArrs/ApplySwap), and the shrink direction
+/// (ResetToFull/RemovalDelta/Remove with per-point user buckets).
+class SubsetEvalState {
+ public:
+  static constexpr size_t kNoPoint = std::numeric_limits<size_t>::max();
+
+  explicit SubsetEvalState(const EvalKernel& kernel);
+
+  const EvalKernel& kernel() const { return *kernel_; }
+  size_t num_users() const { return kernel_->num_users(); }
+  size_t num_points() const { return kernel_->num_points(); }
+
+  /// Current members of S, in insertion (grow) or alive-list (shrink)
+  /// order — not sorted.
+  const std::vector<size_t>& members() const { return members_; }
+  size_t size() const { return members_.size(); }
+  bool contains(size_t p) const { return in_set_[p] != 0; }
+
+  /// max_{p∈S} f_u(p) (0 for the empty set, matching rr(∅) = 1).
+  double best_value(size_t u) const { return best_value_[u]; }
+  size_t best_point(size_t u) const { return best_point_[u]; }
+  /// Second-best member utility of `u`, clamped to ≥ 0.
+  double second_value(size_t u) const { return second_value_[u]; }
+
+  EvalKernelCounters& counters() { return counters_; }
+  const EvalKernelCounters& counters() const { return counters_; }
+
+  // --- Grow direction -----------------------------------------------------
+
+  /// S ← ∅.
+  void Reset();
+
+  /// S ← S ∪ {p} in O(N), maintaining best/second values.
+  void Add(size_t p);
+
+  /// arr(S) − arr(S ∪ {p}): bit-identical to the naive per-user loop
+  /// (ascending users, weight · improvement / denom per contributor).
+  double GainOfAdding(size_t p);
+
+  /// GainOfAdding for every candidate, as a blocked batched kernel with a
+  /// deterministic ParallelForEach reduction over candidate chunks (each
+  /// candidate's sum remains a strict ascending-user reduction, so values
+  /// are independent of thread count and equal to GainOfAdding's). Polls
+  /// `cancel` once per chunk; returns false on expiry (`gains` then holds
+  /// zeros for unprocessed candidates).
+  bool BatchGains(std::span<const size_t> candidates, std::span<double> gains,
+                  const CancellationToken* cancel = nullptr);
+
+  // --- Swap refinement (local search) -------------------------------------
+
+  /// arr(S − members()[pos] + candidate) for every position `pos`, written
+  /// to `arr_out` (size |S|). Uses the maintained best/second values, so
+  /// one candidate costs O(N·|S|) adds but only O(N) utility reads. Blocks
+  /// of users are abandoned early (arr_out set to +inf) once every
+  /// position's partial sum already meets `abandon_threshold` — sound
+  /// because per-user contributions are non-negative, so pruned swaps are
+  /// provably non-improving.
+  void BatchSwapArrs(size_t candidate, double abandon_threshold,
+                     std::span<double> arr_out);
+
+  /// Replaces members()[position] with `incoming` and rebuilds best/second
+  /// in O(N·|S|) streaming column passes.
+  void ApplySwap(size_t position, size_t incoming);
+
+  // --- Shrink direction ---------------------------------------------------
+
+  /// S ← D (all points) with per-user best values (from the evaluator's
+  /// best-in-DB index) and per-point user buckets. O(N + n). Polls
+  /// `cancel` periodically; returns false on expiry (state unusable).
+  bool ResetToFull(const CancellationToken* cancel = nullptr);
+
+  /// Materializes per-user second-best values over the current members
+  /// (call after the free-removal phase, so the pass covers only points
+  /// that are somebody's best). Skipped — leaving RemovalDelta/Remove on
+  /// on-demand member scans, the pre-kernel behaviour — when the kernel
+  /// has no tile and utilities are weighted, where the pass would cost
+  /// O(N·n·r) dot products. Polls `cancel`; returns false on expiry.
+  bool PrepareSeconds(const CancellationToken* cancel = nullptr);
+
+  /// arr(S − {p}) − arr(S) ≥ 0. O(|bucket(p)|) once seconds are prepared,
+  /// O(|bucket(p)|·|S|) member rescans otherwise.
+  double RemovalDelta(size_t p);
+
+  /// Removes `p`, re-homing the users whose best (or tracked second) point
+  /// it was. `delta` must be RemovalDelta(p) against the current S (the
+  /// old ShrinkState contract); it is accumulated into incremental_arr().
+  void Remove(size_t p, double delta);
+
+  /// How many users' current best point `p` is (shrink mode).
+  size_t BucketSize(size_t p) const { return best_buckets_[p].size(); }
+
+  /// Running arr accumulated from removal deltas (shrink mode); the lazy
+  /// heap's absolute evaluation values are incremental_arr() + delta.
+  double incremental_arr() const { return incremental_arr_; }
+
+ private:
+  double RescanSecond(size_t u);
+  double RescanSecondExcluding(size_t u, size_t avoid);
+  void RebuildBestSecond();
+
+  const EvalKernel* kernel_;
+  std::vector<size_t> members_;
+  std::vector<size_t> pos_in_members_;  // kNoPoint when absent
+  std::vector<uint8_t> in_set_;
+  std::vector<double> best_value_;
+  std::vector<size_t> best_point_;
+  std::vector<double> second_value_;
+  std::vector<size_t> second_point_;
+  // Shrink mode: users bucketed by their current best / second point.
+  std::vector<std::vector<uint32_t>> best_buckets_;
+  std::vector<std::vector<uint32_t>> second_buckets_;
+  bool shrink_mode_ = false;
+  bool seconds_ready_ = false;
+  double incremental_arr_ = 0.0;
+  std::vector<double> column_scratch_;  // non-tiled column staging
+  EvalKernelCounters counters_;
+};
+
+/// Resolves the kernel a solver should run on: the shared (workload)
+/// kernel when one was provided, else a solver-local kernel built into
+/// `local` with the tile materialization polling `cancel` — the common
+/// fallback for direct (non-engine) solver calls.
+inline const EvalKernel& ResolveKernel(const EvalKernel* shared,
+                                       const RegretEvaluator& evaluator,
+                                       const CancellationToken* cancel,
+                                       std::optional<EvalKernel>& local) {
+  if (shared != nullptr) return *shared;
+  EvalKernelOptions options;
+  options.cancel = cancel;
+  return local.emplace(evaluator, options);
+}
+
+/// Lazy-greedy priority queue for the grow direction: by submodularity of
+/// average happiness (1 − arr), a candidate's gain only shrinks as S
+/// grows, so stale heap entries are upper bounds and a top entry whose
+/// stamp matches the current round is the exact argmax. Ties break toward
+/// the smaller point index, matching eager greedy's ascending scan.
+class LazyGainQueue {
+ public:
+  /// Seeds the queue with round-0 gains (gains[i] belongs to points[i]).
+  void Seed(std::span<const size_t> points, std::span<const double> gains);
+
+  /// Pops the exact argmax for `round`, re-evaluating stale tops through
+  /// `state` (which records lazy hit/re-evaluation counters). Skips
+  /// entries for points already in `state`'s set. Returns kNoPoint when
+  /// the queue empties. Polls `cancel` per re-evaluation; returns kNoPoint
+  /// with *expired = true on expiry.
+  size_t PopBest(SubsetEvalState& state, size_t round,
+                 const CancellationToken* cancel, bool* expired);
+
+  static constexpr size_t kNoPoint = SubsetEvalState::kNoPoint;
+
+ private:
+  struct Entry {
+    double gain;
+    size_t point;
+    size_t stamp;
+    bool operator<(const Entry& other) const {
+      if (gain != other.gain) return gain < other.gain;
+      return point > other.point;  // prefer the smaller index on ties
+    }
+  };
+  std::priority_queue<Entry> heap_;
+};
+
+}  // namespace fam
+
+#endif  // FAM_REGRET_EVAL_KERNEL_H_

@@ -10,9 +10,11 @@
 namespace fam {
 
 double RegretDistribution::PercentileRr(double pct) const {
-  std::vector<double> sorted = regret_ratios;
-  std::sort(sorted.begin(), sorted.end());
-  return PercentileSorted(sorted, pct);
+  if (sorted_cache_.size() != regret_ratios.size()) {
+    sorted_cache_ = regret_ratios;
+    std::sort(sorted_cache_.begin(), sorted_cache_.end());
+  }
+  return PercentileSorted(sorted_cache_, pct);
 }
 
 RegretEvaluator::RegretEvaluator(UtilityMatrix users,
@@ -49,31 +51,83 @@ double RegretEvaluator::RegretRatio(size_t user,
   return std::clamp(rr, 0.0, 1.0);
 }
 
+namespace {
+
+/// Users per chunk for the parallel query side. Each chunk's partial sum
+/// is a strict ascending-user reduction and chunk partials are combined
+/// in chunk order, so results are deterministic — independent of the
+/// worker count — and bit-identical to the sequential loop whenever the
+/// population fits one chunk (every unit-test-scale workload).
+constexpr size_t kQueryChunk = 8192;
+
+}  // namespace
+
 double RegretEvaluator::AverageRegretRatio(
     std::span<const size_t> subset) const {
+  const size_t n = num_users();
+  auto chunk_sum = [&](size_t begin, size_t end) {
+    double total = 0.0;
+    for (size_t u = begin; u < end; ++u) {
+      total += user_weights_[u] * RegretRatio(u, subset);
+    }
+    return total;
+  };
+  if (n <= kQueryChunk) return chunk_sum(0, n);
+  const size_t num_chunks = (n + kQueryChunk - 1) / kQueryChunk;
+  std::vector<double> partial(num_chunks, 0.0);
+  ParallelForEach(num_chunks, 0, [&](size_t c) {
+    partial[c] = chunk_sum(c * kQueryChunk,
+                           std::min(n, (c + 1) * kQueryChunk));
+  });
   double total = 0.0;
-  for (size_t u = 0; u < num_users(); ++u) {
-    total += user_weights_[u] * RegretRatio(u, subset);
-  }
+  for (double p : partial) total += p;
   return total;
 }
 
 RegretDistribution RegretEvaluator::Distribution(
     std::span<const size_t> subset) const {
+  const size_t n = num_users();
   RegretDistribution dist;
-  dist.regret_ratios.resize(num_users());
+  dist.regret_ratios.resize(n);
+  const size_t num_chunks = (n + kQueryChunk - 1) / kQueryChunk;
+  std::vector<double> partial(num_chunks, 0.0);
+  auto mean_chunk = [&](size_t c) {
+    double total = 0.0;
+    size_t end = std::min(n, (c + 1) * kQueryChunk);
+    for (size_t u = c * kQueryChunk; u < end; ++u) {
+      double rr = RegretRatio(u, subset);
+      dist.regret_ratios[u] = rr;
+      total += user_weights_[u] * rr;
+    }
+    partial[c] = total;
+  };
+  // Each user's slot is written by exactly one chunk and partials are
+  // combined in chunk order: deterministic for any worker count.
+  if (num_chunks == 1) {
+    mean_chunk(0);
+  } else {
+    ParallelForEach(num_chunks, 0, mean_chunk);
+  }
   double mean = 0.0;
-  for (size_t u = 0; u < num_users(); ++u) {
-    double rr = RegretRatio(u, subset);
-    dist.regret_ratios[u] = rr;
-    mean += user_weights_[u] * rr;
-  }
+  for (double p : partial) mean += p;
   dist.average = mean;
-  double var = 0.0;
-  for (size_t u = 0; u < num_users(); ++u) {
-    double d = dist.regret_ratios[u] - mean;
-    var += user_weights_[u] * d * d;
+
+  auto var_chunk = [&](size_t c) {
+    double total = 0.0;
+    size_t end = std::min(n, (c + 1) * kQueryChunk);
+    for (size_t u = c * kQueryChunk; u < end; ++u) {
+      double d = dist.regret_ratios[u] - mean;
+      total += user_weights_[u] * d * d;
+    }
+    partial[c] = total;
+  };
+  if (num_chunks == 1) {
+    var_chunk(0);
+  } else {
+    ParallelForEach(num_chunks, 0, var_chunk);
   }
+  double var = 0.0;
+  for (double p : partial) var += p;
   dist.variance = var;
   dist.stddev = std::sqrt(var);
   return dist;

@@ -29,8 +29,16 @@ struct RegretDistribution {
   std::vector<double> regret_ratios;
 
   /// Regret ratio at the given user percentile (0..100), matching the
-  /// paper's Fig. 3/11/12 "Users Percentile" plots.
+  /// paper's Fig. 3/11/12 "Users Percentile" plots. The sorted order is
+  /// computed lazily on the first call and reused afterwards (callers
+  /// typically read several percentiles of one distribution); not safe to
+  /// call concurrently on the same object. Mutating `regret_ratios` after
+  /// a call leaves the cache stale — assign a fresh RegretDistribution
+  /// instead.
   double PercentileRr(double pct) const;
+
+ private:
+  mutable std::vector<double> sorted_cache_;
 };
 
 /// Evaluates regret statistics for subsets of the database against a fixed

@@ -66,6 +66,27 @@ double UtilityMatrix::BestUtilityIn(size_t user,
   return best;
 }
 
+void UtilityMatrix::FillPointColumn(size_t point,
+                                    std::span<double> out) const {
+  const size_t n = num_users();
+  FAM_CHECK(out.size() == n) << "column buffer size mismatch";
+  if (explicit_mode_) {
+    for (size_t u = 0; u < n; ++u) out[u] = scores_(u, point);
+    return;
+  }
+  // Inlined dot loop (same ascending-j accumulation as Dot(), so values
+  // are bit-identical to Utility()) without the per-element call and span
+  // construction overhead.
+  const size_t r = basis_.cols();
+  const double* b = basis_.row(point);
+  for (size_t u = 0; u < n; ++u) {
+    const double* w = weights_.row(u);
+    double sum = 0.0;
+    for (size_t j = 0; j < r; ++j) sum += w[j] * b[j];
+    out[u] = std::max(0.0, sum);
+  }
+}
+
 UtilityMatrix UtilityMatrix::RestrictToPoints(
     std::span<const size_t> points) const {
   UtilityMatrix m;

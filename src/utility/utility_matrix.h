@@ -77,6 +77,13 @@ class UtilityMatrix {
   double BestUtilityIn(size_t user,
                        std::span<const size_t> subset) const;
 
+  /// Writes f_u(point) for every user into `out` (size num_users()), as a
+  /// single streaming pass: a strided gather in explicit mode, an inlined
+  /// dot-product loop in weighted mode. Values are exactly
+  /// `Utility(u, point)` — this is the bulk primitive behind the
+  /// evaluation kernel's point-major score tile.
+  void FillPointColumn(size_t point, std::span<double> out) const;
+
   /// Restricts the matrix to the given point indices (columns), preserving
   /// user order. Useful when algorithms operate on the skyline only.
   UtilityMatrix RestrictToPoints(std::span<const size_t> points) const;

@@ -111,13 +111,23 @@ std::string JsonEscape(const std::string& text) {
 /// integer-valued counters survive exactly).
 class JsonObject {
  public:
+  // Built with sequential += appends: equivalent to `a + b + c` chains but
+  // without the temporaries (and without tripping GCC 12's bogus
+  // -Wrestrict on inlined std::string concatenation, PR 105651).
   JsonObject& Field(const std::string& key, const std::string& raw_value) {
     if (!fields_.empty()) fields_ += ",";
-    fields_ += "\"" + JsonEscape(key) + "\":" + raw_value;
+    fields_ += '"';
+    fields_ += JsonEscape(key);
+    fields_ += "\":";
+    fields_ += raw_value;
     return *this;
   }
   JsonObject& String(const std::string& key, const std::string& value) {
-    return Field(key, "\"" + JsonEscape(value) + "\"");
+    std::string quoted;
+    quoted += '"';
+    quoted += JsonEscape(value);
+    quoted += '"';
+    return Field(key, quoted);
   }
   JsonObject& Number(const std::string& key, double value) {
     return Field(key, StrPrintf("%.17g", value));
@@ -148,9 +158,12 @@ std::string JsonLabelArray(const Dataset& data,
   std::string out = "[";
   for (size_t i = 0; i < indices.size(); ++i) {
     if (i > 0) out += ",";
-    out += "\"" + JsonEscape(data.LabelOf(indices[i])) + "\"";
+    out += '"';
+    out += JsonEscape(data.LabelOf(indices[i]));
+    out += '"';
   }
-  return out + "]";
+  out += ']';
+  return out;
 }
 
 constexpr double kReportPercentiles[] = {70.0, 80.0, 90.0, 95.0, 99.0, 100.0};
