@@ -1,0 +1,181 @@
+// bench_service: serving-path throughput. Measures queries-per-second of
+// a batched fam::Service (async jobs on the persistent pool) against the
+// sequential `Engine::Solve` loop it replaced, on one shared workload, and
+// emits the numbers as BENCH_service.json (CI uploads it as the perf
+// trajectory artifact).
+//
+// Three measurements over the identical request batch:
+//   sequential    — for (r : requests) engine.Solve(workload, r)
+//   service x1    — Service with a single dedicated worker (equal thread
+//                   count to the loop; isolates pool/job overhead)
+//   service xT    — Service on T = hardware threads (the serving config;
+//                   overlaps queries)
+//
+// Selections are cross-checked: all three paths must return bit-identical
+// results per request.
+//
+// Usage: bench_service [--full] [--out BENCH_service.json]
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace fam {
+namespace {
+
+struct Measurement {
+  double seconds = 0.0;
+  std::vector<Result<SolveResponse>> responses;
+};
+
+double Qps(size_t requests, double seconds) {
+  return seconds > 0.0 ? static_cast<double>(requests) / seconds : 0.0;
+}
+
+Measurement RunSequential(const Engine& engine, const Workload& workload,
+                          const std::vector<SolveRequest>& requests) {
+  Measurement m;
+  Timer timer;
+  m.responses.reserve(requests.size());
+  for (const SolveRequest& request : requests) {
+    m.responses.push_back(engine.Solve(workload, request));
+  }
+  m.seconds = timer.ElapsedSeconds();
+  return m;
+}
+
+Measurement RunService(const Workload& workload,
+                       const std::vector<SolveRequest>& requests,
+                       size_t num_threads) {
+  Measurement m;
+  Timer timer;
+  Service service({.num_threads = num_threads, .max_queued_jobs = 0});
+  std::vector<JobHandle> jobs;
+  jobs.reserve(requests.size());
+  for (const SolveRequest& request : requests) {
+    Result<JobHandle> job = service.Submit(workload, request);
+    if (!job.ok()) {
+      std::fprintf(stderr, "submit failed: %s\n",
+                   job.status().ToString().c_str());
+      std::abort();
+    }
+    jobs.push_back(*std::move(job));
+  }
+  m.responses.reserve(jobs.size());
+  for (JobHandle& job : jobs) m.responses.push_back(job.Wait());
+  m.seconds = timer.ElapsedSeconds();
+  return m;
+}
+
+bool SameSelections(const Measurement& a, const Measurement& b) {
+  if (a.responses.size() != b.responses.size()) return false;
+  for (size_t i = 0; i < a.responses.size(); ++i) {
+    if (!a.responses[i].ok() || !b.responses[i].ok()) return false;
+    if (a.responses[i]->selection.indices !=
+            b.responses[i]->selection.indices ||
+        a.responses[i]->distribution.average !=
+            b.responses[i]->distribution.average) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int Run(int argc, char** argv) {
+  const bool full = FullScaleRequested(argc, argv);
+  std::string out_path = "BENCH_service.json";
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--out") out_path = argv[i + 1];
+  }
+
+  const size_t n = full ? 100000 : 4000;
+  const size_t users = full ? 10000 : 2000;
+  const size_t sweep_repeats = full ? 4 : 2;
+  bench::Banner("service throughput: batched Service vs sequential "
+                "Engine::Solve loop",
+                StrPrintf("n = %zu, d = 6, N = %zu users", n, users), full);
+
+  Dataset data = GenerateSynthetic({.n = n, .d = 6,
+      .distribution = SyntheticDistribution::kAntiCorrelated, .seed = 7});
+  Workload workload = bench::MakeLinearWorkload(data, users, 77);
+  std::printf("preprocess (shared, once): %.3f s\n\n",
+              workload.preprocess_seconds());
+
+  // The batch: the four standing comparators swept over k, repeated —
+  // a heterogeneous mix, as a serving frontend would see.
+  std::vector<SolveRequest> requests;
+  for (size_t repeat = 0; repeat < sweep_repeats; ++repeat) {
+    for (size_t k = 5; k <= 30; k += 5) {
+      requests.push_back({.solver = "greedy-shrink", .k = k});
+      requests.push_back({.solver = "greedy-grow", .k = k});
+      requests.push_back({.solver = "k-hit", .k = k});
+      requests.push_back({.solver = "sky-dom", .k = k});
+    }
+  }
+
+  Engine engine;
+  // Warm-up pass (untimed): touches every code path and the score tile.
+  RunSequential(engine, workload, {requests[0]});
+
+  // Best-of-reps to damp scheduler noise.
+  const int reps = 3;
+  Measurement sequential, service_x1, service_xt;
+  for (int rep = 0; rep < reps; ++rep) {
+    Measurement s = RunSequential(engine, workload, requests);
+    if (rep == 0 || s.seconds < sequential.seconds) sequential = std::move(s);
+    Measurement one = RunService(workload, requests, 1);
+    if (rep == 0 || one.seconds < service_x1.seconds) {
+      service_x1 = std::move(one);
+    }
+    Measurement many = RunService(workload, requests, 0);  // shared pool
+    if (rep == 0 || many.seconds < service_xt.seconds) {
+      service_xt = std::move(many);
+    }
+  }
+
+  const bool identical = SameSelections(sequential, service_x1) &&
+                         SameSelections(sequential, service_xt);
+  const size_t threads = ThreadPool::Shared().num_threads();
+  const double qps_seq = Qps(requests.size(), sequential.seconds);
+  const double qps_x1 = Qps(requests.size(), service_x1.seconds);
+  const double qps_xt = Qps(requests.size(), service_xt.seconds);
+
+  std::printf("%zu requests, best of %d reps\n", requests.size(), reps);
+  std::printf("  sequential Engine::Solve loop : %8.3f s  %8.1f qps\n",
+              sequential.seconds, qps_seq);
+  std::printf("  Service, 1 worker             : %8.3f s  %8.1f qps\n",
+              service_x1.seconds, qps_x1);
+  std::printf("  Service, %2zu workers (batched) : %8.3f s  %8.1f qps\n",
+              threads, service_xt.seconds, qps_xt);
+  std::printf("  batched speedup vs loop: %.2fx; selections identical: %s\n",
+              qps_seq > 0 ? qps_xt / qps_seq : 0.0,
+              identical ? "yes" : "NO");
+
+  FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(
+      out,
+      "{\"bench\":\"service\",\"full\":%s,\"n\":%zu,\"d\":6,\"users\":%zu,"
+      "\"requests\":%zu,\"threads\":%zu,"
+      "\"sequential_seconds\":%.6f,\"sequential_qps\":%.3f,"
+      "\"service_1thread_seconds\":%.6f,\"service_1thread_qps\":%.3f,"
+      "\"service_batched_seconds\":%.6f,\"service_batched_qps\":%.3f,"
+      "\"batched_speedup\":%.4f,\"results_identical\":%s}\n",
+      full ? "true" : "false", n, users, requests.size(), threads,
+      sequential.seconds, qps_seq, service_x1.seconds, qps_x1,
+      service_xt.seconds, qps_xt, qps_seq > 0 ? qps_xt / qps_seq : 0.0,
+      identical ? "true" : "false");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return identical ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace fam
+
+int main(int argc, char** argv) { return fam::Run(argc, argv); }

@@ -4,8 +4,9 @@
 //
 // Uses the NBA-like synthetic dataset (664 players × 22 stats; the real
 // basketball-reference data is not redistributable — see DESIGN.md §7).
-// The three selections are one Engine::SolveMany batch against a single
-// shared workload, so all three are scored on the identical user sample.
+// The three selections run as concurrent jobs on a fam::Service against a
+// single cached workload, so all three are scored on the identical user
+// sample — the serving shape: build once, submit asynchronously, await.
 
 #include <cstdio>
 
@@ -15,11 +16,12 @@ int main() {
   using namespace fam;
 
   Dataset players = GenerateNbaLike(664, 22).NormalizeMinMax();
-  Result<Workload> workload = WorkloadBuilder()
-                                  .WithDataset(players)
-                                  .WithNumUsers(10000)
-                                  .WithSeed(2016)
-                                  .Build();
+  Service service;
+  Result<std::shared_ptr<const Workload>> workload =
+      service.GetOrBuildWorkload(
+          {.dataset = std::make_shared<const Dataset>(players),
+           .num_users = 10000,
+           .seed = 2016});
   if (!workload.ok()) {
     std::fprintf(stderr, "workload failed: %s\n",
                  workload.status().ToString().c_str());
@@ -27,26 +29,37 @@ int main() {
   }
 
   const size_t k = 5;
-  Engine engine;
   std::vector<SolveRequest> requests = {
       {.solver = "greedy-shrink", .k = k},
       {.solver = "mrr-greedy", .k = k},
       {.solver = "k-hit", .k = k},
   };
-  std::vector<Result<SolveResponse>> responses =
-      engine.SolveMany(*workload, requests);
-  for (const Result<SolveResponse>& response : responses) {
+  // Submit returns immediately; the jobs overlap on the shared pool.
+  std::vector<JobHandle> jobs;
+  for (const SolveRequest& request : requests) {
+    Result<JobHandle> job = service.Submit(**workload, request);
+    if (!job.ok()) {
+      std::fprintf(stderr, "submit failed: %s\n",
+                   job.status().ToString().c_str());
+      return 1;
+    }
+    jobs.push_back(*std::move(job));
+  }
+  std::vector<SolveResponse> responses;
+  for (JobHandle& job : jobs) {
+    const Result<SolveResponse>& response = job.Wait();
     if (!response.ok()) {
       std::fprintf(stderr, "solver failed: %s\n",
                    response.status().ToString().c_str());
       return 1;
     }
+    responses.push_back(*response);
   }
-  const SolveResponse& s_arr = *responses[0];
-  const SolveResponse& s_mrr = *responses[1];
-  const SolveResponse& s_khit = *responses[2];
+  const SolveResponse& s_arr = responses[0];
+  const SolveResponse& s_mrr = responses[1];
+  const SolveResponse& s_khit = responses[2];
 
-  const RegretEvaluator& evaluator = workload->evaluator();
+  const RegretEvaluator& evaluator = (*workload)->evaluator();
   auto print_set = [&](const char* name, const SolveResponse& s) {
     std::printf("%s (arr = %.4f, max rr = %.4f, hit prob = %.3f):\n", name,
                 s.distribution.average,

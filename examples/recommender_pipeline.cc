@@ -5,8 +5,9 @@
 //
 // Everything — the factorization, the EM fit, the sampling — is this
 // library's own code; only the ratings are synthetic (the KDD-Cup 2011 data
-// is not redistributable). The learned Θ plugs straight into a Workload,
-// and the k-sweep is one Engine::SolveMany batch over the shared sample.
+// is not redistributable). The learned Θ plugs straight into a
+// WorkloadSpec, and the k-sweep runs as asynchronous jobs on a
+// fam::Service over the one cached, shared sample.
 
 #include <cstdio>
 
@@ -33,33 +34,43 @@ int main() {
               pipeline->gmm_iterations);
 
   // The learned mixture is the workload's Θ: 5,000 users sampled once,
-  // shared by the whole k-sweep.
-  Result<Workload> workload = WorkloadBuilder()
-                                  .WithDataset(pipeline->item_dataset)
-                                  .WithDistribution(pipeline->theta)
-                                  .WithNumUsers(5000)
-                                  .WithSeed(11)
-                                  .Build();
+  // cached by the service, shared by the whole k-sweep.
+  Service service;
+  Result<std::shared_ptr<const Workload>> workload =
+      service.GetOrBuildWorkload({.dataset = std::make_shared<const Dataset>(
+                                      pipeline->item_dataset),
+                                  .distribution = pipeline->theta,
+                                  .num_users = 5000,
+                                  .seed = 11});
   if (!workload.ok()) {
     std::fprintf(stderr, "workload failed: %s\n",
                  workload.status().ToString().c_str());
     return 1;
   }
 
-  Engine engine;
   std::vector<SolveRequest> requests;
   for (size_t k : {5, 10, 20}) {
     requests.push_back({.solver = "greedy-shrink", .k = k});
   }
-  std::vector<Result<SolveResponse>> responses =
-      engine.SolveMany(*workload, requests);
-  for (size_t i = 0; i < responses.size(); ++i) {
-    if (!responses[i].ok()) {
-      std::fprintf(stderr, "GreedyShrink failed: %s\n",
-                   responses[i].status().ToString().c_str());
+  // Async fan-out: submit the sweep, then await the handles in order.
+  std::vector<JobHandle> jobs;
+  for (const SolveRequest& request : requests) {
+    Result<JobHandle> job = service.Submit(**workload, request);
+    if (!job.ok()) {
+      std::fprintf(stderr, "submit failed: %s\n",
+                   job.status().ToString().c_str());
       return 1;
     }
-    const RegretDistribution& dist = responses[i]->distribution;
+    jobs.push_back(*std::move(job));
+  }
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    const Result<SolveResponse>& response = jobs[i].Wait();
+    if (!response.ok()) {
+      std::fprintf(stderr, "GreedyShrink failed: %s\n",
+                   response.status().ToString().c_str());
+      return 1;
+    }
+    const RegretDistribution& dist = response->distribution;
     std::printf(
         "k = %2zu: arr = %.4f, stddev = %.4f, 99th pct rr = %.4f\n",
         requests[i].k, dist.average, dist.stddev, dist.PercentileRr(99.0));

@@ -5,21 +5,24 @@
 namespace fam {
 
 CancellationToken::CancellationToken(double deadline_seconds) {
-  if (deadline_seconds > 0.0) {
-    has_deadline_ = true;
-    deadline_ = std::chrono::steady_clock::now() +
-                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                    std::chrono::duration<double>(deadline_seconds));
-  }
+  ArmDeadline(deadline_seconds);
+}
+
+void CancellationToken::ArmDeadline(double deadline_seconds) {
+  if (deadline_seconds <= 0.0) return;
+  deadline_ = std::chrono::steady_clock::now() +
+              std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(deadline_seconds));
+  has_deadline_.store(true, std::memory_order_release);
 }
 
 bool CancellationToken::Expired() const {
   if (cancelled_.load(std::memory_order_relaxed)) return true;
-  return has_deadline_ && std::chrono::steady_clock::now() >= deadline_;
+  return has_deadline() && std::chrono::steady_clock::now() >= deadline_;
 }
 
 double CancellationToken::RemainingSeconds() const {
-  if (!has_deadline_) return std::numeric_limits<double>::max();
+  if (!has_deadline()) return std::numeric_limits<double>::max();
   return std::chrono::duration<double>(deadline_ -
                                        std::chrono::steady_clock::now())
       .count();

@@ -22,7 +22,7 @@
 namespace fam {
 
 /// Thread-safe cancel signal with an optional deadline. Not copyable or
-/// movable (it holds an atomic); share it by pointer.
+/// movable (it holds atomics); share it by pointer.
 class CancellationToken {
  public:
   /// A token that never expires on its own (manual cancel only).
@@ -35,13 +35,29 @@ class CancellationToken {
   CancellationToken(const CancellationToken&) = delete;
   CancellationToken& operator=(const CancellationToken&) = delete;
 
+  /// Arms the deadline `deadline_seconds` from *now* (<= 0 is a no-op).
+  /// Thread-safe against concurrent polls; call at most once, and only
+  /// on a token constructed without a deadline. Lets an owner defer the
+  /// budget's start — e.g. a queued service job whose deadline should
+  /// begin at execution, not submission.
+  void ArmDeadline(double deadline_seconds);
+
   /// Requests cancellation; every subsequent Expired() returns true.
   void RequestCancel() { cancelled_.store(true, std::memory_order_relaxed); }
 
   /// True once cancelled or past the deadline.
   bool Expired() const;
 
-  bool has_deadline() const { return has_deadline_; }
+  /// True only after an explicit RequestCancel() — lets callers (e.g. the
+  /// service's job states) distinguish a user cancel from a deadline that
+  /// merely ran out.
+  bool CancelRequested() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  bool has_deadline() const {
+    return has_deadline_.load(std::memory_order_acquire);
+  }
 
   /// Seconds until the deadline (negative once past); a very large value
   /// when no deadline is set.
@@ -49,7 +65,9 @@ class CancellationToken {
 
  private:
   std::atomic<bool> cancelled_{false};
-  bool has_deadline_ = false;
+  /// `deadline_` is published with a release store on this flag; polls
+  /// read it only after an acquire load observes the flag set.
+  std::atomic<bool> has_deadline_{false};
   std::chrono::steady_clock::time_point deadline_{};
 };
 

@@ -1,0 +1,50 @@
+// 64-bit FNV-1a content hashing, shared by the fingerprints that key the
+// serving layer's workload cache (Dataset::ContentHash,
+// fam::WorkloadSpec::Fingerprint). Logical values — not raw memory — are
+// hashed, so fingerprints are stable across platforms of either
+// endianness.
+
+#ifndef FAM_COMMON_HASH_H_
+#define FAM_COMMON_HASH_H_
+
+#include <bit>
+#include <cstdint>
+#include <string_view>
+
+namespace fam {
+
+/// Incremental 64-bit FNV-1a hasher.
+class Fnv64 {
+ public:
+  void Byte(unsigned char byte) { state_ = (state_ ^ byte) * kPrime; }
+
+  void U64(uint64_t value) {
+    for (int shift = 0; shift < 64; shift += 8) {
+      Byte(static_cast<unsigned char>(value >> shift));
+    }
+  }
+
+  /// Hashes the value's bit pattern, collapsing -0.0 to +0.0 so
+  /// equal-comparing inputs fingerprint identically.
+  void Double(double value) {
+    if (value == 0.0) value = 0.0;
+    U64(std::bit_cast<uint64_t>(value));
+  }
+
+  /// Length-prefixed, so {"ab",""} and {"a","b"} hash differently.
+  void String(std::string_view text) {
+    U64(text.size());
+    for (char c : text) Byte(static_cast<unsigned char>(c));
+  }
+
+  uint64_t hash() const { return state_; }
+
+ private:
+  static constexpr uint64_t kOffset = 1469598103934665603ull;
+  static constexpr uint64_t kPrime = 1099511628211ull;
+  uint64_t state_ = kOffset;
+};
+
+}  // namespace fam
+
+#endif  // FAM_COMMON_HASH_H_

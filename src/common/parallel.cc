@@ -2,10 +2,73 @@
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
 #include <thread>
-#include <vector>
+
+#include "common/thread_pool.h"
 
 namespace fam {
+namespace {
+
+/// One parallel loop over `num_chunks` chunks, executed cooperatively: the
+/// calling thread claims and runs chunks alongside any pool workers that
+/// pick up the helper tasks. Because the caller always participates, the
+/// loop completes even when every pool worker is busy (it just runs
+/// sequentially on the caller) — which is what makes nesting a loop inside
+/// a pool task deadlock-free.
+struct CooperativeLoop {
+  explicit CooperativeLoop(size_t chunks,
+                           std::function<void(size_t)> run_chunk)
+      : num_chunks(chunks), run(std::move(run_chunk)) {}
+
+  const size_t num_chunks;
+  const std::function<void(size_t)> run;
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> done{0};
+  std::mutex mu;
+  std::condition_variable cv;
+
+  /// Claims chunks until none remain. The last finisher signals the
+  /// waiter; the acquire/release pair on `done` publishes every chunk's
+  /// writes to the thread that called Wait().
+  void RunChunks() {
+    for (size_t i = next.fetch_add(1, std::memory_order_relaxed);
+         i < num_chunks;
+         i = next.fetch_add(1, std::memory_order_relaxed)) {
+      run(i);
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == num_chunks) {
+        std::lock_guard<std::mutex> lock(mu);
+        cv.notify_all();
+      }
+    }
+  }
+
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] {
+      return done.load(std::memory_order_acquire) == num_chunks;
+    });
+  }
+};
+
+/// Runs `loop` with up to `num_threads - 1` pool helpers plus the caller.
+/// Helpers hold a shared_ptr so a loop the caller finishes alone stays
+/// alive until late-arriving helpers observe it is complete.
+void RunCooperatively(const std::shared_ptr<CooperativeLoop>& loop,
+                      size_t num_threads) {
+  ThreadPool& pool = ThreadPool::Shared();
+  size_t helpers = std::min(num_threads, loop->num_chunks) - 1;
+  helpers = std::min(helpers, pool.num_threads());
+  for (size_t t = 0; t < helpers; ++t) {
+    if (!pool.Submit([loop] { loop->RunChunks(); })) break;
+  }
+  loop->RunChunks();
+  loop->Wait();
+}
+
+}  // namespace
 
 size_t HardwareThreads() {
   unsigned hw = std::thread::hardware_concurrency();
@@ -16,7 +79,7 @@ void ParallelFor(size_t n, size_t num_threads,
                  const std::function<void(size_t, size_t)>& body) {
   if (n == 0) return;
   if (num_threads == 0) num_threads = HardwareThreads();
-  // Below ~4k items thread startup dominates any win.
+  // Below ~4k items per-chunk dispatch overhead dominates any win.
   constexpr size_t kMinItemsPerThread = 2048;
   num_threads = std::min(num_threads,
                          std::max<size_t>(1, n / kMinItemsPerThread));
@@ -24,16 +87,17 @@ void ParallelFor(size_t n, size_t num_threads,
     body(0, n);
     return;
   }
-  std::vector<std::thread> workers;
-  workers.reserve(num_threads);
+  // Chunk boundaries are a pure function of (n, num_threads): which thread
+  // runs a chunk varies, but the partition — and therefore any
+  // write-own-indices result — does not.
   size_t chunk = (n + num_threads - 1) / num_threads;
-  for (size_t t = 0; t < num_threads; ++t) {
-    size_t begin = t * chunk;
-    size_t end = std::min(n, begin + chunk);
-    if (begin >= end) break;
-    workers.emplace_back([&body, begin, end] { body(begin, end); });
-  }
-  for (std::thread& worker : workers) worker.join();
+  size_t num_chunks = (n + chunk - 1) / chunk;
+  auto loop = std::make_shared<CooperativeLoop>(
+      num_chunks, [&body, chunk, n](size_t c) {
+        size_t begin = c * chunk;
+        body(begin, std::min(n, begin + chunk));
+      });
+  RunCooperatively(loop, num_threads);
 }
 
 void ParallelForEach(size_t n, size_t num_threads,
@@ -45,18 +109,8 @@ void ParallelForEach(size_t n, size_t num_threads,
     for (size_t i = 0; i < n; ++i) body(i);
     return;
   }
-  std::atomic<size_t> next{0};
-  std::vector<std::thread> workers;
-  workers.reserve(num_threads);
-  for (size_t t = 0; t < num_threads; ++t) {
-    workers.emplace_back([&body, &next, n] {
-      for (size_t i = next.fetch_add(1, std::memory_order_relaxed); i < n;
-           i = next.fetch_add(1, std::memory_order_relaxed)) {
-        body(i);
-      }
-    });
-  }
-  for (std::thread& worker : workers) worker.join();
+  auto loop = std::make_shared<CooperativeLoop>(n, body);
+  RunCooperatively(loop, num_threads);
 }
 
 }  // namespace fam

@@ -1,10 +1,17 @@
 // Deterministic data-parallel helpers.
 //
-// ParallelFor statically partitions [0, n) into contiguous chunks, one per
-// worker, so results are bitwise identical to the sequential run whenever
-// the body writes only to its own indices. Used by the evaluator for
-// best-point indexing over large user samples (the O(N·n) preprocessing
-// step of Sec. III-D2).
+// ParallelFor statically partitions [0, n) into contiguous chunks whose
+// boundaries depend only on (n, num_threads), so results are bitwise
+// identical to the sequential run whenever the body writes only to its own
+// indices. Used by the evaluator for best-point indexing over large user
+// samples (the O(N·n) preprocessing step of Sec. III-D2).
+//
+// Both helpers execute on the process-wide persistent ThreadPool
+// (common/thread_pool.h) rather than spawning threads per call, and the
+// calling thread always participates in the loop — so they are safe to
+// nest inside tasks already running on the pool (e.g. a solve job issued
+// by fam::Service): with no free worker the loop simply runs on the
+// caller.
 
 #ifndef FAM_COMMON_PARALLEL_H_
 #define FAM_COMMON_PARALLEL_H_
@@ -17,10 +24,10 @@ namespace fam {
 /// Number of hardware threads (at least 1).
 size_t HardwareThreads();
 
-/// Runs body(begin, end) over a static partition of [0, n) on up to
-/// `num_threads` threads (0 = hardware default). Falls back to a direct
-/// call when n is small or a single thread is requested. Blocks until all
-/// chunks finish. The body must not throw.
+/// Runs body(begin, end) over a static partition of [0, n) on the caller
+/// plus up to `num_threads - 1` pool workers (0 = hardware default). Falls
+/// back to a direct call when n is small or a single thread is requested.
+/// Blocks until all chunks finish. The body must not throw.
 void ParallelFor(size_t n, size_t num_threads,
                  const std::function<void(size_t, size_t)>& body);
 

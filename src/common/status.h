@@ -25,6 +25,8 @@ enum class StatusCode {
   kUnimplemented = 5,
   kInternal = 6,
   kIoError = 7,
+  kCancelled = 8,
+  kResourceExhausted = 9,
 };
 
 /// Returns a human-readable name for `code` (e.g. "InvalidArgument").
@@ -68,6 +70,12 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,82 @@
+// A persistent worker pool: threads are started once and reused for every
+// task, replacing the spawn-per-call threading the library grew up with.
+//
+// Two layers ride on it:
+//
+//   * The data-parallel helpers in common/parallel.h (ParallelFor,
+//     ParallelForEach) enqueue their chunks here instead of spawning
+//     threads, with the *calling* thread participating in the loop. Caller
+//     participation is what makes nested use safe: a task running on the
+//     pool can itself issue a parallel loop — if every worker is busy the
+//     caller just executes all chunks itself, so a loop can never deadlock
+//     waiting for pool capacity.
+//   * The serving layer (src/fam/service.h) submits whole solve jobs as
+//     coarse tasks; the pool is the service's execution engine.
+//
+// Tasks must not throw, and must not block waiting for *other pool tasks*
+// to start (blocking on finished work, I/O, or plain computation is fine) —
+// the pool makes no start-ordering guarantee beyond FIFO dispatch.
+
+#ifndef FAM_COMMON_THREAD_POOL_H_
+#define FAM_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fam {
+
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (0 = one per hardware thread).
+  explicit ThreadPool(size_t num_threads = 0);
+
+  /// Equivalent to Shutdown(/*drain=*/true).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues `task` (FIFO). Returns false — without enqueueing — once
+  /// Shutdown has begun.
+  bool Submit(std::function<void()> task);
+
+  /// Stops the pool: no further Submit succeeds. With `drain`, queued
+  /// tasks run to completion first; without, queued-but-unstarted tasks
+  /// are discarded. Either way, blocks until in-flight tasks finish and
+  /// every worker has exited. Idempotent.
+  void Shutdown(bool drain);
+
+  /// Number of tasks waiting in the queue (excludes running tasks).
+  size_t QueueDepth() const;
+
+  /// The process-wide pool (one worker per hardware thread), created on
+  /// first use and never destroyed. ParallelFor / ParallelForEach and
+  /// default-configured Services run here.
+  static ThreadPool& Shared();
+
+  /// True when the calling thread is a worker of *any* ThreadPool.
+  /// Code that would otherwise block waiting for queued tasks to start
+  /// (e.g. Engine::SolveMany awaiting its batch) checks this and falls
+  /// back to inline execution, upholding the no-blocking contract above.
+  static bool OnWorkerThread();
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace fam
+
+#endif  // FAM_COMMON_THREAD_POOL_H_

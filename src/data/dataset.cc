@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/hash.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 
@@ -90,6 +91,18 @@ Status Dataset::Validate() const {
     }
   }
   return Status::OK();
+}
+
+uint64_t Dataset::ContentHash() const {
+  Fnv64 h;
+  h.U64(size());
+  h.U64(dimension());
+  for (double value : values_.data()) h.Double(value);
+  h.U64(attribute_names_.size());
+  for (const std::string& name : attribute_names_) h.String(name);
+  h.U64(labels_.size());
+  for (const std::string& label : labels_) h.String(label);
+  return h.hash();
 }
 
 }  // namespace fam

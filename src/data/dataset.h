@@ -9,6 +9,7 @@
 #ifndef FAM_DATA_DATASET_H_
 #define FAM_DATA_DATASET_H_
 
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
@@ -66,6 +67,14 @@ class Dataset {
 
   /// Validates basic structural invariants (finite values, label/name sizes).
   Status Validate() const;
+
+  /// Stable 64-bit content fingerprint over shape, values (bit patterns, in
+  /// row-major order), attribute names, and labels. Two datasets hash equal
+  /// iff their observable content is identical — reordering rows, perturbing
+  /// a value, or renaming a label all change the hash. Used as the dataset
+  /// component of the serving layer's workload-cache key
+  /// (fam::WorkloadSpec::Fingerprint); O(n·d), computed on demand.
+  uint64_t ContentHash() const;
 
  private:
   Matrix values_;

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <utility>
 
+#include "fam/service.h"
+
 namespace fam {
 
 std::vector<SolveRequest> StandardRequests(size_t k, bool sampled_mrr) {
@@ -18,13 +20,33 @@ std::vector<SolveRequest> StandardRequests(size_t k, bool sampled_mrr) {
 
 std::vector<AlgorithmOutcome> RunRequests(
     const Workload& workload, const std::vector<SolveRequest>& requests) {
-  Engine engine;
-  std::vector<AlgorithmOutcome> outcomes;
-  outcomes.reserve(requests.size());
-  for (const SolveRequest& request : requests) {
-    AlgorithmOutcome outcome;
-    outcome.name = request.solver;
-    Result<SolveResponse> response = engine.Solve(workload, request);
+  // The serving path, pinned to one dedicated worker: jobs execute
+  // strictly FIFO, so each reported query_seconds still measures an
+  // uncontended solve (benches time individual queries — intra-batch
+  // parallelism would distort them). Deadlines arm at execution, like
+  // the sequential Engine::Solve loop this replaced — a request queued
+  // behind a slow one must not burn its budget waiting.
+  Service service({.num_threads = 1,
+                   .max_queued_jobs = 0,
+                   .deadline_from_submit = false});
+  std::vector<JobHandle> jobs;
+  jobs.reserve(requests.size());
+  std::vector<AlgorithmOutcome> outcomes(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    outcomes[i].name = requests[i].solver;
+    Result<JobHandle> job = service.Submit(workload, requests[i]);
+    if (!job.ok()) {
+      outcomes[i].ok = false;
+      outcomes[i].error = job.status().ToString();
+      jobs.emplace_back();  // keep positions aligned
+      continue;
+    }
+    jobs.push_back(*std::move(job));
+  }
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    if (!jobs[i].valid()) continue;  // submission already failed
+    AlgorithmOutcome& outcome = outcomes[i];
+    Result<SolveResponse> response = jobs[i].Wait();
     if (!response.ok()) {
       outcome.ok = false;
       outcome.error = response.status().ToString();
@@ -37,7 +59,6 @@ std::vector<AlgorithmOutcome> RunRequests(
       outcome.stddev_regret_ratio = response->distribution.stddev;
       outcome.truncated = response->truncated;
     }
-    outcomes.push_back(std::move(outcome));
   }
   return outcomes;
 }

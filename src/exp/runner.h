@@ -38,10 +38,12 @@ struct AlgorithmOutcome {
 std::vector<SolveRequest> StandardRequests(size_t k,
                                            bool sampled_mrr = false);
 
-/// Runs every request against the shared workload through the global
-/// engine, sequentially (benches time individual queries, so no
-/// intra-batch parallelism). Outcomes are positionally aligned with
-/// `requests`; a failing request yields an error row, not an abort.
+/// Runs every request against the shared workload through the serving
+/// layer (fam::Service) pinned to one worker, so jobs execute strictly
+/// FIFO and each query_seconds measures an uncontended solve (benches
+/// time individual queries, so no intra-batch parallelism). Outcomes are
+/// positionally aligned with `requests`; a failing request yields an
+/// error row, not an abort.
 std::vector<AlgorithmOutcome> RunRequests(
     const Workload& workload, const std::vector<SolveRequest>& requests);
 

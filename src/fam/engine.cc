@@ -2,9 +2,10 @@
 
 #include <utility>
 
-#include "common/parallel.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
+#include "fam/service.h"
 
 namespace fam {
 
@@ -126,16 +127,23 @@ Engine::Engine(const SolverRegistry* registry)
 
 Result<SolveResponse> Engine::Solve(const Workload& workload,
                                     const SolveRequest& request) const {
+  CancellationToken cancel(request.deadline_seconds);
+  return SolveWithToken(workload, request,
+                        request.deadline_seconds > 0.0 ? &cancel : nullptr);
+}
+
+Result<SolveResponse> Engine::SolveWithToken(
+    const Workload& workload, const SolveRequest& request,
+    const CancellationToken* cancel) const {
   const Solver* solver = registry_->Find(request.solver);
   if (solver == nullptr) {
     return Status::NotFound("no registered solver named \"" +
                             request.solver + "\"");
   }
 
-  CancellationToken cancel(request.deadline_seconds);
   SolveContext context;
   context.options = &request.options;
-  context.cancel = request.deadline_seconds > 0.0 ? &cancel : nullptr;
+  context.cancel = cancel;
   context.kernel = &workload.kernel();
   context.seed = request.seed;
 
@@ -165,9 +173,42 @@ std::vector<Result<SolveResponse>> Engine::SolveMany(
   std::vector<Result<SolveResponse>> responses(
       requests.size(),
       Result<SolveResponse>(Status::Internal("request not executed")));
-  ParallelForEach(requests.size(), num_threads, [&](size_t i) {
-    responses[i] = Solve(workload, requests[i]);
-  });
+  // Inline fast path — identical results, no service machinery — when
+  // (a) the batch is sequential anyway (num_threads == 1 or <= 1
+  // request), or (b) we are already on a pool worker thread, where
+  // blocking on our own queued jobs could deadlock a saturated pool
+  // (pool tasks must not wait for other tasks to *start*).
+  if (num_threads == 1 || requests.size() <= 1 ||
+      ThreadPool::OnWorkerThread()) {
+    for (size_t i = 0; i < requests.size(); ++i) {
+      responses[i] = Solve(workload, requests[i]);
+    }
+    return responses;
+  }
+  // A scoped service: the batch becomes FIFO jobs on the persistent pool
+  // (the shared pool when num_threads is 0, a dedicated one otherwise).
+  // Admission is unbounded — bounding a batch the caller already built
+  // would only turn tail requests into errors — and each request's
+  // deadline is armed when its job starts, preserving Solve's per-request
+  // budget semantics (a serving Service defaults to submit-time budgets).
+  ServiceOptions options;
+  options.num_threads = num_threads;
+  options.max_queued_jobs = 0;
+  options.workload_cache_capacity = 0;
+  options.deadline_from_submit = false;
+  options.registry = registry_;
+  Service service(options);
+  std::vector<std::pair<size_t, JobHandle>> handles;
+  handles.reserve(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    Result<JobHandle> handle = service.Submit(workload, requests[i]);
+    if (!handle.ok()) {
+      responses[i] = handle.status();
+      continue;
+    }
+    handles.emplace_back(i, *std::move(handle));
+  }
+  for (auto& [i, handle] : handles) responses[i] = handle.Wait();
   return responses;
 }
 

@@ -32,9 +32,9 @@
 //   FAM_ASSIGN_OR_RETURN(SolveResponse response,
 //                        engine.Solve(workload, request));
 //
-// `Engine::SolveMany` fans a batch of requests over worker threads
-// (common/parallel.h) against the one shared Workload — the serving shape:
-// prepare once, answer many bounded queries.
+// `Engine::SolveMany` fans a batch of requests over the persistent thread
+// pool — it is a thin shim over a scoped fam::Service (src/fam/service.h),
+// the full serving shape: prepare once, answer many bounded queries.
 
 #ifndef FAM_FAM_ENGINE_H_
 #define FAM_FAM_ENGINE_H_
@@ -209,8 +209,20 @@ class Engine {
   Result<SolveResponse> Solve(const Workload& workload,
                               const SolveRequest& request) const;
 
+  /// Like Solve, but under an externally owned cancellation token (may be
+  /// null = uncancellable); request.deadline_seconds is ignored in favor
+  /// of the token. This is the seam the serving layer (fam::Service) runs
+  /// jobs through — its per-job tokens add explicit Cancel on top of the
+  /// deadline — and Solve itself is a thin wrapper over it, so the two
+  /// paths return bit-identical responses.
+  Result<SolveResponse> SolveWithToken(const Workload& workload,
+                                       const SolveRequest& request,
+                                       const CancellationToken* cancel) const;
+
   /// Runs a batch of requests against one shared workload on up to
-  /// `num_threads` workers (0 = hardware default; 1 = sequential).
+  /// `num_threads` workers (0 = the process-wide shared pool; 1 =
+  /// sequential). A thin shim over a scoped fam::Service (see
+  /// src/fam/service.h): requests become FIFO jobs on a persistent pool.
   /// Results are positionally aligned with `requests`; each entry carries
   /// its own success or error, and one failing request never aborts the
   /// batch.

@@ -27,6 +27,7 @@
 #include "common/stats.h"
 #include "common/status.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/branch_and_bound.h"
 #include "core/brute_force.h"
@@ -43,6 +44,7 @@
 #include "exp/runner.h"
 #include "exp/table.h"
 #include "fam/engine.h"
+#include "fam/service.h"
 #include "fam/solver_options.h"
 #include "fam/solver_registry.h"
 #include "geom/dominance.h"

@@ -1,0 +1,380 @@
+#include "fam/service.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/cancellation.h"
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace fam {
+namespace internal {
+
+/// One submitted solve: the immutable inputs, the cancellation token the
+/// solver polls, and the synchronized (result, state) pair handles read.
+struct Job {
+  Job(uint64_t job_id, Workload workload_in, SolveRequest request_in,
+      std::shared_ptr<ServiceState> service_in, bool deadline_from_submit)
+      : id(job_id),
+        workload(std::move(workload_in)),
+        request(std::move(request_in)),
+        // The serving default arms the budget here, at submission; with
+        // deadline_from_submit=false the worker arms it when the job
+        // starts (RunJob), matching blocking Engine::Solve semantics.
+        token(deadline_from_submit ? request.deadline_seconds : 0.0),
+        service(std::move(service_in)) {}
+
+  const uint64_t id;
+  const Workload workload;
+  const SolveRequest request;
+  CancellationToken token;
+  const std::shared_ptr<ServiceState> service;
+
+  /// Advisory fast-path state; the authoritative "is it finished" signal
+  /// is `result.has_value()` under `mu` (the state may be briefly
+  /// terminal before the result lands).
+  std::atomic<JobState> state{JobState::kQueued};
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::optional<Result<SolveResponse>> result;
+};
+
+/// State shared by the Service, its jobs, and the pool tasks. Pool tasks
+/// and JobHandles hold it via shared_ptr, so a Service can be destroyed
+/// (or a handle outlive it) while late tasks still resolve safely.
+struct ServiceState {
+  ServiceOptions options;
+  const SolverRegistry* registry = nullptr;
+
+  std::atomic<uint64_t> next_id{1};
+  std::atomic<uint64_t> submitted{0};
+  std::atomic<uint64_t> rejected{0};
+  std::atomic<uint64_t> completed{0};
+  std::atomic<uint64_t> cancelled{0};
+  std::atomic<size_t> queued{0};
+  std::atomic<size_t> running{0};
+  std::atomic<uint64_t> cache_hits{0};
+  std::atomic<uint64_t> cache_misses{0};
+
+  std::mutex mu;  ///< Guards accepting + jobs.
+  bool accepting = true;
+  std::vector<std::weak_ptr<Job>> jobs;
+  size_t prune_at = 64;
+
+  struct CacheEntry {
+    uint64_t fingerprint;
+    std::shared_ptr<const Workload> workload;
+  };
+  /// LRU workload cache, front = most recent. `cache_mu` guards only the
+  /// bookkeeping — builds run with it released, so a long build never
+  /// blocks hits or builds of unrelated specs. Same-fingerprint misses
+  /// coordinate through `building` + `cache_cv` (one builds, the rest
+  /// wait), so a workload is sampled at most once per cache residency.
+  std::mutex cache_mu;
+  std::condition_variable cache_cv;
+  std::list<CacheEntry> cache;
+  std::vector<uint64_t> building;  ///< Fingerprints being built right now.
+};
+
+namespace {
+
+std::string CancelledMessage(uint64_t id) {
+  return "job " + std::to_string(id) + " was cancelled before it started";
+}
+
+/// Finalizes a job: publishes the result, makes the state terminal, and
+/// wakes every waiter. Callers must have claimed the transition (won the
+/// CAS out of a live state).
+void Finish(Job& job, Result<SolveResponse> result, JobState terminal) {
+  // Counters first: a waiter unblocks the instant the result lands, and
+  // must already see this job counted in stats().
+  (terminal == JobState::kCancelled ? job.service->cancelled
+                                    : job.service->completed)
+      .fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(job.mu);
+    job.result = std::move(result);
+    job.state.store(terminal, std::memory_order_release);
+  }
+  job.cv.notify_all();
+}
+
+/// Cancel from any thread: QUEUED jobs go terminal here (winning the CAS
+/// against the worker's claim); RUNNING jobs are signalled through the
+/// token and finish on their worker.
+void CancelJob(Job& job) {
+  job.token.RequestCancel();
+  JobState expected = JobState::kQueued;
+  if (job.state.compare_exchange_strong(expected, JobState::kCancelled)) {
+    job.service->queued.fetch_sub(1, std::memory_order_relaxed);
+    Finish(job, Status::Cancelled(CancelledMessage(job.id)),
+           JobState::kCancelled);
+  }
+}
+
+/// The pool task body for one job.
+void RunJob(const std::shared_ptr<Job>& job) {
+  ServiceState& service = *job->service;
+  JobState expected = JobState::kQueued;
+  if (!job->state.compare_exchange_strong(expected, JobState::kRunning)) {
+    return;  // cancelled while queued; CancelJob already finalized it
+  }
+  service.queued.fetch_sub(1, std::memory_order_relaxed);
+  service.running.fetch_add(1, std::memory_order_relaxed);
+
+  Result<SolveResponse> result = Status::Internal("job not executed");
+  if (job->token.CancelRequested()) {
+    // Cancel landed between the claim and here — don't start the solver.
+    result = Status::Cancelled(CancelledMessage(job->id));
+  } else {
+    if (!service.options.deadline_from_submit) {
+      job->token.ArmDeadline(job->request.deadline_seconds);
+    }
+    Engine engine(service.registry);
+    result = engine.SolveWithToken(job->workload, job->request, &job->token);
+  }
+  // An explicit cancel mid-run ends CANCELLED (with the best-so-far
+  // response); a deadline that merely expired ends DONE + truncated.
+  JobState terminal = job->token.CancelRequested() ? JobState::kCancelled
+                                                   : JobState::kDone;
+  service.running.fetch_sub(1, std::memory_order_relaxed);
+  Finish(*job, std::move(result), terminal);
+}
+
+void AwaitTerminal(Job& job) {
+  std::unique_lock<std::mutex> lock(job.mu);
+  job.cv.wait(lock, [&job] { return job.result.has_value(); });
+}
+
+}  // namespace
+}  // namespace internal
+
+std::string_view JobStateName(JobState state) {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+uint64_t WorkloadSpec::Fingerprint() const {
+  FAM_CHECK(dataset != nullptr) << "WorkloadSpec.dataset is required";
+  // FNV-1a over the identifying fields, seeded with the dataset content.
+  Fnv64 h;
+  h.U64(dataset->ContentHash());
+  h.String(distribution != nullptr ? distribution->name() : "");
+  h.U64(num_users);
+  h.U64(seed);
+  h.U64(materialized ? 1 : 0);
+  return h.hash();
+}
+
+JobHandle::JobHandle(std::shared_ptr<internal::Job> job)
+    : job_(std::move(job)) {}
+
+uint64_t JobHandle::id() const {
+  FAM_CHECK(valid()) << "empty JobHandle";
+  return job_->id;
+}
+
+JobState JobHandle::state() const {
+  FAM_CHECK(valid()) << "empty JobHandle";
+  return job_->state.load(std::memory_order_acquire);
+}
+
+const Result<SolveResponse>& JobHandle::Wait() const {
+  FAM_CHECK(valid()) << "empty JobHandle";
+  internal::AwaitTerminal(*job_);
+  return *job_->result;  // immutable once set; safe without the lock
+}
+
+const Result<SolveResponse>* JobHandle::TryGet() const {
+  FAM_CHECK(valid()) << "empty JobHandle";
+  std::lock_guard<std::mutex> lock(job_->mu);
+  return job_->result.has_value() ? &*job_->result : nullptr;
+}
+
+void JobHandle::Cancel() {
+  FAM_CHECK(valid()) << "empty JobHandle";
+  internal::CancelJob(*job_);
+}
+
+Service::Service(ServiceOptions options)
+    : state_(std::make_shared<internal::ServiceState>()) {
+  state_->options = options;
+  state_->registry =
+      options.registry != nullptr ? options.registry : &SolverRegistry::Global();
+  if (options.num_threads > 0) {
+    own_pool_ = std::make_unique<ThreadPool>(options.num_threads);
+  }
+}
+
+Service::~Service() { Shutdown(/*drain=*/false); }
+
+namespace {
+
+Result<std::shared_ptr<const Workload>> BuildWorkloadFromSpec(
+    const WorkloadSpec& spec) {
+  WorkloadBuilder builder;
+  builder.WithDataset(spec.dataset)
+      .WithNumUsers(spec.num_users)
+      .WithSeed(spec.seed)
+      .WithMaterializedUtilities(spec.materialized);
+  if (spec.distribution != nullptr) builder.WithDistribution(spec.distribution);
+  FAM_ASSIGN_OR_RETURN(Workload workload, builder.Build());
+  return std::make_shared<const Workload>(std::move(workload));
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const Workload>> Service::GetOrBuildWorkload(
+    const WorkloadSpec& spec) {
+  if (spec.dataset == nullptr) {
+    return Status::InvalidArgument("WorkloadSpec.dataset is required");
+  }
+  internal::ServiceState& service = *state_;
+  const uint64_t fingerprint = spec.Fingerprint();
+  const size_t capacity = service.options.workload_cache_capacity;
+  if (capacity == 0) {  // cache disabled: plain uncoordinated build
+    service.cache_misses.fetch_add(1, std::memory_order_relaxed);
+    return BuildWorkloadFromSpec(spec);
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(service.cache_mu);
+    for (;;) {
+      for (auto it = service.cache.begin(); it != service.cache.end(); ++it) {
+        if (it->fingerprint == fingerprint) {
+          service.cache_hits.fetch_add(1, std::memory_order_relaxed);
+          service.cache.splice(service.cache.begin(), service.cache, it);
+          return service.cache.front().workload;
+        }
+      }
+      auto being_built = std::find(service.building.begin(),
+                                   service.building.end(), fingerprint);
+      if (being_built == service.building.end()) break;  // we build it
+      // Another caller is building this spec: wait and re-check (its
+      // entry lands in the cache, or — if its build failed — we retry).
+      service.cache_cv.wait(lock);
+    }
+    service.building.push_back(fingerprint);
+    service.cache_misses.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // The expensive part — Θ sampling, best-in-DB indexing, kernel build —
+  // runs unlocked: hits and unrelated builds proceed concurrently.
+  Result<std::shared_ptr<const Workload>> built = BuildWorkloadFromSpec(spec);
+
+  {
+    std::lock_guard<std::mutex> lock(service.cache_mu);
+    std::erase(service.building, fingerprint);
+    if (built.ok()) {
+      service.cache.push_front({fingerprint, *built});
+      if (service.cache.size() > capacity) service.cache.pop_back();
+    }
+  }
+  service.cache_cv.notify_all();
+  return built;
+}
+
+Result<JobHandle> Service::Submit(const Workload& workload,
+                                  SolveRequest request) {
+  internal::ServiceState& service = *state_;
+  // Fail fast on a typo'd solver before paying for a queue slot.
+  if (service.registry->Find(request.solver) == nullptr) {
+    service.rejected.fetch_add(1, std::memory_order_relaxed);
+    return Status::NotFound("no registered solver named \"" + request.solver +
+                            "\"");
+  }
+
+  std::shared_ptr<internal::Job> job;
+  {
+    std::lock_guard<std::mutex> lock(service.mu);
+    if (!service.accepting) {
+      service.rejected.fetch_add(1, std::memory_order_relaxed);
+      return Status::FailedPrecondition("service is shut down");
+    }
+    const size_t max_queued = service.options.max_queued_jobs;
+    if (max_queued > 0 &&
+        service.queued.load(std::memory_order_relaxed) >= max_queued) {
+      service.rejected.fetch_add(1, std::memory_order_relaxed);
+      return Status::ResourceExhausted(
+          "admission control: " + std::to_string(max_queued) +
+          " jobs already queued");
+    }
+    job = std::make_shared<internal::Job>(
+        service.next_id.fetch_add(1, std::memory_order_relaxed), workload,
+        std::move(request), state_, service.options.deadline_from_submit);
+    service.queued.fetch_add(1, std::memory_order_relaxed);
+    service.submitted.fetch_add(1, std::memory_order_relaxed);
+    if (service.jobs.size() >= service.prune_at) {
+      std::erase_if(service.jobs,
+                    [](const std::weak_ptr<internal::Job>& weak) {
+                      return weak.expired();
+                    });
+      service.prune_at = std::max<size_t>(64, service.jobs.size() * 2);
+    }
+    service.jobs.push_back(job);
+  }
+
+  ThreadPool& pool = own_pool_ != nullptr ? *own_pool_ : ThreadPool::Shared();
+  if (!pool.Submit([job] { internal::RunJob(job); })) {
+    internal::CancelJob(*job);  // pool already stopped; make it terminal
+    return Status::Internal("execution pool rejected the job");
+  }
+  return JobHandle(job);
+}
+
+void Service::Shutdown(bool drain) {
+  internal::ServiceState& service = *state_;
+  std::vector<std::shared_ptr<internal::Job>> live;
+  {
+    std::lock_guard<std::mutex> lock(service.mu);
+    service.accepting = false;
+    live.reserve(service.jobs.size());
+    for (const std::weak_ptr<internal::Job>& weak : service.jobs) {
+      if (std::shared_ptr<internal::Job> job = weak.lock()) {
+        live.push_back(std::move(job));
+      }
+    }
+  }
+  if (!drain) {
+    for (const std::shared_ptr<internal::Job>& job : live) {
+      internal::CancelJob(*job);
+    }
+  }
+  for (const std::shared_ptr<internal::Job>& job : live) {
+    internal::AwaitTerminal(*job);
+  }
+}
+
+ServiceStats Service::stats() const {
+  const internal::ServiceState& service = *state_;
+  ServiceStats stats;
+  stats.submitted = service.submitted.load(std::memory_order_relaxed);
+  stats.rejected = service.rejected.load(std::memory_order_relaxed);
+  stats.completed = service.completed.load(std::memory_order_relaxed);
+  stats.cancelled = service.cancelled.load(std::memory_order_relaxed);
+  stats.queued_now = service.queued.load(std::memory_order_relaxed);
+  stats.running_now = service.running.load(std::memory_order_relaxed);
+  stats.workload_cache_hits =
+      service.cache_hits.load(std::memory_order_relaxed);
+  stats.workload_cache_misses =
+      service.cache_misses.load(std::memory_order_relaxed);
+  return stats;
+}
+
+size_t Service::num_threads() const {
+  return own_pool_ != nullptr ? own_pool_->num_threads()
+                              : ThreadPool::Shared().num_threads();
+}
+
+}  // namespace fam

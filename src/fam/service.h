@@ -1,0 +1,220 @@
+// The FAM serving layer: an asynchronous, cancellable, multi-workload
+// front door over the engine.
+//
+// The engine API (src/fam/engine.h) made "prepare once, answer many
+// bounded queries" the library shape; `Service` makes it the *serving*
+// shape. A Service is long-lived and multi-tenant:
+//
+//   * Execution rides a persistent ThreadPool (common/thread_pool.h) —
+//     by default the process-wide shared pool — instead of forking and
+//     joining threads per batch.
+//   * Workloads are cached by content fingerprint (`WorkloadSpec`):
+//     repeated sessions over the same (dataset, Θ, N, seed) reuse the
+//     expensive sampled evaluator and evaluation kernel instead of
+//     re-sampling. `GetOrBuildWorkload` returns the *same* Workload
+//     object (pointer-identical evaluator) on a hit.
+//   * Queries are asynchronous jobs: `Submit(workload, request)` returns
+//     a `JobHandle` immediately; the caller can `Wait`, poll `TryGet`,
+//     or `Cancel`. Jobs move QUEUED → RUNNING → DONE (or → CANCELLED
+//     from either live state); per-job deadlines run through the same
+//     CancellationToken solvers already poll, measured from submission —
+//     a serving deadline covers queue wait, not just solve time.
+//   * Admission is bounded: once `max_queued_jobs` jobs are waiting,
+//     Submit fails fast with ResourceExhausted instead of letting the
+//     queue grow without limit.
+//   * `Shutdown(drain)` stops admission and either drains outstanding
+//     jobs or cancels them, then blocks until every job is terminal.
+//
+// `Engine::SolveMany` is now a thin shim over a scoped Service, so every
+// batch caller upgraded to this machinery without an API change; results
+// are bit-identical to `Engine::Solve` because both run the same
+// solve-with-token path.
+//
+// Typical use:
+//
+//   Service service;
+//   FAM_ASSIGN_OR_RETURN(std::shared_ptr<const Workload> workload,
+//                        service.GetOrBuildWorkload(
+//                            {.dataset = data, .num_users = 10000,
+//                             .seed = 7}));
+//   FAM_ASSIGN_OR_RETURN(JobHandle job,
+//                        service.Submit(*workload,
+//                                       {.solver = "greedy-shrink",
+//                                        .k = 10}));
+//   const Result<SolveResponse>& result = job.Wait();
+
+#ifndef FAM_FAM_SERVICE_H_
+#define FAM_FAM_SERVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "data/dataset.h"
+#include "fam/engine.h"
+#include "fam/solver_registry.h"
+#include "utility/distribution.h"
+
+namespace fam {
+
+namespace internal {
+struct Job;
+struct ServiceState;
+}  // namespace internal
+
+/// Lifecycle of one submitted solve. Terminal states are kDone and
+/// kCancelled; a job cancelled while RUNNING stops at the solver's next
+/// cancellation checkpoint and still carries its best-so-far response.
+enum class JobState { kQueued, kRunning, kDone, kCancelled };
+
+/// Lower-case display name ("queued", "running", "done", "cancelled").
+std::string_view JobStateName(JobState state);
+
+/// Identity of a cacheable workload: everything `WorkloadBuilder` needs,
+/// in fingerprintable form. Two specs with equal fingerprints share one
+/// built Workload (sampled evaluator + kernel) through the service cache.
+struct WorkloadSpec {
+  /// The database D (required).
+  std::shared_ptr<const Dataset> dataset;
+  /// Θ to sample from; null = the builder's default (uniform linear over
+  /// the simplex). Distributions are identified by `name()` in the
+  /// fingerprint, so distinct Θ objects must carry distinct names (the
+  /// built-ins encode their parameters in the name).
+  std::shared_ptr<const UtilityDistribution> distribution = nullptr;
+  /// Number of sampled users N.
+  size_t num_users = 10000;
+  /// Seed for the Θ sample.
+  uint64_t seed = 7;
+  /// Materialize the sampled utility matrix (see WorkloadBuilder).
+  bool materialized = false;
+
+  /// Stable 64-bit cache key: Dataset::ContentHash() mixed with the Θ
+  /// name, num_users, seed, and the materialization flag.
+  uint64_t Fingerprint() const;
+};
+
+/// Snapshot of a service's lifetime counters.
+struct ServiceStats {
+  uint64_t submitted = 0;   ///< Jobs accepted by Submit.
+  uint64_t rejected = 0;    ///< Submissions refused (admission / shutdown).
+  uint64_t completed = 0;   ///< Jobs that reached DONE.
+  uint64_t cancelled = 0;   ///< Jobs that reached CANCELLED.
+  size_t queued_now = 0;    ///< Currently waiting.
+  size_t running_now = 0;   ///< Currently executing.
+  uint64_t workload_cache_hits = 0;
+  uint64_t workload_cache_misses = 0;
+};
+
+struct ServiceOptions {
+  /// 0 = execute on the process-wide shared pool; > 0 = dedicated pool
+  /// with this many workers (bounds the service's own concurrency, e.g. 1
+  /// for strictly sequential execution).
+  size_t num_threads = 0;
+  /// Admission bound: Submit fails with ResourceExhausted once this many
+  /// jobs are queued (not yet running). 0 = unbounded.
+  size_t max_queued_jobs = 1024;
+  /// Capacity of the LRU workload cache (entries).
+  size_t workload_cache_capacity = 8;
+  /// When true (the serving default), a request's deadline_seconds counts
+  /// from Submit — an end-to-end budget that includes queue wait. When
+  /// false, the budget is armed when the job starts executing, matching
+  /// the blocking Engine::Solve semantics (Engine::SolveMany uses this).
+  bool deadline_from_submit = true;
+  /// Solver registry (must outlive the service); null = global registry.
+  const SolverRegistry* registry = nullptr;
+};
+
+/// Caller's reference to one submitted job. Cheap to copy; all copies
+/// refer to the same job. A handle may outlive the Service (the job's
+/// result stays readable), and the job keeps running even if every handle
+/// is dropped.
+class JobHandle {
+ public:
+  /// An empty handle; every accessor below requires a real one (Submit's
+  /// return value).
+  JobHandle() = default;
+
+  bool valid() const { return job_ != nullptr; }
+  uint64_t id() const;
+  JobState state() const;
+
+  /// Blocks until the job is terminal and returns its result: the
+  /// SolveResponse (possibly truncated, if a deadline or a mid-run cancel
+  /// stopped the solver early), or a status — kCancelled for jobs
+  /// cancelled before they started. The reference stays valid for the
+  /// job's lifetime (any live handle).
+  const Result<SolveResponse>& Wait() const;
+
+  /// Non-blocking Wait: null until the job is terminal.
+  const Result<SolveResponse>* TryGet() const;
+
+  /// Requests cancellation. A QUEUED job goes terminal immediately (its
+  /// result is a kCancelled status); a RUNNING job stops cooperatively at
+  /// the solver's next checkpoint and keeps its best-so-far response.
+  /// No-op on terminal jobs.
+  void Cancel();
+
+ private:
+  friend class Service;
+  explicit JobHandle(std::shared_ptr<internal::Job> job);
+
+  std::shared_ptr<internal::Job> job_;
+};
+
+/// The long-lived serving front end. Thread-safe: GetOrBuildWorkload,
+/// Submit, Cancel, stats, and Shutdown may be called concurrently.
+class Service {
+ public:
+  explicit Service(ServiceOptions options = {});
+
+  /// Shutdown(/*drain=*/false): cancels whatever is still outstanding and
+  /// waits for running jobs to stop at their next checkpoint.
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Returns the cached Workload for `spec`, building (and caching) it on
+  /// a miss. Hits share the previously built object — pointer-identical
+  /// evaluator/kernel, no re-sampling — and refresh its LRU position.
+  /// Builds run without blocking the cache: hits and builds of unrelated
+  /// specs proceed concurrently, while concurrent misses on the *same*
+  /// fingerprint coordinate so a workload is sampled at most once per
+  /// residency.
+  Result<std::shared_ptr<const Workload>> GetOrBuildWorkload(
+      const WorkloadSpec& spec);
+
+  /// Enqueues one solve against `workload` (cheap copy; shared innards)
+  /// and returns its handle immediately. Fails fast — without enqueuing —
+  /// on an unknown solver (NotFound), a full queue (ResourceExhausted),
+  /// or a shut-down service (FailedPrecondition). `request.deadline_seconds`
+  /// counts from submission (see ServiceOptions::deadline_from_submit).
+  Result<JobHandle> Submit(const Workload& workload, SolveRequest request);
+
+  /// Stops admission, then blocks until every outstanding job is
+  /// terminal. With `drain`, queued and running jobs finish normally;
+  /// without, queued jobs are cancelled and running jobs get a
+  /// cooperative cancel. Idempotent; Submit fails afterwards.
+  void Shutdown(bool drain);
+
+  ServiceStats stats() const;
+
+  /// Workers executing this service's jobs (the dedicated pool size, or
+  /// the shared pool size when ServiceOptions::num_threads was 0).
+  size_t num_threads() const;
+
+ private:
+  std::shared_ptr<internal::ServiceState> state_;
+  /// Dedicated pool (ServiceOptions::num_threads > 0); jobs otherwise run
+  /// on ThreadPool::Shared(). Declared after state_ so it drains first on
+  /// destruction.
+  std::unique_ptr<ThreadPool> own_pool_;
+};
+
+}  // namespace fam
+
+#endif  // FAM_FAM_SERVICE_H_

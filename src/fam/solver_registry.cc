@@ -70,15 +70,21 @@ class LambdaSolver final : public Solver {
         }
       }
       if (!known) {
+        // Spell out every valid key (with its description) so the caller
+        // can fix the request from the error alone, without a separate
+        // `fam_cli --list_solvers` round trip.
         std::string supported;
         for (const SolverOptionSpec& spec : options_) {
           if (!supported.empty()) supported += ", ";
           supported += spec.name;
+          if (!spec.description.empty()) {
+            supported += " (" + spec.description + ")";
+          }
         }
         return Status::InvalidArgument(
             "unknown option \"" + key + "\" for solver " + name_ +
             (supported.empty() ? " (which accepts no options)"
-                               : "; supported: " + supported));
+                               : "; valid keys: " + supported));
       }
     }
     return Status::OK();

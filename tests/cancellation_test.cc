@@ -1,0 +1,108 @@
+// Direct tests for common/cancellation.h: deadline firing, explicit
+// cancel (including cancel-before-start), and sharing one token across
+// threads — previously only covered indirectly through engine_test.cc.
+
+#include "common/cancellation.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace fam {
+namespace {
+
+TEST(CancellationTokenTest, DefaultTokenNeverExpiresOnItsOwn) {
+  CancellationToken token;
+  EXPECT_FALSE(token.has_deadline());
+  EXPECT_FALSE(token.Expired());
+  EXPECT_FALSE(token.CancelRequested());
+  // No deadline: effectively unlimited time remaining.
+  EXPECT_GT(token.RemainingSeconds(), 1e9);
+}
+
+TEST(CancellationTokenTest, NonPositiveDeadlineMeansNoDeadline) {
+  CancellationToken zero(0.0);
+  CancellationToken negative(-3.5);
+  EXPECT_FALSE(zero.has_deadline());
+  EXPECT_FALSE(negative.has_deadline());
+  EXPECT_FALSE(zero.Expired());
+  EXPECT_FALSE(negative.Expired());
+}
+
+TEST(CancellationTokenTest, DeadlineFires) {
+  CancellationToken token(1e-6);
+  ASSERT_TRUE(token.has_deadline());
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_TRUE(token.Expired());
+  EXPECT_LT(token.RemainingSeconds(), 0.0);
+  // A deadline expiry is not an explicit cancel — the service layer uses
+  // this distinction to report DONE+truncated instead of CANCELLED.
+  EXPECT_FALSE(token.CancelRequested());
+}
+
+TEST(CancellationTokenTest, GenerousDeadlineHasNotFiredYet) {
+  CancellationToken token(3600.0);
+  EXPECT_TRUE(token.has_deadline());
+  EXPECT_FALSE(token.Expired());
+  double remaining = token.RemainingSeconds();
+  EXPECT_GT(remaining, 3500.0);
+  EXPECT_LE(remaining, 3600.0);
+}
+
+TEST(CancellationTokenTest, ArmDeadlineStartsTheBudgetLate) {
+  // A deferred budget: the token exists (and is cancellable) before the
+  // deadline is armed — the service's deadline-at-execution mode.
+  CancellationToken token;
+  EXPECT_FALSE(token.has_deadline());
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  token.ArmDeadline(3600.0);
+  EXPECT_TRUE(token.has_deadline());
+  EXPECT_FALSE(token.Expired());
+  EXPECT_GT(token.RemainingSeconds(), 3500.0);
+
+  CancellationToken expiring;
+  expiring.ArmDeadline(1e-6);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_TRUE(expiring.Expired());
+
+  CancellationToken unarmed;
+  unarmed.ArmDeadline(0.0);  // <= 0 is a no-op
+  EXPECT_FALSE(unarmed.has_deadline());
+}
+
+TEST(CancellationTokenTest, CancelBeforeStart) {
+  // A token cancelled before any work begins — the serving layer's
+  // "cancel a QUEUED job" path — reports Expired from the first poll,
+  // even with a far-future deadline.
+  CancellationToken token(3600.0);
+  token.RequestCancel();
+  EXPECT_TRUE(token.Expired());
+  EXPECT_TRUE(token.CancelRequested());
+  // Cancellation is sticky.
+  EXPECT_TRUE(token.Expired());
+}
+
+TEST(CancellationTokenTest, SharedTokenPropagatesAcrossThreads) {
+  // One token shared by pointer (tokens are non-copyable): a worker polls
+  // it — as solvers do at checkpoints — and stops when another thread
+  // cancels.
+  CancellationToken token;
+  std::atomic<bool> worker_started{false};
+  std::atomic<long> polls{0};
+  std::thread worker([&] {
+    worker_started.store(true);
+    while (!token.Expired()) {
+      polls.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::yield();
+    }
+  });
+  while (!worker_started.load()) std::this_thread::yield();
+  token.RequestCancel();
+  worker.join();  // terminates only because the cancel was observed
+  EXPECT_TRUE(token.Expired());
+}
+
+}  // namespace
+}  // namespace fam

@@ -87,5 +87,56 @@ TEST(DatasetTest, EmptyDatasetBehaves) {
   EXPECT_TRUE(d.Validate().ok());
 }
 
+TEST(DatasetContentHashTest, EqualContentHashesEqual) {
+  Dataset a(Matrix::FromRows({{1.0, 2.0}, {3.0, 4.0}}));
+  Dataset b(Matrix::FromRows({{1.0, 2.0}, {3.0, 4.0}}));
+  EXPECT_EQ(a.ContentHash(), b.ContentHash());
+  // Repeated calls are stable (the fingerprint keys a cross-call cache).
+  EXPECT_EQ(a.ContentHash(), a.ContentHash());
+  // Signed zero: -0.0 == 0.0, so the fingerprints must match too.
+  Dataset pos(Matrix::FromRows({{0.0}}));
+  Dataset neg(Matrix::FromRows({{-0.0}}));
+  EXPECT_EQ(pos.ContentHash(), neg.ContentHash());
+}
+
+TEST(DatasetContentHashTest, ValueSensitive) {
+  Dataset base(Matrix::FromRows({{1.0, 2.0}, {3.0, 4.0}}));
+  Dataset bumped(Matrix::FromRows({{1.0, 2.0}, {3.0, 4.0 + 1e-12}}));
+  EXPECT_NE(base.ContentHash(), bumped.ContentHash());
+}
+
+TEST(DatasetContentHashTest, OrderSensitive) {
+  // Same multiset of rows, different order: solvers address points by
+  // index, so the fingerprint must distinguish the two.
+  Dataset ab(Matrix::FromRows({{1.0, 2.0}, {3.0, 4.0}}));
+  Dataset ba(Matrix::FromRows({{3.0, 4.0}, {1.0, 2.0}}));
+  EXPECT_NE(ab.ContentHash(), ba.ContentHash());
+}
+
+TEST(DatasetContentHashTest, ShapeSensitive) {
+  // Identical flat value sequence, different shape.
+  Dataset wide(Matrix::FromRows({{1.0, 2.0, 3.0, 4.0}}));
+  Dataset tall(Matrix::FromRows({{1.0}, {2.0}, {3.0}, {4.0}}));
+  Dataset square(Matrix::FromRows({{1.0, 2.0}, {3.0, 4.0}}));
+  EXPECT_NE(wide.ContentHash(), tall.ContentHash());
+  EXPECT_NE(wide.ContentHash(), square.ContentHash());
+  EXPECT_NE(tall.ContentHash(), square.ContentHash());
+}
+
+TEST(DatasetContentHashTest, MetadataSensitive) {
+  Matrix values = Matrix::FromRows({{1.0, 2.0}});
+  Dataset plain(values);
+  Dataset named(values, {"x", "y"}, {"p"});
+  Dataset renamed(values, {"x", "z"}, {"p"});
+  Dataset relabeled(values, {"x", "y"}, {"q"});
+  EXPECT_NE(plain.ContentHash(), named.ContentHash());
+  EXPECT_NE(named.ContentHash(), renamed.ContentHash());
+  EXPECT_NE(named.ContentHash(), relabeled.ContentHash());
+  // Length-prefixing: {"ab"} vs {"a","b"}-style concatenation collisions.
+  Dataset joined(Matrix::FromRows({{1.0}}), {"ab"}, {});
+  Dataset split_rows(Matrix::FromRows({{1.0}}), {"a"}, {"b"});
+  EXPECT_NE(joined.ContentHash(), split_rows.ContentHash());
+}
+
 }  // namespace
 }  // namespace fam

@@ -3,8 +3,12 @@
 
 #include "fam/engine.h"
 
+#include <atomic>
+#include <thread>
+
 #include <gtest/gtest.h>
 
+#include "common/thread_pool.h"
 #include "data/generator.h"
 #include "utility/distribution.h"
 
@@ -281,6 +285,40 @@ TEST(EngineTest, SolveManyMatchesSequentialSolves) {
     EXPECT_DOUBLE_EQ(parallel[i]->distribution.average,
                      sequential->distribution.average);
     EXPECT_EQ(parallel[i]->solver, sequential->solver);
+  }
+}
+
+TEST(EngineTest, SolveManyFromAPoolTaskDoesNotDeadlock) {
+  // SolveMany called from inside a pool task (e.g. user code running as a
+  // service job) must not block waiting for its own queued jobs to start
+  // on a saturated pool — it falls back to inline execution.
+  Result<Workload> workload = BuildSmallWorkload();
+  ASSERT_TRUE(workload.ok());
+  Engine engine;
+  std::vector<SolveRequest> requests = {
+      {.solver = "greedy-shrink", .k = 4},
+      {.solver = "k-hit", .k = 5},
+  };
+  // Saturate the shared pool so no worker is free for nested jobs.
+  const size_t tasks = 2 * ThreadPool::Shared().num_threads();
+  std::atomic<size_t> done{0};
+  std::vector<std::vector<Result<SolveResponse>>> nested(tasks);
+  for (size_t t = 0; t < tasks; ++t) {
+    ASSERT_TRUE(ThreadPool::Shared().Submit([&, t] {
+      nested[t] = engine.SolveMany(*workload, requests);
+      done.fetch_add(1);
+    }));
+  }
+  while (done.load() < tasks) std::this_thread::yield();
+
+  std::vector<Result<SolveResponse>> direct =
+      engine.SolveMany(*workload, requests);
+  for (size_t t = 0; t < tasks; ++t) {
+    ASSERT_EQ(nested[t].size(), requests.size());
+    for (size_t i = 0; i < requests.size(); ++i) {
+      ASSERT_TRUE(nested[t][i].ok() && direct[i].ok());
+      EXPECT_EQ(nested[t][i]->selection.indices, direct[i]->selection.indices);
+    }
   }
 }
 

@@ -18,6 +18,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <map>
 #include <sstream>
 #include <string>
@@ -195,8 +196,85 @@ int main(int argc, char** argv) {
     Fail("unknown --options key was not rejected:\n" + out);
   }
 
+  // ---------------------------------------------------------------------
+  // serve: drive a real serving session end to end — workload build +
+  // cache hit, two concurrent async solves, cancel one, reap the other,
+  // quit. One NDJSON request per line in, one response per line out.
+  // ---------------------------------------------------------------------
+  const std::string slow = (work_dir / "slow.csv").string();
+  if (RunCapture(cli + " generate --n 300 --d 4 --dist anti --seed 40 --out " +
+                     slow,
+                 &out) != 0) {
+    Fail("generate (serve dataset) failed:\n" + out);
+    return 1;
+  }
+  const std::string script_path = (work_dir / "serve_session.ndjson").string();
+  {
+    std::ofstream script(script_path);
+    // w1 built twice: the second build must be a cache hit.
+    script << "{\"cmd\":\"build_workload\",\"in\":\"" << data
+           << "\",\"users\":400,\"seed\":7,\"name\":\"w1\"}\n"
+           << "{\"cmd\":\"build_workload\",\"in\":\"" << data
+           << "\",\"users\":400,\"seed\":7,\"name\":\"w1b\"}\n"
+           << "{\"cmd\":\"build_workload\",\"in\":\"" << slow
+           << "\",\"users\":500,\"seed\":41,\"name\":\"w2\"}\n"
+           // Job 1: an instance Branch-And-Bound cannot certify quickly
+           // (> 20 s unbounded) — guaranteed still live when cancelled.
+           << "{\"cmd\":\"solve\",\"workload\":\"w2\","
+              "\"algo\":\"branch-and-bound\",\"k\":15}\n"
+           // Job 2: submitted while job 1 is in flight. The null deadline
+           // must parse as "field absent".
+           << "{\"cmd\":\"solve\",\"workload\":\"w1\","
+              "\"algo\":\"greedy-shrink\",\"k\":3,\"deadline\":null}\n"
+           << "{\"cmd\":\"cancel\",\"job\":1}\n"
+           << "{\"cmd\":\"status\",\"job\":2,\"wait\":true}\n"
+           << "{\"cmd\":\"status\",\"job\":1,\"wait\":true}\n"
+           << "{\"cmd\":\"status\"}\n"
+           << "{\"cmd\":\"quit\"}\n";
+  }
+  if (RunCapture(cli + " serve < " + script_path, &out) != 0) {
+    Fail("serve session failed:\n" + out);
+  } else {
+    std::vector<std::string> lines;
+    std::istringstream stream(out);
+    for (std::string line; std::getline(stream, line);) {
+      if (!line.empty() && line[0] == '{') lines.push_back(line);
+    }
+    if (lines.size() != 10) {
+      Fail("serve session: expected 10 response lines, got " +
+           std::to_string(lines.size()) + ":\n" + out);
+    } else {
+      auto expect = [&](size_t index, const char* needle) {
+        if (lines[index].find(needle) == std::string::npos) {
+          Fail("serve response " + std::to_string(index) + " missing " +
+               needle + ": " + lines[index]);
+        }
+      };
+      expect(0, "\"ok\":true");
+      expect(0, "\"cache_hit\":false");
+      expect(1, "\"cache_hit\":true");  // same spec -> shared workload
+      expect(2, "\"workload\":\"w2\"");
+      expect(3, "\"job\":1");  // accepted immediately, not blocked on job 1
+      expect(4, "\"job\":2");
+      expect(5, "\"ok\":true");  // cancel acknowledged
+      // Job 2 completes despite job 1 being cancelled mid-run.
+      expect(6, "\"state\":\"done\"");
+      expect(6, "\"result_ok\":true");
+      double arr = ParseAfter(lines[6], "\"arr\":");
+      if (std::isnan(arr) || arr < 0.0 || arr > 1.0) {
+        Fail("serve job 2: bad arr: " + lines[6]);
+      }
+      expect(7, "\"state\":\"cancelled\"");
+      expect(8, "\"cancelled\":1");
+      expect(8, "\"completed\":1");
+      expect(8, "\"cache_hits\":1");
+      expect(9, "\"bye\":true");
+    }
+  }
+
   if (g_failures > 0) return 1;
-  std::printf("fam_cli smoke test passed: %zu solvers, exact methods agree\n",
+  std::printf("fam_cli smoke test passed: %zu solvers, exact methods agree, "
+              "serve session OK\n",
               solvers.size());
   return 0;
 }

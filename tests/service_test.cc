@@ -1,0 +1,377 @@
+// Tests for the serving layer (src/fam/service.h): async job lifecycle,
+// cancellation, deadlines, admission control, shutdown, the fingerprint
+// workload cache, and bit-identity with the synchronous engine path.
+
+#include "fam/service.h"
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "fam/engine.h"
+
+namespace fam {
+namespace {
+
+std::shared_ptr<const Dataset> SmallDataset(uint64_t seed = 20) {
+  return std::make_shared<const Dataset>(GenerateSynthetic(
+      {.n = 60, .d = 3,
+       .distribution = SyntheticDistribution::kAntiCorrelated,
+       .seed = seed}));
+}
+
+/// An instance Branch-And-Bound cannot certify quickly (> 20 s unbounded,
+/// per engine_test.cc) — used wherever a test needs a job that is still
+/// running when it gets cancelled.
+WorkloadSpec SlowSpec() {
+  return {.dataset = std::make_shared<const Dataset>(GenerateSynthetic(
+              {.n = 300, .d = 4,
+               .distribution = SyntheticDistribution::kAntiCorrelated,
+               .seed = 40})),
+          .num_users = 500,
+          .seed = 41};
+}
+
+void SpinUntilRunning(const JobHandle& job) {
+  while (job.state() == JobState::kQueued) std::this_thread::yield();
+}
+
+TEST(ServiceTest, SubmitIsBitIdenticalToEngineSolve) {
+  Service service;
+  Result<std::shared_ptr<const Workload>> workload =
+      service.GetOrBuildWorkload({.dataset = SmallDataset(),
+                                  .num_users = 300, .seed = 21});
+  ASSERT_TRUE(workload.ok()) << workload.status().ToString();
+
+  Engine engine;
+  // The acceptance bar: for identical seed/requests, the async service
+  // path returns bit-identical selections AND arr to the blocking engine
+  // path, across multiple solvers.
+  for (const char* solver :
+       {"greedy-shrink", "greedy-grow", "local-search", "k-hit"}) {
+    SolveRequest request{.solver = solver, .k = 6};
+    Result<JobHandle> job = service.Submit(**workload, request);
+    ASSERT_TRUE(job.ok()) << job.status().ToString();
+    const Result<SolveResponse>& async = job->Wait();
+    Result<SolveResponse> sync = engine.Solve(**workload, request);
+    ASSERT_TRUE(async.ok() && sync.ok()) << solver;
+    EXPECT_EQ(async->selection.indices, sync->selection.indices) << solver;
+    // Bit-identical, not approximately equal.
+    EXPECT_EQ(async->selection.average_regret_ratio,
+              sync->selection.average_regret_ratio)
+        << solver;
+    EXPECT_EQ(async->distribution.average, sync->distribution.average)
+        << solver;
+    EXPECT_EQ(job->state(), JobState::kDone);
+  }
+}
+
+TEST(ServiceTest, WorkloadCacheHitSharesTheEvaluator) {
+  Service service;
+  WorkloadSpec spec{.dataset = SmallDataset(), .num_users = 250, .seed = 9};
+
+  Result<std::shared_ptr<const Workload>> first =
+      service.GetOrBuildWorkload(spec);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(service.stats().workload_cache_misses, 1u);
+
+  Result<std::shared_ptr<const Workload>> second =
+      service.GetOrBuildWorkload(spec);
+  ASSERT_TRUE(second.ok());
+  // The hit returns the same Workload object — pointer-identical
+  // evaluator and kernel, i.e. no re-sampling happened.
+  EXPECT_EQ(first->get(), second->get());
+  EXPECT_EQ(&(*first)->evaluator(), &(*second)->evaluator());
+  EXPECT_EQ(&(*first)->kernel(), &(*second)->kernel());
+  EXPECT_EQ(service.stats().workload_cache_hits, 1u);
+  EXPECT_EQ(service.stats().workload_cache_misses, 1u);
+
+  // Any identity field change is a different fingerprint -> a rebuild.
+  WorkloadSpec reseeded = spec;
+  reseeded.seed = 10;
+  Result<std::shared_ptr<const Workload>> third =
+      service.GetOrBuildWorkload(reseeded);
+  ASSERT_TRUE(third.ok());
+  EXPECT_NE(first->get(), third->get());
+  EXPECT_EQ(service.stats().workload_cache_misses, 2u);
+}
+
+TEST(ServiceTest, WorkloadCacheEvictsLeastRecentlyUsed) {
+  Service service({.workload_cache_capacity = 1});
+  WorkloadSpec a{.dataset = SmallDataset(1), .num_users = 100, .seed = 1};
+  WorkloadSpec b{.dataset = SmallDataset(2), .num_users = 100, .seed = 2};
+  ASSERT_TRUE(service.GetOrBuildWorkload(a).ok());
+  ASSERT_TRUE(service.GetOrBuildWorkload(b).ok());  // evicts a
+  ASSERT_TRUE(service.GetOrBuildWorkload(a).ok());  // miss again
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.workload_cache_hits, 0u);
+  EXPECT_EQ(stats.workload_cache_misses, 3u);
+}
+
+TEST(ServiceTest, ConcurrentSameSpecBuildsShareOneWorkload) {
+  // Racing GetOrBuildWorkload calls for one spec: exactly one thread
+  // samples; everyone gets the same object (the others either waited for
+  // the build or hit the cache afterwards).
+  Service service;
+  WorkloadSpec spec{.dataset = SmallDataset(), .num_users = 400, .seed = 17};
+  constexpr size_t kCallers = 8;
+  std::vector<std::shared_ptr<const Workload>> results(kCallers);
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (size_t t = 0; t < kCallers; ++t) {
+    callers.emplace_back([&, t] {
+      Result<std::shared_ptr<const Workload>> workload =
+          service.GetOrBuildWorkload(spec);
+      if (workload.ok()) results[t] = *workload;
+    });
+  }
+  for (std::thread& caller : callers) caller.join();
+  ASSERT_NE(results[0], nullptr);
+  for (size_t t = 1; t < kCallers; ++t) {
+    EXPECT_EQ(results[t].get(), results[0].get()) << t;
+  }
+  EXPECT_EQ(service.stats().workload_cache_misses, 1u);
+  EXPECT_EQ(service.stats().workload_cache_hits, kCallers - 1);
+}
+
+TEST(ServiceTest, WorkloadSpecFingerprintSensitivity) {
+  WorkloadSpec base{.dataset = SmallDataset(), .num_users = 100, .seed = 3};
+  uint64_t fp = base.Fingerprint();
+  EXPECT_EQ(fp, WorkloadSpec(base).Fingerprint());  // deterministic
+
+  WorkloadSpec users = base;
+  users.num_users = 101;
+  WorkloadSpec seed = base;
+  seed.seed = 4;
+  WorkloadSpec materialized = base;
+  materialized.materialized = true;
+  WorkloadSpec data = base;
+  data.dataset = SmallDataset(/*seed=*/99);
+  EXPECT_NE(fp, users.Fingerprint());
+  EXPECT_NE(fp, seed.Fingerprint());
+  EXPECT_NE(fp, materialized.Fingerprint());
+  EXPECT_NE(fp, data.Fingerprint());
+}
+
+TEST(ServiceTest, JobLifecycleAndTryGet) {
+  Service service;
+  Result<std::shared_ptr<const Workload>> workload =
+      service.GetOrBuildWorkload({.dataset = SmallDataset(),
+                                  .num_users = 200, .seed = 5});
+  ASSERT_TRUE(workload.ok());
+  Result<JobHandle> job =
+      service.Submit(**workload, {.solver = "greedy-shrink", .k = 4});
+  ASSERT_TRUE(job.ok());
+  EXPECT_GE(job->id(), 1u);
+  const Result<SolveResponse>& result = job->Wait();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->selection.indices.size(), 4u);
+  EXPECT_EQ(job->state(), JobState::kDone);
+  // After completion TryGet returns the same stored result.
+  ASSERT_NE(job->TryGet(), nullptr);
+  EXPECT_EQ(job->TryGet(), &result);
+
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.queued_now, 0u);
+  EXPECT_EQ(stats.running_now, 0u);
+}
+
+TEST(ServiceTest, SubmitRejectsUnknownSolver) {
+  Service service;
+  Result<std::shared_ptr<const Workload>> workload =
+      service.GetOrBuildWorkload({.dataset = SmallDataset(),
+                                  .num_users = 100, .seed = 6});
+  ASSERT_TRUE(workload.ok());
+  Result<JobHandle> job =
+      service.Submit(**workload, {.solver = "no-such", .k = 3});
+  EXPECT_EQ(job.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(service.stats().rejected, 1u);
+  EXPECT_EQ(service.stats().submitted, 0u);
+}
+
+TEST(ServiceTest, CancelQueuedJobGoesTerminalImmediately) {
+  // One worker, one long-running job in front: the second job sits
+  // QUEUED, so Cancel resolves it without it ever running.
+  Service service({.num_threads = 1});
+  Result<std::shared_ptr<const Workload>> slow =
+      service.GetOrBuildWorkload(SlowSpec());
+  ASSERT_TRUE(slow.ok());
+  Result<JobHandle> blocker =
+      service.Submit(**slow, {.solver = "branch-and-bound", .k = 15});
+  ASSERT_TRUE(blocker.ok());
+  SpinUntilRunning(*blocker);
+  Result<JobHandle> queued =
+      service.Submit(**slow, {.solver = "greedy-shrink", .k = 5});
+  ASSERT_TRUE(queued.ok());
+  EXPECT_EQ(queued->state(), JobState::kQueued);
+
+  queued->Cancel();
+  EXPECT_EQ(queued->state(), JobState::kCancelled);
+  const Result<SolveResponse>& cancelled = queued->Wait();
+  EXPECT_EQ(cancelled.status().code(), StatusCode::kCancelled);
+
+  // Now release the worker: cancel the running blocker too. It stops at
+  // its next checkpoint with its best-so-far selection.
+  blocker->Cancel();
+  const Result<SolveResponse>& best_so_far = blocker->Wait();
+  EXPECT_EQ(blocker->state(), JobState::kCancelled);
+  ASSERT_TRUE(best_so_far.ok());
+  EXPECT_TRUE(best_so_far->truncated);
+  EXPECT_EQ(best_so_far->selection.indices.size(), 15u);
+
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.cancelled, 2u);
+  EXPECT_EQ(stats.completed, 0u);
+}
+
+TEST(ServiceTest, DeadlineCountsFromSubmissionAndTruncates) {
+  Service service;
+  Result<std::shared_ptr<const Workload>> workload =
+      service.GetOrBuildWorkload({.dataset = SmallDataset(),
+                                  .num_users = 200, .seed = 7});
+  ASSERT_TRUE(workload.ok());
+  // An (effectively) already-expired deadline: the solver stops at its
+  // first checkpoint. That is DONE + truncated — not CANCELLED, which is
+  // reserved for explicit cancels.
+  Result<JobHandle> job = service.Submit(
+      **workload,
+      {.solver = "local-search", .k = 5, .deadline_seconds = 1e-9});
+  ASSERT_TRUE(job.ok());
+  const Result<SolveResponse>& result = job->Wait();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->truncated);
+  EXPECT_EQ(result->selection.indices.size(), 5u);
+  EXPECT_EQ(job->state(), JobState::kDone);
+}
+
+TEST(ServiceTest, DeadlineFromStartGetsItsFullBudgetAfterQueueing) {
+  // One worker; a ~0.4 s blocker in front. The queued job's 0.2 s budget
+  // is smaller than its queue wait, so the two policies diverge:
+  // submit-time budgets expire in the queue (truncated), start-time
+  // budgets are still whole when the job runs (untruncated — the solve
+  // itself takes milliseconds).
+  for (bool from_submit : {true, false}) {
+    Service service({.num_threads = 1, .deadline_from_submit = from_submit});
+    Result<std::shared_ptr<const Workload>> slow =
+        service.GetOrBuildWorkload(SlowSpec());
+    ASSERT_TRUE(slow.ok());
+    Result<JobHandle> blocker =
+        service.Submit(**slow, {.solver = "branch-and-bound", .k = 15});
+    ASSERT_TRUE(blocker.ok());
+    SpinUntilRunning(*blocker);
+    Result<JobHandle> bounded = service.Submit(
+        **slow, {.solver = "greedy-shrink", .k = 5, .deadline_seconds = 0.2});
+    ASSERT_TRUE(bounded.ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    blocker->Cancel();  // release the worker after the budget has lapsed
+    const Result<SolveResponse>& result = bounded->Wait();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result->truncated, from_submit)
+        << "deadline_from_submit=" << from_submit;
+    EXPECT_EQ(result->selection.indices.size(), 5u);
+  }
+}
+
+TEST(ServiceTest, AdmissionControlBoundsTheQueue) {
+  Service service({.num_threads = 1, .max_queued_jobs = 1});
+  Result<std::shared_ptr<const Workload>> slow =
+      service.GetOrBuildWorkload(SlowSpec());
+  ASSERT_TRUE(slow.ok());
+  Result<JobHandle> running =
+      service.Submit(**slow, {.solver = "branch-and-bound", .k = 15});
+  ASSERT_TRUE(running.ok());
+  SpinUntilRunning(*running);  // occupies the only worker, queue empty
+
+  Result<JobHandle> queued =
+      service.Submit(**slow, {.solver = "greedy-shrink", .k = 5});
+  ASSERT_TRUE(queued.ok());  // fills the one queue slot
+
+  Result<JobHandle> rejected =
+      service.Submit(**slow, {.solver = "greedy-shrink", .k = 5});
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(service.stats().rejected, 1u);
+
+  running->Cancel();  // unblock the worker; Shutdown in ~Service reaps
+}
+
+TEST(ServiceTest, ShutdownWithoutDrainCancelsOutstandingJobs) {
+  Service service({.num_threads = 1});
+  Result<std::shared_ptr<const Workload>> slow =
+      service.GetOrBuildWorkload(SlowSpec());
+  ASSERT_TRUE(slow.ok());
+  Result<JobHandle> running =
+      service.Submit(**slow, {.solver = "branch-and-bound", .k = 15});
+  Result<JobHandle> queued =
+      service.Submit(**slow, {.solver = "branch-and-bound", .k = 14});
+  ASSERT_TRUE(running.ok() && queued.ok());
+  SpinUntilRunning(*running);
+
+  service.Shutdown(/*drain=*/false);  // blocks until both are terminal
+  EXPECT_EQ(running->state(), JobState::kCancelled);
+  EXPECT_EQ(queued->state(), JobState::kCancelled);
+  ASSERT_NE(running->TryGet(), nullptr);
+  EXPECT_TRUE(running->TryGet()->ok());  // best-so-far from the checkpoint
+  EXPECT_EQ(queued->TryGet()->status().code(), StatusCode::kCancelled);
+
+  // The service no longer admits work.
+  Result<JobHandle> late =
+      service.Submit(**slow, {.solver = "greedy-shrink", .k = 3});
+  EXPECT_EQ(late.status().code(), StatusCode::kFailedPrecondition);
+  service.Shutdown(/*drain=*/false);  // idempotent
+}
+
+TEST(ServiceTest, ShutdownWithDrainFinishesQueuedJobs) {
+  Service service({.num_threads = 1});
+  Result<std::shared_ptr<const Workload>> workload =
+      service.GetOrBuildWorkload({.dataset = SmallDataset(),
+                                  .num_users = 200, .seed = 8});
+  ASSERT_TRUE(workload.ok());
+  std::vector<JobHandle> jobs;
+  for (size_t k = 3; k <= 7; ++k) {
+    Result<JobHandle> job =
+        service.Submit(**workload, {.solver = "greedy-shrink", .k = k});
+    ASSERT_TRUE(job.ok());
+    jobs.push_back(*job);
+  }
+  service.Shutdown(/*drain=*/true);
+  for (JobHandle& job : jobs) {
+    EXPECT_EQ(job.state(), JobState::kDone);
+    ASSERT_NE(job.TryGet(), nullptr);
+    EXPECT_TRUE(job.TryGet()->ok());
+  }
+  EXPECT_EQ(service.stats().completed, jobs.size());
+}
+
+TEST(ServiceTest, HandlesOutliveTheService) {
+  JobHandle survivor;
+  {
+    Service service;
+    Result<std::shared_ptr<const Workload>> workload =
+        service.GetOrBuildWorkload({.dataset = SmallDataset(),
+                                    .num_users = 150, .seed = 12});
+    ASSERT_TRUE(workload.ok());
+    Result<JobHandle> job =
+        service.Submit(**workload, {.solver = "k-hit", .k = 3});
+    ASSERT_TRUE(job.ok());
+    job->Wait();
+    survivor = *job;
+  }  // ~Service
+  ASSERT_NE(survivor.TryGet(), nullptr);
+  EXPECT_TRUE(survivor.TryGet()->ok());
+  EXPECT_EQ(survivor.state(), JobState::kDone);
+}
+
+TEST(ServiceTest, JobStateNames) {
+  EXPECT_EQ(JobStateName(JobState::kQueued), "queued");
+  EXPECT_EQ(JobStateName(JobState::kRunning), "running");
+  EXPECT_EQ(JobStateName(JobState::kDone), "done");
+  EXPECT_EQ(JobStateName(JobState::kCancelled), "cancelled");
+}
+
+}  // namespace
+}  // namespace fam

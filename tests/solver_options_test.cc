@@ -1,0 +1,110 @@
+// Tests for SolverOptions (src/fam/solver_options.h): FromString parsing
+// and the self-describing validation errors — an unknown key's error must
+// list the solver's valid keys (with descriptions), so callers can fix a
+// request without a separate `--list_solvers` round trip.
+
+#include "fam/solver_options.h"
+
+#include <gtest/gtest.h>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "fam/solver_registry.h"
+#include "utility/distribution.h"
+
+namespace fam {
+namespace {
+
+TEST(SolverOptionsTest, FromStringInfersTypes) {
+  Result<SolverOptions> options = SolverOptions::FromString(
+      "flag=true, off=FALSE, count=42, rate=0.5, big=1e6, name=lazy");
+  ASSERT_TRUE(options.ok()) << options.status().ToString();
+  EXPECT_EQ(options->size(), 6u);
+  EXPECT_EQ(options->GetBool("flag", false).value(), true);
+  EXPECT_EQ(options->GetBool("off", true).value(), false);
+  EXPECT_EQ(options->GetInt("count", 0).value(), 42);
+  EXPECT_DOUBLE_EQ(options->GetDouble("rate", 0.0).value(), 0.5);
+  // 1e6 parses as a double but is integral, so GetInt accepts it.
+  EXPECT_EQ(options->GetInt("big", 0).value(), 1000000);
+  EXPECT_EQ(options->GetString("name", "").value(), "lazy");
+}
+
+TEST(SolverOptionsTest, FromStringRejectsMalformedAndDuplicates) {
+  EXPECT_EQ(SolverOptions::FromString("novalue").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(SolverOptions::FromString("=5").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(SolverOptions::FromString("a=1,a=2").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(SolverOptions::FromString("").ok());
+  EXPECT_TRUE(SolverOptions::FromString("  ").ok());
+}
+
+TEST(SolverOptionsTest, ToStringRoundTrips) {
+  Result<SolverOptions> options =
+      SolverOptions::FromString("b=true,i=3,d=0.25,s=hello");
+  ASSERT_TRUE(options.ok());
+  Result<SolverOptions> reparsed =
+      SolverOptions::FromString(options->ToString());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(options->ToString(), reparsed->ToString());
+}
+
+TEST(SolverOptionsTest, TypedGetterMismatchNamesTheKeyAndType) {
+  SolverOptions options;
+  options.SetString("max_nodes", "many");
+  Result<int64_t> value = options.GetInt("max_nodes", 0);
+  EXPECT_EQ(value.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(value.status().message().find("max_nodes"), std::string::npos);
+  EXPECT_NE(value.status().message().find("int"), std::string::npos);
+}
+
+TEST(SolverOptionsValidationTest, UnknownKeyErrorListsValidKeys) {
+  const Solver* solver = SolverRegistry::Global().Find("greedy-shrink");
+  ASSERT_NE(solver, nullptr);
+
+  Dataset data(Matrix::FromRows({{1.0, 0.0}, {0.0, 1.0}, {0.5, 0.5}}));
+  UniformLinearDistribution theta;
+  Rng rng(3);
+  RegretEvaluator evaluator(theta.Sample(data, 10, rng));
+
+  SolveContext context;
+  SolverOptions options;
+  options.SetInt("not_a_knob", 1);
+  context.options = &options;
+  Result<Selection> rejected =
+      solver->Solve(data, evaluator, 1, context, nullptr);
+  ASSERT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+  const std::string& message = rejected.status().message();
+  EXPECT_NE(message.find("not_a_knob"), std::string::npos);
+  // Every valid key is listed...
+  EXPECT_NE(message.find("valid keys"), std::string::npos);
+  EXPECT_NE(message.find("use_best_point_cache"), std::string::npos);
+  EXPECT_NE(message.find("use_lazy_evaluation"), std::string::npos);
+  // ...with its human description, matching --list_solvers.
+  EXPECT_NE(message.find("lazy lower-bound evaluation"), std::string::npos);
+}
+
+TEST(SolverOptionsValidationTest, OptionlessSolverSaysSo) {
+  const Solver* solver = SolverRegistry::Global().Find("sky-dom");
+  ASSERT_NE(solver, nullptr);
+  EXPECT_TRUE(solver->SupportedOptions().empty());
+
+  Dataset data(Matrix::FromRows({{1.0, 0.0}, {0.0, 1.0}, {0.5, 0.5}}));
+  UniformLinearDistribution theta;
+  Rng rng(4);
+  RegretEvaluator evaluator(theta.Sample(data, 10, rng));
+
+  SolveContext context;
+  SolverOptions options;
+  options.SetBool("anything", true);
+  context.options = &options;
+  Result<Selection> rejected =
+      solver->Solve(data, evaluator, 1, context, nullptr);
+  ASSERT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(rejected.status().message().find("accepts no options"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace fam

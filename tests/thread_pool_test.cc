@@ -1,0 +1,121 @@
+// Tests for the persistent worker pool (common/thread_pool.h) and the
+// pool-backed parallel helpers' nesting behavior.
+
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+
+namespace fam {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_threads(), 3u);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(pool.Submit([&ran] { ran.fetch_add(1); }));
+  }
+  pool.Shutdown(/*drain=*/true);
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPoolTest, ShutdownWithoutDrainDiscardsQueuedTasks) {
+  ThreadPool pool(1);
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  std::atomic<bool> shutting_down{false};
+  std::atomic<int> ran{0};
+  // The single worker blocks on the first task, so the rest stay queued.
+  ASSERT_TRUE(pool.Submit([&] {
+    started.store(true);
+    while (!release.load()) std::this_thread::yield();
+    ran.fetch_add(1);
+  }));
+  while (!started.load()) std::this_thread::yield();  // task 1 claimed
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(pool.Submit([&ran] { ran.fetch_add(1); }));
+  }
+  // Unblock the worker only once Shutdown (below) has cleared the queue
+  // (depth drops 50 -> 0); Shutdown itself blocks until the worker exits.
+  std::thread releaser([&] {
+    while (!shutting_down.load()) std::this_thread::yield();
+    while (pool.QueueDepth() != 0) std::this_thread::yield();
+    release.store(true);
+  });
+  shutting_down.store(true);
+  pool.Shutdown(/*drain=*/false);
+  releaser.join();
+  // The in-flight task finished; the 50 queued ones were discarded.
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownFails) {
+  ThreadPool pool(2);
+  pool.Shutdown(/*drain=*/true);
+  EXPECT_FALSE(pool.Submit([] {}));
+  pool.Shutdown(/*drain=*/true);  // idempotent
+}
+
+TEST(ThreadPoolTest, SharedPoolIsPersistent) {
+  ThreadPool& a = ThreadPool::Shared();
+  ThreadPool& b = ThreadPool::Shared();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.num_threads(), 1u);
+  std::atomic<int> ran{0};
+  EXPECT_TRUE(a.Submit([&ran] { ran.fetch_add(1); }));
+  while (ran.load() == 0) std::this_thread::yield();
+}
+
+TEST(ThreadPoolTest, NestedParallelLoopsInsidePoolTasksComplete) {
+  // A loop issued from inside a pool task must not deadlock even when
+  // every worker is occupied: the calling task runs the chunks itself.
+  // Saturate the shared pool with tasks that each run a nested loop.
+  const size_t tasks = 2 * ThreadPool::Shared().num_threads() + 2;
+  std::vector<std::atomic<size_t>> sums(tasks);
+  std::atomic<size_t> done{0};
+  for (size_t t = 0; t < tasks; ++t) {
+    ASSERT_TRUE(ThreadPool::Shared().Submit([&, t] {
+      ParallelForEach(100, 4, [&, t](size_t i) {
+        sums[t].fetch_add(i + 1, std::memory_order_relaxed);
+      });
+      done.fetch_add(1);
+    }));
+  }
+  while (done.load() < tasks) std::this_thread::yield();
+  for (size_t t = 0; t < tasks; ++t) {
+    EXPECT_EQ(sums[t].load(), 100u * 101u / 2u);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForEachCoversAllItemsFromMainThread) {
+  std::vector<std::atomic<int>> hits(257);
+  ParallelForEach(hits.size(), 8, [&](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, DeeplyNestedParallelForMatchesSequential) {
+  // ParallelFor inside ParallelForEach inside a pool task: the static
+  // partition keeps the result bitwise equal to the sequential loop.
+  constexpr size_t kN = 10000;
+  std::vector<double> parallel_out(kN), sequential_out(kN);
+  for (size_t i = 0; i < kN; ++i) sequential_out[i] = 3.0 * i + 1.0;
+  std::atomic<bool> finished{false};
+  ASSERT_TRUE(ThreadPool::Shared().Submit([&] {
+    ParallelFor(kN, 4, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) parallel_out[i] = 3.0 * i + 1.0;
+    });
+    finished.store(true);
+  }));
+  while (!finished.load()) std::this_thread::yield();
+  EXPECT_EQ(parallel_out, sequential_out);
+}
+
+}  // namespace
+}  // namespace fam

@@ -10,6 +10,26 @@
 //   evaluate  — score a comma-separated index set on a CSV
 //               fam_cli evaluate --set 1,5,9 --users 10000 --in data.csv
 //                   [--format json]
+//   serve     — long-lived serving session over stdin/stdout
+//               fam_cli serve [--threads 0] [--max_queue 1024] [--cache 8]
+//
+// `serve` speaks newline-delimited JSON: one request object per input
+// line, one response object per output line, against a persistent
+// fam::Service (async jobs on a thread pool + fingerprint-keyed workload
+// cache). Commands:
+//
+//   {"cmd":"build_workload","in":"d.csv","users":10000,"seed":7,
+//    "name":"w1"}                 -> workload built (or cache hit)
+//   {"cmd":"solve","workload":"w1","algo":"greedy-shrink","k":10,
+//    "deadline":0,"options":""}   -> job accepted, returns its id
+//   {"cmd":"status"}              -> service counters
+//   {"cmd":"status","job":1,"wait":true}
+//                                 -> job state (+ result once terminal;
+//                                    wait blocks until then)
+//   {"cmd":"evaluate","workload":"w1","set":"0,1,2"}
+//                                 -> arr/stddev of an explicit set
+//   {"cmd":"cancel","job":1}      -> cancel a queued or running job
+//   {"cmd":"quit","drain":true}   -> shut down (drain or cancel) and exit
 //
 // `fam_cli --list_solvers` enumerates the solver registry with each
 // solver's full trait set (exact / heuristic / baseline, 2d-only,
@@ -28,7 +48,12 @@
 // change); all randomness is controlled by --seed.
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
+#include <map>
+#include <memory>
+#include <string>
 
 #include "common/flags.h"
 #include "fam/fam.h"
@@ -315,7 +340,22 @@ int RunSelect(int argc, const char* const* argv) {
   request.deadline_seconds = deadline;
   Result<SolverOptions> solver_options =
       SolverOptions::FromString(options_text);
-  if (!solver_options.ok()) return Fail(solver_options.status());
+  if (!solver_options.ok()) {
+    // Append the solver's valid keys so a malformed --options is fixable
+    // from this error alone.
+    std::string hint;
+    for (const SolverOptionSpec& option : solver->SupportedOptions()) {
+      if (!hint.empty()) hint += ", ";
+      hint += option.name;
+    }
+    return Fail(Status(
+        solver_options.status().code(),
+        solver_options.status().message() +
+            (hint.empty()
+                 ? "; " + std::string(solver->Name()) + " accepts no options"
+                 : "; valid keys for " + std::string(solver->Name()) + ": " +
+                       hint)));
+  }
   request.options = *std::move(solver_options);
 
   Result<Workload> workload = BuildWorkload(w);
@@ -436,10 +476,501 @@ int RunEvaluate(int argc, const char* const* argv) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// serve: newline-delimited JSON session over a fam::Service.
+// ---------------------------------------------------------------------------
+
+/// One parsed value of the (flat) request objects `serve` accepts:
+/// string, number, or bool.
+struct JsonValue {
+  enum class Kind { kString, kNumber, kBool };
+  Kind kind = Kind::kString;
+  std::string text;
+  double number = 0.0;
+  bool boolean = false;
+};
+
+/// A parsed `{"key": value, ...}` request line. Values are strings,
+/// numbers, or booleans — all any serve command needs; nested objects and
+/// arrays are rejected.
+class JsonRequest {
+ public:
+  static Result<JsonRequest> Parse(const std::string& line);
+
+  bool Has(const std::string& key) const {
+    return fields_.find(key) != fields_.end();
+  }
+
+  Result<std::string> String(const std::string& key,
+                             std::string default_value) const {
+    const JsonValue* value = Find(key);
+    if (value == nullptr) return default_value;
+    if (value->kind != JsonValue::Kind::kString) {
+      return Status::InvalidArgument("field \"" + key + "\" must be a string");
+    }
+    return value->text;
+  }
+
+  Result<double> Double(const std::string& key, double default_value) const {
+    const JsonValue* value = Find(key);
+    if (value == nullptr) return default_value;
+    if (value->kind != JsonValue::Kind::kNumber) {
+      return Status::InvalidArgument("field \"" + key + "\" must be a number");
+    }
+    return value->number;
+  }
+
+  Result<int64_t> Int(const std::string& key, int64_t default_value) const {
+    FAM_ASSIGN_OR_RETURN(double value,
+                         Double(key, static_cast<double>(default_value)));
+    // Range-check before casting — float-to-int overflow is UB. 2^53
+    // bounds keep every accepted value exactly representable.
+    if (value < -9.007199254740992e15 || value > 9.007199254740992e15 ||
+        value != static_cast<double>(static_cast<int64_t>(value))) {
+      return Status::InvalidArgument("field \"" + key +
+                                     "\" must be an integer");
+    }
+    return static_cast<int64_t>(value);
+  }
+
+  Result<bool> Bool(const std::string& key, bool default_value) const {
+    const JsonValue* value = Find(key);
+    if (value == nullptr) return default_value;
+    if (value->kind != JsonValue::Kind::kBool) {
+      return Status::InvalidArgument("field \"" + key + "\" must be a bool");
+    }
+    return value->boolean;
+  }
+
+ private:
+  const JsonValue* Find(const std::string& key) const {
+    auto it = fields_.find(key);
+    return it == fields_.end() ? nullptr : &it->second;
+  }
+
+  std::map<std::string, JsonValue> fields_;
+};
+
+const char* SkipJsonWs(const char* p) {
+  while (*p == ' ' || *p == '\t' || *p == '\r' || *p == '\n') ++p;
+  return p;
+}
+
+/// Parses a JSON string literal at `p` (pointing at the opening quote),
+/// advancing `p` past the closing quote. BMP \uXXXX escapes are decoded
+/// to UTF-8.
+Result<std::string> ParseJsonStringLiteral(const char*& p) {
+  ++p;  // opening quote
+  std::string out;
+  while (*p != '\0' && *p != '"') {
+    if (*p != '\\') {
+      out += *p++;
+      continue;
+    }
+    ++p;
+    switch (*p) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case '/': out += '/'; break;
+      case 'n': out += '\n'; break;
+      case 't': out += '\t'; break;
+      case 'r': out += '\r'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'u': {
+        unsigned code = 0;
+        for (int i = 0; i < 4; ++i) {
+          ++p;
+          char c = *p;
+          unsigned digit;
+          if (c >= '0' && c <= '9') digit = static_cast<unsigned>(c - '0');
+          else if (c >= 'a' && c <= 'f') digit = static_cast<unsigned>(c - 'a') + 10;
+          else if (c >= 'A' && c <= 'F') digit = static_cast<unsigned>(c - 'A') + 10;
+          else return Status::InvalidArgument("bad \\u escape in JSON string");
+        code = code * 16 + digit;
+        }
+        // UTF-8 encode (BMP only; surrogate pairs are not combined).
+        if (code < 0x80) {
+          out += static_cast<char>(code);
+        } else if (code < 0x800) {
+          out += static_cast<char>(0xC0 | (code >> 6));
+          out += static_cast<char>(0x80 | (code & 0x3F));
+        } else {
+          out += static_cast<char>(0xE0 | (code >> 12));
+          out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+          out += static_cast<char>(0x80 | (code & 0x3F));
+        }
+        break;
+      }
+      default:
+        return Status::InvalidArgument("bad escape in JSON string");
+    }
+    ++p;
+  }
+  if (*p != '"') return Status::InvalidArgument("unterminated JSON string");
+  ++p;  // closing quote
+  return out;
+}
+
+Result<JsonRequest> JsonRequest::Parse(const std::string& line) {
+  JsonRequest request;
+  const char* p = SkipJsonWs(line.c_str());
+  if (*p != '{') return Status::InvalidArgument("expected a JSON object");
+  p = SkipJsonWs(p + 1);
+  if (*p == '}') return request;  // empty object
+  for (;;) {
+    if (*p != '"') return Status::InvalidArgument("expected a field name");
+    FAM_ASSIGN_OR_RETURN(std::string key, ParseJsonStringLiteral(p));
+    p = SkipJsonWs(p);
+    if (*p != ':') return Status::InvalidArgument("expected ':' after \"" +
+                                                  key + "\"");
+    p = SkipJsonWs(p + 1);
+    bool is_null = false;
+    JsonValue value;
+    if (*p == '"') {
+      value.kind = JsonValue::Kind::kString;
+      FAM_ASSIGN_OR_RETURN(value.text, ParseJsonStringLiteral(p));
+    } else if (std::strncmp(p, "true", 4) == 0) {
+      value.kind = JsonValue::Kind::kBool;
+      value.boolean = true;
+      p += 4;
+    } else if (std::strncmp(p, "false", 5) == 0) {
+      value.kind = JsonValue::Kind::kBool;
+      value.boolean = false;
+      p += 5;
+    } else if (std::strncmp(p, "null", 4) == 0) {
+      is_null = true;  // treated as an absent field
+      p += 4;
+    } else {
+      // Strict JSON numbers only: strtod alone would also accept hex,
+      // inf, and nan, which no conforming peer emits.
+      char* end = nullptr;
+      value.kind = JsonValue::Kind::kNumber;
+      bool ok = *p == '-' || (*p >= '0' && *p <= '9');
+      if (ok) {
+        value.number = std::strtod(p, &end);
+        ok = end != p;
+        for (const char* q = p; ok && q != end; ++q) {
+          ok = (*q >= '0' && *q <= '9') || *q == '-' || *q == '+' ||
+               *q == '.' || *q == 'e' || *q == 'E';
+        }
+      }
+      if (!ok) {
+        return Status::InvalidArgument("bad value for field \"" + key + "\"");
+      }
+      p = end;
+    }
+    if (!is_null) {
+      request.fields_.insert_or_assign(std::move(key), std::move(value));
+    }
+    p = SkipJsonWs(p);
+    if (*p == ',') {
+      p = SkipJsonWs(p + 1);
+      continue;
+    }
+    break;
+  }
+  if (*p != '}') return Status::InvalidArgument("expected ',' or '}'");
+  if (*SkipJsonWs(p + 1) != '\0') {
+    return Status::InvalidArgument("trailing characters after JSON object");
+  }
+  return request;
+}
+
+void Reply(const JsonObject& json) {
+  std::printf("%s\n", json.Render().c_str());
+  std::fflush(stdout);
+}
+
+void ReplyError(const Status& status) {
+  JsonObject json;
+  json.Bool("ok", false)
+      .String("code", std::string(StatusCodeName(status.code())))
+      .String("error", status.message());
+  Reply(json);
+}
+
+/// The mutable state of one serve session: the service plus name → Workload
+/// and id → JobHandle registries (jobs are kept until quit so status stays
+/// answerable; a session's job count is bounded by its input).
+struct ServeSession {
+  explicit ServeSession(ServiceOptions options) : service(options) {}
+
+  Service service;
+  std::map<std::string, std::shared_ptr<const Workload>> workloads;
+  std::map<uint64_t, JobHandle> jobs;
+  size_t next_workload = 1;
+};
+
+Status ServeBuildWorkload(ServeSession& session, const JsonRequest& request) {
+  FAM_ASSIGN_OR_RETURN(std::string in, request.String("in", ""));
+  if (in.empty()) return Status::InvalidArgument("\"in\" is required");
+  FAM_ASSIGN_OR_RETURN(int64_t users, request.Int("users", 10000));
+  if (users <= 0) return Status::InvalidArgument("\"users\" must be > 0");
+  FAM_ASSIGN_OR_RETURN(int64_t seed, request.Int("seed", 7));
+  FAM_ASSIGN_OR_RETURN(std::string domain_name,
+                       request.String("domain", "simplex"));
+  FAM_ASSIGN_OR_RETURN(WeightDomain domain, ParseDomain(domain_name));
+  FAM_ASSIGN_OR_RETURN(bool has_header, request.Bool("header", true));
+  FAM_ASSIGN_OR_RETURN(bool labels, request.Bool("labels", false));
+  FAM_ASSIGN_OR_RETURN(std::string name, request.String("name", ""));
+  if (name.empty()) {
+    // Skip auto-names the client already claimed explicitly — silently
+    // rebinding an existing name would point its solves at new data.
+    do {
+      name = "w" + std::to_string(session.next_workload++);
+    } while (session.workloads.find(name) != session.workloads.end());
+  }
+
+  CsvOptions csv;
+  csv.has_header = has_header;
+  csv.first_column_is_label = labels;
+  FAM_ASSIGN_OR_RETURN(Dataset data, ReadCsvFile(in, csv));
+
+  WorkloadSpec spec;
+  spec.dataset = std::make_shared<const Dataset>(std::move(data));
+  spec.distribution =
+      std::make_shared<const UniformLinearDistribution>(domain);
+  spec.num_users = static_cast<size_t>(users);
+  spec.seed = static_cast<uint64_t>(seed);
+
+  const uint64_t hits_before =
+      session.service.stats().workload_cache_hits;
+  Timer timer;
+  FAM_ASSIGN_OR_RETURN(std::shared_ptr<const Workload> workload,
+                       session.service.GetOrBuildWorkload(spec));
+  const double build_seconds = timer.ElapsedSeconds();
+  const bool cache_hit =
+      session.service.stats().workload_cache_hits > hits_before;
+  session.workloads[name] = workload;
+
+  JsonObject json;
+  json.Bool("ok", true)
+      .String("workload", name)
+      .Bool("cache_hit", cache_hit)
+      .Number("build_seconds", build_seconds)
+      .Number("preprocess_seconds", workload->preprocess_seconds())
+      .Integer("n", static_cast<long long>(workload->size()))
+      .Integer("d", static_cast<long long>(workload->dimension()))
+      .Integer("users", static_cast<long long>(workload->num_users()));
+  Reply(json);
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const Workload>> ServeFindWorkload(
+    ServeSession& session, const JsonRequest& request) {
+  FAM_ASSIGN_OR_RETURN(std::string name, request.String("workload", ""));
+  if (name.empty()) return Status::InvalidArgument("\"workload\" is required");
+  auto it = session.workloads.find(name);
+  if (it == session.workloads.end()) {
+    return Status::NotFound("no workload named \"" + name +
+                            "\" in this session (build_workload first)");
+  }
+  return it->second;
+}
+
+Status ServeSolve(ServeSession& session, const JsonRequest& request) {
+  FAM_ASSIGN_OR_RETURN(std::shared_ptr<const Workload> workload,
+                       ServeFindWorkload(session, request));
+  SolveRequest solve;
+  FAM_ASSIGN_OR_RETURN(solve.solver,
+                       request.String("algo", "greedy-shrink"));
+  FAM_ASSIGN_OR_RETURN(int64_t k, request.Int("k", 10));
+  if (k <= 0 || static_cast<size_t>(k) > workload->size()) {
+    return Status::InvalidArgument("k out of range");
+  }
+  solve.k = static_cast<size_t>(k);
+  FAM_ASSIGN_OR_RETURN(solve.deadline_seconds, request.Double("deadline", 0.0));
+  FAM_ASSIGN_OR_RETURN(int64_t seed, request.Int("seed", 0));
+  solve.seed = static_cast<uint64_t>(seed);
+  FAM_ASSIGN_OR_RETURN(std::string options_text, request.String("options", ""));
+  FAM_ASSIGN_OR_RETURN(solve.options, SolverOptions::FromString(options_text));
+
+  FAM_ASSIGN_OR_RETURN(JobHandle job,
+                       session.service.Submit(*workload, std::move(solve)));
+  session.jobs[job.id()] = job;
+  JsonObject json;
+  json.Bool("ok", true)
+      .Integer("job", static_cast<long long>(job.id()))
+      .String("state", std::string(JobStateName(job.state())));
+  Reply(json);
+  return Status::OK();
+}
+
+Result<JobHandle> ServeFindJob(ServeSession& session,
+                               const JsonRequest& request) {
+  FAM_ASSIGN_OR_RETURN(int64_t id, request.Int("job", -1));
+  auto it = session.jobs.find(static_cast<uint64_t>(id));
+  if (id < 0 || it == session.jobs.end()) {
+    return Status::NotFound("no job " + std::to_string(id) +
+                            " in this session");
+  }
+  return it->second;
+}
+
+/// Renders a job's current view: state, plus the result once terminal.
+void ReplyJobStatus(const JobHandle& job, const Result<SolveResponse>* result) {
+  JsonObject json;
+  json.Bool("ok", true)
+      .Integer("job", static_cast<long long>(job.id()))
+      .String("state", std::string(JobStateName(job.state())));
+  if (result != nullptr) {
+    json.Bool("result_ok", result->ok());
+    if (result->ok()) {
+      const SolveResponse& response = **result;
+      json.String("algorithm", response.solver)
+          .Field("selection", JsonIndexArray(response.selection.indices))
+          .Number("arr", response.distribution.average)
+          .Number("stddev", response.distribution.stddev)
+          .Number("preprocess_seconds", response.preprocess_seconds)
+          .Number("query_seconds", response.query_seconds)
+          .Bool("truncated", response.truncated);
+    } else {
+      json.String("code", std::string(StatusCodeName(result->status().code())))
+          .String("error", result->status().message());
+    }
+  }
+  Reply(json);
+}
+
+Status ServeStatus(ServeSession& session, const JsonRequest& request) {
+  if (request.Has("job")) {
+    FAM_ASSIGN_OR_RETURN(JobHandle job, ServeFindJob(session, request));
+    FAM_ASSIGN_OR_RETURN(bool wait, request.Bool("wait", false));
+    const Result<SolveResponse>* result =
+        wait ? &job.Wait() : job.TryGet();
+    ReplyJobStatus(job, result);
+    return Status::OK();
+  }
+  ServiceStats stats = session.service.stats();
+  JsonObject json;
+  json.Bool("ok", true)
+      .Integer("submitted", static_cast<long long>(stats.submitted))
+      .Integer("rejected", static_cast<long long>(stats.rejected))
+      .Integer("completed", static_cast<long long>(stats.completed))
+      .Integer("cancelled", static_cast<long long>(stats.cancelled))
+      .Integer("queued", static_cast<long long>(stats.queued_now))
+      .Integer("running", static_cast<long long>(stats.running_now))
+      .Integer("cache_hits", static_cast<long long>(stats.workload_cache_hits))
+      .Integer("cache_misses",
+               static_cast<long long>(stats.workload_cache_misses))
+      .Integer("threads",
+               static_cast<long long>(session.service.num_threads()));
+  Reply(json);
+  return Status::OK();
+}
+
+Status ServeEvaluate(ServeSession& session, const JsonRequest& request) {
+  FAM_ASSIGN_OR_RETURN(std::shared_ptr<const Workload> workload,
+                       ServeFindWorkload(session, request));
+  FAM_ASSIGN_OR_RETURN(std::string set_csv, request.String("set", ""));
+  FAM_ASSIGN_OR_RETURN(std::vector<size_t> subset,
+                       ParseIndexSet(set_csv, workload->size()));
+  RegretDistribution dist = workload->evaluator().Distribution(subset);
+  JsonObject json;
+  json.Bool("ok", true)
+      .Field("selection", JsonIndexArray(subset))
+      .Number("arr", dist.average)
+      .Number("stddev", dist.stddev)
+      .Number("max_regret_ratio",
+              MaxRegretRatio(workload->evaluator(), subset));
+  Reply(json);
+  return Status::OK();
+}
+
+Status ServeCancel(ServeSession& session, const JsonRequest& request) {
+  FAM_ASSIGN_OR_RETURN(JobHandle job, ServeFindJob(session, request));
+  job.Cancel();
+  JsonObject json;
+  json.Bool("ok", true)
+      .Integer("job", static_cast<long long>(job.id()))
+      .String("state", std::string(JobStateName(job.state())));
+  Reply(json);
+  return Status::OK();
+}
+
+int RunServe(int argc, const char* const* argv) {
+  int64_t threads = 0;
+  int64_t max_queue = 1024;
+  int64_t cache = 8;
+  FlagParser flags;
+  flags.AddInt("threads", &threads,
+               "dedicated worker threads (0 = shared process pool)")
+      .AddInt("max_queue", &max_queue,
+              "admission bound on queued jobs (0 = unbounded)")
+      .AddInt("cache", &cache, "workload cache capacity (entries)");
+  Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n%s", parsed.ToString().c_str(),
+                 flags.Usage().c_str());
+    return 1;
+  }
+  if (threads < 0 || max_queue < 0 || cache < 0) {
+    return Fail(Status::InvalidArgument(
+        "--threads/--max_queue/--cache must be >= 0"));
+  }
+  ServiceOptions options;
+  options.num_threads = static_cast<size_t>(threads);
+  options.max_queued_jobs = static_cast<size_t>(max_queue);
+  options.workload_cache_capacity = static_cast<size_t>(cache);
+  ServeSession session(options);
+
+  // EOF without an explicit quit means the client is gone — cancel
+  // whatever is outstanding (no further command could ever cancel it);
+  // an explicit quit drains by default ({"cmd":"quit","drain":false} to
+  // cancel instead).
+  bool drain_on_quit = false;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (Trim(line).empty()) continue;
+    Result<JsonRequest> request = JsonRequest::Parse(line);
+    if (!request.ok()) {
+      ReplyError(request.status());
+      continue;
+    }
+    Result<std::string> cmd = request->String("cmd", "");
+    if (!cmd.ok()) {
+      ReplyError(cmd.status());
+      continue;
+    }
+    Status handled = Status::OK();
+    if (*cmd == "build_workload") {
+      handled = ServeBuildWorkload(session, *request);
+    } else if (*cmd == "solve") {
+      handled = ServeSolve(session, *request);
+    } else if (*cmd == "status") {
+      handled = ServeStatus(session, *request);
+    } else if (*cmd == "evaluate") {
+      handled = ServeEvaluate(session, *request);
+    } else if (*cmd == "cancel") {
+      handled = ServeCancel(session, *request);
+    } else if (*cmd == "quit") {
+      Result<bool> drain = request->Bool("drain", true);
+      if (!drain.ok()) {
+        ReplyError(drain.status());
+        continue;
+      }
+      drain_on_quit = *drain;
+      JsonObject json;
+      json.Bool("ok", true).Bool("bye", true);
+      Reply(json);
+      break;
+    } else {
+      handled = Status::InvalidArgument(
+          "unknown cmd \"" + *cmd +
+          "\" (expected build_workload | solve | status | evaluate | "
+          "cancel | quit)");
+    }
+    if (!handled.ok()) ReplyError(handled);
+  }
+  session.service.Shutdown(drain_on_quit);
+  return 0;
+}
+
 int Main(int argc, const char* const* argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: fam_cli <generate|select|evaluate> [flags]\n"
+                 "usage: fam_cli <generate|select|evaluate|serve> [flags]\n"
                  "       fam_cli --list_solvers\n");
     return 1;
   }
@@ -452,6 +983,7 @@ int Main(int argc, const char* const* argv) {
   if (command == "generate") return RunGenerate(argc - 1, argv + 1);
   if (command == "select") return RunSelect(argc - 1, argv + 1);
   if (command == "evaluate") return RunEvaluate(argc - 1, argv + 1);
+  if (command == "serve") return RunServe(argc - 1, argv + 1);
   std::fprintf(stderr, "unknown command: %s\n", command.c_str());
   return 1;
 }
