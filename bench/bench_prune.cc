@@ -1,0 +1,171 @@
+// bench_prune: end-to-end effect of CandidateIndex pruning.
+//
+// For each dataset size N, builds the same workload twice — pruning off
+// and pruning auto (geometric for the monotone linear Θ used here) — and
+// runs each solver through the experiment runner's serving path on both,
+// recording per-query wall time, the candidate count, and the workload
+// build (preprocessing) time. Selections are cross-checked between the
+// pruned and unpruned runs: for these monotone linear workloads exact
+// pruning must return bit-identical selections and arr.
+//
+// Scales: N ∈ {10k, 100k} by default (CI), plus 1M with --full. Results
+// land in BENCH_prune.json (CI uploads it as a perf-trajectory artifact).
+//
+// Usage: bench_prune [--full] [--out BENCH_prune.json]
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace fam {
+namespace {
+
+constexpr size_t kUsers = 2000;
+constexpr size_t kK = 10;
+constexpr size_t kDim = 4;
+
+struct SolverRow {
+  std::string name;
+  double off_seconds = 0.0;
+  double prune_seconds = 0.0;
+  double off_arr = 0.0;
+  double prune_arr = 0.0;
+  bool selections_identical = false;
+  bool arr_identical = false;
+};
+
+struct ConfigRow {
+  size_t n = 0;
+  size_t candidates = 0;
+  std::string prune_mode;
+  double build_off_seconds = 0.0;
+  double build_prune_seconds = 0.0;
+  std::vector<SolverRow> solvers;
+};
+
+ConfigRow RunConfig(size_t n, const std::vector<std::string>& solvers) {
+  ConfigRow row;
+  row.n = n;
+  auto data = std::make_shared<const Dataset>(GenerateSynthetic(
+      {.n = n, .d = kDim,
+       .distribution = SyntheticDistribution::kIndependent, .seed = 7}));
+
+  WorkloadBuilder builder;
+  builder.WithDataset(data).WithNumUsers(kUsers).WithSeed(9);
+  Workload plain = bench::MustBuild(builder.Build());
+  row.build_off_seconds = plain.preprocess_seconds();
+  builder.WithPruning({.mode = PruneMode::kAuto});
+  Workload pruned = bench::MustBuild(builder.Build());
+  row.build_prune_seconds = pruned.preprocess_seconds();
+  row.candidates = pruned.candidate_count();
+  row.prune_mode =
+      std::string(PruneModeName(pruned.candidate_index()->resolved_mode()));
+
+  std::vector<SolveRequest> requests;
+  for (const std::string& solver : solvers) {
+    requests.push_back({.solver = solver, .k = kK});
+  }
+  std::vector<AlgorithmOutcome> off = RunRequests(plain, requests);
+  std::vector<AlgorithmOutcome> on = RunRequests(pruned, requests);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    SolverRow solver_row;
+    solver_row.name = solvers[i];
+    if (!off[i].ok || !on[i].ok) {
+      std::fprintf(stderr, "solver %s failed: %s %s\n", solvers[i].c_str(),
+                   off[i].error.c_str(), on[i].error.c_str());
+      std::abort();
+    }
+    solver_row.off_seconds = off[i].query_seconds;
+    solver_row.prune_seconds = on[i].query_seconds;
+    solver_row.off_arr = off[i].average_regret_ratio;
+    solver_row.prune_arr = on[i].average_regret_ratio;
+    solver_row.selections_identical =
+        off[i].selection.indices == on[i].selection.indices;
+    solver_row.arr_identical =
+        off[i].average_regret_ratio == on[i].average_regret_ratio;
+    row.solvers.push_back(std::move(solver_row));
+  }
+  return row;
+}
+
+int Run(int argc, char** argv) {
+  const bool full = FullScaleRequested(argc, argv);
+  std::string out_path = "BENCH_prune.json";
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--out") out_path = argv[i + 1];
+  }
+
+  bench::Banner("Candidate pruning: pruned vs unpruned solve time",
+                StrPrintf("d = %zu independent, users = %zu, k = %zu",
+                          kDim, kUsers, kK),
+                full);
+
+  std::vector<size_t> sizes = {10'000, 100'000};
+  if (full) sizes.push_back(1'000'000);
+  const std::vector<std::string> solvers = {
+      "greedy-grow", "local-search", "greedy-shrink", "mrr-greedy-sampled"};
+
+  bool all_identical = true;
+  std::vector<ConfigRow> rows;
+  for (size_t n : sizes) {
+    ConfigRow row = RunConfig(n, solvers);
+    std::printf(
+        "n = %7zu: candidates = %zu (%s), build %.3f s -> %.3f s\n", row.n,
+        row.candidates, row.prune_mode.c_str(), row.build_off_seconds,
+        row.build_prune_seconds);
+    for (const SolverRow& s : row.solvers) {
+      double speedup =
+          s.prune_seconds > 0.0 ? s.off_seconds / s.prune_seconds : 0.0;
+      std::printf(
+          "  %-20s %9.4f s -> %9.4f s  (%6.2fx)  identical: %s\n",
+          s.name.c_str(), s.off_seconds, s.prune_seconds, speedup,
+          s.selections_identical && s.arr_identical ? "yes" : "NO");
+      all_identical &= s.selections_identical && s.arr_identical;
+    }
+    rows.push_back(std::move(row));
+  }
+
+  FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\"bench\":\"prune\",\"full\":%s,\"d\":%zu,\"users\":%zu,"
+               "\"k\":%zu,\"configs\":[",
+               full ? "true" : "false", kDim, kUsers, kK);
+  for (size_t c = 0; c < rows.size(); ++c) {
+    const ConfigRow& row = rows[c];
+    std::fprintf(out,
+                 "%s{\"n\":%zu,\"prune\":\"%s\",\"candidates\":%zu,"
+                 "\"build_off_seconds\":%.6f,\"build_prune_seconds\":%.6f,"
+                 "\"solvers\":[",
+                 c > 0 ? "," : "", row.n, row.prune_mode.c_str(),
+                 row.candidates, row.build_off_seconds,
+                 row.build_prune_seconds);
+    for (size_t i = 0; i < row.solvers.size(); ++i) {
+      const SolverRow& s = row.solvers[i];
+      std::fprintf(
+          out,
+          "%s{\"name\":\"%s\",\"off_seconds\":%.6f,"
+          "\"prune_seconds\":%.6f,\"speedup\":%.4f,\"arr\":%.12g,"
+          "\"selections_identical\":%s,\"arr_identical\":%s}",
+          i > 0 ? "," : "", s.name.c_str(), s.off_seconds, s.prune_seconds,
+          s.prune_seconds > 0.0 ? s.off_seconds / s.prune_seconds : 0.0,
+          s.prune_arr, s.selections_identical ? "true" : "false",
+          s.arr_identical ? "true" : "false");
+    }
+    std::fprintf(out, "]}");
+  }
+  std::fprintf(out, "]}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return all_identical ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace fam
+
+int main(int argc, char** argv) { return fam::Run(argc, argv); }

@@ -10,6 +10,8 @@ Result<Selection> KHit(const RegretEvaluator& evaluator,
   const size_t n = evaluator.num_points();
   if (options.k == 0) return Status::InvalidArgument("k must be at least 1");
   if (options.k > n) return Status::InvalidArgument("k exceeds database size");
+  FAM_RETURN_IF_ERROR(
+      ValidateCandidateUniverse(options.candidates, evaluator));
 
   // Probability mass of each point's favorite bucket.
   std::vector<double> mass(n, 0.0);
@@ -19,13 +21,20 @@ Result<Selection> KHit(const RegretEvaluator& evaluator,
 
   // Favorite buckets are disjoint, so the k heaviest buckets are the exact
   // optimum of the hit-probability objective.
-  std::vector<size_t> order(n);
-  std::iota(order.begin(), order.end(), 0);
+  std::vector<size_t> order = CandidateListOrAll(options.candidates, n);
   std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
     if (mass[a] != mass[b]) return mass[a] > mass[b];
     return a < b;
   });
-  order.resize(options.k);
+  if (order.size() > options.k) {
+    order.resize(options.k);
+  } else {
+    // Candidate pool smaller than k: fill the quota with pruned
+    // (necessarily zero-mass) points, lowest index first.
+    std::vector<uint8_t> in_set(n, 0);
+    for (size_t p : order) in_set[p] = 1;
+    PadWithLowestIndex(n, options.k, options.candidates, order, in_set);
+  }
   std::sort(order.begin(), order.end());
 
   Selection result;

@@ -19,6 +19,7 @@
 #define FAM_BASELINES_K_HIT_H_
 
 #include "common/status.h"
+#include "regret/candidate_index.h"
 #include "regret/evaluator.h"
 #include "regret/selection.h"
 
@@ -26,6 +27,11 @@ namespace fam {
 
 struct KHitOptions {
   size_t k = 10;
+  /// Candidate pruning index (typically the Workload's); null = rank all
+  /// points. Every nonzero favorite bucket survives pruning (candidate
+  /// indices force-include best-in-DB points), so restriction only affects
+  /// which zero-mass points fill a quota larger than the bucket count.
+  const CandidateIndex* candidates = nullptr;
 };
 
 /// Runs K-HIT against the evaluator's user sample.

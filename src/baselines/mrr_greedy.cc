@@ -52,18 +52,6 @@ double LpRegretOfCandidate(const Dataset& dataset, size_t candidate,
   return std::max(0.0, solution.objective);
 }
 
-/// Fills `selected` up to k with the lowest-index unused points (used both
-/// when every candidate adds zero regret and on cancellation).
-void PadSelection(size_t n, size_t k, std::vector<size_t>& selected,
-                  std::vector<uint8_t>& in_set) {
-  for (size_t p = 0; p < n && selected.size() < k; ++p) {
-    if (!in_set[p]) {
-      selected.push_back(p);
-      in_set[p] = 1;
-    }
-  }
-}
-
 Selection RunLp(const Dataset& dataset, const RegretEvaluator& evaluator,
                 const MrrGreedyOptions& options, MrrGreedyStats* stats) {
   const size_t k = options.k;
@@ -100,7 +88,7 @@ Selection RunLp(const Dataset& dataset, const RegretEvaluator& evaluator,
     if (truncated || best_candidate == dataset.size()) {
       // Truncated, or every remaining candidate adds zero worst-case
       // regret: pad with the lowest-index unused points.
-      PadSelection(dataset.size(), k, selected, in_set);
+      PadWithLowestIndex(dataset.size(), k, nullptr, selected, in_set);
       break;
     }
     selected.push_back(best_candidate);
@@ -151,7 +139,8 @@ Selection RunSampled(const Dataset& dataset,
   while (selected.size() < k) {
     if (options.cancel != nullptr && options.cancel->Expired()) {
       truncated = true;
-      PadSelection(dataset.size(), k, selected, in_set);
+      PadWithLowestIndex(dataset.size(), k, options.candidates,
+                         selected, in_set);
       break;
     }
     // The currently most-regretful user.
@@ -174,7 +163,8 @@ Selection RunSampled(const Dataset& dataset,
     if (addition == dataset.size()) {
       // No user regrets anything (or the worst user's favorite is already
       // selected, which forces rr = 0): pad with unused points.
-      PadSelection(dataset.size(), k, selected, in_set);
+      PadWithLowestIndex(dataset.size(), k, options.candidates,
+                         selected, in_set);
       break;
     }
     selected.push_back(addition);
@@ -215,6 +205,8 @@ Result<Selection> MrrGreedy(const Dataset& dataset,
     return Status::InvalidArgument(
         "evaluator point count != dataset size");
   }
+  FAM_RETURN_IF_ERROR(
+      ValidateCandidateUniverse(options.candidates, evaluator));
 
   MrrGreedyMode mode = options.mode;
   if (mode == MrrGreedyMode::kAuto) {

@@ -30,6 +30,7 @@
 #include "common/cancellation.h"
 #include "common/status.h"
 #include "data/dataset.h"
+#include "regret/candidate_index.h"
 #include "regret/eval_kernel.h"
 #include "regret/evaluator.h"
 #include "regret/selection.h"
@@ -47,6 +48,12 @@ struct MrrGreedyOptions {
   MrrGreedyMode mode = MrrGreedyMode::kAuto;
   /// kAuto falls back to kSampled above this many skyline candidates.
   size_t lp_candidate_limit = 4000;
+  /// Candidate pruning index (typically the Workload's), honoured by the
+  /// sampled engine (additions are users' database favorites, which every
+  /// pruning mode keeps; padding stays within the pool). The LP engine
+  /// ignores it: its measure is the worst case over *all* linear
+  /// utilities, for which only its own geometric skyline is sound.
+  const CandidateIndex* candidates = nullptr;
   /// Shared kernel (typically the Workload's) used by the sampled engine
   /// for incremental satisfaction maintenance; when null, the sampled
   /// engine falls back to direct utility lookups.

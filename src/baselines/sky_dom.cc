@@ -14,8 +14,15 @@ Result<Selection> SkyDom(const Dataset& dataset,
   if (options.k > dataset.size()) {
     return Status::InvalidArgument("k exceeds database size");
   }
+  FAM_RETURN_IF_ERROR(
+      ValidateCandidateUniverse(options.candidates, evaluator));
 
   std::vector<size_t> skyline = SkylineIndices(dataset);
+  if (options.candidates != nullptr) {
+    std::erase_if(skyline, [&](size_t p) {
+      return !options.candidates->IsCandidate(p);
+    });
+  }
   std::vector<std::vector<uint32_t>> dominated =
       DominatedLists(dataset, skyline);
 
@@ -46,14 +53,13 @@ Result<Selection> SkyDom(const Dataset& dataset,
     for (uint32_t p : dominated[best_candidate]) covered[p] = 1;
   }
 
-  // Skyline smaller than k: pad with the lowest-index unused points.
+  // Skyline smaller than k: pad with the lowest-index unused points,
+  // preferring pruning survivors.
   if (selected.size() < options.k) {
     std::vector<uint8_t> in_set(dataset.size(), 0);
     for (size_t p : selected) in_set[p] = 1;
-    for (size_t p = 0; p < dataset.size() && selected.size() < options.k;
-         ++p) {
-      if (!in_set[p]) selected.push_back(p);
-    }
+    PadWithLowestIndex(dataset.size(), options.k, options.candidates,
+                       selected, in_set);
   }
 
   std::sort(selected.begin(), selected.end());

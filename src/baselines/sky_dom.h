@@ -17,6 +17,7 @@
 
 #include "common/status.h"
 #include "data/dataset.h"
+#include "regret/candidate_index.h"
 #include "regret/evaluator.h"
 #include "regret/selection.h"
 
@@ -24,6 +25,11 @@ namespace fam {
 
 struct SkyDomOptions {
   size_t k = 10;
+  /// Candidate pruning index (typically the Workload's); null = the full
+  /// skyline. The greedy runs over skyline ∩ candidates (a no-op for
+  /// geometric pruning, whose pool contains the whole skyline); padding
+  /// prefers surviving points.
+  const CandidateIndex* candidates = nullptr;
 };
 
 /// Runs greedy SKY-DOM; the evaluator is used only to report the returned

@@ -81,7 +81,7 @@ struct Search {
     // Include candidates[idx].
     size_t point = candidates[idx];
     std::vector<double> with(sat);
-    if (kernel.tiled()) {
+    if (kernel.ColumnTiled(point)) {
       std::span<const double> column = kernel.Column(point);
       for (size_t u = 0; u < evaluator.num_users(); ++u) {
         with[u] = std::max(with[u], column[u]);
@@ -109,6 +109,8 @@ Result<Selection> BranchAndBound(const RegretEvaluator& evaluator,
   const size_t n = evaluator.num_points();
   if (options.k == 0) return Status::InvalidArgument("k must be at least 1");
   if (options.k > n) return Status::InvalidArgument("k exceeds database size");
+  FAM_RETURN_IF_ERROR(
+      ValidateCandidateUniverse(options.candidates, evaluator));
   if (stats != nullptr) *stats = BranchAndBoundStats{};
 
   std::optional<EvalKernel> local;
@@ -123,6 +125,7 @@ Result<Selection> BranchAndBound(const RegretEvaluator& evaluator,
   // matrix below.
   GreedyShrinkOptions greedy_options;
   greedy_options.k = options.k;
+  greedy_options.candidates = options.candidates;
   greedy_options.kernel = &kernel;
   greedy_options.cancel = options.cancel;
   GreedyShrinkStats greedy_stats;
@@ -139,33 +142,37 @@ Result<Selection> BranchAndBound(const RegretEvaluator& evaluator,
   };
 
   if (!search.truncated) {
-    // Branch on strong points first: ascending single-point arr, computed
-    // by the kernel's batched pass (polled per candidate chunk so a
-    // deadline caps this O(N·n) phase too).
-    search.candidates.resize(n);
-    std::iota(search.candidates.begin(), search.candidates.end(), 0);
-    std::vector<double> single_arr(n);
-    if (!kernel.BatchSingleArrs(search.candidates, single_arr,
-                                options.cancel)) {
+    // Branch on strong points first: ascending single-point arr over the
+    // candidate pool, computed by the kernel's batched pass (polled per
+    // candidate chunk so a deadline caps this O(N·|C|) phase too).
+    std::vector<size_t> pool = CandidateListOrAll(options.candidates, n);
+    std::vector<double> single_arr(pool.size());
+    if (!kernel.BatchSingleArrs(pool, single_arr, options.cancel)) {
       search.truncated = true;
     } else {
-      std::sort(search.candidates.begin(), search.candidates.end(),
-                [&](size_t a, size_t b) {
-                  if (single_arr[a] != single_arr[b]) {
-                    return single_arr[a] < single_arr[b];
-                  }
-                  return a < b;
-                });
+      std::vector<size_t> order(pool.size());
+      std::iota(order.begin(), order.end(), 0);
+      std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        if (single_arr[a] != single_arr[b]) {
+          return single_arr[a] < single_arr[b];
+        }
+        return pool[a] < pool[b];
+      });
+      search.candidates.resize(pool.size());
+      for (size_t i = 0; i < order.size(); ++i) {
+        search.candidates[i] = pool[order[i]];
+      }
     }
   }
 
+  const size_t pool_size = search.candidates.size();
   if (!search.truncated) {
     // Suffix maxima of utility over the branching order (the bound's
-    // oracle): O(N·n) time and memory, index-major so each row is the
+    // oracle): O(N·|C|) time and memory, index-major so each row is the
     // contiguous per-user maximum over candidates[idx..]. Gated on the
     // deadline and polled per candidate.
-    search.suffix_best.Reset(n + 1, evaluator.num_users(), 0.0);
-    for (size_t idx = n; idx-- > 0;) {
+    search.suffix_best.Reset(pool_size + 1, evaluator.num_users(), 0.0);
+    for (size_t idx = pool_size; idx-- > 0;) {
       if (expired()) {
         search.truncated = true;
         break;
@@ -173,7 +180,7 @@ Result<Selection> BranchAndBound(const RegretEvaluator& evaluator,
       size_t point = search.candidates[idx];
       const double* next = search.suffix_best.row(idx + 1);
       double* row = search.suffix_best.row(idx);
-      if (kernel.tiled()) {
+      if (kernel.ColumnTiled(point)) {
         std::span<const double> column = kernel.Column(point);
         for (size_t u = 0; u < evaluator.num_users(); ++u) {
           row[u] = std::max(next[u], column[u]);

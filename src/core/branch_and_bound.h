@@ -19,6 +19,7 @@
 
 #include "common/cancellation.h"
 #include "common/status.h"
+#include "regret/candidate_index.h"
 #include "regret/eval_kernel.h"
 #include "regret/evaluator.h"
 #include "regret/selection.h"
@@ -29,6 +30,12 @@ struct BranchAndBoundOptions {
   size_t k = 5;
   /// Abort with FailedPrecondition after this many search nodes.
   uint64_t max_nodes = 2'000'000'000ULL;
+  /// Candidate pruning index (typically the Workload's); null = branch
+  /// over all n points. The search is exact over the candidate pool; for
+  /// the exact pruning modes (geometric on monotone Θ, sample-dominance)
+  /// the pool always contains an arr-optimal k-set, so the returned arr
+  /// equals the unrestricted optimum (coreset mode: within its epsilon).
+  const CandidateIndex* candidates = nullptr;
   /// Shared kernel (typically the Workload's); when null, a solver-local
   /// kernel is built from the evaluator. Used for the batched single-point
   /// ordering pass, the suffix bound oracle, and the greedy seed.

@@ -72,6 +72,7 @@ Result<Selection> RunNaive(const RegretEvaluator& evaluator,
                            const GreedyGrowOptions& options,
                            GreedyGrowStats* stats) {
   const size_t n = evaluator.num_points();
+  const std::vector<size_t> pool = CandidateListOrAll(options.candidates, n);
   std::vector<double> sat(evaluator.num_users(), 0.0);
   std::vector<uint8_t> in_set(n, 0);
   std::vector<size_t> selected;
@@ -82,7 +83,7 @@ Result<Selection> RunNaive(const RegretEvaluator& evaluator,
       size_t best = n;
       double best_gain = -1.0;
       bool truncated = false;
-      for (size_t p = 0; p < n; ++p) {
+      for (size_t p : pool) {
         if (in_set[p]) continue;
         if (Expired(options)) {
           truncated = true;
@@ -98,7 +99,11 @@ Result<Selection> RunNaive(const RegretEvaluator& evaluator,
         FastPad(evaluator, options.k, selected, in_set, stats);
         break;
       }
-      FAM_CHECK(best < n);
+      if (best == n) {  // candidate pool exhausted before k additions
+        PadWithLowestIndex(n, options.k, options.candidates, selected,
+                           in_set);
+        break;
+      }
       in_set[best] = 1;
       selected.push_back(best);
       Apply(evaluator, best, sat);
@@ -117,7 +122,7 @@ Result<Selection> RunNaive(const RegretEvaluator& evaluator,
     };
     std::priority_queue<Entry> heap;
     bool truncated = false;
-    for (size_t p = 0; p < n; ++p) {
+    for (size_t p : pool) {
       if (Expired(options)) {
         truncated = true;
         break;
@@ -130,7 +135,11 @@ Result<Selection> RunNaive(const RegretEvaluator& evaluator,
         truncated = true;
         break;
       }
-      FAM_CHECK(!heap.empty());
+      if (heap.empty()) {  // candidate pool exhausted before k additions
+        PadWithLowestIndex(n, options.k, options.candidates, selected,
+                           in_set);
+        break;
+      }
       Entry top = heap.top();
       heap.pop();
       if (in_set[top.point]) continue;
@@ -162,23 +171,29 @@ Result<Selection> RunKernel(const RegretEvaluator& evaluator,
                             const GreedyGrowOptions& options,
                             GreedyGrowStats* stats) {
   const size_t n = evaluator.num_points();
+  const std::vector<size_t> pool = CandidateListOrAll(options.candidates, n);
   std::optional<EvalKernel> local;
   const EvalKernel& kernel =
       ResolveKernel(options.kernel, evaluator, options.cancel, local);
   SubsetEvalState state(kernel);
 
   std::vector<size_t> candidates;
-  candidates.reserve(n);
-  std::vector<double> gains(n);
+  candidates.reserve(pool.size());
+  std::vector<double> gains(pool.size());
   std::vector<size_t> selected;
   selected.reserve(options.k);
   bool truncated = false;
+  bool pool_exhausted = false;
 
   if (!options.use_lazy_evaluation) {
     while (selected.size() < options.k && !truncated) {
       candidates.clear();
-      for (size_t p = 0; p < n; ++p) {
+      for (size_t p : pool) {
         if (!state.contains(p)) candidates.push_back(p);
+      }
+      if (candidates.empty()) {  // pool exhausted before k additions
+        pool_exhausted = true;
+        break;
       }
       std::span<double> round_gains{gains.data(), candidates.size()};
       if (!state.BatchGains(candidates, round_gains, options.cancel)) {
@@ -198,13 +213,11 @@ Result<Selection> RunKernel(const RegretEvaluator& evaluator,
       selected.push_back(best);
     }
   } else {
-    candidates.resize(n);
-    for (size_t p = 0; p < n; ++p) candidates[p] = p;
-    if (!state.BatchGains(candidates, gains, options.cancel)) {
+    if (!state.BatchGains(pool, gains, options.cancel)) {
       truncated = true;
     } else {
       LazyGainQueue queue;
-      queue.Seed(candidates, gains);
+      queue.Seed(pool, gains);
       while (selected.size() < options.k) {
         bool expired = false;
         size_t best =
@@ -213,7 +226,10 @@ Result<Selection> RunKernel(const RegretEvaluator& evaluator,
           truncated = true;
           break;
         }
-        FAM_CHECK(best != LazyGainQueue::kNoPoint);
+        if (best == LazyGainQueue::kNoPoint) {  // pool exhausted
+          pool_exhausted = true;
+          break;
+        }
         state.Add(best);
         selected.push_back(best);
       }
@@ -225,10 +241,15 @@ Result<Selection> RunKernel(const RegretEvaluator& evaluator,
     stats->gain_evaluations = state.counters().batched_gain_candidates +
                               state.counters().single_gain_evaluations;
   }
-  if (truncated) {
+  if (truncated || pool_exhausted) {
     std::vector<uint8_t> in_set(n, 0);
     for (size_t p : selected) in_set[p] = 1;
-    FastPad(evaluator, options.k, selected, in_set, stats);
+    if (truncated) {
+      FastPad(evaluator, options.k, selected, in_set, stats);
+    } else {
+      PadWithLowestIndex(n, options.k, options.candidates, selected,
+                         in_set);
+    }
   }
 
   std::sort(selected.begin(), selected.end());
@@ -247,6 +268,8 @@ Result<Selection> GreedyGrow(const RegretEvaluator& evaluator,
   if (stats != nullptr) *stats = GreedyGrowStats{};
   if (options.k == 0) return Status::InvalidArgument("k must be at least 1");
   if (options.k > n) return Status::InvalidArgument("k exceeds database size");
+  FAM_RETURN_IF_ERROR(
+      ValidateCandidateUniverse(options.candidates, evaluator));
   if (options.use_eval_kernel) return RunKernel(evaluator, options, stats);
   return RunNaive(evaluator, options, stats);
 }

@@ -21,6 +21,7 @@
 
 #include "common/cancellation.h"
 #include "common/status.h"
+#include "regret/candidate_index.h"
 #include "regret/eval_kernel.h"
 #include "regret/evaluator.h"
 #include "regret/selection.h"
@@ -29,6 +30,10 @@ namespace fam {
 
 struct GreedyGrowOptions {
   size_t k = 10;
+  /// Candidate pruning index (typically the Workload's); null = consider
+  /// all n points. When the candidate pool runs out before k additions,
+  /// the selection is padded with the lowest-index pruned points.
+  const CandidateIndex* candidates = nullptr;
   /// Lazy (upper-bound) candidate evaluation; exact either way.
   bool use_lazy_evaluation = true;
   /// Route candidate evaluation through the shared EvalKernel (blocked

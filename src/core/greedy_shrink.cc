@@ -7,7 +7,6 @@
 #include <queue>
 
 #include "common/logging.h"
-#include "geom/skyline.h"
 
 namespace fam {
 namespace {
@@ -44,8 +43,8 @@ Selection RunNaive(const RegretEvaluator& evaluator,
                    const GreedyShrinkOptions& options,
                    GreedyShrinkStats* stats) {
   const size_t k = options.k;
-  std::vector<size_t> current(evaluator.num_points());
-  std::iota(current.begin(), current.end(), 0);
+  std::vector<size_t> current =
+      CandidateListOrAll(options.candidates, evaluator.num_points());
   std::vector<size_t> candidate;
   while (current.size() > k) {
     double best_arr = std::numeric_limits<double>::infinity();
@@ -107,17 +106,18 @@ Selection FastFinishState(const RegretEvaluator& evaluator,
   return FastFinish(evaluator, state.members(), scores, k, stats);
 }
 
-/// FastFinish before any state exists (setup expired): every point is a
-/// candidate, scored by its count of database favorites.
-Selection FastFinishBestInDb(const RegretEvaluator& evaluator, size_t k,
+/// FastFinish before any state exists (setup expired): every pool point
+/// is a candidate, scored by its count of database favorites.
+Selection FastFinishBestInDb(const RegretEvaluator& evaluator,
+                             const CandidateIndex* index, size_t k,
                              GreedyShrinkStats* stats) {
   std::vector<size_t> scores(evaluator.num_points(), 0);
   for (size_t u = 0; u < evaluator.num_users(); ++u) {
     ++scores[evaluator.BestPointInDb(u)];
   }
-  std::vector<size_t> candidates(evaluator.num_points());
-  std::iota(candidates.begin(), candidates.end(), 0);
-  return FastFinish(evaluator, candidates, scores, k, stats);
+  return FastFinish(evaluator,
+                    CandidateListOrAll(index, evaluator.num_points()),
+                    scores, k, stats);
 }
 
 /// Builds the shrink-mode kernel state shared by the cached and lazy
@@ -130,8 +130,13 @@ std::optional<SubsetEvalState> PrepareShrinkState(
     const GreedyShrinkOptions& options, GreedyShrinkStats* stats,
     Selection* truncated_result) {
   SubsetEvalState state(kernel);
-  if (!state.ResetToFull(options.cancel)) {
-    *truncated_result = FastFinishBestInDb(evaluator, options.k, stats);
+  std::span<const size_t> candidates;
+  if (options.candidates != nullptr) {
+    candidates = options.candidates->candidates();
+  }
+  if (!state.ResetToFull(options.cancel, candidates)) {
+    *truncated_result =
+        FastFinishBestInDb(evaluator, options.candidates, options.k, stats);
     return std::nullopt;
   }
   // Free phase: points that are nobody's best point can be removed at zero
@@ -295,53 +300,6 @@ double GreedyShrinkStats::UserFraction() const {
          static_cast<double>(user_rescans_possible);
 }
 
-Result<Selection> GreedyShrinkOnSkyline(const Dataset& dataset,
-                                        const RegretEvaluator& evaluator,
-                                        const GreedyShrinkOptions& options,
-                                        GreedyShrinkStats* stats) {
-  if (evaluator.num_points() != dataset.size()) {
-    return Status::InvalidArgument("evaluator point count != dataset size");
-  }
-  if (options.k == 0) {
-    return Status::InvalidArgument("k must be at least 1");
-  }
-  if (options.k > dataset.size()) {
-    return Status::InvalidArgument("k exceeds database size");
-  }
-  std::vector<size_t> skyline = SkylineIndices(dataset);
-  if (skyline.size() <= options.k) {
-    // The whole skyline fits: take it and pad with low-index points.
-    Selection selection;
-    selection.indices = skyline;
-    std::vector<uint8_t> used(dataset.size(), 0);
-    for (size_t p : skyline) used[p] = 1;
-    for (size_t p = 0;
-         p < dataset.size() && selection.indices.size() < options.k; ++p) {
-      if (!used[p]) selection.indices.push_back(p);
-    }
-    std::sort(selection.indices.begin(), selection.indices.end());
-    selection.average_regret_ratio =
-        evaluator.AverageRegretRatio(selection.indices);
-    return selection;
-  }
-
-  RegretEvaluator restricted(
-      evaluator.users().RestrictToPoints(skyline), evaluator.user_weights());
-  // The restricted evaluator is a different point universe; the shared
-  // kernel does not apply, so the recursive call builds its own.
-  GreedyShrinkOptions restricted_options = options;
-  restricted_options.kernel = nullptr;
-  FAM_ASSIGN_OR_RETURN(Selection local,
-                       GreedyShrink(restricted, restricted_options, stats));
-  Selection selection;
-  selection.indices.reserve(local.indices.size());
-  for (size_t idx : local.indices) selection.indices.push_back(skyline[idx]);
-  std::sort(selection.indices.begin(), selection.indices.end());
-  selection.average_regret_ratio =
-      evaluator.AverageRegretRatio(selection.indices);
-  return selection;
-}
-
 Result<Selection> GreedyShrink(const RegretEvaluator& evaluator,
                                const GreedyShrinkOptions& options,
                                GreedyShrinkStats* stats) {
@@ -357,7 +315,24 @@ Result<Selection> GreedyShrink(const RegretEvaluator& evaluator,
         "lazy evaluation (Improvement 2) requires the best-point cache "
         "(Improvement 1)");
   }
+  FAM_RETURN_IF_ERROR(
+      ValidateCandidateUniverse(options.candidates, evaluator));
   if (stats != nullptr) *stats = GreedyShrinkStats{};
+  if (options.candidates != nullptr &&
+      options.candidates->size() <= options.k) {
+    // The whole candidate pool fits: take it and pad with the lowest-index
+    // pruned points (the retired skyline path's padding rule).
+    Selection selection;
+    selection.indices = options.candidates->candidates();
+    std::vector<uint8_t> in_set(n, 0);
+    for (size_t p : selection.indices) in_set[p] = 1;
+    PadWithLowestIndex(n, options.k, options.candidates, selection.indices,
+                       in_set);
+    std::sort(selection.indices.begin(), selection.indices.end());
+    selection.average_regret_ratio =
+        evaluator.AverageRegretRatio(selection.indices);
+    return selection;
+  }
   if (!options.use_best_point_cache) {
     return RunNaive(evaluator, options, stats);
   }

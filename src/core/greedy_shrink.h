@@ -35,6 +35,7 @@
 
 #include "common/cancellation.h"
 #include "common/status.h"
+#include "regret/candidate_index.h"
 #include "regret/eval_kernel.h"
 #include "regret/evaluator.h"
 #include "regret/selection.h"
@@ -44,6 +45,14 @@ namespace fam {
 struct GreedyShrinkOptions {
   /// Desired solution size k (1 <= k <= n).
   size_t k = 10;
+  /// Candidate pruning index (typically the Workload's); null = start the
+  /// descent from S = D. With pruning the descent starts from the
+  /// candidate set instead — valid because every mode guarantees the
+  /// dropped points change no user's satisfaction (exactly, or within the
+  /// coreset epsilon). When the candidate pool has at most k points the
+  /// whole pool is returned, padded with the lowest-index pruned points
+  /// (the retired GreedyShrinkOnSkyline's padding rule).
+  const CandidateIndex* candidates = nullptr;
   /// Improvement 1: per-user best-point cache + delta evaluation. Since
   /// the EvalKernel refactor this is the shared SubsetEvalState's shrink
   /// mode (per-point user buckets + maintained second-best values, so a
@@ -95,20 +104,13 @@ Result<Selection> GreedyShrink(const RegretEvaluator& evaluator,
                                const GreedyShrinkOptions& options,
                                GreedyShrinkStats* stats = nullptr);
 
-/// GREEDY-SHRINK restricted to the skyline of `dataset`.
-///
-/// Valid for *monotone* utility families (any non-negative linear Θ): a
-/// dominated point is never any user's favorite, so dropping all dominated
-/// points up front preserves every user's satisfaction and shrinks the
-/// starting set from n to the skyline size — a large constant-factor win
-/// on low-dimensional data. Do NOT use with utilities that can prefer a
-/// dominated point (e.g. latent-space models with negative weights).
-/// Returned indices refer to `dataset`; if the skyline has fewer than k
-/// points the selection is padded with the lowest-index remaining points.
-Result<Selection> GreedyShrinkOnSkyline(const Dataset& dataset,
-                                        const RegretEvaluator& evaluator,
-                                        const GreedyShrinkOptions& options,
-                                        GreedyShrinkStats* stats = nullptr);
+// GreedyShrinkOnSkyline was retired in favor of GreedyShrinkOptions::
+// candidates: it restricted to the geometric skyline *unconditionally*,
+// which silently reports a wrong best-in-DB (and arr) for utility families
+// that can prefer a dominated point — e.g. GMM-fitted latent factors with
+// negative weights. Build a CandidateIndex (mode kAuto picks geometric
+// only for monotone-safe Θ, sample-dominance otherwise) and pass it here
+// or via WorkloadBuilder::WithPruning.
 
 }  // namespace fam
 

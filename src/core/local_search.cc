@@ -15,6 +15,7 @@ Result<Selection> RunNaive(const RegretEvaluator& evaluator,
                            LocalSearchStats* stats,
                            std::vector<uint8_t> in_set) {
   const size_t n = evaluator.num_points();
+  const std::vector<size_t> pool = CandidateListOrAll(options.candidates, n);
   const size_t num_users = evaluator.num_users();
   const UtilityMatrix& users = evaluator.users();
   const std::vector<double>& weights = evaluator.user_weights();
@@ -61,7 +62,7 @@ Result<Selection> RunNaive(const RegretEvaluator& evaluator,
     size_t best_in_point = n;
 
     for (size_t pos = 0; pos < current.size() && !truncated; ++pos) {
-      for (size_t a = 0; a < n; ++a) {
+      for (size_t a : pool) {
         if (in_set[a]) continue;
         // One candidate evaluation costs O(N); polling here bounds the
         // deadline overshoot to a single swap evaluation.
@@ -123,6 +124,7 @@ Result<Selection> RunKernel(const RegretEvaluator& evaluator,
                             const LocalSearchOptions& options,
                             LocalSearchStats* stats) {
   const size_t n = evaluator.num_points();
+  const std::vector<size_t> pool = CandidateListOrAll(options.candidates, n);
   std::optional<EvalKernel> local;
   const EvalKernel& kernel =
       ResolveKernel(options.kernel, evaluator, options.cancel, local);
@@ -151,7 +153,8 @@ Result<Selection> RunKernel(const RegretEvaluator& evaluator,
     size_t best_out_pos = 0;
     size_t best_in_point = n;
 
-    for (size_t a = 0; a < n && !truncated; ++a) {
+    for (size_t a : pool) {
+      if (truncated) break;
       if (state.contains(a)) continue;
       // One candidate evaluation costs O(N·k); polling here bounds the
       // deadline overshoot to a single batched evaluation.
@@ -208,6 +211,8 @@ Result<Selection> LocalSearchRefine(const RegretEvaluator& evaluator,
   if (selection.indices.empty()) {
     return Status::InvalidArgument("empty selection");
   }
+  FAM_RETURN_IF_ERROR(
+      ValidateCandidateUniverse(options.candidates, evaluator));
   std::vector<uint8_t> in_set(n, 0);
   for (size_t p : selection.indices) {
     if (p >= n) return Status::OutOfRange("selection index out of range");

@@ -16,6 +16,7 @@
 
 #include "common/cancellation.h"
 #include "common/status.h"
+#include "regret/candidate_index.h"
 #include "regret/eval_kernel.h"
 #include "regret/evaluator.h"
 #include "regret/selection.h"
@@ -25,6 +26,10 @@ namespace fam {
 struct LocalSearchOptions {
   /// Stop after this many improving swaps (safety valve).
   size_t max_swaps = 1000;
+  /// Candidate pruning index (typically the Workload's); null = consider
+  /// all n points as incoming swap candidates. Outgoing points may be
+  /// non-candidates (a caller-provided seed is refined as given).
+  const CandidateIndex* candidates = nullptr;
   /// Required improvement per swap; guards floating-point churn.
   double min_improvement = 1e-12;
   /// Route swap evaluation through the shared EvalKernel (batched swap

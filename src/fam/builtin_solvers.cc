@@ -86,6 +86,7 @@ Result<MrrGreedyOptions> MrrOptionsFromContext(const SolveContext& context,
   options.k = k;
   options.mode = mode;
   options.kernel = context.kernel;
+  options.candidates = context.candidates;
   options.cancel = context.cancel;
   FAM_ASSIGN_OR_RETURN(
       int64_t lp_limit,
@@ -141,6 +142,7 @@ void RegisterBuiltinSolvers(SolverRegistry& registry) {
                     SolveDetails* details) -> Result<Selection> {
                    GreedyShrinkOptions options{.k = k};
                    options.kernel = context.kernel;
+                   options.candidates = context.candidates;
                    options.cancel = context.cancel;
                    FAM_ASSIGN_OR_RETURN(
                        options.use_best_point_cache,
@@ -177,6 +179,7 @@ void RegisterBuiltinSolvers(SolverRegistry& registry) {
                     SolveDetails* details) -> Result<Selection> {
                    GreedyGrowOptions options{.k = k};
                    options.kernel = context.kernel;
+                   options.candidates = context.candidates;
                    options.cancel = context.cancel;
                    FAM_ASSIGN_OR_RETURN(
                        options.use_lazy_evaluation,
@@ -206,6 +209,7 @@ void RegisterBuiltinSolvers(SolverRegistry& registry) {
                     SolveDetails* details) -> Result<Selection> {
                    GreedyGrowOptions seed_options{.k = k};
                    seed_options.kernel = context.kernel;
+                   seed_options.candidates = context.candidates;
                    seed_options.cancel = context.cancel;
                    GreedyGrowStats seed_stats;
                    FAM_ASSIGN_OR_RETURN(
@@ -213,6 +217,7 @@ void RegisterBuiltinSolvers(SolverRegistry& registry) {
                        GreedyGrow(evaluator, seed_options, &seed_stats));
                    LocalSearchOptions options;
                    options.kernel = context.kernel;
+                   options.candidates = context.candidates;
                    options.cancel = context.cancel;
                    FAM_ASSIGN_OR_RETURN(
                        int64_t max_swaps,
@@ -288,6 +293,7 @@ void RegisterBuiltinSolvers(SolverRegistry& registry) {
                     SolveDetails* details) -> Result<Selection> {
                    BranchAndBoundOptions options{.k = k};
                    options.kernel = context.kernel;
+                   options.candidates = context.candidates;
                    options.cancel = context.cancel;
                    FAM_ASSIGN_OR_RETURN(
                        int64_t max_nodes,
@@ -374,8 +380,10 @@ void RegisterBuiltinSolvers(SolverRegistry& registry) {
                  "dominated coverage (Lin et al.)",
                  kBaseline,
                  [](const Dataset& dataset, const RegretEvaluator& evaluator,
-                    size_t k, const SolveContext&, SolveDetails*) {
-                   return SkyDom(dataset, evaluator, {.k = k});
+                    size_t k, const SolveContext& context, SolveDetails*) {
+                   SkyDomOptions options{.k = k};
+                   options.candidates = context.candidates;
+                   return SkyDom(dataset, evaluator, options);
                  }));
   MustRegister(
       registry,
@@ -384,8 +392,10 @@ void RegisterBuiltinSolvers(SolverRegistry& registry) {
                  "probability (Peng & Wong)",
                  kBaseline,
                  [](const Dataset&, const RegretEvaluator& evaluator,
-                    size_t k, const SolveContext&, SolveDetails*) {
-                   return KHit(evaluator, {.k = k});
+                    size_t k, const SolveContext& context, SolveDetails*) {
+                   KHitOptions options{.k = k};
+                   options.candidates = context.candidates;
+                   return KHit(evaluator, options);
                  }));
 }
 

@@ -58,6 +58,11 @@ WorkloadBuilder& WorkloadBuilder::WithScoreTile(bool enabled) {
   return *this;
 }
 
+WorkloadBuilder& WorkloadBuilder::WithPruning(PruneOptions prune) {
+  prune_ = prune;
+  return *this;
+}
+
 Result<Workload> WorkloadBuilder::Build() const {
   if (dataset_ == nullptr) {
     return Status::InvalidArgument(
@@ -87,6 +92,9 @@ Result<Workload> WorkloadBuilder::Build() const {
     users = matrix_;
     user_weights = matrix_weights_;
     workload.seed_ = 0;
+    // The family behind a direct matrix is unknown (it may be a latent
+    // model with negative weights): never monotone-safe.
+    workload.monotone_utilities_ = false;
   } else {
     std::shared_ptr<const UtilityDistribution> theta = distribution_;
     if (theta == nullptr) {
@@ -97,6 +105,7 @@ Result<Workload> WorkloadBuilder::Build() const {
     users = theta->Sample(*dataset_, num_users_, rng);
     workload.seed_ = seed_;
     workload.distribution_name_ = theta->name();
+    workload.monotone_utilities_ = theta->MonotoneInAttributes();
   }
   if (users.empty()) {
     return Status::InvalidArgument(
@@ -111,11 +120,25 @@ Result<Workload> WorkloadBuilder::Build() const {
   if (materialized_) users = users.Materialized();
   workload.evaluator_ = std::make_shared<const RegretEvaluator>(
       std::move(users), std::move(user_weights));
+  // Candidate pruning (also timed preprocessing): built before the kernel
+  // so the score tile can cover candidate columns only.
+  workload.prune_ = prune_;
+  if (prune_.mode != PruneMode::kOff) {
+    FAM_ASSIGN_OR_RETURN(
+        CandidateIndex index,
+        CandidateIndex::Build(*dataset_, *workload.evaluator_, prune_,
+                              workload.monotone_utilities_));
+    workload.candidate_index_ =
+        std::make_shared<const CandidateIndex>(std::move(index));
+  }
   // The shared evaluation kernel (score tile + branch-free per-user
   // arrays) is part of the paper's one-time preprocessing: built here,
   // inside the timed phase, and reused by every solve.
   EvalKernelOptions kernel_options;
   kernel_options.tile = tile_mode_;
+  if (workload.candidate_index_ != nullptr) {
+    kernel_options.tile_columns = workload.candidate_index_->candidates();
+  }
   workload.kernel_ = std::make_shared<const EvalKernel>(workload.evaluator_,
                                                         kernel_options);
   workload.preprocess_seconds_ = timer.ElapsedSeconds();
@@ -145,6 +168,7 @@ Result<SolveResponse> Engine::SolveWithToken(
   context.options = &request.options;
   context.cancel = cancel;
   context.kernel = &workload.kernel();
+  context.candidates = workload.candidate_index();
   context.seed = request.seed;
 
   SolveDetails details;

@@ -47,6 +47,7 @@
 #include "data/dataset.h"
 #include "fam/solver_options.h"
 #include "fam/solver_registry.h"
+#include "regret/candidate_index.h"
 #include "regret/eval_kernel.h"
 #include "regret/evaluator.h"
 #include "regret/selection.h"
@@ -75,6 +76,34 @@ class Workload {
   }
   std::shared_ptr<const EvalKernel> shared_kernel() const { return kernel_; }
 
+  /// The candidate pruning index (WorkloadBuilder::WithPruning), built in
+  /// the timed preprocessing phase; null when pruning is off. Every solver
+  /// dispatched against this workload iterates its candidate list instead
+  /// of all n points, and the kernel's score tile covers candidate columns
+  /// only.
+  const CandidateIndex* candidate_index() const {
+    return candidate_index_.get();
+  }
+  std::shared_ptr<const CandidateIndex> shared_candidate_index() const {
+    return candidate_index_;
+  }
+
+  /// Points solvers actually consider: the candidate count, or n when
+  /// pruning is off.
+  size_t candidate_count() const {
+    return candidate_index_ != nullptr ? candidate_index_->size()
+                                       : dataset_->size();
+  }
+
+  /// The pruning configuration the workload was built with (mode kOff when
+  /// none was requested).
+  const PruneOptions& prune_options() const { return prune_; }
+
+  /// True when every utility of this workload's Θ is monotone
+  /// non-decreasing in the dataset attributes (false for direct utility
+  /// matrices, where the family is unknown).
+  bool monotone_utilities() const { return monotone_utilities_; }
+
   size_t size() const { return dataset_->size(); }
   size_t dimension() const { return dataset_->dimension(); }
   size_t num_users() const { return evaluator_->num_users(); }
@@ -98,6 +127,9 @@ class Workload {
   std::shared_ptr<const Dataset> dataset_;
   std::shared_ptr<const RegretEvaluator> evaluator_;
   std::shared_ptr<const EvalKernel> kernel_;
+  std::shared_ptr<const CandidateIndex> candidate_index_;
+  PruneOptions prune_;
+  bool monotone_utilities_ = false;
   uint64_t seed_ = 0;
   std::string distribution_name_;
   double preprocess_seconds_ = 0.0;
@@ -140,6 +172,12 @@ class WorkloadBuilder {
   /// kernel's byte budget (EvalKernelOptions::max_tile_bytes).
   WorkloadBuilder& WithScoreTile(bool enabled);
 
+  /// Candidate pruning (default: off). kAuto picks the strongest sound
+  /// mode for the workload's Θ (geometric for monotone families,
+  /// sample-dominance otherwise); kGeometric is rejected at Build() time
+  /// when Θ is not monotone-safe. See regret/candidate_index.h.
+  WorkloadBuilder& WithPruning(PruneOptions prune);
+
   /// Samples (or adopts) the user population, builds the evaluator with
   /// its best-in-DB index plus the shared evaluation kernel, and returns
   /// the immutable Workload. The builder can be reused afterwards.
@@ -152,6 +190,7 @@ class WorkloadBuilder {
   uint64_t seed_ = 7;
   bool materialized_ = false;
   EvalKernelOptions::Tile tile_mode_ = EvalKernelOptions::Tile::kAuto;
+  PruneOptions prune_;
   bool has_matrix_ = false;
   UtilityMatrix matrix_;
   std::vector<double> matrix_weights_;

@@ -54,6 +54,7 @@
 #include "ml/kmeans.h"
 #include "ml/matrix_factorization.h"
 #include "regret/arr2d.h"
+#include "regret/candidate_index.h"
 #include "regret/eval_kernel.h"
 #include "regret/evaluator.h"
 #include "regret/sample_size.h"

@@ -174,6 +174,8 @@ uint64_t WorkloadSpec::Fingerprint() const {
   h.U64(num_users);
   h.U64(seed);
   h.U64(materialized ? 1 : 0);
+  h.U64(static_cast<uint64_t>(prune.mode));
+  h.Double(prune.mode == PruneMode::kCoreset ? prune.coreset_epsilon : 0.0);
   return h.hash();
 }
 
@@ -227,7 +229,8 @@ Result<std::shared_ptr<const Workload>> BuildWorkloadFromSpec(
   builder.WithDataset(spec.dataset)
       .WithNumUsers(spec.num_users)
       .WithSeed(spec.seed)
-      .WithMaterializedUtilities(spec.materialized);
+      .WithMaterializedUtilities(spec.materialized)
+      .WithPruning(spec.prune);
   if (spec.distribution != nullptr) builder.WithDistribution(spec.distribution);
   FAM_ASSIGN_OR_RETURN(Workload workload, builder.Build());
   return std::make_shared<const Workload>(std::move(workload));

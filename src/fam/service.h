@@ -91,9 +91,15 @@ struct WorkloadSpec {
   uint64_t seed = 7;
   /// Materialize the sampled utility matrix (see WorkloadBuilder).
   bool materialized = false;
+  /// Candidate pruning (WorkloadBuilder::WithPruning). Part of the
+  /// fingerprint: a pruned and an unpruned workload over the same data
+  /// are different serving entities (different candidate sets, different
+  /// kernel tiles), so they must not share a cache slot.
+  PruneOptions prune = {};
 
   /// Stable 64-bit cache key: Dataset::ContentHash() mixed with the Θ
-  /// name, num_users, seed, and the materialization flag.
+  /// name, num_users, seed, the materialization flag, and the pruning
+  /// mode (+ coreset epsilon).
   uint64_t Fingerprint() const;
 };
 

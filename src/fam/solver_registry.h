@@ -37,6 +37,7 @@
 #include "common/status.h"
 #include "data/dataset.h"
 #include "fam/solver_options.h"
+#include "regret/candidate_index.h"
 #include "regret/eval_kernel.h"
 #include "regret/evaluator.h"
 #include "regret/selection.h"
@@ -74,6 +75,11 @@ struct SolveContext {
   /// fall back to a solver-local kernel (or direct evaluator access) when
   /// absent.
   const EvalKernel* kernel = nullptr;
+  /// The workload's candidate pruning index (WorkloadBuilder::WithPruning);
+  /// null = no pruning, iterate all n points. Solvers restrict their
+  /// candidate loops to its list — exactness-preserving for the sampled
+  /// estimator in every mode except coreset (bounded ARR error there).
+  const CandidateIndex* candidates = nullptr;
   /// Seed for randomized solvers (ignored by deterministic ones).
   uint64_t seed = 0;
 

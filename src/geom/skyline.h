@@ -1,9 +1,10 @@
 // Skyline (Pareto-frontier) computation.
 //
 // The DP-2D exact algorithm and the SKY-DOM baseline both operate on the
-// skyline of the database; GREEDY-SHRINK's preprocessing can optionally
-// restrict the candidate pool to the skyline because removing a dominated
-// point never changes any user's best point.
+// skyline of the database, and the CandidateIndex's geometric pruning mode
+// (regret/candidate_index.h) restricts every solver to it: for monotone
+// utility families, removing a dominated point never changes any user's
+// best point.
 
 #ifndef FAM_GEOM_SKYLINE_H_
 #define FAM_GEOM_SKYLINE_H_

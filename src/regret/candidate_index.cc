@@ -1,0 +1,316 @@
+#include "regret/candidate_index.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "geom/skyline.h"
+
+namespace fam {
+namespace {
+
+/// Shared sweep for kSampleDominance (slack 0) and kCoreset (slack
+/// eps · best-in-DB): in descending column-sum order, drop a point when
+/// some already-kept point's utility column covers it within slack for
+/// every user. The order makes one pass sufficient for slack 0 (a point
+/// can only be weakly dominated by an earlier one; equal-sum weak
+/// dominance means identical columns, and the ascending-index tie-break
+/// keeps the lowest duplicate — matching UtilityMatrix::BestPoint's
+/// tie-break); with slack > 0 the sweep stays sound because every dropped
+/// point records a kept coverer.
+std::vector<size_t> SweepDominatedColumns(const RegretEvaluator& evaluator,
+                                          double epsilon,
+                                          size_t cache_bytes) {
+  const size_t n = evaluator.num_points();
+  const size_t num_users = evaluator.num_users();
+  const UtilityMatrix& users = evaluator.users();
+
+  // Per-user slack: eps · best-in-DB (0 for indifferent users, whose
+  // utilities are all 0 anyway).
+  std::vector<double> slack(num_users, 0.0);
+  if (epsilon > 0.0) {
+    for (size_t u = 0; u < num_users; ++u) {
+      slack[u] = epsilon * std::max(0.0, evaluator.BestInDb(u));
+    }
+  }
+
+  std::vector<double> column(num_users);
+  std::vector<double> sums(n, 0.0);
+  for (size_t p = 0; p < n; ++p) {
+    users.FillPointColumn(p, column);
+    double total = 0.0;
+    for (double v : column) total += v;
+    sums[p] = total;
+  }
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (sums[a] != sums[b]) return sums[a] > sums[b];
+    return a < b;
+  });
+
+  // ceiling[u] = max over kept columns; a point above the ceiling (plus
+  // slack) somewhere cannot be covered by any single kept point, so the
+  // O(|kept|) pairwise checks run only for points under it. Kept columns
+  // are cached contiguously so the pairwise check streams plain values
+  // instead of paying an O(r) dot product per element on weighted
+  // matrices — but only up to a byte budget: on weakly-prunable data the
+  // kept set can approach n, and an uncapped cache would cost O(n·N)
+  // memory (~16 GB at n = 1M, N = 2000). Kept points past the budget are
+  // re-read through Utility() on demand (the pre-cache path).
+  const size_t max_cached_columns =
+      std::max<size_t>(1, cache_bytes / (num_users * sizeof(double)));
+  std::vector<double> ceiling(num_users,
+                              -std::numeric_limits<double>::infinity());
+  std::vector<size_t> kept;
+  std::vector<double> kept_columns;
+  for (size_t p : order) {
+    users.FillPointColumn(p, column);
+    bool above_ceiling = false;
+    for (size_t u = 0; u < num_users; ++u) {
+      if (column[u] > ceiling[u] + slack[u]) {
+        above_ceiling = true;
+        break;
+      }
+    }
+    bool covered = false;
+    if (!above_ceiling) {
+      const size_t cached = kept_columns.size() / num_users;
+      for (size_t slot = 0; slot < kept.size() && !covered; ++slot) {
+        const double* kept_column =
+            slot < cached ? kept_columns.data() + slot * num_users : nullptr;
+        bool slot_covers = true;
+        for (size_t u = 0; u < num_users; ++u) {
+          double kept_value = kept_column != nullptr
+                                  ? kept_column[u]
+                                  : users.Utility(u, kept[slot]);
+          if (kept_value + slack[u] < column[u]) {
+            slot_covers = false;
+            break;
+          }
+        }
+        covered = slot_covers;
+      }
+    }
+    if (covered) continue;
+    kept.push_back(p);
+    if (kept.size() <= max_cached_columns) {
+      kept_columns.insert(kept_columns.end(), column.begin(), column.end());
+    }
+    for (size_t u = 0; u < num_users; ++u) {
+      ceiling[u] = std::max(ceiling[u], column[u]);
+    }
+  }
+  std::sort(kept.begin(), kept.end());
+  return kept;
+}
+
+/// Kept-column cache budget for the dominance sweep (see above).
+constexpr size_t kKeptCacheBytes = size_t{1} * 1024 * 1024 * 1024;
+
+}  // namespace
+
+namespace internal {
+std::vector<size_t> SweepDominatedColumnsForTest(
+    const RegretEvaluator& evaluator, double epsilon, size_t cache_bytes) {
+  return SweepDominatedColumns(evaluator, epsilon, cache_bytes);
+}
+}  // namespace internal
+
+std::string_view PruneModeName(PruneMode mode) {
+  switch (mode) {
+    case PruneMode::kOff: return "off";
+    case PruneMode::kAuto: return "auto";
+    case PruneMode::kGeometric: return "geometric";
+    case PruneMode::kSampleDominance: return "sample-dominance";
+    case PruneMode::kCoreset: return "coreset";
+  }
+  return "unknown";
+}
+
+Result<PruneOptions> ParsePruneSpec(std::string_view spec) {
+  std::string text(Trim(spec));
+  std::string epsilon_text;
+  size_t colon = text.find(':');
+  if (colon != std::string::npos) {
+    epsilon_text = text.substr(colon + 1);
+    text = text.substr(0, colon);
+  }
+  // Case- and separator-insensitive mode name, like solver lookup.
+  std::string key;
+  for (char c : text) {
+    if (c == '-' || c == '_' || c == ' ') continue;
+    key += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  PruneOptions options;
+  if (key.empty() || key == "off" || key == "none") {
+    options.mode = PruneMode::kOff;
+  } else if (key == "auto") {
+    options.mode = PruneMode::kAuto;
+  } else if (key == "geometric" || key == "skyline") {
+    options.mode = PruneMode::kGeometric;
+  } else if (key == "sampledominance" || key == "sampledom") {
+    options.mode = PruneMode::kSampleDominance;
+  } else if (key == "coreset") {
+    options.mode = PruneMode::kCoreset;
+  } else {
+    return Status::InvalidArgument(
+        "unknown pruning mode \"" + std::string(spec) +
+        "\" (expected off | auto | geometric | sample-dominance | "
+        "coreset:EPS)");
+  }
+  if (options.mode == PruneMode::kCoreset) {
+    if (epsilon_text.empty()) {
+      return Status::InvalidArgument(
+          "coreset pruning needs an epsilon, e.g. \"coreset:0.05\"");
+    }
+    FAM_ASSIGN_OR_RETURN(options.coreset_epsilon, ParseDouble(epsilon_text));
+    if (!(options.coreset_epsilon > 0.0 && options.coreset_epsilon < 1.0)) {
+      return Status::InvalidArgument(
+          "coreset epsilon must be in (0, 1), got \"" + epsilon_text + "\"");
+    }
+  } else if (!epsilon_text.empty()) {
+    return Status::InvalidArgument(
+        "only coreset pruning takes a parameter (got \"" +
+        std::string(spec) + "\")");
+  }
+  return options;
+}
+
+std::string PruneSpecString(const PruneOptions& options) {
+  std::string out(PruneModeName(options.mode));
+  if (options.mode == PruneMode::kCoreset) {
+    out += StrPrintf(":%g", options.coreset_epsilon);
+  }
+  return out;
+}
+
+Result<CandidateIndex> CandidateIndex::Build(const Dataset& dataset,
+                                             const RegretEvaluator& evaluator,
+                                             const PruneOptions& options,
+                                             bool monotone_theta) {
+  if (evaluator.num_points() != dataset.size()) {
+    return Status::InvalidArgument(
+        "CandidateIndex: evaluator point count != dataset size");
+  }
+  const size_t n = dataset.size();
+
+  CandidateIndex index;
+  index.requested_mode_ = options.mode;
+  index.is_candidate_.assign(n, 0);
+
+  PruneMode mode = options.mode;
+  if (mode == PruneMode::kAuto) {
+    // The strongest sound mode: geometric needs monotone Θ; sample
+    // dominance is exact for the sampled estimator under any Θ.
+    mode = monotone_theta ? PruneMode::kGeometric
+                          : PruneMode::kSampleDominance;
+  } else if (mode == PruneMode::kGeometric && !monotone_theta) {
+    return Status::InvalidArgument(
+        "geometric pruning requires a utility family that is monotone in "
+        "the dataset attributes (a dominated point can be a user's "
+        "favorite under this one); use auto or sample-dominance");
+  }
+  index.resolved_mode_ = mode;
+
+  switch (mode) {
+    case PruneMode::kOff:
+      index.candidates_.resize(n);
+      std::iota(index.candidates_.begin(), index.candidates_.end(), 0);
+      std::fill(index.is_candidate_.begin(), index.is_candidate_.end(), 1);
+      return index;
+    case PruneMode::kGeometric:
+      index.candidates_ =
+          dataset.dimension() == 2 ? Skyline2d(dataset)
+                                   : SkylineIndices(dataset);
+      break;
+    case PruneMode::kSampleDominance:
+      index.candidates_ =
+          SweepDominatedColumns(evaluator, 0.0, kKeptCacheBytes);
+      break;
+    case PruneMode::kCoreset:
+      if (!(options.coreset_epsilon > 0.0 && options.coreset_epsilon < 1.0)) {
+        return Status::InvalidArgument(
+            "coreset pruning needs an epsilon in (0, 1)");
+      }
+      index.coreset_epsilon_ = options.coreset_epsilon;
+      index.candidates_ = SweepDominatedColumns(
+          evaluator, options.coreset_epsilon, kKeptCacheBytes);
+      break;
+    case PruneMode::kAuto:
+      FAM_CHECK(false) << "kAuto must have been resolved";
+  }
+
+  for (size_t p : index.candidates_) index.is_candidate_[p] = 1;
+  // Force-include every user's best-in-DB point: ties can park a user's
+  // favorite index on a pruned point (equal utility, lower index), and
+  // the shrink direction buckets users by exactly that index.
+  for (size_t u = 0; u < evaluator.num_users(); ++u) {
+    size_t best = evaluator.BestPointInDb(u);
+    if (!index.is_candidate_[best]) {
+      index.is_candidate_[best] = 1;
+      index.candidates_.push_back(best);
+      ++index.forced_best_points_;
+    }
+  }
+  if (index.forced_best_points_ > 0) {
+    std::sort(index.candidates_.begin(), index.candidates_.end());
+  }
+  return index;
+}
+
+Status ValidateCandidateUniverse(const CandidateIndex* index,
+                                 const RegretEvaluator& evaluator) {
+  if (index == nullptr) return Status::OK();
+  if (index->num_points() != evaluator.num_points()) {
+    return Status::InvalidArgument(
+        "candidate index built for a different point universe (" +
+        std::to_string(index->num_points()) + " points, expected " +
+        std::to_string(evaluator.num_points()) + ")");
+  }
+  for (size_t u = 0; u < evaluator.num_users(); ++u) {
+    if (!index->IsCandidate(evaluator.BestPointInDb(u))) {
+      return Status::InvalidArgument(
+          "candidate index misses user " + std::to_string(u) +
+          "'s best-in-DB point " +
+          std::to_string(evaluator.BestPointInDb(u)) +
+          " — was it built from a different evaluator?");
+    }
+  }
+  return Status::OK();
+}
+
+void PadWithLowestIndex(size_t n, size_t k, const CandidateIndex* index,
+                        std::vector<size_t>& selected,
+                        std::vector<uint8_t>& in_set) {
+  for (size_t p = 0; p < n && selected.size() < k; ++p) {
+    if (!in_set[p] && IsCandidateOrAll(index, p)) {
+      selected.push_back(p);
+      in_set[p] = 1;
+    }
+  }
+  for (size_t p = 0; p < n && selected.size() < k; ++p) {
+    if (!in_set[p]) {
+      selected.push_back(p);
+      in_set[p] = 1;
+    }
+  }
+}
+
+std::vector<size_t> CandidateListOrAll(const CandidateIndex* index,
+                                       size_t n) {
+  if (index != nullptr) {
+    FAM_CHECK(index->num_points() == n)
+        << "candidate index built for a different point universe";
+    return index->candidates();
+  }
+  std::vector<size_t> all(n);
+  std::iota(all.begin(), all.end(), 0);
+  return all;
+}
+
+}  // namespace fam

@@ -1,0 +1,168 @@
+// CandidateIndex: exactness-preserving candidate pruning, built once per
+// Workload and threaded through every solver.
+//
+// The paper's solvers all scan the full database in their inner loops, yet
+// for monotone utility families a dominated point can never be any user's
+// favorite — the skyline insight the paper itself exploits for DP-2D.
+// CandidateIndex generalizes that observation into a first-class
+// preprocessing stage with three modes:
+//
+//   * kGeometric — keep the geometric skyline (geom/skyline.h). Exact for
+//     monotone-in-attributes Θ (any non-negative linear family): if q
+//     dominates p then f(q) >= f(p) for every monotone f, so dropping p
+//     changes no user's satisfaction. UNSOUND for utilities that can
+//     prefer a dominated point (latent-space models with negative
+//     weights); Build rejects the combination.
+//   * kSampleDominance — keep a point unless another point's utility
+//     column weakly dominates it on the *sampled* UtilityMatrix
+//     (pointwise over all N users, lowest index kept among exact
+//     duplicates). Exact for the sampled arr estimator under ANY Θ —
+//     linear, CES, latent, discrete — because the estimator only ever
+//     reads those N columns.
+//   * kCoreset — sample-dominance with slack ("coreset:eps"): a point is
+//     dropped when some kept point is within eps · best-in-DB(u) of it
+//     for every user u. Any set S then has a candidate-only counterpart
+//     S' with arr(S') <= arr(S) + eps (the GRMR/Agarwal-style trade:
+//     bounded ARR error for more aggressive compression).
+//
+// kAuto picks the strongest *sound* mode from the workload's distribution
+// traits: geometric when Θ is monotone in the dataset attributes,
+// sample-dominance otherwise — the fix for the old GreedyShrinkOnSkyline
+// path, which restricted to the skyline unconditionally.
+//
+// Every mode force-includes each user's best-in-DB point. This costs at
+// most min(N, n) extra candidates and makes pruning transparent to the
+// evaluator's per-user best-point index (ties can park a user's favorite
+// on a weakly-dominated point), so the shrink direction's user buckets
+// and the baselines' favorite-point logic need no special cases.
+
+#ifndef FAM_REGRET_CANDIDATE_INDEX_H_
+#define FAM_REGRET_CANDIDATE_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "regret/evaluator.h"
+
+namespace fam {
+
+/// Candidate pruning modes; see the file comment for soundness conditions.
+enum class PruneMode {
+  kOff,              ///< No pruning: every point is a candidate.
+  kAuto,             ///< Strongest sound mode for the workload's Θ.
+  kGeometric,        ///< Skyline (exact for monotone Θ only).
+  kSampleDominance,  ///< Column dominance on the sampled matrix (exact).
+  kCoreset,          ///< eps-slack dominance (arr error <= eps).
+};
+
+/// Lower-case display name ("off", "auto", "geometric", ...).
+std::string_view PruneModeName(PruneMode mode);
+
+struct PruneOptions {
+  PruneMode mode = PruneMode::kOff;
+  /// kCoreset only: the ARR error budget eps in (0, 1).
+  double coreset_epsilon = 0.0;
+};
+
+/// Parses a pruning spec string: "off" | "auto" | "geometric" |
+/// "sample-dominance" | "coreset:EPS" (case- and '-'/'_'-insensitive).
+Result<PruneOptions> ParsePruneSpec(std::string_view spec);
+
+/// Round-trippable spec string ("coreset:0.05" carries the epsilon).
+std::string PruneSpecString(const PruneOptions& options);
+
+/// The pruned candidate set of one (dataset, evaluator) pair: an ascending
+/// index list plus a membership bitmap. Immutable and thread-shareable;
+/// built once per Workload.
+class CandidateIndex {
+ public:
+  /// Builds the index. `monotone_theta` states whether every utility the
+  /// evaluator was sampled from is monotone non-decreasing in the dataset
+  /// attributes (see UtilityDistribution::MonotoneInAttributes); it gates
+  /// kGeometric (InvalidArgument otherwise) and steers kAuto. kOff yields
+  /// the identity index (all points).
+  static Result<CandidateIndex> Build(const Dataset& dataset,
+                                      const RegretEvaluator& evaluator,
+                                      const PruneOptions& options,
+                                      bool monotone_theta);
+
+  /// The mode the caller asked for (possibly kAuto).
+  PruneMode requested_mode() const { return requested_mode_; }
+  /// The mode that actually ran (kAuto resolved; never kAuto/kOff unless
+  /// requested kOff).
+  PruneMode resolved_mode() const { return resolved_mode_; }
+  double coreset_epsilon() const { return coreset_epsilon_; }
+
+  /// True when pruned solves are bit-exact for the sampled estimator
+  /// (every mode except kCoreset).
+  bool exact() const { return resolved_mode_ != PruneMode::kCoreset; }
+
+  /// Surviving point indices, ascending.
+  const std::vector<size_t>& candidates() const { return candidates_; }
+  size_t size() const { return candidates_.size(); }
+  /// Total points in the underlying dataset.
+  size_t num_points() const { return is_candidate_.size(); }
+  bool IsCandidate(size_t p) const { return is_candidate_[p] != 0; }
+
+  /// Of the candidates, how many were kept only because they are some
+  /// user's best-in-DB point (diagnostic).
+  size_t forced_best_points() const { return forced_best_points_; }
+
+ private:
+  CandidateIndex() = default;
+
+  PruneMode requested_mode_ = PruneMode::kOff;
+  PruneMode resolved_mode_ = PruneMode::kOff;
+  double coreset_epsilon_ = 0.0;
+  size_t forced_best_points_ = 0;
+  std::vector<size_t> candidates_;
+  std::vector<uint8_t> is_candidate_;
+};
+
+/// The candidate list to iterate: `index`'s list when non-null, else all
+/// `n` points (the identity). The helper every solver's candidate loop
+/// goes through, so a null index means "pre-pruning behaviour".
+std::vector<size_t> CandidateListOrAll(const CandidateIndex* index, size_t n);
+
+/// True when `p` survives pruning (always true for a null index).
+inline bool IsCandidateOrAll(const CandidateIndex* index, size_t p) {
+  return index == nullptr || index->IsCandidate(p);
+}
+
+/// InvalidArgument when a (non-null) `index` does not fit `evaluator`'s
+/// point universe: wrong point count, or some user's best-in-DB point is
+/// not a candidate — the force-include invariant every mode establishes,
+/// which only breaks when the index was built from a *different*
+/// evaluator (e.g. another sample seed). Every solver validates with
+/// this at entry (O(N) membership reads), so index misuse fails the same
+/// way everywhere instead of crashing in one solver and silently
+/// degrading another.
+Status ValidateCandidateUniverse(const CandidateIndex* index,
+                                 const RegretEvaluator& evaluator);
+
+/// Pads `selected` up to `k` with the lowest-index points not yet in
+/// `in_set`, preferring pruning survivors and falling back to pruned
+/// points once the pool is exhausted — the one completion rule shared by
+/// every solver for the "candidate pool smaller than k" and zero-gain
+/// cases (pruned points are interchangeable fillers: for an exact index
+/// they can never beat the candidate optimum). Updates `in_set`.
+void PadWithLowestIndex(size_t n, size_t k, const CandidateIndex* index,
+                        std::vector<size_t>& selected,
+                        std::vector<uint8_t>& in_set);
+
+namespace internal {
+/// Test hook for the sample-dominance/coreset sweep: `cache_bytes` caps
+/// the kept-column cache (production uses a fixed 1 GiB budget; past it,
+/// kept columns are re-read through Utility() on demand). Results are
+/// identical for any cap — only speed/memory change.
+std::vector<size_t> SweepDominatedColumnsForTest(
+    const RegretEvaluator& evaluator, double epsilon, size_t cache_bytes);
+}  // namespace internal
+
+}  // namespace fam
+
+#endif  // FAM_REGRET_CANDIDATE_INDEX_H_

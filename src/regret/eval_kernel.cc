@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <numeric>
 
 #include "common/logging.h"
 #include "common/parallel.h"
@@ -67,8 +68,17 @@ void EvalKernel::Build(const EvalKernelOptions& options) {
   }
   empty_set_arr_ = empty_arr;
 
+  // A candidate-restricted tile covers only the pruned columns, so the
+  // auto budget is judged against |columns| instead of n — pruning
+  // stretches the tile to much larger workloads.
+  const bool restricted =
+      !options.tile_columns.empty() &&
+      options.tile_columns.size() < num_points;
+  const size_t num_columns =
+      restricted ? options.tile_columns.size() : num_points;
+
   bool materialize = false;
-  size_t bytes = num_users * num_points * sizeof(double);
+  size_t bytes = num_users * num_columns * sizeof(double);
   switch (options.tile) {
     case EvalKernelOptions::Tile::kOn:
       materialize = true;
@@ -82,30 +92,41 @@ void EvalKernel::Build(const EvalKernelOptions& options) {
   }
   if (!materialize) return;
 
-  tile_.resize(num_users * num_points);
+  tile_.resize(num_users * num_columns);
+  if (restricted) {
+    tile_slot_.assign(num_points, kNoSlot);
+    for (size_t slot = 0; slot < num_columns; ++slot) {
+      size_t p = options.tile_columns[slot];
+      FAM_CHECK(p < num_points) << "tile column out of range";
+      tile_slot_[p] = slot;
+    }
+  }
   const UtilityMatrix& users = evaluator_->users();
-  // Point-major transpose/materialization: contiguous writes per point;
-  // each point's column is written by exactly one task (deterministic).
+  // Point-major transpose/materialization: contiguous writes per column;
+  // each column is written by exactly one task (deterministic).
   // Polled so a solver-local kernel built under a deadline abandons the
   // tile (falling back to untiled lookups) instead of blowing the budget.
   std::atomic<bool> expired{false};
-  ParallelForEach(num_points, 0, [&](size_t p) {
+  ParallelForEach(num_columns, 0, [&](size_t slot) {
     if (expired.load(std::memory_order_relaxed)) return;
     if (Expired(options.cancel)) {
       expired.store(true, std::memory_order_relaxed);
       return;
     }
-    users.FillPointColumn(p, {tile_.data() + p * num_users, num_users});
+    size_t p = restricted ? options.tile_columns[slot] : slot;
+    users.FillPointColumn(p, {tile_.data() + slot * num_users, num_users});
   });
   if (expired.load(std::memory_order_relaxed)) {
     tile_.clear();
     tile_.shrink_to_fit();
+    tile_slot_.clear();
+    tile_slot_.shrink_to_fit();
   }
 }
 
 void EvalKernel::FillColumn(size_t p, std::span<double> out) const {
   FAM_DCHECK(out.size() == evaluator_->num_users());
-  if (tiled()) {
+  if (ColumnTiled(p)) {
     std::span<const double> column = Column(p);
     std::copy(column.begin(), column.end(), out.begin());
     return;
@@ -356,7 +377,8 @@ void SubsetEvalState::RebuildBestSecond() {
   }
 }
 
-bool SubsetEvalState::ResetToFull(const CancellationToken* cancel) {
+bool SubsetEvalState::ResetToFull(const CancellationToken* cancel,
+                                  std::span<const size_t> candidates) {
   const size_t num_users = kernel_->num_users();
   const size_t num_points = kernel_->num_points();
   const RegretEvaluator& evaluator = kernel_->evaluator();
@@ -364,16 +386,25 @@ bool SubsetEvalState::ResetToFull(const CancellationToken* cancel) {
   seconds_ready_ = false;
   incremental_arr_ = 0.0;
 
-  members_.resize(num_points);
-  for (size_t p = 0; p < num_points; ++p) {
-    members_[p] = p;
-    pos_in_members_[p] = p;
+  std::fill(in_set_.begin(), in_set_.end(), 0);
+  std::fill(pos_in_members_.begin(), pos_in_members_.end(), kNoPoint);
+  if (candidates.empty()) {
+    members_.resize(num_points);
+    std::iota(members_.begin(), members_.end(), 0);
+  } else {
+    members_.assign(candidates.begin(), candidates.end());
+  }
+  for (size_t i = 0; i < members_.size(); ++i) {
+    size_t p = members_[i];
+    pos_in_members_[p] = i;
     in_set_[p] = 1;
   }
   best_buckets_.assign(num_points, {});
   second_buckets_.assign(num_points, {});
   for (size_t u = 0; u < num_users; ++u) {
     size_t best = evaluator.BestPointInDb(u);
+    FAM_CHECK(in_set_[best] != 0)
+        << "candidate list misses a user's best-in-DB point";
     best_point_[u] = best;
     best_value_[u] = evaluator.BestInDb(u);
     best_buckets_[best].push_back(static_cast<uint32_t>(u));
@@ -401,7 +432,8 @@ bool SubsetEvalState::PrepareSeconds(const CancellationToken* cancel) {
   if (kernel_->tiled()) {
     for (size_t i = 0; i < members_.size(); ++i) {
       size_t p = members_[i];
-      std::span<const double> column = kernel_->Column(p);
+      std::span<const double> column =
+          kernel_->ColumnView(p, column_scratch_);
       for (size_t u = 0; u < num_users; ++u) {
         if (best_point_[u] == p) continue;
         if (column[u] > raw_second[u]) {

@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "common/cancellation.h"
+#include "common/logging.h"
 #include "regret/evaluator.h"
 
 namespace fam {
@@ -60,6 +61,12 @@ struct EvalKernelOptions {
   Tile tile = Tile::kAuto;
   /// Auto-mode budget for the N × n point-major score tile.
   size_t max_tile_bytes = size_t{4} * 1024 * 1024 * 1024;
+  /// When non-empty, only these columns are materialized (the workload's
+  /// pruned candidate set); other columns fall back to evaluator lookups
+  /// via ColumnView/UtilityOf. The auto budget covers N × |tile_columns|
+  /// bytes only, so candidate pruning stretches the tile to much larger
+  /// workloads. Read during construction only (not retained).
+  std::span<const size_t> tile_columns = {};
   /// Polled during the O(N·n) tile materialization; on expiry the tile is
   /// abandoned and the kernel falls back to untiled lookups, so a
   /// solver-local kernel built under a deadline stays within it.
@@ -108,13 +115,25 @@ class EvalKernel {
   size_t num_users() const { return evaluator_->num_users(); }
   size_t num_points() const { return evaluator_->num_points(); }
 
-  /// True when the point-major score tile is materialized.
+  /// True when the point-major score tile is materialized (possibly for a
+  /// restricted column set; see ColumnTiled).
   bool tiled() const { return !tile_.empty(); }
   size_t tile_bytes() const { return tile_.size() * sizeof(double); }
 
-  /// Contiguous utility column of point `p` (tiled mode only).
+  /// True when point `p`'s column is materialized in the tile.
+  bool ColumnTiled(size_t p) const {
+    return tiled() && (tile_slot_.empty() || tile_slot_[p] != kNoSlot);
+  }
+
+  /// Number of materialized columns (n for a full tile, |tile_columns|
+  /// for a candidate-restricted one, 0 when untiled).
+  size_t tiled_columns() const { return tile_.size() / num_users(); }
+
+  /// Contiguous utility column of point `p` (ColumnTiled(p) only).
   std::span<const double> Column(size_t p) const {
-    return {tile_.data() + p * num_users(), num_users()};
+    size_t slot = tile_slot_.empty() ? p : tile_slot_[p];
+    FAM_DCHECK(slot != kNoSlot) << "column not materialized";
+    return {tile_.data() + slot * num_users(), num_users()};
   }
 
   /// Writes point `p`'s utilities for all users into `out` (any mode);
@@ -125,15 +144,18 @@ class EvalKernel {
   /// materialized, else `scratch` (resized to N and filled).
   std::span<const double> ColumnView(size_t p,
                                      std::vector<double>& scratch) const {
-    if (tiled()) return Column(p);
+    if (ColumnTiled(p)) return Column(p);
     scratch.resize(num_users());
-    FillColumn(p, scratch);
+    evaluator_->users().FillPointColumn(p, scratch);
     return scratch;
   }
 
   /// f_u(p) through the tile when materialized, else the evaluator.
   double UtilityOf(size_t user, size_t point) const {
-    if (!tile_.empty()) return tile_[point * num_users() + user];
+    if (ColumnTiled(point)) {
+      size_t slot = tile_slot_.empty() ? point : tile_slot_[point];
+      return tile_[slot * num_users() + user];
+    }
     return evaluator_->users().Utility(user, point);
   }
 
@@ -161,11 +183,16 @@ class EvalKernel {
   double ArrOfSatisfaction(std::span<const double> sat) const;
 
  private:
+  static constexpr size_t kNoSlot = std::numeric_limits<size_t>::max();
+
   void Build(const EvalKernelOptions& options);
 
   std::shared_ptr<const RegretEvaluator> owned_;  // null when non-owning
   const RegretEvaluator* evaluator_;
-  std::vector<double> tile_;  // point-major: tile_[p * N + u]
+  std::vector<double> tile_;  // point-major: tile_[slot * N + u]
+  /// point -> tile slot (kNoSlot = untiled column); empty = identity (a
+  /// full tile, or no tile at all).
+  std::vector<size_t> tile_slot_;
   std::vector<double> gain_weights_;
   std::vector<double> safe_denoms_;
   double empty_set_arr_ = 0.0;
@@ -240,10 +267,14 @@ class SubsetEvalState {
 
   // --- Shrink direction ---------------------------------------------------
 
-  /// S ← D (all points) with per-user best values (from the evaluator's
-  /// best-in-DB index) and per-point user buckets. O(N + n). Polls
+  /// S ← D (all points, or the pruned `candidates` when non-empty) with
+  /// per-user best values (from the evaluator's best-in-DB index) and
+  /// per-point user buckets. O(N + n). A non-empty candidate list must
+  /// contain every user's best-in-DB point (CandidateIndex force-includes
+  /// them), so the restricted start changes no user's satisfaction. Polls
   /// `cancel` periodically; returns false on expiry (state unusable).
-  bool ResetToFull(const CancellationToken* cancel = nullptr);
+  bool ResetToFull(const CancellationToken* cancel = nullptr,
+                   std::span<const size_t> candidates = {});
 
   /// Materializes per-user second-best values over the current members
   /// (call after the free-removal phase, so the pass covers only points

@@ -9,12 +9,21 @@
 
 namespace fam {
 
+void RegretDistribution::PrepareSortedCache() {
+  sorted_ratios_ = regret_ratios;
+  std::sort(sorted_ratios_.begin(), sorted_ratios_.end());
+}
+
 double RegretDistribution::PercentileRr(double pct) const {
-  if (sorted_cache_.size() != regret_ratios.size()) {
-    sorted_cache_ = regret_ratios;
-    std::sort(sorted_cache_.begin(), sorted_cache_.end());
+  if (sorted_ratios_.size() == regret_ratios.size()) {
+    return PercentileSorted(sorted_ratios_, pct);
   }
-  return PercentileSorted(sorted_cache_, pct);
+  // No prepared cache (a hand-assembled distribution): sort a local copy.
+  // Never mutate from this const path — the object may be shared across
+  // threads (Service JobHandles hand one SolveResponse to many readers).
+  std::vector<double> sorted = regret_ratios;
+  std::sort(sorted.begin(), sorted.end());
+  return PercentileSorted(sorted, pct);
 }
 
 RegretEvaluator::RegretEvaluator(UtilityMatrix users,
@@ -130,6 +139,10 @@ RegretDistribution RegretEvaluator::Distribution(
   for (double p : partial) var += p;
   dist.variance = var;
   dist.stddev = std::sqrt(var);
+  // Eager percentile cache: distributions travel inside SolveResponses
+  // that are shared across threads, where a lazily-sorting PercentileRr
+  // would race.
+  dist.PrepareSortedCache();
   return dist;
 }
 

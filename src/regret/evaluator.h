@@ -29,16 +29,23 @@ struct RegretDistribution {
   std::vector<double> regret_ratios;
 
   /// Regret ratio at the given user percentile (0..100), matching the
-  /// paper's Fig. 3/11/12 "Users Percentile" plots. The sorted order is
-  /// computed lazily on the first call and reused afterwards (callers
-  /// typically read several percentiles of one distribution); not safe to
-  /// call concurrently on the same object. Mutating `regret_ratios` after
-  /// a call leaves the cache stale — assign a fresh RegretDistribution
-  /// instead.
+  /// paper's Fig. 3/11/12 "Users Percentile" plots. Thread-safe on a
+  /// shared const object: reads the sorted copy prepared eagerly by
+  /// RegretEvaluator::Distribution (SolveResponses are shared across
+  /// threads via Service JobHandles, so a lazily-sorting const method
+  /// would race). Hand-built distributions without a prepared cache fall
+  /// back to sorting a local copy per call — still race-free, just
+  /// slower; call PrepareSortedCache() once to avoid that.
   double PercentileRr(double pct) const;
 
+  /// Sorts `regret_ratios` into the percentile cache now. Called by
+  /// RegretEvaluator::Distribution at construction; call it again after
+  /// editing `regret_ratios` in place (same size), or the cache goes
+  /// stale. Not thread-safe — construction-time only.
+  void PrepareSortedCache();
+
  private:
-  mutable std::vector<double> sorted_cache_;
+  std::vector<double> sorted_ratios_;
 };
 
 /// Evaluates regret statistics for subsets of the database against a fixed

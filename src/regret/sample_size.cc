@@ -1,6 +1,7 @@
 #include "regret/sample_size.h"
 
 #include <cmath>
+#include <limits>
 
 #include "common/logging.h"
 
@@ -9,8 +10,16 @@ namespace fam {
 uint64_t ChernoffSampleSize(double epsilon, double sigma) {
   FAM_CHECK(epsilon > 0.0 && epsilon < 1.0) << "epsilon out of (0,1)";
   FAM_CHECK(sigma > 0.0 && sigma < 1.0) << "sigma out of (0,1)";
-  double n = 3.0 * std::log(1.0 / sigma) / (epsilon * epsilon);
-  return static_cast<uint64_t>(std::ceil(n));
+  double n = std::ceil(3.0 * std::log(1.0 / sigma) / (epsilon * epsilon));
+  // Tiny ε pushes n past 2^64, where the float→uint64 cast is undefined
+  // behaviour; saturate instead (no real sample is 1.8e19 users anyway).
+  constexpr double kUint64Range = 18446744073709551616.0;  // 2^64
+  if (n >= kUint64Range) {
+    FAM_LOG(Warning) << "ChernoffSampleSize(" << epsilon << ", " << sigma
+                     << ") overflows uint64; clamping";
+    return std::numeric_limits<uint64_t>::max();
+  }
+  return static_cast<uint64_t>(n);
 }
 
 double ChernoffEpsilon(uint64_t sample_size, double sigma) {

@@ -13,7 +13,9 @@
 namespace fam {
 
 /// Smallest integer N satisfying Theorem 4's bound N >= 3 ln(1/σ) / ε².
-/// Both parameters must lie in (0, 1).
+/// Both parameters must lie in (0, 1). Tiny ε can push the bound past
+/// 2^64 (where the raw float→int cast would be undefined behaviour); the
+/// result saturates at UINT64_MAX in that case, with a warning logged.
 uint64_t ChernoffSampleSize(double epsilon, double sigma);
 
 /// The error ε guaranteed (with confidence 1 − σ) by a sample of size N:

@@ -47,6 +47,14 @@ class UtilityDistribution {
 
   /// Human-readable name for reports.
   virtual std::string name() const = 0;
+
+  /// True when every utility this Θ can produce is monotone non-decreasing
+  /// in each dataset attribute — the condition under which a geometrically
+  /// dominated point can never be any user's favorite, making skyline
+  /// (geometric) candidate pruning sound. Families that can prefer a
+  /// dominated point (latent-space models with negative weights, arbitrary
+  /// discrete tables) must leave this at the conservative default.
+  virtual bool MonotoneInAttributes() const { return false; }
 };
 
 /// Weight domains for linear utility distributions.
@@ -70,6 +78,8 @@ class UniformLinearDistribution : public UtilityDistribution {
   UtilityMatrix Sample(const Dataset& dataset, size_t num_users,
                        Rng& rng) const override;
   std::string name() const override;
+  /// Non-negative linear weights: monotone in every attribute.
+  bool MonotoneInAttributes() const override { return true; }
 
   /// Raw weight matrix (num_users × d) without binding to a dataset.
   Matrix SampleWeights(size_t num_users, size_t dimension, Rng& rng) const;
@@ -85,6 +95,8 @@ class Angle2dDistribution : public UtilityDistribution {
   UtilityMatrix Sample(const Dataset& dataset, size_t num_users,
                        Rng& rng) const override;
   std::string name() const override { return "angle-uniform-2d"; }
+  /// cos/sin weights on [0, π/2] are non-negative: monotone.
+  bool MonotoneInAttributes() const override { return true; }
 };
 
 /// Non-linear CES utilities f(p) = (Σ w_j p_j^ρ)^{1/ρ} with simplex weights.
@@ -96,6 +108,9 @@ class CesDistribution : public UtilityDistribution {
   UtilityMatrix Sample(const Dataset& dataset, size_t num_users,
                        Rng& rng) const override;
   std::string name() const override;
+  /// CES with non-negative weights on non-negative data is non-decreasing
+  /// in each attribute for any ρ.
+  bool MonotoneInAttributes() const override { return true; }
 
  private:
   double rho_;
@@ -140,6 +155,8 @@ class MixtureLinearDistribution : public UtilityDistribution {
   UtilityMatrix Sample(const Dataset& dataset, size_t num_users,
                        Rng& rng) const override;
   std::string name() const override { return "mixture-linear"; }
+  /// Weights are clamped non-negative before normalization: monotone.
+  bool MonotoneInAttributes() const override { return true; }
 
   /// Raw weight matrix without binding to a dataset.
   Matrix SampleWeights(size_t num_users, Rng& rng) const;

@@ -99,34 +99,45 @@ TEST(BranchAndBoundTest, ReportsWhenGreedySeedWasOptimal) {
   EXPECT_TRUE(stats.greedy_was_optimal);
 }
 
-TEST(GreedyShrinkOnSkylineTest, MatchesFullRunQuality) {
+// The retired GreedyShrinkOnSkyline path, reborn as a geometric
+// CandidateIndex threaded through GreedyShrinkOptions::candidates.
+TEST(GreedyShrinkOnCandidatesTest, GeometricMatchesFullRunQuality) {
   Dataset data = GenerateSynthetic({.n = 500, .d = 3,
       .distribution = SyntheticDistribution::kIndependent, .seed = 30});
   UniformLinearDistribution theta;
   Rng rng(31);
   RegretEvaluator evaluator(theta.Sample(data, 1000, rng));
   Result<Selection> full = GreedyShrink(evaluator, {.k = 6});
+  Result<CandidateIndex> index = CandidateIndex::Build(
+      data, evaluator, {.mode = PruneMode::kGeometric},
+      /*monotone_theta=*/true);
+  ASSERT_TRUE(index.ok());
+  GreedyShrinkOptions options{.k = 6};
+  options.candidates = &*index;
   GreedyShrinkStats stats;
-  Result<Selection> restricted =
-      GreedyShrinkOnSkyline(data, evaluator, {.k = 6}, &stats);
+  Result<Selection> restricted = GreedyShrink(evaluator, options, &stats);
   ASSERT_TRUE(full.ok() && restricted.ok());
   EXPECT_EQ(restricted->indices.size(), 6u);
-  EXPECT_NEAR(restricted->average_regret_ratio,
-              full->average_regret_ratio, 0.01);
-  // Every selected point must be on the skyline (no padding needed here).
-  for (size_t p : restricted->indices) {
-    EXPECT_TRUE(IsSkylinePoint(data, p));
-  }
+  // Geometric pruning on a monotone linear sample is exact: the restricted
+  // descent returns the identical selection and arr.
+  EXPECT_EQ(restricted->indices, full->indices);
+  EXPECT_EQ(restricted->average_regret_ratio, full->average_regret_ratio);
 }
 
-TEST(GreedyShrinkOnSkylineTest, PadsTinySkyline) {
+TEST(GreedyShrinkOnCandidatesTest, PadsTinyCandidatePool) {
   // Fully correlated chain: the skyline is one point.
   Dataset data(Matrix::FromRows(
       {{0.5, 0.5}, {0.6, 0.6}, {0.7, 0.7}, {1.0, 1.0}}));
   UniformLinearDistribution theta;
   Rng rng(32);
   RegretEvaluator evaluator(theta.Sample(data, 50, rng));
-  Result<Selection> s = GreedyShrinkOnSkyline(data, evaluator, {.k = 3});
+  Result<CandidateIndex> index = CandidateIndex::Build(
+      data, evaluator, {.mode = PruneMode::kGeometric},
+      /*monotone_theta=*/true);
+  ASSERT_TRUE(index.ok());
+  GreedyShrinkOptions options{.k = 3};
+  options.candidates = &*index;
+  Result<Selection> s = GreedyShrink(evaluator, options);
   ASSERT_TRUE(s.ok());
   EXPECT_EQ(s->indices.size(), 3u);
   // The skyline point (index 3) must be included.
@@ -135,11 +146,14 @@ TEST(GreedyShrinkOnSkylineTest, PadsTinySkyline) {
   EXPECT_NEAR(s->average_regret_ratio, 0.0, 1e-12);
 }
 
-TEST(GreedyShrinkOnSkylineTest, RejectsMismatchedEvaluator) {
+TEST(GreedyShrinkOnCandidatesTest, RejectsMismatchedEvaluator) {
   Dataset data = GenerateSynthetic({.n = 20, .d = 2,
       .distribution = SyntheticDistribution::kIndependent, .seed = 33});
   RegretEvaluator evaluator(HotelExampleUtilityMatrix());  // 4 points
-  EXPECT_FALSE(GreedyShrinkOnSkyline(data, evaluator, {.k = 2}).ok());
+  EXPECT_FALSE(CandidateIndex::Build(data, evaluator,
+                                     {.mode = PruneMode::kGeometric},
+                                     /*monotone_theta=*/true)
+                   .ok());
 }
 
 }  // namespace

@@ -1,0 +1,578 @@
+// CandidateIndex: property tests against brute-force dominance oracles,
+// the pruned-vs-unpruned solver parity suite, the auto-policy soundness
+// regression (negative-weight latent utilities), and the coreset error
+// bound.
+
+#include "regret/candidate_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/k_hit.h"
+#include "core/greedy_grow.h"
+#include "core/greedy_shrink.h"
+#include "data/generator.h"
+#include "fam/engine.h"
+#include "fam/service.h"
+#include "geom/dominance.h"
+#include "geom/skyline.h"
+#include "utility/distribution.h"
+
+namespace fam {
+namespace {
+
+// ---------------------------------------------------------------- oracles
+
+/// Brute-force oracle for SkylineIndices' semantics: a point is kept iff
+/// no point strictly dominates it and no *earlier* point duplicates it
+/// (weak dominance with an equal attribute sum forces coordinate
+/// equality, and the sort-filter pass keeps the lowest-index duplicate).
+std::vector<size_t> SkylineOracle(const Dataset& data) {
+  const size_t n = data.size();
+  const size_t d = data.dimension();
+  std::vector<size_t> kept;
+  for (size_t i = 0; i < n; ++i) {
+    bool dropped = false;
+    for (size_t j = 0; j < n && !dropped; ++j) {
+      if (j == i) continue;
+      if (Dominates(data.point(j), data.point(i), d)) dropped = true;
+      if (j < i && std::equal(data.point(i), data.point(i) + d,
+                              data.point(j))) {
+        dropped = true;
+      }
+    }
+    if (!dropped) kept.push_back(i);
+  }
+  return kept;
+}
+
+/// Brute-force oracle for the sample-dominance sweep: point i is dropped
+/// iff some other column weakly dominates it pointwise over all users,
+/// with the lowest index kept among exact duplicates.
+std::vector<size_t> SampleDominanceOracle(const RegretEvaluator& evaluator) {
+  const size_t n = evaluator.num_points();
+  const size_t num_users = evaluator.num_users();
+  const UtilityMatrix& users = evaluator.users();
+  std::vector<size_t> kept;
+  for (size_t i = 0; i < n; ++i) {
+    bool dropped = false;
+    for (size_t j = 0; j < n && !dropped; ++j) {
+      if (j == i) continue;
+      bool weak = true;
+      bool strict = false;
+      for (size_t u = 0; u < num_users; ++u) {
+        double vi = users.Utility(u, i);
+        double vj = users.Utility(u, j);
+        if (vj < vi) {
+          weak = false;
+          break;
+        }
+        if (vj > vi) strict = true;
+      }
+      if (weak && (strict || j < i)) dropped = true;
+    }
+    if (!dropped) kept.push_back(i);
+  }
+  return kept;
+}
+
+/// `base` ∪ {every user's best-in-DB point}, ascending — what
+/// CandidateIndex::Build force-includes on top of each mode's survivors.
+std::vector<size_t> WithBestPoints(std::vector<size_t> base,
+                                   const RegretEvaluator& evaluator) {
+  std::set<size_t> all(base.begin(), base.end());
+  for (size_t u = 0; u < evaluator.num_users(); ++u) {
+    all.insert(evaluator.BestPointInDb(u));
+  }
+  return {all.begin(), all.end()};
+}
+
+/// A dataset exercising the dominance edge cases: random points plus
+/// exact duplicates, per-coordinate ties, and ±0.0 values.
+Dataset TrickyDataset(size_t n, size_t d, uint64_t seed) {
+  Dataset data = GenerateSynthetic({.n = n, .d = d,
+      .distribution = SyntheticDistribution::kIndependent, .seed = seed});
+  Matrix values(n, d);
+  Rng rng(seed + 1);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      double v = data.at(i, j);
+      // Quantize a slice of the grid so per-coordinate ties are common.
+      if (i % 3 == 0) v = std::round(v * 4.0) / 4.0;
+      if (i % 7 == 0 && j == 0) v = 0.0;
+      if (i % 11 == 0 && j == d - 1) v = -0.0;
+      values(i, j) = v;
+    }
+  }
+  // Exact duplicates of earlier rows, scattered at higher indices.
+  for (size_t i = d; i + 1 < n; i += 9) {
+    for (size_t j = 0; j < d; ++j) values(i + 1, j) = values(i / 2, j);
+  }
+  return Dataset(std::move(values));
+}
+
+RegretEvaluator MakeEvaluator(const Dataset& data, size_t users,
+                              uint64_t seed) {
+  UniformLinearDistribution theta;
+  Rng rng(seed);
+  return RegretEvaluator(theta.Sample(data, users, rng));
+}
+
+// ------------------------------------------------- skyline property tests
+
+TEST(CandidateIndexPropertyTest, SkylineMatchesDominanceOracle) {
+  for (uint64_t seed : {1u, 2u, 3u, 4u}) {
+    for (size_t d : {size_t{2}, size_t{3}, size_t{5}}) {
+      Dataset data = TrickyDataset(80, d, seed);
+      EXPECT_EQ(SkylineIndices(data), SkylineOracle(data))
+          << "d=" << d << " seed=" << seed;
+      if (d == 2) {
+        EXPECT_EQ(Skyline2d(data), SkylineOracle(data)) << "seed=" << seed;
+      }
+    }
+  }
+}
+
+TEST(CandidateIndexPropertyTest, GeometricIndexIsSkylinePlusBestPoints) {
+  for (uint64_t seed : {5u, 6u}) {
+    Dataset data = TrickyDataset(90, 3, seed);
+    RegretEvaluator evaluator = MakeEvaluator(data, 300, seed + 50);
+    Result<CandidateIndex> index = CandidateIndex::Build(
+        data, evaluator, {.mode = PruneMode::kGeometric},
+        /*monotone_theta=*/true);
+    ASSERT_TRUE(index.ok());
+    EXPECT_EQ(index->candidates(),
+              WithBestPoints(SkylineOracle(data), evaluator));
+    EXPECT_EQ(index->resolved_mode(), PruneMode::kGeometric);
+    EXPECT_TRUE(index->exact());
+    for (size_t p : index->candidates()) {
+      EXPECT_TRUE(index->IsCandidate(p));
+    }
+  }
+}
+
+TEST(CandidateIndexPropertyTest, SampleDominanceMatchesColumnOracle) {
+  for (uint64_t seed : {7u, 8u, 9u}) {
+    Dataset data = TrickyDataset(60, 3, seed);
+    // A small user sample keeps the O(n²·N) oracle cheap and makes column
+    // dominance (many fewer constraints than geometry) actually bite.
+    RegretEvaluator evaluator = MakeEvaluator(data, 12, seed + 70);
+    Result<CandidateIndex> index = CandidateIndex::Build(
+        data, evaluator, {.mode = PruneMode::kSampleDominance},
+        /*monotone_theta=*/false);
+    ASSERT_TRUE(index.ok());
+    EXPECT_EQ(index->candidates(),
+              WithBestPoints(SampleDominanceOracle(evaluator), evaluator));
+  }
+}
+
+TEST(CandidateIndexPropertyTest, SampleDominanceHandlesExplicitMatrices) {
+  // Explicit (non-weighted) storage with duplicated and dominated columns,
+  // including all-zero rows (indifferent users) and ±0.0 scores.
+  Matrix scores(4, 5);
+  double raw[4][5] = {{0.5, 0.5, 0.2, 0.0, 0.5},
+                      {0.3, 0.3, 0.1, -0.0, 0.3},
+                      {0.0, 0.0, 0.0, 0.0, 0.0},
+                      {0.9, 0.8, 0.7, 0.1, 0.9}};
+  for (size_t u = 0; u < 4; ++u) {
+    for (size_t p = 0; p < 5; ++p) scores(u, p) = raw[u][p];
+  }
+  Dataset data(Matrix(5, 2));  // geometry is irrelevant here
+  RegretEvaluator evaluator(UtilityMatrix::FromScores(std::move(scores)));
+  Result<CandidateIndex> index = CandidateIndex::Build(
+      data, evaluator, {.mode = PruneMode::kSampleDominance},
+      /*monotone_theta=*/false);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->candidates(),
+            WithBestPoints(SampleDominanceOracle(evaluator), evaluator));
+  // Column 4 duplicates column 0 except user 3 breaks the tie (0.9 both —
+  // duplicate columns 0/4 under users 0..2, split by user 3): the oracle
+  // decides; at minimum the dominated column 2 and 3 must be gone.
+  EXPECT_FALSE(index->IsCandidate(2));
+  EXPECT_FALSE(index->IsCandidate(3));
+}
+
+TEST(CandidateIndexPropertyTest, SweepCacheCapDoesNotChangeResults) {
+  // Past its byte budget the sweep's kept-column cache falls back to
+  // on-demand Utility() reads; the kept set must be identical for any
+  // cap, including one that caches a single column.
+  for (uint64_t seed : {13u, 14u}) {
+    Dataset data = TrickyDataset(70, 3, seed);
+    RegretEvaluator evaluator = MakeEvaluator(data, 16, seed + 90);
+    std::vector<size_t> uncapped = internal::SweepDominatedColumnsForTest(
+        evaluator, 0.0, size_t{1} << 30);
+    EXPECT_EQ(internal::SweepDominatedColumnsForTest(evaluator, 0.0, 1),
+              uncapped);
+    EXPECT_EQ(internal::SweepDominatedColumnsForTest(
+                  evaluator, 0.0, 3 * 16 * sizeof(double)),
+              uncapped);
+    EXPECT_EQ(internal::SweepDominatedColumnsForTest(evaluator, 0.02, 1),
+              internal::SweepDominatedColumnsForTest(evaluator, 0.02,
+                                                     size_t{1} << 30));
+  }
+}
+
+TEST(CandidateIndexPropertyTest, ParseSpecRoundTrips) {
+  for (const char* spec : {"off", "auto", "geometric", "sample-dominance"}) {
+    Result<PruneOptions> options = ParsePruneSpec(spec);
+    ASSERT_TRUE(options.ok()) << spec;
+    EXPECT_EQ(PruneSpecString(*options), spec);
+  }
+  Result<PruneOptions> coreset = ParsePruneSpec("coreset:0.05");
+  ASSERT_TRUE(coreset.ok());
+  EXPECT_EQ(coreset->mode, PruneMode::kCoreset);
+  EXPECT_DOUBLE_EQ(coreset->coreset_epsilon, 0.05);
+  EXPECT_EQ(PruneSpecString(*coreset), "coreset:0.05");
+  // Separator/case insensitivity.
+  EXPECT_TRUE(ParsePruneSpec("Sample_Dominance").ok());
+  EXPECT_TRUE(ParsePruneSpec("GEOMETRIC").ok());
+  // Errors: unknown mode, missing/invalid epsilon, stray parameter.
+  EXPECT_FALSE(ParsePruneSpec("bogus").ok());
+  EXPECT_FALSE(ParsePruneSpec("coreset").ok());
+  EXPECT_FALSE(ParsePruneSpec("coreset:1.5").ok());
+  EXPECT_FALSE(ParsePruneSpec("coreset:x").ok());
+  EXPECT_FALSE(ParsePruneSpec("geometric:0.1").ok());
+}
+
+// ------------------------------------------------------ parity suite
+
+struct ParityFixture {
+  std::string name;
+  SyntheticDistribution distribution;
+  size_t n;
+  size_t d;
+  size_t k;
+};
+
+// Fixtures are chosen so arr(k-set) stays strictly positive: once every
+// sampled user's favorite is covered, the remaining additions are
+// interchangeable zero-gain fillers where pruned and unpruned runs may
+// legitimately pick different (equal-arr) points — the parity claim is
+// about the non-degenerate regime.
+const ParityFixture kFixtures[] = {
+    {"anti3d", SyntheticDistribution::kAntiCorrelated, 250, 3, 6},
+    {"indep4d", SyntheticDistribution::kIndependent, 300, 4, 8},
+    {"anti4d", SyntheticDistribution::kAntiCorrelated, 300, 4, 7},
+};
+
+Workload BuildFixture(const ParityFixture& fixture, PruneOptions prune) {
+  Dataset data = GenerateSynthetic({.n = fixture.n, .d = fixture.d,
+      .distribution = fixture.distribution, .seed = 1234});
+  Result<Workload> workload = WorkloadBuilder()
+                                  .WithDataset(std::move(data))
+                                  .WithNumUsers(700)
+                                  .WithSeed(99)
+                                  .WithPruning(prune)
+                                  .Build();
+  EXPECT_TRUE(workload.ok());
+  return *std::move(workload);
+}
+
+/// The headline invariant: with exact pruning on monotone linear
+/// workloads, selections and arr are bit-identical to the unpruned run
+/// for every solver of the suite.
+TEST(PrunedParityTest, GeometricIsBitIdenticalOnMonotoneLinearWorkloads) {
+  const char* solvers[] = {"greedy-grow", "local-search", "greedy-shrink",
+                           "branch-and-bound"};
+  Engine engine;
+  for (const ParityFixture& fixture : kFixtures) {
+    Workload plain = BuildFixture(fixture, {.mode = PruneMode::kOff});
+    Workload pruned = BuildFixture(fixture, {.mode = PruneMode::kAuto});
+    ASSERT_NE(pruned.candidate_index(), nullptr);
+    // auto resolves to geometric for the (monotone) default linear Θ...
+    EXPECT_EQ(pruned.candidate_index()->resolved_mode(),
+              PruneMode::kGeometric);
+    EXPECT_TRUE(pruned.monotone_utilities());
+    // ...and actually prunes on these fixtures.
+    EXPECT_LT(pruned.candidate_count(), pruned.size()) << fixture.name;
+    for (const char* solver : solvers) {
+      SolveRequest request{.solver = solver, .k = fixture.k};
+      Result<SolveResponse> full = engine.Solve(plain, request);
+      Result<SolveResponse> restricted = engine.Solve(pruned, request);
+      ASSERT_TRUE(full.ok() && restricted.ok())
+          << fixture.name << "/" << solver;
+      EXPECT_EQ(restricted->selection.indices, full->selection.indices)
+          << fixture.name << "/" << solver;
+      EXPECT_EQ(restricted->selection.average_regret_ratio,
+                full->selection.average_regret_ratio)
+          << fixture.name << "/" << solver;
+      EXPECT_EQ(restricted->distribution.average, full->distribution.average)
+          << fixture.name << "/" << solver;
+    }
+  }
+}
+
+TEST(PrunedParityTest, SampleDominanceIsBitIdenticalForAnyTheta) {
+  // Sample dominance is exact for the sampled estimator under any Θ —
+  // here CES (non-linear), where geometric reasoning plays no part.
+  const char* solvers[] = {"greedy-grow", "local-search", "greedy-shrink",
+                           "k-hit"};
+  Dataset data = GenerateSynthetic({.n = 150, .d = 3,
+      .distribution = SyntheticDistribution::kAntiCorrelated, .seed = 55});
+  auto make = [&](PruneOptions prune) {
+    Result<Workload> workload =
+        WorkloadBuilder()
+            .WithDataset(data)
+            .WithDistribution(std::make_shared<const CesDistribution>(0.5))
+            .WithNumUsers(400)
+            .WithSeed(56)
+            .WithPruning(prune)
+            .Build();
+    EXPECT_TRUE(workload.ok());
+    return *std::move(workload);
+  };
+  Workload plain = make({.mode = PruneMode::kOff});
+  Workload pruned = make({.mode = PruneMode::kSampleDominance});
+  ASSERT_NE(pruned.candidate_index(), nullptr);
+  EXPECT_LT(pruned.candidate_count(), pruned.size());
+  Engine engine;
+  for (const char* solver : solvers) {
+    SolveRequest request{.solver = solver, .k = 7};
+    Result<SolveResponse> full = engine.Solve(plain, request);
+    Result<SolveResponse> restricted = engine.Solve(pruned, request);
+    ASSERT_TRUE(full.ok() && restricted.ok()) << solver;
+    EXPECT_EQ(restricted->selection.indices, full->selection.indices)
+        << solver;
+    EXPECT_EQ(restricted->distribution.average, full->distribution.average)
+        << solver;
+  }
+}
+
+TEST(PrunedParityTest, CoresetStaysWithinEpsilonAndPrunesHarder) {
+  const double eps = 0.02;
+  ParityFixture fixture = kFixtures[1];  // indep4d
+  Workload plain = BuildFixture(fixture, {.mode = PruneMode::kOff});
+  Workload exact_pruned =
+      BuildFixture(fixture, {.mode = PruneMode::kSampleDominance});
+  Workload coreset = BuildFixture(
+      fixture, {.mode = PruneMode::kCoreset, .coreset_epsilon = eps});
+  ASSERT_NE(coreset.candidate_index(), nullptr);
+  EXPECT_FALSE(coreset.candidate_index()->exact());
+  // Epsilon slack can only shrink the pool further.
+  EXPECT_LE(coreset.candidate_count(), exact_pruned.candidate_count());
+  Engine engine;
+  for (const char* solver : {"greedy-shrink", "greedy-grow"}) {
+    SolveRequest request{.solver = solver, .k = fixture.k};
+    Result<SolveResponse> full = engine.Solve(plain, request);
+    Result<SolveResponse> approx = engine.Solve(coreset, request);
+    ASSERT_TRUE(full.ok() && approx.ok()) << solver;
+    // The coreset guarantee: every set has a candidate counterpart within
+    // eps, so the greedy's result cannot degrade by more than that.
+    EXPECT_LE(approx->distribution.average,
+              full->distribution.average + eps)
+        << solver;
+  }
+}
+
+// ------------------------------------- auto policy / soundness regression
+
+/// A latent-linear Θ whose weights go negative (GMM-fitted latent factors
+/// do): a geometrically dominated point can be a user's favorite, the
+/// case the retired GreedyShrinkOnSkyline silently got wrong.
+std::shared_ptr<const UtilityDistribution> NegativeWeightTheta(
+    const Dataset& data) {
+  Matrix basis(data.size(), data.dimension());
+  for (size_t i = 0; i < data.size(); ++i) {
+    for (size_t j = 0; j < data.dimension(); ++j) {
+      basis(i, j) = data.at(i, j);
+    }
+  }
+  auto sampler = [](Rng& rng) {
+    // Mixed-sign weights: roughly half the users *dislike* an attribute.
+    std::vector<double> w(2);
+    w[0] = rng.Uniform(-1.0, 1.0);
+    w[1] = rng.Uniform(-1.0, 1.0);
+    return w;
+  };
+  return std::make_shared<const LatentLinearDistribution>(
+      std::move(basis), sampler, "negweight-latent");
+}
+
+TEST(AutoPolicyTest, NegativeWeightThetaFallsBackToSampleDominance) {
+  // Anti-correlated 2-D data has a small skyline and plenty of dominated
+  // points for negative-weight users to prefer.
+  Dataset data = GenerateSynthetic({.n = 120, .d = 2,
+      .distribution = SyntheticDistribution::kCorrelated, .seed = 42});
+  std::shared_ptr<const UtilityDistribution> theta =
+      NegativeWeightTheta(data);
+  auto make = [&](PruneOptions prune) {
+    Result<Workload> workload = WorkloadBuilder()
+                                    .WithDataset(data)
+                                    .WithDistribution(theta)
+                                    .WithNumUsers(500)
+                                    .WithSeed(43)
+                                    .WithPruning(prune)
+                                    .Build();
+    EXPECT_TRUE(workload.ok());
+    return *std::move(workload);
+  };
+  Workload plain = make({.mode = PruneMode::kOff});
+  Workload pruned = make({.mode = PruneMode::kAuto});
+
+  // The pre-fix bug's trigger, demonstrated: some user's favorite is NOT
+  // on the geometric skyline, so an unconditional skyline restriction
+  // would report a wrong best-in-DB (and wrong arr) for that user.
+  std::vector<size_t> skyline = SkylineIndices(data);
+  std::vector<uint8_t> on_skyline(data.size(), 0);
+  for (size_t p : skyline) on_skyline[p] = 1;
+  bool favorite_off_skyline = false;
+  const RegretEvaluator& evaluator = plain.evaluator();
+  for (size_t u = 0; u < evaluator.num_users(); ++u) {
+    if (!on_skyline[evaluator.BestPointInDb(u)]) {
+      favorite_off_skyline = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(favorite_off_skyline)
+      << "fixture too tame: every favorite is on the skyline";
+
+  // The auto policy must refuse geometric here...
+  EXPECT_FALSE(plain.monotone_utilities());
+  ASSERT_NE(pruned.candidate_index(), nullptr);
+  EXPECT_EQ(pruned.candidate_index()->resolved_mode(),
+            PruneMode::kSampleDominance);
+  // ...and explicit geometric must be rejected outright.
+  Result<CandidateIndex> geometric = CandidateIndex::Build(
+      data, evaluator, {.mode = PruneMode::kGeometric},
+      /*monotone_theta=*/false);
+  EXPECT_FALSE(geometric.ok());
+
+  // The fallback stays exact: bit-identical to the unpruned run.
+  Engine engine;
+  for (const char* solver : {"greedy-shrink", "greedy-grow"}) {
+    SolveRequest request{.solver = solver, .k = 5};
+    Result<SolveResponse> full = engine.Solve(plain, request);
+    Result<SolveResponse> restricted = engine.Solve(pruned, request);
+    ASSERT_TRUE(full.ok() && restricted.ok()) << solver;
+    EXPECT_EQ(restricted->selection.indices, full->selection.indices)
+        << solver;
+    EXPECT_EQ(restricted->distribution.average, full->distribution.average)
+        << solver;
+  }
+}
+
+TEST(AutoPolicyTest, DirectUtilityMatrixIsNeverMonotoneSafe) {
+  // Workloads built from a raw matrix carry no family information; auto
+  // must stay on the estimator-sound side.
+  Result<Workload> workload =
+      WorkloadBuilder()
+          .WithDataset(HotelExampleDataset())
+          .WithUtilityMatrix(HotelExampleUtilityMatrix())
+          .WithPruning({.mode = PruneMode::kAuto})
+          .Build();
+  ASSERT_TRUE(workload.ok());
+  EXPECT_FALSE(workload->monotone_utilities());
+  ASSERT_NE(workload->candidate_index(), nullptr);
+  EXPECT_EQ(workload->candidate_index()->resolved_mode(),
+            PruneMode::kSampleDominance);
+}
+
+// -------------------------------------------------- integration plumbing
+
+TEST(CandidateIndexIntegrationTest, KernelTileCoversOnlyCandidateColumns) {
+  ParityFixture fixture = kFixtures[0];
+  Workload pruned = BuildFixture(fixture, {.mode = PruneMode::kGeometric});
+  const CandidateIndex& index = *pruned.candidate_index();
+  const EvalKernel& kernel = pruned.kernel();
+  ASSERT_TRUE(kernel.tiled());
+  EXPECT_EQ(kernel.tiled_columns(), index.size());
+  const RegretEvaluator& evaluator = pruned.evaluator();
+  std::vector<double> scratch;
+  for (size_t p = 0; p < pruned.size(); ++p) {
+    EXPECT_EQ(kernel.ColumnTiled(p), index.IsCandidate(p));
+    // Tiled or not, every access path returns the evaluator's utilities.
+    std::span<const double> column = kernel.ColumnView(p, scratch);
+    for (size_t u = 0; u < evaluator.num_users(); u += 97) {
+      EXPECT_EQ(column[u], evaluator.users().Utility(u, p));
+      EXPECT_EQ(kernel.UtilityOf(u, p), evaluator.users().Utility(u, p));
+    }
+  }
+}
+
+TEST(CandidateIndexIntegrationTest, PoolSmallerThanKIsPaddedToK) {
+  // Fully correlated chain: one skyline point, candidates ≈ best points.
+  Dataset data(Matrix::FromRows(
+      {{0.1, 0.1}, {0.2, 0.2}, {0.3, 0.3}, {0.4, 0.4}, {1.0, 1.0}}));
+  Result<Workload> workload = WorkloadBuilder()
+                                  .WithDataset(std::move(data))
+                                  .WithNumUsers(60)
+                                  .WithSeed(3)
+                                  .WithPruning({.mode = PruneMode::kAuto})
+                                  .Build();
+  ASSERT_TRUE(workload.ok());
+  EXPECT_LT(workload->candidate_count(), size_t{4});
+  Engine engine;
+  for (const char* solver :
+       {"greedy-shrink", "greedy-grow", "local-search", "sky-dom", "k-hit",
+        "mrr-greedy-sampled", "branch-and-bound"}) {
+    Result<SolveResponse> response =
+        engine.Solve(*workload, {.solver = solver, .k = 4});
+    ASSERT_TRUE(response.ok()) << solver;
+    EXPECT_EQ(response->selection.indices.size(), 4u) << solver;
+    std::set<size_t> distinct(response->selection.indices.begin(),
+                              response->selection.indices.end());
+    EXPECT_EQ(distinct.size(), 4u) << solver;
+    // The all-dominating point must always be in.
+    EXPECT_TRUE(distinct.count(4)) << solver;
+    EXPECT_NEAR(response->distribution.average, 0.0, 1e-12) << solver;
+  }
+}
+
+TEST(CandidateIndexIntegrationTest, ForeignEvaluatorIndexIsRejected) {
+  // An index built from a different user sample of the same dataset can
+  // miss the other sample's best-in-DB points; every solver must reject
+  // it with InvalidArgument instead of crashing or silently degrading.
+  Dataset data = GenerateSynthetic({.n = 80, .d = 3,
+      .distribution = SyntheticDistribution::kAntiCorrelated, .seed = 60});
+  RegretEvaluator eval_a = MakeEvaluator(data, 40, 61);
+  RegretEvaluator eval_b = MakeEvaluator(data, 40, 62);
+  Result<CandidateIndex> index = CandidateIndex::Build(
+      data, eval_a, {.mode = PruneMode::kSampleDominance},
+      /*monotone_theta=*/false);
+  ASSERT_TRUE(index.ok());
+  ASSERT_FALSE(ValidateCandidateUniverse(&*index, eval_b).ok());
+
+  GreedyShrinkOptions shrink{.k = 5};
+  shrink.candidates = &*index;
+  EXPECT_FALSE(GreedyShrink(eval_b, shrink).ok());
+  GreedyGrowOptions grow{.k = 5};
+  grow.candidates = &*index;
+  EXPECT_FALSE(GreedyGrow(eval_b, grow).ok());
+  KHitOptions hit{.k = 5};
+  hit.candidates = &*index;
+  EXPECT_FALSE(KHit(eval_b, hit).ok());
+  // The matching evaluator passes, of course.
+  EXPECT_TRUE(ValidateCandidateUniverse(&*index, eval_a).ok());
+  EXPECT_TRUE(GreedyShrink(eval_a, shrink).ok());
+}
+
+TEST(CandidateIndexIntegrationTest, ServiceFingerprintSeparatesPruneModes) {
+  auto dataset = std::make_shared<const Dataset>(
+      GenerateSynthetic({.n = 40, .d = 2,
+          .distribution = SyntheticDistribution::kIndependent, .seed = 9}));
+  WorkloadSpec off{.dataset = dataset};
+  WorkloadSpec geometric{.dataset = dataset,
+                         .prune = {.mode = PruneMode::kGeometric}};
+  WorkloadSpec coreset1{
+      .dataset = dataset,
+      .prune = {.mode = PruneMode::kCoreset, .coreset_epsilon = 0.01}};
+  WorkloadSpec coreset2{
+      .dataset = dataset,
+      .prune = {.mode = PruneMode::kCoreset, .coreset_epsilon = 0.02}};
+  EXPECT_NE(off.Fingerprint(), geometric.Fingerprint());
+  EXPECT_NE(geometric.Fingerprint(), coreset1.Fingerprint());
+  EXPECT_NE(coreset1.Fingerprint(), coreset2.Fingerprint());
+  // An independently constructed spec with the same fields fingerprints
+  // identically (stability — the cache-hit property).
+  WorkloadSpec coreset1_again{
+      .dataset = dataset,
+      .prune = {.mode = PruneMode::kCoreset, .coreset_epsilon = 0.01}};
+  EXPECT_EQ(coreset1.Fingerprint(), coreset1_again.Fingerprint());
+}
+
+}  // namespace
+}  // namespace fam

@@ -1,0 +1,118 @@
+// Regression test for the RegretDistribution::PercentileRr data race.
+//
+// Pre-fix, PercentileRr lazily sorted `regret_ratios` into a `mutable`
+// cache from a const method with no synchronization. Since the serving
+// layer (PR 4) hands one SolveResponse — and thus one RegretDistribution —
+// to many threads via Service JobHandles, two concurrent PercentileRr
+// calls raced on the cache (TSan: data race on sorted_cache_; worst case,
+// one reader walks the other's half-sorted vector). The fix sorts eagerly
+// at distribution construction, leaving PercentileRr a pure reader.
+//
+// This suite hammers shared distributions from many threads; it is wired
+// into the CI TSan job (-R ...|PercentileRace), where the pre-fix code
+// fails deterministically.
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "fam/engine.h"
+#include "fam/service.h"
+
+namespace fam {
+namespace {
+
+constexpr double kPercentiles[] = {10.0, 50.0, 70.0, 90.0, 99.0, 100.0};
+
+/// Reads every probe percentile from `dist` and checks it against the
+/// expected values read single-threaded up front.
+void HammerPercentiles(const RegretDistribution& dist,
+                       const std::vector<double>& expected) {
+  for (int round = 0; round < 200; ++round) {
+    for (size_t i = 0; i < std::size(kPercentiles); ++i) {
+      ASSERT_EQ(dist.PercentileRr(kPercentiles[i]), expected[i]);
+    }
+  }
+}
+
+/// Expected percentiles read from a COPY, so the shared object under test
+/// is still cold when the threads hit it — the pre-fix lazy sort raced
+/// exactly on that first concurrent call.
+std::vector<double> ExpectedFromCopy(const RegretDistribution& dist) {
+  RegretDistribution copy = dist;
+  std::vector<double> expected;
+  for (double pct : kPercentiles) expected.push_back(copy.PercentileRr(pct));
+  return expected;
+}
+
+TEST(PercentileRaceTest, ConcurrentReadersOnOneDistribution) {
+  Dataset data = GenerateSynthetic({.n = 120, .d = 4,
+      .distribution = SyntheticDistribution::kAntiCorrelated, .seed = 11});
+  Result<Workload> workload = WorkloadBuilder()
+                                  .WithDataset(std::move(data))
+                                  .WithNumUsers(2000)
+                                  .WithSeed(12)
+                                  .Build();
+  ASSERT_TRUE(workload.ok());
+  RegretDistribution dist =
+      workload->evaluator().Distribution(std::vector<size_t>{1, 5, 9});
+  std::vector<double> expected = ExpectedFromCopy(dist);
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back(
+        [&dist, &expected] { HammerPercentiles(dist, expected); });
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+TEST(PercentileRaceTest, SharedSolveResponseAcrossServiceHandles) {
+  // The end-to-end shape of the bug: one solve response reached through
+  // JobHandle copies on several threads, each reading percentiles.
+  Dataset data = GenerateSynthetic({.n = 150, .d = 3,
+      .distribution = SyntheticDistribution::kIndependent, .seed = 21});
+  Service service;
+  Result<std::shared_ptr<const Workload>> workload =
+      service.GetOrBuildWorkload(
+          {.dataset = std::make_shared<const Dataset>(std::move(data)),
+           .num_users = 1500,
+           .seed = 22});
+  ASSERT_TRUE(workload.ok());
+  Result<JobHandle> job =
+      service.Submit(**workload, {.solver = "greedy-shrink", .k = 6});
+  ASSERT_TRUE(job.ok());
+  const Result<SolveResponse>& response = job->Wait();
+  ASSERT_TRUE(response.ok());
+  const RegretDistribution& dist = response->distribution;
+  std::vector<double> expected = ExpectedFromCopy(dist);
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([handle = *job, &expected] {
+      HammerPercentiles((*handle.TryGet())->distribution, expected);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+TEST(PercentileRaceTest, HandBuiltDistributionIsStillSafeAndCorrect) {
+  // A distribution assembled without the evaluator (no prepared cache)
+  // must fall back to a race-free local sort, not a mutable-cache write.
+  RegretDistribution dist;
+  dist.regret_ratios = {0.5, 0.1, 0.9, 0.3, 0.0, 0.7};
+  std::vector<double> expected = ExpectedFromCopy(dist);
+  EXPECT_EQ(dist.PercentileRr(0.0), 0.0);
+  EXPECT_EQ(dist.PercentileRr(100.0), 0.9);
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back(
+        [&dist, &expected] { HammerPercentiles(dist, expected); });
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+}  // namespace
+}  // namespace fam

@@ -1,6 +1,7 @@
 #include "regret/sample_size.h"
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -43,6 +44,27 @@ TEST(SampleSizeTest, EpsilonInvertsSampleSize) {
     EXPECT_LE(recovered, eps + 1e-12);
     EXPECT_GT(recovered, eps * 0.99);
   }
+}
+
+TEST(SampleSizeTest, TinyEpsilonSaturatesInsteadOfOverflowing) {
+  // 3 ln(10) / (1e-12)² ≈ 6.9e24 — far past 2^64, where the raw
+  // float→uint64 cast is undefined behaviour. The pre-fix code returned
+  // garbage (UBSan: value outside the range of representable values);
+  // the fixed code saturates deterministically.
+  EXPECT_EQ(ChernoffSampleSize(1e-12, 0.1),
+            std::numeric_limits<uint64_t>::max());
+  // Far side of the boundary in the other direction too.
+  EXPECT_EQ(ChernoffSampleSize(1e-10, 0.5),
+            std::numeric_limits<uint64_t>::max());
+}
+
+TEST(SampleSizeTest, LargeButRepresentableEpsilonStaysExact) {
+  // 3 ln(10) / (1e-9)² ≈ 6.9e18 < 2^64: still representable, must not
+  // saturate and must still satisfy the bound.
+  uint64_t n = ChernoffSampleSize(1e-9, 0.1);
+  EXPECT_LT(n, std::numeric_limits<uint64_t>::max());
+  double exact = 3.0 * std::log(1.0 / 0.1) / (1e-9 * 1e-9);
+  EXPECT_GE(static_cast<double>(n), exact);
 }
 
 TEST(SampleSizeTest, FormulaMatchesDefinition) {

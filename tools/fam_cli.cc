@@ -19,7 +19,9 @@
 // cache). Commands:
 //
 //   {"cmd":"build_workload","in":"d.csv","users":10000,"seed":7,
-//    "name":"w1"}                 -> workload built (or cache hit)
+//    "name":"w1","prune":"auto"}  -> workload built (or cache hit);
+//                                    prune: off | auto | geometric |
+//                                    sample-dominance | coreset:EPS
 //   {"cmd":"solve","workload":"w1","algo":"greedy-shrink","k":10,
 //    "deadline":0,"options":""}   -> job accepted, returns its id
 //   {"cmd":"status"}              -> service counters
@@ -242,6 +244,7 @@ struct WorkloadFlags {
   int64_t users = 10000;
   int64_t seed = 7;
   std::string domain = "simplex";
+  std::string prune = "off";
   bool has_header = true;
   bool label_column = false;
 };
@@ -251,6 +254,9 @@ void RegisterWorkloadFlags(FlagParser& flags, WorkloadFlags* w) {
       .AddInt("users", &w->users, "sampled utility functions N")
       .AddInt("seed", &w->seed, "random seed")
       .AddString("domain", &w->domain, "simplex | box | sphere")
+      .AddString("prune", &w->prune,
+                 "candidate pruning: off | auto | geometric | "
+                 "sample-dominance | coreset:EPS")
       .AddBool("header", &w->has_header, "CSV has a header row")
       .AddBool("labels", &w->label_column, "first CSV column is a label");
 }
@@ -265,13 +271,25 @@ Result<Workload> BuildWorkload(const WorkloadFlags& w) {
   options.first_column_is_label = w.label_column;
   FAM_ASSIGN_OR_RETURN(Dataset data, ReadCsvFile(w.in, options));
   FAM_ASSIGN_OR_RETURN(WeightDomain domain, ParseDomain(w.domain));
+  FAM_ASSIGN_OR_RETURN(PruneOptions prune, ParsePruneSpec(w.prune));
   return WorkloadBuilder()
       .WithDataset(std::move(data))
       .WithDistribution(
           std::make_shared<const UniformLinearDistribution>(domain))
       .WithNumUsers(static_cast<size_t>(w.users))
       .WithSeed(static_cast<uint64_t>(w.seed))
+      .WithPruning(prune)
       .Build();
+}
+
+/// The pruning mode a workload actually runs under ("off", "geometric",
+/// ...; auto is reported resolved).
+std::string ResolvedPruneName(const Workload& workload) {
+  const CandidateIndex* index = workload.candidate_index();
+  if (index == nullptr) return "off";
+  PruneOptions resolved{.mode = index->resolved_mode(),
+                        .coreset_epsilon = index->coreset_epsilon()};
+  return PruneSpecString(resolved);
 }
 
 std::string TraitsString(const SolverTraits& traits) {
@@ -382,6 +400,9 @@ int RunSelect(int argc, const char* const* argv) {
         .Integer("d", static_cast<long long>(workload->dimension()))
         .Integer("users", static_cast<long long>(workload->num_users()))
         .Integer("seed", w.seed)
+        .String("prune", ResolvedPruneName(*workload))
+        .Integer("candidates",
+                 static_cast<long long>(workload->candidate_count()))
         .Field("selection", JsonIndexArray(response->selection.indices))
         .Field("labels", JsonLabelArray(data, response->selection.indices))
         .Number("arr", response->distribution.average)
@@ -404,6 +425,11 @@ int RunSelect(int argc, const char* const* argv) {
   std::printf("algorithm: %s\n", response->solver.c_str());
   std::printf("preprocess: %.3f s, query: %.3f s\n",
               response->preprocess_seconds, response->query_seconds);
+  if (workload->candidate_index() != nullptr) {
+    std::printf("prune: %s, candidates: %zu/%zu\n",
+                ResolvedPruneName(*workload).c_str(),
+                workload->candidate_count(), workload->size());
+  }
   if (response->truncated) {
     std::printf("truncated: deadline of %.3f s expired; selection is "
                 "best-so-far\n",
@@ -713,6 +739,9 @@ Status ServeBuildWorkload(ServeSession& session, const JsonRequest& request) {
   FAM_ASSIGN_OR_RETURN(WeightDomain domain, ParseDomain(domain_name));
   FAM_ASSIGN_OR_RETURN(bool has_header, request.Bool("header", true));
   FAM_ASSIGN_OR_RETURN(bool labels, request.Bool("labels", false));
+  FAM_ASSIGN_OR_RETURN(std::string prune_spec,
+                       request.String("prune", "off"));
+  FAM_ASSIGN_OR_RETURN(PruneOptions prune, ParsePruneSpec(prune_spec));
   FAM_ASSIGN_OR_RETURN(std::string name, request.String("name", ""));
   if (name.empty()) {
     // Skip auto-names the client already claimed explicitly — silently
@@ -733,6 +762,7 @@ Status ServeBuildWorkload(ServeSession& session, const JsonRequest& request) {
       std::make_shared<const UniformLinearDistribution>(domain);
   spec.num_users = static_cast<size_t>(users);
   spec.seed = static_cast<uint64_t>(seed);
+  spec.prune = prune;
 
   const uint64_t hits_before =
       session.service.stats().workload_cache_hits;
@@ -752,7 +782,10 @@ Status ServeBuildWorkload(ServeSession& session, const JsonRequest& request) {
       .Number("preprocess_seconds", workload->preprocess_seconds())
       .Integer("n", static_cast<long long>(workload->size()))
       .Integer("d", static_cast<long long>(workload->dimension()))
-      .Integer("users", static_cast<long long>(workload->num_users()));
+      .Integer("users", static_cast<long long>(workload->num_users()))
+      .String("prune", ResolvedPruneName(*workload))
+      .Integer("candidates",
+               static_cast<long long>(workload->candidate_count()));
   Reply(json);
   return Status::OK();
 }
