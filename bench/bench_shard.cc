@@ -1,0 +1,233 @@
+// bench_shard: shard-count scaling of the sharded candidate build.
+//
+// For each dataset size N, builds one monolithic pruned workload (the
+// reference) and then the same workload through the sharded path for a
+// curve of shard counts S, recording the per-phase costs the merge-
+// soundness argument trades between: the parallel per-shard build time,
+// the merge + global-reduction time, the merged pool size |pool|, and the
+// final candidate count. Each sharded workload then answers the same
+// solver queries as the reference and the selections are cross-checked:
+// sharding is exactness-preserving, so every cell must be bit-identical
+// (pool, selections, and arr) to the monolithic build.
+//
+// The S = 1 row runs through the *sharded* code path (auto mode with a
+// per-shard budget of N resolves to one shard), so the curve isolates
+// sharding overhead from shard-count scaling.
+//
+// Scales: N ∈ {100k, 1M} by default, 100k only with --quick (CI), plus
+// 10M with --full. Results land in BENCH_shard.json (CI uploads it as a
+// perf-trajectory artifact).
+//
+// Usage: bench_shard [--quick] [--full] [--out BENCH_shard.json]
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace fam {
+namespace {
+
+constexpr size_t kUsers = 2000;
+constexpr size_t kK = 10;
+constexpr size_t kDim = 4;
+
+struct SolverRow {
+  std::string name;
+  double mono_seconds = 0.0;
+  double sharded_seconds = 0.0;
+  double arr = 0.0;
+  bool selections_identical = false;
+  bool arr_identical = false;
+};
+
+struct ShardRow {
+  size_t requested = 0;   // the --shards-style request (0 = auto)
+  size_t resolved = 0;    // shards that actually ran
+  double build_seconds = 0.0;        // whole preprocess, incl. Θ sampling
+  double shard_build_seconds = 0.0;  // parallel per-shard phase
+  double merge_seconds = 0.0;        // merge + global reduction
+  size_t merged_pool = 0;
+  size_t final_candidates = 0;
+  bool pool_identical = false;
+  std::vector<SolverRow> solvers;
+};
+
+struct ConfigRow {
+  size_t n = 0;
+  double mono_build_seconds = 0.0;
+  size_t mono_candidates = 0;
+  std::string prune_mode;
+  std::vector<ShardRow> shards;
+};
+
+ConfigRow RunConfig(size_t n, const std::vector<size_t>& shard_counts,
+                    const std::vector<std::string>& solvers) {
+  ConfigRow row;
+  row.n = n;
+  auto data = std::make_shared<const Dataset>(GenerateSynthetic(
+      {.n = n, .d = kDim,
+       .distribution = SyntheticDistribution::kIndependent, .seed = 7}));
+
+  WorkloadBuilder builder;
+  builder.WithDataset(data).WithNumUsers(kUsers).WithSeed(9);
+  builder.WithPruning({.mode = PruneMode::kAuto});
+  Workload mono = bench::MustBuild(builder.Build());
+  row.mono_build_seconds = mono.preprocess_seconds();
+  row.mono_candidates = mono.candidate_count();
+  row.prune_mode =
+      std::string(PruneModeName(mono.candidate_index()->resolved_mode()));
+
+  std::vector<SolveRequest> requests;
+  for (const std::string& solver : solvers) {
+    requests.push_back({.solver = solver, .k = kK});
+  }
+  std::vector<AlgorithmOutcome> mono_out = RunRequests(mono, requests);
+
+  for (size_t s : shard_counts) {
+    ShardRow cell;
+    cell.requested = s;
+    // S = 1 through the sharded path: auto with budget n ⇒ one shard.
+    ShardOptions options = s == 1
+                               ? ShardOptions{.count = 0, .point_budget = n}
+                               : ShardOptions{.count = s};
+    builder.WithShards(options);
+    Workload sharded = bench::MustBuild(builder.Build());
+    const ShardedBuildStats* stats = sharded.shard_stats();
+    if (stats == nullptr) {
+      std::fprintf(stderr, "n = %zu, S = %zu: no shard stats\n", n, s);
+      std::abort();
+    }
+    cell.resolved = stats->shard_count;
+    cell.build_seconds = sharded.preprocess_seconds();
+    cell.shard_build_seconds = stats->shard_build_seconds;
+    cell.merge_seconds = stats->merge_seconds;
+    cell.merged_pool = stats->merged_pool;
+    cell.final_candidates = stats->final_candidates;
+    cell.pool_identical = sharded.candidate_index()->candidates() ==
+                          mono.candidate_index()->candidates();
+
+    std::vector<AlgorithmOutcome> sharded_out = RunRequests(sharded, requests);
+    for (size_t i = 0; i < requests.size(); ++i) {
+      if (!mono_out[i].ok || !sharded_out[i].ok) {
+        std::fprintf(stderr, "solver %s failed: %s %s\n", solvers[i].c_str(),
+                     mono_out[i].error.c_str(), sharded_out[i].error.c_str());
+        std::abort();
+      }
+      SolverRow solver_row;
+      solver_row.name = solvers[i];
+      solver_row.mono_seconds = mono_out[i].query_seconds;
+      solver_row.sharded_seconds = sharded_out[i].query_seconds;
+      solver_row.arr = sharded_out[i].average_regret_ratio;
+      solver_row.selections_identical =
+          mono_out[i].selection.indices == sharded_out[i].selection.indices;
+      solver_row.arr_identical = mono_out[i].average_regret_ratio ==
+                                 sharded_out[i].average_regret_ratio;
+      cell.solvers.push_back(std::move(solver_row));
+    }
+    row.shards.push_back(std::move(cell));
+  }
+  return row;
+}
+
+int Run(int argc, char** argv) {
+  const bool full = FullScaleRequested(argc, argv);
+  bool quick = false;
+  std::string out_path = "BENCH_shard.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") quick = true;
+    if (std::string(argv[i]) == "--out" && i + 1 < argc) {
+      out_path = argv[i + 1];
+    }
+  }
+
+  bench::Banner("Sharded candidate build: shard-count scaling",
+                StrPrintf("d = %zu independent, users = %zu, k = %zu",
+                          kDim, kUsers, kK),
+                full);
+
+  std::vector<size_t> sizes = {100'000};
+  if (!quick) sizes.push_back(1'000'000);
+  if (full) sizes.push_back(10'000'000);
+  const std::vector<size_t> shard_counts =
+      quick ? std::vector<size_t>{1, 4} : std::vector<size_t>{1, 2, 4, 8};
+  const std::vector<std::string> solvers = {"greedy-grow", "local-search",
+                                            "greedy-shrink"};
+
+  bool all_identical = true;
+  std::vector<ConfigRow> rows;
+  for (size_t n : sizes) {
+    ConfigRow row = RunConfig(n, shard_counts, solvers);
+    std::printf("n = %8zu: monolithic candidates = %zu (%s), build %.3f s\n",
+                row.n, row.mono_candidates, row.prune_mode.c_str(),
+                row.mono_build_seconds);
+    for (const ShardRow& cell : row.shards) {
+      bool identical = cell.pool_identical;
+      for (const SolverRow& s : cell.solvers) {
+        identical &= s.selections_identical && s.arr_identical;
+      }
+      std::printf(
+          "  S = %2zu: shard build %.3f s, merge %.3f s, |pool| = %zu -> "
+          "%zu candidates, identical: %s\n",
+          cell.resolved, cell.shard_build_seconds, cell.merge_seconds,
+          cell.merged_pool, cell.final_candidates, identical ? "yes" : "NO");
+      all_identical &= identical;
+    }
+    rows.push_back(std::move(row));
+  }
+
+  FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\"bench\":\"shard\",\"full\":%s,\"quick\":%s,\"d\":%zu,"
+               "\"users\":%zu,\"k\":%zu,\"configs\":[",
+               full ? "true" : "false", quick ? "true" : "false", kDim,
+               kUsers, kK);
+  for (size_t c = 0; c < rows.size(); ++c) {
+    const ConfigRow& row = rows[c];
+    std::fprintf(out,
+                 "%s{\"n\":%zu,\"prune\":\"%s\","
+                 "\"mono_build_seconds\":%.6f,\"mono_candidates\":%zu,"
+                 "\"shards\":[",
+                 c > 0 ? "," : "", row.n, row.prune_mode.c_str(),
+                 row.mono_build_seconds, row.mono_candidates);
+    for (size_t j = 0; j < row.shards.size(); ++j) {
+      const ShardRow& cell = row.shards[j];
+      std::fprintf(out,
+                   "%s{\"s\":%zu,\"build_seconds\":%.6f,"
+                   "\"shard_build_seconds\":%.6f,\"merge_seconds\":%.6f,"
+                   "\"merged_pool\":%zu,\"final_candidates\":%zu,"
+                   "\"pool_identical\":%s,\"solvers\":[",
+                   j > 0 ? "," : "", cell.resolved, cell.build_seconds,
+                   cell.shard_build_seconds, cell.merge_seconds,
+                   cell.merged_pool, cell.final_candidates,
+                   cell.pool_identical ? "true" : "false");
+      for (size_t i = 0; i < cell.solvers.size(); ++i) {
+        const SolverRow& s = cell.solvers[i];
+        std::fprintf(out,
+                     "%s{\"name\":\"%s\",\"mono_seconds\":%.6f,"
+                     "\"sharded_seconds\":%.6f,\"arr\":%.12g,"
+                     "\"selections_identical\":%s,\"arr_identical\":%s}",
+                     i > 0 ? "," : "", s.name.c_str(), s.mono_seconds,
+                     s.sharded_seconds, s.arr,
+                     s.selections_identical ? "true" : "false",
+                     s.arr_identical ? "true" : "false");
+      }
+      std::fprintf(out, "]}");
+    }
+    std::fprintf(out, "]}");
+  }
+  std::fprintf(out, "]}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return all_identical ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace fam
+
+int main(int argc, char** argv) { return fam::Run(argc, argv); }

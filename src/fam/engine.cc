@@ -63,6 +63,16 @@ WorkloadBuilder& WorkloadBuilder::WithPruning(PruneOptions prune) {
   return *this;
 }
 
+WorkloadBuilder& WorkloadBuilder::WithShards(ShardOptions shards) {
+  shards_ = shards;
+  return *this;
+}
+
+WorkloadBuilder& WorkloadBuilder::WithShards(size_t count) {
+  shards_.count = count;
+  return *this;
+}
+
 Result<Workload> WorkloadBuilder::Build() const {
   if (dataset_ == nullptr) {
     return Status::InvalidArgument(
@@ -121,9 +131,24 @@ Result<Workload> WorkloadBuilder::Build() const {
   workload.evaluator_ = std::make_shared<const RegretEvaluator>(
       std::move(users), std::move(user_weights));
   // Candidate pruning (also timed preprocessing): built before the kernel
-  // so the score tile can cover candidate columns only.
+  // so the score tile can cover candidate columns only. WithShards routes
+  // the build through the coreset-merge path (sharding implies pruning:
+  // kOff is promoted to kAuto); the merged index is exact, so downstream
+  // solves match the monolithic build bit for bit.
   workload.prune_ = prune_;
-  if (prune_.mode != PruneMode::kOff) {
+  if (shards_.count != 1) {
+    FAM_ASSIGN_OR_RETURN(
+        ShardedCandidateBuild sharded,
+        BuildShardedCandidateIndex(*dataset_, *workload.evaluator_, prune_,
+                                   workload.monotone_utilities_, shards_));
+    if (workload.prune_.mode == PruneMode::kOff) {
+      workload.prune_.mode = PruneMode::kAuto;
+    }
+    workload.candidate_index_ =
+        std::make_shared<const CandidateIndex>(std::move(sharded.index));
+    workload.shard_stats_ =
+        std::make_shared<const ShardedBuildStats>(std::move(sharded.stats));
+  } else if (prune_.mode != PruneMode::kOff) {
     FAM_ASSIGN_OR_RETURN(
         CandidateIndex index,
         CandidateIndex::Build(*dataset_, *workload.evaluator_, prune_,

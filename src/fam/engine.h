@@ -51,6 +51,7 @@
 #include "regret/eval_kernel.h"
 #include "regret/evaluator.h"
 #include "regret/selection.h"
+#include "regret/sharded_workload.h"
 #include "utility/distribution.h"
 
 namespace fam {
@@ -96,8 +97,21 @@ class Workload {
   }
 
   /// The pruning configuration the workload was built with (mode kOff when
-  /// none was requested).
+  /// none was requested; a sharded build promotes kOff to kAuto).
   const PruneOptions& prune_options() const { return prune_; }
+
+  /// Sharded-build diagnostics (regret/sharded_workload.h): per-shard
+  /// sizes and survivor counts, merged-pool size, and the per-phase
+  /// timings. Null when the workload was built monolithically.
+  const ShardedBuildStats* shard_stats() const { return shard_stats_.get(); }
+  std::shared_ptr<const ShardedBuildStats> shared_shard_stats() const {
+    return shard_stats_;
+  }
+
+  /// Shards the candidate build actually ran with (1 = monolithic).
+  size_t shard_count() const {
+    return shard_stats_ != nullptr ? shard_stats_->shard_count : 1;
+  }
 
   /// True when every utility of this workload's Θ is monotone
   /// non-decreasing in the dataset attributes (false for direct utility
@@ -128,6 +142,7 @@ class Workload {
   std::shared_ptr<const RegretEvaluator> evaluator_;
   std::shared_ptr<const EvalKernel> kernel_;
   std::shared_ptr<const CandidateIndex> candidate_index_;
+  std::shared_ptr<const ShardedBuildStats> shard_stats_;
   PruneOptions prune_;
   bool monotone_utilities_ = false;
   uint64_t seed_ = 0;
@@ -178,6 +193,17 @@ class WorkloadBuilder {
   /// when Θ is not monotone-safe. See regret/candidate_index.h.
   WorkloadBuilder& WithPruning(PruneOptions prune);
 
+  /// Sharded candidate build (regret/sharded_workload.h): count > 1
+  /// partitions the dataset into that many contiguous shards, count == 0
+  /// auto-shards by ShardOptions::point_budget, count == 1 (default)
+  /// keeps the monolithic path. Sharding implies pruning: a kOff prune
+  /// mode is promoted to kAuto. The merged index is exact, so solver
+  /// results are bit-identical to the monolithic build (pinned by
+  /// tests/sharded_workload_test.cc).
+  WorkloadBuilder& WithShards(ShardOptions shards);
+  /// Shorthand for WithShards({.count = count}).
+  WorkloadBuilder& WithShards(size_t count);
+
   /// Samples (or adopts) the user population, builds the evaluator with
   /// its best-in-DB index plus the shared evaluation kernel, and returns
   /// the immutable Workload. The builder can be reused afterwards.
@@ -191,6 +217,7 @@ class WorkloadBuilder {
   bool materialized_ = false;
   EvalKernelOptions::Tile tile_mode_ = EvalKernelOptions::Tile::kAuto;
   PruneOptions prune_;
+  ShardOptions shards_;
   bool has_matrix_ = false;
   UtilityMatrix matrix_;
   std::vector<double> matrix_weights_;

@@ -59,6 +59,7 @@
 #include "regret/evaluator.h"
 #include "regret/sample_size.h"
 #include "regret/selection.h"
+#include "regret/sharded_workload.h"
 #include "utility/distribution.h"
 #include "utility/utility_matrix.h"
 

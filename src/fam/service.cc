@@ -176,6 +176,10 @@ uint64_t WorkloadSpec::Fingerprint() const {
   h.U64(materialized ? 1 : 0);
   h.U64(static_cast<uint64_t>(prune.mode));
   h.Double(prune.mode == PruneMode::kCoreset ? prune.coreset_epsilon : 0.0);
+  h.U64(shards.count);
+  // The budget only matters in auto mode; keep explicit counts' keys
+  // independent of it.
+  h.U64(shards.count == 0 ? shards.point_budget : 0);
   return h.hash();
 }
 
@@ -230,7 +234,8 @@ Result<std::shared_ptr<const Workload>> BuildWorkloadFromSpec(
       .WithNumUsers(spec.num_users)
       .WithSeed(spec.seed)
       .WithMaterializedUtilities(spec.materialized)
-      .WithPruning(spec.prune);
+      .WithPruning(spec.prune)
+      .WithShards(spec.shards);
   if (spec.distribution != nullptr) builder.WithDistribution(spec.distribution);
   FAM_ASSIGN_OR_RETURN(Workload workload, builder.Build());
   return std::make_shared<const Workload>(std::move(workload));

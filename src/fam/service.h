@@ -96,10 +96,17 @@ struct WorkloadSpec {
   /// are different serving entities (different candidate sets, different
   /// kernel tiles), so they must not share a cache slot.
   PruneOptions prune = {};
+  /// Sharded candidate build (WorkloadBuilder::WithShards). Part of the
+  /// fingerprint — a sharded build promotes prune kOff to kAuto and
+  /// carries shard stats, so it must not share a cache slot with the
+  /// monolithic build of the same data (even though the candidate sets
+  /// are provably identical). Shard builds ride the service's pool, so
+  /// concurrent builds of different workloads interleave shard-by-shard.
+  ShardOptions shards = {};
 
   /// Stable 64-bit cache key: Dataset::ContentHash() mixed with the Θ
-  /// name, num_users, seed, the materialization flag, and the pruning
-  /// mode (+ coreset epsilon).
+  /// name, num_users, seed, the materialization flag, the pruning mode
+  /// (+ coreset epsilon), and the shard options.
   uint64_t Fingerprint() const;
 };
 

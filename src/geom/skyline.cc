@@ -8,29 +8,31 @@
 
 namespace fam {
 
-std::vector<size_t> SkylineIndices(const Dataset& dataset) {
-  const size_t n = dataset.size();
-  const size_t d = dataset.dimension();
-  if (n == 0) return {};
+namespace {
 
-  // Sort-filter-skyline: in descending attribute-sum order, a point can only
-  // be (weakly) dominated by points that come before it, so one pass against
-  // the running skyline suffices.
-  std::vector<size_t> order(n);
-  std::iota(order.begin(), order.end(), 0);
-  std::vector<double> sums(n, 0.0);
-  for (size_t i = 0; i < n; ++i) {
-    const double* p = dataset.point(i);
+/// Sort-filter-skyline over an explicit list of global point indices: in
+/// descending attribute-sum order a point can only be (weakly) dominated
+/// by points that come before it, so one pass against the running skyline
+/// suffices. Equal sums tie-break toward the lower global index, which
+/// keeps the first occurrence among exact duplicates.
+std::vector<size_t> SortFilterSkyline(const Dataset& dataset,
+                                      std::vector<size_t> points) {
+  const size_t d = dataset.dimension();
+  std::vector<double> sums(points.size(), 0.0);
+  for (size_t i = 0; i < points.size(); ++i) {
+    const double* p = dataset.point(points[i]);
     for (size_t j = 0; j < d; ++j) sums[i] += p[j];
   }
+  std::vector<size_t> order(points.size());
+  std::iota(order.begin(), order.end(), 0);
   std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
     if (sums[a] != sums[b]) return sums[a] > sums[b];
-    return a < b;
+    return points[a] < points[b];
   });
 
   std::vector<size_t> skyline;
-  for (size_t idx : order) {
-    const double* p = dataset.point(idx);
+  for (size_t pos : order) {
+    const double* p = dataset.point(points[pos]);
     bool covered = false;
     for (size_t kept : skyline) {
       if (WeaklyDominates(dataset.point(kept), p, d)) {
@@ -38,10 +40,26 @@ std::vector<size_t> SkylineIndices(const Dataset& dataset) {
         break;
       }
     }
-    if (!covered) skyline.push_back(idx);
+    if (!covered) skyline.push_back(points[pos]);
   }
   std::sort(skyline.begin(), skyline.end());
   return skyline;
+}
+
+}  // namespace
+
+std::vector<size_t> SkylineIndices(const Dataset& dataset) {
+  const size_t n = dataset.size();
+  if (n == 0) return {};
+  std::vector<size_t> all(n);
+  std::iota(all.begin(), all.end(), 0);
+  return SortFilterSkyline(dataset, std::move(all));
+}
+
+std::vector<size_t> SkylineOverSubset(const Dataset& dataset,
+                                      std::span<const size_t> subset) {
+  return SortFilterSkyline(dataset,
+                           std::vector<size_t>(subset.begin(), subset.end()));
 }
 
 std::vector<size_t> Skyline2d(const Dataset& dataset) {

@@ -9,6 +9,7 @@
 #ifndef FAM_GEOM_SKYLINE_H_
 #define FAM_GEOM_SKYLINE_H_
 
+#include <span>
 #include <vector>
 
 #include "data/dataset.h"
@@ -21,6 +22,17 @@ namespace fam {
 /// skyline window. Ties/duplicates: the first occurrence is kept, exact
 /// duplicates of a kept point are dropped.
 std::vector<size_t> SkylineIndices(const Dataset& dataset);
+
+/// SkylineIndices restricted to `subset` (dataset point indices): the
+/// skyline of the induced sub-database, returned as ascending *global*
+/// indices. Dominators outside the subset are invisible, and the
+/// lowest-global-index duplicate within the subset is the one kept —
+/// exactly SkylineIndices' semantics on the induced points, without
+/// materializing a sub-Dataset. The sharded candidate build
+/// (regret/sharded_workload.h) runs this per shard and once more over the
+/// merged survivor pool.
+std::vector<size_t> SkylineOverSubset(const Dataset& dataset,
+                                      std::span<const size_t> subset);
 
 /// Specialized O(n log n) skyline for 2-D datasets; equals SkylineIndices on
 /// d = 2 inputs but faster. Aborts if dimension != 2.

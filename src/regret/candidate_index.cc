@@ -5,6 +5,8 @@
 #include <cmath>
 #include <limits>
 #include <numeric>
+#include <span>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/string_util.h"
@@ -22,12 +24,26 @@ namespace {
 /// keeps the lowest duplicate — matching UtilityMatrix::BestPoint's
 /// tie-break); with slack > 0 the sweep stays sound because every dropped
 /// point records a kept coverer.
+///
+/// A non-empty `subset` restricts the sweep to those point indices (the
+/// induced column set): dominators outside the subset are invisible, and
+/// among identical columns the lowest *global* index in the subset is
+/// kept. The sharded build runs this per shard and again over the merged
+/// survivor pool.
 std::vector<size_t> SweepDominatedColumns(const RegretEvaluator& evaluator,
-                                          double epsilon,
-                                          size_t cache_bytes) {
-  const size_t n = evaluator.num_points();
+                                          double epsilon, size_t cache_bytes,
+                                          std::span<const size_t> subset) {
   const size_t num_users = evaluator.num_users();
   const UtilityMatrix& users = evaluator.users();
+
+  std::vector<size_t> points;
+  if (subset.empty()) {
+    points.resize(evaluator.num_points());
+    std::iota(points.begin(), points.end(), 0);
+  } else {
+    points.assign(subset.begin(), subset.end());
+  }
+  const size_t n = points.size();
 
   // Per-user slack: eps · best-in-DB (0 for indifferent users, whose
   // utilities are all 0 anyway).
@@ -40,17 +56,17 @@ std::vector<size_t> SweepDominatedColumns(const RegretEvaluator& evaluator,
 
   std::vector<double> column(num_users);
   std::vector<double> sums(n, 0.0);
-  for (size_t p = 0; p < n; ++p) {
-    users.FillPointColumn(p, column);
+  for (size_t i = 0; i < n; ++i) {
+    users.FillPointColumn(points[i], column);
     double total = 0.0;
     for (double v : column) total += v;
-    sums[p] = total;
+    sums[i] = total;
   }
   std::vector<size_t> order(n);
   std::iota(order.begin(), order.end(), 0);
   std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
     if (sums[a] != sums[b]) return sums[a] > sums[b];
-    return a < b;
+    return points[a] < points[b];
   });
 
   // ceiling[u] = max over kept columns; a point above the ceiling (plus
@@ -68,7 +84,8 @@ std::vector<size_t> SweepDominatedColumns(const RegretEvaluator& evaluator,
                               -std::numeric_limits<double>::infinity());
   std::vector<size_t> kept;
   std::vector<double> kept_columns;
-  for (size_t p : order) {
+  for (size_t pos : order) {
+    const size_t p = points[pos];
     users.FillPointColumn(p, column);
     bool above_ceiling = false;
     for (size_t u = 0; u < num_users; ++u) {
@@ -116,8 +133,15 @@ constexpr size_t kKeptCacheBytes = size_t{1} * 1024 * 1024 * 1024;
 
 namespace internal {
 std::vector<size_t> SweepDominatedColumnsForTest(
-    const RegretEvaluator& evaluator, double epsilon, size_t cache_bytes) {
-  return SweepDominatedColumns(evaluator, epsilon, cache_bytes);
+    const RegretEvaluator& evaluator, double epsilon, size_t cache_bytes,
+    std::span<const size_t> subset) {
+  return SweepDominatedColumns(evaluator, epsilon, cache_bytes, subset);
+}
+
+std::vector<size_t> SweepDominatedColumnsOverSubset(
+    const RegretEvaluator& evaluator, double epsilon,
+    std::span<const size_t> subset) {
+  return SweepDominatedColumns(evaluator, epsilon, kKeptCacheBytes, subset);
 }
 }  // namespace internal
 
@@ -230,7 +254,7 @@ Result<CandidateIndex> CandidateIndex::Build(const Dataset& dataset,
       break;
     case PruneMode::kSampleDominance:
       index.candidates_ =
-          SweepDominatedColumns(evaluator, 0.0, kKeptCacheBytes);
+          SweepDominatedColumns(evaluator, 0.0, kKeptCacheBytes, {});
       break;
     case PruneMode::kCoreset:
       if (!(options.coreset_epsilon > 0.0 && options.coreset_epsilon < 1.0)) {
@@ -239,7 +263,7 @@ Result<CandidateIndex> CandidateIndex::Build(const Dataset& dataset,
       }
       index.coreset_epsilon_ = options.coreset_epsilon;
       index.candidates_ = SweepDominatedColumns(
-          evaluator, options.coreset_epsilon, kKeptCacheBytes);
+          evaluator, options.coreset_epsilon, kKeptCacheBytes, {});
       break;
     case PruneMode::kAuto:
       FAM_CHECK(false) << "kAuto must have been resolved";
@@ -263,22 +287,73 @@ Result<CandidateIndex> CandidateIndex::Build(const Dataset& dataset,
   return index;
 }
 
+Result<CandidateIndex> CandidateIndex::FromPool(
+    const RegretEvaluator& evaluator, const PruneOptions& options,
+    PruneMode resolved_mode, std::vector<size_t> pool) {
+  if (resolved_mode == PruneMode::kAuto) {
+    return Status::InvalidArgument(
+        "CandidateIndex::FromPool needs a resolved mode, not kAuto");
+  }
+  const size_t n = evaluator.num_points();
+  for (size_t p : pool) {
+    if (p >= n) {
+      return Status::InvalidArgument(
+          "CandidateIndex::FromPool: pool index " + std::to_string(p) +
+          " out of range for a " + std::to_string(n) + "-point evaluator");
+    }
+  }
+
+  CandidateIndex index;
+  index.requested_mode_ = options.mode;
+  index.resolved_mode_ = resolved_mode;
+  if (resolved_mode == PruneMode::kCoreset) {
+    index.coreset_epsilon_ = options.coreset_epsilon;
+  }
+  index.is_candidate_.assign(n, 0);
+  index.candidates_ = std::move(pool);
+  std::sort(index.candidates_.begin(), index.candidates_.end());
+  index.candidates_.erase(
+      std::unique(index.candidates_.begin(), index.candidates_.end()),
+      index.candidates_.end());
+  for (size_t p : index.candidates_) index.is_candidate_[p] = 1;
+  // Same force-include invariant as Build: every user's best-in-DB point
+  // is a candidate, so the merged index passes ValidateCandidateUniverse
+  // and the shrink direction's user buckets stay total.
+  bool forced = false;
+  for (size_t u = 0; u < evaluator.num_users(); ++u) {
+    size_t best = evaluator.BestPointInDb(u);
+    if (!index.is_candidate_[best]) {
+      index.is_candidate_[best] = 1;
+      index.candidates_.push_back(best);
+      ++index.forced_best_points_;
+      forced = true;
+    }
+  }
+  if (forced) {
+    std::sort(index.candidates_.begin(), index.candidates_.end());
+  }
+  return index;
+}
+
 Status ValidateCandidateUniverse(const CandidateIndex* index,
                                  const RegretEvaluator& evaluator) {
   if (index == nullptr) return Status::OK();
   if (index->num_points() != evaluator.num_points()) {
     return Status::InvalidArgument(
-        "candidate index built for a different point universe (" +
-        std::to_string(index->num_points()) + " points, expected " +
-        std::to_string(evaluator.num_points()) + ")");
+        "candidate index built for a different point universe: index covers " +
+        std::to_string(index->num_points()) + " points, evaluator has " +
+        std::to_string(evaluator.num_points()));
   }
   for (size_t u = 0; u < evaluator.num_users(); ++u) {
     if (!index->IsCandidate(evaluator.BestPointInDb(u))) {
       return Status::InvalidArgument(
           "candidate index misses user " + std::to_string(u) +
           "'s best-in-DB point " +
-          std::to_string(evaluator.BestPointInDb(u)) +
-          " — was it built from a different evaluator?");
+          std::to_string(evaluator.BestPointInDb(u)) + " (index: " +
+          std::to_string(index->size()) + " candidates over " +
+          std::to_string(index->num_points()) + " points, evaluator: " +
+          std::to_string(evaluator.num_points()) +
+          " points) — was it built from a different evaluator?");
     }
   }
   return Status::OK();

@@ -40,6 +40,7 @@
 #define FAM_REGRET_CANDIDATE_INDEX_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -89,6 +90,20 @@ class CandidateIndex {
                                       const RegretEvaluator& evaluator,
                                       const PruneOptions& options,
                                       bool monotone_theta);
+
+  /// Adopts an externally computed candidate pool (global dataset indices;
+  /// duplicates tolerated) as a ready index over `evaluator`'s point
+  /// universe. Applies the same force-include of every user's best-in-DB
+  /// point as Build, so the result passes ValidateCandidateUniverse.
+  /// `resolved_mode` records which reduction produced the pool (must not
+  /// be kAuto); `options` carries the requested mode and coreset epsilon
+  /// for diagnostics. The sharded build (regret/sharded_workload.h) is
+  /// the intended caller: it merges per-shard survivor pools, reruns the
+  /// exact reduction over the merged pool, and adopts the result here.
+  static Result<CandidateIndex> FromPool(const RegretEvaluator& evaluator,
+                                         const PruneOptions& options,
+                                         PruneMode resolved_mode,
+                                         std::vector<size_t> pool);
 
   /// The mode the caller asked for (possibly kAuto).
   PruneMode requested_mode() const { return requested_mode_; }
@@ -158,9 +173,21 @@ namespace internal {
 /// Test hook for the sample-dominance/coreset sweep: `cache_bytes` caps
 /// the kept-column cache (production uses a fixed 1 GiB budget; past it,
 /// kept columns are re-read through Utility() on demand). Results are
-/// identical for any cap — only speed/memory change.
+/// identical for any cap — only speed/memory change. A non-empty
+/// `subset` restricts the sweep to those point indices.
 std::vector<size_t> SweepDominatedColumnsForTest(
-    const RegretEvaluator& evaluator, double epsilon, size_t cache_bytes);
+    const RegretEvaluator& evaluator, double epsilon, size_t cache_bytes,
+    std::span<const size_t> subset = {});
+
+/// The sample-dominance/coreset sweep restricted to `subset` (global
+/// point indices), with the production cache budget: survivors of the
+/// induced column set, ascending global indices, lowest-global-index
+/// duplicate kept. Dominators outside the subset are invisible. The
+/// sharded candidate build runs this per shard and once more over the
+/// merged survivor pool.
+std::vector<size_t> SweepDominatedColumnsOverSubset(
+    const RegretEvaluator& evaluator, double epsilon,
+    std::span<const size_t> subset);
 }  // namespace internal
 
 }  // namespace fam

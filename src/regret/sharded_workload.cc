@@ -1,0 +1,174 @@
+#include "regret/sharded_workload.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <numeric>
+#include <utility>
+
+#include "common/parallel.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "geom/skyline.h"
+
+namespace fam {
+
+namespace {
+
+/// Survivors of one index subset under the resolved mode: the skyline or
+/// dominance-sweep of the induced sub-database, ascending global indices.
+/// `epsilon` is the coreset slack (0 for the exact modes and for the
+/// merge pass — see the header's soundness note on applying slack once).
+std::vector<size_t> SubsetSurvivors(const Dataset& dataset,
+                                    const RegretEvaluator& evaluator,
+                                    PruneMode mode, double epsilon,
+                                    std::span<const size_t> subset) {
+  if (mode == PruneMode::kGeometric) {
+    return SkylineOverSubset(dataset, subset);
+  }
+  return internal::SweepDominatedColumnsOverSubset(evaluator, epsilon,
+                                                   subset);
+}
+
+}  // namespace
+
+Result<ShardOptions> ParseShardSpec(std::string_view spec) {
+  std::string key;
+  for (char c : Trim(spec)) {
+    key += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  ShardOptions options;
+  if (key.empty() || key == "off") {
+    options.count = 1;
+    return options;
+  }
+  if (key == "auto") {
+    options.count = 0;
+    return options;
+  }
+  FAM_ASSIGN_OR_RETURN(int64_t count, ParseInt(key));
+  if (count < 1) {
+    return Status::InvalidArgument("shard count must be >= 1, got \"" +
+                                   std::string(spec) + "\"");
+  }
+  options.count = static_cast<size_t>(count);
+  return options;
+}
+
+std::string ShardSpecString(const ShardOptions& options) {
+  if (options.count == 0) return "auto";
+  return std::to_string(options.count);
+}
+
+size_t ResolveShardCount(size_t num_points, const ShardOptions& options) {
+  if (options.count != 0) return options.count;
+  const size_t budget = std::max<size_t>(1, options.point_budget);
+  return std::max<size_t>(1, (num_points + budget - 1) / budget);
+}
+
+std::vector<ShardRange> PlanShards(size_t num_points, size_t shard_count) {
+  shard_count = std::max<size_t>(1, shard_count);
+  std::vector<ShardRange> plan(shard_count);
+  for (size_t s = 0; s < shard_count; ++s) {
+    plan[s].begin = num_points * s / shard_count;
+    plan[s].end = num_points * (s + 1) / shard_count;
+  }
+  return plan;
+}
+
+Result<ShardedCandidateBuild> BuildShardedCandidateIndex(
+    const Dataset& dataset, const RegretEvaluator& evaluator,
+    const PruneOptions& prune, bool monotone_theta, const ShardOptions& shards,
+    const CancellationToken* cancel) {
+  if (evaluator.num_points() != dataset.size()) {
+    return Status::InvalidArgument(
+        "sharded candidate build: evaluator covers " +
+        std::to_string(evaluator.num_points()) +
+        " points but the dataset has " + std::to_string(dataset.size()));
+  }
+
+  // Mode resolution: as CandidateIndex::Build, plus kOff -> kAuto (a
+  // sharded build exists to prune).
+  PruneOptions options = prune;
+  if (options.mode == PruneMode::kOff) options.mode = PruneMode::kAuto;
+  PruneMode mode = options.mode;
+  if (mode == PruneMode::kAuto) {
+    mode = monotone_theta ? PruneMode::kGeometric
+                          : PruneMode::kSampleDominance;
+  } else if (mode == PruneMode::kGeometric && !monotone_theta) {
+    return Status::InvalidArgument(
+        "geometric pruning requires a utility family that is monotone in "
+        "the dataset attributes (a dominated point can be a user's "
+        "favorite under this one); use auto or sample-dominance");
+  }
+  if (mode == PruneMode::kCoreset &&
+      !(options.coreset_epsilon > 0.0 && options.coreset_epsilon < 1.0)) {
+    return Status::InvalidArgument("coreset pruning needs an epsilon in (0, 1)");
+  }
+
+  const size_t n = dataset.size();
+  ShardedBuildStats stats;
+  stats.shard_count = ResolveShardCount(n, shards);
+  const std::vector<ShardRange> plan = PlanShards(n, stats.shard_count);
+  stats.shard_sizes.reserve(plan.size());
+  for (const ShardRange& range : plan) stats.shard_sizes.push_back(range.size());
+
+  // Per-shard survivor pools, in parallel on the shared pool. The token
+  // is polled once per shard: coarse enough to cost nothing, fine enough
+  // that a cancel never waits on more than the in-flight shards.
+  Timer shard_timer;
+  std::vector<std::vector<size_t>> pools(plan.size());
+  std::atomic<bool> cancelled{false};
+  ParallelForEach(plan.size(), 0, [&](size_t s) {
+    if (cancel != nullptr && cancel->Expired()) {
+      cancelled.store(true, std::memory_order_relaxed);
+      return;
+    }
+    const ShardRange& range = plan[s];
+    if (range.size() == 0) return;
+    std::vector<size_t> subset(range.size());
+    std::iota(subset.begin(), subset.end(), range.begin);
+    pools[s] = SubsetSurvivors(dataset, evaluator, mode,
+                               options.coreset_epsilon, subset);
+  });
+  if (cancelled.load(std::memory_order_relaxed) ||
+      (cancel != nullptr && cancel->Expired())) {
+    // Partially built pools die with this frame; nothing escapes.
+    return Status::Cancelled("sharded candidate build cancelled after " +
+                             StrPrintf("%.3f", shard_timer.ElapsedSeconds()) +
+                             "s in the per-shard phase");
+  }
+  stats.shard_build_seconds = shard_timer.ElapsedSeconds();
+
+  // Merge: per-shard pools are ascending and shards are contiguous in
+  // index order, so concatenation is already globally ascending.
+  Timer merge_timer;
+  std::vector<size_t> merged;
+  stats.shard_survivors.reserve(pools.size());
+  size_t total = 0;
+  for (const std::vector<size_t>& pool : pools) total += pool.size();
+  merged.reserve(total);
+  for (const std::vector<size_t>& pool : pools) {
+    stats.shard_survivors.push_back(pool.size());
+    merged.insert(merged.end(), pool.begin(), pool.end());
+  }
+  stats.merged_pool = merged.size();
+
+  // One exact global pass over the merged pool restores minimality: the
+  // pool contains every monolithic survivor (coreset-merge containment),
+  // and the pass drops exactly the points the monolithic build would
+  // have. Coreset mode runs the pass with slack 0 so eps is applied at
+  // most once per dropped point.
+  std::vector<size_t> final_pool =
+      SubsetSurvivors(dataset, evaluator, mode, 0.0, merged);
+
+  FAM_ASSIGN_OR_RETURN(
+      CandidateIndex index,
+      CandidateIndex::FromPool(evaluator, options, mode,
+                               std::move(final_pool)));
+  stats.merge_seconds = merge_timer.ElapsedSeconds();
+  stats.final_candidates = index.size();
+  return ShardedCandidateBuild{std::move(index), std::move(stats)};
+}
+
+}  // namespace fam

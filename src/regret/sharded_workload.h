@@ -1,0 +1,151 @@
+// Sharded candidate building: the coreset-merge bridge from one
+// contiguous Workload to tens of millions of points.
+//
+// PR 5's CandidateIndex showed real datasets collapse to a few hundred
+// candidates — but the monolithic build still sweeps all n points in one
+// pass, and at n = 10M+ that single dominance window (and the O(n) column
+// scans behind it) is the wall. The classical coreset observation
+// (Agarwal et al., "Efficient Algorithms for k-Regret Minimizing Sets")
+// is that the skyline of a union is contained in the union of the
+// per-part skylines; the same holds for the sample-dominance survivor
+// set, because weak dominance restricted to a subset only *loses*
+// dominators. So the sharded build:
+//
+//   1. partitions the dataset into S contiguous shards,
+//   2. builds each shard's survivor pool independently on the shared
+//      ThreadPool (common/thread_pool.h),
+//   3. concatenates the per-shard pools into one merged pool
+//      (|pool| ≪ n), and
+//   4. runs ONE exact global reduction pass over the merged pool to
+//      restore minimality, yielding a global-index CandidateIndex the
+//      existing solvers consume unchanged.
+//
+// Soundness of the merge (why sharded == monolithic, bit for bit):
+//
+//   * Geometric mode. If p is dropped by the monolithic skyline, some q
+//     weakly dominates it with (sum(q), idx(q)) ordered before p. Follow
+//     the dominator chain within p's shard: it terminates at a shard
+//     survivor that weakly dominates p (weak dominance is transitive), so
+//     every monolithically-dropped point in the merged pool is dropped
+//     again by the global pass, and every monolithic skyline point
+//     survives its own shard (a dominator anywhere is a dominator in any
+//     subset containing it... conversely, no subset can invent one). Both
+//     sweeps break equal-sum ties toward the lower *global* index, so
+//     among exact duplicates the same lowest-index copy is kept.
+//   * Sample-dominance mode. Identical argument with "dominates" read as
+//     "utility column covers for every sampled user" — transitive, and
+//     the per-shard sweep sees a subset of the columns, so shard
+//     survivors form a superset of the global survivors restricted to
+//     that shard.
+//   * Coreset mode (eps slack). Per-shard sweeps run with the full eps;
+//     the merge pass runs with slack ZERO, so slack is applied at most
+//     once per dropped point and the one-step coverer bound — every
+//     dropped point has a kept point within eps · best-in-DB(u) for all
+//     u — still holds globally, preserving arr(S') <= arr(S) + eps.
+//
+// After the merge, CandidateIndex::FromPool force-includes every user's
+// best-in-DB point (the GreedyShrinkOnSkyline lesson: a user's favorite
+// can sit in a fully-dominated shard), exactly as the monolithic Build
+// does — so downstream validation and solver semantics are unchanged.
+//
+// tests/sharded_workload_test.cc pins all of the above with randomized
+// shard-parity properties; bench/bench_shard.cc records the scaling
+// curves in BENCH_shard.json.
+
+#ifndef FAM_REGRET_SHARDED_WORKLOAD_H_
+#define FAM_REGRET_SHARDED_WORKLOAD_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/cancellation.h"
+#include "common/status.h"
+#include "data/dataset.h"
+#include "regret/candidate_index.h"
+#include "regret/evaluator.h"
+
+namespace fam {
+
+/// How to shard a candidate build.
+struct ShardOptions {
+  /// Number of shards: 1 = unsharded (the monolithic path), 0 = auto
+  /// (ceil(n / point_budget)), otherwise the explicit shard count. Counts
+  /// above n are legal — the surplus shards are simply empty.
+  size_t count = 1;
+  /// Auto mode's per-shard point budget (default 1M, the largest n the
+  /// monolithic build has published numbers for; see BENCH_prune.json).
+  size_t point_budget = 1'000'000;
+};
+
+/// Parses a --shards spec: "auto" | a positive integer count | "off"/"1"
+/// (case-insensitive). "auto" resolves per-dataset via point_budget.
+Result<ShardOptions> ParseShardSpec(std::string_view spec);
+
+/// Round-trippable spec string ("auto" | the count).
+std::string ShardSpecString(const ShardOptions& options);
+
+/// The shard count that will actually run for an n-point dataset: the
+/// explicit count, or ceil(n / point_budget) for auto (at least 1).
+size_t ResolveShardCount(size_t num_points, const ShardOptions& options);
+
+/// One contiguous shard: global point indices [begin, end).
+struct ShardRange {
+  size_t begin = 0;
+  size_t end = 0;
+  size_t size() const { return end - begin; }
+};
+
+/// Splits [0, n) into `shard_count` contiguous ranges, sizes differing by
+/// at most one (shard i = [i·n/S, (i+1)·n/S)). Empty ranges appear when
+/// shard_count > n.
+std::vector<ShardRange> PlanShards(size_t num_points, size_t shard_count);
+
+/// Build diagnostics, reported through Workload::shard_stats() and the
+/// serving layer; bench_shard records them per (n, S) cell.
+struct ShardedBuildStats {
+  size_t shard_count = 0;
+  /// Points per shard (the plan).
+  std::vector<size_t> shard_sizes;
+  /// Per-shard survivor pool sizes after step 2.
+  std::vector<size_t> shard_survivors;
+  /// |merged pool| fed to the global pass (sum of shard_survivors).
+  size_t merged_pool = 0;
+  /// Final candidate count after the global pass + best-point
+  /// force-include (== CandidateIndex::size()).
+  size_t final_candidates = 0;
+  /// Wall-clock of the parallel per-shard phase (steps 1–2).
+  double shard_build_seconds = 0.0;
+  /// Wall-clock of the merge + global reduction pass (steps 3–4).
+  double merge_seconds = 0.0;
+};
+
+/// A sharded build's result: the adopted global-index CandidateIndex plus
+/// the per-phase stats.
+struct ShardedCandidateBuild {
+  CandidateIndex index;
+  ShardedBuildStats stats;
+};
+
+/// Runs the sharded candidate build described in the file comment.
+///
+/// Mode resolution matches CandidateIndex::Build, with one addition: kOff
+/// is promoted to kAuto (a sharded build exists to prune; "off" would
+/// just concatenate the shards back together). kGeometric with a
+/// non-monotone Θ is InvalidArgument; kAuto resolves to geometric for
+/// monotone Θ, sample-dominance otherwise.
+///
+/// Per-shard builds run on the shared ThreadPool via ParallelForEach
+/// (caller participates; nested-safe). `cancel` (may be null) is polled
+/// once per shard: on expiry the remaining shards are skipped, the
+/// partially built pools are discarded, and Status::Cancelled is
+/// returned — no index escapes a cancelled build.
+Result<ShardedCandidateBuild> BuildShardedCandidateIndex(
+    const Dataset& dataset, const RegretEvaluator& evaluator,
+    const PruneOptions& prune, bool monotone_theta, const ShardOptions& shards,
+    const CancellationToken* cancel = nullptr);
+
+}  // namespace fam
+
+#endif  // FAM_REGRET_SHARDED_WORKLOAD_H_

@@ -1,0 +1,186 @@
+// Concurrency regressions for the sharded candidate build.
+//
+// The per-shard phase of BuildShardedCandidateIndex rides the process-wide
+// shared ThreadPool — the same pool a fam::Service executes solve jobs on.
+// This suite interleaves the two on purpose: a sharded build running while
+// a Service serves solves from another workload (shard tasks and solve
+// jobs mixed on one queue), plus concurrent sharded builds from multiple
+// threads, plus cancellation during the per-shard phase (both a
+// pre-cancelled token, which must deterministically return Cancelled with
+// a clean partially-built teardown, and a racy mid-build cancel that may
+// land before or after completion).
+//
+// Wired into the CI TSan job (-R ...|Shard), where unsynchronized access
+// to the shard pools or the pool's queue would fail.
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/cancellation.h"
+#include "data/generator.h"
+#include "fam/engine.h"
+#include "fam/service.h"
+#include "regret/sharded_workload.h"
+
+namespace fam {
+namespace {
+
+Dataset AntiDataset(size_t n, uint64_t seed) {
+  return GenerateSynthetic({.n = n, .d = 4,
+      .distribution = SyntheticDistribution::kAntiCorrelated, .seed = seed});
+}
+
+TEST(ShardConcurrencyTest, BuildWhileServiceServesAnotherWorkload) {
+  // The service executes on the shared pool (num_threads = 0), exactly
+  // where the sharded build schedules its per-shard tasks.
+  Service service;
+  auto dataset_b = std::make_shared<const Dataset>(AntiDataset(200, 7));
+  Result<std::shared_ptr<const Workload>> serving =
+      service.GetOrBuildWorkload({.dataset = dataset_b, .num_users = 500});
+  ASSERT_TRUE(serving.ok());
+
+  // Keep a stream of solve jobs in flight for the whole build.
+  std::atomic<bool> stop{false};
+  std::vector<JobHandle> jobs;
+  std::thread submitter([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      Result<JobHandle> job =
+          service.Submit(**serving, {.solver = "greedy-grow", .k = 6});
+      if (job.ok()) {
+        const Result<SolveResponse>& response = job->Wait();
+        ASSERT_TRUE(response.ok());
+        EXPECT_EQ(response->selection.indices.size(), 6u);
+      }
+    }
+  });
+
+  // Meanwhile: sharded builds of a *different* workload, repeatedly, with
+  // their shard tasks interleaving with the solve jobs above.
+  Result<Workload> mono = WorkloadBuilder()
+                              .WithDataset(AntiDataset(600, 8))
+                              .WithNumUsers(400)
+                              .WithSeed(9)
+                              .WithPruning({.mode = PruneMode::kAuto})
+                              .Build();
+  ASSERT_TRUE(mono.ok());
+  for (int round = 0; round < 5; ++round) {
+    Result<Workload> sharded = WorkloadBuilder()
+                                   .WithDataset(AntiDataset(600, 8))
+                                   .WithNumUsers(400)
+                                   .WithSeed(9)
+                                   .WithShards(size_t{7})
+                                   .Build();
+    ASSERT_TRUE(sharded.ok());
+    ASSERT_NE(sharded->candidate_index(), nullptr);
+    EXPECT_EQ(sharded->candidate_index()->candidates(),
+              mono->candidate_index()->candidates());
+  }
+  stop.store(true, std::memory_order_relaxed);
+  submitter.join();
+  service.Shutdown(/*drain=*/true);
+}
+
+TEST(ShardConcurrencyTest, ConcurrentShardedBuildsAgree) {
+  // Several threads each run a full sharded build on the shared pool;
+  // nested ParallelForEach from multiple callers must neither deadlock
+  // nor cross-contaminate shard pools.
+  Dataset data = AntiDataset(500, 21);
+  RegretEvaluator evaluator = [&] {
+    UniformLinearDistribution theta;
+    Rng rng(22);
+    return RegretEvaluator(theta.Sample(data, 300, rng));
+  }();
+  Result<CandidateIndex> mono = CandidateIndex::Build(
+      data, evaluator, {.mode = PruneMode::kGeometric},
+      /*monotone_theta=*/true);
+  ASSERT_TRUE(mono.ok());
+
+  constexpr int kThreads = 4;
+  std::vector<Result<ShardedCandidateBuild>> results;
+  for (int i = 0; i < kThreads; ++i) {
+    results.emplace_back(Status::Internal("not run"));
+  }
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      results[i] = BuildShardedCandidateIndex(
+          data, evaluator, {.mode = PruneMode::kGeometric},
+          /*monotone_theta=*/true, {.count = size_t(3 + i)});
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int i = 0; i < kThreads; ++i) {
+    ASSERT_TRUE(results[i].ok()) << i;
+    EXPECT_EQ(results[i]->index.candidates(), mono->candidates()) << i;
+  }
+}
+
+TEST(ShardConcurrencyTest, PreCancelledTokenAbortsBeforeAnyShard) {
+  Dataset data = AntiDataset(300, 31);
+  UniformLinearDistribution theta;
+  Rng rng(32);
+  RegretEvaluator evaluator(theta.Sample(data, 200, rng));
+  CancellationToken cancel;
+  cancel.RequestCancel();
+  Result<ShardedCandidateBuild> build = BuildShardedCandidateIndex(
+      data, evaluator, {.mode = PruneMode::kGeometric},
+      /*monotone_theta=*/true, {.count = 5}, &cancel);
+  ASSERT_FALSE(build.ok());
+  EXPECT_EQ(build.status().code(), StatusCode::kCancelled);
+}
+
+TEST(ShardConcurrencyTest, MidBuildCancelTearsDownCleanly) {
+  // Racy by design: the canceller may land before, during, or after the
+  // per-shard phase. Every outcome must be clean — either a kCancelled
+  // status (partial pools discarded) or a complete, correct index.
+  Dataset data = AntiDataset(2000, 41);
+  UniformLinearDistribution theta;
+  Rng rng(42);
+  RegretEvaluator evaluator(theta.Sample(data, 500, rng));
+  Result<CandidateIndex> mono = CandidateIndex::Build(
+      data, evaluator, {.mode = PruneMode::kGeometric},
+      /*monotone_theta=*/true);
+  ASSERT_TRUE(mono.ok());
+
+  bool saw_cancel = false;
+  bool saw_complete = false;
+  for (int round = 0; round < 8; ++round) {
+    CancellationToken cancel;
+    std::thread canceller([&] { cancel.RequestCancel(); });
+    Result<ShardedCandidateBuild> build = BuildShardedCandidateIndex(
+        data, evaluator, {.mode = PruneMode::kGeometric},
+        /*monotone_theta=*/true, {.count = 16}, &cancel);
+    canceller.join();
+    if (build.ok()) {
+      saw_complete = true;
+      EXPECT_EQ(build->index.candidates(), mono->candidates());
+    } else {
+      saw_cancel = true;
+      EXPECT_EQ(build.status().code(), StatusCode::kCancelled);
+    }
+  }
+  // Not asserted individually (the race can fall either way per round),
+  // but over 8 rounds at least one outcome must have occurred.
+  EXPECT_TRUE(saw_cancel || saw_complete);
+}
+
+TEST(ShardConcurrencyTest, DeadlineTokenCancelsLikeManualCancel) {
+  // An already-expired deadline behaves like a pre-cancel: the build
+  // returns kCancelled without handing back a partial index.
+  Dataset data = AntiDataset(300, 51);
+  UniformLinearDistribution theta;
+  Rng rng(52);
+  RegretEvaluator evaluator(theta.Sample(data, 200, rng));
+  CancellationToken cancel(1e-9);
+  Result<ShardedCandidateBuild> build = BuildShardedCandidateIndex(
+      data, evaluator, {.mode = PruneMode::kSampleDominance},
+      /*monotone_theta=*/false, {.count = 4}, &cancel);
+  ASSERT_FALSE(build.ok());
+  EXPECT_EQ(build.status().code(), StatusCode::kCancelled);
+}
+
+}  // namespace
+}  // namespace fam

@@ -1,0 +1,569 @@
+// ShardedWorkload: shard-parity property tests pinning the coreset-merge
+// candidate build bit-identical to the monolithic path — merged-pool
+// equality against CandidateIndex::Build for the geometric and
+// sample-dominance modes, solver-level selection/arr parity across shard
+// counts, and the edge cases (empty shards, shard < k, a user's favorite
+// in a fully-dominated shard, explicit-matrix fallback).
+
+#include "regret/sharded_workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/generator.h"
+#include "fam/engine.h"
+#include "fam/service.h"
+#include "geom/skyline.h"
+#include "utility/distribution.h"
+
+namespace fam {
+namespace {
+
+/// A dataset exercising the dominance edge cases: random points plus
+/// exact duplicates, per-coordinate ties, and ±0.0 values (the same
+/// recipe as candidate_index_test.cc).
+Dataset TrickyDataset(size_t n, size_t d, uint64_t seed) {
+  Dataset data = GenerateSynthetic({.n = n, .d = d,
+      .distribution = SyntheticDistribution::kIndependent, .seed = seed});
+  Matrix values(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      double v = data.at(i, j);
+      if (i % 3 == 0) v = std::round(v * 4.0) / 4.0;
+      if (i % 7 == 0 && j == 0) v = 0.0;
+      if (i % 11 == 0 && j == d - 1) v = -0.0;
+      values(i, j) = v;
+    }
+  }
+  for (size_t i = d; i + 1 < n; i += 9) {
+    for (size_t j = 0; j < d; ++j) values(i + 1, j) = values(i / 2, j);
+  }
+  return Dataset(std::move(values));
+}
+
+RegretEvaluator MakeEvaluator(const Dataset& data, size_t users,
+                              uint64_t seed) {
+  UniformLinearDistribution theta;
+  Rng rng(seed);
+  return RegretEvaluator(theta.Sample(data, users, rng));
+}
+
+// ------------------------------------------------------------- plan/spec
+
+TEST(ShardPlanTest, PlansArePartitionsWithBalancedSizes) {
+  for (size_t n : {size_t{0}, size_t{1}, size_t{5}, size_t{97}, size_t{100}}) {
+    for (size_t s : {size_t{1}, size_t{2}, size_t{7}, size_t{100}}) {
+      std::vector<ShardRange> plan = PlanShards(n, s);
+      ASSERT_EQ(plan.size(), s);
+      size_t covered = 0;
+      size_t min_size = n, max_size = 0;
+      for (size_t i = 0; i < plan.size(); ++i) {
+        // Contiguous, in order, no gaps.
+        EXPECT_EQ(plan[i].begin, covered);
+        EXPECT_LE(plan[i].begin, plan[i].end);
+        covered = plan[i].end;
+        min_size = std::min(min_size, plan[i].size());
+        max_size = std::max(max_size, plan[i].size());
+      }
+      EXPECT_EQ(covered, n) << "n=" << n << " s=" << s;
+      // Balanced: sizes differ by at most one point.
+      EXPECT_LE(max_size - min_size, size_t{1}) << "n=" << n << " s=" << s;
+    }
+  }
+}
+
+TEST(ShardPlanTest, ResolveShardCountHonorsAutoBudget) {
+  EXPECT_EQ(ResolveShardCount(100, {.count = 4}), 4u);
+  EXPECT_EQ(ResolveShardCount(100, {.count = 1}), 1u);
+  // Auto: ceil(n / budget), at least 1.
+  EXPECT_EQ(ResolveShardCount(100, {.count = 0, .point_budget = 30}), 4u);
+  EXPECT_EQ(ResolveShardCount(90, {.count = 0, .point_budget = 30}), 3u);
+  EXPECT_EQ(ResolveShardCount(10, {.count = 0, .point_budget = 30}), 1u);
+  EXPECT_EQ(ResolveShardCount(0, {.count = 0, .point_budget = 30}), 1u);
+}
+
+TEST(ShardPlanTest, ParseShardSpecRoundTrips) {
+  Result<ShardOptions> off = ParseShardSpec("off");
+  ASSERT_TRUE(off.ok());
+  EXPECT_EQ(off->count, 1u);
+  Result<ShardOptions> aut = ParseShardSpec("auto");
+  ASSERT_TRUE(aut.ok());
+  EXPECT_EQ(aut->count, 0u);
+  EXPECT_EQ(ShardSpecString(*aut), "auto");
+  Result<ShardOptions> four = ParseShardSpec("4");
+  ASSERT_TRUE(four.ok());
+  EXPECT_EQ(four->count, 4u);
+  EXPECT_EQ(ShardSpecString(*four), "4");
+  EXPECT_TRUE(ParseShardSpec("AUTO").ok());
+  EXPECT_FALSE(ParseShardSpec("0").ok());
+  EXPECT_FALSE(ParseShardSpec("-3").ok());
+  EXPECT_FALSE(ParseShardSpec("bogus").ok());
+}
+
+// ------------------------------------------------- pool parity properties
+
+/// The headline pool property: for every shard count — including one
+/// shard and one point per shard — the sharded build's candidate list is
+/// exactly the monolithic CandidateIndex's, duplicates/ties and
+/// force-included best points included.
+TEST(ShardParityTest, GeometricPoolMatchesMonolithicForAnyShardCount) {
+  for (uint64_t seed : {21u, 22u, 23u}) {
+    Dataset data = TrickyDataset(120, 3, seed);
+    RegretEvaluator evaluator = MakeEvaluator(data, 200, seed + 10);
+    Result<CandidateIndex> mono = CandidateIndex::Build(
+        data, evaluator, {.mode = PruneMode::kGeometric},
+        /*monotone_theta=*/true);
+    ASSERT_TRUE(mono.ok());
+    for (size_t shards : {size_t{1}, size_t{2}, size_t{7}, data.size()}) {
+      Result<ShardedCandidateBuild> sharded = BuildShardedCandidateIndex(
+          data, evaluator, {.mode = PruneMode::kGeometric},
+          /*monotone_theta=*/true, {.count = shards});
+      ASSERT_TRUE(sharded.ok()) << "S=" << shards << " seed=" << seed;
+      EXPECT_EQ(sharded->index.candidates(), mono->candidates())
+          << "S=" << shards << " seed=" << seed;
+      EXPECT_EQ(sharded->index.resolved_mode(), PruneMode::kGeometric);
+      EXPECT_TRUE(sharded->index.exact());
+      EXPECT_EQ(sharded->stats.shard_count, shards);
+      EXPECT_EQ(sharded->stats.final_candidates, mono->size());
+      // The merged pool is a superset of the final candidates and every
+      // shard contributed its own survivor count.
+      EXPECT_GE(sharded->stats.merged_pool, SkylineIndices(data).size());
+      EXPECT_EQ(sharded->stats.shard_survivors.size(), shards);
+    }
+  }
+}
+
+TEST(ShardParityTest, SampleDominancePoolMatchesMonolithicForAnyShardCount) {
+  for (uint64_t seed : {31u, 32u, 33u}) {
+    Dataset data = TrickyDataset(90, 3, seed);
+    // A small sample makes column dominance bite (and keeps ties common).
+    RegretEvaluator evaluator = MakeEvaluator(data, 14, seed + 10);
+    Result<CandidateIndex> mono = CandidateIndex::Build(
+        data, evaluator, {.mode = PruneMode::kSampleDominance},
+        /*monotone_theta=*/false);
+    ASSERT_TRUE(mono.ok());
+    for (size_t shards : {size_t{1}, size_t{2}, size_t{7}, data.size()}) {
+      Result<ShardedCandidateBuild> sharded = BuildShardedCandidateIndex(
+          data, evaluator, {.mode = PruneMode::kSampleDominance},
+          /*monotone_theta=*/false, {.count = shards});
+      ASSERT_TRUE(sharded.ok()) << "S=" << shards << " seed=" << seed;
+      EXPECT_EQ(sharded->index.candidates(), mono->candidates())
+          << "S=" << shards << " seed=" << seed;
+      EXPECT_EQ(sharded->index.resolved_mode(), PruneMode::kSampleDominance);
+    }
+  }
+}
+
+TEST(ShardParityTest, AllDominatedShardsVanishInTheMerge) {
+  // Shard 1 (points 3..5) is entirely dominated by shard 0's point 0; its
+  // per-shard skyline still reports survivors, and the global pass must
+  // erase all of them.
+  Dataset data(Matrix::FromRows({{1.0, 1.0},
+                                 {0.9, 0.2},
+                                 {0.2, 0.9},
+                                 {0.5, 0.5},
+                                 {0.6, 0.4},
+                                 {0.4, 0.6}}));
+  RegretEvaluator evaluator = MakeEvaluator(data, 50, 77);
+  Result<ShardedCandidateBuild> sharded = BuildShardedCandidateIndex(
+      data, evaluator, {.mode = PruneMode::kGeometric},
+      /*monotone_theta=*/true, {.count = 2});
+  ASSERT_TRUE(sharded.ok());
+  // Shard 1's survivors made it into the merged pool...
+  EXPECT_GT(sharded->stats.shard_survivors[1], 0u);
+  // ...but none of them survive the global pass: every user's favorite is
+  // point 0, so the final pool is exactly the global skyline.
+  EXPECT_EQ(sharded->index.candidates(), (std::vector<size_t>{0}));
+}
+
+// ------------------------------------------------- solver-level parity
+
+struct ParityFixture {
+  std::string name;
+  SyntheticDistribution distribution;
+  size_t n;
+  size_t d;
+  size_t k;
+};
+
+// Same non-degenerate fixtures as the pruned-parity suite: arr stays
+// strictly positive so selections are not interchangeable fillers.
+const ParityFixture kFixtures[] = {
+    {"anti3d", SyntheticDistribution::kAntiCorrelated, 250, 3, 6},
+    {"indep4d", SyntheticDistribution::kIndependent, 300, 4, 8},
+    {"anti4d", SyntheticDistribution::kAntiCorrelated, 300, 4, 7},
+};
+
+Workload BuildFixture(const ParityFixture& fixture, PruneOptions prune,
+                      size_t shards) {
+  Dataset data = GenerateSynthetic({.n = fixture.n, .d = fixture.d,
+      .distribution = fixture.distribution, .seed = 1234});
+  Result<Workload> workload = WorkloadBuilder()
+                                  .WithDataset(std::move(data))
+                                  .WithNumUsers(700)
+                                  .WithSeed(99)
+                                  .WithPruning(prune)
+                                  .WithShards(shards)
+                                  .Build();
+  EXPECT_TRUE(workload.ok());
+  return *std::move(workload);
+}
+
+/// Bit-identical selections and arr, sharded vs unsharded, for four
+/// solvers across three fixtures and shard counts {1, 2, 7} — the
+/// geometric (monotone linear Θ) half of the acceptance matrix. S = 1 is
+/// the monolithic path by definition; 2 and 7 run the coreset-merge.
+TEST(ShardParityTest, SolversAreBitIdenticalShardedVsUnsharded) {
+  const char* solvers[] = {"greedy-grow", "local-search", "greedy-shrink",
+                           "branch-and-bound"};
+  Engine engine;
+  for (const ParityFixture& fixture : kFixtures) {
+    Workload plain = BuildFixture(fixture, {.mode = PruneMode::kOff}, 1);
+    for (size_t shards : {size_t{1}, size_t{2}, size_t{7}}) {
+      Workload sharded =
+          BuildFixture(fixture, {.mode = PruneMode::kAuto}, shards);
+      if (shards > 1) {
+        ASSERT_NE(sharded.shard_stats(), nullptr) << fixture.name;
+        EXPECT_EQ(sharded.shard_count(), shards);
+        ASSERT_NE(sharded.candidate_index(), nullptr);
+        EXPECT_EQ(sharded.candidate_index()->resolved_mode(),
+                  PruneMode::kGeometric);
+        // The kernel tile covers candidate columns only, exactly as in
+        // the monolithic pruned build.
+        EXPECT_EQ(sharded.kernel().tiled_columns(),
+                  sharded.candidate_count());
+      }
+      for (const char* solver : solvers) {
+        SolveRequest request{.solver = solver, .k = fixture.k};
+        Result<SolveResponse> full = engine.Solve(plain, request);
+        Result<SolveResponse> restricted = engine.Solve(sharded, request);
+        ASSERT_TRUE(full.ok() && restricted.ok())
+            << fixture.name << "/" << solver << "/S=" << shards;
+        EXPECT_EQ(restricted->selection.indices, full->selection.indices)
+            << fixture.name << "/" << solver << "/S=" << shards;
+        EXPECT_EQ(restricted->selection.average_regret_ratio,
+                  full->selection.average_regret_ratio)
+            << fixture.name << "/" << solver << "/S=" << shards;
+        EXPECT_EQ(restricted->distribution.average,
+                  full->distribution.average)
+            << fixture.name << "/" << solver << "/S=" << shards;
+      }
+    }
+  }
+}
+
+/// The sample-dominance half: a CES (non-linear) Θ forces the fallback
+/// reduction, and sharded solves still match the unsharded ones bit for
+/// bit for four solvers across shard counts {1, 2, 7}.
+TEST(ShardParityTest, SampleDominanceSolversMatchUnshardedForAnyTheta) {
+  const char* solvers[] = {"greedy-grow", "local-search", "greedy-shrink",
+                           "k-hit"};
+  Dataset data = GenerateSynthetic({.n = 150, .d = 3,
+      .distribution = SyntheticDistribution::kAntiCorrelated, .seed = 55});
+  auto make = [&](PruneOptions prune, size_t shards) {
+    Result<Workload> workload =
+        WorkloadBuilder()
+            .WithDataset(data)
+            .WithDistribution(std::make_shared<const CesDistribution>(0.5))
+            .WithNumUsers(400)
+            .WithSeed(56)
+            .WithPruning(prune)
+            .WithShards(shards)
+            .Build();
+    EXPECT_TRUE(workload.ok());
+    return *std::move(workload);
+  };
+  Workload plain = make({.mode = PruneMode::kOff}, 1);
+  Engine engine;
+  for (size_t shards : {size_t{1}, size_t{2}, size_t{7}}) {
+    Workload sharded = make({.mode = PruneMode::kSampleDominance}, shards);
+    if (shards > 1) {
+      ASSERT_NE(sharded.candidate_index(), nullptr);
+      EXPECT_EQ(sharded.candidate_index()->resolved_mode(),
+                PruneMode::kSampleDominance);
+    }
+    for (const char* solver : solvers) {
+      SolveRequest request{.solver = solver, .k = 7};
+      Result<SolveResponse> full = engine.Solve(plain, request);
+      Result<SolveResponse> restricted = engine.Solve(sharded, request);
+      ASSERT_TRUE(full.ok() && restricted.ok())
+          << solver << "/S=" << shards;
+      EXPECT_EQ(restricted->selection.indices, full->selection.indices)
+          << solver << "/S=" << shards;
+      EXPECT_EQ(restricted->distribution.average, full->distribution.average)
+          << solver << "/S=" << shards;
+    }
+  }
+}
+
+/// Shard-count invariance: S = 1, S = 7, and the monolithic pruned build
+/// produce the same candidate pool — and therefore the same solves.
+TEST(ShardParityTest, ShardCountIsInvariant) {
+  const ParityFixture& fixture = kFixtures[0];
+  Workload mono = BuildFixture(fixture, {.mode = PruneMode::kAuto}, 1);
+  Workload s2 = BuildFixture(fixture, {.mode = PruneMode::kAuto}, 2);
+  Workload s7 = BuildFixture(fixture, {.mode = PruneMode::kAuto}, 7);
+  ASSERT_NE(mono.candidate_index(), nullptr);
+  ASSERT_NE(s2.candidate_index(), nullptr);
+  ASSERT_NE(s7.candidate_index(), nullptr);
+  EXPECT_EQ(s2.candidate_index()->candidates(),
+            mono.candidate_index()->candidates());
+  EXPECT_EQ(s7.candidate_index()->candidates(),
+            mono.candidate_index()->candidates());
+}
+
+/// The coreset bound survives sharding: per-shard sweeps carry the full
+/// eps, the merge pass runs with slack zero, so any greedy result stays
+/// within eps of the unpruned one.
+TEST(ShardParityTest, ShardedCoresetStaysWithinEpsilon) {
+  const double eps = 0.02;
+  const ParityFixture& fixture = kFixtures[1];
+  Workload plain = BuildFixture(fixture, {.mode = PruneMode::kOff}, 1);
+  Workload coreset = BuildFixture(
+      fixture, {.mode = PruneMode::kCoreset, .coreset_epsilon = eps}, 3);
+  ASSERT_NE(coreset.candidate_index(), nullptr);
+  EXPECT_FALSE(coreset.candidate_index()->exact());
+  EXPECT_EQ(coreset.candidate_index()->resolved_mode(), PruneMode::kCoreset);
+  Engine engine;
+  for (const char* solver : {"greedy-shrink", "greedy-grow"}) {
+    SolveRequest request{.solver = solver, .k = fixture.k};
+    Result<SolveResponse> full = engine.Solve(plain, request);
+    Result<SolveResponse> approx = engine.Solve(coreset, request);
+    ASSERT_TRUE(full.ok() && approx.ok()) << solver;
+    EXPECT_LE(approx->distribution.average, full->distribution.average + eps)
+        << solver;
+  }
+}
+
+// --------------------------------------------------------- edge cases
+
+TEST(ShardEdgeCaseTest, MoreShardsThanPointsLeavesEmptyShards) {
+  Dataset data = TrickyDataset(5, 2, 41);
+  RegretEvaluator evaluator = MakeEvaluator(data, 30, 42);
+  Result<CandidateIndex> mono = CandidateIndex::Build(
+      data, evaluator, {.mode = PruneMode::kGeometric},
+      /*monotone_theta=*/true);
+  ASSERT_TRUE(mono.ok());
+  Result<ShardedCandidateBuild> sharded = BuildShardedCandidateIndex(
+      data, evaluator, {.mode = PruneMode::kGeometric},
+      /*monotone_theta=*/true, {.count = 9});
+  ASSERT_TRUE(sharded.ok());
+  EXPECT_EQ(sharded->stats.shard_count, 9u);
+  // At least four of the nine shards are empty and contribute nothing.
+  size_t empty = 0;
+  for (size_t size : sharded->stats.shard_sizes) empty += size == 0 ? 1 : 0;
+  EXPECT_GE(empty, 4u);
+  EXPECT_EQ(sharded->index.candidates(), mono->candidates());
+
+  // The same configuration through the engine: builds and solves fine.
+  Result<Workload> workload = WorkloadBuilder()
+                                  .WithDataset(TrickyDataset(5, 2, 41))
+                                  .WithNumUsers(30)
+                                  .WithSeed(42)
+                                  .WithShards(size_t{9})
+                                  .Build();
+  ASSERT_TRUE(workload.ok());
+  Engine engine;
+  Result<SolveResponse> response =
+      engine.Solve(*workload, {.solver = "greedy-grow", .k = 2});
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->selection.indices.size(), 2u);
+}
+
+TEST(ShardEdgeCaseTest, ShardsSmallerThanKStillYieldFullSelections) {
+  // Seven shards of ~4 points each, k = 10 > any shard (and possibly >
+  // the candidate pool, exercising PadWithLowestIndex).
+  Dataset data = TrickyDataset(30, 3, 51);
+  Result<Workload> sharded = WorkloadBuilder()
+                                 .WithDataset(data)
+                                 .WithNumUsers(100)
+                                 .WithSeed(52)
+                                 .WithShards(size_t{7})
+                                 .Build();
+  Result<Workload> plain = WorkloadBuilder()
+                               .WithDataset(data)
+                               .WithNumUsers(100)
+                               .WithSeed(52)
+                               .WithPruning({.mode = PruneMode::kAuto})
+                               .Build();
+  ASSERT_TRUE(sharded.ok() && plain.ok());
+  Engine engine;
+  for (const char* solver : {"greedy-grow", "greedy-shrink", "local-search"}) {
+    Result<SolveResponse> a =
+        engine.Solve(*sharded, {.solver = solver, .k = 10});
+    Result<SolveResponse> b = engine.Solve(*plain, {.solver = solver, .k = 10});
+    ASSERT_TRUE(a.ok() && b.ok()) << solver;
+    EXPECT_EQ(a->selection.indices.size(), 10u) << solver;
+    std::set<size_t> distinct(a->selection.indices.begin(),
+                              a->selection.indices.end());
+    EXPECT_EQ(distinct.size(), 10u) << solver;
+    // Sharded-pruned equals monolithic-pruned, selections included.
+    EXPECT_EQ(a->selection.indices, b->selection.indices) << solver;
+  }
+}
+
+TEST(ShardEdgeCaseTest, ForcedBestPointInDominatedShardSurvivesMerge) {
+  // Point 0 is geometrically dominated by point 2 (other shard) but ties
+  // it on the first attribute — so a user who only cares about that
+  // attribute has point 0 (the lower index) as best-in-DB. The global
+  // merge pass drops point 0 from the pool; the force-include must put it
+  // back, exactly as the monolithic build would.
+  Dataset data(Matrix::FromRows({{1.0, 0.2},     // shard 0: user A's best
+                                 {0.3, 0.9},     // shard 0: dominated by 3
+                                 {1.0, 1.0},     // shard 1: dominates 0
+                                 {0.4, 1.2}}));  // shard 1: dominates 1
+  // Hand-built monotone utilities: user A weights (1, 0), user B (.5, .5).
+  Matrix scores(2, 4);
+  for (size_t p = 0; p < 4; ++p) {
+    scores(0, p) = data.at(p, 0);
+    scores(1, p) = 0.5 * data.at(p, 0) + 0.5 * data.at(p, 1);
+  }
+  RegretEvaluator evaluator(UtilityMatrix::FromScores(std::move(scores)));
+  ASSERT_EQ(evaluator.BestPointInDb(0), 0u) << "tie must pick the low index";
+
+  Result<ShardedCandidateBuild> sharded = BuildShardedCandidateIndex(
+      data, evaluator, {.mode = PruneMode::kGeometric},
+      /*monotone_theta=*/true, {.count = 2});
+  ASSERT_TRUE(sharded.ok());
+  // Pool = global skyline {2, 3} plus the forced favorite 0.
+  EXPECT_EQ(sharded->index.candidates(), (std::vector<size_t>{0, 2, 3}));
+  EXPECT_TRUE(sharded->index.IsCandidate(0));
+  EXPECT_EQ(sharded->index.forced_best_points(), 1u);
+  // Identical to the monolithic build.
+  Result<CandidateIndex> mono = CandidateIndex::Build(
+      data, evaluator, {.mode = PruneMode::kGeometric},
+      /*monotone_theta=*/true);
+  ASSERT_TRUE(mono.ok());
+  EXPECT_EQ(sharded->index.candidates(), mono->candidates());
+  // And it passes the universe validation every solver runs at entry.
+  EXPECT_TRUE(ValidateCandidateUniverse(&sharded->index, evaluator).ok());
+}
+
+TEST(ShardEdgeCaseTest, ExplicitMatrixThetaFallsBackToSampleDominance) {
+  // A direct utility matrix carries no family information, so WithShards
+  // must resolve its (implied) auto pruning to sample-dominance...
+  Dataset data = TrickyDataset(40, 2, 61);
+  UniformLinearDistribution theta;
+  Rng rng(62);
+  UtilityMatrix users = theta.Sample(data, 50, rng);
+  Result<Workload> workload = WorkloadBuilder()
+                                  .WithDataset(data)
+                                  .WithUtilityMatrix(users)
+                                  .WithShards(size_t{3})
+                                  .Build();
+  ASSERT_TRUE(workload.ok());
+  EXPECT_FALSE(workload->monotone_utilities());
+  ASSERT_NE(workload->candidate_index(), nullptr);
+  EXPECT_EQ(workload->candidate_index()->resolved_mode(),
+            PruneMode::kSampleDominance);
+  EXPECT_EQ(workload->prune_options().mode, PruneMode::kAuto);
+  // ...and reject an explicit geometric request outright.
+  Result<Workload> geometric =
+      WorkloadBuilder()
+          .WithDataset(data)
+          .WithUtilityMatrix(users)
+          .WithPruning({.mode = PruneMode::kGeometric})
+          .WithShards(size_t{3})
+          .Build();
+  EXPECT_FALSE(geometric.ok());
+}
+
+TEST(ShardEdgeCaseTest, ShardingOffWithPruningOffStaysUnpruned) {
+  // WithShards(1) is the documented "off" switch: no promotion, no index.
+  Result<Workload> workload = WorkloadBuilder()
+                                  .WithDataset(TrickyDataset(30, 2, 71))
+                                  .WithNumUsers(40)
+                                  .WithSeed(72)
+                                  .WithShards(size_t{1})
+                                  .Build();
+  ASSERT_TRUE(workload.ok());
+  EXPECT_EQ(workload->candidate_index(), nullptr);
+  EXPECT_EQ(workload->shard_stats(), nullptr);
+  EXPECT_EQ(workload->shard_count(), 1u);
+}
+
+// ------------------------------------------- diagnosability / fingerprint
+
+TEST(ShardValidationTest, UniverseMismatchMessageReportsBothPointCounts) {
+  // The index's and the evaluator's point counts must both appear in the
+  // error text, so a shard-merge mismatch is diagnosable from the message
+  // alone.
+  Dataset data = TrickyDataset(80, 3, 81);
+  RegretEvaluator evaluator = MakeEvaluator(data, 20, 82);
+  Result<CandidateIndex> index = CandidateIndex::Build(
+      data, evaluator, {.mode = PruneMode::kSampleDominance},
+      /*monotone_theta=*/false);
+  ASSERT_TRUE(index.ok());
+
+  Dataset smaller = TrickyDataset(60, 3, 83);
+  RegretEvaluator other = MakeEvaluator(smaller, 20, 84);
+  Status mismatch = ValidateCandidateUniverse(&*index, other);
+  ASSERT_FALSE(mismatch.ok());
+  EXPECT_NE(mismatch.message().find("80"), std::string::npos)
+      << mismatch.message();
+  EXPECT_NE(mismatch.message().find("60"), std::string::npos)
+      << mismatch.message();
+
+  // Same point count, different sample: the missing-best-point branch
+  // also reports both sides' counts.
+  RegretEvaluator resampled = MakeEvaluator(data, 20, 85);
+  Status missing = ValidateCandidateUniverse(&*index, resampled);
+  if (!missing.ok()) {
+    EXPECT_NE(missing.message().find("80"), std::string::npos)
+        << missing.message();
+  }
+}
+
+TEST(ShardValidationTest, FromPoolRejectsOutOfRangeAndAuto) {
+  Dataset data = TrickyDataset(20, 2, 91);
+  RegretEvaluator evaluator = MakeEvaluator(data, 10, 92);
+  EXPECT_FALSE(CandidateIndex::FromPool(evaluator, {},
+                                        PruneMode::kAuto, {0, 1})
+                   .ok());
+  EXPECT_FALSE(CandidateIndex::FromPool(evaluator, {},
+                                        PruneMode::kGeometric, {0, 99})
+                   .ok());
+  // Duplicates in the pool are tolerated and collapsed.
+  Result<CandidateIndex> index = CandidateIndex::FromPool(
+      evaluator, {.mode = PruneMode::kAuto}, PruneMode::kGeometric,
+      {3, 1, 3, 1});
+  ASSERT_TRUE(index.ok());
+  std::vector<size_t> unique_sorted = index->candidates();
+  EXPECT_TRUE(std::is_sorted(unique_sorted.begin(), unique_sorted.end()));
+  EXPECT_EQ(std::adjacent_find(unique_sorted.begin(), unique_sorted.end()),
+            unique_sorted.end());
+}
+
+TEST(ShardValidationTest, ServiceFingerprintSeparatesShardConfigs) {
+  auto dataset = std::make_shared<const Dataset>(TrickyDataset(40, 2, 95));
+  WorkloadSpec mono{.dataset = dataset};
+  WorkloadSpec two{.dataset = dataset, .shards = {.count = 2}};
+  WorkloadSpec seven{.dataset = dataset, .shards = {.count = 7}};
+  WorkloadSpec auto_1m{.dataset = dataset, .shards = {.count = 0}};
+  WorkloadSpec auto_small{
+      .dataset = dataset,
+      .shards = {.count = 0, .point_budget = 10}};
+  EXPECT_NE(mono.Fingerprint(), two.Fingerprint());
+  EXPECT_NE(two.Fingerprint(), seven.Fingerprint());
+  EXPECT_NE(mono.Fingerprint(), auto_1m.Fingerprint());
+  // Auto's resolution depends on the budget, so the budget is part of the
+  // key in auto mode...
+  EXPECT_NE(auto_1m.Fingerprint(), auto_small.Fingerprint());
+  // ...but irrelevant for explicit counts.
+  WorkloadSpec two_budget{
+      .dataset = dataset,
+      .shards = {.count = 2, .point_budget = 10}};
+  EXPECT_EQ(two.Fingerprint(), two_budget.Fingerprint());
+  // Stability: same fields, same key.
+  WorkloadSpec two_again{.dataset = dataset, .shards = {.count = 2}};
+  EXPECT_EQ(two.Fingerprint(), two_again.Fingerprint());
+}
+
+}  // namespace
+}  // namespace fam

@@ -19,9 +19,12 @@
 // cache). Commands:
 //
 //   {"cmd":"build_workload","in":"d.csv","users":10000,"seed":7,
-//    "name":"w1","prune":"auto"}  -> workload built (or cache hit);
+//    "name":"w1","prune":"auto","shards":"off"}
+//                                 -> workload built (or cache hit);
 //                                    prune: off | auto | geometric |
-//                                    sample-dominance | coreset:EPS
+//                                    sample-dominance | coreset:EPS;
+//                                    shards: off | N | auto (sharded
+//                                    candidate build, implies prune auto)
 //   {"cmd":"solve","workload":"w1","algo":"greedy-shrink","k":10,
 //    "deadline":0,"options":""}   -> job accepted, returns its id
 //   {"cmd":"status"}              -> service counters
@@ -245,6 +248,7 @@ struct WorkloadFlags {
   int64_t seed = 7;
   std::string domain = "simplex";
   std::string prune = "off";
+  std::string shards = "off";
   bool has_header = true;
   bool label_column = false;
 };
@@ -257,6 +261,9 @@ void RegisterWorkloadFlags(FlagParser& flags, WorkloadFlags* w) {
       .AddString("prune", &w->prune,
                  "candidate pruning: off | auto | geometric | "
                  "sample-dominance | coreset:EPS")
+      .AddString("shards", &w->shards,
+                 "sharded candidate build: off | N | auto "
+                 "(implies --prune auto when pruning is off)")
       .AddBool("header", &w->has_header, "CSV has a header row")
       .AddBool("labels", &w->label_column, "first CSV column is a label");
 }
@@ -272,6 +279,7 @@ Result<Workload> BuildWorkload(const WorkloadFlags& w) {
   FAM_ASSIGN_OR_RETURN(Dataset data, ReadCsvFile(w.in, options));
   FAM_ASSIGN_OR_RETURN(WeightDomain domain, ParseDomain(w.domain));
   FAM_ASSIGN_OR_RETURN(PruneOptions prune, ParsePruneSpec(w.prune));
+  FAM_ASSIGN_OR_RETURN(ShardOptions shards, ParseShardSpec(w.shards));
   return WorkloadBuilder()
       .WithDataset(std::move(data))
       .WithDistribution(
@@ -279,6 +287,7 @@ Result<Workload> BuildWorkload(const WorkloadFlags& w) {
       .WithNumUsers(static_cast<size_t>(w.users))
       .WithSeed(static_cast<uint64_t>(w.seed))
       .WithPruning(prune)
+      .WithShards(shards)
       .Build();
 }
 
@@ -403,6 +412,7 @@ int RunSelect(int argc, const char* const* argv) {
         .String("prune", ResolvedPruneName(*workload))
         .Integer("candidates",
                  static_cast<long long>(workload->candidate_count()))
+        .Integer("shards", static_cast<long long>(workload->shard_count()))
         .Field("selection", JsonIndexArray(response->selection.indices))
         .Field("labels", JsonLabelArray(data, response->selection.indices))
         .Number("arr", response->distribution.average)
@@ -429,6 +439,12 @@ int RunSelect(int argc, const char* const* argv) {
     std::printf("prune: %s, candidates: %zu/%zu\n",
                 ResolvedPruneName(*workload).c_str(),
                 workload->candidate_count(), workload->size());
+  }
+  if (const ShardedBuildStats* shard = workload->shard_stats()) {
+    std::printf("shards: %zu, merged pool: %zu, shard build: %.3f s, "
+                "merge: %.3f s\n",
+                shard->shard_count, shard->merged_pool,
+                shard->shard_build_seconds, shard->merge_seconds);
   }
   if (response->truncated) {
     std::printf("truncated: deadline of %.3f s expired; selection is "
@@ -742,6 +758,9 @@ Status ServeBuildWorkload(ServeSession& session, const JsonRequest& request) {
   FAM_ASSIGN_OR_RETURN(std::string prune_spec,
                        request.String("prune", "off"));
   FAM_ASSIGN_OR_RETURN(PruneOptions prune, ParsePruneSpec(prune_spec));
+  FAM_ASSIGN_OR_RETURN(std::string shard_spec,
+                       request.String("shards", "off"));
+  FAM_ASSIGN_OR_RETURN(ShardOptions shards, ParseShardSpec(shard_spec));
   FAM_ASSIGN_OR_RETURN(std::string name, request.String("name", ""));
   if (name.empty()) {
     // Skip auto-names the client already claimed explicitly — silently
@@ -763,6 +782,7 @@ Status ServeBuildWorkload(ServeSession& session, const JsonRequest& request) {
   spec.num_users = static_cast<size_t>(users);
   spec.seed = static_cast<uint64_t>(seed);
   spec.prune = prune;
+  spec.shards = shards;
 
   const uint64_t hits_before =
       session.service.stats().workload_cache_hits;
@@ -785,7 +805,13 @@ Status ServeBuildWorkload(ServeSession& session, const JsonRequest& request) {
       .Integer("users", static_cast<long long>(workload->num_users()))
       .String("prune", ResolvedPruneName(*workload))
       .Integer("candidates",
-               static_cast<long long>(workload->candidate_count()));
+               static_cast<long long>(workload->candidate_count()))
+      .Integer("shards", static_cast<long long>(workload->shard_count()));
+  if (const ShardedBuildStats* shard = workload->shard_stats()) {
+    json.Integer("merged_pool", static_cast<long long>(shard->merged_pool))
+        .Number("shard_build_seconds", shard->shard_build_seconds)
+        .Number("merge_seconds", shard->merge_seconds);
+  }
   Reply(json);
   return Status::OK();
 }
