@@ -51,7 +51,10 @@ Measurement RunService(const Workload& workload,
                        size_t num_threads) {
   Measurement m;
   Timer timer;
-  Service service({.num_threads = num_threads, .max_queued_jobs = 0});
+  ServiceOptions options;
+  options.num_threads = num_threads;
+  options.max_queued_jobs = 0;
+  Service service(options);
   std::vector<JobHandle> jobs;
   jobs.reserve(requests.size());
   for (const SolveRequest& request : requests) {

@@ -18,6 +18,13 @@
 // 10M with --full. Results land in BENCH_shard.json (CI uploads it as a
 // perf-trajectory artifact).
 //
+// Each monolithic reference workload is additionally saved and reopened
+// through WorkloadSnapshot (store/workload_snapshot.h) as a third parity
+// leg — snapshot_save/open_seconds in the JSON record what a 10M --full
+// rerun costs through the warm path instead of the cold rebuild: reopen
+// the reference from its .famsnap and only the sharded builds pay their
+// preprocessing again.
+//
 // Usage: bench_shard [--quick] [--full] [--out BENCH_shard.json]
 
 #include <cstdio>
@@ -59,6 +66,9 @@ struct ConfigRow {
   double mono_build_seconds = 0.0;
   size_t mono_candidates = 0;
   std::string prune_mode;
+  double snapshot_save_seconds = 0.0;
+  double snapshot_open_seconds = 0.0;
+  bool snapshot_parity = false;
   std::vector<ShardRow> shards;
 };
 
@@ -84,6 +94,39 @@ ConfigRow RunConfig(size_t n, const std::vector<size_t>& shard_counts,
     requests.push_back({.solver = solver, .k = kK});
   }
   std::vector<AlgorithmOutcome> mono_out = RunRequests(mono, requests);
+
+  // Snapshot leg: persist and reopen the monolithic reference. At --full
+  // scale this is the path a rerun takes — reopen the 10M reference in
+  // ~milliseconds instead of repeating its cold build.
+  {
+    const std::string path = "bench_shard_n" + std::to_string(n) + ".famsnap";
+    Timer save_timer;
+    Status saved = WorkloadSnapshot::Save(mono, path);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "snapshot save failed: %s\n",
+                   saved.ToString().c_str());
+      std::abort();
+    }
+    row.snapshot_save_seconds = save_timer.ElapsedSeconds();
+    Timer open_timer;
+    Result<std::shared_ptr<const WorkloadSnapshot>> snapshot =
+        WorkloadSnapshot::Open(path);
+    Workload reopened = bench::MustBuild(
+        snapshot.ok() ? WorkloadBuilder::FromSnapshot(*snapshot, data)
+                      : Result<Workload>(snapshot.status()));
+    row.snapshot_open_seconds = open_timer.ElapsedSeconds();
+    row.snapshot_parity = reopened.candidate_index()->candidates() ==
+                          mono.candidate_index()->candidates();
+    std::vector<AlgorithmOutcome> warm_out = RunRequests(reopened, requests);
+    for (size_t i = 0; i < requests.size(); ++i) {
+      row.snapshot_parity &=
+          warm_out[i].ok &&
+          warm_out[i].selection.indices == mono_out[i].selection.indices &&
+          warm_out[i].average_regret_ratio ==
+              mono_out[i].average_regret_ratio;
+    }
+    std::remove(path.c_str());
+  }
 
   for (size_t s : shard_counts) {
     ShardRow cell;
@@ -162,6 +205,11 @@ int Run(int argc, char** argv) {
     std::printf("n = %8zu: monolithic candidates = %zu (%s), build %.3f s\n",
                 row.n, row.mono_candidates, row.prune_mode.c_str(),
                 row.mono_build_seconds);
+    std::printf(
+        "  snapshot: save %.3f s, open %.4f s, parity: %s\n",
+        row.snapshot_save_seconds, row.snapshot_open_seconds,
+        row.snapshot_parity ? "yes" : "NO");
+    all_identical &= row.snapshot_parity;
     for (const ShardRow& cell : row.shards) {
       bool identical = cell.pool_identical;
       for (const SolverRow& s : cell.solvers) {
@@ -192,9 +240,13 @@ int Run(int argc, char** argv) {
     std::fprintf(out,
                  "%s{\"n\":%zu,\"prune\":\"%s\","
                  "\"mono_build_seconds\":%.6f,\"mono_candidates\":%zu,"
+                 "\"snapshot_save_seconds\":%.6f,"
+                 "\"snapshot_open_seconds\":%.6f,\"snapshot_parity\":%s,"
                  "\"shards\":[",
                  c > 0 ? "," : "", row.n, row.prune_mode.c_str(),
-                 row.mono_build_seconds, row.mono_candidates);
+                 row.mono_build_seconds, row.mono_candidates,
+                 row.snapshot_save_seconds, row.snapshot_open_seconds,
+                 row.snapshot_parity ? "true" : "false");
     for (size_t j = 0; j < row.shards.size(); ++j) {
       const ShardRow& cell = row.shards[j];
       std::fprintf(out,

@@ -1,0 +1,239 @@
+// bench_snapshot: cold build vs snapshot warm open, and the paged tile
+// pool's hit-rate curve.
+//
+// For each dataset size N, builds one pruned workload cold (sample Θ,
+// scan best-in-DB, build candidates — the paper's preprocessing phase),
+// saves it as a snapshot, and reopens it through
+// WorkloadBuilder::FromSnapshot, timing all three. The headline number is
+// `speedup` = cold build / warm open: the snapshot exists to make a
+// Service restart pay an open+validate instead of the full O(N·n)
+// rebuild (the PR's acceptance bar is ≥ 50× at N = 1M). Solver queries
+// run on both workloads and must match bit for bit.
+//
+// The second table sweeps the reopened workload's TileBufferPool budget
+// from "a handful of columns" to "the whole candidate tile", recording
+// hits, misses, evictions, and query time per budget — the working-set
+// curve that sizes a serving deployment's page pool.
+//
+// Scales: N ∈ {100k, 1M} by default, 100k only with --quick (CI), plus
+// 10M with --full. Results land in BENCH_snapshot.json (CI uploads it as
+// a perf-trajectory artifact).
+//
+// Usage: bench_snapshot [--quick] [--full] [--out BENCH_snapshot.json]
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace fam {
+namespace {
+
+constexpr size_t kUsers = 2000;
+constexpr size_t kK = 10;
+constexpr size_t kDim = 4;
+
+struct PoolPoint {
+  size_t budget_columns = 0;  // 0 = unbounded (the default pool cap)
+  size_t budget_bytes = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  double hit_rate = 0.0;
+  double query_seconds = 0.0;
+  bool identical = false;
+};
+
+struct ConfigRow {
+  size_t n = 0;
+  size_t candidates = 0;
+  double cold_build_seconds = 0.0;
+  double save_seconds = 0.0;
+  double open_seconds = 0.0;
+  double speedup = 0.0;
+  size_t file_bytes = 0;
+  bool parity = false;
+  std::vector<PoolPoint> pool_sweep;
+};
+
+ConfigRow RunConfig(size_t n, const std::string& out_dir) {
+  ConfigRow row;
+  row.n = n;
+  auto data = std::make_shared<const Dataset>(GenerateSynthetic(
+      {.n = n, .d = kDim,
+       .distribution = SyntheticDistribution::kIndependent, .seed = 7}));
+
+  WorkloadBuilder builder;
+  builder.WithDataset(data).WithNumUsers(kUsers).WithSeed(9);
+  builder.WithPruning({.mode = PruneMode::kAuto});
+  Workload cold = bench::MustBuild(builder.Build());
+  row.cold_build_seconds = cold.preprocess_seconds();
+  row.candidates = cold.candidate_count();
+
+  const std::string path =
+      out_dir + "/bench_n" + std::to_string(n) + ".famsnap";
+  Timer save_timer;
+  Status saved = WorkloadSnapshot::Save(cold, path);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", saved.ToString().c_str());
+    std::abort();
+  }
+  row.save_seconds = save_timer.ElapsedSeconds();
+
+  Timer open_timer;
+  Result<std::shared_ptr<const WorkloadSnapshot>> snapshot =
+      WorkloadSnapshot::Open(path);
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 snapshot.status().ToString().c_str());
+    std::abort();
+  }
+  Workload warm =
+      bench::MustBuild(WorkloadBuilder::FromSnapshot(*snapshot, data));
+  row.open_seconds = open_timer.ElapsedSeconds();
+  row.file_bytes = (*snapshot)->file_bytes();
+  row.speedup =
+      row.open_seconds > 0.0 ? row.cold_build_seconds / row.open_seconds : 0.0;
+
+  // Parity: the warm workload must answer queries bit-identically.
+  std::vector<SolveRequest> requests = {
+      {.solver = "greedy-shrink", .k = kK}, {.solver = "greedy-grow", .k = kK}};
+  std::vector<AlgorithmOutcome> cold_out = RunRequests(cold, requests);
+  std::vector<AlgorithmOutcome> warm_out = RunRequests(warm, requests);
+  row.parity = true;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    row.parity &= cold_out[i].ok && warm_out[i].ok &&
+                  cold_out[i].selection.indices ==
+                      warm_out[i].selection.indices &&
+                  cold_out[i].average_regret_ratio ==
+                      warm_out[i].average_regret_ratio;
+  }
+
+  // Pool sweep: rerun the greedy-grow query under shrinking page budgets.
+  // greedy-grow's BatchGains streams every candidate column each round,
+  // so a budget below the candidate count forces steady eviction.
+  const size_t column_bytes = kUsers * sizeof(double);
+  std::vector<size_t> budgets = {0};  // unbounded first (pure warm cache)
+  for (size_t columns : {row.candidates, row.candidates / 4,
+                         row.candidates / 16, size_t{4}}) {
+    if (columns >= 4) budgets.push_back(columns);
+  }
+  for (size_t columns : budgets) {
+    PoolPoint point;
+    point.budget_columns = columns;
+    point.budget_bytes = columns * column_bytes;
+    Workload paged = bench::MustBuild(WorkloadBuilder::FromSnapshot(
+        *snapshot, data, point.budget_bytes));
+    std::vector<AlgorithmOutcome> out =
+        RunRequests(paged, {{.solver = "greedy-grow", .k = kK}});
+    point.identical =
+        out[0].ok &&
+        out[0].selection.indices == cold_out[1].selection.indices;
+    point.query_seconds = out[0].query_seconds;
+    TileBufferPool::Stats stats = paged.kernel().page_pool()->stats();
+    point.hits = stats.hits;
+    point.misses = stats.misses;
+    point.evictions = stats.evictions;
+    point.hit_rate = stats.hits + stats.misses > 0
+                         ? static_cast<double>(stats.hits) /
+                               static_cast<double>(stats.hits + stats.misses)
+                         : 0.0;
+    row.pool_sweep.push_back(point);
+  }
+  std::remove(path.c_str());
+  return row;
+}
+
+int Run(int argc, char** argv) {
+  const bool full = FullScaleRequested(argc, argv);
+  bool quick = false;
+  std::string out_path = "BENCH_snapshot.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") quick = true;
+    if (std::string(argv[i]) == "--out" && i + 1 < argc) {
+      out_path = argv[i + 1];
+    }
+  }
+
+  bench::Banner("Workload snapshots: cold build vs warm open",
+                StrPrintf("d = %zu independent, users = %zu, k = %zu",
+                          kDim, kUsers, kK),
+                full);
+
+  std::vector<size_t> sizes = {100'000};
+  if (!quick) sizes.push_back(1'000'000);
+  if (full) sizes.push_back(10'000'000);
+
+  bool all_ok = true;
+  std::vector<ConfigRow> rows;
+  for (size_t n : sizes) {
+    ConfigRow row = RunConfig(n, ".");
+    std::printf(
+        "n = %8zu: cold %.3f s, save %.3f s (%zu bytes), open %.4f s "
+        "-> %.0fx, parity: %s\n",
+        row.n, row.cold_build_seconds, row.save_seconds, row.file_bytes,
+        row.open_seconds, row.speedup, row.parity ? "yes" : "NO");
+    for (const PoolPoint& point : row.pool_sweep) {
+      std::printf(
+          "  pool %5zu cols: hits %7llu, misses %6llu, evictions %6llu, "
+          "hit rate %.3f, query %.4f s, identical: %s\n",
+          point.budget_columns,
+          static_cast<unsigned long long>(point.hits),
+          static_cast<unsigned long long>(point.misses),
+          static_cast<unsigned long long>(point.evictions), point.hit_rate,
+          point.query_seconds, point.identical ? "yes" : "NO");
+      all_ok &= point.identical;
+    }
+    all_ok &= row.parity;
+    rows.push_back(std::move(row));
+  }
+
+  FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\"bench\":\"snapshot\",\"full\":%s,\"quick\":%s,\"d\":%zu,"
+               "\"users\":%zu,\"k\":%zu,\"configs\":[",
+               full ? "true" : "false", quick ? "true" : "false", kDim,
+               kUsers, kK);
+  for (size_t c = 0; c < rows.size(); ++c) {
+    const ConfigRow& row = rows[c];
+    std::fprintf(out,
+                 "%s{\"n\":%zu,\"candidates\":%zu,"
+                 "\"cold_build_seconds\":%.6f,\"save_seconds\":%.6f,"
+                 "\"open_seconds\":%.6f,\"speedup\":%.1f,"
+                 "\"file_bytes\":%zu,\"parity\":%s,\"pool_sweep\":[",
+                 c > 0 ? "," : "", row.n, row.candidates,
+                 row.cold_build_seconds, row.save_seconds, row.open_seconds,
+                 row.speedup, row.file_bytes, row.parity ? "true" : "false");
+    for (size_t i = 0; i < row.pool_sweep.size(); ++i) {
+      const PoolPoint& point = row.pool_sweep[i];
+      std::fprintf(out,
+                   "%s{\"budget_columns\":%zu,\"budget_bytes\":%zu,"
+                   "\"hits\":%llu,\"misses\":%llu,\"evictions\":%llu,"
+                   "\"hit_rate\":%.4f,\"query_seconds\":%.6f,"
+                   "\"identical\":%s}",
+                   i > 0 ? "," : "", point.budget_columns,
+                   point.budget_bytes,
+                   static_cast<unsigned long long>(point.hits),
+                   static_cast<unsigned long long>(point.misses),
+                   static_cast<unsigned long long>(point.evictions),
+                   point.hit_rate, point.query_seconds,
+                   point.identical ? "true" : "false");
+    }
+    std::fprintf(out, "]}");
+  }
+  std::fprintf(out, "]}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return all_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace fam
+
+int main(int argc, char** argv) { return fam::Run(argc, argv); }

@@ -26,6 +26,7 @@ struct Search {
   uint64_t nodes_visited = 0;
   bool aborted = false;
   bool truncated = false;
+  std::vector<double> column_scratch;  // untiled column staging
 
   explicit Search(const RegretEvaluator& eval, const EvalKernel& kern,
                   const BranchAndBoundOptions& opts,
@@ -81,15 +82,11 @@ struct Search {
     // Include candidates[idx].
     size_t point = candidates[idx];
     std::vector<double> with(sat);
-    if (kernel.ColumnTiled(point)) {
-      std::span<const double> column = kernel.Column(point);
+    {
+      ColumnHandle handle = kernel.PinColumn(point, column_scratch);
+      std::span<const double> column = handle.view();
       for (size_t u = 0; u < evaluator.num_users(); ++u) {
         with[u] = std::max(with[u], column[u]);
-      }
-    } else {
-      const UtilityMatrix& users = evaluator.users();
-      for (size_t u = 0; u < evaluator.num_users(); ++u) {
-        with[u] = std::max(with[u], users.Utility(u, point));
       }
     }
     chosen.push_back(point);
@@ -180,16 +177,10 @@ Result<Selection> BranchAndBound(const RegretEvaluator& evaluator,
       size_t point = search.candidates[idx];
       const double* next = search.suffix_best.row(idx + 1);
       double* row = search.suffix_best.row(idx);
-      if (kernel.ColumnTiled(point)) {
-        std::span<const double> column = kernel.Column(point);
-        for (size_t u = 0; u < evaluator.num_users(); ++u) {
-          row[u] = std::max(next[u], column[u]);
-        }
-      } else {
-        const UtilityMatrix& users = evaluator.users();
-        for (size_t u = 0; u < evaluator.num_users(); ++u) {
-          row[u] = std::max(next[u], users.Utility(u, point));
-        }
+      ColumnHandle handle = kernel.PinColumn(point, search.column_scratch);
+      std::span<const double> column = handle.view();
+      for (size_t u = 0; u < evaluator.num_users(); ++u) {
+        row[u] = std::max(next[u], column[u]);
       }
     }
   }

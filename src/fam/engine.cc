@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/hash.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
@@ -55,6 +56,12 @@ WorkloadBuilder& WorkloadBuilder::WithMaterializedUtilities(
 WorkloadBuilder& WorkloadBuilder::WithScoreTile(bool enabled) {
   tile_mode_ =
       enabled ? EvalKernelOptions::Tile::kOn : EvalKernelOptions::Tile::kOff;
+  return *this;
+}
+
+WorkloadBuilder& WorkloadBuilder::WithPagedTile(size_t max_bytes) {
+  tile_mode_ = EvalKernelOptions::Tile::kPaged;
+  page_pool_bytes_ = max_bytes;
   return *this;
 }
 
@@ -161,13 +168,55 @@ Result<Workload> WorkloadBuilder::Build() const {
   // inside the timed phase, and reused by every solve.
   EvalKernelOptions kernel_options;
   kernel_options.tile = tile_mode_;
+  if (page_pool_bytes_ > 0) kernel_options.page_pool_bytes = page_pool_bytes_;
   if (workload.candidate_index_ != nullptr) {
     kernel_options.tile_columns = workload.candidate_index_->candidates();
   }
   workload.kernel_ = std::make_shared<const EvalKernel>(workload.evaluator_,
                                                         kernel_options);
+  workload.materialized_ = materialized_;
+  workload.spec_fingerprint_ = WorkloadFingerprintParts(
+      dataset_->ContentHash(), workload.distribution_name_, num_users_,
+      workload.seed_, materialized_, prune_, shards_);
   workload.preprocess_seconds_ = timer.ElapsedSeconds();
   return workload;
+}
+
+uint64_t WorkloadFingerprintParts(uint64_t dataset_hash,
+                                  std::string_view distribution_name,
+                                  size_t num_users, uint64_t seed,
+                                  bool materialized,
+                                  const PruneOptions& prune,
+                                  const ShardOptions& shards) {
+  Fnv64 h;
+  h.U64(dataset_hash);
+  h.String(distribution_name);
+  h.U64(num_users);
+  h.U64(seed);
+  h.U64(materialized ? 1 : 0);
+  h.U64(static_cast<uint64_t>(prune.mode));
+  h.Double(prune.mode == PruneMode::kCoreset ? prune.coreset_epsilon : 0.0);
+  h.U64(shards.count);
+  // The budget only matters in auto mode; keep explicit counts' keys
+  // independent of it.
+  h.U64(shards.count == 0 ? shards.point_budget : 0);
+  return h.hash();
+}
+
+size_t Workload::resident_bytes() const {
+  size_t bytes = dataset_->values().data().size() * sizeof(double);
+  bytes += evaluator_->users().MemoryBytes();
+  bytes += evaluator_->user_weights().size() * sizeof(double);
+  bytes += evaluator_->best_in_db_values().size() * sizeof(double);
+  bytes += evaluator_->best_in_db_points().size() * sizeof(size_t);
+  bytes += kernel_->tile_bytes();
+  if (kernel_->paged()) {
+    bytes += kernel_->page_pool()->stats().resident_bytes;
+  }
+  if (candidate_index_ != nullptr) {
+    bytes += candidate_index_->candidates().size() * sizeof(size_t);
+  }
+  return bytes;
 }
 
 Engine::Engine(const SolverRegistry* registry)

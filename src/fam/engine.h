@@ -41,6 +41,7 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
@@ -55,6 +56,8 @@
 #include "utility/distribution.h"
 
 namespace fam {
+
+class WorkloadSnapshot;
 
 /// The shared, immutable per-session state every solve request runs
 /// against: dataset + sampled user population (RegretEvaluator) + the
@@ -118,6 +121,23 @@ class Workload {
   /// matrices, where the family is unknown).
   bool monotone_utilities() const { return monotone_utilities_; }
 
+  /// True when the utility matrix was densified at build time
+  /// (WithMaterializedUtilities) — a spec-identity input, so snapshots
+  /// record it.
+  bool materialized() const { return materialized_; }
+
+  /// Fingerprint of the build inputs (dataset content hash, Θ name, N,
+  /// seed, materialization, prune + shard config) — the workload-identity
+  /// key shared with the serving cache and stamped into snapshots.
+  uint64_t spec_fingerprint() const { return spec_fingerprint_; }
+
+  /// Approximate heap footprint of the shared state: dataset values,
+  /// utility matrix, best-in-DB index, score tile or resident pool pages,
+  /// candidate pool. Serving-quota accounting (ServiceOptions
+  /// max_resident_bytes); for a paged kernel this moves with pool
+  /// eviction.
+  size_t resident_bytes() const;
+
   size_t size() const { return dataset_->size(); }
   size_t dimension() const { return dataset_->dimension(); }
   size_t num_users() const { return evaluator_->num_users(); }
@@ -145,10 +165,25 @@ class Workload {
   std::shared_ptr<const ShardedBuildStats> shard_stats_;
   PruneOptions prune_;
   bool monotone_utilities_ = false;
+  bool materialized_ = false;
   uint64_t seed_ = 0;
+  uint64_t spec_fingerprint_ = 0;
   std::string distribution_name_;
   double preprocess_seconds_ = 0.0;
 };
+
+/// The canonical workload-identity hash: every layer that needs to decide
+/// "same workload?" (the serving cache, snapshot validation, the builder)
+/// hashes the same fields in the same order through this one function.
+/// `distribution_name` must be the *resolved* Θ name — the builder's
+/// default distribution counts as its name, not as "" (empty = direct
+/// utility matrix).
+uint64_t WorkloadFingerprintParts(uint64_t dataset_hash,
+                                  std::string_view distribution_name,
+                                  size_t num_users, uint64_t seed,
+                                  bool materialized,
+                                  const PruneOptions& prune,
+                                  const ShardOptions& shards);
 
 /// Assembles a Workload: dataset + (distribution, num_users, seed) or a
 /// direct utility matrix. Build() performs and times the preprocessing.
@@ -187,6 +222,12 @@ class WorkloadBuilder {
   /// kernel's byte budget (EvalKernelOptions::max_tile_bytes).
   WorkloadBuilder& WithScoreTile(bool enabled);
 
+  /// Replaces the monolithic score tile with an on-demand TileBufferPool
+  /// capped at `max_bytes` of resident unpinned column pages (0 keeps the
+  /// kernel default cap). Bit-identical results with bounded memory —
+  /// the multi-tenant serving mode. Overrides WithScoreTile.
+  WorkloadBuilder& WithPagedTile(size_t max_bytes = 0);
+
   /// Candidate pruning (default: off). kAuto picks the strongest sound
   /// mode for the workload's Θ (geometric for monotone families,
   /// sample-dominance otherwise); kGeometric is rejected at Build() time
@@ -209,6 +250,18 @@ class WorkloadBuilder {
   /// the immutable Workload. The builder can be reused afterwards.
   Result<Workload> Build() const;
 
+  /// Rehydrates a Workload from an opened snapshot (store/
+  /// workload_snapshot.h) + the original dataset, skipping the Θ sample,
+  /// the O(N·n) best-in-DB scan, and the candidate build. The dataset must
+  /// hash to the snapshot's recorded Dataset::ContentHash
+  /// (FailedPrecondition otherwise). The kernel runs in paged mode over
+  /// the snapshot's mmapped tile section (pool cap `page_pool_bytes`, 0 =
+  /// default); solves are bit-identical to the originally built workload.
+  /// Defined in store/workload_snapshot.cc.
+  static Result<Workload> FromSnapshot(
+      std::shared_ptr<const WorkloadSnapshot> snapshot,
+      std::shared_ptr<const Dataset> dataset, size_t page_pool_bytes = 0);
+
  private:
   std::shared_ptr<const Dataset> dataset_;
   std::shared_ptr<const UtilityDistribution> distribution_;
@@ -216,6 +269,7 @@ class WorkloadBuilder {
   uint64_t seed_ = 7;
   bool materialized_ = false;
   EvalKernelOptions::Tile tile_mode_ = EvalKernelOptions::Tile::kAuto;
+  size_t page_pool_bytes_ = 0;  // kPaged cap; 0 = kernel default
   PruneOptions prune_;
   ShardOptions shards_;
   bool has_matrix_ = false;

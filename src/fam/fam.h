@@ -60,6 +60,8 @@
 #include "regret/sample_size.h"
 #include "regret/selection.h"
 #include "regret/sharded_workload.h"
+#include "store/tile_buffer_pool.h"
+#include "store/workload_snapshot.h"
 #include "utility/distribution.h"
 #include "utility/utility_matrix.h"
 

@@ -8,9 +8,12 @@
 #include <optional>
 #include <utility>
 
+#include <cstdio>
+
 #include "common/cancellation.h"
 #include "common/hash.h"
 #include "common/logging.h"
+#include "store/workload_snapshot.h"
 
 namespace fam {
 namespace internal {
@@ -61,6 +64,8 @@ struct ServiceState {
   std::atomic<size_t> running{0};
   std::atomic<uint64_t> cache_hits{0};
   std::atomic<uint64_t> cache_misses{0};
+  std::atomic<uint64_t> snapshot_opens{0};
+  std::atomic<uint64_t> snapshot_saves{0};
 
   std::mutex mu;  ///< Guards accepting + jobs.
   bool accepting = true;
@@ -167,20 +172,19 @@ std::string_view JobStateName(JobState state) {
 
 uint64_t WorkloadSpec::Fingerprint() const {
   FAM_CHECK(dataset != nullptr) << "WorkloadSpec.dataset is required";
-  // FNV-1a over the identifying fields, seeded with the dataset content.
-  Fnv64 h;
-  h.U64(dataset->ContentHash());
-  h.String(distribution != nullptr ? distribution->name() : "");
-  h.U64(num_users);
-  h.U64(seed);
-  h.U64(materialized ? 1 : 0);
-  h.U64(static_cast<uint64_t>(prune.mode));
-  h.Double(prune.mode == PruneMode::kCoreset ? prune.coreset_epsilon : 0.0);
-  h.U64(shards.count);
-  // The budget only matters in auto mode; keep explicit counts' keys
-  // independent of it.
-  h.U64(shards.count == 0 ? shards.point_budget : 0);
-  return h.hash();
+  // A null distribution resolves to the builder's default before hashing,
+  // so the spec fingerprint equals the built Workload::spec_fingerprint()
+  // (which records the resolved Θ name) — the invariant snapshot lookup
+  // keys on.
+  std::string resolved_name;
+  if (distribution != nullptr) {
+    resolved_name = distribution->name();
+  } else {
+    resolved_name = UniformLinearDistribution(WeightDomain::kSimplex).name();
+  }
+  return WorkloadFingerprintParts(dataset->ContentHash(), resolved_name,
+                                  num_users, seed, materialized, prune,
+                                  shards);
 }
 
 JobHandle::JobHandle(std::shared_ptr<internal::Job> job)
@@ -241,6 +245,45 @@ Result<std::shared_ptr<const Workload>> BuildWorkloadFromSpec(
   return std::make_shared<const Workload>(std::move(workload));
 }
 
+std::string SnapshotPathFor(const std::string& dir, uint64_t fingerprint) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "%016llx.famsnap",
+                static_cast<unsigned long long>(fingerprint));
+  return dir + "/" + name;
+}
+
+/// Serves a cache miss: a valid same-fingerprint snapshot opens warm (the
+/// paged kernel over the mmapped tile — bit-identical solves); anything
+/// else — no file, corruption, foreign spec — falls through to a fresh
+/// build, optionally re-saved so the next restart opens warm.
+Result<std::shared_ptr<const Workload>> BuildOrOpenWorkload(
+    internal::ServiceState& service, const WorkloadSpec& spec,
+    uint64_t fingerprint) {
+  const std::string& dir = service.options.snapshot_dir;
+  std::string path;
+  if (!dir.empty()) {
+    path = SnapshotPathFor(dir, fingerprint);
+    Result<std::shared_ptr<const WorkloadSnapshot>> snapshot =
+        WorkloadSnapshot::Open(path);
+    if (snapshot.ok() &&
+        (*snapshot)->VerifySpecFingerprint(fingerprint).ok()) {
+      Result<Workload> restored =
+          WorkloadBuilder::FromSnapshot(*snapshot, spec.dataset);
+      if (restored.ok()) {
+        service.snapshot_opens.fetch_add(1, std::memory_order_relaxed);
+        return std::make_shared<const Workload>(*std::move(restored));
+      }
+    }
+  }
+  Result<std::shared_ptr<const Workload>> built = BuildWorkloadFromSpec(spec);
+  if (built.ok() && service.options.save_snapshots && !path.empty()) {
+    if (WorkloadSnapshot::Save(**built, path).ok()) {
+      service.snapshot_saves.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return built;
+}
+
 }  // namespace
 
 Result<std::shared_ptr<const Workload>> Service::GetOrBuildWorkload(
@@ -253,7 +296,7 @@ Result<std::shared_ptr<const Workload>> Service::GetOrBuildWorkload(
   const size_t capacity = service.options.workload_cache_capacity;
   if (capacity == 0) {  // cache disabled: plain uncoordinated build
     service.cache_misses.fetch_add(1, std::memory_order_relaxed);
-    return BuildWorkloadFromSpec(spec);
+    return BuildOrOpenWorkload(service, spec, fingerprint);
   }
 
   {
@@ -277,16 +320,43 @@ Result<std::shared_ptr<const Workload>> Service::GetOrBuildWorkload(
     service.cache_misses.fetch_add(1, std::memory_order_relaxed);
   }
 
-  // The expensive part — Θ sampling, best-in-DB indexing, kernel build —
-  // runs unlocked: hits and unrelated builds proceed concurrently.
-  Result<std::shared_ptr<const Workload>> built = BuildWorkloadFromSpec(spec);
+  // The expensive part — Θ sampling, best-in-DB indexing, kernel build, or
+  // a snapshot open — runs unlocked: hits and unrelated builds proceed
+  // concurrently.
+  Result<std::shared_ptr<const Workload>> built =
+      BuildOrOpenWorkload(service, spec, fingerprint);
 
   {
     std::lock_guard<std::mutex> lock(service.cache_mu);
     std::erase(service.building, fingerprint);
     if (built.ok()) {
-      service.cache.push_front({fingerprint, *built});
-      if (service.cache.size() > capacity) service.cache.pop_back();
+      const size_t quota = service.options.max_resident_bytes;
+      const size_t incoming = quota > 0 ? (*built)->resident_bytes() : 0;
+      if (quota > 0 && incoming > quota) {
+        // This workload alone busts the quota: refuse admission (the
+        // memory analogue of a full queue) rather than evicting the whole
+        // cache for a tenant that still would not fit.
+        service.rejected.fetch_add(1, std::memory_order_relaxed);
+        built = Status::ResourceExhausted(
+            "workload needs " + std::to_string(incoming) +
+            " resident bytes but the service quota is " +
+            std::to_string(quota));
+      } else {
+        if (quota > 0) {
+          size_t resident = incoming;
+          for (const internal::ServiceState::CacheEntry& entry :
+               service.cache) {
+            resident += entry.workload->resident_bytes();
+          }
+          // Shed LRU entries until the newcomer fits the quota.
+          while (resident > quota && !service.cache.empty()) {
+            resident -= service.cache.back().workload->resident_bytes();
+            service.cache.pop_back();
+          }
+        }
+        service.cache.push_front({fingerprint, *built});
+        if (service.cache.size() > capacity) service.cache.pop_back();
+      }
     }
   }
   service.cache_cv.notify_all();
@@ -365,7 +435,7 @@ void Service::Shutdown(bool drain) {
 }
 
 ServiceStats Service::stats() const {
-  const internal::ServiceState& service = *state_;
+  internal::ServiceState& service = *state_;
   ServiceStats stats;
   stats.submitted = service.submitted.load(std::memory_order_relaxed);
   stats.rejected = service.rejected.load(std::memory_order_relaxed);
@@ -377,6 +447,29 @@ ServiceStats Service::stats() const {
       service.cache_hits.load(std::memory_order_relaxed);
   stats.workload_cache_misses =
       service.cache_misses.load(std::memory_order_relaxed);
+  stats.snapshot_opens =
+      service.snapshot_opens.load(std::memory_order_relaxed);
+  stats.snapshot_saves =
+      service.snapshot_saves.load(std::memory_order_relaxed);
+  {
+    // Memory accounting over the cached workloads. cache_mu → a pool's
+    // internal mutex is the only nesting here, and the pool mutex is a
+    // leaf, so there is no inversion with the build path.
+    std::lock_guard<std::mutex> lock(service.cache_mu);
+    stats.workload_cache_entries = service.cache.size();
+    for (const internal::ServiceState::CacheEntry& entry : service.cache) {
+      stats.workload_cache_resident_bytes +=
+          entry.workload->resident_bytes();
+      const EvalKernel& kernel = entry.workload->kernel();
+      if (kernel.paged()) {
+        TileBufferPool::Stats pool = kernel.page_pool()->stats();
+        stats.tile_pool_hits += pool.hits;
+        stats.tile_pool_misses += pool.misses;
+        stats.tile_pool_evictions += pool.evictions;
+        stats.tile_pool_resident_bytes += pool.resident_bytes;
+      }
+    }
+  }
   return stats;
 }
 

@@ -120,6 +120,19 @@ struct ServiceStats {
   size_t running_now = 0;   ///< Currently executing.
   uint64_t workload_cache_hits = 0;
   uint64_t workload_cache_misses = 0;
+  // --- Memory accounting (aggregated over the cached workloads) ----------
+  size_t workload_cache_entries = 0;
+  /// Σ Workload::resident_bytes() over the cache (matrix + indexes + tile
+  /// or resident pool pages).
+  size_t workload_cache_resident_bytes = 0;
+  /// TileBufferPool counters summed over cached paged workloads.
+  uint64_t tile_pool_hits = 0;
+  uint64_t tile_pool_misses = 0;
+  uint64_t tile_pool_evictions = 0;
+  size_t tile_pool_resident_bytes = 0;
+  // --- Persistence --------------------------------------------------------
+  uint64_t snapshot_opens = 0;  ///< Cache misses served by a snapshot open.
+  uint64_t snapshot_saves = 0;  ///< Snapshots written after fresh builds.
 };
 
 struct ServiceOptions {
@@ -139,6 +152,22 @@ struct ServiceOptions {
   bool deadline_from_submit = true;
   /// Solver registry (must outlive the service); null = global registry.
   const SolverRegistry* registry = nullptr;
+  /// Directory of workload snapshots (store/workload_snapshot.h), keyed
+  /// `<fingerprint>.famsnap`. A cache miss whose fingerprint has a valid
+  /// snapshot opens it (paged tile, instant warm start) instead of
+  /// rebuilding; a stale/corrupt file falls back to a fresh build. Empty =
+  /// persistence off.
+  std::string snapshot_dir;
+  /// Write a snapshot into snapshot_dir after every fresh cache-miss
+  /// build (also overwriting a stale same-fingerprint file). Requires
+  /// snapshot_dir.
+  bool save_snapshots = false;
+  /// Admission quota (bytes) over Σ resident_bytes() of cached workloads:
+  /// on insert, LRU entries are evicted down to the quota, and a workload
+  /// that alone exceeds it is refused with ResourceExhausted — the
+  /// resident-memory analogue of max_queued_jobs. 0 = unbounded. Ignored
+  /// when the cache is disabled (workload_cache_capacity == 0).
+  size_t max_resident_bytes = 0;
 };
 
 /// Caller's reference to one submitted job. Cheap to copy; all copies

@@ -86,6 +86,21 @@ void EvalKernel::Build(const EvalKernelOptions& options) {
     case EvalKernelOptions::Tile::kOff:
       materialize = false;
       break;
+    case EvalKernelOptions::Tile::kPaged: {
+      // No monolithic tile: columns page in on demand under the byte cap.
+      // The default filler is the same FillPointColumn the tile build
+      // uses, so paged columns hold the exact tile bits.
+      TileBufferPool::Filler filler = options.page_filler;
+      if (filler == nullptr) {
+        const RegretEvaluator* evaluator = evaluator_;
+        filler = [evaluator](size_t point, std::span<double> out) {
+          evaluator->users().FillPointColumn(point, out);
+        };
+      }
+      pool_ = std::make_shared<TileBufferPool>(
+          num_users, options.page_pool_bytes, std::move(filler));
+      return;
+    }
     case EvalKernelOptions::Tile::kAuto:
       materialize = bytes <= options.max_tile_bytes;
       break;
@@ -124,6 +139,19 @@ void EvalKernel::Build(const EvalKernelOptions& options) {
   }
 }
 
+std::vector<size_t> EvalKernel::TiledPoints() const {
+  const size_t num_columns = tiled_columns();
+  std::vector<size_t> points(num_columns);
+  if (tile_slot_.empty()) {
+    std::iota(points.begin(), points.end(), 0);
+  } else {
+    for (size_t p = 0; p < tile_slot_.size(); ++p) {
+      if (tile_slot_[p] != kNoSlot) points[tile_slot_[p]] = p;
+    }
+  }
+  return points;
+}
+
 void EvalKernel::FillColumn(size_t p, std::span<double> out) const {
   FAM_DCHECK(out.size() == evaluator_->num_users());
   if (ColumnTiled(p)) {
@@ -152,7 +180,8 @@ bool EvalKernel::BatchSingleArrs(std::span<const size_t> points,
     size_t end = std::min(points.size(), begin + kCandidateChunk);
     std::vector<double> scratch;
     for (size_t i = begin; i < end; ++i) {
-      std::span<const double> column = ColumnView(points[i], scratch);
+      ColumnHandle handle = PinColumn(points[i], scratch);
+      std::span<const double> column = handle.view();
       // Mirrors RegretEvaluator::AverageRegretRatio({p}) term by term:
       // rr is clamped per user, accumulated in ascending user order.
       double total = 0.0;
@@ -217,7 +246,8 @@ void SubsetEvalState::Add(size_t p) {
   in_set_[p] = 1;
 
   const size_t num_users = kernel_->num_users();
-  std::span<const double> column = kernel_->ColumnView(p, column_scratch_);
+  ColumnHandle handle = kernel_->PinColumn(p, column_scratch_);
+  std::span<const double> column = handle.view();
   for (size_t u = 0; u < num_users; ++u) {
     double v = column[u];
     if (v > best_value_[u]) {
@@ -235,7 +265,8 @@ void SubsetEvalState::Add(size_t p) {
 double SubsetEvalState::GainOfAdding(size_t p) {
   ++counters_.single_gain_evaluations;
   const size_t num_users = kernel_->num_users();
-  std::span<const double> column = kernel_->ColumnView(p, column_scratch_);
+  ColumnHandle handle = kernel_->PinColumn(p, column_scratch_);
+  std::span<const double> column = handle.view();
   std::span<const double> weights = kernel_->gain_weights();
   std::span<const double> denoms = kernel_->safe_denoms();
   // Branch-free form of the naive loop: non-contributors add an exact
@@ -273,8 +304,8 @@ bool SubsetEvalState::BatchGains(std::span<const size_t> candidates,
     size_t end = std::min(candidates.size(), begin + kCandidateChunk);
     std::vector<double> scratch;
     for (size_t i = begin; i < end; ++i) {
-      std::span<const double> column =
-          kernel.ColumnView(candidates[i], scratch);
+      ColumnHandle handle = kernel.PinColumn(candidates[i], scratch);
+      std::span<const double> column = handle.view();
       double gain = 0.0;
       for (size_t u = 0; u < num_users; ++u) {
         double improvement = std::max(0.0, column[u] - best[u]);
@@ -296,8 +327,8 @@ void SubsetEvalState::BatchSwapArrs(size_t candidate,
   FAM_CHECK(arr_out.size() == k);
   counters_.swap_evaluations += k;
   const size_t num_users = kernel_->num_users();
-  std::span<const double> column =
-      kernel_->ColumnView(candidate, column_scratch_);
+  ColumnHandle handle = kernel_->PinColumn(candidate, column_scratch_);
+  std::span<const double> column = handle.view();
   std::span<const double> weights = kernel_->gain_weights();
   std::span<const double> denoms = kernel_->safe_denoms();
 
@@ -361,7 +392,8 @@ void SubsetEvalState::RebuildBestSecond() {
   std::fill(second_value_.begin(), second_value_.end(), 0.0);
   std::fill(second_point_.begin(), second_point_.end(), kNoPoint);
   for (size_t p : members_) {
-    std::span<const double> column = kernel_->ColumnView(p, column_scratch_);
+    ColumnHandle handle = kernel_->PinColumn(p, column_scratch_);
+    std::span<const double> column = handle.view();
     for (size_t u = 0; u < num_users; ++u) {
       double v = column[u];
       if (v > best_value_[u]) {
@@ -420,7 +452,10 @@ bool SubsetEvalState::PrepareSeconds(const CancellationToken* cancel) {
   // The weighted no-tile combination would pay O(N·n·r) dot products
   // here; leave seconds unprepared and let RemovalDelta/Remove fall back
   // to on-demand member scans (the pre-kernel ShrinkState behaviour).
-  if (!kernel_->tiled() && kernel_->evaluator().users().is_weighted()) {
+  // A paged kernel takes the column pass: pool fills amortize the dot
+  // products into one O(N·r) column build apiece.
+  if (!kernel_->tiled() && !kernel_->paged() &&
+      kernel_->evaluator().users().is_weighted()) {
     return true;
   }
   const size_t num_users = kernel_->num_users();
@@ -429,11 +464,11 @@ bool SubsetEvalState::PrepareSeconds(const CancellationToken* cancel) {
   // with strict > so the earliest member in scan order wins ties, then
   // clamp to >= 0 to match SecondBest semantics on all-zero rows.
   std::vector<double> raw_second(num_users, -1.0);
-  if (kernel_->tiled()) {
+  if (kernel_->tiled() || kernel_->paged()) {
     for (size_t i = 0; i < members_.size(); ++i) {
       size_t p = members_[i];
-      std::span<const double> column =
-          kernel_->ColumnView(p, column_scratch_);
+      ColumnHandle handle = kernel_->PinColumn(p, column_scratch_);
+      std::span<const double> column = handle.view();
       for (size_t u = 0; u < num_users; ++u) {
         if (best_point_[u] == p) continue;
         if (column[u] > raw_second[u]) {

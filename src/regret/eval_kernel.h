@@ -38,6 +38,7 @@
 #define FAM_REGRET_EVAL_KERNEL_H_
 
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <memory>
 #include <optional>
@@ -48,19 +49,29 @@
 #include "common/cancellation.h"
 #include "common/logging.h"
 #include "regret/evaluator.h"
+#include "store/tile_buffer_pool.h"
 
 namespace fam {
 
 struct EvalKernelOptions {
   enum class Tile {
-    kAuto,  ///< Materialize when the tile fits max_tile_bytes.
-    kOn,    ///< Always materialize, bypassing the budget (the caller
-            ///< vouches for the N × n × 8 bytes of memory).
-    kOff,   ///< Never materialize; fall back to evaluator lookups.
+    kAuto,   ///< Materialize when the tile fits max_tile_bytes.
+    kOn,     ///< Always materialize, bypassing the budget (the caller
+             ///< vouches for the N × n × 8 bytes of memory).
+    kOff,    ///< Never materialize; fall back to evaluator lookups.
+    kPaged,  ///< No monolithic tile: columns page in on demand through a
+             ///< TileBufferPool bounded by page_pool_bytes, filled by
+             ///< page_filler (default: the evaluator's FillPointColumn).
   };
   Tile tile = Tile::kAuto;
   /// Auto-mode budget for the N × n point-major score tile.
   size_t max_tile_bytes = size_t{4} * 1024 * 1024 * 1024;
+  /// kPaged-mode byte cap on resident unpinned column pages.
+  size_t page_pool_bytes = size_t{256} * 1024 * 1024;
+  /// kPaged-mode column source; must write values bit-identical to
+  /// `evaluator.users().Utility(u, point)` (e.g. a snapshot tile memcpy).
+  /// Null = fill from the evaluator's utility matrix.
+  std::function<void(size_t point, std::span<double> out)> page_filler;
   /// When non-empty, only these columns are materialized (the workload's
   /// pruned candidate set); other columns fall back to evaluator lookups
   /// via ColumnView/UtilityOf. The auto budget covers N × |tile_columns|
@@ -97,6 +108,25 @@ struct EvalKernelCounters {
   void MergeFrom(const EvalKernelCounters& other);
 };
 
+/// A solver-side grip on one utility column: a borrowed span when the
+/// column lives in the monolithic tile or caller scratch, or an owning
+/// TileBufferPool pin (the page stays resident until the handle dies).
+/// Obtained from EvalKernel::PinColumn; hold it for the duration of the
+/// sweep over the column. Move-only via the embedded pin.
+class ColumnHandle {
+ public:
+  ColumnHandle() = default;
+  explicit ColumnHandle(std::span<const double> view) : view_(view) {}
+  explicit ColumnHandle(PinnedColumn pin)
+      : view_(pin.view()), pin_(std::move(pin)) {}
+
+  std::span<const double> view() const { return view_; }
+
+ private:
+  std::span<const double> view_;
+  PinnedColumn pin_;
+};
+
 /// Immutable, thread-shareable evaluation state derived from a
 /// RegretEvaluator: the point-major score tile and branch-free per-user
 /// arrays. Built once per Workload (or locally by a solver called without
@@ -120,6 +150,18 @@ class EvalKernel {
   bool tiled() const { return !tile_.empty(); }
   size_t tile_bytes() const { return tile_.size() * sizeof(double); }
 
+  /// True when columns page in on demand through a TileBufferPool
+  /// (Tile::kPaged). Mutually exclusive with tiled().
+  bool paged() const { return pool_ != nullptr; }
+  /// The page pool (paged mode only; null otherwise). Stats-readable and
+  /// pinnable by concurrent solves.
+  TileBufferPool* page_pool() const { return pool_.get(); }
+
+  /// Raw tile storage, slot-major (snapshot writer; tiled() only).
+  const std::vector<double>& tile_data() const { return tile_; }
+  /// Point index of each tile slot, in slot order (tiled() only).
+  std::vector<size_t> TiledPoints() const;
+
   /// True when point `p`'s column is materialized in the tile.
   bool ColumnTiled(size_t p) const {
     return tiled() && (tile_slot_.empty() || tile_slot_[p] != kNoSlot);
@@ -141,13 +183,27 @@ class EvalKernel {
   void FillColumn(size_t p, std::span<double> out) const;
 
   /// Contiguous view of point `p`'s utility column: the tile column when
-  /// materialized, else `scratch` (resized to N and filled).
+  /// materialized, else `scratch` (resized to N and filled). Bypasses the
+  /// page pool — prefer PinColumn in solver sweeps.
   std::span<const double> ColumnView(size_t p,
                                      std::vector<double>& scratch) const {
     if (ColumnTiled(p)) return Column(p);
     scratch.resize(num_users());
     evaluator_->users().FillPointColumn(p, scratch);
     return scratch;
+  }
+
+  /// The solver-facing column access: the tile column when materialized, a
+  /// pinned buffer-pool page in paged mode (filled on miss, never evicted
+  /// while the handle lives), else `scratch`. All three sources hold the
+  /// exact bits of `evaluator().users().Utility(u, p)`, so sweeps are
+  /// bit-identical across modes.
+  ColumnHandle PinColumn(size_t p, std::vector<double>& scratch) const {
+    if (ColumnTiled(p)) return ColumnHandle(Column(p));
+    if (pool_ != nullptr) return ColumnHandle(pool_->Pin(p));
+    scratch.resize(num_users());
+    evaluator_->users().FillPointColumn(p, scratch);
+    return ColumnHandle(std::span<const double>(scratch));
   }
 
   /// f_u(p) through the tile when materialized, else the evaluator.
@@ -189,6 +245,7 @@ class EvalKernel {
 
   std::shared_ptr<const RegretEvaluator> owned_;  // null when non-owning
   const RegretEvaluator* evaluator_;
+  std::shared_ptr<TileBufferPool> pool_;  // paged mode only
   std::vector<double> tile_;  // point-major: tile_[slot * N + u]
   /// point -> tile slot (kNoSlot = untiled column); empty = identity (a
   /// full tile, or no tile at all).

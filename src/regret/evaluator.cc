@@ -50,6 +50,30 @@ RegretEvaluator::RegretEvaluator(UtilityMatrix users,
   });
 }
 
+RegretEvaluator RegretEvaluator::FromPrecomputedBest(
+    UtilityMatrix users, std::vector<double> user_weights,
+    std::vector<double> best_in_db_values,
+    std::vector<size_t> best_in_db_points) {
+  RegretEvaluator evaluator;
+  evaluator.users_ = std::move(users);
+  const size_t num_users = evaluator.users_.num_users();
+  const size_t num_points = evaluator.users_.num_points();
+  FAM_CHECK(num_users > 0) << "evaluator needs at least one user";
+  FAM_CHECK(user_weights.size() == num_users)
+      << "user weight count mismatch";
+  FAM_CHECK(best_in_db_values.size() == num_users)
+      << "best-in-db value count mismatch";
+  FAM_CHECK(best_in_db_points.size() == num_users)
+      << "best-in-db point count mismatch";
+  for (size_t p : best_in_db_points) {
+    FAM_CHECK(p < num_points) << "best-in-db point out of range";
+  }
+  evaluator.user_weights_ = std::move(user_weights);
+  evaluator.best_in_db_value_ = std::move(best_in_db_values);
+  evaluator.best_in_db_point_ = std::move(best_in_db_points);
+  return evaluator;
+}
+
 double RegretEvaluator::RegretRatio(size_t user,
                                     std::span<const size_t> subset) const {
   double denom = best_in_db_value_[user];

@@ -56,10 +56,28 @@ class RegretEvaluator {
   explicit RegretEvaluator(UtilityMatrix users,
                            std::vector<double> user_weights = {});
 
+  /// Builds an evaluator from an already-computed best-in-DB index,
+  /// skipping the constructor's O(N·n) scan. The snapshot reload path:
+  /// the arrays must be the bits a fresh scan over `users` would produce
+  /// (only sizes and index ranges are validated here — snapshot section
+  /// checksums vouch for the values).
+  static RegretEvaluator FromPrecomputedBest(
+      UtilityMatrix users, std::vector<double> user_weights,
+      std::vector<double> best_in_db_values,
+      std::vector<size_t> best_in_db_points);
+
   size_t num_users() const { return users_.num_users(); }
   size_t num_points() const { return users_.num_points(); }
   const UtilityMatrix& users() const { return users_; }
   const std::vector<double>& user_weights() const { return user_weights_; }
+  /// Best-in-DB value per user (aligned with user indices).
+  const std::vector<double>& best_in_db_values() const {
+    return best_in_db_value_;
+  }
+  /// Best-in-DB point per user (aligned with user indices).
+  const std::vector<size_t>& best_in_db_points() const {
+    return best_in_db_point_;
+  }
 
   /// sat(D, f_u): the user's utility for their favorite point in the
   /// whole database (precomputed).
@@ -78,6 +96,8 @@ class RegretEvaluator {
   RegretDistribution Distribution(std::span<const size_t> subset) const;
 
  private:
+  RegretEvaluator() = default;  // FromPrecomputedBest scaffolding.
+
   UtilityMatrix users_;
   std::vector<double> user_weights_;
   std::vector<double> best_in_db_value_;

@@ -1,0 +1,116 @@
+#include "store/tile_buffer_pool.h"
+
+#include "common/logging.h"
+
+namespace fam {
+
+PinnedColumn& PinnedColumn::operator=(PinnedColumn&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    point_ = other.point_;
+    view_ = other.view_;
+    other.pool_ = nullptr;
+    other.view_ = {};
+  }
+  return *this;
+}
+
+void PinnedColumn::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(point_);
+    pool_ = nullptr;
+    view_ = {};
+  }
+}
+
+TileBufferPool::TileBufferPool(size_t column_length, size_t max_bytes,
+                               Filler filler)
+    : column_length_(column_length),
+      max_bytes_(max_bytes),
+      filler_(std::move(filler)) {
+  FAM_CHECK(column_length_ > 0) << "TileBufferPool needs a nonzero column";
+  FAM_CHECK(filler_ != nullptr) << "TileBufferPool needs a filler";
+}
+
+PinnedColumn TileBufferPool::Pin(size_t point) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    auto it = pages_.find(point);
+    if (it == pages_.end()) break;  // Miss: this thread fills the page.
+    Page& page = it->second;
+    if (page.ready) {
+      if (page.in_lru) {
+        lru_.erase(page.lru_pos);
+        page.in_lru = false;
+      }
+      ++page.pins;
+      ++hits_;
+      return PinnedColumn(this, point,
+                          std::span<const double>(page.data));
+    }
+    // Another thread is filling this page; wait for it rather than filling
+    // twice. The filler is deterministic, so waiting vs racing would give
+    // the same bits — waiting just avoids the duplicate work.
+    fill_cv_.wait(lock);
+  }
+
+  Page& page = pages_[point];
+  page.pins = 1;
+  page.ready = false;
+  ++misses_;
+  resident_bytes_ += column_bytes();
+  lock.unlock();
+
+  // Fill outside the lock so concurrent misses on distinct points overlap.
+  std::vector<double> data(column_length_);
+  filler_(point, std::span<double>(data));
+
+  lock.lock();
+  Page& filled = pages_.at(point);
+  filled.data = std::move(data);
+  filled.ready = true;
+  std::span<const double> view(filled.data);
+  EvictOverBudgetLocked();
+  lock.unlock();
+  fill_cv_.notify_all();
+  return PinnedColumn(this, point, view);
+}
+
+void TileBufferPool::Unpin(size_t point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pages_.find(point);
+  FAM_CHECK(it != pages_.end() && it->second.pins > 0)
+      << "unpin of a page that is not pinned";
+  Page& page = it->second;
+  --page.pins;
+  if (page.pins == 0) {
+    lru_.push_front(point);
+    page.lru_pos = lru_.begin();
+    page.in_lru = true;
+    EvictOverBudgetLocked();
+  }
+}
+
+void TileBufferPool::EvictOverBudgetLocked() {
+  while (resident_bytes_ > max_bytes_ && !lru_.empty()) {
+    size_t victim = lru_.back();
+    lru_.pop_back();
+    pages_.erase(victim);
+    resident_bytes_ -= column_bytes();
+    ++evictions_;
+  }
+}
+
+TileBufferPool::Stats TileBufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.evictions = evictions_;
+  stats.resident_bytes = resident_bytes_;
+  stats.resident_pages = pages_.size();
+  return stats;
+}
+
+}  // namespace fam

@@ -1,0 +1,150 @@
+// TileBufferPool: a paged column cache — the database-buffer-pool
+// replacement for the EvalKernel's all-or-nothing score tile.
+//
+// The monolithic tile is either fully resident (N × |C| × 8 bytes) or
+// absent, so one large workload can monopolize memory while a second one
+// falls back to O(r) evaluator lookups on every access. This pool makes
+// the tile an honest, bounded resource:
+//
+//   * A page is one point's full utility column (N doubles), filled on
+//     first use by a caller-supplied Filler — from the UtilityMatrix for
+//     freshly built workloads, or straight out of a WorkloadSnapshot's
+//     mmapped tile section for reopened ones.
+//   * `Pin(point)` returns an RAII handle whose span stays valid until the
+//     handle dies; pinned pages are never evicted, so a solver sweep can
+//     stream a column without copying it.
+//   * Unpinned pages park in an LRU list and are evicted (least recent
+//     first) whenever resident bytes exceed the byte cap. Pinning past the
+//     cap is allowed — correctness never blocks on the budget; the pool
+//     just sheds everything unpinned as soon as it can.
+//   * Thread-safe: concurrent pins of distinct points fill in parallel
+//     (the fill runs outside the pool lock); concurrent pins of the same
+//     point coordinate so each column is filled at most once per
+//     residency.
+//
+// Exactness: a page's contents are exactly the Filler's output, which for
+// both production fillers is bit-identical to
+// `evaluator.users().Utility(u, point)` — so kernels running over the pool
+// return the same bits as the monolithic tile and the untiled fallback
+// (pinned by tests/tile_pool_test.cc under eviction-forcing budgets).
+//
+// `stats()` exposes hits / misses / evictions / resident bytes; the
+// serving layer aggregates these per Service for multi-tenant memory
+// accounting (fam::ServiceStats).
+
+#ifndef FAM_STORE_TILE_BUFFER_POOL_H_
+#define FAM_STORE_TILE_BUFFER_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace fam {
+
+class TileBufferPool;
+
+/// RAII pin on one column page. The span stays valid (and the page stays
+/// resident) for the handle's lifetime; destruction unpins and may trigger
+/// eviction if the pool is over budget. Move-only.
+class PinnedColumn {
+ public:
+  PinnedColumn() = default;
+  PinnedColumn(PinnedColumn&& other) noexcept { *this = std::move(other); }
+  PinnedColumn& operator=(PinnedColumn&& other) noexcept;
+  PinnedColumn(const PinnedColumn&) = delete;
+  PinnedColumn& operator=(const PinnedColumn&) = delete;
+  ~PinnedColumn() { Release(); }
+
+  bool valid() const { return pool_ != nullptr; }
+  size_t point() const { return point_; }
+  std::span<const double> view() const { return view_; }
+
+  /// Unpins now (idempotent; the destructor calls it).
+  void Release();
+
+ private:
+  friend class TileBufferPool;
+  PinnedColumn(TileBufferPool* pool, size_t point,
+               std::span<const double> view)
+      : pool_(pool), point_(point), view_(view) {}
+
+  TileBufferPool* pool_ = nullptr;
+  size_t point_ = 0;
+  std::span<const double> view_;
+};
+
+/// A bounded pool of fixed-size column pages with pin/unpin + LRU
+/// eviction. See the file comment. Thread-safe; share one pool per
+/// workload kernel across concurrent solves.
+class TileBufferPool {
+ public:
+  /// Fills `out` (column_length doubles) with point `point`'s utility
+  /// column. Must be thread-safe and deterministic: the pool may call it
+  /// concurrently for distinct points, and a column may be refilled after
+  /// eviction — both fills must produce identical bits.
+  using Filler = std::function<void(size_t point, std::span<double> out)>;
+
+  /// Lifetime counters plus the current resident footprint.
+  struct Stats {
+    uint64_t hits = 0;        ///< Pins served from a resident page.
+    uint64_t misses = 0;      ///< Pins that had to fill a page.
+    uint64_t evictions = 0;   ///< Pages discarded by the LRU sweep.
+    size_t resident_bytes = 0;
+    size_t resident_pages = 0;
+  };
+
+  /// `column_length` is the page payload in doubles (the workload's N);
+  /// `max_bytes` caps resident *unpinned* bytes (pins may exceed it).
+  TileBufferPool(size_t column_length, size_t max_bytes, Filler filler);
+
+  TileBufferPool(const TileBufferPool&) = delete;
+  TileBufferPool& operator=(const TileBufferPool&) = delete;
+
+  /// Pins point `point`'s column, filling it on a miss. The returned
+  /// handle's span is valid until the handle is released.
+  PinnedColumn Pin(size_t point);
+
+  Stats stats() const;
+  size_t column_length() const { return column_length_; }
+  size_t column_bytes() const { return column_length_ * sizeof(double); }
+  size_t max_bytes() const { return max_bytes_; }
+
+ private:
+  friend class PinnedColumn;
+
+  struct Page {
+    std::vector<double> data;
+    size_t pins = 0;
+    bool ready = false;
+    bool in_lru = false;
+    std::list<size_t>::iterator lru_pos;
+  };
+
+  void Unpin(size_t point);
+  /// Drops LRU unpinned pages until resident <= max_bytes. Caller holds mu_.
+  void EvictOverBudgetLocked();
+
+  const size_t column_length_;
+  const size_t max_bytes_;
+  const Filler filler_;
+
+  mutable std::mutex mu_;
+  std::condition_variable fill_cv_;  ///< Signalled when a fill completes.
+  std::unordered_map<size_t, Page> pages_;
+  std::list<size_t> lru_;  ///< Unpinned ready pages, front = most recent.
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+  size_t resident_bytes_ = 0;
+};
+
+}  // namespace fam
+
+#endif  // FAM_STORE_TILE_BUFFER_POOL_H_

@@ -1,0 +1,629 @@
+#include "store/workload_snapshot.h"
+
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/timer.h"
+#include "fam/engine.h"
+#include "store/tile_buffer_pool.h"
+
+namespace fam {
+namespace {
+
+// Mapped u64 sections are reinterpreted as size_t index arrays in place.
+static_assert(sizeof(size_t) == sizeof(uint64_t),
+              "the snapshot format assumes 64-bit size_t");
+
+constexpr unsigned char kMagic[8] = {'F', 'A', 'M', 'S', 'N', 'A', 'P', '\0'};
+constexpr uint32_t kEndianTag = 0x01020304u;
+constexpr size_t kHeaderBytes = 32;
+constexpr size_t kEntryBytes = 32;
+
+/// Section kinds; values are part of the on-disk format — append only.
+enum SectionKind : uint64_t {
+  kMeta = 1,         ///< Fixed fields + distribution name (layout below).
+  kUserWeights = 2,  ///< N doubles: per-user probabilities.
+  kTheta = 3,        ///< N×r weights (weighted) or N×n scores (explicit).
+  kBasis = 4,        ///< n×r latent basis (matrix mode 2 only).
+  kBestValues = 5,   ///< N doubles: best-in-DB value per user.
+  kBestPoints = 6,   ///< N u64: best-in-DB point per user.
+  kCandidates = 7,   ///< Candidate pool, ascending global indices.
+  kTilePoints = 8,   ///< Point index per tile slot.
+  kTile = 9,         ///< Slot-major score-tile columns of length N.
+};
+
+const char* SectionName(uint64_t kind) {
+  switch (kind) {
+    case kMeta: return "meta";
+    case kUserWeights: return "user-weights";
+    case kTheta: return "theta";
+    case kBasis: return "basis";
+    case kBestValues: return "best-values";
+    case kBestPoints: return "best-points";
+    case kCandidates: return "candidates";
+    case kTilePoints: return "tile-points";
+    case kTile: return "tile";
+  }
+  return "unknown";
+}
+
+uint64_t ChecksumBytes(const unsigned char* data, size_t size) {
+  Fnv64 h;
+  for (size_t i = 0; i < size; ++i) h.Byte(data[i]);
+  return h.hash();
+}
+
+size_t Align8(size_t x) { return (x + 7) & ~size_t{7}; }
+
+void AppendU64(std::vector<unsigned char>& out, uint64_t value) {
+  unsigned char buf[8];
+  std::memcpy(buf, &value, 8);
+  out.insert(out.end(), buf, buf + 8);
+}
+
+void AppendDouble(std::vector<unsigned char>& out, double value) {
+  uint64_t bits;
+  std::memcpy(&bits, &value, 8);
+  AppendU64(out, bits);
+}
+
+uint64_t ReadU64(const unsigned char* p) {
+  uint64_t value;
+  std::memcpy(&value, p, 8);
+  return value;
+}
+
+double ReadDouble(const unsigned char* p) {
+  double value;
+  std::memcpy(&value, p, 8);
+  return value;
+}
+
+uint32_t ReadU32(const unsigned char* p) {
+  uint32_t value;
+  std::memcpy(&value, p, 4);
+  return value;
+}
+
+Status Corrupt(const std::string& what, const std::string& path) {
+  return Status::InvalidArgument("snapshot " + what + ": " + path);
+}
+
+}  // namespace
+
+namespace internal {
+
+MappedBytes::MappedBytes(MappedBytes&& other) noexcept {
+  *this = std::move(other);
+}
+
+MappedBytes& MappedBytes::operator=(MappedBytes&& other) noexcept {
+  if (this != &other) {
+    this->~MappedBytes();
+    data_ = other.data_;
+    size_ = other.size_;
+    mmapped_ = other.mmapped_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.mmapped_ = false;
+  }
+  return *this;
+}
+
+MappedBytes::~MappedBytes() {
+  if (data_ == nullptr) return;
+  if (mmapped_) {
+    ::munmap(data_, size_);
+  } else {
+    delete[] data_;
+  }
+  data_ = nullptr;
+}
+
+Result<MappedBytes> MappedBytes::Load(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IoError("cannot open snapshot file: " + path);
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    return Status::IoError("cannot stat snapshot file: " + path);
+  }
+  MappedBytes bytes;
+  bytes.size_ = static_cast<size_t>(st.st_size);
+  if (bytes.size_ == 0) {
+    ::close(fd);
+    return bytes;  // Open() reports "smaller than the file header".
+  }
+  void* mapping = ::mmap(nullptr, bytes.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  if (mapping != MAP_FAILED) {
+    bytes.data_ = static_cast<unsigned char*>(mapping);
+    bytes.mmapped_ = true;
+    ::close(fd);
+    return bytes;
+  }
+  // mmap unavailable (exotic filesystem): fall back to a heap copy.
+  bytes.data_ = new unsigned char[bytes.size_];
+  bytes.mmapped_ = false;
+  size_t done = 0;
+  while (done < bytes.size_) {
+    ssize_t got = ::read(fd, bytes.data_ + done, bytes.size_ - done);
+    if (got <= 0) {
+      ::close(fd);
+      return Status::IoError("cannot read snapshot file: " + path);
+    }
+    done += static_cast<size_t>(got);
+  }
+  ::close(fd);
+  return bytes;
+}
+
+}  // namespace internal
+
+Status WorkloadSnapshot::Save(const Workload& workload,
+                              const std::string& path) {
+  const RegretEvaluator& evaluator = workload.evaluator();
+  const UtilityMatrix& users = evaluator.users();
+  const size_t num_users = evaluator.num_users();
+  const size_t num_points = evaluator.num_points();
+
+  uint64_t matrix_mode = 0;
+  uint64_t rank = 0;
+  if (users.is_weighted()) {
+    // Mode 1 (linear in the dataset attributes) is detected structurally —
+    // the basis IS the dataset value matrix — and reopened without storing
+    // the basis; anything else weighted is a latent model (mode 2).
+    matrix_mode = users.basis() == workload.dataset().values() ? 1 : 2;
+    rank = users.basis().cols();
+  }
+
+  const CandidateIndex* index = workload.candidate_index();
+  std::vector<unsigned char> meta;
+  AppendU64(meta, workload.dataset().ContentHash());
+  AppendU64(meta, workload.spec_fingerprint());
+  AppendU64(meta, num_users);
+  AppendU64(meta, num_points);
+  AppendU64(meta, workload.seed());
+  AppendU64(meta, (workload.materialized() ? 1u : 0u) |
+                      (workload.monotone_utilities() ? 2u : 0u));
+  AppendU64(meta, matrix_mode);
+  AppendU64(meta, rank);
+  AppendU64(meta, static_cast<uint64_t>(workload.prune_options().mode));
+  AppendDouble(meta, workload.prune_options().coreset_epsilon);
+  AppendU64(meta, static_cast<uint64_t>(
+                      index != nullptr ? index->resolved_mode()
+                                       : PruneMode::kOff));
+  AppendU64(meta, workload.shard_count());
+  AppendDouble(meta, workload.preprocess_seconds());
+  const std::string& name = workload.distribution_name();
+  AppendU64(meta, name.size());
+  meta.insert(meta.end(), name.begin(), name.end());
+
+  struct Section {
+    uint64_t kind;
+    const unsigned char* data;
+    size_t size;
+  };
+  std::vector<Section> sections;
+  auto add = [&sections](uint64_t kind, const void* data, size_t bytes) {
+    sections.push_back(
+        {kind, static_cast<const unsigned char*>(data), bytes});
+  };
+  add(kMeta, meta.data(), meta.size());
+  add(kUserWeights, evaluator.user_weights().data(),
+      num_users * sizeof(double));
+  if (matrix_mode == 0) {
+    add(kTheta, users.scores().data().data(),
+        num_users * num_points * sizeof(double));
+  } else {
+    add(kTheta, users.weights_matrix().data().data(),
+        num_users * rank * sizeof(double));
+    if (matrix_mode == 2) {
+      add(kBasis, users.basis().data().data(),
+          num_points * rank * sizeof(double));
+    }
+  }
+  add(kBestValues, evaluator.best_in_db_values().data(),
+      num_users * sizeof(double));
+  add(kBestPoints, evaluator.best_in_db_points().data(),
+      num_users * sizeof(uint64_t));
+  if (index != nullptr) {
+    add(kCandidates, index->candidates().data(),
+        index->candidates().size() * sizeof(uint64_t));
+  }
+  const EvalKernel& kernel = workload.kernel();
+  std::vector<size_t> tile_points;
+  if (kernel.tiled()) {
+    tile_points = kernel.TiledPoints();
+    add(kTilePoints, tile_points.data(),
+        tile_points.size() * sizeof(uint64_t));
+    add(kTile, kernel.tile_data().data(),
+        kernel.tile_data().size() * sizeof(double));
+  }
+
+  std::vector<uint64_t> offsets;
+  size_t offset = Align8(kHeaderBytes + kEntryBytes * sections.size());
+  for (const Section& section : sections) {
+    offsets.push_back(offset);
+    offset = Align8(offset + section.size);
+  }
+  const uint64_t total = offset;
+
+  // Write to a temp file and rename into place, so a crash mid-save (or a
+  // concurrent Open) never sees a half-written snapshot.
+  const std::string tmp = path + ".tmp";
+  FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IoError("cannot open snapshot for writing: " + tmp);
+  }
+  auto put = [file](const void* data, size_t size) {
+    return size == 0 || std::fwrite(data, 1, size, file) == size;
+  };
+  bool ok = put(kMagic, 8);
+  const uint32_t version = kFormatVersion;
+  const uint32_t endian = kEndianTag;
+  const uint64_t count = sections.size();
+  ok = ok && put(&version, 4) && put(&endian, 4) && put(&count, 8) &&
+       put(&total, 8);
+  for (size_t i = 0; i < sections.size(); ++i) {
+    const uint64_t entry[4] = {
+        sections[i].kind, offsets[i], sections[i].size,
+        ChecksumBytes(sections[i].data, sections[i].size)};
+    ok = ok && put(entry, sizeof(entry));
+  }
+  const unsigned char zeros[8] = {};
+  size_t pos = kHeaderBytes + kEntryBytes * sections.size();
+  for (size_t i = 0; i < sections.size(); ++i) {
+    ok = ok && put(zeros, offsets[i] - pos);
+    ok = ok && put(sections[i].data, sections[i].size);
+    pos = offsets[i] + sections[i].size;
+  }
+  ok = ok && put(zeros, total - pos);
+  ok = ok && std::fflush(file) == 0;
+  std::fclose(file);
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return Status::IoError("short write while saving snapshot: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("cannot move snapshot into place: " + path);
+  }
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const WorkloadSnapshot>> WorkloadSnapshot::Open(
+    const std::string& path) {
+  FAM_ASSIGN_OR_RETURN(internal::MappedBytes bytes,
+                       internal::MappedBytes::Load(path));
+  std::shared_ptr<WorkloadSnapshot> snapshot(new WorkloadSnapshot());
+  snapshot->bytes_ = std::move(bytes);
+  const unsigned char* base = snapshot->bytes_.data();
+  const size_t size = snapshot->bytes_.size();
+
+  if (size < kHeaderBytes) {
+    return Corrupt("truncated (smaller than the file header)", path);
+  }
+  if (std::memcmp(base, kMagic, sizeof(kMagic)) != 0) {
+    return Corrupt("is not a FAM snapshot (bad magic)", path);
+  }
+  const uint32_t version = ReadU32(base + 8);
+  if (version != kFormatVersion) {
+    return Corrupt("has unsupported format version " +
+                       std::to_string(version) + " (this build reads " +
+                       std::to_string(kFormatVersion) + ")",
+                   path);
+  }
+  if (ReadU32(base + 12) != kEndianTag) {
+    return Corrupt("endianness mismatch (written on a foreign byte order)",
+                   path);
+  }
+  const uint64_t count = ReadU64(base + 16);
+  if (ReadU64(base + 24) != size ||
+      count > (size - kHeaderBytes) / kEntryBytes) {
+    return Corrupt("truncated (size does not match the header)", path);
+  }
+
+  struct View {
+    const unsigned char* data = nullptr;
+    size_t size = 0;
+  };
+  View views[16] = {};
+  for (uint64_t i = 0; i < count; ++i) {
+    const unsigned char* entry = base + kHeaderBytes + i * kEntryBytes;
+    const uint64_t kind = ReadU64(entry);
+    const uint64_t offset = ReadU64(entry + 8);
+    const uint64_t section_size = ReadU64(entry + 16);
+    const uint64_t checksum = ReadU64(entry + 24);
+    if (offset % 8 != 0 || section_size > size || offset > size - section_size) {
+      return Corrupt("section " + std::string(SectionName(kind)) +
+                         " extends past the end of the file (truncated)",
+                     path);
+    }
+    if (ChecksumBytes(base + offset, section_size) != checksum) {
+      return Corrupt("checksum mismatch in section " +
+                         std::string(SectionName(kind)) + " (corrupted)",
+                     path);
+    }
+    // Unknown kinds (from a newer minor writer) are checksummed + skipped.
+    if (kind < std::size(views)) views[kind] = {base + offset, section_size};
+  }
+
+  const View meta = views[kMeta];
+  constexpr size_t kMetaFixedBytes = 14 * 8;
+  if (meta.size < kMetaFixedBytes) {
+    return Corrupt("meta section is too small", path);
+  }
+  snapshot->dataset_hash_ = ReadU64(meta.data);
+  snapshot->spec_fingerprint_ = ReadU64(meta.data + 8);
+  snapshot->num_users_ = ReadU64(meta.data + 16);
+  snapshot->num_points_ = ReadU64(meta.data + 24);
+  snapshot->seed_ = ReadU64(meta.data + 32);
+  const uint64_t flags = ReadU64(meta.data + 40);
+  snapshot->materialized_ = (flags & 1) != 0;
+  snapshot->monotone_utilities_ = (flags & 2) != 0;
+  snapshot->matrix_mode_ = ReadU64(meta.data + 48);
+  snapshot->rank_ = ReadU64(meta.data + 56);
+  const uint64_t requested_mode = ReadU64(meta.data + 64);
+  snapshot->prune_.coreset_epsilon = ReadDouble(meta.data + 72);
+  const uint64_t resolved_mode = ReadU64(meta.data + 80);
+  snapshot->shard_count_ = ReadU64(meta.data + 88);
+  snapshot->build_seconds_ = ReadDouble(meta.data + 96);
+  const uint64_t name_size = ReadU64(meta.data + 104);
+  if (name_size > meta.size - kMetaFixedBytes ||
+      requested_mode > static_cast<uint64_t>(PruneMode::kCoreset) ||
+      resolved_mode > static_cast<uint64_t>(PruneMode::kCoreset) ||
+      snapshot->matrix_mode_ > 2 || snapshot->num_users_ == 0 ||
+      snapshot->num_points_ == 0) {
+    return Corrupt("meta section holds out-of-range values", path);
+  }
+  snapshot->prune_.mode = static_cast<PruneMode>(requested_mode);
+  snapshot->resolved_prune_mode_ = static_cast<PruneMode>(resolved_mode);
+  snapshot->distribution_name_.assign(
+      reinterpret_cast<const char*>(meta.data + kMetaFixedBytes), name_size);
+
+  const size_t num_users = snapshot->num_users_;
+  const size_t num_points = snapshot->num_points_;
+  // Every offset is 8-aligned (checked above), so mapped payloads cast to
+  // typed arrays in place.
+  auto doubles = [](const View& view) {
+    return std::span<const double>(
+        reinterpret_cast<const double*>(view.data),
+        view.size / sizeof(double));
+  };
+  auto u64s = [](const View& view) {
+    return std::span<const uint64_t>(
+        reinterpret_cast<const uint64_t*>(view.data),
+        view.size / sizeof(uint64_t));
+  };
+  auto wrong_size = [&path](uint64_t kind) {
+    return Corrupt(
+        "section " + std::string(SectionName(kind)) + " has the wrong size",
+        path);
+  };
+
+  if (views[kUserWeights].size != num_users * sizeof(double)) {
+    return wrong_size(kUserWeights);
+  }
+  snapshot->user_weights_ = doubles(views[kUserWeights]);
+
+  const size_t theta_doubles =
+      snapshot->matrix_mode_ == 0 ? num_users * num_points
+                                  : num_users * snapshot->rank_;
+  if (snapshot->matrix_mode_ != 0 && snapshot->rank_ == 0) {
+    return Corrupt("meta section holds out-of-range values", path);
+  }
+  if (views[kTheta].size != theta_doubles * sizeof(double)) {
+    return wrong_size(kTheta);
+  }
+  snapshot->theta_ = doubles(views[kTheta]);
+  if (snapshot->matrix_mode_ == 2) {
+    if (views[kBasis].size != num_points * snapshot->rank_ * sizeof(double)) {
+      return wrong_size(kBasis);
+    }
+    snapshot->basis_ = doubles(views[kBasis]);
+  }
+
+  if (views[kBestValues].size != num_users * sizeof(double)) {
+    return wrong_size(kBestValues);
+  }
+  snapshot->best_values_ = doubles(views[kBestValues]);
+  if (views[kBestPoints].size != num_users * sizeof(uint64_t)) {
+    return wrong_size(kBestPoints);
+  }
+  snapshot->best_points_ = u64s(views[kBestPoints]);
+  for (uint64_t p : snapshot->best_points_) {
+    if (p >= num_points) {
+      return Corrupt("best-points section holds an out-of-range index",
+                     path);
+    }
+  }
+
+  if (views[kCandidates].data != nullptr) {
+    if (views[kCandidates].size == 0 ||
+        views[kCandidates].size % sizeof(uint64_t) != 0) {
+      return wrong_size(kCandidates);
+    }
+    snapshot->candidates_ = u64s(views[kCandidates]);
+    for (uint64_t p : snapshot->candidates_) {
+      if (p >= num_points) {
+        return Corrupt("candidates section holds an out-of-range index",
+                       path);
+      }
+    }
+  }
+
+  if ((views[kTile].data != nullptr) != (views[kTilePoints].data != nullptr)) {
+    return Corrupt("tile and tile-points sections must come together", path);
+  }
+  if (views[kTile].data != nullptr) {
+    if (views[kTilePoints].size % sizeof(uint64_t) != 0) {
+      return wrong_size(kTilePoints);
+    }
+    snapshot->tile_points_ = u64s(views[kTilePoints]);
+    if (views[kTile].size !=
+        snapshot->tile_points_.size() * num_users * sizeof(double)) {
+      return wrong_size(kTile);
+    }
+    snapshot->tile_ = doubles(views[kTile]);
+    snapshot->tile_slot_of_point_.reserve(snapshot->tile_points_.size());
+    for (size_t slot = 0; slot < snapshot->tile_points_.size(); ++slot) {
+      const uint64_t point = snapshot->tile_points_[slot];
+      if (point >= num_points) {
+        return Corrupt("tile-points section holds an out-of-range index",
+                       path);
+      }
+      snapshot->tile_slot_of_point_.emplace(point, slot);
+    }
+  }
+  return std::shared_ptr<const WorkloadSnapshot>(std::move(snapshot));
+}
+
+Status WorkloadSnapshot::VerifySpecFingerprint(uint64_t expected) const {
+  if (spec_fingerprint_ == expected) return Status::OK();
+  return Status::FailedPrecondition(
+      "snapshot spec fingerprint mismatch: the snapshot was built for a "
+      "different workload spec (rebuild and re-save)");
+}
+
+bool WorkloadSnapshot::FillTileColumn(size_t point,
+                                      std::span<double> out) const {
+  auto it = tile_slot_of_point_.find(point);
+  if (it == tile_slot_of_point_.end()) return false;
+  FAM_CHECK(out.size() == num_users_) << "tile column size mismatch";
+  std::memcpy(out.data(), tile_.data() + it->second * num_users_,
+              num_users_ * sizeof(double));
+  return true;
+}
+
+Result<UtilityMatrix> WorkloadSnapshot::RebuildUtilityMatrix(
+    const Dataset& dataset) const {
+  switch (matrix_mode_) {
+    case 1: {
+      if (rank_ != dataset.dimension()) {
+        return Status::FailedPrecondition(
+            "snapshot weight rank does not match the dataset dimension");
+      }
+      Matrix weights(num_users_, rank_);
+      std::memcpy(weights.data().data(), theta_.data(),
+                  theta_.size() * sizeof(double));
+      return UtilityMatrix::FromLinearWeights(std::move(weights), dataset);
+    }
+    case 2: {
+      Matrix weights(num_users_, rank_);
+      std::memcpy(weights.data().data(), theta_.data(),
+                  theta_.size() * sizeof(double));
+      Matrix basis(num_points_, rank_);
+      std::memcpy(basis.data().data(), basis_.data(),
+                  basis_.size() * sizeof(double));
+      return UtilityMatrix::FromLatent(std::move(weights), std::move(basis));
+    }
+    default: {
+      // Stored scores were already clamped at original construction, so
+      // FromScores' clamp is the identity and the matrix is bit-identical.
+      Matrix scores(num_users_, num_points_);
+      std::memcpy(scores.data().data(), theta_.data(),
+                  theta_.size() * sizeof(double));
+      return UtilityMatrix::FromScores(std::move(scores));
+    }
+  }
+}
+
+// Defined here (not engine.cc) so the engine target carries no dependency
+// on the snapshot format internals; as a static member of WorkloadBuilder
+// it keeps friend access to Workload's private fields.
+Result<Workload> WorkloadBuilder::FromSnapshot(
+    std::shared_ptr<const WorkloadSnapshot> snapshot,
+    std::shared_ptr<const Dataset> dataset, size_t page_pool_bytes) {
+  if (snapshot == nullptr) {
+    return Status::InvalidArgument("FromSnapshot: a snapshot is required");
+  }
+  if (dataset == nullptr) {
+    return Status::InvalidArgument("FromSnapshot: a dataset is required");
+  }
+  FAM_RETURN_IF_ERROR(dataset->Validate());
+  if (dataset->ContentHash() != snapshot->dataset_hash()) {
+    return Status::FailedPrecondition(
+        "snapshot dataset hash mismatch: the supplied dataset is not the "
+        "one this snapshot was built from");
+  }
+  if (dataset->size() != snapshot->num_points()) {
+    return Status::FailedPrecondition(
+        "snapshot dataset hash mismatch: the supplied dataset is not the "
+        "one this snapshot was built from (size differs)");
+  }
+
+  // The reopened workload's preprocess time is the open/validate cost —
+  // the whole point of the snapshot; the original build cost stays
+  // readable as snapshot->build_seconds().
+  Timer timer;
+  FAM_ASSIGN_OR_RETURN(UtilityMatrix users,
+                       snapshot->RebuildUtilityMatrix(*dataset));
+  std::vector<double> user_weights(snapshot->user_weights().begin(),
+                                   snapshot->user_weights().end());
+  std::vector<double> best_values(snapshot->best_values().begin(),
+                                  snapshot->best_values().end());
+  std::vector<size_t> best_points(snapshot->best_points().begin(),
+                                  snapshot->best_points().end());
+
+  Workload workload;
+  workload.dataset_ = std::move(dataset);
+  // The snapshot's best-in-DB index replaces the evaluator constructor's
+  // O(N·n) scan — the expensive half of preprocessing.
+  workload.evaluator_ = std::make_shared<const RegretEvaluator>(
+      RegretEvaluator::FromPrecomputedBest(
+          std::move(users), std::move(user_weights), std::move(best_values),
+          std::move(best_points)));
+
+  workload.prune_ = snapshot->prune_options();
+  if (snapshot->has_candidates()) {
+    std::vector<size_t> pool(snapshot->candidates().begin(),
+                             snapshot->candidates().end());
+    // FromPool re-applies the best-point force-include; the stored pool
+    // already satisfies it, so the index is identical to the original.
+    FAM_ASSIGN_OR_RETURN(
+        CandidateIndex index,
+        CandidateIndex::FromPool(*workload.evaluator_, workload.prune_,
+                                 snapshot->resolved_prune_mode(),
+                                 std::move(pool)));
+    workload.candidate_index_ =
+        std::make_shared<const CandidateIndex>(std::move(index));
+  }
+
+  // Paged kernel: columns page in on demand through the buffer pool, from
+  // the mmapped tile section when the snapshot stored one (a memcpy) and
+  // from the utility matrix otherwise (both bit-identical to Utility()).
+  // The filler retains the snapshot, keeping the mapping alive as long as
+  // the kernel lives.
+  EvalKernelOptions kernel_options;
+  kernel_options.tile = EvalKernelOptions::Tile::kPaged;
+  if (page_pool_bytes > 0) kernel_options.page_pool_bytes = page_pool_bytes;
+  std::shared_ptr<const RegretEvaluator> evaluator = workload.evaluator_;
+  kernel_options.page_filler = [snapshot, evaluator](size_t point,
+                                                     std::span<double> out) {
+    if (!snapshot->FillTileColumn(point, out)) {
+      evaluator->users().FillPointColumn(point, out);
+    }
+  };
+  workload.kernel_ =
+      std::make_shared<const EvalKernel>(workload.evaluator_, kernel_options);
+
+  workload.monotone_utilities_ = snapshot->monotone_utilities();
+  workload.seed_ = snapshot->seed();
+  workload.distribution_name_ = snapshot->distribution_name();
+  workload.materialized_ = snapshot->materialized();
+  workload.spec_fingerprint_ = snapshot->spec_fingerprint();
+  workload.preprocess_seconds_ = timer.ElapsedSeconds();
+  return workload;
+}
+
+}  // namespace fam

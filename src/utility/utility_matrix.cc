@@ -44,6 +44,16 @@ const Matrix& UtilityMatrix::basis() const {
   return basis_;
 }
 
+const Matrix& UtilityMatrix::scores() const {
+  FAM_CHECK(explicit_mode_) << "scores requires explicit mode";
+  return scores_;
+}
+
+const Matrix& UtilityMatrix::weights_matrix() const {
+  FAM_CHECK(!explicit_mode_) << "weights_matrix requires weighted mode";
+  return weights_;
+}
+
 size_t UtilityMatrix::BestPoint(size_t user) const {
   const size_t n = num_points();
   FAM_CHECK(n > 0) << "BestPoint over empty point set";

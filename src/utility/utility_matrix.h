@@ -69,6 +69,20 @@ class UtilityMatrix {
   /// Basis matrix (weighted mode only; aborts otherwise).
   const Matrix& basis() const;
 
+  /// Full score table (explicit mode only; aborts otherwise). Used by the
+  /// snapshot writer to persist the table zero-copy.
+  const Matrix& scores() const;
+
+  /// Full weight matrix, users × r (weighted mode only; aborts otherwise).
+  const Matrix& weights_matrix() const;
+
+  /// Heap bytes held by the matrices (snapshot/serving memory accounting).
+  size_t MemoryBytes() const {
+    return (scores_.data().size() + weights_.data().size() +
+            basis_.data().size()) *
+           sizeof(double);
+  }
+
   /// Index of the point maximizing this user's utility over all points
   /// (lowest index wins ties). O(n) per call, O(r) or O(1) per point.
   size_t BestPoint(size_t user) const;

@@ -1,0 +1,275 @@
+// TileBufferPool: unit tests for the paged column cache (hit/miss/evict
+// accounting, pin safety, budget discipline) plus solver-level parity —
+// a Workload on a paged kernel must match the fully-tiled and untiled
+// builds bit for bit, including under eviction-forcing byte budgets.
+// TilePoolConcurrencyTest (name-matched by the CI TSan filter) hammers
+// one pool and one paged workload from many threads.
+
+#include "store/tile_buffer_pool.h"
+
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/generator.h"
+#include "fam/engine.h"
+#include "regret/eval_kernel.h"
+
+namespace fam {
+namespace {
+
+/// A deterministic filler: column j holds j + u/1000 for user u, and
+/// counts invocations so tests can pin down exactly when fills happen.
+struct CountingFiller {
+  std::atomic<uint64_t> fills{0};
+
+  TileBufferPool::Filler AsFiller() {
+    return [this](size_t point, std::span<double> out) {
+      fills.fetch_add(1, std::memory_order_relaxed);
+      for (size_t u = 0; u < out.size(); ++u) {
+        out[u] = static_cast<double>(point) + static_cast<double>(u) / 1000.0;
+      }
+    };
+  }
+};
+
+constexpr size_t kUsers = 64;
+constexpr size_t kColumnBytes = kUsers * sizeof(double);
+
+TEST(TilePoolTest, MissFillsAndHitReuses) {
+  CountingFiller filler;
+  TileBufferPool pool(kUsers, 8 * kColumnBytes, filler.AsFiller());
+  {
+    PinnedColumn a = pool.Pin(3);
+    ASSERT_EQ(a.view().size(), kUsers);
+    EXPECT_DOUBLE_EQ(a.view()[10], 3.010);
+  }
+  {
+    PinnedColumn again = pool.Pin(3);
+    EXPECT_DOUBLE_EQ(again.view()[63], 3.063);
+  }
+  EXPECT_EQ(filler.fills.load(), 1u);
+  TileBufferPool::Stats stats = pool.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.resident_pages, 1u);
+  EXPECT_EQ(stats.resident_bytes, kColumnBytes);
+}
+
+TEST(TilePoolTest, EvictsLeastRecentlyUsedUnderBudget) {
+  CountingFiller filler;
+  TileBufferPool pool(kUsers, 2 * kColumnBytes, filler.AsFiller());
+  { PinnedColumn a = pool.Pin(0); }
+  { PinnedColumn b = pool.Pin(1); }  // resident: {0, 1}
+  { PinnedColumn c = pool.Pin(2); }  // evicts 0 (LRU)
+  EXPECT_EQ(pool.stats().evictions, 1u);
+  EXPECT_EQ(pool.stats().resident_pages, 2u);
+  { PinnedColumn b = pool.Pin(1); }  // still resident
+  EXPECT_EQ(pool.stats().hits, 1u);
+  { PinnedColumn a = pool.Pin(0); }  // refilled
+  EXPECT_EQ(filler.fills.load(), 4u);
+  EXPECT_LE(pool.stats().resident_bytes, 2 * kColumnBytes);
+}
+
+TEST(TilePoolTest, PinnedPagesAreNeverEvicted) {
+  CountingFiller filler;
+  // Budget for one column only: every additional pin overflows it.
+  TileBufferPool pool(kUsers, kColumnBytes, filler.AsFiller());
+  PinnedColumn a = pool.Pin(0);
+  PinnedColumn b = pool.Pin(1);
+  PinnedColumn c = pool.Pin(2);
+  // All three stay resident (pinned pages are not evictable) and all
+  // three views stay readable.
+  EXPECT_EQ(pool.stats().resident_pages, 3u);
+  EXPECT_DOUBLE_EQ(a.view()[1], 0.001);
+  EXPECT_DOUBLE_EQ(b.view()[1], 1.001);
+  EXPECT_DOUBLE_EQ(c.view()[1], 2.001);
+}
+
+TEST(TilePoolTest, UnpinShedsOverflowImmediately) {
+  CountingFiller filler;
+  TileBufferPool pool(kUsers, kColumnBytes, filler.AsFiller());
+  {
+    PinnedColumn a = pool.Pin(0);
+    PinnedColumn b = pool.Pin(1);
+  }  // both unpin; the pool sheds down to its budget
+  EXPECT_EQ(pool.stats().resident_pages, 1u);
+  EXPECT_LE(pool.stats().resident_bytes, kColumnBytes);
+}
+
+TEST(TilePoolTest, MovedHandleKeepsThePin) {
+  CountingFiller filler;
+  TileBufferPool pool(kUsers, kColumnBytes, filler.AsFiller());
+  PinnedColumn a = pool.Pin(5);
+  PinnedColumn moved = std::move(a);
+  EXPECT_DOUBLE_EQ(moved.view()[0], 5.0);
+  EXPECT_EQ(pool.stats().resident_pages, 1u);
+}
+
+// ------------------------------------------------------------ parity
+
+Workload MustBuild(const WorkloadBuilder& builder) {
+  Result<Workload> workload = builder.Build();
+  EXPECT_TRUE(workload.ok()) << workload.status().ToString();
+  return *std::move(workload);
+}
+
+/// Solves with every listed solver on both workloads and requires
+/// bit-identical selections and arr.
+void ExpectSolverParity(const Workload& reference, const Workload& paged) {
+  Engine engine;
+  for (const char* solver :
+       {"greedy-shrink", "greedy-grow", "local-search", "branch-and-bound"}) {
+    SolveRequest request;
+    request.solver = solver;
+    request.k = 4;
+    Result<SolveResponse> expect = engine.Solve(reference, request);
+    Result<SolveResponse> actual = engine.Solve(paged, request);
+    ASSERT_TRUE(expect.ok()) << expect.status().ToString();
+    ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+    EXPECT_EQ(expect->selection.indices, actual->selection.indices)
+        << solver;
+    EXPECT_EQ(expect->distribution.average, actual->distribution.average)
+        << solver;  // bit-identical, not approximately equal
+  }
+}
+
+TEST(TilePoolTest, PagedKernelMatchesFullTile) {
+  Dataset data = GenerateSynthetic({.n = 400, .d = 4,
+      .distribution = SyntheticDistribution::kAntiCorrelated, .seed = 11});
+  auto shared = std::make_shared<const Dataset>(std::move(data));
+  PruneOptions prune;
+  prune.mode = PruneMode::kAuto;
+  Workload tiled = MustBuild(WorkloadBuilder()
+                                 .WithDataset(shared)
+                                 .WithNumUsers(300)
+                                 .WithSeed(5)
+                                 .WithPruning(prune)
+                                 .WithScoreTile(true));
+  Workload paged = MustBuild(WorkloadBuilder()
+                                 .WithDataset(shared)
+                                 .WithNumUsers(300)
+                                 .WithSeed(5)
+                                 .WithPruning(prune)
+                                 .WithPagedTile());
+  ASSERT_TRUE(paged.kernel().paged());
+  ExpectSolverParity(tiled, paged);
+  EXPECT_GT(paged.kernel().page_pool()->stats().misses, 0u);
+}
+
+TEST(TilePoolTest, EvictionForcingBudgetStaysBitIdentical) {
+  Dataset data = GenerateSynthetic({.n = 300, .d = 4,
+      .distribution = SyntheticDistribution::kIndependent, .seed = 21});
+  auto shared = std::make_shared<const Dataset>(std::move(data));
+  Workload untiled = MustBuild(WorkloadBuilder()
+                                   .WithDataset(shared)
+                                   .WithNumUsers(250)
+                                   .WithSeed(3)
+                                   .WithScoreTile(false));
+  // Room for three columns: every batched pass cycles the pool.
+  Workload paged = MustBuild(WorkloadBuilder()
+                                 .WithDataset(shared)
+                                 .WithNumUsers(250)
+                                 .WithSeed(3)
+                                 .WithPagedTile(3 * 250 * sizeof(double)));
+  ExpectSolverParity(untiled, paged);
+  TileBufferPool::Stats stats = paged.kernel().page_pool()->stats();
+  EXPECT_GT(stats.evictions, 0u) << "budget did not force eviction";
+  EXPECT_LE(stats.resident_bytes, 3 * 250 * sizeof(double));
+}
+
+TEST(TilePoolTest, WorkloadReportsPoolResidency) {
+  Dataset data = GenerateSynthetic({.n = 200, .d = 3,
+      .distribution = SyntheticDistribution::kCorrelated, .seed = 31});
+  Workload paged = MustBuild(WorkloadBuilder()
+                                 .WithDataset(std::move(data))
+                                 .WithNumUsers(100)
+                                 .WithSeed(1)
+                                 .WithPagedTile());
+  size_t before = paged.resident_bytes();
+  Engine engine;
+  SolveRequest request;
+  request.solver = "greedy-grow";  // BatchGains pins columns
+  request.k = 3;
+  ASSERT_TRUE(engine.Solve(paged, request).ok());
+  // Solving faulted pages in; residency grows by what the pool now holds.
+  EXPECT_GT(paged.kernel().page_pool()->stats().resident_bytes, 0u);
+  EXPECT_GT(paged.resident_bytes(), before);
+}
+
+// ------------------------------------------------------- concurrency
+
+TEST(TilePoolConcurrencyTest, ConcurrentPinsSeeConsistentColumns) {
+  CountingFiller filler;
+  constexpr size_t kPoints = 64;
+  // Budget for 8 of 64 columns: constant eviction pressure.
+  TileBufferPool pool(kUsers, 8 * kColumnBytes, filler.AsFiller());
+  constexpr size_t kThreads = 8;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&pool, &failed, t] {
+      Rng rng(t + 1);
+      for (int iter = 0; iter < 400; ++iter) {
+        size_t point = static_cast<size_t>(rng.NextBounded(kPoints));
+        PinnedColumn column = pool.Pin(point);
+        std::span<const double> view = column.view();
+        for (size_t u = 0; u < view.size(); u += 13) {
+          double want = static_cast<double>(point) +
+                        static_cast<double>(u) / 1000.0;
+          if (view[u] != want) failed.store(true);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_FALSE(failed.load()) << "a pinned view changed under eviction";
+  TileBufferPool::Stats stats = pool.stats();
+  EXPECT_EQ(stats.hits + stats.misses, kThreads * 400);
+  EXPECT_EQ(stats.resident_pages * kColumnBytes, stats.resident_bytes);
+}
+
+TEST(TilePoolConcurrencyTest, ConcurrentSolvesOnOnePagedWorkload) {
+  Dataset data = GenerateSynthetic({.n = 250, .d = 4,
+      .distribution = SyntheticDistribution::kAntiCorrelated, .seed = 41});
+  auto shared = std::make_shared<const Dataset>(std::move(data));
+  Workload reference = MustBuild(WorkloadBuilder()
+                                     .WithDataset(shared)
+                                     .WithNumUsers(200)
+                                     .WithSeed(9)
+                                     .WithScoreTile(false));
+  Workload paged = MustBuild(WorkloadBuilder()
+                                 .WithDataset(shared)
+                                 .WithNumUsers(200)
+                                 .WithSeed(9)
+                                 .WithPagedTile(4 * 200 * sizeof(double)));
+  Engine engine;
+  SolveRequest request;
+  request.solver = "greedy-grow";
+  request.k = 5;
+  Result<SolveResponse> expect = engine.Solve(reference, request);
+  ASSERT_TRUE(expect.ok()) << expect.status().ToString();
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < 6; ++t) {
+    threads.emplace_back([&] {
+      Result<SolveResponse> actual = engine.Solve(paged, request);
+      if (!actual.ok() ||
+          actual->selection.indices != expect->selection.indices) {
+        mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace fam

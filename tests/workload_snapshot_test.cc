@@ -1,0 +1,369 @@
+// WorkloadSnapshot round-trip suite: Save → Open → FromSnapshot must
+// reproduce the original workload bit for bit — identical selections and
+// arr for every solver, identical candidate pools and metadata — across
+// the storage modes (sampled linear, materialized/explicit, latent),
+// prune modes, sharded candidate builds, and tiled kernels. The reopened
+// workload runs its kernel in paged mode, so these tests also pin the
+// snapshot-backed TileBufferPool filler.
+
+#include "store/workload_snapshot.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "data/generator.h"
+#include "fam/engine.h"
+#include "fam/service.h"
+#include "utility/distribution.h"
+
+namespace fam {
+namespace {
+
+std::string SnapshotPath(const char* name) {
+  return testing::TempDir() + "/" + name + ".famsnap";
+}
+
+Workload MustBuild(const WorkloadBuilder& builder) {
+  Result<Workload> workload = builder.Build();
+  EXPECT_TRUE(workload.ok()) << workload.status().ToString();
+  return *std::move(workload);
+}
+
+/// Saves, reopens, and returns the snapshot-backed Workload, asserting
+/// the snapshot's identity metadata matches the original on the way.
+Workload RoundTrip(const Workload& original, const std::string& path) {
+  Status saved = WorkloadSnapshot::Save(original, path);
+  EXPECT_TRUE(saved.ok()) << saved.ToString();
+  Result<std::shared_ptr<const WorkloadSnapshot>> snapshot =
+      WorkloadSnapshot::Open(path);
+  EXPECT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  EXPECT_EQ((*snapshot)->dataset_hash(), original.dataset().ContentHash());
+  EXPECT_EQ((*snapshot)->spec_fingerprint(), original.spec_fingerprint());
+  EXPECT_TRUE(
+      (*snapshot)->VerifySpecFingerprint(original.spec_fingerprint()).ok());
+  EXPECT_EQ((*snapshot)->num_users(), original.num_users());
+  EXPECT_EQ((*snapshot)->num_points(), original.size());
+  EXPECT_EQ((*snapshot)->seed(), original.seed());
+  EXPECT_EQ((*snapshot)->materialized(), original.materialized());
+  EXPECT_EQ((*snapshot)->monotone_utilities(),
+            original.monotone_utilities());
+  EXPECT_EQ((*snapshot)->distribution_name(), original.distribution_name());
+  EXPECT_EQ((*snapshot)->build_seconds(), original.preprocess_seconds());
+  Result<Workload> reopened =
+      WorkloadBuilder::FromSnapshot(*snapshot, original.shared_dataset());
+  EXPECT_TRUE(reopened.ok()) << reopened.status().ToString();
+  return *std::move(reopened);
+}
+
+/// Full solver sweep: selections and arr must be bit-identical (==, not
+/// near) between the original and the reopened workload.
+void ExpectSolveParity(const Workload& original, const Workload& reopened,
+                      size_t k = 4) {
+  Engine engine;
+  for (const char* solver :
+       {"greedy-shrink", "greedy-grow", "local-search", "branch-and-bound"}) {
+    SolveRequest request;
+    request.solver = solver;
+    request.k = k;
+    Result<SolveResponse> expect = engine.Solve(original, request);
+    Result<SolveResponse> actual = engine.Solve(reopened, request);
+    ASSERT_TRUE(expect.ok()) << expect.status().ToString();
+    ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+    EXPECT_EQ(expect->selection.indices, actual->selection.indices)
+        << solver;
+    EXPECT_EQ(expect->distribution.average, actual->distribution.average)
+        << solver;
+    EXPECT_EQ(expect->distribution.stddev, actual->distribution.stddev)
+        << solver;
+  }
+}
+
+void ExpectSameCandidates(const Workload& original,
+                          const Workload& reopened) {
+  ASSERT_EQ(original.candidate_index() != nullptr,
+            reopened.candidate_index() != nullptr);
+  if (original.candidate_index() == nullptr) return;
+  EXPECT_EQ(original.candidate_index()->candidates(),
+            reopened.candidate_index()->candidates());
+  EXPECT_EQ(original.candidate_index()->resolved_mode(),
+            reopened.candidate_index()->resolved_mode());
+}
+
+std::shared_ptr<const Dataset> AntiDataset(size_t n, size_t d,
+                                           uint64_t seed) {
+  return std::make_shared<const Dataset>(GenerateSynthetic(
+      {.n = n, .d = d,
+       .distribution = SyntheticDistribution::kAntiCorrelated,
+       .seed = seed}));
+}
+
+TEST(SnapshotTest, RoundTripPlainLinearWorkload) {
+  auto data = AntiDataset(400, 4, 11);
+  Workload original = MustBuild(
+      WorkloadBuilder().WithDataset(data).WithNumUsers(300).WithSeed(5));
+  Workload reopened = RoundTrip(original, SnapshotPath("plain"));
+  EXPECT_TRUE(reopened.kernel().paged());
+  EXPECT_EQ(reopened.spec_fingerprint(), original.spec_fingerprint());
+  EXPECT_EQ(reopened.distribution_name(), original.distribution_name());
+  // The evaluator's precomputed index must match exactly — this is the
+  // O(N·n) scan the snapshot exists to skip.
+  EXPECT_EQ(original.evaluator().best_in_db_values(),
+            reopened.evaluator().best_in_db_values());
+  EXPECT_EQ(original.evaluator().best_in_db_points(),
+            reopened.evaluator().best_in_db_points());
+  ExpectSolveParity(original, reopened);
+}
+
+TEST(SnapshotTest, RoundTripPrunedWorkloads) {
+  auto data = AntiDataset(350, 4, 13);
+  for (PruneMode mode : {PruneMode::kGeometric, PruneMode::kSampleDominance,
+                         PruneMode::kCoreset}) {
+    PruneOptions prune;
+    prune.mode = mode;
+    if (mode == PruneMode::kCoreset) prune.coreset_epsilon = 0.01;
+    Workload original = MustBuild(WorkloadBuilder()
+                                      .WithDataset(data)
+                                      .WithNumUsers(250)
+                                      .WithSeed(7)
+                                      .WithPruning(prune));
+    Workload reopened = RoundTrip(
+        original,
+        SnapshotPath(("prune" + std::to_string(static_cast<int>(mode)))
+                         .c_str()));
+    ExpectSameCandidates(original, reopened);
+    EXPECT_EQ(reopened.prune_options().mode, mode);
+    ExpectSolveParity(original, reopened);
+  }
+}
+
+TEST(SnapshotTest, RoundTripShardedCandidateBuild) {
+  auto data = AntiDataset(500, 4, 17);
+  PruneOptions prune;
+  prune.mode = PruneMode::kAuto;
+  Workload original = MustBuild(WorkloadBuilder()
+                                    .WithDataset(data)
+                                    .WithNumUsers(300)
+                                    .WithSeed(9)
+                                    .WithPruning(prune)
+                                    .WithShards(4));
+  ASSERT_EQ(original.shard_count(), 4u);
+  Workload reopened = RoundTrip(original, SnapshotPath("sharded"));
+  // The merged pool is stored flat: reopen preserves the candidates (and
+  // the spec fingerprint keyed by the shard options) without re-running
+  // the shard phase.
+  ExpectSameCandidates(original, reopened);
+  EXPECT_EQ(reopened.spec_fingerprint(), original.spec_fingerprint());
+  ExpectSolveParity(original, reopened);
+}
+
+TEST(SnapshotTest, RoundTripMaterializedWorkload) {
+  auto data = AntiDataset(300, 3, 19);
+  Workload original = MustBuild(WorkloadBuilder()
+                                    .WithDataset(data)
+                                    .WithNumUsers(200)
+                                    .WithSeed(3)
+                                    .WithMaterializedUtilities(true));
+  ASSERT_TRUE(original.materialized());
+  Workload reopened = RoundTrip(original, SnapshotPath("materialized"));
+  EXPECT_TRUE(reopened.materialized());
+  ExpectSolveParity(original, reopened);
+}
+
+TEST(SnapshotTest, RoundTripLatentMatrixWorkload) {
+  auto data = AntiDataset(250, 4, 23);
+  // A latent utility model: random rank-3 user factors against a random
+  // item basis (mode 2 storage: weights + basis sections).
+  constexpr size_t kUsers = 150, kRank = 3;
+  Rng rng(29);
+  Matrix weights(kUsers, kRank);
+  Matrix basis(data->size(), kRank);
+  for (double& w : weights.data()) w = rng.Uniform(0.0, 1.0);
+  for (double& b : basis.data()) b = rng.Uniform(0.0, 1.0);
+  UtilityMatrix users = UtilityMatrix::FromLatent(weights, basis);
+  Workload original = MustBuild(WorkloadBuilder()
+                                    .WithDataset(data)
+                                    .WithUtilityMatrix(users, {}));
+  Workload reopened = RoundTrip(original, SnapshotPath("latent"));
+  ExpectSolveParity(original, reopened);
+}
+
+TEST(SnapshotTest, RoundTripTiledKernelKeepsTileBits) {
+  auto data = AntiDataset(300, 4, 31);
+  PruneOptions prune;
+  prune.mode = PruneMode::kGeometric;
+  Workload original = MustBuild(WorkloadBuilder()
+                                    .WithDataset(data)
+                                    .WithNumUsers(200)
+                                    .WithSeed(5)
+                                    .WithPruning(prune)
+                                    .WithScoreTile(true));
+  ASSERT_TRUE(original.kernel().tiled());
+  std::string path = SnapshotPath("tiled");
+  Workload reopened = RoundTrip(original, path);
+  // The tile made it into the file and the paged kernel serves columns
+  // from the mapping (a memcpy, not an O(r) rebuild).
+  Result<std::shared_ptr<const WorkloadSnapshot>> snapshot =
+      WorkloadSnapshot::Open(path);
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_TRUE((*snapshot)->has_tile());
+  EXPECT_EQ((*snapshot)->tiled_columns(), original.candidate_count());
+  std::vector<double> column(original.num_users());
+  size_t candidate = original.candidate_index()->candidates().front();
+  ASSERT_TRUE((*snapshot)->FillTileColumn(
+      candidate, std::span<double>(column.data(), column.size())));
+  for (size_t u = 0; u < column.size(); ++u) {
+    EXPECT_EQ(column[u], original.evaluator().users().Utility(u, candidate));
+  }
+  ExpectSolveParity(original, reopened);
+}
+
+TEST(SnapshotTest, ReopenedWorkloadUnderTinyPoolStaysExact) {
+  auto data = AntiDataset(300, 4, 37);
+  Workload original = MustBuild(
+      WorkloadBuilder().WithDataset(data).WithNumUsers(250).WithSeed(7));
+  std::string path = SnapshotPath("tinypool");
+  ASSERT_TRUE(WorkloadSnapshot::Save(original, path).ok());
+  Result<std::shared_ptr<const WorkloadSnapshot>> snapshot =
+      WorkloadSnapshot::Open(path);
+  ASSERT_TRUE(snapshot.ok());
+  // Pool budget of three columns: the batched passes cycle pages through
+  // eviction, and results still match bit for bit.
+  Result<Workload> reopened = WorkloadBuilder::FromSnapshot(
+      *snapshot, data, /*page_pool_bytes=*/3 * 250 * sizeof(double));
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  ExpectSolveParity(original, *reopened);
+  EXPECT_GT(reopened->kernel().page_pool()->stats().evictions, 0u);
+}
+
+TEST(SnapshotTest, FromSnapshotRejectsTheWrongDataset) {
+  auto data = AntiDataset(200, 3, 41);
+  Workload original = MustBuild(
+      WorkloadBuilder().WithDataset(data).WithNumUsers(100).WithSeed(1));
+  std::string path = SnapshotPath("wrongdata");
+  ASSERT_TRUE(WorkloadSnapshot::Save(original, path).ok());
+  Result<std::shared_ptr<const WorkloadSnapshot>> snapshot =
+      WorkloadSnapshot::Open(path);
+  ASSERT_TRUE(snapshot.ok());
+  // Same shape, different bytes: the content hash must catch it.
+  auto other = AntiDataset(200, 3, 42);
+  Result<Workload> reopened = WorkloadBuilder::FromSnapshot(*snapshot, other);
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(reopened.status().message().find("dataset hash"),
+            std::string::npos)
+      << reopened.status().message();
+}
+
+TEST(SnapshotTest, SpecFingerprintMismatchIsDistinctFromCorruption) {
+  auto data = AntiDataset(200, 3, 43);
+  Workload original = MustBuild(
+      WorkloadBuilder().WithDataset(data).WithNumUsers(100).WithSeed(1));
+  std::string path = SnapshotPath("fingerprint");
+  ASSERT_TRUE(WorkloadSnapshot::Save(original, path).ok());
+  Result<std::shared_ptr<const WorkloadSnapshot>> snapshot =
+      WorkloadSnapshot::Open(path);
+  ASSERT_TRUE(snapshot.ok());
+  Status mismatch =
+      (*snapshot)->VerifySpecFingerprint(original.spec_fingerprint() + 1);
+  ASSERT_FALSE(mismatch.ok());
+  EXPECT_EQ(mismatch.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(mismatch.message().find("spec fingerprint"), std::string::npos);
+}
+
+TEST(SnapshotTest, ServiceOpensSnapshotsOnCacheMiss) {
+  auto data = AntiDataset(250, 3, 47);
+  // The service writes `<fingerprint>.famsnap` files into snapshot_dir;
+  // wiped first so a leftover snapshot from a previous run cannot turn
+  // the fresh-build leg into an open.
+  std::string dir = testing::TempDir() + "/snapdir";
+  ASSERT_EQ(0, std::system(("rm -rf " + dir + " && mkdir -p " + dir).c_str()));
+  WorkloadSpec spec;
+  spec.dataset = data;
+  spec.num_users = 150;
+  spec.seed = 3;
+  std::vector<size_t> warm_selection;
+  {
+    ServiceOptions options;
+    options.snapshot_dir = dir;
+    options.save_snapshots = true;
+    Service service(options);
+    Result<std::shared_ptr<const Workload>> built =
+        service.GetOrBuildWorkload(spec);
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    EXPECT_EQ(service.stats().snapshot_saves, 1u);
+    EXPECT_EQ(service.stats().snapshot_opens, 0u);
+    Result<JobHandle> job = service.Submit(
+        **built, {.solver = "greedy-shrink", .k = 5});
+    ASSERT_TRUE(job.ok());
+    const Result<SolveResponse>& response = job->Wait();
+    ASSERT_TRUE(response.ok());
+    warm_selection = (*response).selection.indices;
+  }
+  {
+    // A fresh service (cold cache) with the same directory: the miss is
+    // served by the snapshot, and solves match.
+    ServiceOptions options;
+    options.snapshot_dir = dir;
+    Service service(options);
+    Result<std::shared_ptr<const Workload>> opened =
+        service.GetOrBuildWorkload(spec);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    EXPECT_EQ(service.stats().snapshot_opens, 1u);
+    EXPECT_TRUE((*opened)->kernel().paged());
+    Result<JobHandle> job = service.Submit(
+        **opened, {.solver = "greedy-shrink", .k = 5});
+    ASSERT_TRUE(job.ok());
+    const Result<SolveResponse>& response = job->Wait();
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ((*response).selection.indices, warm_selection);
+  }
+}
+
+TEST(SnapshotTest, ServiceEnforcesResidentByteQuota) {
+  auto data = AntiDataset(300, 3, 53);
+  WorkloadSpec spec;
+  spec.dataset = data;
+  spec.num_users = 200;
+  spec.seed = 1;
+  // First: a quota so small no workload fits — admission refuses.
+  {
+    ServiceOptions options;
+    options.max_resident_bytes = 1024;
+    Service service(options);
+    Result<std::shared_ptr<const Workload>> built =
+        service.GetOrBuildWorkload(spec);
+    ASSERT_FALSE(built.ok());
+    EXPECT_EQ(built.status().code(), StatusCode::kResourceExhausted);
+    EXPECT_EQ(service.stats().workload_cache_entries, 0u);
+  }
+  // Second: a quota fitting roughly one workload — inserting a second
+  // spec sheds the first (LRU), keeping the sum under quota.
+  {
+    ServiceOptions options;
+    Service sizing(options);
+    Result<std::shared_ptr<const Workload>> probe =
+        sizing.GetOrBuildWorkload(spec);
+    ASSERT_TRUE(probe.ok());
+    size_t one = (*probe)->resident_bytes();
+    ServiceOptions bounded;
+    bounded.max_resident_bytes = one + one / 2;
+    Service service(bounded);
+    ASSERT_TRUE(service.GetOrBuildWorkload(spec).ok());
+    WorkloadSpec other = spec;
+    other.seed = 2;
+    ASSERT_TRUE(service.GetOrBuildWorkload(other).ok());
+    ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.workload_cache_entries, 1u);
+    EXPECT_LE(stats.workload_cache_resident_bytes, bounded.max_resident_bytes);
+  }
+}
+
+}  // namespace
+}  // namespace fam

@@ -10,8 +10,19 @@
 //   evaluate  — score a comma-separated index set on a CSV
 //               fam_cli evaluate --set 1,5,9 --users 10000 --in data.csv
 //                   [--format json]
+//   save-workload — build a workload and persist its preprocessing
+//               artifacts as a snapshot (store/workload_snapshot.h)
+//               fam_cli save-workload --in data.csv --users 10000
+//                   --out data.famsnap
 //   serve     — long-lived serving session over stdin/stdout
 //               fam_cli serve [--threads 0] [--max_queue 1024] [--cache 8]
+//                   [--snapshot_dir DIR] [--save_snapshots]
+//                   [--max_resident_bytes B]
+//
+// `select --snapshot PATH` makes the preprocessing phase persistent: a
+// matching snapshot at PATH is opened (instant warm start, paged tile);
+// a missing, stale, or corrupt one triggers a fresh build that is saved
+// back to PATH. The selection is bit-identical either way.
 //
 // `serve` speaks newline-delimited JSON: one request object per input
 // line, one response object per output line, against a persistent
@@ -268,9 +279,24 @@ void RegisterWorkloadFlags(FlagParser& flags, WorkloadFlags* w) {
       .AddBool("labels", &w->label_column, "first CSV column is a label");
 }
 
-/// Loads the CSV and builds the shared Workload (sampling + indexing is
-/// the timed preprocessing phase, reported separately from query time).
-Result<Workload> BuildWorkload(const WorkloadFlags& w) {
+/// WorkloadFlags after validation and CSV load: everything a build or a
+/// snapshot-fingerprint check needs.
+struct ParsedWorkload {
+  std::shared_ptr<const Dataset> dataset;
+  std::shared_ptr<const UniformLinearDistribution> distribution;
+  PruneOptions prune;
+  ShardOptions shards;
+  size_t users = 0;
+  uint64_t seed = 0;
+
+  uint64_t Fingerprint() const {
+    return WorkloadFingerprintParts(dataset->ContentHash(),
+                                    distribution->name(), users, seed,
+                                    /*materialized=*/false, prune, shards);
+  }
+};
+
+Result<ParsedWorkload> ParseWorkloadFlags(const WorkloadFlags& w) {
   if (w.in.empty()) return Status::InvalidArgument("--in is required");
   if (w.users <= 0) return Status::InvalidArgument("--users must be > 0");
   CsvOptions options;
@@ -278,17 +304,67 @@ Result<Workload> BuildWorkload(const WorkloadFlags& w) {
   options.first_column_is_label = w.label_column;
   FAM_ASSIGN_OR_RETURN(Dataset data, ReadCsvFile(w.in, options));
   FAM_ASSIGN_OR_RETURN(WeightDomain domain, ParseDomain(w.domain));
-  FAM_ASSIGN_OR_RETURN(PruneOptions prune, ParsePruneSpec(w.prune));
-  FAM_ASSIGN_OR_RETURN(ShardOptions shards, ParseShardSpec(w.shards));
+  ParsedWorkload parts;
+  FAM_ASSIGN_OR_RETURN(parts.prune, ParsePruneSpec(w.prune));
+  FAM_ASSIGN_OR_RETURN(parts.shards, ParseShardSpec(w.shards));
+  parts.dataset = std::make_shared<const Dataset>(std::move(data));
+  parts.distribution =
+      std::make_shared<const UniformLinearDistribution>(domain);
+  parts.users = static_cast<size_t>(w.users);
+  parts.seed = static_cast<uint64_t>(w.seed);
+  return parts;
+}
+
+Result<Workload> BuildParsedWorkload(const ParsedWorkload& parts) {
   return WorkloadBuilder()
-      .WithDataset(std::move(data))
-      .WithDistribution(
-          std::make_shared<const UniformLinearDistribution>(domain))
-      .WithNumUsers(static_cast<size_t>(w.users))
-      .WithSeed(static_cast<uint64_t>(w.seed))
-      .WithPruning(prune)
-      .WithShards(shards)
+      .WithDataset(parts.dataset)
+      .WithDistribution(parts.distribution)
+      .WithNumUsers(parts.users)
+      .WithSeed(parts.seed)
+      .WithPruning(parts.prune)
+      .WithShards(parts.shards)
       .Build();
+}
+
+/// Loads the CSV and builds the shared Workload (sampling + indexing is
+/// the timed preprocessing phase, reported separately from query time).
+Result<Workload> BuildWorkload(const WorkloadFlags& w) {
+  FAM_ASSIGN_OR_RETURN(ParsedWorkload parts, ParseWorkloadFlags(w));
+  return BuildParsedWorkload(parts);
+}
+
+/// The select --snapshot path: open `path` when it carries this exact
+/// spec (warm start — the paged kernel fills columns from the mapping),
+/// else build fresh and save back to `path`. `*action` reports which
+/// branch ran: "opened" or "saved".
+Result<Workload> BuildOrOpenWorkload(const WorkloadFlags& w,
+                                     const std::string& path,
+                                     std::string* action) {
+  FAM_ASSIGN_OR_RETURN(ParsedWorkload parts, ParseWorkloadFlags(w));
+  std::string why;
+  Result<std::shared_ptr<const WorkloadSnapshot>> snapshot =
+      WorkloadSnapshot::Open(path);
+  if (!snapshot.ok()) {
+    why = snapshot.status().message();
+  } else {
+    Status match = (*snapshot)->VerifySpecFingerprint(parts.Fingerprint());
+    if (!match.ok()) {
+      why = match.message();
+    } else {
+      Result<Workload> reopened =
+          WorkloadBuilder::FromSnapshot(*snapshot, parts.dataset);
+      if (reopened.ok()) {
+        *action = "opened";
+        return reopened;
+      }
+      why = reopened.status().message();
+    }
+  }
+  std::fprintf(stderr, "note: %s; building fresh\n", why.c_str());
+  FAM_ASSIGN_OR_RETURN(Workload workload, BuildParsedWorkload(parts));
+  FAM_RETURN_IF_ERROR(WorkloadSnapshot::Save(workload, path));
+  *action = "saved";
+  return workload;
 }
 
 /// The pruning mode a workload actually runs under ("off", "geometric",
@@ -330,6 +406,7 @@ int RunSelect(int argc, const char* const* argv) {
   std::string algo = "greedy-shrink";
   std::string format = "text";
   std::string options_text;
+  std::string snapshot_path;
   double deadline = 0.0;
   FlagParser flags;
   RegisterWorkloadFlags(flags, &w);
@@ -337,6 +414,9 @@ int RunSelect(int argc, const char* const* argv) {
       .AddString("algo", &algo,
                  "any registered solver; see fam_cli --list_solvers")
       .AddString("format", &format, "output format: text | json")
+      .AddString("snapshot", &snapshot_path,
+                 "workload snapshot path: opened when it matches the "
+                 "requested spec, else built fresh and saved back")
       .AddString("options", &options_text,
                  "per-solver knobs, key=value[,key=value...]")
       .AddDouble("deadline", &deadline,
@@ -385,7 +465,11 @@ int RunSelect(int argc, const char* const* argv) {
   }
   request.options = *std::move(solver_options);
 
-  Result<Workload> workload = BuildWorkload(w);
+  std::string snapshot_action;
+  Result<Workload> workload =
+      snapshot_path.empty()
+          ? BuildWorkload(w)
+          : BuildOrOpenWorkload(w, snapshot_path, &snapshot_action);
   if (!workload.ok()) return Fail(workload.status());
   if (k <= 0 || static_cast<size_t>(k) > workload->size()) {
     return Fail(Status::InvalidArgument("k out of range"));
@@ -423,6 +507,9 @@ int RunSelect(int argc, const char* const* argv) {
         .Number("preprocess_seconds", response->preprocess_seconds)
         .Number("query_seconds", response->query_seconds)
         .Bool("truncated", response->truncated);
+    if (!snapshot_action.empty()) {
+      json.String("snapshot", snapshot_action);
+    }
     JsonObject counters;
     for (const SolverCounter& counter : response->counters) {
       counters.Number(counter.name, counter.value);
@@ -435,6 +522,10 @@ int RunSelect(int argc, const char* const* argv) {
   std::printf("algorithm: %s\n", response->solver.c_str());
   std::printf("preprocess: %.3f s, query: %.3f s\n",
               response->preprocess_seconds, response->query_seconds);
+  if (!snapshot_action.empty()) {
+    std::printf("snapshot: %s %s\n", snapshot_action.c_str(),
+                snapshot_path.c_str());
+  }
   if (workload->candidate_index() != nullptr) {
     std::printf("prune: %s, candidates: %zu/%zu\n",
                 ResolvedPruneName(*workload).c_str(),
@@ -515,6 +606,61 @@ int RunEvaluate(int argc, const char* const* argv) {
   for (double pct : kReportPercentiles) {
     std::printf("p%.0f regret ratio: %.6f\n", pct, dist.PercentileRr(pct));
   }
+  return 0;
+}
+
+int RunSaveWorkload(int argc, const char* const* argv) {
+  WorkloadFlags w;
+  std::string out;
+  std::string format = "text";
+  FlagParser flags;
+  RegisterWorkloadFlags(flags, &w);
+  flags.AddString("out", &out, "snapshot output path (required)")
+      .AddString("format", &format, "output format: text | json");
+  Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n%s", parsed.ToString().c_str(),
+                 flags.Usage().c_str());
+    return 1;
+  }
+  Result<OutputFormat> output = ParseFormat(format);
+  if (!output.ok()) return Fail(output.status());
+  if (out.empty()) {
+    return Fail(Status::InvalidArgument("--out is required"));
+  }
+  Result<Workload> workload = BuildWorkload(w);
+  if (!workload.ok()) return Fail(workload.status());
+  Timer timer;
+  Status saved = WorkloadSnapshot::Save(*workload, out);
+  if (!saved.ok()) return Fail(saved);
+  const double save_seconds = timer.ElapsedSeconds();
+  // Reopen as a write-path self-check (cheap: header + checksums) and for
+  // the exact on-disk size.
+  Result<std::shared_ptr<const WorkloadSnapshot>> snapshot =
+      WorkloadSnapshot::Open(out);
+  if (!snapshot.ok()) return Fail(snapshot.status());
+  if (*output == OutputFormat::kJson) {
+    JsonObject json;
+    json.String("out", out)
+        .Integer("bytes", static_cast<long long>((*snapshot)->file_bytes()))
+        .Integer("n", static_cast<long long>(workload->size()))
+        .Integer("users", static_cast<long long>(workload->num_users()))
+        .String("prune", ResolvedPruneName(*workload))
+        .Integer("candidates",
+                 static_cast<long long>(workload->candidate_count()))
+        .Number("build_seconds", workload->preprocess_seconds())
+        .Number("save_seconds", save_seconds);
+    std::printf("%s\n", json.Render().c_str());
+    return 0;
+  }
+  std::printf("wrote workload snapshot: %s (%zu bytes)\n", out.c_str(),
+              (*snapshot)->file_bytes());
+  std::printf("n: %zu, users: %zu, prune: %s, candidates: %zu\n",
+              workload->size(), workload->num_users(),
+              ResolvedPruneName(*workload).c_str(),
+              workload->candidate_count());
+  std::printf("build: %.3f s, save: %.3f s\n",
+              workload->preprocess_seconds(), save_seconds);
   return 0;
 }
 
@@ -913,6 +1059,19 @@ Status ServeStatus(ServeSession& session, const JsonRequest& request) {
       .Integer("cache_hits", static_cast<long long>(stats.workload_cache_hits))
       .Integer("cache_misses",
                static_cast<long long>(stats.workload_cache_misses))
+      .Integer("cache_entries",
+               static_cast<long long>(stats.workload_cache_entries))
+      .Integer("cache_resident_bytes",
+               static_cast<long long>(stats.workload_cache_resident_bytes))
+      .Integer("tile_pool_hits", static_cast<long long>(stats.tile_pool_hits))
+      .Integer("tile_pool_misses",
+               static_cast<long long>(stats.tile_pool_misses))
+      .Integer("tile_pool_evictions",
+               static_cast<long long>(stats.tile_pool_evictions))
+      .Integer("tile_pool_resident_bytes",
+               static_cast<long long>(stats.tile_pool_resident_bytes))
+      .Integer("snapshot_opens", static_cast<long long>(stats.snapshot_opens))
+      .Integer("snapshot_saves", static_cast<long long>(stats.snapshot_saves))
       .Integer("threads",
                static_cast<long long>(session.service.num_threads()));
   Reply(json);
@@ -952,26 +1111,44 @@ int RunServe(int argc, const char* const* argv) {
   int64_t threads = 0;
   int64_t max_queue = 1024;
   int64_t cache = 8;
+  int64_t max_resident = 0;
+  std::string snapshot_dir;
+  bool save_snapshots = false;
   FlagParser flags;
   flags.AddInt("threads", &threads,
                "dedicated worker threads (0 = shared process pool)")
       .AddInt("max_queue", &max_queue,
               "admission bound on queued jobs (0 = unbounded)")
-      .AddInt("cache", &cache, "workload cache capacity (entries)");
+      .AddInt("cache", &cache, "workload cache capacity (entries)")
+      .AddInt("max_resident_bytes", &max_resident,
+              "byte quota over cached workloads (0 = unbounded)")
+      .AddString("snapshot_dir", &snapshot_dir,
+                 "workload snapshot directory: cache misses open a "
+                 "matching <fingerprint>.famsnap instead of rebuilding")
+      .AddBool("save_snapshots", &save_snapshots,
+               "write a snapshot into --snapshot_dir after each fresh "
+               "build");
   Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) {
     std::fprintf(stderr, "%s\n%s", parsed.ToString().c_str(),
                  flags.Usage().c_str());
     return 1;
   }
-  if (threads < 0 || max_queue < 0 || cache < 0) {
+  if (threads < 0 || max_queue < 0 || cache < 0 || max_resident < 0) {
     return Fail(Status::InvalidArgument(
-        "--threads/--max_queue/--cache must be >= 0"));
+        "--threads/--max_queue/--cache/--max_resident_bytes must be >= 0"));
+  }
+  if (save_snapshots && snapshot_dir.empty()) {
+    return Fail(Status::InvalidArgument(
+        "--save_snapshots requires --snapshot_dir"));
   }
   ServiceOptions options;
   options.num_threads = static_cast<size_t>(threads);
   options.max_queued_jobs = static_cast<size_t>(max_queue);
   options.workload_cache_capacity = static_cast<size_t>(cache);
+  options.max_resident_bytes = static_cast<size_t>(max_resident);
+  options.snapshot_dir = snapshot_dir;
+  options.save_snapshots = save_snapshots;
   ServeSession session(options);
 
   // EOF without an explicit quit means the client is gone — cancel
@@ -1029,7 +1206,8 @@ int RunServe(int argc, const char* const* argv) {
 int Main(int argc, const char* const* argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: fam_cli <generate|select|evaluate|serve> [flags]\n"
+                 "usage: fam_cli "
+                 "<generate|select|evaluate|save-workload|serve> [flags]\n"
                  "       fam_cli --list_solvers\n");
     return 1;
   }
@@ -1042,6 +1220,9 @@ int Main(int argc, const char* const* argv) {
   if (command == "generate") return RunGenerate(argc - 1, argv + 1);
   if (command == "select") return RunSelect(argc - 1, argv + 1);
   if (command == "evaluate") return RunEvaluate(argc - 1, argv + 1);
+  if (command == "save-workload" || command == "save_workload") {
+    return RunSaveWorkload(argc - 1, argv + 1);
+  }
   if (command == "serve") return RunServe(argc - 1, argv + 1);
   std::fprintf(stderr, "unknown command: %s\n", command.c_str());
   return 1;
