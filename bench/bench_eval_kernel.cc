@@ -20,12 +20,23 @@
 // skipped (its O(k·n·N·d) cost would dominate the whole run). Selections
 // are cross-checked for equality between every pair of paths — a
 // mismatch is a bug, not a benchmark artifact.
+//
+// A second section isolates the BatchGains hot loop across the SIMD and
+// tile variants — scalar dispatch vs the vector path vs the quantized
+// screens vs an eviction-forcing paged pool — reporting per-element ns
+// (kernel counters batch_gain_ns / batch_gain_elements) and writing the
+// machine-readable rows to --out (default BENCH_kernel_simd.json).
+// Every leg must produce bit-identical selections and arr.
+//
+// Usage: bench_eval_kernel [--full] [--out BENCH_kernel_simd.json]
 
 #include <cstring>
+#include <numeric>
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
+#include "common/simd.h"
 #include "core/greedy_grow.h"
 #include "core/local_search.h"
 
@@ -150,10 +161,196 @@ void RunScale(size_t num_users) {
   std::printf("\n");
 }
 
+// ------------------------------------------------------- SIMD legs
+
+constexpr size_t kSweepReps = 3;
+
+/// One BatchGains-focused leg: a greedy selection loop (for bit-identity
+/// of the selections) followed by repeated full candidate sweeps at the
+/// steady state |S| = k — the shape local search, lazy re-evaluation,
+/// and warm serving actually run — with per-element ns pulled from the
+/// kernel counters (batch_gain_ns / batch_gain_elements).
+struct SimdLeg {
+  std::string name;
+  double seconds = 0.0;        // whole greedy loop, wall clock
+  uint64_t gain_ns = 0;        // inside BatchGains, steady sweeps only
+  uint64_t gain_elements = 0;  // candidates × users covered by the sweeps
+  double arr = 0.0;
+  std::vector<size_t> indices;
+  std::vector<double> sweep_gains;  // cross-checked bitwise across legs
+
+  double NsPerElement() const {
+    return gain_elements > 0
+               ? static_cast<double>(gain_ns) /
+                     static_cast<double>(gain_elements)
+               : 0.0;
+  }
+  /// Elements per second through BatchGains — the acceptance metric.
+  double Throughput() const {
+    return gain_ns > 0 ? static_cast<double>(gain_elements) * 1e9 /
+                             static_cast<double>(gain_ns)
+                       : 0.0;
+  }
+};
+
+SimdLeg RunSimdLeg(const std::string& name, const RegretEvaluator& evaluator,
+                   EvalKernelOptions::Tile tile, bool force_scalar,
+                   size_t pool_bytes = 0) {
+  EvalKernelOptions options;
+  options.tile = tile;
+  if (pool_bytes > 0) options.page_pool_bytes = pool_bytes;
+  EvalKernel kernel(evaluator, options);
+
+  bool previous = simd::SetForceScalar(force_scalar);
+  Timer timer;
+  SubsetEvalState state(kernel);
+  std::vector<size_t> candidates;
+  std::vector<double> gains;
+  SimdLeg leg;
+  leg.name = name;
+  for (size_t round = 0; round < kK; ++round) {
+    candidates.clear();
+    for (size_t p = 0; p < evaluator.num_points(); ++p) {
+      if (!state.contains(p)) candidates.push_back(p);
+    }
+    gains.assign(candidates.size(), 0.0);
+    if (!state.BatchGains(candidates, gains)) std::abort();
+    size_t best = 0;
+    for (size_t i = 1; i < candidates.size(); ++i) {
+      if (gains[i] > gains[best]) best = i;
+    }
+    state.Add(candidates[best]);
+    leg.indices.push_back(candidates[best]);
+  }
+  leg.seconds = timer.ElapsedSeconds();
+
+  // Steady-state sweeps: every remaining candidate re-evaluated against
+  // the final k-set, repeated for stable counters. Timing comes from the
+  // kernel's own batch_gain_ns/elements so only BatchGains is measured.
+  candidates.clear();
+  for (size_t p = 0; p < evaluator.num_points(); ++p) {
+    if (!state.contains(p)) candidates.push_back(p);
+  }
+  gains.assign(candidates.size(), 0.0);
+  const uint64_t ns_before = state.counters().batch_gain_ns;
+  const uint64_t elements_before = state.counters().batch_gain_elements;
+  for (size_t rep = 0; rep < kSweepReps; ++rep) {
+    if (!state.BatchGains(candidates, gains)) std::abort();
+  }
+  simd::SetForceScalar(previous);
+  leg.gain_ns = state.counters().batch_gain_ns - ns_before;
+  leg.gain_elements = state.counters().batch_gain_elements - elements_before;
+  leg.sweep_gains = gains;
+  leg.arr = evaluator.AverageRegretRatio(leg.indices);
+  return leg;
+}
+
+struct SimdConfigRow {
+  size_t num_users = 0;
+  bool identical = true;
+  std::vector<SimdLeg> legs;
+};
+
+SimdConfigRow RunSimdLegs(size_t num_users) {
+  Dataset data = GenerateSynthetic(
+      {.n = kPoints, .d = kDim,
+       .distribution = SyntheticDistribution::kAntiCorrelated, .seed = 5});
+  UniformLinearDistribution theta;
+  Rng rng(6);
+  RegretEvaluator evaluator(theta.Sample(data, num_users, rng));
+
+  using Tile = EvalKernelOptions::Tile;
+  SimdConfigRow row;
+  row.num_users = num_users;
+  row.legs.push_back(
+      RunSimdLeg("scalar-f64", evaluator, Tile::kOn, /*force_scalar=*/true));
+  row.legs.push_back(
+      RunSimdLeg("simd-f64", evaluator, Tile::kOn, /*force_scalar=*/false));
+  row.legs.push_back(RunSimdLeg("simd-quant16", evaluator, Tile::kQuant16,
+                                /*force_scalar=*/false));
+  row.legs.push_back(RunSimdLeg("simd-quant8", evaluator, Tile::kQuant8,
+                                /*force_scalar=*/false));
+  // Eviction-forcing paged pool: room for a quarter of the columns, so
+  // every batched sweep cycles pages through fills and evictions.
+  row.legs.push_back(RunSimdLeg("simd-paged-evict", evaluator, Tile::kPaged,
+                                /*force_scalar=*/false,
+                                (kPoints / 4) * num_users * sizeof(double)));
+
+  const SimdLeg& scalar = row.legs.front();
+  std::printf(" BatchGains SIMD legs (N = %zu, simd = %s)\n", num_users,
+              simd::ActiveIsaName());
+  for (const SimdLeg& leg : row.legs) {
+    bool same = leg.indices == scalar.indices && leg.arr == scalar.arr &&
+                leg.sweep_gains == scalar.sweep_gains;
+    row.identical &= same;
+    std::printf(
+        "  %-16s %9.3f s   %7.3f ns/elem   speedup vs scalar %5.2fx   "
+        "identical: %s\n",
+        leg.name.c_str(), leg.seconds, leg.NsPerElement(),
+        scalar.NsPerElement() > 0.0 && leg.NsPerElement() > 0.0
+            ? scalar.NsPerElement() / leg.NsPerElement()
+            : 0.0,
+        same ? "yes" : "NO");
+  }
+  if (!row.identical) {
+    std::fprintf(stderr, "SIMD leg selections diverged at N = %zu\n",
+                 num_users);
+    std::abort();
+  }
+  std::printf("\n");
+  return row;
+}
+
+void WriteJson(const std::string& path, bool full,
+               const std::vector<SimdConfigRow>& rows) {
+  FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::abort();
+  }
+  std::fprintf(out,
+               "{\"bench\":\"kernel_simd\",\"simd\":\"%s\",\"full\":%s,"
+               "\"points\":%zu,\"d\":%zu,\"k\":%zu,\"configs\":[",
+               simd::ActiveIsaName(), full ? "true" : "false", kPoints, kDim,
+               kK);
+  for (size_t r = 0; r < rows.size(); ++r) {
+    const SimdConfigRow& row = rows[r];
+    const SimdLeg& scalar = row.legs.front();
+    std::fprintf(out, "%s{\"users\":%zu,\"identical\":%s,\"legs\":[",
+                 r > 0 ? "," : "", row.num_users,
+                 row.identical ? "true" : "false");
+    for (size_t i = 0; i < row.legs.size(); ++i) {
+      const SimdLeg& leg = row.legs[i];
+      std::fprintf(
+          out,
+          "%s{\"name\":\"%s\",\"seconds\":%.6f,\"batch_gain_ns\":%llu,"
+          "\"batch_gain_elements\":%llu,\"ns_per_element\":%.6f,"
+          "\"elements_per_second\":%.0f,\"speedup_vs_scalar\":%.4f,"
+          "\"arr\":%.17g}",
+          i > 0 ? "," : "", leg.name.c_str(), leg.seconds,
+          static_cast<unsigned long long>(leg.gain_ns),
+          static_cast<unsigned long long>(leg.gain_elements),
+          leg.NsPerElement(), leg.Throughput(),
+          scalar.NsPerElement() > 0.0 && leg.NsPerElement() > 0.0
+              ? scalar.NsPerElement() / leg.NsPerElement()
+              : 0.0,
+          leg.arr);
+    }
+    std::fprintf(out, "]}");
+  }
+  std::fprintf(out, "]}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", path.c_str());
+}
+
 int Main(int argc, char** argv) {
   bool full = false;
+  std::string out_path = "BENCH_kernel_simd.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--full") == 0) full = true;
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[i + 1];
+    }
   }
   if (const char* env = std::getenv("FAM_BENCH_FULL");
       env != nullptr && env[0] == '1') {
@@ -165,6 +362,9 @@ int Main(int argc, char** argv) {
   std::vector<size_t> sizes = {10000, 100000};
   if (full) sizes.push_back(1000000);
   for (size_t num_users : sizes) RunScale(num_users);
+  std::vector<SimdConfigRow> simd_rows;
+  for (size_t num_users : sizes) simd_rows.push_back(RunSimdLegs(num_users));
+  WriteJson(out_path, full, simd_rows);
   return 0;
 }
 

@@ -1,0 +1,134 @@
+// Scalar fallback kernels + runtime dispatch. This TU is compiled with
+// -ffp-contract=off (see src/common/CMakeLists.txt) so no mul+add here
+// can fuse into an FMA: every term must carry the exact bits of the
+// pre-SIMD loops, which the strict EXPECT_EQ parity suites pin.
+
+#include "common/simd.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace fam {
+namespace simd {
+namespace {
+
+// Byte-for-byte the pre-SIMD BatchGains/GainOfAdding inner loop: the
+// branch-free max keeps the loop predictable (an unpredictable
+// improvement branch costs more than the dead divide it avoids).
+double GainBlockScalar(const double* col, const double* best, const double* w,
+                       const double* d, size_t n, double sum) {
+  for (size_t u = 0; u < n; ++u) {
+    double improvement = std::max(0.0, col[u] - best[u]);
+    sum += w[u] * improvement / d[u];
+  }
+  return sum;
+}
+
+double ArrBlockScalar(const double* col, const double* w, const double* d,
+                      size_t n, double sum) {
+  for (size_t u = 0; u < n; ++u) {
+    double denom = d[u];
+    double rr = std::clamp((denom - col[u]) / denom, 0.0, 1.0);
+    sum += w[u] * rr;
+  }
+  return sum;
+}
+
+void SwapTermsScalar(const double* col, const double* best,
+                     const double* second, const double* w, const double* d,
+                     size_t n, double* t_common, double* t_owner) {
+  for (size_t i = 0; i < n; ++i) {
+    double va = col[i];
+    double wi = w[i];
+    double di = d[i];
+    t_common[i] = wi * (di - std::min(std::max(best[i], va), di)) / di;
+    t_owner[i] = wi * (di - std::min(std::max(second[i], va), di)) / di;
+  }
+}
+
+void SwapAccumulateScalar(const double* t_common, const double* t_owner,
+                          const uint32_t* owner_pos, size_t n, double* acc,
+                          size_t k_padded) {
+  for (size_t i = 0; i < n; ++i) {
+    double tc = t_common[i];
+    double to = t_owner[i];
+    size_t op = owner_pos[i];
+    for (size_t pos = 0; pos < k_padded; ++pos) {
+      acc[pos] += pos == op ? to : tc;
+    }
+  }
+}
+
+bool AnyExceedsScalar(const double* values, const double* bounds,
+                      const double* slack, size_t n) {
+  if (slack == nullptr) {
+    for (size_t u = 0; u < n; ++u) {
+      if (values[u] > bounds[u]) return true;
+    }
+    return false;
+  }
+  for (size_t u = 0; u < n; ++u) {
+    if (values[u] > bounds[u] + slack[u]) return true;
+  }
+  return false;
+}
+
+bool Quant16AnyAboveScalar(const uint16_t* codes, double lo, double scale,
+                           const double* best, size_t n) {
+  for (size_t u = 0; u < n; ++u) {
+    if (QuantDecode(lo, static_cast<double>(codes[u]), scale) > best[u]) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Quant8AnyAboveScalar(const uint8_t* codes, double lo, double scale,
+                          const double* best, size_t n) {
+  for (size_t u = 0; u < n; ++u) {
+    if (QuantDecode(lo, static_cast<double>(codes[u]), scale) > best[u]) {
+      return true;
+    }
+  }
+  return false;
+}
+
+constexpr Ops kScalarOps = {
+    "scalar",        GainBlockScalar,      ArrBlockScalar,
+    SwapTermsScalar, SwapAccumulateScalar, AnyExceedsScalar,
+    Quant16AnyAboveScalar, Quant8AnyAboveScalar,
+};
+
+std::atomic<bool> g_force_scalar{false};
+
+const Ops* ResolveBest() {
+#if defined(FAM_SIMD_AVX2)
+  if (__builtin_cpu_supports("avx2")) return &internal::Avx2Ops();
+#endif
+  return &kScalarOps;
+}
+
+const Ops* BestOps() {
+  static const Ops* resolved = ResolveBest();
+  return resolved;
+}
+
+}  // namespace
+
+const Ops& ActiveOps() {
+  if (g_force_scalar.load(std::memory_order_relaxed)) return kScalarOps;
+  return *BestOps();
+}
+
+const char* ActiveIsaName() { return ActiveOps().name; }
+
+bool SetForceScalar(bool force) {
+  return g_force_scalar.exchange(force, std::memory_order_relaxed);
+}
+
+double QuantDecode(double lo, double code, double scale) {
+  return lo + code * scale;
+}
+
+}  // namespace simd
+}  // namespace fam

@@ -1,0 +1,160 @@
+// Portable SIMD shim for the evaluation hot loops.
+//
+// The kernel's exactness contract is bitwise: every batched gain/arr must
+// equal the naive sequential loop EXACTLY (the kernel-vs-naive parity
+// suites assert EXPECT_EQ on doubles). That rules out the textbook
+// vectorization — four parallel accumulators reassociate the sum — so the
+// shim vectorizes only the *elementwise* arithmetic (sub/mul/div/min/max/
+// compare, each IEEE-exact per lane and bit-identical to its scalar
+// counterpart) and keeps every accumulation a strict ascending-user chain.
+// The throughput win comes from two places:
+//
+//   * the divides (the scalar bottleneck) retire 4 per vdivpd instead of
+//     1 per divsd, and
+//   * groups whose terms are all an exact +0.0 (no user improves) are
+//     skipped outright — adding +0.0 to a non-negative sum is the
+//     identity, so the skip is bitwise invisible. After a few greedy
+//     rounds most users don't improve, so most groups vanish.
+//
+// Two implementations sit behind a runtime-dispatched function table:
+// a scalar fallback (always built; byte-for-byte the pre-SIMD loops) and
+// an AVX2 path (simd_avx2.cc, compiled with -mavx2 -ffp-contract=off
+// behind the FAM_SIMD CMake gate, selected when the CPU reports AVX2).
+// Contraction is disabled on both shim TUs so a mul+add can never fuse
+// into an FMA and drift a term by half an ulp between paths.
+
+#ifndef FAM_COMMON_SIMD_H_
+#define FAM_COMMON_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+namespace fam {
+
+/// Minimal std::allocator drop-in handing out `Alignment`-byte-aligned
+/// storage (default 64: one cache line, and enough for AVX-512 loads).
+/// The score tile, the kernel's per-user arrays, SubsetEvalState's
+/// best/second arrays, and TileBufferPool pages all allocate through
+/// this so vector loops start on aligned lanes.
+template <typename T, size_t Alignment = 64>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+  static_assert(Alignment >= alignof(T) && (Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two covering alignof(T)");
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+  void deallocate(T* p, size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Alignment});
+  }
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+};
+
+/// A std::vector whose buffer starts on a 64-byte boundary.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+namespace simd {
+
+/// The dispatched kernel table. All entries share one contract: results
+/// are bit-identical to the scalar fallback (and therefore to the
+/// pre-SIMD loops) for the input domains the kernel feeds them — weights
+/// and best/second values ≥ +0.0, denominators > 0, all values finite.
+struct Ops {
+  /// ISA label for observability ("scalar" or "avx2").
+  const char* name;
+
+  /// Greedy-gain accumulation over one user block, continuing `sum`:
+  /// for each u ascending, sum += w[u] · max(0, col[u] − best[u]) / d[u].
+  /// Returns the updated sum. Non-improving users contribute an exact
+  /// +0.0, so skipping them preserves bits (the sum is never −0.0).
+  double (*gain_block)(const double* col, const double* best,
+                       const double* w, const double* d, size_t n,
+                       double sum);
+
+  /// Singleton-arr accumulation over one user block, continuing `sum`:
+  /// for each u ascending, sum += w[u] · clamp((d[u] − col[u]) / d[u],
+  /// 0, 1). Mirrors RegretEvaluator::AverageRegretRatio({p}) bitwise
+  /// (the ratio is never −0.0 or NaN because col[u] ≤ d[u] ∧ d[u] > 0).
+  double (*arr_block)(const double* col, const double* w, const double* d,
+                      size_t n, double sum);
+
+  /// Elementwise swap terms for one user block (no accumulation):
+  ///   t_common[i] = w[i]·(d[i] − min(max(best[i],   col[i]), d[i]))/d[i]
+  ///   t_owner[i]  = w[i]·(d[i] − min(max(second[i], col[i]), d[i]))/d[i]
+  void (*swap_terms)(const double* col, const double* best,
+                     const double* second, const double* w, const double* d,
+                     size_t n, double* t_common, double* t_owner);
+
+  /// Accumulates the swap terms into the per-position partial sums: for
+  /// each user i ascending, acc[pos] += (pos == owner_pos[i] ? t_owner[i]
+  /// : t_common[i]) for every pos < k_padded. `acc` must be 32-byte
+  /// aligned with k_padded a multiple of 4 (pad lanes accumulate
+  /// t_common; callers ignore them). owner_pos UINT32_MAX = no owner.
+  void (*swap_accumulate)(const double* t_common, const double* t_owner,
+                          const uint32_t* owner_pos, size_t n, double* acc,
+                          size_t k_padded);
+
+  /// True iff some values[u] > bounds[u] + slack[u] (slack may be null =
+  /// zero slack). Pure comparisons — trivially exact. Used for the
+  /// dominance sweep's ceiling prescreen and coverage check.
+  bool (*any_exceeds)(const double* values, const double* bounds,
+                      const double* slack, size_t n);
+
+  /// Quantized-tile screens: true iff some decoded upper bound
+  /// lo + codes[u]·scale exceeds best[u]. A `false` answer proves no user
+  /// in the block improves (codes decode to ≥ the exact score), so the
+  /// caller may skip the block without touching the double tile.
+  bool (*quant16_any_above)(const uint16_t* codes, double lo, double scale,
+                            const double* best, size_t n);
+  bool (*quant8_any_above)(const uint8_t* codes, double lo, double scale,
+                           const double* best, size_t n);
+};
+
+/// The active table: AVX2 when compiled in (FAM_SIMD=ON, GCC/Clang,
+/// x86-64) and the CPU supports it, else the scalar fallback. Grab the
+/// reference once per batch; the lookup is an atomic load.
+const Ops& ActiveOps();
+
+/// ISA label of ActiveOps() ("scalar" or "avx2") for logs/JSON.
+const char* ActiveIsaName();
+
+/// Test/bench hook: forces ActiveOps() to the scalar fallback so both
+/// paths can be compared bit-for-bit within one binary. Returns the
+/// previous value. Not intended for concurrent toggling mid-solve.
+bool SetForceScalar(bool force);
+
+/// Decodes a quantized score: lo + code · scale. Deliberately
+/// out-of-line in the contraction-free shim TU so the encoder's
+/// conservativeness check (bump the code until decode ≥ value) and every
+/// screen evaluate the exact same rounding — an FMA-contracted copy in
+/// another TU could land half an ulp lower and break the ≥ guarantee.
+double QuantDecode(double lo, double code, double scale);
+
+namespace internal {
+/// Defined in simd_avx2.cc only; referenced only when FAM_SIMD_AVX2 is
+/// compiled in.
+const Ops& Avx2Ops();
+}  // namespace internal
+
+}  // namespace simd
+}  // namespace fam
+
+#endif  // FAM_COMMON_SIMD_H_

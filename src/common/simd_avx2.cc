@@ -1,0 +1,255 @@
+// AVX2 kernels. Compiled with -mavx2 -ffp-contract=off (and only on
+// GCC/Clang x86-64 under FAM_SIMD=ON); selected at runtime when the CPU
+// reports AVX2.
+//
+// Bit-exactness notes (the whole design hinges on these):
+//   * vsubpd/vmulpd/vdivpd/vcmppd are IEEE-exact per lane — each lane
+//     produces the identical bits of the corresponding scalar op.
+//   * No FMA intrinsics are used and contraction is off, so w·x/d is
+//     always a distinct multiply then divide, exactly as in the scalar
+//     fallback.
+//   * Accumulations stay strict ascending-user chains: vectors compute
+//     the *terms*, the adds happen lane by lane in order. Terms that are
+//     an exact +0.0 (no improvement / zero weight) may be skipped
+//     because the running sums start at +0.0 and only ever add values
+//     ≥ +0.0 — the sum is never −0.0, so +0.0 is the additive identity.
+//   * vminpd/vmaxpd return the SECOND operand on ties, so operands are
+//     ordered to reproduce std::min/std::max argument order (see
+//     swap_terms).
+
+#if defined(FAM_SIMD_AVX2)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/simd.h"
+
+namespace fam {
+namespace simd {
+namespace {
+
+double GainBlockAvx2(const double* col, const double* best, const double* w,
+                     const double* d, size_t n, double sum) {
+  const __m256d zero = _mm256_setzero_pd();
+  alignas(32) double terms[4];
+  size_t u = 0;
+  for (; u + 4 <= n; u += 4) {
+    __m256d imp = _mm256_sub_pd(_mm256_loadu_pd(col + u),
+                                _mm256_loadu_pd(best + u));
+    int improved =
+        _mm256_movemask_pd(_mm256_cmp_pd(imp, zero, _CMP_GT_OQ));
+    // All four terms are an exact +0.0: adding them is the identity, and
+    // the four divides never issue. This is where sparse rounds win.
+    if (improved == 0) continue;
+    __m256d t = _mm256_div_pd(
+        _mm256_mul_pd(_mm256_loadu_pd(w + u), imp), _mm256_loadu_pd(d + u));
+    _mm256_store_pd(terms, t);
+    if (improved & 1) sum += terms[0];
+    if (improved & 2) sum += terms[1];
+    if (improved & 4) sum += terms[2];
+    if (improved & 8) sum += terms[3];
+  }
+  for (; u < n; ++u) {
+    double improvement = std::max(0.0, col[u] - best[u]);
+    sum += w[u] * improvement / d[u];
+  }
+  return sum;
+}
+
+double ArrBlockAvx2(const double* col, const double* w, const double* d,
+                    size_t n, double sum) {
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d one = _mm256_set1_pd(1.0);
+  alignas(32) double terms[4];
+  size_t u = 0;
+  for (; u + 4 <= n; u += 4) {
+    __m256d denom = _mm256_loadu_pd(d + u);
+    __m256d ratio = _mm256_div_pd(
+        _mm256_sub_pd(denom, _mm256_loadu_pd(col + u)), denom);
+    // clamp(v, 0, 1) bitwise: v is never −0.0 or NaN here (col ≤ d,
+    // d > 0), so max-then-min matches std::clamp lane for lane.
+    ratio = _mm256_min_pd(_mm256_max_pd(ratio, zero), one);
+    __m256d t = _mm256_mul_pd(_mm256_loadu_pd(w + u), ratio);
+    int positive = _mm256_movemask_pd(_mm256_cmp_pd(t, zero, _CMP_GT_OQ));
+    if (positive == 0) continue;
+    _mm256_store_pd(terms, t);
+    if (positive & 1) sum += terms[0];
+    if (positive & 2) sum += terms[1];
+    if (positive & 4) sum += terms[2];
+    if (positive & 8) sum += terms[3];
+  }
+  for (; u < n; ++u) {
+    double denom = d[u];
+    double rr = std::clamp((denom - col[u]) / denom, 0.0, 1.0);
+    sum += w[u] * rr;
+  }
+  return sum;
+}
+
+void SwapTermsAvx2(const double* col, const double* best,
+                   const double* second, const double* w, const double* d,
+                   size_t n, double* t_common, double* t_owner) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d va = _mm256_loadu_pd(col + i);
+    __m256d wi = _mm256_loadu_pd(w + i);
+    __m256d di = _mm256_loadu_pd(d + i);
+    // std::max(best, va) returns best on ties; vmaxpd returns the second
+    // operand on ties, hence max(va, best). Same reasoning for min.
+    __m256d sat_c =
+        _mm256_min_pd(di, _mm256_max_pd(va, _mm256_loadu_pd(best + i)));
+    __m256d sat_o =
+        _mm256_min_pd(di, _mm256_max_pd(va, _mm256_loadu_pd(second + i)));
+    _mm256_storeu_pd(
+        t_common + i,
+        _mm256_div_pd(_mm256_mul_pd(wi, _mm256_sub_pd(di, sat_c)), di));
+    _mm256_storeu_pd(
+        t_owner + i,
+        _mm256_div_pd(_mm256_mul_pd(wi, _mm256_sub_pd(di, sat_o)), di));
+  }
+  for (; i < n; ++i) {
+    double va = col[i];
+    double wi = w[i];
+    double di = d[i];
+    t_common[i] = wi * (di - std::min(std::max(best[i], va), di)) / di;
+    t_owner[i] = wi * (di - std::min(std::max(second[i], va), di)) / di;
+  }
+}
+
+/// Inline position-index vectors cover k ≤ 256 (k is the solution size;
+/// in practice tens). Larger k falls back to the scalar inner loop.
+constexpr size_t kMaxInlineGroups = 64;
+
+void SwapAccumulateAvx2(const double* t_common, const double* t_owner,
+                        const uint32_t* owner_pos, size_t n, double* acc,
+                        size_t k_padded) {
+  const size_t groups = k_padded / 4;
+  if (groups > kMaxInlineGroups) {
+    for (size_t i = 0; i < n; ++i) {
+      double tc = t_common[i];
+      double to = t_owner[i];
+      size_t op = owner_pos[i];
+      for (size_t pos = 0; pos < k_padded; ++pos) {
+        acc[pos] += pos == op ? to : tc;
+      }
+    }
+    return;
+  }
+  __m256i idx[kMaxInlineGroups];
+  for (size_t g = 0; g < groups; ++g) {
+    long long base = static_cast<long long>(4 * g);
+    idx[g] = _mm256_set_epi64x(base + 3, base + 2, base + 1, base);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    __m256d tc = _mm256_set1_pd(t_common[i]);
+    __m256d to = _mm256_set1_pd(t_owner[i]);
+    __m256i op = _mm256_set1_epi64x(static_cast<long long>(owner_pos[i]));
+    for (size_t g = 0; g < groups; ++g) {
+      __m256d at_owner =
+          _mm256_castsi256_pd(_mm256_cmpeq_epi64(idx[g], op));
+      __m256d add = _mm256_blendv_pd(tc, to, at_owner);
+      __m256d a = _mm256_load_pd(acc + 4 * g);
+      _mm256_store_pd(acc + 4 * g, _mm256_add_pd(a, add));
+    }
+  }
+}
+
+bool AnyExceedsAvx2(const double* values, const double* bounds,
+                    const double* slack, size_t n) {
+  size_t u = 0;
+  if (slack == nullptr) {
+    for (; u + 4 <= n; u += 4) {
+      __m256d cmp = _mm256_cmp_pd(_mm256_loadu_pd(values + u),
+                                  _mm256_loadu_pd(bounds + u), _CMP_GT_OQ);
+      if (_mm256_movemask_pd(cmp) != 0) return true;
+    }
+    for (; u < n; ++u) {
+      if (values[u] > bounds[u]) return true;
+    }
+    return false;
+  }
+  for (; u + 4 <= n; u += 4) {
+    __m256d bound = _mm256_add_pd(_mm256_loadu_pd(bounds + u),
+                                  _mm256_loadu_pd(slack + u));
+    __m256d cmp =
+        _mm256_cmp_pd(_mm256_loadu_pd(values + u), bound, _CMP_GT_OQ);
+    if (_mm256_movemask_pd(cmp) != 0) return true;
+  }
+  for (; u < n; ++u) {
+    if (values[u] > bounds[u] + slack[u]) return true;
+  }
+  return false;
+}
+
+bool Quant16AnyAboveAvx2(const uint16_t* codes, double lo, double scale,
+                         const double* best, size_t n) {
+  const __m256d lov = _mm256_set1_pd(lo);
+  const __m256d sv = _mm256_set1_pd(scale);
+  size_t u = 0;
+  for (; u + 8 <= n; u += 8) {
+    __m128i c16;
+    std::memcpy(&c16, codes + u, 16);
+    __m256i c32 = _mm256_cvtepu16_epi32(c16);
+    __m256d lo_half = _mm256_cvtepi32_pd(_mm256_castsi256_si128(c32));
+    __m256d hi_half = _mm256_cvtepi32_pd(_mm256_extracti128_si256(c32, 1));
+    __m256d dec_lo = _mm256_add_pd(lov, _mm256_mul_pd(lo_half, sv));
+    __m256d dec_hi = _mm256_add_pd(lov, _mm256_mul_pd(hi_half, sv));
+    int above = _mm256_movemask_pd(
+                    _mm256_cmp_pd(dec_lo, _mm256_loadu_pd(best + u),
+                                  _CMP_GT_OQ)) |
+                _mm256_movemask_pd(
+                    _mm256_cmp_pd(dec_hi, _mm256_loadu_pd(best + u + 4),
+                                  _CMP_GT_OQ));
+    if (above != 0) return true;
+  }
+  for (; u < n; ++u) {
+    if (lo + static_cast<double>(codes[u]) * scale > best[u]) return true;
+  }
+  return false;
+}
+
+bool Quant8AnyAboveAvx2(const uint8_t* codes, double lo, double scale,
+                        const double* best, size_t n) {
+  const __m256d lov = _mm256_set1_pd(lo);
+  const __m256d sv = _mm256_set1_pd(scale);
+  size_t u = 0;
+  for (; u + 8 <= n; u += 8) {
+    __m128i c8;
+    std::memcpy(&c8, codes + u, 8);
+    __m256i c32 = _mm256_cvtepu8_epi32(c8);
+    __m256d lo_half = _mm256_cvtepi32_pd(_mm256_castsi256_si128(c32));
+    __m256d hi_half = _mm256_cvtepi32_pd(_mm256_extracti128_si256(c32, 1));
+    __m256d dec_lo = _mm256_add_pd(lov, _mm256_mul_pd(lo_half, sv));
+    __m256d dec_hi = _mm256_add_pd(lov, _mm256_mul_pd(hi_half, sv));
+    int above = _mm256_movemask_pd(
+                    _mm256_cmp_pd(dec_lo, _mm256_loadu_pd(best + u),
+                                  _CMP_GT_OQ)) |
+                _mm256_movemask_pd(
+                    _mm256_cmp_pd(dec_hi, _mm256_loadu_pd(best + u + 4),
+                                  _CMP_GT_OQ));
+    if (above != 0) return true;
+  }
+  for (; u < n; ++u) {
+    if (lo + static_cast<double>(codes[u]) * scale > best[u]) return true;
+  }
+  return false;
+}
+
+constexpr Ops kAvx2Ops = {
+    "avx2",        GainBlockAvx2,      ArrBlockAvx2,
+    SwapTermsAvx2, SwapAccumulateAvx2, AnyExceedsAvx2,
+    Quant16AnyAboveAvx2, Quant8AnyAboveAvx2,
+};
+
+}  // namespace
+
+namespace internal {
+const Ops& Avx2Ops() { return kAvx2Ops; }
+}  // namespace internal
+
+}  // namespace simd
+}  // namespace fam
+
+#endif  // FAM_SIMD_AVX2

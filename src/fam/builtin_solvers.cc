@@ -65,6 +65,12 @@ void AddKernelCounters(SolveDetails* details, const EvalKernelCounters& c) {
     AddCounter(details, "kernel_removal_delta_evaluations",
                static_cast<double>(c.removal_delta_evaluations));
   }
+  if (c.batch_gain_ns > 0) {
+    AddCounter(details, "kernel_batch_gain_ns",
+               static_cast<double>(c.batch_gain_ns));
+    AddCounter(details, "kernel_batch_gain_elements",
+               static_cast<double>(c.batch_gain_elements));
+  }
 }
 
 // All built-ins are deterministic given the evaluator's shared user sample

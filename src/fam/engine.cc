@@ -1,9 +1,11 @@
 #include "fam/engine.h"
 
+#include <cctype>
 #include <utility>
 
 #include "common/hash.h"
 #include "common/rng.h"
+#include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "fam/service.h"
@@ -63,6 +65,42 @@ WorkloadBuilder& WorkloadBuilder::WithPagedTile(size_t max_bytes) {
   tile_mode_ = EvalKernelOptions::Tile::kPaged;
   page_pool_bytes_ = max_bytes;
   return *this;
+}
+
+WorkloadBuilder& WorkloadBuilder::WithTileMode(EvalKernelOptions::Tile mode) {
+  tile_mode_ = mode;
+  return *this;
+}
+
+Result<EvalKernelOptions::Tile> ParseTileSpec(std::string_view spec) {
+  std::string key;
+  for (char c : Trim(spec)) {
+    if (c == '-' || c == '_') continue;
+    key += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  using Tile = EvalKernelOptions::Tile;
+  if (key.empty() || key == "auto") return Tile::kAuto;
+  if (key == "on") return Tile::kOn;
+  if (key == "off") return Tile::kOff;
+  if (key == "paged") return Tile::kPaged;
+  if (key == "quant16" || key == "q16") return Tile::kQuant16;
+  if (key == "quant8" || key == "q8") return Tile::kQuant8;
+  return Status::InvalidArgument(
+      "unknown tile mode \"" + std::string(spec) +
+      "\" (expected auto | on | off | paged | quant16 | quant8)");
+}
+
+std::string_view TileSpecName(EvalKernelOptions::Tile mode) {
+  using Tile = EvalKernelOptions::Tile;
+  switch (mode) {
+    case Tile::kAuto: return "auto";
+    case Tile::kOn: return "on";
+    case Tile::kOff: return "off";
+    case Tile::kPaged: return "paged";
+    case Tile::kQuant16: return "quant16";
+    case Tile::kQuant8: return "quant8";
+  }
+  return "unknown";
 }
 
 WorkloadBuilder& WorkloadBuilder::WithPruning(PruneOptions prune) {
@@ -210,6 +248,7 @@ size_t Workload::resident_bytes() const {
   bytes += evaluator_->best_in_db_values().size() * sizeof(double);
   bytes += evaluator_->best_in_db_points().size() * sizeof(size_t);
   bytes += kernel_->tile_bytes();
+  bytes += kernel_->quant_bytes();
   if (kernel_->paged()) {
     bytes += kernel_->page_pool()->stats().resident_bytes;
   }

@@ -172,6 +172,14 @@ class Workload {
   double preprocess_seconds_ = 0.0;
 };
 
+/// Parses a textual tile mode: auto | on | off | paged | quant16 | quant8
+/// (case-insensitive; "-"/"_" ignored). The CLI's `--tile` flag and the
+/// serve protocol's workload tile field both route through this.
+Result<EvalKernelOptions::Tile> ParseTileSpec(std::string_view spec);
+
+/// Canonical textual name for a tile mode (inverse of ParseTileSpec).
+std::string_view TileSpecName(EvalKernelOptions::Tile mode);
+
 /// The canonical workload-identity hash: every layer that needs to decide
 /// "same workload?" (the serving cache, snapshot validation, the builder)
 /// hashes the same fields in the same order through this one function.
@@ -227,6 +235,12 @@ class WorkloadBuilder {
   /// kernel default cap). Bit-identical results with bounded memory —
   /// the multi-tenant serving mode. Overrides WithScoreTile.
   WorkloadBuilder& WithPagedTile(size_t max_bytes = 0);
+
+  /// Sets the kernel tile mode directly (supersedes WithScoreTile /
+  /// WithPagedTile). Every mode returns bit-identical solves; they trade
+  /// memory for evaluation speed — see EvalKernelOptions::Tile, and
+  /// ParseTileSpec for the textual form ("quant16", "paged", ...).
+  WorkloadBuilder& WithTileMode(EvalKernelOptions::Tile mode);
 
   /// Candidate pruning (default: off). kAuto picks the strongest sound
   /// mode for the workload's Θ (geometric for monotone families,

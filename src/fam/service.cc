@@ -66,6 +66,11 @@ struct ServiceState {
   std::atomic<uint64_t> cache_misses{0};
   std::atomic<uint64_t> snapshot_opens{0};
   std::atomic<uint64_t> snapshot_saves{0};
+  /// EvalKernel BatchGains totals, accumulated from each successful job's
+  /// counters — the serving-level view of hot-loop throughput
+  /// (ns / element ≈ kernel_gain_ns / kernel_gain_elements).
+  std::atomic<uint64_t> kernel_gain_ns{0};
+  std::atomic<uint64_t> kernel_gain_elements{0};
 
   std::mutex mu;  ///< Guards accepting + jobs.
   bool accepting = true;
@@ -143,6 +148,19 @@ void RunJob(const std::shared_ptr<Job>& job) {
     }
     Engine engine(service.registry);
     result = engine.SolveWithToken(job->workload, job->request, &job->token);
+    if (result.ok()) {
+      for (const SolverCounter& counter : result->counters) {
+        if (counter.name == "kernel_batch_gain_ns") {
+          service.kernel_gain_ns.fetch_add(
+              static_cast<uint64_t>(counter.value),
+              std::memory_order_relaxed);
+        } else if (counter.name == "kernel_batch_gain_elements") {
+          service.kernel_gain_elements.fetch_add(
+              static_cast<uint64_t>(counter.value),
+              std::memory_order_relaxed);
+        }
+      }
+    }
   }
   // An explicit cancel mid-run ends CANCELLED (with the best-so-far
   // response); a deadline that merely expired ends DONE + truncated.
@@ -240,6 +258,11 @@ Result<std::shared_ptr<const Workload>> BuildWorkloadFromSpec(
       .WithMaterializedUtilities(spec.materialized)
       .WithPruning(spec.prune)
       .WithShards(spec.shards);
+  if (!spec.tile.empty()) {
+    FAM_ASSIGN_OR_RETURN(EvalKernelOptions::Tile tile,
+                         ParseTileSpec(spec.tile));
+    builder.WithTileMode(tile);
+  }
   if (spec.distribution != nullptr) builder.WithDistribution(spec.distribution);
   FAM_ASSIGN_OR_RETURN(Workload workload, builder.Build());
   return std::make_shared<const Workload>(std::move(workload));
@@ -451,6 +474,10 @@ ServiceStats Service::stats() const {
       service.snapshot_opens.load(std::memory_order_relaxed);
   stats.snapshot_saves =
       service.snapshot_saves.load(std::memory_order_relaxed);
+  stats.kernel_batch_gain_ns =
+      service.kernel_gain_ns.load(std::memory_order_relaxed);
+  stats.kernel_batch_gain_elements =
+      service.kernel_gain_elements.load(std::memory_order_relaxed);
   {
     // Memory accounting over the cached workloads. cache_mu → a pool's
     // internal mutex is the only nesting here, and the pool mutex is a
@@ -468,7 +495,13 @@ ServiceStats Service::stats() const {
         stats.tile_pool_evictions += pool.evictions;
         stats.tile_pool_resident_bytes += pool.resident_bytes;
       }
+      std::string dtype(kernel.TileDtypeName());
+      if (std::find(stats.tile_dtypes.begin(), stats.tile_dtypes.end(),
+                    dtype) == stats.tile_dtypes.end()) {
+        stats.tile_dtypes.push_back(std::move(dtype));
+      }
     }
+    std::sort(stats.tile_dtypes.begin(), stats.tile_dtypes.end());
   }
   return stats;
 }

@@ -103,10 +103,17 @@ struct WorkloadSpec {
   /// are provably identical). Shard builds ride the service's pool, so
   /// concurrent builds of different workloads interleave shard-by-shard.
   ShardOptions shards = {};
+  /// Kernel tile mode, textual (ParseTileSpec: auto | on | off | paged |
+  /// quant16 | quant8); empty = auto. Deliberately NOT part of the
+  /// fingerprint: every tile mode returns bit-identical solves, so specs
+  /// differing only here are the same serving entity — on a cache hit the
+  /// resident workload keeps whatever mode it was first built with.
+  std::string tile;
 
   /// Stable 64-bit cache key: Dataset::ContentHash() mixed with the Θ
   /// name, num_users, seed, the materialization flag, the pruning mode
-  /// (+ coreset epsilon), and the shard options.
+  /// (+ coreset epsilon), and the shard options. `tile` is excluded (see
+  /// its comment).
   uint64_t Fingerprint() const;
 };
 
@@ -130,6 +137,12 @@ struct ServiceStats {
   uint64_t tile_pool_misses = 0;
   uint64_t tile_pool_evictions = 0;
   size_t tile_pool_resident_bytes = 0;
+  /// Distinct kernel tile dtypes across cached workloads
+  /// (EvalKernel::TileDtypeName: "f64", "paged", "quant16", ...), sorted.
+  std::vector<std::string> tile_dtypes;
+  // --- Kernel hot-loop totals (summed over successfully completed jobs) ---
+  uint64_t kernel_batch_gain_ns = 0;
+  uint64_t kernel_batch_gain_elements = 0;
   // --- Persistence --------------------------------------------------------
   uint64_t snapshot_opens = 0;  ///< Cache misses served by a snapshot open.
   uint64_t snapshot_saves = 0;  ///< Snapshots written after fresh builds.

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/simd.h"
 #include "common/string_util.h"
 #include "geom/skyline.h"
 
@@ -84,27 +85,31 @@ std::vector<size_t> SweepDominatedColumns(const RegretEvaluator& evaluator,
                               -std::numeric_limits<double>::infinity());
   std::vector<size_t> kept;
   std::vector<double> kept_columns;
+  // Both screens are pure "does any user exceed the bound (plus slack)"
+  // scans, so they run through the vector shim; comparisons are exact
+  // per lane and early-out per 4-lane group, so the kept set is
+  // identical to the scalar sweep's. The slack pointer is elided when
+  // epsilon is 0 (slack is all zeros there, and x > b + 0.0 ⇔ x > b).
+  const simd::Ops& ops = simd::ActiveOps();
+  const double* slack_ptr = epsilon > 0.0 ? slack.data() : nullptr;
   for (size_t pos : order) {
     const size_t p = points[pos];
     users.FillPointColumn(p, column);
-    bool above_ceiling = false;
-    for (size_t u = 0; u < num_users; ++u) {
-      if (column[u] > ceiling[u] + slack[u]) {
-        above_ceiling = true;
-        break;
-      }
-    }
+    bool above_ceiling =
+        ops.any_exceeds(column.data(), ceiling.data(), slack_ptr, num_users);
     bool covered = false;
     if (!above_ceiling) {
       const size_t cached = kept_columns.size() / num_users;
       for (size_t slot = 0; slot < kept.size() && !covered; ++slot) {
-        const double* kept_column =
-            slot < cached ? kept_columns.data() + slot * num_users : nullptr;
+        if (slot < cached) {
+          const double* kept_column = kept_columns.data() + slot * num_users;
+          covered = !ops.any_exceeds(column.data(), kept_column, slack_ptr,
+                                     num_users);
+          continue;
+        }
         bool slot_covers = true;
         for (size_t u = 0; u < num_users; ++u) {
-          double kept_value = kept_column != nullptr
-                                  ? kept_column[u]
-                                  : users.Utility(u, kept[slot]);
+          double kept_value = users.Utility(u, kept[slot]);
           if (kept_value + slack[u] < column[u]) {
             slot_covers = false;
             break;

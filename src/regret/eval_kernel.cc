@@ -1,7 +1,9 @@
 #include "regret/eval_kernel.h"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <numeric>
 
@@ -16,13 +18,20 @@ namespace {
 constexpr size_t kCandidateChunk = 32;
 
 /// Users per block in the swap kernel's early-abandon check.
-constexpr size_t kUserBlock = 2048;
+constexpr size_t kSwapUserBlock = 2048;
 
 /// Cancellation poll cadence (users) in the O(N·n) state-reset passes.
 constexpr size_t kPollStride = 4096;
 
 bool Expired(const CancellationToken* cancel) {
   return cancel != nullptr && cancel->Expired();
+}
+
+uint64_t ElapsedNs(std::chrono::steady_clock::time_point since) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
 }
 
 }  // namespace
@@ -36,6 +45,8 @@ void EvalKernelCounters::MergeFrom(const EvalKernelCounters& other) {
   lazy_queue_reevaluations += other.lazy_queue_reevaluations;
   removal_delta_evaluations += other.removal_delta_evaluations;
   user_rescans += other.user_rescans;
+  batch_gain_ns += other.batch_gain_ns;
+  batch_gain_elements += other.batch_gain_elements;
 }
 
 EvalKernel::EvalKernel(const RegretEvaluator& evaluator,
@@ -54,6 +65,7 @@ EvalKernel::EvalKernel(std::shared_ptr<const RegretEvaluator> evaluator,
 void EvalKernel::Build(const EvalKernelOptions& options) {
   const size_t num_users = evaluator_->num_users();
   const size_t num_points = evaluator_->num_points();
+  num_user_blocks_ = (num_users + kUserBlock - 1) / kUserBlock;
 
   gain_weights_.resize(num_users);
   safe_denoms_.resize(num_users);
@@ -78,10 +90,19 @@ void EvalKernel::Build(const EvalKernelOptions& options) {
       restricted ? options.tile_columns.size() : num_points;
 
   bool materialize = false;
+  int quant_bits = 0;
   size_t bytes = num_users * num_columns * sizeof(double);
   switch (options.tile) {
     case EvalKernelOptions::Tile::kOn:
       materialize = true;
+      break;
+    case EvalKernelOptions::Tile::kQuant16:
+      materialize = true;
+      quant_bits = 16;
+      break;
+    case EvalKernelOptions::Tile::kQuant8:
+      materialize = true;
+      quant_bits = 8;
       break;
     case EvalKernelOptions::Tile::kOff:
       materialize = false;
@@ -136,7 +157,86 @@ void EvalKernel::Build(const EvalKernelOptions& options) {
     tile_.shrink_to_fit();
     tile_slot_.clear();
     tile_slot_.shrink_to_fit();
+    return;
   }
+  if (quant_bits != 0 && num_users > 0) BuildQuantTile(quant_bits);
+}
+
+void EvalKernel::BuildQuantTile(int bits) {
+  const size_t num_users = evaluator_->num_users();
+  const size_t num_columns = tiled_columns();
+  const double max_code = bits == 16 ? 65535.0 : 255.0;
+  quant_bits_ = bits;
+  qmin_.resize(num_columns);
+  qscale_.resize(num_columns);
+  qblock_max_.resize(num_columns * num_user_blocks_);
+  if (bits == 16) {
+    qcodes16_.resize(num_columns * num_users);
+  } else {
+    qcodes8_.resize(num_columns * num_users);
+  }
+  ParallelForEach(num_columns, 0, [&](size_t slot) {
+    const double* col = tile_.data() + slot * num_users;
+    double lo = col[0];
+    double hi = col[0];
+    for (size_t u = 1; u < num_users; ++u) {
+      lo = std::min(lo, col[u]);
+      hi = std::max(hi, col[u]);
+    }
+    // Scale such that decode(max_code) ≥ hi: start at the rounded ideal
+    // and nudge up by ulps until the top of the range is covered (a few
+    // steps at most; the bounded loop guards pathological underflow, and
+    // the fallback scale trivially covers the range).
+    double scale = 1.0;
+    if (hi > lo) {
+      scale = (hi - lo) / max_code;
+      if (!(scale > 0.0)) scale = std::numeric_limits<double>::denorm_min();
+      int bumps = 0;
+      while (simd::QuantDecode(lo, max_code, scale) < hi && bumps++ < 128) {
+        scale = std::nextafter(scale, std::numeric_limits<double>::infinity());
+      }
+      if (simd::QuantDecode(lo, max_code, scale) < hi) scale = hi - lo;
+    }
+    qmin_[slot] = lo;
+    qscale_[slot] = scale;
+    // Conservative encode: every code's decode must be ≥ the exact score
+    // (that is the screen's entire soundness argument), verified element
+    // by element and bumped where rounding undershoots.
+    for (size_t block = 0; block < num_user_blocks_; ++block) {
+      const size_t begin = block * kUserBlock;
+      const size_t end = std::min(num_users, begin + kUserBlock);
+      double block_max = simd::QuantDecode(lo, 0.0, scale);
+      for (size_t u = begin; u < end; ++u) {
+        double code = std::ceil((col[u] - lo) / scale);
+        code = std::clamp(code, 0.0, max_code);
+        while (simd::QuantDecode(lo, code, scale) < col[u]) code += 1.0;
+        FAM_DCHECK(code <= max_code);
+        if (bits == 16) {
+          qcodes16_[slot * num_users + u] = static_cast<uint16_t>(code);
+        } else {
+          qcodes8_[slot * num_users + u] = static_cast<uint8_t>(code);
+        }
+        block_max = std::max(block_max, simd::QuantDecode(lo, code, scale));
+      }
+      qblock_max_[slot * num_user_blocks_ + block] = block_max;
+    }
+  });
+}
+
+size_t EvalKernel::quant_bytes() const {
+  if (quant_bits_ == 0) return 0;
+  return qcodes16_.size() * sizeof(uint16_t) +
+         qcodes8_.size() * sizeof(uint8_t) +
+         (qmin_.size() + qscale_.size() + qblock_max_.size()) *
+             sizeof(double);
+}
+
+const char* EvalKernel::TileDtypeName() const {
+  if (paged()) return "paged";
+  if (!tiled()) return "none";
+  if (quant_bits_ == 16) return "quant16";
+  if (quant_bits_ == 8) return "quant8";
+  return "f64";
 }
 
 std::vector<size_t> EvalKernel::TiledPoints() const {
@@ -179,18 +279,15 @@ bool EvalKernel::BatchSingleArrs(std::span<const size_t> points,
     size_t begin = chunk * kCandidateChunk;
     size_t end = std::min(points.size(), begin + kCandidateChunk);
     std::vector<double> scratch;
+    const simd::Ops& ops = simd::ActiveOps();
     for (size_t i = begin; i < end; ++i) {
       ColumnHandle handle = PinColumn(points[i], scratch);
       std::span<const double> column = handle.view();
       // Mirrors RegretEvaluator::AverageRegretRatio({p}) term by term:
-      // rr is clamped per user, accumulated in ascending user order.
-      double total = 0.0;
-      for (size_t u = 0; u < num_users; ++u) {
-        double denom = safe_denoms_[u];
-        double rr = std::clamp((denom - column[u]) / denom, 0.0, 1.0);
-        total += gain_weights_[u] * rr;
-      }
-      out[i] = total;
+      // rr is clamped per user, accumulated in ascending user order (the
+      // SIMD kernel vectorizes the divides, not the accumulation).
+      out[i] = ops.arr_block(column.data(), gain_weights_.data(),
+                             safe_denoms_.data(), num_users, 0.0);
     }
   });
   return !expired.load(std::memory_order_relaxed);
@@ -217,6 +314,8 @@ SubsetEvalState::SubsetEvalState(const EvalKernel& kernel)
   best_point_.assign(num_users, kNoPoint);
   second_value_.assign(num_users, 0.0);
   second_point_.assign(num_users, kNoPoint);
+  block_min_best_.assign(kernel.num_user_blocks(), 0.0);
+  block_min_valid_ = true;
   if (!kernel.tiled()) column_scratch_.resize(num_users);
 }
 
@@ -225,6 +324,8 @@ void SubsetEvalState::Reset() {
   std::fill(best_point_.begin(), best_point_.end(), kNoPoint);
   std::fill(second_value_.begin(), second_value_.end(), 0.0);
   std::fill(second_point_.begin(), second_point_.end(), kNoPoint);
+  std::fill(block_min_best_.begin(), block_min_best_.end(), 0.0);
+  block_min_valid_ = true;
   for (size_t p : members_) {
     in_set_[p] = 0;
     pos_in_members_[p] = kNoPoint;
@@ -248,48 +349,87 @@ void SubsetEvalState::Add(size_t p) {
   const size_t num_users = kernel_->num_users();
   ColumnHandle handle = kernel_->PinColumn(p, column_scratch_);
   std::span<const double> column = handle.view();
-  for (size_t u = 0; u < num_users; ++u) {
-    double v = column[u];
-    if (v > best_value_[u]) {
-      second_value_[u] = best_value_[u];
-      second_point_[u] = best_point_[u];
-      best_value_[u] = v;
-      best_point_[u] = p;
-    } else if (v > second_value_[u]) {
-      second_value_[u] = v;
-      second_point_[u] = p;
+  // The same O(N) pass folds in the per-block minima of the updated best
+  // values (the quantized screen's skip bound).
+  for (size_t begin = 0, b = 0; begin < num_users;
+       begin += EvalKernel::kUserBlock, ++b) {
+    const size_t end = std::min(num_users, begin + EvalKernel::kUserBlock);
+    double block_min = std::numeric_limits<double>::infinity();
+    for (size_t u = begin; u < end; ++u) {
+      double v = column[u];
+      if (v > best_value_[u]) {
+        second_value_[u] = best_value_[u];
+        second_point_[u] = best_point_[u];
+        best_value_[u] = v;
+        best_point_[u] = p;
+      } else if (v > second_value_[u]) {
+        second_value_[u] = v;
+        second_point_[u] = p;
+      }
+      block_min = std::min(block_min, best_value_[u]);
     }
+    block_min_best_[b] = block_min;
   }
+  block_min_valid_ = true;
+}
+
+/// Branch-free form of the naive gain loop: non-contributors add an
+/// exact +0.0, contributors add weight · improvement / denom in the same
+/// ascending-user order, so the sum is bit-identical. Blocks the
+/// quantized screen proves non-improving are skipped outright — their
+/// terms are all the +0.0 identity — and surviving blocks run the exact
+/// double-tile kernel, so the screen never changes a single bit.
+double SubsetEvalState::GainOverColumn(const simd::Ops& ops, size_t slot,
+                                       const double* column) const {
+  const EvalKernel& kernel = *kernel_;
+  const size_t num_users = kernel.num_users();
+  const double* best = best_value_.data();
+  const double* weights = kernel.gain_weights().data();
+  const double* denoms = kernel.safe_denoms().data();
+  const bool screened = kernel.quant_bits() != 0 &&
+                        slot != EvalKernel::kNoSlot && block_min_valid_;
+  double gain = 0.0;
+  for (size_t begin = 0, b = 0; begin < num_users;
+       begin += EvalKernel::kUserBlock, ++b) {
+    const size_t len =
+        std::min(num_users - begin, EvalKernel::kUserBlock);
+    if (screened) {
+      // The screen can only ever skip when every user's best is already
+      // positive (block_min_best > 0), so round 0 pays no overhead.
+      const double block_min = block_min_best_[b];
+      if (block_min > 0.0) {
+        if (kernel.QuantBlockMax(slot, b) <= block_min) continue;
+        if (!kernel.QuantBlockImproves(slot, begin, len, best + begin)) {
+          continue;
+        }
+      }
+    }
+    gain = ops.gain_block(column + begin, best + begin, weights + begin,
+                          denoms + begin, len, gain);
+  }
+  return gain;
 }
 
 double SubsetEvalState::GainOfAdding(size_t p) {
   ++counters_.single_gain_evaluations;
-  const size_t num_users = kernel_->num_users();
   ColumnHandle handle = kernel_->PinColumn(p, column_scratch_);
-  std::span<const double> column = handle.view();
-  std::span<const double> weights = kernel_->gain_weights();
-  std::span<const double> denoms = kernel_->safe_denoms();
-  // Branch-free form of the naive loop: non-contributors add an exact
-  // +0.0, contributors add weight · improvement / denom in the same
-  // ascending-user order, so the sum is bit-identical.
-  double gain = 0.0;
-  for (size_t u = 0; u < num_users; ++u) {
-    double improvement = std::max(0.0, column[u] - best_value_[u]);
-    gain += weights[u] * improvement / denoms[u];
-  }
-  return gain;
+  return GainOverColumn(simd::ActiveOps(), kernel_->TileSlotOf(p),
+                        handle.view().data());
 }
 
 bool SubsetEvalState::BatchGains(std::span<const size_t> candidates,
                                  std::span<double> gains,
                                  const CancellationToken* cancel) {
   FAM_CHECK(candidates.size() == gains.size());
+  const auto start = std::chrono::steady_clock::now();
   std::fill(gains.begin(), gains.end(), 0.0);
   const size_t num_users = kernel_->num_users();
   const EvalKernel& kernel = *kernel_;
+  const simd::Ops& ops = simd::ActiveOps();
   const double* best = best_value_.data();
-  std::span<const double> weights = kernel.gain_weights();
-  std::span<const double> denoms = kernel.safe_denoms();
+  const double* weights = kernel.gain_weights().data();
+  const double* denoms = kernel.safe_denoms().data();
+  const bool screen_ready = kernel.quant_bits() != 0 && block_min_valid_;
   std::atomic<bool> expired{false};
   std::atomic<uint64_t> evaluated{0};
   const size_t num_chunks =
@@ -300,23 +440,58 @@ bool SubsetEvalState::BatchGains(std::span<const size_t> candidates,
       expired.store(true, std::memory_order_relaxed);
       return;
     }
-    size_t begin = chunk * kCandidateChunk;
-    size_t end = std::min(candidates.size(), begin + kCandidateChunk);
+    const size_t begin = chunk * kCandidateChunk;
+    const size_t end = std::min(candidates.size(), begin + kCandidateChunk);
+    // Resident (tiled) columns run block-outer: one kUserBlock of the
+    // three shared per-user streams stays hot in L1 while every column
+    // of the chunk sweeps it, and each candidate's sum threads through
+    // the blocks in ascending-user order (no reassociation). Columns
+    // outside the tile (untiled or paged kernels) take the
+    // candidate-outer fallback; both paths make identical per-block
+    // screen decisions, so gains match GainOfAdding bit for bit.
+    std::array<const double*, kCandidateChunk> columns;
+    std::array<size_t, kCandidateChunk> slots;
+    std::array<size_t, kCandidateChunk> outs;
+    size_t resident = 0;
     std::vector<double> scratch;
     for (size_t i = begin; i < end; ++i) {
-      ColumnHandle handle = kernel.PinColumn(candidates[i], scratch);
-      std::span<const double> column = handle.view();
-      double gain = 0.0;
-      for (size_t u = 0; u < num_users; ++u) {
-        double improvement = std::max(0.0, column[u] - best[u]);
-        gain += weights[u] * improvement / denoms[u];
+      const size_t p = candidates[i];
+      if (kernel.ColumnTiled(p)) {
+        columns[resident] = kernel.Column(p).data();
+        slots[resident] = kernel.TileSlotOf(p);
+        outs[resident] = i;
+        ++resident;
+      } else {
+        ColumnHandle handle = kernel.PinColumn(p, scratch);
+        gains[i] =
+            GainOverColumn(ops, EvalKernel::kNoSlot, handle.view().data());
       }
-      gains[i] = gain;
+    }
+    for (size_t ublock = 0, b = 0; ublock < num_users && resident > 0;
+         ublock += EvalKernel::kUserBlock, ++b) {
+      const size_t len = std::min(num_users - ublock, EvalKernel::kUserBlock);
+      const double block_min = screen_ready ? block_min_best_[b] : 0.0;
+      const bool try_screen = screen_ready && block_min > 0.0;
+      for (size_t j = 0; j < resident; ++j) {
+        if (try_screen) {
+          if (kernel.QuantBlockMax(slots[j], b) <= block_min) continue;
+          if (!kernel.QuantBlockImproves(slots[j], ublock, len,
+                                         best + ublock)) {
+            continue;
+          }
+        }
+        gains[outs[j]] =
+            ops.gain_block(columns[j] + ublock, best + ublock,
+                           weights + ublock, denoms + ublock, len,
+                           gains[outs[j]]);
+      }
     }
     evaluated.fetch_add(end - begin, std::memory_order_relaxed);
   });
-  counters_.batched_gain_candidates +=
-      evaluated.load(std::memory_order_relaxed);
+  const uint64_t done = evaluated.load(std::memory_order_relaxed);
+  counters_.batched_gain_candidates += done;
+  counters_.batch_gain_elements += done * num_users;
+  counters_.batch_gain_ns += ElapsedNs(start);
   return !expired.load(std::memory_order_relaxed);
 }
 
@@ -326,43 +501,51 @@ void SubsetEvalState::BatchSwapArrs(size_t candidate,
   const size_t k = members_.size();
   FAM_CHECK(arr_out.size() == k);
   counters_.swap_evaluations += k;
+  if (k == 0) return;
   const size_t num_users = kernel_->num_users();
   ColumnHandle handle = kernel_->PinColumn(candidate, column_scratch_);
-  std::span<const double> column = handle.view();
-  std::span<const double> weights = kernel_->gain_weights();
-  std::span<const double> denoms = kernel_->safe_denoms();
+  const double* column = handle.view().data();
+  const double* weights = kernel_->gain_weights().data();
+  const double* denoms = kernel_->safe_denoms().data();
+  const simd::Ops& ops = simd::ActiveOps();
 
-  std::fill(arr_out.begin(), arr_out.end(), 0.0);
-  for (size_t block = 0; block < num_users; block += kUserBlock) {
-    size_t end = std::min(num_users, block + kUserBlock);
-    for (size_t u = block; u < end; ++u) {
-      double va = column[u];
-      double w = weights[u];
-      double d = denoms[u];
-      // For every out-position except the user's best member, the user's
-      // post-swap satisfaction is max(best, candidate); for the best
-      // member's position the second-best takes over.
-      double t_common = w * (d - std::min(std::max(best_value_[u], va), d)) / d;
-      size_t owner = best_point_[u];
-      size_t owner_pos = owner == kNoPoint ? kNoPoint : pos_in_members_[owner];
-      if (owner_pos == kNoPoint) {
-        for (size_t pos = 0; pos < k; ++pos) arr_out[pos] += t_common;
-        continue;
-      }
-      double t_owner =
-          w * (d - std::min(std::max(second_value_[u], va), d)) / d;
-      for (size_t pos = 0; pos < k; ++pos) {
-        arr_out[pos] += pos == owner_pos ? t_owner : t_common;
-      }
+  // Vector lanes produce the two possible per-user terms — the common
+  // case max(best, candidate) for every out-position, and the
+  // second-best takeover for the best member's own position — then the
+  // scatter into the k accumulators runs in strict ascending-user
+  // order, so every partial sum carries the scalar reference's bits.
+  const size_t k_padded = (k + 3) & ~size_t{3};
+  swap_common_.resize(kSwapUserBlock);
+  swap_owner_term_.resize(kSwapUserBlock);
+  swap_owner_pos_.resize(kSwapUserBlock);
+  swap_acc_.assign(k_padded, 0.0);
+  double* acc = swap_acc_.data();
+  for (size_t block = 0; block < num_users; block += kSwapUserBlock) {
+    const size_t end = std::min(num_users, block + kSwapUserBlock);
+    const size_t len = end - block;
+    ops.swap_terms(column + block, best_value_.data() + block,
+                   second_value_.data() + block, weights + block,
+                   denoms + block, len, swap_common_.data(),
+                   swap_owner_term_.data());
+    // UINT32_MAX marks users with no best member (never matches a
+    // position), so they contribute the common term everywhere — same
+    // as the pre-SIMD owner_pos == kNoPoint branch.
+    for (size_t i = 0; i < len; ++i) {
+      size_t owner = best_point_[block + i];
+      swap_owner_pos_[i] =
+          owner == kNoPoint ? UINT32_MAX
+                            : static_cast<uint32_t>(pos_in_members_[owner]);
     }
+    ops.swap_accumulate(swap_common_.data(), swap_owner_term_.data(),
+                        swap_owner_pos_.data(), len, acc, k_padded);
     if (end == num_users) break;
     // Per-user contributions are non-negative, so once every position's
     // partial sum meets the threshold no swap of this candidate can
     // improve: abandon the remaining blocks (sound pruning — only
     // provably non-improving swaps are cut).
-    double min_partial = arr_out[0];
+    double min_partial = acc[0];
     for (size_t pos = 1; pos < k; ++pos) {
-      min_partial = std::min(min_partial, arr_out[pos]);
+      min_partial = std::min(min_partial, acc[pos]);
     }
     if (min_partial >= abandon_threshold) {
       std::fill(arr_out.begin(), arr_out.end(),
@@ -370,6 +553,7 @@ void SubsetEvalState::BatchSwapArrs(size_t candidate,
       return;
     }
   }
+  std::copy(acc, acc + k, arr_out.begin());
 }
 
 void SubsetEvalState::ApplySwap(size_t position, size_t incoming) {
@@ -407,6 +591,22 @@ void SubsetEvalState::RebuildBestSecond() {
       }
     }
   }
+  RecomputeBlockMinBest();
+}
+
+void SubsetEvalState::RecomputeBlockMinBest() {
+  const size_t num_users = kernel_->num_users();
+  block_min_best_.resize(kernel_->num_user_blocks());
+  for (size_t block = 0, b = 0; block < num_users;
+       block += EvalKernel::kUserBlock, ++b) {
+    const size_t end = std::min(num_users, block + EvalKernel::kUserBlock);
+    double m = std::numeric_limits<double>::infinity();
+    for (size_t u = block; u < end; ++u) {
+      m = std::min(m, best_value_[u]);
+    }
+    block_min_best_[b] = m;
+  }
+  block_min_valid_ = true;
 }
 
 bool SubsetEvalState::ResetToFull(const CancellationToken* cancel,
@@ -417,6 +617,9 @@ bool SubsetEvalState::ResetToFull(const CancellationToken* cancel,
   shrink_mode_ = true;
   seconds_ready_ = false;
   incremental_arr_ = 0.0;
+  // Shrink mode never consults the quant screen (gains are not the hot
+  // path there); leave the block mins stale-marked until the next grow.
+  block_min_valid_ = false;
 
   std::fill(in_set_.begin(), in_set_.end(), 0);
   std::fill(pos_in_members_.begin(), pos_in_members_.end(), kNoPoint);

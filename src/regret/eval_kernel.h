@@ -48,6 +48,7 @@
 
 #include "common/cancellation.h"
 #include "common/logging.h"
+#include "common/simd.h"
 #include "regret/evaluator.h"
 #include "store/tile_buffer_pool.h"
 
@@ -62,6 +63,14 @@ struct EvalKernelOptions {
     kPaged,  ///< No monolithic tile: columns page in on demand through a
              ///< TileBufferPool bounded by page_pool_bytes, filled by
              ///< page_filler (default: the evaluator's FillPointColumn).
+    kQuant16,  ///< kOn plus a per-column affine uint16 code tile used as a
+               ///< conservative block screen: a user block is skipped only
+               ///< when its decoded upper bounds prove no user improves,
+               ///< and surviving blocks are re-checked against the exact
+               ///< double tile — selections and arr stay bit-identical to
+               ///< the plain tile while losing blocks cost 2 bytes/user.
+    kQuant8,   ///< kQuant16 with uint8 codes: coarser buckets (weaker
+               ///< screen, more exact re-checks) at 1 byte/user.
   };
   Tile tile = Tile::kAuto;
   /// Auto-mode budget for the N × n point-major score tile.
@@ -103,6 +112,12 @@ struct EvalKernelCounters {
   uint64_t removal_delta_evaluations = 0;
   /// Per-user member rescans performed while re-homing after Remove.
   uint64_t user_rescans = 0;
+  /// Wall time spent inside BatchGains calls, and the logical elements
+  /// (candidates × users) those calls covered — their ratio is the
+  /// per-element ns figure reported by bench_eval_kernel and
+  /// `fam_cli --format json`.
+  uint64_t batch_gain_ns = 0;
+  uint64_t batch_gain_elements = 0;
 
   /// Accumulates `other` into this (used to merge seed + refine phases).
   void MergeFrom(const EvalKernelCounters& other);
@@ -133,6 +148,17 @@ class ColumnHandle {
 /// one); safe to share across concurrent SubsetEvalStates.
 class EvalKernel {
  public:
+  /// User-dimension block width for the batched gain kernels and the
+  /// quantized screen's granularity. 1024 users keeps the three shared
+  /// per-user streams (best / weights / denoms, 8 KiB each) plus one
+  /// column block inside this box's 48 KiB L1d (BENCH_micro_core.json)
+  /// while they are reused across a whole candidate chunk. The gain sum
+  /// is threaded through the blocks in ascending-user order, so the
+  /// block width never changes a bit of any result.
+  static constexpr size_t kUserBlock = 1024;
+
+  static constexpr size_t kNoSlot = std::numeric_limits<size_t>::max();
+
   /// Non-owning: `evaluator` must outlive the kernel.
   explicit EvalKernel(const RegretEvaluator& evaluator,
                       const EvalKernelOptions& options = {});
@@ -158,7 +184,48 @@ class EvalKernel {
   TileBufferPool* page_pool() const { return pool_.get(); }
 
   /// Raw tile storage, slot-major (snapshot writer; tiled() only).
-  const std::vector<double>& tile_data() const { return tile_; }
+  std::span<const double> tile_data() const { return tile_; }
+
+  /// Quantized-tile code width: 16 or 8 under Tile::kQuant16/kQuant8
+  /// (the double tile is materialized too — codes are a screen, not a
+  /// replacement), 0 otherwise.
+  int quant_bits() const { return quant_bits_; }
+  /// Bytes held by the quantized codes + per-column metadata.
+  size_t quant_bytes() const;
+
+  /// The resolved tile storage for observability ("f64", "quant16",
+  /// "quant8", "paged", or "none").
+  const char* TileDtypeName() const;
+
+  /// Tile slot of point `p`, kNoSlot when the column is not materialized.
+  size_t TileSlotOf(size_t p) const {
+    if (!tiled()) return kNoSlot;
+    return tile_slot_.empty() ? p : tile_slot_[p];
+  }
+
+  /// Number of kUserBlock blocks covering the user dimension.
+  size_t num_user_blocks() const { return num_user_blocks_; }
+
+  /// Conservative upper bound on every decoded score in user block
+  /// `block` of tile slot `slot` (quant modes only). When this is ≤ the
+  /// block's minimum best-in-S value, no user in the block can improve.
+  double QuantBlockMax(size_t slot, size_t block) const {
+    return qblock_max_[slot * num_user_blocks_ + block];
+  }
+
+  /// Per-element screen for one user block of `slot`: false proves no
+  /// user in [offset, offset+n) improves on `best` (decoded bounds are ≥
+  /// the exact scores), so the caller may skip the block bit-exactly.
+  bool QuantBlockImproves(size_t slot, size_t offset, size_t n,
+                          const double* best) const {
+    const size_t base = slot * num_users() + offset;
+    if (quant_bits_ == 16) {
+      return simd::ActiveOps().quant16_any_above(
+          qcodes16_.data() + base, qmin_[slot], qscale_[slot], best, n);
+    }
+    return simd::ActiveOps().quant8_any_above(
+        qcodes8_.data() + base, qmin_[slot], qscale_[slot], best, n);
+  }
   /// Point index of each tile slot, in slot order (tiled() only).
   std::vector<size_t> TiledPoints() const;
 
@@ -239,20 +306,32 @@ class EvalKernel {
   double ArrOfSatisfaction(std::span<const double> sat) const;
 
  private:
-  static constexpr size_t kNoSlot = std::numeric_limits<size_t>::max();
-
   void Build(const EvalKernelOptions& options);
+  /// Encodes the materialized tile into conservative affine codes:
+  /// per-column {min, scale} with each code bumped until its decode is ≥
+  /// the exact score (verified element by element at build time), plus
+  /// the per-block decoded maxima the screens use.
+  void BuildQuantTile(int bits);
 
   std::shared_ptr<const RegretEvaluator> owned_;  // null when non-owning
   const RegretEvaluator* evaluator_;
   std::shared_ptr<TileBufferPool> pool_;  // paged mode only
-  std::vector<double> tile_;  // point-major: tile_[slot * N + u]
+  AlignedVector<double> tile_;  // point-major: tile_[slot * N + u]
   /// point -> tile slot (kNoSlot = untiled column); empty = identity (a
   /// full tile, or no tile at all).
   std::vector<size_t> tile_slot_;
-  std::vector<double> gain_weights_;
-  std::vector<double> safe_denoms_;
+  AlignedVector<double> gain_weights_;
+  AlignedVector<double> safe_denoms_;
   double empty_set_arr_ = 0.0;
+  // Quantized screen (Tile::kQuant16/kQuant8): slot-major codes plus
+  // per-slot affine params and per-(slot, user-block) decoded maxima.
+  int quant_bits_ = 0;
+  size_t num_user_blocks_ = 0;
+  AlignedVector<uint16_t> qcodes16_;
+  AlignedVector<uint8_t> qcodes8_;
+  AlignedVector<double> qmin_;
+  AlignedVector<double> qscale_;
+  AlignedVector<double> qblock_max_;
 };
 
 /// Mutable per-solve subset state over a shared EvalKernel. Not
@@ -361,15 +440,36 @@ class SubsetEvalState {
   double RescanSecond(size_t u);
   double RescanSecondExcluding(size_t u, size_t avoid);
   void RebuildBestSecond();
+  void RecomputeBlockMinBest();
+  /// The shared per-candidate gain path: ascending kUserBlock blocks,
+  /// each screened through the quantized tile when available (`slot` is
+  /// the candidate's tile slot or kNoSlot) and accumulated via the
+  /// SIMD gain kernel. GainOfAdding and every BatchGains path funnel
+  /// through the same block decisions, so lazy and eager greedy stay
+  /// bit-identical.
+  double GainOverColumn(const simd::Ops& ops, size_t slot,
+                        const double* column) const;
 
   const EvalKernel* kernel_;
   std::vector<size_t> members_;
   std::vector<size_t> pos_in_members_;  // kNoPoint when absent
   std::vector<uint8_t> in_set_;
-  std::vector<double> best_value_;
+  AlignedVector<double> best_value_;
   std::vector<size_t> best_point_;
-  std::vector<double> second_value_;
+  AlignedVector<double> second_value_;
   std::vector<size_t> second_point_;
+  /// Per-user-block minimum of best_value_, maintained by the grow-side
+  /// O(N) passes (Add / ApplySwap / Reset); consulted by the quantized
+  /// screen, which needs min-over-block to prove "no user improves".
+  /// Invalid (and unused) in shrink mode.
+  AlignedVector<double> block_min_best_;
+  bool block_min_valid_ = false;
+  // Swap-kernel scratch: per-block elementwise terms + owner positions,
+  // and the 4-padded position accumulators.
+  AlignedVector<double> swap_common_;
+  AlignedVector<double> swap_owner_term_;
+  AlignedVector<uint32_t> swap_owner_pos_;
+  AlignedVector<double> swap_acc_;
   // Shrink mode: users bucketed by their current best / second point.
   std::vector<std::vector<uint32_t>> best_buckets_;
   std::vector<std::vector<uint32_t>> second_buckets_;

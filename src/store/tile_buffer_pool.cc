@@ -63,7 +63,7 @@ PinnedColumn TileBufferPool::Pin(size_t point) {
   lock.unlock();
 
   // Fill outside the lock so concurrent misses on distinct points overlap.
-  std::vector<double> data(column_length_);
+  AlignedVector<double> data(column_length_);
   filler_(point, std::span<double>(data));
 
   lock.lock();

@@ -46,6 +46,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/simd.h"
+
 namespace fam {
 
 class TileBufferPool;
@@ -120,7 +122,9 @@ class TileBufferPool {
   friend class PinnedColumn;
 
   struct Page {
-    std::vector<double> data;
+    /// 64-byte-aligned so vector kernels can stream a pinned page with
+    /// aligned loads — same guarantee as the monolithic tile's storage.
+    AlignedVector<double> data;
     size_t pins = 0;
     bool ready = false;
     bool in_lru = false;

@@ -193,8 +193,14 @@ Status WorkloadSnapshot::Save(const Workload& workload,
   AppendU64(meta, num_users);
   AppendU64(meta, num_points);
   AppendU64(meta, workload.seed());
+  // Flag bits [2:4) tag the on-disk tile dtype. Snapshots always persist
+  // the exact f64 tile (tag 0): quantized codes are derived data the
+  // kernel rebuilds from the tile on open, so writing them would only
+  // duplicate bytes. The tag exists so a future dtype change is a
+  // versioned format error for old readers, not silent corruption.
   AppendU64(meta, (workload.materialized() ? 1u : 0u) |
-                      (workload.monotone_utilities() ? 2u : 0u));
+                      (workload.monotone_utilities() ? 2u : 0u) |
+                      (uint64_t{0} << 2));
   AppendU64(meta, matrix_mode);
   AppendU64(meta, rank);
   AppendU64(meta, static_cast<uint64_t>(workload.prune_options().mode));
@@ -371,6 +377,12 @@ Result<std::shared_ptr<const WorkloadSnapshot>> WorkloadSnapshot::Open(
   const uint64_t flags = ReadU64(meta.data + 40);
   snapshot->materialized_ = (flags & 1) != 0;
   snapshot->monotone_utilities_ = (flags & 2) != 0;
+  // Tile dtype tag (bits [2:4)): this reader only understands the exact
+  // f64 tile (tag 0). A nonzero tag would mean a newer writer persisted
+  // a different payload encoding — refuse rather than misread doubles.
+  if (((flags >> 2) & 3) != 0) {
+    return Corrupt("snapshot tile dtype is not f64 (newer writer?)", path);
+  }
   snapshot->matrix_mode_ = ReadU64(meta.data + 48);
   snapshot->rank_ = ReadU64(meta.data + 56);
   const uint64_t requested_mode = ReadU64(meta.data + 64);

@@ -1,0 +1,364 @@
+// Quantized score tile (Tile::kQuant16 / kQuant8) exactness. The code
+// tile is a conservative screen over the exact double tile, never an
+// approximation: a block is skipped only when the decoded upper bounds
+// prove no user improves, and surviving blocks re-check against the
+// exact scores. These tests pin that contract on adversarial matrices —
+// values straddling quantization-bucket edges by one ulp, signed zeros,
+// denormals, all-equal and all-zero columns — asserting bitwise
+// equality (EXPECT_EQ on doubles) against the naive loop and the plain
+// double tile, at the kernel level and through all four exact solvers.
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "core/branch_and_bound.h"
+#include "core/greedy_grow.h"
+#include "core/greedy_shrink.h"
+#include "core/local_search.h"
+#include "data/generator.h"
+#include "fam/engine.h"
+#include "regret/eval_kernel.h"
+
+namespace fam {
+namespace {
+
+using Tile = EvalKernelOptions::Tile;
+
+constexpr double kDenorm = std::numeric_limits<double>::denorm_min();
+
+/// The naive gain loop (pre-kernel greedy-grow); every tile mode
+/// promises bit-identical sums.
+double NaiveGain(const RegretEvaluator& evaluator, size_t p,
+                 const std::vector<double>& sat) {
+  const UtilityMatrix& users = evaluator.users();
+  const std::vector<double>& weights = evaluator.user_weights();
+  double gain = 0.0;
+  for (size_t u = 0; u < evaluator.num_users(); ++u) {
+    double denom = evaluator.BestInDb(u);
+    if (denom <= 0.0) continue;
+    double improvement = users.Utility(u, p) - sat[u];
+    if (improvement > 0.0) gain += weights[u] * improvement / denom;
+  }
+  return gain;
+}
+
+/// A matrix engineered against the quantizer. Besides the usual
+/// indifferent rows and duplicate columns:
+///   * column 0 is all-equal (degenerate scale: lo == hi),
+///   * column 1 is all +0.0,
+///   * column 2 mixes ±0.0 with denormals (scale underflow territory),
+///   * column 3 is a one-ulp ladder around a single value (every entry
+///     quantizes into the same or an adjacent bucket),
+///   * column 4 places values exactly ON uint16 bucket boundaries of the
+///     [0, 1) range and one ulp to either side (straddles), and
+///   * the rest is random with near-tie pollution between neighbors.
+RegretEvaluator AdversarialEvaluator(size_t num_users, size_t num_points,
+                                     uint64_t seed) {
+  Rng rng(seed);
+  Matrix scores(num_users, num_points);
+  for (size_t u = 0; u < num_users; ++u) {
+    for (size_t p = 0; p < num_points; ++p) {
+      scores(u, p) = rng.Uniform(0.0, 1.0);
+    }
+  }
+  for (size_t u = 0; u < num_users; ++u) {
+    scores(u, 0) = 0.640625;  // all-equal column: qscale degenerates
+    scores(u, 1) = 0.0;       // all-zero column
+    scores(u, 2) = (u % 3 == 0) ? -0.0
+                                : kDenorm * static_cast<double>(u % 5 + 1);
+    double ladder = 0.25;
+    for (size_t step = 0; step < u % 8; ++step) {
+      ladder = std::nextafter(ladder, 1.0);  // one-ulp ladder
+    }
+    scores(u, 3) = ladder;
+    // uint16 bucket boundaries of [0, 1): b = code / 65535, straddled by
+    // one ulp on both sides.
+    double boundary = static_cast<double>((u * 31) % 65536) / 65535.0;
+    scores(u, 4) = (u % 3 == 0)   ? boundary
+                   : (u % 3 == 1) ? std::nextafter(boundary, 0.0)
+                                  : std::nextafter(boundary, 2.0);
+  }
+  // Near-tie pollution: adjacent points differ by one ulp for some users.
+  for (size_t p = 6; p + 1 < num_points; p += 4) {
+    for (size_t u = 0; u < num_users; u += 3) {
+      scores(u, p + 1) = std::nextafter(scores(u, p), 2.0);
+    }
+  }
+  for (size_t u = 0; u < num_users; u += 7) {  // indifferent users
+    for (size_t p = 0; p < num_points; ++p) scores(u, p) = 0.0;
+  }
+  for (size_t p = 5; p < num_points; p += 5) {  // duplicate points
+    for (size_t u = 0; u < num_users; ++u) scores(u, p) = scores(u, p - 1);
+  }
+  std::vector<double> weights;
+  if (seed % 2 == 1) {
+    weights.resize(num_users);
+    double total = 0.0;
+    for (double& w : weights) {
+      w = 0.5 + rng.Uniform(0.0, 1.0);
+      total += w;
+    }
+    for (double& w : weights) w /= total;
+  }
+  return RegretEvaluator(UtilityMatrix::FromScores(std::move(scores)),
+                         std::move(weights));
+}
+
+EvalKernel MakeKernel(const RegretEvaluator& evaluator, Tile tile) {
+  EvalKernelOptions options;
+  options.tile = tile;
+  return EvalKernel(evaluator, options);
+}
+
+// -------------------------------------------------- kernel-level parity
+
+/// Grows a random set; at every step, all batched and single gains from
+/// the quantized kernel must equal the naive loop bit for bit.
+void CheckQuantGainsAgainstNaive(const RegretEvaluator& evaluator,
+                                 const EvalKernel& kernel, uint64_t seed) {
+  const size_t n = evaluator.num_points();
+  SubsetEvalState state(kernel);
+  Rng rng(seed);
+  std::vector<double> sat(evaluator.num_users(), 0.0);
+  for (size_t step = 0; step < std::min<size_t>(8, n); ++step) {
+    std::vector<size_t> candidates;
+    for (size_t p = 0; p < n; ++p) {
+      if (!state.contains(p)) candidates.push_back(p);
+    }
+    std::vector<double> batched(candidates.size());
+    ASSERT_TRUE(state.BatchGains(candidates, batched));
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      double naive = NaiveGain(evaluator, candidates[i], sat);
+      EXPECT_EQ(batched[i], naive)
+          << "candidate " << candidates[i] << " after " << step << " adds";
+      EXPECT_EQ(state.GainOfAdding(candidates[i]), naive);
+    }
+    size_t p = candidates[rng.NextUint64() % candidates.size()];
+    state.Add(p);
+    for (size_t u = 0; u < evaluator.num_users(); ++u) {
+      sat[u] = std::max(sat[u], evaluator.users().Utility(u, p));
+      ASSERT_EQ(state.best_value(u), sat[u]) << "user " << u;
+    }
+  }
+}
+
+TEST(QuantTileTest, GainsMatchNaiveOnAdversarialMatrices) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    RegretEvaluator evaluator = AdversarialEvaluator(60, 26, seed);
+    for (Tile tile : {Tile::kQuant16, Tile::kQuant8}) {
+      EvalKernel kernel = MakeKernel(evaluator, tile);
+      ASSERT_EQ(kernel.quant_bits(), tile == Tile::kQuant16 ? 16 : 8);
+      ASSERT_TRUE(kernel.tiled()) << "quant modes keep the exact tile";
+      EXPECT_GT(kernel.quant_bytes(), 0u);
+      CheckQuantGainsAgainstNaive(evaluator, kernel, seed);
+    }
+  }
+}
+
+TEST(QuantTileTest, ScreenBoundsAreConservative) {
+  RegretEvaluator evaluator = AdversarialEvaluator(70, 24, 5);
+  const size_t num_users = evaluator.num_users();
+  for (Tile tile : {Tile::kQuant16, Tile::kQuant8}) {
+    EvalKernel kernel = MakeKernel(evaluator, tile);
+    ASSERT_EQ(kernel.num_user_blocks(), 1u);  // 70 users < one block
+    for (size_t p = 0; p < evaluator.num_points(); ++p) {
+      size_t slot = kernel.TileSlotOf(p);
+      ASSERT_NE(slot, EvalKernel::kNoSlot);
+      std::span<const double> column = kernel.Column(p);
+      // The block bound dominates every exact score in the block.
+      double exact_max = 0.0;
+      for (double v : column) exact_max = std::max(exact_max, v);
+      EXPECT_GE(kernel.QuantBlockMax(slot, 0), exact_max) << "point " << p;
+
+      // No false negatives: when some user strictly improves on `best`,
+      // the screen must say so (here every positive score improves on a
+      // best one ulp below it).
+      AlignedVector<double> best(num_users);
+      bool any_improves = false;
+      for (size_t u = 0; u < num_users; ++u) {
+        best[u] = column[u] > 0.0
+                      ? std::max(0.0, std::nextafter(column[u], -1.0))
+                      : 0.0;
+        any_improves = any_improves || column[u] > best[u];
+      }
+      if (any_improves) {
+        EXPECT_TRUE(
+            kernel.QuantBlockImproves(slot, 0, num_users, best.data()))
+            << "screen false-negatived point " << p;
+      }
+
+      // And the screen is not vacuously true: raising every best to the
+      // block bound leaves nothing above it.
+      AlignedVector<double> ceiling(num_users, kernel.QuantBlockMax(slot, 0));
+      EXPECT_FALSE(
+          kernel.QuantBlockImproves(slot, 0, num_users, ceiling.data()))
+          << "point " << p;
+    }
+  }
+}
+
+// -------------------------------------------------- solver-level parity
+
+/// Runs all four exact solvers on a reference kernel and a quantized
+/// kernel; selections and arr must match bitwise.
+void ExpectKernelSolverParity(const RegretEvaluator& evaluator,
+                              const EvalKernel& reference,
+                              const EvalKernel& quant, const char* label) {
+  for (bool lazy : {false, true}) {
+    GreedyGrowOptions a{.k = 6, .use_lazy_evaluation = lazy,
+                        .kernel = &reference};
+    GreedyGrowOptions b{.k = 6, .use_lazy_evaluation = lazy,
+                        .kernel = &quant};
+    Result<Selection> ra = GreedyGrow(evaluator, a);
+    Result<Selection> rb = GreedyGrow(evaluator, b);
+    ASSERT_TRUE(ra.ok() && rb.ok());
+    EXPECT_EQ(ra->indices, rb->indices) << label << " grow lazy=" << lazy;
+    EXPECT_EQ(ra->average_regret_ratio, rb->average_regret_ratio)
+        << label << " grow lazy=" << lazy;
+  }
+  {
+    Selection start;
+    start.indices = {0, 1, 2, 3, 4};  // deliberately poor: real swap work
+    LocalSearchOptions a;
+    a.kernel = &reference;
+    LocalSearchOptions b;
+    b.kernel = &quant;
+    Result<Selection> ra = LocalSearchRefine(evaluator, start, a);
+    Result<Selection> rb = LocalSearchRefine(evaluator, start, b);
+    ASSERT_TRUE(ra.ok() && rb.ok());
+    EXPECT_EQ(ra->indices, rb->indices) << label << " local-search";
+    EXPECT_EQ(ra->average_regret_ratio, rb->average_regret_ratio)
+        << label << " local-search";
+  }
+  {
+    GreedyShrinkOptions a{.k = 6};
+    a.kernel = &reference;
+    GreedyShrinkOptions b{.k = 6};
+    b.kernel = &quant;
+    Result<Selection> ra = GreedyShrink(evaluator, a);
+    Result<Selection> rb = GreedyShrink(evaluator, b);
+    ASSERT_TRUE(ra.ok() && rb.ok());
+    EXPECT_EQ(ra->indices, rb->indices) << label << " shrink";
+    EXPECT_EQ(ra->average_regret_ratio, rb->average_regret_ratio)
+        << label << " shrink";
+  }
+  {
+    BranchAndBoundOptions a{.k = 4};
+    a.kernel = &reference;
+    BranchAndBoundOptions b{.k = 4};
+    b.kernel = &quant;
+    Result<Selection> ra = BranchAndBound(evaluator, a);
+    Result<Selection> rb = BranchAndBound(evaluator, b);
+    ASSERT_TRUE(ra.ok() && rb.ok());
+    EXPECT_EQ(ra->indices, rb->indices) << label << " branch-and-bound";
+    EXPECT_EQ(ra->average_regret_ratio, rb->average_regret_ratio)
+        << label << " branch-and-bound";
+  }
+}
+
+TEST(QuantTileTest, SolversMatchPlainTileOnAdversarialMatrices) {
+  for (uint64_t seed : {6u, 7u}) {
+    RegretEvaluator evaluator = AdversarialEvaluator(50, 22, seed);
+    EvalKernel reference = MakeKernel(evaluator, Tile::kOn);
+    EvalKernel q16 = MakeKernel(evaluator, Tile::kQuant16);
+    EvalKernel q8 = MakeKernel(evaluator, Tile::kQuant8);
+    ExpectKernelSolverParity(evaluator, reference, q16, "quant16");
+    ExpectKernelSolverParity(evaluator, reference, q8, "quant8");
+  }
+}
+
+// -------------------------------------------------- engine-level parity
+
+Workload MustBuild(const WorkloadBuilder& builder) {
+  Result<Workload> workload = builder.Build();
+  EXPECT_TRUE(workload.ok()) << workload.status().ToString();
+  return *std::move(workload);
+}
+
+void ExpectEngineParity(const Workload& reference, const Workload& other,
+                        const char* label) {
+  Engine engine;
+  for (const char* solver :
+       {"greedy-shrink", "greedy-grow", "local-search", "branch-and-bound"}) {
+    SolveRequest request;
+    request.solver = solver;
+    request.k = 4;
+    Result<SolveResponse> expect = engine.Solve(reference, request);
+    Result<SolveResponse> actual = engine.Solve(other, request);
+    ASSERT_TRUE(expect.ok()) << expect.status().ToString();
+    ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+    EXPECT_EQ(expect->selection.indices, actual->selection.indices)
+        << label << " " << solver;
+    EXPECT_EQ(expect->distribution.average, actual->distribution.average)
+        << label << " " << solver;  // bit-identical, not approximately
+  }
+}
+
+TEST(QuantTileTest, WorkloadTileModeParityAcrossSolvers) {
+  Dataset data = GenerateSynthetic({.n = 400, .d = 4,
+      .distribution = SyntheticDistribution::kAntiCorrelated, .seed = 17});
+  auto shared = std::make_shared<const Dataset>(std::move(data));
+  Workload reference = MustBuild(WorkloadBuilder()
+                                     .WithDataset(shared)
+                                     .WithNumUsers(300)
+                                     .WithSeed(5)
+                                     .WithScoreTile(true));
+  for (Tile tile : {Tile::kQuant16, Tile::kQuant8}) {
+    Workload quant = MustBuild(WorkloadBuilder()
+                                   .WithDataset(shared)
+                                   .WithNumUsers(300)
+                                   .WithSeed(5)
+                                   .WithTileMode(tile));
+    ASSERT_EQ(quant.kernel().quant_bits(), tile == Tile::kQuant16 ? 16 : 8);
+    ExpectEngineParity(reference, quant,
+                       tile == Tile::kQuant16 ? "quant16" : "quant8");
+  }
+}
+
+TEST(QuantTileTest, QuantMatchesPagedUnderEvictionForcingBudget) {
+  // The acceptance crossover: a quantized workload must agree bit for
+  // bit with a paged workload whose pool budget forces constant
+  // eviction — the two most divergent execution paths in the kernel.
+  Dataset data = GenerateSynthetic({.n = 300, .d = 4,
+      .distribution = SyntheticDistribution::kIndependent, .seed = 23});
+  auto shared = std::make_shared<const Dataset>(std::move(data));
+  Workload quant = MustBuild(WorkloadBuilder()
+                                 .WithDataset(shared)
+                                 .WithNumUsers(250)
+                                 .WithSeed(3)
+                                 .WithTileMode(Tile::kQuant16));
+  Workload paged = MustBuild(WorkloadBuilder()
+                                 .WithDataset(shared)
+                                 .WithNumUsers(250)
+                                 .WithSeed(3)
+                                 .WithPagedTile(3 * 250 * sizeof(double)));
+  ExpectEngineParity(quant, paged, "quant-vs-paged");
+  EXPECT_GT(paged.kernel().page_pool()->stats().evictions, 0u)
+      << "budget did not force eviction";
+}
+
+TEST(QuantTileTest, DtypeNamesAndByteAccounting) {
+  RegretEvaluator evaluator = AdversarialEvaluator(40, 20, 9);
+  EvalKernel plain = MakeKernel(evaluator, Tile::kOn);
+  EvalKernel q16 = MakeKernel(evaluator, Tile::kQuant16);
+  EvalKernel q8 = MakeKernel(evaluator, Tile::kQuant8);
+  EXPECT_STREQ(plain.TileDtypeName(), "f64");
+  EXPECT_STREQ(q16.TileDtypeName(), "quant16");
+  EXPECT_STREQ(q8.TileDtypeName(), "quant8");
+  EXPECT_EQ(plain.quant_bytes(), 0u);
+  // Codes cost 2 (resp. 1) bytes per tile element plus per-slot metadata.
+  EXPECT_GE(q16.quant_bytes(), q16.tile_data().size() * 2);
+  EXPECT_GE(q8.quant_bytes(), q8.tile_data().size());
+  EXPECT_LT(q8.quant_bytes(), q16.quant_bytes());
+}
+
+}  // namespace
+}  // namespace fam

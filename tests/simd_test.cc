@@ -1,0 +1,401 @@
+// SIMD shim bit-equality tests. Every dispatched kernel in simd::Ops
+// promises results byte-for-byte identical to the scalar fallback (and
+// the scalar fallback byte-for-byte identical to the pre-SIMD loops it
+// replaced), so each op gets two checks on adversarial inputs — exact
+// ties, one-ulp near-ties, signed zeros, denormals, odd tail lengths:
+//
+//   1. scalar vs a hand-written reference loop (pins the fallback), and
+//   2. the vector path vs scalar (skipped when the build/CPU is
+//      scalar-only), toggled through simd::SetForceScalar so both tables
+//      run inside one binary.
+//
+// Plus the layout guarantees the kernels rely on: AlignedVector buffers
+// and TileBufferPool pages must start on 64-byte boundaries.
+
+#include "common/simd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "store/tile_buffer_pool.h"
+
+namespace fam {
+namespace {
+
+constexpr double kDenorm = std::numeric_limits<double>::denorm_min();
+
+/// Restores the previous force-scalar state even when an assertion
+/// fails mid-test.
+class ScopedForceScalar {
+ public:
+  explicit ScopedForceScalar(bool force)
+      : previous_(simd::SetForceScalar(force)) {}
+  ~ScopedForceScalar() { simd::SetForceScalar(previous_); }
+
+ private:
+  bool previous_;
+};
+
+const simd::Ops& ScalarOps() {
+  ScopedForceScalar forced(true);
+  return simd::ActiveOps();  // the tables are statics; the ref outlives us
+}
+
+const simd::Ops& UnforcedOps() {
+  ScopedForceScalar unforced(false);
+  return simd::ActiveOps();
+}
+
+/// True when this build+CPU dispatches a genuine vector table (otherwise
+/// vector-vs-scalar comparisons would compare the scalar table to
+/// itself, which is vacuous but harmless — we skip for clarity).
+bool HaveVectorPath() {
+  return std::strcmp(ScalarOps().name, UnforcedOps().name) != 0;
+}
+
+/// Random values in [0, 1) seasoned with exact +0.0s, a few denormals,
+/// and — when `other` is given — exact ties and one-ulp near-ties
+/// against the paired array, the cases where a lane-width or rounding
+/// slip would first show.
+void FillAdversarial(Rng& rng, std::span<double> values,
+                     std::span<const double> other = {}) {
+  for (double& v : values) v = rng.Uniform(0.0, 1.0);
+  for (size_t i = 0; i < values.size(); i += 5) values[i] = 0.0;
+  for (size_t i = 1; i < values.size(); i += 11) {
+    values[i] = kDenorm * static_cast<double>(i);
+  }
+  if (!other.empty()) {
+    for (size_t i = 2; i < values.size(); i += 3) {
+      values[i] = (i % 2 == 0) ? other[i] : std::nextafter(other[i], 2.0);
+    }
+  }
+}
+
+/// The lengths every elementwise test sweeps: empty, sub-lane, exact
+/// lane multiples, lane+tail, and a full user block.
+const size_t kLengths[] = {0, 1, 2, 3, 4, 5, 7, 8, 13, 31, 32, 100, 1024};
+
+struct GainInputs {
+  AlignedVector<double> col, best, w, d;
+  double seed_sum;
+
+  GainInputs(size_t n, uint64_t seed) : col(n), best(n), w(n), d(n) {
+    Rng rng(seed);
+    FillAdversarial(rng, best);
+    FillAdversarial(rng, col, best);
+    for (size_t i = 6; i < n; i += 9) col[i] = -0.0;  // negative-zero score
+    FillAdversarial(rng, w);  // exact +0.0 weights = indifferent users
+    for (double& v : d) v = rng.Uniform(0.5, 2.0);
+    for (size_t i = 4; i < n; i += 13) d[i] = 1e-300;  // huge quotients
+    seed_sum = rng.Uniform(0.0, 1.0);  // mid-accumulation continuation
+  }
+};
+
+TEST(SimdOpsTest, GainBlockMatchesReferenceLoop) {
+  const simd::Ops& scalar = ScalarOps();
+  for (size_t n : kLengths) {
+    GainInputs in(n, 100 + n);
+    double ref = in.seed_sum;
+    for (size_t i = 0; i < n; ++i) {
+      double improvement = in.col[i] - in.best[i];
+      if (improvement > 0.0) ref += in.w[i] * improvement / in.d[i];
+    }
+    double got = scalar.gain_block(in.col.data(), in.best.data(), in.w.data(),
+                                   in.d.data(), n, in.seed_sum);
+    EXPECT_EQ(got, ref) << "n=" << n;
+  }
+}
+
+TEST(SimdOpsTest, GainBlockVectorBitIdenticalToScalar) {
+  if (!HaveVectorPath()) GTEST_SKIP() << "scalar-only build or CPU";
+  const simd::Ops& scalar = ScalarOps();
+  const simd::Ops& vec = UnforcedOps();
+  for (size_t n : kLengths) {
+    for (uint64_t seed : {1u, 2u, 3u}) {
+      GainInputs in(n, seed * 1000 + n);
+      double a = scalar.gain_block(in.col.data(), in.best.data(), in.w.data(),
+                                   in.d.data(), n, in.seed_sum);
+      double b = vec.gain_block(in.col.data(), in.best.data(), in.w.data(),
+                                in.d.data(), n, in.seed_sum);
+      EXPECT_EQ(a, b) << "n=" << n << " seed=" << seed;
+    }
+  }
+}
+
+struct ArrInputs {
+  AlignedVector<double> col, w, d;
+  double seed_sum;
+
+  ArrInputs(size_t n, uint64_t seed) : col(n), w(n), d(n) {
+    Rng rng(seed);
+    for (double& v : d) v = rng.Uniform(0.5, 2.0);
+    FillAdversarial(rng, col, d);  // ties col == d → exact-zero ratios
+    for (size_t i = 0; i < n; ++i) col[i] = std::min(col[i], d[i]);
+    FillAdversarial(rng, w);
+    seed_sum = rng.Uniform(0.0, 1.0);
+  }
+};
+
+TEST(SimdOpsTest, ArrBlockMatchesReferenceLoop) {
+  const simd::Ops& scalar = ScalarOps();
+  for (size_t n : kLengths) {
+    ArrInputs in(n, 200 + n);
+    double ref = in.seed_sum;
+    for (size_t i = 0; i < n; ++i) {
+      double ratio = (in.d[i] - in.col[i]) / in.d[i];
+      ref += in.w[i] * std::clamp(ratio, 0.0, 1.0);
+    }
+    double got = scalar.arr_block(in.col.data(), in.w.data(), in.d.data(), n,
+                                  in.seed_sum);
+    EXPECT_EQ(got, ref) << "n=" << n;
+  }
+}
+
+TEST(SimdOpsTest, ArrBlockVectorBitIdenticalToScalar) {
+  if (!HaveVectorPath()) GTEST_SKIP() << "scalar-only build or CPU";
+  const simd::Ops& scalar = ScalarOps();
+  const simd::Ops& vec = UnforcedOps();
+  for (size_t n : kLengths) {
+    for (uint64_t seed : {4u, 5u}) {
+      ArrInputs in(n, seed * 1000 + n);
+      double a = scalar.arr_block(in.col.data(), in.w.data(), in.d.data(), n,
+                                  in.seed_sum);
+      double b =
+          vec.arr_block(in.col.data(), in.w.data(), in.d.data(), n, in.seed_sum);
+      EXPECT_EQ(a, b) << "n=" << n << " seed=" << seed;
+    }
+  }
+}
+
+struct SwapInputs {
+  AlignedVector<double> col, best, second, w, d;
+
+  SwapInputs(size_t n, uint64_t seed)
+      : col(n), best(n), second(n), w(n), d(n) {
+    Rng rng(seed);
+    for (double& v : d) v = rng.Uniform(0.5, 2.0);
+    FillAdversarial(rng, best, d);  // ties best == d stress the min
+    FillAdversarial(rng, col, best);  // ties col == best stress the max
+    FillAdversarial(rng, second);
+    for (size_t i = 0; i < n; ++i) second[i] = std::min(second[i], best[i]);
+    FillAdversarial(rng, w);
+  }
+};
+
+TEST(SimdOpsTest, SwapTermsMatchReferenceLoop) {
+  const simd::Ops& scalar = ScalarOps();
+  for (size_t n : kLengths) {
+    SwapInputs in(n, 300 + n);
+    AlignedVector<double> t_common(n, -1.0), t_owner(n, -1.0);
+    scalar.swap_terms(in.col.data(), in.best.data(), in.second.data(),
+                      in.w.data(), in.d.data(), n, t_common.data(),
+                      t_owner.data());
+    for (size_t i = 0; i < n; ++i) {
+      double sat_common = std::min(std::max(in.best[i], in.col[i]), in.d[i]);
+      double sat_owner = std::min(std::max(in.second[i], in.col[i]), in.d[i]);
+      EXPECT_EQ(t_common[i], in.w[i] * (in.d[i] - sat_common) / in.d[i])
+          << "i=" << i << " n=" << n;
+      EXPECT_EQ(t_owner[i], in.w[i] * (in.d[i] - sat_owner) / in.d[i])
+          << "i=" << i << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdOpsTest, SwapTermsVectorBitIdenticalToScalar) {
+  if (!HaveVectorPath()) GTEST_SKIP() << "scalar-only build or CPU";
+  const simd::Ops& scalar = ScalarOps();
+  const simd::Ops& vec = UnforcedOps();
+  for (size_t n : kLengths) {
+    SwapInputs in(n, 6000 + n);
+    AlignedVector<double> common_a(n), owner_a(n), common_b(n), owner_b(n);
+    scalar.swap_terms(in.col.data(), in.best.data(), in.second.data(),
+                      in.w.data(), in.d.data(), n, common_a.data(),
+                      owner_a.data());
+    vec.swap_terms(in.col.data(), in.best.data(), in.second.data(),
+                   in.w.data(), in.d.data(), n, common_b.data(),
+                   owner_b.data());
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(common_a[i], common_b[i]) << "i=" << i << " n=" << n;
+      EXPECT_EQ(owner_a[i], owner_b[i]) << "i=" << i << " n=" << n;
+    }
+  }
+}
+
+/// Covers both vector-path shapes: k_padded within the AVX2 inline-group
+/// limit (vectorized) and beyond it (the wide-k fallback), plus users
+/// with no owner (UINT32_MAX sentinel).
+TEST(SimdOpsTest, SwapAccumulateMatchesScalarAndReference) {
+  const simd::Ops& scalar = ScalarOps();
+  const bool vector_path = HaveVectorPath();
+  for (size_t k : {1u, 4u, 9u, 64u, 255u, 300u}) {
+    const size_t k_padded = (k + 3) & ~size_t{3};
+    const size_t n = 97;
+    Rng rng(400 + k);
+    AlignedVector<double> t_common(n), t_owner(n);
+    FillAdversarial(rng, t_common);
+    FillAdversarial(rng, t_owner, t_common);
+    AlignedVector<uint32_t> owner_pos(n);
+    for (size_t i = 0; i < n; ++i) {
+      owner_pos[i] = (i % 4 == 0) ? UINT32_MAX
+                                  : static_cast<uint32_t>(rng.NextUint64() % k);
+    }
+    AlignedVector<double> init(k_padded);
+    FillAdversarial(rng, init);
+
+    AlignedVector<double> ref = init;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t pos = 0; pos < k_padded; ++pos) {
+        ref[pos] += (pos == owner_pos[i]) ? t_owner[i] : t_common[i];
+      }
+    }
+    AlignedVector<double> got = init;
+    scalar.swap_accumulate(t_common.data(), t_owner.data(), owner_pos.data(),
+                           n, got.data(), k_padded);
+    for (size_t pos = 0; pos < k_padded; ++pos) {
+      EXPECT_EQ(got[pos], ref[pos]) << "k=" << k << " pos=" << pos;
+    }
+    if (vector_path) {
+      AlignedVector<double> vec_got = init;
+      UnforcedOps().swap_accumulate(t_common.data(), t_owner.data(),
+                                    owner_pos.data(), n, vec_got.data(),
+                                    k_padded);
+      for (size_t pos = 0; pos < k_padded; ++pos) {
+        EXPECT_EQ(vec_got[pos], got[pos]) << "k=" << k << " pos=" << pos;
+      }
+    }
+  }
+}
+
+TEST(SimdOpsTest, AnyExceedsMatchesScalarOnTiesAndTails) {
+  const simd::Ops& scalar = ScalarOps();
+  const bool vector_path = HaveVectorPath();
+  for (size_t n : kLengths) {
+    if (n == 0) continue;
+    Rng rng(500 + n);
+    AlignedVector<double> bounds(n);
+    FillAdversarial(rng, bounds);
+    AlignedVector<double> slack(n, 0.0);
+    for (size_t i = 0; i < n; i += 2) slack[i] = rng.Uniform(0.0, 0.25);
+
+    // Exact ties everywhere: x == b (and x == b + slack) must NOT count
+    // as exceeding; then a single strictly-above element at the head,
+    // middle, and tail positions must.
+    for (const double* s : {static_cast<const double*>(nullptr),
+                            static_cast<const double*>(slack.data())}) {
+      AlignedVector<double> values(n);
+      for (size_t i = 0; i < n; ++i) {
+        values[i] = bounds[i] + (s != nullptr ? s[i] : 0.0);
+      }
+      EXPECT_FALSE(scalar.any_exceeds(values.data(), bounds.data(), s, n))
+          << "ties, n=" << n;
+      if (vector_path) {
+        EXPECT_FALSE(
+            UnforcedOps().any_exceeds(values.data(), bounds.data(), s, n))
+            << "ties, n=" << n;
+      }
+      for (size_t hot : {size_t{0}, n / 2, n - 1}) {
+        AlignedVector<double> bumped = values;
+        bumped[hot] = std::nextafter(bumped[hot], 10.0);
+        EXPECT_TRUE(scalar.any_exceeds(bumped.data(), bounds.data(), s, n))
+            << "hot=" << hot << " n=" << n;
+        if (vector_path) {
+          EXPECT_TRUE(
+              UnforcedOps().any_exceeds(bumped.data(), bounds.data(), s, n))
+              << "hot=" << hot << " n=" << n;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdOpsTest, QuantScreensMatchScalarAndDecode) {
+  const simd::Ops& scalar = ScalarOps();
+  const bool vector_path = HaveVectorPath();
+  for (size_t n : kLengths) {
+    for (uint64_t seed : {7u, 8u, 9u}) {
+      Rng rng(seed * 100 + n);
+      const double lo = rng.Uniform(-0.5, 0.5);
+      const double scale = rng.Uniform(0.0, 1e-4) + 1e-9;
+      AlignedVector<uint16_t> codes16(n);
+      AlignedVector<uint8_t> codes8(n);
+      for (size_t i = 0; i < n; ++i) {
+        codes16[i] = static_cast<uint16_t>(rng.NextUint64());
+        codes8[i] = static_cast<uint8_t>(rng.NextUint64());
+      }
+      AlignedVector<double> best(n);
+      for (size_t i = 0; i < n; ++i) {
+        // Half the users sit exactly ON the decoded bound (a tie must not
+        // fire the screen), the rest land randomly around it.
+        double decoded = simd::QuantDecode(
+            lo, static_cast<double>(codes16[i]), scale);
+        best[i] = (i % 2 == 0) ? decoded
+                               : decoded + rng.Uniform(-2.0, 2.0) * scale;
+      }
+      bool ref16 = false, ref8 = false;
+      for (size_t i = 0; i < n; ++i) {
+        ref16 = ref16 || simd::QuantDecode(lo, static_cast<double>(codes16[i]),
+                                           scale) > best[i];
+        ref8 = ref8 || simd::QuantDecode(lo, static_cast<double>(codes8[i]),
+                                         scale) > best[i];
+      }
+      EXPECT_EQ(scalar.quant16_any_above(codes16.data(), lo, scale,
+                                         best.data(), n),
+                ref16)
+          << "n=" << n << " seed=" << seed;
+      EXPECT_EQ(
+          scalar.quant8_any_above(codes8.data(), lo, scale, best.data(), n),
+          ref8)
+          << "n=" << n << " seed=" << seed;
+      if (vector_path) {
+        EXPECT_EQ(UnforcedOps().quant16_any_above(codes16.data(), lo, scale,
+                                                  best.data(), n),
+                  ref16)
+            << "n=" << n << " seed=" << seed;
+        EXPECT_EQ(UnforcedOps().quant8_any_above(codes8.data(), lo, scale,
+                                                 best.data(), n),
+                  ref8)
+            << "n=" << n << " seed=" << seed;
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------- layout
+
+TEST(SimdLayoutTest, AlignedVectorStartsOnCacheLine) {
+  for (size_t n : {1u, 3u, 17u, 1000u, 4096u}) {
+    AlignedVector<double> v(n);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(v.data()) % 64, 0u) << "n=" << n;
+    v.resize(n * 2 + 1);  // reallocation must stay aligned too
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(v.data()) % 64, 0u) << "n=" << n;
+  }
+  AlignedVector<uint16_t> codes(777);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(codes.data()) % 64, 0u);
+}
+
+TEST(SimdLayoutTest, TilePoolPagesStartOnCacheLine) {
+  constexpr size_t kUsers = 91;  // deliberately not a multiple of 8
+  TileBufferPool pool(kUsers, 4 * kUsers * sizeof(double),
+                      [](size_t point, std::span<double> out) {
+                        for (size_t u = 0; u < out.size(); ++u) {
+                          out[u] = static_cast<double>(point + u);
+                        }
+                      });
+  for (size_t p = 0; p < 6; ++p) {  // past the budget: evicted refills too
+    PinnedColumn column = pool.Pin(p);
+    EXPECT_EQ(
+        reinterpret_cast<uintptr_t>(column.view().data()) % 64, 0u)
+        << "point " << p;
+  }
+}
+
+}  // namespace
+}  // namespace fam

@@ -4,6 +4,8 @@
 // yield its own distinct error, never a crash and never a
 // partially-initialized Workload. Each test hand-corrupts a valid file.
 
+#include <unistd.h>
+
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -38,6 +40,13 @@ void WriteFileBytes(const std::string& path,
   std::fclose(file);
 }
 
+/// TempDir() is shared by every concurrently-running ctest process of
+/// this suite (each gtest TEST runs as its own ctest entry under -j), so
+/// file names must be process-unique or the fixtures race.
+std::string UniquePath(const char* name) {
+  return testing::TempDir() + "/" + std::to_string(::getpid()) + "-" + name;
+}
+
 uint64_t ReadU64At(const std::vector<unsigned char>& bytes, size_t offset) {
   uint64_t value = 0;
   std::memcpy(&value, bytes.data() + offset, sizeof(value));
@@ -63,7 +72,7 @@ class SnapshotCorruptionTest : public testing::Test {
                                     .WithSeed(3)
                                     .Build();
     ASSERT_TRUE(workload.ok());
-    valid_path_ = new std::string(testing::TempDir() + "/valid.famsnap");
+    valid_path_ = new std::string(UniquePath("valid.famsnap"));
     ASSERT_TRUE(WorkloadSnapshot::Save(*workload, *valid_path_).ok());
   }
   static void TearDownTestSuite() {
@@ -75,7 +84,7 @@ class SnapshotCorruptionTest : public testing::Test {
   /// `code` and an error message containing `needle`.
   void ExpectOpenError(const std::vector<unsigned char>& bytes,
                        StatusCode code, const std::string& needle) {
-    std::string path = testing::TempDir() + "/corrupt.famsnap";
+    std::string path = UniquePath("corrupt.famsnap");
     WriteFileBytes(path, bytes);
     Result<std::shared_ptr<const WorkloadSnapshot>> snapshot =
         WorkloadSnapshot::Open(path);
@@ -103,7 +112,7 @@ TEST_F(SnapshotCorruptionTest, TheValidFileOpens) {
 
 TEST_F(SnapshotCorruptionTest, MissingFileIsIoError) {
   Result<std::shared_ptr<const WorkloadSnapshot>> snapshot =
-      WorkloadSnapshot::Open(testing::TempDir() + "/no-such.famsnap");
+      WorkloadSnapshot::Open(UniquePath("no-such.famsnap"));
   ASSERT_FALSE(snapshot.ok());
   EXPECT_EQ(snapshot.status().code(), StatusCode::kIoError);
   EXPECT_NE(snapshot.status().message().find("cannot open"),
@@ -190,7 +199,7 @@ TEST_F(SnapshotCorruptionTest, EveryErrorLeavesNoWorkloadBehind) {
   // Result holds no value) — the "no partial Workload" guarantee.
   std::vector<unsigned char> bytes = ValidBytes();
   bytes[bytes.size() / 2] ^= 0xFF;
-  std::string path = testing::TempDir() + "/corrupt-mid.famsnap";
+  std::string path = UniquePath("corrupt-mid.famsnap");
   WriteFileBytes(path, bytes);
   Result<std::shared_ptr<const WorkloadSnapshot>> snapshot =
       WorkloadSnapshot::Open(path);

@@ -30,12 +30,16 @@
 // cache). Commands:
 //
 //   {"cmd":"build_workload","in":"d.csv","users":10000,"seed":7,
-//    "name":"w1","prune":"auto","shards":"off"}
+//    "name":"w1","prune":"auto","shards":"off","tile":"auto"}
 //                                 -> workload built (or cache hit);
 //                                    prune: off | auto | geometric |
 //                                    sample-dominance | coreset:EPS;
 //                                    shards: off | N | auto (sharded
-//                                    candidate build, implies prune auto)
+//                                    candidate build, implies prune auto);
+//                                    tile: auto | on | off | paged |
+//                                    quant16 | quant8 (bit-identical
+//                                    solves; on a cache hit the resident
+//                                    workload keeps its original mode)
 //   {"cmd":"solve","workload":"w1","algo":"greedy-shrink","k":10,
 //    "deadline":0,"options":""}   -> job accepted, returns its id
 //   {"cmd":"status"}              -> service counters
@@ -260,6 +264,7 @@ struct WorkloadFlags {
   std::string domain = "simplex";
   std::string prune = "off";
   std::string shards = "off";
+  std::string tile = "auto";
   bool has_header = true;
   bool label_column = false;
 };
@@ -275,6 +280,9 @@ void RegisterWorkloadFlags(FlagParser& flags, WorkloadFlags* w) {
       .AddString("shards", &w->shards,
                  "sharded candidate build: off | N | auto "
                  "(implies --prune auto when pruning is off)")
+      .AddString("tile", &w->tile,
+                 "kernel score-tile mode: auto | on | off | paged | "
+                 "quant16 | quant8 (all modes solve bit-identically)")
       .AddBool("header", &w->has_header, "CSV has a header row")
       .AddBool("labels", &w->label_column, "first CSV column is a label");
 }
@@ -286,9 +294,13 @@ struct ParsedWorkload {
   std::shared_ptr<const UniformLinearDistribution> distribution;
   PruneOptions prune;
   ShardOptions shards;
+  EvalKernelOptions::Tile tile = EvalKernelOptions::Tile::kAuto;
   size_t users = 0;
   uint64_t seed = 0;
 
+  /// Excludes the tile mode: every mode solves bit-identically, so a
+  /// snapshot written under one mode serves any other (the open path is
+  /// always paged over the mmapped tile).
   uint64_t Fingerprint() const {
     return WorkloadFingerprintParts(dataset->ContentHash(),
                                     distribution->name(), users, seed,
@@ -307,6 +319,7 @@ Result<ParsedWorkload> ParseWorkloadFlags(const WorkloadFlags& w) {
   ParsedWorkload parts;
   FAM_ASSIGN_OR_RETURN(parts.prune, ParsePruneSpec(w.prune));
   FAM_ASSIGN_OR_RETURN(parts.shards, ParseShardSpec(w.shards));
+  FAM_ASSIGN_OR_RETURN(parts.tile, ParseTileSpec(w.tile));
   parts.dataset = std::make_shared<const Dataset>(std::move(data));
   parts.distribution =
       std::make_shared<const UniformLinearDistribution>(domain);
@@ -323,6 +336,7 @@ Result<Workload> BuildParsedWorkload(const ParsedWorkload& parts) {
       .WithSeed(parts.seed)
       .WithPruning(parts.prune)
       .WithShards(parts.shards)
+      .WithTileMode(parts.tile)
       .Build();
 }
 
@@ -445,6 +459,25 @@ int RunSelect(int argc, const char* const* argv) {
   SolveRequest request;
   request.solver = algo;
   request.deadline_seconds = deadline;
+  // `tile=` inside --options is a workload knob, not a solver knob:
+  // `--options tile=quant16` is shorthand for `--tile quant16`. Strip it
+  // before solver-option parsing (which rejects unknown keys). When the
+  // workload opens from a snapshot the mode is ignored — snapshot opens
+  // always run paged over the mmapped tile.
+  {
+    std::string remaining;
+    for (const std::string& piece : Split(options_text, ',')) {
+      std::string_view trimmed = Trim(piece);
+      if (trimmed.rfind("tile=", 0) == 0) {
+        w.tile = std::string(trimmed.substr(5));
+        continue;
+      }
+      if (trimmed.empty()) continue;
+      if (!remaining.empty()) remaining += ',';
+      remaining += trimmed;
+    }
+    options_text = std::move(remaining);
+  }
   Result<SolverOptions> solver_options =
       SolverOptions::FromString(options_text);
   if (!solver_options.ok()) {
@@ -497,6 +530,8 @@ int RunSelect(int argc, const char* const* argv) {
         .Integer("candidates",
                  static_cast<long long>(workload->candidate_count()))
         .Integer("shards", static_cast<long long>(workload->shard_count()))
+        .String("tile", workload->kernel().TileDtypeName())
+        .String("simd", simd::ActiveIsaName())
         .Field("selection", JsonIndexArray(response->selection.indices))
         .Field("labels", JsonLabelArray(data, response->selection.indices))
         .Number("arr", response->distribution.average)
@@ -510,9 +545,18 @@ int RunSelect(int argc, const char* const* argv) {
     if (!snapshot_action.empty()) {
       json.String("snapshot", snapshot_action);
     }
+    double gain_ns = 0.0;
+    double gain_elements = 0.0;
     JsonObject counters;
     for (const SolverCounter& counter : response->counters) {
       counters.Number(counter.name, counter.value);
+      if (counter.name == "kernel_batch_gain_ns") gain_ns = counter.value;
+      if (counter.name == "kernel_batch_gain_elements") {
+        gain_elements = counter.value;
+      }
+    }
+    if (gain_elements > 0.0) {
+      json.Number("batch_gain_ns_per_element", gain_ns / gain_elements);
     }
     json.Field("counters", counters.Render());
     std::printf("%s\n", json.Render().c_str());
@@ -522,6 +566,8 @@ int RunSelect(int argc, const char* const* argv) {
   std::printf("algorithm: %s\n", response->solver.c_str());
   std::printf("preprocess: %.3f s, query: %.3f s\n",
               response->preprocess_seconds, response->query_seconds);
+  std::printf("tile: %s, simd: %s\n", workload->kernel().TileDtypeName(),
+              simd::ActiveIsaName());
   if (!snapshot_action.empty()) {
     std::printf("snapshot: %s %s\n", snapshot_action.c_str(),
                 snapshot_path.c_str());
@@ -907,6 +953,9 @@ Status ServeBuildWorkload(ServeSession& session, const JsonRequest& request) {
   FAM_ASSIGN_OR_RETURN(std::string shard_spec,
                        request.String("shards", "off"));
   FAM_ASSIGN_OR_RETURN(ShardOptions shards, ParseShardSpec(shard_spec));
+  FAM_ASSIGN_OR_RETURN(std::string tile_spec, request.String("tile", ""));
+  // Validate eagerly so a typo'd tile fails the command, not the build.
+  FAM_RETURN_IF_ERROR(ParseTileSpec(tile_spec).status());
   FAM_ASSIGN_OR_RETURN(std::string name, request.String("name", ""));
   if (name.empty()) {
     // Skip auto-names the client already claimed explicitly — silently
@@ -929,6 +978,7 @@ Status ServeBuildWorkload(ServeSession& session, const JsonRequest& request) {
   spec.seed = static_cast<uint64_t>(seed);
   spec.prune = prune;
   spec.shards = shards;
+  spec.tile = tile_spec;
 
   const uint64_t hits_before =
       session.service.stats().workload_cache_hits;
@@ -952,7 +1002,8 @@ Status ServeBuildWorkload(ServeSession& session, const JsonRequest& request) {
       .String("prune", ResolvedPruneName(*workload))
       .Integer("candidates",
                static_cast<long long>(workload->candidate_count()))
-      .Integer("shards", static_cast<long long>(workload->shard_count()));
+      .Integer("shards", static_cast<long long>(workload->shard_count()))
+      .String("tile_dtype", workload->kernel().TileDtypeName());
   if (const ShardedBuildStats* shard = workload->shard_stats()) {
     json.Integer("merged_pool", static_cast<long long>(shard->merged_pool))
         .Number("shard_build_seconds", shard->shard_build_seconds)
@@ -1074,6 +1125,22 @@ Status ServeStatus(ServeSession& session, const JsonRequest& request) {
       .Integer("snapshot_saves", static_cast<long long>(stats.snapshot_saves))
       .Integer("threads",
                static_cast<long long>(session.service.num_threads()));
+  std::string dtypes;
+  for (const std::string& dtype : stats.tile_dtypes) {
+    if (!dtypes.empty()) dtypes += ',';
+    dtypes += dtype;
+  }
+  json.String("tile_dtypes", dtypes)
+      .String("simd", simd::ActiveIsaName())
+      .Integer("kernel_batch_gain_ns",
+               static_cast<long long>(stats.kernel_batch_gain_ns))
+      .Integer("kernel_batch_gain_elements",
+               static_cast<long long>(stats.kernel_batch_gain_elements));
+  if (stats.kernel_batch_gain_elements > 0) {
+    json.Number("kernel_batch_gain_ns_per_element",
+                static_cast<double>(stats.kernel_batch_gain_ns) /
+                    static_cast<double>(stats.kernel_batch_gain_elements));
+  }
   Reply(json);
   return Status::OK();
 }
