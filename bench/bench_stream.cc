@@ -1,0 +1,260 @@
+// bench_stream: incremental mutation maintenance vs full rebuild.
+//
+// For each dataset size N, builds one pruned workload, opens it as a
+// StreamingWorkload, and times every maintenance path against the only
+// alternative a static engine has — rebuilding the whole workload (sample
+// scoring, best-in-DB scan, candidate build) from the mutated dataset:
+//
+//   insert         one new point (column score + best repair + pool join)
+//   delete         one non-candidate point (tombstone + bucketed rescan)
+//   delete-cand    a candidate-pool member (the rare-path pool resweep)
+//   mixed          3 inserts + 3 deletes in one delta
+//   compact        explicit compaction (sharded rebuild of the survivors)
+//
+// The headline number is `speedup` = rebuild / apply per path: the
+// streaming layer exists so a serving deployment pays O(N·d + n) per
+// mutation instead of the paper's full O(N·n) preprocessing (the PR's
+// acceptance bar is >= 20x on the non-compaction paths at N = 1M).
+// Every scenario cross-checks parity: the incrementally maintained
+// version must answer greedy-shrink and greedy-grow bit-identically to
+// the from-scratch rebuild on the same sampled Θ.
+//
+// Scales: N ∈ {100k, 1M} by default, 100k only with --quick (CI), plus
+// 10M with --full. Results land in BENCH_stream.json (CI uploads it as a
+// perf-trajectory artifact).
+//
+// Usage: bench_stream [--quick] [--full] [--out BENCH_stream.json]
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace fam {
+namespace {
+
+constexpr size_t kUsers = 2000;
+constexpr size_t kK = 10;
+constexpr size_t kDim = 4;
+
+struct ScenarioRow {
+  std::string name;
+  double apply_seconds = 0.0;
+  double rebuild_seconds = 0.0;
+  double speedup = 0.0;
+  size_t best_updates = 0;
+  size_t pool_resweeps = 0;
+  bool compacted = false;
+  bool parity = false;
+};
+
+struct ConfigRow {
+  size_t n = 0;
+  size_t candidates = 0;
+  double base_build_seconds = 0.0;
+  std::vector<ScenarioRow> scenarios;
+};
+
+/// Applies `delta`, rebuilds the mutated dataset from scratch, and
+/// cross-checks solver parity between the two.
+ScenarioRow RunScenario(const std::string& name, StreamingWorkload& stream,
+                        const WorkloadDelta& delta) {
+  ScenarioRow row;
+  row.name = name;
+
+  Timer apply_timer;
+  Result<ApplyResult> applied = stream.Apply(delta);
+  if (!applied.ok()) {
+    std::fprintf(stderr, "%s: apply failed: %s\n", name.c_str(),
+                 applied.status().ToString().c_str());
+    std::abort();
+  }
+  row.apply_seconds = apply_timer.ElapsedSeconds();
+  row.best_updates = applied->stats.best_updates;
+  row.pool_resweeps = applied->stats.pool_resweeps;
+  row.compacted = applied->stats.compacted;
+  const Workload& version = *applied->version;
+
+  Timer rebuild_timer;
+  Workload rebuilt = bench::MustBuild(WorkloadBuilder()
+                                          .WithDataset(version.shared_dataset())
+                                          .WithNumUsers(kUsers)
+                                          .WithSeed(9)
+                                          .WithPruning({.mode = PruneMode::kAuto})
+                                          .Build());
+  row.rebuild_seconds = rebuild_timer.ElapsedSeconds();
+  row.speedup = row.apply_seconds > 0.0
+                    ? row.rebuild_seconds / row.apply_seconds
+                    : 0.0;
+
+  std::vector<SolveRequest> requests = {
+      {.solver = "greedy-shrink", .k = kK}, {.solver = "greedy-grow", .k = kK}};
+  std::vector<AlgorithmOutcome> incremental = RunRequests(version, requests);
+  std::vector<AlgorithmOutcome> fresh = RunRequests(rebuilt, requests);
+  row.parity = true;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    row.parity &= incremental[i].ok && fresh[i].ok &&
+                  incremental[i].selection.indices ==
+                      fresh[i].selection.indices &&
+                  incremental[i].average_regret_ratio ==
+                      fresh[i].average_regret_ratio;
+  }
+  return row;
+}
+
+ConfigRow RunConfig(size_t n) {
+  ConfigRow row;
+  row.n = n;
+  auto data = std::make_shared<const Dataset>(GenerateSynthetic(
+      {.n = n, .d = kDim,
+       .distribution = SyntheticDistribution::kIndependent, .seed = 7}));
+
+  WorkloadBuilder builder;
+  builder.WithDataset(data).WithNumUsers(kUsers).WithSeed(9);
+  builder.WithPruning({.mode = PruneMode::kAuto});
+  Workload base = bench::MustBuild(builder.Build());
+  row.base_build_seconds = base.preprocess_seconds();
+  row.candidates = base.candidate_count();
+
+  Result<std::shared_ptr<StreamingWorkload>> opened =
+      StreamingWorkload::Open(base);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 opened.status().ToString().c_str());
+    std::abort();
+  }
+  StreamingWorkload& stream = **opened;
+  Rng rng(13);
+
+  auto random_point = [&rng] {
+    std::vector<double> point(kDim);
+    for (double& v : point) v = rng.NextDouble();
+    return point;
+  };
+  // live_ids() is in served order, so served row r has id live_ids()[r];
+  // the candidate index speaks served rows.
+  auto non_candidate_id = [&stream] {
+    const CandidateIndex* index = stream.current()->candidate_index();
+    std::vector<uint64_t> live = stream.live_ids();
+    for (size_t r = 0; r < live.size(); ++r) {
+      if (!index->IsCandidate(r)) return live[r];
+    }
+    return live.front();
+  };
+  auto candidate_id = [&stream] {
+    const size_t r = stream.current()->candidate_index()->candidates().front();
+    return stream.live_ids()[r];
+  };
+
+  WorkloadDelta insert;
+  insert.Insert(random_point());
+  row.scenarios.push_back(RunScenario("insert", stream, insert));
+
+  WorkloadDelta erase;
+  erase.Delete(non_candidate_id());
+  row.scenarios.push_back(RunScenario("delete", stream, erase));
+
+  WorkloadDelta erase_candidate;
+  erase_candidate.Delete(candidate_id());
+  row.scenarios.push_back(
+      RunScenario("delete-cand", stream, erase_candidate));
+
+  WorkloadDelta mixed;
+  for (int i = 0; i < 3; ++i) mixed.Insert(random_point());
+  {
+    std::vector<uint64_t> live = stream.live_ids();
+    for (size_t i = 0; i < 3; ++i) mixed.Delete(live[live.size() / 2 + i]);
+  }
+  row.scenarios.push_back(RunScenario("mixed", stream, mixed));
+
+  WorkloadDelta compact;
+  compact.Compact();
+  row.scenarios.push_back(RunScenario("compact", stream, compact));
+
+  return row;
+}
+
+int Run(int argc, char** argv) {
+  const bool full = FullScaleRequested(argc, argv);
+  bool quick = false;
+  std::string out_path = "BENCH_stream.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") quick = true;
+    if (std::string(argv[i]) == "--out" && i + 1 < argc) {
+      out_path = argv[i + 1];
+    }
+  }
+
+  bench::Banner("Streaming mutations: incremental apply vs full rebuild",
+                StrPrintf("d = %zu independent, users = %zu, k = %zu", kDim,
+                          kUsers, kK),
+                full);
+
+  std::vector<size_t> sizes = {100'000};
+  if (!quick) sizes.push_back(1'000'000);
+  if (full) sizes.push_back(10'000'000);
+
+  bool all_ok = true;
+  std::vector<ConfigRow> rows;
+  for (size_t n : sizes) {
+    ConfigRow row = RunConfig(n);
+    std::printf("n = %8zu (base build %.3f s, %zu candidates):\n", row.n,
+                row.base_build_seconds, row.candidates);
+    for (const ScenarioRow& scenario : row.scenarios) {
+      std::printf(
+          "  %-12s apply %.5f s vs rebuild %.3f s -> %6.0fx  "
+          "(best updates %zu, resweeps %zu%s), parity: %s\n",
+          scenario.name.c_str(), scenario.apply_seconds,
+          scenario.rebuild_seconds, scenario.speedup, scenario.best_updates,
+          scenario.pool_resweeps, scenario.compacted ? ", compacted" : "",
+          scenario.parity ? "yes" : "NO");
+      all_ok &= scenario.parity;
+    }
+    rows.push_back(std::move(row));
+  }
+
+  FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\"bench\":\"stream\",\"full\":%s,\"quick\":%s,\"d\":%zu,"
+               "\"users\":%zu,\"k\":%zu,\"configs\":[",
+               full ? "true" : "false", quick ? "true" : "false", kDim,
+               kUsers, kK);
+  for (size_t c = 0; c < rows.size(); ++c) {
+    const ConfigRow& row = rows[c];
+    std::fprintf(out,
+                 "%s{\"n\":%zu,\"candidates\":%zu,"
+                 "\"base_build_seconds\":%.6f,\"scenarios\":[",
+                 c > 0 ? "," : "", row.n, row.candidates,
+                 row.base_build_seconds);
+    for (size_t i = 0; i < row.scenarios.size(); ++i) {
+      const ScenarioRow& scenario = row.scenarios[i];
+      std::fprintf(out,
+                   "%s{\"name\":\"%s\",\"apply_seconds\":%.6f,"
+                   "\"rebuild_seconds\":%.6f,\"speedup\":%.1f,"
+                   "\"best_updates\":%zu,\"pool_resweeps\":%zu,"
+                   "\"compacted\":%s,\"parity\":%s}",
+                   i > 0 ? "," : "", scenario.name.c_str(),
+                   scenario.apply_seconds, scenario.rebuild_seconds,
+                   scenario.speedup, scenario.best_updates,
+                   scenario.pool_resweeps,
+                   scenario.compacted ? "true" : "false",
+                   scenario.parity ? "true" : "false");
+    }
+    std::fprintf(out, "]}");
+  }
+  std::fprintf(out, "]}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return all_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace fam
+
+int main(int argc, char** argv) { return fam::Run(argc, argv); }

@@ -225,7 +225,8 @@ uint64_t WorkloadFingerprintParts(uint64_t dataset_hash,
                                   size_t num_users, uint64_t seed,
                                   bool materialized,
                                   const PruneOptions& prune,
-                                  const ShardOptions& shards) {
+                                  const ShardOptions& shards,
+                                  uint64_t mutation_epoch) {
   Fnv64 h;
   h.U64(dataset_hash);
   h.String(distribution_name);
@@ -238,6 +239,7 @@ uint64_t WorkloadFingerprintParts(uint64_t dataset_hash,
   // The budget only matters in auto mode; keep explicit counts' keys
   // independent of it.
   h.U64(shards.count == 0 ? shards.point_budget : 0);
+  h.U64(mutation_epoch);
   return h.hash();
 }
 

@@ -127,9 +127,16 @@ class Workload {
   bool materialized() const { return materialized_; }
 
   /// Fingerprint of the build inputs (dataset content hash, Θ name, N,
-  /// seed, materialization, prune + shard config) — the workload-identity
-  /// key shared with the serving cache and stamped into snapshots.
+  /// seed, materialization, prune + shard config, mutation epoch) — the
+  /// workload-identity key shared with the serving cache and stamped into
+  /// snapshots.
   uint64_t spec_fingerprint() const { return spec_fingerprint_; }
+
+  /// Number of StreamingWorkload::Apply mutations behind this version
+  /// (0 for a freshly built workload). Folded into spec_fingerprint so a
+  /// mutated workload never collides with — or silently resaves over — a
+  /// snapshot of an earlier version. See src/stream/streaming_workload.h.
+  uint64_t mutation_epoch() const { return mutation_epoch_; }
 
   /// Approximate heap footprint of the shared state: dataset values,
   /// utility matrix, best-in-DB index, score tile or resident pool pages,
@@ -156,6 +163,7 @@ class Workload {
 
  private:
   friend class WorkloadBuilder;
+  friend class StreamingWorkload;
   Workload() = default;
 
   std::shared_ptr<const Dataset> dataset_;
@@ -168,6 +176,7 @@ class Workload {
   bool materialized_ = false;
   uint64_t seed_ = 0;
   uint64_t spec_fingerprint_ = 0;
+  uint64_t mutation_epoch_ = 0;
   std::string distribution_name_;
   double preprocess_seconds_ = 0.0;
 };
@@ -185,13 +194,16 @@ std::string_view TileSpecName(EvalKernelOptions::Tile mode);
 /// hashes the same fields in the same order through this one function.
 /// `distribution_name` must be the *resolved* Θ name — the builder's
 /// default distribution counts as its name, not as "" (empty = direct
-/// utility matrix).
+/// utility matrix). `mutation_epoch` is 0 for built workloads; streaming
+/// versions (src/stream/) carry their epoch so every version has a
+/// distinct identity.
 uint64_t WorkloadFingerprintParts(uint64_t dataset_hash,
                                   std::string_view distribution_name,
                                   size_t num_users, uint64_t seed,
                                   bool materialized,
                                   const PruneOptions& prune,
-                                  const ShardOptions& shards);
+                                  const ShardOptions& shards,
+                                  uint64_t mutation_epoch = 0);
 
 /// Assembles a Workload: dataset + (distribution, num_users, seed) or a
 /// direct utility matrix. Build() performs and times the preprocessing.

@@ -62,6 +62,8 @@
 #include "regret/sharded_workload.h"
 #include "store/tile_buffer_pool.h"
 #include "store/workload_snapshot.h"
+#include "stream/streaming_workload.h"
+#include "stream/workload_delta.h"
 #include "utility/distribution.h"
 #include "utility/utility_matrix.h"
 

@@ -6,6 +6,7 @@
 #include <list>
 #include <mutex>
 #include <optional>
+#include <unordered_map>
 #include <utility>
 
 #include <cstdio>
@@ -66,6 +67,7 @@ struct ServiceState {
   std::atomic<uint64_t> cache_misses{0};
   std::atomic<uint64_t> snapshot_opens{0};
   std::atomic<uint64_t> snapshot_saves{0};
+  std::atomic<uint64_t> mutations{0};
   /// EvalKernel BatchGains totals, accumulated from each successful job's
   /// counters — the serving-level view of hot-loop throughput
   /// (ns / element ≈ kernel_gain_ns / kernel_gain_elements).
@@ -90,6 +92,14 @@ struct ServiceState {
   std::condition_variable cache_cv;
   std::list<CacheEntry> cache;
   std::vector<uint64_t> building;  ///< Fingerprints being built right now.
+
+  /// Streaming lineages, keyed by every published version's fingerprint
+  /// (base + one entry per Apply) so Mutate against any version of a
+  /// lineage finds the same stream. `stream_mu` guards the map only;
+  /// Apply runs unlocked (each stream serializes on its own mutex), so
+  /// mutations of different lineages proceed concurrently.
+  std::mutex stream_mu;
+  std::unordered_map<uint64_t, std::shared_ptr<StreamingWorkload>> streams;
 };
 
 namespace {
@@ -202,7 +212,7 @@ uint64_t WorkloadSpec::Fingerprint() const {
   }
   return WorkloadFingerprintParts(dataset->ContentHash(), resolved_name,
                                   num_users, seed, materialized, prune,
-                                  shards);
+                                  shards, mutation_epoch);
 }
 
 JobHandle::JobHandle(std::shared_ptr<internal::Job> job)
@@ -434,6 +444,63 @@ Result<JobHandle> Service::Submit(const Workload& workload,
   return JobHandle(job);
 }
 
+Result<ApplyResult> Service::Mutate(const Workload& workload,
+                                    const WorkloadDelta& delta) {
+  internal::ServiceState& service = *state_;
+  std::shared_ptr<StreamingWorkload> stream;
+  {
+    std::lock_guard<std::mutex> lock(service.stream_mu);
+    auto it = service.streams.find(workload.spec_fingerprint());
+    if (it != service.streams.end()) stream = it->second;
+  }
+  if (stream == nullptr) {
+    // First mutation of this lineage: open the stream unlocked (pool
+    // recovery sweeps the candidate list), then publish; when two callers
+    // race, the loser adopts the winner's stream.
+    FAM_ASSIGN_OR_RETURN(std::shared_ptr<StreamingWorkload> opened,
+                         StreamingWorkload::Open(workload));
+    std::lock_guard<std::mutex> lock(service.stream_mu);
+    stream = service.streams.emplace(workload.spec_fingerprint(),
+                                     std::move(opened))
+                 .first->second;
+  }
+
+  FAM_ASSIGN_OR_RETURN(ApplyResult result, stream->Apply(delta));
+  service.mutations.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t new_fingerprint = result.version->spec_fingerprint();
+  {
+    // Route future Mutates against the new version to this stream. Old
+    // version keys stay registered: a caller still holding an earlier
+    // version mutates the lineage head, never a fork.
+    std::lock_guard<std::mutex> lock(service.stream_mu);
+    service.streams.emplace(new_fingerprint, stream);
+  }
+
+  // COW cache replacement: the new version lands under its epoch-keyed
+  // fingerprint; the old version's entry is untouched, so in-flight jobs
+  // and late GetOrBuildWorkload hits on it stay valid.
+  const size_t capacity = service.options.workload_cache_capacity;
+  if (capacity > 0) {
+    std::lock_guard<std::mutex> lock(service.cache_mu);
+    service.cache.push_front({new_fingerprint, result.version});
+    if (service.cache.size() > capacity) service.cache.pop_back();
+  }
+
+  // A compaction is the streaming analogue of a fresh build: persist it
+  // under the new fingerprint so a restart warm-opens the compacted
+  // version (stale pre-mutation snapshots are keyed differently and can
+  // never be reopened for this version).
+  if (result.stats.compacted && service.options.save_snapshots &&
+      !service.options.snapshot_dir.empty()) {
+    const std::string path =
+        SnapshotPathFor(service.options.snapshot_dir, new_fingerprint);
+    if (WorkloadSnapshot::Save(*result.version, path).ok()) {
+      service.snapshot_saves.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return result;
+}
+
 void Service::Shutdown(bool drain) {
   internal::ServiceState& service = *state_;
   std::vector<std::shared_ptr<internal::Job>> live;
@@ -474,6 +541,7 @@ ServiceStats Service::stats() const {
       service.snapshot_opens.load(std::memory_order_relaxed);
   stats.snapshot_saves =
       service.snapshot_saves.load(std::memory_order_relaxed);
+  stats.mutations = service.mutations.load(std::memory_order_relaxed);
   stats.kernel_batch_gain_ns =
       service.kernel_gain_ns.load(std::memory_order_relaxed);
   stats.kernel_batch_gain_elements =

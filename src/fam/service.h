@@ -57,6 +57,7 @@
 #include "data/dataset.h"
 #include "fam/engine.h"
 #include "fam/solver_registry.h"
+#include "stream/streaming_workload.h"
 #include "utility/distribution.h"
 
 namespace fam {
@@ -109,11 +110,17 @@ struct WorkloadSpec {
   /// differing only here are the same serving entity — on a cache hit the
   /// resident workload keeps whatever mode it was first built with.
   std::string tile;
+  /// Streaming version epoch (Workload::mutation_epoch); 0 for freshly
+  /// built workloads. Part of the fingerprint, so a mutated version never
+  /// reopens — or silently resaves over — a stale snapshot/cache entry of
+  /// an earlier version. `dataset` must then be the *mutated* dataset
+  /// (the one the streamed version serves).
+  uint64_t mutation_epoch = 0;
 
   /// Stable 64-bit cache key: Dataset::ContentHash() mixed with the Θ
   /// name, num_users, seed, the materialization flag, the pruning mode
-  /// (+ coreset epsilon), and the shard options. `tile` is excluded (see
-  /// its comment).
+  /// (+ coreset epsilon), the shard options, and the mutation epoch.
+  /// `tile` is excluded (see its comment).
   uint64_t Fingerprint() const;
 };
 
@@ -146,6 +153,8 @@ struct ServiceStats {
   // --- Persistence --------------------------------------------------------
   uint64_t snapshot_opens = 0;  ///< Cache misses served by a snapshot open.
   uint64_t snapshot_saves = 0;  ///< Snapshots written after fresh builds.
+  // --- Streaming ----------------------------------------------------------
+  uint64_t mutations = 0;  ///< Deltas applied through Mutate.
 };
 
 struct ServiceOptions {
@@ -249,6 +258,22 @@ class Service {
   /// or a shut-down service (FailedPrecondition). `request.deadline_seconds`
   /// counts from submission (see ServiceOptions::deadline_from_submit).
   Result<JobHandle> Submit(const Workload& workload, SolveRequest request);
+
+  /// Applies `delta` to the streaming head of `workload`'s lineage and
+  /// returns the new immutable version (plus inserted ids and apply
+  /// stats). The first Mutate against a workload opens a StreamingWorkload
+  /// over it (src/stream/streaming_workload.h; the workload must be
+  /// streamable — weighted linear Θ, not materialized); later Mutates —
+  /// against the base *or any published version* — route to the same
+  /// stream and apply on top of its current head. COW cache replacement:
+  /// the new version is inserted into the workload cache under its own
+  /// epoch-keyed fingerprint, the old version stays cached and valid, and
+  /// in-flight jobs holding it are undisturbed. With save_snapshots, a
+  /// compacting Mutate also writes the post-compaction snapshot under the
+  /// new fingerprint. Concurrent Mutates on one lineage serialize on the
+  /// stream's mutex; Mutates on different lineages run concurrently.
+  Result<ApplyResult> Mutate(const Workload& workload,
+                             const WorkloadDelta& delta);
 
   /// Stops admission, then blocks until every outstanding job is
   /// terminal. With `drain`, queued and running jobs finish normally;

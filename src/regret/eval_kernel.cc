@@ -150,7 +150,10 @@ void EvalKernel::Build(const EvalKernelOptions& options) {
       return;
     }
     size_t p = restricted ? options.tile_columns[slot] : slot;
-    users.FillPointColumn(p, {tile_.data() + slot * num_users, num_users});
+    std::span<double> dst{tile_.data() + slot * num_users, num_users};
+    if (options.column_source == nullptr || !options.column_source(p, dst)) {
+      users.FillPointColumn(p, dst);
+    }
   });
   if (expired.load(std::memory_order_relaxed)) {
     tile_.clear();

@@ -87,6 +87,15 @@ struct EvalKernelOptions {
   /// bytes only, so candidate pruning stretches the tile to much larger
   /// workloads. Read during construction only (not retained).
   std::span<const size_t> tile_columns = {};
+  /// Monolithic-tile column override, tried before the evaluator during
+  /// materialization: return true after writing the column for `point`
+  /// into `out`, or false to fall back to FillPointColumn. Written values
+  /// must be bit-identical to the evaluator's. The streaming layer
+  /// (src/stream/) uses this to memcpy unchanged columns out of the
+  /// previous version's kernel instead of recomputing N dot products.
+  /// Called concurrently from the materialization pool, so it must be
+  /// thread-safe. Read during construction only (not retained).
+  std::function<bool(size_t point, std::span<double> out)> column_source;
   /// Polled during the O(N·n) tile materialization; on expiry the tile is
   /// abandoned and the kernel falls back to untiled lookups, so a
   /// solver-local kernel built under a deadline stays within it.

@@ -1,0 +1,695 @@
+#include "stream/streaming_workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <unordered_map>
+#include <utility>
+
+#include "geom/dominance.h"
+#include "geom/skyline.h"
+#include "regret/candidate_index.h"
+#include "regret/sharded_workload.h"
+
+namespace fam {
+
+namespace {
+
+bool Cancelled(const CancellationToken* cancel) {
+  return cancel != nullptr && cancel->Expired();
+}
+
+}  // namespace
+
+Result<std::shared_ptr<StreamingWorkload>> StreamingWorkload::Open(
+    const Workload& base, StreamingOptions options) {
+  if (base.materialized()) {
+    return Status::InvalidArgument(
+        "StreamingWorkload: materialized workloads are not streamable (the "
+        "densified utility table cannot be extended to inserted points); "
+        "rebuild without WithMaterializedUtilities");
+  }
+  if (base.distribution_name().empty()) {
+    return Status::InvalidArgument(
+        "StreamingWorkload: workloads built from a direct utility matrix "
+        "are not streamable (no Θ to score inserted points with); build "
+        "from a distribution");
+  }
+  const UtilityMatrix& users = base.evaluator().users();
+  if (!users.is_weighted()) {
+    return Status::InvalidArgument(
+        "StreamingWorkload: the utility matrix is not in weighted mode; "
+        "explicit score tables cannot be extended to inserted points");
+  }
+  if (!(users.basis() == base.dataset().values())) {
+    return Status::InvalidArgument(
+        "StreamingWorkload: the utility basis is not the dataset itself "
+        "(latent-space models score inserted points in a different space); "
+        "only attribute-linear workloads are streamable");
+  }
+
+  auto stream = std::shared_ptr<StreamingWorkload>(new StreamingWorkload());
+  stream->options_ = options;
+  stream->weights_ = users.weights_matrix();
+  stream->user_weights_ = base.evaluator().user_weights();
+  stream->attribute_names_ = base.dataset().attribute_names();
+  stream->distribution_name_ = base.distribution_name();
+  stream->seed_ = base.seed();
+  stream->monotone_ = base.monotone_utilities();
+  stream->prune_ = base.prune_options();
+  stream->dimension_ = base.dimension();
+  stream->num_users_ = base.num_users();
+  stream->shards_.count = base.shard_count();
+
+  // Tile mode of the base kernel, re-derived so every version is built the
+  // same way (all modes solve bit-identically, so a kAuto base that chose
+  // "off" simply stays off).
+  const EvalKernel& kernel = base.kernel();
+  if (kernel.paged()) {
+    stream->tile_mode_ = EvalKernelOptions::Tile::kPaged;
+    stream->page_pool_bytes_ = kernel.page_pool()->max_bytes();
+  } else if (kernel.quant_bits() == 16) {
+    stream->tile_mode_ = EvalKernelOptions::Tile::kQuant16;
+  } else if (kernel.quant_bits() == 8) {
+    stream->tile_mode_ = EvalKernelOptions::Tile::kQuant8;
+  } else if (kernel.tiled()) {
+    stream->tile_mode_ = EvalKernelOptions::Tile::kOn;
+  } else {
+    stream->tile_mode_ = EvalKernelOptions::Tile::kOff;
+  }
+
+  // The backing store adopts the dataset rows as ids 0..n-1.
+  const size_t n = base.size();
+  stream->store_values_ = base.dataset().values().data();
+  stream->store_labels_ = base.dataset().labels();
+  stream->has_labels_ = !stream->store_labels_.empty();
+  stream->live_.assign(n, 1);
+  stream->live_count_ = n;
+  stream->ids_.resize(n);
+  stream->id_to_row_.reserve(n);
+  for (size_t r = 0; r < n; ++r) {
+    stream->ids_[r] = r;
+    stream->id_to_row_.emplace(r, r);
+  }
+  stream->next_id_ = n;
+  stream->best_value_ = base.evaluator().best_in_db_values();
+  stream->best_row_ = base.evaluator().best_in_db_points();
+
+  // Recover the sweep-survivor pool (the candidate list minus the forced
+  // best points) by rerunning the reduction over the candidate list only:
+  // every global survivor's coverers are themselves survivors, so the
+  // subset sweep reproduces the global survivor set exactly — in
+  // O(|candidates|² · N) instead of the build's O(n · N).
+  const CandidateIndex* index = base.candidate_index();
+  if (index != nullptr) {
+    stream->resolved_mode_ = index->resolved_mode();
+    stream->eps_ = index->coreset_epsilon();
+    std::vector<size_t> survivors;
+    if (stream->resolved_mode_ == PruneMode::kGeometric) {
+      survivors = SkylineOverSubset(base.dataset(), index->candidates());
+    } else {
+      survivors = internal::SweepDominatedColumnsOverSubset(
+          base.evaluator(), stream->eps_, index->candidates());
+    }
+    stream->pool_ = std::move(survivors);
+    stream->pool_member_.assign(n, 0);
+    for (size_t r : stream->pool_) stream->pool_member_[r] = 1;
+  } else {
+    stream->resolved_mode_ = PruneMode::kOff;
+    stream->pool_member_.assign(n, 0);
+  }
+
+  stream->epoch_ = base.mutation_epoch();
+  stream->current_ = std::make_shared<const Workload>(base);
+  stream->prev_compact_of_store_.resize(n);
+  for (size_t r = 0; r < n; ++r) stream->prev_compact_of_store_[r] = r;
+  return stream;
+}
+
+std::shared_ptr<const Workload> StreamingWorkload::current() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+uint64_t StreamingWorkload::mutation_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+size_t StreamingWorkload::live_points() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_count_;
+}
+
+size_t StreamingWorkload::tombstone_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ids_.size() - live_count_;
+}
+
+std::vector<uint64_t> StreamingWorkload::live_ids() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint64_t> out;
+  out.reserve(live_count_);
+  for (size_t r = 0; r < ids_.size(); ++r) {
+    if (live_[r]) out.push_back(ids_[r]);
+  }
+  return out;
+}
+
+Status StreamingWorkload::ValidateDelta(const WorkloadDelta& delta) const {
+  if (delta.empty()) {
+    return Status::InvalidArgument(
+        "StreamingWorkload::Apply: empty delta (record Insert/Delete/"
+        "Compact ops first)");
+  }
+  // Dry run against a simulated liveness overlay so the real application
+  // below cannot fail halfway: either the whole delta applies or none of
+  // it does.
+  std::unordered_map<uint64_t, bool> overlay;  // id -> live (sim changes)
+  size_t sim_live = live_count_;
+  uint64_t sim_next = next_id_;
+  for (const DeltaOp& op : delta.ops()) {
+    switch (op.kind) {
+      case DeltaOp::Kind::kInsert: {
+        if (op.values.size() != dimension_) {
+          return Status::InvalidArgument(
+              "StreamingWorkload::Apply: insert has " +
+              std::to_string(op.values.size()) +
+              " attributes, workload dimension is " +
+              std::to_string(dimension_));
+        }
+        for (double v : op.values) {
+          if (!std::isfinite(v)) {
+            return Status::InvalidArgument(
+                "StreamingWorkload::Apply: insert values must be finite");
+          }
+        }
+        overlay[sim_next++] = true;
+        ++sim_live;
+        break;
+      }
+      case DeltaOp::Kind::kDelete: {
+        bool live;
+        auto it = overlay.find(op.id);
+        if (it != overlay.end()) {
+          live = it->second;
+        } else {
+          auto row = id_to_row_.find(op.id);
+          live = row != id_to_row_.end() && live_[row->second] != 0;
+        }
+        if (!live) {
+          return Status::InvalidArgument(
+              "StreamingWorkload::Apply: delete of unknown or already-"
+              "deleted id " + std::to_string(op.id));
+        }
+        overlay[op.id] = false;
+        --sim_live;
+        break;
+      }
+      case DeltaOp::Kind::kCompact:
+        break;
+    }
+  }
+  if (sim_live == 0) {
+    return Status::InvalidArgument(
+        "StreamingWorkload::Apply: the delta would leave the catalog empty");
+  }
+  return Status::OK();
+}
+
+void StreamingWorkload::FillStoreColumn(size_t row,
+                                        std::vector<double>& out) const {
+  out.resize(num_users_);
+  const double* vals = store_values_.data() + row * dimension_;
+  for (size_t u = 0; u < num_users_; ++u) {
+    out[u] = std::max(0.0, Dot(weights_.row(u), vals, dimension_));
+  }
+}
+
+void StreamingWorkload::ApplyInsert(const DeltaOp& op, ApplyStats& stats,
+                                    bool& resweep) {
+  const size_t d = dimension_;
+  const size_t row = ids_.size();
+  store_values_.insert(store_values_.end(), op.values.begin(),
+                       op.values.end());
+  // Labels materialize lazily: the store stays unlabeled until some insert
+  // carries a label, at which point existing rows get their served names
+  // ("p<id>", stable across compaction).
+  if (!op.label.empty() && !has_labels_) {
+    has_labels_ = true;
+    store_labels_.resize(row);
+    for (size_t r = 0; r < row; ++r) {
+      store_labels_[r] = "p" + std::to_string(ids_[r]);
+    }
+  }
+  if (has_labels_) {
+    store_labels_.push_back(op.label.empty() ? "p" + std::to_string(next_id_)
+                                             : op.label);
+  }
+  ids_.push_back(next_id_);
+  id_to_row_.emplace(next_id_, row);
+  ++next_id_;
+  live_.push_back(1);
+  ++live_count_;
+  pool_member_.push_back(0);
+  prev_compact_of_store_.push_back(kNoRow);
+  ++stats.inserts;
+
+  // One O(N·d) pass computes the new point's utility column and repairs
+  // every user's best-in-DB: strictly above the old best wins; ties keep
+  // the earlier row, matching a fresh scan's lowest-index rule (the new
+  // row is appended, so it is always the higher index).
+  std::vector<double> column(num_users_);
+  const double* vals = store_values_.data() + row * d;
+  bool best_changed = false;
+  for (size_t u = 0; u < num_users_; ++u) {
+    double util = std::max(0.0, Dot(weights_.row(u), vals, d));
+    column[u] = util;
+    if (util > best_value_[u]) {
+      best_value_[u] = util;
+      best_row_[u] = row;
+      ++stats.best_updates;
+      best_changed = true;
+    }
+  }
+
+  if (resolved_mode_ == PruneMode::kOff || resweep) return;
+  if (eps_ > 0.0 && best_changed) {
+    // Coreset slack is eps · best-in-DB per user; a moved best changes the
+    // coverage relation for every previously-swept point, so the local
+    // repair is no longer provably the sweep's outcome.
+    resweep = true;
+    return;
+  }
+
+  // Local pool repair. Exact modes (eps = 0): dominance/coverage is
+  // transitive, so checking the survivor pool is equivalent to checking
+  // every live point — the new point is either covered (pool unchanged;
+  // anything it would cover is already covered) or it joins and evicts
+  // exactly the survivors it covers.
+  if (eps_ == 0.0) {
+    bool covered = false;
+    std::vector<size_t> evict;
+    std::vector<double> mcol;
+    for (size_t m : pool_) {
+      if (resolved_mode_ == PruneMode::kGeometric) {
+        const double* mv = store_values_.data() + m * d;
+        if (WeaklyDominates(mv, vals, d)) {
+          covered = true;
+          break;
+        }
+        if (WeaklyDominates(vals, mv, d)) evict.push_back(m);
+      } else {
+        FillStoreColumn(m, mcol);
+        bool m_covers = true;
+        bool new_covers = true;
+        for (size_t u = 0; u < num_users_; ++u) {
+          if (mcol[u] < column[u]) m_covers = false;
+          if (column[u] < mcol[u]) new_covers = false;
+          if (!m_covers && !new_covers) break;
+        }
+        if (m_covers) {
+          covered = true;
+          break;
+        }
+        if (new_covers) evict.push_back(m);
+      }
+    }
+    if (covered) return;
+    for (size_t m : evict) {
+      pool_member_[m] = 0;
+      pool_.erase(std::find(pool_.begin(), pool_.end(), m));
+      ++stats.pool_evictions;
+    }
+    pool_.push_back(row);
+    pool_member_[row] = 1;
+    ++stats.pool_joins;
+    return;
+  }
+
+  // Coreset (eps > 0, best unchanged): slack coverage is not transitive,
+  // so the shortcut is taken only when it provably reproduces the sweep.
+  // In descending-sum sweep order the new point slots in at sum s_new; a
+  // pool member with sum >= s_new precedes it (appended row = highest
+  // index, so equal sums also precede). Covered by a preceding member →
+  // the sweep drops the new point and keeps everything else. Not covered
+  // and covering no later member → the sweep keeps it and changes nothing
+  // else. Covering a later member → that member would be dropped and its
+  // own cover obligations break: rare path.
+  double s_new = 0.0;
+  for (double v : column) s_new += v;
+  bool covered = false;
+  bool cascade = false;
+  std::vector<double> mcol;
+  for (size_t m : pool_) {
+    FillStoreColumn(m, mcol);
+    double s_m = 0.0;
+    for (double v : mcol) s_m += v;
+    if (s_m >= s_new) {
+      bool cov = true;
+      for (size_t u = 0; u < num_users_; ++u) {
+        if (mcol[u] + eps_ * std::max(0.0, best_value_[u]) < column[u]) {
+          cov = false;
+          break;
+        }
+      }
+      if (cov) {
+        covered = true;
+        break;
+      }
+    } else if (!cascade) {
+      bool cov = true;
+      for (size_t u = 0; u < num_users_; ++u) {
+        if (column[u] + eps_ * std::max(0.0, best_value_[u]) < mcol[u]) {
+          cov = false;
+          break;
+        }
+      }
+      if (cov) cascade = true;
+    }
+  }
+  if (covered) return;
+  if (cascade) {
+    resweep = true;
+    return;
+  }
+  pool_.push_back(row);
+  pool_member_[row] = 1;
+  ++stats.pool_joins;
+}
+
+void StreamingWorkload::ApplyDelete(size_t row, ApplyStats& stats,
+                                    bool& resweep) {
+  live_[row] = 0;
+  --live_count_;
+  ++stats.deletes;
+
+  // Best-in-DB repair only for the users bucketed on the dead row: rescan
+  // the live rows in store (= served) order with a strict > update, which
+  // reproduces a fresh scan's lowest-index tie-break.
+  const size_t d = dimension_;
+  bool best_changed = false;
+  for (size_t u = 0; u < num_users_; ++u) {
+    if (best_row_[u] != row) continue;
+    double best = -1.0;
+    size_t best_r = kNoRow;
+    for (size_t r = 0; r < ids_.size(); ++r) {
+      if (!live_[r]) continue;
+      double util =
+          std::max(0.0, Dot(weights_.row(u), store_values_.data() + r * d, d));
+      if (util > best) {
+        best = util;
+        best_r = r;
+      }
+    }
+    if (best != best_value_[u]) best_changed = true;
+    best_value_[u] = best;
+    best_row_[u] = best_r;
+    ++stats.best_updates;
+  }
+
+  if (resolved_mode_ == PruneMode::kOff) return;
+  if (pool_member_[row]) {
+    // A candidate died: points it covered may resurface, which only the
+    // full sweep over the live points can decide (the rare path).
+    pool_member_[row] = 0;
+    pool_.erase(std::find(pool_.begin(), pool_.end(), row));
+    resweep = true;
+  }
+  // A dead non-candidate can never change exact survivors (removing a
+  // point only removes potential coverers, and it covered nothing as a
+  // non-survivor) — but under coreset slack a lowered best-in-DB shrinks
+  // every slack and previously-dropped points may resurface.
+  if (eps_ > 0.0 && best_changed) resweep = true;
+}
+
+Result<ApplyResult> StreamingWorkload::Apply(const WorkloadDelta& delta,
+                                             const CancellationToken* cancel) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Timer timer;
+  FAM_RETURN_IF_ERROR(ValidateDelta(delta));
+
+  const bool compact_only =
+      delta.insert_count() == 0 && delta.delete_count() == 0;
+  ApplyStats stats;
+  bool resweep = false;
+  std::vector<uint64_t> inserted_ids;
+  inserted_ids.reserve(delta.insert_count());
+  for (const DeltaOp& op : delta.ops()) {
+    switch (op.kind) {
+      case DeltaOp::Kind::kInsert:
+        inserted_ids.push_back(next_id_);
+        ApplyInsert(op, stats, resweep);
+        break;
+      case DeltaOp::Kind::kDelete:
+        ApplyDelete(id_to_row_.at(op.id), stats, resweep);
+        break;
+      case DeltaOp::Kind::kCompact:
+        break;
+    }
+  }
+
+  bool compact = delta.compact_requested();
+  if (options_.compact_tombstone_ratio > 0.0 && !ids_.empty()) {
+    double dead = static_cast<double>(ids_.size() - live_count_);
+    if (dead / static_cast<double>(ids_.size()) >=
+        options_.compact_tombstone_ratio) {
+      compact = true;
+    }
+  }
+
+  Result<ApplyResult> result =
+      Assemble(stats, resweep, compact, compact_only, cancel,
+               std::move(inserted_ids), timer);
+  if (result.ok()) result->stats.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+Result<ApplyResult> StreamingWorkload::Compact(
+    const CancellationToken* cancel) {
+  return Apply(WorkloadDelta().Compact(), cancel);
+}
+
+Result<ApplyResult> StreamingWorkload::Assemble(
+    ApplyStats stats, bool resweep, bool compact, bool compact_only,
+    const CancellationToken* cancel, std::vector<uint64_t> inserted_ids,
+    const Timer& timer) {
+  const size_t rows = ids_.size();
+  const size_t n = live_count_;
+  const size_t d = dimension_;
+  const bool prune_off = resolved_mode_ == PruneMode::kOff;
+
+  // Served (compact) order: live rows in store order — the mutated dataset
+  // is the original order minus deletes, with inserts appended.
+  std::vector<size_t> store_of_compact;
+  store_of_compact.reserve(n);
+  for (size_t r = 0; r < rows; ++r) {
+    if (live_[r]) store_of_compact.push_back(r);
+  }
+  std::vector<size_t> compact_of_store(rows, kNoRow);
+  for (size_t i = 0; i < n; ++i) compact_of_store[store_of_compact[i]] = i;
+
+  // COW tile patching: which column of the previous version's kernel holds
+  // each new compact point (kNoRow for fresh inserts). Snapshot the map
+  // before any store remapping below.
+  std::vector<size_t> prev_col_of_compact(n);
+  for (size_t i = 0; i < n; ++i) {
+    prev_col_of_compact[i] = prev_compact_of_store_[store_of_compact[i]];
+  }
+  std::shared_ptr<const Workload> prev_version = current_;
+
+  Matrix values(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    std::memcpy(values.row(i), store_values_.data() + store_of_compact[i] * d,
+                d * sizeof(double));
+  }
+  std::vector<std::string> labels;
+  if (has_labels_) {
+    labels.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      labels.push_back(store_labels_[store_of_compact[i]]);
+    }
+  }
+  auto dataset = std::make_shared<const Dataset>(
+      std::move(values), attribute_names_, std::move(labels));
+
+  // The sampled Θ is held fixed: linear-weight draws depend only on
+  // (N, d, seed), so reusing the weight matrix against the mutated basis
+  // is exactly what a fresh WorkloadBuilder::Build would sample.
+  UtilityMatrix users = UtilityMatrix::FromLinearWeights(weights_, *dataset);
+  std::vector<size_t> best_points(num_users_);
+  for (size_t u = 0; u < num_users_; ++u) {
+    best_points[u] = compact_of_store[best_row_[u]];
+  }
+  auto evaluator =
+      std::make_shared<const RegretEvaluator>(RegretEvaluator::FromPrecomputedBest(
+          std::move(users), user_weights_, best_value_,
+          std::move(best_points)));
+
+  std::shared_ptr<const CandidateIndex> index;
+  std::shared_ptr<const ShardedBuildStats> shard_stats;
+  bool compacted = false;
+  if (compact) {
+    if (Cancelled(cancel)) {
+      if (compact_only) {
+        return Status::Cancelled(
+            "StreamingWorkload: compaction cancelled; the stream is "
+            "unchanged");
+      }
+      compact = false;  // keep the mutations, skip the compaction
+    }
+  }
+  if (compact && !prune_off) {
+    // Compaction rebuilds the candidate index through the sharded
+    // coreset-merge path, then recovers the survivor pool from the rebuilt
+    // candidate list (same subset-sweep recovery as Open).
+    Result<ShardedCandidateBuild> sharded = BuildShardedCandidateIndex(
+        *dataset, *evaluator, prune_, monotone_, shards_, cancel);
+    if (!sharded.ok()) {
+      if (compact_only) {
+        // Nothing was mutated, so nothing is published; the stream state
+        // is exactly as before this Apply.
+        return sharded.status();
+      }
+      compact = false;  // keep the mutations, publish uncompacted
+    } else {
+      index = std::make_shared<const CandidateIndex>(std::move(sharded->index));
+      shard_stats =
+          std::make_shared<const ShardedBuildStats>(std::move(sharded->stats));
+      std::vector<size_t> survivors;
+      if (resolved_mode_ == PruneMode::kGeometric) {
+        survivors = SkylineOverSubset(*dataset, index->candidates());
+      } else {
+        survivors = internal::SweepDominatedColumnsOverSubset(
+            *evaluator, eps_, index->candidates());
+      }
+      pool_.clear();
+      pool_member_.assign(rows, 0);
+      for (size_t c : survivors) {
+        size_t r = store_of_compact[c];
+        pool_.push_back(r);
+        pool_member_[r] = 1;
+      }
+      resweep = false;
+      compacted = true;
+    }
+  } else if (compact && prune_off) {
+    compacted = true;  // pure array compaction; no index to rebuild
+  }
+
+  if (!prune_off && resweep) {
+    // The rare path: recompute the survivor pool with the full sweep over
+    // the live points (exactly what a from-scratch build runs).
+    ++stats.pool_resweeps;
+    std::vector<size_t> survivors;
+    if (resolved_mode_ == PruneMode::kGeometric) {
+      survivors = d == 2 ? Skyline2d(*dataset) : SkylineIndices(*dataset);
+    } else {
+      survivors =
+          internal::SweepDominatedColumnsOverSubset(*evaluator, eps_, {});
+    }
+    pool_.clear();
+    pool_member_.assign(rows, 0);
+    for (size_t c : survivors) {
+      size_t r = store_of_compact[c];
+      pool_.push_back(r);
+      pool_member_[r] = 1;
+    }
+  }
+  if (!prune_off && index == nullptr) {
+    std::vector<size_t> pool_compact;
+    pool_compact.reserve(pool_.size());
+    for (size_t r : pool_) pool_compact.push_back(compact_of_store[r]);
+    FAM_ASSIGN_OR_RETURN(
+        CandidateIndex built,
+        CandidateIndex::FromPool(*evaluator, prune_, resolved_mode_,
+                                 std::move(pool_compact)));
+    index = std::make_shared<const CandidateIndex>(std::move(built));
+  }
+
+  // Kernel for the new version: same tile mode as the base, candidate
+  // columns only, and unchanged columns memcpy'd straight out of the
+  // previous version's tile instead of recomputing N dot products each.
+  EvalKernelOptions kernel_options;
+  kernel_options.tile = tile_mode_;
+  if (page_pool_bytes_ > 0) kernel_options.page_pool_bytes = page_pool_bytes_;
+  if (index != nullptr) kernel_options.tile_columns = index->candidates();
+  const EvalKernel* prev_kernel =
+      prev_version != nullptr ? &prev_version->kernel() : nullptr;
+  if (prev_kernel != nullptr && prev_kernel->tiled()) {
+    kernel_options.column_source =
+        [&prev_col_of_compact, prev_kernel](size_t p, std::span<double> out) {
+          size_t c = prev_col_of_compact[p];
+          if (c == kNoRow || !prev_kernel->ColumnTiled(c)) return false;
+          std::span<const double> col = prev_kernel->Column(c);
+          std::copy(col.begin(), col.end(), out.begin());
+          return true;
+        };
+  }
+  auto kernel =
+      std::make_shared<const EvalKernel>(evaluator, kernel_options);
+
+  Workload next;
+  next.dataset_ = dataset;
+  next.evaluator_ = evaluator;
+  next.kernel_ = kernel;
+  next.candidate_index_ = index;
+  next.shard_stats_ = shard_stats;
+  next.prune_ = prune_;
+  next.monotone_utilities_ = monotone_;
+  next.materialized_ = false;
+  next.seed_ = seed_;
+  next.distribution_name_ = distribution_name_;
+  next.mutation_epoch_ = epoch_ + 1;
+  next.spec_fingerprint_ = WorkloadFingerprintParts(
+      dataset->ContentHash(), distribution_name_, num_users_, seed_,
+      /*materialized=*/false, prune_, shards_, epoch_ + 1);
+  next.preprocess_seconds_ = timer.ElapsedSeconds();
+
+  // Commit: compaction drops the dead rows from the store (semantically
+  // invisible — served versions never contained them), then the version
+  // chain advances.
+  if (compacted && rows != n) {
+    std::vector<double> new_values(n * d);
+    std::vector<std::string> new_labels(has_labels_ ? n : 0);
+    std::vector<uint64_t> new_ids(n);
+    for (size_t i = 0; i < n; ++i) {
+      size_t r = store_of_compact[i];
+      std::memcpy(new_values.data() + i * d, store_values_.data() + r * d,
+                  d * sizeof(double));
+      if (has_labels_) new_labels[i] = std::move(store_labels_[r]);
+      new_ids[i] = ids_[r];
+    }
+    store_values_ = std::move(new_values);
+    store_labels_ = std::move(new_labels);
+    ids_ = std::move(new_ids);
+    id_to_row_.clear();
+    for (size_t i = 0; i < n; ++i) id_to_row_.emplace(ids_[i], i);
+    live_.assign(n, 1);
+    for (size_t u = 0; u < num_users_; ++u) {
+      best_row_[u] = compact_of_store[best_row_[u]];
+    }
+    std::vector<uint8_t> new_member(n, 0);
+    for (size_t& r : pool_) {
+      r = compact_of_store[r];
+      new_member[r] = 1;
+    }
+    pool_member_ = std::move(new_member);
+    // Store rows now coincide with the new version's compact indices.
+    prev_compact_of_store_.resize(n);
+    for (size_t i = 0; i < n; ++i) prev_compact_of_store_[i] = i;
+  } else {
+    prev_compact_of_store_ = std::move(compact_of_store);
+  }
+  stats.compacted = compacted;
+  epoch_ += 1;
+  current_ = std::make_shared<const Workload>(std::move(next));
+
+  ApplyResult result;
+  result.version = current_;
+  result.inserted_ids = std::move(inserted_ids);
+  result.stats = stats;
+  return result;
+}
+
+}  // namespace fam

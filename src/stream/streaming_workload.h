@@ -1,0 +1,223 @@
+// StreamingWorkload: incremental insert/delete over a built Workload with
+// copy-on-write versions — no full rebuilds on the mutation path.
+//
+// Every Workload is immutable, so a single catalog change at serving time
+// used to force a from-scratch rebuild (seconds at N = 100k, dwarfing the
+// millisecond solve). StreamingWorkload closes that gap: it adopts a built
+// workload as version 0 and turns each WorkloadDelta into a *new immutable
+// Workload version* whose expensive preprocessing is repaired
+// incrementally:
+//
+//   * Insert — the new point's utility column is computed once (O(N·d));
+//     per-user best-in-DB repairs in O(N) (utility strictly above the old
+//     best wins; ties keep the earlier point, matching a fresh scan's
+//     lowest-index rule). The candidate pool repairs *locally* against the
+//     existing survivors: under exact dominance a new point is either
+//     covered by a survivor (pool unchanged — transitivity: anything the
+//     new point would cover is already covered) or it joins the pool and
+//     evicts the survivors it covers. No other point's survivorship can
+//     change, so the full SweepDominatedColumns/Skyline pass is skipped.
+//   * Delete — a lazy tombstone: the row stays in the backing store but
+//     leaves the served version. Best-in-DB is rescanned only for the
+//     users bucketed on the dead row; the pool is untouched unless a
+//     *candidate* dies (or, in coreset mode, a best-in-DB value moves —
+//     the eps·best slack changes), in which case the survivor sweep reruns
+//     over the live points (the rare path).
+//   * Compaction — explicit (WorkloadDelta::Compact) or automatic once
+//     the tombstone ratio crosses StreamingOptions::compact_tombstone_
+//     ratio: dead rows are dropped from the store and the candidate index
+//     is rebuilt through the existing sharded coreset-merge path.
+//
+// Copy-on-write: versions share unchanged preprocessing via shared_ptr —
+// the user-weight matrix is shared across all versions, and the new
+// version's score tile copies unchanged columns straight out of the
+// previous kernel's tile (EvalKernelOptions::column_source) instead of
+// recomputing dot products. In-flight solves keep their snapshot: a job
+// holding version v is undisturbed by Apply producing v+1.
+//
+// The headline invariant (pinned by tests/streaming_workload_test.cc):
+// after ANY mutation sequence, the maintained version is bit-identical —
+// candidate list, best-in-DB arrays, selections and arr for every solver —
+// to a from-scratch WorkloadBuilder rebuild of the mutated dataset on the
+// same sampled Θ. The sample is held fixed by construction: linear-weight
+// Θ draws depend only on (N, d, seed), never on point values, so the
+// stream's retained weight matrix is exactly what a rebuild would sample.
+//
+// Soundness of each shortcut (GRMR — Wang et al. — is the reference for
+// which maintenance steps preserve the regret semantics; see
+// docs/ARCHITECTURE.md "Streaming workloads" for the full argument):
+//
+//   * Exact modes (geometric / sample-dominance, eps = 0): weak dominance
+//     and column coverage are transitive, so local insert repair and
+//     "non-candidate death leaves survivors unchanged" are exact.
+//   * Coreset mode (eps > 0): slack coverage is NOT transitive, so the
+//     local repair is only taken when it provably reproduces the sweep
+//     (no best-in-DB movement, no covered survivor); anything else falls
+//     back to the rare-path sweep over live points. arr error stays ≤ eps
+//     because every served version's pool is exactly a fresh sweep's.
+//
+// Thread-safety: Apply/Compact serialize on an internal mutex; current()
+// may be read concurrently. The produced Workload versions are immutable
+// and fully thread-shareable, like any built workload.
+
+#ifndef FAM_STREAM_STREAMING_WORKLOAD_H_
+#define FAM_STREAM_STREAMING_WORKLOAD_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/cancellation.h"
+#include "common/matrix.h"
+#include "common/status.h"
+#include "common/timer.h"
+#include "fam/engine.h"
+#include "stream/workload_delta.h"
+
+namespace fam {
+
+struct StreamingOptions {
+  /// Automatic-compaction threshold: after a delta applies, the stream
+  /// compacts when dead rows / total rows ≥ this ratio. <= 0 disables
+  /// automatic compaction (explicit WorkloadDelta::Compact still works).
+  double compact_tombstone_ratio = 0.25;
+};
+
+/// Work accounting for one Apply (observability; the bench records these).
+struct ApplyStats {
+  size_t inserts = 0;          ///< Points appended.
+  size_t deletes = 0;          ///< Points tombstoned.
+  size_t best_updates = 0;     ///< Per-user best-in-DB entries repaired.
+  size_t pool_joins = 0;       ///< Inserts that joined the candidate pool.
+  size_t pool_evictions = 0;   ///< Survivors evicted by a new dominator.
+  size_t pool_resweeps = 0;    ///< Rare-path survivor sweeps taken.
+  bool compacted = false;      ///< This Apply ran a compaction.
+  double seconds = 0.0;        ///< Wall-clock of the whole Apply.
+};
+
+/// One Apply's outcome: the new immutable version plus accounting.
+struct ApplyResult {
+  std::shared_ptr<const Workload> version;
+  /// Ids assigned to the delta's inserts, in op order (stable forever;
+  /// feed them back into WorkloadDelta::Delete).
+  std::vector<uint64_t> inserted_ids;
+  ApplyStats stats;
+};
+
+/// The mutable front over an immutable Workload version chain. Created by
+/// Open() from any eligible built workload; produces a new version per
+/// Apply. See the file comment for semantics.
+class StreamingWorkload {
+ public:
+  /// Adopts `base` as version 0. Eligible workloads are weighted-mode
+  /// linear workloads built from a named distribution without
+  /// materialization (the utility basis must be the dataset itself) —
+  /// i.e. the standard WorkloadBuilder output. Direct utility matrices,
+  /// latent-basis models, and materialized workloads are InvalidArgument:
+  /// their per-point utilities cannot be extended to inserted points.
+  /// Works with or without pruning, any tile mode, sharded or monolithic.
+  static Result<std::shared_ptr<StreamingWorkload>> Open(
+      const Workload& base, StreamingOptions options = {});
+
+  /// Applies the whole delta atomically and publishes a new immutable
+  /// version. Validation-first: on any invalid op (dimension mismatch,
+  /// non-finite values, unknown/dead delete id, a delta that would empty
+  /// the catalog, an empty delta) *nothing* is applied. `cancel` is
+  /// polled by the compaction rebuild only — a cancelled compaction-only
+  /// delta returns Cancelled with the stream untouched, while a mixed
+  /// delta falls back to publishing the uncompacted version (the
+  /// mutations themselves are never lost).
+  Result<ApplyResult> Apply(const WorkloadDelta& delta,
+                            const CancellationToken* cancel = nullptr);
+
+  /// Shorthand for Apply(WorkloadDelta().Compact()).
+  Result<ApplyResult> Compact(const CancellationToken* cancel = nullptr);
+
+  /// The latest published version (never null). Grab a shared_ptr and
+  /// solve against it; later Applies never disturb it.
+  std::shared_ptr<const Workload> current() const;
+
+  /// Number of Applies successfully published (version 0 = the base).
+  uint64_t mutation_epoch() const;
+
+  /// Live (served) point count / dead rows awaiting compaction.
+  size_t live_points() const;
+  size_t tombstone_count() const;
+
+  /// Ids of the live points, in served (dataset) order.
+  std::vector<uint64_t> live_ids() const;
+
+ private:
+  StreamingWorkload() = default;
+
+  static constexpr size_t kNoRow = static_cast<size_t>(-1);
+
+  // All of the below guarded by mu_ (current_/epoch_ additionally
+  // published through their own accessors under the same mutex).
+  Status ValidateDelta(const WorkloadDelta& delta) const;
+  void ApplyInsert(const DeltaOp& op, ApplyStats& stats, bool& resweep);
+  void ApplyDelete(size_t row, ApplyStats& stats, bool& resweep);
+  /// f_u(store row) for all users into `out` (size num_users), bit-
+  /// identical to what UtilityMatrix::Utility would compute for the row.
+  void FillStoreColumn(size_t row, std::vector<double>& out) const;
+
+  mutable std::mutex mu_;
+
+  // --- Fixed workload identity (never changes across versions) ----------
+  StreamingOptions options_;
+  Matrix weights_;                    // N × d sampled user weights (shared)
+  std::vector<double> user_weights_;  // per-user probabilities
+  std::vector<std::string> attribute_names_;
+  std::string distribution_name_;
+  uint64_t seed_ = 0;
+  bool monotone_ = false;
+  PruneOptions prune_;       // as recorded on the base (post-promotion)
+  PruneMode resolved_mode_ = PruneMode::kOff;
+  double eps_ = 0.0;         // coreset slack (0 for exact modes)
+  ShardOptions shards_;      // compaction rebuild configuration
+  EvalKernelOptions::Tile tile_mode_ = EvalKernelOptions::Tile::kAuto;
+  size_t page_pool_bytes_ = 0;
+  size_t dimension_ = 0;
+  size_t num_users_ = 0;
+
+  // --- The backing store (append-only rows; tombstoned, compacted) ------
+  std::vector<double> store_values_;  // row-major, dimension_ per row
+  std::vector<std::string> store_labels_;
+  bool has_labels_ = false;
+  std::vector<uint8_t> live_;
+  size_t live_count_ = 0;
+  std::vector<uint64_t> ids_;  // store row -> stable id
+  std::unordered_map<uint64_t, size_t> id_to_row_;
+  uint64_t next_id_ = 0;
+
+  // --- Incrementally maintained preprocessing ---------------------------
+  std::vector<double> best_value_;  // per user: best utility over live rows
+  std::vector<size_t> best_row_;    // per user: store row achieving it
+  std::vector<size_t> pool_;        // survivor store rows, ascending
+  std::vector<uint8_t> pool_member_;  // per store row
+
+  // --- Version chain ----------------------------------------------------
+  uint64_t epoch_ = 0;
+  std::shared_ptr<const Workload> current_;
+  /// store row -> column index in current_'s kernel (kNoRow when absent),
+  /// so the next Apply can memcpy unchanged tile columns instead of
+  /// recomputing them.
+  std::vector<size_t> prev_compact_of_store_;
+
+  /// Builds and publishes the next version from the store state. When
+  /// `resweep`, the survivor pool is recomputed with the full sweep first.
+  /// `compact` additionally drops dead rows and rebuilds through the
+  /// sharded path (cancellable; `compact_only` deltas abort cleanly).
+  Result<ApplyResult> Assemble(ApplyStats stats, bool resweep, bool compact,
+                               bool compact_only,
+                               const CancellationToken* cancel,
+                               std::vector<uint64_t> inserted_ids,
+                               const Timer& timer);
+};
+
+}  // namespace fam
+
+#endif  // FAM_STREAM_STREAMING_WORKLOAD_H_

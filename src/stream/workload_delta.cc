@@ -1,0 +1,35 @@
+#include "stream/workload_delta.h"
+
+#include <utility>
+
+namespace fam {
+
+WorkloadDelta& WorkloadDelta::Insert(std::vector<double> values,
+                                     std::string label) {
+  DeltaOp op;
+  op.kind = DeltaOp::Kind::kInsert;
+  op.values = std::move(values);
+  op.label = std::move(label);
+  ops_.push_back(std::move(op));
+  ++insert_count_;
+  return *this;
+}
+
+WorkloadDelta& WorkloadDelta::Delete(uint64_t id) {
+  DeltaOp op;
+  op.kind = DeltaOp::Kind::kDelete;
+  op.id = id;
+  ops_.push_back(std::move(op));
+  ++delete_count_;
+  return *this;
+}
+
+WorkloadDelta& WorkloadDelta::Compact() {
+  DeltaOp op;
+  op.kind = DeltaOp::Kind::kCompact;
+  ops_.push_back(std::move(op));
+  compact_requested_ = true;
+  return *this;
+}
+
+}  // namespace fam

@@ -1,0 +1,92 @@
+// WorkloadDelta: an append-only mutation log against a streaming workload.
+//
+// A delta is the unit of catalog change: a recorded sequence of
+// Insert(point) / Delete(id) operations (plus an optional compaction
+// request), built up by the caller and applied atomically by
+// StreamingWorkload::Apply. Deletes are *lazy tombstones* on the stream
+// side — the deleted row stays in the backing store until compaction —
+// but the served workload version produced by Apply never exposes a dead
+// point.
+//
+// Point identity: every inserted point receives a fresh monotonically
+// increasing id from the stream (StreamingWorkload::Apply reports them via
+// ApplyResult::inserted_ids); the base dataset's points carry ids
+// 0..n-1. Ids are stable across compaction and are never reused, so
+// "delete then re-insert the same values" yields a distinct id — exactly
+// the catalog-feed semantics a serving deployment needs.
+
+#ifndef FAM_STREAM_WORKLOAD_DELTA_H_
+#define FAM_STREAM_WORKLOAD_DELTA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fam {
+
+/// One recorded mutation.
+struct DeltaOp {
+  enum class Kind {
+    kInsert,   ///< Append a new point (values + optional label).
+    kDelete,   ///< Tombstone the point with the given id.
+    kCompact,  ///< Request compaction of the whole delta (see Compact()).
+  };
+  Kind kind = Kind::kInsert;
+  /// kInsert: the point's attribute values (must match the workload's
+  /// dimension; validated by Apply).
+  std::vector<double> values;
+  /// kInsert: optional display label for the new point.
+  std::string label;
+  /// kDelete: the id to tombstone.
+  uint64_t id = 0;
+};
+
+/// An ordered mutation log. Chainable builder-style recording:
+///
+///   WorkloadDelta delta;
+///   delta.Insert({0.9, 0.2}).Delete(17).Insert({0.5, 0.5}, "midpoint");
+///   FAM_ASSIGN_OR_RETURN(ApplyResult r, stream->Apply(delta));
+///
+/// Application is atomic: StreamingWorkload::Apply validates the whole
+/// log against the current catalog first and applies nothing on error.
+class WorkloadDelta {
+ public:
+  WorkloadDelta() = default;
+
+  /// Records an insert. `values` must have the workload's dimension and
+  /// be finite (checked at Apply time, not here).
+  WorkloadDelta& Insert(std::vector<double> values, std::string label = "");
+
+  /// Records a tombstone for the point with id `id`. The id must name a
+  /// live point at Apply time (base points are ids 0..n-1; inserted
+  /// points get the ids Apply reported).
+  WorkloadDelta& Delete(uint64_t id);
+
+  /// Requests compaction: after the delta's mutations are applied, dead
+  /// rows are dropped from the backing store and the candidate pool is
+  /// rebuilt through the sharded path. Position in the log does not
+  /// matter — compaction always runs once, after every mutation.
+  WorkloadDelta& Compact();
+
+  const std::vector<DeltaOp>& ops() const { return ops_; }
+  size_t size() const { return ops_.size(); }
+  bool empty() const { return ops_.empty(); }
+
+  /// Number of recorded kInsert / kDelete ops.
+  size_t insert_count() const { return insert_count_; }
+  size_t delete_count() const { return delete_count_; }
+
+  /// True when the log contains a kCompact request.
+  bool compact_requested() const { return compact_requested_; }
+
+ private:
+  std::vector<DeltaOp> ops_;
+  size_t insert_count_ = 0;
+  size_t delete_count_ = 0;
+  bool compact_requested_ = false;
+};
+
+}  // namespace fam
+
+#endif  // FAM_STREAM_WORKLOAD_DELTA_H_

@@ -230,6 +230,14 @@ int main(int argc, char** argv) {
            << "{\"cmd\":\"status\",\"job\":2,\"wait\":true}\n"
            << "{\"cmd\":\"status\",\"job\":1,\"wait\":true}\n"
            << "{\"cmd\":\"status\"}\n"
+           // Mutations: insert + delete bump the version epoch in place,
+           // compact drains the tombstone. Then an unknown op must list
+           // the full grown command set.
+           << "{\"cmd\":\"insert\",\"workload\":\"w1\","
+              "\"values\":\"0.95,0.9\",\"label\":\"new\"}\n"
+           << "{\"cmd\":\"delete\",\"workload\":\"w1\",\"id\":3}\n"
+           << "{\"cmd\":\"compact\",\"workload\":\"w1\"}\n"
+           << "{\"cmd\":\"frobnicate\"}\n"
            << "{\"cmd\":\"quit\"}\n";
   }
   if (RunCapture(cli + " serve < " + script_path, &out) != 0) {
@@ -240,8 +248,8 @@ int main(int argc, char** argv) {
     for (std::string line; std::getline(stream, line);) {
       if (!line.empty() && line[0] == '{') lines.push_back(line);
     }
-    if (lines.size() != 10) {
-      Fail("serve session: expected 10 response lines, got " +
+    if (lines.size() != 14) {
+      Fail("serve session: expected 14 response lines, got " +
            std::to_string(lines.size()) + ":\n" + out);
     } else {
       auto expect = [&](size_t index, const char* needle) {
@@ -268,7 +276,18 @@ int main(int argc, char** argv) {
       expect(8, "\"cancelled\":1");
       expect(8, "\"completed\":1");
       expect(8, "\"cache_hits\":1");
-      expect(9, "\"bye\":true");
+      expect(9, "\"epoch\":1");  // insert: 24 -> 25 points, new id 24
+      expect(9, "\"n\":25");
+      expect(9, "\"ids\":[24]");
+      expect(10, "\"epoch\":2");  // delete: lazy tombstone, n back to 24
+      expect(10, "\"n\":24");
+      expect(11, "\"epoch\":3");  // compact drains the tombstone
+      expect(11, "\"compacted\":true");
+      // Unknown op: the error must enumerate the grown command set.
+      expect(12, "\"ok\":false");
+      expect(12, "build_workload | solve | status | evaluate | insert | "
+                 "delete | compact | cancel | quit");
+      expect(13, "\"bye\":true");
     }
   }
 

@@ -1,0 +1,528 @@
+// StreamingWorkload: rebuild-parity property tests pinning the headline
+// invariant — after ANY mutation sequence (randomized insert/delete/
+// compact mixes and the adversarial edge cases), the incrementally
+// maintained version is bit-identical to a from-scratch WorkloadBuilder
+// rebuild of the mutated dataset on the same sampled Θ: same dataset
+// rows, same best-in-DB arrays, same candidate list, and identical
+// selections + arr for every candidate-aware solver, in every pruning
+// mode. Plus the delta validation/atomicity contract, stable-id
+// semantics, COW version independence, and the epoch-keyed fingerprint.
+
+#include "stream/streaming_workload.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/generator.h"
+#include "fam/engine.h"
+#include "fam/service.h"
+#include "stream/workload_delta.h"
+
+namespace fam {
+namespace {
+
+// Candidate-aware solvers the parity checks run (issue: >= 4).
+const char* const kSolvers[] = {"greedy-shrink", "mrr-greedy", "sky-dom",
+                                "k-hit"};
+
+Dataset MakeData(size_t n, size_t d, uint64_t seed) {
+  return GenerateSynthetic({.n = n, .d = d,
+      .distribution = SyntheticDistribution::kAntiCorrelated, .seed = seed});
+}
+
+Workload MustBuild(std::shared_ptr<const Dataset> data, size_t users,
+                   uint64_t seed, PruneOptions prune) {
+  Result<Workload> workload = WorkloadBuilder()
+                                  .WithDataset(std::move(data))
+                                  .WithNumUsers(users)
+                                  .WithSeed(seed)
+                                  .WithPruning(prune)
+                                  .Build();
+  EXPECT_TRUE(workload.ok()) << workload.status().ToString();
+  return *std::move(workload);
+}
+
+std::shared_ptr<StreamingWorkload> MustOpen(const Workload& base) {
+  Result<std::shared_ptr<StreamingWorkload>> stream =
+      StreamingWorkload::Open(base);
+  EXPECT_TRUE(stream.ok()) << stream.status().ToString();
+  return *stream;
+}
+
+ApplyResult MustApply(StreamingWorkload& stream, const WorkloadDelta& delta) {
+  Result<ApplyResult> result = stream.Apply(delta);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return *std::move(result);
+}
+
+/// The headline invariant: `version` must be bit-identical to a
+/// from-scratch rebuild of its dataset under the same (N, seed, prune) —
+/// dataset rows, best-in-DB arrays, candidate list, and every solver's
+/// selection + arr.
+void ExpectRebuildParity(const Workload& version, size_t users,
+                         uint64_t seed, PruneOptions prune,
+                         const std::string& context) {
+  SCOPED_TRACE(context);
+  Workload rebuilt =
+      MustBuild(version.shared_dataset(), users, seed, prune);
+
+  ASSERT_EQ(version.size(), rebuilt.size());
+  EXPECT_EQ(&version.dataset(), &rebuilt.dataset());
+
+  // Best-in-DB arrays: exact double equality and identical tie-breaks.
+  EXPECT_EQ(version.evaluator().best_in_db_values(),
+            rebuilt.evaluator().best_in_db_values());
+  EXPECT_EQ(version.evaluator().best_in_db_points(),
+            rebuilt.evaluator().best_in_db_points());
+
+  // Candidate list (or both unpruned).
+  const CandidateIndex* maintained = version.candidate_index();
+  const CandidateIndex* fresh = rebuilt.candidate_index();
+  ASSERT_EQ(maintained == nullptr, fresh == nullptr);
+  if (maintained != nullptr) {
+    EXPECT_EQ(maintained->resolved_mode(), fresh->resolved_mode());
+    EXPECT_EQ(maintained->candidates(), fresh->candidates());
+  }
+
+  // Every candidate-aware solver: identical selections, identical arr.
+  Engine engine;
+  const size_t k = std::min<size_t>(5, version.size());
+  for (const char* solver : kSolvers) {
+    SCOPED_TRACE(solver);
+    Result<SolveResponse> a =
+        engine.Solve(version, {.solver = solver, .k = k});
+    Result<SolveResponse> b =
+        engine.Solve(rebuilt, {.solver = solver, .k = k});
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    EXPECT_EQ(a->selection.indices, b->selection.indices);
+    EXPECT_EQ(a->distribution.average, b->distribution.average);
+  }
+}
+
+std::vector<PruneOptions> AllPruneModes() {
+  return {PruneOptions{.mode = PruneMode::kGeometric},
+          PruneOptions{.mode = PruneMode::kSampleDominance},
+          PruneOptions{.mode = PruneMode::kCoreset, .coreset_epsilon = 0.1},
+          PruneOptions{.mode = PruneMode::kOff}};
+}
+
+std::string PruneName(const PruneOptions& prune) {
+  switch (prune.mode) {
+    case PruneMode::kGeometric: return "geometric";
+    case PruneMode::kSampleDominance: return "sample-dominance";
+    case PruneMode::kCoreset: return "coreset";
+    case PruneMode::kOff: return "off";
+    default: return "auto";
+  }
+}
+
+// ------------------------------------------------- randomized sequences
+
+TEST(StreamingParityTest, RandomizedSequencesMatchRebuildInEveryMode) {
+  const size_t kUsers = 300;
+  const uint64_t kSeed = 7;
+  auto data = std::make_shared<const Dataset>(MakeData(250, 4, 11));
+  for (const PruneOptions& prune : AllPruneModes()) {
+    SCOPED_TRACE(PruneName(prune));
+    Workload base = MustBuild(data, kUsers, kSeed, prune);
+    auto stream = MustOpen(base);
+    Rng rng(0x5eed + static_cast<uint64_t>(prune.mode));
+    for (int step = 0; step < 6; ++step) {
+      // A mixed delta: a few inserts (random points in the data's range),
+      // a few deletes of random live ids, and an occasional compaction.
+      WorkloadDelta delta;
+      const size_t inserts = 1 + rng.NextUint64() % 3;
+      for (size_t i = 0; i < inserts; ++i) {
+        std::vector<double> point(4);
+        for (double& v : point) v = rng.NextDouble();
+        delta.Insert(std::move(point));
+      }
+      std::vector<uint64_t> live = stream->live_ids();
+      const size_t deletes = 1 + rng.NextUint64() % 3;
+      for (size_t i = 0; i < deletes && live.size() > 1; ++i) {
+        size_t pick = rng.NextUint64() % live.size();
+        delta.Delete(live[pick]);
+        live.erase(live.begin() + static_cast<ptrdiff_t>(pick));
+      }
+      if (step == 3) delta.Compact();
+      ApplyResult result = MustApply(*stream, delta);
+      EXPECT_EQ(result.version->mutation_epoch(),
+                static_cast<uint64_t>(step + 1));
+      ExpectRebuildParity(*result.version, kUsers, kSeed, prune,
+                          "step " + std::to_string(step));
+    }
+  }
+}
+
+// ------------------------------------------------------------ edge cases
+
+class StreamingEdgeCaseTest
+    : public ::testing::TestWithParam<PruneOptions> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, StreamingEdgeCaseTest,
+    ::testing::ValuesIn(AllPruneModes()),
+    [](const ::testing::TestParamInfo<PruneOptions>& info) {
+      std::string name = PruneName(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST_P(StreamingEdgeCaseTest, DeleteAUsersFavorite) {
+  const size_t kUsers = 200;
+  auto data = std::make_shared<const Dataset>(MakeData(150, 3, 5));
+  Workload base = MustBuild(data, kUsers, 7, GetParam());
+  auto stream = MustOpen(base);
+  // Delete the favorite of user 0 (and with it, every user bucketed on
+  // that point) — the slow best-in-DB repair path.
+  const size_t favorite = base.evaluator().best_in_db_points()[0];
+  WorkloadDelta delta;
+  delta.Delete(favorite);
+  ApplyResult result = MustApply(*stream, delta);
+  EXPECT_GE(result.stats.best_updates, 1u);
+  ExpectRebuildParity(*result.version, kUsers, 7, GetParam(),
+                      "delete favorite");
+}
+
+TEST_P(StreamingEdgeCaseTest, DeleteACandidate) {
+  const size_t kUsers = 200;
+  auto data = std::make_shared<const Dataset>(MakeData(150, 3, 6));
+  Workload base = MustBuild(data, kUsers, 7, GetParam());
+  auto stream = MustOpen(base);
+  // Delete a point on the candidate list (for kOff: just point 0) — for
+  // pruned modes this forces the rare-path pool resweep.
+  const CandidateIndex* index = base.candidate_index();
+  const size_t victim = index != nullptr ? index->candidates().front() : 0;
+  WorkloadDelta delta;
+  delta.Delete(victim);
+  ApplyResult result = MustApply(*stream, delta);
+  if (index != nullptr) {
+    EXPECT_EQ(result.stats.pool_resweeps, 1u);
+  }
+  ExpectRebuildParity(*result.version, kUsers, 7, GetParam(),
+                      "delete candidate");
+}
+
+TEST_P(StreamingEdgeCaseTest, InsertAPointDominatingTheWholePool) {
+  const size_t kUsers = 200;
+  auto data = std::make_shared<const Dataset>(MakeData(150, 3, 8));
+  Workload base = MustBuild(data, kUsers, 7, GetParam());
+  auto stream = MustOpen(base);
+  // A point strictly above every coordinate of every existing point
+  // dominates the whole pool: every user's best moves to it, and in the
+  // exact modes it evicts every survivor.
+  WorkloadDelta delta;
+  delta.Insert({2.0, 2.0, 2.0});
+  ApplyResult result = MustApply(*stream, delta);
+  EXPECT_EQ(result.stats.best_updates, kUsers);
+  const CandidateIndex* index = result.version->candidate_index();
+  if (index != nullptr && GetParam().mode != PruneMode::kCoreset) {
+    // The new point plus the forced best-in-DB points; the new point is
+    // everyone's best, so the candidate list collapses to it.
+    EXPECT_EQ(index->candidates(),
+              std::vector<size_t>{result.version->size() - 1});
+  }
+  ExpectRebuildParity(*result.version, kUsers, 7, GetParam(),
+                      "dominating insert");
+}
+
+TEST_P(StreamingEdgeCaseTest, DeleteThenReinsertSameValues) {
+  const size_t kUsers = 200;
+  auto data = std::make_shared<const Dataset>(MakeData(120, 3, 9));
+  Workload base = MustBuild(data, kUsers, 7, GetParam());
+  auto stream = MustOpen(base);
+  std::vector<double> values(3);
+  for (size_t j = 0; j < 3; ++j) values[j] = data->at(4, j);
+  WorkloadDelta del;
+  del.Delete(4);
+  MustApply(*stream, del);
+  WorkloadDelta reinsert;
+  reinsert.Insert(values);
+  ApplyResult result = MustApply(*stream, reinsert);
+  // Ids are never reused: the reinserted point gets a fresh id and lands
+  // at the end of the served order, not back at row 4.
+  ASSERT_EQ(result.inserted_ids.size(), 1u);
+  EXPECT_EQ(result.inserted_ids[0], 120u);
+  EXPECT_EQ(result.version->size(), 120u);
+  for (size_t j = 0; j < 3; ++j) {
+    EXPECT_EQ(result.version->dataset().at(119, j), values[j]);
+  }
+  ExpectRebuildParity(*result.version, kUsers, 7, GetParam(),
+                      "delete-then-reinsert");
+}
+
+TEST_P(StreamingEdgeCaseTest, DeltaEmptyingTheCatalogIsRejectedAtomically) {
+  auto data = std::make_shared<const Dataset>(MakeData(5, 3, 10));
+  Workload base = MustBuild(data, 50, 7, GetParam());
+  auto stream = MustOpen(base);
+  WorkloadDelta delta;
+  for (uint64_t id = 0; id < 5; ++id) delta.Delete(id);
+  Result<ApplyResult> result = stream->Apply(delta);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  // Nothing was applied: same epoch, same version, all points live.
+  EXPECT_EQ(stream->mutation_epoch(), base.mutation_epoch());
+  EXPECT_EQ(stream->live_points(), 5u);
+  EXPECT_EQ(stream->current()->spec_fingerprint(), base.spec_fingerprint());
+}
+
+// ------------------------------------------------- validation + atomicity
+
+TEST(StreamingValidationTest, InvalidDeltasApplyNothing) {
+  auto data = std::make_shared<const Dataset>(MakeData(50, 3, 12));
+  Workload base = MustBuild(data, 100, 7,
+                            PruneOptions{.mode = PruneMode::kGeometric});
+  auto stream = MustOpen(base);
+
+  WorkloadDelta wrong_dim;
+  wrong_dim.Insert({0.5, 0.5});  // dimension 2 into a 3-d workload
+  EXPECT_EQ(stream->Apply(wrong_dim).status().code(),
+            StatusCode::kInvalidArgument);
+
+  WorkloadDelta not_finite;
+  not_finite.Insert({0.5, std::nan(""), 0.5});
+  EXPECT_EQ(stream->Apply(not_finite).status().code(),
+            StatusCode::kInvalidArgument);
+
+  WorkloadDelta unknown_id;
+  unknown_id.Delete(999);
+  EXPECT_EQ(stream->Apply(unknown_id).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // A good insert followed by a bad delete: the insert must NOT land.
+  WorkloadDelta mixed;
+  mixed.Insert({0.1, 0.2, 0.3}).Delete(999);
+  EXPECT_EQ(stream->Apply(mixed).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Double-delete inside one delta: the second op sees a dead id.
+  WorkloadDelta twice;
+  twice.Delete(3).Delete(3);
+  EXPECT_EQ(stream->Apply(twice).status().code(),
+            StatusCode::kInvalidArgument);
+
+  WorkloadDelta empty;
+  EXPECT_EQ(stream->Apply(empty).status().code(),
+            StatusCode::kInvalidArgument);
+
+  EXPECT_EQ(stream->mutation_epoch(), 0u);
+  EXPECT_EQ(stream->live_points(), 50u);
+  EXPECT_EQ(stream->tombstone_count(), 0u);
+
+  // Delete-then-reinsert-then-delete of a *fresh* id inside one delta is
+  // valid: the simulated overlay tracks intra-delta liveness.
+  WorkloadDelta chained;
+  chained.Delete(3).Insert({0.1, 0.2, 0.3}).Delete(50);
+  Result<ApplyResult> applied = stream->Apply(chained);
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+  EXPECT_EQ(stream->live_points(), 49u);
+}
+
+TEST(StreamingValidationTest, IneligibleWorkloadsAreRejectedAtOpen) {
+  auto data = std::make_shared<const Dataset>(MakeData(40, 3, 13));
+  Result<Workload> materialized = WorkloadBuilder()
+                                      .WithDataset(data)
+                                      .WithNumUsers(50)
+                                      .WithMaterializedUtilities()
+                                      .Build();
+  ASSERT_TRUE(materialized.ok());
+  EXPECT_EQ(StreamingWorkload::Open(*materialized).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Direct utility matrices have no Θ to score inserted points with.
+  UniformLinearDistribution theta;
+  Rng rng(7);
+  Result<Workload> direct =
+      WorkloadBuilder()
+          .WithDataset(data)
+          .WithUtilityMatrix(theta.Sample(*data, 50, rng))
+          .Build();
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(StreamingWorkload::Open(*direct).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// --------------------------------------------------- COW version chain
+
+TEST(StreamingCowTest, OldVersionsAreUndisturbedByMutations) {
+  auto data = std::make_shared<const Dataset>(MakeData(120, 3, 14));
+  Workload base = MustBuild(data, 200, 7,
+                            PruneOptions{.mode = PruneMode::kGeometric});
+  auto stream = MustOpen(base);
+
+  Engine engine;
+  Result<SolveResponse> before =
+      engine.Solve(base, {.solver = "greedy-shrink", .k = 5});
+  ASSERT_TRUE(before.ok());
+
+  std::shared_ptr<const Workload> v0 = stream->current();
+  WorkloadDelta delta;
+  delta.Insert({2.0, 2.0, 2.0}).Delete(0);
+  ApplyResult result = MustApply(*stream, delta);
+
+  // The old version still answers, bit-identically to before the Apply.
+  Result<SolveResponse> after =
+      engine.Solve(*v0, {.solver = "greedy-shrink", .k = 5});
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(before->selection.indices, after->selection.indices);
+  EXPECT_EQ(before->distribution.average, after->distribution.average);
+
+  // Θ is fixed for the stream's lifetime: every version scores against a
+  // bit-identical copy of the same sampled weight matrix.
+  EXPECT_EQ(v0->evaluator().users().weights_matrix().data(),
+            result.version->evaluator().users().weights_matrix().data());
+  EXPECT_NE(v0->spec_fingerprint(), result.version->spec_fingerprint());
+}
+
+TEST(StreamingCowTest, EpochIsFoldedIntoTheFingerprint) {
+  auto data = std::make_shared<const Dataset>(MakeData(60, 3, 15));
+  Workload base = MustBuild(data, 100, 7, PruneOptions{});
+  auto stream = MustOpen(base);
+  WorkloadDelta delta;
+  delta.Insert({0.4, 0.4, 0.4});
+  ApplyResult result = MustApply(*stream, delta);
+
+  EXPECT_EQ(base.mutation_epoch(), 0u);
+  EXPECT_EQ(result.version->mutation_epoch(), 1u);
+
+  // The spec-level fingerprint reproduces the version's: same inputs +
+  // the epoch over the *mutated* dataset.
+  WorkloadSpec spec;
+  spec.dataset = result.version->shared_dataset();
+  spec.num_users = 100;
+  spec.seed = 7;
+  spec.mutation_epoch = 1;
+  EXPECT_EQ(spec.Fingerprint(), result.version->spec_fingerprint());
+  spec.mutation_epoch = 0;
+  EXPECT_NE(spec.Fingerprint(), result.version->spec_fingerprint());
+}
+
+TEST(StreamingCowTest, LabelsMaterializeWithStableIds) {
+  Matrix values(3, 2);
+  values(0, 0) = 0.9; values(0, 1) = 0.1;
+  values(1, 0) = 0.1; values(1, 1) = 0.9;
+  values(2, 0) = 0.5; values(2, 1) = 0.6;
+  auto data = std::make_shared<const Dataset>(Dataset(std::move(values)));
+  Workload base = MustBuild(data, 50, 7, PruneOptions{});
+  auto stream = MustOpen(base);
+
+  WorkloadDelta delta;
+  delta.Delete(1).Insert({0.8, 0.8}, "hero").Insert({0.2, 0.2});
+  ApplyResult result = MustApply(*stream, delta);
+  const Dataset& mutated = result.version->dataset();
+  ASSERT_EQ(mutated.size(), 4u);
+  // An unlabeled base materializes "p<id>" names the moment one insert
+  // carries a label; ids are stable, so the names survive compaction.
+  EXPECT_EQ(mutated.LabelOf(0), "p0");
+  EXPECT_EQ(mutated.LabelOf(1), "p2");
+  EXPECT_EQ(mutated.LabelOf(2), "hero");
+  EXPECT_EQ(mutated.LabelOf(3), "p4");
+
+  WorkloadDelta compact;
+  compact.Compact();
+  ApplyResult compacted = MustApply(*stream, compact);
+  EXPECT_TRUE(compacted.stats.compacted);
+  EXPECT_EQ(compacted.version->dataset().LabelOf(1), "p2");
+  EXPECT_EQ(stream->tombstone_count(), 0u);
+}
+
+// ------------------------------------------------------- service layer
+
+TEST(ServiceMutateTest, MutateRoutesVersionsAndCountsMutations) {
+  auto data = std::make_shared<const Dataset>(MakeData(80, 3, 16));
+  Service service;
+  WorkloadSpec spec;
+  spec.dataset = data;
+  spec.num_users = 100;
+  spec.seed = 7;
+  spec.prune = PruneOptions{.mode = PruneMode::kGeometric};
+  Result<std::shared_ptr<const Workload>> base =
+      service.GetOrBuildWorkload(spec);
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+
+  WorkloadDelta delta;
+  delta.Insert({0.7, 0.7, 0.7});
+  Result<ApplyResult> first = service.Mutate(**base, delta);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->version->mutation_epoch(), 1u);
+
+  // Mutating through the *old* version handle continues the same lineage
+  // (no fork): the next epoch is 2.
+  WorkloadDelta another;
+  another.Delete(first->inserted_ids[0]);
+  Result<ApplyResult> second = service.Mutate(**base, another);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(second->version->mutation_epoch(), 2u);
+
+  // And through the new version handle too.
+  WorkloadDelta third_delta;
+  third_delta.Insert({0.1, 0.1, 0.1});
+  Result<ApplyResult> third = service.Mutate(*second->version, third_delta);
+  ASSERT_TRUE(third.ok()) << third.status().ToString();
+  EXPECT_EQ(third->version->mutation_epoch(), 3u);
+
+  EXPECT_EQ(service.stats().mutations, 3u);
+
+  // COW cache replacement: the new version is retrievable by its
+  // epoch-keyed spec; the pre-mutation entry still hits.
+  WorkloadSpec v3 = spec;
+  v3.dataset = third->version->shared_dataset();
+  v3.mutation_epoch = 3;
+  const uint64_t hits_before = service.stats().workload_cache_hits;
+  Result<std::shared_ptr<const Workload>> cached =
+      service.GetOrBuildWorkload(v3);
+  ASSERT_TRUE(cached.ok());
+  EXPECT_EQ(cached->get(), third->version.get());
+  EXPECT_EQ(service.stats().workload_cache_hits, hits_before + 1);
+}
+
+TEST(ServiceMutateTest, CompactionWritesSnapshotUnderTheNewFingerprint) {
+  std::string dir = ::testing::TempDir() + "/stream_snapshots";
+  std::filesystem::create_directories(dir);
+  ServiceOptions options;
+  options.snapshot_dir = dir;
+  options.save_snapshots = true;
+  Service service(options);
+
+  auto data = std::make_shared<const Dataset>(MakeData(60, 3, 17));
+  WorkloadSpec spec;
+  spec.dataset = data;
+  spec.num_users = 100;
+  spec.seed = 7;
+  Result<std::shared_ptr<const Workload>> base =
+      service.GetOrBuildWorkload(spec);
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+  const uint64_t saves_after_build = service.stats().snapshot_saves;
+
+  WorkloadDelta delta;
+  delta.Delete(0).Compact();
+  Result<ApplyResult> result = service.Mutate(**base, delta);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_TRUE(result->stats.compacted);
+  EXPECT_EQ(service.stats().snapshot_saves, saves_after_build + 1);
+
+  // The snapshot lands under the NEW (epoch-keyed) fingerprint — the
+  // stale pre-mutation snapshot is a different file and can never be
+  // reopened for this version.
+  char name[32];
+  std::snprintf(name, sizeof(name), "%016llx.famsnap",
+                static_cast<unsigned long long>(
+                    result->version->spec_fingerprint()));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/" + name));
+  EXPECT_NE(result->version->spec_fingerprint(),
+            (*base)->spec_fingerprint());
+}
+
+}  // namespace
+}  // namespace fam

@@ -14,6 +14,11 @@
 //               artifacts as a snapshot (store/workload_snapshot.h)
 //               fam_cli save-workload --in data.csv --users 10000
 //                   --out data.famsnap
+//   mutate    — apply an insert/delete/compact delta to a workload
+//               incrementally (src/stream/) and report the apply cost
+//               fam_cli mutate --in data.csv --users 10000
+//                   [--insert "0.9,0.2;0.5,0.5"] [--delete 3,7]
+//                   [--compact] [--check] [--format json]
 //   serve     — long-lived serving session over stdin/stdout
 //               fam_cli serve [--threads 0] [--max_queue 1024] [--cache 8]
 //                   [--snapshot_dir DIR] [--save_snapshots]
@@ -48,6 +53,17 @@
 //                                    wait blocks until then)
 //   {"cmd":"evaluate","workload":"w1","set":"0,1,2"}
 //                                 -> arr/stddev of an explicit set
+//   {"cmd":"insert","workload":"w1","values":"0.9,0.2","label":"x"}
+//                                 -> append a point incrementally
+//                                    (src/stream/); the name rebinds to
+//                                    the new version, in-flight jobs keep
+//                                    their snapshot; returns the stable id
+//   {"cmd":"delete","workload":"w1","id":17}
+//                                 -> tombstone a point (base rows are ids
+//                                    0..n-1, inserts use returned ids)
+//   {"cmd":"compact","workload":"w1"}
+//                                 -> drop tombstones + rebuild the
+//                                    candidate index via the sharded path
 //   {"cmd":"cancel","job":1}      -> cancel a queued or running job
 //   {"cmd":"quit","drain":true}   -> shut down (drain or cancel) and exit
 //
@@ -113,6 +129,19 @@ Result<std::vector<size_t>> ParseIndexSet(const std::string& csv,
   }
   if (indices.empty()) return Status::InvalidArgument("empty index set");
   return indices;
+}
+
+/// Parses a comma-separated list of doubles ("0.9,0.2") — the point-values
+/// form shared by `mutate --insert` and the serve protocol (whose flat
+/// JSON objects carry no arrays).
+Result<std::vector<double>> ParseValuesList(const std::string& csv) {
+  std::vector<double> values;
+  for (const std::string& token : Split(csv, ',')) {
+    FAM_ASSIGN_OR_RETURN(double value, ParseDouble(Trim(token)));
+    values.push_back(value);
+  }
+  if (values.empty()) return Status::InvalidArgument("empty values list");
+  return values;
 }
 
 int Fail(const Status& status) {
@@ -711,6 +740,164 @@ int RunSaveWorkload(int argc, const char* const* argv) {
 }
 
 // ---------------------------------------------------------------------------
+// mutate: apply a delta incrementally and report the cost (vs rebuild).
+// ---------------------------------------------------------------------------
+
+int RunMutate(int argc, const char* const* argv) {
+  WorkloadFlags w;
+  std::string insert_spec, delete_spec, format_name = "text";
+  bool compact = false;
+  bool check = false;
+  FlagParser flags;
+  RegisterWorkloadFlags(flags, &w);
+  flags.AddString("insert", &insert_spec,
+                  "points to insert: semicolon-separated, each a "
+                  "comma-separated value list (\"0.9,0.2;0.5,0.5\")")
+      .AddString("delete", &delete_spec,
+                 "comma-separated ids to tombstone (base rows are ids "
+                 "0..n-1)")
+      .AddBool("compact", &compact,
+               "compact after the mutations (drop tombstones, rebuild the "
+               "candidate index via the sharded path)")
+      .AddBool("check", &check,
+               "cross-check the maintained version against a from-scratch "
+               "rebuild of the mutated dataset (bit-identical candidates + "
+               "best-in-DB)")
+      .AddString("format", &format_name, "output format: text | json");
+  Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n%s", parsed.ToString().c_str(),
+                 flags.Usage().c_str());
+    return 1;
+  }
+  Result<OutputFormat> output = ParseFormat(format_name);
+  if (!output.ok()) return Fail(output.status());
+  if (insert_spec.empty() && delete_spec.empty() && !compact) {
+    return Fail(Status::InvalidArgument(
+        "nothing to do: pass --insert, --delete, and/or --compact"));
+  }
+
+  Result<Workload> base = BuildWorkload(w);
+  if (!base.ok()) return Fail(base.status());
+
+  WorkloadDelta delta;
+  for (const std::string& point : Split(insert_spec, ';')) {
+    if (Trim(point).empty()) continue;
+    Result<std::vector<double>> values = ParseValuesList(point);
+    if (!values.ok()) return Fail(values.status());
+    delta.Insert(*std::move(values));
+  }
+  if (!delete_spec.empty()) {
+    for (const std::string& token : Split(delete_spec, ',')) {
+      Result<int64_t> id = ParseInt(Trim(token));
+      if (!id.ok()) return Fail(id.status());
+      if (*id < 0) {
+        return Fail(Status::InvalidArgument("--delete ids must be >= 0"));
+      }
+      delta.Delete(static_cast<uint64_t>(*id));
+    }
+  }
+  if (compact) delta.Compact();
+
+  Result<std::shared_ptr<StreamingWorkload>> stream =
+      StreamingWorkload::Open(*base);
+  if (!stream.ok()) return Fail(stream.status());
+  Result<ApplyResult> applied = (*stream)->Apply(delta);
+  if (!applied.ok()) return Fail(applied.status());
+  const Workload& version = *applied->version;
+
+  bool parity = false;
+  double rebuild_seconds = 0.0;
+  if (check) {
+    // From-scratch rebuild of the mutated dataset on the same sampled Θ
+    // (the sample depends only on N, d, and the seed): the maintained
+    // version must match it bit-identically.
+    Result<Workload> rebuilt =
+        WorkloadBuilder()
+            .WithDataset(version.shared_dataset())
+            .WithDistribution(std::make_shared<const UniformLinearDistribution>(
+                ParseDomain(w.domain).value()))
+            .WithNumUsers(static_cast<size_t>(w.users))
+            .WithSeed(static_cast<uint64_t>(w.seed))
+            .WithPruning(base->prune_options())
+            .Build();
+    if (!rebuilt.ok()) return Fail(rebuilt.status());
+    rebuild_seconds = rebuilt->preprocess_seconds();
+    const CandidateIndex* maintained = version.candidate_index();
+    const CandidateIndex* fresh = rebuilt->candidate_index();
+    parity =
+        version.evaluator().best_in_db_values() ==
+            rebuilt->evaluator().best_in_db_values() &&
+        version.evaluator().best_in_db_points() ==
+            rebuilt->evaluator().best_in_db_points() &&
+        (maintained == nullptr) == (fresh == nullptr) &&
+        (maintained == nullptr ||
+         maintained->candidates() == fresh->candidates());
+    if (!parity) {
+      return Fail(Status::Internal(
+          "parity check FAILED: the maintained version differs from the "
+          "from-scratch rebuild"));
+    }
+  }
+
+  if (*output == OutputFormat::kJson) {
+    JsonObject json;
+    json.Integer("epoch", static_cast<long long>(version.mutation_epoch()))
+        .Integer("n", static_cast<long long>(version.size()))
+        .Integer("candidates",
+                 static_cast<long long>(version.candidate_count()))
+        .Integer("inserts", static_cast<long long>(applied->stats.inserts))
+        .Integer("deletes", static_cast<long long>(applied->stats.deletes))
+        .Integer("best_updates",
+                 static_cast<long long>(applied->stats.best_updates))
+        .Integer("pool_joins",
+                 static_cast<long long>(applied->stats.pool_joins))
+        .Integer("pool_evictions",
+                 static_cast<long long>(applied->stats.pool_evictions))
+        .Integer("pool_resweeps",
+                 static_cast<long long>(applied->stats.pool_resweeps))
+        .Bool("compacted", applied->stats.compacted)
+        .Number("build_seconds", base->preprocess_seconds())
+        .Number("apply_seconds", applied->stats.seconds);
+    if (!applied->inserted_ids.empty()) {
+      std::string ids = "[";
+      for (size_t i = 0; i < applied->inserted_ids.size(); ++i) {
+        if (i > 0) ids += ",";
+        ids += std::to_string(applied->inserted_ids[i]);
+      }
+      ids += "]";
+      json.Field("ids", ids);
+    }
+    if (check) {
+      json.Bool("parity", parity).Number("rebuild_seconds", rebuild_seconds);
+    }
+    std::printf("%s\n", json.Render().c_str());
+    return 0;
+  }
+  std::printf("epoch %llu: n %zu, candidates %zu%s\n",
+              static_cast<unsigned long long>(version.mutation_epoch()),
+              version.size(), version.candidate_count(),
+              applied->stats.compacted ? " (compacted)" : "");
+  if (!applied->inserted_ids.empty()) {
+    std::printf("inserted ids:");
+    for (uint64_t id : applied->inserted_ids) {
+      std::printf(" %llu", static_cast<unsigned long long>(id));
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "apply: %.6f s (build was %.3f s); best updates %zu, pool "
+      "joins %zu, evictions %zu, resweeps %zu\n",
+      applied->stats.seconds, base->preprocess_seconds(),
+      applied->stats.best_updates, applied->stats.pool_joins,
+      applied->stats.pool_evictions, applied->stats.pool_resweeps);
+  if (check) {
+    std::printf("parity vs rebuild (%.3f s): OK\n", rebuild_seconds);
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
 // serve: newline-delimited JSON session over a fam::Service.
 // ---------------------------------------------------------------------------
 
@@ -1174,6 +1361,83 @@ Status ServeCancel(ServeSession& session, const JsonRequest& request) {
   return Status::OK();
 }
 
+/// Shared tail of the insert/delete/compact ops: apply the delta through
+/// Service::Mutate, rebind the session name to the new version (later
+/// solves on this name see the mutated catalog; already-submitted jobs
+/// keep their snapshot), and reply with the apply accounting.
+Status ServeApplyDelta(ServeSession& session, const std::string& name,
+                       const WorkloadDelta& delta) {
+  auto it = session.workloads.find(name);
+  if (it == session.workloads.end()) {
+    return Status::NotFound("no workload named \"" + name +
+                            "\" in this session (build_workload first)");
+  }
+  FAM_ASSIGN_OR_RETURN(ApplyResult result,
+                       session.service.Mutate(*it->second, delta));
+  it->second = result.version;
+  JsonObject json;
+  json.Bool("ok", true)
+      .String("workload", name)
+      .Integer("epoch",
+               static_cast<long long>(result.version->mutation_epoch()))
+      .Integer("n", static_cast<long long>(result.version->size()))
+      .Integer("candidates",
+               static_cast<long long>(result.version->candidate_count()))
+      .Number("apply_seconds", result.stats.seconds)
+      .Integer("best_updates",
+               static_cast<long long>(result.stats.best_updates))
+      .Integer("pool_joins", static_cast<long long>(result.stats.pool_joins))
+      .Integer("pool_evictions",
+               static_cast<long long>(result.stats.pool_evictions))
+      .Integer("pool_resweeps",
+               static_cast<long long>(result.stats.pool_resweeps))
+      .Bool("compacted", result.stats.compacted);
+  if (!result.inserted_ids.empty()) {
+    std::string ids = "[";
+    for (size_t i = 0; i < result.inserted_ids.size(); ++i) {
+      if (i > 0) ids += ",";
+      ids += std::to_string(result.inserted_ids[i]);
+    }
+    ids += "]";
+    json.Field("ids", ids);
+  }
+  Reply(json);
+  return Status::OK();
+}
+
+Status ServeInsert(ServeSession& session, const JsonRequest& request) {
+  FAM_ASSIGN_OR_RETURN(std::string name, request.String("workload", ""));
+  if (name.empty()) return Status::InvalidArgument("\"workload\" is required");
+  FAM_ASSIGN_OR_RETURN(std::string values_csv, request.String("values", ""));
+  if (values_csv.empty()) {
+    return Status::InvalidArgument("\"values\" is required");
+  }
+  FAM_ASSIGN_OR_RETURN(std::vector<double> values,
+                       ParseValuesList(values_csv));
+  FAM_ASSIGN_OR_RETURN(std::string label, request.String("label", ""));
+  WorkloadDelta delta;
+  delta.Insert(std::move(values), std::move(label));
+  return ServeApplyDelta(session, name, delta);
+}
+
+Status ServeDelete(ServeSession& session, const JsonRequest& request) {
+  FAM_ASSIGN_OR_RETURN(std::string name, request.String("workload", ""));
+  if (name.empty()) return Status::InvalidArgument("\"workload\" is required");
+  FAM_ASSIGN_OR_RETURN(int64_t id, request.Int("id", -1));
+  if (id < 0) return Status::InvalidArgument("\"id\" is required and >= 0");
+  WorkloadDelta delta;
+  delta.Delete(static_cast<uint64_t>(id));
+  return ServeApplyDelta(session, name, delta);
+}
+
+Status ServeCompact(ServeSession& session, const JsonRequest& request) {
+  FAM_ASSIGN_OR_RETURN(std::string name, request.String("workload", ""));
+  if (name.empty()) return Status::InvalidArgument("\"workload\" is required");
+  WorkloadDelta delta;
+  delta.Compact();
+  return ServeApplyDelta(session, name, delta);
+}
+
 int RunServe(int argc, const char* const* argv) {
   int64_t threads = 0;
   int64_t max_queue = 1024;
@@ -1245,6 +1509,12 @@ int RunServe(int argc, const char* const* argv) {
       handled = ServeStatus(session, *request);
     } else if (*cmd == "evaluate") {
       handled = ServeEvaluate(session, *request);
+    } else if (*cmd == "insert") {
+      handled = ServeInsert(session, *request);
+    } else if (*cmd == "delete") {
+      handled = ServeDelete(session, *request);
+    } else if (*cmd == "compact") {
+      handled = ServeCompact(session, *request);
     } else if (*cmd == "cancel") {
       handled = ServeCancel(session, *request);
     } else if (*cmd == "quit") {
@@ -1262,7 +1532,7 @@ int RunServe(int argc, const char* const* argv) {
       handled = Status::InvalidArgument(
           "unknown cmd \"" + *cmd +
           "\" (expected build_workload | solve | status | evaluate | "
-          "cancel | quit)");
+          "insert | delete | compact | cancel | quit)");
     }
     if (!handled.ok()) ReplyError(handled);
   }
@@ -1274,7 +1544,8 @@ int Main(int argc, const char* const* argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: fam_cli "
-                 "<generate|select|evaluate|save-workload|serve> [flags]\n"
+                 "<generate|select|evaluate|save-workload|mutate|serve> "
+                 "[flags]\n"
                  "       fam_cli --list_solvers\n");
     return 1;
   }
@@ -1290,6 +1561,7 @@ int Main(int argc, const char* const* argv) {
   if (command == "save-workload" || command == "save_workload") {
     return RunSaveWorkload(argc - 1, argv + 1);
   }
+  if (command == "mutate") return RunMutate(argc - 1, argv + 1);
   if (command == "serve") return RunServe(argc - 1, argv + 1);
   std::fprintf(stderr, "unknown command: %s\n", command.c_str());
   return 1;
