@@ -1,0 +1,253 @@
+// bench_measure: cost and parity of the regret-measure axis.
+//
+// For each dataset size N, builds one workload per measure (arr — the
+// paper's objective — plus topk:5, rank-regret, cvar:0.9) and runs the
+// generic solver pair (Greedy-Grow, Local-Search) on each, recording the
+// preprocessing cost (which includes the measure's context derivation:
+// the K-th-best scan for topk, the per-user sort for rank-regret) and
+// the per-solver query time. Two cross-checks gate the exit code:
+//
+//   * the `arr` rows must be bit-identical — selections AND objective —
+//     to a measure-less build (the refactor's pinned invariant at bench
+//     scale), and
+//   * every row's reported objective must equal SelectionObjective
+//     recomputed on the returned selection (the kernel-driven greedy and
+//     the reference evaluation path agree).
+//
+// The non-ratio measures (rank-regret, cvar) take the solvers' generic
+// objective-evaluation path — O(N) full-objective evaluations per greedy
+// round instead of the kernel's batched gains — so their rows run on a
+// capped point count (kGenericPathMaxN, recorded as "n_used" and logged,
+// never silently): the bench reports the generic path's cost shape
+// without drowning CI. Ratio-form measures (arr, topk) keep the kernel
+// and run at full N.
+//
+// Scales: N ∈ {10k, 100k} by default, 10k only with --quick (CI), plus
+// 1M with --full. Results land in BENCH_measure.json (CI uploads it as a
+// perf-trajectory artifact).
+//
+// Usage: bench_measure [--quick] [--full] [--out BENCH_measure.json]
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "regret/measure.h"
+
+namespace fam {
+namespace {
+
+constexpr size_t kUsers = 800;
+constexpr size_t kDim = 4;
+constexpr size_t kK = 10;
+constexpr size_t kGenericPathMaxN = 2'500;
+
+const char* const kSolvers[] = {"greedy-grow", "local-search"};
+
+struct SolverCell {
+  std::string name;
+  double query_seconds = 0.0;
+  double objective = 0.0;
+  bool objective_consistent = false;  // reported == SelectionObjective
+  bool matches_plain_arr = false;     // arr rows only
+};
+
+struct MeasureRow {
+  std::string spec;
+  size_t n_used = 0;  // < config n for generic-path measures (logged)
+  double build_seconds = 0.0;
+  bool kernel_clamped = false;
+  std::vector<SolverCell> solvers;
+};
+
+struct ConfigRow {
+  size_t n = 0;
+  double plain_build_seconds = 0.0;
+  std::vector<MeasureRow> measures;
+};
+
+ConfigRow RunConfig(size_t n, bool include_generic, bool& all_checks_pass) {
+  ConfigRow row;
+  row.n = n;
+  auto data = std::make_shared<const Dataset>(GenerateSynthetic(
+      {.n = n, .d = kDim,
+       .distribution = SyntheticDistribution::kAntiCorrelated, .seed = 7}));
+
+  // The measure-less reference the arr rows are cross-checked against.
+  Workload plain = bench::MustBuild(WorkloadBuilder()
+                                        .WithDataset(data)
+                                        .WithNumUsers(kUsers)
+                                        .WithSeed(9)
+                                        .Build());
+  row.plain_build_seconds = plain.preprocess_seconds();
+  Engine engine;
+  std::vector<Result<SolveResponse>> plain_out;
+  for (const char* solver : kSolvers) {
+    plain_out.push_back(engine.Solve(plain, {.solver = solver, .k = kK}));
+  }
+
+  // Generic-path rows are capped to kGenericPathMaxN, so they'd be
+  // byte-identical in every config; the driver includes them once.
+  std::vector<std::string> specs = {"arr", "topk:5"};
+  if (include_generic) {
+    specs.push_back("cvar:0.9");
+    specs.push_back("rank-regret");
+  }
+  std::shared_ptr<const Dataset> capped_data;  // built lazily, shared
+
+  for (const std::string& spec : specs) {
+    MeasureRow cell;
+    cell.spec = spec;
+    const bool ratio_form = spec == "arr" || spec.rfind("topk", 0) == 0;
+    cell.n_used = ratio_form ? n : std::min(n, kGenericPathMaxN);
+    std::shared_ptr<const Dataset> row_data = data;
+    if (cell.n_used != n) {
+      std::printf("  %s: generic objective path, running at n = %zu "
+                  "(capped from %zu)\n",
+                  spec.c_str(), cell.n_used, n);
+      if (capped_data == nullptr) {
+        capped_data = std::make_shared<const Dataset>(GenerateSynthetic(
+            {.n = cell.n_used, .d = kDim,
+             .distribution = SyntheticDistribution::kAntiCorrelated,
+             .seed = 7}));
+      }
+      row_data = capped_data;
+    }
+    Workload workload =
+        bench::MustBuild(WorkloadBuilder()
+                             .WithDataset(row_data)
+                             .WithNumUsers(kUsers)
+                             .WithSeed(9)
+                             .WithMeasure(std::string_view(spec))
+                             .Build());
+    cell.build_seconds = workload.preprocess_seconds();
+    cell.kernel_clamped = workload.kernel().clamped();
+    for (size_t i = 0; i < std::size(kSolvers); ++i) {
+      SolverCell out;
+      out.name = kSolvers[i];
+      Timer timer;
+      Result<SolveResponse> response =
+          engine.Solve(workload, {.solver = kSolvers[i], .k = kK});
+      out.query_seconds = timer.ElapsedSeconds();
+      if (!response.ok()) {
+        std::fprintf(stderr, "%s under %s failed: %s\n", kSolvers[i],
+                     spec.c_str(), response.status().ToString().c_str());
+        std::abort();
+      }
+      out.objective = response->selection.average_regret_ratio;
+      out.objective_consistent =
+          out.objective ==
+          SelectionObjective(workload.measure_context(),
+                             workload.evaluator(),
+                             response->selection.indices);
+      all_checks_pass &= out.objective_consistent;
+      if (spec == "arr") {
+        const Result<SolveResponse>& reference = plain_out[i];
+        out.matches_plain_arr =
+            reference.ok() &&
+            response->selection.indices == reference->selection.indices &&
+            out.objective == reference->selection.average_regret_ratio;
+        all_checks_pass &= out.matches_plain_arr;
+      }
+      cell.solvers.push_back(std::move(out));
+    }
+    row.measures.push_back(std::move(cell));
+  }
+  return row;
+}
+
+int Run(int argc, char** argv) {
+  const bool full = FullScaleRequested(argc, argv);
+  bool quick = false;
+  std::string out_path = "BENCH_measure.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") quick = true;
+    if (std::string(argv[i]) == "--out" && i + 1 < argc) {
+      out_path = argv[i + 1];
+    }
+  }
+
+  bench::Banner("Regret-measure axis: context cost + solve parity",
+                StrPrintf("d = %zu anti-correlated, users = %zu, k = %zu",
+                          kDim, kUsers, kK),
+                full);
+
+  std::vector<size_t> sizes = {10'000};
+  if (!quick) sizes.push_back(100'000);
+  if (full) sizes.push_back(1'000'000);
+
+  bool all_checks_pass = true;
+  std::vector<ConfigRow> rows;
+  for (size_t n : sizes) {
+    ConfigRow row = RunConfig(n, n == sizes.front(), all_checks_pass);
+    std::printf("n = %8zu: plain build %.3f s\n", row.n,
+                row.plain_build_seconds);
+    for (const MeasureRow& cell : row.measures) {
+      std::printf("  %-12s n_used %zu, build %.3f s%s\n", cell.spec.c_str(),
+                  cell.n_used, cell.build_seconds,
+                  cell.kernel_clamped ? "  [clamped kernel]" : "");
+      for (const SolverCell& s : cell.solvers) {
+        std::printf("    %-12s %.4f s  objective %.6f  consistent: %s%s\n",
+                    s.name.c_str(), s.query_seconds, s.objective,
+                    s.objective_consistent ? "yes" : "NO",
+                    cell.spec == "arr"
+                        ? (s.matches_plain_arr ? "  arr-identical: yes"
+                                               : "  arr-identical: NO")
+                        : "");
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+
+  FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\"bench\":\"measure\",\"full\":%s,\"quick\":%s,\"d\":%zu,"
+               "\"users\":%zu,\"k\":%zu,\"configs\":[",
+               full ? "true" : "false", quick ? "true" : "false", kDim,
+               kUsers, kK);
+  for (size_t c = 0; c < rows.size(); ++c) {
+    const ConfigRow& row = rows[c];
+    std::fprintf(out,
+                 "%s{\"n\":%zu,\"plain_build_seconds\":%.6f,\"measures\":[",
+                 c > 0 ? "," : "", row.n, row.plain_build_seconds);
+    for (size_t m = 0; m < row.measures.size(); ++m) {
+      const MeasureRow& cell = row.measures[m];
+      std::fprintf(out,
+                   "%s{\"measure\":\"%s\",\"n_used\":%zu,"
+                   "\"build_seconds\":%.6f,"
+                   "\"kernel_clamped\":%s,\"solvers\":[",
+                   m > 0 ? "," : "", cell.spec.c_str(), cell.n_used,
+                   cell.build_seconds,
+                   cell.kernel_clamped ? "true" : "false");
+      for (size_t i = 0; i < cell.solvers.size(); ++i) {
+        const SolverCell& s = cell.solvers[i];
+        std::fprintf(out,
+                     "%s{\"name\":\"%s\",\"query_seconds\":%.6f,"
+                     "\"objective\":%.12g,\"objective_consistent\":%s",
+                     i > 0 ? "," : "", s.name.c_str(), s.query_seconds,
+                     s.objective, s.objective_consistent ? "true" : "false");
+        if (cell.spec == "arr") {
+          std::fprintf(out, ",\"matches_plain_arr\":%s",
+                       s.matches_plain_arr ? "true" : "false");
+        }
+        std::fprintf(out, "}");
+      }
+      std::fprintf(out, "]}");
+    }
+    std::fprintf(out, "]}");
+  }
+  std::fprintf(out, "]}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return all_checks_pass ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace fam
+
+int main(int argc, char** argv) { return fam::Run(argc, argv); }

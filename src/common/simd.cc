@@ -24,6 +24,20 @@ double GainBlockScalar(const double* col, const double* best, const double* w,
   return sum;
 }
 
+// The clamped-objective twin of GainBlockScalar: satisfaction credits cap
+// at the reference denominator (min against d on both sides), so a column
+// already above the reference adds an exact +0.0.
+double GainBlockClampedScalar(const double* col, const double* best,
+                              const double* w, const double* d, size_t n,
+                              double sum) {
+  for (size_t u = 0; u < n; ++u) {
+    double improvement =
+        std::max(0.0, std::min(col[u], d[u]) - std::min(best[u], d[u]));
+    sum += w[u] * improvement / d[u];
+  }
+  return sum;
+}
+
 double ArrBlockScalar(const double* col, const double* w, const double* d,
                       size_t n, double sum) {
   for (size_t u = 0; u < n; ++u) {
@@ -94,9 +108,9 @@ bool Quant8AnyAboveScalar(const uint8_t* codes, double lo, double scale,
 }
 
 constexpr Ops kScalarOps = {
-    "scalar",        GainBlockScalar,      ArrBlockScalar,
-    SwapTermsScalar, SwapAccumulateScalar, AnyExceedsScalar,
-    Quant16AnyAboveScalar, Quant8AnyAboveScalar,
+    "scalar",        GainBlockScalar,      GainBlockClampedScalar,
+    ArrBlockScalar,  SwapTermsScalar,      SwapAccumulateScalar,
+    AnyExceedsScalar, Quant16AnyAboveScalar, Quant8AnyAboveScalar,
 };
 
 std::atomic<bool> g_force_scalar{false};

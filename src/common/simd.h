@@ -89,6 +89,17 @@ struct Ops {
                        const double* w, const double* d, size_t n,
                        double sum);
 
+  /// Reference-clamped greedy-gain accumulation (measures whose
+  /// denominator is below best-in-DB, e.g. topk:K — see
+  /// regret/measure.h): for each u ascending,
+  /// sum += w[u] · max(0, min(col[u], d[u]) − min(best[u], d[u])) / d[u].
+  /// Satisfaction above the reference earns no further credit, so gains
+  /// stay the exact per-user loss reductions of the clamped objective.
+  /// Same determinism contract as gain_block.
+  double (*gain_block_clamped)(const double* col, const double* best,
+                               const double* w, const double* d, size_t n,
+                               double sum);
+
   /// Singleton-arr accumulation over one user block, continuing `sum`:
   /// for each u ascending, sum += w[u] · clamp((d[u] − col[u]) / d[u],
   /// 0, 1). Mirrors RegretEvaluator::AverageRegretRatio({p}) bitwise

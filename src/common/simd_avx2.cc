@@ -58,6 +58,38 @@ double GainBlockAvx2(const double* col, const double* best, const double* w,
   return sum;
 }
 
+double GainBlockClampedAvx2(const double* col, const double* best,
+                            const double* w, const double* d, size_t n,
+                            double sum) {
+  const __m256d zero = _mm256_setzero_pd();
+  alignas(32) double terms[4];
+  size_t u = 0;
+  for (; u + 4 <= n; u += 4) {
+    __m256d dv = _mm256_loadu_pd(d + u);
+    // std::min(col, d) returns col on ties; vminpd returns the second
+    // operand on ties, hence min(d, col). Same for best.
+    __m256d colc = _mm256_min_pd(dv, _mm256_loadu_pd(col + u));
+    __m256d bestc = _mm256_min_pd(dv, _mm256_loadu_pd(best + u));
+    __m256d imp = _mm256_sub_pd(colc, bestc);
+    int improved =
+        _mm256_movemask_pd(_mm256_cmp_pd(imp, zero, _CMP_GT_OQ));
+    if (improved == 0) continue;
+    __m256d t =
+        _mm256_div_pd(_mm256_mul_pd(_mm256_loadu_pd(w + u), imp), dv);
+    _mm256_store_pd(terms, t);
+    if (improved & 1) sum += terms[0];
+    if (improved & 2) sum += terms[1];
+    if (improved & 4) sum += terms[2];
+    if (improved & 8) sum += terms[3];
+  }
+  for (; u < n; ++u) {
+    double improvement =
+        std::max(0.0, std::min(col[u], d[u]) - std::min(best[u], d[u]));
+    sum += w[u] * improvement / d[u];
+  }
+  return sum;
+}
+
 double ArrBlockAvx2(const double* col, const double* w, const double* d,
                     size_t n, double sum) {
   const __m256d zero = _mm256_setzero_pd();
@@ -238,9 +270,9 @@ bool Quant8AnyAboveAvx2(const uint8_t* codes, double lo, double scale,
 }
 
 constexpr Ops kAvx2Ops = {
-    "avx2",        GainBlockAvx2,      ArrBlockAvx2,
-    SwapTermsAvx2, SwapAccumulateAvx2, AnyExceedsAvx2,
-    Quant16AnyAboveAvx2, Quant8AnyAboveAvx2,
+    "avx2",        GainBlockAvx2,      GainBlockClampedAvx2,
+    ArrBlockAvx2,  SwapTermsAvx2,      SwapAccumulateAvx2,
+    AnyExceedsAvx2, Quant16AnyAboveAvx2, Quant8AnyAboveAvx2,
 };
 
 }  // namespace

@@ -108,11 +108,21 @@ Result<Selection> BranchAndBound(const RegretEvaluator& evaluator,
   if (options.k > n) return Status::InvalidArgument("k exceeds database size");
   FAM_RETURN_IF_ERROR(
       ValidateCandidateUniverse(options.candidates, evaluator));
+  const RegretMeasure* measure =
+      options.measure != nullptr ? options.measure->measure.get() : nullptr;
+  if (measure != nullptr && !measure->IsArrEquivalent() &&
+      !measure->Traits().ratio_form) {
+    return Status::InvalidArgument(
+        "Branch-And-Bound's suffix bound assumes a weighted-ratio "
+        "objective; measure \"" + measure->Spec() +
+        "\" is not ratio-form (use Brute-Force for an exact answer)");
+  }
   if (stats != nullptr) *stats = BranchAndBoundStats{};
 
   std::optional<EvalKernel> local;
   const EvalKernel& kernel =
-      ResolveKernel(options.kernel, evaluator, options.cancel, local);
+      ResolveKernel(options.kernel, evaluator, options.cancel, local,
+                    MeasureKernelReference(options.measure, evaluator));
   Search search(evaluator, kernel, options, stats);
 
   // Seed the incumbent with GREEDY-SHRINK (usually already optimal) before
@@ -122,6 +132,7 @@ Result<Selection> BranchAndBound(const RegretEvaluator& evaluator,
   // matrix below.
   GreedyShrinkOptions greedy_options;
   greedy_options.k = options.k;
+  greedy_options.measure = options.measure;
   greedy_options.candidates = options.candidates;
   greedy_options.kernel = &kernel;
   greedy_options.cancel = options.cancel;
@@ -207,7 +218,7 @@ Result<Selection> BranchAndBound(const RegretEvaluator& evaluator,
   result.indices = search.incumbent_set;
   std::sort(result.indices.begin(), result.indices.end());
   result.average_regret_ratio =
-      evaluator.AverageRegretRatio(result.indices);
+      SelectionObjective(options.measure, evaluator, result.indices);
   return result;
 }
 

@@ -22,12 +22,21 @@
 #include "regret/candidate_index.h"
 #include "regret/eval_kernel.h"
 #include "regret/evaluator.h"
+#include "regret/measure.h"
 #include "regret/selection.h"
 
 namespace fam {
 
 struct BranchAndBoundOptions {
   size_t k = 5;
+  /// Regret measure to optimize (regret/measure.h); null = arr (the
+  /// bit-identical default paths). The search runs entirely on the
+  /// kernel's weighted-ratio arrays (bound oracle, single-point ordering,
+  /// greedy seed), so ratio-form measures (topk:K) stay exact via the
+  /// kernel's measure reference — Lemma 1's monotonicity argument holds
+  /// for any fixed per-user reference. Non-ratio measures are rejected
+  /// with InvalidArgument (the suffix bound is a weighted sum).
+  const MeasureContext* measure = nullptr;
   /// Abort with FailedPrecondition after this many search nodes.
   uint64_t max_nodes = 2'000'000'000ULL;
   /// Candidate pruning index (typically the Workload's); null = branch

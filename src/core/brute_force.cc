@@ -40,7 +40,7 @@ Result<Selection> BruteForce(const RegretEvaluator& evaluator,
   std::vector<size_t> combo(k);
   std::iota(combo.begin(), combo.end(), 0);
   std::vector<size_t> best = combo;
-  double best_arr = evaluator.AverageRegretRatio(combo);
+  double best_arr = SelectionObjective(options.measure, evaluator, combo);
   uint64_t evaluated = 1;
   bool truncated = false;
 
@@ -63,7 +63,7 @@ Result<Selection> BruteForce(const RegretEvaluator& evaluator,
       truncated = true;
       break;
     }
-    double arr = evaluator.AverageRegretRatio(combo);
+    double arr = SelectionObjective(options.measure, evaluator, combo);
     ++evaluated;
     if (arr < best_arr) {
       best_arr = arr;

@@ -12,12 +12,18 @@
 #include "common/cancellation.h"
 #include "common/status.h"
 #include "regret/evaluator.h"
+#include "regret/measure.h"
 #include "regret/selection.h"
 
 namespace fam {
 
 struct BruteForceOptions {
   size_t k = 5;
+  /// Regret measure to optimize (regret/measure.h); null = arr (the
+  /// bit-identical default path). Enumeration scores every subset through
+  /// SelectionObjective, so all measures — ratio-form and not — are exact
+  /// here; Brute-Force is the oracle the measure parity tests reduce to.
+  const MeasureContext* measure = nullptr;
   /// Safety valve: fail instead of enumerating more than this many subsets.
   uint64_t max_subsets = 500'000'000ULL;
   /// Polled once per enumerated subset; on expiry the enumeration stops and

@@ -1,6 +1,7 @@
 #include "core/greedy_grow.h"
 
 #include <algorithm>
+#include <limits>
 #include <optional>
 #include <queue>
 
@@ -162,6 +163,66 @@ Result<Selection> RunNaive(const RegretEvaluator& evaluator,
   return result;
 }
 
+/// Generic-measure forward greedy (rank-regret, cvar): eager objective
+/// re-evaluation per candidate. These aggregates are not weighted sums of
+/// per-user gains, so neither the batched gain kernels nor the lazy queue
+/// apply (their gains are not supermodular — stale heap entries would not
+/// be valid upper bounds); each round scores objective(S ∪ {p}) directly.
+Result<Selection> RunGenericMeasure(const RegretEvaluator& evaluator,
+                                    const GreedyGrowOptions& options,
+                                    GreedyGrowStats* stats) {
+  const size_t n = evaluator.num_points();
+  const std::vector<size_t> pool = CandidateListOrAll(options.candidates, n);
+  const size_t num_users = evaluator.num_users();
+  const UtilityMatrix& users = evaluator.users();
+  std::vector<double> sat(num_users, 0.0);
+  std::vector<double> trial(num_users);
+  std::vector<uint8_t> in_set(n, 0);
+  std::vector<size_t> selected;
+  selected.reserve(options.k);
+  bool truncated = false;
+  while (selected.size() < options.k && !truncated) {
+    size_t best = n;
+    double best_objective = std::numeric_limits<double>::infinity();
+    for (size_t p : pool) {
+      if (in_set[p]) continue;
+      if (Expired(options)) {
+        truncated = true;
+        break;
+      }
+      for (size_t u = 0; u < num_users; ++u) {
+        trial[u] = std::max(sat[u], users.Utility(u, p));
+      }
+      if (stats != nullptr) ++stats->gain_evaluations;
+      double objective =
+          ObjectiveOfSatisfaction(*options.measure, evaluator, trial);
+      // Strict < over the ascending pool keeps ties on the smaller
+      // index — the same rule as the arr paths.
+      if (objective < best_objective) {
+        best_objective = objective;
+        best = p;
+      }
+    }
+    if (truncated) {
+      FastPad(evaluator, options.k, selected, in_set, stats);
+      break;
+    }
+    if (best == n) {  // candidate pool exhausted before k additions
+      PadWithLowestIndex(n, options.k, options.candidates, selected, in_set);
+      break;
+    }
+    in_set[best] = 1;
+    selected.push_back(best);
+    Apply(evaluator, best, sat);
+  }
+  std::sort(selected.begin(), selected.end());
+  Selection result;
+  result.average_regret_ratio =
+      SelectionObjective(options.measure, evaluator, selected);
+  result.indices = std::move(selected);
+  return result;
+}
+
 /// Kernel path: batched gains (eager: one batch per round; lazy: one
 /// seeding batch + single re-evaluations through the lazy queue) over the
 /// shared SubsetEvalState. Selections are bit-identical to RunNaive: each
@@ -174,7 +235,8 @@ Result<Selection> RunKernel(const RegretEvaluator& evaluator,
   const std::vector<size_t> pool = CandidateListOrAll(options.candidates, n);
   std::optional<EvalKernel> local;
   const EvalKernel& kernel =
-      ResolveKernel(options.kernel, evaluator, options.cancel, local);
+      ResolveKernel(options.kernel, evaluator, options.cancel, local,
+                    MeasureKernelReference(options.measure, evaluator));
   SubsetEvalState state(kernel);
 
   std::vector<size_t> candidates;
@@ -254,7 +316,8 @@ Result<Selection> RunKernel(const RegretEvaluator& evaluator,
 
   std::sort(selected.begin(), selected.end());
   Selection result;
-  result.average_regret_ratio = evaluator.AverageRegretRatio(selected);
+  result.average_regret_ratio =
+      SelectionObjective(options.measure, evaluator, selected);
   result.indices = std::move(selected);
   return result;
 }
@@ -270,6 +333,18 @@ Result<Selection> GreedyGrow(const RegretEvaluator& evaluator,
   if (options.k > n) return Status::InvalidArgument("k exceeds database size");
   FAM_RETURN_IF_ERROR(
       ValidateCandidateUniverse(options.candidates, evaluator));
+  const RegretMeasure* measure =
+      options.measure != nullptr ? options.measure->measure.get() : nullptr;
+  if (measure != nullptr && !measure->IsArrEquivalent()) {
+    if (!measure->Traits().ratio_form) {
+      return RunGenericMeasure(evaluator, options, stats);
+    }
+    if (!options.use_eval_kernel) {
+      return Status::InvalidArgument(
+          "the naive (use_eval_kernel=false) path hardcodes arr; measure "
+          "\"" + measure->Spec() + "\" needs the kernel path");
+    }
+  }
   if (options.use_eval_kernel) return RunKernel(evaluator, options, stats);
   return RunNaive(evaluator, options, stats);
 }

@@ -24,12 +24,21 @@
 #include "regret/candidate_index.h"
 #include "regret/eval_kernel.h"
 #include "regret/evaluator.h"
+#include "regret/measure.h"
 #include "regret/selection.h"
 
 namespace fam {
 
 struct GreedyGrowOptions {
   size_t k = 10;
+  /// Regret measure to optimize (regret/measure.h); null = arr (the
+  /// bit-identical default paths). Ratio-form measures (topk:K) run the
+  /// same kernel machinery over the measure reference — pass a kernel
+  /// built with the matching reference_values, or leave `kernel` null and
+  /// one is built here. Non-ratio measures (rank-regret, cvar) take the
+  /// generic objective-evaluation path (eager, no lazy queue: their gains
+  /// are not supermodular, so stale heap values are not valid bounds).
+  const MeasureContext* measure = nullptr;
   /// Candidate pruning index (typically the Workload's); null = consider
   /// all n points. When the candidate pool runs out before k additions,
   /// the selection is padded with the lowest-index pruned points.

@@ -16,6 +16,7 @@ namespace {
 /// this point currently serves", so the truncated result approximates a
 /// K-Hit selection over the remaining pool instead of an arbitrary cut.
 Selection FastFinish(const RegretEvaluator& evaluator,
+                     const MeasureContext* measure,
                      const std::vector<size_t>& candidates,
                      const std::vector<size_t>& scores, size_t k,
                      GreedyShrinkStats* stats) {
@@ -27,7 +28,8 @@ Selection FastFinish(const RegretEvaluator& evaluator,
   order.resize(k);
   std::sort(order.begin(), order.end());
   Selection selection;
-  selection.average_regret_ratio = evaluator.AverageRegretRatio(order);
+  selection.average_regret_ratio =
+      SelectionObjective(measure, evaluator, order);
   selection.indices = std::move(order);
   if (stats != nullptr) stats->truncated = true;
   return selection;
@@ -56,7 +58,8 @@ Selection RunNaive(const RegretEvaluator& evaluator,
         for (size_t u = 0; u < evaluator.num_users(); ++u) {
           ++scores[evaluator.BestPointInDb(u)];
         }
-        return FastFinish(evaluator, current, scores, k, stats);
+        return FastFinish(evaluator, options.measure, current, scores, k,
+                          stats);
       }
       candidate.clear();
       for (size_t q = 0; q < current.size(); ++q) {
@@ -98,24 +101,26 @@ void ExportCounters(const SubsetEvalState& state, GreedyShrinkStats* stats) {
 /// FastFinish over the kernel state: scores are the live bucket sizes (how
 /// many users' current best point each alive candidate is).
 Selection FastFinishState(const RegretEvaluator& evaluator,
+                          const MeasureContext* measure,
                           const SubsetEvalState& state, size_t k,
                           GreedyShrinkStats* stats) {
   ExportCounters(state, stats);
   std::vector<size_t> scores(evaluator.num_points(), 0);
   for (size_t p : state.members()) scores[p] = state.BucketSize(p);
-  return FastFinish(evaluator, state.members(), scores, k, stats);
+  return FastFinish(evaluator, measure, state.members(), scores, k, stats);
 }
 
 /// FastFinish before any state exists (setup expired): every pool point
 /// is a candidate, scored by its count of database favorites.
 Selection FastFinishBestInDb(const RegretEvaluator& evaluator,
+                             const MeasureContext* measure,
                              const CandidateIndex* index, size_t k,
                              GreedyShrinkStats* stats) {
   std::vector<size_t> scores(evaluator.num_points(), 0);
   for (size_t u = 0; u < evaluator.num_users(); ++u) {
     ++scores[evaluator.BestPointInDb(u)];
   }
-  return FastFinish(evaluator,
+  return FastFinish(evaluator, measure,
                     CandidateListOrAll(index, evaluator.num_points()),
                     scores, k, stats);
 }
@@ -135,8 +140,8 @@ std::optional<SubsetEvalState> PrepareShrinkState(
     candidates = options.candidates->candidates();
   }
   if (!state.ResetToFull(options.cancel, candidates)) {
-    *truncated_result =
-        FastFinishBestInDb(evaluator, options.candidates, options.k, stats);
+    *truncated_result = FastFinishBestInDb(
+        evaluator, options.measure, options.candidates, options.k, stats);
     return std::nullopt;
   }
   // Free phase: points that are nobody's best point can be removed at zero
@@ -149,14 +154,15 @@ std::optional<SubsetEvalState> PrepareShrinkState(
     }
   }
   if (state.size() > options.k && !state.PrepareSeconds(options.cancel)) {
-    *truncated_result =
-        FastFinishState(evaluator, state, options.k, stats);
+    *truncated_result = FastFinishState(evaluator, options.measure, state,
+                                        options.k, stats);
     return std::nullopt;
   }
   return state;
 }
 
 Selection FinishSelection(const RegretEvaluator& evaluator,
+                          const MeasureContext* measure,
                           const SubsetEvalState& state,
                           GreedyShrinkStats* stats) {
   ExportCounters(state, stats);
@@ -164,7 +170,7 @@ Selection FinishSelection(const RegretEvaluator& evaluator,
   selection.indices = state.members();
   std::sort(selection.indices.begin(), selection.indices.end());
   selection.average_regret_ratio =
-      evaluator.AverageRegretRatio(selection.indices);
+      SelectionObjective(measure, evaluator, selection.indices);
   return selection;
 }
 
@@ -189,7 +195,8 @@ Selection RunCached(const RegretEvaluator& evaluator,
     std::sort(order.begin(), order.end());
     for (size_t p : order) {
       if (Expired(options)) {
-        return FastFinishState(evaluator, *state, k, stats);
+        return FastFinishState(evaluator, options.measure, *state, k,
+                               stats);
       }
       double delta = state->RemovalDelta(p);
       if (stats != nullptr) {
@@ -207,7 +214,7 @@ Selection RunCached(const RegretEvaluator& evaluator,
     }
     state->Remove(best_point, best_delta);
   }
-  return FinishSelection(evaluator, *state, stats);
+  return FinishSelection(evaluator, options.measure, *state, stats);
 }
 
 /// Improvements 1 + 2: lazy min-heap of evaluation values; stale values are
@@ -249,7 +256,8 @@ Selection RunLazy(const RegretEvaluator& evaluator, const EvalKernel& kernel,
   if (state->size() > k) {
     for (size_t p : state->members()) {
       if (Expired(options)) {
-        return FastFinishState(evaluator, *state, k, stats);
+        return FastFinishState(evaluator, options.measure, *state, k,
+                               stats);
       }
       heap.push({state->incremental_arr() + evaluate(p), p, iteration});
       last_stamp[p] = iteration;
@@ -262,7 +270,7 @@ Selection RunLazy(const RegretEvaluator& evaluator, const EvalKernel& kernel,
 
   while (state->size() > k) {
     if (Expired(options)) {
-      return FastFinishState(evaluator, *state, k, stats);
+      return FastFinishState(evaluator, options.measure, *state, k, stats);
     }
     FAM_CHECK(!heap.empty()) << "lazy heap exhausted";
     Entry top = heap.top();
@@ -283,7 +291,7 @@ Selection RunLazy(const RegretEvaluator& evaluator, const EvalKernel& kernel,
                iteration});
     last_stamp[top.point] = iteration;
   }
-  return FinishSelection(evaluator, *state, stats);
+  return FinishSelection(evaluator, options.measure, *state, stats);
 }
 
 }  // namespace
@@ -317,6 +325,21 @@ Result<Selection> GreedyShrink(const RegretEvaluator& evaluator,
   }
   FAM_RETURN_IF_ERROR(
       ValidateCandidateUniverse(options.candidates, evaluator));
+  const RegretMeasure* measure =
+      options.measure != nullptr ? options.measure->measure.get() : nullptr;
+  if (measure != nullptr && !measure->IsArrEquivalent()) {
+    if (!measure->Traits().ratio_form) {
+      return Status::InvalidArgument(
+          "Greedy-Shrink's delta/lazy machinery assumes a weighted-ratio "
+          "objective; measure \"" + measure->Spec() +
+          "\" is not ratio-form (use Greedy-Grow or Local-Search)");
+    }
+    if (!options.use_best_point_cache) {
+      return Status::InvalidArgument(
+          "the naive (use_best_point_cache=false) path hardcodes arr; "
+          "measure \"" + measure->Spec() + "\" needs the kernel path");
+    }
+  }
   if (stats != nullptr) *stats = GreedyShrinkStats{};
   if (options.candidates != nullptr &&
       options.candidates->size() <= options.k) {
@@ -330,7 +353,7 @@ Result<Selection> GreedyShrink(const RegretEvaluator& evaluator,
                        in_set);
     std::sort(selection.indices.begin(), selection.indices.end());
     selection.average_regret_ratio =
-        evaluator.AverageRegretRatio(selection.indices);
+        SelectionObjective(options.measure, evaluator, selection.indices);
     return selection;
   }
   if (!options.use_best_point_cache) {
@@ -338,7 +361,8 @@ Result<Selection> GreedyShrink(const RegretEvaluator& evaluator,
   }
   std::optional<EvalKernel> local;
   const EvalKernel& kernel =
-      ResolveKernel(options.kernel, evaluator, options.cancel, local);
+      ResolveKernel(options.kernel, evaluator, options.cancel, local,
+                    MeasureKernelReference(options.measure, evaluator));
   if (!options.use_lazy_evaluation) {
     return RunCached(evaluator, kernel, options, stats);
   }

@@ -38,6 +38,7 @@
 #include "regret/candidate_index.h"
 #include "regret/eval_kernel.h"
 #include "regret/evaluator.h"
+#include "regret/measure.h"
 #include "regret/selection.h"
 
 namespace fam {
@@ -45,6 +46,13 @@ namespace fam {
 struct GreedyShrinkOptions {
   /// Desired solution size k (1 <= k <= n).
   size_t k = 10;
+  /// Regret measure to optimize (regret/measure.h); null = arr (the
+  /// bit-identical default paths). The shrink descent runs entirely on the
+  /// kernel's weighted-ratio arrays, so ratio-form measures (topk:K) work
+  /// via the kernel's measure reference; non-ratio measures are rejected
+  /// with InvalidArgument (the lazy lower-bound and delta machinery assume
+  /// a weighted-sum objective) — use Greedy-Grow or Local-Search there.
+  const MeasureContext* measure = nullptr;
   /// Candidate pruning index (typically the Workload's); null = start the
   /// descent from S = D. With pruning the descent starts from the
   /// candidate set instead — valid because every mode guarantees the

@@ -113,6 +113,107 @@ Result<Selection> RunNaive(const RegretEvaluator& evaluator,
   return refined;
 }
 
+/// Generic-measure path (rank-regret, cvar): the per-pass best/second
+/// refresh of RunNaive, but each candidate swap is scored by the measure's
+/// full aggregate objective — no per-user early break, because max /
+/// percentile / CVaR aggregates are not monotone prefix sums.
+Result<Selection> RunGenericMeasure(const RegretEvaluator& evaluator,
+                                    const Selection& selection,
+                                    const LocalSearchOptions& options,
+                                    LocalSearchStats* stats,
+                                    std::vector<uint8_t> in_set) {
+  const size_t n = evaluator.num_points();
+  const std::vector<size_t> pool = CandidateListOrAll(options.candidates, n);
+  const size_t num_users = evaluator.num_users();
+  const UtilityMatrix& users = evaluator.users();
+  std::vector<size_t> current = selection.indices;
+  double current_objective =
+      SelectionObjective(options.measure, evaluator, current);
+  if (stats != nullptr) stats->initial_arr = current_objective;
+
+  std::vector<double> best_value(num_users);
+  std::vector<double> second_value(num_users);
+  std::vector<size_t> best_member(num_users);
+  std::vector<double> trial(num_users);
+
+  size_t swaps = 0;
+  bool truncated = false;
+  bool improved = true;
+  while (improved && swaps < options.max_swaps && !truncated) {
+    improved = false;
+    if (options.cancel != nullptr && options.cancel->Expired()) {
+      truncated = true;
+      break;
+    }
+    if (stats != nullptr) ++stats->passes;
+
+    for (size_t u = 0; u < num_users; ++u) {
+      double first = -1.0, second = -1.0;
+      size_t arg = 0;
+      for (size_t pos = 0; pos < current.size(); ++pos) {
+        double v = users.Utility(u, current[pos]);
+        if (v > first) {
+          second = first;
+          first = v;
+          arg = pos;
+        } else if (v > second) {
+          second = v;
+        }
+      }
+      best_value[u] = std::max(0.0, first);
+      second_value[u] = std::max(0.0, second);
+      best_member[u] = arg;
+    }
+
+    double best_swap_objective = current_objective - options.min_improvement;
+    size_t best_out_pos = 0;
+    size_t best_in_point = n;
+
+    for (size_t pos = 0; pos < current.size() && !truncated; ++pos) {
+      for (size_t a : pool) {
+        if (in_set[a]) continue;
+        if (options.cancel != nullptr && options.cancel->Expired()) {
+          truncated = true;
+          break;
+        }
+        for (size_t u = 0; u < num_users; ++u) {
+          double base =
+              best_member[u] == pos ? second_value[u] : best_value[u];
+          trial[u] = std::max(base, users.Utility(u, a));
+        }
+        double objective =
+            ObjectiveOfSatisfaction(*options.measure, evaluator, trial);
+        if (objective < best_swap_objective) {
+          best_swap_objective = objective;
+          best_out_pos = pos;
+          best_in_point = a;
+        }
+      }
+    }
+
+    if (best_in_point < n) {
+      in_set[current[best_out_pos]] = 0;
+      in_set[best_in_point] = 1;
+      current[best_out_pos] = best_in_point;
+      current_objective = best_swap_objective;
+      ++swaps;
+      improved = true;
+    }
+  }
+
+  std::sort(current.begin(), current.end());
+  Selection refined;
+  refined.indices = std::move(current);
+  refined.average_regret_ratio =
+      SelectionObjective(options.measure, evaluator, refined.indices);
+  if (stats != nullptr) {
+    stats->swaps_applied = swaps;
+    stats->final_arr = refined.average_regret_ratio;
+    stats->truncated = truncated;
+  }
+  return refined;
+}
+
 /// Kernel path: per pass, each outside candidate is scored against every
 /// out-position in one blocked column stream (BatchSwapArrs), with sound
 /// block-level pruning against the pass threshold. The winning swap is the
@@ -127,11 +228,13 @@ Result<Selection> RunKernel(const RegretEvaluator& evaluator,
   const std::vector<size_t> pool = CandidateListOrAll(options.candidates, n);
   std::optional<EvalKernel> local;
   const EvalKernel& kernel =
-      ResolveKernel(options.kernel, evaluator, options.cancel, local);
+      ResolveKernel(options.kernel, evaluator, options.cancel, local,
+                    MeasureKernelReference(options.measure, evaluator));
   SubsetEvalState state(kernel);
   for (size_t p : selection.indices) state.Add(p);
 
-  double current_arr = evaluator.AverageRegretRatio(selection.indices);
+  double current_arr =
+      SelectionObjective(options.measure, evaluator, selection.indices);
   if (stats != nullptr) stats->initial_arr = current_arr;
 
   const size_t k = selection.indices.size();
@@ -191,7 +294,7 @@ Result<Selection> RunKernel(const RegretEvaluator& evaluator,
   Selection refined;
   refined.indices = std::move(current);
   refined.average_regret_ratio =
-      evaluator.AverageRegretRatio(refined.indices);
+      SelectionObjective(options.measure, evaluator, refined.indices);
   if (stats != nullptr) {
     stats->swaps_applied = swaps;
     stats->final_arr = refined.average_regret_ratio;
@@ -222,6 +325,19 @@ Result<Selection> LocalSearchRefine(const RegretEvaluator& evaluator,
     in_set[p] = 1;
   }
   if (stats != nullptr) *stats = LocalSearchStats{};
+  const RegretMeasure* measure =
+      options.measure != nullptr ? options.measure->measure.get() : nullptr;
+  if (measure != nullptr && !measure->IsArrEquivalent()) {
+    if (!measure->Traits().ratio_form) {
+      return RunGenericMeasure(evaluator, selection, options, stats,
+                               std::move(in_set));
+    }
+    if (!options.use_eval_kernel) {
+      return Status::InvalidArgument(
+          "the naive (use_eval_kernel=false) path hardcodes arr; measure "
+          "\"" + measure->Spec() + "\" needs the kernel path");
+    }
+  }
   if (options.use_eval_kernel) {
     return RunKernel(evaluator, selection, options, stats);
   }

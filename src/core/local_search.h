@@ -19,6 +19,7 @@
 #include "regret/candidate_index.h"
 #include "regret/eval_kernel.h"
 #include "regret/evaluator.h"
+#include "regret/measure.h"
 #include "regret/selection.h"
 
 namespace fam {
@@ -26,6 +27,12 @@ namespace fam {
 struct LocalSearchOptions {
   /// Stop after this many improving swaps (safety valve).
   size_t max_swaps = 1000;
+  /// Regret measure to optimize (regret/measure.h); null = arr (the
+  /// bit-identical default paths). Ratio-form measures reuse the kernel's
+  /// batched swap machinery over the measure reference; non-ratio
+  /// measures (rank-regret, cvar) take a generic swap-evaluation path
+  /// scoring each trial set's objective directly.
+  const MeasureContext* measure = nullptr;
   /// Candidate pruning index (typically the Workload's); null = consider
   /// all n points as incoming swap candidates. Outgoing points may be
   /// non-candidates (a caller-provided seed is refined as given).

@@ -76,10 +76,23 @@ void AddKernelCounters(SolveDetails* details, const EvalKernelCounters& c) {
 // All built-ins are deterministic given the evaluator's shared user sample
 // (randomness lives in workload preparation), hence randomized = false
 // throughout; see SolverTraits::randomized.
-constexpr SolverTraits kHeuristic{.exact = false, .requires_2d = false,
-                                  .baseline = false, .randomized = false};
-constexpr SolverTraits kExact{.exact = true, .requires_2d = false,
-                              .baseline = false, .randomized = false};
+// Measure tiers (SolverTraits::measures): solvers whose machinery runs on
+// the kernel's weighted-ratio arrays extend to ratio-form measures; the
+// ones with a generic objective path take every registered measure; the
+// rest hardcode arr. Baselines optimize their own objective and are only
+// comparable under arr.
+constexpr SolverTraits kRatioHeuristic{
+    .exact = false, .requires_2d = false, .baseline = false,
+    .randomized = false, .measures = MeasureSupport::kRatioForm};
+constexpr SolverTraits kAllMeasuresHeuristic{
+    .exact = false, .requires_2d = false, .baseline = false,
+    .randomized = false, .measures = MeasureSupport::kAllMeasures};
+constexpr SolverTraits kAllMeasuresExact{
+    .exact = true, .requires_2d = false, .baseline = false,
+    .randomized = false, .measures = MeasureSupport::kAllMeasures};
+constexpr SolverTraits kRatioExact{
+    .exact = true, .requires_2d = false, .baseline = false,
+    .randomized = false, .measures = MeasureSupport::kRatioForm};
 constexpr SolverTraits kExact2d{.exact = true, .requires_2d = true,
                                 .baseline = false, .randomized = false};
 constexpr SolverTraits kBaseline{.exact = false, .requires_2d = false,
@@ -138,7 +151,7 @@ void RegisterBuiltinSolvers(SolverRegistry& registry) {
       MakeSolver("Greedy-Shrink",
                  "Algorithm 1: backward greedy with best-point caching and "
                  "lazy evaluation (the paper's main algorithm)",
-                 kHeuristic,
+                 kRatioHeuristic,
                  {{"use_best_point_cache",
                    "Improvement 1: per-user best-point cache"},
                   {"use_lazy_evaluation",
@@ -147,6 +160,7 @@ void RegisterBuiltinSolvers(SolverRegistry& registry) {
                     size_t k, const SolveContext& context,
                     SolveDetails* details) -> Result<Selection> {
                    GreedyShrinkOptions options{.k = k};
+                   options.measure = context.measure;
                    options.kernel = context.kernel;
                    options.candidates = context.candidates;
                    options.cancel = context.cancel;
@@ -177,13 +191,14 @@ void RegisterBuiltinSolvers(SolverRegistry& registry) {
       MakeSolver("Greedy-Grow",
                  "forward greedy: adds the point reducing arr the most "
                  "(ablation counterpart of Greedy-Shrink)",
-                 kHeuristic,
+                 kAllMeasuresHeuristic,
                  {{"use_lazy_evaluation",
                    "lazy (upper-bound) candidate evaluation"}},
                  [](const Dataset&, const RegretEvaluator& evaluator,
                     size_t k, const SolveContext& context,
                     SolveDetails* details) -> Result<Selection> {
                    GreedyGrowOptions options{.k = k};
+                   options.measure = context.measure;
                    options.kernel = context.kernel;
                    options.candidates = context.candidates;
                    options.cancel = context.cancel;
@@ -206,7 +221,7 @@ void RegisterBuiltinSolvers(SolverRegistry& registry) {
       MakeSolver("Local-Search",
                  "1-swap local search to swap-optimality, seeded with "
                  "Greedy-Grow",
-                 kHeuristic,
+                 kAllMeasuresHeuristic,
                  {{"max_swaps", "stop after this many improving swaps"},
                   {"min_improvement",
                    "required arr improvement per swap"}},
@@ -214,6 +229,7 @@ void RegisterBuiltinSolvers(SolverRegistry& registry) {
                     size_t k, const SolveContext& context,
                     SolveDetails* details) -> Result<Selection> {
                    GreedyGrowOptions seed_options{.k = k};
+                   seed_options.measure = context.measure;
                    seed_options.kernel = context.kernel;
                    seed_options.candidates = context.candidates;
                    seed_options.cancel = context.cancel;
@@ -222,6 +238,7 @@ void RegisterBuiltinSolvers(SolverRegistry& registry) {
                        Selection seed,
                        GreedyGrow(evaluator, seed_options, &seed_stats));
                    LocalSearchOptions options;
+                   options.measure = context.measure;
                    options.kernel = context.kernel;
                    options.candidates = context.candidates;
                    options.cancel = context.cancel;
@@ -258,13 +275,14 @@ void RegisterBuiltinSolvers(SolverRegistry& registry) {
       registry,
       MakeSolver("Brute-Force",
                  "exact: enumerates all C(n, k) subsets (small n only)",
-                 kExact,
+                 kAllMeasuresExact,
                  {{"max_subsets",
                    "fail instead of enumerating more subsets than this"}},
                  [](const Dataset&, const RegretEvaluator& evaluator,
                     size_t k, const SolveContext& context,
                     SolveDetails* details) -> Result<Selection> {
                    BruteForceOptions options{.k = k};
+                   options.measure = context.measure;
                    options.cancel = context.cancel;
                    FAM_ASSIGN_OR_RETURN(
                        int64_t max_subsets,
@@ -291,13 +309,14 @@ void RegisterBuiltinSolvers(SolverRegistry& registry) {
       MakeSolver("Branch-And-Bound",
                  "exact: include/exclude search pruned by arr monotonicity "
                  "(Lemma 1), seeded with Greedy-Shrink",
-                 kExact,
+                 kRatioExact,
                  {{"max_nodes",
                    "fail instead of expanding more search nodes than this"}},
                  [](const Dataset&, const RegretEvaluator& evaluator,
                     size_t k, const SolveContext& context,
                     SolveDetails* details) -> Result<Selection> {
                    BranchAndBoundOptions options{.k = k};
+                   options.measure = context.measure;
                    options.kernel = context.kernel;
                    options.candidates = context.candidates;
                    options.cancel = context.cancel;

@@ -49,6 +49,21 @@ WorkloadBuilder& WorkloadBuilder::WithUtilityMatrix(
   return *this;
 }
 
+WorkloadBuilder& WorkloadBuilder::WithMeasure(
+    std::shared_ptr<const RegretMeasure> measure) {
+  measure_ = std::move(measure);
+  has_measure_spec_ = false;
+  measure_spec_.clear();
+  return *this;
+}
+
+WorkloadBuilder& WorkloadBuilder::WithMeasure(std::string_view spec) {
+  measure_spec_ = std::string(spec);
+  has_measure_spec_ = true;
+  measure_.reset();
+  return *this;
+}
+
 WorkloadBuilder& WorkloadBuilder::WithMaterializedUtilities(
     bool materialized) {
   materialized_ = materialized;
@@ -175,6 +190,29 @@ Result<Workload> WorkloadBuilder::Build() const {
   if (materialized_) users = users.Materialized();
   workload.evaluator_ = std::make_shared<const RegretEvaluator>(
       std::move(users), std::move(user_weights));
+  // Resolve the regret measure before the candidate build: the measure
+  // gates which pruning modes are sound, and the kernel below needs the
+  // measure's per-user reference vector.
+  std::shared_ptr<const RegretMeasure> measure = measure_;
+  if (has_measure_spec_) {
+    FAM_ASSIGN_OR_RETURN(measure, ParseMeasureSpec(measure_spec_));
+  }
+  if (measure != nullptr && measure->IsArrEquivalent() &&
+      measure->Spec() == "arr") {
+    // Plain arr is the absence of a measure: keep the bit-identical
+    // default paths (and the pre-measure fingerprint) for it.
+    measure.reset();
+  }
+  const bool measure_active =
+      measure != nullptr && !measure->IsArrEquivalent();
+  FAM_RETURN_IF_ERROR(ValidateMeasurePrune(measure.get(), prune_.mode));
+  // Geometric pruning keeps only points on the convex-hull boundary —
+  // sound exactly when regret is monotone in utility against the global
+  // best (arr, topk, cvar) but not for rank-based losses. kAuto demotes
+  // to a sound mode for measures that opt out.
+  const bool monotone_for_prune =
+      workload.monotone_utilities_ &&
+      (!measure_active || measure->Traits().geometric_sound);
   // Candidate pruning (also timed preprocessing): built before the kernel
   // so the score tile can cover candidate columns only. WithShards routes
   // the build through the coreset-merge path (sharding implies pruning:
@@ -185,7 +223,7 @@ Result<Workload> WorkloadBuilder::Build() const {
     FAM_ASSIGN_OR_RETURN(
         ShardedCandidateBuild sharded,
         BuildShardedCandidateIndex(*dataset_, *workload.evaluator_, prune_,
-                                   workload.monotone_utilities_, shards_));
+                                   monotone_for_prune, shards_));
     if (workload.prune_.mode == PruneMode::kOff) {
       workload.prune_.mode = PruneMode::kAuto;
     }
@@ -197,25 +235,38 @@ Result<Workload> WorkloadBuilder::Build() const {
     FAM_ASSIGN_OR_RETURN(
         CandidateIndex index,
         CandidateIndex::Build(*dataset_, *workload.evaluator_, prune_,
-                              workload.monotone_utilities_));
+                              monotone_for_prune));
     workload.candidate_index_ =
         std::make_shared<const CandidateIndex>(std::move(index));
   }
   // The shared evaluation kernel (score tile + branch-free per-user
   // arrays) is part of the paper's one-time preprocessing: built here,
   // inside the timed phase, and reused by every solve.
+  // Measure context: the per-user reference vector and any rank tables,
+  // derived once here (timed preprocessing) and shared by kernel, solves,
+  // and snapshots.
+  if (measure != nullptr) {
+    workload.measure_ = measure;
+    workload.measure_context_ =
+        BuildMeasureContext(measure, *workload.evaluator_);
+  }
   EvalKernelOptions kernel_options;
   kernel_options.tile = tile_mode_;
   if (page_pool_bytes_ > 0) kernel_options.page_pool_bytes = page_pool_bytes_;
   if (workload.candidate_index_ != nullptr) {
     kernel_options.tile_columns = workload.candidate_index_->candidates();
   }
+  if (workload.measure_context_ != nullptr) {
+    kernel_options.reference_values =
+        workload.measure_context_->KernelReference(*workload.evaluator_);
+  }
   workload.kernel_ = std::make_shared<const EvalKernel>(workload.evaluator_,
                                                         kernel_options);
   workload.materialized_ = materialized_;
   workload.spec_fingerprint_ = WorkloadFingerprintParts(
       dataset_->ContentHash(), workload.distribution_name_, num_users_,
-      workload.seed_, materialized_, prune_, shards_);
+      workload.seed_, materialized_, prune_, shards_, 0,
+      workload.measure_spec());
   workload.preprocess_seconds_ = timer.ElapsedSeconds();
   return workload;
 }
@@ -226,7 +277,8 @@ uint64_t WorkloadFingerprintParts(uint64_t dataset_hash,
                                   bool materialized,
                                   const PruneOptions& prune,
                                   const ShardOptions& shards,
-                                  uint64_t mutation_epoch) {
+                                  uint64_t mutation_epoch,
+                                  std::string_view measure) {
   Fnv64 h;
   h.U64(dataset_hash);
   h.String(distribution_name);
@@ -240,6 +292,9 @@ uint64_t WorkloadFingerprintParts(uint64_t dataset_hash,
   // independent of it.
   h.U64(shards.count == 0 ? shards.point_budget : 0);
   h.U64(mutation_epoch);
+  // "arr" is hashed as absence so every pre-measure fingerprint (cache
+  // keys, snapshot images) stays byte-for-byte valid.
+  if (!measure.empty() && measure != "arr") h.String(measure);
   return h.hash();
 }
 
@@ -278,6 +333,27 @@ Result<SolveResponse> Engine::SolveWithToken(
     return Status::NotFound("no registered solver named \"" +
                             request.solver + "\"");
   }
+  // Measure gating: a solver only sees a measure its machinery is sound
+  // for. Workloads with no measure (or an arr-equivalent one like topk:1)
+  // run the untouched arr paths — context.measure stays null.
+  const MeasureContext* measure_context = workload.measure_context();
+  const bool measure_active =
+      measure_context != nullptr && measure_context->measure != nullptr &&
+      !measure_context->measure->IsArrEquivalent();
+  if (measure_active) {
+    const RegretMeasure& measure = *measure_context->measure;
+    const MeasureSupport support = solver->Traits().measures;
+    if (support == MeasureSupport::kArrOnly ||
+        (support == MeasureSupport::kRatioForm &&
+         !measure.Traits().ratio_form)) {
+      return Status::InvalidArgument(
+          "solver \"" + request.solver + "\" does not support measure \"" +
+          measure.Spec() + "\"" +
+          (support == MeasureSupport::kArrOnly
+               ? " (arr only)"
+               : " (ratio-form measures only)"));
+    }
+  }
 
   SolveContext context;
   context.options = &request.options;
@@ -285,6 +361,7 @@ Result<SolveResponse> Engine::SolveWithToken(
   context.kernel = &workload.kernel();
   context.candidates = workload.candidate_index();
   context.seed = request.seed;
+  context.measure = measure_active ? measure_context : nullptr;
 
   SolveDetails details;
   Timer timer;
@@ -297,8 +374,18 @@ Result<SolveResponse> Engine::SolveWithToken(
   response.solver = std::string(solver->Name());
   response.traits = solver->Traits();
   response.selection = std::move(selection).value();
-  response.distribution =
-      workload.evaluator().Distribution(response.selection.indices);
+  response.measure = workload.measure_spec();
+  if (measure_active) {
+    response.distribution = MeasureDistribution(
+        measure_context, workload.evaluator(), response.selection.indices);
+    // The measure's aggregate is authoritative (solvers may report a
+    // truncation-time approximation); keep selection and distribution
+    // in agreement.
+    response.selection.average_regret_ratio = response.distribution.average;
+  } else {
+    response.distribution =
+        workload.evaluator().Distribution(response.selection.indices);
+  }
   response.preprocess_seconds = workload.preprocess_seconds();
   response.query_seconds = query_seconds;
   response.truncated = details.truncated;

@@ -51,6 +51,7 @@
 #include "regret/candidate_index.h"
 #include "regret/eval_kernel.h"
 #include "regret/evaluator.h"
+#include "regret/measure.h"
 #include "regret/selection.h"
 #include "regret/sharded_workload.h"
 #include "utility/distribution.h"
@@ -102,6 +103,30 @@ class Workload {
   /// The pruning configuration the workload was built with (mode kOff when
   /// none was requested; a sharded build promotes kOff to kAuto).
   const PruneOptions& prune_options() const { return prune_; }
+
+  /// The regret measure this workload optimizes (regret/measure.h); null
+  /// when built without WithMeasure — the arr default.
+  const RegretMeasure* measure() const { return measure_.get(); }
+  std::shared_ptr<const RegretMeasure> shared_measure() const {
+    return measure_;
+  }
+
+  /// The measure's derived per-workload state (reference vector / sorted
+  /// utility rows), built once at Build() time; null for the arr default.
+  /// Solves against an arr-equivalent measure (arr, topk:1) pass a null
+  /// context to the solvers so they run the unmodified arr paths.
+  const MeasureContext* measure_context() const {
+    return measure_context_.get();
+  }
+  std::shared_ptr<const MeasureContext> shared_measure_context() const {
+    return measure_context_;
+  }
+
+  /// Canonical measure spec ("arr" when none was set) — the serving and
+  /// snapshot identity form.
+  std::string measure_spec() const {
+    return measure_ != nullptr ? measure_->Spec() : "arr";
+  }
 
   /// Sharded-build diagnostics (regret/sharded_workload.h): per-shard
   /// sizes and survivor counts, merged-pool size, and the per-phase
@@ -171,6 +196,8 @@ class Workload {
   std::shared_ptr<const EvalKernel> kernel_;
   std::shared_ptr<const CandidateIndex> candidate_index_;
   std::shared_ptr<const ShardedBuildStats> shard_stats_;
+  std::shared_ptr<const RegretMeasure> measure_;
+  std::shared_ptr<const MeasureContext> measure_context_;
   PruneOptions prune_;
   bool monotone_utilities_ = false;
   bool materialized_ = false;
@@ -197,13 +224,17 @@ std::string_view TileSpecName(EvalKernelOptions::Tile mode);
 /// utility matrix). `mutation_epoch` is 0 for built workloads; streaming
 /// versions (src/stream/) carry their epoch so every version has a
 /// distinct identity.
+/// `measure` is the canonical measure spec; "arr" (the default) is hashed
+/// as the absence of a measure, so every pre-measure fingerprint — cached
+/// serving keys and stamped v1 snapshots alike — stays valid.
 uint64_t WorkloadFingerprintParts(uint64_t dataset_hash,
                                   std::string_view distribution_name,
                                   size_t num_users, uint64_t seed,
                                   bool materialized,
                                   const PruneOptions& prune,
                                   const ShardOptions& shards,
-                                  uint64_t mutation_epoch = 0);
+                                  uint64_t mutation_epoch = 0,
+                                  std::string_view measure = "arr");
 
 /// Assembles a Workload: dataset + (distribution, num_users, seed) or a
 /// direct utility matrix. Build() performs and times the preprocessing.
@@ -231,6 +262,17 @@ class WorkloadBuilder {
   /// pre-sampled matrices. Mutually exclusive with WithDistribution.
   WorkloadBuilder& WithUtilityMatrix(UtilityMatrix users,
                                      std::vector<double> weights = {});
+
+  /// The regret measure to optimize (default: arr, the paper's Eq. 1).
+  /// Build() derives the measure's per-user state, reparameterizes the
+  /// kernel for ratio-form measures, steers kAuto pruning around unsound
+  /// reductions, and rejects explicitly unsound (measure × prune)
+  /// combinations with InvalidArgument. Passing a null pointer (or the
+  /// spec "arr") restores the default.
+  WorkloadBuilder& WithMeasure(std::shared_ptr<const RegretMeasure> measure);
+  /// Spec form ("topk:3", "rank-regret:p95", ...); parse errors surface at
+  /// Build() time so the builder chain stays fluent.
+  WorkloadBuilder& WithMeasure(std::string_view spec);
 
   /// Materializes the sampled utility matrix into a dense array before
   /// building the evaluator — worth it when solvers touch every
@@ -291,6 +333,9 @@ class WorkloadBuilder {
  private:
   std::shared_ptr<const Dataset> dataset_;
   std::shared_ptr<const UtilityDistribution> distribution_;
+  std::shared_ptr<const RegretMeasure> measure_;
+  std::string measure_spec_;  // parsed at Build(); empty = measure_ as-is
+  bool has_measure_spec_ = false;
   size_t num_users_ = 10000;
   uint64_t seed_ = 7;
   bool materialized_ = false;
@@ -326,10 +371,15 @@ struct SolveResponse {
   /// Canonical solver name ("Greedy-Shrink"), as registered.
   std::string solver;
   SolverTraits traits;
-  /// The selected k points with the solver-reported arr.
+  /// Canonical spec of the measure the solve optimized ("arr" unless the
+  /// workload was built with WithMeasure).
+  std::string measure = "arr";
+  /// The selected k points; `average_regret_ratio` holds the measure's
+  /// objective (arr under the default measure).
   Selection selection;
-  /// Full regret-ratio distribution of the selection over the workload's
-  /// shared sample (average / variance / stddev / per-user ratios).
+  /// Full per-user loss distribution of the selection under the workload's
+  /// measure (average = the measure's aggregate objective; the arr
+  /// distribution under the default measure).
   RegretDistribution distribution;
   /// The workload's one-time preprocessing cost (shared across requests).
   double preprocess_seconds = 0.0;

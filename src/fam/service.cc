@@ -210,9 +210,20 @@ uint64_t WorkloadSpec::Fingerprint() const {
   } else {
     resolved_name = UniformLinearDistribution(WeightDomain::kSimplex).name();
   }
+  // Same canonicalization story for the measure: hash the parsed
+  // measure's Spec() so "TOPK:3" and "topk:3" share a slot and the key
+  // matches Workload::spec_fingerprint() (which records the canonical
+  // spec). An unparseable string hashes raw — the build rejects it with
+  // InvalidArgument before anything is cached.
+  std::string resolved_measure = "arr";
+  if (!measure.empty()) {
+    Result<std::shared_ptr<const RegretMeasure>> parsed =
+        ParseMeasureSpec(measure);
+    resolved_measure = parsed.ok() ? (*parsed)->Spec() : measure;
+  }
   return WorkloadFingerprintParts(dataset->ContentHash(), resolved_name,
                                   num_users, seed, materialized, prune,
-                                  shards, mutation_epoch);
+                                  shards, mutation_epoch, resolved_measure);
 }
 
 JobHandle::JobHandle(std::shared_ptr<internal::Job> job)
@@ -274,6 +285,7 @@ Result<std::shared_ptr<const Workload>> BuildWorkloadFromSpec(
     builder.WithTileMode(tile);
   }
   if (spec.distribution != nullptr) builder.WithDistribution(spec.distribution);
+  if (!spec.measure.empty()) builder.WithMeasure(std::string_view(spec.measure));
   FAM_ASSIGN_OR_RETURN(Workload workload, builder.Build());
   return std::make_shared<const Workload>(std::move(workload));
 }

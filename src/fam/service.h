@@ -110,6 +110,14 @@ struct WorkloadSpec {
   /// differing only here are the same serving entity — on a cache hit the
   /// resident workload keeps whatever mode it was first built with.
   std::string tile;
+  /// Regret measure spec (regret/measure.h: "arr", "topk:K",
+  /// "rank-regret[:agg]", "cvar:ALPHA"); empty = arr. Part of the
+  /// fingerprint when not arr — the measure changes the kernel reference,
+  /// the candidate gating, and every solve's objective, so e.g. a topk:3
+  /// workload must not share a cache slot (or snapshot) with the arr
+  /// workload over the same data. "arr" hashes as absence, keeping every
+  /// pre-measure fingerprint and snapshot valid.
+  std::string measure;
   /// Streaming version epoch (Workload::mutation_epoch); 0 for freshly
   /// built workloads. Part of the fingerprint, so a mutated version never
   /// reopens — or silently resaves over — a stale snapshot/cache entry of

@@ -40,9 +40,26 @@
 #include "regret/candidate_index.h"
 #include "regret/eval_kernel.h"
 #include "regret/evaluator.h"
+#include "regret/measure.h"
 #include "regret/selection.h"
 
 namespace fam {
+
+/// How far beyond the paper's arr a solver's machinery generalizes; the
+/// engine rejects a (solver, measure) pair outside the solver's tier with
+/// InvalidArgument instead of silently optimizing the wrong objective.
+enum class MeasureSupport {
+  /// Hardcodes the arr objective (DP-2D's angular sweep, the LP duals of
+  /// MRR-Greedy, the geometric baselines). arr / topk:1 only.
+  kArrOnly,
+  /// Runs entirely on the EvalKernel's weighted-ratio arrays, so any
+  /// ratio-form measure (arr, topk:K) works via the kernel's measure
+  /// reference (Greedy-Shrink, Branch-And-Bound).
+  kRatioForm,
+  /// Also has a generic objective-evaluation path for non-ratio measures
+  /// (rank-regret, cvar): Greedy-Grow, Local-Search, Brute-Force.
+  kAllMeasures,
+};
 
 /// Static properties of a registered solver, used by the CLI listing and by
 /// tests that cross-check exact methods against each other.
@@ -61,6 +78,8 @@ struct SolverTraits {
   /// randomness (Θ sampling, data generation) lives in workload
   /// preparation — so they all register with randomized = false.
   bool randomized = false;
+  /// The measure tier this solver's internals support (see MeasureSupport).
+  MeasureSupport measures = MeasureSupport::kArrOnly;
 };
 
 /// Per-request inputs threaded to a solver alongside (dataset, evaluator,
@@ -80,6 +99,12 @@ struct SolveContext {
   /// candidate loops to its list — exactness-preserving for the sampled
   /// estimator in every mode except coreset (bounded ARR error there).
   const CandidateIndex* candidates = nullptr;
+  /// The workload's measure context (regret/measure.h); null = arr (and
+  /// arr-equivalent workloads pass null too, keeping the bit-identical arr
+  /// code paths). When non-null, `kernel` was built with the measure's
+  /// reference vector, and the solver reports the measure's objective in
+  /// Selection::average_regret_ratio.
+  const MeasureContext* measure = nullptr;
   /// Seed for randomized solvers (ignored by deterministic ones).
   uint64_t seed = 0;
 

@@ -70,9 +70,19 @@ void EvalKernel::Build(const EvalKernelOptions& options) {
   gain_weights_.resize(num_users);
   safe_denoms_.resize(num_users);
   const std::vector<double>& weights = evaluator_->user_weights();
+  // A measure reference (regret/measure.h) replaces best-in-DB as the
+  // loss denominator and flips the gain kernels into clamped mode —
+  // utilities can exceed it. The empty span keeps the arr arrays (and
+  // every downstream bit) exactly as before.
+  clamped_ = !options.reference_values.empty();
+  if (clamped_) {
+    FAM_CHECK(options.reference_values.size() == num_users)
+        << "reference vector size mismatch";
+  }
   double empty_arr = 0.0;
   for (size_t u = 0; u < num_users; ++u) {
-    double denom = evaluator_->BestInDb(u);
+    double denom =
+        clamped_ ? options.reference_values[u] : evaluator_->BestInDb(u);
     bool indifferent = denom <= 0.0;
     gain_weights_[u] = indifferent ? 0.0 : weights[u];
     safe_denoms_[u] = indifferent ? 1.0 : denom;
@@ -391,6 +401,11 @@ double SubsetEvalState::GainOverColumn(const simd::Ops& ops, size_t slot,
   const double* denoms = kernel.safe_denoms().data();
   const bool screened = kernel.quant_bits() != 0 &&
                         slot != EvalKernel::kNoSlot && block_min_valid_;
+  // Clamped mode (measure reference): col > best remains necessary for a
+  // clamped improvement — min(col, d) ≤ min(best, d) otherwise — so the
+  // quantized screens' skip proofs carry over unchanged.
+  const auto gain_block =
+      kernel.clamped() ? ops.gain_block_clamped : ops.gain_block;
   double gain = 0.0;
   for (size_t begin = 0, b = 0; begin < num_users;
        begin += EvalKernel::kUserBlock, ++b) {
@@ -407,8 +422,8 @@ double SubsetEvalState::GainOverColumn(const simd::Ops& ops, size_t slot,
         }
       }
     }
-    gain = ops.gain_block(column + begin, best + begin, weights + begin,
-                          denoms + begin, len, gain);
+    gain = gain_block(column + begin, best + begin, weights + begin,
+                      denoms + begin, len, gain);
   }
   return gain;
 }
@@ -432,6 +447,8 @@ bool SubsetEvalState::BatchGains(std::span<const size_t> candidates,
   const double* best = best_value_.data();
   const double* weights = kernel.gain_weights().data();
   const double* denoms = kernel.safe_denoms().data();
+  const auto gain_block =
+      kernel.clamped() ? ops.gain_block_clamped : ops.gain_block;
   const bool screen_ready = kernel.quant_bits() != 0 && block_min_valid_;
   std::atomic<bool> expired{false};
   std::atomic<uint64_t> evaluated{0};
@@ -484,9 +501,9 @@ bool SubsetEvalState::BatchGains(std::span<const size_t> candidates,
           }
         }
         gains[outs[j]] =
-            ops.gain_block(columns[j] + ublock, best + ublock,
-                           weights + ublock, denoms + ublock, len,
-                           gains[outs[j]]);
+            gain_block(columns[j] + ublock, best + ublock,
+                       weights + ublock, denoms + ublock, len,
+                       gains[outs[j]]);
       }
     }
     evaluated.fetch_add(end - begin, std::memory_order_relaxed);
@@ -712,6 +729,22 @@ double SubsetEvalState::RemovalDelta(size_t p) {
   FAM_DCHECK(shrink_mode_);
   FAM_DCHECK(contains(p));
   ++counters_.removal_delta_evaluations;
+  if (kernel_->clamped()) {
+    // Measure-reference form: the loss delta clamps both satisfactions
+    // at the reference. gain_weights() is already zeroed for indifferent
+    // users (reference ≤ 0), the same skip as the arr branch below.
+    const double* weights = kernel_->gain_weights().data();
+    const double* denoms = kernel_->safe_denoms().data();
+    double delta = 0.0;
+    for (uint32_t u : best_buckets_[p]) {
+      if (weights[u] == 0.0) continue;
+      double d = denoms[u];
+      double second = seconds_ready_ ? second_value_[u] : RescanSecond(u);
+      delta += weights[u] *
+               (std::min(best_value_[u], d) - std::min(second, d)) / d;
+    }
+    return std::max(0.0, delta);
+  }
   const RegretEvaluator& evaluator = kernel_->evaluator();
   const std::vector<double>& weights = evaluator.user_weights();
   double delta = 0.0;

@@ -100,6 +100,14 @@ struct EvalKernelOptions {
   /// abandoned and the kernel falls back to untiled lookups, so a
   /// solver-local kernel built under a deadline stays within it.
   const CancellationToken* cancel = nullptr;
+  /// Per-user reference values replacing the evaluator's best-in-DB as
+  /// the loss denominator (ratio-form regret measures, regret/measure.h:
+  /// e.g. topk:K's K-th-best-in-D vector). Empty = best-in-DB, the
+  /// bit-identical arr path. A non-empty reference flips the kernel into
+  /// clamped-gain mode (satisfaction above the reference earns nothing;
+  /// see simd::Ops::gain_block_clamped) because utilities may exceed it.
+  /// Copied during construction (not retained); size must be N.
+  std::span<const double> reference_values = {};
 };
 
 /// Work counters for one solve's kernel usage; surfaced through
@@ -291,13 +299,20 @@ class EvalKernel {
     return evaluator_->users().Utility(user, point);
   }
 
-  /// Per-user probability, zeroed for indifferent users (best-in-DB 0), so
-  /// gain/arr accumulations are branch-free: indifferent users contribute
-  /// an exact +0.0.
+  /// Per-user probability, zeroed for indifferent users (reference ≤ 0),
+  /// so gain/arr accumulations are branch-free: indifferent users
+  /// contribute an exact +0.0.
   std::span<const double> gain_weights() const { return gain_weights_; }
 
-  /// Per-user best-in-DB value, 1.0 for indifferent users (safe divisor).
+  /// Per-user reference value (best-in-DB by default, the measure's
+  /// reference vector otherwise), 1.0 for indifferent users (safe
+  /// divisor).
   std::span<const double> safe_denoms() const { return safe_denoms_; }
+
+  /// True when the kernel runs against a custom (measure) reference and
+  /// therefore uses the clamped gain kernels — utilities may exceed the
+  /// denominator. False = the bit-identical arr configuration.
+  bool clamped() const { return clamped_; }
 
   /// arr(∅): the weighted fraction of non-indifferent users.
   double EmptySetArr() const { return empty_set_arr_; }
@@ -332,6 +347,7 @@ class EvalKernel {
   AlignedVector<double> gain_weights_;
   AlignedVector<double> safe_denoms_;
   double empty_set_arr_ = 0.0;
+  bool clamped_ = false;
   // Quantized screen (Tile::kQuant16/kQuant8): slot-major codes plus
   // per-slot affine params and per-(slot, user-block) decoded maxima.
   int quant_bits_ = 0;
@@ -492,14 +508,17 @@ class SubsetEvalState {
 /// Resolves the kernel a solver should run on: the shared (workload)
 /// kernel when one was provided, else a solver-local kernel built into
 /// `local` with the tile materialization polling `cancel` — the common
-/// fallback for direct (non-engine) solver calls.
-inline const EvalKernel& ResolveKernel(const EvalKernel* shared,
-                                       const RegretEvaluator& evaluator,
-                                       const CancellationToken* cancel,
-                                       std::optional<EvalKernel>& local) {
+/// fallback for direct (non-engine) solver calls. `reference_values`
+/// parameterizes a local build on a measure's reference vector (empty =
+/// arr); a shared kernel was already built with its workload's measure.
+inline const EvalKernel& ResolveKernel(
+    const EvalKernel* shared, const RegretEvaluator& evaluator,
+    const CancellationToken* cancel, std::optional<EvalKernel>& local,
+    std::span<const double> reference_values = {}) {
   if (shared != nullptr) return *shared;
   EvalKernelOptions options;
   options.cancel = cancel;
+  options.reference_values = reference_values;
   return local.emplace(evaluator, options);
 }
 

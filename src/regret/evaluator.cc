@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "common/stats.h"
+#include "regret/measure.h"
 
 namespace fam {
 
@@ -15,6 +17,10 @@ void RegretDistribution::PrepareSortedCache() {
 }
 
 double RegretDistribution::PercentileRr(double pct) const {
+  if (regret_ratios.empty()) {
+    // Pin the empty contract here instead of aborting in Percentile.
+    return std::numeric_limits<double>::quiet_NaN();
+  }
   if (sorted_ratios_.size() == regret_ratios.size()) {
     return PercentileSorted(sorted_ratios_, pct);
   }
@@ -24,6 +30,13 @@ double RegretDistribution::PercentileRr(double pct) const {
   std::vector<double> sorted = regret_ratios;
   std::sort(sorted.begin(), sorted.end());
   return PercentileSorted(sorted, pct);
+}
+
+double RegretDistribution::CvarRr(double alpha) const {
+  // One shared implementation with the cvar measure's aggregate
+  // (regret/measure.h): same deterministic tail order, same boundary
+  // handling. Empty → NaN, the same contract PercentileRr pins.
+  return WeightedCvar(regret_ratios, {}, alpha);
 }
 
 RegretEvaluator::RegretEvaluator(UtilityMatrix users,

@@ -36,7 +36,18 @@ struct RegretDistribution {
   /// would race). Hand-built distributions without a prepared cache fall
   /// back to sorting a local copy per call — still race-free, just
   /// slower; call PrepareSortedCache() once to avoid that.
+  /// An empty distribution returns NaN (it used to abort deep inside the
+  /// percentile helper).
   double PercentileRr(double pct) const;
+
+  /// CVaR of the regret ratios at tail level `alpha`: the mean of the
+  /// worst (1 − alpha) fraction of users, with the boundary user counted
+  /// fractionally (uniform per-user mass — the distribution does not
+  /// retain the evaluator's weights). alpha = 0 is the plain mean of the
+  /// ratios, alpha = 1 the max; an empty distribution returns NaN — the
+  /// same contract PercentileRr pins. Thread-safe on a shared const
+  /// object (reads regret_ratios only).
+  double CvarRr(double alpha) const;
 
   /// Sorts `regret_ratios` into the percentile cache now. Called by
   /// RegretEvaluator::Distribution at construction; call it again after

@@ -1,0 +1,549 @@
+#include "regret/measure.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/parallel.h"
+#include "common/stats.h"
+#include "common/string_util.h"
+
+namespace fam {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+/// Users per chunk in the measure-context scans; mirrors the evaluator's
+/// kQueryChunk determinism story (one writer per slot).
+constexpr size_t kUserChunk = 256;
+
+std::string ValidSpecsHint() {
+  return "expected arr | topk:K | rank-regret[:max|:mean|:pQQ] | cvar:ALPHA";
+}
+
+/// Ratio loss clamp((ref − sat)/ref, 0, 1) with the indifferent-user
+/// convention (ref <= 0 → 0), shared by every ratio-form evaluation path.
+double RatioLoss(double sat, double ref) {
+  if (ref <= 0.0) return 0.0;
+  return std::clamp((ref - sat) / ref, 0.0, 1.0);
+}
+
+// ---------------------------------------------------------------- arr
+
+class ArrMeasure final : public RegretMeasure {
+ public:
+  std::string_view FamilyName() const override { return "arr"; }
+  std::string Spec() const override { return "arr"; }
+  std::string_view Description() const override {
+    return "average regret ratio vs each user's best point in D (the "
+           "paper's Eq. 1; the default)";
+  }
+  MeasureKind Kind() const override { return MeasureKind::kArr; }
+  MeasureTraits Traits() const override {
+    return {.ratio_form = true,
+            .monotone = true,
+            .geometric_sound = true,
+            .sample_dominance_sound = true,
+            .coreset_sound = true};
+  }
+  bool IsArrEquivalent() const override { return true; }
+};
+
+// --------------------------------------------------------------- topk
+
+class TopKMeasure final : public RegretMeasure {
+ public:
+  explicit TopKMeasure(size_t k) : k_(k) {}
+  std::string_view FamilyName() const override { return "topk"; }
+  std::string Spec() const override {
+    return "topk:" + std::to_string(k_);
+  }
+  std::string_view Description() const override {
+    return "regret ratio vs each user's K-th best point in D (k-regret "
+           "minimizing sets; topk:1 == arr)";
+  }
+  MeasureKind Kind() const override { return MeasureKind::kTopK; }
+  MeasureTraits Traits() const override {
+    // Coreset slack is denominated in best-in-DB units; against the
+    // smaller K-th-best reference the eps bound no longer holds.
+    return {.ratio_form = true,
+            .monotone = true,
+            .geometric_sound = true,
+            .sample_dominance_sound = true,
+            .coreset_sound = k_ == 1};
+  }
+  size_t TopK() const override { return k_; }
+  /// topk:1 is arr by definition; routing it through the arr paths keeps
+  /// the equivalence structural (same kernels, same summation order),
+  /// not merely numerical.
+  bool IsArrEquivalent() const override { return k_ == 1; }
+
+ private:
+  size_t k_;
+};
+
+// -------------------------------------------------------- rank-regret
+
+enum class RankAggregate { kMax, kMean, kPercentile };
+
+class RankRegretMeasure final : public RegretMeasure {
+ public:
+  RankRegretMeasure(RankAggregate aggregate, double percentile)
+      : aggregate_(aggregate), percentile_(percentile) {}
+  std::string_view FamilyName() const override { return "rank-regret"; }
+  std::string Spec() const override {
+    switch (aggregate_) {
+      case RankAggregate::kMax:
+        return "rank-regret";
+      case RankAggregate::kMean:
+        return "rank-regret:mean";
+      case RankAggregate::kPercentile:
+        return StrPrintf("rank-regret:p%g", percentile_);
+    }
+    return "rank-regret";
+  }
+  std::string_view Description() const override {
+    return "rank of the user's best point of S within D, normalized to "
+           "(rank-1)/(n-1); aggregated max (default) / mean / pQQ";
+  }
+  MeasureKind Kind() const override { return MeasureKind::kRankRegret; }
+  MeasureTraits Traits() const override {
+    // Rank counts strictly-better points across all of D — not a ratio
+    // against a fixed reference — so neither the geometric reduction's
+    // weak-dominance tie handling nor the coreset's eps-in-arr-units
+    // slack carries a guarantee; both are gated off.
+    return {.ratio_form = false,
+            .monotone = true,
+            .geometric_sound = false,
+            .sample_dominance_sound = true,
+            .coreset_sound = false};
+  }
+
+  RankAggregate aggregate() const { return aggregate_; }
+  double percentile() const { return percentile_; }
+
+ private:
+  RankAggregate aggregate_;
+  double percentile_;
+};
+
+// --------------------------------------------------------------- cvar
+
+class CvarMeasure final : public RegretMeasure {
+ public:
+  explicit CvarMeasure(double alpha) : alpha_(alpha) {}
+  std::string_view FamilyName() const override { return "cvar"; }
+  std::string Spec() const override {
+    return StrPrintf("cvar:%g", alpha_);
+  }
+  std::string_view Description() const override {
+    return "CVaR_ALPHA of the arr loss: weighted mean of the worst "
+           "(1-ALPHA) tail (ALPHA->1 approaches max regret)";
+  }
+  MeasureKind Kind() const override { return MeasureKind::kCvar; }
+  MeasureTraits Traits() const override {
+    // Per-user losses are arr's; a coreset counterpart moves every loss
+    // by <= eps, and CVaR (a weighted mean of a subset of losses) moves
+    // by <= eps with it — the guarantee survives.
+    return {.ratio_form = false,
+            .monotone = true,
+            .geometric_sound = true,
+            .sample_dominance_sound = true,
+            .coreset_sound = true};
+  }
+
+  double alpha() const { return alpha_; }
+
+ private:
+  double alpha_;
+};
+
+std::string NormalizeKey(std::string_view text) {
+  std::string key;
+  for (char c : text) {
+    if (c == '-' || c == '_' || c == ' ') continue;
+    key += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return key;
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const RegretMeasure>> ParseMeasureSpec(
+    std::string_view spec) {
+  std::string text(Trim(spec));
+  std::string param;
+  size_t colon = text.find(':');
+  if (colon != std::string::npos) {
+    param = text.substr(colon + 1);
+    text = text.substr(0, colon);
+  }
+  // Case- and separator-insensitive family name, like solver lookup.
+  const std::string key = NormalizeKey(text);
+  if (key.empty() || key == "arr") {
+    if (!param.empty()) {
+      return Status::InvalidArgument("arr takes no parameter (got \"" +
+                                     std::string(spec) + "\")");
+    }
+    return std::shared_ptr<const RegretMeasure>(
+        std::make_shared<ArrMeasure>());
+  }
+  if (key == "topk") {
+    if (param.empty()) {
+      return Status::InvalidArgument(
+          "topk needs a depth, e.g. \"topk:3\"");
+    }
+    FAM_ASSIGN_OR_RETURN(int64_t k, ParseInt(param));
+    if (k < 1) {
+      return Status::InvalidArgument("topk depth must be >= 1, got \"" +
+                                     param + "\"");
+    }
+    return std::shared_ptr<const RegretMeasure>(
+        std::make_shared<TopKMeasure>(static_cast<size_t>(k)));
+  }
+  if (key == "rankregret" || key == "rank") {
+    RankAggregate aggregate = RankAggregate::kMax;
+    double percentile = 0.0;
+    const std::string agg_key = NormalizeKey(param);
+    if (agg_key.empty() || agg_key == "max") {
+      aggregate = RankAggregate::kMax;
+    } else if (agg_key == "mean" || agg_key == "avg") {
+      aggregate = RankAggregate::kMean;
+    } else if (agg_key.size() > 1 && agg_key[0] == 'p') {
+      FAM_ASSIGN_OR_RETURN(percentile, ParseDouble(agg_key.substr(1)));
+      if (!(percentile >= 0.0 && percentile <= 100.0)) {
+        return Status::InvalidArgument(
+            "rank-regret percentile must be in [0, 100], got \"" + param +
+            "\"");
+      }
+      aggregate = RankAggregate::kPercentile;
+    } else {
+      return Status::InvalidArgument(
+          "unknown rank-regret aggregate \"" + param +
+          "\" (expected max | mean | pQQ)");
+    }
+    return std::shared_ptr<const RegretMeasure>(
+        std::make_shared<RankRegretMeasure>(aggregate, percentile));
+  }
+  if (key == "cvar") {
+    if (param.empty()) {
+      return Status::InvalidArgument(
+          "cvar needs a tail level, e.g. \"cvar:0.9\"");
+    }
+    FAM_ASSIGN_OR_RETURN(double alpha, ParseDouble(param));
+    if (!(alpha >= 0.0 && alpha <= 1.0)) {
+      return Status::InvalidArgument(
+          "cvar alpha must be in [0, 1], got \"" + param + "\"");
+    }
+    return std::shared_ptr<const RegretMeasure>(
+        std::make_shared<CvarMeasure>(alpha));
+  }
+  return Status::InvalidArgument("unknown measure \"" + std::string(spec) +
+                                 "\" (" + ValidSpecsHint() + ")");
+}
+
+std::vector<MeasureListing> ListMeasures() {
+  std::vector<MeasureListing> listings;
+  listings.push_back({"arr", std::string(ArrMeasure().Description()),
+                      ArrMeasure().Traits()});
+  listings.push_back({"topk:K", std::string(TopKMeasure(2).Description()),
+                      TopKMeasure(2).Traits()});
+  listings.push_back(
+      {"rank-regret[:max|:mean|:pQQ]",
+       std::string(
+           RankRegretMeasure(RankAggregate::kMax, 0.0).Description()),
+       RankRegretMeasure(RankAggregate::kMax, 0.0).Traits()});
+  listings.push_back({"cvar:ALPHA",
+                      std::string(CvarMeasure(0.9).Description()),
+                      CvarMeasure(0.9).Traits()});
+  return listings;
+}
+
+std::span<const double> MeasureContext::KernelReference(
+    const RegretEvaluator& evaluator) const {
+  (void)evaluator;
+  if (measure == nullptr || measure->IsArrEquivalent()) return {};
+  if (!measure->Traits().ratio_form) return {};
+  return reference;
+}
+
+double MeasureContext::RankLoss(size_t user, double sat) const {
+  FAM_DCHECK(!sorted_utilities.empty());
+  const double* begin = sorted_utilities.data() + user * num_points;
+  const double* end = begin + num_points;
+  // rank = 1 + #{p : f_u(p) > sat}; the sorted column makes that one
+  // upper_bound. n == 1 normalizes to 0 (the only point is rank 1).
+  const size_t above =
+      static_cast<size_t>(end - std::upper_bound(begin, end, sat));
+  if (num_points <= 1) return 0.0;
+  return static_cast<double>(above) / static_cast<double>(num_points - 1);
+}
+
+std::vector<double> KthBestValues(const RegretEvaluator& evaluator,
+                                  size_t k) {
+  const size_t num_users = evaluator.num_users();
+  const size_t num_points = evaluator.num_points();
+  FAM_CHECK(k >= 1);
+  std::vector<double> kth(num_users, 0.0);
+  const size_t depth = std::min(k, num_points);
+  const size_t num_chunks = (num_users + kUserChunk - 1) / kUserChunk;
+  // Each user's slot is written by exactly one chunk: deterministic.
+  ParallelForEach(num_chunks, 0, [&](size_t c) {
+    std::vector<double> column(num_points);
+    std::vector<double> top(depth);
+    const size_t begin = c * kUserChunk;
+    const size_t end = std::min(num_users, (c + 1) * kUserChunk);
+    for (size_t u = begin; u < end; ++u) {
+      for (size_t p = 0; p < num_points; ++p) {
+        column[p] = evaluator.users().Utility(u, p);
+      }
+      std::partial_sort_copy(column.begin(), column.end(), top.begin(),
+                             top.end(), std::greater<double>());
+      kth[u] = top[depth - 1];
+    }
+  });
+  return kth;
+}
+
+std::shared_ptr<const MeasureContext> BuildMeasureContext(
+    std::shared_ptr<const RegretMeasure> measure,
+    const RegretEvaluator& evaluator) {
+  if (measure == nullptr) return nullptr;
+  auto context = std::make_shared<MeasureContext>();
+  context->measure = measure;
+  context->num_points = evaluator.num_points();
+  if (measure->IsArrEquivalent()) return context;
+  if (measure->Kind() == MeasureKind::kTopK) {
+    context->reference = KthBestValues(evaluator, measure->TopK());
+  } else if (measure->Kind() == MeasureKind::kRankRegret) {
+    const size_t num_users = evaluator.num_users();
+    const size_t num_points = evaluator.num_points();
+    context->sorted_utilities.resize(num_users * num_points);
+    const size_t num_chunks = (num_users + kUserChunk - 1) / kUserChunk;
+    std::vector<double>& sorted = context->sorted_utilities;
+    ParallelForEach(num_chunks, 0, [&](size_t c) {
+      const size_t begin = c * kUserChunk;
+      const size_t end = std::min(num_users, (c + 1) * kUserChunk);
+      for (size_t u = begin; u < end; ++u) {
+        double* row = sorted.data() + u * num_points;
+        for (size_t p = 0; p < num_points; ++p) {
+          row[p] = evaluator.users().Utility(u, p);
+        }
+        std::sort(row, row + num_points);
+      }
+    });
+  }
+  return context;
+}
+
+std::span<const double> MeasureKernelReference(
+    const MeasureContext* context, const RegretEvaluator& evaluator) {
+  if (context == nullptr) return {};
+  return context->KernelReference(evaluator);
+}
+
+double WeightedCvar(std::span<const double> losses,
+                    std::span<const double> weights, double alpha) {
+  const size_t n = losses.size();
+  if (n == 0) return kNan;
+  FAM_CHECK(weights.empty() || weights.size() == n);
+  auto weight_of = [&](size_t i) {
+    return weights.empty() ? 1.0 : weights[i];
+  };
+  // Descending by loss, ascending index on ties: one deterministic order
+  // shared by every caller (the cvar measure aggregate and
+  // RegretDistribution::CvarRr), independent of thread count.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (losses[a] != losses[b]) return losses[a] > losses[b];
+    return a < b;
+  });
+  double total_weight = 0.0;
+  for (size_t i = 0; i < n; ++i) total_weight += weight_of(i);
+  if (!(total_weight > 0.0)) return kNan;
+  if (alpha >= 1.0) return losses[order[0]];  // the max-loss limit
+  const double tail_mass = (1.0 - alpha) * total_weight;
+  double covered = 0.0;
+  double sum = 0.0;
+  for (size_t i : order) {
+    const double w = weight_of(i);
+    const double take = std::min(w, tail_mass - covered);
+    if (take <= 0.0) break;
+    sum += take * losses[i];
+    covered += take;
+    if (covered >= tail_mass) break;
+  }
+  return sum / tail_mass;
+}
+
+double ObjectiveOfSatisfaction(const MeasureContext& context,
+                               const RegretEvaluator& evaluator,
+                               std::span<const double> satisfaction) {
+  const RegretMeasure& measure = *context.measure;
+  const size_t num_users = evaluator.num_users();
+  FAM_DCHECK(satisfaction.size() == num_users);
+  const std::vector<double>& weights = evaluator.user_weights();
+  switch (measure.Kind()) {
+    case MeasureKind::kArr:
+    case MeasureKind::kTopK: {
+      // The branch-free ascending loop of EvalKernel::ArrOfSatisfaction
+      // over the measure reference: w_u = 0 and d = 1 for indifferent
+      // users, so they contribute an exact +0.0.
+      std::span<const double> reference =
+          context.ReferenceValues(evaluator);
+      double objective = 0.0;
+      for (size_t u = 0; u < num_users; ++u) {
+        const bool indifferent = reference[u] <= 0.0;
+        const double w = indifferent ? 0.0 : weights[u];
+        const double d = indifferent ? 1.0 : reference[u];
+        objective += w * (d - std::min(satisfaction[u], d)) / d;
+      }
+      return objective;
+    }
+    case MeasureKind::kRankRegret: {
+      const auto& rank =
+          static_cast<const RankRegretMeasure&>(measure);
+      std::vector<double> losses(num_users);
+      for (size_t u = 0; u < num_users; ++u) {
+        losses[u] = context.RankLoss(u, satisfaction[u]);
+      }
+      switch (rank.aggregate()) {
+        case RankAggregate::kMax:
+          return *std::max_element(losses.begin(), losses.end());
+        case RankAggregate::kMean: {
+          double mean = 0.0;
+          for (size_t u = 0; u < num_users; ++u) {
+            mean += weights[u] * losses[u];
+          }
+          return mean;
+        }
+        case RankAggregate::kPercentile: {
+          std::sort(losses.begin(), losses.end());
+          return PercentileSorted(losses, rank.percentile());
+        }
+      }
+      return kNan;
+    }
+    case MeasureKind::kCvar: {
+      const auto& cvar = static_cast<const CvarMeasure&>(measure);
+      std::vector<double> losses(num_users);
+      const std::vector<double>& best = evaluator.best_in_db_values();
+      for (size_t u = 0; u < num_users; ++u) {
+        losses[u] = RatioLoss(satisfaction[u], best[u]);
+      }
+      return WeightedCvar(losses, weights, cvar.alpha());
+    }
+  }
+  return kNan;
+}
+
+double SelectionObjective(const MeasureContext* context,
+                          const RegretEvaluator& evaluator,
+                          std::span<const size_t> subset) {
+  if (context == nullptr || context->measure == nullptr ||
+      context->measure->IsArrEquivalent()) {
+    return evaluator.AverageRegretRatio(subset);
+  }
+  const size_t num_users = evaluator.num_users();
+  // Satisfaction follows the kernel-state convention max(0, best utility):
+  // SubsetEvalState's best values start at 0, so the clamp keeps this path
+  // consistent with kernel-fed evaluations on all-negative utility rows.
+  std::vector<double> satisfaction(num_users);
+  for (size_t u = 0; u < num_users; ++u) {
+    satisfaction[u] =
+        std::max(0.0, evaluator.users().BestUtilityIn(u, subset));
+  }
+  return ObjectiveOfSatisfaction(*context, evaluator, satisfaction);
+}
+
+RegretDistribution MeasureDistribution(const MeasureContext* context,
+                                       const RegretEvaluator& evaluator,
+                                       std::span<const size_t> subset) {
+  if (context == nullptr || context->measure == nullptr ||
+      context->measure->IsArrEquivalent()) {
+    return evaluator.Distribution(subset);
+  }
+  const size_t num_users = evaluator.num_users();
+  const std::vector<double>& weights = evaluator.user_weights();
+  std::vector<double> satisfaction(num_users);
+  for (size_t u = 0; u < num_users; ++u) {
+    satisfaction[u] =
+        std::max(0.0, evaluator.users().BestUtilityIn(u, subset));
+  }
+  RegretDistribution dist;
+  dist.regret_ratios.resize(num_users);
+  const RegretMeasure& measure = *context->measure;
+  if (measure.Kind() == MeasureKind::kRankRegret) {
+    for (size_t u = 0; u < num_users; ++u) {
+      dist.regret_ratios[u] = context->RankLoss(u, satisfaction[u]);
+    }
+  } else {
+    std::span<const double> reference =
+        context->ReferenceValues(evaluator);
+    for (size_t u = 0; u < num_users; ++u) {
+      dist.regret_ratios[u] = RatioLoss(satisfaction[u], reference[u]);
+    }
+  }
+  // `average` is the measure's aggregate objective; the second moment is
+  // of the per-user losses around their weighted mean (the percentile
+  // plots and stddev reporting generalize unchanged).
+  dist.average = ObjectiveOfSatisfaction(*context, evaluator, satisfaction);
+  double mean = 0.0;
+  for (size_t u = 0; u < num_users; ++u) {
+    mean += weights[u] * dist.regret_ratios[u];
+  }
+  double var = 0.0;
+  for (size_t u = 0; u < num_users; ++u) {
+    const double d = dist.regret_ratios[u] - mean;
+    var += weights[u] * d * d;
+  }
+  dist.variance = var;
+  dist.stddev = std::sqrt(var);
+  dist.PrepareSortedCache();
+  return dist;
+}
+
+Status ValidateMeasurePrune(const RegretMeasure* measure, PruneMode mode) {
+  if (measure == nullptr || measure->IsArrEquivalent()) return Status::OK();
+  if (mode == PruneMode::kOff || mode == PruneMode::kAuto) {
+    return Status::OK();
+  }
+  const MeasureTraits traits = measure->Traits();
+  auto reject = [&](std::string_view why) {
+    return Status::InvalidArgument(
+        std::string(PruneModeName(mode)) + " pruning is unsound under "
+        "measure \"" + measure->Spec() + "\": " + std::string(why) +
+        " (use prune=off, auto, or a sound mode)");
+  };
+  switch (mode) {
+    case PruneMode::kGeometric:
+      if (!traits.geometric_sound) {
+        return reject(
+            "the measure's objective is not preserved by attribute-space "
+            "dominance");
+      }
+      break;
+    case PruneMode::kSampleDominance:
+      if (!traits.sample_dominance_sound) {
+        return reject("sampled column dominance does not preserve it");
+      }
+      break;
+    case PruneMode::kCoreset:
+      if (!traits.coreset_sound) {
+        return reject(
+            "the eps error budget is denominated in arr units, which do "
+            "not bound this measure");
+      }
+      break;
+    default:
+      break;
+  }
+  return Status::OK();
+}
+
+}  // namespace fam

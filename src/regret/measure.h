@@ -1,0 +1,230 @@
+// RegretMeasure: the regret measure as a first-class workload axis.
+//
+// The paper fixes one objective — the average regret ratio against each
+// user's single best point in D (Eq. 1) — but the machinery built around
+// it (the evaluation kernel's branch-free per-user arrays, candidate
+// pruning, the solver suite, snapshots, serving) only ever consumes two
+// per-user quantities: a reference value ("how good can this user do?")
+// and the user's satisfaction over S. This module makes that seam
+// explicit. A RegretMeasure names the objective, supplies its per-user
+// loss and aggregate reduction, and declares the soundness traits the
+// pruning and solver layers gate on. Four built-ins:
+//
+//   * `arr` — the paper's measure, the default. Reference = best-in-DB.
+//     Bit-identical to the pre-measure code path (the refactor's pinned
+//     invariant): an arr workload runs the exact same kernels on the
+//     exact same arrays.
+//   * `topk:K` — k-regret-minimizing-set regret (Chester et al.; Agarwal
+//     et al.): reference = the user's K-th best utility in D, loss =
+//     clamp((ref − sat)/ref, 0, 1). A set matching every user's K-th
+//     best has zero regret. `topk:1` is definitionally arr and routes
+//     through the arr paths verbatim (IsArrEquivalent).
+//   * `rank-regret[:max|:mean|:pQQ]` — Xiao & Li's rank-regret: the rank
+//     of the user's best point of S within all of D, normalized to
+//     (rank − 1)/(n − 1); aggregated as the max (default, the k-rank
+//     objective), mean, or a percentile over users.
+//   * `cvar:ALPHA` — CVaR_α of the arr loss distribution: the weighted
+//     mean of the worst (1 − α) tail. α = 0 is arr itself as a value
+//     (not bit-path — use `arr` for that); α → 1 approaches max regret.
+//
+// Ratio-form measures (arr, topk) keep the whole kernel: EvalKernel
+// builds its gain weights and safe denominators from the measure's
+// reference vector instead of best-in-DB, and every blocked/batched/SIMD
+// path — BatchGains, BatchSwapArrs, the lazy-greedy queue, the quantized
+// screens — runs unchanged on the reparameterized arrays (gains clamp at
+// the reference; see simd::Ops::gain_block_clamped). Non-ratio measures
+// (rank-regret, cvar) share the kernel's satisfaction tracking and take
+// the solvers' generic objective-evaluation paths.
+//
+// Soundness is declared, not assumed: MeasureTraits says which pruning
+// reductions stay exact under the measure, and WorkloadBuilder rejects
+// unsound (measure × prune) combinations with InvalidArgument instead of
+// silently degrading — the same contract as the MonotoneInAttributes gate
+// on geometric pruning.
+
+#ifndef FAM_REGRET_MEASURE_H_
+#define FAM_REGRET_MEASURE_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "regret/candidate_index.h"
+#include "regret/evaluator.h"
+
+namespace fam {
+
+enum class MeasureKind { kArr, kTopK, kRankRegret, kCvar };
+
+/// Per-measure soundness/semantics traits; the pruning and solver layers
+/// gate on these instead of hardcoding per-measure knowledge.
+struct MeasureTraits {
+  /// Objective = Σ_u w_u · clamp((ref_u − sat_u)/ref_u, 0, 1) for a fixed
+  /// per-user reference vector: the kernel's weighted-sum gain machinery
+  /// (BatchGains / swap kernels / lazy queue) applies directly.
+  bool ratio_form = false;
+  /// Per-user loss is non-increasing as S grows (all built-ins). Grows
+  /// the lazy-greedy upper-bound argument to the measure.
+  bool monotone = true;
+  /// Geometric (skyline) pruning stays exact (given monotone Θ).
+  bool geometric_sound = false;
+  /// Sample-dominance pruning stays exact (pointwise column dominance
+  /// can only raise satisfactions, and the measure is monotone in them).
+  bool sample_dominance_sound = true;
+  /// Coreset (eps-slack) pruning keeps its `arr error <= eps` guarantee.
+  /// False when the measure's loss denominates by something smaller than
+  /// best-in-DB (topk:K>1) or is not a ratio at all (rank-regret).
+  bool coreset_sound = false;
+};
+
+/// One regret measure: name + per-user loss semantics + aggregate
+/// reduction + soundness traits. Implementations are immutable and
+/// thread-shareable; obtain instances from ParseMeasureSpec.
+class RegretMeasure {
+ public:
+  virtual ~RegretMeasure() = default;
+
+  /// Family name ("arr", "topk", "rank-regret", "cvar").
+  virtual std::string_view FamilyName() const = 0;
+
+  /// Canonical round-trippable spec ("arr", "topk:3", "rank-regret:p95",
+  /// "cvar:0.9"); ParseMeasureSpec(Spec()) reproduces the measure.
+  virtual std::string Spec() const = 0;
+
+  /// One-line human description (`fam_cli --list_measures`).
+  virtual std::string_view Description() const = 0;
+
+  virtual MeasureKind Kind() const = 0;
+  virtual MeasureTraits Traits() const = 0;
+
+  /// Ratio-form reference depth: the user's TopK()-th best utility in D
+  /// is the loss denominator. 1 for every non-topk measure.
+  virtual size_t TopK() const { return 1; }
+
+  /// True when the measure's objective is definitionally arr and must
+  /// route through the unmodified arr code paths bit for bit (arr
+  /// itself, and topk:1). Such measures never reparameterize the kernel.
+  virtual bool IsArrEquivalent() const { return false; }
+};
+
+/// Parses a measure spec: "arr" | "topk:K" | "rank-regret[:max|:mean|:pQQ]"
+/// | "cvar:ALPHA" (case- and '-'/'_'-insensitive; empty = arr). Unknown
+/// measures fail with InvalidArgument listing the valid specs.
+Result<std::shared_ptr<const RegretMeasure>> ParseMeasureSpec(
+    std::string_view spec);
+
+/// One row of `fam_cli --list_measures`.
+struct MeasureListing {
+  std::string spec;         ///< Family spec form ("topk:K").
+  std::string description;  ///< One-liner.
+  MeasureTraits traits;     ///< Family-level soundness traits.
+};
+
+/// The built-in measure families, in listing order.
+std::vector<MeasureListing> ListMeasures();
+
+/// Per-(workload, measure) derived state. For ratio-form measures this is
+/// the per-user reference vector (owned for topk:K>1, borrowed from the
+/// evaluator's best-in-DB index otherwise); for rank-regret it is each
+/// user's full utility column over D, sorted ascending, so rank queries
+/// are binary searches. Immutable and thread-shareable once built.
+struct MeasureContext {
+  std::shared_ptr<const RegretMeasure> measure;
+
+  /// topk:K>1 only — the user's K-th best utility in D (N entries).
+  /// Empty for measures whose reference is best-in-DB.
+  std::vector<double> reference;
+
+  /// rank-regret only — user-major N × n utilities sorted ascending per
+  /// user. rank_u(sat) = 1 + #{p : f_u(p) > sat} is one binary search.
+  std::vector<double> sorted_utilities;
+  size_t num_points = 0;
+
+  /// The ratio-form reference vector: the owned K-th-best values, or the
+  /// evaluator's best-in-DB values (whose storage this context does not
+  /// own — pass the same evaluator the context was built from).
+  std::span<const double> ReferenceValues(
+      const RegretEvaluator& evaluator) const {
+    if (!reference.empty()) return reference;
+    return evaluator.best_in_db_values();
+  }
+
+  /// The span EvalKernelOptions::reference_values wants: empty (= the
+  /// kernel's own best-in-DB default, the bit-identical arr path) unless
+  /// this measure genuinely reparameterizes the kernel.
+  std::span<const double> KernelReference(
+      const RegretEvaluator& evaluator) const;
+
+  /// Normalized rank loss (rank_u(sat) − 1)/(n − 1) for one user
+  /// (rank-regret contexts only).
+  double RankLoss(size_t user, double sat) const;
+};
+
+/// Builds the context for (measure, evaluator): the K-th-best scan for
+/// topk:K>1 (O(N·n)), the per-user sort for rank-regret (O(N·n log n)),
+/// nothing for arr-equivalent measures. Null measure → null context.
+/// Shared by WorkloadBuilder::Build, the snapshot reopen path, and the
+/// streaming rebuild, so all three derive identical state.
+std::shared_ptr<const MeasureContext> BuildMeasureContext(
+    std::shared_ptr<const RegretMeasure> measure,
+    const RegretEvaluator& evaluator);
+
+/// Null-tolerant MeasureContext::KernelReference for solver call sites:
+/// empty (the kernel's best-in-DB default) for a null context, an
+/// arr-equivalent measure, or a non-ratio measure.
+std::span<const double> MeasureKernelReference(
+    const MeasureContext* context, const RegretEvaluator& evaluator);
+
+/// Per-user K-th-best utilities over all of D (K = 1 reproduces the
+/// evaluator's best-in-DB values). Deterministic parallel scan.
+std::vector<double> KthBestValues(const RegretEvaluator& evaluator,
+                                  size_t k);
+
+/// CVaR_α of a weighted loss sample: the weighted mean of the worst
+/// (1 − α) tail, with the boundary atom counted fractionally. Ties sort
+/// by ascending index, and the tail accumulates in that deterministic
+/// order, so equal inputs give equal bits on every thread count. Empty
+/// losses → NaN; α = 0 → the weighted mean; α = 1 → the max loss.
+/// Empty `weights` means uniform (1 per sample). This one function backs
+/// both the cvar measure's aggregate and RegretDistribution::CvarRr.
+double WeightedCvar(std::span<const double> losses,
+                    std::span<const double> weights, double alpha);
+
+/// The measure's objective for `subset`, computed from the evaluator
+/// (the solver-independent evaluation path, and the oracle the generic
+/// solver paths reduce to). A null context — or an arr-equivalent
+/// measure — delegates to evaluator.AverageRegretRatio(subset), keeping
+/// the arr bits exactly.
+double SelectionObjective(const MeasureContext* context,
+                          const RegretEvaluator& evaluator,
+                          std::span<const size_t> subset);
+
+/// The measure's objective given each user's satisfaction max_{p∈S}
+/// f_u(p) — the solvers' generic evaluation path. Ratio-form measures
+/// run the same branch-free ascending loop as
+/// EvalKernel::ArrOfSatisfaction over the measure reference.
+double ObjectiveOfSatisfaction(const MeasureContext& context,
+                               const RegretEvaluator& evaluator,
+                               std::span<const double> satisfaction);
+
+/// Full distributional statistics under the measure: regret_ratios hold
+/// the per-user losses, `average` holds the measure's aggregate
+/// objective, variance/stddev are the weighted moments of the losses.
+/// Null context → evaluator.Distribution(subset) verbatim.
+RegretDistribution MeasureDistribution(const MeasureContext* context,
+                                       const RegretEvaluator& evaluator,
+                                       std::span<const size_t> subset);
+
+/// InvalidArgument when `prune` is unsound under `measure` (e.g.
+/// geometric × rank-regret, coreset × topk:3); OK for a null measure or
+/// mode kOff. kAuto always passes — the builder steers resolution around
+/// unsound modes instead (the monotone_theta flag handed to
+/// CandidateIndex::Build is and-ed with the measure's geometric_sound).
+Status ValidateMeasurePrune(const RegretMeasure* measure, PruneMode mode);
+
+}  // namespace fam
+
+#endif  // FAM_REGRET_MEASURE_H_

@@ -38,6 +38,11 @@ enum SectionKind : uint64_t {
   kCandidates = 7,   ///< Candidate pool, ascending global indices.
   kTilePoints = 8,   ///< Point index per tile slot.
   kTile = 9,         ///< Slot-major score-tile columns of length N.
+  // --- v2 sections. Absent in v1 images and in v2 arr images (arr is the
+  // absence of a measure, so an arr v2 file is byte-identical to v1 bar
+  // the header's version field). --------------------------------------
+  kMeasure = 10,     ///< u64 spec length + canonical measure spec bytes.
+  kReference = 11,   ///< N doubles: per-user measure reference (topk:K>1).
 };
 
 const char* SectionName(uint64_t kind) {
@@ -51,6 +56,8 @@ const char* SectionName(uint64_t kind) {
     case kCandidates: return "candidates";
     case kTilePoints: return "tile-points";
     case kTile: return "tile";
+    case kMeasure: return "measure";
+    case kReference: return "measure-reference";
   }
   return "unknown";
 }
@@ -246,6 +253,24 @@ Status WorkloadSnapshot::Save(const Workload& workload,
     add(kCandidates, index->candidates().data(),
         index->candidates().size() * sizeof(uint64_t));
   }
+  // Measure sections only when a measure is set ("arr" = absence, so arr
+  // snapshots keep the v1 byte layout). The reference section persists
+  // the owned per-user vector (topk:K>1's K-th-best scan) so reopen
+  // skips that O(N·n) pass; measures whose reference is best-in-DB (or
+  // who have none) store nothing extra.
+  std::vector<unsigned char> measure_bytes;
+  const std::string measure_spec = workload.measure_spec();
+  if (measure_spec != "arr") {
+    AppendU64(measure_bytes, measure_spec.size());
+    measure_bytes.insert(measure_bytes.end(), measure_spec.begin(),
+                         measure_spec.end());
+    add(kMeasure, measure_bytes.data(), measure_bytes.size());
+    const MeasureContext* context = workload.measure_context();
+    if (context != nullptr && !context->reference.empty()) {
+      add(kReference, context->reference.data(),
+          context->reference.size() * sizeof(double));
+    }
+  }
   const EvalKernel& kernel = workload.kernel();
   std::vector<size_t> tile_points;
   if (kernel.tiled()) {
@@ -323,9 +348,9 @@ Result<std::shared_ptr<const WorkloadSnapshot>> WorkloadSnapshot::Open(
     return Corrupt("is not a FAM snapshot (bad magic)", path);
   }
   const uint32_t version = ReadU32(base + 8);
-  if (version != kFormatVersion) {
+  if (version < 1 || version > kFormatVersion) {
     return Corrupt("has unsupported format version " +
-                       std::to_string(version) + " (this build reads " +
+                       std::to_string(version) + " (this build reads 1.." +
                        std::to_string(kFormatVersion) + ")",
                    path);
   }
@@ -474,6 +499,28 @@ Result<std::shared_ptr<const WorkloadSnapshot>> WorkloadSnapshot::Open(
     }
   }
 
+  if (views[kMeasure].data != nullptr) {
+    if (views[kMeasure].size < 8) return wrong_size(kMeasure);
+    const uint64_t spec_size = ReadU64(views[kMeasure].data);
+    if (spec_size == 0 || spec_size > views[kMeasure].size - 8) {
+      return wrong_size(kMeasure);
+    }
+    snapshot->measure_spec_.assign(
+        reinterpret_cast<const char*>(views[kMeasure].data + 8), spec_size);
+  }
+  if (views[kReference].data != nullptr) {
+    // A reference without its measure is meaningless — treat as corruption
+    // rather than silently reopening as arr with a stray section.
+    if (views[kMeasure].data == nullptr) {
+      return Corrupt(
+          "measure-reference section without a measure section", path);
+    }
+    if (views[kReference].size != num_users * sizeof(double)) {
+      return wrong_size(kReference);
+    }
+    snapshot->measure_reference_ = doubles(views[kReference]);
+  }
+
   if ((views[kTile].data != nullptr) != (views[kTilePoints].data != nullptr)) {
     return Corrupt("tile and tile-points sections must come together", path);
   }
@@ -611,6 +658,26 @@ Result<Workload> WorkloadBuilder::FromSnapshot(
         std::make_shared<const CandidateIndex>(std::move(index));
   }
 
+  // Measure: parse the stored spec and rebuild the context, adopting the
+  // persisted reference vector when one was saved (skipping topk:K>1's
+  // O(N·n) K-th-best scan — the same warm-start economics as the tile).
+  // v1 images (and arr v2 images) carry no measure section and take
+  // neither branch.
+  if (snapshot->measure_spec() != "arr") {
+    FAM_ASSIGN_OR_RETURN(workload.measure_,
+                         ParseMeasureSpec(snapshot->measure_spec()));
+    if (snapshot->has_measure_reference()) {
+      auto context = std::make_shared<MeasureContext>();
+      context->measure = workload.measure_;
+      context->reference.assign(snapshot->measure_reference().begin(),
+                                snapshot->measure_reference().end());
+      workload.measure_context_ = std::move(context);
+    } else {
+      workload.measure_context_ =
+          BuildMeasureContext(workload.measure_, *workload.evaluator_);
+    }
+  }
+
   // Paged kernel: columns page in on demand through the buffer pool, from
   // the mmapped tile section when the snapshot stored one (a memcpy) and
   // from the utility matrix otherwise (both bit-identical to Utility()).
@@ -619,6 +686,10 @@ Result<Workload> WorkloadBuilder::FromSnapshot(
   EvalKernelOptions kernel_options;
   kernel_options.tile = EvalKernelOptions::Tile::kPaged;
   if (page_pool_bytes > 0) kernel_options.page_pool_bytes = page_pool_bytes;
+  if (workload.measure_context_ != nullptr) {
+    kernel_options.reference_values =
+        workload.measure_context_->KernelReference(*workload.evaluator_);
+  }
   std::shared_ptr<const RegretEvaluator> evaluator = workload.evaluator_;
   kernel_options.page_filler = [snapshot, evaluator](size_t point,
                                                      std::span<double> out) {

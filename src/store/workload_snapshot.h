@@ -92,7 +92,12 @@ class MappedBytes {
 /// is in use — `WorkloadBuilder::FromSnapshot` retains it via shared_ptr.
 class WorkloadSnapshot {
  public:
-  static constexpr uint32_t kFormatVersion = 1;
+  /// v2 added the regret-measure sections (measure spec + per-user
+  /// reference). Open reads v1 and v2; v1 images carry no measure
+  /// sections and reopen as plain arr workloads. An arr v2 image is
+  /// byte-identical to its v1 form except this field (pinned by
+  /// SnapshotMeasureTest.V1ImageOpensAsArr).
+  static constexpr uint32_t kFormatVersion = 2;
 
   /// Writes `workload`'s preprocessing artifacts to `path` (atomically:
   /// a temp file renamed into place). The workload's score tile is saved
@@ -131,6 +136,9 @@ class WorkloadSnapshot {
   /// split (the reopened Workload's preprocess_seconds is the open cost).
   double build_seconds() const { return build_seconds_; }
   size_t file_bytes() const { return bytes_.size(); }
+  /// Canonical regret-measure spec the workload was built with ("arr" for
+  /// v1 images and measure-less v2 images).
+  const std::string& measure_spec() const { return measure_spec_; }
 
   // --- Mapped payloads ---------------------------------------------------
   std::span<const double> user_weights() const { return user_weights_; }
@@ -140,6 +148,13 @@ class WorkloadSnapshot {
   std::span<const uint64_t> candidates() const { return candidates_; }
   bool has_tile() const { return !tile_.empty(); }
   size_t tiled_columns() const { return tile_points_.size(); }
+  /// Per-user measure reference (topk:K>1's K-th-best vector); empty when
+  /// the measure's reference is best-in-DB. Reopen adopts it instead of
+  /// re-running the O(N·n) K-th-best scan.
+  bool has_measure_reference() const { return !measure_reference_.empty(); }
+  std::span<const double> measure_reference() const {
+    return measure_reference_;
+  }
 
   /// Copies point `point`'s stored tile column (length num_users) into
   /// `out`; false when the snapshot has no tile or no column for `point`.
@@ -171,6 +186,7 @@ class WorkloadSnapshot {
   PruneMode resolved_prune_mode_ = PruneMode::kOff;
   size_t shard_count_ = 1;
   double build_seconds_ = 0.0;
+  std::string measure_spec_ = "arr";
 
   std::span<const double> user_weights_;
   std::span<const double> theta_;  // weights (weighted) or scores (explicit)
@@ -178,6 +194,7 @@ class WorkloadSnapshot {
   std::span<const double> best_values_;
   std::span<const uint64_t> best_points_;
   std::span<const uint64_t> candidates_;
+  std::span<const double> measure_reference_;
   std::span<const double> tile_;            // slot-major columns of length N
   std::span<const uint64_t> tile_points_;   // point index per slot
   std::unordered_map<size_t, size_t> tile_slot_of_point_;

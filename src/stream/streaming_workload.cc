@@ -56,6 +56,12 @@ Result<std::shared_ptr<StreamingWorkload>> StreamingWorkload::Open(
   stream->distribution_name_ = base.distribution_name();
   stream->seed_ = base.seed();
   stream->monotone_ = base.monotone_utilities();
+  stream->measure_ = base.shared_measure();
+  const bool measure_active =
+      stream->measure_ != nullptr && !stream->measure_->IsArrEquivalent();
+  stream->monotone_for_prune_ =
+      stream->monotone_ &&
+      (!measure_active || stream->measure_->Traits().geometric_sound);
   stream->prune_ = base.prune_options();
   stream->dimension_ = base.dimension();
   stream->num_users_ = base.num_users();
@@ -544,7 +550,7 @@ Result<ApplyResult> StreamingWorkload::Assemble(
     // coreset-merge path, then recovers the survivor pool from the rebuilt
     // candidate list (same subset-sweep recovery as Open).
     Result<ShardedCandidateBuild> sharded = BuildShardedCandidateIndex(
-        *dataset, *evaluator, prune_, monotone_, shards_, cancel);
+        *dataset, *evaluator, prune_, monotone_for_prune_, shards_, cancel);
     if (!sharded.ok()) {
       if (compact_only) {
         // Nothing was mutated, so nothing is published; the stream state
@@ -607,6 +613,16 @@ Result<ApplyResult> StreamingWorkload::Assemble(
     index = std::make_shared<const CandidateIndex>(std::move(built));
   }
 
+  // Measure context for the new version, re-derived from the mutated
+  // evaluator: references like the per-user K-th best move with the
+  // catalog, so they cannot be repaired from the K=1 best the stream
+  // maintains. The COW tile patching below is unaffected — tile columns
+  // hold raw utilities, not references.
+  std::shared_ptr<const MeasureContext> measure_context;
+  if (measure_ != nullptr) {
+    measure_context = BuildMeasureContext(measure_, *evaluator);
+  }
+
   // Kernel for the new version: same tile mode as the base, candidate
   // columns only, and unchanged columns memcpy'd straight out of the
   // previous version's tile instead of recomputing N dot products each.
@@ -614,6 +630,10 @@ Result<ApplyResult> StreamingWorkload::Assemble(
   kernel_options.tile = tile_mode_;
   if (page_pool_bytes_ > 0) kernel_options.page_pool_bytes = page_pool_bytes_;
   if (index != nullptr) kernel_options.tile_columns = index->candidates();
+  if (measure_context != nullptr) {
+    kernel_options.reference_values =
+        measure_context->KernelReference(*evaluator);
+  }
   const EvalKernel* prev_kernel =
       prev_version != nullptr ? &prev_version->kernel() : nullptr;
   if (prev_kernel != nullptr && prev_kernel->tiled()) {
@@ -640,10 +660,13 @@ Result<ApplyResult> StreamingWorkload::Assemble(
   next.materialized_ = false;
   next.seed_ = seed_;
   next.distribution_name_ = distribution_name_;
+  next.measure_ = measure_;
+  next.measure_context_ = measure_context;
   next.mutation_epoch_ = epoch_ + 1;
   next.spec_fingerprint_ = WorkloadFingerprintParts(
       dataset->ContentHash(), distribution_name_, num_users_, seed_,
-      /*materialized=*/false, prune_, shards_, epoch_ + 1);
+      /*materialized=*/false, prune_, shards_, epoch_ + 1,
+      measure_ != nullptr ? measure_->Spec() : std::string("arr"));
   next.preprocess_seconds_ = timer.ElapsedSeconds();
 
   // Commit: compaction drops the dead rows from the store (semantically

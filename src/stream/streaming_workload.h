@@ -174,6 +174,16 @@ class StreamingWorkload {
   std::string distribution_name_;
   uint64_t seed_ = 0;
   bool monotone_ = false;
+  /// The base workload's regret measure (null = arr). Fixed identity like
+  /// Θ: every version re-derives its MeasureContext from the mutated
+  /// evaluator (references such as the per-user K-th best move with the
+  /// catalog), so versions solve exactly like a from-scratch rebuild with
+  /// the same measure.
+  std::shared_ptr<const RegretMeasure> measure_;
+  /// monotone_ ANDed with the measure's geometric-prune soundness — the
+  /// same steering WorkloadBuilder::Build applies — so compaction's index
+  /// rebuild can never resolve to a mode the measure forbids.
+  bool monotone_for_prune_ = false;
   PruneOptions prune_;       // as recorded on the base (post-promotion)
   PruneMode resolved_mode_ = PruneMode::kOff;
   double eps_ = 0.0;         // coreset slack (0 for exact modes)

@@ -1,0 +1,815 @@
+// RegretMeasure suite: the arr bit-identity pin (a measure-less build and
+// an explicit `arr` build produce the same bits across solvers × prune
+// modes × tile modes), topk:1 ≡ arr, brute-force oracles for the
+// non-default measures on adversarial instances (duplicate points,
+// indifferent users), the (measure × prune) and (measure × solver)
+// soundness gates, the clamped SIMD gain kernel parity, CVaR boundary
+// pins, the measure-as-cache-axis contract, streaming measure
+// preservation, and concurrent solves on a shared measured workload.
+
+#include "regret/measure.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/simd.h"
+#include "data/generator.h"
+#include "fam/engine.h"
+#include "fam/service.h"
+#include "stream/streaming_workload.h"
+#include "stream/workload_delta.h"
+#include "utility/distribution.h"
+
+namespace fam {
+namespace {
+
+std::shared_ptr<const RegretMeasure> MustParse(std::string_view spec) {
+  Result<std::shared_ptr<const RegretMeasure>> measure =
+      ParseMeasureSpec(spec);
+  EXPECT_TRUE(measure.ok()) << spec << ": " << measure.status().ToString();
+  return *measure;
+}
+
+Workload MustBuild(WorkloadBuilder& builder) {
+  Result<Workload> workload = builder.Build();
+  EXPECT_TRUE(workload.ok()) << workload.status().ToString();
+  return *std::move(workload);
+}
+
+RegretEvaluator MakeEvaluator(const Dataset& data, size_t users,
+                              uint64_t seed) {
+  UniformLinearDistribution theta;
+  Rng rng(seed);
+  return RegretEvaluator(theta.Sample(data, users, rng));
+}
+
+/// An explicit score table exercising the measure edge cases: random
+/// scores, exact duplicate point columns (K-th best ties), and
+/// indifferent users (an all-zero row — best-in-DB 0, loss pinned to 0).
+RegretEvaluator TrickyEvaluator(size_t users, size_t points, uint64_t seed) {
+  Matrix scores(users, points);
+  Rng rng(seed);
+  for (size_t u = 0; u < users; ++u) {
+    for (size_t p = 0; p < points; ++p) {
+      scores(u, p) = rng.Uniform(0.0, 1.0);
+    }
+  }
+  // Duplicate columns: point p+1 clones point p for a third of the grid.
+  for (size_t p = 0; p + 1 < points; p += 3) {
+    for (size_t u = 0; u < users; ++u) scores(u, p + 1) = scores(u, p);
+  }
+  // Indifferent users: every fifth row is all zeros.
+  for (size_t u = 0; u < users; u += 5) {
+    for (size_t p = 0; p < points; ++p) scores(u, p) = 0.0;
+  }
+  return RegretEvaluator(UtilityMatrix::FromScores(std::move(scores)));
+}
+
+std::vector<size_t> RandomSubset(Rng& rng, size_t n, size_t k) {
+  std::set<size_t> picked;
+  while (picked.size() < k) {
+    picked.insert(static_cast<size_t>(rng.Uniform(0.0, 1.0) *
+                                      static_cast<double>(n)) %
+                  n);
+  }
+  return {picked.begin(), picked.end()};
+}
+
+/// clamp((ref − sat)/ref, 0, 1) with the indifferent convention — the
+/// oracle restates the contract independently of RatioLoss.
+double OracleRatioLoss(double sat, double ref) {
+  if (ref <= 0.0) return 0.0;
+  double loss = (ref - sat) / ref;
+  return std::min(1.0, std::max(0.0, loss));
+}
+
+double OracleSatisfaction(const RegretEvaluator& evaluator, size_t user,
+                          std::span<const size_t> subset) {
+  double best = 0.0;  // the kernel-state floor: satisfaction >= 0
+  for (size_t p : subset) {
+    best = std::max(best, evaluator.users().Utility(user, p));
+  }
+  return best;
+}
+
+/// The user's K-th best utility over all of D, by full sort.
+double OracleKthBest(const RegretEvaluator& evaluator, size_t user,
+                     size_t k) {
+  std::vector<double> column(evaluator.num_points());
+  for (size_t p = 0; p < column.size(); ++p) {
+    column[p] = evaluator.users().Utility(user, p);
+  }
+  std::sort(column.begin(), column.end(), std::greater<double>());
+  return column[std::min(k, column.size()) - 1];
+}
+
+/// Normalized rank loss (rank − 1)/(n − 1), rank = 1 + #{p : f_u(p) > sat}.
+double OracleRankLoss(const RegretEvaluator& evaluator, size_t user,
+                      double sat) {
+  const size_t n = evaluator.num_points();
+  size_t above = 0;
+  for (size_t p = 0; p < n; ++p) {
+    if (evaluator.users().Utility(user, p) > sat) ++above;
+  }
+  if (n <= 1) return 0.0;
+  return static_cast<double>(above) / static_cast<double>(n - 1);
+}
+
+// --------------------------------------------------------- spec parsing
+
+TEST(MeasureSpecTest, ParseCanonicalizesAndRoundTrips) {
+  struct Case {
+    const char* input;
+    const char* canonical;
+  };
+  const Case cases[] = {
+      {"arr", "arr"},           {"ARR", "arr"},
+      {"", "arr"},              {"topk:3", "topk:3"},
+      {"TOPK:3", "topk:3"},     {"topk:1", "topk:1"},
+      {"rank-regret", "rank-regret"},
+      {"rank-regret:max", "rank-regret"},
+      {"Rank_Regret:mean", "rank-regret:mean"},
+      {"rank:p95", "rank-regret:p95"},
+      {"cvar:0.9", "cvar:0.9"},
+  };
+  for (const Case& c : cases) {
+    std::shared_ptr<const RegretMeasure> measure = MustParse(c.input);
+    ASSERT_NE(measure, nullptr) << c.input;
+    EXPECT_EQ(measure->Spec(), c.canonical) << c.input;
+    // Spec() must itself reparse to the same measure.
+    std::shared_ptr<const RegretMeasure> again = MustParse(measure->Spec());
+    ASSERT_NE(again, nullptr);
+    EXPECT_EQ(again->Spec(), measure->Spec());
+  }
+  EXPECT_TRUE(MustParse("arr")->IsArrEquivalent());
+  EXPECT_TRUE(MustParse("topk:1")->IsArrEquivalent());
+  EXPECT_FALSE(MustParse("topk:2")->IsArrEquivalent());
+  EXPECT_EQ(MustParse("topk:4")->TopK(), 4u);
+}
+
+TEST(MeasureSpecTest, UnknownAndMalformedSpecsFailWithHints) {
+  for (const char* bad : {"bogus", "topk", "topk:0", "topk:x", "cvar",
+                          "cvar:1.5", "cvar:-0.1", "cvar:x",
+                          "rank-regret:p101", "rank-regret:bogus",
+                          "arr:1"}) {
+    Result<std::shared_ptr<const RegretMeasure>> measure =
+        ParseMeasureSpec(bad);
+    EXPECT_FALSE(measure.ok()) << bad;
+  }
+  // The unknown-family error names the valid specs.
+  Result<std::shared_ptr<const RegretMeasure>> unknown =
+      ParseMeasureSpec("bogus");
+  ASSERT_FALSE(unknown.ok());
+  const std::string message = unknown.status().ToString();
+  for (const char* family : {"arr", "topk", "rank-regret", "cvar"}) {
+    EXPECT_NE(message.find(family), std::string::npos) << message;
+  }
+}
+
+TEST(MeasureSpecTest, ListMeasuresCoversEveryFamily) {
+  std::vector<MeasureListing> listings = ListMeasures();
+  ASSERT_EQ(listings.size(), 4u);
+  EXPECT_EQ(listings[0].spec, "arr");
+  EXPECT_TRUE(listings[0].traits.geometric_sound);
+  EXPECT_TRUE(listings[0].traits.coreset_sound);
+  for (const MeasureListing& listing : listings) {
+    EXPECT_FALSE(listing.description.empty()) << listing.spec;
+  }
+}
+
+// --------------------------------------------------- arr bit-identity
+
+struct ParityFixture {
+  std::string name;
+  SyntheticDistribution distribution;
+  size_t n;
+  size_t d;
+  size_t k;
+};
+
+const ParityFixture kFixtures[] = {
+    {"anti3d", SyntheticDistribution::kAntiCorrelated, 250, 3, 6},
+    {"indep4d", SyntheticDistribution::kIndependent, 300, 4, 8},
+    {"anti4d", SyntheticDistribution::kAntiCorrelated, 300, 4, 7},
+};
+
+Workload BuildFixture(const ParityFixture& fixture, PruneOptions prune,
+                      EvalKernelOptions::Tile tile,
+                      const char* measure_spec) {
+  Dataset data = GenerateSynthetic({.n = fixture.n, .d = fixture.d,
+      .distribution = fixture.distribution, .seed = 1234});
+  WorkloadBuilder builder;
+  builder.WithDataset(std::move(data))
+      .WithNumUsers(700)
+      .WithSeed(99)
+      .WithPruning(prune)
+      .WithTileMode(tile);
+  if (measure_spec != nullptr) {
+    builder.WithMeasure(std::string_view(measure_spec));
+  }
+  return MustBuild(builder);
+}
+
+/// The refactor's pinned invariant: a workload built with an explicit
+/// `arr` measure takes the exact same code paths — same selections, same
+/// bits — as a measure-less build, for every solver, prune mode, and
+/// tile mode of the suite.
+TEST(MeasureParityTest, ExplicitArrIsBitIdenticalToDefault) {
+  const char* solvers[] = {"greedy-grow", "local-search", "greedy-shrink",
+                           "branch-and-bound"};
+  const PruneOptions prunes[] = {{.mode = PruneMode::kOff},
+                                 {.mode = PruneMode::kAuto}};
+  const EvalKernelOptions::Tile tiles[] = {EvalKernelOptions::Tile::kAuto,
+                                           EvalKernelOptions::Tile::kOff};
+  Engine engine;
+  for (const ParityFixture& fixture : kFixtures) {
+    for (const PruneOptions& prune : prunes) {
+      for (EvalKernelOptions::Tile tile : tiles) {
+        Workload plain = BuildFixture(fixture, prune, tile, nullptr);
+        Workload arr = BuildFixture(fixture, prune, tile, "arr");
+        // An explicit arr build is indistinguishable from no measure.
+        EXPECT_EQ(arr.measure(), nullptr);
+        EXPECT_EQ(arr.measure_spec(), "arr");
+        EXPECT_FALSE(arr.kernel().clamped());
+        EXPECT_EQ(arr.spec_fingerprint(), plain.spec_fingerprint())
+            << fixture.name;
+        EXPECT_EQ(arr.candidate_count(), plain.candidate_count());
+        for (const char* solver : solvers) {
+          SolveRequest request{.solver = solver, .k = fixture.k};
+          Result<SolveResponse> expect = engine.Solve(plain, request);
+          Result<SolveResponse> actual = engine.Solve(arr, request);
+          ASSERT_TRUE(expect.ok() && actual.ok())
+              << fixture.name << "/" << solver;
+          EXPECT_EQ(actual->selection.indices, expect->selection.indices)
+              << fixture.name << "/" << solver;
+          EXPECT_EQ(actual->selection.average_regret_ratio,
+                    expect->selection.average_regret_ratio)
+              << fixture.name << "/" << solver;
+          EXPECT_EQ(actual->distribution.average,
+                    expect->distribution.average)
+              << fixture.name << "/" << solver;
+          EXPECT_EQ(actual->measure, "arr");
+        }
+      }
+    }
+  }
+}
+
+/// topk:1 is definitionally arr: it keeps its spec (a distinct
+/// fingerprint axis) but routes every solve through the arr paths.
+TEST(MeasureParityTest, TopK1RoutesThroughArrPathsExactly) {
+  const ParityFixture& fixture = kFixtures[0];
+  Workload plain =
+      BuildFixture(fixture, {.mode = PruneMode::kAuto},
+                   EvalKernelOptions::Tile::kAuto, nullptr);
+  Workload topk1 =
+      BuildFixture(fixture, {.mode = PruneMode::kAuto},
+                   EvalKernelOptions::Tile::kAuto, "topk:1");
+  ASSERT_NE(topk1.measure(), nullptr);
+  EXPECT_EQ(topk1.measure_spec(), "topk:1");
+  EXPECT_FALSE(topk1.kernel().clamped());
+  // The spec is a real identity axis even though the bits are arr's.
+  EXPECT_NE(topk1.spec_fingerprint(), plain.spec_fingerprint());
+  Engine engine;
+  for (const char* solver : {"greedy-grow", "local-search", "greedy-shrink",
+                             "branch-and-bound"}) {
+    SolveRequest request{.solver = solver, .k = fixture.k};
+    Result<SolveResponse> expect = engine.Solve(plain, request);
+    Result<SolveResponse> actual = engine.Solve(topk1, request);
+    ASSERT_TRUE(expect.ok() && actual.ok()) << solver;
+    EXPECT_EQ(actual->selection.indices, expect->selection.indices)
+        << solver;
+    EXPECT_EQ(actual->selection.average_regret_ratio,
+              expect->selection.average_regret_ratio)
+        << solver;
+    EXPECT_EQ(actual->measure, "topk:1");
+  }
+}
+
+// ------------------------------------------------------- measure oracles
+
+TEST(MeasureOracleTest, TopKObjectiveMatchesBruteForceOracle) {
+  for (uint64_t seed : {7u, 8u, 9u}) {
+    RegretEvaluator evaluator = TrickyEvaluator(60, 40, seed);
+    for (size_t k : {size_t{2}, size_t{3}, size_t{5}}) {
+      std::shared_ptr<const RegretMeasure> measure =
+          MustParse("topk:" + std::to_string(k));
+      std::shared_ptr<const MeasureContext> context =
+          BuildMeasureContext(measure, evaluator);
+      ASSERT_NE(context, nullptr);
+      // The derived reference is each user's exact K-th best.
+      ASSERT_EQ(context->reference.size(), evaluator.num_users());
+      for (size_t u = 0; u < evaluator.num_users(); ++u) {
+        EXPECT_EQ(context->reference[u], OracleKthBest(evaluator, u, k))
+            << "u=" << u << " k=" << k;
+      }
+      Rng rng(seed * 31 + k);
+      for (int trial = 0; trial < 8; ++trial) {
+        std::vector<size_t> subset =
+            RandomSubset(rng, evaluator.num_points(), 4);
+        double oracle = 0.0;
+        const std::vector<double>& weights = evaluator.user_weights();
+        for (size_t u = 0; u < evaluator.num_users(); ++u) {
+          oracle += weights[u] *
+                    OracleRatioLoss(OracleSatisfaction(evaluator, u, subset),
+                                    context->reference[u]);
+        }
+        EXPECT_NEAR(SelectionObjective(context.get(), evaluator, subset),
+                    oracle, 1e-12)
+            << "k=" << k << " trial=" << trial;
+      }
+    }
+  }
+}
+
+TEST(MeasureOracleTest, RankRegretMatchesOracleForEveryAggregate) {
+  for (uint64_t seed : {11u, 12u}) {
+    RegretEvaluator evaluator = TrickyEvaluator(50, 30, seed);
+    Rng rng(seed * 17);
+    for (int trial = 0; trial < 6; ++trial) {
+      std::vector<size_t> subset =
+          RandomSubset(rng, evaluator.num_points(), 3);
+      std::vector<double> losses(evaluator.num_users());
+      for (size_t u = 0; u < evaluator.num_users(); ++u) {
+        losses[u] = OracleRankLoss(
+            evaluator, u, OracleSatisfaction(evaluator, u, subset));
+      }
+      // max aggregate (the default).
+      {
+        std::shared_ptr<const MeasureContext> context = BuildMeasureContext(
+            MustParse("rank-regret"), evaluator);
+        EXPECT_EQ(SelectionObjective(context.get(), evaluator, subset),
+                  *std::max_element(losses.begin(), losses.end()));
+        // Per-user losses surface verbatim in the distribution.
+        RegretDistribution dist =
+            MeasureDistribution(context.get(), evaluator, subset);
+        EXPECT_EQ(dist.regret_ratios, losses);
+      }
+      // mean aggregate: the weighted mean of the rank losses.
+      {
+        std::shared_ptr<const MeasureContext> context = BuildMeasureContext(
+            MustParse("rank-regret:mean"), evaluator);
+        double mean = 0.0;
+        const std::vector<double>& weights = evaluator.user_weights();
+        for (size_t u = 0; u < losses.size(); ++u) {
+          mean += weights[u] * losses[u];
+        }
+        EXPECT_NEAR(SelectionObjective(context.get(), evaluator, subset),
+                    mean, 1e-12);
+      }
+      // pQQ aggregate: identical to the distribution's own percentile of
+      // its per-user losses (one shared PercentileSorted).
+      {
+        std::shared_ptr<const MeasureContext> context = BuildMeasureContext(
+            MustParse("rank-regret:p90"), evaluator);
+        RegretDistribution dist =
+            MeasureDistribution(context.get(), evaluator, subset);
+        EXPECT_EQ(dist.average, dist.PercentileRr(90.0));
+      }
+    }
+  }
+}
+
+TEST(MeasureOracleTest, CvarObjectiveMatchesOracle) {
+  for (uint64_t seed : {21u, 22u}) {
+    RegretEvaluator evaluator = TrickyEvaluator(40, 25, seed);
+    Rng rng(seed * 13);
+    for (double alpha : {0.0, 0.5, 0.9, 1.0}) {
+      std::shared_ptr<const MeasureContext> context = BuildMeasureContext(
+          MustParse("cvar:" + std::to_string(alpha)), evaluator);
+      for (int trial = 0; trial < 4; ++trial) {
+        std::vector<size_t> subset =
+            RandomSubset(rng, evaluator.num_points(), 3);
+        // The cvar loss sample is the plain arr losses.
+        std::vector<double> losses(evaluator.num_users());
+        for (size_t u = 0; u < losses.size(); ++u) {
+          losses[u] =
+              OracleRatioLoss(OracleSatisfaction(evaluator, u, subset),
+                              evaluator.BestInDb(u));
+        }
+        EXPECT_EQ(SelectionObjective(context.get(), evaluator, subset),
+                  WeightedCvar(losses, evaluator.user_weights(), alpha))
+            << "alpha=" << alpha;
+      }
+    }
+  }
+}
+
+/// Brute-force under a measure is exact FOR that measure: on instances
+/// small enough to enumerate, its selection achieves the exhaustive
+/// minimum of the measure objective.
+TEST(MeasureOracleTest, BruteForceAchievesExhaustiveMeasureOptimum) {
+  Dataset data = GenerateSynthetic({.n = 12, .d = 3,
+      .distribution = SyntheticDistribution::kAntiCorrelated, .seed = 77});
+  Engine engine;
+  for (const char* spec : {"topk:2", "rank-regret:mean", "cvar:0.8"}) {
+    WorkloadBuilder builder;
+    builder.WithDataset(data).WithNumUsers(60).WithSeed(5).WithMeasure(
+        std::string_view(spec));
+    Workload workload = MustBuild(builder);
+    const size_t k = 3;
+    Result<SolveResponse> response =
+        engine.Solve(workload, {.solver = "brute-force", .k = k});
+    ASSERT_TRUE(response.ok()) << spec << ": "
+                               << response.status().ToString();
+    // Exhaustive oracle: every k-subset of the 12 points.
+    double best = std::numeric_limits<double>::infinity();
+    std::vector<size_t> subset(k);
+    const size_t n = workload.size();
+    for (size_t a = 0; a < n; ++a) {
+      for (size_t b = a + 1; b < n; ++b) {
+        for (size_t c = b + 1; c < n; ++c) {
+          subset = {a, b, c};
+          best = std::min(
+              best, SelectionObjective(workload.measure_context(),
+                                       workload.evaluator(), subset));
+        }
+      }
+    }
+    EXPECT_EQ(response->selection.average_regret_ratio, best) << spec;
+    EXPECT_EQ(response->measure, spec);
+  }
+}
+
+/// All built-in measures are monotone: growing the selection never
+/// increases the objective.
+TEST(MeasureOracleTest, ObjectiveIsMonotoneUnderGrowth) {
+  RegretEvaluator evaluator = TrickyEvaluator(45, 28, 33);
+  Rng rng(34);
+  for (const char* spec :
+       {"topk:3", "rank-regret", "rank-regret:mean", "cvar:0.9"}) {
+    std::shared_ptr<const MeasureContext> context =
+        BuildMeasureContext(MustParse(spec), evaluator);
+    for (int trial = 0; trial < 5; ++trial) {
+      std::vector<size_t> grown =
+          RandomSubset(rng, evaluator.num_points(), 6);
+      double prev = std::numeric_limits<double>::infinity();
+      for (size_t len = 1; len <= grown.size(); ++len) {
+        std::span<const size_t> prefix(grown.data(), len);
+        double objective =
+            SelectionObjective(context.get(), evaluator, prefix);
+        EXPECT_LE(objective, prev) << spec << " len=" << len;
+        prev = objective;
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------ soundness gates
+
+TEST(MeasureGateTest, UnsoundMeasurePruneCombosAreRejected) {
+  Dataset data = GenerateSynthetic({.n = 80, .d = 3,
+      .distribution = SyntheticDistribution::kIndependent, .seed = 3});
+  auto build = [&](const char* measure, PruneOptions prune) {
+    return WorkloadBuilder()
+        .WithDataset(data)
+        .WithNumUsers(100)
+        .WithSeed(4)
+        .WithPruning(prune)
+        .WithMeasure(std::string_view(measure))
+        .Build();
+  };
+  // Explicitly requested unsound reductions fail loudly.
+  Result<Workload> geo_rank =
+      build("rank-regret", {.mode = PruneMode::kGeometric});
+  EXPECT_FALSE(geo_rank.ok());
+  EXPECT_EQ(geo_rank.status().code(), StatusCode::kInvalidArgument);
+  Result<Workload> coreset_topk = build(
+      "topk:3", {.mode = PruneMode::kCoreset, .coreset_epsilon = 0.05});
+  EXPECT_FALSE(coreset_topk.ok());
+  EXPECT_EQ(coreset_topk.status().code(), StatusCode::kInvalidArgument);
+  Result<Workload> coreset_rank = build(
+      "rank-regret", {.mode = PruneMode::kCoreset, .coreset_epsilon = 0.05});
+  EXPECT_FALSE(coreset_rank.ok());
+  // Sound combinations build: sample dominance is exact for every
+  // monotone measure; geometric stays sound under cvar (arr losses).
+  EXPECT_TRUE(build("rank-regret",
+                    {.mode = PruneMode::kSampleDominance}).ok());
+  EXPECT_TRUE(build("topk:3", {.mode = PruneMode::kSampleDominance}).ok());
+  EXPECT_TRUE(build("cvar:0.9", {.mode = PruneMode::kGeometric}).ok());
+  EXPECT_TRUE(build("cvar:0.9",
+                    {.mode = PruneMode::kCoreset, .coreset_epsilon = 0.05})
+                  .ok());
+  // The ValidateMeasurePrune contract directly.
+  std::shared_ptr<const RegretMeasure> rank = MustParse("rank-regret");
+  EXPECT_FALSE(
+      ValidateMeasurePrune(rank.get(), PruneMode::kGeometric).ok());
+  EXPECT_TRUE(ValidateMeasurePrune(rank.get(), PruneMode::kAuto).ok());
+  EXPECT_TRUE(ValidateMeasurePrune(rank.get(), PruneMode::kOff).ok());
+  EXPECT_TRUE(ValidateMeasurePrune(nullptr, PruneMode::kGeometric).ok());
+}
+
+/// kAuto never resolves to a mode the measure forbids: on a monotone
+/// linear workload (where arr's auto picks geometric), rank-regret's
+/// auto must steer to sample dominance instead.
+TEST(MeasureGateTest, AutoPruneSteersAroundUnsoundGeometric) {
+  Dataset data = GenerateSynthetic({.n = 150, .d = 3,
+      .distribution = SyntheticDistribution::kAntiCorrelated, .seed = 6});
+  auto build = [&](const char* measure) {
+    WorkloadBuilder builder;
+    builder.WithDataset(data).WithNumUsers(200).WithSeed(7).WithPruning(
+        {.mode = PruneMode::kAuto});
+    if (measure != nullptr) builder.WithMeasure(std::string_view(measure));
+    return MustBuild(builder);
+  };
+  Workload arr = build(nullptr);
+  ASSERT_NE(arr.candidate_index(), nullptr);
+  ASSERT_EQ(arr.candidate_index()->resolved_mode(), PruneMode::kGeometric);
+  Workload rank = build("rank-regret");
+  ASSERT_NE(rank.candidate_index(), nullptr);
+  EXPECT_EQ(rank.candidate_index()->resolved_mode(),
+            PruneMode::kSampleDominance);
+  // cvar keeps geometric soundness, so auto resolves as for arr.
+  Workload cvar = build("cvar:0.9");
+  ASSERT_NE(cvar.candidate_index(), nullptr);
+  EXPECT_EQ(cvar.candidate_index()->resolved_mode(), PruneMode::kGeometric);
+}
+
+TEST(MeasureGateTest, SolverSupportTiersAreEnforced) {
+  Dataset data = GenerateSynthetic({.n = 60, .d = 3,
+      .distribution = SyntheticDistribution::kIndependent, .seed = 8});
+  auto build = [&](const char* measure) {
+    WorkloadBuilder builder;
+    builder.WithDataset(data).WithNumUsers(80).WithSeed(9).WithMeasure(
+        std::string_view(measure));
+    return MustBuild(builder);
+  };
+  Engine engine;
+  Workload topk = build("topk:3");
+  Workload rank = build("rank-regret");
+  // arr-only solvers (baselines optimize their own objective) reject any
+  // active measure, naming it.
+  for (const char* solver : {"sky-dom", "k-hit", "mrr-greedy"}) {
+    Result<SolveResponse> response =
+        engine.Solve(topk, {.solver = solver, .k = 4});
+    ASSERT_FALSE(response.ok()) << solver;
+    EXPECT_EQ(response.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(response.status().ToString().find("topk:3"),
+              std::string::npos);
+  }
+  // Ratio-form solvers take topk but not rank-regret.
+  for (const char* solver : {"greedy-shrink", "branch-and-bound"}) {
+    EXPECT_TRUE(engine.Solve(topk, {.solver = solver, .k = 4}).ok())
+        << solver;
+    Result<SolveResponse> response =
+        engine.Solve(rank, {.solver = solver, .k = 4});
+    ASSERT_FALSE(response.ok()) << solver;
+    EXPECT_EQ(response.status().code(), StatusCode::kInvalidArgument);
+  }
+  // Generic solvers take everything.
+  for (const char* solver : {"greedy-grow", "local-search", "brute-force"}) {
+    EXPECT_TRUE(engine.Solve(rank, {.solver = solver, .k = 4}).ok())
+        << solver;
+  }
+}
+
+// -------------------------------------------------- kernel / SIMD layer
+
+TEST(MeasureKernelTest, TopKReparameterizesTheKernelReference) {
+  Dataset data = GenerateSynthetic({.n = 100, .d = 3,
+      .distribution = SyntheticDistribution::kAntiCorrelated, .seed = 15});
+  WorkloadBuilder builder;
+  builder.WithDataset(data).WithNumUsers(150).WithSeed(16).WithMeasure(
+      std::string_view("topk:3"));
+  Workload workload = MustBuild(builder);
+  EXPECT_TRUE(workload.kernel().clamped());
+  ASSERT_NE(workload.measure_context(), nullptr);
+  const std::vector<double> expect =
+      KthBestValues(workload.evaluator(), 3);
+  EXPECT_EQ(workload.measure_context()->reference, expect);
+  // The solve objective equals the direct context evaluation — the
+  // kernel-driven greedy and the reference path agree on the result.
+  Engine engine;
+  Result<SolveResponse> response =
+      engine.Solve(workload, {.solver = "greedy-grow", .k = 5});
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->selection.average_regret_ratio,
+            SelectionObjective(workload.measure_context(),
+                               workload.evaluator(),
+                               response->selection.indices));
+  // Non-ratio measures never reparameterize the kernel.
+  WorkloadBuilder rank_builder;
+  rank_builder.WithDataset(data).WithNumUsers(150).WithSeed(16).WithMeasure(
+      std::string_view("rank-regret"));
+  Workload rank = MustBuild(rank_builder);
+  EXPECT_FALSE(rank.kernel().clamped());
+}
+
+TEST(MeasureKernelTest, GainBlockClampedMatchesScalarBitwise) {
+  // The clamped gain kernel obeys the shim's contract: the active ISA's
+  // result is bit-identical to the scalar fallback's for kernel-domain
+  // inputs (w >= 0, d > 0, best >= 0, finite cols).
+  Rng rng(91);
+  for (size_t n : {size_t{1}, size_t{7}, size_t{64}, size_t{257}}) {
+    std::vector<double> col(n), best(n), w(n), d(n);
+    for (size_t i = 0; i < n; ++i) {
+      d[i] = rng.Uniform(0.25, 1.0);
+      // Straddle the clamp: cols and bests both above and below d.
+      col[i] = rng.Uniform(0.0, 1.5);
+      best[i] = rng.Uniform(0.0, 1.5);
+      w[i] = rng.Uniform(0.0, 0.01);
+    }
+    const double active = simd::ActiveOps().gain_block_clamped(
+        col.data(), best.data(), w.data(), d.data(), n, 0.125);
+    const bool prev = simd::SetForceScalar(true);
+    const double scalar = simd::ActiveOps().gain_block_clamped(
+        col.data(), best.data(), w.data(), d.data(), n, 0.125);
+    simd::SetForceScalar(prev);
+    EXPECT_EQ(active, scalar) << "n=" << n;
+    // And the scalar definition itself.
+    double expect = 0.125;
+    for (size_t i = 0; i < n; ++i) {
+      expect += w[i] *
+                std::max(0.0, std::min(col[i], d[i]) -
+                                  std::min(best[i], d[i])) /
+                d[i];
+    }
+    EXPECT_EQ(scalar, expect) << "n=" << n;
+  }
+}
+
+// --------------------------------------------------------- CVaR pins
+
+TEST(CvarTest, WeightedCvarBoundaryBehavior) {
+  const std::vector<double> losses = {1.0, 0.5, 0.25, 0.0};
+  // alpha = 0: the (weighted) mean. alpha = 1: the max.
+  EXPECT_DOUBLE_EQ(WeightedCvar(losses, {}, 0.0), 1.75 / 4.0);
+  EXPECT_EQ(WeightedCvar(losses, {}, 1.0), 1.0);
+  // Fractional boundary atom: tail mass (1 − 0.625)·4 = 1.5 takes all of
+  // the 1.0 loss and half of the 0.5 loss.
+  EXPECT_DOUBLE_EQ(WeightedCvar(losses, {}, 0.625),
+                   (1.0 * 1.0 + 0.5 * 0.5) / 1.5);
+  // Explicit weights: worst loss carries 0.5 mass, alpha = 0.75 over
+  // total mass 2.0 → tail 0.5, exactly the worst atom.
+  const std::vector<double> weights = {0.5, 0.5, 0.5, 0.5};
+  EXPECT_DOUBLE_EQ(WeightedCvar(losses, weights, 0.75), 1.0);
+  // Empty sample → NaN (the PercentileRr contract).
+  EXPECT_TRUE(std::isnan(WeightedCvar({}, {}, 0.5)));
+}
+
+TEST(CvarTest, DistributionCvarRrAndPercentilePins) {
+  RegretDistribution empty;
+  EXPECT_TRUE(std::isnan(empty.CvarRr(0.5)));
+  EXPECT_TRUE(std::isnan(empty.PercentileRr(50.0)));
+
+  RegretEvaluator evaluator = TrickyEvaluator(30, 20, 44);
+  RegretDistribution dist = evaluator.Distribution(std::vector<size_t>{0, 3});
+  // alpha = 0 is the plain (uniform) mean of the ratios...
+  double mean = 0.0;
+  for (double r : dist.regret_ratios) mean += r;
+  mean /= static_cast<double>(dist.regret_ratios.size());
+  EXPECT_DOUBLE_EQ(dist.CvarRr(0.0), mean);
+  // ...alpha = 1 the max, and the tail is monotone in alpha.
+  EXPECT_EQ(dist.CvarRr(1.0), *std::max_element(dist.regret_ratios.begin(),
+                                                dist.regret_ratios.end()));
+  double prev = dist.CvarRr(0.0);
+  for (double alpha : {0.25, 0.5, 0.75, 0.9, 1.0}) {
+    double cvar = dist.CvarRr(alpha);
+    EXPECT_GE(cvar, prev - 1e-15) << alpha;
+    prev = cvar;
+  }
+}
+
+// ----------------------------------------------------- serving layers
+
+TEST(MeasureServiceTest, MeasureIsAWorkloadCacheAxis) {
+  Service service;
+  auto dataset = std::make_shared<const Dataset>(GenerateSynthetic(
+      {.n = 80, .d = 3,
+       .distribution = SyntheticDistribution::kIndependent, .seed = 61}));
+  WorkloadSpec arr{.dataset = dataset, .num_users = 100, .seed = 62};
+  WorkloadSpec topk = arr;
+  topk.measure = "topk:3";
+
+  Result<std::shared_ptr<const Workload>> first =
+      service.GetOrBuildWorkload(arr);
+  Result<std::shared_ptr<const Workload>> second =
+      service.GetOrBuildWorkload(topk);
+  ASSERT_TRUE(first.ok() && second.ok());
+  // Distinct measures are distinct cache slots.
+  EXPECT_NE(first->get(), second->get());
+  EXPECT_EQ(service.stats().workload_cache_misses, 2u);
+  EXPECT_EQ((*second)->measure_spec(), "topk:3");
+
+  // Spec strings are canonicalized before hashing: "TOPK:3" is the same
+  // slot as "topk:3"...
+  WorkloadSpec shouty = arr;
+  shouty.measure = "TOPK:3";
+  Result<std::shared_ptr<const Workload>> third =
+      service.GetOrBuildWorkload(shouty);
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(second->get(), third->get());
+  EXPECT_EQ(service.stats().workload_cache_hits, 1u);
+
+  // ...and an explicit "arr" is the measure-less slot.
+  WorkloadSpec explicit_arr = arr;
+  explicit_arr.measure = "arr";
+  Result<std::shared_ptr<const Workload>> fourth =
+      service.GetOrBuildWorkload(explicit_arr);
+  ASSERT_TRUE(fourth.ok());
+  EXPECT_EQ(first->get(), fourth->get());
+  EXPECT_EQ(service.stats().workload_cache_misses, 2u);
+}
+
+TEST(MeasureStreamTest, StreamingVersionsPreserveTheMeasure) {
+  auto dataset = std::make_shared<const Dataset>(GenerateSynthetic(
+      {.n = 90, .d = 3,
+       .distribution = SyntheticDistribution::kAntiCorrelated, .seed = 71}));
+  WorkloadBuilder builder;
+  builder.WithDataset(dataset).WithNumUsers(120).WithSeed(72).WithMeasure(
+      std::string_view("topk:3"));
+  Workload base = MustBuild(builder);
+  Result<std::shared_ptr<StreamingWorkload>> stream =
+      StreamingWorkload::Open(base);
+  ASSERT_TRUE(stream.ok()) << stream.status().ToString();
+
+  WorkloadDelta delta;
+  delta.Insert({0.91, 0.13, 0.44}).Insert({0.05, 0.97, 0.33}).Delete(2);
+  Result<ApplyResult> applied = (*stream)->Apply(delta);
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+  const Workload& version = *applied->version;
+  EXPECT_EQ(version.measure_spec(), "topk:3");
+  ASSERT_NE(version.measure_context(), nullptr);
+
+  // The maintained version solves exactly like a from-scratch rebuild of
+  // the mutated dataset with the same measure (Θ depends only on
+  // (N, d, seed), so the rebuild samples the same users).
+  WorkloadBuilder rebuild;
+  rebuild.WithDataset(version.shared_dataset())
+      .WithNumUsers(120)
+      .WithSeed(72)
+      .WithMeasure(std::string_view("topk:3"));
+  Workload fresh = MustBuild(rebuild);
+  // The re-derived reference tracks the mutated catalog.
+  EXPECT_EQ(version.measure_context()->reference,
+            fresh.measure_context()->reference);
+  Engine engine;
+  for (const char* solver : {"greedy-grow", "greedy-shrink"}) {
+    SolveRequest request{.solver = solver, .k = 5};
+    Result<SolveResponse> maintained = engine.Solve(version, request);
+    Result<SolveResponse> rebuilt = engine.Solve(fresh, request);
+    ASSERT_TRUE(maintained.ok() && rebuilt.ok()) << solver;
+    EXPECT_EQ(maintained->selection.indices, rebuilt->selection.indices)
+        << solver;
+    EXPECT_EQ(maintained->selection.average_regret_ratio,
+              rebuilt->selection.average_regret_ratio)
+        << solver;
+  }
+}
+
+/// Measured workloads stay immutable and thread-shareable: concurrent
+/// solves (direct and through the Service) all see one context and
+/// produce identical bits. Runs under TSan via the CI `Measure` filter.
+TEST(MeasureConcurrencyTest, ConcurrentSolvesShareOneMeasureContext) {
+  auto dataset = std::make_shared<const Dataset>(GenerateSynthetic(
+      {.n = 120, .d = 3,
+       .distribution = SyntheticDistribution::kAntiCorrelated, .seed = 81}));
+  Service service;
+  WorkloadSpec spec{.dataset = dataset, .num_users = 150, .seed = 82};
+  spec.measure = "topk:3";
+  Result<std::shared_ptr<const Workload>> workload =
+      service.GetOrBuildWorkload(spec);
+  ASSERT_TRUE(workload.ok()) << workload.status().ToString();
+
+  Engine engine;
+  SolveRequest request{.solver = "greedy-grow", .k = 5};
+  Result<SolveResponse> expect = engine.Solve(**workload, request);
+  ASSERT_TRUE(expect.ok());
+
+  constexpr size_t kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<int> ok(kThreads, 0);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Half solve directly, half through the async service path.
+      if (t % 2 == 0) {
+        Result<SolveResponse> response = engine.Solve(**workload, request);
+        ok[t] = response.ok() &&
+                response->selection.indices == expect->selection.indices &&
+                response->selection.average_regret_ratio ==
+                    expect->selection.average_regret_ratio;
+      } else {
+        Result<JobHandle> job = service.Submit(**workload, request);
+        if (!job.ok()) return;
+        const Result<SolveResponse>& response = job->Wait();
+        ok[t] = response.ok() &&
+                response->selection.indices == expect->selection.indices &&
+                response->selection.average_regret_ratio ==
+                    expect->selection.average_regret_ratio;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (size_t t = 0; t < kThreads; ++t) EXPECT_EQ(ok[t], 1) << t;
+}
+
+}  // namespace
+}  // namespace fam

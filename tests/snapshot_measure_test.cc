@@ -1,0 +1,206 @@
+// Snapshot format v2 (the measure sections): round-trip parity for
+// measured workloads, reference adoption on reopen, and the v1
+// compatibility pin — an arr v2 image is byte-identical to its v1 form
+// except the version field, so byte-patching the version down to 1 must
+// open and serve identically (how every pre-measure snapshot on disk
+// reads under this build).
+
+#include "store/workload_snapshot.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "fam/engine.h"
+#include "regret/measure.h"
+
+namespace fam {
+namespace {
+
+std::string SnapshotPath(const char* name) {
+  return testing::TempDir() + "/" + name + ".famsnap";
+}
+
+Workload MustBuild(WorkloadBuilder& builder) {
+  Result<Workload> workload = builder.Build();
+  EXPECT_TRUE(workload.ok()) << workload.status().ToString();
+  return *std::move(workload);
+}
+
+Workload BuildMeasured(const char* measure_spec, uint64_t seed = 51) {
+  Dataset data = GenerateSynthetic({.n = 120, .d = 3,
+      .distribution = SyntheticDistribution::kAntiCorrelated, .seed = seed});
+  WorkloadBuilder builder;
+  builder.WithDataset(std::move(data)).WithNumUsers(150).WithSeed(seed + 1);
+  if (measure_spec != nullptr) {
+    builder.WithMeasure(std::string_view(measure_spec));
+  }
+  return MustBuild(builder);
+}
+
+/// Selections and objective bit-identical between `a` and `b` for the
+/// given solvers.
+void ExpectSolveParity(const Workload& a, const Workload& b,
+                       std::initializer_list<const char*> solvers,
+                       size_t k = 5) {
+  Engine engine;
+  for (const char* solver : solvers) {
+    SolveRequest request{.solver = solver, .k = k};
+    Result<SolveResponse> expect = engine.Solve(a, request);
+    Result<SolveResponse> actual = engine.Solve(b, request);
+    ASSERT_TRUE(expect.ok() && actual.ok())
+        << solver << ": " << expect.status().ToString() << " / "
+        << actual.status().ToString();
+    EXPECT_EQ(actual->selection.indices, expect->selection.indices)
+        << solver;
+    EXPECT_EQ(actual->selection.average_regret_ratio,
+              expect->selection.average_regret_ratio)
+        << solver;
+    EXPECT_EQ(actual->measure, expect->measure) << solver;
+  }
+}
+
+std::vector<unsigned char> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::vector<unsigned char>(std::istreambuf_iterator<char>(in),
+                                    std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path,
+                    const std::vector<unsigned char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  EXPECT_TRUE(out.good()) << path;
+}
+
+/// Byte offset of the u32 format-version field (after the 8-byte magic).
+constexpr size_t kVersionOffset = 8;
+
+TEST(SnapshotMeasureTest, TopKRoundTripAdoptsTheStoredReference) {
+  Workload original = BuildMeasured("topk:3");
+  ASSERT_NE(original.measure_context(), nullptr);
+  ASSERT_FALSE(original.measure_context()->reference.empty());
+  const std::string path = SnapshotPath("measure_topk");
+
+  ASSERT_TRUE(WorkloadSnapshot::Save(original, path).ok());
+  Result<std::shared_ptr<const WorkloadSnapshot>> snapshot =
+      WorkloadSnapshot::Open(path);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  EXPECT_EQ((*snapshot)->measure_spec(), "topk:3");
+  ASSERT_TRUE((*snapshot)->has_measure_reference());
+  // The stored reference is the original's, verbatim.
+  ASSERT_EQ((*snapshot)->measure_reference().size(),
+            original.num_users());
+  for (size_t u = 0; u < original.num_users(); ++u) {
+    EXPECT_EQ((*snapshot)->measure_reference()[u],
+              original.measure_context()->reference[u]);
+  }
+  // The spec fingerprint carries the measure: the snapshot refuses a
+  // caller expecting the measure-less spec.
+  Workload plain = BuildMeasured(nullptr);
+  EXPECT_FALSE(
+      (*snapshot)->VerifySpecFingerprint(plain.spec_fingerprint()).ok());
+
+  Result<Workload> reopened =
+      WorkloadBuilder::FromSnapshot(*snapshot, original.shared_dataset());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened->measure_spec(), "topk:3");
+  EXPECT_TRUE(reopened->kernel().clamped());
+  ASSERT_NE(reopened->measure_context(), nullptr);
+  EXPECT_EQ(reopened->measure_context()->reference,
+            original.measure_context()->reference);
+  ExpectSolveParity(original, *reopened,
+                    {"greedy-grow", "greedy-shrink", "local-search"});
+}
+
+TEST(SnapshotMeasureTest, RankRegretRoundTripRebuildsTheContext) {
+  // Non-ratio measures store no reference section; reopen re-derives the
+  // sorted-utility context from the reconstructed evaluator.
+  Workload original = BuildMeasured("rank-regret:mean");
+  const std::string path = SnapshotPath("measure_rank");
+  ASSERT_TRUE(WorkloadSnapshot::Save(original, path).ok());
+  Result<std::shared_ptr<const WorkloadSnapshot>> snapshot =
+      WorkloadSnapshot::Open(path);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  EXPECT_EQ((*snapshot)->measure_spec(), "rank-regret:mean");
+  EXPECT_FALSE((*snapshot)->has_measure_reference());
+
+  Result<Workload> reopened =
+      WorkloadBuilder::FromSnapshot(*snapshot, original.shared_dataset());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened->measure_spec(), "rank-regret:mean");
+  ASSERT_NE(reopened->measure_context(), nullptr);
+  EXPECT_EQ(reopened->measure_context()->sorted_utilities,
+            original.measure_context()->sorted_utilities);
+  ExpectSolveParity(original, *reopened, {"greedy-grow", "local-search"});
+}
+
+TEST(SnapshotMeasureTest, ArrImageCarriesNoMeasureSections) {
+  Workload arr = BuildMeasured(nullptr);
+  const std::string path = SnapshotPath("measure_arr");
+  ASSERT_TRUE(WorkloadSnapshot::Save(arr, path).ok());
+  Result<std::shared_ptr<const WorkloadSnapshot>> snapshot =
+      WorkloadSnapshot::Open(path);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  EXPECT_EQ((*snapshot)->measure_spec(), "arr");
+  EXPECT_FALSE((*snapshot)->has_measure_reference());
+}
+
+TEST(SnapshotMeasureTest, V1ImageOpensAsArr) {
+  // An arr v2 image is byte-identical to its v1 form except the version
+  // field (the header is not checksummed), so patching the version u32
+  // back to 1 produces exactly the file a pre-measure build would have
+  // written — and this build must open and serve it as plain arr.
+  Workload arr = BuildMeasured(nullptr);
+  const std::string path = SnapshotPath("measure_v1compat");
+  ASSERT_TRUE(WorkloadSnapshot::Save(arr, path).ok());
+
+  std::vector<unsigned char> bytes = ReadFileBytes(path);
+  ASSERT_GT(bytes.size(), kVersionOffset + sizeof(uint32_t));
+  uint32_t version = 0;
+  std::memcpy(&version, bytes.data() + kVersionOffset, sizeof(version));
+  ASSERT_EQ(version, WorkloadSnapshot::kFormatVersion);
+  ASSERT_EQ(version, 2u);
+  version = 1;
+  std::memcpy(bytes.data() + kVersionOffset, &version, sizeof(version));
+  WriteFileBytes(path, bytes);
+
+  Result<std::shared_ptr<const WorkloadSnapshot>> snapshot =
+      WorkloadSnapshot::Open(path);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  EXPECT_EQ((*snapshot)->measure_spec(), "arr");
+  EXPECT_FALSE((*snapshot)->has_measure_reference());
+  // The v1 image still matches the arr workload's spec fingerprint
+  // ("arr" hashes as the absence of a measure).
+  EXPECT_TRUE(
+      (*snapshot)->VerifySpecFingerprint(arr.spec_fingerprint()).ok());
+  Result<Workload> reopened =
+      WorkloadBuilder::FromSnapshot(*snapshot, arr.shared_dataset());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened->measure_spec(), "arr");
+  ExpectSolveParity(arr, *reopened, {"greedy-grow", "greedy-shrink"});
+}
+
+TEST(SnapshotMeasureTest, FutureFormatVersionIsRejected) {
+  Workload arr = BuildMeasured(nullptr);
+  const std::string path = SnapshotPath("measure_v3");
+  ASSERT_TRUE(WorkloadSnapshot::Save(arr, path).ok());
+  std::vector<unsigned char> bytes = ReadFileBytes(path);
+  uint32_t version = 3;
+  std::memcpy(bytes.data() + kVersionOffset, &version, sizeof(version));
+  WriteFileBytes(path, bytes);
+  Result<std::shared_ptr<const WorkloadSnapshot>> snapshot =
+      WorkloadSnapshot::Open(path);
+  ASSERT_FALSE(snapshot.ok());
+}
+
+}  // namespace
+}  // namespace fam

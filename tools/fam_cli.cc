@@ -294,6 +294,7 @@ struct WorkloadFlags {
   std::string prune = "off";
   std::string shards = "off";
   std::string tile = "auto";
+  std::string measure = "arr";
   bool has_header = true;
   bool label_column = false;
 };
@@ -312,6 +313,9 @@ void RegisterWorkloadFlags(FlagParser& flags, WorkloadFlags* w) {
       .AddString("tile", &w->tile,
                  "kernel score-tile mode: auto | on | off | paged | "
                  "quant16 | quant8 (all modes solve bit-identically)")
+      .AddString("measure", &w->measure,
+                 "regret measure: arr | topk:K | rank-regret[:max|:mean|"
+                 ":pQQ] | cvar:ALPHA (see fam_cli --list_measures)")
       .AddBool("header", &w->has_header, "CSV has a header row")
       .AddBool("labels", &w->label_column, "first CSV column is a label");
 }
@@ -324,16 +328,20 @@ struct ParsedWorkload {
   PruneOptions prune;
   ShardOptions shards;
   EvalKernelOptions::Tile tile = EvalKernelOptions::Tile::kAuto;
+  /// Parsed measure, canonicalized ("TOPK:3" → "topk:3"); null = arr.
+  std::shared_ptr<const RegretMeasure> measure;
   size_t users = 0;
   uint64_t seed = 0;
 
   /// Excludes the tile mode: every mode solves bit-identically, so a
   /// snapshot written under one mode serves any other (the open path is
-  /// always paged over the mmapped tile).
+  /// always paged over the mmapped tile). The measure IS included (when
+  /// not arr) — it changes the kernel reference and every objective.
   uint64_t Fingerprint() const {
-    return WorkloadFingerprintParts(dataset->ContentHash(),
-                                    distribution->name(), users, seed,
-                                    /*materialized=*/false, prune, shards);
+    return WorkloadFingerprintParts(
+        dataset->ContentHash(), distribution->name(), users, seed,
+        /*materialized=*/false, prune, shards, /*mutation_epoch=*/0,
+        measure != nullptr ? measure->Spec() : std::string("arr"));
   }
 };
 
@@ -349,6 +357,7 @@ Result<ParsedWorkload> ParseWorkloadFlags(const WorkloadFlags& w) {
   FAM_ASSIGN_OR_RETURN(parts.prune, ParsePruneSpec(w.prune));
   FAM_ASSIGN_OR_RETURN(parts.shards, ParseShardSpec(w.shards));
   FAM_ASSIGN_OR_RETURN(parts.tile, ParseTileSpec(w.tile));
+  FAM_ASSIGN_OR_RETURN(parts.measure, ParseMeasureSpec(w.measure));
   parts.dataset = std::make_shared<const Dataset>(std::move(data));
   parts.distribution =
       std::make_shared<const UniformLinearDistribution>(domain);
@@ -366,6 +375,7 @@ Result<Workload> BuildParsedWorkload(const ParsedWorkload& parts) {
       .WithPruning(parts.prune)
       .WithShards(parts.shards)
       .WithTileMode(parts.tile)
+      .WithMeasure(parts.measure)
       .Build();
 }
 
@@ -440,6 +450,29 @@ int ListSolvers() {
                   option.description.c_str());
     }
   }
+  return 0;
+}
+
+int ListMeasuresCommand() {
+  std::printf("%-28s %-42s %s\n", "spec", "pruning soundness", "description");
+  for (const MeasureListing& listing : ListMeasures()) {
+    std::string soundness;
+    auto mark = [&soundness](const char* name, bool sound) {
+      if (!soundness.empty()) soundness += ' ';
+      soundness += name;
+      soundness += sound ? "=yes" : "=no";
+    };
+    mark("geometric", listing.traits.geometric_sound);
+    mark("sample-dom", listing.traits.sample_dominance_sound);
+    mark("coreset", listing.traits.coreset_sound);
+    std::printf("%-28s %-42s %s\n", listing.spec.c_str(), soundness.c_str(),
+                listing.description.c_str());
+  }
+  std::printf(
+      "\nratio-form measures (arr, topk:K) run on every solver; others need "
+      "a generic-objective solver (Greedy-Grow, Local-Search, Brute-Force).\n"
+      "prune modes marked =no are rejected for that measure; --prune auto "
+      "always resolves to a sound mode.\n");
   return 0;
 }
 
@@ -561,6 +594,7 @@ int RunSelect(int argc, const char* const* argv) {
         .Integer("shards", static_cast<long long>(workload->shard_count()))
         .String("tile", workload->kernel().TileDtypeName())
         .String("simd", simd::ActiveIsaName())
+        .String("measure", response->measure)
         .Field("selection", JsonIndexArray(response->selection.indices))
         .Field("labels", JsonLabelArray(data, response->selection.indices))
         .Number("arr", response->distribution.average)
@@ -597,6 +631,9 @@ int RunSelect(int argc, const char* const* argv) {
               response->preprocess_seconds, response->query_seconds);
   std::printf("tile: %s, simd: %s\n", workload->kernel().TileDtypeName(),
               simd::ActiveIsaName());
+  if (response->measure != "arr") {
+    std::printf("measure: %s\n", response->measure.c_str());
+  }
   if (!snapshot_action.empty()) {
     std::printf("snapshot: %s %s\n", snapshot_action.c_str(),
                 snapshot_path.c_str());
@@ -657,13 +694,17 @@ int RunEvaluate(int argc, const char* const* argv) {
       ParseIndexSet(set_csv, workload->size());
   if (!subset.ok()) return Fail(subset.status());
 
-  RegretDistribution dist = workload->evaluator().Distribution(*subset);
+  // Null measure context → evaluator.Distribution verbatim (the arr
+  // path); otherwise per-user losses and the aggregate under the measure.
+  RegretDistribution dist = MeasureDistribution(
+      workload->measure_context(), workload->evaluator(), *subset);
   if (*output == OutputFormat::kJson) {
     JsonObject json;
     json.Integer("n", static_cast<long long>(workload->size()))
         .Integer("d", static_cast<long long>(workload->dimension()))
         .Integer("users", static_cast<long long>(workload->num_users()))
         .Integer("seed", w.seed)
+        .String("measure", workload->measure_spec())
         .Field("selection", JsonIndexArray(*subset))
         .Field("labels", JsonLabelArray(workload->dataset(), *subset))
         .Number("arr", dist.average)
@@ -675,6 +716,9 @@ int RunEvaluate(int argc, const char* const* argv) {
         .Number("preprocess_seconds", workload->preprocess_seconds());
     std::printf("%s\n", json.Render().c_str());
     return 0;
+  }
+  if (workload->measure_spec() != "arr") {
+    std::printf("measure: %s\n", workload->measure_spec().c_str());
   }
   std::printf("arr: %.6f\nvariance: %.6f\nstddev: %.6f\n", dist.average,
               dist.variance, dist.stddev);
@@ -1143,6 +1187,10 @@ Status ServeBuildWorkload(ServeSession& session, const JsonRequest& request) {
   FAM_ASSIGN_OR_RETURN(std::string tile_spec, request.String("tile", ""));
   // Validate eagerly so a typo'd tile fails the command, not the build.
   FAM_RETURN_IF_ERROR(ParseTileSpec(tile_spec).status());
+  FAM_ASSIGN_OR_RETURN(std::string measure_spec,
+                       request.String("measure", "arr"));
+  // Same eager validation for the measure (the error lists valid specs).
+  FAM_RETURN_IF_ERROR(ParseMeasureSpec(measure_spec).status());
   FAM_ASSIGN_OR_RETURN(std::string name, request.String("name", ""));
   if (name.empty()) {
     // Skip auto-names the client already claimed explicitly — silently
@@ -1166,6 +1214,7 @@ Status ServeBuildWorkload(ServeSession& session, const JsonRequest& request) {
   spec.prune = prune;
   spec.shards = shards;
   spec.tile = tile_spec;
+  spec.measure = measure_spec;
 
   const uint64_t hits_before =
       session.service.stats().workload_cache_hits;
@@ -1190,7 +1239,8 @@ Status ServeBuildWorkload(ServeSession& session, const JsonRequest& request) {
       .Integer("candidates",
                static_cast<long long>(workload->candidate_count()))
       .Integer("shards", static_cast<long long>(workload->shard_count()))
-      .String("tile_dtype", workload->kernel().TileDtypeName());
+      .String("tile_dtype", workload->kernel().TileDtypeName())
+      .String("measure", workload->measure_spec());
   if (const ShardedBuildStats* shard = workload->shard_stats()) {
     json.Integer("merged_pool", static_cast<long long>(shard->merged_pool))
         .Number("shard_build_seconds", shard->shard_build_seconds)
@@ -1262,6 +1312,7 @@ void ReplyJobStatus(const JobHandle& job, const Result<SolveResponse>* result) {
     if (result->ok()) {
       const SolveResponse& response = **result;
       json.String("algorithm", response.solver)
+          .String("measure", response.measure)
           .Field("selection", JsonIndexArray(response.selection.indices))
           .Number("arr", response.distribution.average)
           .Number("stddev", response.distribution.stddev)
@@ -1338,9 +1389,11 @@ Status ServeEvaluate(ServeSession& session, const JsonRequest& request) {
   FAM_ASSIGN_OR_RETURN(std::string set_csv, request.String("set", ""));
   FAM_ASSIGN_OR_RETURN(std::vector<size_t> subset,
                        ParseIndexSet(set_csv, workload->size()));
-  RegretDistribution dist = workload->evaluator().Distribution(subset);
+  RegretDistribution dist = MeasureDistribution(
+      workload->measure_context(), workload->evaluator(), subset);
   JsonObject json;
   json.Bool("ok", true)
+      .String("measure", workload->measure_spec())
       .Field("selection", JsonIndexArray(subset))
       .Number("arr", dist.average)
       .Number("stddev", dist.stddev)
@@ -1546,13 +1599,18 @@ int Main(int argc, const char* const* argv) {
                  "usage: fam_cli "
                  "<generate|select|evaluate|save-workload|mutate|serve> "
                  "[flags]\n"
-                 "       fam_cli --list_solvers\n");
+                 "       fam_cli --list_solvers\n"
+                 "       fam_cli --list_measures\n");
     return 1;
   }
   std::string command = argv[1];
   if (command == "--list_solvers" || command == "--list-solvers" ||
       command == "list-solvers") {
     return ListSolvers();
+  }
+  if (command == "--list_measures" || command == "--list-measures" ||
+      command == "list-measures") {
+    return ListMeasuresCommand();
   }
   // Shift so subcommand flags see argv[0] = command.
   if (command == "generate") return RunGenerate(argc - 1, argv + 1);
